@@ -1,0 +1,188 @@
+//! Sorted-array binary search — the paper's opening example of a
+//! contention disaster: "the entry in the middle of the table is accessed
+//! on every query" (§1).
+//!
+//! The structure is a single row of `n` sorted keys; the query is the
+//! textbook deterministic search, so the root cell has contention exactly
+//! 1 (= `s` times optimal), the two depth-1 cells ½ each, and so on. It is
+//! also the extreme case for the lower-bound discussion: a deterministic
+//! algorithm trivially satisfies Definition 12's independence requirement,
+//! and no balancing randomness exists to spread the load.
+
+use crate::common::{checked_sorted_keys, BaselineError};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use rand::RngCore;
+
+/// A sorted-array membership structure queried by binary search.
+#[derive(Clone, Debug)]
+pub struct BinarySearchDict {
+    table: Table,
+    n: u64,
+}
+
+impl BinarySearchDict {
+    /// Builds the sorted array.
+    pub fn build(keys: &[u64]) -> Result<BinarySearchDict, BaselineError> {
+        let sorted = checked_sorted_keys(keys)?;
+        let n = sorted.len() as u64;
+        let mut table = Table::new(1, n, 0);
+        for (i, &x) in sorted.iter().enumerate() {
+            table.write(0, i as u64, x);
+        }
+        Ok(BinarySearchDict { table, n })
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        self.table.words()
+    }
+
+    /// The deterministic probe path for query `x` (cells in probe order).
+    pub fn probe_path(&self, x: u64) -> Vec<u64> {
+        let mut path = Vec::new();
+        let (mut lo, mut hi) = (0u64, self.n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            path.push(mid);
+            let v = self.table.peek(0, mid);
+            if v == x {
+                break;
+            } else if v < x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        path
+    }
+}
+
+impl CellProbeDict for BinarySearchDict {
+    fn name(&self) -> String {
+        "binary-search".into()
+    }
+
+    fn contains(&self, x: u64, _rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let (mut lo, mut hi) = (0u64, self.n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let v = self.table.read(0, mid, sink);
+            if v == x {
+                return true;
+            } else if v < x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        false
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.n
+    }
+
+    fn max_probes(&self) -> u32 {
+        // ⌊log₂ n⌋ + 1 probes suffice for the half-open invariant above —
+        // exactly the bit length of n.
+        64 - (self.n as u64).leading_zeros()
+    }
+
+    fn len(&self) -> usize {
+        self.n as usize
+    }
+}
+
+impl ExactProbes for BinarySearchDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        out.extend(self.probe_path(x).into_iter().map(ProbeSet::fixed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::measure::verify_membership;
+    use lcds_cellprobe::sink::TraceSink;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn membership_is_correct() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 3 + 1).collect();
+        let d = BinarySearchDict::build(&keys).unwrap();
+        let negs: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
+        verify_membership(&d, &keys, &negs, &mut rng(1)).unwrap();
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let keys: Vec<u64> = (0..1024u64).collect();
+        let d = BinarySearchDict::build(&keys).unwrap();
+        assert_eq!(d.max_probes(), 11);
+        let mut r = rng(2);
+        for x in [0u64, 511, 512, 1023, 5000] {
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert!(t.trace().len() <= 11, "x={x}: {} probes", t.trace().len());
+        }
+    }
+
+    #[test]
+    fn root_cell_has_contention_one() {
+        let keys: Vec<u64> = (0..256u64).map(|i| i * 2).collect();
+        let d = BinarySearchDict::build(&keys).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        // Every query's first probe is the middle cell.
+        assert!((prof.step_max[0] - 1.0).abs() < 1e-12);
+        assert!((prof.max_step_ratio() - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depth_two_cells_get_half_mass() {
+        let keys: Vec<u64> = (0..256u64).collect();
+        let d = BinarySearchDict::build(&keys).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        // Step 2 max should be ≈ 1/2 (one of the two depth-1 nodes).
+        assert!((prof.step_max[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn probe_path_matches_contains_trace() {
+        let keys: Vec<u64> = (0..777u64).map(|i| i * 7 + 3).collect();
+        let d = BinarySearchDict::build(&keys).unwrap();
+        let mut r = rng(3);
+        for x in [3u64, 100, 776 * 7 + 3, 2, 10_000] {
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert_eq!(t.trace(), d.probe_path(x).as_slice(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn single_key() {
+        let d = BinarySearchDict::build(&[42]).unwrap();
+        let mut r = rng(4);
+        verify_membership(&d, &[42], &[0, 41, 43], &mut r).unwrap();
+        assert_eq!(d.max_probes(), 1);
+    }
+
+    #[test]
+    fn space_is_exactly_n() {
+        let keys: Vec<u64> = (0..100u64).collect();
+        let d = BinarySearchDict::build(&keys).unwrap();
+        assert_eq!(d.num_cells(), 100);
+        assert!((d.words_per_key() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! Separate chaining — the textbook hash table, flattened into cells.
+//!
+//! Each of `m = n` buckets owns a contiguous chain in a spill region; a
+//! directory cell per bucket stores `(offset, length)`. Queries read the
+//! seed (replicated), the directory cell, then scan the chain. The
+//! directory cell of bucket `i` has contention `ℓ_i / n`, and every chain
+//! cell before a key adds to that key's cost — a probe/contention profile
+//! strictly between FKS (3 probes, same directory hot spot) and linear
+//! probing (no directory, cluster-shaped hot spots).
+//!
+//! ```text
+//! [0, k)              hash seed replicas
+//! [k, k+m)            directory: (offset, length) packed
+//! [k+m, k+m+n)        chain region: keys grouped by bucket
+//! ```
+
+use crate::common::{
+    checked_sorted_keys, pack_descriptor, unpack_descriptor, BaselineError, Replication,
+    OFFSET_BITS,
+};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::perfect::PerfectHash;
+use rand::{Rng, RngCore};
+
+/// Sentinel for unoccupied cells.
+const EMPTY: u64 = u64::MAX;
+
+/// Tunables for [`ChainingDict::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChainingConfig {
+    /// Copies of the hash seed.
+    pub replication: Replication,
+    /// Redraw the seed if the longest chain exceeds this bound.
+    pub max_chain: u32,
+    /// Seed redraw cap.
+    pub max_retries: u32,
+}
+
+impl Default for ChainingConfig {
+    fn default() -> ChainingConfig {
+        ChainingConfig {
+            replication: Replication::Linear,
+            max_chain: 64,
+            max_retries: 100,
+        }
+    }
+}
+
+/// A built separate-chaining dictionary.
+#[derive(Clone, Debug)]
+pub struct ChainingDict {
+    table: Table,
+    keys: Vec<u64>,
+    hash: PerfectHash,
+    k: u64,
+    m: u64,
+    /// Longest chain.
+    pub max_chain: u32,
+    /// Rejected seeds.
+    pub retries: u32,
+}
+
+impl ChainingDict {
+    /// Builds the dictionary over `keys`.
+    pub fn build<R: Rng + ?Sized>(
+        keys: &[u64],
+        config: ChainingConfig,
+        rng: &mut R,
+    ) -> Result<ChainingDict, BaselineError> {
+        let sorted = checked_sorted_keys(keys)?;
+        let n = sorted.len() as u64;
+        if n >= (1 << OFFSET_BITS) {
+            return Err(BaselineError::TooLarge(n));
+        }
+        let m = n;
+        let k = config.replication.copies(n);
+
+        let mut retries = 0;
+        for _ in 0..config.max_retries {
+            let seed = rng.random::<u64>();
+            let hash = PerfectHash::from_seed(seed, m);
+            let mut loads = vec![0u32; m as usize];
+            for &x in &sorted {
+                loads[hash.eval(x) as usize] += 1;
+            }
+            let max_chain = loads.iter().copied().max().unwrap_or(0);
+            if max_chain > config.max_chain {
+                retries += 1;
+                continue;
+            }
+            // Offsets by prefix sums; keys grouped by bucket.
+            let mut offsets = vec![0u64; m as usize + 1];
+            for i in 0..m as usize {
+                offsets[i + 1] = offsets[i] + loads[i] as u64;
+            }
+            let mut table = Table::new(1, k + m + n, EMPTY);
+            for j in 0..k {
+                table.write(0, j, seed);
+            }
+            let mut cursor = offsets.clone();
+            for &x in &sorted {
+                let b = hash.eval(x) as usize;
+                table.write(0, k + m + cursor[b], x);
+                cursor[b] += 1;
+            }
+            for i in 0..m as usize {
+                table.write(
+                    0,
+                    k + i as u64,
+                    pack_descriptor(offsets[i], loads[i], 0),
+                );
+            }
+            return Ok(ChainingDict {
+                table,
+                keys: sorted,
+                hash,
+                k,
+                m,
+                max_chain,
+                retries,
+            });
+        }
+        Err(BaselineError::RetriesExhausted(config.max_retries))
+    }
+
+    /// Builds with [`ChainingConfig::default`].
+    pub fn build_default<R: Rng + ?Sized>(
+        keys: &[u64],
+        rng: &mut R,
+    ) -> Result<ChainingDict, BaselineError> {
+        ChainingDict::build(keys, ChainingConfig::default(), rng)
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// `(offset, length, position-of-x-or-end)` for query `x`.
+    fn resolve(&self, x: u64) -> (u64, u32, u32) {
+        let b = self.hash.eval(x);
+        let (off, len, _) = unpack_descriptor(self.table.peek(0, self.k + b));
+        for i in 0..len {
+            if self.table.peek(0, self.k + self.m + off + i as u64) == x {
+                return (off, len, i + 1); // scanned i+1 cells
+            }
+        }
+        (off, len, len)
+    }
+}
+
+impl CellProbeDict for ChainingDict {
+    fn name(&self) -> String {
+        let label = if self.k == 1 {
+            "×1".into()
+        } else if self.k == self.keys.len() as u64 {
+            "×n".to_string()
+        } else {
+            format!("×{}", self.k)
+        };
+        format!("chaining{label}")
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let seed = self.table.read(0, uniform_below(rng, self.k), sink);
+        let hash = PerfectHash::from_seed(seed, self.m);
+        let b = hash.eval(x);
+        let (off, len, _) = unpack_descriptor(self.table.read(0, self.k + b, sink));
+        for i in 0..len as u64 {
+            if self.table.read(0, self.k + self.m + off + i, sink) == x {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        2 + self.max_chain
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl ExactProbes for ChainingDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        out.push(ProbeSet::range(0, self.k));
+        let b = self.hash.eval(x);
+        out.push(ProbeSet::fixed(self.k + b));
+        let (off, _, scanned) = self.resolve(x);
+        for i in 0..scanned as u64 {
+            out.push(ProbeSet::fixed(self.k + self.m + off + i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::measure::verify_membership;
+    use lcds_cellprobe::sink::TraceSink;
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn membership_is_correct() {
+        let keys = keyset(800, 1);
+        let d = ChainingDict::build_default(&keys, &mut rng(1)).unwrap();
+        let negs: Vec<u64> = (0..400)
+            .map(|i| derive(222, i) % MAX_KEY)
+            .filter(|x| !keys.contains(x))
+            .collect();
+        verify_membership(&d, &keys, &negs, &mut rng(2)).unwrap();
+    }
+
+    #[test]
+    fn space_is_exactly_directory_plus_chains() {
+        let keys = keyset(500, 2);
+        let d = ChainingDict::build_default(&keys, &mut rng(2)).unwrap();
+        // k (=n) + m (=n) + n chain cells.
+        assert_eq!(d.num_cells(), 3 * 500);
+    }
+
+    #[test]
+    fn probes_match_declared_sets() {
+        let keys = keyset(300, 3);
+        let d = ChainingDict::build_default(&keys, &mut rng(3)).unwrap();
+        let mut r = rng(4);
+        let mut sets = Vec::new();
+        for x in keys.iter().copied().take(60).chain((0..60).map(|i| derive(6, i) % MAX_KEY)) {
+            sets.clear();
+            d.probe_sets(x, &mut sets);
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert_eq!(t.trace().len(), sets.len(), "x={x}");
+            for (&cell, set) in t.trace().iter().zip(&sets) {
+                assert!(set.cells().any(|c| c == cell));
+            }
+        }
+    }
+
+    #[test]
+    fn directory_contention_tracks_chain_lengths() {
+        let keys = keyset(2048, 4);
+        let n = keys.len() as f64;
+        let d = ChainingDict::build_default(&keys, &mut rng(4)).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(&keys));
+        // Step 2 (directory): max chain / n, same hot spot as FKS.
+        assert!((prof.step_max[1] - d.max_chain as f64 / n).abs() < 1e-9);
+        assert!(d.max_chain >= 2);
+    }
+
+    #[test]
+    fn tiny_sets() {
+        for n in 1..=4u64 {
+            let keys: Vec<u64> = (0..n).map(|i| i * 61 + 9).collect();
+            let d = ChainingDict::build_default(&keys, &mut rng(10 + n)).unwrap();
+            verify_membership(&d, &keys, &[1, 2, 3], &mut rng(20 + n)).unwrap();
+        }
+    }
+}

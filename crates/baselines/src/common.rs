@@ -1,0 +1,191 @@
+//! Shared machinery for the baseline dictionaries: input validation,
+//! descriptor packing, and the replication knob of §1.3 ("contention can be
+//! decreased by storing the hash function redundantly").
+
+use lcds_hashing::MAX_KEY;
+
+/// Why a baseline build failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// No keys supplied.
+    EmptyKeySet,
+    /// Two equal keys.
+    DuplicateKey(u64),
+    /// Key outside `[0, 2^61 − 1)`.
+    KeyOutOfRange(u64),
+    /// Hash (re)draws exhausted without meeting the scheme's acceptance
+    /// condition.
+    RetriesExhausted(u32),
+    /// The key set is too large for the scheme's descriptor packing.
+    TooLarge(u64),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::EmptyKeySet => write!(f, "key set is empty"),
+            BaselineError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            BaselineError::KeyOutOfRange(k) => write!(f, "key {k} outside universe"),
+            BaselineError::RetriesExhausted(r) => write!(f, "retries exhausted ({r})"),
+            BaselineError::TooLarge(n) => write!(f, "{n} keys exceed descriptor packing limits"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Validates, sorts and deduplicate-checks an input key slice.
+pub fn checked_sorted_keys(keys: &[u64]) -> Result<Vec<u64>, BaselineError> {
+    if keys.is_empty() {
+        return Err(BaselineError::EmptyKeySet);
+    }
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(BaselineError::DuplicateKey(w[0]));
+        }
+    }
+    if let Some(&bad) = sorted.iter().find(|&&k| k > MAX_KEY) {
+        return Err(BaselineError::KeyOutOfRange(bad));
+    }
+    Ok(sorted)
+}
+
+/// How many copies of the hash-parameter cells to store.
+///
+/// `Replication::None` is the textbook structure (one parameter cell —
+/// contention 1 on it); `Replication::Linear` stores one copy per key
+/// (parameter contention `1/n`, the paper's "redundant" variant whose
+/// *remaining* contention the §1.3 comparisons are about);
+/// `Replication::Count(k)` is explicit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replication {
+    /// A single parameter cell.
+    None,
+    /// One copy per stored key.
+    Linear,
+    /// Exactly `k ≥ 1` copies.
+    Count(u64),
+}
+
+impl Replication {
+    /// Resolves to a concrete copy count for `n` keys.
+    pub fn copies(self, n: u64) -> u64 {
+        match self {
+            Replication::None => 1,
+            Replication::Linear => n.max(1),
+            Replication::Count(k) => {
+                assert!(k >= 1, "replication count must be positive");
+                k
+            }
+        }
+    }
+
+    /// Short suffix for scheme names, e.g. `"×n"` or `"×4"`.
+    pub fn label(self) -> String {
+        match self {
+            Replication::None => "×1".into(),
+            Replication::Linear => "×n".into(),
+            Replication::Count(k) => format!("×{k}"),
+        }
+    }
+}
+
+/// Packs a bucket descriptor `(offset, load, seed)` into one 64-bit cell:
+/// offset in the low 22 bits, load in the next 10, seed in the high 32.
+///
+/// FKS-style schemes need the *one* descriptor probe to deliver all three,
+/// which is what keeps them at 3 probes total (and what concentrates
+/// contention on the descriptor cell — the effect the paper measures).
+pub const OFFSET_BITS: u32 = 22;
+/// Bits for the bucket load.
+pub const LOAD_BITS: u32 = 10;
+
+/// Packs `(offset, load, seed)`; see [`OFFSET_BITS`].
+///
+/// # Panics
+/// Panics if `offset ≥ 2^22` or `load ≥ 2^10` (callers pre-check via
+/// [`BaselineError::TooLarge`]).
+#[inline]
+pub fn pack_descriptor(offset: u64, load: u32, seed: u32) -> u64 {
+    assert!(offset < (1 << OFFSET_BITS), "offset {offset} too large");
+    assert!(load < (1 << LOAD_BITS), "load {load} too large");
+    offset | ((load as u64) << OFFSET_BITS) | ((seed as u64) << (OFFSET_BITS + LOAD_BITS))
+}
+
+/// Inverse of [`pack_descriptor`].
+#[inline]
+pub fn unpack_descriptor(word: u64) -> (u64, u32, u32) {
+    let offset = word & ((1 << OFFSET_BITS) - 1);
+    let load = ((word >> OFFSET_BITS) & ((1 << LOAD_BITS) - 1)) as u32;
+    let seed = (word >> (OFFSET_BITS + LOAD_BITS)) as u32;
+    (offset, load, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        assert_eq!(checked_sorted_keys(&[]).unwrap_err(), BaselineError::EmptyKeySet);
+        assert_eq!(
+            checked_sorted_keys(&[3, 1, 3]).unwrap_err(),
+            BaselineError::DuplicateKey(3)
+        );
+        assert_eq!(
+            checked_sorted_keys(&[1, u64::MAX]).unwrap_err(),
+            BaselineError::KeyOutOfRange(u64::MAX)
+        );
+        assert_eq!(checked_sorted_keys(&[9, 2, 5]).unwrap(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn replication_resolution() {
+        assert_eq!(Replication::None.copies(100), 1);
+        assert_eq!(Replication::Linear.copies(100), 100);
+        assert_eq!(Replication::Count(7).copies(100), 7);
+        assert_eq!(Replication::Linear.label(), "×n");
+        assert_eq!(Replication::Count(4).label(), "×4");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_replication_rejected() {
+        let _ = Replication::Count(0).copies(10);
+    }
+
+    #[test]
+    fn descriptor_roundtrip_extremes() {
+        for (off, load, seed) in [
+            (0u64, 0u32, 0u32),
+            ((1 << OFFSET_BITS) - 1, (1 << LOAD_BITS) - 1, u32::MAX),
+            (12345, 17, 0xDEAD_BEEF),
+        ] {
+            assert_eq!(unpack_descriptor(pack_descriptor(off, load, seed)), (off, load, seed));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn oversized_offset_rejected() {
+        let _ = pack_descriptor(1 << OFFSET_BITS, 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_descriptor_roundtrip(off in 0u64..(1 << OFFSET_BITS),
+                                     load in 0u32..(1 << LOAD_BITS),
+                                     seed in 0..u32::MAX) {
+            prop_assert_eq!(unpack_descriptor(pack_descriptor(off, load, seed)), (off, load, seed));
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BaselineError::TooLarge(99).to_string().contains("99"));
+        assert!(BaselineError::RetriesExhausted(3).to_string().contains("3"));
+    }
+}

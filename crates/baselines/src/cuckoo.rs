@@ -1,0 +1,368 @@
+//! Static cuckoo hashing (Pagh–Rodler [12]), instrumented for contention.
+//!
+//! Layout (one logical row):
+//!
+//! ```text
+//! [0, k)              hash seed, k replicas
+//! [k, k+side)         table T₁ (key or EMPTY)
+//! [k+side, k+2·side)  table T₂ (key or EMPTY)
+//! ```
+//!
+//! A query reads a random seed replica, then `T₁[h₁(x)]`, and only on a
+//! miss `T₂[h₂(x)]` — at most 3 probes. §1.3's observation holds here: even
+//! with the seed fully replicated, the *data* cells are hot in proportion
+//! to how many stored keys hash to them; under a random-function-like
+//! family the loaded cell collects `Θ(ln n / ln ln n)` keys, so cuckoo
+//! hashing sits `Θ(ln n / ln ln n)` above optimal.
+
+use crate::common::{checked_sorted_keys, BaselineError, Replication};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::mix::derive;
+use lcds_hashing::poly::horner;
+use rand::{Rng, RngCore};
+
+/// Sentinel for unoccupied cells.
+const EMPTY: u64 = u64::MAX;
+
+/// Degree of the two derived polynomial hash functions. Cuckoo hashing
+/// needs stronger-than-pairwise hashing in theory; degree 3 with verified
+/// insertion success is the practical standard.
+const DEGREE: usize = 3;
+
+/// Tunables for [`CuckooDict::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct CuckooConfig {
+    /// Copies of the hash seed.
+    pub replication: Replication,
+    /// Per-side size as a multiple of `n` (≥ ~1.05 for cuckoo to succeed;
+    /// the classic choice is 1.5 per side → total load factor 1/3).
+    pub side_factor: f64,
+    /// Eviction-chain cap before declaring the seed bad.
+    pub max_kicks: u32,
+    /// Seed redraw cap.
+    pub max_retries: u32,
+}
+
+impl Default for CuckooConfig {
+    fn default() -> CuckooConfig {
+        CuckooConfig {
+            replication: Replication::Linear,
+            side_factor: 1.5,
+            max_kicks: 500,
+            max_retries: 100,
+        }
+    }
+}
+
+/// The two hash functions, derived from one seed word.
+#[derive(Clone, Copy, Debug)]
+struct CuckooHashes {
+    h1: [u64; DEGREE],
+    h2: [u64; DEGREE],
+    side: u64,
+}
+
+impl CuckooHashes {
+    fn from_seed(seed: u64, side: u64) -> CuckooHashes {
+        let mut h1 = [0u64; DEGREE];
+        let mut h2 = [0u64; DEGREE];
+        for i in 0..DEGREE {
+            h1[i] = derive(seed, i as u64);
+            h2[i] = derive(seed, (DEGREE + i) as u64);
+        }
+        CuckooHashes { h1, h2, side }
+    }
+
+    #[inline]
+    fn eval1(&self, x: u64) -> u64 {
+        horner(&self.h1, x) % self.side
+    }
+
+    #[inline]
+    fn eval2(&self, x: u64) -> u64 {
+        horner(&self.h2, x) % self.side
+    }
+}
+
+/// A built static cuckoo dictionary.
+#[derive(Clone, Debug)]
+pub struct CuckooDict {
+    table: Table,
+    keys: Vec<u64>,
+    hashes: CuckooHashes,
+    k: u64,
+    side: u64,
+    /// Seeds rejected before one placed every key.
+    pub retries: u32,
+}
+
+impl CuckooDict {
+    /// Builds the dictionary over `keys`.
+    pub fn build<R: Rng + ?Sized>(
+        keys: &[u64],
+        config: CuckooConfig,
+        rng: &mut R,
+    ) -> Result<CuckooDict, BaselineError> {
+        let sorted = checked_sorted_keys(keys)?;
+        let n = sorted.len() as u64;
+        let side = ((n as f64 * config.side_factor).ceil() as u64).max(2);
+        let k = config.replication.copies(n);
+
+        let mut retries = 0;
+        'seeds: for _ in 0..config.max_retries {
+            let seed = rng.random::<u64>();
+            let hashes = CuckooHashes::from_seed(seed, side);
+            // slots[i]: Some(key) placements; t1 then t2.
+            let mut t1 = vec![EMPTY; side as usize];
+            let mut t2 = vec![EMPTY; side as usize];
+            for &key in &sorted {
+                let mut x = key;
+                let mut in_first = true;
+                let mut placed = false;
+                for _ in 0..config.max_kicks {
+                    if in_first {
+                        let slot = hashes.eval1(x) as usize;
+                        if t1[slot] == EMPTY {
+                            t1[slot] = x;
+                            placed = true;
+                            break;
+                        }
+                        std::mem::swap(&mut x, &mut t1[slot]);
+                        in_first = false;
+                    } else {
+                        let slot = hashes.eval2(x) as usize;
+                        if t2[slot] == EMPTY {
+                            t2[slot] = x;
+                            placed = true;
+                            break;
+                        }
+                        std::mem::swap(&mut x, &mut t2[slot]);
+                        in_first = true;
+                    }
+                }
+                if !placed {
+                    retries += 1;
+                    continue 'seeds;
+                }
+            }
+            // Success: materialize the table.
+            let mut table = Table::new(1, k + 2 * side, EMPTY);
+            for j in 0..k {
+                table.write(0, j, seed);
+            }
+            for (i, &v) in t1.iter().enumerate() {
+                table.write(0, k + i as u64, v);
+            }
+            for (i, &v) in t2.iter().enumerate() {
+                table.write(0, k + side + i as u64, v);
+            }
+            return Ok(CuckooDict {
+                table,
+                keys: sorted,
+                hashes,
+                k,
+                side,
+                retries,
+            });
+        }
+        Err(BaselineError::RetriesExhausted(config.max_retries))
+    }
+
+    /// Builds with [`CuckooConfig::default`].
+    pub fn build_default<R: Rng + ?Sized>(
+        keys: &[u64],
+        rng: &mut R,
+    ) -> Result<CuckooDict, BaselineError> {
+        CuckooDict::build(keys, CuckooConfig::default(), rng)
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Max number of stored keys any single data cell is responsible for
+    /// under `h₁` (the step-2 hot-spot size, `Θ(ln n / ln ln n)` expected).
+    pub fn max_h1_load(&self) -> u32 {
+        let mut loads = vec![0u32; self.side as usize];
+        for &x in &self.keys {
+            loads[self.hashes.eval1(x) as usize] += 1;
+        }
+        loads.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl CellProbeDict for CuckooDict {
+    fn name(&self) -> String {
+        let label = if self.k == 1 {
+            "×1".into()
+        } else if self.k == self.keys.len() as u64 {
+            "×n".to_string()
+        } else {
+            format!("×{}", self.k)
+        };
+        format!("cuckoo{label}")
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let seed = self.table.read(0, uniform_below(rng, self.k), sink);
+        let hashes = CuckooHashes::from_seed(seed, self.side);
+        if self.table.read(0, self.k + hashes.eval1(x), sink) == x {
+            return true;
+        }
+        self.table.read(0, self.k + self.side + hashes.eval2(x), sink) == x
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        3
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl ExactProbes for CuckooDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        out.push(ProbeSet::range(0, self.k));
+        let c1 = self.k + self.hashes.eval1(x);
+        out.push(ProbeSet::fixed(c1));
+        if self.table.peek(0, c1) != x {
+            out.push(ProbeSet::fixed(self.k + self.side + self.hashes.eval2(x)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::measure::verify_membership;
+    use lcds_cellprobe::sink::TraceSink;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn membership_is_correct() {
+        let keys = keyset(1000, 1);
+        let d = CuckooDict::build_default(&keys, &mut rng(1)).unwrap();
+        let negs: Vec<u64> = (0..500)
+            .map(|i| derive(777, i) % MAX_KEY)
+            .filter(|x| !keys.contains(x))
+            .collect();
+        verify_membership(&d, &keys, &negs, &mut rng(2)).unwrap();
+    }
+
+    #[test]
+    fn every_key_sits_in_its_nest() {
+        let keys = keyset(500, 2);
+        let d = CuckooDict::build_default(&keys, &mut rng(2)).unwrap();
+        for &x in &keys {
+            let c1 = d.table.peek(0, d.k + d.hashes.eval1(x));
+            let c2 = d.table.peek(0, d.k + d.side + d.hashes.eval2(x));
+            assert!(c1 == x || c2 == x, "key {x} in neither nest");
+        }
+    }
+
+    #[test]
+    fn at_most_three_probes() {
+        let keys = keyset(400, 3);
+        let d = CuckooDict::build_default(&keys, &mut rng(3)).unwrap();
+        let mut r = rng(4);
+        for x in keys.iter().copied().take(50).chain((0..50).map(|i| derive(6, i) % MAX_KEY)) {
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert!(t.trace().len() <= 3);
+            assert!(t.trace().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn probes_match_declared_sets() {
+        let keys = keyset(300, 4);
+        let d = CuckooDict::build_default(&keys, &mut rng(4)).unwrap();
+        let mut r = rng(5);
+        let mut sets = Vec::new();
+        for x in keys.iter().copied().take(60).chain((0..60).map(|i| derive(8, i) % MAX_KEY)) {
+            sets.clear();
+            d.probe_sets(x, &mut sets);
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert_eq!(t.trace().len(), sets.len(), "x={x}");
+            for (&cell, set) in t.trace().iter().zip(&sets) {
+                assert!(set.cells().any(|c| c == cell));
+            }
+        }
+    }
+
+    #[test]
+    fn contention_tracks_h1_load() {
+        let keys = keyset(2048, 5);
+        let n = keys.len() as f64;
+        let d = CuckooDict::build_default(&keys, &mut rng(5)).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        // Step 2 max = (max # keys per T1 cell) / n.
+        let expected = d.max_h1_load() as f64 / n;
+        assert!((prof.step_max[1] - expected).abs() < 1e-9);
+        assert!(d.max_h1_load() >= 2, "want a collision at this size");
+        // Seed row flattened to 1/n.
+        assert!((prof.step_max[0] - 1.0 / n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let keys = keyset(1000, 6);
+        let d = CuckooDict::build_default(&keys, &mut rng(6)).unwrap();
+        assert!(d.words_per_key() <= 4.1, "words/key = {}", d.words_per_key());
+    }
+
+    #[test]
+    fn tiny_sets_build() {
+        for n in 1..=4u64 {
+            let keys: Vec<u64> = (0..n).map(|i| i * 17 + 3).collect();
+            let d = CuckooDict::build_default(&keys, &mut rng(40 + n)).unwrap();
+            let mut r = rng(50 + n);
+            verify_membership(&d, &keys, &[1, 2, 100], &mut r).unwrap();
+        }
+    }
+
+    #[test]
+    fn impossible_config_reports_retries() {
+        // side_factor small enough that n keys cannot fit 2 sides.
+        let cfg = CuckooConfig {
+            side_factor: 0.4,
+            max_retries: 5,
+            ..CuckooConfig::default()
+        };
+        let keys = keyset(100, 7);
+        let err = CuckooDict::build(&keys, cfg, &mut rng(7)).unwrap_err();
+        assert_eq!(err, BaselineError::RetriesExhausted(5));
+    }
+}

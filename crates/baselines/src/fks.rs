@@ -1,0 +1,375 @@
+//! The FKS static dictionary (Fredman–Komlós–Szemerédi [8]), instrumented
+//! for contention, with the §1.3 replication knob.
+//!
+//! Layout (one logical row):
+//!
+//! ```text
+//! [0, k)                 top-level hash seed, k replicas
+//! [k, k+m)               one descriptor cell per bucket: (offset, load, seed)
+//! [k+m, k+m+Σℓ²)         per-bucket quadratic tables (keys / EMPTY)
+//! ```
+//!
+//! A query makes **exactly 3 probes** (2 if the bucket is empty): a random
+//! seed replica, the bucket's descriptor, and the data slot. This is the
+//! paper's point of comparison: even with the seed fully replicated
+//! (`k = n`), the *descriptor* cell of bucket `i` is probed by every query
+//! for a key in that bucket — contention `ℓ_i / n` — and pairwise top-level
+//! hashing only guarantees `max ℓ_i = O(√n)`, giving the `Θ(√n)`-times-
+//! optimal contention quoted in §1.3.
+
+use crate::common::{
+    checked_sorted_keys, pack_descriptor, unpack_descriptor, BaselineError, Replication,
+    LOAD_BITS, OFFSET_BITS,
+};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use crate::seed_search::find_perfect_seed32;
+use lcds_hashing::perfect::PerfectHash;
+use rand::{Rng, RngCore};
+
+/// Sentinel for unoccupied data cells.
+const EMPTY: u64 = u64::MAX;
+
+/// Tunables for [`FksDict::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct FksConfig {
+    /// Copies of the top-level hash seed.
+    pub replication: Replication,
+    /// Accept a top-level draw when `Σℓ² ≤ space_factor · n`.
+    pub space_factor: u64,
+    /// Top-level redraw cap.
+    pub max_retries: u32,
+}
+
+impl Default for FksConfig {
+    fn default() -> FksConfig {
+        FksConfig {
+            replication: Replication::Linear,
+            space_factor: 4,
+            max_retries: 1000,
+        }
+    }
+}
+
+/// A built FKS dictionary.
+#[derive(Clone, Debug)]
+pub struct FksDict {
+    table: Table,
+    keys: Vec<u64>,
+    top: PerfectHash, // seeded pairwise function into [m] (not "perfect" here)
+    k: u64,
+    m: u64,
+    /// Top-level draws rejected before acceptance.
+    pub retries: u32,
+    /// Largest bucket load (drives the paper's Θ(√n) worst case).
+    pub max_bucket_load: u32,
+}
+
+impl FksDict {
+    /// Builds the dictionary over `keys`.
+    pub fn build<R: Rng + ?Sized>(
+        keys: &[u64],
+        config: FksConfig,
+        rng: &mut R,
+    ) -> Result<FksDict, BaselineError> {
+        let sorted = checked_sorted_keys(keys)?;
+        let n = sorted.len() as u64;
+        if config.space_factor * n >= (1 << OFFSET_BITS) {
+            return Err(BaselineError::TooLarge(n));
+        }
+        let m = n;
+        let k = config.replication.copies(n);
+
+        // Top-level acceptance: Σℓ² ≤ space_factor·n and every load packs.
+        let mut accepted = None;
+        let mut retries = 0;
+        for _ in 0..config.max_retries {
+            let seed = rng.random::<u64>();
+            let top = PerfectHash::from_seed(seed, m);
+            let mut loads = vec![0u32; m as usize];
+            for &x in &sorted {
+                loads[top.eval(x) as usize] += 1;
+            }
+            let sum_sq: u64 = loads.iter().map(|&l| (l as u64) * (l as u64)).sum();
+            let max_load = loads.iter().copied().max().unwrap_or(0);
+            if sum_sq <= config.space_factor * n && (max_load as u64) < (1 << LOAD_BITS) {
+                accepted = Some((top, loads, max_load));
+                break;
+            }
+            retries += 1;
+        }
+        let (top, loads, max_bucket_load) =
+            accepted.ok_or(BaselineError::RetriesExhausted(config.max_retries))?;
+
+        // Bucket offsets (prefix sums of ℓ²) and key grouping.
+        let mut offsets = vec![0u64; m as usize + 1];
+        for i in 0..m as usize {
+            offsets[i + 1] = offsets[i] + (loads[i] as u64) * (loads[i] as u64);
+        }
+        let data_space = offsets[m as usize];
+        let mut by_bucket: Vec<Vec<u64>> = vec![Vec::new(); m as usize];
+        for &x in &sorted {
+            by_bucket[top.eval(x) as usize].push(x);
+        }
+
+        let total = k + m + data_space;
+        let mut table = Table::new(1, total.max(1), EMPTY);
+        for j in 0..k {
+            table.write(0, j, top.seed());
+        }
+        for (i, bucket) in by_bucket.iter().enumerate() {
+            let l = loads[i];
+            let range = (l as u64) * (l as u64);
+            let seed = if l == 0 {
+                0
+            } else {
+                find_perfect_seed32(bucket, range, rng)
+                    .ok_or(BaselineError::RetriesExhausted(4096))?
+            };
+            table.write(0, k + i as u64, pack_descriptor(offsets[i], l, seed));
+            if l > 0 {
+                let ph = PerfectHash::from_seed(seed as u64, range);
+                for &x in bucket {
+                    table.write(0, k + m + offsets[i] + ph.eval(x), x);
+                }
+            }
+        }
+
+        Ok(FksDict {
+            table,
+            keys: sorted,
+            top,
+            k,
+            m,
+            retries,
+            max_bucket_load,
+        })
+    }
+
+    /// Builds with [`FksConfig::default`] (linear replication).
+    pub fn build_default<R: Rng + ?Sized>(keys: &[u64], rng: &mut R) -> Result<FksDict, BaselineError> {
+        FksDict::build(keys, FksConfig::default(), rng)
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Resolves a query analytically: `(bucket, load, data_cell)`.
+    fn resolve(&self, x: u64) -> (u64, u32, Option<u64>) {
+        let b = self.top.eval(x);
+        let (off, l, seed) = unpack_descriptor(self.table.peek(0, self.k + b));
+        if l == 0 {
+            return (b, 0, None);
+        }
+        let range = (l as u64) * (l as u64);
+        let ph = PerfectHash::from_seed(seed as u64, range);
+        (b, l, Some(self.k + self.m + off + ph.eval(x)))
+    }
+}
+
+impl CellProbeDict for FksDict {
+    fn name(&self) -> String {
+        format!("fks{}", replication_label(self.k, self.keys.len() as u64))
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        // Probe 1: a random replica of the top-level seed.
+        let seed = self.table.read(0, uniform_below(rng, self.k), sink);
+        let top = PerfectHash::from_seed(seed, self.m);
+        // Probe 2: the bucket descriptor.
+        let b = top.eval(x);
+        let (off, l, bseed) = unpack_descriptor(self.table.read(0, self.k + b, sink));
+        if l == 0 {
+            return false;
+        }
+        // Probe 3: the data slot.
+        let range = (l as u64) * (l as u64);
+        let ph = PerfectHash::from_seed(bseed as u64, range);
+        self.table.read(0, self.k + self.m + off + ph.eval(x), sink) == x
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        3
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl ExactProbes for FksDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        out.push(ProbeSet::range(0, self.k));
+        let (b, l, data) = self.resolve(x);
+        out.push(ProbeSet::fixed(self.k + b));
+        if l > 0 {
+            out.push(ProbeSet::fixed(data.expect("non-empty bucket")));
+        }
+    }
+}
+
+/// `"×1"` / `"×n"` / `"×k"` suffix from a resolved copy count.
+fn replication_label(k: u64, n: u64) -> String {
+    if k == 1 {
+        "×1".into()
+    } else if k == n {
+        "×n".into()
+    } else {
+        format!("×{k}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::measure::verify_membership;
+    use lcds_cellprobe::sink::{NullSink, TraceSink};
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn membership_is_correct() {
+        let keys = keyset(800, 1);
+        let d = FksDict::build_default(&keys, &mut rng(1)).unwrap();
+        let negs: Vec<u64> = (0..500).map(|i| derive(999, i) % MAX_KEY)
+            .filter(|x| !keys.contains(x))
+            .collect();
+        verify_membership(&d, &keys, &negs, &mut rng(2)).unwrap();
+    }
+
+    #[test]
+    fn exactly_three_probes_for_members() {
+        let keys = keyset(300, 2);
+        let d = FksDict::build_default(&keys, &mut rng(2)).unwrap();
+        let mut r = rng(3);
+        for &x in keys.iter().take(100) {
+            let mut t = TraceSink::new();
+            t.begin_query();
+            assert!(d.contains(x, &mut r, &mut t));
+            assert_eq!(t.trace().len(), 3);
+        }
+    }
+
+    #[test]
+    fn probes_match_declared_sets() {
+        let keys = keyset(200, 3);
+        let d = FksDict::build_default(&keys, &mut rng(3)).unwrap();
+        let mut r = rng(4);
+        let mut sets = Vec::new();
+        let probes: Vec<u64> = keys.iter().copied().take(50)
+            .chain((0..50).map(|i| derive(5, i) % MAX_KEY))
+            .collect();
+        for x in probes {
+            sets.clear();
+            d.probe_sets(x, &mut sets);
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert_eq!(t.trace().len(), sets.len(), "x={x}");
+            for (&cell, set) in t.trace().iter().zip(&sets) {
+                assert!(set.cells().any(|c| c == cell), "{cell} ∉ {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreplicated_seed_cell_has_contention_one() {
+        let keys = keyset(200, 4);
+        let cfg = FksConfig {
+            replication: Replication::None,
+            ..FksConfig::default()
+        };
+        let d = FksDict::build(&keys, cfg, &mut rng(4)).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        assert!((prof.step_max[0] - 1.0).abs() < 1e-12, "seed cell must be probed by all");
+        assert!((prof.total[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_flattens_the_seed_but_not_the_directory() {
+        let keys = keyset(1024, 5);
+        let n = keys.len() as f64;
+        let d = FksDict::build_default(&keys, &mut rng(5)).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        // Step 1 (seed): exactly 1/n per replica cell.
+        assert!((prof.step_max[0] - 1.0 / n).abs() < 1e-9);
+        // Step 2 (descriptor): max ℓ_i / n — strictly above 1/n whenever
+        // some bucket holds ≥ 2 keys (which pairwise hashing guarantees in
+        // practice at this size).
+        let expected = d.max_bucket_load as f64 / n;
+        assert!((prof.step_max[1] - expected).abs() < 1e-9);
+        assert!(d.max_bucket_load >= 2, "want a collision to exhibit the hot spot");
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let keys = keyset(1000, 6);
+        let d = FksDict::build_default(&keys, &mut rng(6)).unwrap();
+        assert!(d.words_per_key() <= 7.0, "words/key = {}", d.words_per_key());
+    }
+
+    #[test]
+    fn single_key_and_tiny_sets() {
+        for n in 1..=4u64 {
+            let keys: Vec<u64> = (0..n).map(|i| i * 31 + 7).collect();
+            let d = FksDict::build_default(&keys, &mut rng(50 + n)).unwrap();
+            let mut r = rng(60 + n);
+            for &x in &keys {
+                assert!(d.contains(x, &mut r, &mut NullSink));
+            }
+            assert!(!d.contains(5, &mut r, &mut NullSink));
+        }
+    }
+
+    #[test]
+    fn too_large_is_rejected_cleanly() {
+        // space_factor·n must fit the 22-bit offset field.
+        let cfg = FksConfig {
+            space_factor: 1 << 21,
+            ..FksConfig::default()
+        };
+        let err = FksDict::build(&[1, 2, 3], cfg, &mut rng(7)).unwrap_err();
+        assert_eq!(err, BaselineError::TooLarge(3));
+    }
+
+    #[test]
+    fn name_reflects_replication() {
+        let keys = keyset(50, 8);
+        let d = FksDict::build_default(&keys, &mut rng(8)).unwrap();
+        assert_eq!(d.name(), "fks×n");
+        let cfg = FksConfig {
+            replication: Replication::Count(4),
+            ..FksConfig::default()
+        };
+        let d = FksDict::build(&keys, cfg, &mut rng(9)).unwrap();
+        assert_eq!(d.name(), "fks×4");
+    }
+}

@@ -1,0 +1,41 @@
+//! Baseline static dictionaries the paper compares against (§1 and §1.3),
+//! each instrumented through [`lcds_cellprobe::CellProbeDict`] and described
+//! analytically through [`lcds_cellprobe::ExactProbes`]:
+//!
+//! | scheme | probes | max contention × optimal (uniform positive) |
+//! |---|---|---|
+//! | [`binsearch::BinarySearchDict`] | `⌊log₂n⌋+1` | `s` (root probed by everyone) |
+//! | [`fks::FksDict`] | 3 | `Θ(√n)` worst case (descriptor of the biggest bucket) |
+//! | [`dm_dict::DmDict`] | 4 | `Θ(ln n / ln ln n)` (DM loads concentrate) |
+//! | [`cuckoo::CuckooDict`] | ≤ 3 | `Θ(ln n / ln ln n)` (loaded nest cells) |
+//! | [`linear_probe::LinearProbeDict`] | `O(cluster)` | cluster-proportional |
+//! | [`robin_hood::RobinHoodDict`] | `O(max displacement)` | cluster-shaped, variance-equalized |
+//! | [`chaining::ChainingDict`] | `2 + chain` | `Θ(ln n/ln ln n)` (directory, like FKS) |
+//!
+//! All hash-parameter cells support the replication knob of §1.3
+//! ([`common::Replication`]): unreplicated, the parameter cell alone has
+//! contention 1; with linear replication the parameter rows flatten to
+//! `1/n` and the *residual* hot spots above are what remains — exactly the
+//! gap Theorem 3's structure closes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binsearch;
+pub mod chaining;
+pub mod common;
+pub mod cuckoo;
+pub mod dm_dict;
+pub mod fks;
+pub mod linear_probe;
+pub mod robin_hood;
+mod seed_search;
+
+pub use binsearch::BinarySearchDict;
+pub use chaining::{ChainingConfig, ChainingDict};
+pub use common::{BaselineError, Replication};
+pub use cuckoo::{CuckooConfig, CuckooDict};
+pub use dm_dict::{DmConfig, DmDict};
+pub use fks::{FksConfig, FksDict};
+pub use linear_probe::{LinearProbeConfig, LinearProbeDict};
+pub use robin_hood::{RobinHoodConfig, RobinHoodDict};

@@ -1,0 +1,318 @@
+//! Linear probing — the everyday open-addressing table, included because
+//! its contention profile is instructive: clusters make *runs* of cells
+//! hot, and a negative query scans to the end of a cluster, so contention
+//! concentrates proportionally to cluster length, sitting between binary
+//! search (catastrophic) and the two-level schemes.
+//!
+//! ```text
+//! [0, k)          hash seed replicas
+//! [k, k+size)     open-addressed slots (key or EMPTY), size = 2n
+//! ```
+
+use crate::common::{checked_sorted_keys, BaselineError, Replication};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::perfect::PerfectHash;
+use rand::{Rng, RngCore};
+
+/// Sentinel for unoccupied slots.
+const EMPTY: u64 = u64::MAX;
+
+/// Tunables for [`LinearProbeDict::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinearProbeConfig {
+    /// Copies of the hash seed.
+    pub replication: Replication,
+    /// Slots as a multiple of `n` (load factor `1/space_factor`).
+    pub space_factor: u64,
+    /// Redraw the seed if the longest probe run exceeds this bound (keeps
+    /// `max_probes` honest); rarely triggers at load factor ½.
+    pub max_run: u32,
+    /// Seed redraw cap.
+    pub max_retries: u32,
+}
+
+impl Default for LinearProbeConfig {
+    fn default() -> LinearProbeConfig {
+        LinearProbeConfig {
+            replication: Replication::Linear,
+            space_factor: 2,
+            max_run: 64,
+            max_retries: 100,
+        }
+    }
+}
+
+/// A built linear-probing dictionary.
+#[derive(Clone, Debug)]
+pub struct LinearProbeDict {
+    table: Table,
+    keys: Vec<u64>,
+    hash: PerfectHash, // seeded pairwise into [size]
+    k: u64,
+    size: u64,
+    /// Longest probe run any query can take (longest cluster + 1).
+    pub longest_run: u32,
+    /// Rejected seeds.
+    pub retries: u32,
+}
+
+impl LinearProbeDict {
+    /// Builds the dictionary over `keys`.
+    pub fn build<R: Rng + ?Sized>(
+        keys: &[u64],
+        config: LinearProbeConfig,
+        rng: &mut R,
+    ) -> Result<LinearProbeDict, BaselineError> {
+        let sorted = checked_sorted_keys(keys)?;
+        let n = sorted.len() as u64;
+        let size = (config.space_factor * n).max(2);
+        let k = config.replication.copies(n);
+
+        let mut retries = 0;
+        for _ in 0..config.max_retries {
+            let seed = rng.random::<u64>();
+            let hash = PerfectHash::from_seed(seed, size);
+            let mut slots = vec![EMPTY; size as usize];
+            for &x in &sorted {
+                let mut pos = hash.eval(x);
+                while slots[pos as usize] != EMPTY {
+                    pos = (pos + 1) % size;
+                }
+                slots[pos as usize] = x;
+            }
+            // Longest cluster (maximal run of occupied slots, circular).
+            let longest = longest_cluster(&slots);
+            if longest + 1 > config.max_run {
+                retries += 1;
+                continue;
+            }
+            let mut table = Table::new(1, k + size, EMPTY);
+            for j in 0..k {
+                table.write(0, j, seed);
+            }
+            for (i, &v) in slots.iter().enumerate() {
+                table.write(0, k + i as u64, v);
+            }
+            return Ok(LinearProbeDict {
+                table,
+                keys: sorted,
+                hash,
+                k,
+                size,
+                longest_run: longest + 1,
+                retries,
+            });
+        }
+        Err(BaselineError::RetriesExhausted(config.max_retries))
+    }
+
+    /// Builds with [`LinearProbeConfig::default`].
+    pub fn build_default<R: Rng + ?Sized>(
+        keys: &[u64],
+        rng: &mut R,
+    ) -> Result<LinearProbeDict, BaselineError> {
+        LinearProbeDict::build(keys, LinearProbeConfig::default(), rng)
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The deterministic data-probe path for `x` (slot indices relative to
+    /// the data region), ending at the match or the terminating EMPTY.
+    fn probe_run(&self, x: u64) -> Vec<u64> {
+        let mut run = Vec::new();
+        let mut pos = self.hash.eval(x);
+        loop {
+            run.push(pos);
+            let v = self.table.peek(0, self.k + pos);
+            if v == x || v == EMPTY || run.len() as u64 >= self.size {
+                return run;
+            }
+            pos = (pos + 1) % self.size;
+        }
+    }
+}
+
+/// Length of the longest maximal run of occupied slots (circular).
+fn longest_cluster(slots: &[u64]) -> u32 {
+    let size = slots.len();
+    if slots.iter().all(|&s| s != EMPTY) {
+        return size as u32;
+    }
+    // Start at an empty slot so circular runs are handled by wrapping scan.
+    let start = slots.iter().position(|&s| s == EMPTY).unwrap();
+    let mut longest = 0u32;
+    let mut current = 0u32;
+    for i in 0..size {
+        let v = slots[(start + 1 + i) % size];
+        if v != EMPTY {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    longest
+}
+
+impl CellProbeDict for LinearProbeDict {
+    fn name(&self) -> String {
+        let label = if self.k == 1 {
+            "×1".into()
+        } else if self.k == self.keys.len() as u64 {
+            "×n".to_string()
+        } else {
+            format!("×{}", self.k)
+        };
+        format!("linear-probe{label}")
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let seed = self.table.read(0, uniform_below(rng, self.k), sink);
+        let hash = PerfectHash::from_seed(seed, self.size);
+        let mut pos = hash.eval(x);
+        for _ in 0..self.size {
+            let v = self.table.read(0, self.k + pos, sink);
+            if v == x {
+                return true;
+            }
+            if v == EMPTY {
+                return false;
+            }
+            pos = (pos + 1) % self.size;
+        }
+        false
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        1 + self.longest_run
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl ExactProbes for LinearProbeDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        out.push(ProbeSet::range(0, self.k));
+        out.extend(
+            self.probe_run(x)
+                .into_iter()
+                .map(|pos| ProbeSet::fixed(self.k + pos)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::measure::verify_membership;
+    use lcds_cellprobe::sink::TraceSink;
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn membership_is_correct() {
+        let keys = keyset(700, 1);
+        let d = LinearProbeDict::build_default(&keys, &mut rng(1)).unwrap();
+        let negs: Vec<u64> = (0..400)
+            .map(|i| derive(555, i) % MAX_KEY)
+            .filter(|x| !keys.contains(x))
+            .collect();
+        verify_membership(&d, &keys, &negs, &mut rng(2)).unwrap();
+    }
+
+    #[test]
+    fn probes_respect_declared_bound() {
+        let keys = keyset(500, 2);
+        let d = LinearProbeDict::build_default(&keys, &mut rng(2)).unwrap();
+        let bound = d.max_probes() as usize;
+        let mut r = rng(3);
+        for x in keys.iter().copied().take(100).chain((0..100).map(|i| derive(4, i) % MAX_KEY)) {
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert!(t.trace().len() <= bound, "x={x}: {} > {bound}", t.trace().len());
+        }
+    }
+
+    #[test]
+    fn probes_match_declared_sets() {
+        let keys = keyset(300, 3);
+        let d = LinearProbeDict::build_default(&keys, &mut rng(3)).unwrap();
+        let mut r = rng(4);
+        let mut sets = Vec::new();
+        for x in keys.iter().copied().take(50).chain((0..50).map(|i| derive(7, i) % MAX_KEY)) {
+            sets.clear();
+            d.probe_sets(x, &mut sets);
+            let mut t = TraceSink::new();
+            t.begin_query();
+            let _ = d.contains(x, &mut r, &mut t);
+            assert_eq!(t.trace().len(), sets.len(), "x={x}");
+            for (&cell, set) in t.trace().iter().zip(&sets) {
+                assert!(set.cells().any(|c| c == cell));
+            }
+        }
+    }
+
+    #[test]
+    fn longest_cluster_is_computed_correctly() {
+        let e = EMPTY;
+        assert_eq!(longest_cluster(&[e, 1, 2, e, 3, e]), 2);
+        assert_eq!(longest_cluster(&[1, e, 2, 3, 4, e]), 3);
+        // Circular run: wraps around the end.
+        assert_eq!(longest_cluster(&[1, 2, e, 3, 4]), 4);
+        assert_eq!(longest_cluster(&[e, e, e]), 0);
+        assert_eq!(longest_cluster(&[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn contention_is_bounded_by_cluster_mass() {
+        let keys = keyset(1024, 5);
+        let d = LinearProbeDict::build_default(&keys, &mut rng(5)).unwrap();
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        // A slot is probed (per step) by at most the keys that reach it;
+        // per-step max must stay far below binary search's 1.0.
+        assert!(prof.max_step() < 0.1);
+        assert!(prof.conservation_ok(1e-9));
+    }
+
+    #[test]
+    fn tiny_sets_build() {
+        for n in 1..=4u64 {
+            let keys: Vec<u64> = (0..n).map(|i| i * 41 + 2).collect();
+            let d = LinearProbeDict::build_default(&keys, &mut rng(20 + n)).unwrap();
+            verify_membership(&d, &keys, &[0, 1, 1000], &mut rng(30 + n)).unwrap();
+        }
+    }
+}

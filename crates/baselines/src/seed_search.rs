@@ -1,0 +1,61 @@
+//! 32-bit perfect-hash seed search shared by the two-level baselines (whose
+//! descriptor packing leaves 32 bits for the per-bucket seed).
+
+use lcds_hashing::perfect::PerfectHash;
+use rand::Rng;
+
+/// Searches 32-bit seeds for a function into `[range]` injective on `keys`;
+/// `None` after 4096 failures (practically unreachable for `range ≥ ℓ²`).
+pub(crate) fn find_perfect_seed32<R: Rng + ?Sized>(
+    keys: &[u64],
+    range: u64,
+    rng: &mut R,
+) -> Option<u32> {
+    if keys.len() as u64 > range {
+        return None;
+    }
+    if keys.len() <= 1 {
+        return Some(0);
+    }
+    let mut occupied = vec![false; range as usize];
+    'seeds: for _ in 0..4096 {
+        let seed = rng.random::<u32>();
+        let h = PerfectHash::from_seed(seed as u64, range);
+        occupied.iter_mut().for_each(|b| *b = false);
+        for &x in keys {
+            let slot = h.eval(x) as usize;
+            if occupied[slot] {
+                continue 'seeds;
+            }
+            occupied[slot] = true;
+        }
+        return Some(seed);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn finds_injective_seed() {
+        let keys: Vec<u64> = (0..15u64).map(|i| i * 131 + 7).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let seed = find_perfect_seed32(&keys, 225, &mut rng).unwrap();
+        let h = PerfectHash::from_seed(seed as u64, 225);
+        let slots: HashSet<u64> = keys.iter().map(|&k| h.eval(k)).collect();
+        assert_eq!(slots.len(), keys.len());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(find_perfect_seed32(&[], 1, &mut rng), Some(0));
+        assert_eq!(find_perfect_seed32(&[9], 1, &mut rng), Some(0));
+        assert_eq!(find_perfect_seed32(&[1, 2], 1, &mut rng), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Construction throughput per scheme: the expected-O(n) build of §2.2
+//! against the baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcds_baselines::{BinarySearchDict, CuckooDict, DmDict, FksDict, LinearProbeDict};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::rng::seeded;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    for &n in &[1usize << 12, 1 << 14] {
+        let keys = uniform_keys(n, 0xC0 + n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("low-contention", n), &keys, |b, keys| {
+            let mut rng = seeded(1);
+            b.iter(|| black_box(lcds_core::build(keys, &mut rng).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("fks", n), &keys, |b, keys| {
+            let mut rng = seeded(2);
+            b.iter(|| black_box(FksDict::build_default(keys, &mut rng).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("cuckoo", n), &keys, |b, keys| {
+            let mut rng = seeded(3);
+            b.iter(|| black_box(CuckooDict::build_default(keys, &mut rng).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dm", n), &keys, |b, keys| {
+            let mut rng = seeded(4);
+            b.iter(|| black_box(DmDict::build_default(keys, &mut rng).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("linear-probe", n), &keys, |b, keys| {
+            let mut rng = seeded(5);
+            b.iter(|| black_box(LinearProbeDict::build_default(keys, &mut rng).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("binary-search", n), &keys, |b, keys| {
+            b.iter(|| black_box(BinarySearchDict::build(keys).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Real-multicore contended throughput (figure F4 as a criterion bench):
+//! threads replay probe traces against per-cell atomics; hot cells bounce
+//! cache lines. Compare the low-contention dictionary's scaling against
+//! binary search's root-cell pile-up.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcds_bench::registry::{build_schemes, SchemeSet};
+use lcds_sim::threads::replay;
+use lcds_sim::traces::collect;
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::positive_dist;
+use lcds_workloads::rng::seeded;
+
+fn bench_contended(c: &mut Criterion) {
+    let n = 1 << 12;
+    let qpp: u64 = 2_000;
+    let keys = uniform_keys(n, 0xC0DE);
+    let dist = positive_dist(&keys);
+    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let mut threads = vec![1usize, (ncpu / 2).max(1), ncpu];
+    threads.dedup(); // single-CPU hosts would repeat "1"
+
+    let schemes = build_schemes(&keys, 0xC0DF, SchemeSet::Headline);
+    let mut group = c.benchmark_group("contended_throughput");
+    group.sample_size(10);
+    for dict in &schemes {
+        let mut rng = seeded(0xC1);
+        let traces = collect(&**dict, &dist, *threads.iter().max().unwrap(), qpp, &mut rng);
+        for &t in &threads {
+            group.throughput(Throughput::Elements(qpp * t as u64));
+            group.bench_with_input(
+                BenchmarkId::new(dict.name(), t),
+                &t,
+                |b, &t| {
+                    b.iter(|| {
+                        black_box(replay(
+                            &traces.traces[..t],
+                            &traces.queries[..t],
+                            dict.num_cells(),
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Evaluation cost of the hashing substrate: field multiplication,
+//! polynomial families by degree, the DM combination, and the single-word
+//! perfect hash.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcds_hashing::dm::DmFamily;
+use lcds_hashing::family::{HashFamily, HashFunction};
+use lcds_hashing::perfect::PerfectHash;
+use lcds_hashing::poly::{horner, PolyFamily};
+use lcds_workloads::rng::seeded;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut rng = seeded(0xAB);
+
+    let mut group = c.benchmark_group("hash_eval");
+    for d in [2usize, 4, 8] {
+        let h = PolyFamily::new(d, 1 << 20).sample(&mut rng);
+        group.bench_with_input(BenchmarkId::new("poly", d), &h, |b, h| {
+            let mut x = 1u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                black_box(h.eval(black_box(x)))
+            });
+        });
+        let words = h.words();
+        group.bench_with_input(BenchmarkId::new("horner_words", d), &words, |b, w| {
+            let mut x = 1u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                black_box(horner(black_box(w), black_box(x)))
+            });
+        });
+    }
+
+    let dm = DmFamily::new(4, 1 << 8, 1 << 20).sample(&mut rng);
+    group.bench_function("dm_d4", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            black_box(dm.eval(black_box(x)))
+        });
+    });
+
+    let ms = lcds_hashing::multiply_shift::MultShiftFamily::new(20).sample(&mut rng);
+    group.bench_function("multiply_shift", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            black_box(ms.eval(black_box(x)))
+        });
+    });
+    let mas = lcds_hashing::multiply_shift::MultAddShiftFamily::new(20).sample(&mut rng);
+    group.bench_function("multiply_add_shift", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            black_box(mas.eval(black_box(x)))
+        });
+    });
+
+    let ph = PerfectHash::from_seed(0x1234_5678, 81);
+    group.bench_function("perfect_seeded", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            black_box(ph.eval(black_box(x)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Single-threaded query latency per scheme (uncontended): the raw cost of
+//! the constant-probe query algorithms, including the low-contention
+//! dictionary's extra hash reconstruction work.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcds_bench::registry::{build_schemes, SchemeSet};
+use lcds_cellprobe::sink::NullSink;
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::negative_pool;
+use lcds_workloads::rng::seeded;
+
+/// Benches a closure-backed query path over positive keys.
+fn group2_bench<F>(c: &mut Criterion, name: &str, keys: &[u64], mut query: F)
+where
+    F: FnMut(u64, &mut dyn rand::RngCore) -> bool + 'static,
+{
+    let keys = keys.to_vec();
+    c.bench_function(&format!("query_latency/positive/{name}"), move |b| {
+        let mut rng = seeded(3);
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            black_box(query(black_box(x), &mut rng))
+        });
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 1 << 14;
+    let keys = uniform_keys(n, 0xBEC1);
+    let negatives = negative_pool(&keys, n, 0xBEC2);
+    let schemes = build_schemes(&keys, 0xBEC3, SchemeSet::All);
+
+    let mut group = c.benchmark_group("query_latency");
+    for dict in &schemes {
+        group.bench_with_input(
+            BenchmarkId::new("positive", dict.name()),
+            dict,
+            |b, dict| {
+                let mut rng = seeded(1);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let x = keys[i % keys.len()];
+                    i += 1;
+                    black_box(dict.contains(black_box(x), &mut rng, &mut NullSink))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("negative", dict.name()),
+            dict,
+            |b, dict| {
+                let mut rng = seeded(2);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let x = negatives[i % negatives.len()];
+                    i += 1;
+                    black_box(dict.contains(black_box(x), &mut rng, &mut NullSink))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The extensions: distribution-aware and dynamic variants.
+    let weights: Vec<f64> = (0..keys.len()).map(|i| ((i + 1) as f64).powf(-1.0)).collect();
+    let weighted = lcds_core::weighted::build_weighted(
+        &keys,
+        &weights,
+        &lcds_core::ParamsConfig::default(),
+        &mut seeded(7),
+    )
+    .expect("weighted build");
+    group2_bench(c, "weighted", &keys, move |x, rng| {
+        use lcds_cellprobe::dict::CellProbeDict;
+        weighted.contains(x, rng, &mut NullSink)
+    });
+    let mut dynamic =
+        lcds_core::dynamic::DynamicLcd::new(&keys, 8, lcds_core::ParamsConfig::default())
+            .expect("dynamic build");
+    for i in 0..1000u64 {
+        let _ = dynamic.insert((1 << 60) + i).unwrap();
+    }
+    group2_bench(c, "dynamic", &keys, move |x, rng| {
+        dynamic.contains_key(x, rng, &mut NullSink)
+    });
+
+    // std::collections::HashSet as an uninstrumented reference point.
+    let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    c.bench_function("query_latency/reference/std_hashset", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            black_box(set.contains(&black_box(x)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

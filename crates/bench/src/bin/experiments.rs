@@ -1,0 +1,61 @@
+//! Experiment runner: regenerates the tables and figures of DESIGN.md §4.
+//!
+//! ```text
+//! experiments all                # run everything, full scale
+//! experiments t1 f5 f3           # run a subset
+//! experiments --quick all        # tiny parameters (smoke test)
+//! experiments --out results all  # artifact directory (default: results/)
+//! ```
+
+use lcds_bench::exps::{run, ALL_IDS};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--out DIR] (all | t1 t2 … f8)...");
+                eprintln!("experiments: {}", ALL_IDS.join(" "));
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_lowercase()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments selected; try `experiments all` or `--help`");
+        std::process::exit(2);
+    }
+    ids.dedup();
+
+    println!(
+        "# Low-Contention Data Structures — experiment run ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    for id in &ids {
+        let start = Instant::now();
+        let output = run(id, quick);
+        output.print();
+        if let Err(e) = output.write_artifacts(&out_dir) {
+            eprintln!("warning: could not write artifacts for {id}: {e}");
+        }
+        println!(
+            "_{} finished in {:.2}s; artifacts in {}_\n",
+            id.to_uppercase(),
+            start.elapsed().as_secs_f64(),
+            out_dir.display()
+        );
+    }
+}

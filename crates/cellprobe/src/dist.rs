@@ -1,0 +1,446 @@
+//! Query distributions over the key universe (§1.1 of the paper).
+//!
+//! The paper's upper bound (Theorem 3) assumes the query is uniform within
+//! the positive set and uniform within the negative set; its lower bound
+//! (Theorem 13) is about *arbitrary* distributions unknown to the query
+//! algorithm. Both sides are represented here:
+//!
+//! * [`UniformOver`] — uniform over an explicit finite support. With the
+//!   support = the stored key set this is the paper's "uniform positive"
+//!   distribution; with the support = a pool of non-members it stands in for
+//!   "uniform negative" (the true negative set has `N − n ≈ 2^61` elements;
+//!   a uniformly-sampled pool is an unbiased surrogate whose exact
+//!   contention converges to the true value — DESIGN.md, substitutions).
+//! * [`Mixture`] — e.g. 50/50 positive/negative traffic.
+//! * [`Zipf`] — skewed queries for the arbitrary-distribution experiments
+//!   (F6): rank `i` is queried with weight `∝ (i+1)^{-θ}`.
+//! * [`PointMass`], [`Weighted`] — degenerate and fully general cases.
+//!
+//! Every distribution can both *sample* (for Monte-Carlo measurement) and
+//! expose its finite weighted support as a [`QueryPool`] (for the exact
+//! contention computation in [`crate::exact`]).
+
+use crate::alias::AliasTable;
+use crate::rngutil::{bernoulli, uniform_below};
+use rand::RngCore;
+
+/// A finite weighted query support: `(key, probability)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct QueryPool {
+    /// The `(key, weight)` entries; weights sum to 1 after [`QueryPool::normalize`].
+    pub entries: Vec<(u64, f64)>,
+}
+
+impl QueryPool {
+    /// Uniform pool over the given keys.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty.
+    pub fn uniform(keys: &[u64]) -> QueryPool {
+        assert!(!keys.is_empty(), "a query pool cannot be empty");
+        let w = 1.0 / keys.len() as f64;
+        QueryPool {
+            entries: keys.iter().map(|&k| (k, w)).collect(),
+        }
+    }
+
+    /// Pool with explicit weights (will be normalized).
+    pub fn weighted(entries: Vec<(u64, f64)>) -> QueryPool {
+        let mut pool = QueryPool { entries };
+        pool.normalize();
+        pool
+    }
+
+    /// Total probability mass.
+    pub fn total_weight(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Rescales weights to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if the total weight is not positive and finite.
+    pub fn normalize(&mut self) {
+        let total = self.total_weight();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "pool weight must be positive and finite, got {total}"
+        );
+        for (_, w) in &mut self.entries {
+            *w /= total;
+        }
+    }
+
+    /// Merges another pool, scaling this one's mass by `p` and the other's
+    /// by `1 − p`.
+    pub fn mix(mut self, other: QueryPool, p: f64) -> QueryPool {
+        assert!((0.0..=1.0).contains(&p));
+        for (_, w) in &mut self.entries {
+            *w *= p;
+        }
+        self.entries
+            .extend(other.entries.into_iter().map(|(k, w)| (k, w * (1.0 - p))));
+        self
+    }
+}
+
+/// A distribution over queries that can be sampled and enumerated.
+pub trait QueryDistribution {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> String;
+
+    /// Draws one query.
+    fn sample(&self, rng: &mut dyn RngCore) -> u64;
+
+    /// The finite weighted support, for exact contention computation.
+    fn pool(&self) -> QueryPool;
+}
+
+/// Uniform over an explicit support.
+#[derive(Clone, Debug)]
+pub struct UniformOver {
+    label: String,
+    items: Vec<u64>,
+}
+
+impl UniformOver {
+    /// Creates a uniform distribution over `items` with a display label
+    /// (e.g. `"uniform-positive"`).
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn new(label: impl Into<String>, items: Vec<u64>) -> UniformOver {
+        assert!(!items.is_empty(), "support cannot be empty");
+        UniformOver {
+            label: label.into(),
+            items,
+        }
+    }
+
+    /// The support.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+}
+
+impl QueryDistribution for UniformOver {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        self.items[uniform_below(rng, self.items.len() as u64) as usize]
+    }
+
+    fn pool(&self) -> QueryPool {
+        QueryPool::uniform(&self.items)
+    }
+}
+
+/// A two-component mixture: `a` with probability `p`, else `b`.
+pub struct Mixture {
+    a: Box<dyn QueryDistribution + Send + Sync>,
+    b: Box<dyn QueryDistribution + Send + Sync>,
+    p: f64,
+}
+
+impl Mixture {
+    /// Mixes `a` (probability `p`) with `b` (probability `1 − p`).
+    pub fn new(
+        a: Box<dyn QueryDistribution + Send + Sync>,
+        b: Box<dyn QueryDistribution + Send + Sync>,
+        p: f64,
+    ) -> Mixture {
+        assert!((0.0..=1.0).contains(&p));
+        Mixture { a, b, p }
+    }
+}
+
+impl QueryDistribution for Mixture {
+    fn name(&self) -> String {
+        format!("mix({:.2}·{} + {:.2}·{})", self.p, self.a.name(), 1.0 - self.p, self.b.name())
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        if bernoulli(rng, self.p) {
+            self.a.sample(rng)
+        } else {
+            self.b.sample(rng)
+        }
+    }
+
+    fn pool(&self) -> QueryPool {
+        self.a.pool().mix(self.b.pool(), self.p)
+    }
+}
+
+/// Zipf-distributed queries over an ordered support: rank `i` (0-based) has
+/// weight `∝ (i+1)^{-θ}`. `θ = 0` is uniform; larger `θ` is more skewed.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    items: Vec<u64>,
+    theta: f64,
+    /// Cumulative normalized weights (kept for exact pool construction).
+    cumulative: Vec<f64>,
+    /// O(1) sampler.
+    alias: AliasTable,
+}
+
+impl Zipf {
+    /// Creates a Zipf(θ) distribution over `items` in rank order.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or `θ < 0`.
+    pub fn new(items: Vec<u64>, theta: f64) -> Zipf {
+        assert!(!items.is_empty(), "support cannot be empty");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let weights: Vec<f64> = (0..items.len())
+            .map(|i| ((i + 1) as f64).powf(-theta))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf {
+            alias: AliasTable::new(&weights),
+            items,
+            theta,
+            cumulative,
+        }
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl QueryDistribution for Zipf {
+    fn name(&self) -> String {
+        format!("zipf(θ={})", self.theta)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        self.items[self.alias.sample(rng)]
+    }
+
+    fn pool(&self) -> QueryPool {
+        let mut prev = 0.0;
+        let entries = self
+            .items
+            .iter()
+            .zip(self.cumulative.iter())
+            .map(|(&k, &c)| {
+                let w = c - prev;
+                prev = c;
+                (k, w)
+            })
+            .collect();
+        QueryPool { entries }
+    }
+}
+
+/// All queries equal one key — the most adversarial "distribution uniform
+/// within positives" is not; used for worst-case sanity checks.
+#[derive(Clone, Copy, Debug)]
+pub struct PointMass(pub u64);
+
+impl QueryDistribution for PointMass {
+    fn name(&self) -> String {
+        format!("point({})", self.0)
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> u64 {
+        self.0
+    }
+
+    fn pool(&self) -> QueryPool {
+        QueryPool {
+            entries: vec![(self.0, 1.0)],
+        }
+    }
+}
+
+/// Fully general finite distribution.
+#[derive(Clone, Debug)]
+pub struct Weighted {
+    label: String,
+    entries: Vec<(u64, f64)>,
+    alias: AliasTable,
+}
+
+impl Weighted {
+    /// Creates a distribution from `(key, weight)` pairs (normalized).
+    ///
+    /// # Panics
+    /// Panics if empty, or any weight is negative, or all weights are zero.
+    pub fn new(label: impl Into<String>, entries: Vec<(u64, f64)>) -> Weighted {
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|&(_, w)| w >= 0.0));
+        let total: f64 = entries.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "all weights are zero");
+        let entries: Vec<(u64, f64)> = entries.into_iter().map(|(k, w)| (k, w / total)).collect();
+        let weights: Vec<f64> = entries.iter().map(|&(_, w)| w).collect();
+        Weighted {
+            label: label.into(),
+            entries,
+            alias: AliasTable::new(&weights),
+        }
+    }
+}
+
+impl QueryDistribution for Weighted {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        self.entries[self.alias.sample(rng)].0
+    }
+
+    fn pool(&self) -> QueryPool {
+        QueryPool {
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_pool_weights_sum_to_one() {
+        let d = UniformOver::new("u", vec![1, 2, 3, 4]);
+        let pool = d.pool();
+        assert!((pool.total_weight() - 1.0).abs() < 1e-12);
+        assert!(pool.entries.iter().all(|&(_, w)| (w - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn uniform_samples_only_support() {
+        let d = UniformOver::new("u", vec![10, 20, 30]);
+        let mut r = rng(1);
+        for _ in 0..100 {
+            assert!([10, 20, 30].contains(&d.sample(&mut r)));
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_is_balanced() {
+        let d = UniformOver::new("u", vec![0, 1, 2, 3]);
+        let mut r = rng(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[d.sample(&mut r) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 200.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let d = Zipf::new(vec![5, 6, 7, 8], 0.0);
+        let pool = d.pool();
+        for &(_, w) in &pool.entries {
+            assert!((w - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_is_rank_ordered() {
+        let d = Zipf::new(vec![100, 200, 300], 1.0);
+        let pool = d.pool();
+        assert!(pool.entries[0].1 > pool.entries[1].1);
+        assert!(pool.entries[1].1 > pool.entries[2].1);
+        assert!((pool.total_weight() - 1.0).abs() < 1e-9);
+        // Exact weights 1 : 1/2 : 1/3 normalized.
+        let z = 1.0 + 0.5 + 1.0 / 3.0;
+        assert!((pool.entries[0].1 - 1.0 / z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pool() {
+        let d = Zipf::new(vec![0, 1, 2, 3, 4], 1.2);
+        let pool = d.pool();
+        let mut r = rng(3);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            *counts.entry(d.sample(&mut r)).or_default() += 1;
+        }
+        for &(k, w) in &pool.entries {
+            let emp = *counts.get(&k).unwrap_or(&0) as f64 / trials as f64;
+            assert!((emp - w).abs() < 0.01, "key {k}: emp {emp:.4} vs {w:.4}");
+        }
+    }
+
+    #[test]
+    fn mixture_pool_mass_splits() {
+        let a = Box::new(UniformOver::new("a", vec![1]));
+        let b = Box::new(UniformOver::new("b", vec![2]));
+        let m = Mixture::new(a, b, 0.7);
+        let pool = m.pool();
+        let w: HashMap<u64, f64> = pool.entries.iter().copied().collect();
+        assert!((w[&1] - 0.7).abs() < 1e-12);
+        assert!((w[&2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_sampling_rate() {
+        let a = Box::new(UniformOver::new("a", vec![1]));
+        let b = Box::new(UniformOver::new("b", vec![2]));
+        let m = Mixture::new(a, b, 0.25);
+        let mut r = rng(4);
+        let ones = (0..20_000).filter(|_| m.sample(&mut r) == 1).count();
+        let rate = ones as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn point_mass() {
+        let d = PointMass(99);
+        let mut r = rng(5);
+        assert_eq!(d.sample(&mut r), 99);
+        assert_eq!(d.pool().entries, vec![(99, 1.0)]);
+    }
+
+    #[test]
+    fn weighted_normalizes() {
+        let d = Weighted::new("w", vec![(1, 3.0), (2, 1.0)]);
+        let pool = d.pool();
+        assert!((pool.entries[0].1 - 0.75).abs() < 1e-12);
+        assert!((pool.entries[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "support cannot be empty")]
+    fn empty_uniform_rejected() {
+        let _ = UniformOver::new("u", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn zero_weights_rejected() {
+        let _ = Weighted::new("w", vec![(1, 0.0)]);
+    }
+
+    #[test]
+    fn pool_mix_preserves_mass() {
+        let p = QueryPool::uniform(&[1, 2]).mix(QueryPool::uniform(&[3]), 0.5);
+        assert!((p.total_weight() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Exact contention computation.
+//!
+//! Monte-Carlo estimates of `max_j Φ_t(j)` are noisy precisely where it
+//! matters (the maximum of ~10⁶ small probabilities), so every dictionary
+//! here also *describes* its probe behaviour analytically: for a fixed query
+//! `x` and fixed table, each step's probe is uniform over an arithmetic
+//! progression of cells (a [`ProbeSet`]) — one of `n` replicas of a hash
+//! coefficient, the `z`-copies of a displacement, a bucket's owned header
+//! cells, or a single fixed cell. (This is exactly the class of algorithms
+//! the paper's lower bound targets: Definition 12's "randomness used only
+//! for balancing".)
+//!
+//! Given a finite weighted query pool, the exact contention is
+//!
+//! ```text
+//! Φ_t(j) = Σ_x q(x) · [j ∈ set_t(x)] / |set_t(x)| .
+//! ```
+//!
+//! Materializing that per query would cost `O(|pool| · s)`; instead
+//! [`exact_contention`] first aggregates pool weight per *distinct* set,
+//! then spreads each distinct set's weight once. For every scheme in this
+//! repository the number of distinct sets per step is at most `s / stride`
+//! or the number of buckets, so the whole computation is `O(rows · s)`.
+
+use crate::contention::ContentionProfile;
+use crate::dict::CellProbeDict;
+use crate::dist::QueryPool;
+use crate::table::CellId;
+use std::collections::HashMap;
+
+/// One probe step's distribution: uniform over the cells
+/// `{ start + k·stride : 0 ≤ k < count }`.
+///
+/// ```
+/// use lcds_cellprobe::exact::ProbeSet;
+/// let replicas = ProbeSet::strided(5, 10, 3); // cells 5, 15, 25
+/// assert_eq!(replicas.cells().collect::<Vec<_>>(), vec![5, 15, 25]);
+/// assert_eq!(replicas.max_cell(), 25);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProbeSet {
+    /// First cell of the progression.
+    pub start: CellId,
+    /// Stride between cells (> 0; irrelevant when `count == 1`).
+    pub stride: u64,
+    /// Number of cells (> 0).
+    pub count: u64,
+}
+
+impl ProbeSet {
+    /// A single fixed cell (deterministic probe).
+    pub fn fixed(cell: CellId) -> ProbeSet {
+        ProbeSet {
+            start: cell,
+            stride: 1,
+            count: 1,
+        }
+    }
+
+    /// A contiguous range `[start, start + count)`.
+    pub fn range(start: CellId, count: u64) -> ProbeSet {
+        assert!(count > 0);
+        ProbeSet {
+            start,
+            stride: 1,
+            count,
+        }
+    }
+
+    /// A strided progression.
+    pub fn strided(start: CellId, stride: u64, count: u64) -> ProbeSet {
+        assert!(stride > 0 && count > 0);
+        ProbeSet {
+            start,
+            stride,
+            count,
+        }
+    }
+
+    /// Iterates the member cells.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.count).map(move |k| self.start + k * self.stride)
+    }
+
+    /// The largest cell id touched.
+    pub fn max_cell(&self) -> CellId {
+        self.start + (self.count - 1) * self.stride
+    }
+}
+
+/// Dictionaries that can describe their probe distributions analytically.
+///
+/// `probe_sets(x)` must push, in order, one [`ProbeSet`] per probe step the
+/// query algorithm would perform on query `x` (conditioned on the fixed
+/// table; steps after an early return are simply absent). The contract tying
+/// this to [`CellProbeDict::contains`] — the sampled probe at step `t` is
+/// uniform over `probe_sets(x)[t]` — is property-tested per scheme.
+pub trait ExactProbes: CellProbeDict {
+    /// Appends the per-step probe sets for query `x` to `out`.
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>);
+}
+
+/// Computes the exact contention profile of `dict` under the query pool.
+///
+/// # Panics
+/// Panics if any described probe set exceeds the structure's cell count, or
+/// if the pool is empty.
+pub fn exact_contention<D: ExactProbes + ?Sized>(dict: &D, pool: &QueryPool) -> ContentionProfile {
+    assert!(!pool.entries.is_empty(), "query pool is empty");
+    let num_cells = dict.num_cells();
+    let max_steps = dict.max_probes() as usize;
+
+    // Phase 1: aggregate pool weight per distinct (step, set).
+    let mut per_step: Vec<HashMap<ProbeSet, f64>> = vec![HashMap::new(); max_steps];
+    let mut sets = Vec::with_capacity(max_steps);
+    for &(x, w) in &pool.entries {
+        sets.clear();
+        dict.probe_sets(x, &mut sets);
+        assert!(
+            sets.len() <= max_steps,
+            "{} described {} steps for x={x}, above its max_probes() = {max_steps}",
+            dict.name(),
+            sets.len()
+        );
+        for (t, set) in sets.iter().enumerate() {
+            assert!(
+                set.max_cell() < num_cells,
+                "probe set {set:?} exceeds {num_cells} cells"
+            );
+            *per_step[t].entry(*set).or_insert(0.0) += w;
+        }
+    }
+
+    // Phase 2: spread each distinct set's weight over its cells, one step at
+    // a time, reusing a single per-cell buffer.
+    let mut profile = ContentionProfile::zero(num_cells, max_steps);
+    let mut step_buf = vec![0.0f64; num_cells as usize];
+    for (t, sets) in per_step.iter().enumerate() {
+        step_buf.iter_mut().for_each(|v| *v = 0.0);
+        let mut step_sum = 0.0;
+        for (set, &w) in sets {
+            let share = w / set.count as f64;
+            for cell in set.cells() {
+                step_buf[cell as usize] += share;
+            }
+            step_sum += w;
+        }
+        let mut step_max = 0.0f64;
+        for (j, &v) in step_buf.iter().enumerate() {
+            if v > 0.0 {
+                profile.total[j] += v;
+                if v > step_max {
+                    step_max = v;
+                }
+            }
+        }
+        profile.step_max[t] = step_max;
+        profile.step_sum[t] = step_sum;
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::ProbeSink;
+    use rand::RngCore;
+
+    /// A dictionary over keys 0..n stored at cell = key, with one replicated
+    /// "parameter" row of `n` cells probed first — a miniature of the
+    /// replication idea, with trivially checkable exact contention.
+    struct MiniDict {
+        n: u64,
+    }
+
+    impl CellProbeDict for MiniDict {
+        fn name(&self) -> String {
+            "mini".into()
+        }
+        fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+            // Step 1: read a random replica of the parameter row [0, n).
+            let r = crate::rngutil::uniform_below(rng, self.n);
+            sink.probe(r);
+            // Step 2: read the data cell n + x (if in range).
+            if x < self.n {
+                sink.probe(self.n + x);
+                true
+            } else {
+                false
+            }
+        }
+        fn num_cells(&self) -> u64 {
+            2 * self.n
+        }
+        fn max_probes(&self) -> u32 {
+            2
+        }
+        fn len(&self) -> usize {
+            self.n as usize
+        }
+    }
+
+    impl ExactProbes for MiniDict {
+        fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+            out.push(ProbeSet::range(0, self.n));
+            if x < self.n {
+                out.push(ProbeSet::fixed(self.n + x));
+            }
+        }
+    }
+
+    #[test]
+    fn probe_set_constructors() {
+        let f = ProbeSet::fixed(7);
+        assert_eq!(f.cells().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(f.max_cell(), 7);
+        let r = ProbeSet::range(2, 3);
+        assert_eq!(r.cells().collect::<Vec<_>>(), vec![2, 3, 4]);
+        let s = ProbeSet::strided(1, 10, 3);
+        assert_eq!(s.cells().collect::<Vec<_>>(), vec![1, 11, 21]);
+        assert_eq!(s.max_cell(), 21);
+    }
+
+    #[test]
+    fn exact_contention_uniform_positive() {
+        let d = MiniDict { n: 4 };
+        let pool = QueryPool::uniform(&[0, 1, 2, 3]);
+        let p = exact_contention(&d, &pool);
+        // Step 1: uniform over the 4 parameter cells → Φ₁(j) = 1/4 each.
+        assert!((p.step_max[0] - 0.25).abs() < 1e-12);
+        // Step 2: each data cell hit by exactly its own key → 1/4.
+        assert!((p.step_max[1] - 0.25).abs() < 1e-12);
+        // Totals: every cell 1/4; ratio = 0.25 · 8 = 2 (two probes).
+        assert!((p.max_total() - 0.25).abs() < 1e-12);
+        assert!((p.max_step_ratio() - 2.0).abs() < 1e-9);
+        assert!(p.conservation_ok(1e-9));
+    }
+
+    #[test]
+    fn exact_contention_point_mass() {
+        let d = MiniDict { n: 4 };
+        let pool = QueryPool {
+            entries: vec![(2, 1.0)],
+        };
+        let p = exact_contention(&d, &pool);
+        // Data cell for key 2 is probed with probability 1.
+        assert!((p.total[6] - 1.0).abs() < 1e-12);
+        assert!((p.max_step() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_return_shortens_step_mass() {
+        let d = MiniDict { n: 4 };
+        // One negative query: no second probe at all.
+        let pool = QueryPool {
+            entries: vec![(100, 1.0)],
+        };
+        let p = exact_contention(&d, &pool);
+        assert!((p.step_sum[0] - 1.0).abs() < 1e-12);
+        assert_eq!(p.step_sum[1], 0.0);
+    }
+
+    #[test]
+    fn skewed_pool_weights_flow_through() {
+        let d = MiniDict { n: 2 };
+        let pool = QueryPool::weighted(vec![(0, 3.0), (1, 1.0)]);
+        let p = exact_contention(&d, &pool);
+        assert!((p.total[2] - 0.75).abs() < 1e-12);
+        assert!((p.total[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "query pool is empty")]
+    fn empty_pool_panics() {
+        let d = MiniDict { n: 2 };
+        let _ = exact_contention(&d, &QueryPool::default());
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        use crate::measure::measure_contention;
+        use crate::dist::{QueryDistribution, UniformOver};
+        use rand::SeedableRng;
+
+        let d = MiniDict { n: 8 };
+        let dist = UniformOver::new("pos", (0..8).collect());
+        let exact = exact_contention(&d, &dist.pool());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let measured = measure_contention(&d, &dist, 200_000, &mut rng);
+        for j in 0..d.num_cells() as usize {
+            let diff = (exact.total[j] - measured.profile.total[j]).abs();
+            assert!(diff < 0.01, "cell {j}: exact {} vs mc {}", exact.total[j], measured.profile.total[j]);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's cost model, instrumented: cell-probe tables, probe sinks,
+//! contention accounting, query distributions, and both Monte-Carlo and
+//! *exact* contention measurement.
+//!
+//! # The model (§1.1 of the paper)
+//!
+//! A static data structure is a table of `s` cells of `b` bits. A query is
+//! answered by a randomized adaptive algorithm making at most `t` probes.
+//! With the query `X` drawn from a distribution `q`, the **contention** of
+//! cell `j` at step `t` is
+//!
+//! ```text
+//! Φ_t(j) = E[ 1{ I_X^{(t)} = j } ]        (Definition 1)
+//! ```
+//!
+//! — the probability that step `t` touches cell `j`, over both the random
+//! query and the algorithm's own coins. Since `Σ_j Φ_t(j) = 1`, the best
+//! possible per-step contention is `1/s`; a scheme is *(s, b, t, φ)-balanced*
+//! (Definition 2) if every step keeps every cell at or below `φ`.
+//!
+//! # What this crate provides
+//!
+//! * [`table::Table`] — the `s`-cell word table with probe-recording reads.
+//! * [`sink`] — [`sink::ProbeSink`] implementations: counting, per-step,
+//!   tracing, or none (for pure-speed benchmarking).
+//! * [`dict::CellProbeDict`] — the object-safe query interface every
+//!   dictionary in this repository implements.
+//! * [`exact`] — *exact* contention: dictionaries expose each probe step as
+//!   a uniform distribution over an arithmetic progression of cells
+//!   ([`exact::ProbeSet`]), and [`exact::exact_contention`] aggregates these
+//!   per distinct set, making full-profile computation `O(rows · s)` instead
+//!   of `O(|pool| · s)`.
+//! * [`dist`] — the query-distribution classes of the paper: uniform within
+//!   positives / negatives, mixtures, Zipf (for the arbitrary-distribution
+//!   experiments of §3), point masses and custom weights.
+//! * [`measure`] — Monte-Carlo measurement harness cross-validating the
+//!   exact computation.
+//! * [`report`] — small markdown/CSV table rendering used by the experiment
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod bitpack;
+pub mod contention;
+pub mod dict;
+pub mod dist;
+pub mod exact;
+pub mod measure;
+pub mod report;
+pub mod rngutil;
+pub mod sink;
+pub mod table;
+
+pub use alias::AliasTable;
+pub use bitpack::BitTable;
+pub use contention::ContentionProfile;
+pub use dict::CellProbeDict;
+pub use dist::{QueryDistribution, QueryPool};
+pub use exact::{exact_contention, ExactProbes, ProbeSet};
+pub use measure::{measure_contention, MeasureReport};
+pub use sink::{CountingSink, NullSink, ProbeSink, StepSink, TraceSink};
+pub use table::{CellId, Table};

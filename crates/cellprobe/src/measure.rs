@@ -1,0 +1,191 @@
+//! Monte-Carlo contention measurement, cross-validating the exact
+//! computation in [`crate::exact`] and covering schemes (or distributions)
+//! with no analytic description.
+
+use crate::contention::ContentionProfile;
+use crate::dict::CellProbeDict;
+use crate::dist::QueryDistribution;
+use crate::sink::{ProbeCountSink, ProbeSink, StepSink};
+use crate::table::CellId;
+use rand::RngCore;
+
+/// Fans one probe stream out to two sinks.
+pub struct TeeSink<'a> {
+    a: &'a mut dyn ProbeSink,
+    b: &'a mut dyn ProbeSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Combines two sinks.
+    pub fn new(a: &'a mut dyn ProbeSink, b: &'a mut dyn ProbeSink) -> TeeSink<'a> {
+        TeeSink { a, b }
+    }
+}
+
+impl ProbeSink for TeeSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.a.probe(cell);
+        self.b.probe(cell);
+    }
+
+    fn begin_query(&mut self) {
+        self.a.begin_query();
+        self.b.begin_query();
+    }
+}
+
+/// Result of a Monte-Carlo measurement run.
+#[derive(Clone, Debug)]
+pub struct MeasureReport {
+    /// Empirical contention profile (counts normalized by query count).
+    pub profile: ContentionProfile,
+    /// Number of queries executed.
+    pub queries: u64,
+    /// How many returned `true`.
+    pub positives: u64,
+    /// Largest probe count observed in a single query.
+    pub probe_max: u32,
+    /// Mean probes per query.
+    pub probe_mean: f64,
+}
+
+/// Runs `queries` sampled queries against `dict` and returns the empirical
+/// contention profile and probe statistics.
+pub fn measure_contention(
+    dict: &(impl CellProbeDict + ?Sized),
+    dist: &(impl QueryDistribution + ?Sized),
+    queries: u64,
+    rng: &mut dyn RngCore,
+) -> MeasureReport {
+    assert!(queries > 0);
+    let num_cells = dict.num_cells();
+    let max_steps = dict.max_probes();
+    let mut steps = StepSink::new(num_cells, max_steps);
+    let mut counts = ProbeCountSink::new();
+    let mut positives = 0u64;
+    for _ in 0..queries {
+        let x = dist.sample(rng);
+        let mut tee = TeeSink::new(&mut steps, &mut counts);
+        tee.begin_query();
+        if dict.contains(x, rng, &mut tee) {
+            positives += 1;
+        }
+    }
+
+    let q = queries as f64;
+    let mut profile = ContentionProfile::zero(num_cells, max_steps as usize);
+    for t in 0..max_steps as usize {
+        let row = steps.step_counts(t);
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0 {
+                profile.total[j] += c as f64 / q;
+                sum += c as u64;
+                if c > max {
+                    max = c;
+                }
+            }
+        }
+        profile.step_max[t] = max as f64 / q;
+        profile.step_sum[t] = sum as f64 / q;
+    }
+
+    MeasureReport {
+        profile,
+        queries,
+        positives,
+        probe_max: counts.max(),
+        probe_mean: counts.mean(),
+    }
+}
+
+/// Checks a dictionary against an oracle: every `positive` must be found,
+/// every `negative` must be rejected. Returns the first failure.
+pub fn verify_membership(
+    dict: &(impl CellProbeDict + ?Sized),
+    positives: &[u64],
+    negatives: &[u64],
+    rng: &mut dyn RngCore,
+) -> Result<(), String> {
+    let mut sink = crate::sink::NullSink;
+    for &x in positives {
+        if !dict.contains(x, rng, &mut sink) {
+            return Err(format!("{}: stored key {x} not found", dict.name()));
+        }
+    }
+    for &x in negatives {
+        if dict.contains(x, rng, &mut sink) {
+            return Err(format!("{}: phantom key {x} reported present", dict.name()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::UniformOver;
+    use crate::sink::{CountingSink, TraceSink};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    struct OneCell;
+
+    impl CellProbeDict for OneCell {
+        fn name(&self) -> String {
+            "onecell".into()
+        }
+        fn contains(&self, x: u64, _rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+            sink.probe(0);
+            x == 7
+        }
+        fn num_cells(&self) -> u64 {
+            1
+        }
+        fn max_probes(&self) -> u32 {
+            1
+        }
+        fn len(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn tee_duplicates_stream() {
+        let mut a = CountingSink::new(3);
+        let mut b = TraceSink::new();
+        {
+            let mut tee = TeeSink::new(&mut a, &mut b);
+            tee.begin_query();
+            tee.probe(2);
+            tee.probe(1);
+        }
+        assert_eq!(a.counts(), &[0, 1, 1]);
+        assert_eq!(b.trace(), &[2, 1]);
+    }
+
+    #[test]
+    fn hot_cell_measures_contention_one() {
+        let d = OneCell;
+        let dist = UniformOver::new("u", vec![7, 8]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = measure_contention(&d, &dist, 1000, &mut rng);
+        assert_eq!(r.queries, 1000);
+        assert!((r.profile.max_step() - 1.0).abs() < 1e-12);
+        assert!((r.profile.total[0] - 1.0).abs() < 1e-12);
+        assert_eq!(r.probe_max, 1);
+        assert!((r.probe_mean - 1.0).abs() < 1e-12);
+        assert!(r.positives > 300 && r.positives < 700);
+    }
+
+    #[test]
+    fn verify_membership_catches_errors() {
+        let d = OneCell;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(verify_membership(&d, &[7], &[8, 9], &mut rng).is_ok());
+        assert!(verify_membership(&d, &[8], &[], &mut rng).is_err());
+        assert!(verify_membership(&d, &[], &[7], &mut rng).is_err());
+    }
+}

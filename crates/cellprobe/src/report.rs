@@ -1,0 +1,158 @@
+//! Minimal table rendering for the experiment binaries: markdown for humans,
+//! CSV for plotting.
+
+use std::fmt::Write as _;
+
+/// A rectangular results table with a title and column headers.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a markdown table with aligned columns.
+    pub fn markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        let _ = writeln!(out, "| {} |", dashes.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders CSV (header row first). Cells containing commas or quotes are
+    /// quoted per RFC 4180.
+    pub fn csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self.headers.iter().map(|h| escape(h)).collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 significant digits — compact but comparable.
+pub fn sig4(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (3 - mag).clamp(0, 12) as usize;
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = TextTable::new("demo", &["scheme", "ratio"]);
+        t.row(vec!["lcd".into(), "1.92".into()]);
+        t.row(vec!["binary-search".into(), "65536".into()]);
+        let md = t.markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| scheme        | ratio |"));
+        assert!(md.contains("| binary-search | 65536 |"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn sig4_formats() {
+        assert_eq!(sig4(0.0), "0");
+        assert_eq!(sig4(1234.5), "1234"); // 4 sig figs, round-half-to-even
+        assert_eq!(sig4(0.0012345), "0.001234");
+        assert_eq!(sig4(1.5), "1.500");
+        assert_eq!(sig4(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new("t", &["h"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.csv().starts_with("h\n"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Uniform sampling helpers over `&mut dyn RngCore`.
+//!
+//! The dictionary trait is object-safe (so experiment harnesses can hold
+//! `Box<dyn CellProbeDict>`), which means query algorithms receive a
+//! `&mut dyn RngCore` rather than a generic `impl Rng`. These helpers give
+//! them exactly-uniform integer sampling on that dynamic handle, using
+//! Lemire's widening-multiply method with rejection (no modulo bias).
+
+use rand::RngCore;
+
+/// Draws a uniform integer in `[0, n)`. Exactly uniform.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn uniform_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample below zero");
+    // Lemire's method: map a 64-bit word x to floor(x·n / 2^64) and reject
+    // the low-product values that would make some outputs over-represented.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n; // (2^64 - n) mod n
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Draws a uniform integer in `[lo, hi]` (inclusive).
+///
+/// # Panics
+/// Panics if `lo > hi`.
+#[inline]
+pub fn uniform_inclusive(rng: &mut dyn RngCore, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    let span = hi - lo;
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    lo + uniform_below(rng, span + 1)
+}
+
+/// Bernoulli draw with probability `p`.
+#[inline]
+pub fn bernoulli(rng: &mut dyn RngCore, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p));
+    // 53 uniform bits give a double in [0, 1) with full f64 resolution.
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_below_stays_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(uniform_below(&mut rng, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_below_one_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(uniform_below(&mut rng, 1), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_below_covers_all_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 8u64;
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[uniform_below(&mut rng, n) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_chi_squared() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 5u64;
+        let trials = 50_000u64;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[uniform_below(&mut rng, n) as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 4 dof, p=0.001 critical value ≈ 18.47.
+        assert!(chi2 < 18.47, "chi² = {chi2:.2}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..500 {
+            match uniform_inclusive(&mut rng, 10, 12) {
+                10 => lo_seen = true,
+                12 => hi_seen = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn inclusive_singleton() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert_eq!(uniform_inclusive(&mut rng, 42, 42), 42);
+    }
+
+    #[test]
+    fn inclusive_full_range_does_not_panic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _ = uniform_inclusive(&mut rng, 0, u64::MAX);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert!(!bernoulli(&mut rng, 0.0));
+            assert!(bernoulli(&mut rng, 1.0));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let trials = 40_000;
+        let hits = (0..trials).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+}

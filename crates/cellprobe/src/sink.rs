@@ -1,0 +1,317 @@
+//! Probe sinks: pluggable observers of the cell-probe stream.
+//!
+//! Every query receives a `&mut dyn ProbeSink`; the sink decides what to do
+//! with each probe. [`NullSink`] is free (for latency benchmarks),
+//! [`CountingSink`] accumulates per-cell totals (total contention `Φ(j)`),
+//! [`StepSink`] additionally tracks the probe's ordinal within its query
+//! (per-step contention `Φ_t(j)`, the quantity Definition 2 bounds), and
+//! [`TraceSink`] records the raw sequence (for the contended-memory
+//! simulators, which replay traces against a simulated machine).
+
+use crate::table::CellId;
+
+/// Observer of cell probes.
+pub trait ProbeSink {
+    /// Called once per cell probe, in order.
+    fn probe(&mut self, cell: CellId);
+
+    /// Called by measurement harnesses at the start of each query so
+    /// per-step sinks can reset their step counter. Sinks that don't care
+    /// ignore it.
+    fn begin_query(&mut self) {}
+}
+
+/// Discards probes. Use for pure-latency benchmarking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl ProbeSink for NullSink {
+    #[inline]
+    fn probe(&mut self, _cell: CellId) {}
+}
+
+/// Counts probes per cell and in total.
+#[derive(Clone, Debug)]
+pub struct CountingSink {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountingSink {
+    /// Creates a sink for a structure of `num_cells` cells.
+    pub fn new(num_cells: u64) -> CountingSink {
+        CountingSink {
+            counts: vec![0; num_cells as usize],
+            total: 0,
+        }
+    }
+
+    /// Per-cell probe counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total probes observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest per-cell count.
+    pub fn max_count(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl ProbeSink for CountingSink {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.counts[cell as usize] += 1;
+        self.total += 1;
+    }
+}
+
+/// Counts probes per (step, cell): the empirical `Φ_t(j)` numerators.
+///
+/// Memory is `O(t_max · num_cells)` u32s; measurement harnesses size
+/// `t_max` from [`crate::dict::CellProbeDict::max_probes`].
+#[derive(Clone, Debug)]
+pub struct StepSink {
+    per_step: Vec<Vec<u32>>,
+    num_cells: u64,
+    step: usize,
+    queries: u64,
+}
+
+impl StepSink {
+    /// Creates a sink for `num_cells` cells and at most `max_steps` probes
+    /// per query.
+    pub fn new(num_cells: u64, max_steps: u32) -> StepSink {
+        StepSink {
+            per_step: (0..max_steps)
+                .map(|_| vec![0u32; num_cells as usize])
+                .collect(),
+            num_cells,
+            step: 0,
+            queries: 0,
+        }
+    }
+
+    /// Counts for step `t` (0-based).
+    pub fn step_counts(&self, t: usize) -> &[u32] {
+        &self.per_step[t]
+    }
+
+    /// Number of steps tracked.
+    pub fn max_steps(&self) -> usize {
+        self.per_step.len()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> u64 {
+        self.num_cells
+    }
+
+    /// Queries observed (number of `begin_query` calls).
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Empirical per-step max contention: `max_t max_j count_t(j) / queries`.
+    pub fn max_step_contention(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        let max = self
+            .per_step
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0);
+        max as f64 / self.queries as f64
+    }
+}
+
+impl ProbeSink for StepSink {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        if let Some(row) = self.per_step.get_mut(self.step) {
+            row[cell as usize] += 1;
+        }
+        self.step += 1;
+    }
+
+    fn begin_query(&mut self) {
+        self.step = 0;
+        self.queries += 1;
+    }
+}
+
+/// Records the raw probe sequence, with query boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSink {
+    trace: Vec<CellId>,
+    boundaries: Vec<usize>,
+}
+
+impl TraceSink {
+    /// Creates an empty trace.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// The flat probe sequence.
+    pub fn trace(&self) -> &[CellId] {
+        &self.trace
+    }
+
+    /// Start offsets of each query within the trace.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Iterates over per-query probe slices.
+    pub fn queries(&self) -> impl Iterator<Item = &[CellId]> {
+        let ends = self
+            .boundaries
+            .iter()
+            .copied()
+            .skip(1)
+            .chain(std::iter::once(self.trace.len()));
+        self.boundaries
+            .iter()
+            .copied()
+            .zip(ends)
+            .map(move |(a, b)| &self.trace[a..b])
+    }
+}
+
+impl ProbeSink for TraceSink {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.trace.push(cell);
+    }
+
+    fn begin_query(&mut self) {
+        self.boundaries.push(self.trace.len());
+    }
+}
+
+/// Counts probes per query: min/max/mean probe complexity (experiment T3).
+#[derive(Clone, Debug, Default)]
+pub struct ProbeCountSink {
+    current: u32,
+    started: bool,
+    /// Probes in each completed-or-current query.
+    pub per_query: Vec<u32>,
+}
+
+impl ProbeCountSink {
+    /// Creates an empty counter.
+    pub fn new() -> ProbeCountSink {
+        ProbeCountSink::default()
+    }
+
+    /// Largest probe count over all queries.
+    pub fn max(&self) -> u32 {
+        self.per_query.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean probe count.
+    pub fn mean(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        self.per_query.iter().map(|&c| c as f64).sum::<f64>() / self.per_query.len() as f64
+    }
+}
+
+impl ProbeSink for ProbeCountSink {
+    #[inline]
+    fn probe(&mut self, _cell: CellId) {
+        self.current += 1;
+        if let Some(last) = self.per_query.last_mut() {
+            *last += 1;
+        }
+    }
+
+    fn begin_query(&mut self) {
+        self.started = true;
+        self.current = 0;
+        self.per_query.push(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut s = CountingSink::new(4);
+        s.probe(1);
+        s.probe(1);
+        s.probe(3);
+        assert_eq!(s.counts(), &[0, 2, 0, 1]);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.max_count(), 2);
+    }
+
+    #[test]
+    fn step_sink_tracks_ordinals() {
+        let mut s = StepSink::new(3, 2);
+        s.begin_query();
+        s.probe(0); // step 0
+        s.probe(2); // step 1
+        s.begin_query();
+        s.probe(0); // step 0 again
+        assert_eq!(s.step_counts(0), &[2, 0, 0]);
+        assert_eq!(s.step_counts(1), &[0, 0, 1]);
+        assert_eq!(s.queries(), 2);
+        assert!((s.max_step_contention() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_sink_ignores_overflowing_steps() {
+        let mut s = StepSink::new(2, 1);
+        s.begin_query();
+        s.probe(0);
+        s.probe(1); // beyond max_steps: dropped, no panic
+        assert_eq!(s.step_counts(0), &[1, 0]);
+    }
+
+    #[test]
+    fn trace_sink_records_query_boundaries() {
+        let mut s = TraceSink::new();
+        s.begin_query();
+        s.probe(5);
+        s.probe(6);
+        s.begin_query();
+        s.probe(7);
+        let queries: Vec<&[CellId]> = s.queries().collect();
+        assert_eq!(queries, vec![&[5, 6][..], &[7][..]]);
+    }
+
+    #[test]
+    fn probe_count_sink_stats() {
+        let mut s = ProbeCountSink::new();
+        s.begin_query();
+        s.probe(0);
+        s.probe(0);
+        s.begin_query();
+        s.probe(0);
+        assert_eq!(s.per_query, vec![2, 1]);
+        assert_eq!(s.max(), 2);
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sinks_have_sane_defaults() {
+        let s = CountingSink::new(2);
+        assert_eq!(s.max_count(), 0);
+        let s = ProbeCountSink::new();
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        let s = StepSink::new(2, 2);
+        assert_eq!(s.max_step_contention(), 0.0);
+    }
+}

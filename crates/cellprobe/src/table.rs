@@ -1,0 +1,161 @@
+//! The cell-probe table: a rectangular array of 64-bit words whose reads are
+//! recorded by a [`ProbeSink`].
+//!
+//! The paper's table is a flat array `T : [s] → {0,1}^b`; the §2.2
+//! construction organizes it as a constant number of *rows* of `s` cells
+//! each, and every baseline here fits the same shape (a 1-row table is a
+//! flat array). Cells are globally numbered row-major so contention is
+//! always accounted over the *entire* structure — hot hash-parameter cells
+//! included, which is the paper's whole point.
+
+use crate::sink::ProbeSink;
+
+/// Global index of a cell within a table (row-major).
+pub type CellId = u64;
+
+/// A `rows × cols` table of 64-bit words.
+///
+/// `b = 64` bits per cell everywhere in this repository; the paper assumes
+/// `b = log₂ N` and our universe is `[2^61 - 1)`, so one word comfortably
+/// holds a key, a hash coefficient, a displacement, a base address, or a
+/// perfect-hash seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    rows: u32,
+    cols: u64,
+    words: Vec<u64>,
+}
+
+impl Table {
+    /// Allocates a table filled with `fill`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or the total size overflows.
+    pub fn new(rows: u32, cols: u64, fill: u64) -> Table {
+        assert!(rows > 0 && cols > 0, "table dimensions must be positive");
+        let total = (rows as u64)
+            .checked_mul(cols)
+            .expect("table size overflows");
+        let total_usize = usize::try_from(total).expect("table too large for address space");
+        Table {
+            rows,
+            cols,
+            words: vec![fill; total_usize],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (the paper's `s`).
+    #[inline]
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Total number of cells `rows · cols` — the `s` used when comparing
+    /// contention to the `1/s` optimum.
+    #[inline]
+    pub fn num_cells(&self) -> u64 {
+        self.rows as u64 * self.cols
+    }
+
+    /// The global cell id of `(row, col)`.
+    #[inline]
+    pub fn cell_id(&self, row: u32, col: u64) -> CellId {
+        debug_assert!(row < self.rows && col < self.cols);
+        row as u64 * self.cols + col
+    }
+
+    /// Inverse of [`Table::cell_id`].
+    #[inline]
+    pub fn cell_pos(&self, cell: CellId) -> (u32, u64) {
+        debug_assert!(cell < self.num_cells());
+        ((cell / self.cols) as u32, cell % self.cols)
+    }
+
+    /// Reads `(row, col)` **and records the probe** — the only read the
+    /// query algorithms are allowed to use.
+    #[inline]
+    pub fn read(&self, row: u32, col: u64, sink: &mut dyn ProbeSink) -> u64 {
+        let id = self.cell_id(row, col);
+        sink.probe(id);
+        self.words[id as usize]
+    }
+
+    /// Un-recorded access for construction and verification code (never for
+    /// queries).
+    #[inline]
+    pub fn peek(&self, row: u32, col: u64) -> u64 {
+        self.words[self.cell_id(row, col) as usize]
+    }
+
+    /// Writes a word during construction.
+    #[inline]
+    pub fn write(&mut self, row: u32, col: u64, value: u64) {
+        let id = self.cell_id(row, col);
+        self.words[id as usize] = value;
+    }
+
+    /// The raw word storage (row-major), e.g. for the contended-memory
+    /// simulators that want to mirror the layout.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, NullSink, TraceSink};
+
+    #[test]
+    fn ids_are_row_major_and_invertible() {
+        let t = Table::new(3, 5, 0);
+        assert_eq!(t.cell_id(0, 0), 0);
+        assert_eq!(t.cell_id(1, 0), 5);
+        assert_eq!(t.cell_id(2, 4), 14);
+        assert_eq!(t.num_cells(), 15);
+        for row in 0..3 {
+            for col in 0..5 {
+                assert_eq!(t.cell_pos(t.cell_id(row, col)), (row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn read_records_probe_and_returns_value() {
+        let mut t = Table::new(2, 4, 7);
+        t.write(1, 2, 99);
+        let mut sink = TraceSink::new();
+        assert_eq!(t.read(1, 2, &mut sink), 99);
+        assert_eq!(t.read(0, 0, &mut sink), 7);
+        assert_eq!(sink.trace(), &[t.cell_id(1, 2), 0]);
+    }
+
+    #[test]
+    fn peek_does_not_record() {
+        let t = Table::new(1, 3, 5);
+        let mut sink = CountingSink::new(t.num_cells());
+        assert_eq!(t.peek(0, 1), 5);
+        assert_eq!(sink.total(), 0);
+        let _ = t.read(0, 1, &mut sink);
+        assert_eq!(sink.total(), 1);
+    }
+
+    #[test]
+    fn null_sink_compiles_away_probes() {
+        let t = Table::new(1, 1, 3);
+        let mut sink = NullSink;
+        assert_eq!(t.read(0, 0, &mut sink), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Table::new(0, 5, 0);
+    }
+}

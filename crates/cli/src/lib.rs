@@ -1,0 +1,353 @@
+//! Library backing the `lcds` command-line tool.
+//!
+//! The binary is a thin shim over [`run`], so every command is unit- and
+//! integration-testable without spawning processes.
+//!
+//! ```text
+//! lcds build  --out DICT (--random N | --keys FILE) [--seed S]
+//! lcds info   DICT
+//! lcds query  DICT KEY...
+//! lcds audit  DICT [--zipf THETA] [--negatives M]
+//! ```
+//!
+//! Key files are plain text, one decimal `u64` per line (`#` comments
+//! allowed). Dictionaries are the checksummed binary format of
+//! [`lcds_core::persist`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::dist::{QueryDistribution, QueryPool};
+use lcds_cellprobe::exact::exact_contention;
+use lcds_core::persist;
+use lcds_core::rows::row_report;
+use lcds_core::LowContentionDict;
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::{negative_pool, zipf_over_keys};
+use lcds_workloads::rng::seeded;
+use std::path::Path;
+
+/// CLI failure: a message and a suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Entry point: interprets `args` (without the program name) and writes
+/// human output to `out`.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..], out),
+        Some("info") => cmd_info(&args[1..], out),
+        Some("query") => cmd_query(&args[1..], out),
+        Some("audit") => cmd_audit(&args[1..], out),
+        Some("--help") | Some("-h") | None => {
+            writeln!(out, "{}", USAGE).map_err(io_err)?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+lcds — low-contention static dictionary (SPAA 2010 reproduction)
+
+commands:
+  build  --out DICT (--random N | --keys FILE) [--seed S]   build + persist
+  info   DICT                                               parameters & stats
+  query  DICT KEY...                                        membership
+  audit  DICT [--zipf THETA] [--negatives M]                contention report";
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::runtime(format!("i/o error: {e}"))
+}
+
+/// Parses `--flag value` pairs and positionals.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::usage(format!("--{name} needs a value")))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Reads a key file: one decimal u64 per line, `#` comments and blanks
+/// ignored.
+pub fn read_key_file(path: &Path) -> Result<Vec<u64>, CliError> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+    let mut keys = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let key: u64 = line.parse().map_err(|e| {
+            CliError::usage(format!("{}:{}: bad key {line:?}: {e}", path.display(), lineno + 1))
+        })?;
+        keys.push(key);
+    }
+    if keys.is_empty() {
+        return Err(CliError::usage(format!("{}: no keys", path.display())));
+    }
+    Ok(keys)
+}
+
+fn load_dict(path: &str) -> Result<LowContentionDict, CliError> {
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    persist::load(&mut f).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn cmd_build(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let out_path = flag(&flags, "out").ok_or_else(|| CliError::usage("build needs --out"))?;
+    let seed: u64 = flag(&flags, "seed")
+        .map(|s| s.parse().map_err(|e| CliError::usage(format!("bad --seed: {e}"))))
+        .transpose()?
+        .unwrap_or(0xC0FFEE);
+
+    let keys = match (flag(&flags, "random"), flag(&flags, "keys")) {
+        (Some(n), None) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --random: {e}")))?;
+            uniform_keys(n, seed ^ 0x5EED)
+        }
+        (None, Some(path)) => read_key_file(Path::new(path))?,
+        _ => return Err(CliError::usage("build needs exactly one of --random N or --keys FILE")),
+    };
+
+    let mut rng = seeded(seed);
+    let dict = lcds_core::build(&keys, &mut rng)
+        .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+    let mut f = std::fs::File::create(out_path)
+        .map_err(|e| CliError::runtime(format!("cannot create {out_path}: {e}")))?;
+    persist::save(&dict, &mut f).map_err(io_err)?;
+    writeln!(
+        out,
+        "built n = {} → {} ({} cells, {:.2} words/key, ≤ {} probes/query, {} retries)",
+        dict.len(),
+        out_path,
+        dict.num_cells(),
+        dict.words_per_key(),
+        dict.max_probes(),
+        dict.stats().hash_retries,
+    )
+    .map_err(io_err)
+}
+
+fn cmd_info(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, _) = parse_flags(args)?;
+    let path = pos.first().ok_or_else(|| CliError::usage("info needs a DICT path"))?;
+    let dict = load_dict(path)?;
+    let p = dict.params();
+    writeln!(out, "n           {}", p.n).map_err(io_err)?;
+    writeln!(out, "d           {}", p.d).map_err(io_err)?;
+    writeln!(out, "r (classes) {}", p.r).map_err(io_err)?;
+    writeln!(out, "m (groups)  {}", p.m).map_err(io_err)?;
+    writeln!(out, "s (columns) {}", p.s).map_err(io_err)?;
+    writeln!(out, "ρ (hist)    {}", p.rho).map_err(io_err)?;
+    writeln!(out, "rows        {}", dict.layout().num_rows()).map_err(io_err)?;
+    writeln!(out, "cells       {}", dict.num_cells()).map_err(io_err)?;
+    writeln!(out, "words/key   {:.3}", dict.words_per_key()).map_err(io_err)?;
+    writeln!(out, "probes ≤    {}", dict.max_probes()).map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_query(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, _) = parse_flags(args)?;
+    let path = pos.first().ok_or_else(|| CliError::usage("query needs a DICT path"))?;
+    if pos.len() < 2 {
+        return Err(CliError::usage("query needs at least one KEY"));
+    }
+    let dict = load_dict(path)?;
+    let mut rng = seeded(1);
+    for raw in &pos[1..] {
+        let key: u64 = raw
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad key {raw:?}: {e}")))?;
+        let hit = dict.contains(key, &mut rng, &mut lcds_cellprobe::sink::NullSink);
+        writeln!(out, "{key}\t{}", if hit { "present" } else { "absent" }).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or_else(|| CliError::usage("audit needs a DICT path"))?;
+    let dict = load_dict(path)?;
+
+    let pool = if let Some(theta) = flag(&flags, "zipf") {
+        let theta: f64 = theta
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --zipf: {e}")))?;
+        zipf_over_keys(dict.keys(), theta, 0xA0D1)
+            .pool()
+    } else if let Some(m) = flag(&flags, "negatives") {
+        let m: usize = m
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --negatives: {e}")))?;
+        QueryPool::uniform(&negative_pool(dict.keys(), m, 0xA0D2))
+    } else {
+        QueryPool::uniform(dict.keys())
+    };
+
+    let prof = exact_contention(&dict, &pool);
+    writeln!(
+        out,
+        "max per-step contention ratio: {:.2}  (1.0 = perfectly flat over {} cells)",
+        prof.max_step_ratio(),
+        prof.num_cells
+    )
+    .map_err(io_err)?;
+    writeln!(out, "gini: {:.4}\n\nper-row breakdown:", prof.gini()).map_err(io_err)?;
+    write!(out, "{}", row_report(&dict, &pool).to_text()).map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lcds-cli-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn full_lifecycle_build_info_query_audit() {
+        let dict_path = tmp("lifecycle.dict");
+        let dict_str = dict_path.to_str().unwrap();
+
+        let out = run_capture(&["build", "--out", dict_str, "--random", "500", "--seed", "9"])
+            .unwrap();
+        assert!(out.contains("built n = 500"), "{out}");
+
+        let out = run_capture(&["info", dict_str]).unwrap();
+        assert!(out.contains("n           500"), "{out}");
+        assert!(out.contains("probes ≤"), "{out}");
+
+        // Query a member (recover one from the generator) and a non-member.
+        let member = lcds_workloads::keysets::uniform_keys(500, 9 ^ 0x5EED)[0];
+        let out = run_capture(&["query", dict_str, &member.to_string(), "3"]).unwrap();
+        assert!(out.contains(&format!("{member}\tpresent")), "{out}");
+        assert!(out.contains("3\tabsent"), "{out}");
+
+        let out = run_capture(&["audit", dict_str]).unwrap();
+        assert!(out.contains("max per-step contention ratio"), "{out}");
+        assert!(out.contains("histogram[0]"), "{out}");
+
+        let out = run_capture(&["audit", dict_str, "--zipf", "1.2"]).unwrap();
+        assert!(out.contains("per-row breakdown"), "{out}");
+
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn build_from_key_file() {
+        let keys_path = tmp("keys.txt");
+        std::fs::write(&keys_path, "# demo\n10\n20\n\n30 # trailing\n").unwrap();
+        let dict_path = tmp("fromfile.dict");
+
+        let out = run_capture(&[
+            "build",
+            "--out",
+            dict_path.to_str().unwrap(),
+            "--keys",
+            keys_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("built n = 3"), "{out}");
+
+        let out = run_capture(&["query", dict_path.to_str().unwrap(), "20", "25"]).unwrap();
+        assert!(out.contains("20\tpresent"));
+        assert!(out.contains("25\tabsent"));
+
+        let _ = std::fs::remove_file(&keys_path);
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert_eq!(run_capture(&["frobnicate"]).unwrap_err().code, 2);
+        assert_eq!(run_capture(&["build"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_capture(&["build", "--out", "/tmp/x", "--random", "10", "--keys", "y"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(run_capture(&["query", "/nonexistent-dict"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_capture(&["info", "/nonexistent-dict"]).unwrap_err().code,
+            1
+        );
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_capture(&["--help"]).unwrap();
+        assert!(out.contains("commands:"));
+        let out = run_capture(&[]).unwrap();
+        assert!(out.contains("lcds"));
+    }
+
+    #[test]
+    fn bad_key_file_lines_are_located() {
+        let keys_path = tmp("bad.txt");
+        std::fs::write(&keys_path, "10\nnot-a-number\n").unwrap();
+        let err = read_key_file(&keys_path).unwrap_err();
+        assert!(err.message.contains(":2:"), "{}", err.message);
+        let _ = std::fs::remove_file(&keys_path);
+    }
+}

@@ -1,0 +1,11 @@
+//! `lcds` — the command-line face of the low-contention dictionary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = lcds_cli::run(&args, &mut out) {
+        eprintln!("lcds: {}", e.message);
+        std::process::exit(e.code);
+    }
+}

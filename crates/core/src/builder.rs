@@ -1,0 +1,465 @@
+//! The §2.2 construction algorithm: draw `(f, g, z)`, verify the property
+//! `P(S)`, lay out the table, and perfect-hash every bucket.
+//!
+//! Expected cost is `O(n)`: Lemma 9 gives `Pr[P(S)] ≥ 1/2 − o(1)` per hash
+//! draw (so an expected O(1) draws), each draw is verified in one `O(n + s)`
+//! pass, and per-bucket perfect hashing costs expected `O(ℓ)` per bucket of
+//! load `ℓ`. Experiment T5 measures both the retry distribution and the
+//! per-key construction time against these bounds.
+
+use crate::dict::{LowContentionDict, EMPTY};
+use crate::layout::Layout;
+use crate::params::{Params, ParamsConfig};
+use lcds_cellprobe::table::Table;
+use lcds_hashing::family::{HashFamily, HashFunction};
+use lcds_hashing::perfect::PerfectHashBuilder;
+use lcds_hashing::poly::{PolyFamily, PolyHash};
+use lcds_hashing::MAX_KEY;
+use rand::Rng;
+
+/// Why a build failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The key slice was empty (the structure stores `n ≥ 1` keys).
+    EmptyKeySet,
+    /// Two equal keys were supplied.
+    DuplicateKey(u64),
+    /// A key is outside the universe `[0, 2^61 − 1)`.
+    KeyOutOfRange(u64),
+    /// No `(f, g, z)` draw satisfied `P(S)` within the configured retry cap
+    /// — with valid parameters this has probability `≈ 2^{-retries}`.
+    HashRetriesExhausted(u32),
+    /// A bucket's perfect-hash seed search failed (practically impossible
+    /// for quadratic space; indicates a broken RNG).
+    PerfectHashFailed {
+        /// The bucket whose search failed.
+        bucket: u64,
+        /// Its load.
+        load: u32,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyKeySet => write!(f, "key set is empty"),
+            BuildError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            BuildError::KeyOutOfRange(k) => {
+                write!(f, "key {k} outside universe [0, 2^61 - 1)")
+            }
+            BuildError::HashRetriesExhausted(r) => {
+                write!(f, "no hash draw satisfied P(S) in {r} retries")
+            }
+            BuildError::PerfectHashFailed { bucket, load } => {
+                write!(f, "perfect hash search failed for bucket {bucket} (load {load})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Construction statistics, recorded for experiment T5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// `(f, g, z)` draws rejected before one satisfied `P(S)`.
+    pub hash_retries: u32,
+    /// Total perfect-hash seeds tried across all buckets.
+    pub perfect_trials_total: u64,
+    /// Worst single bucket's seed trials.
+    pub perfect_trials_max: u32,
+    /// Number of non-empty buckets.
+    pub nonempty_buckets: u64,
+    /// `Σ ℓ²` — cells actually owned in the header/data rows (≤ `s`).
+    pub sum_squared_loads: u64,
+}
+
+/// One accepted hash draw plus the per-key bucket assignment.
+struct AcceptedDraw {
+    f: PolyHash,
+    g: PolyHash,
+    z: Vec<u64>,
+    /// `bucket[i]` = `h(keys[i])`.
+    bucket: Vec<u64>,
+    /// `ℓ(S, h, ·)` over the `s` buckets.
+    bucket_loads: Vec<u32>,
+    retries: u32,
+}
+
+/// Checks `P(S)` for one draw; returns the assignment on success.
+fn try_draw<R: Rng + ?Sized>(keys: &[u64], p: &Params, rng: &mut R) -> Option<AcceptedDraw> {
+    let f = PolyFamily::new(p.d, p.s).sample(rng);
+    let g = PolyFamily::new(p.d, p.r).sample(rng);
+    let z: Vec<u64> = (0..p.r).map(|_| rng.random_range(0..p.s)).collect();
+
+    let mut class_loads = vec![0u32; p.r as usize];
+    let mut group_loads = vec![0u32; p.m as usize];
+    let mut bucket_loads = vec![0u32; p.s as usize];
+    let mut bucket = Vec::with_capacity(keys.len());
+
+    for &x in keys {
+        let gx = g.eval(x);
+        let fx = f.eval(x);
+        let hx = {
+            let t = fx + z[gx as usize];
+            if t >= p.s {
+                t - p.s
+            } else {
+                t
+            }
+        };
+        class_loads[gx as usize] += 1;
+        group_loads[(hx % p.m) as usize] += 1;
+        bucket_loads[hx as usize] += 1;
+        bucket.push(hx);
+    }
+
+    // P(S), clause by clause (Lemma 9):
+    if class_loads.iter().any(|&l| l as u64 > p.class_load_cap) {
+        return None;
+    }
+    if group_loads.iter().any(|&l| l as u64 > p.group_load_cap) {
+        return None;
+    }
+    let sum_sq: u64 = bucket_loads.iter().map(|&l| (l as u64) * (l as u64)).sum();
+    if sum_sq > p.s {
+        return None;
+    }
+
+    Some(AcceptedDraw {
+        f,
+        g,
+        z,
+        bucket,
+        bucket_loads,
+        retries: 0,
+    })
+}
+
+/// Outcome of a single `(f, g, z)` draw against each clause of `P(S)` —
+/// the empirical counterpart of Lemma 9, exposed for experiment T6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PropertyTrial {
+    /// Lemma 9(1): every `g`-class load ≤ `c·n/r`.
+    pub class_ok: bool,
+    /// Lemma 9(2): every group load ≤ `c·n/m`.
+    pub group_ok: bool,
+    /// Lemma 9(3): `Σℓ² ≤ s` (FKS condition).
+    pub fks_ok: bool,
+}
+
+impl PropertyTrial {
+    /// Did the full property `P(S)` hold?
+    pub fn accepted(&self) -> bool {
+        self.class_ok && self.group_ok && self.fks_ok
+    }
+}
+
+/// Draws one `(f, g, z)` and reports which clauses of `P(S)` held —
+/// Lemma 9's success probabilities, measurable.
+pub fn property_trial<R: Rng + ?Sized>(
+    keys: &[u64],
+    config: &ParamsConfig,
+    rng: &mut R,
+) -> PropertyTrial {
+    assert!(!keys.is_empty());
+    let p = Params::derive(keys.len() as u64, config);
+    let f = PolyFamily::new(p.d, p.s).sample(rng);
+    let g = PolyFamily::new(p.d, p.r).sample(rng);
+    let z: Vec<u64> = (0..p.r).map(|_| rng.random_range(0..p.s)).collect();
+
+    let mut class_loads = vec![0u32; p.r as usize];
+    let mut group_loads = vec![0u32; p.m as usize];
+    let mut bucket_loads = vec![0u32; p.s as usize];
+    for &x in keys {
+        let gx = g.eval(x);
+        let t = f.eval(x) + z[gx as usize];
+        let hx = if t >= p.s { t - p.s } else { t };
+        class_loads[gx as usize] += 1;
+        group_loads[(hx % p.m) as usize] += 1;
+        bucket_loads[hx as usize] += 1;
+    }
+    PropertyTrial {
+        class_ok: class_loads.iter().all(|&l| l as u64 <= p.class_load_cap),
+        group_ok: group_loads.iter().all(|&l| l as u64 <= p.group_load_cap),
+        fks_ok: bucket_loads
+            .iter()
+            .map(|&l| (l as u64) * (l as u64))
+            .sum::<u64>()
+            <= p.s,
+    }
+}
+
+/// Builds the dictionary with explicit configuration.
+///
+/// Keys may be in any order but must be distinct and `< 2^61 − 1`.
+pub fn build_with<R: Rng + ?Sized>(
+    keys: &[u64],
+    config: &ParamsConfig,
+    rng: &mut R,
+) -> Result<LowContentionDict, BuildError> {
+    if keys.is_empty() {
+        return Err(BuildError::EmptyKeySet);
+    }
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(BuildError::DuplicateKey(w[0]));
+        }
+    }
+    if let Some(&bad) = sorted.iter().find(|&&k| k > MAX_KEY) {
+        return Err(BuildError::KeyOutOfRange(bad));
+    }
+
+    let p = Params::derive(sorted.len() as u64, config);
+    let layout = Layout::new(&p);
+
+    // Expected O(1) draws (Lemma 9 + union bound, §2.2).
+    let mut draw = None;
+    for attempt in 0..config.max_hash_retries {
+        if let Some(mut d) = try_draw(&sorted, &p, rng) {
+            d.retries = attempt;
+            draw = Some(d);
+            break;
+        }
+    }
+    let draw = draw.ok_or(BuildError::HashRetriesExhausted(config.max_hash_retries))?;
+
+    // Group-base addresses: GBAS(i) = Σ_{i' < i} Σ_k ℓ(k·m + i')².
+    let mut group_sq = vec![0u64; p.m as usize];
+    for (b, &l) in draw.bucket_loads.iter().enumerate() {
+        group_sq[b % p.m as usize] += (l as u64) * (l as u64);
+    }
+    let mut gbas = vec![0u64; p.m as usize];
+    for i in 1..p.m as usize {
+        gbas[i] = gbas[i - 1] + group_sq[i - 1];
+    }
+    let sum_sq: u64 = group_sq.iter().sum();
+    debug_assert!(sum_sq <= p.s, "P(S) guarantees Σℓ² ≤ s");
+
+    // Bucket → keys via counting sort.
+    let mut offsets = vec![0usize; p.s as usize + 1];
+    for &b in &draw.bucket {
+        offsets[b as usize + 1] += 1;
+    }
+    for i in 0..p.s as usize {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut by_bucket = vec![0u64; sorted.len()];
+    {
+        let mut cursor = offsets.clone();
+        for (i, &x) in sorted.iter().enumerate() {
+            let b = draw.bucket[i] as usize;
+            by_bucket[cursor[b]] = x;
+            cursor[b] += 1;
+        }
+    }
+
+    // Lay out the table.
+    let mut table = Table::new(layout.num_rows(), p.s, EMPTY);
+
+    let fw = draw.f.words();
+    let gw = draw.g.words();
+    for i in 0..p.d as u32 {
+        for j in 0..p.s {
+            table.write(layout.row_f(i), j, fw[i as usize]);
+            table.write(layout.row_g(i), j, gw[i as usize]);
+        }
+    }
+    for j in 0..p.s {
+        table.write(layout.row_z(), j, draw.z[(j % p.r) as usize]);
+        table.write(layout.row_gbas(), j, gbas[(j % p.m) as usize]);
+    }
+
+    // Histograms, one group at a time.
+    let mut loads_buf = vec![0u32; p.group_size as usize];
+    for group in 0..p.m {
+        for k in 0..p.group_size {
+            loads_buf[k as usize] = draw.bucket_loads[p.bucket_of(group, k) as usize];
+        }
+        let words = crate::histogram::encode(&loads_buf, p.rho)
+            .expect("P(S) bounds the group load, so the histogram fits by construction");
+        for (w, &word) in words.iter().enumerate() {
+            let row = layout.row_hist(w as u32);
+            let mut j = group;
+            while j < p.s {
+                table.write(row, j, word);
+                j += p.m;
+            }
+        }
+    }
+
+    // Header + data rows: bucket-owned ranges in group-major, then
+    // in-group order (the lexicographic sort of §2.2).
+    let ph_builder = PerfectHashBuilder::default();
+    let mut stats = BuildStats {
+        hash_retries: draw.retries,
+        sum_squared_loads: sum_sq,
+        ..BuildStats::default()
+    };
+    for group in 0..p.m {
+        let mut cursor = gbas[group as usize];
+        for k in 0..p.group_size {
+            let b = p.bucket_of(group, k);
+            let l = draw.bucket_loads[b as usize];
+            if l == 0 {
+                continue;
+            }
+            let range = (l as u64) * (l as u64);
+            let bucket_keys = &by_bucket[offsets[b as usize]..offsets[b as usize + 1]];
+            debug_assert_eq!(bucket_keys.len(), l as usize);
+            let found = ph_builder
+                .build(bucket_keys, range, rng)
+                .ok_or(BuildError::PerfectHashFailed { bucket: b, load: l })?;
+            stats.perfect_trials_total += found.trials as u64;
+            stats.perfect_trials_max = stats.perfect_trials_max.max(found.trials);
+            stats.nonempty_buckets += 1;
+            for j in cursor..cursor + range {
+                table.write(layout.row_header(), j, found.hash.seed());
+            }
+            for &x in bucket_keys {
+                table.write(layout.row_data(), cursor + found.hash.eval(x), x);
+            }
+            cursor += range;
+        }
+        debug_assert_eq!(cursor, gbas[group as usize] + group_sq[group as usize]);
+    }
+
+    Ok(LowContentionDict::from_parts(
+        p,
+        layout,
+        table,
+        sorted,
+        draw.f,
+        draw.g,
+        draw.z,
+        stats,
+    ))
+}
+
+/// Builds the dictionary with [`ParamsConfig::default`].
+pub fn build<R: Rng + ?Sized>(keys: &[u64], rng: &mut R) -> Result<LowContentionDict, BuildError> {
+    build_with(keys, &ParamsConfig::default(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        (0..n).map(|i| lcds_hashing::mix::derive(salt, i) % MAX_KEY).collect()
+    }
+
+    #[test]
+    fn builds_and_reports_stats() {
+        let keys = keyset(500, 1);
+        let d = build(&keys, &mut rng(1)).expect("build must succeed");
+        let st = d.stats();
+        assert!(st.hash_retries < 20, "retries {}", st.hash_retries);
+        assert!(st.nonempty_buckets > 0);
+        assert!(st.sum_squared_loads <= d.params().s);
+        assert!(st.perfect_trials_total >= st.nonempty_buckets);
+    }
+
+    #[test]
+    fn property_trial_rates_match_lemma9() {
+        // Lemma 9 + union bound: P(S) holds w.p. ≥ 1/2 − o(1); each clause
+        // individually even more often.
+        let keys = keyset(1024, 77);
+        let config = ParamsConfig::default();
+        let mut r = rng(77);
+        let trials = 100;
+        let mut accepted = 0;
+        for _ in 0..trials {
+            if property_trial(&keys, &config, &mut r).accepted() {
+                accepted += 1;
+            }
+        }
+        assert!(
+            accepted * 10 >= trials * 4,
+            "P(S) held only {accepted}/{trials}; Lemma 9 promises ≈ 1/2"
+        );
+    }
+
+    #[test]
+    fn rejects_empty_keys() {
+        assert_eq!(build(&[], &mut rng(2)).unwrap_err(), BuildError::EmptyKeySet);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            build(&[5, 9, 5], &mut rng(3)).unwrap_err(),
+            BuildError::DuplicateKey(5)
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_universe_keys() {
+        assert_eq!(
+            build(&[1, u64::MAX], &mut rng(4)).unwrap_err(),
+            BuildError::KeyOutOfRange(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BuildError::HashRetriesExhausted(7);
+        assert!(e.to_string().contains("7 retries"));
+        let e = BuildError::PerfectHashFailed { bucket: 3, load: 2 };
+        assert!(e.to_string().contains("bucket 3"));
+    }
+
+    #[test]
+    fn tiny_key_sets_build() {
+        for n in 1..=8u64 {
+            let keys: Vec<u64> = (0..n).map(|i| i * 1000 + 1).collect();
+            let d = build(&keys, &mut rng(100 + n)).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(d.keys().len() as u64, n);
+        }
+    }
+
+    #[test]
+    fn retry_cap_of_one_sometimes_fails_but_error_is_clean() {
+        // With max_hash_retries = 1, P(S) failure (prob ≤ ~1/2) must
+        // surface as HashRetriesExhausted, not a panic. Try seeds until we
+        // see both outcomes.
+        let keys = keyset(300, 9);
+        let config = ParamsConfig {
+            max_hash_retries: 1,
+            ..ParamsConfig::default()
+        };
+        let mut saw_ok = false;
+        let mut saw_fail = false;
+        for seed in 0..200 {
+            match build_with(&keys, &config, &mut rng(seed)) {
+                Ok(_) => saw_ok = true,
+                Err(BuildError::HashRetriesExhausted(1)) => saw_fail = true,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+            if saw_ok && saw_fail {
+                break;
+            }
+        }
+        assert!(saw_ok, "one-shot builds never succeeded — P(S) rate broken");
+        // Not asserting saw_fail: at small n the failure rate can be low.
+    }
+
+    #[test]
+    fn unsorted_input_builds_identically_to_sorted() {
+        let mut keys = keyset(200, 5);
+        let d1 = build(&keys, &mut rng(42)).unwrap();
+        keys.reverse();
+        let d2 = build(&keys, &mut rng(42)).unwrap();
+        // Same RNG stream + same sorted key set ⇒ identical structures.
+        assert_eq!(d1.keys(), d2.keys());
+        assert_eq!(d1.stats(), d2.stats());
+    }
+}

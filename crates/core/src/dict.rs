@@ -1,0 +1,537 @@
+//! The low-contention static dictionary of Theorem 3 and its query
+//! algorithm (§2.3).
+//!
+//! A query makes exactly one probe per table row (at most `2d + ρ + 4`
+//! total, independent of `n`):
+//!
+//! 1. **Hash reconstruction** — each of `f`'s and `g`'s `d` coefficients is
+//!    read from a uniformly random column of its fully-replicated row
+//!    (contention exactly `1/s` per cell), then `z_{g(x)}` from a random
+//!    replica of its residue class.
+//! 2. **Bucket location** — `h(x) = (f(x) + z_{g(x)}) mod s` names the
+//!    bucket and `h'(x) = h(x) mod m` its group; the group base address and
+//!    the ρ histogram words are read from random replicas, and the unary
+//!    histogram yields the bucket's storage range
+//!    `[GBAS + Σ_{k<k*} ℓ_k², … + ℓ_{k*}²)`.
+//! 3. **Membership** — if the bucket is empty, answer *no* (no further
+//!    probes). Otherwise a uniformly random owned header cell supplies the
+//!    bucket's perfect-hash seed, and one data probe at
+//!    `start + h*(x)` settles membership by key comparison.
+//!
+//! Balancing randomness (which replica, which header cell) is exactly the
+//! kind Definition 12 allows: for a fixed table and query, each step's
+//! probe is uniform over a fixed set of cells, and steps are independent —
+//! so the structure is also a valid subject of the paper's lower bound,
+//! and its probe distributions are described analytically to
+//! [`lcds_cellprobe::exact`] via [`ExactProbes`].
+
+use crate::builder::BuildStats;
+use crate::histogram;
+use crate::layout::Layout;
+use crate::params::Params;
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::family::HashFunction;
+use lcds_hashing::perfect::PerfectHash;
+use lcds_hashing::poly::{horner, PolyHash};
+use rand::RngCore;
+
+/// Sentinel filling unowned/unoccupied cells; not a valid key (keys are
+/// `< 2^61 − 1`).
+pub const EMPTY: u64 = u64::MAX;
+
+/// Largest supported independence degree (stack-buffer bound in the query
+/// path; enforced by parameter validation).
+pub const MAX_D: usize = 8;
+
+/// The paper's `(O(n), b, O(1), O(1/n))`-balanced membership dictionary.
+#[derive(Clone, Debug)]
+pub struct LowContentionDict {
+    params: Params,
+    layout: Layout,
+    table: Table,
+    /// Sorted stored keys — construction-side state for verification and
+    /// exact-contention queries; **never probed** at query time.
+    keys: Vec<u64>,
+    f: PolyHash,
+    g: PolyHash,
+    z: Vec<u64>,
+    stats: BuildStats,
+}
+
+/// Everything `resolve` derives about a query, using construction-side
+/// state (no probes). `contains` is the probe-recording twin; their
+/// agreement is property-tested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// `g(x)` — the displacement class.
+    pub gx: u64,
+    /// `h(x)` — the bucket.
+    pub h: u64,
+    /// `h'(x) = h(x) mod m` — the group.
+    pub hp: u64,
+    /// First cell (column) of the bucket's owned range in header/data rows.
+    pub start: u64,
+    /// Bucket load `ℓ`.
+    pub load: u32,
+    /// `ℓ²` — owned range length.
+    pub range: u64,
+    /// Column of `x`'s data slot (`start + h*(x)`), if the bucket is
+    /// non-empty.
+    pub data_col: Option<u64>,
+}
+
+impl LowContentionDict {
+    /// Assembles a dictionary from construction output (crate-internal; use
+    /// [`crate::builder::build`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        params: Params,
+        layout: Layout,
+        table: Table,
+        keys: Vec<u64>,
+        f: PolyHash,
+        g: PolyHash,
+        z: Vec<u64>,
+        stats: BuildStats,
+    ) -> LowContentionDict {
+        LowContentionDict {
+            params,
+            layout,
+            table,
+            keys,
+            f,
+            g,
+            z,
+            stats,
+        }
+    }
+
+    /// The derived parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The row layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The underlying table (e.g. for simulators mirroring the memory).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Mutable table access for fault-injection tests (crate-internal).
+    #[cfg(test)]
+    pub(crate) fn table_mut(&mut self) -> &mut Table {
+        &mut self.table
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The raw hash state `(f words, g words, z)` — what the replicated
+    /// parameter rows hold; used by persistence.
+    pub fn hash_state(&self) -> (Vec<u64>, Vec<u64>, &[u64]) {
+        (self.f.words(), self.g.words(), &self.z)
+    }
+
+    /// Resolves a query deterministically from construction-side state —
+    /// the analytic twin of [`CellProbeDict::contains`].
+    pub fn resolve(&self, x: u64) -> Resolution {
+        let p = &self.params;
+        let gx = self.g.eval(x);
+        let h = {
+            let t = self.f.eval(x) + self.z[gx as usize];
+            if t >= p.s {
+                t - p.s
+            } else {
+                t
+            }
+        };
+        let hp = h % p.m;
+        let k_star = h / p.m;
+
+        let gbas = self.table.peek(self.layout.row_gbas(), hp);
+        let mut hist = [0u64; 16];
+        for w in 0..p.rho {
+            hist[w as usize] = self.table.peek(self.layout.row_hist(w), hp);
+        }
+        let (off, load) = histogram::locate(&hist[..p.rho as usize], k_star);
+        let start = gbas + off;
+        let range = (load as u64) * (load as u64);
+        let data_col = if load == 0 {
+            None
+        } else {
+            let seed = self.table.peek(self.layout.row_header(), start);
+            let ph = PerfectHash::from_seed(seed, range);
+            Some(start + ph.eval(x))
+        };
+        Resolution {
+            gx,
+            h,
+            hp,
+            start,
+            load,
+            range,
+            data_col,
+        }
+    }
+
+    /// Membership via the analytic path (no probes, no RNG) — used by
+    /// tests and oracles.
+    pub fn resolve_contains(&self, x: u64) -> bool {
+        match self.resolve(x).data_col {
+            None => false,
+            Some(col) => self.table.peek(self.layout.row_data(), col) == x,
+        }
+    }
+}
+
+impl CellProbeDict for LowContentionDict {
+    fn name(&self) -> String {
+        "low-contention".into()
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let p = &self.params;
+        let l = &self.layout;
+        let d = p.d;
+
+        // Step 1: reconstruct f and g from random replicas of each
+        // coefficient row, then read z_{g(x)}.
+        let mut fw = [0u64; MAX_D];
+        let mut gw = [0u64; MAX_D];
+        for i in 0..d as u32 {
+            fw[i as usize] = self.table.read(l.row_f(i), uniform_below(rng, p.s), sink);
+            gw[i as usize] = self.table.read(l.row_g(i), uniform_below(rng, p.s), sink);
+        }
+        let gx = horner(&gw[..d], x) % p.r;
+        let z_copies = l.replica_count(p.r, gx);
+        let z_col = l.replica_col(p.r, gx, uniform_below(rng, z_copies));
+        let zg = self.table.read(l.row_z(), z_col, sink);
+
+        let h = {
+            let t = horner(&fw[..d], x) % p.s + zg;
+            if t >= p.s {
+                t - p.s
+            } else {
+                t
+            }
+        };
+        let hp = h % p.m;
+        let k_star = h / p.m;
+
+        // Step 2: group base address + histogram from random replicas.
+        let reps = p.group_size; // m | s ⇒ every residue has s/m replicas
+        let gbas_col = l.replica_col(p.m, hp, uniform_below(rng, reps));
+        let gbas = self.table.read(l.row_gbas(), gbas_col, sink);
+        let mut hist = [0u64; 16];
+        for w in 0..p.rho {
+            let col = l.replica_col(p.m, hp, uniform_below(rng, reps));
+            hist[w as usize] = self.table.read(l.row_hist(w), col, sink);
+        }
+        let (off, load) = histogram::locate(&hist[..p.rho as usize], k_star);
+
+        // Step 3: empty bucket ⇒ negative, no more probes.
+        if load == 0 {
+            return false;
+        }
+        let start = gbas + off;
+        let range = (load as u64) * (load as u64);
+        let header_col = start + uniform_below(rng, range);
+        let seed = self.table.read(l.row_header(), header_col, sink);
+        let ph = PerfectHash::from_seed(seed, range);
+        let data_col = start + ph.eval(x);
+        self.table.read(l.row_data(), data_col, sink) == x
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        self.layout.max_probes()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl ExactProbes for LowContentionDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        let p = &self.params;
+        let l = &self.layout;
+        let s = p.s;
+        let row_base = |row: u32| row as u64 * s;
+        let res = self.resolve(x);
+
+        for i in 0..p.d as u32 {
+            out.push(ProbeSet::range(row_base(l.row_f(i)), s));
+            out.push(ProbeSet::range(row_base(l.row_g(i)), s));
+        }
+        out.push(ProbeSet::strided(
+            row_base(l.row_z()) + res.gx,
+            p.r,
+            l.replica_count(p.r, res.gx),
+        ));
+        out.push(ProbeSet::strided(
+            row_base(l.row_gbas()) + res.hp,
+            p.m,
+            p.group_size,
+        ));
+        for w in 0..p.rho {
+            out.push(ProbeSet::strided(
+                row_base(l.row_hist(w)) + res.hp,
+                p.m,
+                p.group_size,
+            ));
+        }
+        if res.load > 0 {
+            out.push(ProbeSet::range(
+                row_base(l.row_header()) + res.start,
+                res.range,
+            ));
+            out.push(ProbeSet::fixed(
+                row_base(l.row_data()) + res.data_col.expect("non-empty bucket has a data slot"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use lcds_cellprobe::sink::{NullSink, ProbeCountSink, TraceSink};
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    fn build_dict(n: u64, salt: u64) -> LowContentionDict {
+        build(&keyset(n, salt), &mut rng(salt)).expect("build")
+    }
+
+    #[test]
+    fn finds_all_members() {
+        let keys = keyset(1000, 7);
+        let d = build(&keys, &mut rng(7)).unwrap();
+        let mut r = rng(99);
+        for &x in &keys {
+            assert!(d.contains(x, &mut r, &mut NullSink), "key {x} missing");
+            assert!(d.resolve_contains(x), "resolve missed key {x}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_members() {
+        let keys = keyset(500, 8);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        let d = build(&keys, &mut rng(8)).unwrap();
+        let mut r = rng(100);
+        let mut checked = 0;
+        let mut probe = 12345u64;
+        while checked < 1000 {
+            probe = derive(probe, 1) % MAX_KEY;
+            if set.contains(&probe) {
+                continue;
+            }
+            assert!(!d.contains(probe, &mut r, &mut NullSink), "phantom {probe}");
+            assert!(!d.resolve_contains(probe));
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn probe_count_is_constant_bound() {
+        let d = build_dict(2000, 9);
+        let bound = d.max_probes();
+        assert_eq!(bound, 2 * d.params().d as u32 + d.params().rho + 4);
+        let mut r = rng(101);
+        let mut sink = ProbeCountSink::new();
+        for &x in d.keys().iter().take(200) {
+            sink.begin_query();
+            let _ = d.contains(x, &mut r, &mut sink);
+        }
+        assert_eq!(sink.max(), bound, "positive queries probe every row once");
+    }
+
+    #[test]
+    fn negative_on_empty_bucket_stops_early() {
+        let d = build_dict(300, 10);
+        // Find a negative query landing in an empty bucket.
+        let mut r = rng(102);
+        let mut x = 1u64;
+        let found = loop {
+            x = derive(x, 3) % MAX_KEY;
+            let res = d.resolve(x);
+            if res.load == 0 && !d.keys().contains(&x) {
+                break x;
+            }
+        };
+        let mut sink = ProbeCountSink::new();
+        sink.begin_query();
+        assert!(!d.contains(found, &mut r, &mut sink));
+        assert_eq!(
+            sink.max(),
+            d.max_probes() - 2,
+            "empty bucket skips header and data probes"
+        );
+    }
+
+    #[test]
+    fn contains_probes_match_declared_sets() {
+        // Every recorded probe must fall in the declared ProbeSet for its
+        // step — the contract between contains() and probe_sets().
+        let d = build_dict(400, 11);
+        let mut r = rng(103);
+        let mut sets = Vec::new();
+        for &x in d.keys().iter().take(100) {
+            sets.clear();
+            d.probe_sets(x, &mut sets);
+            let mut trace = TraceSink::new();
+            trace.begin_query();
+            assert!(d.contains(x, &mut r, &mut trace));
+            assert_eq!(trace.trace().len(), sets.len(), "step count for {x}");
+            for (t, (&cell, set)) in trace.trace().iter().zip(&sets).enumerate() {
+                assert!(
+                    set.cells().any(|c| c == cell),
+                    "step {t}: probed {cell} outside {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_internally_consistent() {
+        let d = build_dict(800, 12);
+        for &x in d.keys().iter().take(200) {
+            let res = d.resolve(x);
+            assert_eq!(res.hp, res.h % d.params().m);
+            assert!(res.load > 0, "member must land in non-empty bucket");
+            assert_eq!(res.range, (res.load as u64) * (res.load as u64));
+            let col = res.data_col.unwrap();
+            assert!(col >= res.start && col < res.start + res.range);
+            assert!(res.start + res.range <= d.params().s);
+        }
+    }
+
+    #[test]
+    fn space_is_linear() {
+        for n in [100u64, 1000, 5000] {
+            let d = build_dict(n, 13 + n);
+            let wpk = d.words_per_key();
+            // (2d + ρ + 4) rows × s ≈ (8+ρ+4)·β n cells; with ρ ≤ 4, β ≈ 2
+            // that's ≤ ~34 words/key. Generous ceiling to catch regressions.
+            assert!(wpk < 50.0, "n={n}: {wpk} words/key");
+        }
+    }
+
+    #[test]
+    fn replicas_are_consistent_across_columns() {
+        let d = build_dict(600, 14);
+        let p = d.params();
+        let l = d.layout();
+        let t = d.table();
+        for i in 0..p.d as u32 {
+            let f0 = t.peek(l.row_f(i), 0);
+            let g0 = t.peek(l.row_g(i), 0);
+            for j in [1, p.s / 2, p.s - 1] {
+                assert_eq!(t.peek(l.row_f(i), j), f0);
+                assert_eq!(t.peek(l.row_g(i), j), g0);
+            }
+        }
+        for j in 0..p.s {
+            assert_eq!(t.peek(l.row_z(), j), d.z[(j % p.r) as usize]);
+        }
+        for res in 0..p.m.min(20) {
+            let v0 = t.peek(l.row_gbas(), res);
+            let v1 = t.peek(l.row_gbas(), res + p.m);
+            assert_eq!(v0, v1);
+        }
+    }
+
+    #[test]
+    fn exact_contention_ratio_is_small_constant_uniform_positive() {
+        // Theorem 3's headline: max_t max_j Φ_t(j) = O(1/n), i.e. the
+        // per-step contention ratio (× total cells) is a small constant
+        // independent of n.
+        use lcds_cellprobe::dist::QueryPool;
+        use lcds_cellprobe::exact::exact_contention;
+        for n in [512u64, 2048, 8192] {
+            let d = build_dict(n, 40 + n);
+            let pool = QueryPool::uniform(d.keys());
+            let prof = exact_contention(&d, &pool);
+            let ratio = prof.max_step_ratio();
+            assert!(
+                ratio < 60.0,
+                "n={n}: contention ratio {ratio:.2} not a small constant"
+            );
+            assert!(prof.conservation_ok(1e-9));
+        }
+    }
+
+    #[test]
+    fn exact_contention_matches_monte_carlo() {
+        use lcds_cellprobe::dist::{QueryDistribution, UniformOver};
+        use lcds_cellprobe::exact::exact_contention;
+        use lcds_cellprobe::measure::measure_contention;
+
+        let d = build_dict(256, 50);
+        let dist = UniformOver::new("pos", d.keys().to_vec());
+        let exact = exact_contention(&d, &dist.pool());
+        let mut r = rng(51);
+        let mc = measure_contention(&d, &dist, 100_000, &mut r);
+        // Compare the aggregate statistics (cellwise comparison is noisy at
+        // the 1/n scale): per-step max within 25% relative.
+        for t in 0..exact.step_max.len() {
+            let (e, m) = (exact.step_max[t], mc.profile.step_max[t]);
+            if e > 1e-9 || m > 1e-9 {
+                let rel = (e - m).abs() / e.max(m);
+                assert!(rel < 0.5, "step {t}: exact {e:.6} vs mc {m:.6}");
+            }
+        }
+        assert!((mc.probe_mean as f64) <= d.max_probes() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn clone_behaves_identically() {
+        let d = build_dict(200, 15);
+        let d2 = d.clone();
+        let mut r = rng(200);
+        for &x in d.keys().iter().take(50) {
+            assert_eq!(
+                d.contains(x, &mut r, &mut NullSink),
+                d2.resolve_contains(x)
+            );
+        }
+    }
+}

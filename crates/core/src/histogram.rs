@@ -1,0 +1,284 @@
+//! The group histogram of §2.2: the loads of one group's `s/m` buckets,
+//! encoded in unary ("`ℓ` ones then a zero" per bucket) and bit-packed into
+//! ρ = O(1) words.
+//!
+//! This is the trick that removes the hot per-bucket directory cell of FKS:
+//! instead of one *pointer cell per bucket* (contention `ℓ_i/n` — bad for
+//! big buckets), a query reads the whole group's histogram from ρ
+//! replicated cells and *derives* its bucket's storage range from prefix
+//! sums of squared loads. Decoding walks `O(log n)` bits, which is free in
+//! the cell-probe model (only probes are charged) and a few nanoseconds in
+//! practice.
+//!
+//! Bit order: bucket 0's unary run starts at the least-significant bit of
+//! word 0; runs continue LSB→MSB within a word and then into the next word.
+
+/// Encodes one group's bucket loads into `rho` words.
+///
+/// Returns `None` if the encoding needs more than `rho * 64` bits — which
+/// the construction treats as "this hash draw violated the group-load cap"
+/// (it re-checks the caps explicitly, so this is a belt-and-braces path).
+pub fn encode(loads: &[u32], rho: u32) -> Option<Vec<u64>> {
+    let bits_needed: u64 = loads.iter().map(|&l| l as u64 + 1).sum();
+    if bits_needed > rho as u64 * 64 {
+        return None;
+    }
+    let mut words = vec![0u64; rho as usize];
+    let mut bit = 0usize;
+    for &l in loads {
+        for _ in 0..l {
+            words[bit / 64] |= 1u64 << (bit % 64);
+            bit += 1;
+        }
+        bit += 1; // the zero separator (words start zeroed)
+    }
+    Some(words)
+}
+
+/// Decodes all bucket loads from a group histogram.
+///
+/// Reads exactly `group_size` unary runs; trailing bits are ignored.
+pub fn decode(words: &[u64], group_size: u64) -> Vec<u32> {
+    let mut reader = BitReader::new(words);
+    (0..group_size).map(|_| reader.read_unary()).collect()
+}
+
+/// Locates bucket `k` within its group: returns
+/// `(Σ_{k' < k} ℓ_{k'}², ℓ_k)` — the offset of bucket `k`'s storage range
+/// relative to the group base address, and its load (§2.3, step 2).
+pub fn locate(words: &[u64], k: u64) -> (u64, u32) {
+    let mut reader = BitReader::new(words);
+    let mut offset = 0u64;
+    for _ in 0..k {
+        let l = reader.read_unary() as u64;
+        offset += l * l;
+    }
+    (offset, reader.read_unary())
+}
+
+/// Encodes `(load ℓ, copies κ)` pairs for the distribution-aware variant:
+/// per bucket, `ℓ` ones, a zero, `κ − 1` ones, a zero. (`κ ≥ 1` always.)
+///
+/// Returns `None` if the encoding exceeds `rho * 64` bits.
+pub fn encode_pairs(pairs: &[(u32, u32)], rho: u32) -> Option<Vec<u64>> {
+    debug_assert!(pairs.iter().all(|&(_, k)| k >= 1));
+    let bits_needed: u64 = pairs
+        .iter()
+        .map(|&(l, k)| l as u64 + 1 + (k as u64 - 1) + 1)
+        .sum();
+    if bits_needed > rho as u64 * 64 {
+        return None;
+    }
+    let mut words = vec![0u64; rho as usize];
+    let mut bit = 0usize;
+    let put_unary = |words: &mut [u64], bit: &mut usize, count: u32| {
+        for _ in 0..count {
+            words[*bit / 64] |= 1u64 << (*bit % 64);
+            *bit += 1;
+        }
+        *bit += 1; // separator
+    };
+    for &(l, k) in pairs {
+        put_unary(&mut words, &mut bit, l);
+        put_unary(&mut words, &mut bit, k - 1);
+    }
+    Some(words)
+}
+
+/// Decodes all `(ℓ, κ)` pairs from a pair-encoded group histogram.
+pub fn decode_pairs(words: &[u64], group_size: u64) -> Vec<(u32, u32)> {
+    let mut reader = BitReader::new(words);
+    (0..group_size)
+        .map(|_| {
+            let l = reader.read_unary();
+            let k = reader.read_unary() + 1;
+            (l, k)
+        })
+        .collect()
+}
+
+/// Locates bucket `k` in a pair-encoded histogram: returns
+/// `(Σ_{k' < k} κ_{k'}·ℓ_{k'}², ℓ_k, κ_k)` — offset into the group's
+/// replicated storage region, plus this bucket's load and copy count.
+pub fn locate_pair(words: &[u64], k: u64) -> (u64, u32, u32) {
+    let mut reader = BitReader::new(words);
+    let mut offset = 0u64;
+    for _ in 0..k {
+        let l = reader.read_unary() as u64;
+        let kappa = reader.read_unary() as u64 + 1;
+        offset += kappa * l * l;
+    }
+    let l = reader.read_unary();
+    let kappa = reader.read_unary() + 1;
+    (offset, l, kappa)
+}
+
+/// LSB-first bit reader over a word slice.
+struct BitReader<'a> {
+    words: &'a [u64],
+    bit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(words: &'a [u64]) -> BitReader<'a> {
+        BitReader { words, bit: 0 }
+    }
+
+    /// Reads one unary run: counts ones up to the next zero (or the end of
+    /// the words, treated as a terminating zero).
+    fn read_unary(&mut self) -> u32 {
+        let mut count = 0u32;
+        loop {
+            let w = self.bit / 64;
+            if w >= self.words.len() {
+                return count;
+            }
+            if (self.words[w] >> (self.bit % 64)) & 1 == 1 {
+                count += 1;
+                self.bit += 1;
+            } else {
+                self.bit += 1;
+                return count;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let loads = vec![3, 0, 1, 2];
+        let words = encode(&loads, 1).unwrap();
+        assert_eq!(decode(&words, 4), loads);
+    }
+
+    #[test]
+    fn bit_layout_is_lsb_first_unary() {
+        // loads [2, 1] → bits 1 1 0 1 0 → 0b01011 = 11.
+        let words = encode(&[2, 1], 1).unwrap();
+        assert_eq!(words, vec![0b01011]);
+    }
+
+    #[test]
+    fn empty_group_is_all_zero_bits() {
+        let words = encode(&[0, 0, 0], 1).unwrap();
+        assert_eq!(words, vec![0]);
+        assert_eq!(decode(&words, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        // 5 buckets of load 20 = 105 bits > 64: needs two words.
+        let loads = vec![20u32; 5];
+        let words = encode(&loads, 2).unwrap();
+        assert_eq!(words.len(), 2);
+        assert_eq!(decode(&words, 5), loads);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        assert!(encode(&[100], 1).is_none()); // 101 bits > 64
+        assert!(encode(&[63], 1).is_some()); // exactly 64 bits
+        assert!(encode(&[64], 1).is_none()); // 65 bits
+    }
+
+    #[test]
+    fn locate_computes_squared_prefix_sums() {
+        let loads = vec![3u32, 0, 2, 5];
+        let words = encode(&loads, 2).unwrap();
+        assert_eq!(locate(&words, 0), (0, 3));
+        assert_eq!(locate(&words, 1), (9, 0));
+        assert_eq!(locate(&words, 2), (9, 2));
+        assert_eq!(locate(&words, 3), (13, 5));
+    }
+
+    #[test]
+    fn locate_matches_decode() {
+        let loads = vec![1u32, 4, 0, 0, 7, 2];
+        let words = encode(&loads, 2).unwrap();
+        let mut offset = 0u64;
+        for (k, &l) in loads.iter().enumerate() {
+            let (off, got) = locate(&words, k as u64);
+            assert_eq!(off, offset, "bucket {k}");
+            assert_eq!(got, l, "bucket {k}");
+            offset += (l as u64) * (l as u64);
+        }
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let pairs = vec![(3u32, 1u32), (0, 1), (2, 5), (5, 2)];
+        let words = encode_pairs(&pairs, 2).unwrap();
+        assert_eq!(decode_pairs(&words, 4), pairs);
+    }
+
+    #[test]
+    fn locate_pair_computes_replicated_offsets() {
+        // offsets accumulate κ·ℓ²: 1·9, then 0, then 5·4.
+        let pairs = vec![(3u32, 1u32), (0, 1), (2, 5), (4, 2)];
+        let words = encode_pairs(&pairs, 2).unwrap();
+        assert_eq!(locate_pair(&words, 0), (0, 3, 1));
+        assert_eq!(locate_pair(&words, 1), (9, 0, 1));
+        assert_eq!(locate_pair(&words, 2), (9, 2, 5));
+        assert_eq!(locate_pair(&words, 3), (29, 4, 2));
+    }
+
+    #[test]
+    fn pairs_overflow_returns_none() {
+        // 2 buckets × (30 ones + sep + 31 ones + sep) = 126 bits > 64.
+        assert!(encode_pairs(&[(30, 32), (30, 32)], 1).is_none());
+        assert!(encode_pairs(&[(30, 32), (30, 32)], 2).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pairs_roundtrip(pairs in proptest::collection::vec((0u32..10, 1u32..8), 0..24)) {
+            let bits: u64 = pairs.iter().map(|&(l, k)| l as u64 + k as u64 + 1).sum();
+            let rho = (bits.div_ceil(64)).max(1) as u32;
+            let words = encode_pairs(&pairs, rho).expect("capacity computed to fit");
+            prop_assert_eq!(decode_pairs(&words, pairs.len() as u64), pairs);
+        }
+
+        #[test]
+        fn prop_locate_pair_matches_prefix(pairs in proptest::collection::vec((0u32..8, 1u32..6), 1..20),
+                                           pick in 0usize..20) {
+            prop_assume!(pick < pairs.len());
+            let bits: u64 = pairs.iter().map(|&(l, k)| l as u64 + k as u64 + 1).sum();
+            let rho = (bits.div_ceil(64)).max(1) as u32;
+            let words = encode_pairs(&pairs, rho).unwrap();
+            let expected: u64 = pairs[..pick]
+                .iter()
+                .map(|&(l, k)| k as u64 * (l as u64) * (l as u64))
+                .sum();
+            let (off, l, k) = locate_pair(&words, pick as u64);
+            prop_assert_eq!(off, expected);
+            prop_assert_eq!((l, k), pairs[pick]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(loads in proptest::collection::vec(0u32..12, 0..40)) {
+            let bits: u64 = loads.iter().map(|&l| l as u64 + 1).sum();
+            let rho = (bits.div_ceil(64)).max(1) as u32;
+            let words = encode(&loads, rho).expect("capacity computed to fit");
+            prop_assert_eq!(decode(&words, loads.len() as u64), loads);
+        }
+
+        #[test]
+        fn prop_locate_consistent(loads in proptest::collection::vec(0u32..9, 1..30), pick in 0usize..30) {
+            prop_assume!(pick < loads.len());
+            let bits: u64 = loads.iter().map(|&l| l as u64 + 1).sum();
+            let rho = (bits.div_ceil(64)).max(1) as u32;
+            let words = encode(&loads, rho).unwrap();
+            let expected_off: u64 = loads[..pick].iter().map(|&l| (l as u64) * (l as u64)).sum();
+            let (off, l) = locate(&words, pick as u64);
+            prop_assert_eq!(off, expected_off);
+            prop_assert_eq!(l, loads[pick]);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Row layout of the §2.2 table and replica arithmetic.
+//!
+//! The table has `2d + ρ + 4` rows of `s` cells each:
+//!
+//! | rows                | content (column `j`)                              |
+//! |---------------------|---------------------------------------------------|
+//! | `0 .. d`            | coefficient `i` of `f`, replicated `s` times      |
+//! | `d .. 2d`           | coefficient `i` of `g`, replicated `s` times      |
+//! | `2d` (Z)            | `z[j mod r]`                                      |
+//! | `2d+1` (GBAS)       | group-base-address `GBAS(j mod m)`                |
+//! | `2d+2 .. 2d+2+ρ`    | histogram word `i` of group `j mod m`             |
+//! | `2d+2+ρ` (header)   | per-bucket perfect-hash seeds, bucket-owned cells |
+//! | `2d+3+ρ` (data)     | keys, placed by each bucket's perfect hash        |
+//!
+//! (The paper writes `2d + ρ + 2` rows by double-using row `2d` in the
+//! query description — a known indexing slip in the extended abstract; the
+//! explicit enum here is the intended structure. See DESIGN.md,
+//! substitutions.)
+//!
+//! `m` divides `s`, so GBAS/histogram residues have exactly `s/m` replicas;
+//! `r` need not divide `s`, so `z[i]` has `⌊s/r⌋` or `⌈s/r⌉` replicas and
+//! queries sample uniformly among the *actual* copies via
+//! [`Layout::replica_count`].
+
+use crate::params::Params;
+
+/// Row indices and replica arithmetic, derived from [`Params`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Independence degree `d`.
+    pub d: u32,
+    /// Histogram words per group ρ.
+    pub rho: u32,
+    /// Columns per row `s`.
+    pub s: u64,
+    /// Displacement classes `r`.
+    pub r: u64,
+    /// Groups `m`.
+    pub m: u64,
+}
+
+impl Layout {
+    /// Builds the layout for the given parameters.
+    pub fn new(p: &Params) -> Layout {
+        Layout {
+            d: p.d as u32,
+            rho: p.rho,
+            s: p.s,
+            r: p.r,
+            m: p.m,
+        }
+    }
+
+    /// Row of `f`'s `i`-th coefficient.
+    #[inline]
+    pub fn row_f(&self, i: u32) -> u32 {
+        debug_assert!(i < self.d);
+        i
+    }
+
+    /// Row of `g`'s `i`-th coefficient.
+    #[inline]
+    pub fn row_g(&self, i: u32) -> u32 {
+        debug_assert!(i < self.d);
+        self.d + i
+    }
+
+    /// Row of the displacement vector `z`.
+    #[inline]
+    pub fn row_z(&self) -> u32 {
+        2 * self.d
+    }
+
+    /// Row of the group base addresses.
+    #[inline]
+    pub fn row_gbas(&self) -> u32 {
+        2 * self.d + 1
+    }
+
+    /// Row of histogram word `i`.
+    #[inline]
+    pub fn row_hist(&self, i: u32) -> u32 {
+        debug_assert!(i < self.rho);
+        2 * self.d + 2 + i
+    }
+
+    /// Row of the per-bucket perfect-hash seeds.
+    #[inline]
+    pub fn row_header(&self) -> u32 {
+        2 * self.d + 2 + self.rho
+    }
+
+    /// Row of the stored keys.
+    #[inline]
+    pub fn row_data(&self) -> u32 {
+        2 * self.d + 3 + self.rho
+    }
+
+    /// Total rows `2d + ρ + 4`.
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        2 * self.d + self.rho + 4
+    }
+
+    /// Maximum probes a query makes: one per `f`/`g` coefficient row, one
+    /// for `z`, one for GBAS, ρ histogram reads, one header and one data
+    /// probe.
+    #[inline]
+    pub fn max_probes(&self) -> u32 {
+        2 * self.d + self.rho + 4
+    }
+
+    /// How many columns `j ∈ [s]` satisfy `j ≡ residue (mod modulus)` —
+    /// i.e. how many replicas a residue-indexed item has.
+    #[inline]
+    pub fn replica_count(&self, modulus: u64, residue: u64) -> u64 {
+        debug_assert!(residue < modulus);
+        // Columns residue, residue + modulus, ... below s.
+        (self.s - residue).div_ceil(modulus)
+    }
+
+    /// The column of the `k`-th replica of `residue` (mod `modulus`).
+    #[inline]
+    pub fn replica_col(&self, modulus: u64, residue: u64, k: u64) -> u64 {
+        debug_assert!(k < self.replica_count(modulus, residue));
+        residue + k * modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Params, ParamsConfig};
+
+    fn layout(n: u64) -> Layout {
+        Layout::new(&Params::derive(n, &ParamsConfig::default()))
+    }
+
+    #[test]
+    fn rows_are_contiguous_and_disjoint() {
+        let l = layout(1000);
+        let mut rows = Vec::new();
+        for i in 0..l.d {
+            rows.push(l.row_f(i));
+        }
+        for i in 0..l.d {
+            rows.push(l.row_g(i));
+        }
+        rows.push(l.row_z());
+        rows.push(l.row_gbas());
+        for i in 0..l.rho {
+            rows.push(l.row_hist(i));
+        }
+        rows.push(l.row_header());
+        rows.push(l.row_data());
+        let expected: Vec<u32> = (0..l.num_rows()).collect();
+        assert_eq!(rows, expected, "every row used exactly once, in order");
+    }
+
+    #[test]
+    fn probe_budget_matches_row_walk() {
+        let l = layout(4096);
+        assert_eq!(l.max_probes(), l.num_rows());
+    }
+
+    #[test]
+    fn replica_counts_sum_to_s() {
+        let l = layout(777);
+        for modulus in [l.r, l.m] {
+            let total: u64 = (0..modulus).map(|res| l.replica_count(modulus, res)).sum();
+            assert_eq!(total, l.s, "modulus {modulus}");
+        }
+    }
+
+    #[test]
+    fn replica_counts_are_balanced() {
+        let l = layout(12345);
+        for modulus in [l.r, l.m] {
+            let counts: Vec<u64> = (0..modulus).map(|res| l.replica_count(modulus, res)).collect();
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(max - min <= 1, "modulus {modulus}: counts differ by {}", max - min);
+        }
+    }
+
+    #[test]
+    fn replica_cols_are_in_range_and_congruent() {
+        let l = layout(500);
+        for res in [0, 1, l.r - 1] {
+            let count = l.replica_count(l.r, res);
+            for k in [0, count / 2, count - 1] {
+                let col = l.replica_col(l.r, res, k);
+                assert!(col < l.s);
+                assert_eq!(col % l.r, res);
+            }
+        }
+    }
+
+    #[test]
+    fn m_divides_s_exactly() {
+        let l = layout(2048);
+        for res in 0..l.m.min(50) {
+            assert_eq!(l.replica_count(l.m, res), l.s / l.m);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The primary contribution of *Low-Contention Data Structures* (Aspnes,
+//! Eisenstat, Yin; SPAA 2010), Theorem 3: a static membership dictionary
+//! with
+//!
+//! * **space** `O(n)` words,
+//! * **time** `O(1)` cell probes per query (exactly `2d + ρ + 4` here),
+//! * **contention** `O(1/n)` on every cell at every step,
+//!
+//! for query distributions that are uniform within the positive set and
+//! uniform within the negative set — all three asymptotically optimal
+//! simultaneously. For comparison, FKS with replicated hash parameters
+//! still suffers `Θ(√n)`-times-optimal contention on bucket directory
+//! cells, and binary search's root cell is probed by *every* query.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lcds_core::builder;
+//! use lcds_cellprobe::{CellProbeDict, NullSink};
+//! use rand::SeedableRng;
+//!
+//! let keys: Vec<u64> = (0..1000u64).map(|i| i * i + 7).collect();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let dict = builder::build(&keys, &mut rng).unwrap();
+//!
+//! assert!(dict.contains(7, &mut rng, &mut NullSink));  // 0·0 + 7 is stored
+//! assert!(!dict.contains(5, &mut rng, &mut NullSink)); // 5 is not
+//! assert!(dict.max_probes() <= 16); // constant, independent of n
+//! ```
+//!
+//! # Module map
+//!
+//! * [`params`] — the constants `(d, c, α, β, δ)` and the derived integers
+//!   `(r, m, s, ρ)`, validated against Lemma 9's side conditions.
+//! * [`histogram`] — the unary-coded group histogram (the data structure
+//!   trick that replaces FKS's hot directory cells).
+//! * [`layout`] — the `2d + ρ + 4`-row table layout and replica arithmetic.
+//! * [`builder`] — the §2.2 construction: rejection-sample `(f, g, z)`
+//!   until `P(S)` holds, then lay out every row (expected `O(n)` time).
+//! * [`dict`] — [`dict::LowContentionDict`] and the §2.3 query algorithm,
+//!   implementing both [`lcds_cellprobe::CellProbeDict`] (instrumented
+//!   queries) and [`lcds_cellprobe::ExactProbes`] (analytic contention).
+//! * [`verify`] — structural self-checks used by tests and experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dict;
+pub mod dynamic;
+pub mod histogram;
+pub mod layout;
+pub mod params;
+pub mod persist;
+pub mod rows;
+pub mod verify;
+pub mod weighted;
+
+pub use builder::{build, build_with, property_trial, BuildError, BuildStats, PropertyTrial};
+pub use dict::{LowContentionDict, Resolution, EMPTY};
+pub use params::{Params, ParamsConfig};
+pub use dynamic::{DynamicLcd, WriteStats};
+pub use rows::{row_report, RowReport, RowSummary};
+pub use weighted::{build_weighted, WeightedDict, WeightedParams};

@@ -1,0 +1,299 @@
+//! Parameter derivation for the §2.2 construction.
+//!
+//! The paper fixes constants `c = 2e`, an independence degree `d > 2`, and
+//! (via Lemma 9) constraints tying the remaining knobs together:
+//!
+//! * `r = n^{1-δ}` displacement classes, with `2/(d+2) < δ < 1 − 1/d`;
+//! * `m = n / (α ln n)` groups, with `α > d / (c (ln c − 1))`;
+//! * `s = βn` buckets/columns with `β ≥ 2`, **divisible by `m`** so that
+//!   `h' = h mod m` is itself a uniform DM function (§2.2).
+//!
+//! [`ParamsConfig`] holds the knobs (validated against those constraints)
+//! and [`Params::derive`] turns `(n, config)` into the concrete integer
+//! parameters, rounding `s` *up* to the next multiple of `m` (this only
+//! increases space slack and keeps the divisibility the paper wants; `r`
+//! need not divide `s` — replicas of `z` are sampled among the actual
+//! `⌊s/r⌋`/`⌈s/r⌉` copies, see `layout.rs`).
+
+use std::f64::consts::E;
+
+/// Tunable constants of the construction. [`ParamsConfig::default`]
+/// satisfies every Lemma 9 constraint with `d = 4`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParamsConfig {
+    /// Independence degree `d > 2` of the polynomial families.
+    pub d: usize,
+    /// Load-cap constant `c > e`; the paper uses `c = 2e`.
+    pub c: f64,
+    /// Group-count constant `α > d / (c (ln c − 1))`.
+    pub alpha: f64,
+    /// Space constant `β ≥ 2` (`s ≈ βn`).
+    pub beta: f64,
+    /// Class exponent: `r = n^{1-δ}`, `2/(d+2) < δ < 1 − 1/d`.
+    pub delta: f64,
+    /// Give up after this many rejected `(f, g, z)` draws (expected O(1)
+    /// needed; the cap only guards against misconfiguration).
+    pub max_hash_retries: u32,
+}
+
+impl Default for ParamsConfig {
+    fn default() -> ParamsConfig {
+        ParamsConfig {
+            d: 4,
+            c: 2.0 * E,
+            alpha: 2.0,
+            beta: 2.0,
+            delta: 0.5,
+            max_hash_retries: 1000,
+        }
+    }
+}
+
+impl ParamsConfig {
+    /// Checks every Lemma 9 side condition; returns a human-readable reason
+    /// on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.d <= 2 {
+            return Err(format!("d must exceed 2 (Lemma 9), got {}", self.d));
+        }
+        if self.d > 8 {
+            return Err(format!(
+                "d must be at most 8 (query-path stack buffer), got {}",
+                self.d
+            ));
+        }
+        if self.c <= E {
+            return Err(format!("c must exceed e (Theorem 7), got {}", self.c));
+        }
+        let lo = 2.0 / (self.d as f64 + 2.0);
+        let hi = 1.0 - 1.0 / self.d as f64;
+        if !(self.delta > lo && self.delta < hi) {
+            return Err(format!(
+                "delta must lie in ({lo:.4}, {hi:.4}) for d = {}, got {}",
+                self.d, self.delta
+            ));
+        }
+        let alpha_min = self.d as f64 / (self.c * (self.c.ln() - 1.0));
+        if self.alpha <= alpha_min {
+            return Err(format!(
+                "alpha must exceed d/(c(ln c - 1)) = {alpha_min:.4}, got {}",
+                self.alpha
+            ));
+        }
+        if self.beta < 2.0 {
+            return Err(format!("beta must be at least 2, got {}", self.beta));
+        }
+        if self.max_hash_retries == 0 {
+            return Err("max_hash_retries must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Concrete integer parameters for one data-set size `n`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    /// Number of stored keys.
+    pub n: u64,
+    /// Independence degree.
+    pub d: usize,
+    /// Load-cap constant.
+    pub c: f64,
+    /// Displacement classes `r ≈ n^{1-δ}`.
+    pub r: u64,
+    /// Number of groups `m ≈ n/(α ln n)`; divides `s`.
+    pub m: u64,
+    /// Buckets / columns per row, `s ≈ βn`, multiple of `m`.
+    pub s: u64,
+    /// Buckets per group, `s / m`.
+    pub group_size: u64,
+    /// Keys allowed per group by P(S): `⌊c·n/m⌋`.
+    pub group_load_cap: u64,
+    /// Keys allowed per `g`-class by P(S): `⌊c·n/r⌋`.
+    pub class_load_cap: u64,
+    /// Histogram capacity in bits: `group_load_cap + group_size` (unary
+    /// loads plus one separator per bucket).
+    pub hist_bits: u64,
+    /// Histogram words per group, `⌈hist_bits / 64⌉` — the paper's ρ.
+    pub rho: u32,
+}
+
+impl Params {
+    /// Derives parameters for `n ≥ 1` keys under `config`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the config is invalid.
+    pub fn derive(n: u64, config: &ParamsConfig) -> Params {
+        assert!(n >= 1, "the dictionary requires at least one key");
+        config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        let nf = n as f64;
+
+        let r = (nf.powf(1.0 - config.delta).round() as u64).max(1);
+
+        // m = n / (α ln n), clamped to [1, n]; ln n < 1 for n ≤ 2 degenerates
+        // to a single group, which is fine (everything is replicated s times).
+        let m = if n >= 3 {
+            ((nf / (config.alpha * nf.ln())).floor() as u64).clamp(1, n)
+        } else {
+            1
+        };
+
+        // s = βn rounded UP to a multiple of m (keeps m | s; adds < m ≤ n
+        // cells of slack, within the O(n) space budget).
+        let s_raw = (config.beta * nf).ceil() as u64;
+        let s = s_raw.div_ceil(m) * m;
+        let group_size = s / m;
+
+        let group_load_cap = (config.c * nf / m as f64).floor() as u64;
+        let class_load_cap = (config.c * nf / r as f64).floor() as u64;
+        let hist_bits = group_load_cap + group_size;
+        let rho = u32::try_from(hist_bits.div_ceil(64)).expect("rho overflow");
+        assert!(
+            rho <= 16,
+            "rho = {rho} exceeds the query-path histogram buffer; \
+             n = {n} is outside the supported range"
+        );
+
+        Params {
+            n,
+            d: config.d,
+            c: config.c,
+            r,
+            m,
+            s,
+            group_size,
+            group_load_cap,
+            class_load_cap,
+            hist_bits,
+            rho,
+        }
+    }
+
+    /// The bucket index (`[s]`) of a group-local position: bucket `k` of
+    /// group `i` is `k·m + i` (§2.2's congruence-class arrangement).
+    #[inline]
+    pub fn bucket_of(&self, group: u64, k: u64) -> u64 {
+        debug_assert!(group < self.m && k < self.group_size);
+        k * self.m + group
+    }
+
+    /// Which group a bucket belongs to: `bucket mod m`.
+    #[inline]
+    pub fn group_of(&self, bucket: u64) -> u64 {
+        bucket % self.m
+    }
+
+    /// A bucket's position within its group: `bucket / m`.
+    #[inline]
+    pub fn index_in_group(&self, bucket: u64) -> u64 {
+        bucket / self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ParamsConfig::default().validate().expect("default must validate");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_reasons() {
+        let base = ParamsConfig::default();
+        let cases: Vec<(ParamsConfig, &str)> = vec![
+            (ParamsConfig { d: 2, ..base }, "d must exceed 2"),
+            (
+                ParamsConfig {
+                    d: 9,
+                    delta: 0.5,
+                    ..base
+                },
+                "d must be at most 8",
+            ),
+            (ParamsConfig { c: 2.0, ..base }, "c must exceed e"),
+            (ParamsConfig { delta: 0.9, ..base }, "delta must lie"),
+            (ParamsConfig { delta: 0.1, ..base }, "delta must lie"),
+            (ParamsConfig { alpha: 0.1, ..base }, "alpha must exceed"),
+            (ParamsConfig { beta: 1.0, ..base }, "beta must be at least 2"),
+            (
+                ParamsConfig {
+                    max_hash_retries: 0,
+                    ..base
+                },
+                "max_hash_retries",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err("must be invalid");
+            assert!(err.contains(needle), "error {err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn derived_params_satisfy_structure() {
+        for n in [1u64, 2, 3, 10, 100, 1024, 65_536] {
+            let p = Params::derive(n, &ParamsConfig::default());
+            assert!(p.m >= 1 && p.m <= n.max(1), "n={n}: m={}", p.m);
+            assert_eq!(p.s % p.m, 0, "n={n}: m must divide s");
+            assert!(p.s >= 2 * n, "n={n}: s={} below 2n", p.s);
+            assert_eq!(p.group_size, p.s / p.m);
+            assert!(p.r >= 1);
+            assert_eq!(p.rho as u64, p.hist_bits.div_ceil(64));
+            assert!(p.rho >= 1);
+        }
+    }
+
+    #[test]
+    fn space_overhead_is_linear() {
+        // s ≤ βn + m ≤ (β+1)n: the rounding never breaks linear space.
+        for n in [5u64, 77, 1000, 1 << 14] {
+            let p = Params::derive(n, &ParamsConfig::default());
+            assert!(p.s <= 3 * n + 3, "n={n}: s={}", p.s);
+        }
+    }
+
+    #[test]
+    fn rho_is_small_constant_across_sizes() {
+        // ρ = O(1): α(β+c)ln n bits packed into Θ(log n)-bit words.
+        for n in [64u64, 1 << 10, 1 << 14, 1 << 17, 1 << 20] {
+            let p = Params::derive(n, &ParamsConfig::default());
+            assert!(p.rho <= 8, "n={n}: rho={} not O(1)-small", p.rho);
+        }
+    }
+
+    #[test]
+    fn r_tracks_sqrt_n_for_default_delta() {
+        let p = Params::derive(1 << 16, &ParamsConfig::default());
+        assert_eq!(p.r, 256);
+    }
+
+    #[test]
+    fn bucket_group_round_trips() {
+        let p = Params::derive(1000, &ParamsConfig::default());
+        for group in [0, 1, p.m - 1] {
+            for k in [0, 1, p.group_size - 1] {
+                let b = p.bucket_of(group, k);
+                assert!(b < p.s);
+                assert_eq!(p.group_of(b), group);
+                assert_eq!(p.index_in_group(b), k);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_n_rejected() {
+        let _ = Params::derive(0, &ParamsConfig::default());
+    }
+
+    #[test]
+    fn tiny_n_degenerates_gracefully() {
+        let p = Params::derive(1, &ParamsConfig::default());
+        assert_eq!(p.m, 1);
+        assert_eq!(p.group_size, p.s);
+        let p2 = Params::derive(2, &ParamsConfig::default());
+        assert_eq!(p2.m, 1);
+    }
+}

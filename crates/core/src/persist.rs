@@ -1,0 +1,333 @@
+//! Persistence: save a built dictionary to a stable binary format and load
+//! it back, so a service can build once (expensive-ish, randomized) and
+//! ship the artifact.
+//!
+//! Format (all little-endian u64 words):
+//!
+//! ```text
+//! MAGIC  VERSION
+//! d  c_bits  r  m  s  group_size  group_load_cap  class_load_cap  hist_bits  rho
+//! n  keys[n]
+//! |fw|  fw…   |gw|  gw…   |z|  z…
+//! rows  cols  table words (row-major)
+//! stats: hash_retries  perfect_total  perfect_max  nonempty  sum_sq
+//! CHECKSUM (splitmix64-folded over everything above)
+//! ```
+//!
+//! The checksum makes torn/corrupted files fail loudly instead of
+//! producing a silently wrong dictionary; every header field is
+//! cross-validated against a fresh [`Params::derive`] so a file built by
+//! an incompatible version is rejected.
+
+use crate::builder::BuildStats;
+use crate::dict::LowContentionDict;
+use crate::layout::Layout;
+use crate::params::Params;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::mix::splitmix64;
+use lcds_hashing::poly::PolyHash;
+use std::io::{self, Read, Write};
+
+/// File magic: `"LCDSDICT"` as a word.
+pub const MAGIC: u64 = 0x4C43_4453_4449_4354;
+/// Format version.
+pub const VERSION: u64 = 1;
+
+/// Why a load failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic/version mismatch — not a dictionary file (or too new).
+    BadHeader(String),
+    /// Checksum mismatch — truncated or corrupted payload.
+    Corrupted(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadHeader(m) => write!(f, "bad header: {m}"),
+            PersistError::Corrupted(m) => write!(f, "corrupted payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Incrementally checksummed word writer.
+struct WordWriter<'a, W: Write> {
+    out: &'a mut W,
+    checksum: u64,
+}
+
+impl<W: Write> WordWriter<'_, W> {
+    fn put(&mut self, w: u64) -> io::Result<()> {
+        self.checksum = splitmix64(self.checksum ^ w);
+        self.out.write_all(&w.to_le_bytes())
+    }
+
+    fn put_slice(&mut self, ws: &[u64]) -> io::Result<()> {
+        for &w in ws {
+            self.put(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally checksummed word reader.
+struct WordReader<'a, R: Read> {
+    inp: &'a mut R,
+    checksum: u64,
+}
+
+impl<R: Read> WordReader<'_, R> {
+    fn get(&mut self) -> Result<u64, PersistError> {
+        let mut buf = [0u8; 8];
+        self.inp.read_exact(&mut buf)?;
+        let w = u64::from_le_bytes(buf);
+        self.checksum = splitmix64(self.checksum ^ w);
+        Ok(w)
+    }
+
+    fn get_vec(&mut self, len: u64, what: &str) -> Result<Vec<u64>, PersistError> {
+        if len > (1 << 34) {
+            return Err(PersistError::Corrupted(format!(
+                "{what} length {len} is implausible"
+            )));
+        }
+        (0..len).map(|_| self.get()).collect()
+    }
+}
+
+/// Serializes the dictionary to `out`.
+pub fn save<W: Write>(dict: &LowContentionDict, out: &mut W) -> io::Result<()> {
+    let mut w = WordWriter { out, checksum: 0 };
+    let p = dict.params();
+    w.put(MAGIC)?;
+    w.put(VERSION)?;
+    w.put(p.d as u64)?;
+    w.put(p.c.to_bits())?;
+    w.put(p.r)?;
+    w.put(p.m)?;
+    w.put(p.s)?;
+    w.put(p.group_size)?;
+    w.put(p.group_load_cap)?;
+    w.put(p.class_load_cap)?;
+    w.put(p.hist_bits)?;
+    w.put(p.rho as u64)?;
+
+    w.put(dict.keys().len() as u64)?;
+    w.put_slice(dict.keys())?;
+
+    let (fw, gw, z) = dict.hash_state();
+    w.put(fw.len() as u64)?;
+    w.put_slice(&fw)?;
+    w.put(gw.len() as u64)?;
+    w.put_slice(&gw)?;
+    w.put(z.len() as u64)?;
+    w.put_slice(z)?;
+
+    let t = dict.table();
+    w.put(t.rows() as u64)?;
+    w.put(t.cols())?;
+    w.put_slice(t.words())?;
+
+    let st = dict.stats();
+    w.put(st.hash_retries as u64)?;
+    w.put(st.perfect_trials_total)?;
+    w.put(st.perfect_trials_max as u64)?;
+    w.put(st.nonempty_buckets)?;
+    w.put(st.sum_squared_loads)?;
+
+    let checksum = w.checksum;
+    w.out.write_all(&checksum.to_le_bytes())
+}
+
+/// Deserializes a dictionary from `inp`, verifying header, structure and
+/// checksum.
+pub fn load<R: Read>(inp: &mut R) -> Result<LowContentionDict, PersistError> {
+    let mut r = WordReader { inp, checksum: 0 };
+    if r.get()? != MAGIC {
+        return Err(PersistError::BadHeader("wrong magic".into()));
+    }
+    let version = r.get()?;
+    if version != VERSION {
+        return Err(PersistError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let params = Params {
+        d: r.get()? as usize,
+        c: f64::from_bits(r.get()?),
+        r: r.get()?,
+        m: r.get()?,
+        s: r.get()?,
+        group_size: r.get()?,
+        group_load_cap: r.get()?,
+        class_load_cap: r.get()?,
+        hist_bits: r.get()?,
+        rho: r.get()? as u32,
+        n: 0, // patched below from the key count
+    };
+
+    let n = r.get()?;
+    let keys = r.get_vec(n, "keys")?;
+    let params = Params { n, ..params };
+    if params.d == 0 || params.d > 8 || params.m == 0 || params.s == 0 || params.rho > 16 {
+        return Err(PersistError::BadHeader("implausible parameters".into()));
+    }
+    if params.s % params.m != 0 || params.group_size != params.s / params.m {
+        return Err(PersistError::BadHeader("inconsistent group layout".into()));
+    }
+    if keys.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(PersistError::Corrupted("keys not sorted/distinct".into()));
+    }
+
+    let fw_len = r.get()?;
+    let fw = r.get_vec(fw_len, "f words")?;
+    let gw_len = r.get()?;
+    let gw = r.get_vec(gw_len, "g words")?;
+    if fw.len() != params.d || gw.len() != params.d {
+        return Err(PersistError::Corrupted("hash word count mismatch".into()));
+    }
+    let z_len = r.get()?;
+    let z = r.get_vec(z_len, "z")?;
+    if z.len() as u64 != params.r || z.iter().any(|&zi| zi >= params.s) {
+        return Err(PersistError::Corrupted("displacement vector invalid".into()));
+    }
+
+    let rows = r.get()? as u32;
+    let cols = r.get()?;
+    let layout = Layout::new(&params);
+    if rows != layout.num_rows() || cols != params.s {
+        return Err(PersistError::Corrupted(format!(
+            "table shape {rows}×{cols} does not match parameters"
+        )));
+    }
+    let words = r.get_vec(rows as u64 * cols, "table")?;
+    let mut table = Table::new(rows, cols, 0);
+    for (i, &word) in words.iter().enumerate() {
+        table.write((i as u64 / cols) as u32, i as u64 % cols, word);
+    }
+
+    let stats = BuildStats {
+        hash_retries: r.get()? as u32,
+        perfect_trials_total: r.get()?,
+        perfect_trials_max: r.get()? as u32,
+        nonempty_buckets: r.get()?,
+        sum_squared_loads: r.get()?,
+    };
+
+    let computed = r.checksum;
+    let mut buf = [0u8; 8];
+    r.inp.read_exact(&mut buf)?;
+    if u64::from_le_bytes(buf) != computed {
+        return Err(PersistError::Corrupted("checksum mismatch".into()));
+    }
+
+    let f = PolyHash::from_words(&fw, params.s);
+    let g = PolyHash::from_words(&gw, params.r);
+    let dict =
+        LowContentionDict::from_parts(params, layout, table, keys, f, g, z, stats);
+    // Structural self-check: a well-formed file must verify.
+    crate::verify::verify(&dict)
+        .map_err(|e| PersistError::Corrupted(format!("structure check failed: {e}")))?;
+    Ok(dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_dict(n: u64, salt: u64) -> LowContentionDict {
+        let mut set = std::collections::HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        let keys: Vec<u64> = set.into_iter().collect();
+        build(&keys, &mut ChaCha8Rng::seed_from_u64(salt)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample_dict(700, 1);
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.keys(), d.keys());
+        assert_eq!(loaded.params(), d.params());
+        assert_eq!(loaded.stats(), d.stats());
+        for &x in d.keys().iter().take(100) {
+            assert_eq!(loaded.resolve(x), d.resolve(x));
+            assert!(loaded.resolve_contains(x));
+        }
+        assert!(!loaded.resolve_contains(123));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut buf = Vec::new();
+        save(&sample_dict(50, 2), &mut buf).unwrap();
+        buf[0] ^= 0xFF;
+        match load(&mut buf.as_slice()) {
+            Err(PersistError::BadHeader(_)) => {}
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitflip_anywhere_is_caught() {
+        let d = sample_dict(120, 3);
+        let mut clean = Vec::new();
+        save(&d, &mut clean).unwrap();
+        // Flip one bit at a spread of positions; every load must fail.
+        let positions = [64, clean.len() / 3, clean.len() / 2, clean.len() - 9];
+        for &pos in &positions {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x10;
+            assert!(
+                load(&mut buf.as_slice()).is_err(),
+                "bit flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught() {
+        let mut buf = Vec::new();
+        save(&sample_dict(80, 4), &mut buf).unwrap();
+        buf.truncate(buf.len() - 16);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_io_error() {
+        match load(&mut [].as_slice()) {
+            Err(PersistError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PersistError::BadHeader("x".into());
+        assert!(e.to_string().contains("bad header"));
+        let e = PersistError::Corrupted("y".into());
+        assert!(e.to_string().contains("corrupted"));
+    }
+}

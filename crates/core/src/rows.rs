@@ -1,0 +1,165 @@
+//! Per-row contention breakdown: *which* part of the structure is hottest
+//! under a given query pool — the interpretability layer over the exact
+//! profile.
+//!
+//! Theorem 3's analysis is row-by-row (§2.3: "at each step … probes are
+//! balanced over a range of size s, s/r, s/m, or ℓ²"); this module reports
+//! the measured counterpart so regressions point at the responsible row.
+
+use crate::dict::LowContentionDict;
+use lcds_cellprobe::dist::QueryPool;
+use lcds_cellprobe::exact::exact_contention;
+
+/// One row's contention summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowSummary {
+    /// Human-readable row name (`"f[0]"`, `"z"`, `"histogram[2]"`, …).
+    pub name: String,
+    /// Largest total contention of any cell in the row.
+    pub max_phi: f64,
+    /// `max_phi · total cells` — the ratio-to-optimal contribution.
+    pub ratio: f64,
+}
+
+/// Per-row breakdown of a dictionary's exact contention.
+#[derive(Clone, Debug)]
+pub struct RowReport {
+    /// One summary per table row, in layout order.
+    pub rows: Vec<RowSummary>,
+}
+
+impl RowReport {
+    /// The row with the largest ratio — the structure's bottleneck under
+    /// this pool.
+    pub fn hottest(&self) -> &RowSummary {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.ratio.partial_cmp(&b.ratio).unwrap())
+            .expect("layout always has rows")
+    }
+
+    /// Renders a compact multi-line summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(&format!("{:<14} ratio {:8.2}\n", r.name, r.ratio));
+        }
+        out
+    }
+}
+
+/// Computes the per-row breakdown under `pool`.
+pub fn row_report(dict: &LowContentionDict, pool: &QueryPool) -> RowReport {
+    let prof = exact_contention(dict, pool);
+    let l = dict.layout();
+    let p = dict.params();
+    let s = p.s as usize;
+    let cells = prof.num_cells as f64;
+
+    let mut names = Vec::with_capacity(l.num_rows() as usize);
+    for i in 0..p.d {
+        names.push(format!("f[{i}]"));
+    }
+    for i in 0..p.d {
+        names.push(format!("g[{i}]"));
+    }
+    names.push("z".into());
+    names.push("gbas".into());
+    for i in 0..p.rho {
+        names.push(format!("histogram[{i}]"));
+    }
+    names.push("header".into());
+    names.push("data".into());
+    // f and g rows interleave in the layout? No: rows 0..d are f, d..2d are
+    // g — but names were pushed in that exact order above.
+
+    let rows = names
+        .into_iter()
+        .enumerate()
+        .map(|(row, name)| {
+            let max_phi = prof.total[row * s..(row + 1) * s]
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            RowSummary {
+                name,
+                max_phi,
+                ratio: max_phi * cells,
+            }
+        })
+        .collect();
+    RowReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample(n: u64, salt: u64) -> LowContentionDict {
+        let mut set = std::collections::HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        let keys: Vec<u64> = set.into_iter().collect();
+        build(&keys, &mut ChaCha8Rng::seed_from_u64(salt)).unwrap()
+    }
+
+    #[test]
+    fn report_covers_every_row_once() {
+        let d = sample(600, 1);
+        let report = row_report(&d, &QueryPool::uniform(d.keys()));
+        assert_eq!(report.rows.len(), d.layout().num_rows() as usize);
+        let expected_names = 2 * d.params().d + 2 + d.params().rho as usize + 2;
+        assert_eq!(report.rows.len(), expected_names);
+    }
+
+    #[test]
+    fn replicated_rows_are_exactly_flat() {
+        let d = sample(800, 2);
+        let report = row_report(&d, &QueryPool::uniform(d.keys()));
+        let rows = d.layout().num_rows() as f64;
+        // f/g rows: Φ = 1/s exactly ⇒ ratio = cells/s = #rows.
+        for r in &report.rows[..2 * d.params().d] {
+            assert!(
+                (r.ratio - rows).abs() < 1e-9,
+                "{}: ratio {} vs rows {rows}",
+                r.name,
+                r.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_positive_bottleneck_is_data_or_header() {
+        // Under uniform positives, singleton-bucket data cells carry 1/n —
+        // the largest ratio (≈ cells/n ≈ rows·β).
+        let d = sample(1024, 3);
+        let report = row_report(&d, &QueryPool::uniform(d.keys()));
+        let hot = report.hottest();
+        assert!(
+            hot.name == "data" || hot.name == "header" || hot.name == "z",
+            "unexpected bottleneck {}",
+            hot.name
+        );
+        assert!(report.to_text().contains("gbas"));
+    }
+
+    #[test]
+    fn skewed_pool_moves_the_bottleneck_to_data() {
+        let d = sample(512, 4);
+        let mut entries: Vec<(u64, f64)> =
+            d.keys().iter().map(|&k| (k, 1e-6)).collect();
+        entries[0].1 = 1.0;
+        let report = row_report(&d, &QueryPool::weighted(entries));
+        assert_eq!(report.hottest().name, "data");
+        // The hot key's single data cell gets ~ all the mass.
+        assert!(report.hottest().max_phi > 0.9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Structural invariant checker for a built dictionary.
+//!
+//! Construction is randomized and the table layout is intricate (replicated
+//! rows, unary histograms, bucket-owned ranges), so tests and experiments
+//! can ask a built structure to *prove itself*: every stored key findable,
+//! every replica consistent, every owned range disjoint and within bounds,
+//! every histogram decoding to the true loads.
+
+use crate::dict::{LowContentionDict, EMPTY};
+use crate::histogram;
+
+/// Runs every structural check; returns the first violation.
+pub fn verify(dict: &LowContentionDict) -> Result<(), String> {
+    let p = *dict.params();
+    let l = *dict.layout();
+    let t = dict.table();
+
+    // 1. Replicated rows are constant / residue-determined.
+    for i in 0..p.d as u32 {
+        let f0 = t.peek(l.row_f(i), 0);
+        let g0 = t.peek(l.row_g(i), 0);
+        for j in 0..p.s {
+            if t.peek(l.row_f(i), j) != f0 {
+                return Err(format!("f row {i} inconsistent at column {j}"));
+            }
+            if t.peek(l.row_g(i), j) != g0 {
+                return Err(format!("g row {i} inconsistent at column {j}"));
+            }
+        }
+    }
+    for j in 0..p.s {
+        if t.peek(l.row_z(), j) != t.peek(l.row_z(), j % p.r) {
+            return Err(format!("z row inconsistent at column {j}"));
+        }
+        if t.peek(l.row_gbas(), j) != t.peek(l.row_gbas(), j % p.m) {
+            return Err(format!("GBAS row inconsistent at column {j}"));
+        }
+        for w in 0..p.rho {
+            if t.peek(l.row_hist(w), j) != t.peek(l.row_hist(w), j % p.m) {
+                return Err(format!("histogram row {w} inconsistent at column {j}"));
+            }
+        }
+    }
+
+    // 2. Histograms decode to the true bucket loads; GBAS are the squared
+    //    prefix sums; owned ranges are disjoint and in bounds.
+    let mut true_loads = vec![0u32; p.s as usize];
+    for &x in dict.keys() {
+        let res = dict.resolve(x);
+        true_loads[res.h as usize] += 1;
+    }
+    let mut owned = vec![false; p.s as usize];
+    let mut expected_gbas = 0u64;
+    for group in 0..p.m {
+        let got_gbas = t.peek(l.row_gbas(), group);
+        if got_gbas != expected_gbas {
+            return Err(format!(
+                "GBAS({group}) = {got_gbas}, expected {expected_gbas}"
+            ));
+        }
+        let hist: Vec<u64> = (0..p.rho).map(|w| t.peek(l.row_hist(w), group)).collect();
+        let decoded = histogram::decode(&hist, p.group_size);
+        let mut cursor = got_gbas;
+        for (k, &load) in decoded.iter().enumerate() {
+            let bucket = p.bucket_of(group, k as u64);
+            if load != true_loads[bucket as usize] {
+                return Err(format!(
+                    "group {group} bucket {bucket}: histogram load {load} != true {}",
+                    true_loads[bucket as usize]
+                ));
+            }
+            let range = (load as u64) * (load as u64);
+            if cursor + range > p.s {
+                return Err(format!("bucket {bucket} range overflows table width"));
+            }
+            for j in cursor..cursor + range {
+                if owned[j as usize] {
+                    return Err(format!("cell {j} owned by two buckets"));
+                }
+                owned[j as usize] = true;
+            }
+            cursor += range;
+        }
+        expected_gbas += decoded
+            .iter()
+            .map(|&ld| (ld as u64) * (ld as u64))
+            .sum::<u64>();
+    }
+
+    // 3. Every key resolves to a data cell containing it; its bucket's
+    //    header range stores a constant seed that is injective on the
+    //    bucket.
+    for &x in dict.keys() {
+        let res = dict.resolve(x);
+        let col = res
+            .data_col
+            .ok_or_else(|| format!("key {x} resolves to an empty bucket"))?;
+        let stored = t.peek(l.row_data(), col);
+        if stored != x {
+            return Err(format!("data cell {col} holds {stored}, expected key {x}"));
+        }
+        let seed0 = t.peek(l.row_header(), res.start);
+        for j in res.start..res.start + res.range {
+            if t.peek(l.row_header(), j) != seed0 {
+                return Err(format!("bucket at {} has inconsistent seeds", res.start));
+            }
+        }
+    }
+
+    // 4. Unowned data cells are EMPTY (no phantom keys reachable).
+    for j in 0..p.s {
+        if !owned[j as usize] && t.peek(l.row_data(), j) != EMPTY {
+            return Err(format!("unowned data cell {j} is not EMPTY"));
+        }
+    }
+
+    // 5. The f/g rows decode to functions agreeing with the stored ones.
+    let fw: Vec<u64> = (0..p.d as u32).map(|i| t.peek(l.row_f(i), 0)).collect();
+    let gw: Vec<u64> = (0..p.d as u32).map(|i| t.peek(l.row_g(i), 0)).collect();
+    for &x in dict.keys().iter().take(64) {
+        let f_val = lcds_hashing::poly::horner(&fw, x) % p.s;
+        let g_val = lcds_hashing::poly::horner(&gw, x) % p.r;
+        let res = dict.resolve(x);
+        if g_val != res.gx {
+            return Err(format!("table g({x}) = {g_val} != resolved {}", res.gx));
+        }
+        let z_val = t.peek(l.row_z(), g_val % p.r);
+        let h_val = (f_val + z_val) % p.s;
+        if h_val != res.h {
+            return Err(format!("table h({x}) = {h_val} != resolved {}", res.h));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = std::collections::HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn fresh_builds_verify() {
+        for (n, salt) in [(1u64, 20), (10, 21), (137, 22), (1000, 23), (4096, 24)] {
+            let keys = keyset(n, salt);
+            let mut rng = ChaCha8Rng::seed_from_u64(salt);
+            let d = build(&keys, &mut rng).unwrap();
+            verify(&d).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        // White-box: verify() must notice a corrupted replica. We corrupt
+        // by rebuilding a dict whose table we mutate through a clone of the
+        // parts — simplest is to check verify is not vacuous by asserting
+        // it inspects every column (checked above) and fails on a mutated
+        // table via the public Clone + internal write access in this crate.
+        let keys = keyset(100, 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let d = build(&keys, &mut rng).unwrap();
+        let mut broken = d.clone();
+        // Crate-internal access: flip one z-row replica.
+        let col = broken.params().r; // second replica of residue 0
+        let row = broken.layout().row_z();
+        let old = broken.table().peek(row, col);
+        broken.table_mut().write(row, col, old.wrapping_add(1));
+        let err = verify(&broken).expect_err("corruption must be caught");
+        assert!(err.contains("z row"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,787 @@
+//! The distribution-aware dictionary: what the builder can do when it
+//! *knows* the query distribution.
+//!
+//! The model (§1.1) deliberately lets the table `T_{S,q}` depend on the
+//! query distribution `q` — only the *query algorithm* is oblivious. The
+//! §2 construction never uses that freedom (uniform positives make every
+//! key equally hot). This module exercises it: each group's storage block
+//! (all of its buckets' perfect-hash tables) is replicated
+//! `γ_g ∝ group query mass` times, and the triple
+//! `(base address, block size, γ_g)` is bit-packed into the **same GBAS
+//! cell the query already reads**, so the oblivious query algorithm learns
+//! the replication degree for free and lands on a uniformly random copy.
+//!
+//! ## What this flattens — and what it provably cannot
+//!
+//! Under a skewed known distribution (experiment F6: Zipf(1.5) drives the
+//! oblivious dictionary to ~10⁵× optimal), the binding cells are the hot
+//! keys' header/data cells. γ-replication spreads exactly those, pulling
+//! the ratio down to the **metadata floor**: the GBAS/histogram cells of a
+//! group with query mass `w` keep contention `w·m/s` (their replication is
+//! the fixed `s/m` of the residue layout), and the `z` row keeps
+//! `class-mass·r/s`. Flattening *those* would require the query algorithm
+//! to learn where a hot group's extra metadata lives — i.e. to learn `q` —
+//! and §3's Theorem 13 is precisely the proof that no balanced scheme does
+//! that in `o(log log n)` probes. The residual measured in experiment F9
+//! is the lower bound made visible.
+//!
+//! ## Layout
+//!
+//! Rows as the oblivious dictionary (`f`/`g`, `z`, GBAS, ρ histogram rows),
+//! then a [`REGION_ROWS`]-row header region and an equal data region.
+//! Group `g`'s block occupies `[base_g, base_g + size_g)` repeated `γ_g`
+//! times; region offsets are contiguous in global cell-id space, so every
+//! probe distribution remains an arithmetic progression.
+
+use crate::builder::BuildError;
+use crate::histogram;
+use crate::params::{Params, ParamsConfig};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::family::{HashFamily, HashFunction};
+use lcds_hashing::perfect::{PerfectHash, PerfectHashBuilder};
+use lcds_hashing::poly::{horner, PolyFamily, PolyHash};
+use lcds_hashing::MAX_KEY;
+use rand::{Rng, RngCore};
+
+/// Sentinel for unowned cells (shared with the oblivious dictionary).
+pub use crate::dict::EMPTY;
+use crate::dict::MAX_D;
+
+/// Rows per storage region; the region holds `REGION_ROWS · s` cells, of
+/// which `Σ size_g ≤ 2s` is the base copy and the rest is replication
+/// budget distributed by group mass.
+pub const REGION_ROWS: u32 = 6;
+
+/// Per-group squared-load cap (`size_g = Σ_{i ∈ group} ℓ_i² ≤
+/// LOAD_SQ_FACTOR · group_size`), part of the weighted acceptance property.
+const LOAD_SQ_FACTOR: u64 = 2;
+
+/// Bit widths of the packed GBAS descriptor `(base, size, γ)`.
+///
+/// The packing uses the full 64-bit word (26 + 19 + 19), so the weighted
+/// *extension* is word-faithful rather than `b = 61`-bit-faithful like the
+/// §2 dictionary; shaving it to 61 bits would cost one bit of each field.
+const BASE_BITS: u32 = 26;
+/// Bits for the block size.
+const SIZE_BITS: u32 = 19;
+/// Bits for the replica count.
+const GAMMA_BITS: u32 = 19;
+
+/// Packs a group descriptor into one word.
+#[inline]
+fn pack_group(base: u64, size: u64, gamma: u64) -> u64 {
+    debug_assert!(base < (1 << BASE_BITS));
+    debug_assert!(size < (1 << SIZE_BITS));
+    debug_assert!(gamma >= 1 && gamma < (1 << GAMMA_BITS));
+    base | (size << BASE_BITS) | (gamma << (BASE_BITS + SIZE_BITS))
+}
+
+/// Inverse of [`pack_group`].
+#[inline]
+fn unpack_group(word: u64) -> (u64, u64, u64) {
+    (
+        word & ((1 << BASE_BITS) - 1),
+        (word >> BASE_BITS) & ((1 << SIZE_BITS) - 1),
+        (word >> (BASE_BITS + SIZE_BITS)) & ((1 << GAMMA_BITS) - 1),
+    )
+}
+
+/// Derived parameters of the weighted variant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedParams {
+    /// The underlying oblivious parameters (including ρ — histograms are
+    /// loads-only, exactly as in §2.2).
+    pub base: Params,
+    /// Cells in each storage region (`REGION_ROWS · s`).
+    pub region_cells: u64,
+}
+
+impl WeightedParams {
+    /// Derives weighted parameters for `n` keys.
+    pub fn derive(n: u64, config: &ParamsConfig) -> WeightedParams {
+        let base = Params::derive(n, config);
+        let region_cells = REGION_ROWS as u64 * base.s;
+        assert!(
+            region_cells < (1 << BASE_BITS),
+            "n outside the packed-descriptor range"
+        );
+        assert!(
+            LOAD_SQ_FACTOR * base.group_size < (1 << SIZE_BITS),
+            "group blocks outside the packed-descriptor range"
+        );
+        WeightedParams { base, region_cells }
+    }
+
+    /// Total table rows: `2d + 2 + ρ + 2·REGION_ROWS`.
+    pub fn num_rows(&self) -> u32 {
+        2 * self.base.d as u32 + 2 + self.base.rho + 2 * REGION_ROWS
+    }
+
+    /// First row of the header region.
+    fn header_base(&self) -> u32 {
+        2 * self.base.d as u32 + 2 + self.base.rho
+    }
+
+    /// First row of the data region.
+    fn data_base(&self) -> u32 {
+        self.header_base() + REGION_ROWS
+    }
+
+    /// Probes per query — identical to the oblivious walk.
+    pub fn max_probes(&self) -> u32 {
+        2 * self.base.d as u32 + self.base.rho + 4
+    }
+}
+
+/// Construction statistics for the weighted build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WeightedBuildStats {
+    /// Rejected `(f, g, z)` draws.
+    pub hash_retries: u32,
+    /// Total storage cells owned (`Σ γ_g · size_g`).
+    pub region_used: u64,
+    /// Largest replica count granted.
+    pub gamma_max: u64,
+}
+
+/// The distribution-aware dictionary.
+#[derive(Clone, Debug)]
+pub struct WeightedDict {
+    wp: WeightedParams,
+    table: Table,
+    keys: Vec<u64>,
+    /// Normalized per-key weights, aligned with `keys`.
+    weights: Vec<f64>,
+    f: PolyHash,
+    g: PolyHash,
+    z: Vec<u64>,
+    stats: WeightedBuildStats,
+}
+
+/// Builds the weighted dictionary; `weights[i]` is the query mass of
+/// `keys[i]` (any non-negative values; normalized internally).
+pub fn build_weighted<R: Rng + ?Sized>(
+    keys: &[u64],
+    weights: &[f64],
+    config: &ParamsConfig,
+    rng: &mut R,
+) -> Result<WeightedDict, BuildError> {
+    if keys.is_empty() {
+        return Err(BuildError::EmptyKeySet);
+    }
+    assert_eq!(keys.len(), weights.len(), "one weight per key");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be non-negative and finite"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total query mass must be positive");
+
+    // Sort keys, carrying weights along.
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_unstable_by_key(|&i| keys[i]);
+    let sorted: Vec<u64> = order.iter().map(|&i| keys[i]).collect();
+    let sorted_w: Vec<f64> = order.iter().map(|&i| weights[i] / total).collect();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(BuildError::DuplicateKey(w[0]));
+        }
+    }
+    if let Some(&bad) = sorted.iter().find(|&&k| k > MAX_KEY) {
+        return Err(BuildError::KeyOutOfRange(bad));
+    }
+
+    let n = sorted.len() as u64;
+    let wp = WeightedParams::derive(n, config);
+    let p = wp.base;
+
+    // Acceptance: group loads within histogram capacity AND per-group Σℓ²
+    // within the base share of the region budget.
+    let mut accepted = None;
+    let mut retries = 0u32;
+    for _ in 0..config.max_hash_retries {
+        let f = PolyFamily::new(p.d, p.s).sample(rng);
+        let g = PolyFamily::new(p.d, p.r).sample(rng);
+        let z: Vec<u64> = (0..p.r).map(|_| rng.random_range(0..p.s)).collect();
+
+        let mut bucket = Vec::with_capacity(sorted.len());
+        let mut bucket_loads = vec![0u32; p.s as usize];
+        let mut group_loads = vec![0u32; p.m as usize];
+        for &x in &sorted {
+            let t = f.eval(x) + z[g.eval(x) as usize];
+            let hx = if t >= p.s { t - p.s } else { t };
+            bucket_loads[hx as usize] += 1;
+            group_loads[(hx % p.m) as usize] += 1;
+            bucket.push(hx);
+        }
+        if group_loads.iter().any(|&l| l as u64 > p.group_load_cap) {
+            retries += 1;
+            continue;
+        }
+        let mut group_sq = vec![0u64; p.m as usize];
+        for (b, &l) in bucket_loads.iter().enumerate() {
+            group_sq[b % p.m as usize] += (l as u64) * (l as u64);
+        }
+        if group_sq
+            .iter()
+            .any(|&sq| sq > LOAD_SQ_FACTOR * p.group_size)
+        {
+            retries += 1;
+            continue;
+        }
+        accepted = Some((f, g, z, bucket, bucket_loads, group_sq));
+        break;
+    }
+    let (f, g, z, bucket, bucket_loads, group_sq) =
+        accepted.ok_or(BuildError::HashRetriesExhausted(config.max_hash_retries))?;
+
+    // Group query masses and replica counts: the replication budget
+    // (region minus one copy of everything) is split by mass; each group
+    // gets γ = 1 + ⌊budget_g / size_g⌋ copies of its whole block.
+    let mut group_mass = vec![0.0f64; p.m as usize];
+    for (i, &b) in bucket.iter().enumerate() {
+        group_mass[(b % p.m) as usize] += sorted_w[i];
+    }
+    let total_sq: u64 = group_sq.iter().sum();
+    let extra_total = wp.region_cells - total_sq;
+    let gamma_cap = (1u64 << GAMMA_BITS) - 1;
+
+    let mut gamma = vec![1u64; p.m as usize];
+    let mut gbas = vec![0u64; p.m as usize];
+    let mut stats = WeightedBuildStats {
+        hash_retries: retries,
+        ..Default::default()
+    };
+    let mut cursor = 0u64;
+    for group in 0..p.m as usize {
+        gbas[group] = cursor;
+        let size = group_sq[group];
+        if size > 0 {
+            let budget = (extra_total as f64 * group_mass[group]).floor() as u64;
+            gamma[group] = (1 + budget / size).min(gamma_cap);
+            stats.gamma_max = stats.gamma_max.max(gamma[group]);
+        }
+        cursor += gamma[group] * size;
+    }
+    stats.region_used = cursor;
+    debug_assert!(cursor <= wp.region_cells);
+
+    // Keys by bucket (counting sort).
+    let mut offsets = vec![0usize; p.s as usize + 1];
+    for &b in &bucket {
+        offsets[b as usize + 1] += 1;
+    }
+    for i in 0..p.s as usize {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut by_bucket = vec![0u64; sorted.len()];
+    {
+        let mut cursor = offsets.clone();
+        for (i, &x) in sorted.iter().enumerate() {
+            let b = bucket[i] as usize;
+            by_bucket[cursor[b]] = x;
+            cursor[b] += 1;
+        }
+    }
+
+    // Lay out the table.
+    let mut table = Table::new(wp.num_rows(), p.s, EMPTY);
+    let fw = f.words();
+    let gw = g.words();
+    for i in 0..p.d as u32 {
+        for j in 0..p.s {
+            table.write(i, j, fw[i as usize]);
+            table.write(p.d as u32 + i, j, gw[i as usize]);
+        }
+    }
+    let row_z = 2 * p.d as u32;
+    let row_gbas = row_z + 1;
+    for j in 0..p.s {
+        table.write(row_z, j, z[(j % p.r) as usize]);
+        let g_idx = (j % p.m) as usize;
+        table.write(
+            row_gbas,
+            j,
+            pack_group(gbas[g_idx], group_sq[g_idx], gamma[g_idx]),
+        );
+    }
+
+    // Histograms: loads-only, exactly as §2.2.
+    let mut loads_buf = vec![0u32; p.group_size as usize];
+    for group in 0..p.m {
+        for k in 0..p.group_size {
+            loads_buf[k as usize] = bucket_loads[p.bucket_of(group, k) as usize];
+        }
+        let words = histogram::encode(&loads_buf, p.rho)
+            .expect("group-load cap bounds the histogram by construction");
+        for (w, &word) in words.iter().enumerate() {
+            let row = row_gbas + 1 + w as u32;
+            let mut j = group;
+            while j < p.s {
+                table.write(row, j, word);
+                j += p.m;
+            }
+        }
+    }
+
+    // Header + data regions: γ copies of each group block.
+    let ph_builder = PerfectHashBuilder::default();
+    let header_base = wp.header_base();
+    let data_base = wp.data_base();
+    let write_region = |table: &mut Table, base_row: u32, offset: u64, value: u64| {
+        table.write(base_row + (offset / p.s) as u32, offset % p.s, value);
+    };
+    for group in 0..p.m as usize {
+        let size = group_sq[group];
+        if size == 0 {
+            continue;
+        }
+        let mut off_in_block = 0u64;
+        for k in 0..p.group_size {
+            let b = p.bucket_of(group as u64, k) as usize;
+            let l = bucket_loads[b] as u64;
+            if l == 0 {
+                continue;
+            }
+            let range = l * l;
+            let bucket_keys = &by_bucket[offsets[b]..offsets[b + 1]];
+            let found = ph_builder
+                .build(bucket_keys, range, rng)
+                .ok_or(BuildError::PerfectHashFailed {
+                    bucket: b as u64,
+                    load: l as u32,
+                })?;
+            for copy in 0..gamma[group] {
+                let block = gbas[group] + copy * size + off_in_block;
+                for j in block..block + range {
+                    write_region(&mut table, header_base, j, found.hash.seed());
+                }
+                for &x in bucket_keys {
+                    write_region(&mut table, data_base, block + found.hash.eval(x), x);
+                }
+            }
+            off_in_block += range;
+        }
+        debug_assert_eq!(off_in_block, size);
+    }
+
+    Ok(WeightedDict {
+        wp,
+        table,
+        keys: sorted,
+        weights: sorted_w,
+        f,
+        g,
+        z,
+        stats,
+    })
+}
+
+/// What `resolve` derives about a query (no probes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedResolution {
+    /// Displacement class `g(x)`.
+    pub gx: u64,
+    /// Bucket `h(x)`.
+    pub h: u64,
+    /// Group `h'(x)`.
+    pub hp: u64,
+    /// Region offset of copy 0 of the group block.
+    pub base: u64,
+    /// Block size `Σℓ²` of the group.
+    pub size: u64,
+    /// Replicas γ of the group block.
+    pub gamma: u64,
+    /// Bucket offset within a block copy.
+    pub off: u64,
+    /// Bucket load `ℓ`.
+    pub load: u32,
+    /// Within-bucket slot `h*(x)` (valid when `load > 0`).
+    pub slot: u64,
+}
+
+impl WeightedDict {
+    /// The weighted parameters.
+    pub fn weighted_params(&self) -> &WeightedParams {
+        &self.wp
+    }
+
+    /// The sorted stored keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Normalized weights, aligned with [`WeightedDict::keys`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &WeightedBuildStats {
+        &self.stats
+    }
+
+    fn region_peek(&self, base_row: u32, offset: u64) -> u64 {
+        let s = self.wp.base.s;
+        self.table.peek(base_row + (offset / s) as u32, offset % s)
+    }
+
+    fn region_read(&self, base_row: u32, offset: u64, sink: &mut dyn ProbeSink) -> u64 {
+        let s = self.wp.base.s;
+        self.table
+            .read(base_row + (offset / s) as u32, offset % s, sink)
+    }
+
+    /// Analytic query resolution from construction-side state.
+    pub fn resolve(&self, x: u64) -> WeightedResolution {
+        let p = &self.wp.base;
+        let gx = self.g.eval(x);
+        let t = self.f.eval(x) + self.z[gx as usize];
+        let h = if t >= p.s { t - p.s } else { t };
+        let hp = h % p.m;
+        let k_star = h / p.m;
+        let (base, size, gamma) = unpack_group(self.table.peek(2 * p.d as u32 + 1, hp));
+        let mut hist = [0u64; 16];
+        for w in 0..p.rho {
+            hist[w as usize] = self.table.peek(2 * p.d as u32 + 2 + w, hp);
+        }
+        let (off, load) = histogram::locate(&hist[..p.rho as usize], k_star);
+        let slot = if load == 0 {
+            0
+        } else {
+            let seed = self.region_peek(self.wp.header_base(), base + off);
+            PerfectHash::from_seed(seed, (load as u64) * (load as u64)).eval(x)
+        };
+        WeightedResolution {
+            gx,
+            h,
+            hp,
+            base,
+            size,
+            gamma,
+            off,
+            load,
+            slot,
+        }
+    }
+
+    /// Membership via the analytic path.
+    pub fn resolve_contains(&self, x: u64) -> bool {
+        let r = self.resolve(x);
+        r.load > 0 && self.region_peek(self.wp.data_base(), r.base + r.off + r.slot) == x
+    }
+}
+
+impl CellProbeDict for WeightedDict {
+    fn name(&self) -> String {
+        "low-contention-weighted".into()
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let p = &self.wp.base;
+        let d = p.d;
+        let mut fw = [0u64; MAX_D];
+        let mut gw = [0u64; MAX_D];
+        for i in 0..d as u32 {
+            fw[i as usize] = self.table.read(i, uniform_below(rng, p.s), sink);
+            gw[i as usize] = self.table.read(d as u32 + i, uniform_below(rng, p.s), sink);
+        }
+        let gx = horner(&gw[..d], x) % p.r;
+        let z_copies = (p.s - gx).div_ceil(p.r);
+        let z_col = gx + p.r * uniform_below(rng, z_copies);
+        let zg = self.table.read(2 * d as u32, z_col, sink);
+
+        let t = horner(&fw[..d], x) % p.s + zg;
+        let h = if t >= p.s { t - p.s } else { t };
+        let hp = h % p.m;
+        let k_star = h / p.m;
+
+        let reps = p.group_size;
+        let gbas_col = hp + p.m * uniform_below(rng, reps);
+        let (base, size, gamma) = unpack_group(self.table.read(2 * d as u32 + 1, gbas_col, sink));
+        let mut hist = [0u64; 16];
+        for w in 0..p.rho {
+            let col = hp + p.m * uniform_below(rng, reps);
+            hist[w as usize] = self.table.read(2 * d as u32 + 2 + w, col, sink);
+        }
+        let (off, load) = histogram::locate(&hist[..p.rho as usize], k_star);
+        if load == 0 {
+            return false;
+        }
+        let range = (load as u64) * (load as u64);
+        // Header: a random block copy, at a key-determined inner slot (all
+        // owned header cells hold the same seed).
+        let copy_h = uniform_below(rng, gamma);
+        let seed = self.region_read(
+            self.wp.header_base(),
+            base + copy_h * size + off + x % range,
+            sink,
+        );
+        let ph = PerfectHash::from_seed(seed, range);
+        // Data: an independent random copy, then the perfect-hash slot.
+        let copy_d = uniform_below(rng, gamma);
+        let data = self.region_read(
+            self.wp.data_base(),
+            base + copy_d * size + off + ph.eval(x),
+            sink,
+        );
+        data == x
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        self.wp.max_probes()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl ExactProbes for WeightedDict {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        let p = &self.wp.base;
+        let s = p.s;
+        let row_cells = |row: u32| row as u64 * s;
+        let res = self.resolve(x);
+
+        for i in 0..p.d as u32 {
+            out.push(ProbeSet::range(row_cells(i), s));
+            out.push(ProbeSet::range(row_cells(p.d as u32 + i), s));
+        }
+        out.push(ProbeSet::strided(
+            row_cells(2 * p.d as u32) + res.gx,
+            p.r,
+            (s - res.gx).div_ceil(p.r),
+        ));
+        out.push(ProbeSet::strided(
+            row_cells(2 * p.d as u32 + 1) + res.hp,
+            p.m,
+            p.group_size,
+        ));
+        for w in 0..p.rho {
+            out.push(ProbeSet::strided(
+                row_cells(2 * p.d as u32 + 2 + w) + res.hp,
+                p.m,
+                p.group_size,
+            ));
+        }
+        if res.load > 0 {
+            let range = (res.load as u64) * (res.load as u64);
+            // Region offsets are contiguous in global id space; block
+            // copies are `size` apart.
+            out.push(ProbeSet::strided(
+                row_cells(self.wp.header_base()) + res.base + res.off + x % range,
+                res.size,
+                res.gamma,
+            ));
+            out.push(ProbeSet::strided(
+                row_cells(self.wp.data_base()) + res.base + res.off + res.slot,
+                res.size,
+                res.gamma,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::sink::{NullSink, TraceSink};
+    use lcds_hashing::mix::derive;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        let mut set = HashSet::new();
+        let mut i = 0u64;
+        while (set.len() as u64) < n {
+            set.insert(derive(salt, i) % MAX_KEY);
+            i += 1;
+        }
+        set.into_iter().collect()
+    }
+
+    fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i + 1) as f64).powf(-theta)).collect()
+    }
+
+    fn build(n: u64, salt: u64, theta: f64) -> WeightedDict {
+        let keys = keyset(n, salt);
+        let w = zipf_weights(keys.len(), theta);
+        build_weighted(&keys, &w, &ParamsConfig::default(), &mut rng(salt)).expect("build")
+    }
+
+    #[test]
+    fn descriptor_packing_roundtrips() {
+        for (base, size, gamma) in [(0u64, 0u64, 1u64), (12345, 77, 500), ((1 << 26) - 1, (1 << 19) - 1, (1 << 19) - 1)] {
+            assert_eq!(unpack_group(pack_group(base, size, gamma)), (base, size, gamma));
+        }
+    }
+
+    #[test]
+    fn membership_correct_under_skew() {
+        let d = build(800, 1, 1.2);
+        let mut r = rng(100);
+        for &x in d.keys() {
+            assert!(d.contains(x, &mut r, &mut NullSink), "missing {x}");
+            assert!(d.resolve_contains(x));
+        }
+        let members: HashSet<u64> = d.keys().iter().copied().collect();
+        let mut probe = 5u64;
+        for _ in 0..500 {
+            probe = derive(probe, 2) % MAX_KEY;
+            if !members.contains(&probe) {
+                assert!(!d.contains(probe, &mut r, &mut NullSink), "phantom {probe}");
+                assert!(!d.resolve_contains(probe));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_need_no_replication_but_stay_flat() {
+        let d = build(512, 2, 0.0);
+        // Every group has mass ≈ gs·1/n, so γ ≈ extra·mass/size stays small.
+        let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
+        assert!(prof.max_step_ratio() < 120.0, "ratio {}", prof.max_step_ratio());
+        assert!(prof.conservation_ok(1e-9));
+    }
+
+    #[test]
+    fn hot_groups_get_replicated_blocks() {
+        let d = build(1024, 3, 1.5);
+        // Zipf(1.5)'s head carries ≈ 0.38 mass; its group's block should be
+        // replicated hundreds of times.
+        assert!(d.stats().gamma_max >= 50, "gamma_max {}", d.stats().gamma_max);
+        assert!(d.stats().region_used <= d.weighted_params().region_cells);
+    }
+
+    #[test]
+    fn storage_rows_are_flattened_to_the_metadata_floor() {
+        let d = build(2048, 4, 1.2);
+        let pool = QueryPool {
+            entries: d.keys().iter().copied().zip(d.weights().iter().copied()).collect(),
+        };
+        let prof = exact_contention(&d, &pool);
+        // The header/data steps (last two) must not exceed the hottest
+        // group's metadata contention (mass_group / group_size replicas) by
+        // more than a small factor — γ-replication ties them together.
+        let steps = prof.step_max.len();
+        let meta = prof.step_max[steps - 3- d.weighted_params().base.rho as usize + 1..steps - 2]
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(prof.step_max[2 * d.weighted_params().base.d + 1]); // GBAS step
+        assert!(
+            prof.step_max[steps - 1] <= 4.0 * meta + 4.0 / d.len() as f64,
+            "data step {} far above metadata floor {meta}",
+            prof.step_max[steps - 1]
+        );
+        assert!(
+            prof.step_max[steps - 2] <= 4.0 * meta + 4.0 / d.len() as f64,
+            "header step {} far above metadata floor {meta}",
+            prof.step_max[steps - 2]
+        );
+    }
+
+    #[test]
+    fn weighted_beats_oblivious_under_skew() {
+        let n = 2048u64;
+        let keys = keyset(n, 5);
+        let w = zipf_weights(keys.len(), 1.2);
+        let weighted =
+            build_weighted(&keys, &w, &ParamsConfig::default(), &mut rng(5)).unwrap();
+        let oblivious = crate::builder::build(&keys, &mut rng(6)).unwrap();
+        let pool = QueryPool::weighted(keys.iter().copied().zip(w.iter().copied()).collect());
+        let rw = exact_contention(&weighted, &pool).max_step_ratio();
+        let ro = exact_contention(&oblivious, &pool).max_step_ratio();
+        assert!(
+            rw * 3.0 < ro,
+            "weighted {rw:.1} should be far below oblivious {ro:.1}"
+        );
+    }
+
+    #[test]
+    fn probes_match_declared_sets() {
+        let d = build(400, 7, 1.0);
+        let mut r = rng(70);
+        let mut sets = Vec::new();
+        let probes: Vec<u64> = d.keys().iter().copied().take(60)
+            .chain((0..60).map(|i| derive(71, i) % MAX_KEY))
+            .collect();
+        for x in probes {
+            sets.clear();
+            d.probe_sets(x, &mut sets);
+            let mut trace = TraceSink::new();
+            trace.begin_query();
+            let _ = d.contains(x, &mut r, &mut trace);
+            assert_eq!(trace.trace().len(), sets.len(), "x={x}");
+            for (t, (&cell, set)) in trace.trace().iter().zip(&sets).enumerate() {
+                assert!(set.cells().any(|c| c == cell), "step {t}: {cell} ∉ {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_mass_distribution_is_survivable() {
+        // All mass on one key: its group's block gets nearly the whole
+        // replication budget, flattening the data cell to ~size/(4s).
+        let n = 1024usize;
+        let keys = keyset(n as u64, 8);
+        let mut w = vec![1e-9; n];
+        w[0] = 1.0;
+        let d = build_weighted(&keys, &w, &ParamsConfig::default(), &mut rng(8)).unwrap();
+        let pool = QueryPool::weighted(keys.iter().copied().zip(w.iter().copied()).collect());
+        let prof = exact_contention(&d, &pool);
+        let last = prof.step_max.len() - 1;
+        let res = d.resolve(keys[0]);
+        let expected = 1.0 / res.gamma as f64;
+        assert!(res.gamma > 50, "gamma {}", res.gamma);
+        assert!(
+            (prof.step_max[last] - expected).abs() < 0.25 * expected + 1e-6,
+            "hot data contention {} vs 1/γ = {expected}",
+            prof.step_max[last]
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut r = rng(9);
+        assert_eq!(
+            build_weighted(&[], &[], &ParamsConfig::default(), &mut r).unwrap_err(),
+            BuildError::EmptyKeySet
+        );
+        assert_eq!(
+            build_weighted(&[1, 1], &[0.5, 0.5], &ParamsConfig::default(), &mut r).unwrap_err(),
+            BuildError::DuplicateKey(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per key")]
+    fn mismatched_weights_rejected() {
+        let mut r = rng(10);
+        let _ = build_weighted(&[1, 2], &[1.0], &ParamsConfig::default(), &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "total query mass")]
+    fn zero_mass_rejected() {
+        let mut r = rng(11);
+        let _ = build_weighted(&[1, 2], &[0.0, 0.0], &ParamsConfig::default(), &mut r);
+    }
+}

@@ -1,0 +1,191 @@
+//! Bucket and load analysis (Definition 5) and the checkable conditions of
+//! Lemma 9.
+//!
+//! The construction algorithm of §2.2 draws `(f, g, z)`, forms
+//! `h ∈ R^d_{r,s}` and `h' = h mod m`, and accepts the draw only if the
+//! property `P(S)` holds:
+//!
+//! 1. every `g`-class load is ≤ `c·n/r`          (Lemma 9(1)),
+//! 2. every `h'`-group load is ≤ `c·n/m`          (Lemma 9(2)),
+//! 3. `Σ_i ℓ(S, h, i)² ≤ s`                        (Lemma 9(3), FKS condition).
+//!
+//! These helpers compute loads in one pass and evaluate each condition, and
+//! are reused by experiment T6 to measure the empirical probability of each
+//! event against the paper's `1 − o(1)` / `≥ 1/2` bounds.
+
+use crate::family::HashFunction;
+
+/// Computes the load vector `ℓ(S, h, ·)`: how many of `keys` each of the
+/// `h.range()` buckets receives (Definition 5).
+pub fn loads<H: HashFunction>(h: &H, keys: &[u64]) -> Vec<u32> {
+    let mut loads = vec![0u32; h.range() as usize];
+    for &k in keys {
+        loads[h.eval(k) as usize] += 1;
+    }
+    loads
+}
+
+/// The largest bucket load.
+pub fn max_load(loads: &[u32]) -> u32 {
+    loads.iter().copied().max().unwrap_or(0)
+}
+
+/// `Σ_i ℓ_i²` — the FKS space requirement for quadratic per-bucket tables.
+pub fn sum_squared_loads(loads: &[u32]) -> u64 {
+    loads.iter().map(|&l| (l as u64) * (l as u64)).sum()
+}
+
+/// Number of ordered collision pairs `X = Σ ℓ_i² − n` (proof of Lemma 9(3)).
+pub fn ordered_collision_pairs(loads: &[u32]) -> u64 {
+    let n: u64 = loads.iter().map(|&l| l as u64).sum();
+    sum_squared_loads(loads) - n
+}
+
+/// Summary statistics of a load vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadStats {
+    /// Number of buckets (the hash range).
+    pub buckets: u64,
+    /// Total keys hashed.
+    pub total: u64,
+    /// Largest load.
+    pub max: u32,
+    /// Number of empty buckets.
+    pub empty: u64,
+    /// `Σ ℓ_i²`.
+    pub sum_squares: u64,
+}
+
+impl LoadStats {
+    /// Computes statistics from a load vector.
+    pub fn from_loads(loads: &[u32]) -> LoadStats {
+        LoadStats {
+            buckets: loads.len() as u64,
+            total: loads.iter().map(|&l| l as u64).sum(),
+            max: max_load(loads),
+            empty: loads.iter().filter(|&&l| l == 0).count() as u64,
+            sum_squares: sum_squared_loads(loads),
+        }
+    }
+
+    /// Mean load `n / buckets`.
+    pub fn mean(&self) -> f64 {
+        self.total as f64 / self.buckets as f64
+    }
+
+    /// `max / mean`: the balance ratio that Lemma 9 bounds by the constant
+    /// `c` for classes and groups.
+    pub fn balance_ratio(&self) -> f64 {
+        self.max as f64 / self.mean().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Lemma 9(1)/(2): does every bucket respect the load cap `c·n/range`?
+pub fn all_loads_within(loads: &[u32], n: u64, c: f64) -> bool {
+    let cap = c * n as f64 / loads.len() as f64;
+    loads.iter().all(|&l| (l as f64) <= cap)
+}
+
+/// Lemma 9(3): the FKS condition `Σ ℓ_i² ≤ s` (with `s = loads.len()` for
+/// the paper's `h ∈ R^d_{r,s}`).
+pub fn fks_condition(loads: &[u32]) -> bool {
+    sum_squared_loads(loads) <= loads.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{PolyFamily, PolyHash};
+    use crate::HashFamily;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn loads_count_correctly() {
+        // Identity-ish hash: constant polynomial d=1 sends all keys to one bucket.
+        let h = PolyHash::from_words(&[2], 5);
+        let l = loads(&h, &[1, 2, 3]);
+        assert_eq!(l, vec![0, 0, 3, 0, 0]);
+        assert_eq!(max_load(&l), 3);
+        assert_eq!(sum_squared_loads(&l), 9);
+        assert_eq!(ordered_collision_pairs(&l), 6);
+    }
+
+    #[test]
+    fn stats_on_uniform_spread() {
+        let l = vec![1u32; 16];
+        let s = LoadStats::from_loads(&l);
+        assert_eq!(s.buckets, 16);
+        assert_eq!(s.total, 16);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.empty, 0);
+        assert_eq!(s.sum_squares, 16);
+        assert!((s.balance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_cap_check() {
+        let l = vec![2, 2, 2, 2]; // n = 8, range 4, mean 2
+        assert!(all_loads_within(&l, 8, 1.0));
+        let l = vec![5, 1, 1, 1]; // max 5 > 2·2
+        assert!(!all_loads_within(&l, 8, 2.0));
+        assert!(all_loads_within(&l, 8, 2.5));
+    }
+
+    #[test]
+    fn fks_condition_examples() {
+        assert!(fks_condition(&[1, 1, 1, 1])); // 4 ≤ 4
+        assert!(!fks_condition(&[3, 0, 0, 0])); // 9 > 4
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = PolyHash::from_words(&[1, 2], 7);
+        let l = loads(&h, &[]);
+        assert_eq!(l.iter().sum::<u32>(), 0);
+        assert_eq!(max_load(&l), 0);
+        let s = LoadStats::from_loads(&l);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.empty, 7);
+    }
+
+    #[test]
+    fn random_family_fks_success_rate_matches_lemma() {
+        // Lemma 9(3): with s = 2n cells the FKS condition holds w.p. ≥ 1/2.
+        // Pairwise independence is enough for the Markov argument.
+        let n = 256usize;
+        let s = 2 * n as u64;
+        let fam = PolyFamily::new(2, s);
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 104_729 + 11).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 200;
+        let ok = (0..trials)
+            .filter(|_| fks_condition(&loads(&fam.sample(&mut rng), &keys)))
+            .count();
+        assert!(
+            ok * 2 >= trials,
+            "FKS condition held only {ok}/{trials} times; Lemma 9(3) promises ≥ 1/2"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_loads_sum_to_n(keys in proptest::collection::vec(0..crate::field::MAX_KEY, 0..200),
+                               words in proptest::collection::vec(0..crate::field::P, 2..4),
+                               m in 1..500u64) {
+            let h = PolyHash::from_words(&words, m);
+            let l = loads(&h, &keys);
+            prop_assert_eq!(l.iter().map(|&x| x as usize).sum::<usize>(), keys.len());
+        }
+
+        #[test]
+        fn prop_sum_squares_at_least_n(keys in proptest::collection::vec(0..crate::field::MAX_KEY, 1..100),
+                                       m in 1..200u64) {
+            let h = PolyHash::from_words(&[7, 13], m);
+            let l = loads(&h, &keys);
+            // Cauchy–Schwarz: Σℓ² ≥ n²/m, and always ≥ n when each key adds ≥ 1.
+            prop_assert!(sum_squared_loads(&l) >= keys.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The Dietzfelbinger–Meyer auf der Heide hash family `R^d_{r,m}`
+//! (Definition 4 of the paper, introduced in [4]).
+//!
+//! For `f ∈ H^d_m`, `g ∈ H^d_r` and a displacement vector `z ∈ [m]^r`,
+//!
+//! ```text
+//! h_{f,g,z}(x) = (f(x) + z_{g(x)}) mod m .
+//! ```
+//!
+//! `g` splits the keys into `r` coarse classes and `z` gives every class an
+//! independent uniform offset, which is what makes the per-cell loads
+//! concentrate tightly (Lemma 9(2)) — the property the paper's group layout
+//! depends on.
+//!
+//! The low-contention dictionary also needs the *paired* functions of §2.2:
+//! `h ∈ R^d_{r,s}` together with `h' = h mod m` where `m | s`, so that `h'`
+//! is itself a uniform member of `R^d_{r,m}`. [`DmHash::eval_mod`] exposes
+//! exactly that quotient evaluation.
+
+use crate::family::{HashFamily, HashFunction};
+use crate::poly::{PolyFamily, PolyHash};
+use rand::Rng;
+
+/// The family `R^d_{r,m}` of Definition 4.
+#[derive(Clone, Debug)]
+pub struct DmFamily {
+    d: usize,
+    r: u64,
+    m: u64,
+}
+
+impl DmFamily {
+    /// Creates the family with independence degree `d`, `r` displacement
+    /// classes and range `[m]`.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(d: usize, r: u64, m: u64) -> DmFamily {
+        assert!(d >= 1 && r >= 1 && m >= 1);
+        DmFamily { d, r, m }
+    }
+
+    /// The independence degree `d`.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// The number of displacement classes `r`.
+    pub fn classes(&self) -> u64 {
+        self.r
+    }
+
+    /// The range size `m`.
+    pub fn range(&self) -> u64 {
+        self.m
+    }
+}
+
+impl HashFamily for DmFamily {
+    type Function = DmHash;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DmHash {
+        let f = PolyFamily::new(self.d, self.m).sample(rng);
+        let g = PolyFamily::new(self.d, self.r).sample(rng);
+        let z = (0..self.r).map(|_| rng.random_range(0..self.m)).collect();
+        DmHash::new(f, g, z)
+    }
+}
+
+/// A sampled member `h_{f,g,z}` of `R^d_{r,m}`.
+#[derive(Clone, Debug)]
+pub struct DmHash {
+    f: PolyHash,
+    g: PolyHash,
+    z: Vec<u64>,
+}
+
+impl DmHash {
+    /// Assembles a DM function from its three ingredients.
+    ///
+    /// # Panics
+    /// Panics if `z.len() != g.range()` or any displacement is `≥ f.range()`.
+    pub fn new(f: PolyHash, g: PolyHash, z: Vec<u64>) -> DmHash {
+        assert_eq!(
+            z.len() as u64,
+            g.range(),
+            "need one displacement per class of g"
+        );
+        let m = f.range();
+        assert!(z.iter().all(|&zi| zi < m), "displacements must lie in [m]");
+        DmHash { f, g, z }
+    }
+
+    /// The inner `f ∈ H^d_m`.
+    pub fn f(&self) -> &PolyHash {
+        &self.f
+    }
+
+    /// The class function `g ∈ H^d_r`.
+    pub fn g(&self) -> &PolyHash {
+        &self.g
+    }
+
+    /// The displacement vector `z ∈ [m]^r`.
+    pub fn z(&self) -> &[u64] {
+        &self.z
+    }
+
+    /// Evaluates `h(x) mod q`. With `q | m` this is the paper's quotient
+    /// function `h' ∈ R^d_{r,q}` (§2.2).
+    #[inline]
+    pub fn eval_mod(&self, x: u64, q: u64) -> u64 {
+        self.eval(x) % q
+    }
+}
+
+impl HashFunction for DmHash {
+    #[inline]
+    fn eval(&self, x: u64) -> u64 {
+        let m = self.f.range();
+        let fx = self.f.eval(x);
+        let zx = self.z[self.g.eval(x) as usize];
+        // Both summands are < m ≤ 2^61, so the sum cannot overflow u64.
+        let s = fx + zx;
+        if s >= m {
+            s - m
+        } else {
+            s
+        }
+    }
+
+    fn range(&self) -> u64 {
+        self.f.range()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn outputs_in_range() {
+        let fam = DmFamily::new(3, 16, 1000);
+        let h = fam.sample(&mut rng(1));
+        for x in 0..5000u64 {
+            assert!(h.eval(x) < 1000);
+        }
+    }
+
+    #[test]
+    fn definition_matches_manual_combination() {
+        let fam = DmFamily::new(2, 8, 64);
+        let h = fam.sample(&mut rng(2));
+        for x in 0..500u64 {
+            let manual = (h.f().eval(x) + h.z()[h.g().eval(x) as usize]) % 64;
+            assert_eq!(h.eval(x), manual);
+        }
+    }
+
+    #[test]
+    fn eval_mod_is_quotient() {
+        let fam = DmFamily::new(3, 4, 60);
+        let h = fam.sample(&mut rng(3));
+        for x in 0..200u64 {
+            assert_eq!(h.eval_mod(x, 12), h.eval(x) % 12);
+        }
+    }
+
+    #[test]
+    fn quotient_is_dm_member_when_ranges_divide() {
+        // h' = h mod m must equal the DM function built from
+        // (f mod m, g, z mod m) — the identity §2.2 relies on.
+        let s = 120u64;
+        let m = 12u64;
+        let fam = DmFamily::new(3, 5, s);
+        let h = fam.sample(&mut rng(4));
+        let f_mod: Vec<u64> = h.f().words().to_vec();
+        let _ = f_mod; // f mod m is not a coefficient-wise operation over the
+                       // field, so the identity is checked pointwise instead:
+        for x in 0..1000u64 {
+            let direct = h.eval(x) % m;
+            let recombined = (h.f().eval(x) % m + h.z()[h.g().eval(x) as usize] % m) % m;
+            assert_eq!(direct, recombined, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn displacement_shifts_whole_class() {
+        // Keys in the same g-class move together when z changes: the
+        // structural property behind Lemma 9's analysis.
+        let f = PolyHash::from_words(&[5, 7], 100);
+        let g = PolyHash::from_words(&[0], 4); // constant class 0 for d=1
+        let h1 = DmHash::new(f.clone(), g.clone(), vec![0, 0, 0, 0]);
+        let h2 = DmHash::new(f, g, vec![10, 0, 0, 0]);
+        for x in 0..50u64 {
+            assert_eq!((h1.eval(x) + 10) % 100, h2.eval(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one displacement per class")]
+    fn wrong_z_length_rejected() {
+        let f = PolyHash::from_words(&[1, 2], 10);
+        let g = PolyHash::from_words(&[3, 4], 5);
+        let _ = DmHash::new(f, g, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "displacements must lie")]
+    fn out_of_range_displacement_rejected() {
+        let f = PolyHash::from_words(&[1, 2], 10);
+        let g = PolyHash::from_words(&[3, 4], 2);
+        let _ = DmHash::new(f, g, vec![0, 10]);
+    }
+
+    #[test]
+    fn loads_spread_better_than_worst_case() {
+        // Smoke test of Lemma 9(2)'s flavor: with r classes and random z,
+        // no cell should get a giant share of n keys.
+        let n = 4096u64;
+        let m = 256u64;
+        let fam = DmFamily::new(4, 64, m);
+        let h = fam.sample(&mut rng(6));
+        let mut loads = vec![0u32; m as usize];
+        for x in 0..n {
+            loads[h.eval(x * 2_654_435_761 % crate::field::P) as usize] += 1;
+        }
+        let max = *loads.iter().max().unwrap();
+        let mean = n / m;
+        assert!(
+            (max as u64) < 6 * mean,
+            "max load {max} too far above mean {mean}"
+        );
+    }
+}

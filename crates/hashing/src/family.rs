@@ -1,0 +1,45 @@
+//! Core traits shared by every hash family in this crate.
+
+use rand::Rng;
+
+/// A sampled hash function `U → [m]` with `U = [0, 2^61 - 1)`.
+pub trait HashFunction {
+    /// Evaluates the function at `x`.
+    ///
+    /// `x` must be a valid key (`x <` [`crate::MAX_KEY`]` + 1`); evaluating at
+    /// larger values is allowed but such values alias keys reduced mod `P`,
+    /// so independence guarantees do not cover them.
+    fn eval(&self, x: u64) -> u64;
+
+    /// The size `m` of the range `[m]`.
+    fn range(&self) -> u64;
+}
+
+/// A distribution over hash functions from which independent members can be
+/// sampled.
+pub trait HashFamily {
+    /// The concrete function type this family samples.
+    type Function: HashFunction;
+
+    /// Draws a uniform member of the family.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Function;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::PolyFamily;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn family_trait_is_object_usable_via_generics() {
+        fn sample_and_eval<F: HashFamily>(family: &F, x: u64) -> u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            family.sample(&mut rng).eval(x)
+        }
+        let family = PolyFamily::new(3, 100);
+        let v = sample_and_eval(&family, 12345);
+        assert!(v < 100);
+    }
+}

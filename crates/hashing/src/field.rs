@@ -1,0 +1,260 @@
+//! Arithmetic in the prime field `GF(P)` with `P = 2^61 - 1` (a Mersenne
+//! prime), used by the Carter–Wegman polynomial families.
+//!
+//! Mersenne-prime reduction needs no division: for `x < 2^122`,
+//! `x ≡ (x & P) + (x >> 61) (mod P)`, and one conditional subtraction
+//! finishes the job. Multiplication of two sub-`P` values fits in `u128`.
+//!
+//! The key universe of every dictionary in this repository is `[0, P)`, i.e.
+//! `N = 2^61 - 1`. The paper assumes `N ≥ n²` and `b = log₂ N` bits per
+//! cell; both hold here for every `n ≤ 2^30`, far above anything we build.
+
+/// The field modulus `2^61 - 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// Largest key the dictionaries accept (`P - 1`); larger values are not
+/// field elements and would break `d`-wise independence.
+pub const MAX_KEY: u64 = P - 1;
+
+/// A field element in `[0, P)`.
+///
+/// A thin newtype so that reduced and unreduced values cannot be confused;
+/// all operations stay allocation-free and branch-light.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fe(u64);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe(0);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe(1);
+
+    /// Reduces an arbitrary `u64` into the field.
+    #[inline]
+    pub fn new(x: u64) -> Fe {
+        Fe(reduce64(x))
+    }
+
+    /// Wraps a value already known to be `< P`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `x >= P`.
+    #[inline]
+    pub fn from_canonical(x: u64) -> Fe {
+        debug_assert!(x < P, "value {x} is not a canonical field element");
+        Fe(x)
+    }
+
+    /// The canonical representative in `[0, P)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(self, rhs: Fe) -> Fe {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Fe(if s >= P { s - P } else { s })
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(self, rhs: Fe) -> Fe {
+        let (d, borrow) = self.0.overflowing_sub(rhs.0);
+        Fe(if borrow { d.wrapping_add(P) } else { d })
+    }
+
+    /// Field multiplication via one `u128` product and Mersenne folding.
+    #[inline]
+    pub fn mul(self, rhs: Fe) -> Fe {
+        Fe(reduce128((self.0 as u128) * (rhs.0 as u128)))
+    }
+
+    /// `self * rhs + addend`, fused into a single reduction.
+    #[inline]
+    pub fn mul_add(self, rhs: Fe, addend: Fe) -> Fe {
+        Fe(reduce128((self.0 as u128) * (rhs.0 as u128) + addend.0 as u128))
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut e: u64) -> Fe {
+        let mut base = self;
+        let mut acc = Fe::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(P-2)`).
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    pub fn inv(self) -> Fe {
+        assert!(self.0 != 0, "zero has no multiplicative inverse");
+        self.pow(P - 2)
+    }
+}
+
+/// Reduces a `u64` modulo the Mersenne prime.
+#[inline]
+pub fn reduce64(x: u64) -> u64 {
+    let r = (x & P) + (x >> 61);
+    if r >= P {
+        r - P
+    } else {
+        r
+    }
+}
+
+/// Reduces a `u128` (e.g. a product of two sub-`P` values) modulo `P`.
+///
+/// Two folding rounds suffice: after the first, the value is `< 2^62 + 2^61`,
+/// after the second `< P + 3`, and the final conditional subtraction
+/// canonicalizes.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let lo = (x as u64) & P;
+    let hi = (x >> 61) as u64; // < 2^67, but products of sub-P values keep this < 2^61 + small
+    let folded = lo as u128 + hi as u128;
+    let lo2 = (folded as u64) & P;
+    let hi2 = (folded >> 61) as u64;
+    let r = lo2 + hi2;
+    if r >= P {
+        r - P
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe(x: u64) -> Fe {
+        Fe::new(x)
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+        assert_eq!(MAX_KEY, P - 1);
+        assert_eq!(Fe::ZERO.value(), 0);
+        assert_eq!(Fe::ONE.value(), 1);
+    }
+
+    #[test]
+    fn reduce64_handles_boundaries() {
+        assert_eq!(reduce64(0), 0);
+        assert_eq!(reduce64(P), 0);
+        assert_eq!(reduce64(P - 1), P - 1);
+        assert_eq!(reduce64(P + 1), 1);
+        assert_eq!(reduce64(u64::MAX), u64::MAX % P);
+    }
+
+    #[test]
+    fn reduce128_matches_naive_mod() {
+        let cases: [u128; 8] = [
+            0,
+            1,
+            P as u128,
+            (P as u128) * (P as u128),
+            u128::from(u64::MAX),
+            (P as u128 - 1) * (P as u128 - 1),
+            123_456_789_012_345_678_901_234_567,
+            (P as u128) * 7 + 13,
+        ];
+        for &c in &cases {
+            assert_eq!(reduce128(c) as u128, c % (P as u128), "case {c}");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(17);
+        let b = fe(P - 3);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(b.add(a).sub(a), b);
+        assert_eq!(a.sub(a), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_identities() {
+        let a = fe(987_654_321);
+        assert_eq!(a.mul(Fe::ONE), a);
+        assert_eq!(a.mul(Fe::ZERO), Fe::ZERO);
+    }
+
+    #[test]
+    fn inv_is_inverse() {
+        for x in [1u64, 2, 3, 17, P - 1, 123_456_789] {
+            let a = fe(x);
+            assert_eq!(a.mul(a.inv()), Fe::ONE, "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_of_zero_panics() {
+        let _ = Fe::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let a = fe(3);
+        assert_eq!(a.pow(0), Fe::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(4).value(), 81);
+        // Fermat: a^(P-1) = 1.
+        assert_eq!(a.pow(P - 1), Fe::ONE);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = fe(P - 2);
+        let b = fe(P - 5);
+        let c = fe(41);
+        assert_eq!(a.mul_add(b, c), a.mul(b).add(c));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in 0..P, b in 0..P) {
+            prop_assert_eq!(fe(a).add(fe(b)), fe(b).add(fe(a)));
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in 0..P, b in 0..P) {
+            prop_assert_eq!(fe(a).mul(fe(b)), fe(b).mul(fe(a)));
+        }
+
+        #[test]
+        fn prop_mul_matches_naive(a in 0..P, b in 0..P) {
+            let naive = ((a as u128) * (b as u128) % (P as u128)) as u64;
+            prop_assert_eq!(fe(a).mul(fe(b)).value(), naive);
+        }
+
+        #[test]
+        fn prop_distributive(a in 0..P, b in 0..P, c in 0..P) {
+            let left = fe(a).mul(fe(b).add(fe(c)));
+            let right = fe(a).mul(fe(b)).add(fe(a).mul(fe(c)));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_sub_is_add_inverse(a in 0..P, b in 0..P) {
+            prop_assert_eq!(fe(a).sub(fe(b)).add(fe(b)), fe(a));
+        }
+
+        #[test]
+        fn prop_inv(a in 1..P) {
+            prop_assert_eq!(fe(a).inv().mul(fe(a)), Fe::ONE);
+        }
+    }
+}

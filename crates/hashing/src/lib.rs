@@ -1,0 +1,48 @@
+//! Hash-family substrate for the low-contention dictionary of
+//! Aspnes, Eisenstat and Yin, *Low-Contention Data Structures* (SPAA 2010).
+//!
+//! The paper's construction (§2) is assembled from four hashing ingredients,
+//! each of which lives in its own module here:
+//!
+//! * [`field`] — arithmetic in the prime field `GF(2^61 - 1)`, the substrate
+//!   for Carter–Wegman polynomial hashing. Keys are field elements, i.e. the
+//!   key universe is `U = [2^61 - 1)`; this satisfies the paper's `N ≥ n²`
+//!   assumption for every data-set size used in this repository.
+//! * [`poly`] — `d`-wise independent polynomial families `H^d_m`
+//!   (Carter–Wegman [1]): degree-`(d-1)` polynomials over the field, reduced
+//!   to the range `[m]`.
+//! * [`dm`] — the Dietzfelbinger–Meyer auf der Heide family
+//!   `R^d_{r,m} = { h_{f,g,z}(x) = (f(x) + z_{g(x)}) mod m }`
+//!   (Definition 4 of the paper, introduced in [4]).
+//! * [`perfect`] — FKS-style per-bucket perfect hashing into quadratic
+//!   space, driven by a single-word seed so that the query algorithm can
+//!   fetch the whole function with one cell probe (§2.2, last two rows).
+//!
+//! [`analysis`] provides the bucket/load machinery of Definition 5 and the
+//! empirical checks behind Lemma 9 (group loads and the FKS `Σℓ² ≤ s`
+//! condition), and [`mix`] holds the splitmix64 bit mixer used to expand
+//! one-word seeds into field coefficients.
+//!
+//! Everything is deterministic given an RNG, allocation-free on the hot
+//! evaluation paths, and `#[inline]`-annotated where evaluation happens per
+//! probe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dm;
+pub mod family;
+pub mod field;
+pub mod mix;
+pub mod multiply_shift;
+pub mod perfect;
+pub mod poly;
+
+pub use analysis::{loads, max_load, sum_squared_loads, LoadStats};
+pub use dm::{DmFamily, DmHash};
+pub use family::{HashFamily, HashFunction};
+pub use field::{Fe, MAX_KEY, P};
+pub use multiply_shift::{MultAddShift, MultAddShiftFamily, MultShift, MultShiftFamily};
+pub use perfect::{PerfectHash, PerfectHashBuilder};
+pub use poly::{PolyFamily, PolyHash};

@@ -1,0 +1,205 @@
+//! Dietzfelbinger's multiply-shift families: the fastest universal hashing
+//! known for word-sized keys (one multiplication, one shift).
+//!
+//! * [`MultShift`] — `h_a(x) = (a·x mod 2^64) >> (64 − ℓ)` with odd `a`:
+//!   2-approximately-universal into `[2^ℓ]` (collision probability
+//!   ≤ `2/2^ℓ`).
+//! * [`MultAddShift`] — `h_{a,b}(x) = ((a·x + b) mod 2^128) >> (128 − ℓ)`:
+//!   strongly universal (2-wise independent).
+//!
+//! These are *not* used inside the Theorem 3 dictionary (whose guarantees
+//! need true `d`-wise independence over a field) but serve as the
+//! speed-of-light comparison in the `hash_families` bench and as a cheap
+//! general-purpose family for applications that only need universality.
+
+use crate::family::{HashFamily, HashFunction};
+use rand::Rng;
+
+/// The plain multiply-shift family into a power-of-two range `[2^ℓ]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultShiftFamily {
+    bits: u32,
+}
+
+impl MultShiftFamily {
+    /// Family into `[2^bits]`, `1 ≤ bits ≤ 63`.
+    pub fn new(bits: u32) -> MultShiftFamily {
+        assert!((1..=63).contains(&bits), "bits must be in [1, 63]");
+        MultShiftFamily { bits }
+    }
+}
+
+impl HashFamily for MultShiftFamily {
+    type Function = MultShift;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MultShift {
+        MultShift {
+            a: rng.random::<u64>() | 1,
+            bits: self.bits,
+        }
+    }
+}
+
+/// A sampled multiply-shift function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultShift {
+    a: u64,
+    bits: u32,
+}
+
+impl MultShift {
+    /// Reconstructs from the multiplier word (forced odd) and range bits.
+    pub fn from_parts(a: u64, bits: u32) -> MultShift {
+        assert!((1..=63).contains(&bits));
+        MultShift { a: a | 1, bits }
+    }
+
+    /// The multiplier.
+    pub fn multiplier(&self) -> u64 {
+        self.a
+    }
+}
+
+impl HashFunction for MultShift {
+    #[inline]
+    fn eval(&self, x: u64) -> u64 {
+        self.a.wrapping_mul(x) >> (64 - self.bits)
+    }
+
+    fn range(&self) -> u64 {
+        1 << self.bits
+    }
+}
+
+/// The strongly universal multiply-add-shift family into `[2^ℓ]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultAddShiftFamily {
+    bits: u32,
+}
+
+impl MultAddShiftFamily {
+    /// Family into `[2^bits]`, `1 ≤ bits ≤ 63`.
+    pub fn new(bits: u32) -> MultAddShiftFamily {
+        assert!((1..=63).contains(&bits));
+        MultAddShiftFamily { bits }
+    }
+}
+
+impl HashFamily for MultAddShiftFamily {
+    type Function = MultAddShift;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MultAddShift {
+        MultAddShift {
+            a: rng.random::<u128>() | 1,
+            b: rng.random::<u128>(),
+            bits: self.bits,
+        }
+    }
+}
+
+/// A sampled multiply-add-shift function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultAddShift {
+    a: u128,
+    b: u128,
+    bits: u32,
+}
+
+impl HashFunction for MultAddShift {
+    #[inline]
+    fn eval(&self, x: u64) -> u64 {
+        (self.a.wrapping_mul(x as u128).wrapping_add(self.b) >> (128 - self.bits)) as u64
+    }
+
+    fn range(&self) -> u64 {
+        1 << self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn outputs_in_range() {
+        let f = MultShiftFamily::new(10).sample(&mut rng(1));
+        let g = MultAddShiftFamily::new(10).sample(&mut rng(2));
+        for x in 0..4000u64 {
+            assert!(f.eval(x) < 1024);
+            assert!(g.eval(x) < 1024);
+        }
+        assert_eq!(f.range(), 1024);
+        assert_eq!(g.range(), 1024);
+    }
+
+    #[test]
+    fn multiplier_is_forced_odd() {
+        let f = MultShift::from_parts(4, 8);
+        assert_eq!(f.multiplier() % 2, 1);
+    }
+
+    #[test]
+    fn collision_rate_within_universal_bound() {
+        // 2-approximate universality: Pr[h(x)=h(y)] ≤ 2/2^ℓ.
+        let bits = 8;
+        let mut r = rng(3);
+        let fam = MultShiftFamily::new(bits);
+        let trials = 30_000;
+        let collisions = (0..trials)
+            .filter(|_| {
+                let h = fam.sample(&mut r);
+                h.eval(12345) == h.eval(987_654_321)
+            })
+            .count();
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate <= 2.0 / 256.0 + 0.004, "collision rate {rate}");
+    }
+
+    #[test]
+    fn mult_add_shift_is_unbiased() {
+        // Strong universality ⇒ single values uniform; chi² over 16 bins.
+        let bits = 4;
+        let mut r = rng(4);
+        let fam = MultAddShiftFamily::new(bits);
+        let mut counts = [0u32; 16];
+        let trials = 32_000;
+        for _ in 0..trials {
+            counts[fam.sample(&mut r).eval(42) as usize] += 1;
+        }
+        let expected = trials as f64 / 16.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 37.7, "chi² = {chi2:.1}"); // 15 dof, p ≈ 0.001
+    }
+
+    #[test]
+    fn loads_spread_on_sequential_keys() {
+        // The classic failure of `x mod m` — multiply-shift must spread a
+        // dense range evenly.
+        let bits = 6;
+        let h = MultShiftFamily::new(bits).sample(&mut rng(5));
+        let mut loads = [0u32; 64];
+        for x in 0..6400u64 {
+            loads[h.eval(x) as usize] += 1;
+        }
+        let max = *loads.iter().max().unwrap();
+        assert!(max < 300, "max load {max} on sequential keys");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        let _ = MultShiftFamily::new(0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-bucket perfect hashing into quadratic space, FKS-style (§2.2).
+//!
+//! For a bucket holding `ℓ` keys, a pairwise-independent function into
+//! `[ℓ²]` is injective on the bucket with probability ≥ 1/2, so an expected
+//! two draws find a *perfect* function. The paper stores that function
+//! redundantly in the `ℓ²` header cells the bucket owns so the query
+//! algorithm retrieves it with one probe to a uniformly chosen owned cell —
+//! which requires it to fit in one `b`-bit word.
+//!
+//! We therefore represent the function as a single 64-bit *seed*: the seed
+//! is expanded by [`crate::mix::derive`] into the two field coefficients of
+//! a Carter–Wegman pairwise function `x ↦ ((a·x + b) mod P) mod ℓ²`.
+//! Injectivity is verified during construction, so the pseudo-random
+//! expansion can only affect how many seeds are tried, never correctness.
+//! [`PerfectHashBuilder`] caps the search and reports the number of trials
+//! so experiment T5 can record the retry distribution.
+
+use crate::field::Fe;
+use crate::mix::derive;
+use rand::Rng;
+
+/// A seeded perfect-hash candidate `x ↦ ((a·x + b) mod P) mod range` with
+/// `(a, b)` derived from `seed`.
+///
+/// "Perfect" is a property of the (keys, function) pair established by
+/// [`PerfectHashBuilder::build`]; the struct itself is just the function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerfectHash {
+    seed: u64,
+    range: u64,
+}
+
+impl PerfectHash {
+    /// Reconstructs the function from its stored word and range.
+    #[inline]
+    pub fn from_seed(seed: u64, range: u64) -> PerfectHash {
+        debug_assert!(range >= 1);
+        PerfectHash { seed, range }
+    }
+
+    /// The single word the construction writes into every owned header cell.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The range `[ℓ²]`.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Evaluates the function at `x`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        if self.range == 1 {
+            return 0;
+        }
+        let a = Fe::new(derive(self.seed, 0) | 1); // avoid the degenerate a = 0
+        let b = Fe::new(derive(self.seed, 1));
+        a.mul_add(Fe::new(x), b).value() % self.range
+    }
+}
+
+/// Searches seeds until one is injective on the given keys.
+#[derive(Clone, Debug)]
+pub struct PerfectHashBuilder {
+    max_trials: u32,
+}
+
+impl Default for PerfectHashBuilder {
+    fn default() -> Self {
+        PerfectHashBuilder { max_trials: 4096 }
+    }
+}
+
+/// Outcome of a successful perfect-hash search.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfectHashResult {
+    /// The injective function that was found.
+    pub hash: PerfectHash,
+    /// How many seeds were tried (≥ 1); expected ≤ 2 for `range ≥ ℓ²`.
+    pub trials: u32,
+}
+
+impl PerfectHashBuilder {
+    /// Creates a builder that gives up (returns `None`) after `max_trials`
+    /// seeds. The default of 4096 makes failure astronomically unlikely for
+    /// `range ≥ ℓ²`.
+    pub fn new(max_trials: u32) -> PerfectHashBuilder {
+        assert!(max_trials >= 1);
+        PerfectHashBuilder { max_trials }
+    }
+
+    /// Finds a function into `[range]` that is injective on `keys`.
+    ///
+    /// Returns `None` if no tried seed works — possible only when
+    /// `range < ℓ²`-ish or the trial cap is tiny.
+    ///
+    /// # Panics
+    /// Panics if `keys` contains duplicates (no function can separate them)
+    /// or `range == 0`.
+    pub fn build<R: Rng + ?Sized>(
+        &self,
+        keys: &[u64],
+        range: u64,
+        rng: &mut R,
+    ) -> Option<PerfectHashResult> {
+        assert!(range >= 1, "range must be positive");
+        if keys.len() as u64 > range {
+            return None; // pigeonhole: impossible
+        }
+        if keys.len() <= 1 {
+            // Any seed is injective on ≤ 1 key; use a fixed one so empty
+            // and singleton buckets are reproducible.
+            return Some(PerfectHashResult {
+                hash: PerfectHash::from_seed(0, range),
+                trials: 1,
+            });
+        }
+        // Scratch bitmap sized to the range; ranges here are ℓ² = O(log² n)
+        // in the dictionary, so this stays small and reused per call.
+        let mut occupied = vec![false; range as usize];
+        'seeds: for trial in 1..=self.max_trials {
+            // 61-bit seeds: the dictionary stores seeds in b = log₂N-bit
+            // cells (N = 2^61 − 1), so the word written must fit.
+            let seed = rng.random::<u64>() & ((1 << 61) - 1);
+            let hash = PerfectHash::from_seed(seed, range);
+            occupied.iter_mut().for_each(|b| *b = false);
+            for &k in keys {
+                let slot = hash.eval(k) as usize;
+                if occupied[slot] {
+                    continue 'seeds;
+                }
+                occupied[slot] = true;
+            }
+            return Some(PerfectHashResult { hash, trials: trial });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn injective_on_bucket() {
+        let keys: Vec<u64> = (0..12).map(|i| i * 977 + 3).collect();
+        let range = (keys.len() * keys.len()) as u64;
+        let res = PerfectHashBuilder::default()
+            .build(&keys, range, &mut rng(1))
+            .expect("search must succeed");
+        let slots: HashSet<u64> = keys.iter().map(|&k| res.hash.eval(k)).collect();
+        assert_eq!(slots.len(), keys.len());
+        assert!(slots.iter().all(|&s| s < range));
+    }
+
+    #[test]
+    fn roundtrips_through_seed_word() {
+        let keys: Vec<u64> = (0..9).map(|i| i * 31 + 5).collect();
+        let res = PerfectHashBuilder::default()
+            .build(&keys, 81, &mut rng(2))
+            .unwrap();
+        let rebuilt = PerfectHash::from_seed(res.hash.seed(), 81);
+        for &k in &keys {
+            assert_eq!(res.hash.eval(k), rebuilt.eval(k));
+        }
+    }
+
+    #[test]
+    fn expected_trials_small_for_quadratic_range() {
+        let mut total = 0u32;
+        let mut r = rng(3);
+        let rounds = 200;
+        for round in 0..rounds {
+            let keys: Vec<u64> = (0..10u64).map(|i| i * 7919 + round).collect();
+            let res = PerfectHashBuilder::default().build(&keys, 100, &mut r).unwrap();
+            total += res.trials;
+        }
+        let mean = total as f64 / rounds as f64;
+        assert!(mean < 3.0, "mean trials {mean} too high for quadratic range");
+    }
+
+    #[test]
+    fn empty_and_singleton_buckets() {
+        let mut r = rng(4);
+        let res = PerfectHashBuilder::default().build(&[], 1, &mut r).unwrap();
+        assert_eq!(res.trials, 1);
+        let res = PerfectHashBuilder::default().build(&[42], 1, &mut r).unwrap();
+        assert_eq!(res.hash.eval(42), 0);
+    }
+
+    #[test]
+    fn pigeonhole_impossible_returns_none() {
+        let mut r = rng(5);
+        assert!(PerfectHashBuilder::default()
+            .build(&[1, 2, 3], 2, &mut r)
+            .is_none());
+    }
+
+    #[test]
+    fn range_one_maps_everything_to_zero() {
+        let h = PerfectHash::from_seed(999, 1);
+        for x in [0u64, 5, u64::MAX] {
+            assert_eq!(h.eval(x), 0);
+        }
+    }
+
+    #[test]
+    fn tight_range_still_findable() {
+        // range = ℓ (minimal possible) is a harder search but must still
+        // succeed for tiny buckets within the default trial budget.
+        let keys = [10u64, 20, 30];
+        let res = PerfectHashBuilder::default()
+            .build(&keys, 3, &mut rng(6))
+            .expect("tight search should succeed for 3 keys");
+        let slots: HashSet<u64> = keys.iter().map(|&k| res.hash.eval(k)).collect();
+        assert_eq!(slots.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_injective_when_found(
+            raw in proptest::collection::hash_set(0..crate::field::MAX_KEY, 0..24),
+            seed in 0..u64::MAX,
+        ) {
+            let keys: Vec<u64> = raw.into_iter().collect();
+            let range = ((keys.len() * keys.len()).max(1)) as u64;
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            let res = PerfectHashBuilder::default().build(&keys, range, &mut r);
+            prop_assume!(res.is_some());
+            let res = res.unwrap();
+            let slots: HashSet<u64> = keys.iter().map(|&k| res.hash.eval(k)).collect();
+            prop_assert_eq!(slots.len(), keys.len());
+        }
+
+        #[test]
+        fn prop_eval_in_range(seed in 0..u64::MAX, range in 1..(1u64 << 32), x in 0..u64::MAX) {
+            let h = PerfectHash::from_seed(seed, range);
+            prop_assert!(h.eval(x) < range);
+        }
+    }
+}

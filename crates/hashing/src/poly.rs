@@ -1,0 +1,264 @@
+//! `d`-wise independent Carter–Wegman polynomial hash families `H^d_m`.
+//!
+//! A uniform degree-`(d-1)` polynomial over `GF(P)` evaluated at `d`
+//! distinct points yields `d` independent uniform field elements [1]; the
+//! final reduction to `[m]` by `mod m` perturbs uniformity by at most
+//! `m / P ≤ 2^-37` per point for every range used here, which is the
+//! standard (and here negligible) trade made by practical implementations.
+//!
+//! The paper (§2.1) uses members of `H^d_m` both directly and as the `f`
+//! and `g` ingredients of the DM family, and the query algorithm must be
+//! able to *reconstruct* a function from the raw coefficient words it reads
+//! out of the table — hence [`PolyHash::from_words`] / [`PolyHash::words`].
+
+use crate::family::{HashFamily, HashFunction};
+use crate::field::{Fe, P};
+use rand::Rng;
+
+/// The family `H^d_m`: uniform degree-`(d-1)` polynomials over `GF(P)`,
+/// reduced to `[m]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolyFamily {
+    d: usize,
+    m: u64,
+}
+
+impl PolyFamily {
+    /// Creates the family of `d`-wise independent functions into `[m]`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `m == 0` or `m > P`.
+    pub fn new(d: usize, m: u64) -> PolyFamily {
+        assert!(d >= 1, "independence degree must be at least 1");
+        assert!(m >= 1 && m <= P, "range must be in [1, P]");
+        PolyFamily { d, m }
+    }
+
+    /// The independence degree `d`.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// The range size `m`.
+    pub fn range(&self) -> u64 {
+        self.m
+    }
+}
+
+impl HashFamily for PolyFamily {
+    type Function = PolyHash;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PolyHash {
+        let coeffs = (0..self.d)
+            .map(|_| Fe::from_canonical(rng.random_range(0..P)))
+            .collect();
+        PolyHash {
+            coeffs,
+            m: self.m,
+        }
+    }
+}
+
+/// A sampled member of `H^d_m`: `h(x) = (Σ_i c_i x^i mod P) mod m`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolyHash {
+    /// Coefficients `c_0 .. c_{d-1}`, constant term first.
+    coeffs: Vec<Fe>,
+    m: u64,
+}
+
+impl PolyHash {
+    /// Reconstructs a function from raw coefficient words (e.g. read out of
+    /// a cell-probe table) and the range `m`.
+    ///
+    /// Words are reduced into the field, so any `u64` content is accepted;
+    /// round-tripping [`PolyHash::words`] is exact.
+    pub fn from_words(words: &[u64], m: u64) -> PolyHash {
+        assert!(!words.is_empty(), "a polynomial needs at least one word");
+        assert!(m >= 1 && m <= P);
+        PolyHash {
+            coeffs: words.iter().map(|&w| Fe::new(w)).collect(),
+            m,
+        }
+    }
+
+    /// The coefficient words, constant term first — exactly what the
+    /// construction algorithm writes into the table's replicated rows.
+    pub fn words(&self) -> Vec<u64> {
+        self.coeffs.iter().map(|c| c.value()).collect()
+    }
+
+    /// The independence degree (number of coefficients).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the polynomial over the field *without* the final range
+    /// reduction; useful when the caller layers its own reduction (as the
+    /// DM combination does).
+    #[inline]
+    pub fn eval_field(&self, x: u64) -> Fe {
+        let x = Fe::new(x);
+        // Horner's rule, highest coefficient first.
+        let mut acc = Fe::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul_add(x, c);
+        }
+        acc
+    }
+}
+
+/// Evaluates `(Σ_i words_i · x^i mod P)` by Horner's rule, reducing each
+/// word into the field — the allocation-free path query algorithms use
+/// after reading coefficient words out of a table into a stack buffer.
+#[inline]
+pub fn horner(words: &[u64], x: u64) -> u64 {
+    let x = Fe::new(x);
+    let mut acc = Fe::ZERO;
+    for &w in words.iter().rev() {
+        acc = acc.mul_add(x, Fe::new(w));
+    }
+    acc.value()
+}
+
+impl HashFunction for PolyHash {
+    #[inline]
+    fn eval(&self, x: u64) -> u64 {
+        self.eval_field(x).value() % self.m
+    }
+
+    fn range(&self) -> u64 {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn outputs_stay_in_range() {
+        let fam = PolyFamily::new(4, 97);
+        let h = fam.sample(&mut rng(1));
+        for x in 0..1000u64 {
+            assert!(h.eval(x) < 97);
+        }
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let fam = PolyFamily::new(5, 1 << 20);
+        let h = fam.sample(&mut rng(2));
+        let rebuilt = PolyHash::from_words(&h.words(), h.range());
+        for x in [0u64, 1, 17, 1 << 40, P - 1] {
+            assert_eq!(h.eval(x), rebuilt.eval(x));
+        }
+        assert_eq!(h, rebuilt);
+    }
+
+    #[test]
+    fn degree_one_is_constant() {
+        // d = 1 polynomials are constants: same output everywhere.
+        let fam = PolyFamily::new(1, 1000);
+        let h = fam.sample(&mut rng(3));
+        let v = h.eval(0);
+        for x in 1..100 {
+            assert_eq!(h.eval(x), v);
+        }
+    }
+
+    #[test]
+    fn horner_matches_naive_evaluation() {
+        let h = PolyHash::from_words(&[3, 5, 7], 1 << 30);
+        // 3 + 5x + 7x² at x = 10 → 753.
+        assert_eq!(h.eval_field(10).value(), 753);
+    }
+
+    #[test]
+    fn horner_matches_polyhash_eval() {
+        let fam = PolyFamily::new(4, 1 << 20);
+        let h = fam.sample(&mut rng(7));
+        let words = h.words();
+        for x in [0u64, 1, 999_999, P - 1] {
+            assert_eq!(horner(&words, x) % h.range(), h.eval(x));
+            assert_eq!(horner(&words, x), h.eval_field(x).value());
+        }
+    }
+
+    #[test]
+    fn pairwise_uniformity_chi_squared_smoke() {
+        // For a pairwise family, each output value should appear ~uniformly
+        // over many sampled functions at a fixed point.
+        let m = 8u64;
+        let fam = PolyFamily::new(2, m);
+        let mut counts = vec![0u32; m as usize];
+        let mut r = rng(4);
+        let trials = 8000;
+        for _ in 0..trials {
+            let h = fam.sample(&mut r);
+            counts[h.eval(123_456) as usize] += 1;
+        }
+        let expected = trials as f64 / m as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "value {v} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_probability_is_near_one_over_m() {
+        let m = 64u64;
+        let fam = PolyFamily::new(2, m);
+        let mut r = rng(5);
+        let trials = 20_000;
+        let mut collisions = 0u32;
+        for _ in 0..trials {
+            let h = fam.sample(&mut r);
+            if h.eval(1) == h.eval(2) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let ideal = 1.0 / m as f64;
+        assert!(
+            (rate - ideal).abs() < 0.6 * ideal + 0.003,
+            "collision rate {rate:.5} vs ideal {ideal:.5}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "independence degree")]
+    fn zero_degree_rejected() {
+        let _ = PolyFamily::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be")]
+    fn zero_range_rejected() {
+        let _ = PolyFamily::new(2, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_below_range(words in proptest::collection::vec(0..u64::MAX, 1..6),
+                                 m in 1..(1u64 << 40),
+                                 x in 0..P) {
+            let h = PolyHash::from_words(&words, m);
+            prop_assert!(h.eval(x) < m);
+        }
+
+        #[test]
+        fn prop_roundtrip(words in proptest::collection::vec(0..P, 1..6), x in 0..P) {
+            let h = PolyHash::from_words(&words, 1 << 20);
+            let again = PolyHash::from_words(&h.words(), 1 << 20);
+            prop_assert_eq!(h.eval(x), again.eval(x));
+        }
+    }
+}

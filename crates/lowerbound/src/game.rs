@@ -1,0 +1,249 @@
+//! The communication game of Lemma 14, playable.
+//!
+//! An algorithm `A''` (standing for `n` parallel query instances) sends
+//! per-round **probe specifications** — `n × s` matrices `P_t` with
+//!
+//! 1. `Σ_j P_t(i,j) ≤ 1` (each instance makes ≤ 1 probe), and
+//! 2. `max_j P_t(i,j) ≤ φ*/q_i` (the contention constraint);
+//!
+//! the black box answers with at most `b · Σ_j max_i P_t(i,j)` expected
+//! bits (Lemma 21's coupling bound). The adversary of Theorem 13 raises
+//! entries of `q` between rounds (Lemma 15) to keep every round's
+//! information at most `b·r_t` bits.
+//!
+//! The playable game here validates the *mechanics*: constraint checking,
+//! per-round information accounting, the adversary loop, and the resulting
+//! information starvation for balanced strategies — experiment F5's
+//! companion.
+
+use crate::lemmas::{column_max_sum, lemma15_adversary, violates_all_rows};
+use rand::Rng;
+
+/// Checks the probe-specification constraints (1) and (2) against the
+/// current `q`; returns the first violation.
+pub fn check_probe_spec(p: &[Vec<f64>], q: &[f64], phi_star: f64) -> Result<(), String> {
+    for (i, row) in p.iter().enumerate() {
+        if row.iter().any(|&v| v < 0.0) {
+            return Err(format!("row {i} has a negative entry"));
+        }
+        let sum: f64 = row.iter().sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("row {i} total probability {sum} exceeds 1"));
+        }
+        let mx = row.iter().copied().fold(0.0, f64::max);
+        if q[i] > 0.0 && mx > phi_star / q[i] + 1e-12 {
+            return Err(format!(
+                "row {i}: max entry {mx} exceeds φ*/q_i = {}",
+                phi_star / q[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The black box's per-round information budget (constraint (3)):
+/// `b · Σ_j max_i P(i,j)` bits.
+pub fn info_bound(p: &[Vec<f64>], b: f64) -> f64 {
+    b * column_max_sum(p)
+}
+
+/// A transcript of one played game.
+#[derive(Clone, Debug)]
+pub struct GameTranscript {
+    /// Bits granted per round.
+    pub bits_per_round: Vec<f64>,
+    /// The adversary's final `q`.
+    pub q: Vec<f64>,
+    /// Total bits after all rounds.
+    pub total_bits: f64,
+    /// The target `n · 2^{-2t*}` the algorithm needed.
+    pub needed_bits: f64,
+}
+
+impl GameTranscript {
+    /// Did the algorithm gather enough information?
+    pub fn algorithm_wins(&self) -> bool {
+        self.total_bits >= self.needed_bits
+    }
+}
+
+/// Plays `t_star` rounds between a probe strategy and the Theorem 13
+/// adversary.
+///
+/// `strategy(round, q)` returns the algorithm's `P_t` given the mass the
+/// adversary has revealed so far (the adversary's `q` raises are public —
+/// this only *helps* the algorithm, making the starvation result
+/// conservative). Each round the adversary tries to violate "good" rows by
+/// raising `q` mass (Lemma 15 with ε = 1/t*, δ = φ*·s); the box then pays
+/// out `min(info bound, what's left of the paper's b·r_t cap)`.
+///
+/// # Panics
+/// Panics if the strategy emits an invalid probe specification.
+pub fn play<R: Rng + ?Sized, F>(
+    n: usize,
+    s: usize,
+    b: f64,
+    phi_star: f64,
+    t_star: u32,
+    mut strategy: F,
+    rng: &mut R,
+) -> GameTranscript
+where
+    F: FnMut(u32, &[f64]) -> Vec<Vec<f64>>,
+{
+    let mut q = vec![0.0; n];
+    let mut bits_per_round = Vec::with_capacity(t_star as usize);
+    let eps = 1.0 / t_star as f64;
+    let delta = phi_star * s as f64;
+
+    for t in 0..t_star {
+        let p = strategy(t, &q);
+        assert_eq!(p.len(), n, "P must have n rows");
+        assert!(p.iter().all(|r| r.len() == s), "P must have s columns");
+        check_probe_spec(&p, &q, phi_star)
+            .unwrap_or_else(|e| panic!("round {t}: invalid probe spec: {e}"));
+
+        // Adversary move: M(u=this P, i) = φ*/max_j P(i,j); raise q on a
+        // hitting set of the small entries (Lemma 15 with a single row —
+        // the branching factor collapses because we play one transcript).
+        let m_row: Vec<f64> = p
+            .iter()
+            .map(|row| {
+                let mx = row.iter().copied().fold(0.0, f64::max);
+                if mx > 0.0 {
+                    phi_star / mx
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        // r_t per the theorem: √(5 t* φ* s n ln N_t); with one branch
+        // (ln N_t ~ bits of last round) keep it simple and well-defined:
+        let last_bits = bits_per_round.last().copied().unwrap_or(b * phi_star * s as f64);
+        let ln_nt = (last_bits * std::f64::consts::LN_2).max(1.0);
+        let r_t = ((5.0 * t_star as f64 * phi_star * s as f64 * n as f64 * ln_nt).sqrt()
+            as usize)
+            .clamp(2, n);
+        let finite_small = {
+            // Rows (here: instance indices) with small M values — candidates
+            // whose contention headroom the adversary can choke.
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &bb| m_row[a].partial_cmp(&m_row[bb]).unwrap());
+            idx.truncate(r_t);
+            idx
+        };
+        let row_sum: f64 = finite_small
+            .iter()
+            .map(|&i| if m_row[i].is_finite() { m_row[i] } else { 0.0 })
+            .sum();
+        if row_sum <= delta {
+            // The row is "good": the adversary can violate it (Lemma 15).
+            let m_matrix = vec![m_row.clone()];
+            if let Some(adv) = lemma15_adversary(&m_matrix, eps, r_t, rng, 200) {
+                if violates_all_rows(&m_matrix, &adv.q) {
+                    for (qi, &ai) in q.iter_mut().zip(&adv.q) {
+                        *qi = qi.max(ai);
+                    }
+                }
+            }
+        }
+
+        bits_per_round.push(info_bound(&p, b));
+    }
+
+    let total_bits: f64 = bits_per_round.iter().sum();
+    let needed_bits = n as f64 * 2f64.powi(-(2 * t_star as i32));
+    GameTranscript {
+        bits_per_round,
+        q,
+        total_bits,
+        needed_bits,
+    }
+}
+
+/// The canonical *balanced* strategy: every instance probes uniformly over
+/// all `s` cells (maximum balance, minimum information).
+pub fn uniform_strategy(n: usize, s: usize) -> impl FnMut(u32, &[f64]) -> Vec<Vec<f64>> {
+    move |_t, _q| vec![vec![1.0 / s as f64; s]; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constraint_checker_accepts_valid_specs() {
+        let p = vec![vec![0.25; 4]; 2];
+        let q = vec![0.0, 0.5];
+        // φ*/q_1 = 0.2/0.5 = 0.4 ≥ 0.25 ✓
+        check_probe_spec(&p, &q, 0.2).unwrap();
+    }
+
+    #[test]
+    fn constraint_checker_rejects_row_sum() {
+        let p = vec![vec![0.6, 0.6]];
+        let err = check_probe_spec(&p, &[0.0], 1.0).unwrap_err();
+        assert!(err.contains("exceeds 1"));
+    }
+
+    #[test]
+    fn constraint_checker_rejects_contention_violation() {
+        let p = vec![vec![0.5, 0.0]];
+        // q_0 = 0.5, φ* = 0.1 → cap 0.2 < 0.5.
+        let err = check_probe_spec(&p, &[0.5], 0.1).unwrap_err();
+        assert!(err.contains("φ*"));
+    }
+
+    #[test]
+    fn info_bound_matches_column_sum() {
+        let p = vec![vec![0.5, 0.5], vec![0.25, 0.75]];
+        // col maxes: 0.5, 0.75 → 1.25 · b
+        assert!((info_bound(&p, 8.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_strategy_starves() {
+        // A perfectly balanced strategy learns b·s·(1/s)·… = b bits per
+        // round; for n ≫ b·t*, that is far below n·2^{-2t*} when t* is
+        // small — the information starvation at the heart of Theorem 13.
+        let (n, s, b) = (1 << 9, 1 << 9, 8.0);
+        let phi_star = 1.0 / s as f64;
+        let t_star = 2;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let transcript = play(n, s, b, phi_star, t_star, uniform_strategy(n, s), &mut rng);
+        // Needed: n·2^{-2t*} = 512/16 = 32 bits; uniform gets b = 8 per round.
+        assert!(
+            !transcript.algorithm_wins(),
+            "uniform probing with t* = 2 must starve: got {} of {} bits",
+            transcript.total_bits,
+            transcript.needed_bits
+        );
+        // Per-round info for the uniform spec is exactly b (Σ_j max_i = 1).
+        for &bits in &transcript.bits_per_round {
+            assert!((bits - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn enough_rounds_let_the_algorithm_win() {
+        // With generous t*, the needed bits n·2^{-2t*} collapse below the
+        // accumulated b·t* — matching the Ω(log log n) shape (the bound is
+        // vacuous for large t*).
+        let (n, s, b) = (1 << 10, 1 << 10, 16.0);
+        let phi_star = 1.0 / s as f64;
+        let t_star = 8; // n·2^{-16} = 0.015 ≪ 8·16 bits
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let transcript = play(n, s, b, phi_star, t_star, uniform_strategy(n, s), &mut rng);
+        assert!(transcript.algorithm_wins());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probe spec")]
+    fn invalid_strategy_is_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let bad = |_t: u32, _q: &[f64]| vec![vec![2.0, 0.0]];
+        let _ = play(1, 2, 1.0, 1.0, 1, bad, &mut rng);
+    }
+}

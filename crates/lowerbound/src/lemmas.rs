@@ -1,0 +1,338 @@
+//! Constructive versions of the two combinatorial lemmas behind Theorem 13.
+//!
+//! * **Lemma 16** (pigeonhole bound): for a nonnegative `n × s` matrix `P`
+//!   with row sums ≤ 1, `Σ_j max_i P(i,j) ≤ |R|`, where `R` is the largest
+//!   row set with `Σ_{i∈R} 1/max_j P(i,j) ≤ s`. This is what converts "the
+//!   probes are spread out" into "few bits can be learned per round".
+//! * **Lemma 15** (the adversary's move): if every row of an `N × n`
+//!   matrix `M` has `r` entries summing to ≤ δ, then some sparse stochastic
+//!   vector `q` (total mass ε) *violates* every row — `M(u,i) < q_i`
+//!   somewhere. The paper proves `T` exists by the probabilistic method;
+//!   here we actually search for it (seeded, with retries) and return the
+//!   witness `q`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `Σ_j max_i P(i,j)` — the number of "useful" cells per round.
+pub fn column_max_sum(p: &[Vec<f64>]) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    let s = p[0].len();
+    (0..s)
+        .map(|j| p.iter().map(|row| row[j]).fold(0.0, f64::max))
+        .sum()
+}
+
+/// The size of the largest row set `R` with `Σ_{i∈R} 1/max_j P(i,j) ≤ s`
+/// (rows with all-zero entries have infinite cost and never join).
+pub fn lemma16_r_size(p: &[Vec<f64>]) -> usize {
+    if p.is_empty() {
+        return 0;
+    }
+    let s = p[0].len() as f64;
+    let mut costs: Vec<f64> = p
+        .iter()
+        .map(|row| {
+            let mx = row.iter().copied().fold(0.0, f64::max);
+            if mx > 0.0 {
+                1.0 / mx
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut total = 0.0;
+    let mut count = 0;
+    for c in costs {
+        if total + c <= s {
+            total += c;
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+/// Checks Lemma 16's inequality on a matrix (used by property tests and
+/// experiment T8), in the **corrected** form `column_max_sum ≤ |R| + 1`.
+///
+/// The paper states `Σ_j max_i P(i,j) ≤ |R|`, arguing the LP
+/// `max Σ x_i s.t. Σ x_i / max_j P(i,j) ≤ s, 0 ≤ x_i ≤ 1` is maximized by
+/// an integral solution supported on `R`. The LP optimum actually admits
+/// one *fractional* row beyond `R` (greedy LP filling), so the tight
+/// integral statement carries a `+1`: see
+/// [`tests::paper_statement_has_off_by_one`] for a concrete 2×6 matrix
+/// where `Σ_j max_i = 1.74 > |R| = 1`. The slack is absorbed by Theorem
+/// 13's constants; we implement and test the corrected bound.
+pub fn lemma16_holds(p: &[Vec<f64>]) -> bool {
+    column_max_sum(p) <= lemma16_r_size(p) as f64 + 1.0 + 1e-9
+}
+
+/// The exact LP optimum `max Σ x_i` subject to
+/// `Σ x_i / max_j P(i,j) ≤ s`, `0 ≤ x_i ≤ 1` — a true upper bound on
+/// [`column_max_sum`] (the sound version of the Lemma 16 argument).
+pub fn lemma16_lp_bound(p: &[Vec<f64>]) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    let s = p[0].len() as f64;
+    let mut costs: Vec<f64> = p
+        .iter()
+        .map(|row| {
+            let mx = row.iter().copied().fold(0.0, f64::max);
+            if mx > 0.0 {
+                1.0 / mx
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut budget = s;
+    let mut value = 0.0;
+    for c in costs {
+        if !c.is_finite() {
+            break;
+        }
+        if c <= budget {
+            budget -= c;
+            value += 1.0;
+        } else {
+            value += budget / c;
+            break;
+        }
+    }
+    value
+}
+
+/// Outcome of the Lemma 15 construction.
+#[derive(Clone, Debug)]
+pub struct AdversaryVector {
+    /// The stochastic vector `q` (mass ε spread over the hitting set `T`).
+    pub q: Vec<f64>,
+    /// The hitting set the construction found.
+    pub t_set: Vec<usize>,
+    /// Random `T` draws needed (expected O(1); the probabilistic method
+    /// says each draw succeeds with positive probability).
+    pub draws: u32,
+}
+
+/// Constructs the Lemma 15 vector `q` for matrix `M` (N×n), mass `ε`, row
+/// budget `δ`, and per-row small-entry sets of size `r`.
+///
+/// For each row, `R'_u` = indices of its `r/2` smallest entries among the
+/// `r` smallest (as in the paper's proof we take the `r` smallest entries
+/// as `R_u`, which certainly satisfy the sum bound if any set does). A
+/// uniformly random `T` of size `⌈2n·lnN / r⌉` is drawn until it hits every
+/// `R'_u`; then `q_i = ε/|T|` on `T`.
+///
+/// Returns `None` if `r` is too large for the matrix or no `T` was found in
+/// `max_draws` attempts (the probabilistic method promises success quickly
+/// when the preconditions hold).
+pub fn lemma15_adversary<R: Rng + ?Sized>(
+    m: &[Vec<f64>],
+    eps: f64,
+    r: usize,
+    rng: &mut R,
+    max_draws: u32,
+) -> Option<AdversaryVector> {
+    let big_n = m.len();
+    if big_n == 0 {
+        return None;
+    }
+    let n = m[0].len();
+    if r < 2 || r > n {
+        return None;
+    }
+
+    // R'_u: indices of the r/2 smallest entries of row u.
+    let half = (r / 2).max(1);
+    let r_primes: Vec<Vec<usize>> = m
+        .iter()
+        .map(|row| {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap());
+            idx.truncate(half);
+            idx
+        })
+        .collect();
+
+    let t_size = ((2.0 * n as f64 * (big_n as f64).ln() / r as f64).ceil() as usize)
+        .clamp(1, n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    for draw in 1..=max_draws {
+        indices.shuffle(rng);
+        let t_set: Vec<usize> = indices[..t_size].to_vec();
+        let member = {
+            let mut mask = vec![false; n];
+            for &i in &t_set {
+                mask[i] = true;
+            }
+            mask
+        };
+        if r_primes
+            .iter()
+            .all(|rp| rp.iter().any(|&i| member[i]))
+        {
+            let mut q = vec![0.0; n];
+            let share = eps / t_set.len() as f64;
+            for &i in &t_set {
+                q[i] = share;
+            }
+            return Some(AdversaryVector {
+                q,
+                t_set,
+                draws: draw,
+            });
+        }
+    }
+    None
+}
+
+/// Does `q` violate every row of `M` (∀u ∃i : M(u,i) < q_i)? — the property
+/// Lemma 15 promises.
+pub fn violates_all_rows(m: &[Vec<f64>], q: &[f64]) -> bool {
+    m.iter()
+        .all(|row| row.iter().zip(q).any(|(&mv, &qv)| mv < qv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn column_max_sum_simple() {
+        let p = vec![vec![0.5, 0.0], vec![0.25, 0.25]];
+        assert!((column_max_sum(&p) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma16_r_size_simple() {
+        // Row maxima 0.5 and 0.25 → costs 2 and 4; s = 2 admits only the
+        // cheapest row.
+        let p = vec![vec![0.5, 0.0], vec![0.25, 0.25]];
+        assert_eq!(lemma16_r_size(&p), 1);
+        assert!(lemma16_holds(&p));
+    }
+
+    #[test]
+    fn lemma16_tightness_uniform_rows() {
+        // Uniform rows P(i,j) = 1/s: lhs = n·(1/s)·s/s… lhs = Σ_j 1/s = 1
+        // wait: max_i = 1/s per column, sum = s·(1/s) = 1. Costs = s each;
+        // R holds exactly one row. 1 ≤ 1: tight.
+        let n = 4;
+        let s = 6;
+        let p = vec![vec![1.0 / s as f64; s]; n];
+        assert!((column_max_sum(&p) - 1.0).abs() < 1e-12);
+        assert_eq!(lemma16_r_size(&p), 1);
+    }
+
+    #[test]
+    fn lemma16_point_mass_rows() {
+        // Each row concentrates on its own column: lhs = n (if n ≤ s),
+        // costs = 1 each → |R| = min(n, s) = n. Tight again.
+        let n = 3;
+        let s = 5;
+        let mut p = vec![vec![0.0; s]; n];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        assert!((column_max_sum(&p) - 3.0).abs() < 1e-12);
+        assert_eq!(lemma16_r_size(&p), 3);
+    }
+
+    #[test]
+    fn zero_matrix_edge_cases() {
+        let p = vec![vec![0.0; 4]; 3];
+        assert_eq!(column_max_sum(&p), 0.0);
+        assert_eq!(lemma16_r_size(&p), 0);
+        assert!(lemma16_holds(&p));
+        assert!(lemma16_holds(&[]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lemma16_on_random_stochastic_matrices(
+            raw in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 6), 1..8),
+        ) {
+            // Normalize rows to sum ≤ 1.
+            let p: Vec<Vec<f64>> = raw.into_iter().map(|row| {
+                let sum: f64 = row.iter().sum();
+                if sum > 1.0 { row.into_iter().map(|v| v / sum).collect() } else { row }
+            }).collect();
+            prop_assert!(lemma16_holds(&p));
+            // The LP relaxation is the sound bound and must always hold.
+            prop_assert!(column_max_sum(&p) <= lemma16_lp_bound(&p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_statement_has_off_by_one() {
+        // Found by the property test above: after row normalization, the
+        // two row costs are 2.7277 + 3.2737 = 6.0013 > s = 6, so the
+        // paper's R holds only one row — yet Σ_j max_i P(i,j) = 1.7379.
+        // The LP bound (one fractional row allowed) covers it: ≈ 2.0.
+        let raw = vec![
+            vec![0.0, 0.0, 0.0, 0.562_403_627_365_870_2, 0.617_080_946_537_133_3, 0.503_714_547_068_102_5],
+            vec![0.825_601_145_819_982_8, 0.963_263_984_476_271_2, 0.538_124_368_482_471_5, 0.431_373_531_698_92, 0.395_029_993_933_299_7, 0.0],
+        ];
+        let p: Vec<Vec<f64>> = raw
+            .into_iter()
+            .map(|row| {
+                let sum: f64 = row.iter().sum();
+                row.into_iter().map(|v| v / sum).collect()
+            })
+            .collect();
+        let lhs = column_max_sum(&p);
+        let r = lemma16_r_size(&p);
+        assert!(lhs > r as f64, "the literal Lemma 16 fails here: {lhs} > {r}");
+        assert!(lhs <= lemma16_lp_bound(&p) + 1e-9, "the LP form holds");
+        assert!(lhs <= r as f64 + 1.0, "the +1 form holds");
+    }
+
+    #[test]
+    fn lemma15_finds_violating_vector() {
+        // Rows with many tiny entries: the adversary must find q violating
+        // all of them.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let big_n = 20;
+        let n = 64;
+        // Each row: entries tiny (1e-6) except a few big ones.
+        let m: Vec<Vec<f64>> = (0..big_n)
+            .map(|u| {
+                (0..n)
+                    .map(|i| if (i + u) % 7 == 0 { 0.5 } else { 1e-6 })
+                    .collect()
+            })
+            .collect();
+        let r = 16;
+        let adv = lemma15_adversary(&m, 0.5, r, &mut rng, 1000).expect("adversary must succeed");
+        assert!(violates_all_rows(&m, &adv.q), "q must violate every row");
+        let mass: f64 = adv.q.iter().sum();
+        assert!((mass - 0.5).abs() < 1e-9, "mass {mass}");
+        assert!(adv.draws <= 1000);
+    }
+
+    #[test]
+    fn lemma15_rejects_bad_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(lemma15_adversary(&[], 0.5, 4, &mut rng, 10).is_none());
+        let m = vec![vec![0.1; 4]];
+        assert!(lemma15_adversary(&m, 0.5, 1, &mut rng, 10).is_none());
+        assert!(lemma15_adversary(&m, 0.5, 9, &mut rng, 10).is_none());
+    }
+
+    #[test]
+    fn violates_all_rows_is_exact() {
+        let m = vec![vec![0.1, 0.9], vec![0.9, 0.1]];
+        assert!(violates_all_rows(&m, &[0.2, 0.2]));
+        assert!(!violates_all_rows(&m, &[0.05, 0.2])); // row 1 unviolated? 0.9<0.05 no, 0.1<0.2 yes… row0: 0.1<0.05 no, 0.9<0.2 no → fails
+    }
+}

@@ -1,0 +1,41 @@
+//! Section 3 of the paper, mechanized: the lower bound showing that for
+//! *arbitrary* query distributions, balanced cell-probing schemes (with
+//! independent probes, `b ≤ polylog(n)` bits per cell, and contention
+//! `φ* ≤ polylog(n)/s`) need `t* = Ω(log log n)` probes on any problem of
+//! VC-dimension `n`.
+//!
+//! A lower bound cannot be "run", but every ingredient of its proof can be
+//! implemented, exercised, and measured:
+//!
+//! * [`vcdim`] — Definition 11 by brute force; verifies VC-dim(membership)
+//!   `= n` (experiment T9).
+//! * [`lemmas`] — Lemma 16's pigeonhole bound (property-tested on random
+//!   stochastic matrices) and Lemma 15's adversary construction, actually
+//!   searching for the hitting set the paper only proves exists (T8).
+//! * [`productspace`] — Appendix A's Lemma 19 simulation (≥ ¼ success,
+//!   exact conditional marginals) and Lemma 21 coupling (expected distinct
+//!   cells ≤ `Σ_j max_i`), both validated by Monte Carlo (T7).
+//! * [`game`] — the Lemma 14 communication game, playable against the
+//!   Theorem 13 adversary; shows balanced strategies starving.
+//! * [`recursion`] — the information recursion
+//!   `E[C_t] ≤ √(a·E[C_{t−1}])` solved numerically: minimal feasible `t*`
+//!   vs `n` reproduces the `log log n` curve (F5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blackbox;
+pub mod game;
+pub mod lemmas;
+pub mod productspace;
+pub mod recursion;
+pub mod tree;
+pub mod vcdim;
+
+pub use blackbox::{measure_info, InfoMeasurement};
+pub use game::{check_probe_spec, info_bound, play, uniform_strategy, GameTranscript};
+pub use lemmas::{column_max_sum, lemma15_adversary, lemma16_holds, lemma16_r_size};
+pub use productspace::{coupled_sample, simulate_probe, union_bound};
+pub use recursion::{feasible, min_t_star, tstar_series};
+pub use tree::{play_tree, GreedyTree, TreeStrategy, TreeTranscript, UniformTree};
+pub use vcdim::ProblemTable;

@@ -1,0 +1,249 @@
+//! The product-space cell-probe simulation of Appendix A (Lemmas 19 & 21).
+//!
+//! **Lemma 19**: any single randomized probe (a distribution `p` over `s`
+//! cells) can be simulated by probing every cell *independently* — probe
+//! cell `i` with probability `min(p_i, ½)`, fail unless exactly one cell
+//! was probed, and apply a correction rejection — succeeding with
+//! probability ≥ ¼ and, conditioned on success, landing on cell `i` with
+//! probability exactly `p_i`.
+//!
+//! **Lemma 21**: `n` product-space probes can be *coupled* (same marginals)
+//! so the expected number of **distinct** cells probed is at most
+//! `Σ_j max_i Pr[j ∈ J_i]` — the quantity the black box charges for in the
+//! communication game.
+
+use rand::Rng;
+
+/// One product-space simulation step (Lemma 19's construction).
+///
+/// Returns `Some(i)` when the simulation succeeds and selects cell `i`;
+/// `None` on failure (probability ≤ ¾ per the lemma).
+///
+/// # Panics
+/// Panics if `p` is not a probability vector (within 1e-9).
+pub fn simulate_probe<R: Rng + ?Sized>(p: &[f64], rng: &mut R) -> Option<usize> {
+    let total: f64 = p.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9 && p.iter().all(|&v| v >= 0.0),
+        "p must be a probability vector (sum {total})"
+    );
+    // Independently probe each cell with p'_i = min(p_i, 1/2).
+    let mut chosen = None;
+    let mut count = 0;
+    for (i, &pi) in p.iter().enumerate() {
+        let pp = pi.min(0.5);
+        if pp > 0.0 && rng.random::<f64>() < pp {
+            count += 1;
+            if count > 1 {
+                return None; // |J| > 1 (keep sampling not needed: fail fast)
+            }
+            chosen = Some(i);
+        }
+    }
+    let i = match (count, chosen) {
+        (1, Some(i)) => i,
+        _ => return None, // |J| ≠ 1
+    };
+    // Correction rejection ε_i = min(p_i, 1 − p_i).
+    let eps = p[i].min(1.0 - p[i]);
+    if rng.random::<f64>() < eps {
+        return None;
+    }
+    Some(i)
+}
+
+/// Lemma 21's coupling: given `n` marginal vectors `probs[i][j] =
+/// Pr[j ∈ J_i]`, draws one coupled sample `(L_1, …, L_n)`.
+///
+/// Construction: choose the shared pool `B` by including each cell `j`
+/// independently with probability `p̃_j = max_i probs[i][j]`; each `L_i`
+/// then subsamples `B` cell-wise with probability `probs[i][j] / p̃_j`.
+pub fn coupled_sample<R: Rng + ?Sized>(probs: &[Vec<f64>], rng: &mut R) -> Vec<Vec<usize>> {
+    if probs.is_empty() {
+        return Vec::new();
+    }
+    let s = probs[0].len();
+    assert!(probs.iter().all(|p| p.len() == s));
+    let p_max: Vec<f64> = (0..s)
+        .map(|j| probs.iter().map(|p| p[j]).fold(0.0, f64::max))
+        .collect();
+    let b: Vec<usize> = (0..s)
+        .filter(|&j| p_max[j] > 0.0 && rng.random::<f64>() < p_max[j])
+        .collect();
+    probs
+        .iter()
+        .map(|p| {
+            b.iter()
+                .copied()
+                .filter(|&j| rng.random::<f64>() < p[j] / p_max[j])
+                .collect()
+        })
+        .collect()
+}
+
+/// `Σ_j max_i probs[i][j]` — Lemma 21's bound on the expected number of
+/// distinct probed cells.
+pub fn union_bound(probs: &[Vec<f64>]) -> f64 {
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let s = probs[0].len();
+    (0..s)
+        .map(|j| probs.iter().map(|p| p[j]).fold(0.0, f64::max))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn success_rate_at_least_quarter_uniform() {
+        let p = vec![0.125; 8];
+        let mut r = rng(1);
+        let trials = 40_000;
+        let ok = (0..trials).filter(|_| simulate_probe(&p, &mut r).is_some()).count();
+        let rate = ok as f64 / trials as f64;
+        assert!(rate >= 0.25 - 0.01, "success rate {rate} < 1/4");
+    }
+
+    #[test]
+    fn success_rate_at_least_quarter_with_heavy_cell() {
+        // Case 2 of the proof: one p_i > 1/2.
+        let p = vec![0.7, 0.1, 0.1, 0.1];
+        let mut r = rng(2);
+        let trials = 40_000;
+        let ok = (0..trials).filter(|_| simulate_probe(&p, &mut r).is_some()).count();
+        let rate = ok as f64 / trials as f64;
+        assert!(rate >= 0.25 - 0.01, "success rate {rate} < 1/4");
+    }
+
+    #[test]
+    fn conditional_distribution_matches_p() {
+        let p = vec![0.6, 0.3, 0.1];
+        let mut r = rng(3);
+        let mut counts = [0u64; 3];
+        let mut successes = 0u64;
+        for _ in 0..200_000 {
+            if let Some(i) = simulate_probe(&p, &mut r) {
+                counts[i] += 1;
+                successes += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / successes as f64;
+            assert!(
+                (emp - p[i]).abs() < 0.01,
+                "cell {i}: conditional {emp:.4} vs target {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn point_mass_is_deterministic_modulo_failure() {
+        // p = (1, 0, …): p' = 1/2, ε = 0 → succeeds w.p. 1/2, always cell 0.
+        let p = vec![1.0, 0.0];
+        let mut r = rng(4);
+        let mut ok = 0;
+        for _ in 0..10_000 {
+            if let Some(i) = simulate_probe(&p, &mut r) {
+                assert_eq!(i, 0);
+                ok += 1;
+            }
+        }
+        let rate = ok as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability vector")]
+    fn non_stochastic_p_rejected() {
+        let _ = simulate_probe(&[0.5, 0.1], &mut rng(5));
+    }
+
+    #[test]
+    fn coupled_marginals_are_preserved() {
+        // Two probe vectors sharing cells; check marginal inclusion rates.
+        let probs = vec![vec![0.4, 0.2, 0.0], vec![0.1, 0.2, 0.3]];
+        let mut r = rng(6);
+        let trials = 100_000;
+        let mut inc = [[0u64; 3]; 2];
+        for _ in 0..trials {
+            let ls = coupled_sample(&probs, &mut r);
+            for (i, l) in ls.iter().enumerate() {
+                for &j in l {
+                    inc[i][j] += 1;
+                }
+            }
+        }
+        for i in 0..2 {
+            for j in 0..3 {
+                let emp = inc[i][j] as f64 / trials as f64;
+                assert!(
+                    (emp - probs[i][j]).abs() < 0.01,
+                    "L{i} cell {j}: {emp:.4} vs {}",
+                    probs[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_union_respects_lemma21_bound() {
+        let probs = vec![vec![0.5, 0.5, 0.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.5, 0.5]];
+        let bound = union_bound(&probs); // 3 · 0.5 = 1.5
+        assert!((bound - 1.5).abs() < 1e-12);
+        let mut r = rng(7);
+        let trials = 50_000;
+        let mut total_union = 0u64;
+        for _ in 0..trials {
+            let ls = coupled_sample(&probs, &mut r);
+            let union: HashSet<usize> = ls.into_iter().flatten().collect();
+            total_union += union.len() as u64;
+        }
+        let mean = total_union as f64 / trials as f64;
+        assert!(
+            mean <= bound + 0.02,
+            "coupled union mean {mean:.4} exceeds bound {bound}"
+        );
+    }
+
+    #[test]
+    fn independent_sampling_would_exceed_the_coupled_union() {
+        // Sanity: with *independent* draws the expected union for the
+        // 3-vector example above is 3·(1−(1−½)³)·… > 1.5 coupled bound.
+        // Analytically: each cell present w.p. 1−(1/2)² = 0.75 for the two
+        // rows that use it → E|union| = 3·0.75 = 2.25 > 1.5.
+        let probs = vec![vec![0.5, 0.5, 0.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.5, 0.5]];
+        let mut r = rng(8);
+        let trials = 50_000;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut union = HashSet::new();
+            for p in &probs {
+                for (j, &pj) in p.iter().enumerate() {
+                    if pj > 0.0 && r.random::<f64>() < pj {
+                        union.insert(j);
+                    }
+                }
+            }
+            total += union.len() as u64;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean > 2.1, "independent union mean {mean}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(union_bound(&[]), 0.0);
+        assert!(coupled_sample(&[], &mut rng(9)).is_empty());
+    }
+}

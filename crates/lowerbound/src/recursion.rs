@@ -1,0 +1,149 @@
+//! The Theorem 13 information recursion, solved numerically.
+//!
+//! With `a₁ = b·φ*·s` and `a = (5 ln 2)·b²·t*·φ*·s·n`, the proof derives
+//!
+//! ```text
+//! E[C_1] ≤ a₁,   E[C_t] ≤ √(a · E[C_{t-1}])   ⇒   E[C_t] ≤ a₁^{2^{1-t}} · a^{1-2^{1-t}},
+//! ```
+//!
+//! and the algorithm needs `Σ_{t ≤ t*} E[C_t] ≥ n · 2^{-2t*}` bits. For
+//! `b ≤ polylog(n)` and `φ* ≤ polylog(n)/s`, feasibility forces
+//! `t* = Ω(log log n)`. [`min_t_star`] finds the smallest feasible `t*`
+//! for concrete `(n, b, polylog factors)`; experiment F5 plots it against
+//! `log₂ log₂ n`.
+
+/// Per-round information ceiling `E[C_t] ≤ a₁^{2^{1-t}} · a^{1-2^{1-t}}`
+/// (in log₂ space to avoid overflow for huge `n`).
+fn log2_ct_bound(t: u32, log2_a1: f64, log2_a: f64) -> f64 {
+    let w = 2f64.powi(1 - t as i32); // 2^{1-t}
+    w * log2_a1 + (1.0 - w) * log2_a
+}
+
+/// `log₂ Σ_{t=1..t*} bound_t`, computed stably via max + log-sum-exp.
+fn log2_total_bits(t_star: u32, log2_a1: f64, log2_a: f64) -> f64 {
+    let logs: Vec<f64> = (1..=t_star)
+        .map(|t| log2_ct_bound(t, log2_a1, log2_a))
+        .collect();
+    let mx = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = logs.iter().map(|&l| 2f64.powf(l - mx)).sum();
+    mx + sum.log2()
+}
+
+/// Is `t*` rounds *possibly* enough — does the recursion ceiling reach the
+/// required `n · 2^{-2t*}` bits?
+pub fn feasible(t_star: u32, log2_n: f64, b: f64, phi_s: f64) -> bool {
+    assert!(t_star >= 1 && b >= 1.0 && phi_s > 0.0);
+    // a₁ = b·(φ*s); a = (5 ln 2)·b²·t*·(φ*s)·n.
+    let log2_a1 = (b * phi_s).log2();
+    let log2_a =
+        (5.0 * std::f64::consts::LN_2 * b * b * t_star as f64 * phi_s).log2() + log2_n;
+    let have = log2_total_bits(t_star, log2_a1, log2_a);
+    let need = log2_n - 2.0 * t_star as f64;
+    have >= need
+}
+
+/// The smallest `t*` for which the information requirement is satisfiable —
+/// the lower bound on probe complexity for a balanced scheme on a problem
+/// of VC-dimension `n = 2^log2_n`, cell size `b` bits, and contention
+/// `φ* = phi_s / s`.
+///
+/// ```
+/// use lcds_lowerbound::recursion::min_t_star;
+/// // The Ω(log log n) growth: quadrupling the exponent adds ~2 probes.
+/// let small = min_t_star(16.0, 64.0, 16.0);
+/// let large = min_t_star(256.0, 64.0, 16.0);
+/// assert!(large >= small + 2);
+/// ```
+pub fn min_t_star(log2_n: f64, b: f64, phi_s: f64) -> u32 {
+    for t in 1..=64 {
+        if feasible(t, log2_n, b, phi_s) {
+            return t;
+        }
+    }
+    64
+}
+
+/// The F5 series: `(log2_n, min t*, log₂ log₂ n)` for a sweep of sizes.
+pub fn tstar_series(log2_ns: &[f64], b: f64, phi_s: f64) -> Vec<(f64, u32, f64)> {
+    log2_ns
+        .iter()
+        .map(|&ln| (ln, min_t_star(ln, b, phi_s), ln.log2()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursion_closed_form_matches_iteration() {
+        // Iterating E[C_t] = √(a·E[C_{t-1}]) from a₁ must match the closed
+        // form a₁^{2^{1-t}} a^{1-2^{1-t}}.
+        let (a1, a) = (8.0f64, 1e6f64);
+        let mut c = a1;
+        for t in 1..=10u32 {
+            let closed = 2f64.powf(log2_ct_bound(t, a1.log2(), a.log2()));
+            assert!(
+                (c.log2() - closed.log2()).abs() < 1e-9,
+                "t={t}: iter {c} vs closed {closed}"
+            );
+            c = (a * c).sqrt();
+        }
+    }
+
+    #[test]
+    fn min_tstar_is_monotone_in_n() {
+        let b = 64.0;
+        let phi_s = 16.0; // φ*·s = polylog
+        let mut prev = 0;
+        for log2_n in [8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0] {
+            let t = min_t_star(log2_n, b, phi_s);
+            assert!(t >= prev, "t*({log2_n}) = {t} < previous {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn min_tstar_grows_like_log_log_n() {
+        let b = 64.0;
+        let phi_s = 16.0;
+        // t*(n) within a small additive band of log₂ log₂ n.
+        for log2_n in [16.0f64, 32.0, 64.0, 256.0, 1024.0] {
+            let t = min_t_star(log2_n, b, phi_s) as f64;
+            let ll = log2_n.log2();
+            assert!(
+                t >= ll - 5.0 && t <= ll + 5.0,
+                "log2 n = {log2_n}: t* = {t} vs log2 log2 n = {ll:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_round_suffices_only_for_tiny_problems() {
+        let b = 64.0;
+        let phi_s = 16.0;
+        // Small n: even 1 round's a₁ = b·φ*s = 1024 bits ≥ n/4.
+        assert_eq!(min_t_star(10.0, b, phi_s), 1); // n = 1024, need 256/4
+        // Large n: 1 round cannot.
+        assert!(min_t_star(40.0, b, phi_s) > 1);
+    }
+
+    #[test]
+    fn higher_contention_budget_weakens_the_bound() {
+        // Larger φ*·s (more allowed contention) ⇒ smaller t*.
+        let b = 64.0;
+        let tight = min_t_star(64.0, b, 2.0);
+        let loose = min_t_star(64.0, b, 4096.0);
+        assert!(loose <= tight, "loose {loose} vs tight {tight}");
+    }
+
+    #[test]
+    fn series_is_well_formed() {
+        let series = tstar_series(&[8.0, 16.0, 32.0], 64.0, 16.0);
+        assert_eq!(series.len(), 3);
+        for (ln, t, ll) in series {
+            assert!(t >= 1);
+            assert!((ll - ln.log2()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The branching (decision-tree) form of the Lemma 14 game — the proof's
+//! actual order of quantification.
+//!
+//! In [`crate::game`] a single transcript is played. Here the algorithm is
+//! an explicit **decision tree**: the black box's reply each round is
+//! quantized to one of `B` signals, so level `t` has `N_t = B^t` nodes,
+//! each with its own probe specification. The Theorem 13 adversary then
+//! does what the proof says it does: at every level it forms the
+//! `N_t × n` matrix `M^{(t)}(u, i) = φ* / max_j P^{(u)}(i, j)` over **all**
+//! nodes `u`, finds the *good* rows (those a Lemma 15 hitting set can
+//! choke), and raises `q` to violate every one of them — so whichever
+//! branch the execution takes, the algorithm is left with *bad* rows,
+//! whose information is bounded by `b·r_t`.
+//!
+//! This module plays that game concretely: it enumerates levels, runs the
+//! Lemma 15 construction on the full level matrix, prunes the nodes whose
+//! specs violate constraint (2) under the updated `q`, and accounts the
+//! per-level information `max_u b·Σ_j max_i P^{(u)}(i,j)` of the surviving
+//! nodes.
+
+use crate::lemmas::{column_max_sum, lemma15_adversary, violates_all_rows};
+use rand::Rng;
+
+/// A decision-tree probe strategy: one probe specification per node,
+/// addressed by the (quantized) reply path from the root.
+pub trait TreeStrategy {
+    /// Branching factor `B` of the quantized replies.
+    fn branching(&self) -> usize;
+
+    /// The `n × s` probe specification at the node reached by `path`
+    /// (replies so far), given the adversary mass revealed so far.
+    fn spec(&self, path: &[usize], q: &[f64]) -> Vec<Vec<f64>>;
+}
+
+/// The maximally balanced tree strategy: uniform probing at every node.
+pub struct UniformTree {
+    n: usize,
+    s: usize,
+    branching: usize,
+}
+
+impl UniformTree {
+    /// Uniform strategy over `n` instances and `s` cells with branching `b`.
+    pub fn new(n: usize, s: usize, branching: usize) -> UniformTree {
+        UniformTree { n, s, branching }
+    }
+}
+
+impl TreeStrategy for UniformTree {
+    fn branching(&self) -> usize {
+        self.branching
+    }
+
+    fn spec(&self, _path: &[usize], _q: &[f64]) -> Vec<Vec<f64>> {
+        vec![vec![1.0 / self.s as f64; self.s]; self.n]
+    }
+}
+
+/// A greedy strategy that concentrates each instance's probe on a single
+/// cell whenever its `q_i` is still small enough to allow it — the natural
+/// attempt to *beat* the bound, which the adversary must defeat.
+pub struct GreedyTree {
+    n: usize,
+    s: usize,
+    branching: usize,
+    phi_star: f64,
+}
+
+impl GreedyTree {
+    /// Greedy strategy with contention budget `φ*`.
+    pub fn new(n: usize, s: usize, branching: usize, phi_star: f64) -> GreedyTree {
+        GreedyTree {
+            n,
+            s,
+            branching,
+            phi_star,
+        }
+    }
+}
+
+impl TreeStrategy for GreedyTree {
+    fn branching(&self) -> usize {
+        self.branching
+    }
+
+    fn spec(&self, path: &[usize], q: &[f64]) -> Vec<Vec<f64>> {
+        // Each instance concentrates as much as (2) allows on one cell
+        // (spread over cells by instance and path so columns don't stack).
+        (0..self.n)
+            .map(|i| {
+                let cap = if q[i] > 0.0 {
+                    (self.phi_star / q[i]).min(1.0)
+                } else {
+                    1.0
+                };
+                let mut row = vec![0.0; self.s];
+                let target = (i + path.iter().sum::<usize>()) % self.s;
+                row[target] = cap;
+                // Spread the remaining mass uniformly (stays within (1)).
+                let rest = (1.0 - cap) / self.s as f64;
+                for v in &mut row {
+                    *v += rest;
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+/// Transcript of a tree game.
+#[derive(Clone, Debug)]
+pub struct TreeTranscript {
+    /// Per-level information ceiling over *surviving* nodes (bits).
+    pub bits_per_level: Vec<f64>,
+    /// Per-level node counts before pruning.
+    pub nodes_per_level: Vec<usize>,
+    /// Per-level count of nodes pruned by constraint (2) after the
+    /// adversary's move.
+    pub pruned_per_level: Vec<usize>,
+    /// The adversary's final vector.
+    pub q: Vec<f64>,
+    /// `Σ_t` of `bits_per_level`.
+    pub total_bits: f64,
+    /// The requirement `n · 2^{-2t*}`.
+    pub needed_bits: f64,
+}
+
+impl TreeTranscript {
+    /// Did the algorithm's best-case information meet the requirement?
+    pub fn algorithm_wins(&self) -> bool {
+        self.total_bits >= self.needed_bits
+    }
+}
+
+/// Plays the branching game for `t_star` levels.
+///
+/// # Panics
+/// Panics if a spec has wrong dimensions or violates constraint (1), or if
+/// the level size `B^t` exceeds 4096 nodes (keep instances small).
+pub fn play_tree<S: TreeStrategy, R: Rng + ?Sized>(
+    n: usize,
+    s: usize,
+    b: f64,
+    phi_star: f64,
+    t_star: u32,
+    strategy: &S,
+    rng: &mut R,
+) -> TreeTranscript {
+    let branching = strategy.branching();
+    let mut q = vec![0.0f64; n];
+    let eps = 1.0 / t_star as f64;
+    let delta = phi_star * s as f64;
+
+    let mut bits_per_level = Vec::new();
+    let mut nodes_per_level = Vec::new();
+    let mut pruned_per_level = Vec::new();
+
+    let mut paths: Vec<Vec<usize>> = vec![Vec::new()];
+    for level in 0..t_star {
+        assert!(paths.len() <= 4096, "level {level} too wide");
+        nodes_per_level.push(paths.len());
+
+        // Collect all node specs and the level matrix M.
+        let specs: Vec<Vec<Vec<f64>>> = paths.iter().map(|p| strategy.spec(p, &q)).collect();
+        for spec in &specs {
+            assert_eq!(spec.len(), n);
+            for row in spec {
+                assert_eq!(row.len(), s);
+                assert!(row.iter().sum::<f64>() <= 1.0 + 1e-9, "constraint (1)");
+            }
+        }
+        let m: Vec<Vec<f64>> = specs
+            .iter()
+            .map(|spec| {
+                spec.iter()
+                    .map(|row| {
+                        let mx = row.iter().copied().fold(0.0, f64::max);
+                        if mx > 0.0 {
+                            phi_star / mx
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Adversary: r_t from the theorem, with ln N_t of this level.
+        let ln_nt = (paths.len() as f64).ln().max(1.0);
+        let r_t = ((5.0 * t_star as f64 * phi_star * s as f64 * n as f64 * ln_nt / eps).sqrt()
+            as usize)
+            .clamp(2, n);
+        // Which rows are "good" (could be choked)? Those whose r_t
+        // smallest entries sum ≤ δ.
+        let good: Vec<usize> = (0..m.len())
+            .filter(|&u| {
+                let mut row: Vec<f64> = m[u].iter().copied().filter(|v| v.is_finite()).collect();
+                row.sort_by(|a, bb| a.partial_cmp(bb).unwrap());
+                row.truncate(r_t);
+                row.len() == r_t && row.iter().sum::<f64>() <= delta
+            })
+            .collect();
+        if !good.is_empty() {
+            let good_matrix: Vec<Vec<f64>> = good.iter().map(|&u| m[u].clone()).collect();
+            if let Some(adv) = lemma15_adversary(&good_matrix, eps, r_t, rng, 300) {
+                if violates_all_rows(&good_matrix, &adv.q) {
+                    for (qi, &ai) in q.iter_mut().zip(&adv.q) {
+                        *qi = qi.max(ai);
+                    }
+                }
+            }
+        }
+
+        // Prune nodes violating (2) under the updated q; account bits over
+        // the survivors.
+        let mut pruned = 0usize;
+        let mut level_bits = 0.0f64;
+        let mut survivors = Vec::new();
+        for (u, spec) in specs.iter().enumerate() {
+            let ok = spec.iter().enumerate().all(|(i, row)| {
+                let mx = row.iter().copied().fold(0.0, f64::max);
+                q[i] <= 0.0 || mx <= phi_star / q[i] + 1e-12
+            });
+            if ok {
+                level_bits = level_bits.max(b * column_max_sum(spec));
+                survivors.push(u);
+            } else {
+                pruned += 1;
+            }
+        }
+        pruned_per_level.push(pruned);
+        bits_per_level.push(level_bits);
+
+        // Expand surviving nodes for the next level.
+        let mut next = Vec::new();
+        for &u in &survivors {
+            for reply in 0..branching {
+                let mut p = paths[u].clone();
+                p.push(reply);
+                next.push(p);
+            }
+        }
+        if next.is_empty() {
+            // Every node pruned: the algorithm is stuck; later levels give 0.
+            for _ in level + 1..t_star {
+                bits_per_level.push(0.0);
+                nodes_per_level.push(0);
+                pruned_per_level.push(0);
+            }
+            break;
+        }
+        paths = next;
+    }
+
+    let total_bits: f64 = bits_per_level.iter().sum();
+    TreeTranscript {
+        bits_per_level,
+        nodes_per_level,
+        pruned_per_level,
+        q,
+        total_bits,
+        needed_bits: n as f64 * 2f64.powi(-(2 * t_star as i32)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_tree_starves_for_small_t() {
+        let (n, s) = (1 << 10, 1 << 10);
+        let b = 8.0;
+        let phi = 1.0 / s as f64;
+        let strat = UniformTree::new(n, s, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tr = play_tree(n, s, b, phi, 2, &strat, &mut rng);
+        // Needs n/16 = 64 bits; uniform gets b per level.
+        assert!(!tr.algorithm_wins(), "total {} of {}", tr.total_bits, tr.needed_bits);
+        assert_eq!(tr.nodes_per_level, vec![1, 2]);
+        for &bits in &tr.bits_per_level {
+            assert!((bits - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn greedy_tree_is_choked_by_the_adversary() {
+        // Round 1: q = 0 everywhere, greedy concentrates and would learn a
+        // lot — but the adversary raises q, so by round 2 the surviving
+        // concentrating specs are pruned or forced flat. Net: far below the
+        // naive n·b bits the greedy "hopes" for.
+        let (n, s) = (96usize, 96usize);
+        let b = 8.0;
+        let phi = 1.0 / s as f64;
+        let strat = GreedyTree::new(n, s, 2, phi);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let tr = play_tree(n, s, b, phi, 3, &strat, &mut rng);
+        // The greedy's theoretical dream is learning ~n·b bits per level.
+        let dream = n as f64 * b * 3.0;
+        assert!(
+            tr.total_bits < dream / 4.0,
+            "adversary failed to choke greedy: {} vs dream {dream}",
+            tr.total_bits
+        );
+        // The adversary must actually have spent mass.
+        assert!(tr.q.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn pruning_and_expansion_bookkeeping() {
+        let (n, s) = (64usize, 64usize);
+        let strat = UniformTree::new(n, s, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let tr = play_tree(n, s, 4.0, 1.0 / s as f64, 3, &strat, &mut rng);
+        // Uniform specs never violate (2) (max entry 1/s ≤ φ*/q for q ≤ 1).
+        assert_eq!(tr.pruned_per_level, vec![0, 0, 0]);
+        assert_eq!(tr.nodes_per_level, vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn transcript_requirement_matches_lemma14() {
+        let strat = UniformTree::new(256, 64, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let tr = play_tree(256, 64, 8.0, 1.0 / 64.0, 2, &strat, &mut rng);
+        assert!((tr.needed_bits - 256.0 / 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! VC-dimension of data structure problems (Definition 11).
+//!
+//! A problem `f : Q × D → {0,1}` is viewed as `|D|` classifications of `Q`;
+//! its VC-dimension is the size of the largest query set shattered by the
+//! data sets. The paper's lower bound (Theorem 13) is parameterized by this
+//! quantity, and the membership problem's VC-dimension is exactly `n`
+//! (any `n` distinct queries are shattered by choosing which of them to put
+//! in `S`) — experiment T9 verifies this mechanically on small instances.
+
+/// A data structure problem as an explicit truth table:
+/// `rows[S][x] = f(x, S)`.
+#[derive(Clone, Debug)]
+pub struct ProblemTable {
+    /// Number of queries `|Q|`.
+    pub num_queries: usize,
+    /// One row per data set; each row has `num_queries` answers.
+    pub rows: Vec<Vec<bool>>,
+}
+
+impl ProblemTable {
+    /// Builds a table, checking rectangularity.
+    pub fn new(num_queries: usize, rows: Vec<Vec<bool>>) -> ProblemTable {
+        assert!(rows.iter().all(|r| r.len() == num_queries));
+        ProblemTable { num_queries, rows }
+    }
+
+    /// The membership problem with universe `[N]` and data sets of size
+    /// exactly `n` (the paper's `D = ([N] choose n)`).
+    ///
+    /// # Panics
+    /// Panics when `C(N, n)` would be unreasonably large (> ~10⁶ rows);
+    /// this is a brute-force tool for small instances.
+    pub fn membership(universe: usize, n: usize) -> ProblemTable {
+        assert!(n <= universe);
+        let mut rows = Vec::new();
+        let mut subset: Vec<usize> = (0..n).collect();
+        loop {
+            let mut row = vec![false; universe];
+            for &i in &subset {
+                row[i] = true;
+            }
+            rows.push(row);
+            assert!(rows.len() <= 1_000_000, "instance too large for brute force");
+            // Next n-combination of [universe], lexicographic.
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return ProblemTable::new(universe, rows);
+                }
+                i -= 1;
+                if subset[i] != i + universe - n {
+                    subset[i] += 1;
+                    for j in i + 1..n {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Is the query set `xs` shattered — are all `2^|xs|` answer patterns
+    /// realized by some data set?
+    pub fn shatters(&self, xs: &[usize]) -> bool {
+        let k = xs.len();
+        assert!(k < 64);
+        let need = 1u64 << k;
+        let mut seen = vec![false; need as usize];
+        let mut count = 0u64;
+        for row in &self.rows {
+            let mut pattern = 0usize;
+            for (bit, &x) in xs.iter().enumerate() {
+                if row[x] {
+                    pattern |= 1 << bit;
+                }
+            }
+            if !seen[pattern] {
+                seen[pattern] = true;
+                count += 1;
+                if count == need {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The VC-dimension, by brute force over query subsets.
+    pub fn vc_dimension(&self) -> usize {
+        // Try sizes upward; stop when no set of size k shatters.
+        let mut best = 0;
+        for k in 1..=self.num_queries.min(20) {
+            if self.any_shattered_of_size(k) {
+                best = k;
+            } else {
+                break; // shattering is monotone: no k ⇒ no k+1
+            }
+        }
+        best
+    }
+
+    fn any_shattered_of_size(&self, k: usize) -> bool {
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            if self.shatters(&subset) {
+                return true;
+            }
+            let n = self.num_queries;
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                if subset[i] != i + n - k {
+                    subset[i] += 1;
+                    for j in i + 1..k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_vc_dim_is_n() {
+        // The paper: VC-dim(membership with |S| = n) = n.
+        for (universe, n) in [(4usize, 1usize), (5, 2), (6, 3), (7, 3)] {
+            let p = ProblemTable::membership(universe, n);
+            assert_eq!(p.vc_dimension(), n, "membership({universe}, {n})");
+        }
+    }
+
+    #[test]
+    fn membership_row_count_is_binomial() {
+        let p = ProblemTable::membership(6, 2);
+        assert_eq!(p.rows.len(), 15); // C(6,2)
+        for row in &p.rows {
+            assert_eq!(row.iter().filter(|&&b| b).count(), 2);
+        }
+    }
+
+    #[test]
+    fn constant_problem_has_vc_dim_zero() {
+        let p = ProblemTable::new(4, vec![vec![false; 4]]);
+        assert_eq!(p.vc_dimension(), 0);
+    }
+
+    #[test]
+    fn full_powerset_shatters_everything() {
+        // All 2^3 rows over 3 queries: VC-dim = 3.
+        let rows = (0..8u32)
+            .map(|mask| (0..3).map(|i| mask >> i & 1 == 1).collect())
+            .collect();
+        let p = ProblemTable::new(3, rows);
+        assert_eq!(p.vc_dimension(), 3);
+    }
+
+    #[test]
+    fn shatters_is_exact() {
+        // Rows {00, 01, 10}: pair {0,1} not shattered (missing 11).
+        let rows = vec![
+            vec![false, false],
+            vec![false, true],
+            vec![true, false],
+        ];
+        let p = ProblemTable::new(2, rows);
+        assert!(p.shatters(&[0]));
+        assert!(p.shatters(&[1]));
+        assert!(!p.shatters(&[0, 1]));
+        assert_eq!(p.vc_dimension(), 1);
+    }
+
+    #[test]
+    fn threshold_problem_has_vc_dim_one() {
+        // f(x, S_t) = [x < t]: thresholds shatter no 2-set.
+        let rows = (0..=4usize)
+            .map(|t| (0..4).map(|x| x < t).collect())
+            .collect();
+        let p = ProblemTable::new(4, rows);
+        assert_eq!(p.vc_dimension(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Contended shared-memory simulators — the "machine" the paper never had.
+//!
+//! The paper measures contention abstractly (probe probabilities, §1.1).
+//! To see what those probabilities *cost*, this crate provides two machines
+//! that execute probe traces collected from any
+//! [`lcds_cellprobe::CellProbeDict`]:
+//!
+//! * [`rounds`] — a deterministic queuing machine where each cell serves
+//!   one probe per time unit (the Dwork–Herlihy–Waarts contention-cost
+//!   view). Used by experiment F3: throughput vs processors.
+//! * [`threads`] — real OS threads hammering `AtomicU64` cells on a real
+//!   multicore, so hot cells become bouncing cache lines. Used by
+//!   experiment F4 and the `contended_throughput` criterion bench.
+//! * [`traces`] — trace collection shared by both.
+//!
+//! The prediction being validated: the low-contention dictionary's flat
+//! `Φ` lets both machines scale near-linearly with processors, while FKS
+//! saturates at `n/max ℓ`-ish parallelism on its hottest directory cell
+//! and binary search saturates at 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rounds;
+pub mod threads;
+pub mod traces;
+
+pub use rounds::{run_workload, simulate, simulate_combining, simulate_latencies, LatencyProfile, SimResult};
+pub use threads::{replay, ThreadRunResult};
+pub use traces::{collect, Traces};

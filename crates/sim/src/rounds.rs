@@ -1,0 +1,409 @@
+//! A deterministic contended shared-memory machine: each cell serves **one
+//! probe per time unit**, concurrent probes to the same cell queue.
+//!
+//! This is the standard queuing interpretation of contention cost (after
+//! Dwork–Herlihy–Waarts [6]; see also hot-spot combining in [13]): the
+//! paper bounds `Φ_t(j)` precisely so that, by linearity of expectation,
+//! `m` simultaneous queries put expected `m · Φ_t(j)` probes on cell `j` —
+//! and a machine like this one turns that expectation into wall-clock
+//! rounds. A scheme with flat `Φ` keeps every queue short and scales
+//! linearly in processors; binary search's root cell serializes everything.
+//!
+//! The simulator is event-driven and exactly deterministic: processors are
+//! served in `(ready_time, processor_id)` order, and a probe issued when
+//! its cell is busy waits for the cell's next free slot. Traces are
+//! collected on the uncontended structure first (reads don't change
+//! values, so adaptive probe sequences are unaffected by queuing delays).
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::dist::QueryDistribution;
+use lcds_cellprobe::table::CellId;
+use rand::RngCore;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Result of one simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResult {
+    /// Time units until the last processor finished.
+    pub makespan: u64,
+    /// Total probes executed.
+    pub total_probes: u64,
+    /// Total queries executed.
+    pub queries: u64,
+    /// Busiest cell's total services.
+    pub max_cell_busy: u64,
+    /// Number of processors.
+    pub processors: usize,
+}
+
+impl SimResult {
+    /// Completed queries per time unit — the scaling figure of F3.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / self.makespan as f64
+    }
+
+    /// Mean probes in flight per time unit (≤ processors; the achieved
+    /// memory parallelism).
+    pub fn parallelism(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.total_probes as f64 / self.makespan as f64
+    }
+}
+
+/// Simulates the machine on explicit per-processor probe traces.
+///
+/// `traces[p]` is processor `p`'s probe sequence (query boundaries don't
+/// affect timing — each probe takes one service slot); `queries[p]` is how
+/// many queries that trace represents (for throughput accounting).
+///
+/// ```
+/// use lcds_sim::rounds::simulate;
+/// // Two processors both hammering cell 0: fully serialized.
+/// let r = simulate(&[vec![0, 0], vec![0, 0]], &[1, 1]);
+/// assert_eq!(r.makespan, 4);
+/// // Disjoint cells: fully parallel.
+/// let r = simulate(&[vec![0, 1], vec![2, 3]], &[1, 1]);
+/// assert_eq!(r.makespan, 2);
+/// ```
+pub fn simulate(traces: &[Vec<CellId>], queries: &[u64]) -> SimResult {
+    assert_eq!(traces.len(), queries.len());
+    let processors = traces.len();
+    // (ready_time, proc) min-heap; deterministic tie-break on proc id.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..processors)
+        .filter(|&p| !traces[p].is_empty())
+        .map(|p| Reverse((0u64, p)))
+        .collect();
+    let mut next_probe = vec![0usize; processors];
+    let mut cell_free: HashMap<CellId, u64> = HashMap::new();
+    let mut cell_busy: HashMap<CellId, u64> = HashMap::new();
+    let mut makespan = 0u64;
+    let mut total_probes = 0u64;
+
+    while let Some(Reverse((ready, p))) = heap.pop() {
+        let cell = traces[p][next_probe[p]];
+        let free = cell_free.get(&cell).copied().unwrap_or(0);
+        let service = ready.max(free);
+        cell_free.insert(cell, service + 1);
+        *cell_busy.entry(cell).or_insert(0) += 1;
+        total_probes += 1;
+        let done = service + 1;
+        makespan = makespan.max(done);
+        next_probe[p] += 1;
+        if next_probe[p] < traces[p].len() {
+            heap.push(Reverse((done, p)));
+        }
+    }
+
+    SimResult {
+        makespan,
+        total_probes,
+        queries: queries.iter().sum(),
+        max_cell_busy: cell_busy.values().copied().max().unwrap_or(0),
+        processors,
+    }
+}
+
+/// Per-query latency distribution from a closed-loop simulation: each
+/// processor issues its queries back to back; a query's latency is the
+/// time from becoming issueable to its last probe's completion.
+#[derive(Clone, Debug)]
+pub struct LatencyProfile {
+    /// Sorted per-query latencies (time units).
+    pub sorted: Vec<u64>,
+}
+
+impl LatencyProfile {
+    /// The `q`-th quantile (0.0 ≤ q ≤ 1.0) by nearest-rank.
+    ///
+    /// # Panics
+    /// Panics on an empty profile or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(!self.sorted.is_empty(), "no queries recorded");
+        assert!((0.0..=1.0).contains(&q));
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile latency — the tail that hot cells create.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Worst query.
+    pub fn max(&self) -> u64 {
+        *self.sorted.last().expect("no queries recorded")
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<u64>() as f64 / self.sorted.len() as f64
+    }
+}
+
+/// Like [`simulate`], but additionally records each query's latency.
+///
+/// `query_probes[p]` lists processor `p`'s per-query probe counts, so the
+/// flat trace is split back into queries (zero-probe queries get latency
+/// 0).
+pub fn simulate_latencies(
+    traces: &[Vec<CellId>],
+    query_probes: &[Vec<u32>],
+) -> (SimResult, LatencyProfile) {
+    assert_eq!(traces.len(), query_probes.len());
+    for (t, q) in traces.iter().zip(query_probes) {
+        assert_eq!(
+            t.len() as u64,
+            q.iter().map(|&c| c as u64).sum::<u64>(),
+            "query probe counts must partition the trace"
+        );
+    }
+    let processors = traces.len();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..processors)
+        .filter(|&p| !traces[p].is_empty())
+        .map(|p| Reverse((0u64, p)))
+        .collect();
+    let mut next_probe = vec![0usize; processors];
+    let mut query_idx = vec![0usize; processors];
+    let mut probes_left = vec![0u32; processors];
+    let mut query_start = vec![0u64; processors];
+    let mut latencies = Vec::new();
+    // Initialize per-processor query cursors (skipping zero-probe queries).
+    for p in 0..processors {
+        while query_idx[p] < query_probes[p].len() && query_probes[p][query_idx[p]] == 0 {
+            latencies.push(0);
+            query_idx[p] += 1;
+        }
+        if query_idx[p] < query_probes[p].len() {
+            probes_left[p] = query_probes[p][query_idx[p]];
+        }
+    }
+
+    let mut cell_free: HashMap<CellId, u64> = HashMap::new();
+    let mut cell_busy: HashMap<CellId, u64> = HashMap::new();
+    let mut makespan = 0u64;
+    let mut total_probes = 0u64;
+
+    while let Some(Reverse((ready, p))) = heap.pop() {
+        let cell = traces[p][next_probe[p]];
+        let free = cell_free.get(&cell).copied().unwrap_or(0);
+        let service = ready.max(free);
+        cell_free.insert(cell, service + 1);
+        *cell_busy.entry(cell).or_insert(0) += 1;
+        total_probes += 1;
+        let done = service + 1;
+        makespan = makespan.max(done);
+        next_probe[p] += 1;
+        probes_left[p] -= 1;
+        if probes_left[p] == 0 {
+            latencies.push(done - query_start[p]);
+            query_idx[p] += 1;
+            while query_idx[p] < query_probes[p].len() && query_probes[p][query_idx[p]] == 0 {
+                latencies.push(0);
+                query_idx[p] += 1;
+            }
+            if query_idx[p] < query_probes[p].len() {
+                probes_left[p] = query_probes[p][query_idx[p]];
+            }
+            query_start[p] = done;
+        }
+        if next_probe[p] < traces[p].len() {
+            heap.push(Reverse((done, p)));
+        }
+    }
+
+    latencies.sort_unstable();
+    let queries: Vec<u64> = query_probes.iter().map(|qs| qs.len() as u64).collect();
+    (
+        SimResult {
+            makespan,
+            total_probes,
+            queries: queries.iter().sum(),
+            max_cell_busy: cell_busy.values().copied().max().unwrap_or(0),
+            processors,
+        },
+        LatencyProfile { sorted: latencies },
+    )
+}
+
+/// Simulates a **combining** memory: all probes waiting on a cell are
+/// served together in one round (hardware read-broadcast / combining
+/// networks, Tzeng–Lawrie [13] and the combining trees of [9]).
+///
+/// This is the ablation for the contention model itself: on a combining
+/// machine even binary search scales (its root read is broadcast), so the
+/// paper's contention measure prices exactly the machines *without*
+/// combining — bus-snooped exclusive lines, NUMA fabrics, disaggregated
+/// memory. Experiment F11 runs both machines side by side.
+pub fn simulate_combining(traces: &[Vec<CellId>], queries: &[u64]) -> SimResult {
+    assert_eq!(traces.len(), queries.len());
+    let processors = traces.len();
+    // With combining, a probe issued at time t completes at t+1 regardless
+    // of how many peers touch the same cell that round — every processor
+    // just streams. Makespan = longest trace; busy = max simultaneous
+    // probes on one cell (for reporting).
+    let mut cell_busy: HashMap<CellId, u64> = HashMap::new();
+    let mut total_probes = 0u64;
+    let mut makespan = 0u64;
+    for trace in traces {
+        makespan = makespan.max(trace.len() as u64);
+        total_probes += trace.len() as u64;
+        for &cell in trace {
+            *cell_busy.entry(cell).or_insert(0) += 1;
+        }
+    }
+    SimResult {
+        makespan,
+        total_probes,
+        queries: queries.iter().sum(),
+        max_cell_busy: cell_busy.values().copied().max().unwrap_or(0),
+        processors,
+    }
+}
+
+/// Collects per-processor traces by running `queries_per_proc` sampled
+/// queries per processor against `dict`, then simulates the machine.
+pub fn run_workload(
+    dict: &(impl CellProbeDict + ?Sized),
+    dist: &(impl QueryDistribution + ?Sized),
+    processors: usize,
+    queries_per_proc: u64,
+    rng: &mut dyn RngCore,
+) -> SimResult {
+    let t = crate::traces::collect(dict, dist, processors, queries_per_proc, rng);
+    simulate(&t.traces, &t.queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_processor_is_sequential() {
+        let r = simulate(&[vec![0, 1, 2, 3]], &[1]);
+        assert_eq!(r.makespan, 4);
+        assert_eq!(r.total_probes, 4);
+        assert_eq!(r.max_cell_busy, 1);
+        assert!((r.parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_cells_run_fully_parallel() {
+        let traces: Vec<Vec<CellId>> = (0..8).map(|p| vec![p, p + 8, p + 16]).collect();
+        let r = simulate(&traces, &[1; 8]);
+        assert_eq!(r.makespan, 3, "no conflicts ⇒ each proc runs unblocked");
+        assert!((r.parallelism() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_cell_serializes() {
+        // Everyone's first probe is cell 0: p processors take p rounds for
+        // the first step alone.
+        let p = 16;
+        let traces: Vec<Vec<CellId>> = (0..p).map(|i| vec![0, 100 + i as u64]).collect();
+        let r = simulate(&traces, &[1; 16]);
+        // Last processor gets cell 0 at round p-1, finishes its second
+        // probe at p+1.
+        assert_eq!(r.makespan, p as u64 + 1);
+        assert_eq!(r.max_cell_busy, p as u64);
+    }
+
+    #[test]
+    fn queue_is_work_conserving() {
+        // Two processors alternate on one cell: makespan = total probes.
+        let r = simulate(&[vec![5, 5], vec![5, 5]], &[1, 1]);
+        assert_eq!(r.makespan, 4);
+    }
+
+    #[test]
+    fn empty_traces_are_fine() {
+        let r = simulate(&[vec![], vec![1]], &[0, 1]);
+        assert_eq!(r.makespan, 1);
+        assert_eq!(r.queries, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let traces: Vec<Vec<CellId>> = (0..10).map(|p| vec![p % 3, p % 5, 7]).collect();
+        let a = simulate(&traces, &[1; 10]);
+        let b = simulate(&traces, &[1; 10]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_profile_sequential() {
+        // One processor, two 2-probe queries: latencies 2 and 2.
+        let (r, lat) = simulate_latencies(&[vec![0, 1, 2, 3]], &[vec![2, 2]]);
+        assert_eq!(r.makespan, 4);
+        assert_eq!(lat.sorted, vec![2, 2]);
+        assert_eq!(lat.p50(), 2);
+        assert_eq!(lat.max(), 2);
+        assert!((lat.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_tail_grows_under_a_hot_cell() {
+        // 8 processors, one query each, both probes on cell 0: the last
+        // processor's query waits through everyone.
+        let p = 8;
+        let traces: Vec<Vec<CellId>> = (0..p).map(|_| vec![0, 0]).collect();
+        let bounds: Vec<Vec<u32>> = (0..p).map(|_| vec![2]).collect();
+        let (_, lat) = simulate_latencies(&traces, &bounds);
+        assert_eq!(lat.sorted.len(), p);
+        // Fastest query can't be under 2; slowest serializes through ~2p.
+        assert!(lat.quantile(0.0) >= 2);
+        assert!(lat.max() >= 2 * p as u64 - 2, "max {}", lat.max());
+        assert!(lat.max() > lat.p50());
+    }
+
+    #[test]
+    fn zero_probe_queries_get_zero_latency() {
+        let (_, lat) = simulate_latencies(&[vec![5]], &[vec![0, 1, 0]]);
+        assert_eq!(lat.sorted, vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the trace")]
+    fn mismatched_bounds_rejected() {
+        let _ = simulate_latencies(&[vec![0, 1]], &[vec![1]]);
+    }
+
+    #[test]
+    fn combining_ignores_hot_cells() {
+        // Same hot-cell workload as above: combining serves all in one round.
+        let p = 16;
+        let traces: Vec<Vec<CellId>> = (0..p).map(|i| vec![0, 100 + i as u64]).collect();
+        let r = simulate_combining(&traces, &[1; 16]);
+        assert_eq!(r.makespan, 2, "broadcast: both steps take one round each");
+        assert_eq!(r.max_cell_busy, p as u64);
+        // The queuing machine pays p + 1 for the same traces.
+        let q = simulate(&traces, &[1; 16]);
+        assert!(q.makespan > r.makespan);
+    }
+
+    #[test]
+    fn combining_equals_queuing_when_disjoint() {
+        let traces: Vec<Vec<CellId>> = (0..4).map(|p| vec![p, p + 4]).collect();
+        let a = simulate(&traces, &[1; 4]);
+        let b = simulate_combining(&traces, &[1; 4]);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_probes, b.total_probes);
+    }
+
+    #[test]
+    fn throughput_definition() {
+        let r = simulate(&[vec![0], vec![1]], &[1, 1]);
+        assert_eq!(r.makespan, 1);
+        assert!((r.throughput() - 2.0).abs() < 1e-12);
+    }
+}

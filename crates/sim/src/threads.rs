@@ -1,0 +1,125 @@
+//! Real-multicore contention harness: every simulated memory cell is an
+//! `AtomicU64`, threads replay probe traces with `fetch_add`, and hot cells
+//! become genuinely hot cache lines bouncing between cores.
+//!
+//! This is the wall-clock analogue of [`crate::rounds`]: the round machine
+//! predicts *how much* serialization a contention profile causes; this
+//! harness shows the same ordering on actual hardware (experiment F4 /
+//! the `contended_throughput` criterion bench). `fetch_add` with `Relaxed`
+//! ordering is the cheapest RMW that still forces exclusive cache-line
+//! ownership per probe — we want the coherence traffic, not any particular
+//! memory ordering, and counters double as a probe-count cross-check
+//! ("Rust Atomics and Locks", ch. 2–3: Relaxed is exactly right for
+//! counters whose values are only read after `join`).
+
+use crossbeam::thread;
+use lcds_cellprobe::table::CellId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Result of one threaded replay.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadRunResult {
+    /// Wall-clock nanoseconds for all threads to drain their traces.
+    pub wall_ns: u64,
+    /// Total probes performed (from the shared counters — also validates
+    /// the replay touched exactly the traced cells).
+    pub total_probes: u64,
+    /// Threads used.
+    pub threads: usize,
+    /// Total queries represented by the traces.
+    pub queries: u64,
+}
+
+impl ThreadRunResult {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.queries as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Probes per second.
+    pub fn pps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.total_probes as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// Replays per-thread probe traces against a shared `AtomicU64` array.
+///
+/// `queries[p]` is the number of queries thread `p`'s trace represents.
+///
+/// # Panics
+/// Panics if a trace references a cell `≥ num_cells`, or if the lengths of
+/// `traces` and `queries` differ.
+pub fn replay(traces: &[Vec<CellId>], queries: &[u64], num_cells: u64) -> ThreadRunResult {
+    assert_eq!(traces.len(), queries.len());
+    for t in traces {
+        if let Some(&max) = t.iter().max() {
+            assert!(max < num_cells, "trace cell {max} ≥ {num_cells}");
+        }
+    }
+    let cells: Vec<AtomicU64> = (0..num_cells).map(|_| AtomicU64::new(0)).collect();
+    let start = Instant::now();
+    thread::scope(|s| {
+        for trace in traces {
+            let cells = &cells;
+            s.spawn(move |_| {
+                for &cell in trace {
+                    cells[cell as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("replay threads must not panic");
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let total: u64 = cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    let expected: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    assert_eq!(total, expected, "atomic counters must account for every probe");
+    ThreadRunResult {
+        wall_ns,
+        total_probes: total,
+        threads: traces.len(),
+        queries: queries.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_probe_single_thread() {
+        let r = replay(&[vec![0, 1, 1, 2]], &[2], 4);
+        assert_eq!(r.total_probes, 4);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.queries, 2);
+        assert!(r.qps() > 0.0);
+        assert!(r.pps() >= r.qps());
+    }
+
+    #[test]
+    fn counts_every_probe_many_threads() {
+        let traces: Vec<Vec<CellId>> = (0..8).map(|p| vec![p % 4; 1000]).collect();
+        let r = replay(&traces, &[100; 8], 4);
+        assert_eq!(r.total_probes, 8000);
+        assert_eq!(r.threads, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 3")]
+    fn out_of_range_cell_is_rejected() {
+        let _ = replay(&[vec![5]], &[1], 3);
+    }
+
+    #[test]
+    fn empty_traces() {
+        let r = replay(&[vec![], vec![]], &[0, 0], 1);
+        assert_eq!(r.total_probes, 0);
+        assert_eq!(r.qps(), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace collection: run sampled queries against an instrumented dictionary
+//! and keep the per-processor probe sequences for replay on a simulated or
+//! real machine.
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::dist::QueryDistribution;
+use lcds_cellprobe::sink::{ProbeSink as _, TraceSink};
+use lcds_cellprobe::table::CellId;
+use rand::RngCore;
+
+/// Per-processor probe traces plus per-processor query counts.
+#[derive(Clone, Debug, Default)]
+pub struct Traces {
+    /// `traces[p]` — processor `p`'s flat probe sequence.
+    pub traces: Vec<Vec<CellId>>,
+    /// `queries[p]` — how many queries that sequence represents.
+    pub queries: Vec<u64>,
+    /// `bounds[p][q]` — probes made by processor `p`'s `q`-th query
+    /// (partitions `traces[p]`; used for per-query latency accounting).
+    pub bounds: Vec<Vec<u32>>,
+}
+
+/// Collects traces for `processors` streams of `queries_per_proc` queries.
+pub fn collect(
+    dict: &(impl CellProbeDict + ?Sized),
+    dist: &(impl QueryDistribution + ?Sized),
+    processors: usize,
+    queries_per_proc: u64,
+    rng: &mut dyn RngCore,
+) -> Traces {
+    assert!(processors >= 1);
+    let mut out = Traces::default();
+    for _ in 0..processors {
+        let mut sink = TraceSink::new();
+        for _ in 0..queries_per_proc {
+            sink.begin_query();
+            let x = dist.sample(rng);
+            let _ = dict.contains(x, rng, &mut sink);
+        }
+        let bounds: Vec<u32> = sink.queries().map(|q| q.len() as u32).collect();
+        debug_assert_eq!(bounds.len() as u64, queries_per_proc);
+        out.traces.push(sink.trace().to_vec());
+        out.queries.push(queries_per_proc);
+        out.bounds.push(bounds);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::UniformOver;
+    use rand::SeedableRng;
+
+    struct TwoCell;
+
+    impl CellProbeDict for TwoCell {
+        fn name(&self) -> String {
+            "two".into()
+        }
+        fn contains(
+            &self,
+            x: u64,
+            _rng: &mut dyn RngCore,
+            sink: &mut dyn lcds_cellprobe::sink::ProbeSink,
+        ) -> bool {
+            sink.probe(0);
+            sink.probe(1);
+            x == 0
+        }
+        fn num_cells(&self) -> u64 {
+            2
+        }
+        fn max_probes(&self) -> u32 {
+            2
+        }
+        fn len(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn collects_expected_shape() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let dist = UniformOver::new("u", vec![0, 1]);
+        let t = collect(&TwoCell, &dist, 3, 5, &mut rng);
+        assert_eq!(t.traces.len(), 3);
+        assert_eq!(t.queries, vec![5, 5, 5]);
+        for trace in &t.traces {
+            assert_eq!(trace.len(), 10); // 5 queries × 2 probes
+        }
+        for bounds in &t.bounds {
+            assert_eq!(bounds, &vec![2u32; 5]);
+        }
+    }
+}

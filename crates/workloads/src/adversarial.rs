@@ -1,0 +1,101 @@
+//! Adversarial instances exhibiting worst-case baseline behaviour.
+//!
+//! §1.3's `Θ(√n)` figure for FKS is a *worst-case* statement: pairwise
+//! independence only guarantees `max ℓ_i = O(√n)`, and there really are
+//! accepted instances achieving it. Random keys won't show this (they
+//! behave like balls-in-bins, `max ℓ ≈ ln n / ln ln n`), so experiment T1
+//! also runs FKS on a crafted instance: knowing the top-level hash
+//! `h(x) = ((a·x + b) mod P) mod n`, the adversary *inverts* it —
+//! `x_j = a^{-1}(j·n − b) mod P` lands every `x_j` in bucket 0 — and packs
+//! `⌊√n⌋` keys into one bucket while keeping `Σℓ² ≤ 4n` so FKS still
+//! accepts the draw. [`crate::rng::FirstWordRng`] pins the builder to the
+//! seed the adversary used.
+
+use lcds_hashing::field::{Fe, P};
+use lcds_hashing::mix::derive;
+use lcds_hashing::MAX_KEY;
+use std::collections::HashSet;
+
+/// Crafts `n` distinct keys such that the FKS top-level function derived
+/// from `seed` (range `n`) maps `⌊√n⌋` of them to bucket 0.
+///
+/// Build the dictionary with
+/// `FirstWordRng::new(seed, …)` so the builder draws exactly this function.
+///
+/// # Panics
+/// Panics if `n < 4` or the derived multiplier is degenerate (probability
+/// `≈ 2^{-61}`; use another seed).
+pub fn adversarial_fks_keys(n: usize, seed: u64) -> Vec<u64> {
+    assert!(n >= 4, "adversarial instance needs n ≥ 4");
+    let m = n as u64;
+    // Mirror PerfectHash::from_seed's expansion exactly.
+    let a = Fe::new(derive(seed, 0) | 1);
+    let b = Fe::new(derive(seed, 1));
+    assert!(a.value() != 0, "degenerate multiplier; pick another seed");
+    let a_inv = a.inv();
+
+    let heavy = (n as f64).sqrt().floor() as u64;
+    let mut keys = Vec::with_capacity(n);
+    let mut used = HashSet::with_capacity(n);
+
+    // Preimages of bucket 0: field values v = j·m, j = 0, 1, 2, …
+    let mut j = 0u64;
+    while (keys.len() as u64) < heavy {
+        let v = j * m; // < P for all j used here (heavy·m ≤ n^1.5 ≪ P)
+        debug_assert!(v < P);
+        let x = Fe::new(v).sub(b).mul(a_inv).value();
+        j += 1;
+        if x < MAX_KEY && used.insert(x) {
+            keys.push(x);
+        }
+    }
+
+    // Pad with generic keys (they spread ~uniformly; Σℓ² stays ≤ ~3n).
+    let mut i = 0u64;
+    while keys.len() < n {
+        let x = derive(seed ^ 0xAD5E, i) % MAX_KEY;
+        i += 1;
+        if used.insert(x) {
+            keys.push(x);
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_hashing::perfect::PerfectHash;
+
+    #[test]
+    fn heavy_bucket_is_heavy() {
+        for n in [64usize, 256, 1024, 4096] {
+            let seed = 0x1234_5678_9ABC_DEF0 ^ n as u64;
+            let keys = adversarial_fks_keys(n, seed);
+            assert_eq!(keys.len(), n);
+            let distinct: HashSet<u64> = keys.iter().copied().collect();
+            assert_eq!(distinct.len(), n, "keys must be distinct");
+
+            let top = PerfectHash::from_seed(seed, n as u64);
+            let mut loads = vec![0u32; n];
+            for &x in &keys {
+                loads[top.eval(x) as usize] += 1;
+            }
+            let heavy = (n as f64).sqrt().floor() as u32;
+            assert!(
+                loads[0] >= heavy,
+                "n={n}: bucket 0 load {} < √n = {heavy}",
+                loads[0]
+            );
+            // FKS must still accept: Σℓ² ≤ 4n.
+            let sum_sq: u64 = loads.iter().map(|&l| (l as u64) * (l as u64)).sum();
+            assert!(sum_sq <= 4 * n as u64, "n={n}: Σℓ² = {sum_sq} > 4n");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 4")]
+    fn tiny_n_rejected() {
+        let _ = adversarial_fks_keys(3, 1);
+    }
+}

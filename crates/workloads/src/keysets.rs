@@ -1,0 +1,126 @@
+//! Key-set generators over the universe `[0, 2^61 − 1)`.
+
+use lcds_hashing::mix::derive;
+use lcds_hashing::MAX_KEY;
+use std::collections::HashSet;
+
+/// `n` distinct uniform keys.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut set = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0u64;
+    while out.len() < n {
+        let k = derive(seed, i) % MAX_KEY;
+        if set.insert(k) {
+            out.push(k);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `n` consecutive keys starting at `start` — the structured input that
+/// breaks naive `mod`-based hashing and exercises the field reduction.
+///
+/// # Panics
+/// Panics if the range would leave the universe.
+pub fn dense_keys(n: usize, start: u64) -> Vec<u64> {
+    let end = start
+        .checked_add(n as u64)
+        .expect("range overflow");
+    assert!(end <= MAX_KEY, "dense range exceeds the key universe");
+    (start..end).collect()
+}
+
+/// `n` keys in `clusters` tight clusters of width `spread` — a workload
+/// with heavy local structure (e.g. timestamp or ID blocks).
+pub fn clustered_keys(n: usize, clusters: usize, spread: u64, seed: u64) -> Vec<u64> {
+    assert!(clusters >= 1 && spread >= 1);
+    // Fail fast instead of spinning: at most clusters·spread distinct keys
+    // exist (clusters may also overlap), so demand comfortable headroom.
+    assert!(
+        (clusters as u64).saturating_mul(spread) >= 2 * n as u64,
+        "clusters ({clusters}) × spread ({spread}) cannot yield {n} distinct keys"
+    );
+    let mut set = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let centers: Vec<u64> = (0..clusters as u64)
+        .map(|c| derive(seed, c) % (MAX_KEY - spread))
+        .collect();
+    let mut i = 0u64;
+    while out.len() < n {
+        let c = centers[(derive(seed.wrapping_add(1), i) % clusters as u64) as usize];
+        let k = c + derive(seed.wrapping_add(2), i) % spread;
+        if set.insert(k) {
+            out.push(k);
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_distinct(keys: &[u64]) -> bool {
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        set.len() == keys.len()
+    }
+
+    fn all_in_universe(keys: &[u64]) -> bool {
+        keys.iter().all(|&k| k < MAX_KEY)
+    }
+
+    #[test]
+    fn uniform_keys_are_distinct_and_reproducible() {
+        let a = uniform_keys(1000, 7);
+        let b = uniform_keys(1000, 7);
+        assert_eq!(a, b);
+        assert!(all_distinct(&a));
+        assert!(all_in_universe(&a));
+        assert_ne!(a, uniform_keys(1000, 8));
+    }
+
+    #[test]
+    fn dense_keys_are_a_range() {
+        let keys = dense_keys(100, 5000);
+        assert_eq!(keys[0], 5000);
+        assert_eq!(keys[99], 5099);
+        assert!(all_distinct(&keys));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the key universe")]
+    fn dense_overflow_is_rejected() {
+        let _ = dense_keys(10, MAX_KEY - 5);
+    }
+
+    #[test]
+    fn clustered_keys_cluster() {
+        let keys = clustered_keys(500, 5, 1000, 9);
+        assert!(all_distinct(&keys));
+        assert!(all_in_universe(&keys));
+        // With 5 clusters of width 1000, the sorted gaps should show ≤ 5
+        // big jumps.
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let big_gaps = sorted.windows(2).filter(|w| w[1] - w[0] > 10_000).count();
+        assert!(big_gaps <= 5, "found {big_gaps} big gaps");
+    }
+
+    #[test]
+    fn zero_size_requests() {
+        assert!(uniform_keys(0, 1).is_empty());
+        assert!(dense_keys(0, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot yield")]
+    fn clustered_overcommit_fails_fast() {
+        // 8 clusters × 64 width can never produce 2000 distinct keys; this
+        // must panic, not hang (regression: an early integration test spun
+        // forever here).
+        let _ = clustered_keys(2000, 8, 64, 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Deterministic workload generation for every experiment in DESIGN.md §4:
+//! key sets ([`keysets`]), query distributions ([`querygen`]), adversarial
+//! instances ([`adversarial`]), and reproducible RNG plumbing ([`rng`]).
+//!
+//! Everything is a pure function of an explicit seed, so each experiment
+//! run and each test failure is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod keysets;
+pub mod querygen;
+pub mod rng;
+
+pub use keysets::{clustered_keys, dense_keys, uniform_keys};
+pub use querygen::{mixed_dist, negative_dist, negative_pool, positive_dist, zipf_over_keys};
+pub use rng::{seeded, FirstWordRng};

@@ -1,0 +1,115 @@
+//! Query-distribution builders over a stored key set.
+
+use lcds_cellprobe::dist::{Mixture, UniformOver, Zipf};
+use lcds_hashing::mix::derive;
+use lcds_hashing::MAX_KEY;
+use std::collections::HashSet;
+
+/// Uniform over the stored keys — the paper's "uniform positive" class.
+pub fn positive_dist(keys: &[u64]) -> UniformOver {
+    UniformOver::new("uniform-positive", keys.to_vec())
+}
+
+/// Samples `size` distinct non-members uniformly from the universe — the
+/// finite surrogate for the paper's "uniform negative" class (DESIGN.md,
+/// substitutions).
+pub fn negative_pool(keys: &[u64], size: usize, seed: u64) -> Vec<u64> {
+    let members: HashSet<u64> = keys.iter().copied().collect();
+    let mut pool = Vec::with_capacity(size);
+    let mut seen = HashSet::with_capacity(size);
+    let mut i = 0u64;
+    while pool.len() < size {
+        let k = derive(seed ^ 0x5EED_BAD5, i) % MAX_KEY;
+        if !members.contains(&k) && seen.insert(k) {
+            pool.push(k);
+        }
+        i += 1;
+    }
+    pool
+}
+
+/// Uniform over a sampled negative pool.
+pub fn negative_dist(keys: &[u64], size: usize, seed: u64) -> UniformOver {
+    UniformOver::new("uniform-negative", negative_pool(keys, size, seed))
+}
+
+/// Positive with probability `pos_frac`, else negative (both uniform) — the
+/// general uniform-within-each-side class Theorem 3 covers.
+pub fn mixed_dist(keys: &[u64], pos_frac: f64, neg_size: usize, seed: u64) -> Mixture {
+    Mixture::new(
+        Box::new(positive_dist(keys)),
+        Box::new(negative_dist(keys, neg_size, seed)),
+        pos_frac,
+    )
+}
+
+/// Zipf(θ) over the stored keys in a seed-shuffled rank order — a *skewed*
+/// positive distribution, i.e. exactly what Theorem 3 does **not** promise
+/// to handle and §3 proves no fast scheme can handle obliviously.
+pub fn zipf_over_keys(keys: &[u64], theta: f64, seed: u64) -> Zipf {
+    let mut ranked = keys.to_vec();
+    // Fisher–Yates with the deterministic mixer so rank order is seed-fixed.
+    for i in (1..ranked.len()).rev() {
+        let j = (derive(seed, i as u64) % (i as u64 + 1)) as usize;
+        ranked.swap(i, j);
+    }
+    Zipf::new(ranked, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use lcds_cellprobe::dist::QueryDistribution;
+
+    #[test]
+    fn negative_pool_avoids_members() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
+        let pool = negative_pool(&keys, 300, 1);
+        assert_eq!(pool.len(), 300);
+        let members: HashSet<u64> = keys.iter().copied().collect();
+        assert!(pool.iter().all(|k| !members.contains(k)));
+        let distinct: HashSet<u64> = pool.iter().copied().collect();
+        assert_eq!(distinct.len(), 300);
+    }
+
+    #[test]
+    fn distributions_sample_from_their_supports() {
+        let keys: Vec<u64> = (100..200u64).collect();
+        let members: HashSet<u64> = keys.iter().copied().collect();
+        let mut rng = seeded(2);
+        let pos = positive_dist(&keys);
+        let neg = negative_dist(&keys, 50, 3);
+        for _ in 0..200 {
+            assert!(members.contains(&pos.sample(&mut rng)));
+            assert!(!members.contains(&neg.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn mixture_rate_is_respected() {
+        let keys: Vec<u64> = (0..100u64).collect();
+        let members: HashSet<u64> = keys.iter().copied().collect();
+        let m = mixed_dist(&keys, 0.75, 100, 4);
+        let mut rng = seeded(5);
+        let pos = (0..10_000)
+            .filter(|_| members.contains(&m.sample(&mut rng)))
+            .count();
+        let rate = pos as f64 / 10_000.0;
+        assert!((rate - 0.75).abs() < 0.03, "positive rate {rate}");
+    }
+
+    #[test]
+    fn zipf_rank_order_is_seeded_shuffle() {
+        let keys: Vec<u64> = (0..50u64).collect();
+        let a = zipf_over_keys(&keys, 1.0, 7);
+        let b = zipf_over_keys(&keys, 1.0, 7);
+        let c = zipf_over_keys(&keys, 1.0, 8);
+        assert_eq!(a.pool().entries, b.pool().entries);
+        assert_ne!(a.pool().entries, c.pool().entries);
+        // Hottest key gets weight ∝ 1 regardless of shuffle.
+        let total_max = a.pool().entries.iter().map(|&(_, w)| w).fold(0.0, f64::max);
+        let h50: f64 = (1..=50).map(|i| 1.0 / i as f64).sum();
+        assert!((total_max - 1.0 / h50).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Reproducible RNG plumbing.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The repository-standard deterministic RNG (ChaCha8, seeded).
+pub fn seeded(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// An RNG whose *first* `next_u64` returns a chosen word, then delegates.
+///
+/// Used by the adversarial instances: the FKS builder's first action is to
+/// draw its top-level seed, so feeding it a known first word pins the hash
+/// function the adversary crafted the key set against — exactly the
+/// worst-case analysis setting of §1.3.
+pub struct FirstWordRng<R: RngCore> {
+    first: Option<u64>,
+    inner: R,
+}
+
+impl<R: RngCore> FirstWordRng<R> {
+    /// Wraps `inner`, making the first `next_u64` return `first`.
+    pub fn new(first: u64, inner: R) -> FirstWordRng<R> {
+        FirstWordRng {
+            first: Some(first),
+            inner,
+        }
+    }
+}
+
+impl<R: RngCore> RngCore for FirstWordRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.first.take() {
+            Some(w) => w,
+            None => self.inner.next_u64(),
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Simple chunked fill via next_u64 so the pinned word is honored if
+        // the first consumption is byte-wise.
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = seeded(43);
+        assert_ne!(seeded(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn first_word_is_pinned_then_delegates() {
+        let mut r = FirstWordRng::new(0xDEAD, seeded(1));
+        assert_eq!(r.next_u64(), 0xDEAD);
+        let mut plain = seeded(1);
+        assert_eq!(r.next_u64(), plain.next_u64());
+        assert_eq!(r.next_u64(), plain.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_consumes_pinned_word_first() {
+        let mut r = FirstWordRng::new(u64::from_le_bytes(*b"ABCDEFGH"), seeded(2));
+        let mut buf = [0u8; 4];
+        r.fill_bytes(&mut buf);
+        assert_eq!(&buf, b"ABCD");
+    }
+}

@@ -1,0 +1,87 @@
+//! Adaptive feature store: the two extensions working together.
+//!
+//! A feature store serves membership ("is this entity flagged?") under a
+//! skewed, *measurable* query distribution, and the flag set changes over
+//! time. This example:
+//!
+//! 1. starts a [`DynamicLcd`] and streams updates through it (amortized
+//!    O(1) cells written per update — printed);
+//! 2. observes the query distribution (Zipf traffic), then builds a
+//!    distribution-aware [`WeightedDict`] from the observed weights;
+//! 3. compares contention: oblivious vs weighted under the real traffic —
+//!    the gap the paper's §3 lower bound says no oblivious scheme can
+//!    close.
+//!
+//! ```text
+//! cargo run --release --example adaptive_feature_store
+//! ```
+
+use lcds_cellprobe::report::{sig4, TextTable};
+use low_contention::prelude::*;
+
+fn main() {
+    let n = 8192usize;
+    let keys = uniform_keys(n, 0xFEA7);
+    let mut rng = seeded(0xFEA8);
+
+    // Phase 1: dynamic maintenance.
+    println!("phase 1 — dynamic maintenance");
+    let mut store = DynamicLcd::new(&keys, 0xFEA9, ParamsConfig::default()).expect("init");
+    for i in 0..3 * n as u64 {
+        let k = lcds_hashing::mix::derive(0xFEAA, i) % lcds_hashing::MAX_KEY;
+        if i % 3 == 0 {
+            let _ = store.remove(k).expect("remove");
+        }
+        let _ = store.insert(k).expect("insert");
+    }
+    let st = store.write_stats();
+    println!(
+        "  {} updates, {} rebuilds, {:.1} cells written per update (amortized)",
+        st.updates,
+        st.rebuilds,
+        st.amortized_writes()
+    );
+    println!("  live keys: {}\n", store.len());
+
+    // Phase 2: observe traffic, then specialize.
+    println!("phase 2 — distribution-aware specialization");
+    let theta = 1.2;
+    let live: Vec<u64> = keys.clone(); // serve the original flag set
+    let traffic = zipf_over_keys(&live, theta, 0xFEAB);
+    let pool = traffic.pool();
+
+    let oblivious = build_dict(&live, &mut rng).expect("oblivious build");
+    let weights: Vec<f64> = {
+        let by_key: std::collections::HashMap<u64, f64> = pool.entries.iter().copied().collect();
+        live.iter().map(|k| by_key[k]).collect()
+    };
+    let weighted =
+        build_weighted(&live, &weights, &ParamsConfig::default(), &mut rng).expect("weighted");
+
+    let ro = exact_contention(&oblivious, &pool).max_step_ratio();
+    let rw = exact_contention(&weighted, &pool).max_step_ratio();
+    let uniform_pool = QueryPool::uniform(&live);
+    let ro_u = exact_contention(&oblivious, &uniform_pool).max_step_ratio();
+
+    let mut table = TextTable::new(
+        format!("contention ratio under Zipf(θ={theta}) traffic, n = {n}"),
+        &["scheme", "ratio (Zipf traffic)", "ratio (uniform)"],
+    );
+    table.row(vec!["oblivious lcd".into(), sig4(ro), sig4(ro_u)]);
+    table.row(vec![
+        "weighted lcd (knows traffic)".into(),
+        sig4(rw),
+        "—".into(),
+    ]);
+    println!("{}", table.markdown());
+    println!(
+        "The oblivious structure is optimal for uniform traffic but {0:.0}× \
+         worse under skew; the builder, which MAY know the distribution \
+         (§1.1), recovers a {1:.0}× improvement by γ-replicating hot \
+         groups. The residue is the metadata floor the §3 lower bound \
+         protects: the query algorithm itself would need Ω(log log n) \
+         probes to learn where the hot groups' extra metadata lives.",
+        ro / ro_u,
+        ro / rw
+    );
+}

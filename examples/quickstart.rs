@@ -1,0 +1,67 @@
+//! Quickstart: build the low-contention dictionary, query it, and see the
+//! contention guarantee with your own eyes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use low_contention::prelude::*;
+
+fn main() {
+    // 100k keys drawn from the 2^61-1 universe.
+    let keys = uniform_keys(100_000, 7);
+    let mut rng = seeded(42);
+
+    println!("building the Theorem 3 dictionary over {} keys…", keys.len());
+    let dict = build_dict(&keys, &mut rng).expect("construction is expected O(n)");
+    let p = dict.params();
+    println!(
+        "  parameters: d = {}, r = {}, m = {}, s = {}, ρ = {} → {} rows × {} cells",
+        p.d,
+        p.r,
+        p.m,
+        p.s,
+        p.rho,
+        dict.layout().num_rows(),
+        p.s
+    );
+    println!(
+        "  space: {:.2} words/key; probes/query: ≤ {}; build retries: {}",
+        dict.words_per_key(),
+        dict.max_probes(),
+        dict.stats().hash_retries
+    );
+
+    // Membership queries — the only operations a static dictionary has.
+    assert!(dict.contains(keys[0], &mut rng, &mut NullSink));
+    assert!(dict.contains(keys[99_999], &mut rng, &mut NullSink));
+    let non_member = (0..u64::MAX).find(|x| !keys.contains(x)).unwrap();
+    assert!(!dict.contains(non_member, &mut rng, &mut NullSink));
+    println!("  membership: ok");
+
+    // The point of the paper: even the hottest cell at the hottest step is
+    // only a constant multiple of the 1/s optimum.
+    let profile = exact_contention(&dict, &QueryPool::uniform(&keys));
+    println!(
+        "  exact contention (uniform positive): max_t max_j Φ_t(j)·s = {:.2}  (1.0 = perfectly flat)",
+        profile.max_step_ratio()
+    );
+
+    // Compare with FKS, hash parameters fully replicated (§1.3): still a
+    // hot directory cell for the biggest bucket.
+    let fks = FksDict::build_default(&keys, &mut rng).expect("fks");
+    let fks_profile = exact_contention(&fks, &QueryPool::uniform(&keys));
+    println!(
+        "  FKS×n for comparison:                max_t max_j Φ_t(j)·s = {:.2}  (max bucket = {})",
+        fks_profile.max_step_ratio(),
+        fks.max_bucket_load
+    );
+
+    // And binary search, the paper's opening example.
+    let bin = BinarySearchDict::build(&keys).expect("binsearch");
+    let bin_profile = exact_contention(&bin, &QueryPool::uniform(&keys));
+    println!(
+        "  binary search:                       max_t max_j Φ_t(j)·s = {:.2}  (root probed by everyone)",
+        bin_profile.max_step_ratio()
+    );
+}

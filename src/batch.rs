@@ -1,0 +1,114 @@
+//! Data-parallel bulk queries (Rayon).
+//!
+//! A static read-only dictionary is embarrassingly parallel on real
+//! hardware *when its contention is flat* — which is the whole point of
+//! the paper. These helpers run bulk membership queries with
+//! `rayon::par_chunks`, seeding one deterministic RNG per chunk so results
+//! are reproducible regardless of the thread schedule.
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::sink::NullSink;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Keys per parallel chunk: large enough to amortize task overhead, small
+/// enough to load-balance.
+const CHUNK: usize = 1024;
+
+/// Bulk membership: `out[i] = dict.contains(keys[i])`, evaluated in
+/// parallel across Rayon's thread pool.
+///
+/// Deterministic: chunk `c` uses an RNG seeded with `seed ⊕ c`, so the
+/// balancing randomness (replica choices) does not depend on scheduling.
+pub fn par_contains<D: CellProbeDict + Sync + ?Sized>(
+    dict: &D,
+    keys: &[u64],
+    seed: u64,
+) -> Vec<bool> {
+    keys.par_chunks(CHUNK)
+        .enumerate()
+        .flat_map_iter(|(c, chunk)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ c as u64);
+            chunk
+                .iter()
+                .map(move |&x| dict.contains(x, &mut rng, &mut NullSink))
+                .collect::<Vec<bool>>()
+        })
+        .collect()
+}
+
+/// Bulk membership count: how many of `keys` are members (parallel
+/// map-reduce; avoids materializing the bool vector).
+pub fn par_count_members<D: CellProbeDict + Sync + ?Sized>(
+    dict: &D,
+    keys: &[u64],
+    seed: u64,
+) -> usize {
+    keys.par_chunks(CHUNK)
+        .enumerate()
+        .map(|(c, chunk)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ c as u64);
+            chunk
+                .iter()
+                .filter(|&&x| dict.contains(x, &mut rng, &mut NullSink))
+                .count()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn par_contains_matches_sequential() {
+        let keys = uniform_keys(3000, 1);
+        let mut rng = seeded(2);
+        let dict = build_dict(&keys, &mut rng).unwrap();
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(lcds_workloads::querygen::negative_pool(&keys, 3000, 3))
+            .collect();
+        let par = par_contains(&dict, &probes, 7);
+        assert_eq!(par.len(), probes.len());
+        for (i, &x) in probes.iter().enumerate() {
+            assert_eq!(par[i], dict.resolve_contains(x), "key {x}");
+        }
+    }
+
+    #[test]
+    fn par_contains_is_deterministic() {
+        let keys = uniform_keys(500, 4);
+        let mut rng = seeded(5);
+        let dict = build_dict(&keys, &mut rng).unwrap();
+        let a = par_contains(&dict, &keys, 9);
+        let b = par_contains(&dict, &keys, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_count_members() {
+        let keys = uniform_keys(2000, 6);
+        let mut rng = seeded(7);
+        let dict = build_dict(&keys, &mut rng).unwrap();
+        let mixed: Vec<u64> = keys
+            .iter()
+            .copied()
+            .take(1500)
+            .chain(lcds_workloads::querygen::negative_pool(&keys, 500, 8))
+            .collect();
+        assert_eq!(super::par_count_members(&dict, &mixed, 10), 1500);
+    }
+
+    #[test]
+    fn empty_input() {
+        let keys = uniform_keys(10, 9);
+        let mut rng = seeded(10);
+        let dict = build_dict(&keys, &mut rng).unwrap();
+        assert!(par_contains(&dict, &[], 0).is_empty());
+        assert_eq!(super::par_count_members(&dict, &[], 0), 0);
+    }
+}

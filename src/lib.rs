@@ -1,0 +1,85 @@
+//! **low-contention** — a reproduction of *Low-Contention Data Structures*
+//! (James Aspnes, David Eisenstat, Yitong Yin; SPAA 2010).
+//!
+//! The paper asks: how evenly can a static dictionary spread its memory
+//! traffic? It measures the **contention** of a cell as the probability a
+//! random query probes it (so `1/s` is perfect balance over `s` cells),
+//! shows that for queries uniform within positives and within negatives a
+//! dictionary can be simultaneously optimal in **space `O(n)`, time
+//! `O(1)`, and contention `O(1/n)`** (Theorem 3), and proves that for
+//! *arbitrary* unknown query distributions any balanced scheme needs
+//! `Ω(log log n)` probes (Theorem 13).
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`core`] ([`lcds_core`]) — the Theorem 3 dictionary.
+//! * [`hashing`] ([`lcds_hashing`]) — `d`-wise independent polynomials,
+//!   the Dietzfelbinger–Meyer auf der Heide family, perfect hashing.
+//! * [`cellprobe`] ([`lcds_cellprobe`]) — the instrumented cell-probe
+//!   model: probe sinks, contention profiles, exact + Monte-Carlo
+//!   measurement, query distributions.
+//! * [`baselines`] ([`lcds_baselines`]) — FKS, cuckoo, DM, binary search,
+//!   linear probing (§1.3's comparison points).
+//! * [`workloads`] ([`lcds_workloads`]) — key sets, query streams,
+//!   adversarial instances, seeded RNG.
+//! * [`sim`] ([`lcds_sim`]) — contended-memory machines (round-based and
+//!   real-thread) that turn contention into wall-clock cost.
+//! * [`lowerbound`] ([`lcds_lowerbound`]) — §3 mechanized: VC-dimension,
+//!   the communication game, the product-space simulation, and the
+//!   `Ω(log log n)` recursion.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use low_contention::prelude::*;
+//!
+//! let keys: Vec<u64> = (0..2000u64).map(|i| i * 37 + 5).collect();
+//! let mut rng = seeded(42);
+//! let dict = build_dict(&keys, &mut rng).unwrap();
+//!
+//! // Membership, through the instrumented cell-probe interface.
+//! assert!(dict.contains(5, &mut rng, &mut NullSink));
+//! assert!(!dict.contains(6, &mut rng, &mut NullSink));
+//!
+//! // Exact contention: the hottest cell at any step is ~s_total/n times
+//! // the 1/s optimum — a constant, as Theorem 3 promises.
+//! let profile = exact_contention(&dict, &QueryPool::uniform(&keys));
+//! assert!(profile.max_step_ratio() < 40.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+
+pub use lcds_baselines as baselines;
+pub use lcds_cellprobe as cellprobe;
+pub use lcds_core as core;
+pub use lcds_hashing as hashing;
+pub use lcds_lowerbound as lowerbound;
+pub use lcds_sim as sim;
+pub use lcds_workloads as workloads;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use lcds_baselines::{
+        BinarySearchDict, ChainingDict, CuckooDict, DmDict, FksDict, LinearProbeDict,
+        Replication, RobinHoodDict,
+    };
+    pub use lcds_cellprobe::dict::CellProbeDict;
+    pub use lcds_cellprobe::dist::{QueryDistribution, QueryPool, UniformOver, Zipf};
+    pub use lcds_cellprobe::exact::{exact_contention, ExactProbes};
+    pub use lcds_cellprobe::measure::{measure_contention, verify_membership};
+    pub use lcds_cellprobe::sink::{CountingSink, NullSink, ProbeSink, StepSink, TraceSink};
+    pub use lcds_core::builder::build as build_dict;
+    pub use lcds_core::dynamic::DynamicLcd;
+    pub use lcds_core::weighted::{build_weighted, WeightedDict};
+    pub use lcds_core::{build_with, LowContentionDict, ParamsConfig};
+    pub use lcds_workloads::keysets::{clustered_keys, dense_keys, uniform_keys};
+    pub use lcds_workloads::querygen::{
+        mixed_dist, negative_dist, positive_dist, zipf_over_keys,
+    };
+    pub use lcds_workloads::rng::seeded;
+
+    pub use crate::batch::{par_contains, par_count_members};
+}

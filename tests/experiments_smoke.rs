@@ -1,0 +1,32 @@
+//! Smoke test: every experiment of DESIGN.md §4 runs end-to-end in quick
+//! mode and writes its artifacts. The per-experiment *assertions* (shapes,
+//! orderings) live in `lcds-bench`'s unit tests; this covers the plumbing
+//! and the full dispatch surface.
+
+use lcds_bench::exps::{run, ALL_IDS};
+
+#[test]
+fn every_experiment_runs_quick_and_writes_artifacts() {
+    let dir = std::env::temp_dir().join(format!("lcds-exp-smoke-{}", std::process::id()));
+    for id in ALL_IDS {
+        let out = run(id, true);
+        assert_eq!(out.id, id);
+        assert!(
+            !out.tables.is_empty() || !out.series.is_empty(),
+            "{id} produced nothing"
+        );
+        out.write_artifacts(&dir).unwrap_or_else(|e| panic!("{id}: {e}"));
+        let json_path = dir.join(format!("{id}.json"));
+        assert!(json_path.exists(), "{id}: missing JSON artifact");
+        let body = std::fs::read_to_string(&json_path).unwrap();
+        let _: serde_json::Value =
+            serde_json::from_str(&body).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment id")]
+fn unknown_id_panics_with_catalog() {
+    let _ = run("t99", true);
+}

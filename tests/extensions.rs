@@ -1,0 +1,103 @@
+//! Integration tests for the three extensions: persistence, the
+//! distribution-aware dictionary, and batch parallel queries, exercised
+//! together across crate boundaries.
+
+use lcds_core::persist;
+use low_contention::prelude::*;
+
+#[test]
+fn persist_roundtrip_through_a_real_file() {
+    let keys = uniform_keys(1500, 0xE1);
+    let mut rng = seeded(0xE2);
+    let dict = build_dict(&keys, &mut rng).unwrap();
+
+    let path = std::env::temp_dir().join(format!("lcds-persist-{}.bin", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        persist::save(&dict, &mut f).unwrap();
+    }
+    let loaded = {
+        let mut f = std::fs::File::open(&path).unwrap();
+        persist::load(&mut f).unwrap()
+    };
+    let _ = std::fs::remove_file(&path);
+
+    // The loaded structure answers identically — including through the
+    // probe-recording path and with identical exact contention.
+    let mut qrng = seeded(0xE3);
+    for &x in keys.iter().take(200) {
+        assert!(loaded.contains(x, &mut qrng, &mut NullSink));
+    }
+    let negs = lcds_workloads::querygen::negative_pool(&keys, 200, 0xE4);
+    for &x in &negs {
+        assert!(!loaded.contains(x, &mut qrng, &mut NullSink));
+    }
+    let a = exact_contention(&dict, &QueryPool::uniform(&keys));
+    let b = exact_contention(&loaded, &QueryPool::uniform(&keys));
+    assert_eq!(a.total, b.total, "profiles must be bit-identical");
+}
+
+#[test]
+fn persisted_dictionary_still_verifies_and_measures() {
+    let keys = uniform_keys(800, 0xE5);
+    let mut rng = seeded(0xE6);
+    let dict = build_dict(&keys, &mut rng).unwrap();
+    let mut buf = Vec::new();
+    persist::save(&dict, &mut buf).unwrap();
+    let loaded = persist::load(&mut buf.as_slice()).unwrap();
+    lcds_core::verify::verify(&loaded).unwrap();
+    let report = measure_contention(&loaded, &positive_dist(&keys), 20_000, &mut seeded(0xE7));
+    assert_eq!(report.positives, 20_000);
+}
+
+#[test]
+fn batch_queries_agree_with_weighted_and_dynamic_variants() {
+    use lcds_core::dynamic::DynamicLcd;
+    use low_contention::batch::par_contains;
+
+    let keys = uniform_keys(1200, 0xE8);
+    let mut rng = seeded(0xE9);
+
+    // Weighted.
+    let weights: Vec<f64> = (0..keys.len()).map(|i| 1.0 / (i + 1) as f64).collect();
+    let weighted = build_weighted(&keys, &weights, &ParamsConfig::default(), &mut rng).unwrap();
+    let results = par_contains(&weighted, &keys, 0xEA);
+    assert!(results.iter().all(|&b| b), "all members found in parallel");
+
+    // Dynamic snapshot.
+    let mut dynamic = DynamicLcd::new(&keys, 0xEB, ParamsConfig::default()).unwrap();
+    for i in 0..300u64 {
+        dynamic.insert(1 + i * 2_654_435_761).unwrap();
+    }
+    let snap = dynamic.snapshot();
+    let results = par_contains(&snap, &keys, 0xEC);
+    assert!(results.iter().all(|&b| b));
+    let extra: Vec<u64> = (0..300u64).map(|i| 1 + i * 2_654_435_761).collect();
+    assert_eq!(
+        low_contention::batch::par_count_members(&snap, &extra, 0xED),
+        extra.len()
+    );
+}
+
+#[test]
+fn weighted_contention_advantage_scales_with_n() {
+    // The oblivious/weighted gap under skew should not shrink as n grows
+    // (it is driven by the hot key's mass, not by n).
+    let mut gaps = Vec::new();
+    for n in [1024usize, 4096] {
+        let keys = uniform_keys(n, 0xEE + n as u64);
+        let pool = zipf_over_keys(&keys, 1.2, 0xEF).pool();
+        let weights: Vec<f64> = {
+            let by: std::collections::HashMap<u64, f64> = pool.entries.iter().copied().collect();
+            keys.iter().map(|k| by[k]).collect()
+        };
+        let mut rng = seeded(n as u64);
+        let obl = build_dict(&keys, &mut rng).unwrap();
+        let wtd = build_weighted(&keys, &weights, &ParamsConfig::default(), &mut rng).unwrap();
+        let ro = exact_contention(&obl, &pool).max_step_ratio();
+        let rw = exact_contention(&wtd, &pool).max_step_ratio();
+        gaps.push(ro / rw);
+    }
+    assert!(gaps.iter().all(|&g| g > 3.0), "gaps {gaps:?}");
+    assert!(gaps[1] >= gaps[0] * 0.5, "gap must not collapse: {gaps:?}");
+}

@@ -1,0 +1,77 @@
+//! Ties §2 to §3: the low-contention dictionary *is* an instance of the
+//! balanced schemes the lower bound quantifies over (Definition 12), and
+//! its parameters sit on the feasible side of Theorem 13's trade-off.
+
+use lcds_lowerbound::game::check_probe_spec;
+use lcds_lowerbound::recursion::{feasible, min_t_star};
+use low_contention::prelude::*;
+
+/// Turn the dictionary's per-step probe sets for a batch of queries into
+/// the game's probe-specification matrices `P_t` and check constraints
+/// (1)–(2) with `φ*` = its own exact max-step contention.
+#[test]
+fn dictionary_probe_specs_satisfy_definition_12() {
+    let n = 64usize;
+    let keys = uniform_keys(n, 0xD12);
+    let mut rng = seeded(0xD13);
+    let dict = build_dict(&keys, &mut rng).unwrap();
+    let cells = dict.num_cells() as usize;
+    let steps = dict.max_probes() as usize;
+
+    // φ* from the exact profile, q = uniform over the n queries.
+    let prof = exact_contention(&dict, &QueryPool::uniform(&keys));
+    let phi_star = prof.max_step();
+    let q = vec![1.0 / n as f64; n];
+
+    // Build P_t: row i = query keys[i], uniform over its step-t probe set.
+    let mut sets = Vec::new();
+    let mut specs: Vec<Vec<Vec<f64>>> = vec![vec![vec![0.0; cells]; n]; steps];
+    for (i, &x) in keys.iter().enumerate() {
+        sets.clear();
+        dict.probe_sets(x, &mut sets);
+        for (t, set) in sets.iter().enumerate() {
+            let share = 1.0 / set.count as f64;
+            for cell in set.cells() {
+                specs[t][i][cell as usize] = share;
+            }
+        }
+    }
+
+    for (t, p) in specs.iter().enumerate() {
+        check_probe_spec(p, &q, phi_star + 1e-12)
+            .unwrap_or_else(|e| panic!("step {t} violates Definition 12: {e}"));
+    }
+}
+
+/// Theorem 13's trade-off, instantiated with the dictionary's own numbers:
+/// its constant probe count is only possible because its contention budget
+/// `φ*·s` is a constant — pushing `φ*` to the optimum `1/s` while keeping
+/// `b = 64` would *still* be feasible at `t = O(1)` only for small `n`.
+#[test]
+fn dictionary_sits_on_the_feasible_side() {
+    let n = 4096usize;
+    let keys = uniform_keys(n, 0xD14);
+    let mut rng = seeded(0xD15);
+    let dict = build_dict(&keys, &mut rng).unwrap();
+    let prof = exact_contention(&dict, &QueryPool::uniform(&keys));
+    let phi_s = prof.max_step_ratio(); // ≈ 30, the constant
+
+    // With its own (b, φ*·s), its own probe count t must be feasible.
+    let t = dict.max_probes();
+    assert!(
+        feasible(t, (n as f64).log2(), 64.0, phi_s),
+        "the dictionary's own parameters must satisfy the information bound"
+    );
+    // And the bound is not vacuous: t* ≥ 1 and grows for huge n.
+    assert!(min_t_star(1024.0, 64.0, phi_s) >= 4);
+}
+
+/// The membership problem the dictionary solves has VC-dimension n — the
+/// hypothesis under which Theorem 13 applies to it (checked at small n).
+#[test]
+fn membership_vc_dimension_hypothesis() {
+    use lcds_lowerbound::vcdim::ProblemTable;
+    for (universe, n) in [(6usize, 2usize), (7, 3)] {
+        assert_eq!(ProblemTable::membership(universe, n).vc_dimension(), n);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based cross-crate fuzzing: random key sets, query mixes, and
+//! update sequences against reference oracles.
+
+use lcds_core::dynamic::DynamicLcd;
+use low_contention::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn distinct_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::hash_set(0..lcds_hashing::MAX_KEY, 1..120)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheme answers exactly like a `HashSet` on arbitrary keys.
+    #[test]
+    fn prop_all_schemes_match_oracle(keys in distinct_keys(), probes in proptest::collection::vec(0..lcds_hashing::MAX_KEY, 20), seed in 0..u64::MAX) {
+        let mut rng = seeded(seed);
+        let oracle: HashSet<u64> = keys.iter().copied().collect();
+
+        let lcd = build_dict(&keys, &mut rng).unwrap();
+        let fks = FksDict::build_default(&keys, &mut rng).unwrap();
+        let cuckoo = CuckooDict::build_default(&keys, &mut rng).unwrap();
+        let bin = BinarySearchDict::build(&keys).unwrap();
+
+        let mut qrng = seeded(seed ^ 1);
+        for x in keys.iter().copied().chain(probes) {
+            let want = oracle.contains(&x);
+            prop_assert_eq!(lcd.contains(x, &mut qrng, &mut NullSink), want, "lcd {}", x);
+            prop_assert_eq!(lcd.resolve_contains(x), want, "lcd resolve {}", x);
+            prop_assert_eq!(fks.contains(x, &mut qrng, &mut NullSink), want, "fks {}", x);
+            prop_assert_eq!(cuckoo.contains(x, &mut qrng, &mut NullSink), want, "cuckoo {}", x);
+            prop_assert_eq!(bin.contains(x, &mut qrng, &mut NullSink), want, "bin {}", x);
+        }
+    }
+
+    /// The low-contention structure's self-verification passes for every
+    /// random build.
+    #[test]
+    fn prop_structure_verifies(keys in distinct_keys(), seed in 0..u64::MAX) {
+        let mut rng = seeded(seed);
+        let d = build_dict(&keys, &mut rng).unwrap();
+        prop_assert!(lcds_core::verify::verify(&d).is_ok());
+    }
+
+    /// Exact probe sets always contain the probes `contains` makes, for
+    /// the oblivious and weighted dictionaries alike.
+    #[test]
+    fn prop_probe_sets_cover_traces(keys in distinct_keys(), x in 0..lcds_hashing::MAX_KEY, seed in 0..u64::MAX) {
+        let mut rng = seeded(seed);
+        let d = build_dict(&keys, &mut rng).unwrap();
+        let mut sets = Vec::new();
+        d.probe_sets(x, &mut sets);
+        let mut trace = TraceSink::new();
+        lcds_cellprobe::sink::ProbeSink::begin_query(&mut trace);
+        let _ = d.contains(x, &mut rng, &mut trace);
+        prop_assert_eq!(trace.trace().len(), sets.len());
+        for (&cell, set) in trace.trace().iter().zip(&sets) {
+            prop_assert!(set.cells().any(|c| c == cell));
+        }
+    }
+
+    /// Dynamic dictionary vs oracle under arbitrary update scripts.
+    #[test]
+    fn prop_dynamic_matches_oracle(
+        initial in distinct_keys(),
+        script in proptest::collection::vec((0..500u64, proptest::bool::ANY), 1..200),
+        seed in 0..u64::MAX,
+    ) {
+        let mut d = DynamicLcd::new(&initial, seed, ParamsConfig::default()).unwrap();
+        let mut oracle: HashSet<u64> = initial.iter().copied().collect();
+        let mut qrng = seeded(seed ^ 2);
+        for (x, is_insert) in script {
+            if is_insert {
+                prop_assert_eq!(d.insert(x).unwrap(), oracle.insert(x));
+            } else {
+                prop_assert_eq!(d.remove(x).unwrap(), oracle.remove(&x));
+            }
+            prop_assert_eq!(
+                d.contains_key(x, &mut qrng, &mut NullSink),
+                oracle.contains(&x)
+            );
+        }
+        prop_assert_eq!(d.len(), oracle.len());
+    }
+
+    /// Weighted dictionary: membership unaffected by the weights.
+    #[test]
+    fn prop_weighted_membership(keys in distinct_keys(), seed in 0..u64::MAX, hot in 0usize..120) {
+        prop_assume!(hot < keys.len());
+        let mut weights = vec![1.0; keys.len()];
+        weights[hot] = 1000.0;
+        let mut rng = seeded(seed);
+        let d = build_weighted(&keys, &weights, &ParamsConfig::default(), &mut rng).unwrap();
+        let mut qrng = seeded(seed ^ 3);
+        for &x in &keys {
+            prop_assert!(d.contains(x, &mut qrng, &mut NullSink));
+        }
+        prop_assert!(!d.contains(lcds_hashing::MAX_KEY - 1, &mut qrng, &mut NullSink)
+            || keys.contains(&(lcds_hashing::MAX_KEY - 1)));
+    }
+}

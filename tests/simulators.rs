@@ -1,0 +1,93 @@
+//! Cross-crate simulator tests: the contended-memory machines against real
+//! dictionaries, and the invariants tying simulation to contention theory.
+
+use lcds_sim::rounds::simulate;
+use lcds_sim::threads::replay;
+use lcds_sim::traces::collect;
+use low_contention::prelude::*;
+
+#[test]
+fn round_machine_lower_bounds_hold() {
+    // makespan ≥ ⌈total probes / p⌉ (work) and ≥ max cell busy (hot spot).
+    let keys = uniform_keys(1024, 0x51);
+    let mut rng = seeded(0x52);
+    let d = build_dict(&keys, &mut rng).unwrap();
+    let dist = positive_dist(&keys);
+    for p in [1usize, 4, 16] {
+        let t = collect(&d, &dist, p, 16, &mut rng);
+        let r = simulate(&t.traces, &t.queries);
+        assert!(r.makespan * p as u64 >= r.total_probes, "work bound, p={p}");
+        assert!(r.makespan >= r.max_cell_busy, "hot-spot bound, p={p}");
+        assert!(r.parallelism() <= p as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn low_contention_beats_binary_search_on_the_round_machine() {
+    let n = 2048;
+    let keys = uniform_keys(n, 0x53);
+    let mut rng = seeded(0x54);
+    let lcd = build_dict(&keys, &mut rng).unwrap();
+    let bin = BinarySearchDict::build(&keys).unwrap();
+    let dist = positive_dist(&keys);
+
+    let p = 64;
+    let t_lcd = collect(&lcd, &dist, p, 16, &mut rng);
+    let t_bin = collect(&bin, &dist, p, 16, &mut rng);
+    let r_lcd = simulate(&t_lcd.traces, &t_lcd.queries);
+    let r_bin = simulate(&t_bin.traces, &t_bin.queries);
+
+    // Binary search: root cell serves once/round ⇒ throughput ≤ ~1.
+    assert!(r_bin.throughput() <= 1.05, "binary search {}", r_bin.throughput());
+    // The flat structure should be several times faster at p = 64.
+    assert!(
+        r_lcd.throughput() > 3.0 * r_bin.throughput(),
+        "lcd {} vs bin {}",
+        r_lcd.throughput(),
+        r_bin.throughput()
+    );
+}
+
+#[test]
+fn hot_cell_busy_matches_contention_prediction() {
+    // E[#probes on cell j] = queries · Φ(j): the busiest cell of binary
+    // search must be probed exactly once per query (the root).
+    let keys = uniform_keys(512, 0x55);
+    let bin = BinarySearchDict::build(&keys).unwrap();
+    let dist = positive_dist(&keys);
+    let mut rng = seeded(0x56);
+    let t = collect(&bin, &dist, 8, 32, &mut rng);
+    let r = simulate(&t.traces, &t.queries);
+    assert_eq!(r.max_cell_busy, r.queries, "root probed once per query");
+}
+
+#[test]
+fn thread_replay_accounts_for_every_probe() {
+    let keys = uniform_keys(256, 0x57);
+    let mut rng = seeded(0x58);
+    let d = build_dict(&keys, &mut rng).unwrap();
+    let dist = mixed_dist(&keys, 0.5, 256, 0x59);
+    let t = collect(&d, &dist, 4, 200, &mut rng);
+    let expected: u64 = t.traces.iter().map(|tr| tr.len() as u64).sum();
+    let r = replay(&t.traces, &t.queries, d.num_cells());
+    assert_eq!(r.total_probes, expected);
+    assert_eq!(r.queries, 800);
+    assert!(r.qps() > 0.0);
+}
+
+#[test]
+fn traces_respect_probe_bounds() {
+    let keys = uniform_keys(512, 0x5A);
+    let mut rng = seeded(0x5B);
+    let d = build_dict(&keys, &mut rng).unwrap();
+    let dist = positive_dist(&keys);
+    let t = collect(&d, &dist, 2, 100, &mut rng);
+    for trace in &t.traces {
+        assert_eq!(
+            trace.len() as u64,
+            100 * d.max_probes() as u64,
+            "positive queries probe every row exactly once"
+        );
+        assert!(trace.iter().all(|&c| c < d.num_cells()));
+    }
+}
