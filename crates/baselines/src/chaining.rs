@@ -108,11 +108,7 @@ impl ChainingDict {
                 cursor[b] += 1;
             }
             for i in 0..m as usize {
-                table.write(
-                    0,
-                    k + i as u64,
-                    pack_descriptor(offsets[i], loads[i], 0),
-                );
+                table.write(0, k + i as u64, pack_descriptor(offsets[i], loads[i], 0));
             }
             return Ok(ChainingDict {
                 table,
@@ -255,7 +251,12 @@ mod tests {
         let d = ChainingDict::build_default(&keys, &mut rng(3)).unwrap();
         let mut r = rng(4);
         let mut sets = Vec::new();
-        for x in keys.iter().copied().take(60).chain((0..60).map(|i| derive(6, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(60)
+            .chain((0..60).map(|i| derive(6, i) % MAX_KEY))
+        {
             sets.clear();
             d.probe_sets(x, &mut sets);
             let mut t = TraceSink::new();

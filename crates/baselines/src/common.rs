@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_inputs() {
-        assert_eq!(checked_sorted_keys(&[]).unwrap_err(), BaselineError::EmptyKeySet);
+        assert_eq!(
+            checked_sorted_keys(&[]).unwrap_err(),
+            BaselineError::EmptyKeySet
+        );
         assert_eq!(
             checked_sorted_keys(&[3, 1, 3]).unwrap_err(),
             BaselineError::DuplicateKey(3)
@@ -164,7 +167,10 @@ mod tests {
             ((1 << OFFSET_BITS) - 1, (1 << LOAD_BITS) - 1, u32::MAX),
             (12345, 17, 0xDEAD_BEEF),
         ] {
-            assert_eq!(unpack_descriptor(pack_descriptor(off, load, seed)), (off, load, seed));
+            assert_eq!(
+                unpack_descriptor(pack_descriptor(off, load, seed)),
+                (off, load, seed)
+            );
         }
     }
 

@@ -214,7 +214,9 @@ impl CellProbeDict for CuckooDict {
         if self.table.read(0, self.k + hashes.eval1(x), sink) == x {
             return true;
         }
-        self.table.read(0, self.k + self.side + hashes.eval2(x), sink) == x
+        self.table
+            .read(0, self.k + self.side + hashes.eval2(x), sink)
+            == x
     }
 
     fn num_cells(&self) -> u64 {
@@ -294,7 +296,12 @@ mod tests {
         let keys = keyset(400, 3);
         let d = CuckooDict::build_default(&keys, &mut rng(3)).unwrap();
         let mut r = rng(4);
-        for x in keys.iter().copied().take(50).chain((0..50).map(|i| derive(6, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(50)
+            .chain((0..50).map(|i| derive(6, i) % MAX_KEY))
+        {
             let mut t = TraceSink::new();
             t.begin_query();
             let _ = d.contains(x, &mut r, &mut t);
@@ -309,7 +316,12 @@ mod tests {
         let d = CuckooDict::build_default(&keys, &mut rng(4)).unwrap();
         let mut r = rng(5);
         let mut sets = Vec::new();
-        for x in keys.iter().copied().take(60).chain((0..60).map(|i| derive(8, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(60)
+            .chain((0..60).map(|i| derive(8, i) % MAX_KEY))
+        {
             sets.clear();
             d.probe_sets(x, &mut sets);
             let mut t = TraceSink::new();
@@ -340,7 +352,11 @@ mod tests {
     fn space_is_linear() {
         let keys = keyset(1000, 6);
         let d = CuckooDict::build_default(&keys, &mut rng(6)).unwrap();
-        assert!(d.words_per_key() <= 4.1, "words/key = {}", d.words_per_key());
+        assert!(
+            d.words_per_key() <= 4.1,
+            "words/key = {}",
+            d.words_per_key()
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! ```
 
 use crate::common::{
-    checked_sorted_keys, pack_descriptor, unpack_descriptor, BaselineError, Replication,
-    LOAD_BITS, OFFSET_BITS,
+    checked_sorted_keys, pack_descriptor, unpack_descriptor, BaselineError, Replication, LOAD_BITS,
+    OFFSET_BITS,
 };
 use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
@@ -178,7 +178,11 @@ impl DmDict {
                 crate::seed_search::find_perfect_seed32(bucket, range, rng)
                     .ok_or(BaselineError::RetriesExhausted(4096))?
             };
-            table.write(0, desc_base + i as u64, pack_descriptor(offsets[i], l, bseed));
+            table.write(
+                0,
+                desc_base + i as u64,
+                pack_descriptor(offsets[i], l, bseed),
+            );
             if l > 0 {
                 let ph = PerfectHash::from_seed(bseed as u64, range);
                 for &x in bucket {
@@ -201,7 +205,10 @@ impl DmDict {
     }
 
     /// Builds with [`DmConfig::default`].
-    pub fn build_default<R: Rng + ?Sized>(keys: &[u64], rng: &mut R) -> Result<DmDict, BaselineError> {
+    pub fn build_default<R: Rng + ?Sized>(
+        keys: &[u64],
+        rng: &mut R,
+    ) -> Result<DmDict, BaselineError> {
         DmDict::build(keys, DmConfig::default(), rng)
     }
 
@@ -262,7 +269,9 @@ impl CellProbeDict for DmDict {
         // Probe 4: data.
         let range = (l as u64) * (l as u64);
         let ph = PerfectHash::from_seed(bseed as u64, range);
-        self.table.read(0, self.data_base() + off + ph.eval(x), sink) == x
+        self.table
+            .read(0, self.data_base() + off + ph.eval(x), sink)
+            == x
     }
 
     fn num_cells(&self) -> u64 {
@@ -350,7 +359,12 @@ mod tests {
         let d = DmDict::build_default(&keys, &mut rng(3)).unwrap();
         let mut r = rng(4);
         let mut sets = Vec::new();
-        for x in keys.iter().copied().take(50).chain((0..50).map(|i| derive(9, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(50)
+            .chain((0..50).map(|i| derive(9, i) % MAX_KEY))
+        {
             sets.clear();
             d.probe_sets(x, &mut sets);
             let mut t = TraceSink::new();
@@ -388,7 +402,11 @@ mod tests {
     fn space_is_linear() {
         let keys = keyset(1000, 6);
         let d = DmDict::build_default(&keys, &mut rng(6)).unwrap();
-        assert!(d.words_per_key() <= 9.0, "words/key = {}", d.words_per_key());
+        assert!(
+            d.words_per_key() <= 9.0,
+            "words/key = {}",
+            d.words_per_key()
+        );
     }
 
     #[test]

@@ -18,15 +18,15 @@
 //! optimal contention quoted in §1.3.
 
 use crate::common::{
-    checked_sorted_keys, pack_descriptor, unpack_descriptor, BaselineError, Replication,
-    LOAD_BITS, OFFSET_BITS,
+    checked_sorted_keys, pack_descriptor, unpack_descriptor, BaselineError, Replication, LOAD_BITS,
+    OFFSET_BITS,
 };
+use crate::seed_search::find_perfect_seed32;
 use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
 use lcds_cellprobe::rngutil::uniform_below;
 use lcds_cellprobe::sink::ProbeSink;
 use lcds_cellprobe::table::Table;
-use crate::seed_search::find_perfect_seed32;
 use lcds_hashing::perfect::PerfectHash;
 use rand::{Rng, RngCore};
 
@@ -150,7 +150,10 @@ impl FksDict {
     }
 
     /// Builds with [`FksConfig::default`] (linear replication).
-    pub fn build_default<R: Rng + ?Sized>(keys: &[u64], rng: &mut R) -> Result<FksDict, BaselineError> {
+    pub fn build_default<R: Rng + ?Sized>(
+        keys: &[u64],
+        rng: &mut R,
+    ) -> Result<FksDict, BaselineError> {
         FksDict::build(keys, FksConfig::default(), rng)
     }
 
@@ -259,7 +262,8 @@ mod tests {
     fn membership_is_correct() {
         let keys = keyset(800, 1);
         let d = FksDict::build_default(&keys, &mut rng(1)).unwrap();
-        let negs: Vec<u64> = (0..500).map(|i| derive(999, i) % MAX_KEY)
+        let negs: Vec<u64> = (0..500)
+            .map(|i| derive(999, i) % MAX_KEY)
             .filter(|x| !keys.contains(x))
             .collect();
         verify_membership(&d, &keys, &negs, &mut rng(2)).unwrap();
@@ -284,7 +288,10 @@ mod tests {
         let d = FksDict::build_default(&keys, &mut rng(3)).unwrap();
         let mut r = rng(4);
         let mut sets = Vec::new();
-        let probes: Vec<u64> = keys.iter().copied().take(50)
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .take(50)
             .chain((0..50).map(|i| derive(5, i) % MAX_KEY))
             .collect();
         for x in probes {
@@ -309,7 +316,10 @@ mod tests {
         };
         let d = FksDict::build(&keys, cfg, &mut rng(4)).unwrap();
         let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
-        assert!((prof.step_max[0] - 1.0).abs() < 1e-12, "seed cell must be probed by all");
+        assert!(
+            (prof.step_max[0] - 1.0).abs() < 1e-12,
+            "seed cell must be probed by all"
+        );
         assert!((prof.total[0] - 1.0).abs() < 1e-12);
     }
 
@@ -326,14 +336,21 @@ mod tests {
         // practice at this size).
         let expected = d.max_bucket_load as f64 / n;
         assert!((prof.step_max[1] - expected).abs() < 1e-9);
-        assert!(d.max_bucket_load >= 2, "want a collision to exhibit the hot spot");
+        assert!(
+            d.max_bucket_load >= 2,
+            "want a collision to exhibit the hot spot"
+        );
     }
 
     #[test]
     fn space_is_linear() {
         let keys = keyset(1000, 6);
         let d = FksDict::build_default(&keys, &mut rng(6)).unwrap();
-        assert!(d.words_per_key() <= 7.0, "words/key = {}", d.words_per_key());
+        assert!(
+            d.words_per_key() <= 7.0,
+            "words/key = {}",
+            d.words_per_key()
+        );
     }
 
     #[test]

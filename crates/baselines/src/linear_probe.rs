@@ -258,11 +258,20 @@ mod tests {
         let d = LinearProbeDict::build_default(&keys, &mut rng(2)).unwrap();
         let bound = d.max_probes() as usize;
         let mut r = rng(3);
-        for x in keys.iter().copied().take(100).chain((0..100).map(|i| derive(4, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(100)
+            .chain((0..100).map(|i| derive(4, i) % MAX_KEY))
+        {
             let mut t = TraceSink::new();
             t.begin_query();
             let _ = d.contains(x, &mut r, &mut t);
-            assert!(t.trace().len() <= bound, "x={x}: {} > {bound}", t.trace().len());
+            assert!(
+                t.trace().len() <= bound,
+                "x={x}: {} > {bound}",
+                t.trace().len()
+            );
         }
     }
 
@@ -272,7 +281,12 @@ mod tests {
         let d = LinearProbeDict::build_default(&keys, &mut rng(3)).unwrap();
         let mut r = rng(4);
         let mut sets = Vec::new();
-        for x in keys.iter().copied().take(50).chain((0..50).map(|i| derive(7, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(50)
+            .chain((0..50).map(|i| derive(7, i) % MAX_KEY))
+        {
             sets.clear();
             d.probe_sets(x, &mut sets);
             let mut t = TraceSink::new();

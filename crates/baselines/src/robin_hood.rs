@@ -293,7 +293,12 @@ mod tests {
         let d = RobinHoodDict::build_default(&keys, &mut rng(3)).unwrap();
         let mut r = rng(4);
         let mut sets = Vec::new();
-        for x in keys.iter().copied().take(60).chain((0..60).map(|i| derive(5, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(60)
+            .chain((0..60).map(|i| derive(5, i) % MAX_KEY))
+        {
             sets.clear();
             d.probe_sets(x, &mut sets);
             let mut t = TraceSink::new();
@@ -328,7 +333,12 @@ mod tests {
         let d = RobinHoodDict::build_default(&keys, &mut rng(6)).unwrap();
         let bound = d.max_probes() as usize;
         let mut r = rng(7);
-        for x in keys.iter().copied().take(100).chain((0..100).map(|i| derive(8, i) % MAX_KEY)) {
+        for x in keys
+            .iter()
+            .copied()
+            .take(100)
+            .chain((0..100).map(|i| derive(8, i) % MAX_KEY))
+        {
             let mut t = TraceSink::new();
             t.begin_query();
             let _ = d.contains(x, &mut r, &mut t);

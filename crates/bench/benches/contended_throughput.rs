@@ -16,7 +16,9 @@ fn bench_contended(c: &mut Criterion) {
     let qpp: u64 = 2_000;
     let keys = uniform_keys(n, 0xC0DE);
     let dist = positive_dist(&keys);
-    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let ncpu = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     let mut threads = vec![1usize, (ncpu / 2).max(1), ncpu];
     threads.dedup(); // single-CPU hosts would repeat "1"
 
@@ -25,22 +27,24 @@ fn bench_contended(c: &mut Criterion) {
     group.sample_size(10);
     for dict in &schemes {
         let mut rng = seeded(0xC1);
-        let traces = collect(&**dict, &dist, *threads.iter().max().unwrap(), qpp, &mut rng);
+        let traces = collect(
+            &**dict,
+            &dist,
+            *threads.iter().max().unwrap(),
+            qpp,
+            &mut rng,
+        );
         for &t in &threads {
             group.throughput(Throughput::Elements(qpp * t as u64));
-            group.bench_with_input(
-                BenchmarkId::new(dict.name(), t),
-                &t,
-                |b, &t| {
-                    b.iter(|| {
-                        black_box(replay(
-                            &traces.traces[..t],
-                            &traces.queries[..t],
-                            dict.num_cells(),
-                        ))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(dict.name(), t), &t, |b, &t| {
+                b.iter(|| {
+                    black_box(replay(
+                        &traces.traces[..t],
+                        &traces.queries[..t],
+                        dict.num_cells(),
+                    ))
+                });
+            });
         }
     }
     group.finish();

@@ -1,0 +1,96 @@
+//! Production-path telemetry overhead: the cost a query pays when its
+//! probe stream is observed through `lcds-obs` sinks, relative to the
+//! free `NullSink` baseline.
+//!
+//! The acceptance bar (docs/OBSERVABILITY.md) is ≤5% overhead for
+//! `SamplingSink` at 1-in-1024: the unsampled path is a decrement, a
+//! compare, and a branch per probe, amortizing the downstream sink's
+//! cost over the sampling period.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::sink::{CountingSink, NullSink, ProbeSink};
+use lcds_obs::{SamplingSink, TopKSink};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::rng::seeded;
+
+fn bench_sink_overhead(c: &mut Criterion) {
+    let n = 1 << 14;
+    let keys = uniform_keys(n, 0x0B5E);
+    let dict = lcds_core::build(&keys, &mut seeded(0x0B5F)).expect("build");
+
+    let mut group = c.benchmark_group("obs_overhead");
+
+    // Baseline: the probe stream is discarded.
+    group.bench_function("null_sink", |b| {
+        let mut rng = seeded(1);
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            let mut sink = NullSink;
+            sink.begin_query();
+            black_box(dict.contains(black_box(x), &mut rng, &mut sink))
+        });
+    });
+
+    // 1-in-1024 sampling in front of a top-K hot-cell detector: the
+    // configuration the ≤5% overhead criterion targets.
+    group.bench_function("sampling_1in1024_topk", |b| {
+        let mut rng = seeded(2);
+        let mut topk = TopKSink::new(16);
+        let mut sampler = SamplingSink::new(&mut topk, 1024, 0x5EED);
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            sampler.begin_query();
+            black_box(dict.contains(black_box(x), &mut rng, &mut sampler))
+        });
+    });
+
+    // Same sampler over a free downstream sink: isolates the sampler's
+    // own decrement-and-branch cost from the top-K updates.
+    group.bench_function("sampling_1in1024_null", |b| {
+        let mut rng = seeded(3);
+        let mut null = NullSink;
+        let mut sampler = SamplingSink::new(&mut null, 1024, 0x5EED);
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            sampler.begin_query();
+            black_box(dict.contains(black_box(x), &mut rng, &mut sampler))
+        });
+    });
+
+    // Unsampled observers, for scale: every probe updates the sketch /
+    // the per-cell count vector.
+    group.bench_function("unsampled_topk", |b| {
+        let mut rng = seeded(4);
+        let mut topk = TopKSink::new(16);
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            topk.begin_query();
+            black_box(dict.contains(black_box(x), &mut rng, &mut topk))
+        });
+    });
+    group.bench_function("unsampled_counting", |b| {
+        let mut rng = seeded(5);
+        let mut counting = CountingSink::new(dict.num_cells());
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = keys[i % keys.len()];
+            i += 1;
+            counting.begin_query();
+            black_box(dict.contains(black_box(x), &mut rng, &mut counting))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sink_overhead);
+criterion_main!(benches);

@@ -64,7 +64,9 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 
     // The extensions: distribution-aware and dynamic variants.
-    let weights: Vec<f64> = (0..keys.len()).map(|i| ((i + 1) as f64).powf(-1.0)).collect();
+    let weights: Vec<f64> = (0..keys.len())
+        .map(|i| ((i + 1) as f64).powf(-1.0))
+        .collect();
     let weighted = lcds_core::weighted::build_weighted(
         &keys,
         &weights,

@@ -1,11 +1,18 @@
 //! Experiment runner: regenerates the tables and figures of DESIGN.md §4.
 //!
 //! ```text
-//! experiments all                # run everything, full scale
-//! experiments t1 f5 f3           # run a subset
-//! experiments --quick all        # tiny parameters (smoke test)
-//! experiments --out results all  # artifact directory (default: results/)
+//! experiments all                    # run everything, full scale
+//! experiments t1 f5 f3               # run a subset
+//! experiments --quick all            # tiny parameters (smoke test)
+//! experiments --out results all      # artifact directory (default: results/)
+//! experiments --metrics out.prom all # + Prometheus metrics snapshot
+//! experiments --events out.jsonl all # + JSON-lines event stream
 //! ```
+//!
+//! `--metrics` / `--events` enable the global `lcds-obs` telemetry layer:
+//! builder phase spans, per-scheme construction timings, replay
+//! progress/stall counters, and per-experiment wall times all land in the
+//! exported snapshot (metric names in docs/OBSERVABILITY.md).
 
 use lcds_bench::exps::{run, ALL_IDS};
 use std::path::PathBuf;
@@ -14,6 +21,8 @@ use std::time::Instant;
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -25,8 +34,23 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                })));
+            }
+            "--events" => {
+                events_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--events needs a file path");
+                    std::process::exit(2);
+                })));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--out DIR] (all | t1 t2 … f8)...");
+                eprintln!(
+                    "usage: experiments [--quick] [--out DIR] [--metrics FILE] [--events FILE] \
+                     (all | t1 t2 … f8)..."
+                );
                 eprintln!("experiments: {}", ALL_IDS.join(" "));
                 return;
             }
@@ -40,6 +64,11 @@ fn main() {
     }
     ids.dedup();
 
+    let telemetry = metrics_path.is_some() || events_path.is_some();
+    if telemetry {
+        lcds_obs::set_enabled(true);
+    }
+
     println!(
         "# Low-Contention Data Structures — experiment run ({} mode)\n",
         if quick { "quick" } else { "full" }
@@ -51,11 +80,46 @@ fn main() {
         if let Err(e) = output.write_artifacts(&out_dir) {
             eprintln!("warning: could not write artifacts for {id}: {e}");
         }
+        let elapsed = start.elapsed();
+        if telemetry {
+            lcds_obs::global()
+                .histogram(&format!("lcds_experiment_ns{{exp=\"{id}\"}}"))
+                .record(elapsed.as_nanos() as u64);
+            lcds_obs::emit(
+                "experiment_complete",
+                serde_json::json!({ "exp": id, "wall_s": elapsed.as_secs_f64() }),
+            );
+        }
         println!(
             "_{} finished in {:.2}s; artifacts in {}_\n",
             id.to_uppercase(),
-            start.elapsed().as_secs_f64(),
+            elapsed.as_secs_f64(),
             out_dir.display()
+        );
+    }
+
+    if let Some(path) = metrics_path {
+        let text = lcds_obs::export::to_prometheus(&lcds_obs::global().snapshot());
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("error: could not write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "_metrics: {} series lines → {}_",
+            text.lines().filter(|l| !l.starts_with('#')).count(),
+            path.display()
+        );
+    }
+    if let Some(path) = events_path {
+        let text = lcds_obs::export::events_to_jsonl(&lcds_obs::global_events().events());
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("error: could not write events to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "_events: {} records → {}_",
+            text.lines().count(),
+            path.display()
         );
     }
 }

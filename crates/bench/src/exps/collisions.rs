@@ -10,8 +10,8 @@
 
 use crate::registry::{build_schemes, SchemeSet};
 use lcds_cellprobe::dist::QueryDistribution;
-use lcds_cellprobe::exact::exact_contention;
 use lcds_cellprobe::dist::QueryPool;
+use lcds_cellprobe::exact::exact_contention;
 use lcds_cellprobe::report::{sig4, TextTable};
 use lcds_cellprobe::sink::{ProbeSink, TraceSink};
 use lcds_workloads::keysets::uniform_keys;
@@ -124,8 +124,7 @@ mod tests {
             "lcd batch max {lcd}"
         );
         assert!(
-            lcd["mean_batch_max"].as_f64().unwrap()
-                < bin["mean_batch_max"].as_f64().unwrap() / 4.0
+            lcd["mean_batch_max"].as_f64().unwrap() < bin["mean_batch_max"].as_f64().unwrap() / 4.0
         );
     }
 }

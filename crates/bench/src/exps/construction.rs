@@ -25,7 +25,13 @@ pub fn t5(quick: bool) -> ExpOutput {
     let trials = if quick { 5 } else { 30 };
     let mut table = TextTable::new(
         "T5 — construction: P(S) retries and time (expected O(1) retries, O(n) time)",
-        &["n", "mean retries", "max retries", "mean ns/key", "mean perfect-hash trials/bucket"],
+        &[
+            "n",
+            "mean retries",
+            "max retries",
+            "mean ns/key",
+            "mean perfect-hash trials/bucket",
+        ],
     );
     let mut rows = Vec::new();
     for &n in &ns {
@@ -43,8 +49,7 @@ pub fn t5(quick: bool) -> ExpOutput {
                 (st.hash_retries, ns_per_key, ph)
             })
             .collect();
-        let mean_retries =
-            results.iter().map(|r| r.0 as f64).sum::<f64>() / trials as f64;
+        let mean_retries = results.iter().map(|r| r.0 as f64).sum::<f64>() / trials as f64;
         let max_retries = results.iter().map(|r| r.0).max().unwrap();
         let mean_ns = results.iter().map(|r| r.1).sum::<f64>() / trials as f64;
         let mean_ph = results.iter().map(|r| r.2).sum::<f64>() / trials as f64;
@@ -83,7 +88,13 @@ pub fn t6(quick: bool) -> ExpOutput {
     let draws = if quick { 60 } else { 400 };
     let mut table = TextTable::new(
         "T6 — Lemma 9 empirical success rates per draw",
-        &["n", "Pr[classes ok]", "Pr[groups ok]", "Pr[FKS Σℓ²≤s]", "Pr[P(S)]"],
+        &[
+            "n",
+            "Pr[classes ok]",
+            "Pr[groups ok]",
+            "Pr[FKS Σℓ²≤s]",
+            "Pr[P(S)]",
+        ],
     );
     let mut rows = Vec::new();
     for &n in &ns {
@@ -156,7 +167,8 @@ pub fn f8(quick: bool) -> ExpOutput {
             let mut total_retries = 0u64;
             let mut last = None;
             for b in 0..builds {
-                let mut rng = seeded(seed + b as u64 * 7 + (alpha * 10.0) as u64 + (beta * 100.0) as u64);
+                let mut rng =
+                    seeded(seed + b as u64 * 7 + (alpha * 10.0) as u64 + (beta * 100.0) as u64);
                 let d = build_with(&keys, &config, &mut rng).expect("build");
                 total_retries += d.stats().hash_retries as u64;
                 last = Some(d);
@@ -202,7 +214,13 @@ pub fn f12(quick: bool) -> ExpOutput {
 
     let mut table = TextTable::new(
         format!("F12 — independence degree d at n = {n} (δ re-centered per d)"),
-        &["d", "probes t", "words/key", "mean retries", "contention ratio"],
+        &[
+            "d",
+            "probes t",
+            "words/key",
+            "mean retries",
+            "contention ratio",
+        ],
     );
     let mut rows = Vec::new();
     for d in [3usize, 4, 5, 6, 8] {
@@ -294,7 +312,9 @@ mod tests {
         let rows = out.json["rows"].as_array().unwrap();
         let retries_at = |beta: f64| -> f64 {
             rows.iter()
-                .filter(|r| r["beta"].as_f64().unwrap() == beta && r["alpha"].as_f64().unwrap() == 2.0)
+                .filter(|r| {
+                    r["beta"].as_f64().unwrap() == beta && r["alpha"].as_f64().unwrap() == 2.0
+                })
                 .map(|r| r["mean_retries"].as_f64().unwrap())
                 .next()
                 .unwrap()

@@ -150,7 +150,13 @@ pub fn f1(quick: bool) -> ExpOutput {
     let mut csv = String::from("scheme,rank,phi_times_s\n");
     let mut table = TextTable::new(
         format!("F1 — contention flatness at n = {n} (uniform positive)"),
-        &["scheme", "gini", "mass in hottest 1%", "max Φ·s", "median Φ·s"],
+        &[
+            "scheme",
+            "gini",
+            "mass in hottest 1%",
+            "max Φ·s",
+            "median Φ·s",
+        ],
     );
     let mut json_rows = Vec::new();
     for dict in &schemes {
@@ -160,7 +166,12 @@ pub fn f1(quick: bool) -> ExpOutput {
         // Log-spaced rank samples for the plot.
         let mut rank = 0usize;
         while rank < sorted.len() {
-            csv.push_str(&format!("{},{},{}\n", dict.name(), rank + 1, sorted[rank] * s));
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                dict.name(),
+                rank + 1,
+                sorted[rank] * s
+            ));
             rank = (rank + 1).max(rank * 5 / 4);
         }
         let median = sorted[sorted.len() / 2] * s;
@@ -337,7 +348,12 @@ pub fn f9(quick: bool) -> ExpOutput {
 
     let mut table = TextTable::new(
         format!("F9 — contention ratio under Zipf(θ): oblivious vs distribution-aware, n = {n}"),
-        &["θ", "oblivious lcd", "weighted lcd (knows q)", "improvement ×"],
+        &[
+            "θ",
+            "oblivious lcd",
+            "weighted lcd (knows q)",
+            "improvement ×",
+        ],
     );
     let mut csv = String::from("theta,oblivious,weighted,improvement\n");
     let mut rows = Vec::new();
@@ -350,16 +366,16 @@ pub fn f9(quick: bool) -> ExpOutput {
                 pool.entries.iter().copied().collect();
             keys.iter().map(|k| by_key[k]).collect()
         };
-        let weighted = build_weighted(&keys, &weights, &ParamsConfig::default(), &mut seeded(seed ^ 17))
-            .expect("weighted build");
+        let weighted = build_weighted(
+            &keys,
+            &weights,
+            &ParamsConfig::default(),
+            &mut seeded(seed ^ 17),
+        )
+        .expect("weighted build");
         let ro = exact_contention(&oblivious, &pool).max_step_ratio();
         let rw = exact_contention(&weighted, &pool).max_step_ratio();
-        table.row(vec![
-            theta.to_string(),
-            sig4(ro),
-            sig4(rw),
-            sig4(ro / rw),
-        ]);
+        table.row(vec![theta.to_string(), sig4(ro), sig4(rw), sig4(ro / rw)]);
         csv.push_str(&format!("{theta},{ro},{rw},{}\n", ro / rw));
         rows.push(json!({ "theta": theta, "oblivious": ro, "weighted": rw }));
     }
@@ -379,7 +395,10 @@ mod tests {
     fn f9_weighted_wins_under_skew() {
         let out = f9(true);
         let rows = out.json["rows"].as_array().unwrap();
-        let skewed = rows.iter().find(|r| r["theta"].as_f64().unwrap() > 1.0).unwrap();
+        let skewed = rows
+            .iter()
+            .find(|r| r["theta"].as_f64().unwrap() > 1.0)
+            .unwrap();
         let ro = skewed["oblivious"].as_f64().unwrap();
         let rw = skewed["weighted"].as_f64().unwrap();
         assert!(rw * 3.0 < ro, "weighted {rw} vs oblivious {ro}");
@@ -390,12 +409,23 @@ mod tests {
         let out = t1(true);
         let ratios = &out.json["ratios"];
         // The headline ordering at the largest quick size (n = 1024):
-        let last = |name: &str| ratios[name].as_array().unwrap().last().unwrap().as_f64().unwrap();
+        let last = |name: &str| {
+            ratios[name]
+                .as_array()
+                .unwrap()
+                .last()
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
         let lcd = last("low-contention");
         let fks_adv = last("fks×n-adversarial");
         let bin = last("binary-search");
         assert!(lcd < 64.0, "low-contention ratio {lcd} should be O(1)");
-        assert!(fks_adv > lcd * 2.0, "adversarial FKS {fks_adv} must beat lcd {lcd}");
+        assert!(
+            fks_adv > lcd * 2.0,
+            "adversarial FKS {fks_adv} must beat lcd {lcd}"
+        );
         assert!(bin >= 1024.0, "binary search ratio {bin} must equal s = n");
         assert!(!out.tables.is_empty());
     }
@@ -405,7 +435,11 @@ mod tests {
         // Only two sizes in quick mode — slopes are crude but ordering holds.
         let out = f2(true);
         let e = |name: &str| out.json["exponents"][name].as_f64().unwrap();
-        assert!(e("low-contention") < 0.25, "lcd exponent {}", e("low-contention"));
+        assert!(
+            e("low-contention") < 0.25,
+            "lcd exponent {}",
+            e("low-contention")
+        );
         assert!(e("binary-search") > 0.9);
         assert!(e("fks×n-adversarial") > 0.3);
     }

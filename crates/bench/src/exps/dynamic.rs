@@ -55,7 +55,10 @@ pub fn f10(quick: bool) -> ExpOutput {
                 let candidate = derive(0xD104, idx) % MAX_KEY;
                 let _ = dict.remove(candidate).expect("remove");
                 // Ensure progress even when the candidate was absent:
-                if dict.remove(initial[(idx % n0 as u64) as usize]).expect("remove") {
+                if dict
+                    .remove(initial[(idx % n0 as u64) as usize])
+                    .expect("remove")
+                {
                     applied += 1;
                     continue;
                 }
@@ -147,7 +150,10 @@ mod tests {
             last["amortized_writes"].as_f64().unwrap() < 300.0,
             "amortized writes {last}"
         );
-        assert!(last["rebuilds"].as_u64().unwrap() >= 2, "must rebuild: {last}");
+        assert!(
+            last["rebuilds"].as_u64().unwrap() >= 2,
+            "must rebuild: {last}"
+        );
         for row in rows {
             // Flat = 1.0; the delta's linear-probe clusters and the short
             // sampled pool allow a modest constant above that.

@@ -20,7 +20,9 @@ use super::ExpOutput;
 /// versus `log₂ log₂ n`, for balanced schemes with `b = 64` bits/cell and
 /// contention budget `φ*·s = 16`.
 pub fn f5(_quick: bool) -> ExpOutput {
-    let log2_ns: Vec<f64> = vec![8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    let log2_ns: Vec<f64> = vec![
+        8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    ];
     let series = tstar_series(&log2_ns, 64.0, 16.0);
     let mut table = TextTable::new(
         "F5 — Theorem 13: minimal feasible t* vs log₂ log₂ n (b = 64, φ*·s = 16)",
@@ -121,7 +123,11 @@ pub fn t7(quick: bool) -> ExpOutput {
         "T7b — Lemma 21 coupling: expected distinct probed cells",
         &["bound Σ_j max_i", "coupled E|∪L_i|", "independent E|∪J_i|"],
     );
-    table2.row(vec![sig4(bound), sig4(coupled_mean), sig4(independent_mean)]);
+    table2.row(vec![
+        sig4(bound),
+        sig4(coupled_mean),
+        sig4(independent_mean),
+    ]);
 
     ExpOutput {
         id: "t7",
@@ -176,7 +182,13 @@ pub fn t8(quick: bool) -> ExpOutput {
         let m: Vec<Vec<f64>> = (0..big_n)
             .map(|u| {
                 (0..n)
-                    .map(|i| if (i + u + inst as usize) % 5 == 0 { 0.4 } else { 1e-7 })
+                    .map(|i| {
+                        if (i + u + inst as usize) % 5 == 0 {
+                            0.4
+                        } else {
+                            1e-7
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -194,7 +206,15 @@ pub fn t8(quick: bool) -> ExpOutput {
     let (gn, gs_, gb) = (256usize, 256usize, 8.0);
     let gphi = 1.0 / gs_ as f64;
     let mut grng = seeded(0x8811);
-    let uni = play_tree(gn, gs_, gb, gphi, 3, &UniformTree::new(gn, gs_, 2), &mut grng);
+    let uni = play_tree(
+        gn,
+        gs_,
+        gb,
+        gphi,
+        3,
+        &UniformTree::new(gn, gs_, 2),
+        &mut grng,
+    );
     let greedy = play_tree(
         gn,
         gs_,
@@ -327,10 +347,7 @@ mod tests {
     fn t8_corrected_lemma_never_fails() {
         let out = t8(true);
         assert_eq!(out.json["lemma16_corrected_failures"], 0);
-        assert_eq!(
-            out.json["lemma15_successes"],
-            out.json["lemma15_instances"]
-        );
+        assert_eq!(out.json["lemma15_successes"], out.json["lemma15_instances"]);
     }
 
     #[test]

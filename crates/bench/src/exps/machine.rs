@@ -77,7 +77,9 @@ pub fn f3(quick: bool) -> ExpOutput {
 pub fn f4(quick: bool) -> ExpOutput {
     let n = if quick { 512 } else { 4096 };
     let qpp: u64 = if quick { 500 } else { 20_000 };
-    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let ncpu = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() * 2 <= ncpu {
         threads.push(threads.last().unwrap() * 2);
@@ -109,9 +111,22 @@ pub fn f4(quick: bool) -> ExpOutput {
         for &t in &threads {
             let res = replay(&widest.traces[..t], &widest.queries[..t], dict.num_cells());
             let mqps = res.qps() / 1e6;
+            if lcds_obs::enabled() {
+                let reg = lcds_obs::global();
+                reg.gauge(&format!(
+                    "lcds_experiment_qps{{exp=\"f4\",scheme=\"{}\",threads=\"{t}\"}}",
+                    dict.name()
+                ))
+                .set(res.qps());
+                reg.counter(&format!(
+                    "lcds_replay_stalls_total{{scheme=\"{}\"}}",
+                    dict.name()
+                ))
+                .add(res.stalls());
+            }
             row.push(sig4(mqps));
             csv.push_str(&format!("{},{t},{mqps}\n", dict.name()));
-            points.push(json!({ "threads": t, "mqps": mqps }));
+            points.push(json!({ "threads": t, "mqps": mqps, "stalls": res.stalls() }));
         }
         table.row(row);
         grid.push(json!({ "scheme": dict.name(), "points": points }));
@@ -279,10 +294,7 @@ mod tests {
         let out = f3(true);
         let schemes = out.json["schemes"].as_array().unwrap();
         let series = |name: &str| -> Vec<f64> {
-            schemes
-                .iter()
-                .find(|s| s["scheme"] == name)
-                .unwrap()["points"]
+            schemes.iter().find(|s| s["scheme"] == name).unwrap()["points"]
                 .as_array()
                 .unwrap()
                 .iter()

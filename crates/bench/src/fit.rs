@@ -44,10 +44,12 @@ mod tests {
     #[test]
     fn power_law_recovers_exponent() {
         // y = 4·x^0.5
-        let pts: Vec<(f64, f64)> = (1..10).map(|i| {
-            let x = (i * i) as f64;
-            (x, 4.0 * x.sqrt())
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..10)
+            .map(|i| {
+                let x = (i * i) as f64;
+                (x, 4.0 * x.sqrt())
+            })
+            .collect();
         assert!((power_law_exponent(&pts) - 0.5).abs() < 1e-9);
     }
 

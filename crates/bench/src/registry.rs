@@ -1,4 +1,10 @@
 //! Scheme registry: build every dictionary under test, uniformly typed.
+//!
+//! Each build is timed into the global metrics registry (when
+//! `lcds_obs::set_enabled(true)`) as
+//! `lcds_scheme_build_ns{scheme="..."}`, so an experiment run exports
+//! per-scheme construction durations alongside the core builder's own
+//! phase spans.
 
 use lcds_baselines::{
     BinarySearchDict, ChainingConfig, ChainingDict, CuckooConfig, CuckooDict, DmConfig, DmDict,
@@ -9,6 +15,20 @@ use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::exact::ExactProbes;
 use lcds_core::builder;
 use lcds_workloads::rng::seeded;
+
+/// Runs `build`, recording its wall time as
+/// `lcds_scheme_build_ns{scheme="<name>"}` when telemetry is enabled.
+fn timed_build<T>(name: &str, build: impl FnOnce() -> T) -> T {
+    if !lcds_obs::enabled() {
+        return build();
+    }
+    let start = std::time::Instant::now();
+    let out = build();
+    lcds_obs::global()
+        .histogram(&format!("lcds_scheme_build_ns{{scheme=\"{name}\"}}"))
+        .record(start.elapsed().as_nanos() as u64);
+    out
+}
 
 /// A dictionary that is both instrumented and analytically describable —
 /// everything the experiments need.
@@ -32,33 +52,33 @@ pub enum SchemeSet {
 /// good for the sizes the experiments use).
 pub fn build_schemes(keys: &[u64], seed: u64, set: SchemeSet) -> Vec<Box<dyn ExactDict>> {
     let mut out: Vec<Box<dyn ExactDict>> = Vec::new();
-    out.push(Box::new(
-        builder::build(keys, &mut seeded(seed)).expect("lcd build"),
-    ));
-    out.push(Box::new(
-        FksDict::build(keys, FksConfig::default(), &mut seeded(seed ^ 1)).expect("fks build"),
-    ));
-    out.push(Box::new(
+    out.push(Box::new(timed_build("low-contention", || {
+        builder::build(keys, &mut seeded(seed)).expect("lcd build")
+    })));
+    out.push(Box::new(timed_build("fks×n", || {
+        FksDict::build(keys, FksConfig::default(), &mut seeded(seed ^ 1)).expect("fks build")
+    })));
+    out.push(Box::new(timed_build("cuckoo", || {
         CuckooDict::build(keys, CuckooConfig::default(), &mut seeded(seed ^ 2))
-            .expect("cuckoo build"),
-    ));
+            .expect("cuckoo build")
+    })));
     if set == SchemeSet::All {
-        out.push(Box::new(
-            DmDict::build(keys, DmConfig::default(), &mut seeded(seed ^ 3)).expect("dm build"),
-        ));
-        out.push(Box::new(
+        out.push(Box::new(timed_build("dm", || {
+            DmDict::build(keys, DmConfig::default(), &mut seeded(seed ^ 3)).expect("dm build")
+        })));
+        out.push(Box::new(timed_build("linear-probe", || {
             LinearProbeDict::build(keys, LinearProbeConfig::default(), &mut seeded(seed ^ 4))
-                .expect("linear-probe build"),
-        ));
-        out.push(Box::new(
+                .expect("linear-probe build")
+        })));
+        out.push(Box::new(timed_build("robin-hood", || {
             RobinHoodDict::build(keys, RobinHoodConfig::default(), &mut seeded(seed ^ 6))
-                .expect("robin-hood build"),
-        ));
-        out.push(Box::new(
+                .expect("robin-hood build")
+        })));
+        out.push(Box::new(timed_build("chaining", || {
             ChainingDict::build(keys, ChainingConfig::default(), &mut seeded(seed ^ 7))
-                .expect("chaining build"),
-        ));
-        out.push(Box::new(
+                .expect("chaining build")
+        })));
+        out.push(Box::new(timed_build("fks×1", || {
             FksDict::build(
                 keys,
                 FksConfig {
@@ -67,10 +87,12 @@ pub fn build_schemes(keys: &[u64], seed: u64, set: SchemeSet) -> Vec<Box<dyn Exa
                 },
                 &mut seeded(seed ^ 5),
             )
-            .expect("fks×1 build"),
-        ));
+            .expect("fks×1 build")
+        })));
     }
-    out.push(Box::new(BinarySearchDict::build(keys).expect("binsearch build")));
+    out.push(Box::new(timed_build("binary-search", || {
+        BinarySearchDict::build(keys).expect("binsearch build")
+    })));
     out
 }
 
@@ -91,6 +113,22 @@ mod tests {
         assert!(names.contains(&"binary-search".to_string()));
         for d in &all {
             assert_eq!(d.len(), 256);
+        }
+    }
+
+    #[test]
+    fn scheme_builds_are_timed_when_telemetry_enabled() {
+        lcds_obs::set_enabled(true);
+        let keys = uniform_keys(128, 3);
+        let _ = build_schemes(&keys, 9, SchemeSet::Headline);
+        lcds_obs::set_enabled(false);
+        let snap = lcds_obs::global().snapshot();
+        for scheme in ["low-contention", "fks×n", "cuckoo", "binary-search"] {
+            let name = format!("lcds_scheme_build_ns{{scheme=\"{scheme}\"}}");
+            assert!(
+                snap.histograms.get(&name).is_some_and(|h| h.count >= 1),
+                "missing build timing for {scheme}"
+            );
         }
     }
 

@@ -97,7 +97,10 @@ mod tests {
         for _ in 0..trials {
             counts[t.sample(&mut r)] += 1;
         }
-        counts.into_iter().map(|c| c as f64 / trials as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / trials as f64)
+            .collect()
     }
 
     #[test]

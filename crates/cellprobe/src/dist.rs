@@ -158,7 +158,13 @@ impl Mixture {
 
 impl QueryDistribution for Mixture {
     fn name(&self) -> String {
-        format!("mix({:.2}·{} + {:.2}·{})", self.p, self.a.name(), 1.0 - self.p, self.b.name())
+        format!(
+            "mix({:.2}·{} + {:.2}·{})",
+            self.p,
+            self.a.name(),
+            1.0 - self.p,
+            self.b.name()
+        )
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> u64 {

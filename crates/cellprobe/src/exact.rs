@@ -278,8 +278,8 @@ mod tests {
 
     #[test]
     fn monte_carlo_agrees_with_exact() {
-        use crate::measure::measure_contention;
         use crate::dist::{QueryDistribution, UniformOver};
+        use crate::measure::measure_contention;
         use rand::SeedableRng;
 
         let d = MiniDict { n: 8 };
@@ -289,7 +289,12 @@ mod tests {
         let measured = measure_contention(&d, &dist, 200_000, &mut rng);
         for j in 0..d.num_cells() as usize {
             let diff = (exact.total[j] - measured.profile.total[j]).abs();
-            assert!(diff < 0.01, "cell {j}: exact {} vs mc {}", exact.total[j], measured.profile.total[j]);
+            assert!(
+                diff < 0.01,
+                "cell {j}: exact {} vs mc {}",
+                exact.total[j],
+                measured.profile.total[j]
+            );
         }
     }
 }

@@ -59,6 +59,6 @@ pub use contention::ContentionProfile;
 pub use dict::CellProbeDict;
 pub use dist::{QueryDistribution, QueryPool};
 pub use exact::{exact_contention, ExactProbes, ProbeSet};
-pub use measure::{measure_contention, MeasureReport};
+pub use measure::{measure_contention, FanoutSink, MeasureReport, TeeSink};
 pub use sink::{CountingSink, NullSink, ProbeSink, StepSink, TraceSink};
 pub use table::{CellId, Table};

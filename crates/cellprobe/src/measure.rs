@@ -9,29 +9,76 @@ use crate::sink::{ProbeCountSink, ProbeSink, StepSink};
 use crate::table::CellId;
 use rand::RngCore;
 
-/// Fans one probe stream out to two sinks.
+/// Fans one probe stream out to any number of sinks, in order.
+///
+/// Useful when a single query pass should feed several observers at once
+/// (e.g. a contention counter, a trace recorder, and a sampling telemetry
+/// sink). For the common two-sink case, [`TeeSink`] is a thin wrapper.
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn ProbeSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// Combines an arbitrary set of sinks. An empty fanout discards probes.
+    pub fn new(sinks: Vec<&'a mut dyn ProbeSink>) -> FanoutSink<'a> {
+        FanoutSink { sinks }
+    }
+
+    /// Appends another sink to the fanout.
+    pub fn push(&mut self, sink: &'a mut dyn ProbeSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of downstream sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl ProbeSink for FanoutSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        for sink in &mut self.sinks {
+            sink.probe(cell);
+        }
+    }
+
+    fn begin_query(&mut self) {
+        for sink in &mut self.sinks {
+            sink.begin_query();
+        }
+    }
+}
+
+/// Fans one probe stream out to two sinks (thin wrapper over
+/// [`FanoutSink`], kept for the common pairwise case).
 pub struct TeeSink<'a> {
-    a: &'a mut dyn ProbeSink,
-    b: &'a mut dyn ProbeSink,
+    fanout: FanoutSink<'a>,
 }
 
 impl<'a> TeeSink<'a> {
     /// Combines two sinks.
     pub fn new(a: &'a mut dyn ProbeSink, b: &'a mut dyn ProbeSink) -> TeeSink<'a> {
-        TeeSink { a, b }
+        TeeSink {
+            fanout: FanoutSink::new(vec![a, b]),
+        }
     }
 }
 
 impl ProbeSink for TeeSink<'_> {
     #[inline]
     fn probe(&mut self, cell: CellId) {
-        self.a.probe(cell);
-        self.b.probe(cell);
+        self.fanout.probe(cell);
     }
 
     fn begin_query(&mut self) {
-        self.a.begin_query();
-        self.b.begin_query();
+        self.fanout.begin_query();
     }
 }
 
@@ -164,6 +211,35 @@ mod tests {
         }
         assert_eq!(a.counts(), &[0, 1, 1]);
         assert_eq!(b.trace(), &[2, 1]);
+    }
+
+    #[test]
+    fn fanout_duplicates_stream_to_all_sinks() {
+        let mut a = CountingSink::new(3);
+        let mut b = TraceSink::new();
+        let mut c = ProbeCountSink::new();
+        {
+            let mut fan = FanoutSink::new(vec![&mut a, &mut b]);
+            fan.push(&mut c);
+            assert_eq!(fan.len(), 3);
+            assert!(!fan.is_empty());
+            fan.begin_query();
+            fan.probe(2);
+            fan.probe(1);
+            fan.begin_query();
+            fan.probe(0);
+        }
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(b.trace(), &[2, 1, 0]);
+        assert_eq!(c.per_query, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_fanout_discards_probes() {
+        let mut fan = FanoutSink::default();
+        assert!(fan.is_empty());
+        fan.begin_query();
+        fan.probe(0); // must not panic
     }
 
     #[test]

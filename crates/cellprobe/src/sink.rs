@@ -197,10 +197,16 @@ impl ProbeSink for TraceSink {
 }
 
 /// Counts probes per query: min/max/mean probe complexity (experiment T3).
+///
+/// `current` is the accumulator for the open query and `per_query` its
+/// history; the two always agree (`per_query.last() == Some(current)`
+/// once any probe or `begin_query` has been seen). Probes arriving
+/// *before* the first `begin_query` are deliberately collected into an
+/// implicit query 0 — dropping them would silently under-count harnesses
+/// that forget the first `begin_query` call.
 #[derive(Clone, Debug, Default)]
 pub struct ProbeCountSink {
     current: u32,
-    started: bool,
     /// Probes in each completed-or-current query.
     pub per_query: Vec<u32>,
 }
@@ -209,6 +215,11 @@ impl ProbeCountSink {
     /// Creates an empty counter.
     pub fn new() -> ProbeCountSink {
         ProbeCountSink::default()
+    }
+
+    /// Probes observed in the currently open query.
+    pub fn current(&self) -> u32 {
+        self.current
     }
 
     /// Largest probe count over all queries.
@@ -229,13 +240,14 @@ impl ProbeSink for ProbeCountSink {
     #[inline]
     fn probe(&mut self, _cell: CellId) {
         self.current += 1;
-        if let Some(last) = self.per_query.last_mut() {
-            *last += 1;
+        match self.per_query.last_mut() {
+            Some(last) => *last = self.current,
+            // No begin_query yet: open the implicit query 0.
+            None => self.per_query.push(self.current),
         }
     }
 
     fn begin_query(&mut self) {
-        self.started = true;
         self.current = 0;
         self.per_query.push(0);
     }
@@ -300,6 +312,24 @@ mod tests {
         s.begin_query();
         s.probe(0);
         assert_eq!(s.per_query, vec![2, 1]);
+        assert_eq!(s.max(), 2);
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_count_sink_collects_pre_begin_probes_into_implicit_query() {
+        // Probes before the first begin_query must not vanish: they open an
+        // implicit query 0 (see the type-level docs).
+        let mut s = ProbeCountSink::new();
+        s.probe(3);
+        s.probe(4);
+        assert_eq!(s.per_query, vec![2]);
+        assert_eq!(s.current(), 2);
+        // A later begin_query starts a fresh query; the implicit one stays.
+        s.begin_query();
+        s.probe(0);
+        assert_eq!(s.per_query, vec![2, 1]);
+        assert_eq!(s.current(), 1);
         assert_eq!(s.max(), 2);
         assert!((s.mean() - 1.5).abs() < 1e-12);
     }

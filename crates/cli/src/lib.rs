@@ -8,6 +8,8 @@
 //! lcds info   DICT
 //! lcds query  DICT KEY...
 //! lcds audit  DICT [--zipf THETA] [--negatives M]
+//! lcds obs    [--random N] [--queries Q] [--zipf THETA] [--period P]
+//!             [--topk K] [--format table|prom|jsonl] [--seed S]
 //! ```
 //!
 //! Key files are plain text, one decimal `u64` per line (`#` comments
@@ -61,6 +63,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("info") => cmd_info(&args[1..], out),
         Some("query") => cmd_query(&args[1..], out),
         Some("audit") => cmd_audit(&args[1..], out),
+        Some("obs") => cmd_obs(&args[1..], out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{}", USAGE).map_err(io_err)?;
             Ok(())
@@ -79,7 +82,10 @@ commands:
   build  --out DICT (--random N | --keys FILE) [--seed S]   build + persist
   info   DICT                                               parameters & stats
   query  DICT KEY...                                        membership
-  audit  DICT [--zipf THETA] [--negatives M]                contention report";
+  audit  DICT [--zipf THETA] [--negatives M]                contention report
+  obs    [--random N] [--queries Q] [--zipf THETA]          live telemetry demo:
+         [--period P] [--topk K] [--seed S]                 sampled probes, top-K
+         [--format table|prom|jsonl]                        hot cells, exporters";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("i/o error: {e}"))
@@ -123,7 +129,11 @@ pub fn read_key_file(path: &Path) -> Result<Vec<u64>, CliError> {
             continue;
         }
         let key: u64 = line.parse().map_err(|e| {
-            CliError::usage(format!("{}:{}: bad key {line:?}: {e}", path.display(), lineno + 1))
+            CliError::usage(format!(
+                "{}:{}: bad key {line:?}: {e}",
+                path.display(),
+                lineno + 1
+            ))
         })?;
         keys.push(key);
     }
@@ -146,7 +156,10 @@ fn cmd_build(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
     }
     let out_path = flag(&flags, "out").ok_or_else(|| CliError::usage("build needs --out"))?;
     let seed: u64 = flag(&flags, "seed")
-        .map(|s| s.parse().map_err(|e| CliError::usage(format!("bad --seed: {e}"))))
+        .map(|s| {
+            s.parse()
+                .map_err(|e| CliError::usage(format!("bad --seed: {e}")))
+        })
         .transpose()?
         .unwrap_or(0xC0FFEE);
 
@@ -158,7 +171,11 @@ fn cmd_build(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
             uniform_keys(n, seed ^ 0x5EED)
         }
         (None, Some(path)) => read_key_file(Path::new(path))?,
-        _ => return Err(CliError::usage("build needs exactly one of --random N or --keys FILE")),
+        _ => {
+            return Err(CliError::usage(
+                "build needs exactly one of --random N or --keys FILE",
+            ))
+        }
     };
 
     let mut rng = seeded(seed);
@@ -182,7 +199,9 @@ fn cmd_build(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
 
 fn cmd_info(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let (pos, _) = parse_flags(args)?;
-    let path = pos.first().ok_or_else(|| CliError::usage("info needs a DICT path"))?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("info needs a DICT path"))?;
     let dict = load_dict(path)?;
     let p = dict.params();
     writeln!(out, "n           {}", p.n).map_err(io_err)?;
@@ -200,7 +219,9 @@ fn cmd_info(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
 
 fn cmd_query(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let (pos, _) = parse_flags(args)?;
-    let path = pos.first().ok_or_else(|| CliError::usage("query needs a DICT path"))?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("query needs a DICT path"))?;
     if pos.len() < 2 {
         return Err(CliError::usage("query needs at least one KEY"));
     }
@@ -218,15 +239,16 @@ fn cmd_query(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
 
 fn cmd_audit(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args)?;
-    let path = pos.first().ok_or_else(|| CliError::usage("audit needs a DICT path"))?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("audit needs a DICT path"))?;
     let dict = load_dict(path)?;
 
     let pool = if let Some(theta) = flag(&flags, "zipf") {
         let theta: f64 = theta
             .parse()
             .map_err(|e| CliError::usage(format!("bad --zipf: {e}")))?;
-        zipf_over_keys(dict.keys(), theta, 0xA0D1)
-            .pool()
+        zipf_over_keys(dict.keys(), theta, 0xA0D1).pool()
     } else if let Some(m) = flag(&flags, "negatives") {
         let m: usize = m
             .parse()
@@ -246,6 +268,125 @@ fn cmd_audit(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
     .map_err(io_err)?;
     writeln!(out, "gini: {:.4}\n\nper-row breakdown:", prof.gini()).map_err(io_err)?;
     write!(out, "{}", row_report(&dict, &pool).to_text()).map_err(io_err)?;
+    Ok(())
+}
+
+/// Parses an optional numeric flag with a default.
+fn num_flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(flags, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --{name}: {e}"))),
+        None => Ok(default),
+    }
+}
+
+fn cmd_obs(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let n: usize = num_flag(&flags, "random", 4096)?;
+    let queries: u64 = num_flag(&flags, "queries", 50_000)?;
+    let theta: f64 = num_flag(&flags, "zipf", 1.1)?;
+    let period: u64 = num_flag(&flags, "period", 64)?;
+    let k: usize = num_flag(&flags, "topk", 16)?;
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let format = flag(&flags, "format").unwrap_or("table");
+    if !matches!(format, "table" | "prom" | "jsonl") {
+        return Err(CliError::usage(format!(
+            "bad --format {format:?} (expected table, prom, or jsonl)"
+        )));
+    }
+
+    // Everything below records into the global registry/event log so the
+    // builder's phase spans land in the same snapshot as the query-path
+    // metrics.
+    lcds_obs::set_enabled(true);
+
+    let keys = uniform_keys(n, seed ^ 0x5EED);
+    let mut rng = seeded(seed);
+    let dict = lcds_core::build(&keys, &mut rng)
+        .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+
+    // Production-path observability: a bounded top-K hot-cell sketch fed
+    // by a 1-in-`period` sampler — O(topk) memory however many cells the
+    // structure has, instead of the O(s) a CountingSink would need.
+    let dist = zipf_over_keys(dict.keys(), theta, seed ^ 0xD157);
+    let mut topk = lcds_obs::TopKSink::new(k.max(1));
+    let mut sampler = lcds_obs::SamplingSink::new(&mut topk, period, seed ^ 0x5A);
+    let start = std::time::Instant::now();
+    for _ in 0..queries {
+        let x = dist.sample(&mut rng);
+        sampler.begin_query();
+        let _ = dict.contains(x, &mut rng, &mut sampler);
+    }
+    let wall = start.elapsed();
+    let (seen, sampled) = (sampler.seen(), sampler.sampled());
+    drop(sampler);
+
+    let reg = lcds_obs::global();
+    reg.counter("lcds_queries_total").add(queries);
+    reg.counter("lcds_query_probes_total").add(seen);
+    reg.counter("lcds_query_probes_sampled_total").add(sampled);
+    reg.gauge("lcds_query_qps")
+        .set(queries as f64 / wall.as_secs_f64().max(1e-9));
+    reg.gauge("lcds_hot_cell_share").set(topk.hottest_share());
+    for hc in topk.top(k) {
+        reg.gauge(&format!("lcds_hot_cell_probes{{cell=\"{}\"}}", hc.cell))
+            .set(hc.count as f64);
+        lcds_obs::emit(
+            "hot_cell",
+            serde_json::json!({
+                "cell": hc.cell,
+                "estimated_probes": hc.count,
+                "guaranteed_probes": hc.guaranteed(),
+                "share_of_sampled": hc.count as f64 / topk.total().max(1) as f64,
+            }),
+        );
+    }
+
+    match format {
+        "prom" => {
+            let text = lcds_obs::export::to_prometheus(&reg.snapshot());
+            write!(out, "{text}").map_err(io_err)?;
+        }
+        "jsonl" => {
+            let text = lcds_obs::export::events_to_jsonl(&lcds_obs::global_events().events());
+            write!(out, "{text}").map_err(io_err)?;
+        }
+        _ => {
+            writeln!(
+                out,
+                "n = {} keys, {} zipf({theta}) queries in {:.1} ms ({} probes, {} sampled at 1/{period})",
+                dict.len(),
+                queries,
+                wall.as_secs_f64() * 1e3,
+                seen,
+                sampled,
+            )
+            .map_err(io_err)?;
+            writeln!(
+                out,
+                "hot-cell share (of sampled probes): {:.4}  [1/s optimum = {:.6}]",
+                topk.hottest_share(),
+                1.0 / dict.num_cells() as f64
+            )
+            .map_err(io_err)?;
+            writeln!(out, "\ntop-{k} cells (space-saving, capacity {k}):").map_err(io_err)?;
+            writeln!(out, "cell\testimate\tguaranteed").map_err(io_err)?;
+            for hc in topk.top(k) {
+                writeln!(out, "{}\t{}\t{}", hc.cell, hc.count, hc.guaranteed()).map_err(io_err)?;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -269,8 +410,8 @@ mod tests {
         let dict_path = tmp("lifecycle.dict");
         let dict_str = dict_path.to_str().unwrap();
 
-        let out = run_capture(&["build", "--out", dict_str, "--random", "500", "--seed", "9"])
-            .unwrap();
+        let out =
+            run_capture(&["build", "--out", dict_str, "--random", "500", "--seed", "9"]).unwrap();
         assert!(out.contains("built n = 500"), "{out}");
 
         let out = run_capture(&["info", dict_str]).unwrap();
@@ -318,6 +459,76 @@ mod tests {
     }
 
     #[test]
+    fn obs_table_format_reports_hot_cells() {
+        let out = run_capture(&[
+            "obs",
+            "--random",
+            "512",
+            "--queries",
+            "4000",
+            "--period",
+            "4",
+            "--topk",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("top-8 cells"), "{out}");
+        assert!(out.contains("hot-cell share"), "{out}");
+        assert!(out.contains("4000 zipf(1.1) queries"), "{out}");
+    }
+
+    #[test]
+    fn obs_prom_format_is_prometheus_text() {
+        let out = run_capture(&[
+            "obs",
+            "--random",
+            "256",
+            "--queries",
+            "2000",
+            "--format",
+            "prom",
+        ])
+        .unwrap();
+        assert!(out.contains("# TYPE lcds_queries_total counter"), "{out}");
+        assert!(
+            out.contains("# TYPE lcds_build_total_ns histogram"),
+            "{out}"
+        );
+        assert!(out.contains("lcds_hot_cell_share"), "{out}");
+        assert!(out.contains("lcds_query_probes_total"), "{out}");
+    }
+
+    #[test]
+    fn obs_jsonl_format_parses_per_line() {
+        let out = run_capture(&[
+            "obs",
+            "--random",
+            "256",
+            "--queries",
+            "1000",
+            "--format",
+            "jsonl",
+        ])
+        .unwrap();
+        let mut names = std::collections::HashSet::new();
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            names.insert(v["name"].as_str().unwrap().to_string());
+        }
+        assert!(names.contains("span"), "{names:?}");
+        assert!(names.contains("build_complete"), "{names:?}");
+        assert!(names.contains("hot_cell"), "{names:?}");
+    }
+
+    #[test]
+    fn obs_rejects_bad_format() {
+        assert_eq!(
+            run_capture(&["obs", "--format", "xml"]).unwrap_err().code,
+            2
+        );
+    }
+
+    #[test]
     fn usage_errors_are_reported() {
         assert_eq!(run_capture(&["frobnicate"]).unwrap_err().code, 2);
         assert_eq!(run_capture(&["build"]).unwrap_err().code, 2);
@@ -327,9 +538,16 @@ mod tests {
                 .code,
             2
         );
-        assert_eq!(run_capture(&["query", "/nonexistent-dict"]).unwrap_err().code, 2);
         assert_eq!(
-            run_capture(&["info", "/nonexistent-dict"]).unwrap_err().code,
+            run_capture(&["query", "/nonexistent-dict"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_capture(&["info", "/nonexistent-dict"])
+                .unwrap_err()
+                .code,
             1
         );
     }

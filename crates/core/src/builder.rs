@@ -6,6 +6,11 @@
 //! pass, and per-bucket perfect hashing costs expected `O(ℓ)` per bucket of
 //! load `ℓ`. Experiment T5 measures both the retry distribution and the
 //! per-key construction time against these bounds.
+//!
+//! Construction is instrumented with `lcds-obs` spans (hash-draw,
+//! table-layout, histogram-layout, perfect-hash phases) and counters
+//! (draw retries, per-bucket seed trials) — free unless
+//! `lcds_obs::set_enabled(true)`; see docs/OBSERVABILITY.md for names.
 
 use crate::dict::{LowContentionDict, EMPTY};
 use crate::layout::Layout;
@@ -51,7 +56,10 @@ impl std::fmt::Display for BuildError {
                 write!(f, "no hash draw satisfied P(S) in {r} retries")
             }
             BuildError::PerfectHashFailed { bucket, load } => {
-                write!(f, "perfect hash search failed for bucket {bucket} (load {load})")
+                write!(
+                    f,
+                    "perfect hash search failed for bucket {bucket} (load {load})"
+                )
             }
         }
     }
@@ -214,17 +222,24 @@ pub fn build_with<R: Rng + ?Sized>(
 
     let p = Params::derive(sorted.len() as u64, config);
     let layout = Layout::new(&p);
+    let _build_span = lcds_obs::span("lcds_build_total");
 
-    // Expected O(1) draws (Lemma 9 + union bound, §2.2).
-    let mut draw = None;
-    for attempt in 0..config.max_hash_retries {
-        if let Some(mut d) = try_draw(&sorted, &p, rng) {
-            d.retries = attempt;
-            draw = Some(d);
-            break;
+    // Expected O(1) draws (Lemma 9 + union bound, §2.2). This is the
+    // DM-style rejection-sampling loop; its retry count is the telemetry
+    // signal that `P(S)`'s acceptance rate has degraded.
+    let draw = {
+        let _span = lcds_obs::span("lcds_build_hash_draw");
+        let mut draw = None;
+        for attempt in 0..config.max_hash_retries {
+            if let Some(mut d) = try_draw(&sorted, &p, rng) {
+                d.retries = attempt;
+                draw = Some(d);
+                break;
+            }
         }
-    }
-    let draw = draw.ok_or(BuildError::HashRetriesExhausted(config.max_hash_retries))?;
+        draw.ok_or(BuildError::HashRetriesExhausted(config.max_hash_retries))?
+    };
+    lcds_obs::counter("lcds_build_hash_retries_total").add(draw.retries as u64);
 
     // Group-base addresses: GBAS(i) = Σ_{i' < i} Σ_k ℓ(k·m + i')².
     let mut group_sq = vec![0u64; p.m as usize];
@@ -257,6 +272,7 @@ pub fn build_with<R: Rng + ?Sized>(
     }
 
     // Lay out the table.
+    let layout_span = lcds_obs::span("lcds_build_table_layout");
     let mut table = Table::new(layout.num_rows(), p.s, EMPTY);
 
     let fw = draw.f.words();
@@ -272,7 +288,10 @@ pub fn build_with<R: Rng + ?Sized>(
         table.write(layout.row_gbas(), j, gbas[(j % p.m) as usize]);
     }
 
+    drop(layout_span);
+
     // Histograms, one group at a time.
+    let hist_span = lcds_obs::span("lcds_build_histogram_layout");
     let mut loads_buf = vec![0u32; p.group_size as usize];
     for group in 0..p.m {
         for k in 0..p.group_size {
@@ -290,8 +309,12 @@ pub fn build_with<R: Rng + ?Sized>(
         }
     }
 
+    drop(hist_span);
+
     // Header + data rows: bucket-owned ranges in group-major, then
     // in-group order (the lexicographic sort of §2.2).
+    let seed_span = lcds_obs::span("lcds_build_perfect_hash");
+    let trials_hist = lcds_obs::histogram("lcds_build_seed_trials_per_bucket");
     let ph_builder = PerfectHashBuilder::default();
     let mut stats = BuildStats {
         hash_retries: draw.retries,
@@ -315,6 +338,7 @@ pub fn build_with<R: Rng + ?Sized>(
             stats.perfect_trials_total += found.trials as u64;
             stats.perfect_trials_max = stats.perfect_trials_max.max(found.trials);
             stats.nonempty_buckets += 1;
+            trials_hist.record(found.trials as u64);
             for j in cursor..cursor + range {
                 table.write(layout.row_header(), j, found.hash.seed());
             }
@@ -325,16 +349,26 @@ pub fn build_with<R: Rng + ?Sized>(
         }
         debug_assert_eq!(cursor, gbas[group as usize] + group_sq[group as usize]);
     }
+    drop(seed_span);
+
+    lcds_obs::counter("lcds_build_seed_trials_total").add(stats.perfect_trials_total);
+    lcds_obs::counter("lcds_builds_total").inc();
+    lcds_obs::gauge("lcds_build_seed_trials_max").set_max(stats.perfect_trials_max as f64);
+    lcds_obs::emit(
+        "build_complete",
+        serde_json::json!({
+            "n": sorted.len(),
+            "cells": p.s * layout.num_rows() as u64,
+            "hash_retries": stats.hash_retries,
+            "perfect_trials_total": stats.perfect_trials_total,
+            "perfect_trials_max": stats.perfect_trials_max,
+            "nonempty_buckets": stats.nonempty_buckets,
+            "sum_squared_loads": stats.sum_squared_loads,
+        }),
+    );
 
     Ok(LowContentionDict::from_parts(
-        p,
-        layout,
-        table,
-        sorted,
-        draw.f,
-        draw.g,
-        draw.z,
-        stats,
+        p, layout, table, sorted, draw.f, draw.g, draw.z, stats,
     ))
 }
 
@@ -354,7 +388,9 @@ mod tests {
     }
 
     fn keyset(n: u64, salt: u64) -> Vec<u64> {
-        (0..n).map(|i| lcds_hashing::mix::derive(salt, i) % MAX_KEY).collect()
+        (0..n)
+            .map(|i| lcds_hashing::mix::derive(salt, i) % MAX_KEY)
+            .collect()
     }
 
     #[test]
@@ -390,7 +426,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_keys() {
-        assert_eq!(build(&[], &mut rng(2)).unwrap_err(), BuildError::EmptyKeySet);
+        assert_eq!(
+            build(&[], &mut rng(2)).unwrap_err(),
+            BuildError::EmptyKeySet
+        );
     }
 
     #[test]
@@ -450,6 +489,37 @@ mod tests {
         }
         assert!(saw_ok, "one-shot builds never succeeded — P(S) rate broken");
         // Not asserting saw_fail: at small n the failure rate can be low.
+    }
+
+    #[test]
+    fn telemetry_records_build_phases_and_counters() {
+        lcds_obs::set_enabled(true);
+        let keys = keyset(400, 11);
+        let d = build(&keys, &mut rng(11)).expect("build");
+        lcds_obs::set_enabled(false);
+        let snap = lcds_obs::global().snapshot();
+        // ≥, not ==: other tests may build concurrently while the global
+        // flag is up.
+        assert!(snap.counters["lcds_builds_total"] >= 1);
+        assert!(snap.counters.contains_key("lcds_build_hash_retries_total"));
+        assert!(snap.counters["lcds_build_seed_trials_total"] >= d.stats().nonempty_buckets);
+        for h in [
+            "lcds_build_total_ns",
+            "lcds_build_hash_draw_ns",
+            "lcds_build_table_layout_ns",
+            "lcds_build_histogram_layout_ns",
+            "lcds_build_perfect_hash_ns",
+        ] {
+            assert!(snap.histograms[h].count >= 1, "span histogram {h} missing");
+        }
+        assert!(
+            snap.histograms["lcds_build_seed_trials_per_bucket"].count
+                >= d.stats().nonempty_buckets
+        );
+        assert!(lcds_obs::global_events()
+            .events()
+            .iter()
+            .any(|e| e.name == "build_complete"));
     }
 
     #[test]

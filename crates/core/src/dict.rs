@@ -528,10 +528,7 @@ mod tests {
         let d2 = d.clone();
         let mut r = rng(200);
         for &x in d.keys().iter().take(50) {
-            assert_eq!(
-                d.contains(x, &mut r, &mut NullSink),
-                d2.resolve_contains(x)
-            );
+            assert_eq!(d.contains(x, &mut r, &mut NullSink), d2.resolve_contains(x));
         }
     }
 }

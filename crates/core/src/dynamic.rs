@@ -183,13 +183,13 @@ impl DynamicLcd {
     /// Membership of `x` in the live set, via cell probes.
     pub fn contains_key(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
         // Delta first: seed replica, then the linear-probe run.
-        let seed = self.delta.read(0, uniform_below(rng, self.delta_replicas), sink);
+        let seed = self
+            .delta
+            .read(0, uniform_below(rng, self.delta_replicas), sink);
         let hash = PerfectHash::from_seed(seed, self.delta_slots);
         let mut pos = hash.eval(x);
         for _ in 0..self.delta_slots {
-            let cell = self
-                .delta
-                .read(0, self.delta_replicas + pos, sink);
+            let cell = self.delta.read(0, self.delta_replicas + pos, sink);
             if cell == EMPTY {
                 break;
             }
@@ -473,7 +473,9 @@ mod tests {
         let mut r = rng(9);
         let snap = d.snapshot();
         let mut sets = Vec::new();
-        let probes: Vec<u64> = (0..300u64).map(|i| i * 13 + 5).take(50)
+        let probes: Vec<u64> = (0..300u64)
+            .map(|i| i * 13 + 5)
+            .take(50)
             .chain((0..20).map(|i| 50_000 + i))
             .chain([5, 6, 999_999])
             .collect();
@@ -534,6 +536,9 @@ mod tests {
             BuildError::KeyOutOfRange(u64::MAX)
         );
         let mut d = DynamicLcd::new(&[1], 16, ParamsConfig::default()).unwrap();
-        assert_eq!(d.insert(u64::MAX).unwrap_err(), BuildError::KeyOutOfRange(u64::MAX));
+        assert_eq!(
+            d.insert(u64::MAX).unwrap_err(),
+            BuildError::KeyOutOfRange(u64::MAX)
+        );
     }
 }

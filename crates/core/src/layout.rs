@@ -176,10 +176,16 @@ mod tests {
     fn replica_counts_are_balanced() {
         let l = layout(12345);
         for modulus in [l.r, l.m] {
-            let counts: Vec<u64> = (0..modulus).map(|res| l.replica_count(modulus, res)).collect();
+            let counts: Vec<u64> = (0..modulus)
+                .map(|res| l.replica_count(modulus, res))
+                .collect();
             let min = *counts.iter().min().unwrap();
             let max = *counts.iter().max().unwrap();
-            assert!(max - min <= 1, "modulus {modulus}: counts differ by {}", max - min);
+            assert!(
+                max - min <= 1,
+                "modulus {modulus}: counts differ by {}",
+                max - min
+            );
         }
     }
 

@@ -58,7 +58,7 @@ pub mod weighted;
 
 pub use builder::{build, build_with, property_trial, BuildError, BuildStats, PropertyTrial};
 pub use dict::{LowContentionDict, Resolution, EMPTY};
-pub use params::{Params, ParamsConfig};
 pub use dynamic::{DynamicLcd, WriteStats};
+pub use params::{Params, ParamsConfig};
 pub use rows::{row_report, RowReport, RowSummary};
 pub use weighted::{build_weighted, WeightedDict, WeightedParams};

@@ -125,7 +125,9 @@ impl Params {
     /// Panics if `n == 0` or the config is invalid.
     pub fn derive(n: u64, config: &ParamsConfig) -> Params {
         assert!(n >= 1, "the dictionary requires at least one key");
-        config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
         let nf = n as f64;
 
         let r = (nf.powf(1.0 - config.delta).round() as u64).max(1);
@@ -196,7 +198,9 @@ mod tests {
 
     #[test]
     fn default_config_is_valid() {
-        ParamsConfig::default().validate().expect("default must validate");
+        ParamsConfig::default()
+            .validate()
+            .expect("default must validate");
     }
 
     #[test]
@@ -216,7 +220,10 @@ mod tests {
             (ParamsConfig { delta: 0.9, ..base }, "delta must lie"),
             (ParamsConfig { delta: 0.1, ..base }, "delta must lie"),
             (ParamsConfig { alpha: 0.1, ..base }, "alpha must exceed"),
-            (ParamsConfig { beta: 1.0, ..base }, "beta must be at least 2"),
+            (
+                ParamsConfig { beta: 1.0, ..base },
+                "beta must be at least 2",
+            ),
             (
                 ParamsConfig {
                     max_hash_retries: 0,

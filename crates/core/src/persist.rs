@@ -201,7 +201,9 @@ pub fn load<R: Read>(inp: &mut R) -> Result<LowContentionDict, PersistError> {
     let z_len = r.get()?;
     let z = r.get_vec(z_len, "z")?;
     if z.len() as u64 != params.r || z.iter().any(|&zi| zi >= params.s) {
-        return Err(PersistError::Corrupted("displacement vector invalid".into()));
+        return Err(PersistError::Corrupted(
+            "displacement vector invalid".into(),
+        ));
     }
 
     let rows = r.get()? as u32;
@@ -235,8 +237,7 @@ pub fn load<R: Read>(inp: &mut R) -> Result<LowContentionDict, PersistError> {
 
     let f = PolyHash::from_words(&fw, params.s);
     let g = PolyHash::from_words(&gw, params.r);
-    let dict =
-        LowContentionDict::from_parts(params, layout, table, keys, f, g, z, stats);
+    let dict = LowContentionDict::from_parts(params, layout, table, keys, f, g, z, stats);
     // Structural self-check: a well-formed file must verify.
     crate::verify::verify(&dict)
         .map_err(|e| PersistError::Corrupted(format!("structure check failed: {e}")))?;

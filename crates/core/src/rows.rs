@@ -154,8 +154,7 @@ mod tests {
     #[test]
     fn skewed_pool_moves_the_bottleneck_to_data() {
         let d = sample(512, 4);
-        let mut entries: Vec<(u64, f64)> =
-            d.keys().iter().map(|&k| (k, 1e-6)).collect();
+        let mut entries: Vec<(u64, f64)> = d.keys().iter().map(|&k| (k, 1e-6)).collect();
         entries[0].1 = 1.0;
         let report = row_report(&d, &QueryPool::weighted(entries));
         assert_eq!(report.hottest().name, "data");

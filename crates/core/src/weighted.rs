@@ -349,12 +349,13 @@ pub fn build_weighted<R: Rng + ?Sized>(
             }
             let range = l * l;
             let bucket_keys = &by_bucket[offsets[b]..offsets[b + 1]];
-            let found = ph_builder
-                .build(bucket_keys, range, rng)
-                .ok_or(BuildError::PerfectHashFailed {
-                    bucket: b as u64,
-                    load: l as u32,
-                })?;
+            let found =
+                ph_builder
+                    .build(bucket_keys, range, rng)
+                    .ok_or(BuildError::PerfectHashFailed {
+                        bucket: b as u64,
+                        load: l as u32,
+                    })?;
             for copy in 0..gamma[group] {
                 let block = gbas[group] + copy * size + off_in_block;
                 for j in block..block + range {
@@ -628,8 +629,15 @@ mod tests {
 
     #[test]
     fn descriptor_packing_roundtrips() {
-        for (base, size, gamma) in [(0u64, 0u64, 1u64), (12345, 77, 500), ((1 << 26) - 1, (1 << 19) - 1, (1 << 19) - 1)] {
-            assert_eq!(unpack_group(pack_group(base, size, gamma)), (base, size, gamma));
+        for (base, size, gamma) in [
+            (0u64, 0u64, 1u64),
+            (12345, 77, 500),
+            ((1 << 26) - 1, (1 << 19) - 1, (1 << 19) - 1),
+        ] {
+            assert_eq!(
+                unpack_group(pack_group(base, size, gamma)),
+                (base, size, gamma)
+            );
         }
     }
 
@@ -657,7 +665,11 @@ mod tests {
         let d = build(512, 2, 0.0);
         // Every group has mass ≈ gs·1/n, so γ ≈ extra·mass/size stays small.
         let prof = exact_contention(&d, &QueryPool::uniform(d.keys()));
-        assert!(prof.max_step_ratio() < 120.0, "ratio {}", prof.max_step_ratio());
+        assert!(
+            prof.max_step_ratio() < 120.0,
+            "ratio {}",
+            prof.max_step_ratio()
+        );
         assert!(prof.conservation_ok(1e-9));
     }
 
@@ -666,7 +678,11 @@ mod tests {
         let d = build(1024, 3, 1.5);
         // Zipf(1.5)'s head carries ≈ 0.38 mass; its group's block should be
         // replicated hundreds of times.
-        assert!(d.stats().gamma_max >= 50, "gamma_max {}", d.stats().gamma_max);
+        assert!(
+            d.stats().gamma_max >= 50,
+            "gamma_max {}",
+            d.stats().gamma_max
+        );
         assert!(d.stats().region_used <= d.weighted_params().region_cells);
     }
 
@@ -674,14 +690,19 @@ mod tests {
     fn storage_rows_are_flattened_to_the_metadata_floor() {
         let d = build(2048, 4, 1.2);
         let pool = QueryPool {
-            entries: d.keys().iter().copied().zip(d.weights().iter().copied()).collect(),
+            entries: d
+                .keys()
+                .iter()
+                .copied()
+                .zip(d.weights().iter().copied())
+                .collect(),
         };
         let prof = exact_contention(&d, &pool);
         // The header/data steps (last two) must not exceed the hottest
         // group's metadata contention (mass_group / group_size replicas) by
         // more than a small factor — γ-replication ties them together.
         let steps = prof.step_max.len();
-        let meta = prof.step_max[steps - 3- d.weighted_params().base.rho as usize + 1..steps - 2]
+        let meta = prof.step_max[steps - 3 - d.weighted_params().base.rho as usize + 1..steps - 2]
             .iter()
             .copied()
             .fold(0.0f64, f64::max)
@@ -703,8 +724,7 @@ mod tests {
         let n = 2048u64;
         let keys = keyset(n, 5);
         let w = zipf_weights(keys.len(), 1.2);
-        let weighted =
-            build_weighted(&keys, &w, &ParamsConfig::default(), &mut rng(5)).unwrap();
+        let weighted = build_weighted(&keys, &w, &ParamsConfig::default(), &mut rng(5)).unwrap();
         let oblivious = crate::builder::build(&keys, &mut rng(6)).unwrap();
         let pool = QueryPool::weighted(keys.iter().copied().zip(w.iter().copied()).collect());
         let rw = exact_contention(&weighted, &pool).max_step_ratio();
@@ -720,7 +740,11 @@ mod tests {
         let d = build(400, 7, 1.0);
         let mut r = rng(70);
         let mut sets = Vec::new();
-        let probes: Vec<u64> = d.keys().iter().copied().take(60)
+        let probes: Vec<u64> = d
+            .keys()
+            .iter()
+            .copied()
+            .take(60)
             .chain((0..60).map(|i| derive(71, i) % MAX_KEY))
             .collect();
         for x in probes {

@@ -74,7 +74,9 @@ impl Fe {
     /// `self * rhs + addend`, fused into a single reduction.
     #[inline]
     pub fn mul_add(self, rhs: Fe, addend: Fe) -> Fe {
-        Fe(reduce128((self.0 as u128) * (rhs.0 as u128) + addend.0 as u128))
+        Fe(reduce128(
+            (self.0 as u128) * (rhs.0 as u128) + addend.0 as u128,
+        ))
     }
 
     /// Exponentiation by squaring.

@@ -134,7 +134,10 @@ impl PerfectHashBuilder {
                 }
                 occupied[slot] = true;
             }
-            return Some(PerfectHashResult { hash, trials: trial });
+            return Some(PerfectHashResult {
+                hash,
+                trials: trial,
+            });
         }
         None
     }
@@ -183,11 +186,16 @@ mod tests {
         let rounds = 200;
         for round in 0..rounds {
             let keys: Vec<u64> = (0..10u64).map(|i| i * 7919 + round).collect();
-            let res = PerfectHashBuilder::default().build(&keys, 100, &mut r).unwrap();
+            let res = PerfectHashBuilder::default()
+                .build(&keys, 100, &mut r)
+                .unwrap();
             total += res.trials;
         }
         let mean = total as f64 / rounds as f64;
-        assert!(mean < 3.0, "mean trials {mean} too high for quadratic range");
+        assert!(
+            mean < 3.0,
+            "mean trials {mean} too high for quadratic range"
+        );
     }
 
     #[test]
@@ -195,7 +203,9 @@ mod tests {
         let mut r = rng(4);
         let res = PerfectHashBuilder::default().build(&[], 1, &mut r).unwrap();
         assert_eq!(res.trials, 1);
-        let res = PerfectHashBuilder::default().build(&[42], 1, &mut r).unwrap();
+        let res = PerfectHashBuilder::default()
+            .build(&[42], 1, &mut r)
+            .unwrap();
         assert_eq!(res.hash.eval(42), 0);
     }
 

@@ -52,10 +52,7 @@ impl HashFamily for PolyFamily {
         let coeffs = (0..self.d)
             .map(|_| Fe::from_canonical(rng.random_range(0..P)))
             .collect();
-        PolyHash {
-            coeffs,
-            m: self.m,
-        }
+        PolyHash { coeffs, m: self.m }
     }
 }
 

@@ -75,7 +75,12 @@ mod tests {
         let p = vec![vec![1.0 / s as f64; s]; n];
         let m = measure_info(&p, 8.0, 4000, &mut rng(1));
         assert!((m.bound_bits - 8.0).abs() < 1e-9);
-        assert!(m.respects_bound(0.05), "mean {} vs bound {}", m.mean_bits, m.bound_bits);
+        assert!(
+            m.respects_bound(0.05),
+            "mean {} vs bound {}",
+            m.mean_bits,
+            m.bound_bits
+        );
     }
 
     #[test]

@@ -119,10 +119,12 @@ where
             .collect();
         // r_t per the theorem: √(5 t* φ* s n ln N_t); with one branch
         // (ln N_t ~ bits of last round) keep it simple and well-defined:
-        let last_bits = bits_per_round.last().copied().unwrap_or(b * phi_star * s as f64);
+        let last_bits = bits_per_round
+            .last()
+            .copied()
+            .unwrap_or(b * phi_star * s as f64);
         let ln_nt = (last_bits * std::f64::consts::LN_2).max(1.0);
-        let r_t = ((5.0 * t_star as f64 * phi_star * s as f64 * n as f64 * ln_nt).sqrt()
-            as usize)
+        let r_t = ((5.0 * t_star as f64 * phi_star * s as f64 * n as f64 * ln_nt).sqrt() as usize)
             .clamp(2, n);
         let finite_small = {
             // Rows (here: instance indices) with small M values — candidates

@@ -161,8 +161,7 @@ pub fn lemma15_adversary<R: Rng + ?Sized>(
         })
         .collect();
 
-    let t_size = ((2.0 * n as f64 * (big_n as f64).ln() / r as f64).ceil() as usize)
-        .clamp(1, n);
+    let t_size = ((2.0 * n as f64 * (big_n as f64).ln() / r as f64).ceil() as usize).clamp(1, n);
     let mut indices: Vec<usize> = (0..n).collect();
     for draw in 1..=max_draws {
         indices.shuffle(rng);
@@ -174,10 +173,7 @@ pub fn lemma15_adversary<R: Rng + ?Sized>(
             }
             mask
         };
-        if r_primes
-            .iter()
-            .all(|rp| rp.iter().any(|&i| member[i]))
-        {
+        if r_primes.iter().all(|rp| rp.iter().any(|&i| member[i])) {
             let mut q = vec![0.0; n];
             let share = eps / t_set.len() as f64;
             for &i in &t_set {
@@ -280,8 +276,22 @@ mod tests {
         // paper's R holds only one row — yet Σ_j max_i P(i,j) = 1.7379.
         // The LP bound (one fractional row allowed) covers it: ≈ 2.0.
         let raw = vec![
-            vec![0.0, 0.0, 0.0, 0.562_403_627_365_870_2, 0.617_080_946_537_133_3, 0.503_714_547_068_102_5],
-            vec![0.825_601_145_819_982_8, 0.963_263_984_476_271_2, 0.538_124_368_482_471_5, 0.431_373_531_698_92, 0.395_029_993_933_299_7, 0.0],
+            vec![
+                0.0,
+                0.0,
+                0.0,
+                0.562_403_627_365_870_2,
+                0.617_080_946_537_133_3,
+                0.503_714_547_068_102_5,
+            ],
+            vec![
+                0.825_601_145_819_982_8,
+                0.963_263_984_476_271_2,
+                0.538_124_368_482_471_5,
+                0.431_373_531_698_92,
+                0.395_029_993_933_299_7,
+                0.0,
+            ],
         ];
         let p: Vec<Vec<f64>> = raw
             .into_iter()
@@ -292,7 +302,10 @@ mod tests {
             .collect();
         let lhs = column_max_sum(&p);
         let r = lemma16_r_size(&p);
-        assert!(lhs > r as f64, "the literal Lemma 16 fails here: {lhs} > {r}");
+        assert!(
+            lhs > r as f64,
+            "the literal Lemma 16 fails here: {lhs} > {r}"
+        );
         assert!(lhs <= lemma16_lp_bound(&p) + 1e-9, "the LP form holds");
         assert!(lhs <= r as f64 + 1.0, "the +1 form holds");
     }

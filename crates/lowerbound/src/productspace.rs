@@ -109,7 +109,9 @@ mod tests {
         let p = vec![0.125; 8];
         let mut r = rng(1);
         let trials = 40_000;
-        let ok = (0..trials).filter(|_| simulate_probe(&p, &mut r).is_some()).count();
+        let ok = (0..trials)
+            .filter(|_| simulate_probe(&p, &mut r).is_some())
+            .count();
         let rate = ok as f64 / trials as f64;
         assert!(rate >= 0.25 - 0.01, "success rate {rate} < 1/4");
     }
@@ -120,7 +122,9 @@ mod tests {
         let p = vec![0.7, 0.1, 0.1, 0.1];
         let mut r = rng(2);
         let trials = 40_000;
-        let ok = (0..trials).filter(|_| simulate_probe(&p, &mut r).is_some()).count();
+        let ok = (0..trials)
+            .filter(|_| simulate_probe(&p, &mut r).is_some())
+            .count();
         let rate = ok as f64 / trials as f64;
         assert!(rate >= 0.25 - 0.01, "success rate {rate} < 1/4");
     }
@@ -198,7 +202,11 @@ mod tests {
 
     #[test]
     fn coupled_union_respects_lemma21_bound() {
-        let probs = vec![vec![0.5, 0.5, 0.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.5, 0.5]];
+        let probs = vec![
+            vec![0.5, 0.5, 0.0],
+            vec![0.5, 0.0, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ];
         let bound = union_bound(&probs); // 3 · 0.5 = 1.5
         assert!((bound - 1.5).abs() < 1e-12);
         let mut r = rng(7);
@@ -222,7 +230,11 @@ mod tests {
         // 3-vector example above is 3·(1−(1−½)³)·… > 1.5 coupled bound.
         // Analytically: each cell present w.p. 1−(1/2)² = 0.75 for the two
         // rows that use it → E|union| = 3·0.75 = 2.25 > 1.5.
-        let probs = vec![vec![0.5, 0.5, 0.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.5, 0.5]];
+        let probs = vec![
+            vec![0.5, 0.5, 0.0],
+            vec![0.5, 0.0, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ];
         let mut r = rng(8);
         let trials = 50_000;
         let mut total = 0u64;

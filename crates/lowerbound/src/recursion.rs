@@ -35,8 +35,7 @@ pub fn feasible(t_star: u32, log2_n: f64, b: f64, phi_s: f64) -> bool {
     assert!(t_star >= 1 && b >= 1.0 && phi_s > 0.0);
     // a₁ = b·(φ*s); a = (5 ln 2)·b²·t*·(φ*s)·n.
     let log2_a1 = (b * phi_s).log2();
-    let log2_a =
-        (5.0 * std::f64::consts::LN_2 * b * b * t_star as f64 * phi_s).log2() + log2_n;
+    let log2_a = (5.0 * std::f64::consts::LN_2 * b * b * t_star as f64 * phi_s).log2() + log2_n;
     let have = log2_total_bits(t_star, log2_a1, log2_a);
     let need = log2_n - 2.0 * t_star as f64;
     have >= need
@@ -124,7 +123,7 @@ mod tests {
         let phi_s = 16.0;
         // Small n: even 1 round's a₁ = b·φ*s = 1024 bits ≥ n/4.
         assert_eq!(min_t_star(10.0, b, phi_s), 1); // n = 1024, need 256/4
-        // Large n: 1 round cannot.
+                                                   // Large n: 1 round cannot.
         assert!(min_t_star(40.0, b, phi_s) > 1);
     }
 

@@ -278,7 +278,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let tr = play_tree(n, s, b, phi, 2, &strat, &mut rng);
         // Needs n/16 = 64 bits; uniform gets b per level.
-        assert!(!tr.algorithm_wins(), "total {} of {}", tr.total_bits, tr.needed_bits);
+        assert!(
+            !tr.algorithm_wins(),
+            "total {} of {}",
+            tr.total_bits,
+            tr.needed_bits
+        );
         assert_eq!(tr.nodes_per_level, vec![1, 2]);
         for &bits in &tr.bits_per_level {
             assert!((bits - b).abs() < 1e-6);

@@ -40,7 +40,10 @@ impl ProblemTable {
                 row[i] = true;
             }
             rows.push(row);
-            assert!(rows.len() <= 1_000_000, "instance too large for brute force");
+            assert!(
+                rows.len() <= 1_000_000,
+                "instance too large for brute force"
+            );
             // Next n-combination of [universe], lexicographic.
             let mut i = n;
             loop {
@@ -165,11 +168,7 @@ mod tests {
     #[test]
     fn shatters_is_exact() {
         // Rows {00, 01, 10}: pair {0,1} not shattered (missing 11).
-        let rows = vec![
-            vec![false, false],
-            vec![false, true],
-            vec![true, false],
-        ];
+        let rows = vec![vec![false, false], vec![false, true], vec![true, false]];
         let p = ProblemTable::new(2, rows);
         assert!(p.shatters(&[0]));
         assert!(p.shatters(&[1]));

@@ -1,0 +1,246 @@
+//! Structured events and spans — a deliberately tiny, offline-friendly
+//! alternative to the `tracing` ecosystem (DESIGN.md §5: no new external
+//! dependencies).
+//!
+//! * [`Event`] — a named record with JSON fields and a monotonic
+//!   timestamp, collected into a bounded [`EventLog`] ring (overflow is
+//!   counted, never blocks).
+//! * [`Span`] — an RAII timer: on drop it records its duration into a
+//!   [`LogHistogram`](crate::metrics::LogHistogram) named after the span
+//!   and appends a `span` event. Construction via [`crate::span`] is a
+//!   single atomic load when telemetry is disabled, so instrumented code
+//!   pays ~zero cost by default.
+
+use crate::metrics::Registry;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Monotonic nanoseconds since the first telemetry call in this process.
+pub fn monotonic_ns() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic timestamp, nanoseconds since process telemetry start.
+    pub ts_ns: u64,
+    /// Event name (snake_case, stable — see docs/OBSERVABILITY.md).
+    pub name: String,
+    /// Arbitrary JSON payload.
+    pub fields: Value,
+}
+
+#[derive(Debug, Default)]
+struct EventLogInner {
+    events: VecDeque<Event>,
+}
+
+/// Bounded in-memory event collector.
+///
+/// Appends are O(1); when the ring is full the *oldest* event is evicted
+/// and `dropped` is incremented, so a long experiment run keeps its most
+/// recent window rather than aborting or reallocating without bound.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    inner: Arc<Mutex<EventLogInner>>,
+    dropped: Arc<AtomicU64>,
+    capacity: usize,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::with_capacity(EventLog::DEFAULT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// New log holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            inner: Arc::new(Mutex::new(EventLogInner::default())),
+            dropped: Arc::new(AtomicU64::new(0)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event with the current monotonic timestamp.
+    pub fn emit(&self, name: &str, fields: Value) {
+        let ev = Event {
+            ts_ns: monotonic_ns(),
+            name: name.to_string(),
+            fields,
+        };
+        let mut g = self.inner.lock().expect("obs event log poisoned");
+        if g.events.len() == self.capacity {
+            g.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.events.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("obs event log poisoned")
+            .events
+            .len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the buffered events (oldest first) without draining.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("obs event log poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the buffered events (oldest first).
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("obs event log poisoned")
+            .events
+            .drain(..)
+            .collect()
+    }
+}
+
+/// RAII span: times a region and records it on drop.
+///
+/// Created by [`crate::span`] (global telemetry) or [`Span::enter`]
+/// (explicit registry/log). An inactive span (telemetry disabled) holds
+/// nothing and its drop is a no-op.
+#[must_use = "a span measures the region up to its drop; binding it to _ drops immediately"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+struct SpanState {
+    name: &'static str,
+    start: Instant,
+    registry: Registry,
+    log: Option<EventLog>,
+}
+
+impl Span {
+    /// A span that measures nothing (telemetry disabled).
+    pub fn inactive() -> Span {
+        Span { state: None }
+    }
+
+    /// Starts a span that will record `{name}_ns` into `registry` and,
+    /// when `log` is given, append a `span` event.
+    pub fn enter(name: &'static str, registry: &Registry, log: Option<&EventLog>) -> Span {
+        Span {
+            state: Some(SpanState {
+                name,
+                start: Instant::now(),
+                registry: registry.clone(),
+                log: log.cloned(),
+            }),
+        }
+    }
+
+    /// Is this span actually recording?
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(st) = self.state.take() else { return };
+        let ns = st.start.elapsed().as_nanos() as u64;
+        st.registry.histogram(&format!("{}_ns", st.name)).record(ns);
+        if let Some(log) = st.log {
+            log.emit(
+                "span",
+                serde_json::json!({ "span": st.name, "duration_ns": ns }),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn event_log_keeps_newest_under_pressure() {
+        let log = EventLog::with_capacity(2);
+        log.emit("a", json!({}));
+        log.emit("b", json!({}));
+        log.emit("c", json!({ "k": 1 }));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let evs = log.events();
+        assert_eq!(evs[0].name, "b");
+        assert_eq!(evs[1].name, "c");
+        assert_eq!(evs[1].fields["k"], 1);
+        assert!(evs[0].ts_ns <= evs[1].ts_ns);
+
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn span_records_duration_and_event() {
+        let reg = Registry::new();
+        let log = EventLog::default();
+        {
+            let _s = Span::enter("unit_test_region", &reg, Some(&log));
+            std::hint::black_box(0u64);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["unit_test_region_ns"];
+        assert_eq!(h.count, 1);
+        let evs = log.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "span");
+        assert_eq!(evs[0].fields["span"], "unit_test_region");
+    }
+
+    #[test]
+    fn inactive_span_is_a_noop() {
+        let s = Span::inactive();
+        assert!(!s.is_active());
+        drop(s);
+    }
+
+    #[test]
+    fn events_round_trip_serde() {
+        let ev = Event {
+            ts_ns: 7,
+            name: "x".into(),
+            fields: json!({ "a": [1, 2] }),
+        };
+        let js = serde_json::to_string(&ev).unwrap();
+        let back: Event = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, ev);
+    }
+}

@@ -1,0 +1,193 @@
+//! Exporters: Prometheus text exposition (format 0.0.4) for metric
+//! snapshots, and JSON-lines for event streams.
+//!
+//! Metric names may embed a label set — `lcds_build_ns{scheme="fks"}` —
+//! which is spliced into the exposition correctly (histogram `le` labels
+//! are appended to the caller's labels, `_sum`/`_count`/`_bucket`
+//! suffixes go on the base name, and `# TYPE` headers are emitted once
+//! per base name).
+
+use crate::events::Event;
+use crate::metrics::{bucket_upper_edge, HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Splits `base{labels}` into `("base", Some("labels"))`.
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.rfind('}')) {
+        (Some(a), Some(b)) if a < b => (&name[..a], Some(&name[a + 1..b])),
+        _ => (name, None),
+    }
+}
+
+/// Joins a base name, optional caller labels, and optional extra label.
+fn sample_name(base: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut s = format!("{base}{suffix}");
+    match (labels, extra) {
+        (None, None) => {}
+        (Some(l), None) => {
+            let _ = write!(s, "{{{l}}}");
+        }
+        (None, Some(e)) => {
+            let _ = write!(s, "{{{e}}}");
+        }
+        (Some(l), Some(e)) => {
+            let _ = write!(s, "{{{l},{e}}}");
+        }
+    }
+    s
+}
+
+fn type_header(out: &mut String, last: &mut String, base: &str, kind: &str) {
+    if last != base {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        *last = base.to_string();
+    }
+}
+
+fn histogram_exposition(out: &mut String, base: &str, labels: Option<&str>, h: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    let highest = h
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    for (i, &n) in h.buckets.iter().enumerate().take(highest) {
+        cum += n;
+        let le = format!("le=\"{}\"", bucket_upper_edge(i));
+        let _ = writeln!(
+            out,
+            "{} {}",
+            sample_name(base, "_bucket", labels, Some(&le)),
+            cum
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} {}",
+        sample_name(base, "_bucket", labels, Some("le=\"+Inf\"")),
+        h.count
+    );
+    let _ = writeln!(out, "{} {}", sample_name(base, "_sum", labels, None), h.sum);
+    let _ = writeln!(
+        out,
+        "{} {}",
+        sample_name(base, "_count", labels, None),
+        h.count
+    );
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format: counters, then gauges, then histograms, each name-sorted.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_base = String::new();
+    for (name, &v) in &snap.counters {
+        let (base, labels) = split_name(name);
+        type_header(&mut out, &mut last_base, base, "counter");
+        let _ = writeln!(out, "{} {}", sample_name(base, "", labels, None), v);
+    }
+    last_base.clear();
+    for (name, &v) in &snap.gauges {
+        let (base, labels) = split_name(name);
+        type_header(&mut out, &mut last_base, base, "gauge");
+        let _ = writeln!(out, "{} {}", sample_name(base, "", labels, None), v);
+    }
+    last_base.clear();
+    for (name, h) in &snap.histograms {
+        let (base, labels) = split_name(name);
+        type_header(&mut out, &mut last_base, base, "histogram");
+        histogram_exposition(&mut out, base, labels, h);
+    }
+    out
+}
+
+/// Renders events as JSON-lines: one serialized [`Event`] per line.
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        match serde_json::to_string(ev) {
+            Ok(line) => {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Err(_) => {
+                // Serialization of our own Event type cannot fail for
+                // tree-shaped JSON values; skip defensively if it ever does.
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLog;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn split_name_handles_labels() {
+        assert_eq!(split_name("a_total"), ("a_total", None));
+        assert_eq!(
+            split_name("a_total{x=\"1\",y=\"2\"}"),
+            ("a_total", Some("x=\"1\",y=\"2\""))
+        );
+        assert_eq!(split_name("weird{"), ("weird{", None));
+    }
+
+    #[test]
+    fn prometheus_text_structure() {
+        let r = Registry::new();
+        r.counter("lcds_probes_total{scheme=\"fks\"}").add(4);
+        r.counter("lcds_probes_total{scheme=\"lcd\"}").add(2);
+        r.gauge("lcds_qps").set(1.5);
+        r.histogram("lcds_build_ns").record(5);
+        r.histogram("lcds_build_ns").record(100);
+        let text = to_prometheus(&r.snapshot());
+
+        // One TYPE header for the two labelled counter series.
+        assert_eq!(text.matches("# TYPE lcds_probes_total counter").count(), 1);
+        assert!(text.contains("lcds_probes_total{scheme=\"fks\"} 4"));
+        assert!(text.contains("lcds_probes_total{scheme=\"lcd\"} 2"));
+        assert!(text.contains("# TYPE lcds_qps gauge"));
+        assert!(text.contains("lcds_qps 1.5"));
+        assert!(text.contains("# TYPE lcds_build_ns histogram"));
+        // 5 → bucket [4,8) upper edge 7; cumulative reaches 2 by 100's bucket.
+        assert!(text.contains("lcds_build_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("lcds_build_ns_bucket{le=\"127\"} 2"));
+        assert!(text.contains("lcds_build_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lcds_build_ns_sum 105"));
+        assert!(text.contains("lcds_build_ns_count 2"));
+    }
+
+    #[test]
+    fn labelled_histogram_merges_le_into_labels() {
+        let r = Registry::new();
+        r.histogram("h{scheme=\"x\"}").record(1);
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("h_bucket{scheme=\"x\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("h_sum{scheme=\"x\"} 1"));
+        assert!(text.contains("h_count{scheme=\"x\"} 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(to_prometheus(&MetricsSnapshot::default()), "");
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let log = EventLog::default();
+        log.emit("a", serde_json::json!({ "n": 1 }));
+        log.emit("b", serde_json::json!({}));
+        let text = events_to_jsonl(&log.events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["name"].is_string());
+            assert!(v["ts_ns"].is_u64());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! **lcds-obs** — observability for the low-contention dictionary stack.
+//!
+//! The paper's thesis is that contention `Φ_t(j)` is an invisible cost
+//! until you measure it; this crate makes the measuring cheap enough to
+//! leave on in production paths. Four layers:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and mergeable
+//!   log-bucketed [`LogHistogram`]s, named by a [`Registry`] that
+//!   snapshots to serde-serializable structs.
+//! * [`events`] — structured [`Event`]s in a bounded log, and RAII
+//!   [`Span`]s that time construction phases into histograms. No
+//!   `tracing` dependency; ~zero cost when disabled.
+//! * [`sinks`] — bounded-memory [`ProbeSink`](lcds_cellprobe::sink::ProbeSink)s
+//!   for the query hot path: [`SamplingSink`] (1-in-N, deterministic RNG)
+//!   and the space-saving [`TopKSink`] hot-cell / contention-drift
+//!   detector.
+//! * [`export`] — Prometheus text exposition and JSON-lines event
+//!   streams (`lcds obs`, `experiments --metrics`).
+//!
+//! # Global telemetry
+//!
+//! Instrumented library code (the core builder, the thread replayer, the
+//! experiment harness) records into a process-global [`Registry`] and
+//! [`EventLog`] — but only when [`set_enabled`]`(true)` has been called.
+//! Disabled (the default), [`span`] and [`emit`] reduce to one relaxed
+//! atomic load, so instrumentation is safe to leave in hot-ish paths.
+//!
+//! ```
+//! lcds_obs::set_enabled(true);
+//! {
+//!     let _span = lcds_obs::span("demo_phase");
+//!     lcds_obs::counter("demo_items_total").add(3);
+//! }
+//! let snap = lcds_obs::global().snapshot();
+//! assert_eq!(snap.counters["demo_items_total"], 3);
+//! assert_eq!(snap.histograms["demo_phase_ns"].count, 1);
+//! let text = lcds_obs::export::to_prometheus(&snap);
+//! assert!(text.contains("demo_items_total 3"));
+//! # lcds_obs::set_enabled(false);
+//! # lcds_obs::global().clear();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod export;
+pub mod metrics;
+pub mod sinks;
+
+pub use events::{Event, EventLog, Span};
+pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsSnapshot, Registry};
+pub use sinks::{HotCell, SamplingSink, TopKSink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns global telemetry on or off. Off (the default), [`span`] and
+/// [`emit`] are no-ops costing one atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is global telemetry enabled?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global metric registry. Always available (so exporters can
+/// snapshot regardless of the enabled flag); instrumentation helpers gate
+/// on [`enabled`] before touching it.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The process-global event log.
+pub fn global_events() -> &'static EventLog {
+    static LOG: OnceLock<EventLog> = OnceLock::new();
+    LOG.get_or_init(EventLog::default)
+}
+
+/// Starts a global span named `name`: on drop it records into the global
+/// histogram `{name}_ns` and appends a `span` event. Inactive (free) when
+/// telemetry is disabled.
+pub fn span(name: &'static str) -> Span {
+    if enabled() {
+        Span::enter(name, global(), Some(global_events()))
+    } else {
+        Span::inactive()
+    }
+}
+
+/// Appends a structured event to the global log when telemetry is
+/// enabled.
+pub fn emit(name: &str, fields: serde_json::Value) {
+    if enabled() {
+        global_events().emit(name, fields);
+    }
+}
+
+/// Global counter handle (gated: returns a detached scratch counter when
+/// disabled, so call sites stay branch-free).
+pub fn counter(name: &str) -> Counter {
+    if enabled() {
+        global().counter(name)
+    } else {
+        Counter::new()
+    }
+}
+
+/// Global gauge handle (detached scratch gauge when disabled).
+pub fn gauge(name: &str) -> Gauge {
+    if enabled() {
+        global().gauge(name)
+    } else {
+        Gauge::new()
+    }
+}
+
+/// Global histogram handle (detached scratch histogram when disabled).
+pub fn histogram(name: &str) -> LogHistogram {
+    if enabled() {
+        global().histogram(name)
+    } else {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not two: the enabled flag is process-global and the test
+    // harness runs tests concurrently.
+    #[test]
+    fn global_telemetry_gates_on_the_enabled_flag() {
+        set_enabled(false);
+        counter("lib_test_inert_total").add(9);
+        let s = span("lib_test_inert_span");
+        assert!(!s.is_active());
+        drop(s);
+        emit("lib_test_inert", serde_json::json!({}));
+        let snap = global().snapshot();
+        assert!(!snap.counters.contains_key("lib_test_inert_total"));
+        assert!(!snap.histograms.contains_key("lib_test_inert_span_ns"));
+
+        set_enabled(true);
+        counter("lib_test_live_total").inc();
+        {
+            let _s = span("lib_test_live_span");
+        }
+        emit("lib_test_live", serde_json::json!({ "x": 1 }));
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["lib_test_live_total"], 1);
+        assert_eq!(snap.histograms["lib_test_live_span_ns"].count, 1);
+        assert!(global_events()
+            .events()
+            .iter()
+            .any(|e| e.name == "lib_test_live"));
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,428 @@
+//! Lock-free metric primitives and the [`Registry`] that names them.
+//!
+//! Three metric kinds, all backed by atomics so the *update* path never
+//! takes a lock (the registry's mutex is touched only at registration,
+//! i.e. the first time a name is seen — handles are `Arc`s that bypass it
+//! thereafter):
+//!
+//! * [`Counter`] — monotone `u64`, `fetch_add(Relaxed)`.
+//! * [`Gauge`] — an `f64` stored as its bit pattern in an `AtomicU64`.
+//! * [`LogHistogram`] — an HDR-style histogram with power-of-two buckets:
+//!   value `v` lands in bucket `⌊log₂ v⌋` (bucket 0 holds 0 and 1), so 64
+//!   buckets cover all of `u64` with a worst-case relative error of 2×.
+//!   Per-thread recorders can be merged because buckets are plain counts.
+//!
+//! Snapshots ([`MetricsSnapshot`]) are plain serde-serializable structs,
+//! decoupled from the atomics, so exporters (`export`) and tests never
+//! race with recorders.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two buckets: covers every `u64`.
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket index value `v` lands in: `⌊log₂ v⌋`, with 0 → bucket 0.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `i`: `2^(i+1) − 1` (saturating).
+#[inline]
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins `f64` gauge. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets the value to the max of the current value and `v`.
+    pub fn set_max(&self, v: f64) {
+        // Benign race: two concurrent maxima may both read the old value;
+        // fetch_update retries until the write sticks.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                if v > f64::from_bits(cur) {
+                    Some(v.to_bits())
+                } else {
+                    None
+                }
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+// Not derived: std has no `Default` for arrays longer than 32 elements.
+impl Default for HistogramInner {
+    fn default() -> HistogramInner {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log-bucketed latency/size histogram with lock-free recording.
+///
+/// Bucket `i` counts values in `[2^i, 2^(i+1))` (bucket 0 also holds 0),
+/// so any estimated quantile is within a factor of 2 of the true one —
+/// the bound `tests/histogram_props.rs` property-checks.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram(Arc<HistogramInner>);
+
+impl LogHistogram {
+    /// New empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wraps at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Merges another histogram's counts into this one (e.g. per-thread
+    /// recorders folded into a global one after `join`).
+    pub fn merge(&self, other: &LogHistogram) {
+        for i in 0..NUM_BUCKETS {
+            let n = other.0.buckets[i].load(Ordering::Relaxed);
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    /// Estimated `q`-quantile (upper bucket edge); see
+    /// [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Serializable point-in-time view of a [`LogHistogram`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile, `q ∈ [0, 1]`: the inclusive upper edge of
+    /// the bucket containing the rank-`⌈q·count⌉` value.
+    ///
+    /// Because bucket `i` spans `[2^i, 2^(i+1))`, the estimate `e` and the
+    /// true quantile `t` always satisfy `t ≤ e ≤ 2t + 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper_edge(i);
+            }
+        }
+        bucket_upper_edge(NUM_BUCKETS - 1)
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot's counts into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+/// Named metric registry.
+///
+/// Metric names follow Prometheus conventions; a name may carry a label
+/// set inline — `lcds_build_ns{scheme="fks"}` — which the Prometheus
+/// exporter splices apart. Lookup by name takes the registry mutex;
+/// returned handles are lock-free, so hot paths should hoist the handle
+/// out of their loop.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (creating if absent) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock().expect("obs registry poisoned");
+        g.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (creating if absent) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock().expect("obs registry poisoned");
+        g.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (creating if absent) the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> LogHistogram {
+        let mut g = self.inner.lock().expect("obs registry poisoned");
+        g.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Point-in-time serializable snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().expect("obs registry poisoned");
+        MetricsSnapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric (tests; a fresh run of the
+    /// experiments binary).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock().expect("obs registry poisoned");
+        *g = RegistryInner::default();
+    }
+}
+
+/// Serializable point-in-time view of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_edge(0), 1);
+        assert_eq!(bucket_upper_edge(1), 3);
+        assert_eq!(bucket_upper_edge(63), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 5, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_upper_edge(bucket_index(v)), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_share_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.clone().get(), 2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        // Median rank 2 → value 2, bucket [2,4), upper edge 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // Max → bucket [64,128), upper edge 127.
+        assert_eq!(h.quantile(1.0), 127);
+        assert!((h.snapshot().mean() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(5);
+        b.record(500);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 510);
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        sa.merge(&sb);
+        assert_eq!(sa.count, 5);
+    }
+
+    #[test]
+    fn registry_round_trips_through_serde() {
+        let r = Registry::new();
+        r.counter("c_total").add(3);
+        r.gauge("g").set(1.25);
+        r.histogram("h_ns").record(1000);
+        // Same name → same underlying metric.
+        r.counter("c_total").add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["c_total"], 4);
+        assert_eq!(snap.gauges["g"], 1.25);
+        assert_eq!(snap.histograms["h_ns"].count, 1);
+
+        let js = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, snap);
+
+        r.clear();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(LogHistogram::new().quantile(0.99), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Production-path probe observability: bounded-cost [`ProbeSink`]s that
+//! can stay attached to a serving query stream.
+//!
+//! The measurement sinks in `lcds-cellprobe` are exact but cost `O(s)`
+//! memory ([`lcds_cellprobe::sink::CountingSink`]) or `O(t·s)`
+//! ([`lcds_cellprobe::sink::StepSink`]) — fine for experiments, wrong for
+//! a server with millions of cells. This module provides the
+//! always-on alternatives:
+//!
+//! * [`SamplingSink`] — forwards 1-in-N probes (randomized gaps from a
+//!   deterministic splitmix64 stream, so periodic probe patterns cannot
+//!   alias against the sampler), shrinking any downstream sink's cost by
+//!   N× at the price of sampling noise.
+//! * [`TopKSink`] — the *space-saving* heavy-hitters sketch (Metwally,
+//!   Agrawal, El Abbadi, ICDT 2005) over cell ids: `O(k)` memory, and any
+//!   cell with true frequency above `total/k` is guaranteed tracked. This
+//!   is the online contention-drift detector: under a shifting query
+//!   distribution the hottest cells surface here without ever allocating
+//!   per-cell state.
+//!
+//! Compose them with [`lcds_cellprobe::measure::FanoutSink`] to observe
+//! one probe stream with measurement + sampling + top-K simultaneously.
+
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::CellId;
+use std::collections::HashMap;
+
+/// splitmix64: the standard 64-bit finalizer-based PRNG step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Forwards roughly 1-in-`period` probes to an inner sink.
+///
+/// Gaps between forwarded probes are drawn uniformly from
+/// `[1, 2·period − 1]` (mean `period`) by a seeded splitmix64 stream:
+/// deterministic given the seed, yet free of the aliasing a fixed stride
+/// would have against periodic probe sequences. The skip path is one
+/// decrement and one branch — measured against [`lcds_cellprobe::sink::NullSink`]
+/// in the `obs_overhead` criterion bench (see docs/OBSERVABILITY.md).
+///
+/// `begin_query` is always forwarded (it is free for frequency sinks);
+/// per-query statistics downstream of a sampler are *sampled* statistics.
+pub struct SamplingSink<'a> {
+    inner: &'a mut dyn ProbeSink,
+    period: u64,
+    countdown: u64,
+    rng_state: u64,
+    seen: u64,
+    sampled: u64,
+}
+
+impl<'a> SamplingSink<'a> {
+    /// Samples 1-in-`period` probes into `inner`, deterministically from
+    /// `seed`. `period = 1` forwards everything.
+    pub fn new(inner: &'a mut dyn ProbeSink, period: u64, seed: u64) -> SamplingSink<'a> {
+        let period = period.max(1);
+        let mut rng_state = seed;
+        let countdown = Self::gap(period, &mut rng_state);
+        SamplingSink {
+            inner,
+            period,
+            countdown,
+            rng_state,
+            seen: 0,
+            sampled: 0,
+        }
+    }
+
+    #[inline]
+    fn gap(period: u64, state: &mut u64) -> u64 {
+        if period == 1 {
+            1
+        } else {
+            1 + splitmix64(state) % (2 * period - 1)
+        }
+    }
+
+    /// Probes observed (sampled or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Probes forwarded to the inner sink.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// The configured sampling period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl ProbeSink for SamplingSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.seen += 1;
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.sampled += 1;
+            self.inner.probe(cell);
+            self.countdown = Self::gap(self.period, &mut self.rng_state);
+        }
+    }
+
+    fn begin_query(&mut self) {
+        self.inner.begin_query();
+    }
+}
+
+/// One tracked cell in the space-saving summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotCell {
+    /// The cell id.
+    pub cell: CellId,
+    /// Estimated probe count (an over-estimate: `true ≤ count`).
+    pub count: u64,
+    /// Maximum over-estimation error (`count − error ≤ true`).
+    pub error: u64,
+}
+
+impl HotCell {
+    /// Guaranteed lower bound on the cell's true probe count.
+    pub fn guaranteed(&self) -> u64 {
+        self.count - self.error
+    }
+}
+
+/// Space-saving top-K heavy-hitter sketch over the probe stream.
+///
+/// Invariants of the algorithm (Metwally et al. 2005):
+///
+/// * memory is `O(capacity)` regardless of how many distinct cells exist;
+/// * for every tracked cell, `true_count ≤ count` and
+///   `count − error ≤ true_count`;
+/// * the minimum tracked count is at most `total / capacity`, so **any
+///   cell probed more than `total / capacity` times is tracked** — in
+///   particular the hottest cell of a Zipf-like stream
+///   (property-checked in `tests/topk_props.rs`).
+#[derive(Clone, Debug)]
+pub struct TopKSink {
+    capacity: usize,
+    entries: HashMap<CellId, (u64, u64)>,
+    total: u64,
+}
+
+impl TopKSink {
+    /// New sketch tracking at most `capacity ≥ 1` cells.
+    pub fn new(capacity: usize) -> TopKSink {
+        let capacity = capacity.max(1);
+        TopKSink {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Total probes observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Is `cell` currently tracked?
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.entries.contains_key(&cell)
+    }
+
+    /// Tracked cells, hottest first (by estimated count, ties by id for
+    /// determinism).
+    pub fn hottest(&self) -> Vec<HotCell> {
+        let mut v: Vec<HotCell> = self
+            .entries
+            .iter()
+            .map(|(&cell, &(count, error))| HotCell { cell, count, error })
+            .collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.cell.cmp(&b.cell)));
+        v
+    }
+
+    /// The top `k` tracked cells, hottest first.
+    pub fn top(&self, k: usize) -> Vec<HotCell> {
+        let mut v = self.hottest();
+        v.truncate(k);
+        v
+    }
+
+    /// Estimated contention share of the hottest cell: `max count / total`
+    /// (1.0 = every probe hits one cell; `1/capacity`-ish = flat). The
+    /// online analogue of the exact `max_step_ratio` audit — cheap enough
+    /// to compute continuously and alert on drift.
+    pub fn hottest_share(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let max = self.entries.values().map(|&(c, _)| c).max().unwrap_or(0);
+        max as f64 / self.total as f64
+    }
+}
+
+impl ProbeSink for TopKSink {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.total += 1;
+        if let Some(e) = self.entries.get_mut(&cell) {
+            e.0 += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(cell, (1, 0));
+            return;
+        }
+        // Evict the minimum-count entry; the newcomer inherits its count
+        // as both estimate and error bound.
+        let (&victim, &(min_count, _)) = self
+            .entries
+            .iter()
+            .min_by(|a, b| a.1 .0.cmp(&b.1 .0).then(a.0.cmp(b.0)))
+            .expect("capacity ≥ 1, so a full sketch has a minimum");
+        self.entries.remove(&victim);
+        self.entries.insert(cell, (min_count + 1, min_count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::sink::{CountingSink, NullSink};
+
+    #[test]
+    fn sampling_rate_is_about_one_in_n() {
+        let mut inner = CountingSink::new(4);
+        let mut s = SamplingSink::new(&mut inner, 8, 42);
+        s.begin_query();
+        for _ in 0..80_000 {
+            s.probe(1);
+        }
+        assert_eq!(s.seen(), 80_000);
+        let sampled = s.sampled();
+        assert_eq!(inner.total(), sampled);
+        // Mean gap is `period`; 80k draws concentrate tightly.
+        assert!(
+            (8_000i64 - sampled as i64).abs() < 1_500,
+            "sampled {sampled} of 80000 at period 8"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let mut inner = NullSink;
+            let mut s = SamplingSink::new(&mut inner, 16, seed);
+            for i in 0..10_000u64 {
+                s.probe(i % 7);
+            }
+            s.sampled()
+        };
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(7), run(7));
+        assert!(run(1) > 0);
+    }
+
+    #[test]
+    fn period_one_forwards_everything() {
+        let mut inner = CountingSink::new(2);
+        let mut s = SamplingSink::new(&mut inner, 1, 0);
+        for _ in 0..100 {
+            s.probe(0);
+        }
+        assert_eq!(s.sampled(), 100);
+        assert_eq!(inner.total(), 100);
+    }
+
+    #[test]
+    fn topk_exact_below_capacity() {
+        let mut t = TopKSink::new(8);
+        for _ in 0..5 {
+            t.probe(3);
+        }
+        t.probe(1);
+        let top = t.top(2);
+        assert_eq!(
+            top[0],
+            HotCell {
+                cell: 3,
+                count: 5,
+                error: 0
+            }
+        );
+        assert_eq!(
+            top[1],
+            HotCell {
+                cell: 1,
+                count: 1,
+                error: 0
+            }
+        );
+        assert_eq!(t.total(), 6);
+        assert!((t.hottest_share() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_tracks_a_heavy_hitter_through_churn() {
+        // Cell 9 gets every other probe; the rest is a rotating parade of
+        // distinct cold cells that keeps evicting sketch entries.
+        let mut t = TopKSink::new(4);
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                t.probe(9);
+            } else {
+                t.probe(1000 + i);
+            }
+        }
+        assert!(t.contains(9), "heavy hitter evicted: {:?}", t.hottest());
+        let top = t.hottest();
+        assert_eq!(top[0].cell, 9);
+        // Over-estimate but never below the true count.
+        assert!(top[0].count >= 5_000);
+        assert!(top[0].guaranteed() <= 5_000 + 1);
+        // Memory bound holds.
+        assert!(t.hottest().len() <= 4);
+    }
+
+    #[test]
+    fn topk_capacity_one_degenerates_gracefully() {
+        let mut t = TopKSink::new(0); // clamped to 1
+        t.probe(5);
+        t.probe(6);
+        t.probe(6);
+        assert_eq!(t.capacity(), 1);
+        assert_eq!(t.hottest().len(), 1);
+        assert_eq!(t.hottest()[0].cell, 6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: the log-bucketed histogram's estimated quantiles bound
+//! the true quantiles within the power-of-two bucket error.
+
+use lcds_obs::metrics::{bucket_index, bucket_upper_edge, LogHistogram};
+use proptest::prelude::*;
+
+/// True `q`-quantile under the same rank convention the histogram uses:
+/// the rank-`⌈q·n⌉` smallest value (rank clamped to `[1, n]`).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    /// For every recorded stream and every quantile,
+    /// `true ≤ estimate ≤ 2·true + 1` — the estimate is the inclusive
+    /// upper edge of the bucket `[2^i, 2^(i+1))` containing the true
+    /// quantile, so it can overshoot by at most the bucket width.
+    #[test]
+    fn quantile_estimates_bound_true_quantiles(
+        values in prop::collection::vec(any::<u64>(), 1..500),
+        q_percent in 0u32..=100,
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        let q = q_percent as f64 / 100.0;
+        let est = h.quantile(q);
+        let truth = true_quantile(&sorted, q);
+
+        prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+        // Upper edge of the bucket containing `truth`:
+        prop_assert_eq!(est, bucket_upper_edge(bucket_index(truth)));
+        if truth < u64::MAX / 2 {
+            prop_assert!(est <= 2 * truth + 1, "estimate {est} > 2·{truth}+1");
+        }
+    }
+
+    /// Count and sum are exact regardless of bucketing, and merging two
+    /// recorders equals recording the concatenated stream.
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let ha = LogHistogram::new();
+        let hb = LogHistogram::new();
+        let hall = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.snapshot(), hall.snapshot());
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        let expect_sum: u64 = a.iter().chain(&b).sum();
+        prop_assert_eq!(ha.sum(), expect_sum);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the space-saving top-K hot-cell detector: the
+//! classic guarantees hold on arbitrary streams, and the detector finds
+//! the true hottest cell of a Zipf(1.1) probe stream with bounded memory
+//! (the acceptance criterion for online contention-drift detection).
+
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_obs::TopKSink;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+proptest! {
+    /// Space-saving invariants on arbitrary streams:
+    /// 1. every tracked estimate over-approximates the true count, and
+    ///    `count − error` under-approximates it;
+    /// 2. any cell with true frequency > total/capacity is tracked;
+    /// 3. memory never exceeds the capacity.
+    #[test]
+    fn space_saving_invariants(
+        stream in prop::collection::vec(0u64..64, 1..2000),
+        capacity in 1usize..24,
+    ) {
+        let mut sketch = TopKSink::new(capacity);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &cell in &stream {
+            sketch.probe(cell);
+            *truth.entry(cell).or_default() += 1;
+        }
+        let total = stream.len() as u64;
+        prop_assert_eq!(sketch.total(), total);
+        prop_assert!(sketch.hottest().len() <= capacity);
+
+        for hc in sketch.hottest() {
+            let t = truth[&hc.cell];
+            prop_assert!(hc.count >= t, "cell {}: estimate {} < true {}", hc.cell, hc.count, t);
+            prop_assert!(hc.guaranteed() <= t,
+                "cell {}: guaranteed {} > true {}", hc.cell, hc.guaranteed(), t);
+        }
+        for (&cell, &t) in &truth {
+            if t > total / capacity as u64 {
+                prop_assert!(sketch.contains(cell),
+                    "heavy cell {cell} (true {t} > {total}/{capacity}) not tracked");
+            }
+        }
+    }
+}
+
+/// Draws one cell from a Zipf(θ) distribution over `m` cells whose
+/// identities are scrambled (so "hottest" is not simply cell 0).
+struct ZipfCells {
+    cdf: Vec<f64>,
+    m: u64,
+}
+
+impl ZipfCells {
+    fn new(m: u64, theta: f64) -> ZipfCells {
+        let weights: Vec<f64> = (1..=m).map(|i| (i as f64).powf(-theta)).collect();
+        let z: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(m as usize);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / z;
+            cdf.push(acc);
+        }
+        ZipfCells { cdf, m }
+    }
+
+    /// Rank `r` (0 = hottest) → scrambled cell id. `m` is a power of two
+    /// and the multiplier is odd, so this is a bijection on `[0, m)`
+    /// (the `+1` keeps rank 0 off cell 0).
+    fn cell_of_rank(&self, r: u64) -> u64 {
+        (r + 1).wrapping_mul(0x9E3779B97F4A7C15) % self.m
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        let u: f64 = rng.random();
+        let rank = self.cdf.partition_point(|&c| c < u) as u64;
+        self.cell_of_rank(rank.min(self.m - 1))
+    }
+}
+
+/// The acceptance-criterion test: over a Zipf(1.1) trace on 4096 cells,
+/// a 64-entry sketch (64/4096 = 1.6% of per-cell memory) always contains
+/// — and ranks first — the true hottest cell.
+#[test]
+fn zipf_hottest_cell_is_detected_with_bounded_memory() {
+    let m = 4096u64;
+    let zipf = ZipfCells::new(m, 1.1);
+    for seed in 0..5u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x21BF + seed);
+        let mut sketch = TopKSink::new(64);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        sketch.begin_query();
+        for _ in 0..200_000 {
+            let cell = zipf.sample(&mut rng);
+            sketch.probe(cell);
+            *truth.entry(cell).or_default() += 1;
+        }
+        let (&true_hottest, &true_count) = truth
+            .iter()
+            .max_by_key(|&(cell, count)| (*count, *cell))
+            .unwrap();
+        assert_eq!(
+            true_hottest,
+            zipf.cell_of_rank(0),
+            "zipf sanity: rank 0 is hottest"
+        );
+
+        assert!(
+            sketch.contains(true_hottest),
+            "seed {seed}: true hottest cell {true_hottest} not tracked"
+        );
+        let top = sketch.top(1);
+        assert_eq!(
+            top[0].cell, true_hottest,
+            "seed {seed}: detector ranked {:?} first, true hottest is {true_hottest} ({true_count} probes)",
+            top[0]
+        );
+        // Bounded memory: the sketch tracked ≤ 64 of 4096 cells.
+        assert!(sketch.hottest().len() <= 64);
+        // Zipf(1.1) puts ≈ 9% of mass on rank 0 over 4096 cells; the
+        // estimate must agree to within the sketch's error bound.
+        assert!(top[0].count >= true_count);
+        assert!(top[0].guaranteed() <= true_count);
+        assert!(
+            sketch.hottest_share() > 0.04,
+            "share {}",
+            sketch.hottest_share()
+        );
+    }
+}

@@ -25,6 +25,8 @@ pub mod rounds;
 pub mod threads;
 pub mod traces;
 
-pub use rounds::{run_workload, simulate, simulate_combining, simulate_latencies, LatencyProfile, SimResult};
-pub use threads::{replay, ThreadRunResult};
+pub use rounds::{
+    run_workload, simulate, simulate_combining, simulate_latencies, LatencyProfile, SimResult,
+};
+pub use threads::{replay, ThreadRunResult, ThreadStats};
 pub use traces::{collect, Traces};

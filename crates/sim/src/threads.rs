@@ -11,14 +11,44 @@
 //! memory ordering, and counters double as a probe-count cross-check
 //! ("Rust Atomics and Locks", ch. 2–3: Relaxed is exactly right for
 //! counters whose values are only read after `join`).
+//!
+//! Each replay thread additionally keeps **progress/stall counters**: it
+//! works in batches of [`PROGRESS_BATCH`] probes, tracks an exponential
+//! moving average of its per-probe cost, and counts a *stall* whenever a
+//! batch runs ≥ [`STALL_FACTOR`]× slower than that average — the signature
+//! of a cache line suddenly contended (or the thread descheduled). The
+//! counters surface in [`ThreadRunResult::per_thread`] and, when
+//! `lcds_obs::set_enabled(true)`, in the global metrics registry
+//! (`lcds_replay_*`; see docs/OBSERVABILITY.md).
 
 use crossbeam::thread;
 use lcds_cellprobe::table::CellId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// Probes per progress batch (one timing measurement per batch, so the
+/// instrumentation overhead is one `Instant::now` per 4096 probes).
+pub const PROGRESS_BATCH: usize = 4096;
+
+/// A batch counts as stalled when its per-probe cost exceeds this factor
+/// times the thread's moving average.
+pub const STALL_FACTOR: f64 = 8.0;
+
+/// One replay thread's progress counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadStats {
+    /// Probes this thread performed.
+    pub probes: u64,
+    /// Wall-clock nanoseconds this thread spent draining its trace.
+    pub ns: u64,
+    /// Timing batches executed (`⌈probes / PROGRESS_BATCH⌉`).
+    pub batches: u64,
+    /// Batches ≥ [`STALL_FACTOR`]× slower than the thread's average.
+    pub stalls: u64,
+}
+
 /// Result of one threaded replay.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ThreadRunResult {
     /// Wall-clock nanoseconds for all threads to drain their traces.
     pub wall_ns: u64,
@@ -29,6 +59,8 @@ pub struct ThreadRunResult {
     pub threads: usize,
     /// Total queries represented by the traces.
     pub queries: u64,
+    /// Per-thread progress/stall counters, in trace order.
+    pub per_thread: Vec<ThreadStats>,
 }
 
 impl ThreadRunResult {
@@ -47,6 +79,43 @@ impl ThreadRunResult {
         }
         self.total_probes as f64 * 1e9 / self.wall_ns as f64
     }
+
+    /// Total stalled batches across all threads.
+    pub fn stalls(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.stalls).sum()
+    }
+}
+
+fn drain_trace(trace: &[CellId], cells: &[AtomicU64]) -> ThreadStats {
+    let start = Instant::now();
+    let mut stats = ThreadStats {
+        probes: trace.len() as u64,
+        ..ThreadStats::default()
+    };
+    let mut ema_per_probe = 0.0f64;
+    let mut done = 0usize;
+    while done < trace.len() {
+        let end = (done + PROGRESS_BATCH).min(trace.len());
+        let batch_start = Instant::now();
+        for &cell in &trace[done..end] {
+            cells[cell as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        let per_probe = batch_start.elapsed().as_nanos() as f64 / (end - done) as f64;
+        if stats.batches > 0 && per_probe > STALL_FACTOR * ema_per_probe {
+            stats.stalls += 1;
+        }
+        // EMA with α = 1/8: smooth enough to ride out one slow batch,
+        // fresh enough to track a phase change in the trace.
+        ema_per_probe = if stats.batches == 0 {
+            per_probe
+        } else {
+            0.875 * ema_per_probe + 0.125 * per_probe
+        };
+        stats.batches += 1;
+        done = end;
+    }
+    stats.ns = start.elapsed().as_nanos() as u64;
+    stats
 }
 
 /// Replays per-thread probe traces against a shared `AtomicU64` array.
@@ -65,27 +134,47 @@ pub fn replay(traces: &[Vec<CellId>], queries: &[u64], num_cells: u64) -> Thread
     }
     let cells: Vec<AtomicU64> = (0..num_cells).map(|_| AtomicU64::new(0)).collect();
     let start = Instant::now();
+    let mut per_thread = Vec::with_capacity(traces.len());
     thread::scope(|s| {
-        for trace in traces {
-            let cells = &cells;
-            s.spawn(move |_| {
-                for &cell in trace {
-                    cells[cell as usize].fetch_add(1, Ordering::Relaxed);
-                }
-            });
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                let cells = &cells;
+                s.spawn(move |_| drain_trace(trace, cells))
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().expect("replay thread must not panic"));
         }
     })
     .expect("replay threads must not panic");
     let wall_ns = start.elapsed().as_nanos() as u64;
     let total: u64 = cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
     let expected: u64 = traces.iter().map(|t| t.len() as u64).sum();
-    assert_eq!(total, expected, "atomic counters must account for every probe");
-    ThreadRunResult {
+    assert_eq!(
+        total, expected,
+        "atomic counters must account for every probe"
+    );
+    let result = ThreadRunResult {
         wall_ns,
         total_probes: total,
         threads: traces.len(),
         queries: queries.iter().sum(),
+        per_thread,
+    };
+    if lcds_obs::enabled() {
+        let reg = lcds_obs::global();
+        reg.counter("lcds_replay_probes_total")
+            .add(result.total_probes);
+        reg.counter("lcds_replay_stalls_total").add(result.stalls());
+        reg.counter("lcds_replay_runs_total").inc();
+        let thread_ns = reg.histogram("lcds_replay_thread_ns");
+        for t in &result.per_thread {
+            thread_ns.record(t.ns);
+        }
+        reg.gauge("lcds_replay_qps").set(result.qps());
     }
+    result
 }
 
 #[cfg(test)]
@@ -121,5 +210,35 @@ mod tests {
         let r = replay(&[vec![], vec![]], &[0, 0], 1);
         assert_eq!(r.total_probes, 0);
         assert_eq!(r.qps(), 0.0);
+        assert_eq!(r.stalls(), 0);
+        assert!(r.per_thread.iter().all(|t| t.batches == 0));
+    }
+
+    #[test]
+    fn per_thread_progress_counters_are_consistent() {
+        let traces: Vec<Vec<CellId>> = (0..4)
+            .map(|p| vec![p as CellId; PROGRESS_BATCH * 2 + 17])
+            .collect();
+        let r = replay(&traces, &[1; 4], 4);
+        assert_eq!(r.per_thread.len(), 4);
+        let probes: u64 = r.per_thread.iter().map(|t| t.probes).sum();
+        assert_eq!(probes, r.total_probes);
+        for t in &r.per_thread {
+            assert_eq!(t.batches, 3, "2 full batches + 1 partial");
+            assert!(t.stalls <= t.batches);
+            assert!(t.ns > 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_records_replay_counters() {
+        lcds_obs::set_enabled(true);
+        let r = replay(&[vec![0; 100]], &[10], 1);
+        lcds_obs::set_enabled(false);
+        let snap = lcds_obs::global().snapshot();
+        assert!(snap.counters["lcds_replay_probes_total"] >= r.total_probes);
+        assert!(snap.counters["lcds_replay_runs_total"] >= 1);
+        assert!(snap.counters.contains_key("lcds_replay_stalls_total"));
+        assert!(snap.histograms["lcds_replay_thread_ns"].count >= 1);
     }
 }

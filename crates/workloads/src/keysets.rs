@@ -25,9 +25,7 @@ pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
 /// # Panics
 /// Panics if the range would leave the universe.
 pub fn dense_keys(n: usize, start: u64) -> Vec<u64> {
-    let end = start
-        .checked_add(n as u64)
-        .expect("range overflow");
+    let end = start.checked_add(n as u64).expect("range overflow");
     assert!(end <= MAX_KEY, "dense range exceeds the key universe");
     (start..end).collect()
 }

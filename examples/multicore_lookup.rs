@@ -57,7 +57,9 @@ fn main() {
     );
 
     // Part 2: the same traces on real threads (per-cell atomics).
-    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let ncpu = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     let mut table = TextTable::new(
         format!("real threads on this machine ({ncpu} CPUs), Mqueries/s"),
         &["scheme", "1 thread", &format!("{ncpu} threads")],

@@ -12,7 +12,10 @@ fn main() {
     let keys = uniform_keys(100_000, 7);
     let mut rng = seeded(42);
 
-    println!("building the Theorem 3 dictionary over {} keys…", keys.len());
+    println!(
+        "building the Theorem 3 dictionary over {} keys…",
+        keys.len()
+    );
     let dict = build_dict(&keys, &mut rng).expect("construction is expected O(n)");
     let p = dict.params();
     println!(

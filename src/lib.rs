@@ -63,8 +63,8 @@ pub use lcds_workloads as workloads;
 /// The common imports for applications.
 pub mod prelude {
     pub use lcds_baselines::{
-        BinarySearchDict, ChainingDict, CuckooDict, DmDict, FksDict, LinearProbeDict,
-        Replication, RobinHoodDict,
+        BinarySearchDict, ChainingDict, CuckooDict, DmDict, FksDict, LinearProbeDict, Replication,
+        RobinHoodDict,
     };
     pub use lcds_cellprobe::dict::CellProbeDict;
     pub use lcds_cellprobe::dist::{QueryDistribution, QueryPool, UniformOver, Zipf};
@@ -76,9 +76,7 @@ pub mod prelude {
     pub use lcds_core::weighted::{build_weighted, WeightedDict};
     pub use lcds_core::{build_with, LowContentionDict, ParamsConfig};
     pub use lcds_workloads::keysets::{clustered_keys, dense_keys, uniform_keys};
-    pub use lcds_workloads::querygen::{
-        mixed_dist, negative_dist, positive_dist, zipf_over_keys,
-    };
+    pub use lcds_workloads::querygen::{mixed_dist, negative_dist, positive_dist, zipf_over_keys};
     pub use lcds_workloads::rng::seeded;
 
     pub use crate::batch::{par_contains, par_count_members};

@@ -27,7 +27,11 @@ fn theorem3_full_package_across_sizes() {
         assert!(pos < 45.0, "n={n}: positive ratio {pos}");
         assert!(neg < 45.0, "n={n}: negative ratio {neg} (Lemma 10)");
         assert!(d.max_probes() <= 16, "n={n}: probes {}", d.max_probes());
-        assert!(d.words_per_key() < 40.0, "n={n}: space {}", d.words_per_key());
+        assert!(
+            d.words_per_key() < 40.0,
+            "n={n}: space {}",
+            d.words_per_key()
+        );
         ratios.push(pos);
     }
     // Flatness across a 64× size range: no systematic growth.
@@ -90,7 +94,11 @@ fn monte_carlo_cross_validates_exact() {
     let cuckoo = CuckooDict::build_default(&keys, &mut rng).unwrap();
     let bin = BinarySearchDict::build(&keys).unwrap();
 
-    fn check<D: CellProbeDict + ExactProbes>(d: &D, dist: &impl QueryDistribution, rng: &mut impl rand::RngCore) {
+    fn check<D: CellProbeDict + ExactProbes>(
+        d: &D,
+        dist: &impl QueryDistribution,
+        rng: &mut impl rand::RngCore,
+    ) {
         let exact = exact_contention(d, &dist.pool());
         let mc = measure_contention(d, dist, 300_000, rng);
         for t in 0..exact.step_max.len() {
@@ -146,8 +154,14 @@ fn replication_moves_the_bottleneck() {
 
     let p_plain = exact_contention(&plain, &pool);
     let p_rep = exact_contention(&replicated, &pool);
-    assert!((p_plain.step_max[0] - 1.0).abs() < 1e-12, "unreplicated seed is probed by all");
-    assert!(p_rep.step_max[0] < 1e-2, "replication flattens the seed row");
+    assert!(
+        (p_plain.step_max[0] - 1.0).abs() < 1e-12,
+        "unreplicated seed is probed by all"
+    );
+    assert!(
+        p_rep.step_max[0] < 1e-2,
+        "replication flattens the seed row"
+    );
     assert!(
         p_rep.max_step() >= p_rep.step_max[1] && p_rep.step_max[1] > p_rep.step_max[0],
         "directory becomes the binding row"

@@ -15,7 +15,8 @@ fn every_experiment_runs_quick_and_writes_artifacts() {
             !out.tables.is_empty() || !out.series.is_empty(),
             "{id} produced nothing"
         );
-        out.write_artifacts(&dir).unwrap_or_else(|e| panic!("{id}: {e}"));
+        out.write_artifacts(&dir)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
         let json_path = dir.join(format!("{id}.json"));
         assert!(json_path.exists(), "{id}: missing JSON artifact");
         let body = std::fs::read_to_string(&json_path).unwrap();

@@ -28,8 +28,7 @@ fn check_all(keys: &[u64], label: &str) {
     let dicts: Vec<&dyn CellProbeDict> = vec![&lcd, &fks, &cuckoo, &dm, &lp, &bin];
 
     for d in dicts {
-        verify_membership(d, keys, &negatives, &mut rng)
-            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        verify_membership(d, keys, &negatives, &mut rng).unwrap_or_else(|e| panic!("{label}: {e}"));
         assert_eq!(d.len(), keys.len(), "{label}: {}", d.name());
     }
     // The low-contention structure additionally proves its own layout.

@@ -1,0 +1,130 @@
+//! End-to-end checks of the `lcds-obs` telemetry layer against ground
+//! truth from the exact measurement sinks: the sampled top-K detector must
+//! find the same hot cells as a full per-cell count, the global registry
+//! must capture builder and query metrics, and both exporter formats must
+//! round-trip.
+
+use lcds_cellprobe::measure::FanoutSink;
+use lcds_cellprobe::sink::{CountingSink, ProbeSink};
+use lcds_obs::{EventLog, SamplingSink, TopKSink};
+use low_contention::prelude::*;
+
+/// Binary search probes its root cell on *every* query — a structure with
+/// a known, strongly separated hottest cell, ideal ground truth for the
+/// sketch. (The low-contention dictionary would be a poor test subject
+/// here for exactly the reason the paper builds it: its probe stream is
+/// nearly flat.)
+#[test]
+fn sampled_topk_agrees_with_exact_counts_on_the_hottest_cell() {
+    let keys = uniform_keys(4096, 0x0B51);
+    let dict = BinarySearchDict::build(&keys).expect("build");
+    let mut rng = seeded(0x0B52);
+
+    let mut exact = CountingSink::new(dict.num_cells());
+    let mut topk = TopKSink::new(32);
+    let mut sampler = SamplingSink::new(&mut topk, 16, 0x0B53);
+    let queries = 200_000u64;
+    for i in 0..queries {
+        let x = keys[(i as usize * 7919) % keys.len()];
+        let mut fan = FanoutSink::new(vec![&mut exact, &mut sampler]);
+        fan.begin_query();
+        dict.contains(x, &mut rng, &mut fan);
+    }
+
+    // Ground truth: the root is the unique argmax, probed once per query.
+    let true_hottest = exact
+        .counts()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(j, _)| j as u64)
+        .unwrap();
+    assert_eq!(exact.counts()[true_hottest as usize], queries);
+
+    // The sampler saw every probe and forwarded ≈ 1-in-16.
+    assert_eq!(sampler.seen(), exact.total());
+    let expected = sampler.seen() / 16;
+    assert!(
+        sampler.sampled() > expected / 2 && sampler.sampled() < expected * 2,
+        "sampled {} of {} at period 16",
+        sampler.sampled(),
+        sampler.seen()
+    );
+    drop(sampler);
+
+    // The sketch, fed 1-in-16 of the stream with bounded memory, still
+    // ranks the true hottest cell first.
+    assert!(topk.contains(true_hottest));
+    assert_eq!(topk.hottest()[0].cell, true_hottest);
+    assert!(topk.hottest().len() <= 32);
+}
+
+#[test]
+fn global_registry_captures_build_and_query_metrics_and_exports() {
+    lcds_obs::set_enabled(true);
+    let keys = uniform_keys(2048, 0x0B61);
+    let dict = build_dict(&keys, &mut seeded(0x0B62)).expect("build");
+
+    let mut topk = TopKSink::new(8);
+    {
+        let mut sampler = SamplingSink::new(&mut topk, 4, 0x0B63);
+        let mut rng = seeded(0x0B64);
+        for &x in keys.iter().take(1000) {
+            sampler.begin_query();
+            assert!(dict.contains(x, &mut rng, &mut sampler));
+        }
+        lcds_obs::counter("lcds_queries_total").add(1000);
+        lcds_obs::counter("lcds_query_probes_total").add(sampler.seen());
+    }
+    lcds_obs::gauge("lcds_hot_cell_share").set(topk.hottest_share());
+    lcds_obs::set_enabled(false);
+
+    let snap = lcds_obs::global().snapshot();
+    // Builder instrumentation (≥: other tests in this process may also
+    // have recorded).
+    assert!(snap.histograms["lcds_build_total_ns"].count >= 1);
+    assert!(snap.histograms["lcds_build_perfect_hash_ns"].count >= 1);
+    assert!(snap.counters["lcds_build_seed_trials_total"] >= 1);
+    assert!(snap.counters["lcds_builds_total"] >= 1);
+    // Query-path metrics recorded above.
+    assert!(snap.counters["lcds_queries_total"] >= 1000);
+    assert!(snap.counters["lcds_query_probes_total"] >= 1000);
+    assert!(snap.gauges["lcds_hot_cell_share"] > 0.0);
+
+    let text = lcds_obs::export::to_prometheus(&snap);
+    assert!(!text.trim().is_empty());
+    assert!(text.contains("# TYPE lcds_build_total_ns histogram"));
+    assert!(text.contains("lcds_build_total_ns_count"));
+    assert!(text.contains("# TYPE lcds_queries_total counter"));
+    assert!(text.contains("# TYPE lcds_hot_cell_share gauge"));
+    // Build completion landed in the global event log too.
+    assert!(lcds_obs::global_events()
+        .events()
+        .iter()
+        .any(|e| e.name == "build_complete"));
+}
+
+#[test]
+fn event_log_round_trips_through_jsonl() {
+    let log = EventLog::default();
+    log.emit("alpha", serde_json::json!({ "k": 1 }));
+    log.emit(
+        "beta",
+        serde_json::json!({ "cells": [3, 5], "share": 0.25 }),
+    );
+
+    let text = lcds_obs::export::events_to_jsonl(&log.events());
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let parsed: Vec<serde_json::Value> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("each line is a JSON object"))
+        .collect();
+    assert_eq!(parsed[0]["name"], "alpha");
+    assert_eq!(parsed[0]["fields"]["k"], 1);
+    assert_eq!(parsed[1]["name"], "beta");
+    assert_eq!(parsed[1]["fields"]["cells"][1], 5);
+    assert!(parsed.iter().all(|e| e["ts_ns"].is_u64()));
+    // Timestamps are monotone in emission order.
+    assert!(parsed[0]["ts_ns"].as_u64() <= parsed[1]["ts_ns"].as_u64());
+}

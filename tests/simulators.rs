@@ -38,7 +38,11 @@ fn low_contention_beats_binary_search_on_the_round_machine() {
     let r_bin = simulate(&t_bin.traces, &t_bin.queries);
 
     // Binary search: root cell serves once/round ⇒ throughput ≤ ~1.
-    assert!(r_bin.throughput() <= 1.05, "binary search {}", r_bin.throughput());
+    assert!(
+        r_bin.throughput() <= 1.05,
+        "binary search {}",
+        r_bin.throughput()
+    );
     // The flat structure should be several times faster at p = 64.
     assert!(
         r_lcd.throughput() > 3.0 * r_bin.throughput(),
