@@ -1,0 +1,104 @@
+//! Batched vs per-key bulk querying (criterion): the planned,
+//! region-grouped engine against a per-key `contains` loop, single- and
+//! multi-threaded, plus the sharded router. Complements experiment F14
+//! (which reports one-shot wall-clock Mq/s) with criterion's statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_cellprobe::sink::NullSink;
+use lcds_serve::{bulk_contains, EngineConfig, ShardedLcd};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::negative_pool;
+use lcds_workloads::rng::seeded;
+
+fn bench_batched(c: &mut Criterion) {
+    let n = 1 << 14;
+    let keys = uniform_keys(n, 0xBA7);
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain(negative_pool(&keys, n, 0xBA8))
+        .collect();
+    let dict = lcds_core::builder::build(&keys, &mut seeded(0xBA9)).expect("build");
+
+    let mut group = c.benchmark_group("batched_query");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+
+    // Per-key sequential loop: the probe-chained baseline.
+    group.bench_function("per_key/seq", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (i, &x) in probes.iter().enumerate() {
+                let mut rng = StreamRng::for_stream(7, i as u64);
+                hits += usize::from(dict.contains(black_box(x), &mut rng, &mut NullSink));
+            }
+            black_box(hits)
+        });
+    });
+
+    // Planned engine, single thread, across batch sizes.
+    for batch in [64usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("planned/seq", batch),
+            &batch,
+            |b, &batch| {
+                let cfg = EngineConfig {
+                    batch,
+                    parallel: false,
+                };
+                b.iter(|| black_box(bulk_contains(&dict, black_box(&probes), 7, cfg)));
+            },
+        );
+    }
+
+    // Parallel: per-key loop vs planned engine at the same thread count.
+    group.bench_function("per_key/par", |b| {
+        use rayon::prelude::*;
+        b.iter(|| {
+            let out: Vec<bool> = probes
+                .par_chunks(1024)
+                .enumerate()
+                .flat_map_iter(|(cix, chunk)| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, &x)| {
+                            let mut rng = StreamRng::for_stream(7, (cix * 1024 + i) as u64);
+                            dict.contains(x, &mut rng, &mut NullSink)
+                        })
+                        .collect::<Vec<bool>>()
+                })
+                .collect();
+            black_box(out)
+        });
+    });
+    group.bench_function("planned/par", |b| {
+        b.iter(|| {
+            black_box(bulk_contains(
+                &dict,
+                black_box(&probes),
+                7,
+                EngineConfig::with_batch(1024),
+            ))
+        });
+    });
+
+    // Sharded router.
+    for shards in [2usize, 4] {
+        let sharded =
+            ShardedLcd::build(&keys, shards, 0xD15C, &mut seeded(0xBAA)).expect("sharded build");
+        group.bench_with_input(
+            BenchmarkId::new("sharded/par", shards),
+            &sharded,
+            |b, sharded| {
+                b.iter(|| black_box(sharded.bulk_contains(black_box(&probes), 7, true)));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! F14 — batched serving throughput: the `lcds-serve` planned engine vs
+//! the per-key query loop, and sharded variants, on a bulk mixed
+//! workload.
+//!
+//! Wall-clock numbers are hardware-specific; the reproduced claims are the
+//! *orderings*: (1) the planned, region-grouped batch path beats the
+//! per-key path at equal thread counts (it issues ~2d fewer probes per key
+//! and overlaps the remaining misses), and (2) every variant returns
+//! bit-for-bit identical answers — batching and sharding are pure
+//! execution strategies.
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::report::{sig4, TextTable};
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_cellprobe::sink::NullSink;
+use lcds_core::LowContentionDict;
+use lcds_serve::{bulk_contains, EngineConfig, ShardedLcd};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::negative_pool;
+use lcds_workloads::rng::seeded;
+use rayon::prelude::*;
+use serde_json::json;
+use std::time::Instant;
+
+use super::ExpOutput;
+
+/// The un-batched baseline: one `contains` per key across Rayon, with the
+/// same position-addressed randomness streams the engine uses (so the two
+/// paths are answer-identical and differ only in execution strategy).
+fn per_key_parallel(dict: &LowContentionDict, probes: &[u64], seed: u64) -> Vec<bool> {
+    const CHUNK: usize = 1024;
+    probes
+        .par_chunks(CHUNK)
+        .enumerate()
+        .flat_map_iter(|(c, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(move |(i, &x)| {
+                    let mut rng = StreamRng::for_stream(seed, (c * CHUNK + i) as u64);
+                    dict.contains(x, &mut rng, &mut NullSink)
+                })
+                .collect::<Vec<bool>>()
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock for one run of `f`, in Mq/s over `q` keys.
+fn best_mqps(q: usize, reps: usize, mut f: impl FnMut() -> Vec<bool>) -> (f64, Vec<bool>) {
+    let mut best = f64::MAX;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (q as f64 / best / 1e6, out)
+}
+
+/// **F14** — batched-vs-per-key bulk throughput (Mq/s), 50/50 mixed pool.
+pub fn f14(quick: bool) -> ExpOutput {
+    let n = if quick { 2048 } else { 1 << 16 };
+    let reps = if quick { 1 } else { 3 };
+    let seed = 0xF140 + n as u64;
+    let keys = uniform_keys(n, seed);
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain(negative_pool(&keys, n, seed ^ 1))
+        .collect();
+    let q = probes.len();
+
+    let dict = lcds_core::builder::build(&keys, &mut seeded(seed)).expect("build");
+    let qseed = 0x5EED;
+
+    let mut table = TextTable::new(
+        format!("F14 — bulk throughput, {q} mixed queries, n = {n} (Mq/s, best of {reps})"),
+        &["variant", "Mq/s", "vs per-key ×"],
+    );
+    let mut csv = String::from("variant,queries,mqps\n");
+    let mut rows = Vec::new();
+    let mut consistent = true;
+
+    let (base_mqps, baseline) = best_mqps(q, reps, || per_key_parallel(&dict, &probes, qseed));
+    let mut push = |name: &str, mqps: f64, out: &[bool]| {
+        consistent &= out == baseline;
+        table.row(vec![name.into(), sig4(mqps), sig4(mqps / base_mqps)]);
+        csv.push_str(&format!("{name},{q},{mqps}\n"));
+        rows.push(json!({ "variant": name, "mqps": mqps, "speedup": mqps / base_mqps }));
+        if lcds_obs::enabled() {
+            lcds_obs::global()
+                .gauge(&format!(
+                    "lcds_experiment_qps{{exp=\"f14\",variant=\"{name}\"}}"
+                ))
+                .set(mqps * 1e6);
+        }
+    };
+    push("per-key", base_mqps, &baseline);
+
+    for batch in [64usize, 1024, 4096] {
+        let cfg = EngineConfig {
+            batch,
+            parallel: true,
+        };
+        let (mqps, out) = best_mqps(q, reps, || bulk_contains(&dict, &probes, qseed, cfg));
+        push(&format!("planned b={batch}"), mqps, &out);
+    }
+
+    for shards in [2usize, 4] {
+        // Sharded variants route to different per-shard dictionaries, so
+        // answers are compared against their own resolve, not the
+        // unsharded baseline.
+        let sharded = match ShardedLcd::build(&keys, shards, seed ^ 2, &mut seeded(seed ^ 3)) {
+            Ok(s) => s,
+            Err(_) => continue, // quick-mode key sets can under-fill shards
+        };
+        let (mqps, out) = best_mqps(q, reps, || sharded.bulk_contains(&probes, qseed, true));
+        let expect: Vec<bool> = probes
+            .iter()
+            .map(|&x| sharded.shards()[sharded.shard_of(x)].resolve_contains(x))
+            .collect();
+        consistent &= out == expect;
+        table.row(vec![
+            format!("sharded K={shards}"),
+            sig4(mqps),
+            sig4(mqps / base_mqps),
+        ]);
+        csv.push_str(&format!("sharded K={shards},{q},{mqps}\n"));
+        rows.push(json!({
+            "variant": format!("sharded K={shards}"),
+            "mqps": mqps,
+            "speedup": mqps / base_mqps,
+        }));
+    }
+
+    ExpOutput {
+        id: "f14",
+        tables: vec![table],
+        series: vec![("serve_batched.csv".into(), csv)],
+        json: json!({
+            "n": n,
+            "queries": q,
+            "reps": reps,
+            "answers_consistent": consistent,
+            "rows": rows,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f14_all_variants_agree_and_report() {
+        let out = f14(true);
+        assert_eq!(out.json["answers_consistent"], true);
+        let rows = out.json["rows"].as_array().unwrap();
+        assert!(rows.len() >= 4, "per-key + three planned batch sizes");
+        for r in rows {
+            assert!(r["mqps"].as_f64().unwrap() > 0.0, "{r}");
+        }
+        assert!(out.json["rows"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r["variant"].as_str().unwrap().starts_with("planned")));
+    }
+
+    #[test]
+    fn per_key_baseline_matches_engine_answers() {
+        // The baseline must use the engine's stream addressing, or the
+        // consistency flag would compare different replica universes.
+        let keys = uniform_keys(600, 77);
+        let dict = lcds_core::builder::build(&keys, &mut seeded(77)).unwrap();
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(negative_pool(&keys, 600, 78))
+            .collect();
+        let a = per_key_parallel(&dict, &probes, 9);
+        let b = bulk_contains(&dict, &probes, 9, EngineConfig::with_batch(256));
+        assert_eq!(a, b);
+    }
+}

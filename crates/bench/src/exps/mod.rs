@@ -5,6 +5,7 @@
 //! takes a `quick` flag — experiment binaries run full scale, integration
 //! tests smoke-run with tiny parameters.
 
+pub mod batched;
 pub mod collisions;
 pub mod construction;
 pub mod contention;
@@ -54,9 +55,9 @@ impl ExpOutput {
 }
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "f1", "f2", "f3", "f4", "f5",
-    "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
+    "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14",
 ];
 
 /// Dispatches one experiment by id.
@@ -88,6 +89,7 @@ pub fn run(id: &str, quick: bool) -> ExpOutput {
         "f11" => machine::f11(quick),
         "f12" => construction::f12(quick),
         "f13" => machine::f13(quick),
+        "f14" => batched::f14(quick),
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
 }

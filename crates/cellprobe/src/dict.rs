@@ -1,5 +1,6 @@
 //! The object-safe query interface every static dictionary implements.
 
+use crate::rngutil::StreamRng;
 use crate::sink::ProbeSink;
 use rand::RngCore;
 
@@ -45,6 +46,38 @@ pub trait CellProbeDict {
             f64::INFINITY
         } else {
             self.num_cells() as f64 / self.len() as f64
+        }
+    }
+
+    /// Bulk membership: appends `contains(keys[i])` for every key to `out`.
+    ///
+    /// This is the serving-path entry point. The balancing randomness for
+    /// `keys[i]` is drawn from [`StreamRng::for_stream`]`(seed,
+    /// first_index + i)` — a function of the key's *global* position only —
+    /// so answers and per-key replica choices are identical however a
+    /// caller chunks a large query array into batches (see
+    /// `lcds-serve`). Implementations may override this to plan and
+    /// execute probes batch-at-a-time (grouped by table region, with
+    /// read-ahead); overrides must return exactly the answers the
+    /// sequential path returns, but may probe *fewer* cells — e.g. reading
+    /// a replicated hash-parameter row once per batch instead of once per
+    /// key — and may order probes by region rather than by query, so
+    /// per-query-step sinks ([`crate::sink::StepSink`],
+    /// [`crate::sink::ProbeCountSink`]) do not apply; use counting or
+    /// tracing sinks with batched paths.
+    fn contains_batch(
+        &self,
+        keys: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        out.reserve(keys.len());
+        for (i, &x) in keys.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(seed, first_index + i as u64);
+            sink.begin_query();
+            out.push(self.contains(x, &mut rng, sink));
         }
     }
 }
@@ -99,5 +132,34 @@ mod tests {
         let d = VecDict(vec![]);
         assert!(d.is_empty());
         assert!(d.words_per_key().is_infinite());
+    }
+
+    #[test]
+    fn default_contains_batch_matches_per_key_answers() {
+        let d = VecDict(vec![1, 5, 9, 42]);
+        let probes = [0u64, 1, 5, 6, 9, 42, 100];
+        let mut out = Vec::new();
+        d.contains_batch(&probes, 0, 7, &mut NullSink, &mut out);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let expect: Vec<bool> = probes
+            .iter()
+            .map(|&x| d.contains(x, &mut rng, &mut NullSink))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn contains_batch_is_chunking_invariant() {
+        let d = VecDict((0..50).map(|i| i * 3).collect());
+        let probes: Vec<u64> = (0..120).collect();
+        let mut whole = Vec::new();
+        d.contains_batch(&probes, 0, 99, &mut NullSink, &mut whole);
+        for chunk in [1usize, 7, 64] {
+            let mut pieced = Vec::new();
+            for (c, part) in probes.chunks(chunk).enumerate() {
+                d.contains_batch(part, (c * chunk) as u64, 99, &mut NullSink, &mut pieced);
+            }
+            assert_eq!(pieced, whole, "chunk size {chunk}");
+        }
     }
 }

@@ -8,6 +8,68 @@
 
 use rand::RngCore;
 
+/// One step of the SplitMix64 finalizer (Steele–Lea–Flood), a bijection on
+/// `u64` with full avalanche. Kept here (duplicating `lcds-hashing::mix`)
+/// so the cell-probe crate stays dependency-free below `rand`.
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny SplitMix64-based [`RngCore`] addressed by `(seed, stream)`.
+///
+/// Bulk-query paths need one *independent, position-addressable* randomness
+/// stream per key: replica choices must depend only on `(seed, global key
+/// index)`, never on how the key batch happens to be chunked across threads
+/// or batches (otherwise every contention trace silently changes when a
+/// batching constant does — the bug this type exists to prevent). The
+/// state is a single word, so a per-key instance costs one multiply-mix to
+/// create, versus a full ChaCha key schedule.
+///
+/// Statistical quality (full-avalanche bijection walked at the golden
+/// ratio) is ample for balancing randomness — which replica of an
+/// identical word to read — and for nothing else; it is **not** a
+/// cryptographic RNG.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamRng {
+    state: u64,
+}
+
+impl StreamRng {
+    /// The RNG for stream `index` under `seed`. Distinct `(seed, index)`
+    /// pairs give decorrelated sequences.
+    #[inline]
+    pub fn for_stream(seed: u64, index: u64) -> StreamRng {
+        // Double-mix so (seed, index) and (seed', index') collide only if
+        // the mixed pair collides — index alone is *not* xor'd in raw,
+        // which would make (seed ^ a, 0) and (seed, a) identical streams.
+        StreamRng {
+            state: splitmix64(seed ^ splitmix64(index)),
+        }
+    }
+}
+
+impl RngCore for StreamRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
 /// Draws a uniform integer in `[0, n)`. Exactly uniform.
 ///
 /// # Panics
@@ -144,6 +206,61 @@ mod tests {
             assert!(!bernoulli(&mut rng, 0.0));
             assert!(bernoulli(&mut rng, 1.0));
         }
+    }
+
+    #[test]
+    fn stream_rng_is_deterministic_per_stream() {
+        let mut a = StreamRng::for_stream(7, 100);
+        let mut b = StreamRng::for_stream(7, 100);
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StreamRng::for_stream(7, 101);
+        assert_ne!(StreamRng::for_stream(7, 100).next_u64(), c.next_u64());
+        let mut d = StreamRng::for_stream(8, 100);
+        assert_ne!(StreamRng::for_stream(7, 100).next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn stream_rng_seed_index_pairs_do_not_alias() {
+        // (seed ^ a, 0) must differ from (seed, a): the index is mixed
+        // before combining, so xor-shifts of the seed don't collide with
+        // index shifts.
+        let mut p = StreamRng::for_stream(0xABCD ^ 5, 0);
+        let mut q = StreamRng::for_stream(0xABCD, 5);
+        assert_ne!(p.next_u64(), q.next_u64());
+    }
+
+    #[test]
+    fn stream_rng_is_roughly_uniform() {
+        let mut rng = StreamRng::for_stream(3, 9);
+        let n = 5u64;
+        let trials = 50_000u64;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[uniform_below(&mut rng, n) as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 18.47, "chi² = {chi2:.2}");
+    }
+
+    #[test]
+    fn stream_rng_fill_bytes_matches_words() {
+        let mut a = StreamRng::for_stream(1, 2);
+        let mut buf = [0u8; 12];
+        a.fill_bytes(&mut buf);
+        let mut b = StreamRng::for_stream(1, 2);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..], &w1[..4]);
     }
 
     #[test]

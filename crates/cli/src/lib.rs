@@ -7,6 +7,7 @@
 //! lcds build  --out DICT (--random N | --keys FILE) [--seed S]
 //! lcds info   DICT
 //! lcds query  DICT KEY...
+//! lcds bulk   DICT (--keys FILE | --random N) [--batch B] [--seed S]
 //! lcds audit  DICT [--zipf THETA] [--negatives M]
 //! lcds obs    [--random N] [--queries Q] [--zipf THETA] [--period P]
 //!             [--topk K] [--format table|prom|jsonl] [--seed S]
@@ -62,6 +63,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("build") => cmd_build(&args[1..], out),
         Some("info") => cmd_info(&args[1..], out),
         Some("query") => cmd_query(&args[1..], out),
+        Some("bulk") => cmd_bulk(&args[1..], out),
         Some("audit") => cmd_audit(&args[1..], out),
         Some("obs") => cmd_obs(&args[1..], out),
         Some("--help") | Some("-h") | None => {
@@ -82,6 +84,8 @@ commands:
   build  --out DICT (--random N | --keys FILE) [--seed S]   build + persist
   info   DICT                                               parameters & stats
   query  DICT KEY...                                        membership
+  bulk   DICT (--keys FILE | --random N)                    batched bulk queries
+         [--batch B] [--seed S]                             via the serve engine
   audit  DICT [--zipf THETA] [--negatives M]                contention report
   obs    [--random N] [--queries Q] [--zipf THETA]          live telemetry demo:
          [--period P] [--topk K] [--seed S]                 sampled probes, top-K
@@ -235,6 +239,65 @@ fn cmd_query(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         writeln!(out, "{key}\t{}", if hit { "present" } else { "absent" }).map_err(io_err)?;
     }
     Ok(())
+}
+
+fn cmd_bulk(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("bulk needs a DICT path"))?;
+    if pos.len() > 1 {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[1])));
+    }
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let batch: usize = num_flag(&flags, "batch", 1024)?;
+    if batch == 0 {
+        return Err(CliError::usage("--batch must be at least 1"));
+    }
+    let dict = load_dict(path)?;
+    let probes = match (flag(&flags, "keys"), flag(&flags, "random")) {
+        (Some(file), None) => read_key_file(Path::new(file))?,
+        (None, Some(n)) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --random: {e}")))?;
+            // Interleave members (cycled) with fresh negatives so both
+            // probe outcomes are exercised and the hit count is meaningful.
+            let negs = negative_pool(dict.keys(), n / 2 + 1, seed ^ 0xB07D);
+            (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        dict.keys()[(i / 2) % dict.keys().len()]
+                    } else {
+                        negs[i / 2]
+                    }
+                })
+                .collect()
+        }
+        _ => {
+            return Err(CliError::usage(
+                "bulk needs exactly one of --keys FILE or --random N",
+            ))
+        }
+    };
+
+    let cfg = lcds_serve::EngineConfig {
+        batch,
+        parallel: true,
+    };
+    let start = std::time::Instant::now();
+    let answers = lcds_serve::bulk_contains(&dict, &probes, seed, cfg);
+    let wall = start.elapsed();
+    let members = answers.iter().filter(|&&b| b).count();
+    writeln!(
+        out,
+        "{} queries in {:.2} ms ({:.2} Mq/s, batch {batch}): {members} present, {} absent",
+        probes.len(),
+        wall.as_secs_f64() * 1e3,
+        probes.len() as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+        probes.len() - members,
+    )
+    .map_err(io_err)
 }
 
 fn cmd_audit(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -455,6 +518,57 @@ mod tests {
         assert!(out.contains("25\tabsent"));
 
         let _ = std::fs::remove_file(&keys_path);
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn bulk_counts_members_from_key_file_and_random_pool() {
+        let dict_path = tmp("bulk.dict");
+        let dict_str = dict_path.to_str().unwrap();
+        run_capture(&["build", "--out", dict_str, "--random", "400", "--seed", "9"]).unwrap();
+
+        // Probe file: one known member plus three non-members.
+        let member = lcds_workloads::keysets::uniform_keys(400, 9 ^ 0x5EED)[0];
+        let probes_path = tmp("bulk-probes.txt");
+        std::fs::write(&probes_path, format!("{member}\n1\n2\n3\n")).unwrap();
+        let out = run_capture(&[
+            "bulk",
+            dict_str,
+            "--keys",
+            probes_path.to_str().unwrap(),
+            "--batch",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("4 queries"), "{out}");
+        assert!(out.contains("1 present, 3 absent"), "{out}");
+
+        // Random pool interleaves members with negatives: half must hit.
+        let out = run_capture(&["bulk", dict_str, "--random", "100"]).unwrap();
+        assert!(out.contains("100 queries"), "{out}");
+        assert!(out.contains("50 present, 50 absent"), "{out}");
+
+        let _ = std::fs::remove_file(&probes_path);
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn bulk_rejects_bad_flag_combinations() {
+        let dict_path = tmp("bulk-usage.dict");
+        let dict_str = dict_path.to_str().unwrap();
+        run_capture(&["build", "--out", dict_str, "--random", "64", "--seed", "1"]).unwrap();
+
+        let err = run_capture(&["bulk", dict_str]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(err.message.contains("exactly one of"), "{}", err.message);
+
+        let err = run_capture(&["bulk", dict_str, "--keys", "a", "--random", "8"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        let err = run_capture(&["bulk", dict_str, "--random", "8", "--batch", "0"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(err.message.contains("--batch"), "{}", err.message);
+
         let _ = std::fs::remove_file(&dict_path);
     }
 

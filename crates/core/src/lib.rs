@@ -52,6 +52,7 @@ pub mod histogram;
 pub mod layout;
 pub mod params;
 pub mod persist;
+pub mod plan;
 pub mod rows;
 pub mod verify;
 pub mod weighted;
@@ -60,5 +61,6 @@ pub use builder::{build, build_with, property_trial, BuildError, BuildStats, Pro
 pub use dict::{LowContentionDict, Resolution, EMPTY};
 pub use dynamic::{DynamicLcd, WriteStats};
 pub use params::{Params, ParamsConfig};
+pub use plan::BatchPlan;
 pub use rows::{row_report, RowReport, RowSummary};
 pub use weighted::{build_weighted, WeightedDict, WeightedParams};

@@ -86,24 +86,44 @@ impl<W: Write> WordWriter<'_, W> {
 struct WordReader<'a, R: Read> {
     inp: &'a mut R,
     checksum: u64,
+    words_read: u64,
 }
 
 impl<R: Read> WordReader<'_, R> {
     fn get(&mut self) -> Result<u64, PersistError> {
         let mut buf = [0u8; 8];
-        self.inp.read_exact(&mut buf)?;
+        self.inp.read_exact(&mut buf).map_err(|e| {
+            // EOF on the very first word means "not our file at all" (an
+            // I/O-level condition); EOF after that means a dictionary file
+            // was cut short — a payload corruption, reported as such.
+            if e.kind() == io::ErrorKind::UnexpectedEof && self.words_read > 0 {
+                PersistError::Corrupted("file truncated mid-record".into())
+            } else {
+                PersistError::Io(e)
+            }
+        })?;
+        self.words_read += 1;
         let w = u64::from_le_bytes(buf);
         self.checksum = splitmix64(self.checksum ^ w);
         Ok(w)
     }
 
     fn get_vec(&mut self, len: u64, what: &str) -> Result<Vec<u64>, PersistError> {
+        // Callers cross-check `len` against header-derived sizes before
+        // calling; this cap is defense in depth. Preallocation is bounded
+        // regardless, so even a forged length can never allocate beyond
+        // what the file's actual bytes back: a lying length hits EOF (→
+        // `Corrupted`) after at most one bounded buffer.
         if len > (1 << 34) {
             return Err(PersistError::Corrupted(format!(
                 "{what} length {len} is implausible"
             )));
         }
-        (0..len).map(|_| self.get()).collect()
+        let mut v = Vec::with_capacity(len.min(1 << 16) as usize);
+        for _ in 0..len {
+            v.push(self.get()?);
+        }
+        Ok(v)
     }
 }
 
@@ -154,7 +174,11 @@ pub fn save<W: Write>(dict: &LowContentionDict, out: &mut W) -> io::Result<()> {
 /// Deserializes a dictionary from `inp`, verifying header, structure and
 /// checksum.
 pub fn load<R: Read>(inp: &mut R) -> Result<LowContentionDict, PersistError> {
-    let mut r = WordReader { inp, checksum: 0 };
+    let mut r = WordReader {
+        inp,
+        checksum: 0,
+        words_read: 0,
+    };
     if r.get()? != MAGIC {
         return Err(PersistError::BadHeader("wrong magic".into()));
     }
@@ -178,42 +202,81 @@ pub fn load<R: Read>(inp: &mut R) -> Result<LowContentionDict, PersistError> {
         n: 0, // patched below from the key count
     };
 
-    let n = r.get()?;
-    let keys = r.get_vec(n, "keys")?;
-    let params = Params { n, ..params };
-    if params.d == 0 || params.d > 8 || params.m == 0 || params.s == 0 || params.rho > 16 {
+    // Validate the full header before believing any length it implies:
+    // every later vector length is cross-checked against these fields, so
+    // a forged file fails with a structured error *before* any allocation
+    // larger than the bounded `get_vec` buffer.
+    if params.d == 0 || params.d > 8 || params.rho == 0 || params.rho > 16 {
         return Err(PersistError::BadHeader("implausible parameters".into()));
+    }
+    if !params.c.is_finite() {
+        return Err(PersistError::BadHeader("non-finite constant c".into()));
+    }
+    if params.m == 0
+        || params.s == 0
+        || params.s > (1 << 34)
+        || params.r == 0
+        || params.r > params.s
+    {
+        return Err(PersistError::BadHeader(format!(
+            "implausible table geometry (r={}, m={}, s={})",
+            params.r, params.m, params.s
+        )));
     }
     if params.s % params.m != 0 || params.group_size != params.s / params.m {
         return Err(PersistError::BadHeader("inconsistent group layout".into()));
     }
+    if params.hist_bits.div_ceil(64) != params.rho as u64 {
+        return Err(PersistError::BadHeader(
+            "histogram width disagrees with rho".into(),
+        ));
+    }
+
+    let n = r.get()?;
+    if n == 0 || n > params.s {
+        return Err(PersistError::BadHeader(format!(
+            "key count {n} impossible for table size {}",
+            params.s
+        )));
+    }
+    let keys = r.get_vec(n, "keys")?;
+    let params = Params { n, ..params };
     if keys.windows(2).any(|w| w[0] >= w[1]) {
         return Err(PersistError::Corrupted("keys not sorted/distinct".into()));
     }
 
     let fw_len = r.get()?;
-    let fw = r.get_vec(fw_len, "f words")?;
-    let gw_len = r.get()?;
-    let gw = r.get_vec(gw_len, "g words")?;
-    if fw.len() != params.d || gw.len() != params.d {
+    if fw_len != params.d as u64 {
         return Err(PersistError::Corrupted("hash word count mismatch".into()));
     }
+    let fw = r.get_vec(fw_len, "f words")?;
+    let gw_len = r.get()?;
+    if gw_len != params.d as u64 {
+        return Err(PersistError::Corrupted("hash word count mismatch".into()));
+    }
+    let gw = r.get_vec(gw_len, "g words")?;
     let z_len = r.get()?;
+    if z_len != params.r {
+        return Err(PersistError::Corrupted(
+            "displacement vector length mismatch".into(),
+        ));
+    }
     let z = r.get_vec(z_len, "z")?;
-    if z.len() as u64 != params.r || z.iter().any(|&zi| zi >= params.s) {
+    if z.iter().any(|&zi| zi >= params.s) {
         return Err(PersistError::Corrupted(
             "displacement vector invalid".into(),
         ));
     }
 
-    let rows = r.get()? as u32;
+    let rows = r.get()?;
     let cols = r.get()?;
     let layout = Layout::new(&params);
-    if rows != layout.num_rows() || cols != params.s {
+    if rows != layout.num_rows() as u64 || cols != params.s {
         return Err(PersistError::Corrupted(format!(
             "table shape {rows}×{cols} does not match parameters"
         )));
     }
+    let rows = rows as u32;
     let words = r.get_vec(rows as u64 * cols, "table")?;
     let mut table = Table::new(rows, cols, 0);
     for (i, &word) in words.iter().enumerate() {
@@ -230,7 +293,13 @@ pub fn load<R: Read>(inp: &mut R) -> Result<LowContentionDict, PersistError> {
 
     let computed = r.checksum;
     let mut buf = [0u8; 8];
-    r.inp.read_exact(&mut buf)?;
+    r.inp.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            PersistError::Corrupted("file truncated before checksum".into())
+        } else {
+            PersistError::Io(e)
+        }
+    })?;
     if u64::from_le_bytes(buf) != computed {
         return Err(PersistError::Corrupted("checksum mismatch".into()));
     }
@@ -321,6 +390,63 @@ mod tests {
         match load(&mut [].as_slice()) {
             Err(PersistError::Io(_)) => {}
             other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    /// Patches word `w` (0-indexed) of a serialized dictionary to `val`.
+    fn forge_word(buf: &mut [u8], w: usize, val: u64) {
+        buf[w * 8..w * 8 + 8].copy_from_slice(&val.to_le_bytes());
+    }
+
+    #[test]
+    fn forged_key_count_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        save(&sample_dict(60, 5), &mut buf).unwrap();
+        // Word 12 is n. A count far beyond the table size must be refused
+        // by header validation — were it believed, the old code would try
+        // to materialize a multi-GiB key vector before noticing.
+        forge_word(&mut buf, 12, 1 << 33);
+        match load(&mut buf.as_slice()) {
+            Err(PersistError::BadHeader(m)) => assert!(m.contains("key count"), "{m}"),
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_vector_length_is_rejected_before_reading() {
+        let d = sample_dict(60, 6);
+        let n = d.keys().len();
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        // Word 13 + n is |fw|; it must equal d, checked before any read.
+        forge_word(&mut buf, 13 + n, 1 << 30);
+        match load(&mut buf.as_slice()) {
+            Err(PersistError::Corrupted(m)) => assert!(m.contains("hash word"), "{m}"),
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_table_geometry_is_a_header_error() {
+        let mut buf = Vec::new();
+        save(&sample_dict(60, 7), &mut buf).unwrap();
+        // Word 6 is s. An absurd table size fails geometry validation
+        // before the (rows·cols)-sized table vector is ever requested.
+        forge_word(&mut buf, 6, u64::MAX / 2);
+        match load(&mut buf.as_slice()) {
+            Err(PersistError::BadHeader(_)) => {}
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_mid_payload_is_corrupted_not_io() {
+        let mut buf = Vec::new();
+        save(&sample_dict(80, 8), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        match load(&mut buf.as_slice()) {
+            Err(PersistError::Corrupted(m)) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected Corrupted, got {other:?}"),
         }
     }
 

@@ -1,0 +1,410 @@
+//! Batched probe planning and execution for the Theorem 3 dictionary —
+//! the core of the `lcds-serve` bulk-query engine.
+//!
+//! The sequential query walks one key through all `2d + ρ + 4` rows before
+//! touching the next key: every probe is a dependent cache miss, and the
+//! `2d` hash-coefficient reads are repeated per key even though the rows
+//! are fully replicated (every column holds the same word). Serving bulk
+//! traffic, both costs are avoidable:
+//!
+//! 1. **Amortized parameter reads.** Each `f`/`g` coefficient row is read
+//!    *once per batch* (from one random replica) instead of once per key —
+//!    `2d` probes per batch rather than per key. This only *lowers*
+//!    contention on the parameter rows; the per-key rows keep their exact
+//!    Theorem 3 profile.
+//! 2. **Region-grouped execution.** Probes run stage-at-a-time across the
+//!    whole batch — all `z` reads, then all GBAS reads, then each histogram
+//!    row, then headers, then data — so at any moment the engine streams
+//!    through *one* table row. Independent same-row misses overlap in the
+//!    memory system instead of serializing behind each key's chain.
+//! 3. **Read-ahead.** Within a stage, entry `i + READ_AHEAD`'s cell is
+//!    touched (a plain load folded into a checksum the optimizer cannot
+//!    drop) while entry `i` is being resolved — a safe-Rust software
+//!    prefetch that hides the random-access latency of the next plan
+//!    entry.
+//!
+//! Balancing randomness (which replica to read) is drawn from
+//! [`StreamRng::for_stream`]`(seed, global key index)` — per-key streams
+//! addressed by position, so replica choices never depend on how a query
+//! array was chunked into batches or routed across shards. The per-batch
+//! coefficient-replica choice is the one draw that is inherently
+//! batch-scoped; answers never depend on it.
+//!
+//! Answers are bit-for-bit those of
+//! [`LowContentionDict::resolve_contains`]; the equivalence is tested
+//! across batch sizes and shard counts in `tests/batched_serving.rs`.
+
+use crate::dict::{LowContentionDict, MAX_D};
+use crate::histogram;
+use lcds_cellprobe::rngutil::{uniform_below, StreamRng};
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_hashing::perfect::PerfectHash;
+use lcds_hashing::poly::horner;
+
+/// How far ahead of the current plan entry the execute sweeps touch the
+/// table. Deep enough to cover one memory round-trip at typical batch
+/// processing rates; shallow enough that the touched lines are still
+/// resident when their entry is resolved.
+pub const READ_AHEAD: usize = 8;
+
+/// Reusable scratch for one batch: the probe plan's per-key columns and
+/// intermediate hash state, kept as parallel arrays so each execution
+/// stage streams through contiguous memory.
+///
+/// A plan is cheap to create but cheaper to reuse — callers running many
+/// batches (the `lcds-serve` engine, the criterion benches) hold one per
+/// worker and amortize the allocations away.
+#[derive(Clone, Debug, Default)]
+pub struct BatchPlan {
+    rng: Vec<StreamRng>,
+    fx: Vec<u64>,
+    col: Vec<u64>,
+    h: Vec<u64>,
+    gbas: Vec<u64>,
+    hist: Vec<u64>,
+    start: Vec<u64>,
+    range: Vec<u64>,
+    active: Vec<u32>,
+}
+
+impl BatchPlan {
+    /// An empty plan (no scratch allocated yet).
+    pub fn new() -> BatchPlan {
+        BatchPlan::default()
+    }
+
+    /// Runs the batch with key `i`'s randomness stream addressed as
+    /// `first_index + i` (contiguous chunk of a larger query array).
+    pub fn run(
+        &mut self,
+        dict: &LowContentionDict,
+        keys: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        self.run_inner(dict, keys, &|i| first_index + i as u64, seed, sink, out);
+    }
+
+    /// Runs the batch with explicit per-key stream indices — the sharded
+    /// router gathers keys per shard, so positions are not contiguous.
+    ///
+    /// # Panics
+    /// Panics if `indices.len() != keys.len()`.
+    pub fn run_indexed(
+        &mut self,
+        dict: &LowContentionDict,
+        keys: &[u64],
+        indices: &[u64],
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        assert_eq!(indices.len(), keys.len(), "one stream index per key");
+        self.run_inner(dict, keys, &|i| indices[i], seed, sink, out);
+    }
+
+    fn clear(&mut self) {
+        self.rng.clear();
+        self.fx.clear();
+        self.col.clear();
+        self.h.clear();
+        self.gbas.clear();
+        self.hist.clear();
+        self.start.clear();
+        self.range.clear();
+        self.active.clear();
+    }
+
+    fn run_inner(
+        &mut self,
+        dict: &LowContentionDict,
+        keys: &[u64],
+        idx: &dyn Fn(usize) -> u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        let b = keys.len();
+        if b == 0 {
+            return;
+        }
+        let p = *dict.params();
+        let l = *dict.layout();
+        let t = dict.table();
+        let words = t.words();
+        let d = p.d;
+        self.clear();
+        // One `begin_query` per batch: probes are ordered by region, not by
+        // query, so per-step sinks don't apply (see the trait docs).
+        sink.begin_query();
+        // Dead-store-proof accumulator for the read-ahead touches.
+        let mut ra_acc = 0u64;
+        let touch = |acc: &mut u64, cell: u64| {
+            *acc = acc.wrapping_add(words[cell as usize]);
+        };
+
+        // Stage 0 — reconstruct f and g once per batch: the coefficient
+        // rows are fully replicated, so one probe per row (at a random
+        // replica, from a batch-scoped stream) yields the whole function.
+        let mut prng = StreamRng::for_stream(seed ^ 0x9E37_79B9_7F4A_7C15, idx(0));
+        let mut fw = [0u64; MAX_D];
+        let mut gw = [0u64; MAX_D];
+        for i in 0..d as u32 {
+            fw[i as usize] = t.read(l.row_f(i), uniform_below(&mut prng, p.s), sink);
+            gw[i as usize] = t.read(l.row_g(i), uniform_below(&mut prng, p.s), sink);
+        }
+
+        // Stage 1 (plan) — per key: hash arithmetic and the z replica
+        // choice. Pure compute; no table traffic.
+        for (i, &x) in keys.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(seed, idx(i));
+            let gx = horner(&gw[..d], x) % p.r;
+            let copies = l.replica_count(p.r, gx);
+            self.col
+                .push(l.replica_col(p.r, gx, uniform_below(&mut rng, copies)));
+            self.fx.push(horner(&fw[..d], x) % p.s);
+            self.rng.push(rng);
+        }
+
+        // Stage 2 (execute) — z reads, region `row_z`, with read-ahead;
+        // resolves each key's bucket h and plans its GBAS replica column.
+        let z_base = l.row_z() as u64 * p.s;
+        for i in 0..b {
+            if i + READ_AHEAD < b {
+                touch(&mut ra_acc, z_base + self.col[i + READ_AHEAD]);
+            }
+            let zg = t.read(l.row_z(), self.col[i], sink);
+            let sum = self.fx[i] + zg;
+            self.h.push(if sum >= p.s { sum - p.s } else { sum });
+        }
+        let reps = p.group_size; // m | s ⇒ every residue has s/m replicas
+        for i in 0..b {
+            let hp = self.h[i] % p.m;
+            self.col[i] = l.replica_col(p.m, hp, uniform_below(&mut self.rng[i], reps));
+        }
+
+        // Stage 3 (execute) — GBAS reads, region `row_gbas`.
+        let gbas_base = l.row_gbas() as u64 * p.s;
+        for i in 0..b {
+            if i + READ_AHEAD < b {
+                touch(&mut ra_acc, gbas_base + self.col[i + READ_AHEAD]);
+            }
+            self.gbas.push(t.read(l.row_gbas(), self.col[i], sink));
+        }
+
+        // Stage 4 (execute) — histogram words, one region (row) at a time.
+        // Each key's hist columns are drawn from its own stream in
+        // ascending word order, exactly as the sequential path does.
+        let rho = p.rho as usize;
+        self.hist.resize(b * rho, 0);
+        for w in 0..p.rho {
+            for i in 0..b {
+                let hp = self.h[i] % p.m;
+                self.col[i] = l.replica_col(p.m, hp, uniform_below(&mut self.rng[i], reps));
+            }
+            let hist_base = l.row_hist(w) as u64 * p.s;
+            for i in 0..b {
+                if i + READ_AHEAD < b {
+                    touch(&mut ra_acc, hist_base + self.col[i + READ_AHEAD]);
+                }
+                self.hist[i * rho + w as usize] = t.read(l.row_hist(w), self.col[i], sink);
+            }
+        }
+
+        // Stage 5 (plan) — locate each bucket in its group histogram.
+        // Empty buckets answer negative here and leave the plan; the
+        // survivors carry on to the header/data stages.
+        let out_base = out.len();
+        out.resize(out_base + b, false);
+        for i in 0..b {
+            let k_star = self.h[i] / p.m;
+            let (off, load) = histogram::locate(&self.hist[i * rho..(i + 1) * rho], k_star);
+            if load == 0 {
+                continue;
+            }
+            let start = self.gbas[i] + off;
+            let range = (load as u64) * (load as u64);
+            self.start.push(start);
+            self.range.push(range);
+            self.col[self.active.len()] = start + uniform_below(&mut self.rng[i], range);
+            self.active.push(i as u32);
+        }
+
+        // Stage 6 (execute) — header reads (perfect-hash seeds), active
+        // entries only.
+        let a = self.active.len();
+        let header_base = l.row_header() as u64 * p.s;
+        for j in 0..a {
+            if j + READ_AHEAD < a {
+                touch(&mut ra_acc, header_base + self.col[j + READ_AHEAD]);
+            }
+            let seed_word = t.read(l.row_header(), self.col[j], sink);
+            let ph = PerfectHash::from_seed(seed_word, self.range[j]);
+            let x = keys[self.active[j] as usize];
+            self.col[j] = self.start[j] + ph.eval(x);
+        }
+
+        // Stage 7 (execute) — data reads settle membership by comparison.
+        let data_base = l.row_data() as u64 * p.s;
+        for j in 0..a {
+            if j + READ_AHEAD < a {
+                touch(&mut ra_acc, data_base + self.col[j + READ_AHEAD]);
+            }
+            let i = self.active[j] as usize;
+            out[out_base + i] = t.read(l.row_data(), self.col[j], sink) == keys[i];
+        }
+        std::hint::black_box(ra_acc);
+
+        if lcds_obs::enabled() {
+            let reg = lcds_obs::global();
+            reg.counter(lcds_obs::names::SERVE_PLAN_ENTRIES_TOTAL)
+                .add(b as u64);
+            reg.counter(lcds_obs::names::SERVE_PLAN_ACTIVE_TOTAL)
+                .add(a as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use lcds_cellprobe::dict::CellProbeDict;
+    use lcds_cellprobe::sink::{CountingSink, NullSink};
+    use lcds_workloads::keysets::uniform_keys;
+    use lcds_workloads::querygen::negative_pool;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dict(n: usize, salt: u64) -> LowContentionDict {
+        build(&uniform_keys(n, salt), &mut ChaCha8Rng::seed_from_u64(salt)).expect("build")
+    }
+
+    fn mixed_probes(d: &LowContentionDict, negs: usize, salt: u64) -> Vec<u64> {
+        d.keys()
+            .iter()
+            .copied()
+            .chain(negative_pool(d.keys(), negs, salt))
+            .collect()
+    }
+
+    #[test]
+    fn planned_batch_matches_resolve() {
+        let d = dict(2000, 21);
+        let probes = mixed_probes(&d, 2000, 22);
+        let mut plan = BatchPlan::new();
+        let mut out = Vec::new();
+        plan.run(&d, &probes, 0, 5, &mut NullSink, &mut out);
+        assert_eq!(out.len(), probes.len());
+        for (i, &x) in probes.iter().enumerate() {
+            assert_eq!(out[i], d.resolve_contains(x), "key {x}");
+        }
+    }
+
+    #[test]
+    fn planned_batch_matches_trait_default_answers() {
+        let d = dict(700, 23);
+        let probes = mixed_probes(&d, 700, 24);
+        let mut planned = Vec::new();
+        BatchPlan::new().run(&d, &probes, 0, 9, &mut NullSink, &mut planned);
+        // The un-overridden default: per-key `contains` with the same
+        // per-key streams.
+        let mut per_key = Vec::new();
+        for (i, &x) in probes.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(9, i as u64);
+            per_key.push(d.contains(x, &mut rng, &mut NullSink));
+        }
+        assert_eq!(planned, per_key);
+    }
+
+    #[test]
+    fn plan_reuse_and_batch_splits_agree() {
+        let d = dict(900, 25);
+        let probes = mixed_probes(&d, 900, 26);
+        let mut whole = Vec::new();
+        BatchPlan::new().run(&d, &probes, 0, 3, &mut NullSink, &mut whole);
+        let mut plan = BatchPlan::new();
+        for chunk in [1usize, 64, 333] {
+            let mut pieced = Vec::new();
+            for (c, part) in probes.chunks(chunk).enumerate() {
+                plan.run(&d, part, (c * chunk) as u64, 3, &mut NullSink, &mut pieced);
+            }
+            assert_eq!(pieced, whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_matches_contiguous_streams() {
+        // Routing keys through run_indexed with their original positions
+        // must reproduce the contiguous run exactly — the property the
+        // sharded router depends on.
+        let d = dict(600, 27);
+        let probes = mixed_probes(&d, 600, 28);
+        let mut whole = Vec::new();
+        BatchPlan::new().run(&d, &probes, 0, 11, &mut NullSink, &mut whole);
+        // Gather even positions then odd positions, as a shard split would.
+        let mut plan = BatchPlan::new();
+        let mut scattered = vec![false; probes.len()];
+        for parity in 0..2u64 {
+            let (keys, idxs): (Vec<u64>, Vec<u64>) = probes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i as u64 % 2 == parity)
+                .map(|(i, &x)| (x, i as u64))
+                .unzip();
+            let mut part = Vec::new();
+            plan.run_indexed(&d, &keys, &idxs, 11, &mut NullSink, &mut part);
+            for (j, &i) in idxs.iter().enumerate() {
+                scattered[i as usize] = part[j];
+            }
+        }
+        assert_eq!(scattered, whole);
+    }
+
+    #[test]
+    fn batch_probes_fewer_parameter_cells() {
+        // The batched path reads each coefficient row once per batch, so
+        // total probes must undercut the per-key path by ~2d per key while
+        // still touching every per-key row.
+        let d = dict(500, 29);
+        let probes = mixed_probes(&d, 0, 0);
+        let mut sink = CountingSink::new(d.num_cells());
+        let mut out = Vec::new();
+        BatchPlan::new().run(&d, &probes, 0, 7, &mut sink, &mut out);
+        let b = probes.len() as u64;
+        let dd = d.params().d as u64;
+        let rho = d.params().rho as u64;
+        // 2d batch-level + per key: z + gbas + ρ hist + header + data
+        // (all probes are positives here, so nothing stops early).
+        assert_eq!(sink.total(), 2 * dd + b * (rho + 4));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let d = dict(100, 31);
+        let mut out = Vec::new();
+        BatchPlan::new().run(&d, &[], 0, 1, &mut NullSink, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tiny_batches_below_read_ahead_work() {
+        let d = dict(400, 33);
+        for b in 1..=3usize {
+            let probes: Vec<u64> = d.keys().iter().copied().take(b).collect();
+            let mut out = Vec::new();
+            BatchPlan::new().run(&d, &probes, 0, 2, &mut NullSink, &mut out);
+            assert!(out.iter().all(|&v| v), "batch of {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream index per key")]
+    fn run_indexed_length_mismatch_panics() {
+        let d = dict(50, 35);
+        let mut out = Vec::new();
+        BatchPlan::new().run_indexed(&d, &[1, 2], &[0], 0, &mut NullSink, &mut out);
+    }
+}

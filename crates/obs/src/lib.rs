@@ -46,6 +46,7 @@
 pub mod events;
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod sinks;
 
 pub use events::{Event, EventLog, Span};

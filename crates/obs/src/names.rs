@@ -1,0 +1,53 @@
+//! Canonical metric names for cross-crate instrumentation.
+//!
+//! Library crates that record into the global [`Registry`](crate::Registry)
+//! name their series through these constants so the exporter, the docs
+//! (`docs/OBSERVABILITY.md`), and dashboards stay in agreement — a typo'd
+//! metric name silently creates a parallel empty series, which is exactly
+//! the kind of bug a constant can't have.
+
+/// Batches executed by the `lcds-serve` bulk engine (counter).
+pub const SERVE_BATCHES_TOTAL: &str = "lcds_serve_batches_total";
+
+/// Keys answered by the `lcds-serve` bulk engine (counter).
+pub const SERVE_KEYS_TOTAL: &str = "lcds_serve_keys_total";
+
+/// Distribution of batch sizes handed to the planned executor (histogram).
+pub const SERVE_BATCH_DEPTH: &str = "lcds_serve_batch_depth";
+
+/// Probe-plan entries laid out by the core batch planner (counter; one
+/// entry per key per batch).
+pub const SERVE_PLAN_ENTRIES_TOTAL: &str = "lcds_serve_plan_entries_total";
+
+/// Plan entries still active after histogram lookup — i.e. keys whose
+/// bucket was non-empty and proceeded to header/data probes (counter).
+/// `active / entries` is the hit-ish rate of the probe plan's early exit.
+pub const SERVE_PLAN_ACTIVE_TOTAL: &str = "lcds_serve_plan_active_entries_total";
+
+/// Number of shards in a sharded serving dictionary (gauge).
+pub const SERVE_SHARDS: &str = "lcds_serve_shards";
+
+/// Distribution of per-shard sub-batch sizes after the splitter routes a
+/// batch (histogram). A skewed distribution means the splitter is
+/// unbalanced for the offered key mix.
+pub const SERVE_SHARD_DEPTH: &str = "lcds_serve_shard_batch_depth";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_names_share_the_subsystem_prefix() {
+        for name in [
+            SERVE_BATCHES_TOTAL,
+            SERVE_KEYS_TOTAL,
+            SERVE_BATCH_DEPTH,
+            SERVE_PLAN_ENTRIES_TOTAL,
+            SERVE_PLAN_ACTIVE_TOTAL,
+            SERVE_SHARDS,
+            SERVE_SHARD_DEPTH,
+        ] {
+            assert!(name.starts_with("lcds_serve_"), "{name}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The batched bulk-query engine: chunking, parallel dispatch, metrics.
+//!
+//! The engine is deliberately thin — all probe-level cleverness lives in
+//! each dictionary's [`CellProbeDict::contains_batch`] (for the Theorem 3
+//! dictionary, the planned region-grouped executor in
+//! [`lcds_core::plan`]). What the engine owns is the *contract* that makes
+//! bulk serving trustworthy:
+//!
+//! * answers equal the sequential path's, bit for bit;
+//! * answers are independent of batch size, thread count, and schedule,
+//!   because key `i`'s balancing randomness is derived from `(seed, i)` —
+//!   its global position — not from whichever chunk it landed in.
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::sink::{NullSink, ProbeSink};
+use rayon::prelude::*;
+
+/// Tuning knobs for [`bulk_contains`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Keys per probe plan. Larger batches amortize the per-batch
+    /// parameter-row reads and give the read-ahead more runway; smaller
+    /// batches keep plan scratch in cache and load-balance better.
+    pub batch: usize,
+    /// Run batches across Rayon's thread pool (`false` = one thread,
+    /// same answers).
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            batch: 1024,
+            parallel: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given batch size (parallel on).
+    pub fn with_batch(batch: usize) -> EngineConfig {
+        EngineConfig {
+            batch,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+fn record_batch_metrics(len: usize, batch: usize) {
+    if !lcds_obs::enabled() || len == 0 {
+        return;
+    }
+    let reg = lcds_obs::global();
+    reg.counter(lcds_obs::names::SERVE_KEYS_TOTAL)
+        .add(len as u64);
+    reg.counter(lcds_obs::names::SERVE_BATCHES_TOTAL)
+        .add(len.div_ceil(batch) as u64);
+    let depth = reg.histogram(lcds_obs::names::SERVE_BATCH_DEPTH);
+    for _ in 0..len / batch {
+        depth.record(batch as u64);
+    }
+    if len % batch > 0 {
+        depth.record((len % batch) as u64);
+    }
+}
+
+/// Bulk membership: `out[i] = contains(keys[i])`, batched and (by config)
+/// parallel. Deterministic in `seed` alone — chunking and scheduling do
+/// not affect which replicas are probed, let alone the answers.
+pub fn bulk_contains<D: CellProbeDict + Sync + ?Sized>(
+    dict: &D,
+    keys: &[u64],
+    seed: u64,
+    cfg: EngineConfig,
+) -> Vec<bool> {
+    let batch = cfg.batch.max(1);
+    record_batch_metrics(keys.len(), batch);
+    if !cfg.parallel || keys.len() <= batch {
+        let mut out = Vec::with_capacity(keys.len());
+        for (c, chunk) in keys.chunks(batch).enumerate() {
+            dict.contains_batch(chunk, (c * batch) as u64, seed, &mut NullSink, &mut out);
+        }
+        return out;
+    }
+    keys.par_chunks(batch)
+        .enumerate()
+        .flat_map_iter(|(c, chunk)| {
+            let mut out = Vec::with_capacity(chunk.len());
+            dict.contains_batch(chunk, (c * batch) as u64, seed, &mut NullSink, &mut out);
+            out
+        })
+        .collect()
+}
+
+/// Single-threaded [`bulk_contains`] that feeds every probe to `sink` —
+/// the instrumented variant for contention measurement of the batched
+/// path (sinks are not thread-safe, hence no parallel option).
+pub fn bulk_contains_seq<D: CellProbeDict + ?Sized>(
+    dict: &D,
+    keys: &[u64],
+    seed: u64,
+    batch: usize,
+    sink: &mut dyn ProbeSink,
+) -> Vec<bool> {
+    let batch = batch.max(1);
+    record_batch_metrics(keys.len(), batch);
+    let mut out = Vec::with_capacity(keys.len());
+    for (c, chunk) in keys.chunks(batch).enumerate() {
+        dict.contains_batch(chunk, (c * batch) as u64, seed, sink, &mut out);
+    }
+    out
+}
+
+/// Bulk membership count (parallel map-reduce; no bool vector
+/// materialized).
+pub fn bulk_count<D: CellProbeDict + Sync + ?Sized>(
+    dict: &D,
+    keys: &[u64],
+    seed: u64,
+    cfg: EngineConfig,
+) -> usize {
+    let batch = cfg.batch.max(1);
+    record_batch_metrics(keys.len(), batch);
+    let count_chunk = |(c, chunk): (usize, &[u64])| {
+        let mut out = Vec::with_capacity(chunk.len());
+        dict.contains_batch(chunk, (c * batch) as u64, seed, &mut NullSink, &mut out);
+        out.into_iter().filter(|&b| b).count()
+    };
+    if !cfg.parallel || keys.len() <= batch {
+        keys.chunks(batch).enumerate().map(count_chunk).sum()
+    } else {
+        keys.par_chunks(batch).enumerate().map(count_chunk).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_core::builder::build;
+    use lcds_core::LowContentionDict;
+    use lcds_workloads::keysets::uniform_keys;
+    use lcds_workloads::querygen::negative_pool;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dict(n: usize, salt: u64) -> LowContentionDict {
+        build(&uniform_keys(n, salt), &mut ChaCha8Rng::seed_from_u64(salt)).expect("build")
+    }
+
+    fn mixed(d: &LowContentionDict, negs: usize, salt: u64) -> Vec<u64> {
+        d.keys()
+            .iter()
+            .copied()
+            .chain(negative_pool(d.keys(), negs, salt))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_resolve_contains() {
+        let d = dict(2500, 41);
+        let probes = mixed(&d, 2500, 42);
+        let got = bulk_contains(&d, &probes, 5, EngineConfig::default());
+        assert_eq!(got.len(), probes.len());
+        for (i, &x) in probes.iter().enumerate() {
+            assert_eq!(got[i], d.resolve_contains(x), "key {x}");
+        }
+    }
+
+    #[test]
+    fn answers_do_not_depend_on_batch_size_or_parallelism() {
+        let d = dict(1200, 43);
+        let probes = mixed(&d, 1200, 44);
+        let baseline = bulk_contains(
+            &d,
+            &probes,
+            9,
+            EngineConfig {
+                batch: 64,
+                parallel: false,
+            },
+        );
+        for batch in [1usize, 17, 1024, 1 << 14] {
+            for parallel in [false, true] {
+                let got = bulk_contains(&d, &probes, 9, EngineConfig { batch, parallel });
+                assert_eq!(got, baseline, "batch={batch} parallel={parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn seq_variant_with_sink_matches_and_counts_probes() {
+        use lcds_cellprobe::sink::CountingSink;
+        let d = dict(600, 45);
+        let probes = mixed(&d, 600, 46);
+        let mut sink = CountingSink::new(d.num_cells());
+        let seq = bulk_contains_seq(&d, &probes, 3, 256, &mut sink);
+        assert_eq!(
+            seq,
+            bulk_contains(&d, &probes, 3, EngineConfig::with_batch(256))
+        );
+        assert!(sink.total() > 0);
+        // The planned path amortizes coefficient rows: strictly fewer
+        // probes than max_probes per key would imply.
+        assert!(sink.total() < probes.len() as u64 * d.max_probes() as u64);
+    }
+
+    #[test]
+    fn bulk_count_agrees_with_bulk_contains() {
+        let d = dict(800, 47);
+        let probes = mixed(&d, 300, 48);
+        let bools = bulk_contains(&d, &probes, 1, EngineConfig::default());
+        let expected = bools.into_iter().filter(|&b| b).count();
+        assert_eq!(expected, d.keys().len());
+        for parallel in [false, true] {
+            let cfg = EngineConfig {
+                batch: 128,
+                parallel,
+            };
+            assert_eq!(bulk_count(&d, &probes, 1, cfg), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let d = dict(64, 49);
+        assert!(bulk_contains(&d, &[], 0, EngineConfig::default()).is_empty());
+        assert_eq!(bulk_count(&d, &[], 0, EngineConfig::default()), 0);
+        // batch = 0 is clamped, not a panic/infinite loop.
+        let one = bulk_contains(&d, &d.keys()[..1], 0, EngineConfig::with_batch(0));
+        assert_eq!(one, vec![true]);
+    }
+}

@@ -1,0 +1,34 @@
+//! **lcds-serve** — the bulk-query serving engine.
+//!
+//! Theorem 3 makes every cell of the dictionary cold; this crate makes a
+//! *server* built on it fast. Three layers, composable:
+//!
+//! * **Probe plans** ([`lcds_core::plan`]) — a batch of keys is resolved
+//!   stage-at-a-time: all hash/replica decisions first, then probes
+//!   executed grouped by table region with plain read-ahead of the next
+//!   plan entry, so independent cache misses overlap instead of chaining.
+//! * **The engine** ([`engine`]) — chunks a query array into batches,
+//!   runs them across Rayon's pool, and keeps answers bit-for-bit
+//!   identical to the sequential path regardless of batch size or thread
+//!   schedule (per-key randomness is addressed by *global* key position,
+//!   never by chunk).
+//! * **Sharding** ([`shard`]) — `K` independently built dictionaries
+//!   behind a splitter hash, for key sets too large for one table (or one
+//!   socket). A [`shard::ShardedLcd`] is itself a
+//!   [`lcds_cellprobe::CellProbeDict`] + [`lcds_cellprobe::ExactProbes`],
+//!   so every measurement harness in the workspace applies unchanged —
+//!   including exact contention, which stays flat because each shard's
+//!   profile is flat over its own cells and the splitter is balanced.
+//!
+//! Telemetry: with `lcds_obs::set_enabled(true)`, the engine records the
+//! `lcds_serve_*` series named in [`lcds_obs::names`] (see
+//! docs/OBSERVABILITY.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod shard;
+
+pub use engine::{bulk_contains, bulk_contains_seq, bulk_count, EngineConfig};
+pub use shard::{ShardBuildError, ShardedLcd};

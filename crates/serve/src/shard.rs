@@ -1,0 +1,422 @@
+//! Sharded serving: `K` independently built Theorem 3 dictionaries behind
+//! a splitter hash.
+//!
+//! One dictionary's contention optimum is `1/s` over *its* `s` cells; `K`
+//! shards multiply the cell budget (and, on real machines, the sockets/
+//! memory channels) while each shard keeps its own flat profile. The
+//! splitter is a single SplitMix64 evaluation — stateless, so routing
+//! adds no shared hot cell of its own, which would otherwise defeat the
+//! whole construction (a routing directory read by every query is exactly
+//! the FKS failure mode the paper starts from).
+//!
+//! [`ShardedLcd`] implements [`CellProbeDict`] and [`ExactProbes`] over
+//! the *disjoint union* of its shards' cells (shard `k`'s cell `j` maps to
+//! global id `base_k + j`), so contention measurement, replay harnesses,
+//! and the bulk engine all apply unchanged.
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
+use lcds_cellprobe::sink::{NullSink, ProbeSink};
+use lcds_cellprobe::table::CellId;
+use lcds_core::builder::{build, BuildError};
+use lcds_core::{BatchPlan, LowContentionDict};
+use lcds_hashing::mix::splitmix64;
+use rand::{Rng, RngCore};
+use rayon::prelude::*;
+
+/// Keys per probe plan inside one shard's sub-batch (bounds plan scratch;
+/// answers are independent of this constant by construction).
+const SHARD_BATCH: usize = 4096;
+
+/// Why sharded construction failed.
+#[derive(Debug)]
+pub enum ShardBuildError {
+    /// No keys were supplied.
+    EmptyKeySet,
+    /// Zero shards requested.
+    ZeroShards,
+    /// The splitter routed no keys to this shard — the key set is too
+    /// small (or too adversarial) for the requested shard count.
+    EmptyShard(usize),
+    /// An underlying per-shard build failed.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for ShardBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardBuildError::EmptyKeySet => write!(f, "no keys to shard"),
+            ShardBuildError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ShardBuildError::EmptyShard(k) => {
+                write!(f, "shard {k} received no keys; use fewer shards")
+            }
+            ShardBuildError::Build(e) => write!(f, "shard build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardBuildError {}
+
+impl From<BuildError> for ShardBuildError {
+    fn from(e: BuildError) -> Self {
+        ShardBuildError::Build(e)
+    }
+}
+
+/// Forwards probes with a constant cell-id offset: presents shard-local
+/// probes as probes into the sharded structure's global cell space.
+struct OffsetSink<'a> {
+    inner: &'a mut dyn ProbeSink,
+    base: u64,
+}
+
+impl ProbeSink for OffsetSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.inner.probe(self.base + cell);
+    }
+    fn begin_query(&mut self) {
+        self.inner.begin_query();
+    }
+}
+
+/// `K` low-contention dictionaries behind a stateless splitter hash.
+#[derive(Clone, Debug)]
+pub struct ShardedLcd {
+    shards: Vec<LowContentionDict>,
+    /// Global cell-id base of each shard (prefix sums of `num_cells`).
+    bases: Vec<u64>,
+    splitter_seed: u64,
+    len: usize,
+}
+
+impl ShardedLcd {
+    /// Splits `keys` across `num_shards` dictionaries and builds each.
+    ///
+    /// Deterministic given (`keys`, `num_shards`, `splitter_seed`, `rng`
+    /// state). Fails with [`ShardBuildError::EmptyShard`] rather than
+    /// building a degenerate empty dictionary.
+    pub fn build<R: Rng + ?Sized>(
+        keys: &[u64],
+        num_shards: usize,
+        splitter_seed: u64,
+        rng: &mut R,
+    ) -> Result<ShardedLcd, ShardBuildError> {
+        if keys.is_empty() {
+            return Err(ShardBuildError::EmptyKeySet);
+        }
+        if num_shards == 0 {
+            return Err(ShardBuildError::ZeroShards);
+        }
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+        for &x in keys {
+            parts[route(x, splitter_seed, num_shards)].push(x);
+        }
+        if let Some(k) = parts.iter().position(|p| p.is_empty()) {
+            return Err(ShardBuildError::EmptyShard(k));
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        for part in &parts {
+            shards.push(build(part, rng)?);
+        }
+        let mut bases = Vec::with_capacity(num_shards);
+        let mut base = 0u64;
+        for s in &shards {
+            bases.push(base);
+            base += s.num_cells();
+        }
+        if lcds_obs::enabled() {
+            lcds_obs::global()
+                .gauge(lcds_obs::names::SERVE_SHARDS)
+                .set(num_shards as f64);
+        }
+        Ok(ShardedLcd {
+            shards,
+            bases,
+            splitter_seed,
+            len: keys.len(),
+        })
+    }
+
+    /// Which shard serves key `x`.
+    #[inline]
+    pub fn shard_of(&self, x: u64) -> usize {
+        route(x, self.splitter_seed, self.shards.len())
+    }
+
+    /// The per-shard dictionaries, in shard order.
+    pub fn shards(&self) -> &[LowContentionDict] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bulk membership across shards: routes the batch, runs each shard's
+    /// planned executor on its sub-batch (in parallel when asked), and
+    /// scatters answers back to input order.
+    ///
+    /// Key `i`'s balancing randomness is still addressed by its *global*
+    /// position `i` — routing does not perturb replica choices, so the
+    /// answers (and any derived trace) are identical to an unsharded run
+    /// over the same per-shard dictionaries.
+    pub fn bulk_contains(&self, keys: &[u64], seed: u64, parallel: bool) -> Vec<bool> {
+        let k = self.shards.len();
+        let mut per_keys: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let mut per_idx: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for (i, &x) in keys.iter().enumerate() {
+            let s = self.shard_of(x);
+            per_keys[s].push(x);
+            per_idx[s].push(i as u64);
+        }
+        if lcds_obs::enabled() {
+            let depth = lcds_obs::global().histogram(lcds_obs::names::SERVE_SHARD_DEPTH);
+            for p in &per_keys {
+                depth.record(p.len() as u64);
+            }
+        }
+        let run_shard = |s: usize| -> Vec<bool> {
+            let mut out = Vec::with_capacity(per_keys[s].len());
+            let mut plan = BatchPlan::new();
+            for (kc, ic) in per_keys[s]
+                .chunks(SHARD_BATCH)
+                .zip(per_idx[s].chunks(SHARD_BATCH))
+            {
+                plan.run_indexed(&self.shards[s], kc, ic, seed, &mut NullSink, &mut out);
+            }
+            out
+        };
+        let per_out: Vec<Vec<bool>> = if parallel {
+            (0..k).into_par_iter().map(run_shard).collect()
+        } else {
+            (0..k).map(run_shard).collect()
+        };
+        let mut answers = vec![false; keys.len()];
+        for s in 0..k {
+            for (j, &i) in per_idx[s].iter().enumerate() {
+                answers[i as usize] = per_out[s][j];
+            }
+        }
+        answers
+    }
+}
+
+#[inline]
+fn route(x: u64, splitter_seed: u64, k: usize) -> usize {
+    (splitmix64(x ^ splitter_seed) % k as u64) as usize
+}
+
+impl CellProbeDict for ShardedLcd {
+    fn name(&self) -> String {
+        format!("sharded-low-contention({})", self.shards.len())
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        let s = self.shard_of(x);
+        let mut sink = OffsetSink {
+            inner: sink,
+            base: self.bases[s],
+        };
+        self.shards[s].contains(x, rng, &mut sink)
+    }
+
+    fn contains_batch(
+        &self,
+        keys: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        // Route, run each shard's plan with globally-addressed streams,
+        // scatter. Sequential over shards (the sink is not shareable);
+        // parallel callers use `bulk_contains`.
+        let k = self.shards.len();
+        let mut per_keys: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let mut per_idx: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let mut per_pos: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &x) in keys.iter().enumerate() {
+            let s = self.shard_of(x);
+            per_keys[s].push(x);
+            per_idx[s].push(first_index + i as u64);
+            per_pos[s].push(i);
+        }
+        let out_base = out.len();
+        out.resize(out_base + keys.len(), false);
+        let mut plan = BatchPlan::new();
+        for s in 0..k {
+            if per_keys[s].is_empty() {
+                continue;
+            }
+            let mut shard_out = Vec::with_capacity(per_keys[s].len());
+            let mut shard_sink = OffsetSink {
+                inner: sink,
+                base: self.bases[s],
+            };
+            plan.run_indexed(
+                &self.shards[s],
+                &per_keys[s],
+                &per_idx[s],
+                seed,
+                &mut shard_sink,
+                &mut shard_out,
+            );
+            for (j, &i) in per_pos[s].iter().enumerate() {
+                out[out_base + i] = shard_out[j];
+            }
+        }
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.shards.iter().map(|s| s.num_cells()).sum()
+    }
+
+    fn max_probes(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.max_probes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl ExactProbes for ShardedLcd {
+    fn probe_sets(&self, x: u64, out: &mut Vec<ProbeSet>) {
+        let s = self.shard_of(x);
+        let from = out.len();
+        self.shards[s].probe_sets(x, out);
+        for ps in &mut out[from..] {
+            ps.start += self.bases[s];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::dist::QueryPool;
+    use lcds_cellprobe::exact::exact_contention;
+    use lcds_cellprobe::sink::CountingSink;
+    use lcds_workloads::keysets::uniform_keys;
+    use lcds_workloads::querygen::negative_pool;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sharded(n: usize, k: usize, salt: u64) -> ShardedLcd {
+        ShardedLcd::build(
+            &uniform_keys(n, salt),
+            k,
+            salt ^ 0xD1D1,
+            &mut ChaCha8Rng::seed_from_u64(salt),
+        )
+        .expect("sharded build")
+    }
+
+    #[test]
+    fn routes_every_key_to_its_shard_and_answers() {
+        let keys = uniform_keys(3000, 51);
+        let d = ShardedLcd::build(&keys, 4, 7, &mut ChaCha8Rng::seed_from_u64(51)).unwrap();
+        assert_eq!(d.len(), 3000);
+        assert_eq!(d.num_shards(), 4);
+        let shard_total: usize = d.shards().iter().map(|s| s.len()).sum();
+        assert_eq!(shard_total, 3000);
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(negative_pool(&keys, 3000, 52))
+            .collect();
+        for parallel in [false, true] {
+            let got = d.bulk_contains(&probes, 5, parallel);
+            for (i, &x) in probes.iter().enumerate() {
+                let expect = d.shards()[d.shard_of(x)].resolve_contains(x);
+                assert_eq!(got[i], expect, "key {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn trait_contains_and_bulk_agree() {
+        let d = sharded(1500, 3, 53);
+        let keys = uniform_keys(1500, 53);
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(negative_pool(&keys, 1500, 54))
+            .collect();
+        let bulk = d.bulk_contains(&probes, 11, false);
+        let mut via_trait = Vec::new();
+        d.contains_batch(&probes, 0, 11, &mut NullSink, &mut via_trait);
+        assert_eq!(bulk, via_trait);
+    }
+
+    #[test]
+    fn offset_sink_maps_probes_into_disjoint_shard_regions() {
+        let d = sharded(800, 2, 55);
+        let mut sink = CountingSink::new(d.num_cells());
+        let keys = uniform_keys(800, 55);
+        let mut out = Vec::new();
+        d.contains_batch(&keys, 0, 3, &mut sink, &mut out);
+        assert!(out.iter().all(|&v| v));
+        // Probes must land inside num_cells (CountingSink would panic
+        // otherwise) and both shard regions must be touched.
+        let split = d.bases[1] as usize;
+        let counts = sink.counts();
+        assert!(counts[..split].iter().any(|&c| c > 0), "shard 0 untouched");
+        assert!(counts[split..].iter().any(|&c| c > 0), "shard 1 untouched");
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_dictionary() {
+        let keys = uniform_keys(900, 57);
+        let d = ShardedLcd::build(&keys, 1, 99, &mut ChaCha8Rng::seed_from_u64(57)).unwrap();
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(negative_pool(&keys, 900, 58))
+            .collect();
+        let got = d.bulk_contains(&probes, 13, false);
+        for (i, &x) in probes.iter().enumerate() {
+            assert_eq!(got[i], d.shards()[0].resolve_contains(x));
+        }
+    }
+
+    #[test]
+    fn sharded_exact_contention_stays_flat() {
+        let keys = uniform_keys(2000, 59);
+        let d = ShardedLcd::build(&keys, 2, 3, &mut ChaCha8Rng::seed_from_u64(59)).unwrap();
+        let profile = exact_contention(&d, &QueryPool::uniform(&keys));
+        assert!(profile.conservation_ok(1e-9));
+        // Same constant bound the unsharded dictionary meets in
+        // tests/contention_bounds.rs: flat per shard + balanced splitter
+        // ⇒ flat overall.
+        assert!(
+            profile.max_step_ratio() < 60.0,
+            "ratio {}",
+            profile.max_step_ratio()
+        );
+    }
+
+    #[test]
+    fn build_errors_are_structured() {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        assert!(matches!(
+            ShardedLcd::build(&[], 2, 0, &mut rng),
+            Err(ShardBuildError::EmptyKeySet)
+        ));
+        assert!(matches!(
+            ShardedLcd::build(&[1, 2, 3], 0, 0, &mut rng),
+            Err(ShardBuildError::ZeroShards)
+        ));
+        // 1 key over 64 shards: some shard must be empty.
+        match ShardedLcd::build(&[42], 64, 0, &mut rng) {
+            Err(ShardBuildError::EmptyShard(_)) => {}
+            other => panic!("expected EmptyShard, got {other:?}"),
+        }
+    }
+}

@@ -28,5 +28,5 @@ pub mod traces;
 pub use rounds::{
     run_workload, simulate, simulate_combining, simulate_latencies, LatencyProfile, SimResult,
 };
-pub use threads::{replay, ThreadRunResult, ThreadStats};
+pub use threads::{replay, StallTracker, ThreadRunResult, ThreadStats};
 pub use traces::{collect, Traces};

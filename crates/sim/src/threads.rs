@@ -86,13 +86,79 @@ impl ThreadRunResult {
     }
 }
 
+/// Streaming stall detector: an EMA of per-probe batch cost plus the
+/// stall decision, kept separate from the replay loop so the detection
+/// logic is testable with synthetic timings.
+///
+/// Stalled batches do **not** enter the EMA at face value: folding an
+/// 8×-slow outlier into the average (the previous behaviour) inflates the
+/// baseline so much that an equally slow *next* batch no longer clears
+/// `STALL_FACTOR × mean` and goes uncounted — one stall masks the rest of
+/// a stall burst. Instead a stalled observation is clamped to at most
+/// 2× the current EMA before the usual α = 1/8 update, so the baseline
+/// still adapts (a genuine phase shift to permanently-slower batches
+/// compounds at ≤ +12.5% per batch and converges within a dozen batches)
+/// without a single outlier polluting the mean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StallTracker {
+    ema_per_probe: f64,
+    batches: u64,
+    stalls: u64,
+}
+
+impl StallTracker {
+    /// A fresh tracker with no observations.
+    pub fn new() -> StallTracker {
+        StallTracker::default()
+    }
+
+    /// Feeds one batch's per-probe cost; returns whether it counted as a
+    /// stall (≥ [`STALL_FACTOR`]× the running average). The first batch
+    /// seeds the average and is never a stall.
+    pub fn observe(&mut self, per_probe: f64) -> bool {
+        let stalled = self.batches > 0 && per_probe > STALL_FACTOR * self.ema_per_probe;
+        if stalled {
+            self.stalls += 1;
+        }
+        // EMA with α = 1/8: smooth enough to ride out noise, fresh enough
+        // to track a phase change in the trace.
+        self.ema_per_probe = if self.batches == 0 {
+            per_probe
+        } else {
+            let sample = if stalled {
+                per_probe.min(2.0 * self.ema_per_probe)
+            } else {
+                per_probe
+            };
+            0.875 * self.ema_per_probe + 0.125 * sample
+        };
+        self.batches += 1;
+        stalled
+    }
+
+    /// Batches observed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Batches that counted as stalls.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// The current per-probe EMA (0 before any observation).
+    pub fn ema(&self) -> f64 {
+        self.ema_per_probe
+    }
+}
+
 fn drain_trace(trace: &[CellId], cells: &[AtomicU64]) -> ThreadStats {
     let start = Instant::now();
     let mut stats = ThreadStats {
         probes: trace.len() as u64,
         ..ThreadStats::default()
     };
-    let mut ema_per_probe = 0.0f64;
+    let mut tracker = StallTracker::new();
     let mut done = 0usize;
     while done < trace.len() {
         let end = (done + PROGRESS_BATCH).min(trace.len());
@@ -101,19 +167,11 @@ fn drain_trace(trace: &[CellId], cells: &[AtomicU64]) -> ThreadStats {
             cells[cell as usize].fetch_add(1, Ordering::Relaxed);
         }
         let per_probe = batch_start.elapsed().as_nanos() as f64 / (end - done) as f64;
-        if stats.batches > 0 && per_probe > STALL_FACTOR * ema_per_probe {
-            stats.stalls += 1;
-        }
-        // EMA with α = 1/8: smooth enough to ride out one slow batch,
-        // fresh enough to track a phase change in the trace.
-        ema_per_probe = if stats.batches == 0 {
-            per_probe
-        } else {
-            0.875 * ema_per_probe + 0.125 * per_probe
-        };
-        stats.batches += 1;
+        tracker.observe(per_probe);
         done = end;
     }
+    stats.batches = tracker.batches();
+    stats.stalls = tracker.stalls();
     stats.ns = start.elapsed().as_nanos() as u64;
     stats
 }
@@ -228,6 +286,70 @@ mod tests {
             assert!(t.stalls <= t.batches);
             assert!(t.ns > 0);
         }
+    }
+
+    #[test]
+    fn stall_tracker_first_batch_is_never_a_stall() {
+        let mut t = StallTracker::new();
+        assert!(!t.observe(1e9));
+        assert_eq!(t.stalls(), 0);
+        assert_eq!(t.batches(), 1);
+    }
+
+    #[test]
+    fn stall_tracker_counts_consecutive_stalls() {
+        // The regression this type exists for: with the stalled batch
+        // folded straight into the EMA, a 100×-slow pair of batches had
+        // the second one land under 8× the polluted mean and go
+        // uncounted. Both spikes must register.
+        let mut t = StallTracker::new();
+        for _ in 0..10 {
+            assert!(!t.observe(10.0));
+        }
+        assert!(t.observe(1000.0), "first spike");
+        assert!(t.observe(1000.0), "second spike must not be masked");
+        assert_eq!(t.stalls(), 2);
+    }
+
+    #[test]
+    fn stall_tracker_ema_is_insensitive_to_one_outlier() {
+        let mut t = StallTracker::new();
+        for _ in 0..10 {
+            t.observe(10.0);
+        }
+        let before = t.ema();
+        t.observe(1_000_000.0);
+        // Clamped update: the outlier moves the EMA by at most +12.5% of
+        // a 2×-EMA sample, not by 1/8 of a million.
+        assert!(t.ema() <= before * 1.2, "ema {} vs {}", t.ema(), before);
+    }
+
+    #[test]
+    fn stall_tracker_adapts_to_a_genuine_phase_shift() {
+        // A permanent slowdown must stop counting as stalls once the
+        // baseline catches up: clamping slows adaptation, it must not
+        // prevent it.
+        let mut t = StallTracker::new();
+        for _ in 0..10 {
+            t.observe(10.0);
+        }
+        let mut tail_stalls = 0;
+        for i in 0..60 {
+            let stalled = t.observe(200.0);
+            if i >= 40 {
+                tail_stalls += u64::from(stalled);
+            }
+        }
+        assert_eq!(tail_stalls, 0, "baseline never adapted: ema={}", t.ema());
+        assert!(t.ema() > 150.0);
+    }
+
+    #[test]
+    fn stall_tracker_ignores_fast_outliers() {
+        let mut t = StallTracker::new();
+        t.observe(100.0);
+        assert!(!t.observe(0.001), "fast batches are not stalls");
+        assert_eq!(t.stalls(), 0);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Batched bulk serving: the `lcds-serve` engine in one page.
+//!
+//! A read-only dictionary answering millions of membership queries does
+//! not have to pay the full probe sequence per key. The serve engine
+//! plans a whole batch up front (hash values, replica choices, table
+//! columns), then executes the probes grouped by table region with
+//! read-ahead — coefficient rows are read once per batch instead of
+//! once per key. For larger stores, the keys can be sharded across K
+//! independently built dictionaries behind a splitter hash, which keeps
+//! per-cell contention flat while multiplying build parallelism.
+//!
+//! ```text
+//! cargo run --release --example batched_serving
+//! ```
+
+use lcds_cellprobe::report::{sig4, TextTable};
+use lcds_cellprobe::rngutil::StreamRng;
+use low_contention::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 1 << 16;
+    let keys = uniform_keys(n, 0x5E4E);
+    // Mixed probe pool: every member once, plus as many negatives.
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain(lcds_workloads::querygen::negative_pool(&keys, n, 0x5E4F))
+        .collect();
+    let mut rng = seeded(0x5E50);
+    let dict = build_dict(&keys, &mut rng).expect("build");
+
+    let mqps = |queries: usize, secs: f64| queries as f64 / secs.max(1e-9) / 1e6;
+    let mut table = TextTable::new(
+        format!("bulk membership over {} queries, n = {n}", probes.len()),
+        &["path", "Mq/s", "hits"],
+    );
+
+    // Baseline: one full probe sequence per key.
+    let t0 = Instant::now();
+    let mut per_key = Vec::with_capacity(probes.len());
+    for (i, &x) in probes.iter().enumerate() {
+        let mut rng = StreamRng::for_stream(7, i as u64);
+        per_key.push(dict.contains(x, &mut rng, &mut NullSink));
+    }
+    let hits = per_key.iter().filter(|&&b| b).count();
+    table.row(vec![
+        "per-key loop".into(),
+        sig4(mqps(probes.len(), t0.elapsed().as_secs_f64())),
+        hits.to_string(),
+    ]);
+
+    // Planned engine: single thread, then all cores.
+    for (label, parallel) in [("planned, 1 thread", false), ("planned, rayon", true)] {
+        let cfg = EngineConfig {
+            batch: 1024,
+            parallel,
+        };
+        let t0 = Instant::now();
+        let got = bulk_contains(&dict, &probes, 7, cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(got, per_key, "planned path must agree with per-key");
+        table.row(vec![
+            label.into(),
+            sig4(mqps(probes.len(), secs)),
+            got.iter().filter(|&&b| b).count().to_string(),
+        ]);
+    }
+
+    // Sharded: four independently built dictionaries behind a splitter.
+    let sharded = ShardedLcd::build(&keys, 4, 0xD15C, &mut seeded(0x5E51)).expect("sharded");
+    let t0 = Instant::now();
+    let got = sharded.bulk_contains(&probes, 7, true);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(got, per_key, "sharded path must agree with per-key");
+    table.row(vec![
+        format!("sharded ×{}, rayon", sharded.num_shards()),
+        sig4(mqps(probes.len(), secs)),
+        got.iter().filter(|&&b| b).count().to_string(),
+    ]);
+
+    println!("{}", table.markdown());
+    println!(
+        "All four paths return identical answers: replica choices are \
+         random but membership never depends on them, so the planned and \
+         sharded engines are drop-in replacements for the per-key loop."
+    );
+    println!(
+        "Exactly {} of {} probes hit — the pool is half members, half \
+         negatives.",
+        hits,
+        probes.len()
+    );
+}

@@ -1,41 +1,37 @@
-//! Data-parallel bulk queries (Rayon).
+//! Data-parallel bulk queries, served by the [`lcds_serve`] engine.
 //!
 //! A static read-only dictionary is embarrassingly parallel on real
 //! hardware *when its contention is flat* — which is the whole point of
-//! the paper. These helpers run bulk membership queries with
-//! `rayon::par_chunks`, seeding one deterministic RNG per chunk so results
-//! are reproducible regardless of the thread schedule.
+//! the paper. These wrappers keep the original simple API and delegate to
+//! [`lcds_serve::bulk_contains`]: batched probe plans, region-grouped
+//! execution with read-ahead, Rayon across batches.
+//!
+//! Determinism contract (stronger than the old per-key loop): key `i`'s
+//! balancing randomness is derived from `(seed, i)` — its *global*
+//! position — so results are identical whatever the batch size, chunk
+//! constant, thread count, or schedule. The old code seeded one RNG per
+//! chunk (`seed ⊕ chunk_index`), which silently changed every replica
+//! choice (and any contention trace derived from them) whenever `CHUNK`
+//! changed.
 
 use lcds_cellprobe::dict::CellProbeDict;
-use lcds_cellprobe::sink::NullSink;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use lcds_serve::EngineConfig;
 
-/// Keys per parallel chunk: large enough to amortize task overhead, small
-/// enough to load-balance.
+/// Keys per batch: large enough to amortize the per-batch parameter-row
+/// reads and task overhead, small enough to load-balance. Answers do
+/// **not** depend on this constant.
 const CHUNK: usize = 1024;
 
 /// Bulk membership: `out[i] = dict.contains(keys[i])`, evaluated in
-/// parallel across Rayon's thread pool.
+/// parallel across Rayon's thread pool via batched probe plans.
 ///
-/// Deterministic: chunk `c` uses an RNG seeded with `seed ⊕ c`, so the
-/// balancing randomness (replica choices) does not depend on scheduling.
+/// Deterministic in `seed` alone; see the module docs.
 pub fn par_contains<D: CellProbeDict + Sync + ?Sized>(
     dict: &D,
     keys: &[u64],
     seed: u64,
 ) -> Vec<bool> {
-    keys.par_chunks(CHUNK)
-        .enumerate()
-        .flat_map_iter(|(c, chunk)| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ c as u64);
-            chunk
-                .iter()
-                .map(move |&x| dict.contains(x, &mut rng, &mut NullSink))
-                .collect::<Vec<bool>>()
-        })
-        .collect()
+    lcds_serve::bulk_contains(dict, keys, seed, EngineConfig::with_batch(CHUNK))
 }
 
 /// Bulk membership count: how many of `keys` are members (parallel
@@ -45,16 +41,7 @@ pub fn par_count_members<D: CellProbeDict + Sync + ?Sized>(
     keys: &[u64],
     seed: u64,
 ) -> usize {
-    keys.par_chunks(CHUNK)
-        .enumerate()
-        .map(|(c, chunk)| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ c as u64);
-            chunk
-                .iter()
-                .filter(|&&x| dict.contains(x, &mut rng, &mut NullSink))
-                .count()
-        })
-        .sum()
+    lcds_serve::bulk_count(dict, keys, seed, EngineConfig::with_batch(CHUNK))
 }
 
 #[cfg(test)]
@@ -87,6 +74,36 @@ mod tests {
         let a = par_contains(&dict, &keys, 9);
         let b = par_contains(&dict, &keys, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_do_not_depend_on_chunking() {
+        // Regression: replica-choice RNGs used to be seeded per chunk
+        // (`seed ⊕ chunk_index`), so two different chunk sizes probed
+        // different replicas. Now streams are addressed by global key
+        // index, so any two batch sizes — including the CHUNK wrapper —
+        // agree exactly.
+        let keys = uniform_keys(2000, 11);
+        let mut rng = seeded(12);
+        let dict = build_dict(&keys, &mut rng).unwrap();
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(lcds_workloads::querygen::negative_pool(&keys, 2000, 13))
+            .collect();
+        let via_wrapper = par_contains(&dict, &probes, 21);
+        for batch in [64usize, 4096] {
+            let got = lcds_serve::bulk_contains(
+                &dict,
+                &probes,
+                21,
+                lcds_serve::EngineConfig {
+                    batch,
+                    parallel: false,
+                },
+            );
+            assert_eq!(got, via_wrapper, "batch size {batch} changed results");
+        }
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   adversarial instances, seeded RNG.
 //! * [`sim`] ([`lcds_sim`]) — contended-memory machines (round-based and
 //!   real-thread) that turn contention into wall-clock cost.
+//! * [`serve`] ([`lcds_serve`]) — the bulk-query serving engine: batched
+//!   probe plans executed region-by-region with read-ahead, parallel
+//!   dispatch, and optional sharding across independently built
+//!   dictionaries.
 //! * [`lowerbound`] ([`lcds_lowerbound`]) — §3 mechanized: VC-dimension,
 //!   the communication game, the product-space simulation, and the
 //!   `Ω(log log n)` recursion.
@@ -57,6 +61,7 @@ pub use lcds_cellprobe as cellprobe;
 pub use lcds_core as core;
 pub use lcds_hashing as hashing;
 pub use lcds_lowerbound as lowerbound;
+pub use lcds_serve as serve;
 pub use lcds_sim as sim;
 pub use lcds_workloads as workloads;
 
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use lcds_core::dynamic::DynamicLcd;
     pub use lcds_core::weighted::{build_weighted, WeightedDict};
     pub use lcds_core::{build_with, LowContentionDict, ParamsConfig};
+    pub use lcds_serve::{bulk_contains, bulk_count, EngineConfig, ShardedLcd};
     pub use lcds_workloads::keysets::{clustered_keys, dense_keys, uniform_keys};
     pub use lcds_workloads::querygen::{mixed_dist, negative_dist, positive_dist, zipf_over_keys};
     pub use lcds_workloads::rng::seeded;
