@@ -1,0 +1,129 @@
+//! Parallel construction throughput: `par_build` against its sequential
+//! twin across Rayon pool sizes.
+//!
+//! Besides the interactive criterion groups, this bench writes a compact
+//! machine-readable summary to `BENCH_build.json` at the repository root
+//! (override with `LCDS_BENCH_OUT`), recording per-(n, threads) build
+//! times and the speedup over the one-thread pool — the numbers quoted by
+//! EXPERIMENTS.md's T5 extension. Set `LCDS_BENCH_LARGE=1` to include the
+//! n = 2²⁰ point the acceptance criterion quotes (off by default so CI
+//! smoke runs stay fast).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcds_workloads::keysets::uniform_keys;
+use std::time::{Duration, Instant};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const BUILD_SEED: u64 = 7;
+
+fn sizes() -> Vec<usize> {
+    if std::env::var_os("LCDS_BENCH_LARGE").is_some() {
+        vec![1 << 14, 1 << 17, 1 << 20]
+    } else {
+        vec![1 << 14, 1 << 17]
+    }
+}
+
+fn make_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+}
+
+fn bench_build_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_throughput");
+    for &n in &sizes() {
+        let keys = uniform_keys(n, 0xB0 + n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", n), &keys, |b, keys| {
+            b.iter(|| black_box(lcds_core::build_seeded(keys, BUILD_SEED).unwrap()));
+        });
+        for &t in &THREADS {
+            let pool = make_pool(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("par-{t}t"), n),
+                &keys,
+                |b, keys| {
+                    b.iter(|| {
+                        pool.install(|| black_box(lcds_core::par_build(keys, BUILD_SEED).unwrap()))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    write_summary();
+}
+
+/// Best-of-`reps` wall time for one build closure.
+fn best_of(reps: usize, mut build: impl FnMut()) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            build();
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+/// Times every (n, threads) cell once more outside criterion (best-of-3,
+/// enough for a summary line) and writes the JSON artifact.
+fn write_summary() {
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut points = Vec::new();
+    for &n in &sizes() {
+        let keys = uniform_keys(n, 0xB0 + n as u64);
+        let seq = best_of(3, || {
+            black_box(lcds_core::build_seeded(&keys, BUILD_SEED).unwrap());
+        });
+        let mut by_threads = serde_json::Map::new();
+        let mut one_thread_ns = None;
+        for &t in &THREADS {
+            let pool = make_pool(t);
+            let par = best_of(3, || {
+                pool.install(|| {
+                    black_box(lcds_core::par_build(&keys, BUILD_SEED).unwrap());
+                })
+            });
+            let ns = par.as_nanos() as u64;
+            if t == 1 {
+                one_thread_ns = Some(ns);
+            }
+            by_threads.insert(
+                t.to_string(),
+                serde_json::json!({
+                    "build_ns": ns,
+                    "speedup_vs_1t": one_thread_ns
+                        .map(|base| base as f64 / ns.max(1) as f64),
+                    "speedup_vs_sequential": seq.as_nanos() as f64 / ns.max(1) as f64,
+                }),
+            );
+        }
+        points.push(serde_json::json!({
+            "n": n,
+            "sequential_build_ns": seq.as_nanos() as u64,
+            "par_build": by_threads,
+        }));
+    }
+    let summary = serde_json::json!({
+        "bench": "build_throughput",
+        "seed": BUILD_SEED,
+        "host_parallelism": host_threads,
+        "note": "speedups above host_parallelism threads cannot exceed the host's core count; byte-identical output at every pool size is asserted by tests/par_build_determinism.rs",
+        "points": points,
+    });
+    let out = std::env::var("LCDS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_build.json").to_string()
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&summary).unwrap() + "\n")
+        .unwrap_or_else(|e| eprintln!("cannot write {out}: {e}"));
+    eprintln!("build_throughput summary → {out}");
+}
+
+criterion_group!(benches, bench_build_throughput);
+criterion_main!(benches);

@@ -13,18 +13,43 @@ use crate::sink::ProbeSink;
 /// Global index of a cell within a table (row-major).
 pub type CellId = u64;
 
-/// A `rows × cols` table of 64-bit words.
+/// Words per 64-byte cache line (`b = 64` bits per cell).
+const LINE_WORDS: usize = 8;
+
+/// A `rows × cols` table of 64-bit words backed by a cache-line-aligned
+/// arena.
 ///
 /// `b = 64` bits per cell everywhere in this repository; the paper assumes
 /// `b = log₂ N` and our universe is `[2^61 - 1)`, so one word comfortably
 /// holds a key, a hash coefficient, a displacement, a base address, or a
 /// perfect-hash seed.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Cells are numbered row-major with stride exactly `cols` (no per-row
+/// padding: cell ids are part of the contention-accounting contract and
+/// must not change with the backing layout). Construction code that wants
+/// to fill rows in parallel takes disjoint `&mut [u64]` row slices from
+/// [`Table::rows_mut`] / [`Table::two_rows_mut`] instead of doing index
+/// arithmetic on a shared buffer.
+#[derive(Clone, Debug)]
 pub struct Table {
     rows: u32,
     cols: u64,
-    words: Vec<u64>,
+    /// `rows · cols + LINE_WORDS − 1` words; the logical arena is the
+    /// `len`-word window starting at the first 64-byte-aligned word (this
+    /// crate forbids `unsafe`, so alignment comes from over-allocation +
+    /// the safe [`pointer::align_offset`] query, not a custom allocator).
+    buf: Vec<u64>,
+    /// Logical word count `rows · cols`.
+    len: usize,
 }
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.words() == other.words()
+    }
+}
+
+impl Eq for Table {}
 
 impl Table {
     /// Allocates a table filled with `fill`.
@@ -40,7 +65,25 @@ impl Table {
         Table {
             rows,
             cols,
-            words: vec![fill; total_usize],
+            buf: vec![fill; total_usize + (LINE_WORDS - 1)],
+            len: total_usize,
+        }
+    }
+
+    /// Offset (in words) of the cache-line-aligned window inside `buf`.
+    ///
+    /// A `Vec<u64>` allocation is 8-byte aligned, so this is `< LINE_WORDS`
+    /// and the window always fits. Recomputed per access because `Clone`
+    /// gives the copy a fresh allocation with its own offset.
+    #[inline]
+    fn align_off(&self) -> usize {
+        let off = self.buf.as_ptr().align_offset(64);
+        // align_offset is formally allowed to report "cannot align"; fall
+        // back to an unaligned (but still correct) window in that case.
+        if off < LINE_WORDS {
+            off
+        } else {
+            0
         }
     }
 
@@ -77,33 +120,90 @@ impl Table {
         ((cell / self.cols) as u32, cell % self.cols)
     }
 
+    /// Distance in words between the starts of consecutive rows. Equal to
+    /// [`Table::cols`] — the arena carries no per-row padding, by contract.
+    #[inline]
+    pub fn stride(&self) -> u64 {
+        self.cols
+    }
+
     /// Reads `(row, col)` **and records the probe** — the only read the
     /// query algorithms are allowed to use.
     #[inline]
     pub fn read(&self, row: u32, col: u64, sink: &mut dyn ProbeSink) -> u64 {
         let id = self.cell_id(row, col);
         sink.probe(id);
-        self.words[id as usize]
+        self.words()[id as usize]
     }
 
     /// Un-recorded access for construction and verification code (never for
     /// queries).
     #[inline]
     pub fn peek(&self, row: u32, col: u64) -> u64 {
-        self.words[self.cell_id(row, col) as usize]
+        self.words()[self.cell_id(row, col) as usize]
     }
 
     /// Writes a word during construction.
     #[inline]
     pub fn write(&mut self, row: u32, col: u64, value: u64) {
         let id = self.cell_id(row, col);
-        self.words[id as usize] = value;
+        self.words_mut()[id as usize] = value;
     }
 
     /// The raw word storage (row-major), e.g. for the contended-memory
     /// simulators that want to mirror the layout.
+    #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        let off = self.align_off();
+        &self.buf[off..off + self.len]
+    }
+
+    /// Mutable row-major word storage, for construction code only (queries
+    /// must go through [`Table::read`] so probes are recorded).
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let off = self.align_off();
+        let len = self.len;
+        &mut self.buf[off..off + len]
+    }
+
+    /// One row as a mutable slice — the construction-side bulk-write API.
+    #[inline]
+    pub fn row_mut(&mut self, row: u32) -> &mut [u64] {
+        debug_assert!(row < self.rows);
+        let cols = self.cols as usize;
+        let start = row as usize * cols;
+        &mut self.words_mut()[start..start + cols]
+    }
+
+    /// Every row as a disjoint mutable slice, in row order. Parallel
+    /// builders hand these to per-row fill workers.
+    pub fn rows_mut(&mut self) -> impl Iterator<Item = (u32, &mut [u64])> + '_ {
+        let cols = self.cols as usize;
+        self.words_mut()
+            .chunks_mut(cols)
+            .enumerate()
+            .map(|(i, row)| (i as u32, row))
+    }
+
+    /// Two *distinct* rows as disjoint mutable slices, e.g. the header and
+    /// data rows a bucket writer fills together.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn two_rows_mut(&mut self, a: u32, b: u32) -> (&mut [u64], &mut [u64]) {
+        assert_ne!(a, b, "rows must be distinct for disjoint borrows");
+        debug_assert!(a < self.rows && b < self.rows);
+        let cols = self.cols as usize;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.words_mut().split_at_mut(hi as usize * cols);
+        let lo_slice = &mut head[lo as usize * cols..(lo as usize + 1) * cols];
+        let hi_slice = &mut tail[..cols];
+        if a < b {
+            (lo_slice, hi_slice)
+        } else {
+            (hi_slice, lo_slice)
+        }
     }
 }
 
@@ -157,5 +257,73 @@ mod tests {
     #[should_panic(expected = "dimensions must be positive")]
     fn zero_dimension_rejected() {
         let _ = Table::new(0, 5, 0);
+    }
+
+    #[test]
+    fn arena_is_cache_line_aligned() {
+        for (rows, cols) in [(1u32, 1u64), (3, 5), (16, 1000), (2, 7)] {
+            let t = Table::new(rows, cols, 0);
+            assert_eq!(
+                t.words().as_ptr() as usize % 64,
+                0,
+                "{rows}×{cols} arena not 64-byte aligned"
+            );
+            assert_eq!(t.words().len() as u64, rows as u64 * cols);
+            assert_eq!(t.stride(), cols);
+        }
+    }
+
+    #[test]
+    fn row_mut_writes_match_cellwise_writes() {
+        let mut a = Table::new(3, 7, 0);
+        let mut b = Table::new(3, 7, 0);
+        for (i, row) in a.rows_mut() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (i as u64) * 100 + j as u64;
+            }
+        }
+        for i in 0..3u32 {
+            for j in 0..7u64 {
+                b.write(i, j, i as u64 * 100 + j);
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.row_mut(1)[3], 103);
+    }
+
+    #[test]
+    fn two_rows_mut_are_disjoint_in_either_order() {
+        let mut t = Table::new(4, 5, 9);
+        {
+            let (hdr, data) = t.two_rows_mut(2, 3);
+            hdr.fill(1);
+            data.fill(2);
+        }
+        {
+            let (hi, lo) = t.two_rows_mut(3, 0);
+            assert!(hi.iter().all(|&w| w == 2));
+            lo.fill(7);
+        }
+        assert_eq!(t.peek(0, 0), 7);
+        assert_eq!(t.peek(1, 0), 9, "untouched row keeps its fill");
+        assert_eq!(t.peek(2, 4), 1);
+        assert_eq!(t.peek(3, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn two_rows_mut_rejects_same_row() {
+        let mut t = Table::new(2, 2, 0);
+        let _ = t.two_rows_mut(1, 1);
+    }
+
+    #[test]
+    fn equality_ignores_arena_padding() {
+        // 3 cols: the arena pads to 8 words; padding must not affect ==.
+        let mut a = Table::new(1, 3, 0);
+        let b = Table::new(1, 3, 0);
+        assert_eq!(a, b);
+        a.write(0, 2, 5);
+        assert_ne!(a, b);
     }
 }

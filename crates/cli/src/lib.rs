@@ -5,9 +5,11 @@
 //!
 //! ```text
 //! lcds build  --out DICT (--random N | --keys FILE) [--seed S]
+//!             [--build-threads T]
 //! lcds info   DICT
 //! lcds query  DICT KEY...
 //! lcds bulk   DICT (--keys FILE | --random N) [--batch B] [--seed S]
+//!             [--build-threads T]
 //! lcds audit  DICT [--zipf THETA] [--negatives M]
 //! lcds obs    [--random N] [--queries Q] [--zipf THETA] [--period P]
 //!             [--topk K] [--format table|prom|jsonl] [--seed S]
@@ -82,10 +84,11 @@ lcds — low-contention static dictionary (SPAA 2010 reproduction)
 
 commands:
   build  --out DICT (--random N | --keys FILE) [--seed S]   build + persist
+         [--build-threads T]                                (parallel, seeded)
   info   DICT                                               parameters & stats
   query  DICT KEY...                                        membership
   bulk   DICT (--keys FILE | --random N)                    batched bulk queries
-         [--batch B] [--seed S]                             via the serve engine
+         [--batch B] [--seed S] [--build-threads T]         via the serve engine
   audit  DICT [--zipf THETA] [--negatives M]                contention report
   obs    [--random N] [--queries Q] [--zipf THETA]          live telemetry demo:
          [--period P] [--topk K] [--seed S]                 sampled probes, top-K
@@ -148,9 +151,44 @@ pub fn read_key_file(path: &Path) -> Result<Vec<u64>, CliError> {
 }
 
 fn load_dict(path: &str) -> Result<LowContentionDict, CliError> {
-    let mut f = std::fs::File::open(path)
-        .map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
-    persist::load(&mut f).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+    persist::load_from_path(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+/// Parses the optional `--build-threads` flag (must be ≥ 1 when given).
+fn threads_flag(flags: &[(String, String)]) -> Result<Option<usize>, CliError> {
+    match flag(flags, "build-threads") {
+        None => Ok(None),
+        Some(v) => {
+            let t: usize = v
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --build-threads: {e}")))?;
+            if t == 0 {
+                return Err(CliError::usage("--build-threads must be at least 1"));
+            }
+            Ok(Some(t))
+        }
+    }
+}
+
+/// Runs `work` on a Rayon pool of `threads` workers (the global pool when
+/// `None`), returning the result together with the effective worker count.
+///
+/// The parallel builder is bit-deterministic in its seed, so the thread
+/// count only changes wall-clock time — never the produced dictionary.
+fn with_build_pool<T: Send>(
+    threads: Option<usize>,
+    work: impl FnOnce() -> T + Send,
+) -> Result<(T, usize), CliError> {
+    match threads {
+        None => Ok((work(), rayon::current_num_threads())),
+        Some(t) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .map_err(|e| CliError::runtime(format!("cannot start {t} build threads: {e}")))?;
+            Ok((pool.install(work), t))
+        }
+    }
 }
 
 fn cmd_build(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -182,12 +220,16 @@ fn cmd_build(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         }
     };
 
-    let mut rng = seeded(seed);
-    let dict = lcds_core::build(&keys, &mut rng)
-        .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
-    let mut f = std::fs::File::create(out_path)
-        .map_err(|e| CliError::runtime(format!("cannot create {out_path}: {e}")))?;
-    persist::save(&dict, &mut f).map_err(io_err)?;
+    let threads = threads_flag(&flags)?;
+    let (built, workers) = with_build_pool(threads, || lcds_core::par_build(&keys, seed))?;
+    let dict = built.map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+    persist::save_to_path(&dict, out_path)
+        .map_err(|e| CliError::runtime(format!("cannot write {out_path}: {e}")))?;
+    writeln!(
+        out,
+        "build: seed {seed}, {workers} rayon thread(s), deterministic parallel pipeline",
+    )
+    .map_err(io_err)?;
     writeln!(
         out,
         "built n = {} → {} ({} cells, {:.2} words/key, ≤ {} probes/query, {} retries)",
@@ -285,13 +327,17 @@ fn cmd_bulk(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
         batch,
         parallel: true,
     };
+    let threads = threads_flag(&flags)?;
     let start = std::time::Instant::now();
-    let answers = lcds_serve::bulk_contains(&dict, &probes, seed, cfg);
+    let (answers, workers) = with_build_pool(threads, || {
+        lcds_serve::bulk_contains(&dict, &probes, seed, cfg)
+    })?;
     let wall = start.elapsed();
     let members = answers.iter().filter(|&&b| b).count();
     writeln!(
         out,
-        "{} queries in {:.2} ms ({:.2} Mq/s, batch {batch}): {members} present, {} absent",
+        "{} queries in {:.2} ms ({:.2} Mq/s, batch {batch}, {workers} thread(s)): \
+         {members} present, {} absent",
         probes.len(),
         wall.as_secs_f64() * 1e3,
         probes.len() as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
@@ -549,6 +595,84 @@ mod tests {
         assert!(out.contains("50 present, 50 absent"), "{out}");
 
         let _ = std::fs::remove_file(&probes_path);
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn build_threads_flag_never_changes_the_artifact() {
+        // The whole point of the deterministic parallel pipeline: the
+        // persisted bytes are a function of (keys, seed) alone, so any
+        // --build-threads value produces the identical file.
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in ["1", "2", "7"] {
+            let dict_path = tmp(&format!("threads-{threads}.dict"));
+            let dict_str = dict_path.to_str().unwrap();
+            let out = run_capture(&[
+                "build",
+                "--out",
+                dict_str,
+                "--random",
+                "300",
+                "--seed",
+                "41",
+                "--build-threads",
+                threads,
+            ])
+            .unwrap();
+            assert!(out.contains("built n = 300"), "{out}");
+            assert!(
+                out.contains(&format!("{threads} rayon thread(s)")),
+                "header must surface the chosen pool size: {out}"
+            );
+            let bytes = std::fs::read(&dict_path).unwrap();
+            let _ = std::fs::remove_file(&dict_path);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(want) => assert_eq!(
+                    want, &bytes,
+                    "--build-threads {threads} changed the persisted bytes"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn build_threads_flag_rejects_zero_and_garbage() {
+        let err = run_capture(&[
+            "build",
+            "--out",
+            "/tmp/x",
+            "--random",
+            "8",
+            "--build-threads",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(err.message.contains("at least 1"), "{}", err.message);
+
+        let err = run_capture(&[
+            "build",
+            "--out",
+            "/tmp/x",
+            "--random",
+            "8",
+            "--build-threads",
+            "lots",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    #[test]
+    fn bulk_accepts_build_threads_for_the_query_pool() {
+        let dict_path = tmp("bulk-threads.dict");
+        let dict_str = dict_path.to_str().unwrap();
+        run_capture(&["build", "--out", dict_str, "--random", "200", "--seed", "3"]).unwrap();
+        let out =
+            run_capture(&["bulk", dict_str, "--random", "50", "--build-threads", "2"]).unwrap();
+        assert!(out.contains("2 thread(s)"), "{out}");
+        assert!(out.contains("50 queries"), "{out}");
         let _ = std::fs::remove_file(&dict_path);
     }
 

@@ -20,6 +20,7 @@ use lcds_hashing::family::{HashFamily, HashFunction};
 use lcds_hashing::perfect::PerfectHashBuilder;
 use lcds_hashing::poly::{PolyFamily, PolyHash};
 use lcds_hashing::MAX_KEY;
+use lcds_obs::names as metric;
 use rand::Rng;
 
 /// Why a build failed.
@@ -107,15 +108,7 @@ fn try_draw<R: Rng + ?Sized>(keys: &[u64], p: &Params, rng: &mut R) -> Option<Ac
 
     for &x in keys {
         let gx = g.eval(x);
-        let fx = f.eval(x);
-        let hx = {
-            let t = fx + z[gx as usize];
-            if t >= p.s {
-                t - p.s
-            } else {
-                t
-            }
-        };
+        let hx = p.displace(f.eval(x), z[gx as usize]);
         class_loads[gx as usize] += 1;
         group_loads[(hx % p.m) as usize] += 1;
         bucket_loads[hx as usize] += 1;
@@ -123,14 +116,14 @@ fn try_draw<R: Rng + ?Sized>(keys: &[u64], p: &Params, rng: &mut R) -> Option<Ac
     }
 
     // P(S), clause by clause (Lemma 9):
-    if class_loads.iter().any(|&l| l as u64 > p.class_load_cap) {
+    if !class_loads.iter().all(|&l| p.class_load_within_cap(l)) {
         return None;
     }
-    if group_loads.iter().any(|&l| l as u64 > p.group_load_cap) {
+    if !group_loads.iter().all(|&l| p.group_load_within_cap(l)) {
         return None;
     }
     let sum_sq: u64 = bucket_loads.iter().map(|&l| (l as u64) * (l as u64)).sum();
-    if sum_sq > p.s {
+    if !p.fks_within_space(sum_sq) {
         return None;
     }
 
@@ -181,20 +174,20 @@ pub fn property_trial<R: Rng + ?Sized>(
     let mut bucket_loads = vec![0u32; p.s as usize];
     for &x in keys {
         let gx = g.eval(x);
-        let t = f.eval(x) + z[gx as usize];
-        let hx = if t >= p.s { t - p.s } else { t };
+        let hx = p.displace(f.eval(x), z[gx as usize]);
         class_loads[gx as usize] += 1;
         group_loads[(hx % p.m) as usize] += 1;
         bucket_loads[hx as usize] += 1;
     }
     PropertyTrial {
-        class_ok: class_loads.iter().all(|&l| l as u64 <= p.class_load_cap),
-        group_ok: group_loads.iter().all(|&l| l as u64 <= p.group_load_cap),
-        fks_ok: bucket_loads
-            .iter()
-            .map(|&l| (l as u64) * (l as u64))
-            .sum::<u64>()
-            <= p.s,
+        class_ok: class_loads.iter().all(|&l| p.class_load_within_cap(l)),
+        group_ok: group_loads.iter().all(|&l| p.group_load_within_cap(l)),
+        fks_ok: p.fks_within_space(
+            bucket_loads
+                .iter()
+                .map(|&l| (l as u64) * (l as u64))
+                .sum::<u64>(),
+        ),
     }
 }
 
@@ -222,13 +215,13 @@ pub fn build_with<R: Rng + ?Sized>(
 
     let p = Params::derive(sorted.len() as u64, config);
     let layout = Layout::new(&p);
-    let _build_span = lcds_obs::span("lcds_build_total");
+    let _build_span = lcds_obs::span(metric::BUILD_TOTAL);
 
     // Expected O(1) draws (Lemma 9 + union bound, §2.2). This is the
     // DM-style rejection-sampling loop; its retry count is the telemetry
     // signal that `P(S)`'s acceptance rate has degraded.
     let draw = {
-        let _span = lcds_obs::span("lcds_build_hash_draw");
+        let _span = lcds_obs::span(metric::BUILD_HASH_DRAW);
         let mut draw = None;
         for attempt in 0..config.max_hash_retries {
             if let Some(mut d) = try_draw(&sorted, &p, rng) {
@@ -239,7 +232,7 @@ pub fn build_with<R: Rng + ?Sized>(
         }
         draw.ok_or(BuildError::HashRetriesExhausted(config.max_hash_retries))?
     };
-    lcds_obs::counter("lcds_build_hash_retries_total").add(draw.retries as u64);
+    lcds_obs::counter(metric::BUILD_HASH_RETRIES_TOTAL).add(draw.retries as u64);
 
     // Group-base addresses: GBAS(i) = Σ_{i' < i} Σ_k ℓ(k·m + i')².
     let mut group_sq = vec![0u64; p.m as usize];
@@ -272,7 +265,7 @@ pub fn build_with<R: Rng + ?Sized>(
     }
 
     // Lay out the table.
-    let layout_span = lcds_obs::span("lcds_build_table_layout");
+    let layout_span = lcds_obs::span(metric::BUILD_TABLE_LAYOUT);
     let mut table = Table::new(layout.num_rows(), p.s, EMPTY);
 
     let fw = draw.f.words();
@@ -291,7 +284,7 @@ pub fn build_with<R: Rng + ?Sized>(
     drop(layout_span);
 
     // Histograms, one group at a time.
-    let hist_span = lcds_obs::span("lcds_build_histogram_layout");
+    let hist_span = lcds_obs::span(metric::BUILD_HISTOGRAM_LAYOUT);
     let mut loads_buf = vec![0u32; p.group_size as usize];
     for group in 0..p.m {
         for k in 0..p.group_size {
@@ -313,8 +306,8 @@ pub fn build_with<R: Rng + ?Sized>(
 
     // Header + data rows: bucket-owned ranges in group-major, then
     // in-group order (the lexicographic sort of §2.2).
-    let seed_span = lcds_obs::span("lcds_build_perfect_hash");
-    let trials_hist = lcds_obs::histogram("lcds_build_seed_trials_per_bucket");
+    let seed_span = lcds_obs::span(metric::BUILD_PERFECT_HASH);
+    let trials_hist = lcds_obs::histogram(metric::BUILD_SEED_TRIALS_PER_BUCKET);
     let ph_builder = PerfectHashBuilder::default();
     let mut stats = BuildStats {
         hash_retries: draw.retries,
@@ -351,9 +344,9 @@ pub fn build_with<R: Rng + ?Sized>(
     }
     drop(seed_span);
 
-    lcds_obs::counter("lcds_build_seed_trials_total").add(stats.perfect_trials_total);
-    lcds_obs::counter("lcds_builds_total").inc();
-    lcds_obs::gauge("lcds_build_seed_trials_max").set_max(stats.perfect_trials_max as f64);
+    lcds_obs::counter(metric::BUILD_SEED_TRIALS_TOTAL).add(stats.perfect_trials_total);
+    lcds_obs::counter(metric::BUILDS_TOTAL).inc();
+    lcds_obs::gauge(metric::BUILD_SEED_TRIALS_MAX).set_max(stats.perfect_trials_max as f64);
     lcds_obs::emit(
         "build_complete",
         serde_json::json!({

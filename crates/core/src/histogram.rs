@@ -19,11 +19,21 @@
 /// the construction treats as "this hash draw violated the group-load cap"
 /// (it re-checks the caps explicitly, so this is a belt-and-braces path).
 pub fn encode(loads: &[u32], rho: u32) -> Option<Vec<u64>> {
-    let bits_needed: u64 = loads.iter().map(|&l| l as u64 + 1).sum();
-    if bits_needed > rho as u64 * 64 {
-        return None;
-    }
     let mut words = vec![0u64; rho as usize];
+    encode_into(loads, &mut words).then_some(words)
+}
+
+/// Allocation-free twin of [`encode`]: writes the encoding into `words`
+/// (zeroing it first) and reports whether it fit. The parallel builder
+/// encodes every group's histogram directly into one flat `m × ρ` arena,
+/// so the per-group `Vec` of [`encode`] would be an allocation per group
+/// on the hot construction path.
+pub fn encode_into(loads: &[u32], words: &mut [u64]) -> bool {
+    let bits_needed: u64 = loads.iter().map(|&l| l as u64 + 1).sum();
+    if bits_needed > words.len() as u64 * 64 {
+        return false;
+    }
+    words.iter_mut().for_each(|w| *w = 0);
     let mut bit = 0usize;
     for &l in loads {
         for _ in 0..l {
@@ -32,7 +42,7 @@ pub fn encode(loads: &[u32], rho: u32) -> Option<Vec<u64>> {
         }
         bit += 1; // the zero separator (words start zeroed)
     }
-    Some(words)
+    true
 }
 
 /// Decodes all bucket loads from a group histogram.
@@ -177,6 +187,18 @@ mod tests {
         let words = encode(&loads, 2).unwrap();
         assert_eq!(words.len(), 2);
         assert_eq!(decode(&words, 5), loads);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_clears_stale_bits() {
+        let loads = vec![3u32, 0, 1, 2];
+        let expected = encode(&loads, 2).unwrap();
+        let mut words = vec![u64::MAX; 2]; // stale garbage must be cleared
+        assert!(encode_into(&loads, &mut words));
+        assert_eq!(words, expected);
+        // Overflow leaves a report, not a panic.
+        let mut one = vec![0u64; 1];
+        assert!(!encode_into(&[100], &mut one));
     }
 
     #[test]

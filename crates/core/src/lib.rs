@@ -37,6 +37,9 @@
 //! * [`layout`] — the `2d + ρ + 4`-row table layout and replica arithmetic.
 //! * [`builder`] — the §2.2 construction: rejection-sample `(f, g, z)`
 //!   until `P(S)` holds, then lay out every row (expected `O(n)` time).
+//! * [`par_build`] — the Rayon-parallel construction pipeline, keyed by a
+//!   `u64` seed and bit-identical to its sequential twin at every thread
+//!   count (see DESIGN.md §8).
 //! * [`dict`] — [`dict::LowContentionDict`] and the §2.3 query algorithm,
 //!   implementing both [`lcds_cellprobe::CellProbeDict`] (instrumented
 //!   queries) and [`lcds_cellprobe::ExactProbes`] (analytic contention).
@@ -50,6 +53,7 @@ pub mod dict;
 pub mod dynamic;
 pub mod histogram;
 pub mod layout;
+pub mod par_build;
 pub mod params;
 pub mod persist;
 pub mod plan;
@@ -60,6 +64,7 @@ pub mod weighted;
 pub use builder::{build, build_with, property_trial, BuildError, BuildStats, PropertyTrial};
 pub use dict::{LowContentionDict, Resolution, EMPTY};
 pub use dynamic::{DynamicLcd, WriteStats};
+pub use par_build::{build_seeded, build_seeded_with, par_build, par_build_with, shard_seed};
 pub use params::{Params, ParamsConfig};
 pub use plan::BatchPlan;
 pub use rows::{row_report, RowReport, RowSummary};

@@ -1,0 +1,648 @@
+//! Rayon-parallel construction pipeline, bit-for-bit identical to its
+//! sequential twin for the same seed at every thread count.
+//!
+//! The §2.2 construction is expected `O(n)` but embarrassingly parallel in
+//! all three of its expensive stages:
+//!
+//! 1. **`P(S)` verification** — per-key `(g(x), h(x))` assignment is a pure
+//!    map, and the class/group/bucket load tallies are sums of per-chunk
+//!    tallies (`u32` addition is commutative and associative, so any
+//!    fold/reduce schedule produces the same totals).
+//! 2. **Table layout** — every row of the table is filled independently
+//!    (replicated coefficients, residue-indexed `z`/GBAS/histogram words),
+//!    so rows go to workers as disjoint `&mut [u64]` slices.
+//! 3. **Per-bucket perfect hashing** — each group owns a contiguous,
+//!    gap-free `[GBAS(i), GBAS(i) + Σ_k ℓ²)` range of the header and data
+//!    rows, so groups are carved into disjoint slice pairs and searched in
+//!    parallel; buckets within a group run serially on their own RNG
+//!    streams.
+//!
+//! **Determinism contract.** Randomness is keyed by a single `u64` seed and
+//! addressed positionally through [`StreamRng`] lanes, never drawn from a
+//! shared sequential stream: hash-draw attempt `a` samples `(f, g, z)` on
+//! `for_lane(seed, DRAW, a)`, bucket `b` searches perfect-hash seeds on
+//! `for_lane(seed, BUCKET, b)`, and shard `k` of a sharded build derives
+//! its sub-seed on the `SHARD` lane. Every random value is therefore a pure
+//! function of `(seed, position)`, independent of thread count, chunk size,
+//! or scheduling — which is what makes `par_build` and [`build_seeded`]
+//! byte-identical (the determinism matrix in
+//! `tests/par_build_determinism.rs` asserts this through `persist::save`).
+
+use crate::builder::{BuildError, BuildStats};
+use crate::dict::{LowContentionDict, EMPTY};
+use crate::histogram;
+use crate::layout::Layout;
+use crate::params::{Params, ParamsConfig};
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::family::{HashFamily, HashFunction};
+use lcds_hashing::perfect::PerfectHashBuilder;
+use lcds_hashing::poly::{PolyFamily, PolyHash};
+use lcds_hashing::MAX_KEY;
+use lcds_obs::names as metric;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Lane namespaces partitioning the build seed's stream space. Distinct
+/// lanes give unrelated stream families (see [`StreamRng::for_lane`]), so
+/// "draw attempt 3" and "bucket 3" never collide.
+pub mod lanes {
+    /// Hash-draw attempts: attempt `a` samples `(f, g, z)` on stream `a`.
+    pub const DRAW: u64 = 1;
+    /// Perfect-hash searches: bucket `b` tries seeds on stream `b`.
+    pub const BUCKET: u64 = 2;
+    /// Sharded builds: shard `k` builds under the sub-seed
+    /// [`super::shard_seed`]`(seed, k)`.
+    pub const SHARD: u64 = 3;
+}
+
+/// The sub-seed shard `k` builds under when a sharded dictionary is built
+/// from one top-level seed (used by `lcds-serve`). A full `StreamRng`
+/// derivation, so shard sub-seeds are as decorrelated from each other and
+/// from the draw/bucket lanes as independent seeds.
+#[inline]
+pub fn shard_seed(seed: u64, shard: u64) -> u64 {
+    StreamRng::for_lane(seed, lanes::SHARD, shard).state()
+}
+
+/// Per-key chunk size for the parallel fold/reduce over load tallies.
+const TALLY_CHUNK: usize = 8 * 1024;
+
+/// One `(f, g, z)` draw, reproducible from `(seed, attempt)`.
+struct Draw {
+    f: PolyHash,
+    g: PolyHash,
+    z: Vec<u64>,
+}
+
+/// Samples draw attempt `a` on its own stream — a pure function of
+/// `(seed, a)`, so retry `a` is the same triple no matter how many earlier
+/// attempts were verified in parallel or serially.
+fn draw_at(p: &Params, seed: u64, attempt: u64) -> Draw {
+    let mut rng = StreamRng::for_lane(seed, lanes::DRAW, attempt);
+    let f = PolyFamily::new(p.d, p.s).sample(&mut rng);
+    let g = PolyFamily::new(p.d, p.r).sample(&mut rng);
+    let z: Vec<u64> = (0..p.r).map(|_| rng.random_range(0..p.s)).collect();
+    Draw { f, g, z }
+}
+
+/// `(g(x), h(x))` for one key under one draw.
+#[inline]
+fn assign_key(p: &Params, d: &Draw, x: u64) -> (u64, u64) {
+    let gx = d.g.eval(x);
+    (gx, p.displace(d.f.eval(x), d.z[gx as usize]))
+}
+
+/// Class/group/bucket load tallies — the inputs to the `P(S)` clauses.
+struct Tallies {
+    class: Vec<u32>,
+    group: Vec<u32>,
+    bucket: Vec<u32>,
+}
+
+impl Tallies {
+    fn zero(p: &Params) -> Tallies {
+        Tallies {
+            class: vec![0u32; p.r as usize],
+            group: vec![0u32; p.m as usize],
+            bucket: vec![0u32; p.s as usize],
+        }
+    }
+
+    #[inline]
+    fn absorb(&mut self, p: &Params, gx: u64, hx: u64) {
+        self.class[gx as usize] += 1;
+        self.group[(hx % p.m) as usize] += 1;
+        self.bucket[hx as usize] += 1;
+    }
+
+    /// Elementwise sum — commutative and associative, so the parallel
+    /// reduce tree's shape cannot change the result.
+    fn merge(mut self, other: Tallies) -> Tallies {
+        for (a, b) in self.class.iter_mut().zip(&other.class) {
+            *a += b;
+        }
+        for (a, b) in self.group.iter_mut().zip(&other.group) {
+            *a += b;
+        }
+        for (a, b) in self.bucket.iter_mut().zip(&other.bucket) {
+            *a += b;
+        }
+        self
+    }
+}
+
+/// Stage 1: assigns every key to its bucket and tallies loads, in parallel
+/// (chunked fold/reduce) or serially. Returns `(per-key bucket, tallies)`;
+/// both are value-deterministic.
+fn assign_and_tally(keys: &[u64], p: &Params, d: &Draw, par: bool) -> (Vec<u64>, Tallies) {
+    if par {
+        let assign: Vec<(u64, u64)> = keys.par_iter().map(|&x| assign_key(p, d, x)).collect();
+        let tallies = assign
+            .par_chunks(TALLY_CHUNK)
+            .fold(
+                || Tallies::zero(p),
+                |mut t, chunk| {
+                    for &(gx, hx) in chunk {
+                        t.absorb(p, gx, hx);
+                    }
+                    t
+                },
+            )
+            .reduce(|| Tallies::zero(p), Tallies::merge);
+        (assign.into_iter().map(|(_, hx)| hx).collect(), tallies)
+    } else {
+        let mut tallies = Tallies::zero(p);
+        let mut bucket = Vec::with_capacity(keys.len());
+        for &x in keys {
+            let (gx, hx) = assign_key(p, d, x);
+            tallies.absorb(p, gx, hx);
+            bucket.push(hx);
+        }
+        (bucket, tallies)
+    }
+}
+
+/// The `P(S)` decision for one verified draw; also returns `Σℓ²`.
+fn property_holds(p: &Params, t: &Tallies) -> (bool, u64) {
+    let sum_sq: u64 = t.bucket.iter().map(|&l| (l as u64) * (l as u64)).sum();
+    let ok = t.class.iter().all(|&l| p.class_load_within_cap(l))
+        && t.group.iter().all(|&l| p.group_load_within_cap(l))
+        && p.fks_within_space(sum_sq);
+    (ok, sum_sq)
+}
+
+/// Everything the per-row fill workers need, by shared reference.
+struct RowFill<'a> {
+    d: u32,
+    r: u64,
+    m: u64,
+    rho: u32,
+    fw: &'a [u64],
+    gw: &'a [u64],
+    z: &'a [u64],
+    gbas: &'a [u64],
+    /// Flat `m × ρ` arena: group `g`'s histogram words at `g·ρ .. (g+1)·ρ`.
+    hist: &'a [u64],
+}
+
+impl RowFill<'_> {
+    /// Fills one row of the table; header/data rows are left untouched
+    /// (stage 3 owns them). Pure per-cell values — schedule-independent.
+    fn fill(&self, row: u32, cells: &mut [u64]) {
+        let rho = self.rho as usize;
+        if row < self.d {
+            cells.fill(self.fw[row as usize]);
+        } else if row < 2 * self.d {
+            cells.fill(self.gw[(row - self.d) as usize]);
+        } else if row == 2 * self.d {
+            for (j, c) in cells.iter_mut().enumerate() {
+                *c = self.z[j % self.r as usize];
+            }
+        } else if row == 2 * self.d + 1 {
+            for (j, c) in cells.iter_mut().enumerate() {
+                *c = self.gbas[j % self.m as usize];
+            }
+        } else if row < 2 * self.d + 2 + self.rho {
+            let w = (row - 2 * self.d - 2) as usize;
+            for (j, c) in cells.iter_mut().enumerate() {
+                *c = self.hist[(j % self.m as usize) * rho + w];
+            }
+        }
+    }
+}
+
+/// Per-group outcome of the perfect-hash stage.
+struct GroupHashed {
+    /// `(bucket, trials)` per non-empty bucket, in in-group order.
+    trials: Vec<(u64, u32)>,
+}
+
+/// Stage 3 worker: perfect-hashes every bucket of one group into the
+/// group's disjoint header/data slices. Bucket `b`'s seed search runs on
+/// stream `b` of the `BUCKET` lane, so the result is independent of which
+/// worker runs it.
+fn hash_group(
+    group: u64,
+    p: &Params,
+    seed: u64,
+    bucket_loads: &[u32],
+    by_bucket: &[u64],
+    offsets: &[usize],
+    header: &mut [u64],
+    data: &mut [u64],
+) -> Result<GroupHashed, BuildError> {
+    let ph_builder = PerfectHashBuilder::default();
+    let mut trials = Vec::new();
+    let mut cursor = 0usize;
+    for k in 0..p.group_size {
+        let b = p.bucket_of(group, k);
+        let l = bucket_loads[b as usize];
+        if l == 0 {
+            continue;
+        }
+        let range = (l as usize) * (l as usize);
+        let bucket_keys = &by_bucket[offsets[b as usize]..offsets[b as usize + 1]];
+        debug_assert_eq!(bucket_keys.len(), l as usize);
+        let mut rng = StreamRng::for_lane(seed, lanes::BUCKET, b);
+        let found = ph_builder
+            .build(bucket_keys, range as u64, &mut rng)
+            .ok_or(BuildError::PerfectHashFailed { bucket: b, load: l })?;
+        trials.push((b, found.trials));
+        header[cursor..cursor + range].fill(found.hash.seed());
+        for &x in bucket_keys {
+            data[cursor + found.hash.eval(x) as usize] = x;
+        }
+        cursor += range;
+    }
+    debug_assert_eq!(cursor, header.len());
+    Ok(GroupHashed { trials })
+}
+
+/// Input validation shared by both twins: sort (parallel or serial — same
+/// total order either way), then reject duplicates and out-of-universe
+/// keys exactly as [`crate::builder::build_with`] does.
+fn preflight(keys: &[u64], par: bool) -> Result<Vec<u64>, BuildError> {
+    if keys.is_empty() {
+        return Err(BuildError::EmptyKeySet);
+    }
+    let mut sorted = keys.to_vec();
+    if par {
+        sorted.par_sort_unstable();
+    } else {
+        sorted.sort_unstable();
+    }
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(BuildError::DuplicateKey(w[0]));
+        }
+    }
+    if let Some(&bad) = sorted.iter().find(|&&k| k > MAX_KEY) {
+        return Err(BuildError::KeyOutOfRange(bad));
+    }
+    Ok(sorted)
+}
+
+/// The pipeline shared by [`par_build_with`] and [`build_seeded_with`]:
+/// identical value computations, with `par` selecting whether each stage
+/// fans out over the Rayon pool or runs as plain loops.
+fn build_impl(
+    keys: &[u64],
+    config: &ParamsConfig,
+    seed: u64,
+    par: bool,
+) -> Result<LowContentionDict, BuildError> {
+    let sorted = preflight(keys, par)?;
+    let p = Params::derive(sorted.len() as u64, config);
+    let layout = Layout::new(&p);
+    let _build_span = lcds_obs::span(metric::BUILD_TOTAL);
+    if par {
+        lcds_obs::gauge(metric::BUILD_PAR_WORKERS).set(rayon::current_num_threads() as f64);
+    }
+
+    // Stage 1: rejection-sample (f, g, z) until P(S) holds. Attempts are
+    // tried in order (expected O(1) of them, Lemma 9), each verified with
+    // a chunked parallel fold/reduce over the keys.
+    let draw_span = lcds_obs::span(metric::BUILD_HASH_DRAW);
+    let mut accepted = None;
+    for attempt in 0..config.max_hash_retries {
+        let d = draw_at(&p, seed, attempt as u64);
+        let (bucket, tallies) = assign_and_tally(&sorted, &p, &d, par);
+        let (ok, sum_sq) = property_holds(&p, &tallies);
+        if ok {
+            accepted = Some((d, bucket, tallies.bucket, sum_sq, attempt));
+            break;
+        }
+    }
+    let (draw, bucket, bucket_loads, sum_sq, retries) =
+        accepted.ok_or(BuildError::HashRetriesExhausted(config.max_hash_retries))?;
+    drop(draw_span);
+    lcds_obs::counter(metric::BUILD_HASH_RETRIES_TOTAL).add(retries as u64);
+
+    // Group-base addresses: GBAS(i) = Σ_{i' < i} Σ_k ℓ(k·m + i')². Prefix
+    // sums over m groups — O(m), not worth parallelising.
+    let mut group_sq = vec![0u64; p.m as usize];
+    for (b, &l) in bucket_loads.iter().enumerate() {
+        group_sq[b % p.m as usize] += (l as u64) * (l as u64);
+    }
+    let mut gbas = vec![0u64; p.m as usize];
+    for i in 1..p.m as usize {
+        gbas[i] = gbas[i - 1] + group_sq[i - 1];
+    }
+    debug_assert!(sum_sq <= p.s, "P(S) guarantees Σℓ² ≤ s");
+
+    // Bucket → keys via counting sort (O(n + s), inherently sequential
+    // cursor walk; cheap relative to hashing and layout).
+    let mut offsets = vec![0usize; p.s as usize + 1];
+    for &b in &bucket {
+        offsets[b as usize + 1] += 1;
+    }
+    for i in 0..p.s as usize {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut by_bucket = vec![0u64; sorted.len()];
+    {
+        let mut cursor = offsets.clone();
+        for (i, &x) in sorted.iter().enumerate() {
+            let b = bucket[i] as usize;
+            by_bucket[cursor[b]] = x;
+            cursor[b] += 1;
+        }
+    }
+
+    // Stage 2a: encode every group's histogram into a flat m × ρ arena.
+    let hist_span = lcds_obs::span(metric::BUILD_HISTOGRAM_LAYOUT);
+    let rho = p.rho as usize;
+    let mut hist = vec![0u64; p.m as usize * rho];
+    let encode_group = |g: usize, words: &mut [u64]| {
+        let mut loads = vec![0u32; p.group_size as usize];
+        for (k, slot) in loads.iter_mut().enumerate() {
+            *slot = bucket_loads[p.bucket_of(g as u64, k as u64) as usize];
+        }
+        assert!(
+            histogram::encode_into(&loads, words),
+            "P(S) bounds the group load, so the histogram fits by construction"
+        );
+    };
+    if par {
+        hist.par_chunks_mut(rho)
+            .enumerate()
+            .for_each(|(g, words)| encode_group(g, words));
+    } else {
+        for (g, words) in hist.chunks_mut(rho).enumerate() {
+            encode_group(g, words);
+        }
+    }
+    drop(hist_span);
+
+    // Stage 2b: fill every non-header row from its disjoint slice.
+    let layout_span = lcds_obs::span(metric::BUILD_TABLE_LAYOUT);
+    let mut table = Table::new(layout.num_rows(), p.s, EMPTY);
+    let fw = draw.f.words();
+    let gw = draw.g.words();
+    let ctx = RowFill {
+        d: layout.d,
+        r: p.r,
+        m: p.m,
+        rho: p.rho,
+        fw: &fw,
+        gw: &gw,
+        z: &draw.z,
+        gbas: &gbas,
+        hist: &hist,
+    };
+    if par {
+        let rows: Vec<(u32, &mut [u64])> = table.rows_mut().collect();
+        rows.into_par_iter()
+            .for_each(|(row, cells)| ctx.fill(row, cells));
+    } else {
+        for (row, cells) in table.rows_mut() {
+            ctx.fill(row, cells);
+        }
+    }
+    drop(layout_span);
+
+    // Stage 3: per-bucket perfect hashing. The groups' owned ranges tile
+    // [0, Σℓ²) contiguously (GBAS is their prefix sum), so the header and
+    // data rows split into per-group disjoint slices; the tail [Σℓ², s)
+    // is slack and stays EMPTY.
+    let seed_span = lcds_obs::span(metric::BUILD_PERFECT_HASH);
+    let (header_row, data_row) = table.two_rows_mut(layout.row_header(), layout.row_data());
+    let mut header_parts: Vec<&mut [u64]> = Vec::with_capacity(p.m as usize);
+    let mut data_parts: Vec<&mut [u64]> = Vec::with_capacity(p.m as usize);
+    {
+        let mut header_rest = header_row;
+        let mut data_rest = data_row;
+        for &sq in &group_sq {
+            let (h, ht) = header_rest.split_at_mut(sq as usize);
+            let (d, dt) = data_rest.split_at_mut(sq as usize);
+            header_parts.push(h);
+            data_parts.push(d);
+            header_rest = ht;
+            data_rest = dt;
+        }
+    }
+    let hashed: Result<Vec<GroupHashed>, BuildError> = if par {
+        header_parts
+            .into_par_iter()
+            .zip(data_parts.into_par_iter())
+            .enumerate()
+            .map(|(g, (h, d))| {
+                hash_group(
+                    g as u64,
+                    &p,
+                    seed,
+                    &bucket_loads,
+                    &by_bucket,
+                    &offsets,
+                    h,
+                    d,
+                )
+            })
+            .collect()
+    } else {
+        header_parts
+            .into_iter()
+            .zip(data_parts)
+            .enumerate()
+            .map(|(g, (h, d))| {
+                hash_group(
+                    g as u64,
+                    &p,
+                    seed,
+                    &bucket_loads,
+                    &by_bucket,
+                    &offsets,
+                    h,
+                    d,
+                )
+            })
+            .collect()
+    };
+    let hashed = hashed?;
+    drop(seed_span);
+
+    // Stats and telemetry, folded in group order (the sums and max are
+    // order-insensitive anyway; the fixed order keeps event logs stable).
+    let mut stats = BuildStats {
+        hash_retries: retries,
+        sum_squared_loads: sum_sq,
+        ..BuildStats::default()
+    };
+    let trials_hist = lcds_obs::histogram(metric::BUILD_SEED_TRIALS_PER_BUCKET);
+    for g in &hashed {
+        for &(_, trials) in &g.trials {
+            stats.perfect_trials_total += trials as u64;
+            stats.perfect_trials_max = stats.perfect_trials_max.max(trials);
+            stats.nonempty_buckets += 1;
+            trials_hist.record(trials as u64);
+        }
+    }
+    lcds_obs::counter(metric::BUILD_SEED_TRIALS_TOTAL).add(stats.perfect_trials_total);
+    lcds_obs::counter(metric::BUILDS_TOTAL).inc();
+    lcds_obs::gauge(metric::BUILD_SEED_TRIALS_MAX).set_max(stats.perfect_trials_max as f64);
+    lcds_obs::emit(
+        "build_complete",
+        serde_json::json!({
+            "n": sorted.len(),
+            "cells": p.s * layout.num_rows() as u64,
+            "hash_retries": stats.hash_retries,
+            "perfect_trials_total": stats.perfect_trials_total,
+            "perfect_trials_max": stats.perfect_trials_max,
+            "nonempty_buckets": stats.nonempty_buckets,
+            "sum_squared_loads": stats.sum_squared_loads,
+            "parallel": par,
+        }),
+    );
+
+    Ok(LowContentionDict::from_parts(
+        p, layout, table, sorted, draw.f, draw.g, draw.z, stats,
+    ))
+}
+
+/// Builds the dictionary in parallel on the current Rayon pool, with
+/// explicit configuration. Bit-for-bit identical to
+/// [`build_seeded_with`] for the same `(keys, config, seed)` at every
+/// thread count.
+pub fn par_build_with(
+    keys: &[u64],
+    config: &ParamsConfig,
+    seed: u64,
+) -> Result<LowContentionDict, BuildError> {
+    build_impl(keys, config, seed, true)
+}
+
+/// Builds the dictionary in parallel with [`ParamsConfig::default`].
+pub fn par_build(keys: &[u64], seed: u64) -> Result<LowContentionDict, BuildError> {
+    par_build_with(keys, &ParamsConfig::default(), seed)
+}
+
+/// The sequential twin of [`par_build_with`]: same seed discipline, same
+/// value computations, plain loops. This is the reference the determinism
+/// matrix compares against.
+pub fn build_seeded_with(
+    keys: &[u64],
+    config: &ParamsConfig,
+    seed: u64,
+) -> Result<LowContentionDict, BuildError> {
+    build_impl(keys, config, seed, false)
+}
+
+/// Sequential seeded build with [`ParamsConfig::default`].
+pub fn build_seeded(keys: &[u64], seed: u64) -> Result<LowContentionDict, BuildError> {
+    build_seeded_with(keys, &ParamsConfig::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist;
+
+    fn keyset(n: u64, salt: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| lcds_hashing::mix::derive(salt, i) % MAX_KEY)
+            .collect()
+    }
+
+    fn bytes(d: &LowContentionDict) -> Vec<u8> {
+        let mut buf = Vec::new();
+        persist::save(d, &mut buf).expect("in-memory save cannot fail");
+        buf
+    }
+
+    #[test]
+    fn par_build_verifies_structurally() {
+        for (n, seed) in [(1u64, 9), (10, 10), (500, 11), (2048, 12)] {
+            let keys = keyset(n, seed);
+            let d = par_build(&keys, seed).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            crate::verify::verify(&d).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn par_build_matches_sequential_twin_byte_for_byte() {
+        for (n, seed) in [(1u64, 1), (37, 2), (700, 3)] {
+            let keys = keyset(n, seed);
+            let par = par_build(&keys, seed).expect("parallel build");
+            let seq = build_seeded(&keys, seed).expect("sequential build");
+            assert_eq!(bytes(&par), bytes(&seq), "n={n} seed={seed}");
+            assert_eq!(par.stats(), seq.stats());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_structures() {
+        let keys = keyset(300, 5);
+        let a = par_build(&keys, 1).unwrap();
+        let b = par_build(&keys, 2).unwrap();
+        // Same keys either way…
+        assert_eq!(a.keys(), b.keys());
+        // …but independent randomness (overwhelmingly likely to differ).
+        assert_ne!(bytes(&a), bytes(&b));
+    }
+
+    #[test]
+    fn key_order_does_not_matter() {
+        let mut keys = keyset(200, 6);
+        let a = par_build(&keys, 7).unwrap();
+        keys.reverse();
+        let b = par_build(&keys, 7).unwrap();
+        assert_eq!(bytes(&a), bytes(&b));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_like_the_sequential_builder() {
+        assert_eq!(par_build(&[], 1).unwrap_err(), BuildError::EmptyKeySet);
+        assert_eq!(
+            par_build(&[5, 9, 5], 1).unwrap_err(),
+            BuildError::DuplicateKey(5)
+        );
+        assert_eq!(
+            par_build(&[1, u64::MAX], 1).unwrap_err(),
+            BuildError::KeyOutOfRange(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn retry_cap_surfaces_cleanly() {
+        // With a cap of 1 some seeds must fail P(S); the error is clean and
+        // both twins agree on which seeds those are.
+        let keys = keyset(300, 9);
+        let config = ParamsConfig {
+            max_hash_retries: 1,
+            ..ParamsConfig::default()
+        };
+        let mut saw_fail = false;
+        for seed in 0..100 {
+            let par = par_build_with(&keys, &config, seed);
+            let seq = build_seeded_with(&keys, &config, seed);
+            match (&par, &seq) {
+                (Ok(a), Ok(b)) => assert_eq!(bytes(a), bytes(b), "seed {seed}"),
+                (Err(BuildError::HashRetriesExhausted(1)), Err(_)) => saw_fail = true,
+                other => panic!("twins disagree at seed {seed}: {other:?}"),
+            }
+        }
+        // Not asserting saw_fail strictly — but record the intent.
+        let _ = saw_fail;
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated() {
+        let s0 = shard_seed(42, 0);
+        let s1 = shard_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_ne!(shard_seed(42, 0), shard_seed(43, 0));
+        // Reproducible.
+        assert_eq!(shard_seed(42, 0), s0);
+    }
+
+    #[test]
+    fn queries_agree_with_sequential_builder_semantics() {
+        let keys = keyset(400, 13);
+        let d = par_build(&keys, 13).unwrap();
+        for &x in keys.iter().take(50) {
+            assert!(d.resolve_contains(x));
+        }
+        assert!(!d.resolve_contains(MAX_KEY - 1));
+    }
+}

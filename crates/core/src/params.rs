@@ -179,6 +179,37 @@ impl Params {
         k * self.m + group
     }
 
+    /// The DM displacement `h(x) = (f(x) + z_{g(x)}) mod s`, by conditional
+    /// subtraction (both summands are `< s`, so one subtraction suffices).
+    #[inline]
+    pub fn displace(&self, fx: u64, z: u64) -> u64 {
+        debug_assert!(fx < self.s && z < self.s);
+        let t = fx + z;
+        if t >= self.s {
+            t - self.s
+        } else {
+            t
+        }
+    }
+
+    /// Lemma 9 clause 1: is this `g`-class load within `⌊c·n/r⌋`?
+    #[inline]
+    pub fn class_load_within_cap(&self, load: u32) -> bool {
+        load as u64 <= self.class_load_cap
+    }
+
+    /// Lemma 9 clause 2: is this group load within `⌊c·n/m⌋`?
+    #[inline]
+    pub fn group_load_within_cap(&self, load: u32) -> bool {
+        load as u64 <= self.group_load_cap
+    }
+
+    /// Lemma 9 clause 3 (the FKS condition): does `Σℓ²` fit in `s` cells?
+    #[inline]
+    pub fn fks_within_space(&self, sum_squared_loads: u64) -> bool {
+        sum_squared_loads <= self.s
+    }
+
     /// Which group a bucket belongs to: `bucket mod m`.
     #[inline]
     pub fn group_of(&self, bucket: u64) -> u64 {
@@ -287,6 +318,26 @@ mod tests {
                 assert_eq!(p.index_in_group(b), k);
             }
         }
+    }
+
+    #[test]
+    fn displace_wraps_mod_s() {
+        let p = Params::derive(100, &ParamsConfig::default());
+        assert_eq!(p.displace(0, 0), 0);
+        assert_eq!(p.displace(p.s - 1, 1), 0);
+        assert_eq!(p.displace(p.s - 1, p.s - 1), p.s - 2);
+        assert_eq!(p.displace(3, 4), 7);
+    }
+
+    #[test]
+    fn load_predicates_match_caps() {
+        let p = Params::derive(1000, &ParamsConfig::default());
+        assert!(p.class_load_within_cap(p.class_load_cap as u32));
+        assert!(!p.class_load_within_cap(p.class_load_cap as u32 + 1));
+        assert!(p.group_load_within_cap(p.group_load_cap as u32));
+        assert!(!p.group_load_within_cap(p.group_load_cap as u32 + 1));
+        assert!(p.fks_within_space(p.s));
+        assert!(!p.fks_within_space(p.s + 1));
     }
 
     #[test]

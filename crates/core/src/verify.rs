@@ -8,6 +8,7 @@
 
 use crate::dict::{LowContentionDict, EMPTY};
 use crate::histogram;
+use rayon::prelude::*;
 
 /// Runs every structural check; returns the first violation.
 pub fn verify(dict: &LowContentionDict) -> Result<(), String> {
@@ -15,31 +16,34 @@ pub fn verify(dict: &LowContentionDict) -> Result<(), String> {
     let l = *dict.layout();
     let t = dict.table();
 
-    // 1. Replicated rows are constant / residue-determined.
-    for i in 0..p.d as u32 {
-        let f0 = t.peek(l.row_f(i), 0);
-        let g0 = t.peek(l.row_g(i), 0);
-        for j in 0..p.s {
-            if t.peek(l.row_f(i), j) != f0 {
-                return Err(format!("f row {i} inconsistent at column {j}"));
+    // 1. Replicated rows are constant / residue-determined. This is the
+    //    O(s · (2d + ρ)) hot scan, so columns are checked in parallel;
+    //    `find_map_first` keeps the reported violation the leftmost one,
+    //    same as the serial loop.
+    let replica_violation = (0..p.s).into_par_iter().find_map_first(|j| {
+        for i in 0..p.d as u32 {
+            if t.peek(l.row_f(i), j) != t.peek(l.row_f(i), 0) {
+                return Some(format!("f row {i} inconsistent at column {j}"));
             }
-            if t.peek(l.row_g(i), j) != g0 {
-                return Err(format!("g row {i} inconsistent at column {j}"));
+            if t.peek(l.row_g(i), j) != t.peek(l.row_g(i), 0) {
+                return Some(format!("g row {i} inconsistent at column {j}"));
             }
         }
-    }
-    for j in 0..p.s {
         if t.peek(l.row_z(), j) != t.peek(l.row_z(), j % p.r) {
-            return Err(format!("z row inconsistent at column {j}"));
+            return Some(format!("z row inconsistent at column {j}"));
         }
         if t.peek(l.row_gbas(), j) != t.peek(l.row_gbas(), j % p.m) {
-            return Err(format!("GBAS row inconsistent at column {j}"));
+            return Some(format!("GBAS row inconsistent at column {j}"));
         }
         for w in 0..p.rho {
             if t.peek(l.row_hist(w), j) != t.peek(l.row_hist(w), j % p.m) {
-                return Err(format!("histogram row {w} inconsistent at column {j}"));
+                return Some(format!("histogram row {w} inconsistent at column {j}"));
             }
         }
+        None
+    });
+    if let Some(e) = replica_violation {
+        return Err(e);
     }
 
     // 2. Histograms decode to the true bucket loads; GBAS are the squared

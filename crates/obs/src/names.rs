@@ -6,6 +6,40 @@
 //! metric name silently creates a parallel empty series, which is exactly
 //! the kind of bug a constant can't have.
 
+/// Wall time of one whole dictionary construction (span; exported with an
+/// `_ns` suffix like every span histogram).
+pub const BUILD_TOTAL: &str = "lcds_build_total";
+
+/// Wall time of the `(f, g, z)` rejection-sampling loop (span).
+pub const BUILD_HASH_DRAW: &str = "lcds_build_hash_draw";
+
+/// Wall time of the replicated-row table fills (span).
+pub const BUILD_TABLE_LAYOUT: &str = "lcds_build_table_layout";
+
+/// Wall time of the per-group histogram encoding + fills (span).
+pub const BUILD_HISTOGRAM_LAYOUT: &str = "lcds_build_histogram_layout";
+
+/// Wall time of the per-bucket perfect-hash seed searches (span).
+pub const BUILD_PERFECT_HASH: &str = "lcds_build_perfect_hash";
+
+/// `(f, g, z)` draws rejected by `P(S)` across all builds (counter).
+pub const BUILD_HASH_RETRIES_TOTAL: &str = "lcds_build_hash_retries_total";
+
+/// Perfect-hash seeds tried across all buckets and builds (counter).
+pub const BUILD_SEED_TRIALS_TOTAL: &str = "lcds_build_seed_trials_total";
+
+/// Worst single bucket's seed trials seen so far (gauge, set-max).
+pub const BUILD_SEED_TRIALS_MAX: &str = "lcds_build_seed_trials_max";
+
+/// Distribution of seed trials per non-empty bucket (histogram).
+pub const BUILD_SEED_TRIALS_PER_BUCKET: &str = "lcds_build_seed_trials_per_bucket";
+
+/// Completed dictionary constructions (counter).
+pub const BUILDS_TOTAL: &str = "lcds_builds_total";
+
+/// Rayon worker threads available to the parallel builder (gauge).
+pub const BUILD_PAR_WORKERS: &str = "lcds_build_par_workers";
+
 /// Batches executed by the `lcds-serve` bulk engine (counter).
 pub const SERVE_BATCHES_TOTAL: &str = "lcds_serve_batches_total";
 
@@ -48,6 +82,25 @@ mod tests {
             SERVE_SHARD_DEPTH,
         ] {
             assert!(name.starts_with("lcds_serve_"), "{name}");
+        }
+    }
+
+    #[test]
+    fn build_names_share_the_subsystem_prefix() {
+        for name in [
+            BUILD_TOTAL,
+            BUILD_HASH_DRAW,
+            BUILD_TABLE_LAYOUT,
+            BUILD_HISTOGRAM_LAYOUT,
+            BUILD_PERFECT_HASH,
+            BUILD_HASH_RETRIES_TOTAL,
+            BUILD_SEED_TRIALS_TOTAL,
+            BUILD_SEED_TRIALS_MAX,
+            BUILD_SEED_TRIALS_PER_BUCKET,
+            BUILDS_TOTAL,
+            BUILD_PAR_WORKERS,
+        ] {
+            assert!(name.starts_with("lcds_build"), "{name}");
         }
     }
 }

@@ -102,24 +102,61 @@ impl ShardedLcd {
         splitter_seed: u64,
         rng: &mut R,
     ) -> Result<ShardedLcd, ShardBuildError> {
-        if keys.is_empty() {
-            return Err(ShardBuildError::EmptyKeySet);
-        }
-        if num_shards == 0 {
-            return Err(ShardBuildError::ZeroShards);
-        }
-        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
-        for &x in keys {
-            parts[route(x, splitter_seed, num_shards)].push(x);
-        }
-        if let Some(k) = parts.iter().position(|p| p.is_empty()) {
-            return Err(ShardBuildError::EmptyShard(k));
-        }
+        let parts = partition(keys, num_shards, splitter_seed)?;
         let mut shards = Vec::with_capacity(num_shards);
         for part in &parts {
             shards.push(build(part, rng)?);
         }
-        let mut bases = Vec::with_capacity(num_shards);
+        Ok(Self::assemble(shards, splitter_seed, keys.len()))
+    }
+
+    /// Builds every shard **in parallel** from one top-level build seed:
+    /// shard `k` runs `lcds_core::par_build` under the derived sub-seed
+    /// [`lcds_core::shard_seed`]`(build_seed, k)`. Deterministic — the
+    /// output is bit-identical to [`ShardedLcd::build_seeded`] for the
+    /// same `(keys, num_shards, splitter_seed, build_seed)` at every
+    /// thread count.
+    pub fn par_build(
+        keys: &[u64],
+        num_shards: usize,
+        splitter_seed: u64,
+        build_seed: u64,
+    ) -> Result<ShardedLcd, ShardBuildError> {
+        let parts = partition(keys, num_shards, splitter_seed)?;
+        let shards = parts
+            .par_iter()
+            .enumerate()
+            .map(|(k, part)| {
+                lcds_core::par_build(part, lcds_core::shard_seed(build_seed, k as u64))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, splitter_seed, keys.len()))
+    }
+
+    /// Sequential twin of [`ShardedLcd::par_build`]: same sub-seed
+    /// discipline, shards built one after another — the reference the
+    /// determinism matrix compares against.
+    pub fn build_seeded(
+        keys: &[u64],
+        num_shards: usize,
+        splitter_seed: u64,
+        build_seed: u64,
+    ) -> Result<ShardedLcd, ShardBuildError> {
+        let parts = partition(keys, num_shards, splitter_seed)?;
+        let shards = parts
+            .iter()
+            .enumerate()
+            .map(|(k, part)| {
+                lcds_core::build_seeded(part, lcds_core::shard_seed(build_seed, k as u64))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, splitter_seed, keys.len()))
+    }
+
+    /// Computes the global cell-id bases and records the shard gauge —
+    /// the assembly shared by all build entry points.
+    fn assemble(shards: Vec<LowContentionDict>, splitter_seed: u64, len: usize) -> ShardedLcd {
+        let mut bases = Vec::with_capacity(shards.len());
         let mut base = 0u64;
         for s in &shards {
             bases.push(base);
@@ -128,14 +165,14 @@ impl ShardedLcd {
         if lcds_obs::enabled() {
             lcds_obs::global()
                 .gauge(lcds_obs::names::SERVE_SHARDS)
-                .set(num_shards as f64);
+                .set(shards.len() as f64);
         }
-        Ok(ShardedLcd {
+        ShardedLcd {
             shards,
             bases,
             splitter_seed,
-            len: keys.len(),
-        })
+            len,
+        }
     }
 
     /// Which shard serves key `x`.
@@ -206,6 +243,28 @@ impl ShardedLcd {
 #[inline]
 fn route(x: u64, splitter_seed: u64, k: usize) -> usize {
     (splitmix64(x ^ splitter_seed) % k as u64) as usize
+}
+
+/// Validates inputs and routes every key to its shard's key list.
+fn partition(
+    keys: &[u64],
+    num_shards: usize,
+    splitter_seed: u64,
+) -> Result<Vec<Vec<u64>>, ShardBuildError> {
+    if keys.is_empty() {
+        return Err(ShardBuildError::EmptyKeySet);
+    }
+    if num_shards == 0 {
+        return Err(ShardBuildError::ZeroShards);
+    }
+    let mut parts: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+    for &x in keys {
+        parts[route(x, splitter_seed, num_shards)].push(x);
+    }
+    if let Some(k) = parts.iter().position(|p| p.is_empty()) {
+        return Err(ShardBuildError::EmptyShard(k));
+    }
+    Ok(parts)
 }
 
 impl CellProbeDict for ShardedLcd {
@@ -400,6 +459,53 @@ mod tests {
             "ratio {}",
             profile.max_step_ratio()
         );
+    }
+
+    fn shard_bytes(d: &ShardedLcd) -> Vec<Vec<u8>> {
+        d.shards()
+            .iter()
+            .map(|s| {
+                let mut buf = Vec::new();
+                lcds_core::persist::save(s, &mut buf).unwrap();
+                buf
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_build_matches_sequential_twin_per_shard() {
+        let keys = uniform_keys(2000, 63);
+        for k in [1usize, 3] {
+            let par = ShardedLcd::par_build(&keys, k, 17, 99).expect("par build");
+            let seq = ShardedLcd::build_seeded(&keys, k, 17, 99).expect("seq build");
+            assert_eq!(shard_bytes(&par), shard_bytes(&seq), "k={k}");
+            // And the assembled structure answers identically.
+            let probes: Vec<u64> = keys
+                .iter()
+                .copied()
+                .chain(negative_pool(&keys, 500, 64))
+                .collect();
+            assert_eq!(
+                par.bulk_contains(&probes, 3, false),
+                seq.bulk_contains(&probes, 3, false)
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_builds_validate_inputs_like_build() {
+        assert!(matches!(
+            ShardedLcd::par_build(&[], 2, 0, 0),
+            Err(ShardBuildError::EmptyKeySet)
+        ));
+        assert!(matches!(
+            ShardedLcd::par_build(&[1, 2, 3], 0, 0, 0),
+            Err(ShardBuildError::ZeroShards)
+        ));
+        match ShardedLcd::par_build(&[42], 64, 0, 0) {
+            Err(ShardBuildError::EmptyShard(_)) => {}
+            other => panic!("expected EmptyShard, got {other:?}"),
+        }
     }
 
     #[test]

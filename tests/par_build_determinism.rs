@@ -1,0 +1,208 @@
+//! The parallel builder's determinism contract, tested end to end.
+//!
+//! `lcds_core::par_build` promises **bit-for-bit identical** output to its
+//! sequential twin `build_seeded` for the same seed, at *every* thread
+//! count — Rayon may schedule bucket hashing, row fills, and shard builds
+//! in any order, but every random value is a pure function of
+//! `(seed, position)` through [`StreamRng`] lanes, so the persisted bytes
+//! cannot depend on the schedule. This file pins that contract with a
+//! thread-count × shard-count matrix, and property-tests the RNG
+//! foundation it rests on: per-bucket streams never replay each other
+//! within any realistic draw horizon.
+
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_core::{par_build, persist};
+use lcds_serve::ShardedLcd;
+use proptest::prelude::*;
+use rand::RngCore;
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+const SHARD_MATRIX: [usize; 2] = [1, 4];
+
+fn keyset(n: usize, salt: u64) -> Vec<u64> {
+    lcds_workloads::keysets::uniform_keys(n, salt)
+}
+
+fn dict_bytes(d: &lcds_core::LowContentionDict) -> Vec<u8> {
+    let mut buf = Vec::new();
+    persist::save(d, &mut buf).unwrap();
+    buf
+}
+
+fn sharded_bytes(s: &ShardedLcd) -> Vec<Vec<u8>> {
+    s.shards().iter().map(dict_bytes).collect()
+}
+
+/// Runs `work` on a dedicated Rayon pool of exactly `threads` workers.
+fn on_pool<T: Send>(threads: usize, work: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(work)
+}
+
+/// The tentpole acceptance matrix: thread counts {1, 2, 8} × shard counts
+/// {1, 4}, every cell byte-for-byte equal to the sequential reference.
+#[test]
+fn thread_shard_matrix_is_byte_identical_to_sequential() {
+    let keys = keyset(2000, 0xD00D);
+    let (splitter_seed, build_seed) = (5, 77);
+
+    for &shards in &SHARD_MATRIX {
+        // Sequential twin, built once outside any pool.
+        let reference: Vec<Vec<u8>> = if shards == 1 {
+            vec![dict_bytes(
+                &lcds_core::build_seeded(&keys, build_seed).unwrap(),
+            )]
+        } else {
+            sharded_bytes(
+                &ShardedLcd::build_seeded(&keys, shards, splitter_seed, build_seed).unwrap(),
+            )
+        };
+
+        for &threads in &THREAD_MATRIX {
+            let parallel: Vec<Vec<u8>> = on_pool(threads, || {
+                if shards == 1 {
+                    vec![dict_bytes(
+                        &lcds_core::par_build(&keys, build_seed).unwrap(),
+                    )]
+                } else {
+                    sharded_bytes(
+                        &ShardedLcd::par_build(&keys, shards, splitter_seed, build_seed).unwrap(),
+                    )
+                }
+            });
+            assert_eq!(
+                reference, parallel,
+                "par_build diverged from the sequential twin at \
+                 {threads} thread(s) × {shards} shard(s)"
+            );
+        }
+    }
+}
+
+/// Repeated parallel builds on the *same* pool size are also stable (no
+/// hidden dependence on pool-local state or run-to-run scheduling).
+#[test]
+fn repeated_parallel_builds_are_stable() {
+    let keys = keyset(800, 0xFACE);
+    let first = on_pool(2, || dict_bytes(&lcds_core::par_build(&keys, 31).unwrap()));
+    for _ in 0..3 {
+        let again = on_pool(2, || dict_bytes(&lcds_core::par_build(&keys, 31).unwrap()));
+        assert_eq!(first, again);
+    }
+}
+
+/// The dictionaries the matrix compares are not degenerate: they answer
+/// queries correctly through the sharded serve path.
+#[test]
+fn matrix_artifacts_answer_queries() {
+    let keys = keyset(500, 0xBEEF);
+    let sharded = on_pool(2, || ShardedLcd::par_build(&keys, 4, 5, 77).unwrap());
+    let answers = sharded.bulk_contains(&keys, 9, true);
+    assert!(answers.iter().all(|&b| b), "a stored key went missing");
+    let negs = lcds_workloads::querygen::negative_pool(&keys, 64, 0x9E9);
+    let answers = sharded.bulk_contains(&negs, 9, true);
+    assert!(!answers.iter().any(|&b| b), "a non-member was reported");
+}
+
+// ---------------------------------------------------------------------------
+// Stream-overlap property: the RNG foundation of the determinism contract.
+// ---------------------------------------------------------------------------
+
+/// The Weyl increment every [`StreamRng`] walks (see `rngutil.rs`).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiplicative inverse of [`GOLDEN`] mod 2^64 (it is odd, hence
+/// invertible; Newton–Hensel doubles correct bits each step).
+fn golden_inverse() -> u64 {
+    let mut inv: u64 = 1;
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(GOLDEN.wrapping_mul(inv)));
+    }
+    assert_eq!(GOLDEN.wrapping_mul(inv), 1);
+    inv
+}
+
+/// How many draws it takes for stream `a` to replay stream `b`'s start:
+/// every stream walks the same golden-ratio Weyl sequence from a different
+/// phase, so the gap is `(state_b − state_a) · GOLDEN⁻¹ mod 2^64`.
+fn draws_until_replay(a: &StreamRng, b: &StreamRng) -> u64 {
+    b.state()
+        .wrapping_sub(a.state())
+        .wrapping_mul(golden_inverse())
+}
+
+/// No bucket's seed search can wander into another bucket's stream: a
+/// bucket consumes one `u64` per perfect-hash trial, bounded by the retry
+/// cap (~10⁴), and the phase gap between any two bucket streams is far
+/// beyond that horizon in *both* directions.
+const HORIZON: u64 = 1 << 20;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_streams_never_overlap_within_horizon(
+        seed in any::<u64>(),
+        b1 in 0u64..100_000,
+        b2 in 0u64..100_000,
+    ) {
+        prop_assume!(b1 != b2);
+        let s1 = StreamRng::for_lane(seed, par_build::lanes::BUCKET, b1);
+        let s2 = StreamRng::for_lane(seed, par_build::lanes::BUCKET, b2);
+        let fwd = draws_until_replay(&s1, &s2);
+        let back = draws_until_replay(&s2, &s1);
+        prop_assert!(
+            fwd > HORIZON && back > HORIZON,
+            "bucket {b1} and {b2} streams under seed {seed} are only \
+             {} draws apart",
+            fwd.min(back)
+        );
+    }
+
+    #[test]
+    fn lanes_never_overlap_within_horizon(
+        seed in any::<u64>(),
+        i in 0u64..10_000,
+        j in 0u64..10_000,
+    ) {
+        // Cross-lane: a draw-attempt stream and a bucket stream must not
+        // replay each other either — they are derived from different
+        // sub-seeds, so this holds even when i == j.
+        let a = StreamRng::for_lane(seed, par_build::lanes::DRAW, i);
+        let b = StreamRng::for_lane(seed, par_build::lanes::BUCKET, j);
+        let fwd = draws_until_replay(&a, &b);
+        let back = draws_until_replay(&b, &a);
+        prop_assert!(fwd > HORIZON && back > HORIZON);
+    }
+
+    #[test]
+    fn shard_seeds_inherit_decorrelation(seed in any::<u64>(), k1 in 0u64..64, k2 in 0u64..64) {
+        prop_assume!(k1 != k2);
+        // Shard sub-seeds feed whole nested builds, so they must differ —
+        // and the streams they induce must not be near-translates.
+        let s1 = lcds_core::shard_seed(seed, k1);
+        let s2 = lcds_core::shard_seed(seed, k2);
+        prop_assert_ne!(s1, s2);
+        let a = StreamRng::for_lane(s1, par_build::lanes::BUCKET, 0);
+        let b = StreamRng::for_lane(s2, par_build::lanes::BUCKET, 0);
+        let fwd = draws_until_replay(&a, &b);
+        let back = draws_until_replay(&b, &a);
+        prop_assert!(fwd > HORIZON && back > HORIZON);
+    }
+}
+
+/// Sanity-check the replay arithmetic itself: advancing a stream `t` draws
+/// really does land it on a state whose replay distance reads back as `t`.
+#[test]
+fn draws_until_replay_counts_actual_draws() {
+    let mut walker = StreamRng::for_lane(42, par_build::lanes::BUCKET, 0);
+    let origin = walker;
+    for _ in 0..137 {
+        let _ = walker.next_u64();
+    }
+    assert_eq!(draws_until_replay(&origin, &walker), 137);
+    assert_eq!(draws_until_replay(&walker, &origin), 137u64.wrapping_neg());
+}
