@@ -30,7 +30,7 @@ const LINE_WORDS: usize = 8;
 /// to fill rows in parallel takes disjoint `&mut [u64]` row slices from
 /// [`Table::rows_mut`] / [`Table::two_rows_mut`] instead of doing index
 /// arithmetic on a shared buffer.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Table {
     rows: u32,
     cols: u64,
@@ -41,6 +41,18 @@ pub struct Table {
     buf: Vec<u64>,
     /// Logical word count `rows · cols`.
     len: usize,
+}
+
+impl Clone for Table {
+    /// A derived clone would copy `buf` verbatim while `align_off()` is
+    /// recomputed from the clone's *new* allocation address, silently
+    /// shifting the logical window. Clone through the public constructor
+    /// instead and copy the logical words into the fresh arena.
+    fn clone(&self) -> Table {
+        let mut copy = Table::new(self.rows, self.cols, 0);
+        copy.words_mut().copy_from_slice(self.words());
+        copy
+    }
 }
 
 impl PartialEq for Table {
@@ -315,6 +327,31 @@ mod tests {
     fn two_rows_mut_rejects_same_row() {
         let mut t = Table::new(2, 2, 0);
         let _ = t.two_rows_mut(1, 1);
+    }
+
+    #[test]
+    fn clone_preserves_words_across_realignment() {
+        // The clone's arena lands at a fresh address whose 64-byte offset
+        // may differ from the original's; the logical window must carry the
+        // same words regardless. Repeat so several distinct allocations
+        // (and thus several alignment offsets) get exercised.
+        let mut orig = Table::new(3, 7, 0);
+        for i in 0..3u32 {
+            for j in 0..7u64 {
+                orig.write(i, j, i as u64 * 1000 + j + 1);
+            }
+        }
+        let mut clones = Vec::new();
+        for _ in 0..32 {
+            let c = orig.clone();
+            assert_eq!(c.words(), orig.words());
+            assert_eq!(c, orig);
+            assert_eq!(c.words().as_ptr() as usize % 64, 0);
+            clones.push(c); // keep alive so allocations don't all reuse one address
+        }
+        // Clone-of-clone round-trips too.
+        let cc = clones[0].clone().clone();
+        assert_eq!(cc.words(), orig.words());
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //!
 //! ```text
 //! lcds build  --out DICT (--random N | --keys FILE) [--seed S]
-//!             [--build-threads T]
+//!             [--threads T]
 //! lcds info   DICT
 //! lcds query  DICT KEY...
 //! lcds bulk   DICT (--keys FILE | --random N) [--batch B] [--seed S]
-//!             [--build-threads T]
+//!             [--threads T]
 //! lcds audit  DICT [--zipf THETA] [--negatives M]
 //! lcds obs    [--random N] [--queries Q] [--zipf THETA] [--period P]
 //!             [--topk K] [--format table|prom|jsonl] [--seed S]
@@ -25,6 +25,7 @@
 use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::dist::{QueryDistribution, QueryPool};
 use lcds_cellprobe::exact::exact_contention;
+use lcds_cellprobe::sink::ProbeSink;
 use lcds_core::persist;
 use lcds_core::rows::row_report;
 use lcds_core::LowContentionDict;
@@ -84,11 +85,16 @@ lcds — low-contention static dictionary (SPAA 2010 reproduction)
 
 commands:
   build  --out DICT (--random N | --keys FILE) [--seed S]   build + persist
-         [--build-threads T]                                (parallel, seeded)
+         [--threads T]                                      (parallel, seeded)
   info   DICT                                               parameters & stats
   query  DICT KEY...                                        membership
   bulk   DICT (--keys FILE | --random N)                    batched bulk queries
-         [--batch B] [--seed S] [--build-threads T]         via the serve engine
+         [--batch B] [--seed S] [--threads T]               via the serve engine
+
+--threads T sizes the Rayon worker pool for that subcommand: the parallel
+construction pipeline on `build`, the bulk-query engine on `bulk`. It never
+changes results — builds are bit-deterministic in the seed at every thread
+count. --build-threads is accepted as an alias.
   audit  DICT [--zipf THETA] [--negatives M]                contention report
   obs    [--random N] [--queries Q] [--zipf THETA]          live telemetry demo:
          [--period P] [--topk K] [--seed S]                 sampled probes, top-K
@@ -154,20 +160,23 @@ fn load_dict(path: &str) -> Result<LowContentionDict, CliError> {
     persist::load_from_path(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
-/// Parses the optional `--build-threads` flag (must be ≥ 1 when given).
+/// Parses the optional worker-pool size flag: `--threads`, with
+/// `--build-threads` accepted as a legacy alias (must be ≥ 1 when given).
+/// On `build` the pool runs the construction pipeline; on `bulk` it runs
+/// the query engine — the value never affects results, only wall clock.
 fn threads_flag(flags: &[(String, String)]) -> Result<Option<usize>, CliError> {
-    match flag(flags, "build-threads") {
-        None => Ok(None),
-        Some(v) => {
-            let t: usize = v
-                .parse()
-                .map_err(|e| CliError::usage(format!("bad --build-threads: {e}")))?;
-            if t == 0 {
-                return Err(CliError::usage("--build-threads must be at least 1"));
-            }
-            Ok(Some(t))
-        }
+    let (name, v) = match (flag(flags, "threads"), flag(flags, "build-threads")) {
+        (Some(v), _) => ("threads", v),
+        (None, Some(v)) => ("build-threads", v),
+        (None, None) => return Ok(None),
+    };
+    let t: usize = v
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad --{name}: {e}")))?;
+    if t == 0 {
+        return Err(CliError::usage(format!("--{name} must be at least 1")));
     }
+    Ok(Some(t))
 }
 
 /// Runs `work` on a Rayon pool of `threads` workers (the global pool when
@@ -673,6 +682,28 @@ mod tests {
             run_capture(&["bulk", dict_str, "--random", "50", "--build-threads", "2"]).unwrap();
         assert!(out.contains("2 thread(s)"), "{out}");
         assert!(out.contains("50 queries"), "{out}");
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn threads_flag_is_primary_name_on_build_and_bulk() {
+        let dict_path = tmp("threads-primary.dict");
+        let dict_str = dict_path.to_str().unwrap();
+        let out = run_capture(&[
+            "build",
+            "--out",
+            dict_str,
+            "--random",
+            "200",
+            "--seed",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("2 rayon thread(s)"), "{out}");
+        let out = run_capture(&["bulk", dict_str, "--random", "50", "--threads", "3"]).unwrap();
+        assert!(out.contains("3 thread(s)"), "{out}");
         let _ = std::fs::remove_file(&dict_path);
     }
 

@@ -1,0 +1,1 @@
+//! Offline test harness: see `tests/determinism.rs`.

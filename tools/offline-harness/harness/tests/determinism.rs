@@ -1,0 +1,197 @@
+//! Offline adaptation of `tests/par_build_determinism.rs` from the real
+//! repository: identical plain tests, with the three proptest properties
+//! rewritten as deterministic seeded loops (the container has no network,
+//! so `proptest` itself is stubbed out of the overlay).
+
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_core::{par_build, persist};
+use lcds_serve::ShardedLcd;
+use rand::RngCore;
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+const SHARD_MATRIX: [usize; 2] = [1, 4];
+
+fn keyset(n: usize, salt: u64) -> Vec<u64> {
+    lcds_workloads::keysets::uniform_keys(n, salt)
+}
+
+fn dict_bytes(d: &lcds_core::LowContentionDict) -> Vec<u8> {
+    let mut buf = Vec::new();
+    persist::save(d, &mut buf).unwrap();
+    buf
+}
+
+fn sharded_bytes(s: &ShardedLcd) -> Vec<Vec<u8>> {
+    s.shards().iter().map(dict_bytes).collect()
+}
+
+fn on_pool<T: Send>(threads: usize, work: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(work)
+}
+
+#[test]
+fn thread_shard_matrix_is_byte_identical_to_sequential() {
+    let keys = keyset(2000, 0xD00D);
+    let (splitter_seed, build_seed) = (5, 77);
+
+    for &shards in &SHARD_MATRIX {
+        let reference: Vec<Vec<u8>> = if shards == 1 {
+            vec![dict_bytes(
+                &lcds_core::build_seeded(&keys, build_seed).unwrap(),
+            )]
+        } else {
+            sharded_bytes(
+                &ShardedLcd::build_seeded(&keys, shards, splitter_seed, build_seed).unwrap(),
+            )
+        };
+
+        for &threads in &THREAD_MATRIX {
+            let parallel: Vec<Vec<u8>> = on_pool(threads, || {
+                if shards == 1 {
+                    vec![dict_bytes(
+                        &lcds_core::par_build(&keys, build_seed).unwrap(),
+                    )]
+                } else {
+                    sharded_bytes(
+                        &ShardedLcd::par_build(&keys, shards, splitter_seed, build_seed).unwrap(),
+                    )
+                }
+            });
+            assert_eq!(
+                reference, parallel,
+                "par_build diverged from the sequential twin at \
+                 {threads} thread(s) × {shards} shard(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_builds_are_stable() {
+    let keys = keyset(800, 0xFACE);
+    let first = on_pool(2, || dict_bytes(&lcds_core::par_build(&keys, 31).unwrap()));
+    for _ in 0..3 {
+        let again = on_pool(2, || dict_bytes(&lcds_core::par_build(&keys, 31).unwrap()));
+        assert_eq!(first, again);
+    }
+}
+
+#[test]
+fn matrix_artifacts_answer_queries() {
+    let keys = keyset(500, 0xBEEF);
+    let sharded = on_pool(2, || ShardedLcd::par_build(&keys, 4, 5, 77).unwrap());
+    let answers = sharded.bulk_contains(&keys, 9, true);
+    assert!(answers.iter().all(|&b| b), "a stored key went missing");
+    let negs = lcds_workloads::querygen::negative_pool(&keys, 64, 0x9E9);
+    let answers = sharded.bulk_contains(&negs, 9, true);
+    assert!(!answers.iter().any(|&b| b), "a non-member was reported");
+}
+
+// ---------------------------------------------------------------------------
+// Stream-overlap properties, as deterministic sweeps instead of proptest.
+// ---------------------------------------------------------------------------
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn golden_inverse() -> u64 {
+    let mut inv: u64 = 1;
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(GOLDEN.wrapping_mul(inv)));
+    }
+    assert_eq!(GOLDEN.wrapping_mul(inv), 1);
+    inv
+}
+
+fn draws_until_replay(a: &StreamRng, b: &StreamRng) -> u64 {
+    b.state()
+        .wrapping_sub(a.state())
+        .wrapping_mul(golden_inverse())
+}
+
+const HORIZON: u64 = 1 << 20;
+
+/// Deterministic case generator for the loop-based property sweeps.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn bucket_streams_never_overlap_within_horizon() {
+    let mut g = 0x0FF1_17E5u64;
+    let mut cases = 0;
+    while cases < 256 {
+        let seed = splitmix(&mut g);
+        let b1 = splitmix(&mut g) % 100_000;
+        let b2 = splitmix(&mut g) % 100_000;
+        if b1 == b2 {
+            continue;
+        }
+        cases += 1;
+        let s1 = StreamRng::for_lane(seed, par_build::lanes::BUCKET, b1);
+        let s2 = StreamRng::for_lane(seed, par_build::lanes::BUCKET, b2);
+        let fwd = draws_until_replay(&s1, &s2);
+        let back = draws_until_replay(&s2, &s1);
+        assert!(
+            fwd > HORIZON && back > HORIZON,
+            "bucket {b1} and {b2} streams under seed {seed} are only {} draws apart",
+            fwd.min(back)
+        );
+    }
+}
+
+#[test]
+fn lanes_never_overlap_within_horizon() {
+    let mut g = 0x7A9Eu64;
+    for _ in 0..256 {
+        let seed = splitmix(&mut g);
+        let i = splitmix(&mut g) % 10_000;
+        let j = splitmix(&mut g) % 10_000;
+        let a = StreamRng::for_lane(seed, par_build::lanes::DRAW, i);
+        let b = StreamRng::for_lane(seed, par_build::lanes::BUCKET, j);
+        let fwd = draws_until_replay(&a, &b);
+        let back = draws_until_replay(&b, &a);
+        assert!(fwd > HORIZON && back > HORIZON);
+    }
+}
+
+#[test]
+fn shard_seeds_inherit_decorrelation() {
+    let mut g = 0x5EEDu64;
+    let mut cases = 0;
+    while cases < 256 {
+        let seed = splitmix(&mut g);
+        let k1 = splitmix(&mut g) % 64;
+        let k2 = splitmix(&mut g) % 64;
+        if k1 == k2 {
+            continue;
+        }
+        cases += 1;
+        let s1 = lcds_core::shard_seed(seed, k1);
+        let s2 = lcds_core::shard_seed(seed, k2);
+        assert_ne!(s1, s2);
+        let a = StreamRng::for_lane(s1, par_build::lanes::BUCKET, 0);
+        let b = StreamRng::for_lane(s2, par_build::lanes::BUCKET, 0);
+        let fwd = draws_until_replay(&a, &b);
+        let back = draws_until_replay(&b, &a);
+        assert!(fwd > HORIZON && back > HORIZON);
+    }
+}
+
+#[test]
+fn draws_until_replay_counts_actual_draws() {
+    let mut walker = StreamRng::for_lane(42, par_build::lanes::BUCKET, 0);
+    let origin = walker;
+    for _ in 0..137 {
+        let _ = walker.next_u64();
+    }
+    assert_eq!(draws_until_replay(&origin, &walker), 137);
+    assert_eq!(draws_until_replay(&walker, &origin), 137u64.wrapping_neg());
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `crossbeam::thread::scope`.
+//!
+//! Spawned closures run immediately on the calling thread, in spawn order,
+//! and `join` hands back the stored result. Probe-count accounting and
+//! stall detection in the simulators are schedule-agnostic, so sequential
+//! execution preserves their test semantics; only wall-clock parallelism
+//! is lost (which no test asserts).
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    pub struct Scope<'env>(PhantomData<&'env ()>);
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        result: Result<T, Box<dyn std::any::Any + Send + 'static>>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.result
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send,
+            T: Send,
+        {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(())));
+            ScopedJoinHandle {
+                result,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        Ok(f(&Scope(PhantomData)))
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `proptest` subset this workspace's unit tests
+//! use: integer-range / tuple / `collection::vec` strategies driven by a
+//! deterministic generator, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros. 64 deterministic cases per property.
+
+/// Deterministic case generator (splitmix64 over a per-test seed).
+pub struct CaseGen {
+    state: u64,
+}
+
+impl CaseGen {
+    pub fn new(name: &str) -> CaseGen {
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        CaseGen { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub trait Strategy {
+    type Value;
+    fn sample_value(&self, g: &mut CaseGen) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, g: &mut CaseGen) -> O {
+        (self.f)(self.inner.sample_value(g))
+    }
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    pub const ANY: crate::AnyStrategy<core::primitive::bool> =
+        crate::AnyStrategy(std::marker::PhantomData);
+}
+
+pub trait RangeInt: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_range_int!(u64, u32, u16, u8, usize);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, g: &mut CaseGen) -> $t {
+                let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+                assert!(lo < hi, "empty strategy range");
+                <$t>::from_u64(lo + g.next_u64() % (hi - lo))
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, g: &mut CaseGen) -> $t {
+                let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+                let span = hi.wrapping_sub(lo).wrapping_add(1);
+                <$t>::from_u64(lo + if span == 0 { g.next_u64() } else { g.next_u64() % span })
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u64, u32, u16, u8, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample_value(&self, g: &mut CaseGen) -> f64 {
+        let unit = (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+        (self.0.sample_value(g), self.1.sample_value(g))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+        (
+            self.0.sample_value(g),
+            self.1.sample_value(g),
+            self.2.sample_value(g),
+        )
+    }
+}
+
+/// `any::<T>()` — full-domain strategy.
+pub struct AnyStrategy<T>(pub std::marker::PhantomData<T>);
+
+pub fn any<T: FromGen>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub trait FromGen {
+    fn from_gen(g: &mut CaseGen) -> Self;
+}
+macro_rules! impl_from_gen {
+    ($($t:ty),*) => {$(
+        impl FromGen for $t {
+            fn from_gen(g: &mut CaseGen) -> Self { g.next_u64() as $t }
+        }
+    )*};
+}
+impl_from_gen!(u64, u32, u16, u8, usize, i64, i32);
+impl FromGen for bool {
+    fn from_gen(g: &mut CaseGen) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl<T: FromGen> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample_value(&self, g: &mut CaseGen) -> T {
+        T::from_gen(g)
+    }
+}
+
+pub mod collection {
+    use super::{CaseGen, Strategy};
+
+    /// Size argument: either a `Range<usize>` or an exact `usize` length.
+    pub trait SizeRange {
+        fn to_range(self) -> std::ops::Range<usize>;
+    }
+    impl SizeRange for std::ops::Range<usize> {
+        fn to_range(self) -> std::ops::Range<usize> {
+            self
+        }
+    }
+    impl SizeRange for usize {
+        fn to_range(self) -> std::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.to_range(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (g.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.sample_value(g)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn hash_set<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let want = self.size.start + (g.next_u64() % span) as usize;
+            let mut out = std::collections::HashSet::new();
+            // Bounded attempts: duplicates simply shrink the set, as the
+            // real strategy's size is also best-effort under collisions.
+            for _ in 0..want * 4 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.elem.sample_value(g));
+            }
+            out
+        }
+    }
+}
+
+/// Rejection signal for `prop_assume!`.
+#[derive(Debug)]
+pub struct Rejected;
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, AnyStrategy,
+        CaseGen, ProptestConfig, Rejected, Strategy,
+    };
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::Rejected);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut gen = $crate::CaseGen::new(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < 64 && attempts < 6400 {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::sample_value(&($strat), &mut gen);)+
+                    let outcome: ::std::result::Result<(), $crate::Rejected> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+                assert!(accepted > 0, "every generated case was rejected by prop_assume");
+            }
+        )*
+    };
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the `rand` 0.9 API surface this workspace uses.
+//! Only for the no-network test overlay — never shipped.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types drawable via `rng.random::<T>()`.
+pub trait FromRandom {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl FromRandom for u32 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl FromRandom for u128 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+impl FromRandom for f64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl FromRandom for bool {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with `rng.random_range(start..end)`.
+pub trait SampleRangeInt: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRangeInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_range_int!(u64, u32, usize, u16, u8);
+
+pub trait Rng: RngCore {
+    fn random<T: FromRandom>(&mut self) -> T
+    {
+        T::from_random(self)
+    }
+
+    fn random_range<T: SampleRangeInt>(&mut self, range: core::ops::Range<T>) -> T
+    {
+        let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+        assert!(lo < hi, "empty range");
+        T::from_u64(lo + self.next_u64() % (hi - lo))
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    {
+        f64::from_random(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod seq {
+    use crate::RngCore;
+
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates with the stub's (biased, deterministic) draw.
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

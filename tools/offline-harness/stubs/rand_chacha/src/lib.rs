@@ -1,0 +1,44 @@
+//! Offline stand-in for `rand_chacha`: a deterministic splitmix64 walker
+//! behind the `ChaCha8Rng` name. NOT ChaCha — byte streams differ from the
+//! real crate — but fully deterministic in the seed, which is all the
+//! internal-consistency tests compare.
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    state: u64,
+}
+
+impl ChaCha8Rng {
+    fn step(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha8Rng {
+            state: seed ^ 0xD6E8_FEB8_6659_FD93,
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rayon` API surface this workspace uses.
+//!
+//! Everything executes on the calling thread, but where rayon's contract
+//! permits schedule freedom the stub is deliberately adversarial instead
+//! of naively in-order:
+//!
+//! - [`Par::for_each`] runs items in REVERSE order (rayon promises no
+//!   order), so side-effect code that silently depends on left-to-right
+//!   execution fails here too;
+//! - [`Par::fold`] emulates maximal splitting: every item gets its own
+//!   fresh accumulator, so the follow-up [`Par::reduce`] must really be
+//!   associative with a true identity, as rayon requires.
+//!
+//! Order-preserving operations (`map`/`collect`/`zip`/`enumerate`) keep
+//! index order, exactly as rayon's indexed parallel iterators do.
+
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<impl Iterator<Item = B>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> Par<impl Iterator<Item = (usize, I::Item)>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<impl Iterator<Item = (I::Item, J::Item)>> {
+        Par(self.0.zip(other.0))
+    }
+
+    pub fn flat_map_iter<B, F>(self, f: F) -> Par<impl Iterator<Item = B::Item>>
+    where
+        B: IntoIterator,
+        F: FnMut(I::Item) -> B,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, mut f: F) {
+        let items: Vec<I::Item> = self.0.collect();
+        for item in items.into_iter().rev() {
+            f(item);
+        }
+    }
+
+    pub fn find_map_first<B, F: FnMut(I::Item) -> Option<B>>(mut self, f: F) -> Option<B> {
+        self.0.find_map(f)
+    }
+
+    pub fn fold<T, ID, F>(self, init: ID, mut f: F) -> Par<impl Iterator<Item = T>>
+    where
+        ID: FnMut() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let mut init = init;
+        Par(self.0.map(move |item| f(init(), item)))
+    }
+
+    pub fn reduce<ID, F>(self, id: ID, mut f: F) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(id(), &mut f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<impl Iterator<Item = I::Item>> {
+        Par(self.0.filter(f))
+    }
+}
+
+pub trait IntoParallelIterator {
+    type PIter: Iterator;
+    fn into_par_iter(self) -> Par<Self::PIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type PIter = T::IntoIter;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (stub)")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+pub struct ThreadPool {
+    _threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, work: impl FnOnce() -> R) -> R {
+        work()
+    }
+}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.threads = n;
+        self
+    }
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _threads: self.threads,
+        })
+    }
+}

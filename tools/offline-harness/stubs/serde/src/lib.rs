@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`: the derive macros resolve and expand to
+//! nothing, and no API in the overlay carries `Serialize`/`Deserialize`
+//! bounds, so marker macros are all that is needed.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

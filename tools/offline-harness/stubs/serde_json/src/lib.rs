@@ -1,0 +1,586 @@
+//! Offline stand-in for the `serde_json` surface this workspace uses:
+//! a `Value` tree, a recursive `json!` (nested objects, arrays,
+//! expressions), and placeholder `to_string`/`from_str`.
+
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Int(v as i128) }
+        }
+    )*};
+}
+impl_from_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_from_ref {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+impl_from_ref!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, &str);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::Str(v.clone())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Copy + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().map(|&x| x.into()).collect())
+    }
+}
+impl<T: Into<Value>> From<BTreeMap<String, T>> for Value {
+    fn from(v: BTreeMap<String, T>) -> Value {
+        Value::Object(v.into_iter().map(|(k, x)| (k, x.into())).collect())
+    }
+}
+impl<T: Clone + Into<Value>> From<&BTreeMap<String, T>> for Value {
+    fn from(v: &BTreeMap<String, T>) -> Value {
+        Value::Object(v.iter().map(|(k, x)| (k.clone(), x.clone().into())).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Int(i) if *i == *other as i128)
+            }
+        }
+    )*};
+}
+impl_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Float(f) if f == other)
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Int(i) if u64::try_from(*i).is_ok())
+    }
+    pub fn is_i64(&self) -> bool {
+        matches!(self, Value::Int(i) if i64::try_from(*i).is_ok())
+    }
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::Str(_))
+    }
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(v) => v.get(i).unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! json_internal_object {
+    ($m:ident ()) => {};
+    ($m:ident ($k:literal : { $($v:tt)* } $(, $($rest:tt)*)?)) => {
+        $m.insert($k.to_string(), $crate::json!({ $($v)* }));
+        $crate::json_internal_object!($m ($($($rest)*)?));
+    };
+    ($m:ident ($k:literal : [ $($v:tt)* ] $(, $($rest:tt)*)?)) => {
+        $m.insert($k.to_string(), $crate::json!([ $($v)* ]));
+        $crate::json_internal_object!($m ($($($rest)*)?));
+    };
+    ($m:ident ($k:literal : $v:expr , $($rest:tt)*)) => {
+        $m.insert($k.to_string(), $crate::Value::from($v));
+        $crate::json_internal_object!($m ($($rest)*));
+    };
+    ($m:ident ($k:literal : $v:expr)) => {
+        $m.insert($k.to_string(), $crate::Value::from($v));
+    };
+}
+
+#[macro_export]
+macro_rules! json_internal_array {
+    ($out:ident ()) => {};
+    ($out:ident ({ $($v:tt)* } $(, $($rest:tt)*)?)) => {
+        $out.push($crate::json!({ $($v)* }));
+        $crate::json_internal_array!($out ($($($rest)*)?));
+    };
+    ($out:ident ([ $($v:tt)* ] $(, $($rest:tt)*)?)) => {
+        $out.push($crate::json!([ $($v)* ]));
+        $crate::json_internal_array!($out ($($($rest)*)?));
+    };
+    ($out:ident ($v:expr , $($rest:tt)*)) => {
+        $out.push($crate::Value::from($v));
+        $crate::json_internal_array!($out ($($rest)*));
+    };
+    ($out:ident ($v:expr)) => {
+        $out.push($crate::Value::from($v));
+    };
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = ::std::collections::BTreeMap::new();
+        $crate::json_internal_object!(m ($($tt)*));
+        $crate::Value::Object(m)
+    }};
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut v = ::std::vec::Vec::new();
+        $crate::json_internal_array!(v ($($tt)*));
+        $crate::Value::Array(v)
+    }};
+    ($e:expr) => { $crate::Value::from($e) };
+}
+
+impl Value {
+    fn write(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
+        let pretty = f.alternate();
+        let pad = |f: &mut std::fmt::Formatter<'_>, n: usize| -> std::fmt::Result {
+            if pretty {
+                write!(f, "\n{}", "  ".repeat(n))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Value::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        '\r' => write!(f, "\\r")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    pad(f, indent + 1)?;
+                    item.write(f, indent + 1)?;
+                }
+                if !items.is_empty() {
+                    pad(f, indent)?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    pad(f, indent + 1)?;
+                    write!(f, "\"{k}\":")?;
+                    if pretty {
+                        write!(f, " ")?;
+                    }
+                    v.write(f, indent + 1)?;
+                }
+                if !m.is_empty() {
+                    pad(f, indent)?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.write(f, 0)
+    }
+}
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Serializes `Value` faithfully; any other type (the no-op `Serialize`
+/// derive carries no data) degrades to `"{}"`.
+pub fn to_string<T: std::any::Any>(value: &T) -> Result<String, Error> {
+    match (value as &dyn std::any::Any).downcast_ref::<Value>() {
+        Some(v) => Ok(v.to_string()),
+        None => Ok("{}".to_string()),
+    }
+}
+
+pub fn to_string_pretty<T: std::any::Any>(value: &T) -> Result<String, Error> {
+    match (value as &dyn std::any::Any).downcast_ref::<Value>() {
+        Some(v) => Ok(format!("{v:#}")),
+        None => Ok("{}".to_string()),
+    }
+}
+
+/// Parses into `Value` only; deserializing derive-based types is
+/// unsupported offline (the `Deserialize` derive is a no-op).
+pub fn from_str<T: std::any::Any>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    match (Box::new(v) as Box<dyn std::any::Any>).downcast::<T>() {
+        Ok(b) => Ok(*b),
+        Err(_) => Err(Error("only Value deserialization is supported offline".into())),
+    }
+}
+
+mod parse {
+    use super::{Error, Value};
+    use std::collections::BTreeMap;
+
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        ws(b, &mut i);
+        if i != b.len() {
+            return Err(Error(format!("trailing input at byte {i}")));
+        }
+        Ok(v)
+    }
+
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn eat(b: &[u8], i: &mut usize, c: u8) -> Result<(), Error> {
+        if *i < b.len() && b[*i] == c {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected '{}' at byte {}", c as char, i)))
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, Error> {
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'n') => lit(b, i, "null", Value::Null),
+            Some(b't') => lit(b, i, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, i, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(string(b, i)?)),
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(value(b, i)?);
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error(format!("expected ',' or ']' at byte {i}"))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *i += 1;
+                let mut m = BTreeMap::new();
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    ws(b, i);
+                    let k = string(b, i)?;
+                    ws(b, i);
+                    eat(b, i, b':')?;
+                    m.insert(k, value(b, i)?);
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return Err(Error(format!("expected ',' or '}}' at byte {i}"))),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            _ => Err(Error(format!("unexpected input at byte {i}"))),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: Value) -> Result<Value, Error> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {i}")))
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, Error> {
+        eat(b, i, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*i) {
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {i}"))),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let s = std::str::from_utf8(&b[*i..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    *i += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<Value, Error> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        let mut float = false;
+        if b.get(*i) == Some(&b'.') {
+            float = true;
+            *i += 1;
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+        }
+        if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
+            float = true;
+            *i += 1;
+            if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
+                *i += 1;
+            }
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*i]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number: {e}")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| Error(format!("bad number: {e}")))
+        }
+    }
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Regenerates the offline test overlay in $OVERLAY (default /tmp/lcds-offline)
+# from the current repo sources plus the committed dependency stubs, then runs
+# the full test suite with `cargo --offline`.
+#
+# Why this exists: the development container has no network route to a crate
+# registry, so the real workspace (which depends on rand/rayon/serde/proptest/…)
+# cannot compile here. This overlay swaps every external crate for a stub in
+# stubs/ (see README.md for the fidelity contract of each) while using the
+# repo's *actual* crate sources, so all first-party code — including every
+# integration test under tests/ — compiles and executes.
+#
+# Usage:  tools/offline-harness/sync-and-test.sh [extra cargo-test args]
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/../.." && pwd)"
+HARNESS="$REPO/tools/offline-harness"
+OVERLAY="${OVERLAY:-/tmp/lcds-offline}"
+
+rm -rf "$OVERLAY"
+mkdir -p "$OVERLAY/crates" "$OVERLAY/rootpkg"
+
+cp "$HARNESS/workspace.Cargo.toml" "$OVERLAY/Cargo.toml"
+cp -r "$HARNESS/stubs" "$OVERLAY/stubs"
+cp -r "$HARNESS/harness" "$OVERLAY/harness"
+
+# Member crates: real sources, real manifests (bench needs its criterion
+# benches stripped — criterion has no stub, and benches aren't tier-1).
+for d in "$REPO"/crates/*/; do
+  name="$(basename "$d")"
+  mkdir -p "$OVERLAY/crates/$name"
+  cp -r "$d/src" "$OVERLAY/crates/$name/src"
+  if [ -d "$d/tests" ]; then cp -r "$d/tests" "$OVERLAY/crates/$name/tests"; fi
+  python3 - "$d/Cargo.toml" "$OVERLAY/crates/$name/Cargo.toml" <<'PY'
+import re, sys
+src, dst = sys.argv[1], sys.argv[2]
+text = open(src).read()
+keep = []
+for section in re.split(r'(?m)^(?=\[)', text):
+    head = section.split('\n', 1)[0].strip()
+    if head == '[[bench]]':
+        continue
+    if head == '[dev-dependencies]':
+        section = '\n'.join(
+            l for l in section.splitlines() if not l.startswith('criterion')
+        ) + '\n'
+        if section.strip() == '[dev-dependencies]':
+            continue
+    keep.append(section)
+open(dst, 'w').write(''.join(keep))
+PY
+done
+
+# Root package: same sources/tests, with the [workspace] and [profile]
+# tables dropped (the overlay supplies its own workspace).
+cp -r "$REPO/src" "$OVERLAY/rootpkg/src"
+cp -r "$REPO/tests" "$OVERLAY/rootpkg/tests"
+if [ -d "$REPO/examples" ]; then cp -r "$REPO/examples" "$OVERLAY/rootpkg/examples"; fi
+python3 - "$REPO/Cargo.toml" "$OVERLAY/rootpkg/Cargo.toml" <<'PY'
+import re, sys
+src, dst = sys.argv[1], sys.argv[2]
+text = open(src).read()
+keep = []
+for section in re.split(r'(?m)^(?=\[)', text):
+    head = section.split('\n', 1)[0].strip()
+    if head.startswith('[workspace') or head.startswith('[profile'):
+        continue
+    if head == '[dev-dependencies]':
+        section = '\n'.join(
+            l for l in section.splitlines() if not l.startswith('criterion')
+        ) + '\n'
+    if head == '':
+        continue
+    keep.append(section)
+open(dst, 'w').write(''.join(keep))
+PY
+
+cd "$OVERLAY"
+cargo test --offline --no-fail-fast "$@"
