@@ -6,6 +6,11 @@
 //! `SamplingSink` at 1-in-1024: the unsampled path is a decrement, a
 //! compare, and a branch per probe, amortizing the downstream sink's
 //! cost over the sampling period.
+//!
+//! The `obs_overhead_bulk` group holds the Contention Observatory to its
+//! own bar on the batched `bulk_contains` hot path: tracing fully off
+//! must stay within ~2% of the untouched engine (one relaxed load and a
+//! branch per *batch*), and 1-in-64 batch tracing within ~10%.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lcds_cellprobe::dict::CellProbeDict;
@@ -92,5 +97,64 @@ fn bench_sink_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sink_overhead);
+/// Observatory overhead on the batched serving path: the trace sampler's
+/// per-batch gate and the heatmap sink, against the plain engine.
+fn bench_bulk_observatory_overhead(c: &mut Criterion) {
+    use criterion::Throughput;
+
+    let n = 1 << 14;
+    let keys = uniform_keys(n, 0x0B5E);
+    let dict = lcds_core::build(&keys, &mut seeded(0x0B5F)).expect("build");
+    let cfg = lcds_serve::EngineConfig {
+        batch: 1024,
+        parallel: false, // single-thread: measure per-batch cost, not scheduling
+    };
+
+    let mut group = c.benchmark_group("obs_overhead_bulk");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+
+    // Baseline: metrics and tracing off — the per-batch cost is one
+    // relaxed load + branch in `enabled()` and one in `try_batch_trace`.
+    lcds_obs::set_enabled(false);
+    lcds_obs::trace::set_tracing(false);
+    group.bench_function("bulk_contains_disabled", |b| {
+        b.iter(|| black_box(lcds_serve::bulk_contains(&dict, &keys, 1, cfg)));
+    });
+
+    // 1-in-64 batch tracing: the sampled batch allocates its record and
+    // pushes it into the bounded global ring; 63-in-64 pay one fetch_add.
+    lcds_obs::trace::set_sample_period(64);
+    lcds_obs::trace::set_tracing(true);
+    group.bench_function("bulk_contains_trace_1in64", |b| {
+        b.iter(|| black_box(lcds_serve::bulk_contains(&dict, &keys, 1, cfg)));
+    });
+    lcds_obs::trace::set_tracing(false);
+    lcds_obs::trace::global_traces().drain();
+
+    // Metrics on (batch latency histogram per batch), tracing still off.
+    lcds_obs::set_enabled(true);
+    group.bench_function("bulk_contains_metrics_on", |b| {
+        b.iter(|| black_box(lcds_serve::bulk_contains(&dict, &keys, 1, cfg)));
+    });
+    lcds_obs::set_enabled(false);
+
+    // The fixed-memory Φ̂ heatmap observing every probe of the sequential
+    // engine path — the `lcds watch` configuration, for scale.
+    group.bench_function("bulk_contains_seq_heatmap", |b| {
+        let mut hm = lcds_obs::Heatmap::with_defaults(0x11EA7);
+        b.iter(|| {
+            black_box(lcds_serve::bulk_contains_seq(
+                &dict, &keys, 1, 1024, &mut hm,
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sink_overhead,
+    bench_bulk_observatory_overhead
+);
 criterion_main!(benches);

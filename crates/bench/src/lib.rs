@@ -20,5 +20,6 @@
 pub mod exps;
 pub mod fit;
 pub mod registry;
+pub mod summary;
 
 pub use registry::{build_schemes, SchemeSet};

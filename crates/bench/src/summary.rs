@@ -1,0 +1,166 @@
+//! Schema for the `BENCH_build.json` artifact written by the
+//! `build_throughput` bench.
+//!
+//! The artifact is committed at the repository root so EXPERIMENTS.md can
+//! quote numbers with provenance; a silent shape drift there would turn
+//! into stale or unparseable docs long after the bench ran. The writer
+//! validates through [`validate_bench_summary`] before writing (and
+//! panics loudly on a mismatch — a schema bug is our bug, not an I/O
+//! accident), and `tests/bench_schema.rs` holds the committed file to the
+//! same contract.
+
+use serde_json::Value;
+
+/// Current schema version of `BENCH_build.json`. Bump on any breaking
+/// field change and teach [`validate_bench_summary`] both shapes only if
+/// a migration window is genuinely needed.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+fn req<'v>(doc: &'v Value, key: &str) -> Result<&'v Value, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("missing required field `{key}`"))
+}
+
+fn req_u64(doc: &Value, key: &str) -> Result<u64, String> {
+    req(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+fn req_str<'v>(doc: &'v Value, key: &str) -> Result<&'v str, String> {
+    let s = req(doc, key)?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` must be a string"))?;
+    if s.is_empty() {
+        return Err(format!("`{key}` must not be empty"));
+    }
+    Ok(s)
+}
+
+/// Validates a `BENCH_build.json` document against the current schema.
+///
+/// Required: `bench` = `"build_throughput"`, `schema_version` =
+/// [`BENCH_SCHEMA_VERSION`], a numeric `seed`, `host_parallelism ≥ 1`, a
+/// non-empty `git_rev`, and a `points` array where every entry carries
+/// `n`, `sequential_build_ns`, and a non-empty `par_build` map of
+/// per-thread-count measurements. An empty `points` array is legal only
+/// for a placeholder that says so via `status`.
+pub fn validate_bench_summary(doc: &Value) -> Result<(), String> {
+    if !doc.is_object() {
+        return Err("summary must be a JSON object".into());
+    }
+    let bench = req_str(doc, "bench")?;
+    if bench != "build_throughput" {
+        return Err(format!(
+            "`bench` is {bench:?}, expected \"build_throughput\""
+        ));
+    }
+    let version = req_u64(doc, "schema_version")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "`schema_version` is {version}, this tooling expects {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    req_u64(doc, "seed")?;
+    if req_u64(doc, "host_parallelism")? == 0 {
+        return Err("`host_parallelism` must be at least 1".into());
+    }
+    req_str(doc, "git_rev")?;
+    let points = req(doc, "points")?
+        .as_array()
+        .ok_or("`points` must be an array")?;
+    if points.is_empty() && doc.get("status").and_then(Value::as_str).is_none() {
+        return Err("empty `points` requires a `status` explaining why".into());
+    }
+    for (i, p) in points.iter().enumerate() {
+        let ctx = |e: String| format!("points[{i}]: {e}");
+        req_u64(p, "n").map_err(ctx)?;
+        req_u64(p, "sequential_build_ns").map_err(ctx)?;
+        let par = req(p, "par_build")
+            .map_err(ctx)?
+            .as_object()
+            .ok_or_else(|| format!("points[{i}]: `par_build` must be an object"))?;
+        if par.is_empty() {
+            return Err(format!("points[{i}]: `par_build` must not be empty"));
+        }
+        for (threads, cell) in par {
+            threads.parse::<usize>().map_err(|_| {
+                format!("points[{i}]: par_build key {threads:?} is not a thread count")
+            })?;
+            req_u64(cell, "build_ns")
+                .map_err(|e| format!("points[{i}].par_build[{threads}]: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn valid() -> Value {
+        json!({
+            "bench": "build_throughput",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "seed": 7,
+            "host_parallelism": 8,
+            "git_rev": "deadbeef",
+            "points": [{
+                "n": 16384,
+                "sequential_build_ns": 1_000_000,
+                "par_build": {
+                    "1": { "build_ns": 1_000_000 },
+                    "4": { "build_ns": 300_000 },
+                },
+            }],
+        })
+    }
+
+    #[test]
+    fn accepts_the_writers_shape() {
+        validate_bench_summary(&valid()).unwrap();
+    }
+
+    #[test]
+    fn accepts_a_labeled_placeholder() {
+        let mut doc = valid();
+        doc["points"] = json!([]);
+        doc["status"] = json!("pending-measurement");
+        validate_bench_summary(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_drifted_documents() {
+        let cases: Vec<(fn(&mut Value), &str)> = vec![
+            (|d| d["schema_version"] = json!(99), "schema_version"),
+            (
+                |d| {
+                    d.as_object_mut().unwrap().remove("git_rev");
+                },
+                "git_rev",
+            ),
+            (|d| d["git_rev"] = json!(""), "git_rev"),
+            (|d| d["host_parallelism"] = json!(0), "host_parallelism"),
+            (|d| d["bench"] = json!("other"), "bench"),
+            (|d| d["points"] = json!([]), "points"),
+            (|d| d["points"][0]["par_build"] = json!({}), "par_build"),
+            (
+                |d| d["points"][0]["par_build"] = json!({"x": {"build_ns": 1}}),
+                "thread count",
+            ),
+            (
+                |d| {
+                    d["points"][0].as_object_mut().unwrap().remove("n");
+                },
+                "`n`",
+            ),
+        ];
+        for (mutate, want) in cases {
+            let mut doc = valid();
+            mutate(&mut doc);
+            let err = validate_bench_summary(&doc).unwrap_err();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
+    }
+}

@@ -60,5 +60,5 @@ pub use dict::CellProbeDict;
 pub use dist::{QueryDistribution, QueryPool};
 pub use exact::{exact_contention, ExactProbes, ProbeSet};
 pub use measure::{measure_contention, FanoutSink, MeasureReport, TeeSink};
-pub use sink::{CountingSink, NullSink, ProbeSink, StepSink, TraceSink};
+pub use sink::{CountingSink, NullSink, PlanStage, ProbeSink, StepSink, TraceSink};
 pub use table::{CellId, Table};

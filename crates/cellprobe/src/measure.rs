@@ -54,6 +54,12 @@ impl ProbeSink for FanoutSink<'_> {
             sink.begin_query();
         }
     }
+
+    fn stage(&mut self, stage: crate::sink::PlanStage) {
+        for sink in &mut self.sinks {
+            sink.stage(stage);
+        }
+    }
 }
 
 /// Fans one probe stream out to two sinks (thin wrapper over
@@ -79,6 +85,10 @@ impl ProbeSink for TeeSink<'_> {
 
     fn begin_query(&mut self) {
         self.fanout.begin_query();
+    }
+
+    fn stage(&mut self, stage: crate::sink::PlanStage) {
+        self.fanout.stage(stage);
     }
 }
 

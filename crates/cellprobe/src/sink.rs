@@ -10,6 +10,61 @@
 
 use crate::table::CellId;
 
+/// Logical region of a dictionary layout a probe is aimed at.
+///
+/// Batch plans (`lcds_core::plan`) and tracing sinks use this to label
+/// probes with *why* the cell was read, not just which cell: coefficient
+/// rows are touched once per batch while data rows are touched per key,
+/// and contention diagnoses differ accordingly. Sequential paths that
+/// never call [`ProbeSink::stage`] leave sinks in [`PlanStage::Other`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PlanStage {
+    /// Hash-coefficient reconstruction (`f`/`g` rows).
+    Coefficients = 0,
+    /// Displacement row (`z`) reads.
+    Displacement = 1,
+    /// Group-base-address (GBAS) reads.
+    GroupBase = 2,
+    /// Replicated histogram rows.
+    Histogram = 3,
+    /// Bucket header words.
+    Header = 4,
+    /// Data rows (stored keys).
+    Data = 5,
+    /// Probes outside any declared stage (sequential queries, baselines).
+    #[default]
+    Other = 6,
+}
+
+impl PlanStage {
+    /// Stable short label (used by trace exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanStage::Coefficients => "coefficients",
+            PlanStage::Displacement => "displacement",
+            PlanStage::GroupBase => "group_base",
+            PlanStage::Histogram => "histogram",
+            PlanStage::Header => "header",
+            PlanStage::Data => "data",
+            PlanStage::Other => "other",
+        }
+    }
+
+    /// Inverse of `self as u8`; unknown discriminants map to `Other`.
+    pub fn from_u8(v: u8) -> PlanStage {
+        match v {
+            0 => PlanStage::Coefficients,
+            1 => PlanStage::Displacement,
+            2 => PlanStage::GroupBase,
+            3 => PlanStage::Histogram,
+            4 => PlanStage::Header,
+            5 => PlanStage::Data,
+            _ => PlanStage::Other,
+        }
+    }
+}
+
 /// Observer of cell probes.
 pub trait ProbeSink {
     /// Called once per cell probe, in order.
@@ -19,6 +74,11 @@ pub trait ProbeSink {
     /// per-step sinks can reset their step counter. Sinks that don't care
     /// ignore it.
     fn begin_query(&mut self) {}
+
+    /// Declares the layout region subsequent probes belong to. Called by
+    /// stage-grouped executors (batch plans) between stages; sinks that
+    /// don't label probes ignore it.
+    fn stage(&mut self, _stage: PlanStage) {}
 }
 
 /// Discards probes. Use for pure-latency benchmarking.
@@ -332,6 +392,27 @@ mod tests {
         assert_eq!(s.current(), 1);
         assert_eq!(s.max(), 2);
         assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_stage_round_trips_through_u8() {
+        for v in 0..=7u8 {
+            let s = PlanStage::from_u8(v);
+            if v <= 6 {
+                assert_eq!(s as u8, v);
+            } else {
+                assert_eq!(s, PlanStage::Other);
+            }
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn stage_is_a_no_op_by_default() {
+        let mut s = CountingSink::new(2);
+        s.stage(PlanStage::Data); // default impl: ignored, no panic
+        s.probe(1);
+        assert_eq!(s.total(), 1);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! lcds audit  DICT [--zipf THETA] [--negatives M]
 //! lcds obs    [--random N] [--queries Q] [--zipf THETA] [--period P]
 //!             [--topk K] [--format table|prom|jsonl] [--seed S]
+//! lcds trace  [--random N] [--queries Q] [--batch B] [--sample P]
+//!             [--seed S] [--out FILE]
+//! lcds watch  [--scheme lcd|fks|fks-adversarial] [--random N]
+//!             [--queries Q] [--zipf THETA] [--multiple M]
+//!             [--interval I] [--topk K] [--format table|prom|jsonl]
+//!             [--seed S]
 //! ```
 //!
 //! Key files are plain text, one decimal `u64` per line (`#` comments
@@ -69,6 +75,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("bulk") => cmd_bulk(&args[1..], out),
         Some("audit") => cmd_audit(&args[1..], out),
         Some("obs") => cmd_obs(&args[1..], out),
+        Some("trace") => cmd_trace(&args[1..], out),
+        Some("watch") => cmd_watch(&args[1..], out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{}", USAGE).map_err(io_err)?;
             Ok(())
@@ -98,7 +106,14 @@ count. --build-threads is accepted as an alias.
   audit  DICT [--zipf THETA] [--negatives M]                contention report
   obs    [--random N] [--queries Q] [--zipf THETA]          live telemetry demo:
          [--period P] [--topk K] [--seed S]                 sampled probes, top-K
-         [--format table|prom|jsonl]                        hot cells, exporters";
+         [--format table|prom|jsonl]                        hot cells, exporters
+  trace  [--random N] [--queries Q] [--batch B]             chrome://tracing JSON:
+         [--sample P] [--seed S] [--out FILE]               build spans + sampled
+                                                            query batches
+  watch  [--scheme lcd|fks|fks-adversarial]                 live Φ-heatmap + the
+         [--random N] [--queries Q] [--zipf THETA]          contention watchdog
+         [--multiple M] [--interval I] [--topk K]           against the scheme's
+         [--format table|prom|jsonl] [--seed S]             theoretical envelope";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("i/o error: {e}"))
@@ -451,17 +466,23 @@ fn cmd_obs(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
     drop(sampler);
 
     let reg = lcds_obs::global();
-    reg.counter("lcds_queries_total").add(queries);
-    reg.counter("lcds_query_probes_total").add(seen);
-    reg.counter("lcds_query_probes_sampled_total").add(sampled);
-    reg.gauge("lcds_query_qps")
+    reg.counter(lcds_obs::names::QUERIES_TOTAL).add(queries);
+    reg.counter(lcds_obs::names::QUERY_PROBES_TOTAL).add(seen);
+    reg.counter(lcds_obs::names::QUERY_PROBES_SAMPLED_TOTAL)
+        .add(sampled);
+    reg.gauge(lcds_obs::names::QUERY_QPS)
         .set(queries as f64 / wall.as_secs_f64().max(1e-9));
-    reg.gauge("lcds_hot_cell_share").set(topk.hottest_share());
+    reg.gauge(lcds_obs::names::HOT_CELL_SHARE)
+        .set(topk.hottest_share());
     for hc in topk.top(k) {
-        reg.gauge(&format!("lcds_hot_cell_probes{{cell=\"{}\"}}", hc.cell))
-            .set(hc.count as f64);
+        reg.gauge(&format!(
+            "{}{{cell=\"{}\"}}",
+            lcds_obs::names::HOT_CELL_PROBES,
+            hc.cell
+        ))
+        .set(hc.count as f64);
         lcds_obs::emit(
-            "hot_cell",
+            lcds_obs::names::EVENT_HOT_CELL,
             serde_json::json!({
                 "cell": hc.cell,
                 "estimated_probes": hc.count,
@@ -501,6 +522,240 @@ fn cmd_obs(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
             writeln!(out, "\ntop-{k} cells (space-saving, capacity {k}):").map_err(io_err)?;
             writeln!(out, "cell\testimate\tguaranteed").map_err(io_err)?;
             for hc in topk.top(k) {
+                writeln!(out, "{}\t{}\t{}", hc.cell, hc.count, hc.guaranteed()).map_err(io_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let n: usize = num_flag(&flags, "random", 4096)?;
+    let queries: usize = num_flag(&flags, "queries", 20_000)?;
+    let batch: usize = num_flag(&flags, "batch", 1024)?;
+    if batch == 0 {
+        return Err(CliError::usage("--batch must be at least 1"));
+    }
+    let sample: u64 = num_flag(&flags, "sample", 8)?;
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let out_path = flag(&flags, "out");
+
+    // The observatory: metrics on (build spans need the registry), then
+    // the trace recorder with the chosen 1-in-`sample` batch stride.
+    lcds_obs::set_enabled(true);
+    lcds_obs::trace::set_sample_period(sample);
+    lcds_obs::trace::set_tracing(true);
+
+    let keys = uniform_keys(n, seed ^ 0x5EED);
+    let dict = lcds_core::par_build(&keys, seed)
+        .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+
+    // Interleave members with negatives, as `bulk --random` does, so the
+    // traced batches exercise both probe outcomes.
+    let negs = negative_pool(dict.keys(), queries / 2 + 1, seed ^ 0xB07D);
+    let probes: Vec<u64> = (0..queries)
+        .map(|i| {
+            if i % 2 == 0 {
+                dict.keys()[(i / 2) % dict.keys().len()]
+            } else {
+                negs[i / 2]
+            }
+        })
+        .collect();
+    let cfg = lcds_serve::EngineConfig {
+        batch,
+        parallel: false, // deterministic batch order in the exported JSON
+    };
+    let answers = lcds_serve::bulk_contains(&dict, &probes, seed, cfg);
+    lcds_obs::trace::set_tracing(false);
+
+    let records = lcds_obs::trace::global_traces().drain();
+    let spans = records
+        .iter()
+        .filter(|r| matches!(r, lcds_obs::trace::TraceRecord::Span(_)))
+        .count();
+    let json = lcds_obs::trace_export::to_chrome_trace_string(&records);
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            writeln!(
+                out,
+                "traced {} queries ({} present): {} events ({} build spans, \
+                 {} query batches sampled 1-in-{sample}) → {path}",
+                probes.len(),
+                answers.iter().filter(|&&b| b).count(),
+                records.len(),
+                spans,
+                records.len() - spans,
+            )
+            .map_err(io_err)?;
+        }
+        None => {
+            write!(out, "{json}").map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use lcds_baselines::{FksConfig, FksDict};
+    use lcds_workloads::adversarial::adversarial_fks_keys;
+    use lcds_workloads::rng::FirstWordRng;
+
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let scheme = flag(&flags, "scheme").unwrap_or("lcd");
+    let n: usize = num_flag(&flags, "random", 4096)?;
+    let queries: u64 = num_flag(&flags, "queries", 50_000)?;
+    let theta: f64 = num_flag(&flags, "zipf", 0.5)?;
+    let multiple: f64 = num_flag(&flags, "multiple", 3.0)?;
+    if multiple <= 0.0 {
+        return Err(CliError::usage("--multiple must be positive"));
+    }
+    let interval: u64 = num_flag(&flags, "interval", 4096)?;
+    let k: usize = num_flag(&flags, "topk", 8)?;
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let format = flag(&flags, "format").unwrap_or("table");
+    if !matches!(format, "table" | "prom" | "jsonl") {
+        return Err(CliError::usage(format!(
+            "bad --format {format:?} (expected table, prom, or jsonl)"
+        )));
+    }
+
+    lcds_obs::set_enabled(true);
+    // Build the watched scheme. The envelope is the *theoretical* hottest-
+    // cell ratio the scheme promises: Theorem 3's O(1)·s/n for the §2
+    // dictionary, the balls-in-bins ln n/ln ln n expectation for an
+    // honestly-built FKS — which the adversarial instance blows through.
+    let stored = match scheme {
+        "fks-adversarial" => adversarial_fks_keys(n.max(4), seed),
+        _ => uniform_keys(n, seed ^ 0x5EED),
+    };
+    let (dict, envelope): (Box<dyn CellProbeDict>, f64) = match scheme {
+        "lcd" => {
+            let mut rng = seeded(seed);
+            let d = lcds_core::build(&stored, &mut rng)
+                .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+            let env = lcds_obs::heatmap::theorem3_envelope(d.num_cells(), n as u64);
+            (Box::new(d), env)
+        }
+        "fks" => {
+            let mut rng = seeded(seed);
+            let d = FksDict::build_default(&stored, &mut rng)
+                .map_err(|e| CliError::runtime(format!("fks build failed: {e}")))?;
+            (
+                Box::new(d),
+                lcds_obs::heatmap::balls_in_bins_envelope(n as u64),
+            )
+        }
+        "fks-adversarial" => {
+            let mut rng = FirstWordRng::new(seed, seeded(seed ^ 99));
+            let d = FksDict::build(&stored, FksConfig::default(), &mut rng)
+                .map_err(|e| CliError::runtime(format!("adversarial fks build failed: {e}")))?;
+            (
+                Box::new(d),
+                lcds_obs::heatmap::balls_in_bins_envelope(n as u64),
+            )
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --scheme {other:?} (expected lcd, fks, or fks-adversarial)"
+            )))
+        }
+    };
+    let cells = dict.num_cells();
+
+    let dist = zipf_over_keys(&stored, theta, seed ^ 0xD157);
+    let mut rng = seeded(seed ^ 0x0B5);
+    let mut hm = lcds_obs::Heatmap::with_defaults(seed);
+    let mut wd = lcds_obs::Watchdog::new(envelope, multiple);
+    for q in 0..queries {
+        let x = dist.sample(&mut rng);
+        hm.begin_query();
+        let _ = dict.contains(x, &mut rng, &mut hm);
+        if interval > 0 && (q + 1) % interval == 0 {
+            if let Some(a) = wd.check(&hm, cells) {
+                if format == "table" {
+                    writeln!(
+                        out,
+                        "watchdog: cell {} at ratio {:.1} > {:.1} ({multiple}× the \
+                         {envelope:.1} envelope) after {} probes",
+                        a.cell,
+                        a.ratio,
+                        wd.threshold(),
+                        a.probes,
+                    )
+                    .map_err(io_err)?;
+                }
+            }
+        }
+    }
+    let final_alarm = wd.check(&hm, cells);
+
+    match format {
+        "prom" => {
+            let mut text = lcds_obs::export::heatmap_to_prometheus(&hm, k);
+            let _ = std::fmt::Write::write_fmt(
+                &mut text,
+                format_args!(
+                    "# TYPE {} counter\n{} {}\n",
+                    lcds_obs::names::WATCHDOG_TRIPS_TOTAL,
+                    lcds_obs::names::WATCHDOG_TRIPS_TOTAL,
+                    wd.trips()
+                ),
+            );
+            write!(out, "{text}").map_err(io_err)?;
+        }
+        "jsonl" => {
+            let mut js = lcds_obs::export::heatmap_to_json(&hm, k);
+            js["scheme"] = serde_json::json!(dict.name());
+            js["ratio"] = serde_json::json!(hm.ratio(cells));
+            js["envelope"] = serde_json::json!(envelope);
+            js["threshold"] = serde_json::json!(wd.threshold());
+            js["watchdog_trips"] = serde_json::json!(wd.trips());
+            writeln!(out, "{js}").map_err(io_err)?;
+        }
+        _ => {
+            writeln!(
+                out,
+                "{}: n = {}, {} cells, {} zipf({theta}) queries, {} probes",
+                dict.name(),
+                stored.len(),
+                cells,
+                hm.queries(),
+                hm.probes(),
+            )
+            .map_err(io_err)?;
+            writeln!(
+                out,
+                "Φ̂ = {:.6} (hottest-cell probe share), ratio Φ̂·s = {:.1} \
+                 [envelope {envelope:.1}, alarm above {:.1}]",
+                hm.phi_hat(),
+                hm.ratio(cells),
+                wd.threshold(),
+            )
+            .map_err(io_err)?;
+            writeln!(
+                out,
+                "watchdog trips: {}{}",
+                wd.trips(),
+                if final_alarm.is_some() {
+                    "  ** CONTENTION ALARM **"
+                } else {
+                    ""
+                }
+            )
+            .map_err(io_err)?;
+            writeln!(out, "\ntop-{k} cells (count-min estimates):").map_err(io_err)?;
+            writeln!(out, "cell\testimate\tguaranteed").map_err(io_err)?;
+            for hc in hm.top(k) {
                 writeln!(out, "{}\t{}\t{}", hc.cell, hc.count, hc.guaranteed()).map_err(io_err)?;
             }
         }
@@ -787,6 +1042,130 @@ mod tests {
         assert!(names.contains("span"), "{names:?}");
         assert!(names.contains("build_complete"), "{names:?}");
         assert!(names.contains("hot_cell"), "{names:?}");
+    }
+
+    #[test]
+    fn trace_emits_valid_chrome_trace_json() {
+        // No --out: the document itself goes to stdout. Schema-check it
+        // with the exporter's own validating parser.
+        let out = run_capture(&[
+            "trace",
+            "--random",
+            "256",
+            "--queries",
+            "2000",
+            "--batch",
+            "128",
+            "--sample",
+            "1",
+        ])
+        .unwrap();
+        let events = lcds_obs::trace_export::parse_chrome_trace(&out).expect("valid chrome trace");
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().any(|e| e.name == "query_batch"),
+            "no traced batches among {} events",
+            events.len()
+        );
+        assert!(
+            events.iter().any(|e| e.cat == "build"),
+            "builder spans must land on the build track"
+        );
+        let batch = events.iter().find(|e| e.name == "query_batch").unwrap();
+        assert!(batch.args["probes"].as_u64().unwrap() > 0);
+        assert_eq!(
+            batch.args["cells"].as_array().unwrap().len(),
+            batch.args["stages"].as_array().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn trace_out_flag_writes_file_and_summary() {
+        let path = tmp("trace.json");
+        let out = run_capture(&[
+            "trace",
+            "--random",
+            "256",
+            "--queries",
+            "1000",
+            "--sample",
+            "1",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("traced 1000 queries"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(lcds_obs::trace_export::parse_chrome_trace(&body).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watch_table_reports_ratio_and_trips() {
+        let out = run_capture(&[
+            "watch",
+            "--random",
+            "512",
+            "--queries",
+            "8000",
+            "--zipf",
+            "0.5",
+            "--topk",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("ratio Φ̂·s"), "{out}");
+        assert!(out.contains("watchdog trips:"), "{out}");
+        assert!(out.contains("top-4 cells"), "{out}");
+    }
+
+    #[test]
+    fn watch_prom_and_jsonl_formats() {
+        let out = run_capture(&[
+            "watch",
+            "--random",
+            "512",
+            "--queries",
+            "4000",
+            "--format",
+            "prom",
+        ])
+        .unwrap();
+        assert!(out.contains("lcds_heatmap_probes_total"), "{out}");
+        assert!(out.contains("lcds_watchdog_trips_total"), "{out}");
+
+        let out = run_capture(&[
+            "watch",
+            "--random",
+            "512",
+            "--queries",
+            "4000",
+            "--format",
+            "jsonl",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        // The count-mean correction drives Φ̂ to exactly 0 for a flat
+        // scheme whose per-cell shares sit below the sketch noise floor,
+        // so only non-negativity is scheme-independent here.
+        assert!(v["phi_hat"].as_f64().unwrap() >= 0.0);
+        assert!(v["probes"].as_u64().unwrap() > 0);
+        assert!(v["watchdog_trips"].is_u64());
+        assert!(v["threshold"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn watch_rejects_bad_scheme_and_format() {
+        assert_eq!(
+            run_capture(&["watch", "--scheme", "btree"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_capture(&["watch", "--format", "xml"]).unwrap_err().code,
+            2
+        );
     }
 
     #[test]

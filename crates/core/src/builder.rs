@@ -348,7 +348,7 @@ pub fn build_with<R: Rng + ?Sized>(
     lcds_obs::counter(metric::BUILDS_TOTAL).inc();
     lcds_obs::gauge(metric::BUILD_SEED_TRIALS_MAX).set_max(stats.perfect_trials_max as f64);
     lcds_obs::emit(
-        "build_complete",
+        metric::EVENT_BUILD_COMPLETE,
         serde_json::json!({
             "n": sorted.len(),
             "cells": p.s * layout.num_rows() as u64,

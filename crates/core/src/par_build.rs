@@ -482,7 +482,7 @@ fn build_impl(
     lcds_obs::counter(metric::BUILDS_TOTAL).inc();
     lcds_obs::gauge(metric::BUILD_SEED_TRIALS_MAX).set_max(stats.perfect_trials_max as f64);
     lcds_obs::emit(
-        "build_complete",
+        metric::EVENT_BUILD_COMPLETE,
         serde_json::json!({
             "n": sorted.len(),
             "cells": p.s * layout.num_rows() as u64,

@@ -37,7 +37,7 @@
 use crate::dict::{LowContentionDict, MAX_D};
 use crate::histogram;
 use lcds_cellprobe::rngutil::{uniform_below, StreamRng};
-use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::sink::{PlanStage, ProbeSink};
 use lcds_hashing::perfect::PerfectHash;
 use lcds_hashing::poly::horner;
 
@@ -148,6 +148,7 @@ impl BatchPlan {
         // Stage 0 — reconstruct f and g once per batch: the coefficient
         // rows are fully replicated, so one probe per row (at a random
         // replica, from a batch-scoped stream) yields the whole function.
+        sink.stage(PlanStage::Coefficients);
         let mut prng = StreamRng::for_stream(seed ^ 0x9E37_79B9_7F4A_7C15, idx(0));
         let mut fw = [0u64; MAX_D];
         let mut gw = [0u64; MAX_D];
@@ -170,6 +171,7 @@ impl BatchPlan {
 
         // Stage 2 (execute) — z reads, region `row_z`, with read-ahead;
         // resolves each key's bucket h and plans its GBAS replica column.
+        sink.stage(PlanStage::Displacement);
         let z_base = l.row_z() as u64 * p.s;
         for i in 0..b {
             if i + READ_AHEAD < b {
@@ -186,6 +188,7 @@ impl BatchPlan {
         }
 
         // Stage 3 (execute) — GBAS reads, region `row_gbas`.
+        sink.stage(PlanStage::GroupBase);
         let gbas_base = l.row_gbas() as u64 * p.s;
         for i in 0..b {
             if i + READ_AHEAD < b {
@@ -197,6 +200,7 @@ impl BatchPlan {
         // Stage 4 (execute) — histogram words, one region (row) at a time.
         // Each key's hist columns are drawn from its own stream in
         // ascending word order, exactly as the sequential path does.
+        sink.stage(PlanStage::Histogram);
         let rho = p.rho as usize;
         self.hist.resize(b * rho, 0);
         for w in 0..p.rho {
@@ -234,6 +238,7 @@ impl BatchPlan {
 
         // Stage 6 (execute) — header reads (perfect-hash seeds), active
         // entries only.
+        sink.stage(PlanStage::Header);
         let a = self.active.len();
         let header_base = l.row_header() as u64 * p.s;
         for j in 0..a {
@@ -247,6 +252,7 @@ impl BatchPlan {
         }
 
         // Stage 7 (execute) — data reads settle membership by comparison.
+        sink.stage(PlanStage::Data);
         let data_base = l.row_data() as u64 * p.s;
         for j in 0..a {
             if j + READ_AHEAD < a {
@@ -379,6 +385,41 @@ mod tests {
         // 2d batch-level + per key: z + gbas + ρ hist + header + data
         // (all probes are positives here, so nothing stops early).
         assert_eq!(sink.total(), 2 * dd + b * (rho + 4));
+    }
+
+    #[test]
+    fn stages_label_every_probe_region() {
+        // Per-stage probe counts for an all-positive batch: 2d coefficient
+        // reads, then b probes in each per-key stage (ρ·b for histogram).
+        #[derive(Default)]
+        struct StageCounter {
+            current: PlanStage,
+            by_stage: std::collections::HashMap<PlanStage, u64>,
+        }
+        impl ProbeSink for StageCounter {
+            fn probe(&mut self, _cell: u64) {
+                *self.by_stage.entry(self.current).or_insert(0) += 1;
+            }
+            fn stage(&mut self, stage: PlanStage) {
+                self.current = stage;
+            }
+        }
+
+        let d = dict(500, 29);
+        let probes = mixed_probes(&d, 0, 0);
+        let mut sink = StageCounter::default();
+        let mut out = Vec::new();
+        BatchPlan::new().run(&d, &probes, 0, 7, &mut sink, &mut out);
+        let b = probes.len() as u64;
+        let p = *d.params();
+        let get = |s: PlanStage| sink.by_stage.get(&s).copied().unwrap_or(0);
+        assert_eq!(get(PlanStage::Coefficients), 2 * p.d as u64);
+        assert_eq!(get(PlanStage::Displacement), b);
+        assert_eq!(get(PlanStage::GroupBase), b);
+        assert_eq!(get(PlanStage::Histogram), p.rho as u64 * b);
+        assert_eq!(get(PlanStage::Header), b);
+        assert_eq!(get(PlanStage::Data), b);
+        assert_eq!(get(PlanStage::Other), 0, "no probe escapes its stage");
     }
 
     #[test]

@@ -141,6 +141,8 @@ pub struct Span {
 struct SpanState {
     name: &'static str,
     start: Instant,
+    start_ns: u64,
+    id: u64,
     registry: Registry,
     log: Option<EventLog>,
 }
@@ -158,6 +160,8 @@ impl Span {
             state: Some(SpanState {
                 name,
                 start: Instant::now(),
+                start_ns: monotonic_ns(),
+                id: crate::trace::next_id(),
                 registry: registry.clone(),
                 log: log.cloned(),
             }),
@@ -168,6 +172,13 @@ impl Span {
     pub fn is_active(&self) -> bool {
         self.state.is_some()
     }
+
+    /// The span's process-unique id (0 for an inactive span). Carried
+    /// into the trace buffer and the `span` event, so a chrome-trace
+    /// slice can be joined back to its event-log record.
+    pub fn id(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.id)
+    }
 }
 
 impl Drop for Span {
@@ -177,9 +188,14 @@ impl Drop for Span {
         st.registry.histogram(&format!("{}_ns", st.name)).record(ns);
         if let Some(log) = st.log {
             log.emit(
-                "span",
-                serde_json::json!({ "span": st.name, "duration_ns": ns }),
+                crate::names::EVENT_SPAN,
+                serde_json::json!({ "span": st.name, "span_id": st.id, "duration_ns": ns }),
             );
+        }
+        // Mirror builder-phase spans into the trace timeline so build
+        // slices render next to query batches in chrome://tracing.
+        if crate::trace::tracing_enabled() {
+            crate::trace::record_span(st.id, st.name, st.start_ns, st.start_ns + ns);
         }
     }
 }

@@ -102,6 +102,51 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders a [`Heatmap`](crate::Heatmap) in the Prometheus text format:
+/// probe/query totals, the live `Φ̂` gauge, and one
+/// [`names::HEATMAP_CELL_PROBES`](crate::names::HEATMAP_CELL_PROBES)
+/// sample per top-`k` cell.
+pub fn heatmap_to_prometheus(hm: &crate::Heatmap, k: usize) -> String {
+    use crate::names;
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE {} counter", names::HEATMAP_PROBES_TOTAL);
+    let _ = writeln!(out, "{} {}", names::HEATMAP_PROBES_TOTAL, hm.probes());
+    let _ = writeln!(out, "# TYPE {} counter", names::HEATMAP_QUERIES_TOTAL);
+    let _ = writeln!(out, "{} {}", names::HEATMAP_QUERIES_TOTAL, hm.queries());
+    let _ = writeln!(out, "# TYPE {} gauge", names::HEATMAP_PHI_HAT);
+    let _ = writeln!(out, "{} {}", names::HEATMAP_PHI_HAT, hm.phi_hat());
+    let _ = writeln!(out, "# TYPE {} gauge", names::HEATMAP_CELL_PROBES);
+    for hc in hm.top(k) {
+        let _ = writeln!(
+            out,
+            "{}{{cell=\"{}\"}} {}",
+            names::HEATMAP_CELL_PROBES,
+            hc.cell,
+            hc.count
+        );
+    }
+    out
+}
+
+/// Renders a [`Heatmap`](crate::Heatmap) as one JSON object (for the
+/// JSON-lines event stream and `lcds watch --format jsonl`): totals, the
+/// live `Φ̂`, the Count-Min error bound, and the top-`k` cells.
+pub fn heatmap_to_json(hm: &crate::Heatmap, k: usize) -> serde_json::Value {
+    serde_json::json!({
+        "probes": hm.probes(),
+        "queries": hm.queries(),
+        "phi_hat": hm.phi_hat(),
+        "error_bound": hm.error_bound(),
+        "width": hm.width(),
+        "depth": hm.depth(),
+        "top": hm.top(k).iter().map(|hc| serde_json::json!({
+            "cell": hc.cell,
+            "estimated_probes": hc.count,
+            "guaranteed_probes": hc.guaranteed(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
 /// Renders events as JSON-lines: one serialized [`Event`] per line.
 pub fn events_to_jsonl(events: &[Event]) -> String {
     let mut out = String::new();
@@ -174,6 +219,28 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(to_prometheus(&MetricsSnapshot::default()), "");
+    }
+
+    #[test]
+    fn heatmap_dump_renders_prometheus_and_json() {
+        use lcds_cellprobe::sink::ProbeSink;
+        let mut hm = crate::Heatmap::new(64, 2, 4, 7);
+        for _ in 0..10 {
+            hm.begin_query();
+            hm.probe(3);
+        }
+        hm.probe(9);
+        let text = heatmap_to_prometheus(&hm, 2);
+        assert!(text.contains("lcds_heatmap_probes_total 11"), "{text}");
+        assert!(text.contains("lcds_heatmap_queries_total 10"));
+        assert!(text.contains("lcds_heatmap_cell_probes{cell=\"3\"} 10"));
+        assert!(text.contains("# TYPE lcds_heatmap_phi_hat gauge"));
+
+        let js = heatmap_to_json(&hm, 2);
+        assert_eq!(js["probes"], 11);
+        assert_eq!(js["top"][0]["cell"], 3);
+        assert_eq!(js["top"][0]["estimated_probes"], 10);
+        assert!(js["error_bound"].as_f64().unwrap() > 0.0);
     }
 
     #[test]

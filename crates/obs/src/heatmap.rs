@@ -1,0 +1,480 @@
+//! Live sketched contention heatmap and the Φ̂ watchdog.
+//!
+//! The exact offline audit (`lcds_cellprobe::measure`) needs `O(s)`
+//! memory; a server with millions of cells wants the same signal in fixed
+//! memory. [`Heatmap`] combines a Count-Min sketch (Cormode–Muthukrishnan
+//! 2005) with the space-saving [`TopKSink`] already used for hot-cell
+//! detection: top-K nominates *candidate* hot cells, Count-Min tightens
+//! each candidate's estimate, and the minimum of the two over-estimates
+//! is reported. Memory is `O(depth·width + K)` regardless of `s`.
+//!
+//! The reported statistic is the **probe share** of the hottest cell,
+//!
+//! ```text
+//! Φ̂ = est_probes(hottest) / total_probes,
+//! ```
+//!
+//! the online analogue of `TopKSink::hottest_share`. A perfectly flat
+//! scheme has `Φ̂·s ≈ 1` (every cell carries an equal share), so
+//! `ratio = Φ̂·s` is directly comparable across schemes and instance
+//! sizes. The [`Watchdog`] raises a structured [`names::EVENT_WATCHDOG`]
+//! event when `ratio` exceeds a configured multiple of the scheme's
+//! theoretical envelope: [`theorem3_envelope`] for the §2 dictionary
+//! (Theorem 3's `O(1/n)` contention, i.e. the replication price `s/n`),
+//! [`sqrt_envelope`] / [`balls_in_bins_envelope`] for the FKS and
+//! binary-search baselines.
+//!
+//! Count-Min error guarantee (checked in `tests/watchdog.rs` against the
+//! exact T1 audit): with width `w` and depth `d`, every estimate
+//! overshoots the true count by at most `ε·total` with probability
+//! `1 − δ`, where `ε = e/w` and `δ = e^{−d}`.
+
+use crate::names;
+use crate::sinks::{HotCell, TopKSink};
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::CellId;
+use std::sync::{Mutex, OnceLock};
+
+/// splitmix64 finalizer, used as the per-row hash for Count-Min.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Fixed-memory per-cell probe heatmap: Count-Min sketch + space-saving
+/// top-K candidates. Implements [`ProbeSink`], so it can sit directly on
+/// a query stream (optionally behind a
+/// [`SamplingSink`](crate::SamplingSink)).
+#[derive(Clone, Debug)]
+pub struct Heatmap {
+    width: usize,
+    depth: usize,
+    rows: Vec<u64>, // depth × width, row-major
+    topk: TopKSink,
+    seed: u64,
+    probes: u64,
+    queries: u64,
+}
+
+impl Heatmap {
+    /// Default sketch width (counters per row).
+    pub const DEFAULT_WIDTH: usize = 1024;
+    /// Default sketch depth (independent rows).
+    pub const DEFAULT_DEPTH: usize = 4;
+    /// Default top-K candidate capacity. Sized so the space-saving
+    /// retention guarantee (any cell with probe share above
+    /// `1/capacity` is still tracked at read time) covers the shares
+    /// the watchdog must see: an adversarial FKS descriptor absorbs
+    /// ~0.5–1% of probes under mild skew, well above `1/256`.
+    pub const DEFAULT_TOPK: usize = 256;
+
+    /// New heatmap with explicit dimensions. `width`/`depth`/`topk` are
+    /// clamped to ≥ 1; `seed` keys the row hashes.
+    pub fn new(width: usize, depth: usize, topk: usize, seed: u64) -> Heatmap {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        Heatmap {
+            width,
+            depth,
+            rows: vec![0; width * depth],
+            topk: TopKSink::new(topk),
+            seed,
+            probes: 0,
+            queries: 0,
+        }
+    }
+
+    /// Default-sized heatmap (`1024 × 4` counters + 256 candidates ≈ 40 KiB).
+    pub fn with_defaults(seed: u64) -> Heatmap {
+        Heatmap::new(
+            Heatmap::DEFAULT_WIDTH,
+            Heatmap::DEFAULT_DEPTH,
+            Heatmap::DEFAULT_TOPK,
+            seed,
+        )
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, cell: CellId) -> usize {
+        let h = mix(cell ^ self.seed.wrapping_add((row as u64) << 32));
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Count-Min point estimate for `cell` (an over-estimate: the true
+    /// count never exceeds it).
+    pub fn estimate(&self, cell: CellId) -> u64 {
+        (0..self.depth)
+            .map(|r| self.rows[self.slot(r, cell)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total probes absorbed.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Queries absorbed (`begin_query` calls).
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Top-K candidate capacity: any cell whose probe share exceeds
+    /// `1/topk_capacity()` is guaranteed still tracked at read time.
+    /// `Φ̂` is only contractually accurate above that share — below it
+    /// the true hottest cell may have been evicted from the candidate
+    /// set (the space-saving blind zone).
+    pub fn topk_capacity(&self) -> usize {
+        self.topk.capacity()
+    }
+
+    /// Count-Min additive error rate `ε = e/width`: estimates overshoot
+    /// truth by at most `ε·probes()` w.p. `1 − e^{−depth}` per query.
+    pub fn epsilon(&self) -> f64 {
+        std::f64::consts::E / self.width as f64
+    }
+
+    /// Current absolute Count-Min error bound, `ε · probes()`.
+    pub fn error_bound(&self) -> f64 {
+        self.epsilon() * self.probes as f64
+    }
+
+    /// The `k` hottest cells: space-saving candidates with their counts
+    /// tightened by the Count-Min estimate (both over-estimate, so the
+    /// minimum is the sharper bound). Hottest first.
+    pub fn top(&self, k: usize) -> Vec<HotCell> {
+        let mut v: Vec<HotCell> = self
+            .topk
+            .top(k)
+            .into_iter()
+            .map(|hc| {
+                let cm = self.estimate(hc.cell);
+                if cm < hc.count {
+                    let tightened = hc.error.min(cm.saturating_sub(hc.guaranteed()));
+                    HotCell {
+                        cell: hc.cell,
+                        count: cm,
+                        error: tightened,
+                    }
+                } else {
+                    hc
+                }
+            })
+            .collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.cell.cmp(&b.cell)));
+        v
+    }
+
+    /// The hottest cell and its tightened estimate.
+    pub fn hottest(&self) -> Option<HotCell> {
+        self.top(1).into_iter().next()
+    }
+
+    /// Live probe-share estimate of the hottest cell, with the expected
+    /// Count-Min collision mass subtracted (the count-mean correction):
+    /// `Φ̂ = (est − (probes − est)/(width − 1)) / probes`, clamped at 0.
+    ///
+    /// The raw estimate has a sketch-imposed noise floor: once the
+    /// structure has many more cells than the sketch has columns, every
+    /// counter saturates near `probes/width`, so even a perfectly flat
+    /// scheme reports `Φ̂ ≈ 1/width` — a ratio of `≈ s/width`, enough to
+    /// out-shout a constant envelope at large `s`. Subtracting the mass
+    /// the *rest* of the stream is expected to have hashed into the
+    /// hottest cell's counters removes the floor without disturbing a
+    /// genuinely hot cell (a one-hot stream has no other mass to
+    /// subtract, so it still reads exactly `Φ̂ = 1`).
+    pub fn phi_hat(&self) -> f64 {
+        if self.probes == 0 {
+            return 0.0;
+        }
+        self.hottest().map_or(0.0, |hc| {
+            let est = hc.count as f64;
+            let others = self.probes as f64 - est;
+            let noise = others / (self.width.saturating_sub(1).max(1)) as f64;
+            ((est - noise) / self.probes as f64).max(0.0)
+        })
+    }
+
+    /// Live contention ratio `Φ̂·s` for a structure of `num_cells` cells:
+    /// ≈ 1 for a perfectly flat scheme, `num_cells` when one cell takes
+    /// every probe.
+    pub fn ratio(&self, num_cells: u64) -> f64 {
+        self.phi_hat() * num_cells as f64
+    }
+
+    /// Absorbs a pre-recorded probe trace with `queries` query
+    /// boundaries (the sim replay path feeds this).
+    pub fn absorb_trace(&mut self, trace: &[CellId], queries: u64) {
+        self.queries += queries;
+        for &cell in trace {
+            self.probe(cell);
+        }
+    }
+}
+
+impl ProbeSink for Heatmap {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.probes += 1;
+        for r in 0..self.depth {
+            let s = self.slot(r, cell);
+            self.rows[s] += 1;
+        }
+        self.topk.probe(cell);
+    }
+
+    fn begin_query(&mut self) {
+        self.queries += 1;
+    }
+}
+
+/// The process-global heatmap (sim replay feeds it; exporters dump it).
+/// Guarded by a mutex — hot paths should prefer a local [`Heatmap`] (or
+/// a sampled one) and merge summaries, but replay-grade call rates are
+/// fine here.
+pub fn global_heatmap() -> &'static Mutex<Heatmap> {
+    static HM: OnceLock<Mutex<Heatmap>> = OnceLock::new();
+    HM.get_or_init(|| Mutex::new(Heatmap::with_defaults(0x11EA7)))
+}
+
+/// Theorem 3 envelope for the §2 dictionary, in `Φ̂·s` ratio units: the
+/// dictionary's contention is `O(1/n)` per query, so its ratio is at
+/// most the replication price `s/n` (≈ 30 at the default parameters).
+pub fn theorem3_envelope(num_cells: u64, n: u64) -> f64 {
+    num_cells as f64 / n.max(1) as f64
+}
+
+/// Worst-case FKS envelope in ratio units: an adversarial instance packs
+/// `√n` keys into one bucket, so one descriptor cell absorbs a `√n/n`
+/// share of an `O(1)`-probe query — ratio `Θ(√n)`.
+pub fn sqrt_envelope(n: u64) -> f64 {
+    (n.max(1) as f64).sqrt()
+}
+
+/// Balls-in-bins envelope in ratio units: the expected worst bucket load
+/// of a *random* FKS instance is `Θ(ln n / ln ln n)` — the baseline's
+/// honest bound for non-adversarial inputs.
+pub fn balls_in_bins_envelope(n: u64) -> f64 {
+    let ln_n = (n.max(3) as f64).ln();
+    ln_n / ln_n.ln().max(1.0)
+}
+
+/// A tripped watchdog's structured report (also emitted as a
+/// [`names::EVENT_WATCHDOG`] event when telemetry is enabled).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchdogAlarm {
+    /// The offending cell.
+    pub cell: CellId,
+    /// Its live probe-share estimate.
+    pub phi_hat: f64,
+    /// The live ratio `Φ̂·s`.
+    pub ratio: f64,
+    /// The configured theoretical envelope (ratio units).
+    pub envelope: f64,
+    /// The configured multiple of the envelope that was exceeded.
+    pub multiple: f64,
+    /// Probes observed when the alarm fired.
+    pub probes: u64,
+}
+
+/// Raises an alarm when the live ratio `Φ̂·s` exceeds
+/// `multiple × envelope`. Stateless between checks except for a trip
+/// counter; callers poll [`Watchdog::check`] at whatever cadence they
+/// like (`lcds watch` does it once per poll interval).
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    envelope: f64,
+    multiple: f64,
+    min_probes: u64,
+    trips: u64,
+}
+
+impl Watchdog {
+    /// Default probe floor below which the estimate is considered noise.
+    pub const DEFAULT_MIN_PROBES: u64 = 1024;
+
+    /// New watchdog tripping at `multiple × envelope` (both must be
+    /// positive; `multiple` is typically 2–4).
+    pub fn new(envelope: f64, multiple: f64) -> Watchdog {
+        assert!(envelope > 0.0 && multiple > 0.0);
+        Watchdog {
+            envelope,
+            multiple,
+            min_probes: Watchdog::DEFAULT_MIN_PROBES,
+            trips: 0,
+        }
+    }
+
+    /// Overrides the minimum probe count before checks can trip.
+    pub fn with_min_probes(mut self, min_probes: u64) -> Watchdog {
+        self.min_probes = min_probes;
+        self
+    }
+
+    /// The configured envelope (ratio units).
+    pub fn envelope(&self) -> f64 {
+        self.envelope
+    }
+
+    /// The trip threshold, `multiple × envelope`.
+    pub fn threshold(&self) -> f64 {
+        self.multiple * self.envelope
+    }
+
+    /// Alarms raised so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Compares the heatmap's live ratio against the threshold. On trip:
+    /// bumps the trip counter, emits the structured event + counter
+    /// (when telemetry is enabled), and returns the alarm.
+    pub fn check(&mut self, heatmap: &Heatmap, num_cells: u64) -> Option<WatchdogAlarm> {
+        if heatmap.probes() < self.min_probes {
+            return None;
+        }
+        let ratio = heatmap.ratio(num_cells);
+        if ratio <= self.threshold() {
+            return None;
+        }
+        let hottest = heatmap.hottest()?;
+        self.trips += 1;
+        let alarm = WatchdogAlarm {
+            cell: hottest.cell,
+            phi_hat: heatmap.phi_hat(),
+            ratio,
+            envelope: self.envelope,
+            multiple: self.multiple,
+            probes: heatmap.probes(),
+        };
+        crate::counter(names::WATCHDOG_TRIPS_TOTAL).inc();
+        crate::emit(
+            names::EVENT_WATCHDOG,
+            serde_json::json!({
+                "cell": alarm.cell,
+                "phi_hat": alarm.phi_hat,
+                "ratio": alarm.ratio,
+                "envelope": alarm.envelope,
+                "multiple": alarm.multiple,
+                "probes": alarm.probes,
+            }),
+        );
+        Some(alarm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_never_undershoot_and_bound_holds_on_small_universe() {
+        let mut hm = Heatmap::new(64, 4, 8, 42);
+        // 32 distinct cells, cell 5 heavily skewed.
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..4096u64 {
+            let cell = if i % 2 == 0 { 5 } else { i % 32 };
+            hm.begin_query();
+            hm.probe(cell);
+            *truth.entry(cell).or_insert(0u64) += 1;
+        }
+        for (&cell, &t) in &truth {
+            let est = hm.estimate(cell);
+            assert!(est >= t, "cell {cell}: est {est} < true {t}");
+            assert!(
+                (est - t) as f64 <= hm.error_bound() + 1.0,
+                "cell {cell}: overshoot {} above ε·N = {}",
+                est - t,
+                hm.error_bound()
+            );
+        }
+        assert_eq!(hm.probes(), 4096);
+        assert_eq!(hm.queries(), 4096);
+        let hot = hm.hottest().expect("nonempty");
+        assert_eq!(hot.cell, 5);
+        assert!((hm.phi_hat() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn ratio_is_one_ish_for_flat_and_s_for_pointed_streams() {
+        let mut flat = Heatmap::new(256, 4, 16, 1);
+        for i in 0..10_000u64 {
+            flat.begin_query();
+            flat.probe(i % 100);
+        }
+        // Flat over 100 cells: Φ̂ ≈ 1/100, ratio ≈ 1. Count-Min
+        // collisions can only inflate it; allow generous slack.
+        assert!(flat.ratio(100) < 3.0, "flat ratio {}", flat.ratio(100));
+
+        let mut pointed = Heatmap::new(256, 4, 16, 1);
+        for _ in 0..10_000u64 {
+            pointed.begin_query();
+            pointed.probe(7);
+        }
+        assert!((pointed.ratio(100) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watchdog_trips_on_pointed_not_on_flat() {
+        // Never toggles the global enabled flag (that belongs to the
+        // lib.rs gating test); a trip's emit is gated and harmless.
+        let mut flat = Heatmap::new(256, 4, 16, 1);
+        let mut pointed = Heatmap::new(256, 4, 16, 1);
+        for i in 0..5_000u64 {
+            flat.begin_query();
+            flat.probe(i % 100);
+            pointed.begin_query();
+            pointed.probe(3);
+        }
+        let mut dog = Watchdog::new(2.0, 3.0);
+        assert!(dog.check(&flat, 100).is_none());
+        let alarm = dog.check(&pointed, 100).expect("must trip");
+        assert_eq!(alarm.cell, 3);
+        assert!(alarm.ratio > dog.threshold());
+        assert_eq!(dog.trips(), 1);
+
+        // Below the probe floor nothing fires, however pointed.
+        let mut tiny = Heatmap::new(256, 4, 16, 1);
+        tiny.begin_query();
+        tiny.probe(3);
+        assert!(dog.check(&tiny, 100).is_none());
+    }
+
+    #[test]
+    fn envelopes_are_monotone_and_sane() {
+        assert!((theorem3_envelope(122_880, 4096) - 30.0).abs() < 1e-9);
+        assert!((sqrt_envelope(4096) - 64.0).abs() < 1e-9);
+        let b = balls_in_bins_envelope(4096);
+        assert!(b > 2.0 && b < 10.0, "{b}");
+        assert!(balls_in_bins_envelope(1 << 20) > b);
+    }
+
+    #[test]
+    fn absorb_trace_matches_probe_loop() {
+        let mut a = Heatmap::new(64, 2, 4, 9);
+        let mut b = Heatmap::new(64, 2, 4, 9);
+        let trace = [1u64, 2, 2, 3, 1];
+        a.absorb_trace(&trace, 2);
+        for &c in &trace {
+            b.probe(c);
+        }
+        b.begin_query();
+        b.begin_query();
+        assert_eq!(a.probes(), b.probes());
+        assert_eq!(a.queries(), b.queries());
+        assert_eq!(a.estimate(2), b.estimate(2));
+    }
+}

@@ -16,6 +16,11 @@
 //!   detector.
 //! * [`export`] — Prometheus text exposition and JSON-lines event
 //!   streams (`lcds obs`, `experiments --metrics`).
+//! * [`trace`] / [`trace_export`] — sampled per-batch probe traces
+//!   (trace id, shard, plan stage, cell ids, monotonic ticks) exported
+//!   as chrome://tracing JSON (`lcds trace`).
+//! * [`heatmap`] — fixed-memory Count-Min + top-K live `Φ̂` heatmap and
+//!   the contention [`Watchdog`] (`lcds watch`).
 //!
 //! # Global telemetry
 //!
@@ -45,29 +50,57 @@
 
 pub mod events;
 pub mod export;
+pub mod heatmap;
 pub mod metrics;
 pub mod names;
 pub mod sinks;
+pub mod trace;
+pub mod trace_export;
 
 pub use events::{Event, EventLog, Span};
+pub use heatmap::{Heatmap, Watchdog};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsSnapshot, Registry};
 pub use sinks::{HotCell, SamplingSink, TopKSink};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+// Tri-state so the `LCDS_OBS` environment variable can seed the *initial*
+// value without ever overriding an explicit `set_enabled` call:
+// 0 = uninitialized (consult the env on first read), 1 = off, 2 = on.
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+static ENABLED: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 
 /// Turns global telemetry on or off. Off (the default), [`span`] and
-/// [`emit`] are no-ops costing one atomic load.
+/// [`emit`] are no-ops costing one relaxed atomic load. Always wins over
+/// the `LCDS_OBS` environment default.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
 /// Is global telemetry enabled?
+///
+/// Defaults to off; setting `LCDS_OBS=1` in the environment flips the
+/// *initial* state to on (read once, on the first call that finds the
+/// flag uninitialized). [`set_enabled`] overrides either way.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_enabled_from_env(),
+    }
+}
+
+#[cold]
+fn init_enabled_from_env() -> bool {
+    let on = std::env::var_os("LCDS_OBS").is_some_and(|v| v == "1");
+    let target = if on { STATE_ON } else { STATE_OFF };
+    // Only transition out of UNINIT: a concurrent set_enabled wins.
+    let _ = ENABLED.compare_exchange(STATE_UNINIT, target, Ordering::Relaxed, Ordering::Relaxed);
+    ENABLED.load(Ordering::Relaxed) == STATE_ON
 }
 
 /// The process-global metric registry. Always available (so exporters can

@@ -1,10 +1,15 @@
-//! Canonical metric names for cross-crate instrumentation.
+//! Canonical metric and event names for cross-crate instrumentation.
 //!
 //! Library crates that record into the global [`Registry`](crate::Registry)
 //! name their series through these constants so the exporter, the docs
 //! (`docs/OBSERVABILITY.md`), and dashboards stay in agreement — a typo'd
 //! metric name silently creates a parallel empty series, which is exactly
 //! the kind of bug a constant can't have.
+//!
+//! [`is_declared_metric`] / [`is_declared_event`] close the loop: the
+//! `metric_names` tier-1 test runs a smoke workload with telemetry on and
+//! asserts every name that lands in the global registry or event log is
+//! declared here, so an inline literal cannot silently fork a series.
 
 /// Wall time of one whole dictionary construction (span; exported with an
 /// `_ns` suffix like every span histogram).
@@ -49,6 +54,10 @@ pub const SERVE_KEYS_TOTAL: &str = "lcds_serve_keys_total";
 /// Distribution of batch sizes handed to the planned executor (histogram).
 pub const SERVE_BATCH_DEPTH: &str = "lcds_serve_batch_depth";
 
+/// Wall time of one planned batch execution in the bulk engine
+/// (histogram, nanoseconds; recorded directly, not via a span).
+pub const SERVE_BATCH_LATENCY: &str = "lcds_serve_batch_latency_ns";
+
 /// Probe-plan entries laid out by the core batch planner (counter; one
 /// entry per key per batch).
 pub const SERVE_PLAN_ENTRIES_TOTAL: &str = "lcds_serve_plan_entries_total";
@@ -66,6 +75,158 @@ pub const SERVE_SHARDS: &str = "lcds_serve_shards";
 /// unbalanced for the offered key mix.
 pub const SERVE_SHARD_DEPTH: &str = "lcds_serve_shard_batch_depth";
 
+/// Cell probes replayed by the real-thread simulator (counter).
+pub const REPLAY_PROBES_TOTAL: &str = "lcds_replay_probes_total";
+
+/// Stalls detected by the replay progress watchdog (counter).
+pub const REPLAY_STALLS_TOTAL: &str = "lcds_replay_stalls_total";
+
+/// Completed replay runs (counter).
+pub const REPLAY_RUNS_TOTAL: &str = "lcds_replay_runs_total";
+
+/// Per-thread replay wall time (histogram, nanoseconds).
+pub const REPLAY_THREAD_NS: &str = "lcds_replay_thread_ns";
+
+/// Replay throughput of the most recent run (gauge, queries/s).
+pub const REPLAY_QPS: &str = "lcds_replay_qps";
+
+/// Queries executed by the `lcds obs` / `lcds watch` sampling loop
+/// (counter).
+pub const QUERIES_TOTAL: &str = "lcds_queries_total";
+
+/// Probes seen by the query-path sampler, sampled or not (counter).
+pub const QUERY_PROBES_TOTAL: &str = "lcds_query_probes_total";
+
+/// Probes forwarded past the sampler to the top-K sketch (counter).
+pub const QUERY_PROBES_SAMPLED_TOTAL: &str = "lcds_query_probes_sampled_total";
+
+/// Query throughput of the most recent sampling run (gauge, queries/s).
+pub const QUERY_QPS: &str = "lcds_query_qps";
+
+/// Estimated probe share of the hottest cell (gauge, 0..1).
+pub const HOT_CELL_SHARE: &str = "lcds_hot_cell_share";
+
+/// Estimated probe count of one hot cell (gauge family, labeled
+/// `{cell="<id>"}`).
+pub const HOT_CELL_PROBES: &str = "lcds_hot_cell_probes";
+
+/// Trace records (batches + spans) published to the trace buffer
+/// (counter).
+pub const TRACE_RECORDS_TOTAL: &str = "lcds_trace_records_total";
+
+/// Trace records evicted from the bounded buffer (counter).
+pub const TRACE_DROPPED_TOTAL: &str = "lcds_trace_dropped_total";
+
+/// Probes absorbed by the live contention heatmap (counter-like; exported
+/// by the heatmap dump, mirrors `Heatmap::probes`).
+pub const HEATMAP_PROBES_TOTAL: &str = "lcds_heatmap_probes_total";
+
+/// Queries absorbed by the live contention heatmap (heatmap dump).
+pub const HEATMAP_QUERIES_TOTAL: &str = "lcds_heatmap_queries_total";
+
+/// Live estimated probe share of the hottest cell, `Φ̂` (heatmap dump).
+pub const HEATMAP_PHI_HAT: &str = "lcds_heatmap_phi_hat";
+
+/// Count-Min-corrected probe estimate of one hot cell (gauge family,
+/// labeled `{cell="<id>"}`; heatmap dump).
+pub const HEATMAP_CELL_PROBES: &str = "lcds_heatmap_cell_probes";
+
+/// Contention-watchdog alarms raised (counter).
+pub const WATCHDOG_TRIPS_TOTAL: &str = "lcds_watchdog_trips_total";
+
+/// Event appended on every [`Span`](crate::Span) drop.
+pub const EVENT_SPAN: &str = "span";
+
+/// Event appended after every completed dictionary construction.
+pub const EVENT_BUILD_COMPLETE: &str = "build_complete";
+
+/// Event appended per tracked hot cell by the query sampling loop.
+pub const EVENT_HOT_CELL: &str = "hot_cell";
+
+/// Structured alarm raised by the contention watchdog when the live
+/// ratio `Φ̂·s` exceeds its configured envelope.
+pub const EVENT_WATCHDOG: &str = "contention_watchdog";
+
+/// Event appended per finished experiment by the `experiments` binary.
+pub const EVENT_EXPERIMENT_COMPLETE: &str = "experiment_complete";
+
+/// Every declared plain metric series (exact exported name, no labels).
+pub const ALL_METRICS: &[&str] = &[
+    BUILD_HASH_RETRIES_TOTAL,
+    BUILD_SEED_TRIALS_TOTAL,
+    BUILD_SEED_TRIALS_MAX,
+    BUILD_SEED_TRIALS_PER_BUCKET,
+    BUILDS_TOTAL,
+    BUILD_PAR_WORKERS,
+    SERVE_BATCHES_TOTAL,
+    SERVE_KEYS_TOTAL,
+    SERVE_BATCH_DEPTH,
+    SERVE_BATCH_LATENCY,
+    SERVE_PLAN_ENTRIES_TOTAL,
+    SERVE_PLAN_ACTIVE_TOTAL,
+    SERVE_SHARDS,
+    SERVE_SHARD_DEPTH,
+    REPLAY_PROBES_TOTAL,
+    REPLAY_STALLS_TOTAL,
+    REPLAY_RUNS_TOTAL,
+    REPLAY_THREAD_NS,
+    REPLAY_QPS,
+    QUERIES_TOTAL,
+    QUERY_PROBES_TOTAL,
+    QUERY_PROBES_SAMPLED_TOTAL,
+    QUERY_QPS,
+    HOT_CELL_SHARE,
+    TRACE_RECORDS_TOTAL,
+    TRACE_DROPPED_TOTAL,
+    HEATMAP_PROBES_TOTAL,
+    HEATMAP_QUERIES_TOTAL,
+    HEATMAP_PHI_HAT,
+    WATCHDOG_TRIPS_TOTAL,
+];
+
+/// Declared span names. Spans export as `{name}_ns` histograms.
+pub const ALL_SPANS: &[&str] = &[
+    BUILD_TOTAL,
+    BUILD_HASH_DRAW,
+    BUILD_TABLE_LAYOUT,
+    BUILD_HISTOGRAM_LAYOUT,
+    BUILD_PERFECT_HASH,
+];
+
+/// Declared labeled gauge/histogram families (exported name is
+/// `family{label="…"}`).
+pub const ALL_LABELED_FAMILIES: &[&str] = &[HOT_CELL_PROBES, HEATMAP_CELL_PROBES];
+
+/// Declared event names.
+pub const ALL_EVENTS: &[&str] = &[
+    EVENT_SPAN,
+    EVENT_BUILD_COMPLETE,
+    EVENT_HOT_CELL,
+    EVENT_WATCHDOG,
+    EVENT_EXPERIMENT_COMPLETE,
+];
+
+/// Is `name` (as it appears in a registry snapshot, labels included) a
+/// declared series — an exact metric, a `{span}_ns` histogram of a
+/// declared span, or a member of a declared labeled family?
+pub fn is_declared_metric(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    if ALL_METRICS.contains(&base) {
+        return true;
+    }
+    if let Some(span) = base.strip_suffix("_ns") {
+        if ALL_SPANS.contains(&span) {
+            return true;
+        }
+    }
+    name.contains('{') && ALL_LABELED_FAMILIES.contains(&base)
+}
+
+/// Is `name` a declared structured-event name?
+pub fn is_declared_event(name: &str) -> bool {
+    ALL_EVENTS.contains(&name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +237,7 @@ mod tests {
             SERVE_BATCHES_TOTAL,
             SERVE_KEYS_TOTAL,
             SERVE_BATCH_DEPTH,
+            SERVE_BATCH_LATENCY,
             SERVE_PLAN_ENTRIES_TOTAL,
             SERVE_PLAN_ACTIVE_TOTAL,
             SERVE_SHARDS,
@@ -102,5 +264,35 @@ mod tests {
         ] {
             assert!(name.starts_with("lcds_build"), "{name}");
         }
+    }
+
+    #[test]
+    fn every_declared_metric_carries_the_lcds_prefix() {
+        for name in ALL_METRICS
+            .iter()
+            .chain(ALL_SPANS)
+            .chain(ALL_LABELED_FAMILIES)
+        {
+            assert!(name.starts_with("lcds_"), "{name}");
+        }
+    }
+
+    #[test]
+    fn declared_metric_matching_handles_spans_and_labels() {
+        assert!(is_declared_metric(SERVE_KEYS_TOTAL));
+        assert!(is_declared_metric("lcds_build_total_ns"));
+        assert!(is_declared_metric("lcds_hot_cell_probes{cell=\"12\"}"));
+        assert!(is_declared_metric("lcds_heatmap_cell_probes{cell=\"0\"}"));
+        // A bare labeled-family name without labels is not a series.
+        assert!(!is_declared_metric("lcds_hot_cell_probes"));
+        assert!(!is_declared_metric("lcds_totally_made_up_total"));
+        assert!(!is_declared_metric("lcds_unknown_span_ns"));
+    }
+
+    #[test]
+    fn declared_event_matching_is_exact() {
+        assert!(is_declared_event(EVENT_SPAN));
+        assert!(is_declared_event(EVENT_WATCHDOG));
+        assert!(!is_declared_event("made_up_event"));
     }
 }

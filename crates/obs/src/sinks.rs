@@ -112,6 +112,10 @@ impl ProbeSink for SamplingSink<'_> {
     fn begin_query(&mut self) {
         self.inner.begin_query();
     }
+
+    fn stage(&mut self, stage: lcds_cellprobe::sink::PlanStage) {
+        self.inner.stage(stage);
+    }
 }
 
 /// One tracked cell in the space-saving summary.

@@ -1,0 +1,359 @@
+//! Per-query probe tracing: sampled, bounded, chrome-trace-exportable.
+//!
+//! The metrics layer aggregates; traces *explain*. A [`TraceSink`]
+//! attached to one batch records which cells were probed, at which plan
+//! stage, in which order — enough to reconstruct why a batch was slow or
+//! which layout region a contention spike hit. Records land in a global
+//! bounded [`TraceBuffer`] and export to chrome://tracing JSON via
+//! [`crate::trace_export`].
+//!
+//! # Cost contract
+//!
+//! Tracing is off by default. The production call sites
+//! (`lcds_serve::bulk_contains` et al.) ask [`try_batch_trace`] once per
+//! batch; with tracing disabled that is **one branch on one relaxed
+//! atomic load** — no allocation, no lock, no time syscall. Enabled,
+//! batches are sampled 1-in-[`sample_period`]: unsampled batches pay one
+//! extra relaxed `fetch_add`. Only a sampled batch allocates a record and
+//! takes the buffer lock (once, on publish).
+
+use lcds_cellprobe::sink::{PlanStage, ProbeSink};
+use lcds_cellprobe::table::CellId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::events::monotonic_ns;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SAMPLE_PERIOD: AtomicU64 = AtomicU64::new(64);
+static BATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static TICK: AtomicU64 = AtomicU64::new(0);
+
+/// Turns trace capture on or off (independent of the metrics
+/// [`crate::enabled`] flag, so metrics can stay on while tracing is off).
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Is trace capture enabled?
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Sets the batch sampling period: 1-in-`period` batches are traced.
+/// Clamped to ≥ 1 (`1` traces every batch).
+pub fn set_sample_period(period: u64) {
+    SAMPLE_PERIOD.store(period.max(1), Ordering::Relaxed);
+}
+
+/// The configured batch sampling period.
+pub fn sample_period() -> u64 {
+    SAMPLE_PERIOD.load(Ordering::Relaxed)
+}
+
+/// Next value of the global monotonic probe tick. Ticks give a total
+/// order over traced probes across threads without per-probe clock reads.
+#[inline]
+pub fn next_tick() -> u64 {
+    TICK.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Fresh id for a trace record (batch or span), process-unique.
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One traced probe: which cell, at which plan stage, at which global
+/// tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceProbe {
+    /// Plan stage the executor had declared when the probe happened.
+    pub stage: PlanStage,
+    /// Probed cell.
+    pub cell: CellId,
+    /// Global monotonic tick (see [`next_tick`]).
+    pub tick: u64,
+}
+
+/// A traced batch execution: identity, timing, and the probe sequence.
+#[derive(Clone, Debug)]
+pub struct BatchTrace {
+    /// Process-unique trace id.
+    pub trace_id: u64,
+    /// Shard the batch ran against (0 for an unsharded engine).
+    pub shard: u32,
+    /// Index of the batch within its bulk call.
+    pub batch_index: u64,
+    /// [`monotonic_ns`] at sink creation.
+    pub start_ns: u64,
+    /// [`monotonic_ns`] at publish.
+    pub end_ns: u64,
+    /// Probes in execution order.
+    pub probes: Vec<TraceProbe>,
+}
+
+/// A completed instrumentation span (builder phase), mirrored into the
+/// trace so build timelines render next to query batches.
+#[derive(Clone, Debug)]
+pub struct SpanTrace {
+    /// Process-unique span id.
+    pub span_id: u64,
+    /// Span name (a `names::ALL_SPANS` constant at every first-party
+    /// call site).
+    pub name: String,
+    /// [`monotonic_ns`] at span entry.
+    pub start_ns: u64,
+    /// [`monotonic_ns`] at span drop.
+    pub end_ns: u64,
+}
+
+/// One record in the trace buffer.
+#[derive(Clone, Debug)]
+pub enum TraceRecord {
+    /// A sampled batch execution.
+    Batch(BatchTrace),
+    /// A completed builder-phase span.
+    Span(SpanTrace),
+}
+
+/// Bounded ring of [`TraceRecord`]s. Overflow evicts the oldest record
+/// and counts it; publishing never blocks beyond one short mutex.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    inner: Mutex<VecDeque<TraceRecord>>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+impl TraceBuffer {
+    /// Default ring capacity (records, not probes).
+    pub const DEFAULT_CAPACITY: usize = 16_384;
+
+    /// New buffer holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            inner: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a record, evicting the oldest at capacity.
+    pub fn push(&self, record: TraceRecord) {
+        let mut g = self.inner.lock().expect("trace buffer poisoned");
+        if g.len() == self.capacity {
+            g.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.push_back(record);
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the buffered records (oldest first).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the buffered records (oldest first).
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+/// The process-global trace buffer.
+pub fn global_traces() -> &'static TraceBuffer {
+    static BUF: OnceLock<TraceBuffer> = OnceLock::new();
+    BUF.get_or_init(|| TraceBuffer::with_capacity(TraceBuffer::DEFAULT_CAPACITY))
+}
+
+/// Asks to trace one batch. Returns a live [`TraceSink`] for 1-in-
+/// [`sample_period`] batches while tracing is enabled, `None` otherwise.
+///
+/// Call once per batch on the serving path; match on the result and fall
+/// back to a [`NullSink`](lcds_cellprobe::sink::NullSink) when `None`.
+#[inline]
+pub fn try_batch_trace(shard: u32, batch_index: u64) -> Option<TraceSink> {
+    if !tracing_enabled() {
+        return None;
+    }
+    let period = sample_period();
+    if BATCH_COUNTER.fetch_add(1, Ordering::Relaxed) % period != 0 {
+        return None;
+    }
+    Some(TraceSink::new(shard, batch_index))
+}
+
+/// A [`ProbeSink`] that records every probe with its plan stage and a
+/// global tick, then publishes the batch to [`global_traces`] on drop.
+#[derive(Debug)]
+pub struct TraceSink {
+    trace: Option<BatchTrace>,
+    current_stage: PlanStage,
+}
+
+impl TraceSink {
+    /// Starts a trace for (`shard`, `batch_index`) with a fresh trace id.
+    pub fn new(shard: u32, batch_index: u64) -> TraceSink {
+        TraceSink {
+            trace: Some(BatchTrace {
+                trace_id: next_id(),
+                shard,
+                batch_index,
+                start_ns: monotonic_ns(),
+                end_ns: 0,
+                probes: Vec::new(),
+            }),
+            current_stage: PlanStage::Other,
+        }
+    }
+
+    /// Probes recorded so far.
+    pub fn probes(&self) -> &[TraceProbe] {
+        self.trace.as_ref().map_or(&[], |t| t.probes.as_slice())
+    }
+
+    /// The trace id this sink is recording under.
+    pub fn trace_id(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |t| t.trace_id)
+    }
+
+    /// Stamps `end_ns` and publishes the record (also done by drop; use
+    /// `finish` to publish at a point of your choosing).
+    pub fn finish(mut self) {
+        self.publish();
+    }
+
+    fn publish(&mut self) {
+        if let Some(mut t) = self.trace.take() {
+            t.end_ns = monotonic_ns();
+            global_traces().push(TraceRecord::Batch(t));
+            crate::counter(crate::names::TRACE_RECORDS_TOTAL).inc();
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.publish();
+    }
+}
+
+impl ProbeSink for TraceSink {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        if let Some(t) = self.trace.as_mut() {
+            t.probes.push(TraceProbe {
+                stage: self.current_stage,
+                cell,
+                tick: next_tick(),
+            });
+        }
+    }
+
+    fn stage(&mut self, stage: PlanStage) {
+        self.current_stage = stage;
+    }
+}
+
+/// Publishes a completed span into the trace buffer under the span's own
+/// id (so the chrome slice joins back to its `span` event). Called from
+/// the [`Span`](crate::Span) drop path when tracing is enabled.
+pub fn record_span(span_id: u64, name: &str, start_ns: u64, end_ns: u64) {
+    global_traces().push(TraceRecord::Span(SpanTrace {
+        span_id,
+        name: name.to_string(),
+        start_ns,
+        end_ns,
+    }));
+    crate::counter(crate::names::TRACE_RECORDS_TOTAL).inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global tracing state is shared across the test harness's threads,
+    // so everything that toggles it lives in this single test.
+    #[test]
+    fn sampling_gate_and_sink_lifecycle() {
+        set_tracing(false);
+        assert!(try_batch_trace(0, 0).is_none(), "disabled ⇒ no sink");
+
+        // A standalone sink records stages, cells, and ticks in order.
+        let mut sink = TraceSink::new(3, 7);
+        let id = sink.trace_id();
+        assert!(id > 0);
+        sink.stage(PlanStage::Coefficients);
+        sink.probe(10);
+        sink.stage(PlanStage::Data);
+        sink.probe(20);
+        sink.probe(21);
+        assert_eq!(sink.probes().len(), 3);
+        assert_eq!(sink.probes()[0].stage, PlanStage::Coefficients);
+        assert_eq!(sink.probes()[2].stage, PlanStage::Data);
+        assert!(sink.probes()[0].tick < sink.probes()[1].tick);
+        sink.finish();
+        let published = global_traces().records().iter().any(|r| {
+            matches!(r, TraceRecord::Batch(b) if b.trace_id == id
+                 && b.shard == 3 && b.batch_index == 7 && b.probes.len() == 3)
+        });
+        assert!(published, "finished sink must land in the global buffer");
+
+        // Enabled at period 1: every batch gets a sink; period 4: 1-in-4.
+        set_tracing(true);
+        set_sample_period(1);
+        assert!(try_batch_trace(0, 0).is_some());
+        set_sample_period(4);
+        let hits = (0..64).filter(|&i| try_batch_trace(0, i).is_some()).count();
+        assert_eq!(hits, 16, "strided sampler takes exactly 1-in-4");
+        set_tracing(false);
+        set_sample_period(64);
+    }
+
+    #[test]
+    fn trace_buffer_evicts_oldest_and_counts_drops() {
+        let buf = TraceBuffer::with_capacity(2);
+        for i in 0..3u64 {
+            buf.push(TraceRecord::Span(SpanTrace {
+                span_id: i,
+                name: format!("s{i}"),
+                start_ns: i,
+                end_ns: i + 1,
+            }));
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        let recs = buf.drain();
+        assert!(buf.is_empty());
+        match &recs[0] {
+            TraceRecord::Span(s) => assert_eq!(s.span_id, 1),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! chrome://tracing JSON export for [`crate::trace`] records, plus a
+//! validating parser so round-trips are testable without a browser.
+//!
+//! The emitted document is the Trace Event Format "JSON object" flavor:
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` where every event is
+//! a complete-duration (`"ph": "X"`) record with microsecond `ts`/`dur`.
+//! Builder spans render on the `build` track (tid 0); query batches
+//! render one track per shard (tid = shard + 1) with the probed cells,
+//! stages, and ticks in `args`. Load the file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use crate::trace::TraceRecord;
+use serde_json::{json, Value};
+
+/// Process id used for every emitted event (one process, one trace).
+pub const PID: u64 = 1;
+
+/// Converts monotonic nanoseconds to chrome's microsecond floats.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Serializes trace records into a chrome://tracing JSON document value.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> Value {
+    let events: Vec<Value> = records
+        .iter()
+        .map(|rec| match rec {
+            TraceRecord::Span(s) => json!({
+                "name": s.name.clone(),
+                "cat": "build",
+                "ph": "X",
+                "ts": us(s.start_ns),
+                "dur": us(s.end_ns.saturating_sub(s.start_ns)),
+                "pid": PID,
+                "tid": 0,
+                "args": { "span_id": s.span_id },
+            }),
+            TraceRecord::Batch(b) => {
+                let cells: Vec<u64> = b.probes.iter().map(|p| p.cell).collect();
+                let stages: Vec<&str> = b.probes.iter().map(|p| p.stage.label()).collect();
+                let ticks: Vec<u64> = b.probes.iter().map(|p| p.tick).collect();
+                json!({
+                    "name": "query_batch",
+                    "cat": "serve",
+                    "ph": "X",
+                    "ts": us(b.start_ns),
+                    "dur": us(b.end_ns.saturating_sub(b.start_ns)),
+                    "pid": PID,
+                    "tid": b.shard as u64 + 1,
+                    "args": {
+                        "trace_id": b.trace_id,
+                        "shard": b.shard,
+                        "batch_index": b.batch_index,
+                        "probes": b.probes.len(),
+                        "cells": cells,
+                        "stages": stages,
+                        "ticks": ticks,
+                    },
+                })
+            }
+        })
+        .collect();
+    json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+}
+
+/// Serializes trace records straight to a JSON string.
+pub fn to_chrome_trace_string(records: &[TraceRecord]) -> String {
+    serde_json::to_string_pretty(&to_chrome_trace(records)).expect("trace JSON is serializable")
+}
+
+/// One parsed chrome-trace event (the fields this crate emits and
+/// validates; unknown extra fields are preserved in `args`-style use via
+/// the original document).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Phase — `"X"` for every event this crate emits.
+    pub ph: String,
+    /// Start timestamp, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds (0 for instant-like events).
+    pub dur: f64,
+    /// Process id.
+    pub pid: u64,
+    /// Track (thread) id.
+    pub tid: u64,
+    /// Event arguments (a JSON object; empty when the event had none).
+    pub args: Value,
+}
+
+fn field<'v>(obj: &'v Value, key: &str, i: usize) -> Result<&'v Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("event {i}: missing required field `{key}`"))
+}
+
+/// Parses and validates a chrome-trace JSON document produced by
+/// [`to_chrome_trace_string`] (or any schema-compatible tool): the top
+/// level must hold a `traceEvents` array, and every event needs `name`,
+/// `ph`, `ts`, `pid`, `tid` with sane types and a non-negative
+/// timestamp. Returns the events in document order.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("top-level `traceEvents` missing")?
+        .as_array()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for (i, obj) in events.iter().enumerate() {
+        if !obj.is_object() {
+            return Err(format!("event {i}: not an object"));
+        }
+        let name = field(obj, "name", i)?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: `name` is not a string"))?
+            .to_string();
+        let ph = field(obj, "ph", i)?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: `ph` is not a string"))?
+            .to_string();
+        if !matches!(ph.as_str(), "X" | "B" | "E" | "i" | "I" | "C" | "M") {
+            return Err(format!("event {i}: unknown phase `{ph}`"));
+        }
+        let ts = field(obj, "ts", i)?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: `ts` is not a number"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts {ts}"));
+        }
+        let dur = obj.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+        if dur < 0.0 {
+            return Err(format!("event {i}: negative dur {dur}"));
+        }
+        let pid = field(obj, "pid", i)?
+            .as_u64()
+            .ok_or_else(|| format!("event {i}: `pid` is not a u64"))?;
+        let tid = field(obj, "tid", i)?
+            .as_u64()
+            .ok_or_else(|| format!("event {i}: `tid` is not a u64"))?;
+        let cat = obj
+            .get("cat")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let args = match obj.get("args") {
+            Some(a) if a.is_object() => a.clone(),
+            Some(_) => return Err(format!("event {i}: `args` is not an object")),
+            None => json!({}),
+        };
+        out.push(ChromeEvent {
+            name,
+            cat,
+            ph,
+            ts,
+            dur,
+            pid,
+            tid,
+            args,
+        });
+    }
+    Ok(out)
+}
+
+/// Drains the global trace buffer and returns it as a chrome-trace JSON
+/// string — the `lcds trace` subcommand's tail end.
+pub fn drain_global_to_string() -> String {
+    to_chrome_trace_string(&crate::trace::global_traces().drain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{BatchTrace, SpanTrace, TraceProbe, TraceSink};
+    use lcds_cellprobe::sink::PlanStage;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Span(SpanTrace {
+                span_id: 1,
+                name: "lcds_build_total".into(),
+                start_ns: 1_000,
+                end_ns: 9_000,
+            }),
+            TraceRecord::Span(SpanTrace {
+                span_id: 2,
+                name: "lcds_build_hash_draw".into(),
+                start_ns: 1_500,
+                end_ns: 3_000,
+            }),
+            TraceRecord::Batch(BatchTrace {
+                trace_id: 3,
+                shard: 2,
+                batch_index: 5,
+                start_ns: 10_000,
+                end_ns: 12_500,
+                probes: vec![
+                    TraceProbe {
+                        stage: PlanStage::Coefficients,
+                        cell: 40,
+                        tick: 0,
+                    },
+                    TraceProbe {
+                        stage: PlanStage::Data,
+                        cell: 99,
+                        tick: 1,
+                    },
+                ],
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_counts_ids_and_nesting() {
+        let records = sample_records();
+        let text = to_chrome_trace_string(&records);
+        let events = parse_chrome_trace(&text).expect("self-emitted JSON must parse");
+        assert_eq!(events.len(), records.len());
+
+        // Spans on the build track, batch on shard track 3 (= shard + 1).
+        assert_eq!(events[0].tid, 0);
+        assert_eq!(events[0].cat, "build");
+        assert_eq!(events[2].tid, 3);
+        assert_eq!(events[2].name, "query_batch");
+        assert_eq!(events[2].args["trace_id"], 3);
+        assert_eq!(events[2].args["probes"], 2);
+        assert_eq!(events[2].args["stages"][0], "coefficients");
+        assert_eq!(events[2].args["cells"][1], 99);
+
+        // Nesting invariant: the child span interval sits inside the
+        // parent's on the same track.
+        let (parent, child) = (&events[0], &events[1]);
+        assert!(child.ts >= parent.ts);
+        assert!(child.ts + child.dur <= parent.ts + parent.dur);
+
+        // µs conversion: 1000 ns = 1 µs.
+        assert!((parent.ts - 1.0).abs() < 1e-9);
+        assert!((parent.dur - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{}").is_err());
+        assert!(parse_chrome_trace(r#"{"traceEvents": 3}"#).is_err());
+        assert!(parse_chrome_trace(r#"{"traceEvents": [{"ph":"X"}]}"#).is_err());
+        assert!(parse_chrome_trace(
+            r#"{"traceEvents": [{"name":"a","ph":"Q","ts":0,"pid":1,"tid":0}]}"#
+        )
+        .is_err());
+        assert!(parse_chrome_trace(
+            r#"{"traceEvents": [{"name":"a","ph":"X","ts":-4,"pid":1,"tid":0}]}"#
+        )
+        .is_err());
+        // Minimal valid event parses, with defaults for cat/dur/args.
+        let ok = parse_chrome_trace(
+            r#"{"traceEvents": [{"name":"a","ph":"X","ts":0.5,"pid":1,"tid":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].dur, 0.0);
+    }
+
+    #[test]
+    fn trace_sink_output_round_trips_through_export() {
+        let mut sink = TraceSink::new(0, 0);
+        use lcds_cellprobe::sink::ProbeSink;
+        sink.stage(PlanStage::Histogram);
+        sink.probe(17);
+        let records = vec![TraceRecord::Batch(BatchTrace {
+            trace_id: sink.trace_id(),
+            shard: 0,
+            batch_index: 0,
+            start_ns: 0,
+            end_ns: 10,
+            probes: sink.probes().to_vec(),
+        })];
+        drop(sink); // publishes to the global buffer; this test reads its own copy
+        let parsed = parse_chrome_trace(&to_chrome_trace_string(&records)).unwrap();
+        assert_eq!(parsed[0].args["stages"][0], "histogram");
+    }
+}

@@ -12,8 +12,10 @@
 //!   its global position — not from whichever chunk it landed in.
 
 use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::measure::TeeSink;
 use lcds_cellprobe::sink::{NullSink, ProbeSink};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Tuning knobs for [`bulk_contains`].
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +66,40 @@ fn record_batch_metrics(len: usize, batch: usize) {
     }
 }
 
+/// Runs one batch through `contains_batch` with the observatory
+/// attached: asks the trace sampler for a per-batch
+/// [`TraceSink`](lcds_obs::trace::TraceSink) (one branch on a relaxed
+/// atomic when tracing is off) and, when metrics are on, records the
+/// batch's wall time into the
+/// [`SERVE_BATCH_LATENCY`](lcds_obs::names::SERVE_BATCH_LATENCY)
+/// histogram. `shard` is 0 on the unsharded engine path; the sharded
+/// router ([`crate::shard::ShardedLcd::bulk_contains`]) attaches the
+/// observatory itself so traced batches carry their shard id.
+fn run_observed_batch<D: CellProbeDict + ?Sized>(
+    dict: &D,
+    chunk: &[u64],
+    first_index: u64,
+    seed: u64,
+    shard: u32,
+    batch_index: u64,
+    out: &mut Vec<bool>,
+) {
+    let start = if lcds_obs::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    match lcds_obs::trace::try_batch_trace(shard, batch_index) {
+        Some(mut trace) => dict.contains_batch(chunk, first_index, seed, &mut trace, out),
+        None => dict.contains_batch(chunk, first_index, seed, &mut NullSink, out),
+    }
+    if let Some(t0) = start {
+        lcds_obs::global()
+            .histogram(lcds_obs::names::SERVE_BATCH_LATENCY)
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+}
+
 /// Bulk membership: `out[i] = contains(keys[i])`, batched and (by config)
 /// parallel. Deterministic in `seed` alone — chunking and scheduling do
 /// not affect which replicas are probed, let alone the answers.
@@ -78,7 +114,7 @@ pub fn bulk_contains<D: CellProbeDict + Sync + ?Sized>(
     if !cfg.parallel || keys.len() <= batch {
         let mut out = Vec::with_capacity(keys.len());
         for (c, chunk) in keys.chunks(batch).enumerate() {
-            dict.contains_batch(chunk, (c * batch) as u64, seed, &mut NullSink, &mut out);
+            run_observed_batch(dict, chunk, (c * batch) as u64, seed, 0, c as u64, &mut out);
         }
         return out;
     }
@@ -86,7 +122,7 @@ pub fn bulk_contains<D: CellProbeDict + Sync + ?Sized>(
         .enumerate()
         .flat_map_iter(|(c, chunk)| {
             let mut out = Vec::with_capacity(chunk.len());
-            dict.contains_batch(chunk, (c * batch) as u64, seed, &mut NullSink, &mut out);
+            run_observed_batch(dict, chunk, (c * batch) as u64, seed, 0, c as u64, &mut out);
             out
         })
         .collect()
@@ -106,7 +142,23 @@ pub fn bulk_contains_seq<D: CellProbeDict + ?Sized>(
     record_batch_metrics(keys.len(), batch);
     let mut out = Vec::with_capacity(keys.len());
     for (c, chunk) in keys.chunks(batch).enumerate() {
-        dict.contains_batch(chunk, (c * batch) as u64, seed, sink, &mut out);
+        let start = if lcds_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        match lcds_obs::trace::try_batch_trace(0, c as u64) {
+            Some(mut trace) => {
+                let mut tee = TeeSink::new(sink, &mut trace);
+                dict.contains_batch(chunk, (c * batch) as u64, seed, &mut tee, &mut out);
+            }
+            None => dict.contains_batch(chunk, (c * batch) as u64, seed, sink, &mut out),
+        }
+        if let Some(t0) = start {
+            lcds_obs::global()
+                .histogram(lcds_obs::names::SERVE_BATCH_LATENCY)
+                .record(t0.elapsed().as_nanos() as u64);
+        }
     }
     out
 }
@@ -123,7 +175,7 @@ pub fn bulk_count<D: CellProbeDict + Sync + ?Sized>(
     record_batch_metrics(keys.len(), batch);
     let count_chunk = |(c, chunk): (usize, &[u64])| {
         let mut out = Vec::with_capacity(chunk.len());
-        dict.contains_batch(chunk, (c * batch) as u64, seed, &mut NullSink, &mut out);
+        run_observed_batch(dict, chunk, (c * batch) as u64, seed, 0, c as u64, &mut out);
         out.into_iter().filter(|&b| b).count()
     };
     if !cfg.parallel || keys.len() <= batch {

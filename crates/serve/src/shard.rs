@@ -78,6 +78,9 @@ impl ProbeSink for OffsetSink<'_> {
     fn begin_query(&mut self) {
         self.inner.begin_query();
     }
+    fn stage(&mut self, stage: lcds_cellprobe::sink::PlanStage) {
+        self.inner.stage(stage);
+    }
 }
 
 /// `K` low-contention dictionaries behind a stateless splitter hash.
@@ -217,11 +220,36 @@ impl ShardedLcd {
         let run_shard = |s: usize| -> Vec<bool> {
             let mut out = Vec::with_capacity(per_keys[s].len());
             let mut plan = BatchPlan::new();
-            for (kc, ic) in per_keys[s]
+            for (c, (kc, ic)) in per_keys[s]
                 .chunks(SHARD_BATCH)
                 .zip(per_idx[s].chunks(SHARD_BATCH))
+                .enumerate()
             {
-                plan.run_indexed(&self.shards[s], kc, ic, seed, &mut NullSink, &mut out);
+                let start = if lcds_obs::enabled() {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
+                match lcds_obs::trace::try_batch_trace(s as u32, c as u64) {
+                    Some(mut trace) => {
+                        // Offset so the traced cell ids live in the sharded
+                        // structure's global cell space, like every other
+                        // sink this type feeds.
+                        let mut sink = OffsetSink {
+                            inner: &mut trace,
+                            base: self.bases[s],
+                        };
+                        plan.run_indexed(&self.shards[s], kc, ic, seed, &mut sink, &mut out);
+                    }
+                    None => {
+                        plan.run_indexed(&self.shards[s], kc, ic, seed, &mut NullSink, &mut out)
+                    }
+                }
+                if let Some(t0) = start {
+                    lcds_obs::global()
+                        .histogram(lcds_obs::names::SERVE_BATCH_LATENCY)
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
             }
             out
         };

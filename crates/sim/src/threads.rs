@@ -221,16 +221,26 @@ pub fn replay(traces: &[Vec<CellId>], queries: &[u64], num_cells: u64) -> Thread
         per_thread,
     };
     if lcds_obs::enabled() {
+        use lcds_obs::names;
         let reg = lcds_obs::global();
-        reg.counter("lcds_replay_probes_total")
+        reg.counter(names::REPLAY_PROBES_TOTAL)
             .add(result.total_probes);
-        reg.counter("lcds_replay_stalls_total").add(result.stalls());
-        reg.counter("lcds_replay_runs_total").inc();
-        let thread_ns = reg.histogram("lcds_replay_thread_ns");
+        reg.counter(names::REPLAY_STALLS_TOTAL).add(result.stalls());
+        reg.counter(names::REPLAY_RUNS_TOTAL).inc();
+        let thread_ns = reg.histogram(names::REPLAY_THREAD_NS);
         for t in &result.per_thread {
             thread_ns.record(t.ns);
         }
-        reg.gauge("lcds_replay_qps").set(result.qps());
+        reg.gauge(names::REPLAY_QPS).set(result.qps());
+        // Replayed traces are exactly the probe streams the live heatmap
+        // would have seen; feed them so `lcds watch` and the watchdog
+        // observe simulated workloads too.
+        let mut hm = lcds_obs::heatmap::global_heatmap()
+            .lock()
+            .expect("global heatmap poisoned");
+        for (trace, &q) in traces.iter().zip(queries) {
+            hm.absorb_trace(trace, q);
+        }
     }
     result
 }

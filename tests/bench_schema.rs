@@ -1,0 +1,27 @@
+//! The committed `BENCH_build.json` artifact must satisfy the schema its
+//! writer (`crates/bench/benches/build_throughput.rs`) enforces — so a
+//! hand-edited or drifted artifact fails tier-1 instead of silently
+//! poisoning EXPERIMENTS.md's provenance.
+
+#[test]
+fn committed_bench_artifact_matches_the_declared_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_build.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("BENCH_build.json must be committed at the repo root: {e}"));
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).expect("BENCH_build.json is valid JSON");
+    if let Err(e) = lcds_bench::summary::validate_bench_summary(&doc) {
+        panic!("BENCH_build.json violates its schema: {e}");
+    }
+    // Provenance fields the schema only type-checks: pin their semantics.
+    assert_eq!(
+        doc["schema_version"],
+        lcds_bench::summary::BENCH_SCHEMA_VERSION
+    );
+    assert!(doc["host_parallelism"].as_u64().unwrap() >= 1);
+    let rev = doc["git_rev"].as_str().unwrap();
+    assert!(
+        rev == "unknown" || (rev.len() == 40 && rev.chars().all(|c| c.is_ascii_hexdigit())),
+        "git_rev must be a full commit hash or the literal \"unknown\", got {rev:?}"
+    );
+}

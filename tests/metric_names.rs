@@ -1,0 +1,107 @@
+//! Metric-name hygiene: a smoke workload with telemetry on must emit
+//! *only* names declared in `lcds_obs::names`. An inline string literal
+//! that drifts from the constants silently forks a parallel empty series
+//! in Prometheus — the classic observability bug this test makes loud.
+//!
+//! One test function on purpose: it toggles the process-global `enabled`
+//! flag, and the registry/event log are process-global, so splitting the
+//! smoke into parallel `#[test]`s would race the snapshot.
+
+use lcds_sim::threads::replay;
+use lcds_sim::traces::collect;
+use low_contention::prelude::*;
+
+#[test]
+fn every_emitted_metric_and_event_name_is_declared() {
+    lcds_obs::set_enabled(true);
+
+    // Build path: spans + seed-trial counters + build_complete event.
+    let keys = uniform_keys(1024, 0x4A3E);
+    let mut rng = seeded(0x4A3F);
+    let dict = build_dict(&keys, &mut rng).expect("build");
+
+    // Parallel build path: worker-count gauge.
+    let _par = lcds_core::par_build(&keys, 0x4A40).expect("par_build");
+
+    // Serve path: batch counters/histograms + batch latency.
+    let hits = bulk_contains(
+        &dict,
+        &keys,
+        0x4A3F,
+        EngineConfig {
+            batch: 128,
+            parallel: false,
+        },
+    );
+    assert!(hits.iter().all(|&b| b));
+
+    // Replay path: probe/stall counters, per-thread timing, QPS gauge —
+    // and the global heatmap absorbs the traces.
+    let dist = positive_dist(&keys);
+    let t = collect(&dict, &dist, 4, 8, &mut rng);
+    let r = replay(&t.traces, &t.queries, dict.num_cells());
+    assert!(r.total_probes > 0);
+
+    // Watchdog path: force a trip so EVENT_WATCHDOG and the trips
+    // counter are exercised. A single-cell stream has Φ̂ = 1.
+    {
+        let mut hm = lcds_obs::Heatmap::with_defaults(0x4A41);
+        hm.absorb_trace(&[3, 3, 3, 3, 3, 3, 3, 3], 8);
+        let mut wd = lcds_obs::Watchdog::new(1.0, 1.5).with_min_probes(1);
+        assert!(wd.check(&hm, dict.num_cells()).is_some(), "forced trip");
+    }
+
+    // Labeled gauge families, as `lcds obs` / `lcds watch` emit them.
+    lcds_obs::gauge(&format!(
+        "{}{{cell=\"7\"}}",
+        lcds_obs::names::HOT_CELL_PROBES
+    ))
+    .set(1.0);
+    lcds_obs::gauge(&format!(
+        "{}{{cell=\"7\"}}",
+        lcds_obs::names::HEATMAP_CELL_PROBES
+    ))
+    .set(1.0);
+
+    lcds_obs::set_enabled(false);
+
+    let snap = lcds_obs::global().snapshot();
+    assert!(
+        !snap.is_empty(),
+        "smoke run recorded nothing — the gate is stuck off"
+    );
+    let mut undeclared: Vec<String> = Vec::new();
+    for name in snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+    {
+        if !lcds_obs::names::is_declared_metric(name) {
+            undeclared.push(name.clone());
+        }
+    }
+    assert!(
+        undeclared.is_empty(),
+        "metric names missing from lcds_obs::names: {undeclared:?}"
+    );
+
+    let events = lcds_obs::global_events().events();
+    assert!(!events.is_empty(), "smoke run emitted no events");
+    let bad_events: Vec<&str> = events
+        .iter()
+        .map(|e| e.name.as_str())
+        .filter(|n| !lcds_obs::names::is_declared_event(n))
+        .collect();
+    assert!(
+        bad_events.is_empty(),
+        "event names missing from lcds_obs::names: {bad_events:?}"
+    );
+    // The forced trip above must have landed as a structured event.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == lcds_obs::names::EVENT_WATCHDOG),
+        "watchdog trip did not reach the event log"
+    );
+}

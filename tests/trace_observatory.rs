@@ -1,0 +1,118 @@
+//! End-to-end trace observatory: with tracing on, a build plus a bulk
+//! query run must land builder spans *and* sampled query batches in the
+//! global trace buffer, export to schema-valid chrome-trace JSON, and
+//! join back to the structured event log through span ids.
+//!
+//! One test function: the tracing flag, sample period, trace buffer, and
+//! event log are process-global, and cargo runs `#[test]`s in one binary
+//! concurrently.
+
+use low_contention::prelude::*;
+
+#[test]
+fn build_and_serve_traces_export_to_chrome_json_and_join_the_event_log() {
+    lcds_obs::set_enabled(true);
+    lcds_obs::trace::set_sample_period(1); // trace every batch: exact assertions below
+    lcds_obs::trace::set_tracing(true);
+
+    let keys = uniform_keys(512, 0x7AC3);
+    let dict = build_dict(&keys, &mut seeded(0x7AC4)).expect("build");
+    let hits = bulk_contains(
+        &dict,
+        &keys,
+        0x7AC4,
+        EngineConfig {
+            batch: 128,
+            parallel: false,
+        },
+    );
+    assert!(hits.iter().all(|&b| b));
+
+    lcds_obs::trace::set_tracing(false);
+    lcds_obs::set_enabled(false);
+    let records = lcds_obs::trace::global_traces().drain();
+
+    let spans: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            lcds_obs::trace::TraceRecord::Span(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    let batches: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            lcds_obs::trace::TraceRecord::Batch(b) => Some(b.clone()),
+            _ => None,
+        })
+        .collect();
+    // One build → at least the total-build span plus its phase children;
+    // 512 keys at batch 128, period 1 → at least 4 batch traces.
+    assert!(
+        spans.iter().any(|s| s.name == "lcds_build_total"),
+        "build span missing from trace"
+    );
+    assert!(
+        spans.len() >= 4,
+        "expected phase spans, got {}",
+        spans.len()
+    );
+    assert!(
+        batches.len() >= 4,
+        "expected ≥4 batches, got {}",
+        batches.len()
+    );
+    for b in &batches {
+        assert!(!b.probes.is_empty(), "a traced batch records its probes");
+        assert!(b.end_ns >= b.start_ns);
+        // Ticks are the global probe clock: strictly increasing within a
+        // batch trace.
+        for w in b.probes.windows(2) {
+            assert!(w[0].tick < w[1].tick);
+        }
+    }
+
+    // Export → parse round trip preserves counts and kinds.
+    let json = lcds_obs::trace_export::to_chrome_trace_string(&records);
+    let events = lcds_obs::trace_export::parse_chrome_trace(&json).expect("valid chrome trace");
+    assert_eq!(events.len(), records.len());
+    assert_eq!(
+        events.iter().filter(|e| e.cat == "build").count(),
+        spans.len()
+    );
+    assert_eq!(
+        events.iter().filter(|e| e.name == "query_batch").count(),
+        batches.len()
+    );
+    // Batch args carry the full probe annotation, aligned.
+    let qb = events.iter().find(|e| e.name == "query_batch").unwrap();
+    let cells = qb.args["cells"].as_array().unwrap();
+    let stages = qb.args["stages"].as_array().unwrap();
+    let ticks = qb.args["ticks"].as_array().unwrap();
+    assert_eq!(cells.len(), stages.len());
+    assert_eq!(cells.len(), ticks.len());
+    assert_eq!(qb.args["probes"].as_u64().unwrap() as usize, cells.len());
+
+    // Every span slice in the chrome trace joins back to a `span` event
+    // in the global event log via its span_id.
+    let log = lcds_obs::global_events().events();
+    for s in &spans {
+        assert!(
+            log.iter().any(|e| {
+                e.name == lcds_obs::names::EVENT_SPAN
+                    && e.fields["span_id"].as_u64() == Some(s.span_id)
+                    && e.fields["span"].as_str() == Some(s.name.as_str())
+            }),
+            "span {} (id {}) has no event-log record",
+            s.name,
+            s.span_id
+        );
+    }
+    // Span ids are unique within the trace.
+    let mut ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), spans.len());
+
+    lcds_obs::trace::set_sample_period(64); // restore the default-ish period
+}

@@ -1,0 +1,167 @@
+//! The contention watchdog must *discriminate*: the paper's adversarial
+//! Θ(√n) workload against FKS has to trip it, while the low-contention
+//! dictionary under the *same* query mix has to stay silent. A watchdog
+//! that fires on both (or neither) is a random-noise generator, not an
+//! alarm.
+//!
+//! Also pins the Count-Min accuracy contract the heatmap's Φ̂ rests on:
+//! estimates never undercount, and overcount by at most
+//! `error_bound() = ε·total` (checked against exact per-cell counts at
+//! n = 2¹²).
+
+use lcds_baselines::{FksConfig, FksDict};
+use lcds_cellprobe::measure::FanoutSink;
+use lcds_obs::heatmap::{balls_in_bins_envelope, theorem3_envelope};
+use lcds_obs::{Heatmap, Watchdog};
+use lcds_workloads::adversarial::adversarial_fks_keys;
+use lcds_workloads::rng::FirstWordRng;
+use low_contention::prelude::*;
+use proptest::prelude::*;
+
+/// Runs `queries` Zipf(θ)-distributed membership queries against `dict`,
+/// feeding every probe to a fresh heatmap.
+fn heat(dict: &dyn CellProbeDict, keys: &[u64], theta: f64, queries: usize, seed: u64) -> Heatmap {
+    let dist = zipf_over_keys(keys, theta, seed ^ 0xD157);
+    let mut rng = seeded(seed);
+    let mut hm = Heatmap::with_defaults(seed ^ 0x11EA7);
+    for _ in 0..queries {
+        let x = dist.sample(&mut rng);
+        hm.begin_query();
+        let _ = dict.contains(x, &mut rng, &mut hm);
+    }
+    hm
+}
+
+/// The paper's separation, end to end: same adversarial key set, same
+/// mildly skewed query mix, opposite watchdog verdicts.
+#[test]
+fn watchdog_trips_on_adversarial_fks_but_not_on_the_low_contention_dict() {
+    let n = 2048usize;
+    let seed = 0x3A7C4;
+    let stored = adversarial_fks_keys(n, seed);
+    let queries = 20_000;
+    let theta = 0.5;
+
+    // FKS on its adversarial input: the shared top-level bucket drags
+    // Φ̂·s to ≈ 2√n, far above the ln n / ln ln n balls-in-bins envelope
+    // an honest hash-table deployment would budget for.
+    let mut fks_rng = FirstWordRng::new(seed, seeded(seed ^ 99));
+    let fks = FksDict::build(&stored, FksConfig::default(), &mut fks_rng).expect("fks build");
+    let hm = heat(&fks, &stored, theta, queries, seed);
+    let envelope = balls_in_bins_envelope(n as u64);
+    let mut wd = Watchdog::new(envelope, 3.0);
+    let alarm = wd.check(&hm, fks.num_cells());
+    assert!(
+        alarm.is_some(),
+        "adversarial FKS must trip: ratio {:.1} vs threshold {:.1}",
+        hm.ratio(fks.num_cells()),
+        wd.threshold()
+    );
+    let alarm = alarm.unwrap();
+    assert!(alarm.ratio > wd.threshold());
+    assert_eq!(wd.trips(), 1);
+    // The hot cell is genuinely ~√n hot, not a sketch artifact.
+    assert!(
+        alarm.ratio > (n as f64).sqrt(),
+        "ratio {:.1} should reach Θ(√n)",
+        alarm.ratio
+    );
+
+    // The low-contention dictionary on the *same* keys and query mix:
+    // Theorem 3 keeps every cell's probe share near s/n, so the ratio
+    // stays within a small constant of its s/n envelope.
+    let lcd = build_dict(&stored, &mut seeded(seed ^ 0x1CD)).expect("lcd build");
+    let hm = heat(&lcd, &stored, theta, queries, seed);
+    let envelope = theorem3_envelope(lcd.num_cells(), n as u64);
+    let mut wd = Watchdog::new(envelope, 3.0);
+    assert!(
+        wd.check(&hm, lcd.num_cells()).is_none(),
+        "low-contention dict must stay silent: ratio {:.1} vs threshold {:.1}",
+        hm.ratio(lcd.num_cells()),
+        wd.threshold()
+    );
+    assert_eq!(wd.trips(), 0);
+}
+
+/// Count-Min accuracy against exact ground truth at n = 2¹²: for every
+/// cell, `true ≤ estimate ≤ true + error_bound()`.
+#[test]
+fn heatmap_estimates_bracket_exact_counts_within_the_cm_bound() {
+    let n = 1 << 12;
+    let keys = uniform_keys(n, 0xC0DE);
+    let dict = build_dict(&keys, &mut seeded(0xC0DF)).expect("build");
+    // θ = 1.1 puts the hottest cell's share above the space-saving
+    // blind zone `1/topk_capacity` (asserted below), where the Φ̂
+    // accuracy contract actually applies; a flatter mix leaves the
+    // hottest cell free to be evicted from the candidate set and Φ̂
+    // is then only an envelope-scale signal, not a point estimate.
+    let dist = zipf_over_keys(&keys, 1.1, 0xC0E0);
+    let mut rng = seeded(0xC0E1);
+
+    let mut exact = CountingSink::new(dict.num_cells());
+    let mut hm = Heatmap::with_defaults(0xC0E2);
+    for _ in 0..30_000 {
+        let x = dist.sample(&mut rng);
+        let mut fan = FanoutSink::new(vec![&mut exact, &mut hm]);
+        fan.begin_query();
+        let _ = dict.contains(x, &mut rng, &mut fan);
+    }
+
+    assert_eq!(hm.probes(), exact.total());
+    let bound = hm.error_bound();
+    assert!(bound > 0.0);
+    let mut worst_err = 0u64;
+    for (cell, &truth) in exact.counts().iter().enumerate() {
+        let est = hm.estimate(cell as u64);
+        assert!(
+            est >= truth,
+            "Count-Min never undercounts: cell {cell}, est {est} < true {truth}"
+        );
+        assert!(
+            est as f64 <= truth as f64 + bound,
+            "cell {cell}: est {est} exceeds true {truth} + ε·total {bound:.1}"
+        );
+        worst_err = worst_err.max(est - truth);
+    }
+    // Φ̂ from the sketch agrees with the exact hottest share to within
+    // the same additive error.
+    let true_hottest = *exact.counts().iter().max().unwrap();
+    let exact_phi = true_hottest as f64 / exact.total() as f64;
+    assert!(
+        exact_phi > 1.0 / hm.topk_capacity() as f64,
+        "precondition: hottest share {exact_phi} must clear the \
+         space-saving blind zone 1/{}",
+        hm.topk_capacity()
+    );
+    assert!(
+        (hm.phi_hat() - exact_phi).abs() <= bound / exact.total() as f64 + 1e-12,
+        "Φ̂ {} vs exact {} (worst cell error {worst_err})",
+        hm.phi_hat(),
+        exact_phi
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The no-undercount half of the CM contract holds for arbitrary
+    /// synthetic traces, not just dictionary probe streams.
+    #[test]
+    fn count_min_never_undercounts(seed in 0u64..1000, width in 8usize..64) {
+        let mut hm = Heatmap::new(width, 4, 8, seed);
+        let mut truth = std::collections::HashMap::new();
+        let mut s = seed;
+        let mut trace = Vec::new();
+        for _ in 0..512 {
+            // Splitmix-ish step; skew cells into a small range so
+            // collisions actually occur at small widths.
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let cell = (s >> 33) % 97;
+            trace.push(cell);
+            *truth.entry(cell).or_insert(0u64) += 1;
+        }
+        hm.absorb_trace(&trace, 64);
+        for (&cell, &t) in &truth {
+            prop_assert!(hm.estimate(cell) >= t);
+        }
+    }
+}

@@ -157,6 +157,18 @@ impl Value {
             _ => None,
         }
     }
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
     pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Object(m) => Some(m),
@@ -218,6 +230,29 @@ impl std::ops::Index<usize> for Value {
         match self {
             Value::Array(v) => v.get(i).unwrap_or(&Value::Null),
             _ => &Value::Null,
+        }
+    }
+}
+
+// Mutable indexing, matching real serde_json: `v["k"] = x` auto-vivifies
+// objects (a Null becomes an object first), panics on other types.
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, i: usize) -> &mut Value {
+        match self {
+            Value::Array(v) => &mut v[i],
+            other => panic!("cannot index {other:?} with a usize"),
         }
     }
 }
