@@ -1,19 +1,22 @@
-//! Schema for the `BENCH_build.json` artifact written by the
-//! `build_throughput` bench.
+//! Schemas for the committed bench artifacts: `BENCH_build.json`
+//! (written by the `build_throughput` bench) and `BENCH_serve.json`
+//! (written by the TCP loadgen, `lcds loadgen --format json`, collated
+//! by hand or by CI).
 //!
-//! The artifact is committed at the repository root so EXPERIMENTS.md can
-//! quote numbers with provenance; a silent shape drift there would turn
-//! into stale or unparseable docs long after the bench ran. The writer
-//! validates through [`validate_bench_summary`] before writing (and
-//! panics loudly on a mismatch — a schema bug is our bug, not an I/O
-//! accident), and `tests/bench_schema.rs` holds the committed file to the
-//! same contract.
+//! The artifacts are committed at the repository root so EXPERIMENTS.md
+//! can quote numbers with provenance; a silent shape drift there would
+//! turn into stale or unparseable docs long after the bench ran. Writers
+//! validate through [`validate_bench_summary`] /
+//! [`validate_serve_summary`] before writing (and panic loudly on a
+//! mismatch — a schema bug is our bug, not an I/O accident), and
+//! `tests/bench_schema.rs` holds the committed files to the same
+//! contract.
 
 use serde_json::Value;
 
-/// Current schema version of `BENCH_build.json`. Bump on any breaking
-/// field change and teach [`validate_bench_summary`] both shapes only if
-/// a migration window is genuinely needed.
+/// Current schema version of the bench artifacts. Bump on any breaking
+/// field change and teach the validators both shapes only if a migration
+/// window is genuinely needed.
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 fn req<'v>(doc: &'v Value, key: &str) -> Result<&'v Value, String> {
@@ -37,23 +40,17 @@ fn req_str<'v>(doc: &'v Value, key: &str) -> Result<&'v str, String> {
     Ok(s)
 }
 
-/// Validates a `BENCH_build.json` document against the current schema.
-///
-/// Required: `bench` = `"build_throughput"`, `schema_version` =
-/// [`BENCH_SCHEMA_VERSION`], a numeric `seed`, `host_parallelism ≥ 1`, a
-/// non-empty `git_rev`, and a `points` array where every entry carries
-/// `n`, `sequential_build_ns`, and a non-empty `par_build` map of
-/// per-thread-count measurements. An empty `points` array is legal only
-/// for a placeholder that says so via `status`.
-pub fn validate_bench_summary(doc: &Value) -> Result<(), String> {
+/// Shared envelope every bench artifact carries: the named `bench`, the
+/// current `schema_version`, a numeric `seed`, `host_parallelism ≥ 1`, a
+/// non-empty `git_rev`, and a `points` array (empty only with a `status`
+/// string explaining why). Returns the points for per-bench validation.
+fn validate_header<'v>(doc: &'v Value, bench_name: &str) -> Result<&'v Vec<Value>, String> {
     if !doc.is_object() {
         return Err("summary must be a JSON object".into());
     }
     let bench = req_str(doc, "bench")?;
-    if bench != "build_throughput" {
-        return Err(format!(
-            "`bench` is {bench:?}, expected \"build_throughput\""
-        ));
+    if bench != bench_name {
+        return Err(format!("`bench` is {bench:?}, expected {bench_name:?}"));
     }
     let version = req_u64(doc, "schema_version")?;
     if version != BENCH_SCHEMA_VERSION {
@@ -72,6 +69,19 @@ pub fn validate_bench_summary(doc: &Value) -> Result<(), String> {
     if points.is_empty() && doc.get("status").and_then(Value::as_str).is_none() {
         return Err("empty `points` requires a `status` explaining why".into());
     }
+    Ok(points)
+}
+
+/// Validates a `BENCH_build.json` document against the current schema.
+///
+/// Required: `bench` = `"build_throughput"`, `schema_version` =
+/// [`BENCH_SCHEMA_VERSION`], a numeric `seed`, `host_parallelism ≥ 1`, a
+/// non-empty `git_rev`, and a `points` array where every entry carries
+/// `n`, `sequential_build_ns`, and a non-empty `par_build` map of
+/// per-thread-count measurements. An empty `points` array is legal only
+/// for a placeholder that says so via `status`.
+pub fn validate_bench_summary(doc: &Value) -> Result<(), String> {
+    let points = validate_header(doc, "build_throughput")?;
     for (i, p) in points.iter().enumerate() {
         let ctx = |e: String| format!("points[{i}]: {e}");
         req_u64(p, "n").map_err(ctx)?;
@@ -89,6 +99,45 @@ pub fn validate_bench_summary(doc: &Value) -> Result<(), String> {
             })?;
             req_u64(cell, "build_ns")
                 .map_err(|e| format!("points[{i}].par_build[{threads}]: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_serve.json` document against the current schema.
+///
+/// Same envelope as [`validate_bench_summary`] with `bench` =
+/// `"serve_throughput"`; every point is one closed-loop loadgen run and
+/// must carry `n`, `workers`, `connections`, a non-empty `workload`,
+/// `requests ≥ 1`, a positive `qps`, and a `latency_ns` object with
+/// `p50`/`p90`/`p99` quantiles.
+pub fn validate_serve_summary(doc: &Value) -> Result<(), String> {
+    let points = validate_header(doc, "serve_throughput")?;
+    for (i, p) in points.iter().enumerate() {
+        let ctx = |e: String| format!("points[{i}]: {e}");
+        req_u64(p, "n").map_err(ctx)?;
+        if req_u64(p, "workers").map_err(ctx)? == 0 {
+            return Err(format!("points[{i}]: `workers` must be at least 1"));
+        }
+        if req_u64(p, "connections").map_err(ctx)? == 0 {
+            return Err(format!("points[{i}]: `connections` must be at least 1"));
+        }
+        req_str(p, "workload").map_err(ctx)?;
+        if req_u64(p, "requests").map_err(ctx)? == 0 {
+            return Err(format!(
+                "points[{i}]: `requests` must be positive — a zero-request run is a failed run"
+            ));
+        }
+        let qps = req(p, "qps")
+            .map_err(ctx)?
+            .as_f64()
+            .ok_or_else(|| format!("points[{i}]: `qps` must be a number"))?;
+        if qps.is_nan() || qps <= 0.0 {
+            return Err(format!("points[{i}]: `qps` must be positive"));
+        }
+        let lat = req(p, "latency_ns").map_err(ctx)?;
+        for q in ["p50", "p90", "p99"] {
+            req_u64(lat, q).map_err(|e| format!("points[{i}].latency_ns: {e}"))?;
         }
     }
     Ok(())
@@ -160,6 +209,71 @@ mod tests {
             let mut doc = valid();
             mutate(&mut doc);
             let err = validate_bench_summary(&doc).unwrap_err();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
+    }
+
+    fn valid_serve() -> Value {
+        json!({
+            "bench": "serve_throughput",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "seed": 7,
+            "host_parallelism": 8,
+            "git_rev": "deadbeef",
+            "points": [{
+                "n": 100_000,
+                "workers": 4,
+                "connections": 8,
+                "workload": "zipf",
+                "requests": 12345,
+                "qps": 9876.5,
+                "latency_ns": { "p50": 40_000, "p90": 90_000, "p99": 400_000 },
+            }],
+        })
+    }
+
+    #[test]
+    fn accepts_the_serve_shape_and_its_placeholder() {
+        validate_serve_summary(&valid_serve()).unwrap();
+        let mut doc = valid_serve();
+        doc["points"] = json!([]);
+        doc["status"] = json!("pending-measurement");
+        validate_serve_summary(&doc).unwrap();
+    }
+
+    #[test]
+    fn serve_and_build_schemas_do_not_cross() {
+        assert!(validate_serve_summary(&valid())
+            .unwrap_err()
+            .contains("serve_throughput"));
+        assert!(validate_bench_summary(&valid_serve())
+            .unwrap_err()
+            .contains("build_throughput"));
+    }
+
+    #[test]
+    fn rejects_drifted_serve_documents() {
+        let cases: Vec<(fn(&mut Value), &str)> = vec![
+            (|d| d["points"][0]["requests"] = json!(0), "requests"),
+            (|d| d["points"][0]["qps"] = json!(0.0), "qps"),
+            (|d| d["points"][0]["workers"] = json!(0), "workers"),
+            (|d| d["points"][0]["connections"] = json!(0), "connections"),
+            (|d| d["points"][0]["workload"] = json!(""), "workload"),
+            (
+                |d| {
+                    d["points"][0]["latency_ns"]
+                        .as_object_mut()
+                        .unwrap()
+                        .remove("p99");
+                },
+                "p99",
+            ),
+            (|d| d["points"] = json!([]), "points"),
+        ];
+        for (mutate, want) in cases {
+            let mut doc = valid_serve();
+            mutate(&mut doc);
+            let err = validate_serve_summary(&doc).unwrap_err();
             assert!(err.contains(want), "error {err:?} should mention {want:?}");
         }
     }

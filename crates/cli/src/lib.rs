@@ -19,6 +19,15 @@
 //!             [--queries Q] [--zipf THETA] [--multiple M]
 //!             [--interval I] [--topk K] [--format table|prom|jsonl]
 //!             [--seed S]
+//! lcds serve-net (DICT | --random N [--shards K]) [--seed S]
+//!             [--addr A] [--port-file FILE] [--workers W]
+//!             [--queue-depth Q] [--batch B] [--duration SECS]
+//!             [--watch ENVELOPE] [--multiple M] [--sample P]
+//!             [--metrics-file FILE]
+//! lcds loadgen --addr A (--random N | --keys FILE) [--seed S]
+//!             [--connections C] [--duration SECS] [--batch B]
+//!             [--workload uniform|zipf|adversarial] [--zipf THETA]
+//!             [--format table|json]
 //! ```
 //!
 //! Key files are plain text, one decimal `u64` per line (`#` comments
@@ -77,6 +86,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("obs") => cmd_obs(&args[1..], out),
         Some("trace") => cmd_trace(&args[1..], out),
         Some("watch") => cmd_watch(&args[1..], out),
+        Some("serve-net") => cmd_serve_net(&args[1..], out),
+        Some("loadgen") => cmd_loadgen(&args[1..], out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{}", USAGE).map_err(io_err)?;
             Ok(())
@@ -113,7 +124,16 @@ count. --build-threads is accepted as an alias.
   watch  [--scheme lcd|fks|fks-adversarial]                 live Φ-heatmap + the
          [--random N] [--queries Q] [--zipf THETA]          contention watchdog
          [--multiple M] [--interval I] [--topk K]           against the scheme's
-         [--format table|prom|jsonl] [--seed S]             theoretical envelope";
+         [--format table|prom|jsonl] [--seed S]             theoretical envelope
+  serve-net (DICT | --random N [--shards K])                TCP server: bounded
+         [--seed S] [--addr A] [--port-file FILE]           worker queue, Busy
+         [--workers W] [--queue-depth Q] [--batch B]        shedding, graceful
+         [--duration SECS] [--watch ENVELOPE]               drain; optional live
+         [--multiple M] [--sample P] [--metrics-file FILE]  heatmap watchdog
+  loadgen --addr A (--random N | --keys FILE)               closed-loop load:
+         [--seed S] [--connections C] [--duration SECS]     per-connection dists,
+         [--batch B] [--workload uniform|zipf|adversarial]  throughput + latency
+         [--zipf THETA] [--format table|json]               quantiles";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("i/o error: {e}"))
@@ -351,11 +371,22 @@ fn cmd_bulk(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
         batch,
         parallel: true,
     };
+    let engine = lcds_serve::Engine::new(dict, seed, cfg);
+    // Run header straight off the live engine — shard, key, and cell
+    // counts come from the structure being served, not from re-reading
+    // the persist headers.
+    writeln!(
+        out,
+        "serving n = {} keys, {} shard(s), {} cells, ≤ {} probes/query",
+        engine.key_count(),
+        engine.num_shards(),
+        engine.num_cells(),
+        engine.max_probes(),
+    )
+    .map_err(io_err)?;
     let threads = threads_flag(&flags)?;
     let start = std::time::Instant::now();
-    let (answers, workers) = with_build_pool(threads, || {
-        lcds_serve::bulk_contains(&dict, &probes, seed, cfg)
-    })?;
+    let (answers, workers) = with_build_pool(threads, || engine.bulk_contains(&probes))?;
     let wall = start.elapsed();
     let members = answers.iter().filter(|&&b| b).count();
     writeln!(
@@ -638,31 +669,27 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         "fks-adversarial" => adversarial_fks_keys(n.max(4), seed),
         _ => uniform_keys(n, seed ^ 0x5EED),
     };
-    let (dict, envelope): (Box<dyn CellProbeDict>, f64) = match scheme {
+    // Each scheme names its envelope; the name is resolved through the
+    // observatory's registry, which hard-errors on anything it does not
+    // know instead of silently watching against a default.
+    let (dict, envelope_name): (Box<dyn CellProbeDict>, &str) = match scheme {
         "lcd" => {
             let mut rng = seeded(seed);
             let d = lcds_core::build(&stored, &mut rng)
                 .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
-            let env = lcds_obs::heatmap::theorem3_envelope(d.num_cells(), n as u64);
-            (Box::new(d), env)
+            (Box::new(d), "theorem3")
         }
         "fks" => {
             let mut rng = seeded(seed);
             let d = FksDict::build_default(&stored, &mut rng)
                 .map_err(|e| CliError::runtime(format!("fks build failed: {e}")))?;
-            (
-                Box::new(d),
-                lcds_obs::heatmap::balls_in_bins_envelope(n as u64),
-            )
+            (Box::new(d), "balls-in-bins")
         }
         "fks-adversarial" => {
             let mut rng = FirstWordRng::new(seed, seeded(seed ^ 99));
             let d = FksDict::build(&stored, FksConfig::default(), &mut rng)
                 .map_err(|e| CliError::runtime(format!("adversarial fks build failed: {e}")))?;
-            (
-                Box::new(d),
-                lcds_obs::heatmap::balls_in_bins_envelope(n as u64),
-            )
+            (Box::new(d), "balls-in-bins")
         }
         other => {
             return Err(CliError::usage(format!(
@@ -671,6 +698,8 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         }
     };
     let cells = dict.num_cells();
+    let envelope = lcds_obs::heatmap::envelope_named(envelope_name, cells, n as u64)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
 
     let dist = zipf_over_keys(&stored, theta, seed ^ 0xD157);
     let mut rng = seeded(seed ^ 0x0B5);
@@ -763,9 +792,353 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
     Ok(())
 }
 
+fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use lcds_net::server::{serve, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let (pos, flags) = parse_flags(args)?;
+    if pos.len() > 1 {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[1])));
+    }
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let batch: usize = num_flag(&flags, "batch", 1024)?;
+    if batch == 0 {
+        return Err(CliError::usage("--batch must be at least 1"));
+    }
+    let workers: usize = num_flag(&flags, "workers", 4)?;
+    if workers == 0 {
+        return Err(CliError::usage("--workers must be at least 1"));
+    }
+    let queue_depth: usize = num_flag(&flags, "queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err(CliError::usage("--queue-depth must be at least 1"));
+    }
+    let duration: f64 = num_flag(&flags, "duration", 0.0)?;
+    let multiple: f64 = num_flag(&flags, "multiple", 3.0)?;
+    if multiple <= 0.0 {
+        return Err(CliError::usage("--multiple must be positive"));
+    }
+    let sample: u64 = num_flag(&flags, "sample", 8)?;
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:0");
+
+    let cfg = lcds_serve::EngineConfig {
+        batch,
+        parallel: true,
+    };
+    let engine = match (pos.first(), flag(&flags, "random")) {
+        (Some(path), None) => {
+            if flag(&flags, "shards").is_some() {
+                return Err(CliError::usage(
+                    "--shards only applies to --random (sharded dictionaries are built \
+                     in-process, not loaded from a DICT file)",
+                ));
+            }
+            lcds_serve::Engine::new(load_dict(path)?, seed, cfg)
+        }
+        (None, Some(n)) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --random: {e}")))?;
+            let shards: usize = num_flag(&flags, "shards", 1)?;
+            // Same key derivation as `build --random`, so a loadgen run
+            // with the same seed queries exactly the stored set.
+            let keys = uniform_keys(n, seed ^ 0x5EED);
+            if shards <= 1 {
+                let d = lcds_core::par_build(&keys, seed)
+                    .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+                lcds_serve::Engine::new(d, seed, cfg)
+            } else {
+                let s = lcds_serve::ShardedLcd::par_build(&keys, shards, seed ^ 0x51AB, seed)
+                    .map_err(|e| CliError::runtime(format!("sharded build failed: {e}")))?;
+                lcds_serve::Engine::sharded(s, seed, cfg)
+            }
+        }
+        _ => {
+            return Err(CliError::usage(
+                "serve-net needs exactly one of a DICT path or --random N",
+            ))
+        }
+    };
+
+    writeln!(
+        out,
+        "serve-net: n = {} keys, {} shard(s), {} cells, ≤ {} probes/query, seed {seed}",
+        engine.key_count(),
+        engine.num_shards(),
+        engine.num_cells(),
+        engine.max_probes(),
+    )
+    .map_err(io_err)?;
+
+    // Validate the watch envelope *before* binding: an unknown name is a
+    // usage error, never a silently defaulted watchdog.
+    let watch = flag(&flags, "watch")
+        .map(|name| {
+            lcds_obs::Watchdog::for_envelope(
+                name,
+                engine.num_cells(),
+                engine.key_count() as u64,
+                multiple,
+            )
+            .map(|wd| (name.to_string(), wd))
+            .map_err(|e| {
+                CliError::usage(format!(
+                    "bad --watch: {e} (valid: {})",
+                    lcds_obs::heatmap::ENVELOPE_NAMES.join(", ")
+                ))
+            })
+        })
+        .transpose()?;
+    if watch.is_some() {
+        lcds_obs::set_enabled(true);
+        lcds_obs::trace::set_sample_period(sample.max(1));
+        lcds_obs::trace::set_tracing(true);
+    }
+
+    let cells = engine.num_cells();
+    let handle = serve(
+        addr,
+        Arc::new(engine),
+        ServerConfig {
+            workers,
+            queue_depth,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CliError::runtime(format!("cannot serve on {addr}: {e}")))?;
+    let bound = handle.local_addr();
+    writeln!(
+        out,
+        "listening on {bound} ({workers} worker(s), queue depth {queue_depth})"
+    )
+    .map_err(io_err)?;
+    if let Some(port_file) = flag(&flags, "port-file") {
+        std::fs::write(port_file, format!("{bound}\n"))
+            .map_err(|e| CliError::runtime(format!("cannot write {port_file}: {e}")))?;
+    }
+
+    // The live watchdog: a background thread drains the observatory's
+    // sampled batch traces — the same stream `lcds trace` exports — into
+    // a Φ-heatmap and checks it against the chosen envelope.
+    let watch_stop = Arc::new(AtomicBool::new(false));
+    let watch_thread = watch.map(|(name, mut wd)| {
+        let stop = Arc::clone(&watch_stop);
+        let thread = std::thread::spawn(move || {
+            let mut hm = lcds_obs::Heatmap::with_defaults(0x5EB7);
+            loop {
+                let done = stop.load(Ordering::SeqCst);
+                for rec in lcds_obs::trace::global_traces().drain() {
+                    if let lcds_obs::trace::TraceRecord::Batch(b) = rec {
+                        let cells_probed: Vec<u64> = b.probes.iter().map(|p| p.cell).collect();
+                        hm.absorb_trace(&cells_probed, 0);
+                    }
+                }
+                let _ = wd.check(&hm, cells);
+                if done {
+                    return (hm, wd);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        (name, thread)
+    });
+
+    if duration > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(duration));
+    } else {
+        // Serve until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    let stats = handle.stats_arc();
+    handle.shutdown();
+    writeln!(
+        out,
+        "served {:.1}s: {} connection(s), {} request(s), {} shed",
+        duration,
+        stats.accepted.load(Ordering::Relaxed),
+        stats.requests.load(Ordering::Relaxed),
+        stats.sheds.load(Ordering::Relaxed),
+    )
+    .map_err(io_err)?;
+
+    if let Some((name, thread)) = watch_thread {
+        lcds_obs::trace::set_tracing(false);
+        watch_stop.store(true, Ordering::SeqCst);
+        let (hm, wd) = thread
+            .join()
+            .map_err(|_| CliError::runtime("watchdog thread panicked"))?;
+        writeln!(
+            out,
+            "watch[{name}]: {} traced probes, ratio Φ̂·s = {:.1} \
+             [alarm above {:.1}], watchdog trips: {}",
+            hm.probes(),
+            hm.ratio(cells),
+            wd.threshold(),
+            wd.trips(),
+        )
+        .map_err(io_err)?;
+    }
+
+    if let Some(metrics_file) = flag(&flags, "metrics-file") {
+        let text = lcds_obs::export::to_prometheus(&lcds_obs::global().snapshot());
+        std::fs::write(metrics_file, text)
+            .map_err(|e| CliError::runtime(format!("cannot write {metrics_file}: {e}")))?;
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use lcds_net::loadgen::{self, LoadConfig, Workload};
+    use std::net::ToSocketAddrs;
+    use std::time::Duration;
+
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let addr_str = flag(&flags, "addr").ok_or_else(|| CliError::usage("loadgen needs --addr"))?;
+    let addr = addr_str
+        .to_socket_addrs()
+        .map_err(|e| CliError::usage(format!("bad --addr {addr_str:?}: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::usage(format!("--addr {addr_str:?} resolves to nothing")))?;
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let connections: usize = num_flag(&flags, "connections", 4)?;
+    if connections == 0 {
+        return Err(CliError::usage("--connections must be at least 1"));
+    }
+    let duration: f64 = num_flag(&flags, "duration", 2.0)?;
+    if duration <= 0.0 {
+        return Err(CliError::usage("--duration must be positive"));
+    }
+    let batch: usize = num_flag(&flags, "batch", 512)?;
+    if batch == 0 {
+        return Err(CliError::usage("--batch must be at least 1"));
+    }
+    let theta: f64 = num_flag(&flags, "zipf", 1.1)?;
+    let workload_name = flag(&flags, "workload").unwrap_or("uniform");
+    let workload = match workload_name {
+        "uniform" => Workload::Uniform,
+        "zipf" => Workload::Zipf(theta),
+        "adversarial" => Workload::Adversarial,
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --workload {other:?} (expected uniform, zipf, or adversarial)"
+            )))
+        }
+    };
+    let format = flag(&flags, "format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(CliError::usage(format!(
+            "bad --format {format:?} (expected table or json)"
+        )));
+    }
+
+    let pool = match (flag(&flags, "random"), flag(&flags, "keys")) {
+        (Some(n), None) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --random: {e}")))?;
+            // Mirrors `build --random` / `serve-net --random`: same seed ⇒
+            // the generated pool IS the served key set, so hits ≈ 100%.
+            uniform_keys(n, seed ^ 0x5EED)
+        }
+        (None, Some(file)) => read_key_file(Path::new(file))?,
+        _ => {
+            return Err(CliError::usage(
+                "loadgen needs exactly one of --random N or --keys FILE",
+            ))
+        }
+    };
+
+    let report = loadgen::run(
+        addr,
+        &pool,
+        &LoadConfig {
+            connections,
+            duration: Duration::from_secs_f64(duration),
+            batch,
+            workload,
+            seed,
+            client: lcds_net::ClientConfig::default(),
+        },
+    )
+    .map_err(|e| CliError::runtime(format!("load run against {addr} failed: {e}")))?;
+    if report.requests == 0 {
+        return Err(CliError::runtime(
+            "no requests completed — server unreachable or duration too short",
+        ));
+    }
+
+    let (p50, p90, p99) = (
+        report.latency_quantile_ns(0.50),
+        report.latency_quantile_ns(0.90),
+        report.latency_quantile_ns(0.99),
+    );
+    if format == "json" {
+        let js = serde_json::json!({
+            "addr": addr.to_string(),
+            "workload": workload_name,
+            "connections": report.connections,
+            "requests": report.requests,
+            "keys": report.keys,
+            "hits": report.hits,
+            "busy_retries": report.busy_retries,
+            "wall_s": report.wall.as_secs_f64(),
+            "qps": report.qps(),
+            "kps": report.kps(),
+            "latency_ns": { "p50": p50, "p90": p90, "p99": p99 },
+        });
+        writeln!(out, "{js}").map_err(io_err)?;
+    } else {
+        writeln!(
+            out,
+            "loadgen: {} connection(s), {workload_name} over {} keys, batch {batch}",
+            report.connections,
+            pool.len(),
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "{} requests ({} keys) in {:.2} s: {:.0} req/s, {:.0} keys/s",
+            report.requests,
+            report.keys,
+            report.wall.as_secs_f64(),
+            report.qps(),
+            report.kps(),
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "hits {}/{} , busy retries {}",
+            report.hits, report.keys, report.busy_retries
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "latency p50/p90/p99: {:.1} / {:.1} / {:.1} µs",
+            p50 as f64 / 1e3,
+            p90 as f64 / 1e3,
+            p99 as f64 / 1e3,
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that drain the process-global trace buffer
+    /// (`lcds trace`, `lcds serve-net --watch`): concurrent drains would
+    /// steal each other's records.
+    static TRACING_GLOBALS: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn run_capture(args: &[&str]) -> Result<String, CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -1046,6 +1419,7 @@ mod tests {
 
     #[test]
     fn trace_emits_valid_chrome_trace_json() {
+        let _g = TRACING_GLOBALS.lock().unwrap_or_else(|p| p.into_inner());
         // No --out: the document itself goes to stdout. Schema-check it
         // with the exporter's own validating parser.
         let out = run_capture(&[
@@ -1081,6 +1455,7 @@ mod tests {
 
     #[test]
     fn trace_out_flag_writes_file_and_summary() {
+        let _g = TRACING_GLOBALS.lock().unwrap_or_else(|p| p.into_inner());
         let path = tmp("trace.json");
         let out = run_capture(&[
             "trace",
@@ -1206,6 +1581,278 @@ mod tests {
         assert!(out.contains("commands:"));
         let out = run_capture(&[]).unwrap();
         assert!(out.contains("lcds"));
+    }
+
+    #[test]
+    fn serve_net_with_watch_serves_loadgen_over_loopback() {
+        let _g = TRACING_GLOBALS.lock().unwrap_or_else(|p| p.into_inner());
+        let port_file = tmp("serve-net.addr");
+        let _ = std::fs::remove_file(&port_file);
+        let port_file_str = port_file.to_str().unwrap().to_string();
+
+        // Server in a background thread (run() blocks for --duration);
+        // the port file is the rendezvous.
+        let server = std::thread::spawn(move || {
+            run_capture(&[
+                "serve-net",
+                "--random",
+                "300",
+                "--workers",
+                "2",
+                "--duration",
+                "2.5",
+                "--watch",
+                "theorem3",
+                "--sample",
+                "1",
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+            ])
+        });
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&port_file) {
+                    if s.trim().contains(':') {
+                        break s.trim().to_string();
+                    }
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server never wrote its port file"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        };
+
+        // Same default seed and --random as the server ⇒ the pool is the
+        // stored key set, so every queried key must be present.
+        let out = run_capture(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--random",
+            "300",
+            "--connections",
+            "2",
+            "--duration",
+            "0.4",
+            "--batch",
+            "64",
+            "--workload",
+            "uniform",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert!(v["requests"].as_u64().unwrap() > 0, "{out}");
+        assert_eq!(
+            v["hits"], v["keys"],
+            "members-only pool must all hit: {out}"
+        );
+        assert!(v["qps"].as_f64().unwrap() > 0.0, "{out}");
+        assert!(v["latency_ns"]["p50"].as_u64().unwrap() > 0, "{out}");
+
+        let table = run_capture(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--random",
+            "300",
+            "--connections",
+            "1",
+            "--duration",
+            "0.2",
+            "--batch",
+            "32",
+        ])
+        .unwrap();
+        assert!(table.contains("req/s"), "{table}");
+        assert!(table.contains("latency p50/p90/p99"), "{table}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(
+            served.contains("serve-net: n = 300 keys, 1 shard(s)"),
+            "{served}"
+        );
+        assert!(served.contains("listening on 127.0.0.1:"), "{served}");
+        assert!(served.contains("served 2.5s:"), "{served}");
+        assert!(served.contains("watch[theorem3]:"), "{served}");
+        assert!(served.contains("watchdog trips: 0"), "{served}");
+        let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn serve_net_serves_a_persisted_dict_and_shards_random_sets() {
+        let dict_path = tmp("serve-net.dict");
+        let dict_str = dict_path.to_str().unwrap().to_string();
+        run_capture(&[
+            "build", "--out", &dict_str, "--random", "200", "--seed", "9",
+        ])
+        .unwrap();
+        let port_file = tmp("serve-net-dict.addr");
+        let _ = std::fs::remove_file(&port_file);
+        let port_file_str = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_capture(&[
+                "serve-net",
+                &dict_str,
+                "--seed",
+                "9",
+                "--duration",
+                "1.2",
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+            ])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if s.trim().contains(':') {
+                    break s.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no port file");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let out = run_capture(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--random",
+            "200",
+            "--seed",
+            "9",
+            "--duration",
+            "0.2",
+            "--batch",
+            "16",
+            "--connections",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("requests"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("n = 200 keys"), "{served}");
+        let _ = std::fs::remove_file(&dict_path);
+        let _ = std::fs::remove_file(&port_file);
+
+        // Sharded in-process build: the header must come from the live
+        // sharded engine.
+        let out = run_capture(&[
+            "serve-net",
+            "--random",
+            "240",
+            "--shards",
+            "3",
+            "--duration",
+            "0.05",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        assert!(out.contains("n = 240 keys, 3 shard(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_net_rejects_unknown_watch_envelope_and_bad_flags() {
+        let err = run_capture(&[
+            "serve-net",
+            "--random",
+            "64",
+            "--watch",
+            "bogus",
+            "--duration",
+            "0.05",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(
+            err.message.contains("unknown contention envelope"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("theorem3"), "{}", err.message);
+
+        let err = run_capture(&["serve-net", "--duration", "0.05"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(err.message.contains("exactly one of"), "{}", err.message);
+
+        let err = run_capture(&[
+            "serve-net",
+            "/tmp/x.dict",
+            "--shards",
+            "2",
+            "--duration",
+            "0.05",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        let err = run_capture(&["serve-net", "--random", "64", "--workers", "0"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_flags_and_unreachable_servers() {
+        let err = run_capture(&["loadgen", "--random", "10"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(err.message.contains("--addr"), "{}", err.message);
+
+        let err = run_capture(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--random",
+            "10",
+            "--workload",
+            "storm",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        let err = run_capture(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--random",
+            "10",
+            "--format",
+            "xml",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        // Port 1 on loopback: nothing listens there; the run must fail
+        // loudly, not report zero throughput as success.
+        let err = run_capture(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--random",
+            "10",
+            "--duration",
+            "0.1",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
+    }
+
+    #[test]
+    fn bulk_header_reports_live_engine_shape() {
+        let dict_path = tmp("bulk-header.dict");
+        let dict_str = dict_path.to_str().unwrap();
+        run_capture(&["build", "--out", dict_str, "--random", "150", "--seed", "5"]).unwrap();
+        let out = run_capture(&["bulk", dict_str, "--random", "40"]).unwrap();
+        assert!(out.contains("serving n = 150 keys, 1 shard(s)"), "{out}");
+        assert!(out.contains("cells"), "{out}");
+        assert!(out.contains("probes/query"), "{out}");
+        let _ = std::fs::remove_file(&dict_path);
     }
 
     #[test]

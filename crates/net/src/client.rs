@@ -1,0 +1,322 @@
+//! The blocking client: request pipelining, `Busy` retry with backoff,
+//! stream-offset bookkeeping.
+//!
+//! A bulk query is split into chunks, and up to
+//! [`ClientConfig::window`] chunk requests are kept in flight at once —
+//! the server's workers answer out of order, so responses are matched
+//! back to chunks by `request_id`, never by arrival order. Each chunk
+//! carries its own global stream offset (`first_index + chunk start`),
+//! which is what keeps the reassembled answer bit-identical to one
+//! in-process [`lcds_serve::Engine::bulk_contains`] call no matter how
+//! the stream was split — including when a chunk is shed with
+//! [`Response::Busy`] and re-sent after backoff.
+
+use crate::proto::{self, DictStats, ProtoError, Request, Response};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Client tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Keys per bulk request frame.
+    pub chunk: usize,
+    /// Chunk requests kept in flight at once.
+    pub window: usize,
+    /// `Busy` re-sends allowed per chunk before giving up.
+    pub max_retries: u32,
+    /// Base backoff before re-sending a shed chunk (scaled by the
+    /// chunk's retry count, capped at 16×).
+    pub retry_backoff: Duration,
+    /// Socket read timeout for responses.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            chunk: 1024,
+            window: 8,
+            max_retries: 64,
+            retry_backoff: Duration::from_millis(1),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes this protocol version cannot decode.
+    Proto(ProtoError),
+    /// The server answered with an error message.
+    Server(String),
+    /// A chunk was shed more than [`ClientConfig::max_retries`] times.
+    BusyExhausted,
+    /// A well-formed response of the wrong kind for the request.
+    UnexpectedResponse(&'static str),
+    /// A response id matching no outstanding request.
+    UnknownRequestId(u64),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::BusyExhausted => write!(f, "server stayed busy past the retry budget"),
+            ClientError::UnexpectedResponse(what) => write!(f, "unexpected response: {what}"),
+            ClientError::UnknownRequestId(id) => {
+                write!(f, "response for unknown request id {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+enum BulkKind {
+    Contains,
+    Count,
+}
+
+/// A blocking connection to an `lcds serve-net` server.
+pub struct Client {
+    stream: TcpStream,
+    cfg: ClientConfig,
+    next_id: u64,
+    busy_retries: u64,
+}
+
+impl Client {
+    /// Connects with default knobs.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit knobs.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            cfg,
+            next_id: 1,
+            busy_retries: 0,
+        })
+    }
+
+    /// Total `Busy` re-sends this client has performed (the loopback
+    /// tests use this to prove shedding actually happened).
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = proto::encode_request(id, req)?;
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(id)
+    }
+
+    fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        Ok(proto::read_response(&mut self.stream)?)
+    }
+
+    /// One request, one response, with `Busy` retries. Only correct on a
+    /// connection with nothing else in flight (the pipelined bulk path
+    /// does its own matching).
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut retries = 0u32;
+        loop {
+            let id = self.send(req)?;
+            let (got_id, resp) = self.recv()?;
+            if got_id != id {
+                return Err(ClientError::UnknownRequestId(got_id));
+            }
+            match resp {
+                Response::Busy => {
+                    retries += 1;
+                    self.busy_retries += 1;
+                    if retries > self.cfg.max_retries {
+                        return Err(ClientError::BusyExhausted);
+                    }
+                    thread::sleep(self.cfg.retry_backoff * retries.min(16));
+                }
+                Response::Error(msg) => return Err(ClientError::Server(msg)),
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("wanted pong")),
+        }
+    }
+
+    /// Dictionary statistics from the live engine.
+    pub fn stats(&mut self) -> Result<DictStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedResponse("wanted stats")),
+        }
+    }
+
+    /// Membership of one key at global stream position `index`.
+    pub fn contains(&mut self, key: u64, index: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Contains { index, key })? {
+            Response::Contains(hit) => Ok(hit),
+            _ => Err(ClientError::UnexpectedResponse("wanted contains result")),
+        }
+    }
+
+    /// Bulk membership of the stream slice starting at global position
+    /// `first_index`, pipelined `window` chunks deep. Answers equal the
+    /// matching slice of a direct `Engine::bulk_contains` run.
+    pub fn bulk_contains(
+        &mut self,
+        keys: &[u64],
+        first_index: u64,
+    ) -> Result<Vec<bool>, ClientError> {
+        match self.run_bulk(keys, first_index, BulkKind::Contains)? {
+            BulkOut::Bits(bits) => Ok(bits),
+            BulkOut::Count(_) => Err(ClientError::UnexpectedResponse("wanted a bitmap")),
+        }
+    }
+
+    /// Member count of the stream slice starting at `first_index`
+    /// (chunk counts summed client-side).
+    pub fn bulk_count(&mut self, keys: &[u64], first_index: u64) -> Result<u64, ClientError> {
+        match self.run_bulk(keys, first_index, BulkKind::Count)? {
+            BulkOut::Count(n) => Ok(n),
+            BulkOut::Bits(_) => Err(ClientError::UnexpectedResponse("wanted a count")),
+        }
+    }
+
+    fn send_chunk(
+        &mut self,
+        kind: &BulkKind,
+        chunk: &[u64],
+        chunk_first_index: u64,
+    ) -> Result<u64, ClientError> {
+        let req = match kind {
+            BulkKind::Contains => Request::BulkContains {
+                first_index: chunk_first_index,
+                keys: chunk.to_vec(),
+            },
+            BulkKind::Count => Request::BulkCount {
+                first_index: chunk_first_index,
+                keys: chunk.to_vec(),
+            },
+        };
+        self.send(&req)
+    }
+
+    fn run_bulk(
+        &mut self,
+        keys: &[u64],
+        first_index: u64,
+        kind: BulkKind,
+    ) -> Result<BulkOut, ClientError> {
+        let chunk_size = self.cfg.chunk.max(1);
+        let window = self.cfg.window.max(1);
+        let chunks: Vec<&[u64]> = keys.chunks(chunk_size).collect();
+        let mut bits: Vec<Vec<bool>> = vec![Vec::new(); chunks.len()];
+        let mut count_total = 0u64;
+        let mut retries = vec![0u32; chunks.len()];
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        let mut next_chunk = 0usize;
+        let mut completed = 0usize;
+
+        while completed < chunks.len() {
+            while outstanding.len() < window && next_chunk < chunks.len() {
+                let start = first_index + (next_chunk * chunk_size) as u64;
+                let id = self.send_chunk(&kind, chunks[next_chunk], start)?;
+                outstanding.insert(id, next_chunk);
+                next_chunk += 1;
+            }
+            let (id, resp) = self.recv()?;
+            let cidx = outstanding
+                .remove(&id)
+                .ok_or(ClientError::UnknownRequestId(id))?;
+            match (resp, &kind) {
+                (Response::BulkContains(v), BulkKind::Contains) => {
+                    if v.len() != chunks[cidx].len() {
+                        return Err(ClientError::UnexpectedResponse(
+                            "bitmap length disagrees with the chunk",
+                        ));
+                    }
+                    bits[cidx] = v;
+                    completed += 1;
+                }
+                (Response::BulkCount(n), BulkKind::Count) => {
+                    count_total += n;
+                    completed += 1;
+                }
+                (Response::Busy, _) => {
+                    retries[cidx] += 1;
+                    self.busy_retries += 1;
+                    if retries[cidx] > self.cfg.max_retries {
+                        return Err(ClientError::BusyExhausted);
+                    }
+                    thread::sleep(self.cfg.retry_backoff * retries[cidx].min(16));
+                    let start = first_index + (cidx * chunk_size) as u64;
+                    let id = self.send_chunk(&kind, chunks[cidx], start)?;
+                    outstanding.insert(id, cidx);
+                }
+                (Response::Error(msg), _) => return Err(ClientError::Server(msg)),
+                _ => {
+                    return Err(ClientError::UnexpectedResponse(
+                        "wrong kind for a bulk reply",
+                    ))
+                }
+            }
+        }
+        match kind {
+            BulkKind::Contains => Ok(BulkOut::Bits(bits.concat())),
+            BulkKind::Count => Ok(BulkOut::Count(count_total)),
+        }
+    }
+}
+
+enum BulkOut {
+    Bits(Vec<bool>),
+    Count(u64),
+}

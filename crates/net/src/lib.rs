@@ -1,0 +1,41 @@
+//! **lcds-net** — TCP serving for the low-contention dictionary,
+//! std-only.
+//!
+//! The workspace's serving story so far ends at a function call:
+//! [`lcds_serve::Engine`] answers bulk membership over shards and
+//! threads, bit-identically however the stream is chunked. This crate
+//! puts a socket in front of that contract without weakening it:
+//!
+//! * [`proto`] — versioned, length-prefixed binary frames. Every length
+//!   is validated before it is trusted; every failure is a typed error.
+//!   Bulk frames carry their **global stream offset**, so answers over
+//!   TCP equal a direct `Engine::bulk_contains` call no matter how the
+//!   stream was split across frames, windows, or retries.
+//! * [`server`] — accept loop, per-connection readers, and a fixed
+//!   worker pool fed by a **bounded** queue. A full queue sheds with
+//!   `Busy` instead of buffering without limit, and shutdown drains:
+//!   every accepted request gets its response before the socket closes.
+//! * [`client`] — blocking client with request pipelining and `Busy`
+//!   retry with backoff.
+//! * [`loadgen`] — closed-loop multi-connection load generator over the
+//!   [`lcds_workloads`] distributions, reporting throughput and latency
+//!   quantiles through the observatory's histograms.
+//!
+//! No async runtime, no new dependencies: `std::net`, `std::thread`,
+//! and the crossbeam channel the workspace already carries. Telemetry
+//! (`lcds_net_*` in [`lcds_obs::names`]) and batch traces flow through
+//! the same observatory as in-process serving, so `lcds watch` can sit
+//! on a live server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use loadgen::{LoadConfig, LoadReport, Workload};
+pub use proto::{DictStats, ProtoError, Request, Response};
+pub use server::{serve, serve_on, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,214 @@
+//! The closed-loop load generator.
+//!
+//! *Closed loop* means each connection sends one bulk request, waits for
+//! its answer, and only then sends the next — offered load is
+//! `connections / service_time`, which is the honest way to measure a
+//! server that sheds: an open-loop generator would count its own queue
+//! as server latency. Per-connection query keys come from the
+//! [`lcds_workloads`] distributions (uniform, Zipf, or the adversarial
+//! point mass that hammers a single key), each connection seeded
+//! independently so streams differ but the whole run is reproducible
+//! from one seed.
+//!
+//! Latency is recorded per request into a per-thread
+//! [`LogHistogram`](lcds_obs::metrics::LogHistogram) and merged at the
+//! end — no cross-thread contention on the hot path, in the spirit of
+//! the dictionary this crate serves.
+
+use crate::client::{Client, ClientConfig, ClientError};
+use lcds_cellprobe::dist::{PointMass, QueryDistribution};
+use lcds_obs::metrics::{HistogramSnapshot, LogHistogram};
+use lcds_workloads::{positive_dist, seeded, zipf_over_keys};
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Which distribution each connection draws query keys from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Uniform over the key pool.
+    Uniform,
+    /// Zipf over the key pool with this theta (rank-skewed: a few keys
+    /// absorb most queries).
+    Zipf(f64),
+    /// Every query is the pool's first key — the worst case a
+    /// low-contention dictionary is built to shrug off.
+    Adversarial,
+}
+
+/// Load-generator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Concurrent connections, one OS thread each.
+    pub connections: usize,
+    /// Wall-clock run length (each connection stops issuing new requests
+    /// once this elapses; in-flight requests finish).
+    pub duration: Duration,
+    /// Keys per bulk request.
+    pub batch: usize,
+    /// Query-key distribution.
+    pub workload: Workload,
+    /// Master seed; connection `c` derives its own stream from it.
+    pub seed: u64,
+    /// Knobs for each connection's client.
+    pub client: ClientConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: 4,
+            duration: Duration::from_secs(2),
+            batch: 512,
+            workload: Workload::Uniform,
+            seed: 7,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Connections that ran.
+    pub connections: usize,
+    /// Bulk requests answered.
+    pub requests: u64,
+    /// Keys queried (requests × batch).
+    pub keys: u64,
+    /// Keys answered "present".
+    pub hits: u64,
+    /// `Busy` re-sends across all connections (shedding observed).
+    pub busy_retries: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Merged per-request latency distribution (nanoseconds).
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Requests per second over the wall clock.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Keys per second over the wall clock.
+    pub fn kps(&self) -> f64 {
+        self.keys as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency quantile in nanoseconds (log-bucket upper bound).
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+}
+
+struct ConnResult {
+    requests: u64,
+    keys: u64,
+    hits: u64,
+    busy_retries: u64,
+    latency: LogHistogram,
+}
+
+fn dist_for(pool: &[u64], workload: Workload, seed: u64) -> Box<dyn QueryDistribution> {
+    match workload {
+        Workload::Uniform => Box::new(positive_dist(pool)),
+        Workload::Zipf(theta) => Box::new(zipf_over_keys(pool, theta, seed)),
+        Workload::Adversarial => Box::new(PointMass(pool[0])),
+    }
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    pool: &[u64],
+    cfg: &LoadConfig,
+    conn: usize,
+) -> Result<ConnResult, ClientError> {
+    // Same mix as StreamRng-style derivation: distinct per connection,
+    // reproducible from the master seed.
+    let conn_seed = cfg
+        .seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(conn as u64 + 1));
+    let dist = dist_for(pool, cfg.workload, conn_seed);
+    let mut rng = seeded(conn_seed);
+    let mut client = Client::connect_with(addr, cfg.client)?;
+
+    let mut res = ConnResult {
+        requests: 0,
+        keys: 0,
+        hits: 0,
+        busy_retries: 0,
+        latency: LogHistogram::new(),
+    };
+    let batch = cfg.batch.max(1);
+    let mut keys = Vec::with_capacity(batch);
+    // Each connection is its own logical query stream: the offset keeps
+    // advancing so every key has a distinct global position.
+    let mut offset = 0u64;
+    let deadline = Instant::now() + cfg.duration;
+    while Instant::now() < deadline {
+        keys.clear();
+        for _ in 0..batch {
+            keys.push(dist.sample(&mut rng));
+        }
+        let t0 = Instant::now();
+        let answers = client.bulk_contains(&keys, offset)?;
+        res.latency.record(t0.elapsed().as_nanos() as u64);
+        res.requests += 1;
+        res.keys += answers.len() as u64;
+        res.hits += answers.iter().filter(|&&b| b).count() as u64;
+        offset += batch as u64;
+    }
+    res.busy_retries = client.busy_retries();
+    Ok(res)
+}
+
+/// Runs the closed loop: `cfg.connections` threads, each with its own
+/// connection, distribution, and stream offset, for `cfg.duration`.
+/// Fails if any connection fails (a load run that silently lost
+/// connections would report fictional throughput).
+pub fn run(addr: SocketAddr, pool: &[u64], cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    assert!(
+        !pool.is_empty(),
+        "load generation needs a non-empty key pool"
+    );
+    let connections = cfg.connections.max(1);
+    let t0 = Instant::now();
+    let results: Vec<Result<ConnResult, ClientError>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| s.spawn(move || run_connection(addr, pool, cfg, conn)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(ClientError::UnexpectedResponse(
+                    "connection thread panicked",
+                )),
+            })
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut report = LoadReport {
+        connections,
+        requests: 0,
+        keys: 0,
+        hits: 0,
+        busy_retries: 0,
+        wall,
+        latency: LogHistogram::new().snapshot(),
+    };
+    let merged = LogHistogram::new();
+    for r in results {
+        let r = r?;
+        report.requests += r.requests;
+        report.keys += r.keys;
+        report.hits += r.hits;
+        report.busy_retries += r.busy_retries;
+        merged.merge(&r.latency);
+    }
+    report.latency = merged.snapshot();
+    Ok(report)
+}

@@ -1,0 +1,475 @@
+//! The TCP server: accept loop, bounded worker queue, load shedding,
+//! graceful drain.
+//!
+//! Threading model — std only, every thread accounted for at shutdown:
+//!
+//! * one **accept** thread polls a nonblocking listener (~10 ms tick) and
+//!   spawns a reader per connection;
+//! * one **reader** thread per connection reassembles frames from the
+//!   socket (partial reads survive poll ticks; a frame is never dropped
+//!   mid-read), answers `Ping`/`Stats` inline, and enqueues dictionary
+//!   work onto a **bounded** crossbeam channel;
+//! * a fixed pool of **worker** threads drains the channel, dispatches
+//!   into the shared [`lcds_serve::Engine`], and writes responses back
+//!   through a per-connection mutexed writer (workers finish out of
+//!   order; the `request_id` tells the client which answer is which).
+//!
+//! **Backpressure is explicit.** When the channel is full, `try_send`
+//! fails and the reader immediately writes [`Response::Busy`] — the
+//! request is *shed*, not silently queued into unbounded memory, and
+//! `lcds_net_shed_total` counts it. Clients retry with backoff
+//! ([`crate::client`]); answers stay bit-identical under shedding because
+//! every bulk frame carries its own global stream offset.
+//!
+//! **Graceful drain** ([`ServerHandle::shutdown`]) is ordered so no
+//! accepted in-flight request loses its response: stop flag → accept
+//! thread joins readers (each reader stops *at a frame boundary*, then
+//! waits for its connection's in-flight count to hit zero before closing
+//! the socket) → the job sender is dropped → workers drain the channel to
+//! disconnection and exit.
+
+use crate::proto::{
+    self, DictStats, ProtoError, Request, Response, HEADER_LEN, MAX_PAYLOAD, OP_BULK_CONTAINS,
+    OP_BULK_COUNT, OP_CONTAINS, OP_PING, OP_STATS,
+};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use lcds_obs::names;
+use lcds_serve::Engine;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue depth. Once full, further dictionary requests
+    /// are shed with [`Response::Busy`].
+    pub queue_depth: usize,
+    /// Close a connection that sends nothing for this long (measured at
+    /// frame boundaries; a half-received frame is never abandoned while
+    /// bytes keep arriving).
+    pub idle_timeout: Duration,
+    /// Write timeout on every response socket write.
+    pub write_timeout: Duration,
+    /// Test-only throttle: sleep this long in the worker before serving
+    /// each job, to force queue-full shedding deterministically.
+    pub worker_lag: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            worker_lag: None,
+        }
+    }
+}
+
+/// Monotonic totals since the server started (shared with tests and the
+/// CLI summary line).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Dictionary requests answered by workers.
+    pub requests: AtomicU64,
+    /// Requests shed with `Busy` because the queue was full.
+    pub sheds: AtomicU64,
+    /// Connections currently open (mirrors the
+    /// `lcds_net_connections_active` gauge).
+    pub active: AtomicU64,
+}
+
+/// One response writer per connection. Workers complete out of order, so
+/// writes are serialized through a mutex; `inflight` counts requests
+/// accepted off this connection whose responses have not been written
+/// yet, and the reader refuses to close the socket until it reaches
+/// zero — that is the no-dropped-responses half of graceful drain.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    inflight: AtomicUsize,
+}
+
+impl ConnWriter {
+    fn write_response(&self, request_id: u64, resp: &Response) -> Result<(), ProtoError> {
+        let bytes = proto::encode_response(request_id, resp)?;
+        let mut s = self.stream.lock().expect("net writer lock poisoned");
+        s.write_all(&bytes)?;
+        s.flush()?;
+        lcds_obs::counter(names::NET_BYTES_OUT_TOTAL).add(bytes.len() as u64);
+        Ok(())
+    }
+}
+
+/// A unit of dictionary work queued for the pool.
+struct Job {
+    writer: Arc<ConnWriter>,
+    request_id: u64,
+    req: Request,
+}
+
+/// Handle to a running server. Dropping it without calling
+/// [`ServerHandle::shutdown`] aborts the process-exit way (threads are
+/// detached); call `shutdown` for the drained, every-thread-joined stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    tx: Option<Sender<Job>>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared totals.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Clone of the shared totals, for reading after
+    /// [`ServerHandle::shutdown`] (which consumes the handle).
+    pub fn stats_arc(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Graceful drain: stop accepting, let readers finish their in-flight
+    /// frames and wait for every queued response to be written, then stop
+    /// the workers. Blocks until every server thread has joined.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // The accept thread joins every reader before it exits, and
+            // readers hold the connection open until inflight == 0, so at
+            // this join's return all accepted requests have answers on
+            // the wire.
+            let _ = accept.join();
+        }
+        // Readers are gone; dropping the last sender lets workers drain
+        // whatever is still queued and exit on disconnect.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        lcds_obs::emit(
+            names::EVENT_NET_SERVER,
+            serde_json::json!({
+                "phase": "shutdown",
+                "accepted": self.stats.accepted.load(Ordering::Relaxed),
+                "requests": self.stats.requests.load(Ordering::Relaxed),
+                "sheds": self.stats.sheds.load(Ordering::Relaxed),
+            }),
+        );
+    }
+}
+
+/// Binds `addr` and starts the accept loop, worker pool, and (lazily,
+/// per connection) reader threads. Returns once the listener is bound —
+/// serving proceeds on background threads until
+/// [`ServerHandle::shutdown`].
+pub fn serve<A: ToSocketAddrs>(
+    addr: A,
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    serve_on(listener, engine, cfg)
+}
+
+/// [`serve`] over an already-bound listener.
+pub fn serve_on(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let (tx, rx) = bounded::<Job>(cfg.queue_depth.max(1));
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for _ in 0..cfg.workers.max(1) {
+        let rx = rx.clone();
+        let engine = Arc::clone(&engine);
+        let stats = Arc::clone(&stats);
+        workers.push(thread::spawn(move || worker_loop(rx, engine, stats, cfg)));
+    }
+    drop(rx);
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
+        let engine = Arc::clone(&engine);
+        let tx = tx.clone();
+        thread::spawn(move || accept_loop(listener, stop, stats, engine, tx, cfg))
+    };
+
+    lcds_obs::emit(
+        names::EVENT_NET_SERVER,
+        serde_json::json!({
+            "phase": "listening",
+            "addr": addr.to_string(),
+            "workers": cfg.workers.max(1),
+            "queue_depth": cfg.queue_depth.max(1),
+        }),
+    );
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        stats,
+        tx: Some(tx),
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    engine: Arc<Engine>,
+    tx: Sender<Job>,
+    cfg: ServerConfig,
+) {
+    let mut readers = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                lcds_obs::counter(names::NET_CONNECTIONS_TOTAL).inc();
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                let engine = Arc::clone(&engine);
+                let tx = tx.clone();
+                readers.push(thread::spawn(move || {
+                    reader_loop(stream, stop, stats, engine, tx, cfg)
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+            // Transient accept errors (e.g. a connection reset before we
+            // picked it up) should not kill the server.
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+}
+
+/// Decode outcome for the front of the reader's buffer.
+enum FrameStep {
+    /// Not enough bytes yet — keep reading.
+    Need,
+    /// One whole frame decoded and consumed.
+    Got(u64, Request, usize),
+    /// Unrecoverable framing error (answer + close).
+    Fail(u64, ProtoError),
+}
+
+fn step_frame(buf: &[u8]) -> FrameStep {
+    if buf.len() < HEADER_LEN {
+        return FrameStep::Need;
+    }
+    let h = match proto::decode_header(buf) {
+        Ok(h) => h,
+        Err(e) => return FrameStep::Fail(0, e),
+    };
+    // Only known *request* opcodes may reserve buffer space.
+    if !matches!(
+        h.opcode,
+        OP_PING | OP_CONTAINS | OP_BULK_CONTAINS | OP_BULK_COUNT | OP_STATS
+    ) {
+        return FrameStep::Fail(h.request_id, ProtoError::UnknownOpcode(h.opcode));
+    }
+    let total = HEADER_LEN + h.payload_len as usize;
+    if buf.len() < total {
+        return FrameStep::Need;
+    }
+    match proto::decode_request_payload(&h, &buf[HEADER_LEN..total]) {
+        Ok(req) => FrameStep::Got(h.request_id, req, total),
+        Err(e) => FrameStep::Fail(h.request_id, e),
+    }
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    engine: Arc<Engine>,
+    tx: Sender<Job>,
+    cfg: ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(ConnWriter {
+        stream: Mutex::new(stream.try_clone().expect("clone TCP stream for writer")),
+        inflight: AtomicUsize::new(0),
+    });
+    let now_active = stats.active.fetch_add(1, Ordering::SeqCst) + 1;
+    lcds_obs::gauge(names::NET_CONNECTIONS_ACTIVE).set(now_active as f64);
+
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::with_capacity(4 * 1024);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut last_progress = Instant::now();
+
+    'conn: loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match step_frame(&buf) {
+                FrameStep::Need => break,
+                FrameStep::Got(request_id, req, used) => {
+                    buf.drain(..used);
+                    last_progress = Instant::now();
+                    if !handle_request(&writer, &engine, &stats, &tx, request_id, req) {
+                        break 'conn;
+                    }
+                }
+                FrameStep::Fail(request_id, e) => {
+                    let _ = writer.write_response(request_id, &Response::Error(e.to_string()));
+                    break 'conn;
+                }
+            }
+        }
+        // `buf` now holds at most a frame prefix. Stop/idle decisions are
+        // taken only at a true frame boundary so a request already on the
+        // wire is never torn.
+        let at_boundary = buf.is_empty();
+        if at_boundary && stop.load(Ordering::SeqCst) {
+            break 'conn;
+        }
+        let timed_out = last_progress.elapsed() > cfg.idle_timeout;
+        if timed_out && (at_boundary || stop.load(Ordering::SeqCst)) {
+            break 'conn;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => break 'conn,
+            Ok(n) => {
+                buf.extend_from_slice(&scratch[..n]);
+                lcds_obs::counter(names::NET_BYTES_IN_TOTAL).add(n as u64);
+                if buf.len() > HEADER_LEN + MAX_PAYLOAD as usize {
+                    // decode_header bounds every accepted frame, so the
+                    // buffer can only get here on a hostile byte stream.
+                    let _ = writer
+                        .write_response(0, &Response::Error("frame buffer overflow".to_string()));
+                    break 'conn;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break 'conn,
+        }
+    }
+
+    // Hold the connection open until every response for a request we
+    // accepted has been written by the workers (graceful drain).
+    while writer.inflight.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let now_active = stats.active.fetch_sub(1, Ordering::SeqCst) - 1;
+    lcds_obs::gauge(names::NET_CONNECTIONS_ACTIVE).set(now_active as f64);
+}
+
+/// Routes one decoded request: cheap opcodes inline, dictionary opcodes
+/// onto the bounded queue (or shed). Returns `false` to close the
+/// connection.
+fn handle_request(
+    writer: &Arc<ConnWriter>,
+    engine: &Arc<Engine>,
+    stats: &ServerStats,
+    tx: &Sender<Job>,
+    request_id: u64,
+    req: Request,
+) -> bool {
+    match req {
+        Request::Ping => writer.write_response(request_id, &Response::Pong).is_ok(),
+        Request::Stats => {
+            let s = DictStats {
+                keys: engine.key_count() as u64,
+                cells: engine.num_cells(),
+                shards: engine.num_shards() as u32,
+                max_probes: engine.max_probes(),
+                seed: engine.seed(),
+            };
+            writer
+                .write_response(request_id, &Response::Stats(s))
+                .is_ok()
+        }
+        req @ (Request::Contains { .. }
+        | Request::BulkContains { .. }
+        | Request::BulkCount { .. }) => {
+            writer.inflight.fetch_add(1, Ordering::SeqCst);
+            let job = Job {
+                writer: Arc::clone(writer),
+                request_id,
+                req,
+            };
+            match tx.try_send(job) {
+                Ok(()) => {
+                    lcds_obs::gauge(names::NET_QUEUE_DEPTH).set(tx.len() as f64);
+                    true
+                }
+                Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                    // Shed: the response IS the backpressure signal.
+                    job.writer.inflight.fetch_sub(1, Ordering::SeqCst);
+                    stats.sheds.fetch_add(1, Ordering::Relaxed);
+                    lcds_obs::counter(names::NET_SHED_TOTAL).inc();
+                    job.writer
+                        .write_response(request_id, &Response::Busy)
+                        .is_ok()
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, engine: Arc<Engine>, stats: Arc<ServerStats>, cfg: ServerConfig) {
+    while let Ok(job) = rx.recv() {
+        if let Some(lag) = cfg.worker_lag {
+            thread::sleep(lag);
+        }
+        let label = job.req.label();
+        let t0 = Instant::now();
+        let resp = match job.req {
+            Request::Contains { index, key } => Response::Contains(engine.contains_at(key, index)),
+            Request::BulkContains { first_index, keys } => {
+                Response::BulkContains(engine.bulk_contains_at(&keys, first_index))
+            }
+            Request::BulkCount { first_index, keys } => {
+                Response::BulkCount(engine.bulk_count_at(&keys, first_index) as u64)
+            }
+            // Inline opcodes never reach the queue.
+            Request::Ping | Request::Stats => Response::Pong,
+        };
+        let _ = job.writer.write_response(job.request_id, &resp);
+        // Only decrement after the response bytes are on the wire (or the
+        // write has failed for good): this ordering is what lets readers
+        // equate inflight == 0 with "no response still owed".
+        job.writer.inflight.fetch_sub(1, Ordering::SeqCst);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        lcds_obs::counter(names::NET_REQUESTS_TOTAL).inc();
+        if lcds_obs::enabled() {
+            lcds_obs::global()
+                .histogram(&format!("{}{{op=\"{label}\"}}", names::NET_REQUEST_LATENCY))
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Loopback TCP tests: answers over the wire must equal direct
+//! [`Engine`] calls bit for bit — across a worker × connection matrix,
+//! under forced `Busy` shedding with client retries, and through a
+//! graceful drain that loses no accepted request's response.
+
+use lcds_core::builder::build;
+use lcds_net::client::{Client, ClientConfig};
+use lcds_net::proto::{self, Request, Response};
+use lcds_net::server::{serve, ServerConfig};
+use lcds_serve::{Engine, EngineConfig, ShardedLcd};
+use lcds_workloads::{negative_pool, uniform_keys};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const SEED: u64 = 7;
+
+fn single_engine(n: usize, salt: u64) -> Engine {
+    let keys = uniform_keys(n, salt);
+    let d = build(&keys, &mut ChaCha8Rng::seed_from_u64(salt)).expect("build dictionary");
+    Engine::new(d, SEED, EngineConfig::with_batch(64))
+}
+
+fn sharded_engine(n: usize, shards: usize, salt: u64) -> Engine {
+    let keys = uniform_keys(n, salt);
+    let s = ShardedLcd::build_seeded(&keys, shards, salt ^ 0x511, salt ^ 0x9e).expect("shards");
+    Engine::sharded(s, SEED, EngineConfig::with_batch(64))
+}
+
+/// Members and negatives interleaved — the probe stream every test
+/// queries, in one canonical order.
+fn probe_stream(engine: &Engine, salt: u64) -> Vec<u64> {
+    let members: Vec<u64> = match engine.dict() {
+        lcds_serve::EngineDict::Single(d) => d.keys().to_vec(),
+        lcds_serve::EngineDict::Sharded(s) => s
+            .shards()
+            .iter()
+            .flat_map(|d| d.keys().iter().copied())
+            .collect(),
+    };
+    let negs = negative_pool(&members, members.len(), salt);
+    members
+        .iter()
+        .zip(&negs)
+        .flat_map(|(&m, &n)| [m, n])
+        .collect()
+}
+
+/// Splits the probe stream across `conns` connections (each slice keeps
+/// its global offset), queries them concurrently, and stitches the
+/// answers back together.
+fn query_split(
+    addr: std::net::SocketAddr,
+    probes: &[u64],
+    conns: usize,
+    cfg: ClientConfig,
+) -> (Vec<bool>, u64) {
+    let per = probes.len().div_ceil(conns);
+    thread::scope(|s| {
+        let handles: Vec<_> = probes
+            .chunks(per)
+            .enumerate()
+            .map(|(c, slice)| {
+                s.spawn(move || {
+                    let mut client = Client::connect_with(addr, cfg).expect("connect");
+                    let bits = client
+                        .bulk_contains(slice, (c * per) as u64)
+                        .expect("bulk over TCP");
+                    (bits, client.busy_retries())
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(probes.len());
+        let mut retries = 0;
+        for h in handles {
+            let (bits, r) = h.join().expect("connection thread");
+            all.extend(bits);
+            retries += r;
+        }
+        (all, retries)
+    })
+}
+
+#[test]
+fn tcp_answers_equal_direct_engine_across_workers_and_connections() {
+    for engine in [single_engine(1200, 31), sharded_engine(1200, 3, 33)] {
+        let probes = probe_stream(&engine, 35);
+        let expected = engine.bulk_contains(&probes);
+        let engine = Arc::new(engine);
+        for workers in [1usize, 4] {
+            let handle = serve(
+                "127.0.0.1:0",
+                Arc::clone(&engine),
+                ServerConfig {
+                    workers,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind loopback");
+            let addr = handle.local_addr();
+            for conns in [1usize, 8] {
+                let cfg = ClientConfig {
+                    chunk: 100,
+                    window: 4,
+                    ..ClientConfig::default()
+                };
+                let (got, _) = query_split(addr, &probes, conns, cfg);
+                assert_eq!(
+                    got, expected,
+                    "workers={workers} conns={conns} diverged from the direct engine"
+                );
+            }
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn forced_shedding_sheds_and_retried_answers_stay_identical() {
+    let engine = single_engine(900, 41);
+    let probes = probe_stream(&engine, 43);
+    let expected = engine.bulk_contains(&probes);
+    let engine = Arc::new(engine);
+
+    // One slow worker behind a single-slot queue, hit by 8-deep
+    // pipelines: the queue must overflow, so Busy responses are
+    // guaranteed, and the client's retries must still reassemble the
+    // exact direct-engine answer.
+    let handle = serve(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            worker_lag: Some(Duration::from_millis(2)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let cfg = ClientConfig {
+        chunk: 64,
+        window: 8,
+        ..ClientConfig::default()
+    };
+    let (got, retries) = query_split(handle.local_addr(), &probes, 2, cfg);
+    assert_eq!(got, expected, "answers diverged under shedding");
+    assert!(retries > 0, "test never tripped the Busy path");
+    assert!(
+        handle
+            .stats()
+            .sheds
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "server never shed"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_request() {
+    let engine = single_engine(700, 51);
+    let probes = probe_stream(&engine, 53);
+    let expected = engine.bulk_contains(&probes);
+    let engine = Arc::new(engine);
+
+    const FRAMES: usize = 16;
+    let chunk = probes.len() / FRAMES;
+
+    // One deliberately slow worker and a queue deep enough to hold
+    // everything: the requests are all accepted quickly, then shutdown
+    // races the (slow) service of the backlog.
+    let handle = serve(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 1,
+            queue_depth: FRAMES,
+            worker_lag: Some(Duration::from_millis(8)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    for (i, slice) in probes.chunks(chunk).take(FRAMES).enumerate() {
+        let frame = proto::encode_request(
+            i as u64 + 1,
+            &Request::BulkContains {
+                first_index: (i * chunk) as u64,
+                keys: slice.to_vec(),
+            },
+        )
+        .expect("encode");
+        stream.write_all(&frame).expect("send");
+    }
+    stream.flush().expect("flush");
+    // Let the reader ingest and enqueue the backlog, then shut down
+    // while most of it is still waiting for the slow worker.
+    thread::sleep(Duration::from_millis(40));
+    handle.shutdown();
+
+    // Every accepted request must have its response on the wire: all
+    // FRAMES answers arrive, correct, before EOF.
+    let mut seen = [false; FRAMES];
+    for _ in 0..FRAMES {
+        let (id, resp) = proto::read_response(&mut stream).expect("a drained response");
+        let i = (id - 1) as usize;
+        assert!(!seen[i], "response {id} arrived twice");
+        seen[i] = true;
+        match resp {
+            Response::BulkContains(bits) => {
+                assert_eq!(
+                    bits,
+                    expected[i * chunk..(i * chunk + chunk).min(expected.len())].to_vec(),
+                    "drained answer {id} diverged"
+                );
+            }
+            other => panic!("wanted a bulk result for {id}, got {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "a response was dropped in drain");
+    match proto::read_response(&mut stream) {
+        Err(_) => {}
+        Ok((id, resp)) => panic!("unexpected extra response {id}: {resp:?}"),
+    }
+}
+
+#[test]
+fn ping_stats_and_single_contains_round_trip() {
+    let engine = single_engine(400, 61);
+    let member = match engine.dict() {
+        lcds_serve::EngineDict::Single(d) => d.keys()[0],
+        _ => unreachable!(),
+    };
+    let (keys, cells, shards, max_probes) = (
+        engine.key_count() as u64,
+        engine.num_cells(),
+        engine.num_shards() as u32,
+        engine.max_probes(),
+    );
+    let expect_hit = engine.contains_at(member, 5);
+    let expect_miss = engine.contains_at(member ^ 0xDEAD_BEEF, 6);
+    let engine = Arc::new(engine);
+
+    let handle =
+        serve("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        (
+            stats.keys,
+            stats.cells,
+            stats.shards,
+            stats.max_probes,
+            stats.seed
+        ),
+        (keys, cells, shards, max_probes, SEED)
+    );
+    assert_eq!(client.contains(member, 5).expect("contains"), expect_hit);
+    assert_eq!(
+        client.contains(member ^ 0xDEAD_BEEF, 6).expect("contains"),
+        expect_miss
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn loadgen_closed_loop_reports_real_throughput() {
+    use lcds_net::loadgen::{self, LoadConfig, Workload};
+
+    let engine = single_engine(600, 71);
+    let pool: Vec<u64> = match engine.dict() {
+        lcds_serve::EngineDict::Single(d) => d.keys().to_vec(),
+        _ => unreachable!(),
+    };
+    let engine = Arc::new(engine);
+    let handle =
+        serve("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default()).expect("bind loopback");
+
+    for workload in [
+        Workload::Uniform,
+        Workload::Zipf(1.1),
+        Workload::Adversarial,
+    ] {
+        let report = loadgen::run(
+            handle.local_addr(),
+            &pool,
+            &LoadConfig {
+                connections: 2,
+                duration: Duration::from_millis(150),
+                batch: 64,
+                workload,
+                seed: 99,
+                client: ClientConfig::default(),
+            },
+        )
+        .expect("load run");
+        assert!(report.requests > 0, "{workload:?}: no requests completed");
+        assert_eq!(report.keys, report.requests * 64);
+        // The pool is all members, so every sampled key must hit.
+        assert_eq!(report.hits, report.keys, "{workload:?}: missed a member");
+        assert!(report.qps() > 0.0);
+        assert!(report.latency_quantile_ns(0.5) > 0);
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,190 @@
+//! Property tests for the wire protocol: the decoder must never panic,
+//! must reject malformed frames with *typed* errors, and must round-trip
+//! every opcode exactly.
+
+use lcds_net::proto::{
+    self, DictStats, ProtoError, Request, Response, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+use proptest::prelude::*;
+
+// Generators are written tuple-style (select-index + prop_map) rather
+// than with `prop_oneof!`, so they run unchanged under the offline
+// harness's deterministic proptest stand-in.
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0usize..5,
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), 0..64),
+    )
+        .prop_map(|(which, a, b, keys)| match which {
+            0 => Request::Ping,
+            1 => Request::Stats,
+            2 => Request::Contains { index: a, key: b },
+            3 => Request::BulkContains {
+                first_index: a,
+                keys,
+            },
+            _ => Request::BulkCount {
+                first_index: a,
+                keys,
+            },
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0usize..7,
+        any::<u64>(),
+        prop::collection::vec(any::<bool>(), 0..130),
+        prop::collection::vec(32u8..127, 0..40),
+        (any::<u64>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(
+            |(which, a, bits, ascii, (cells, shards, max_probes))| match which {
+                0 => Response::Pong,
+                1 => Response::Busy,
+                2 => Response::Contains(a & 1 == 1),
+                3 => Response::BulkContains(bits),
+                4 => Response::BulkCount(a),
+                5 => Response::Stats(DictStats {
+                    keys: a,
+                    cells,
+                    shards,
+                    max_probes,
+                    seed: a ^ cells,
+                }),
+                _ => Response::Error(String::from_utf8(ascii).expect("ascii range is UTF-8")),
+            },
+        )
+}
+
+proptest! {
+    /// Arbitrary bytes — pure noise — never panic either decoder; they
+    /// produce a value or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = proto::decode_request(&bytes);
+        let _ = proto::decode_response(&bytes);
+        let _ = proto::decode_header(&bytes);
+    }
+
+    /// Arbitrary *suffixes appended to a valid frame prefix* never panic:
+    /// the decoder consumes exactly one frame and reports its length.
+    #[test]
+    fn valid_frame_with_trailing_noise_decodes_cleanly(
+        req in arb_request(),
+        id in any::<u64>(),
+        noise in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = proto::encode_request(id, &req).unwrap();
+        let frame_len = bytes.len();
+        bytes.extend_from_slice(&noise);
+        let (got_id, got, used) = proto::decode_request(&bytes).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, req);
+        prop_assert_eq!(used, frame_len);
+    }
+
+    /// Every proper prefix of a valid frame is `Truncated` — never a
+    /// panic, never a bogus success.
+    #[test]
+    fn truncated_frames_yield_typed_truncation(
+        req in arb_request(),
+        id in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = proto::encode_request(id, &req).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len());
+        match proto::decode_request(&bytes[..cut]) {
+            Err(ProtoError::Truncated { need, have }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(need > have);
+            }
+            other => prop_assert!(false, "wanted Truncated, got {other:?}"),
+        }
+    }
+
+    /// A header declaring more than MAX_PAYLOAD is rejected as Oversized
+    /// no matter what the rest of the bytes say — before any allocation.
+    #[test]
+    fn oversized_declared_lengths_are_rejected(
+        id in any::<u64>(),
+        opcode in any::<u8>(),
+        excess in 1u32..=u32::MAX - MAX_PAYLOAD,
+    ) {
+        let declared = MAX_PAYLOAD + excess;
+        let mut bytes = Vec::with_capacity(HEADER_LEN);
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(VERSION);
+        bytes.push(opcode);
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&id.to_le_bytes());
+        bytes.extend_from_slice(&declared.to_le_bytes());
+        match proto::decode_request(&bytes) {
+            Err(ProtoError::Oversized { declared: d, max }) => {
+                prop_assert_eq!(d, declared);
+                prop_assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => prop_assert!(false, "wanted Oversized, got {other:?}"),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame never panics the
+    /// decoder (it may still decode — some bytes are payload data).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        req in arb_request(),
+        id in any::<u64>(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = proto::encode_request(id, &req).unwrap();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = proto::decode_request(&bytes);
+        let _ = proto::decode_response(&bytes);
+    }
+
+    /// encode → decode is the identity for every request opcode.
+    #[test]
+    fn requests_round_trip(req in arb_request(), id in any::<u64>()) {
+        let bytes = proto::encode_request(id, &req).unwrap();
+        let (got_id, got, used) = proto::decode_request(&bytes).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, req);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// encode → decode is the identity for every response opcode, on
+    /// both the slice and the `Read`-based paths.
+    #[test]
+    fn responses_round_trip(resp in arb_response(), id in any::<u64>()) {
+        let bytes = proto::encode_response(id, &resp).unwrap();
+        let (got_id, got, used) = proto::decode_response(&bytes).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(&got, &resp);
+        prop_assert_eq!(used, bytes.len());
+        let (rid, rgot) = proto::read_response(&mut &bytes[..]).unwrap();
+        prop_assert_eq!(rid, id);
+        prop_assert_eq!(rgot, resp);
+    }
+
+    /// A request frame is never mistaken for a response and vice versa.
+    #[test]
+    fn opcode_planes_do_not_cross(req in arb_request(), resp in arb_response(), id in any::<u64>()) {
+        let rbytes = proto::encode_request(id, &req).unwrap();
+        prop_assert!(matches!(
+            proto::decode_response(&rbytes),
+            Err(ProtoError::UnknownOpcode(_))
+        ));
+        let sbytes = proto::encode_response(id, &resp).unwrap();
+        prop_assert!(matches!(
+            proto::decode_request(&sbytes),
+            Err(ProtoError::UnknownOpcode(_))
+        ));
+    }
+}

@@ -272,6 +272,43 @@ pub fn balls_in_bins_envelope(n: u64) -> f64 {
     ln_n / ln_n.ln().max(1.0)
 }
 
+/// Envelope names accepted by [`envelope_named`] and
+/// [`Watchdog::for_envelope`], in the scheme order the docs use.
+pub const ENVELOPE_NAMES: &[&str] = &["theorem3", "balls-in-bins", "sqrt-n"];
+
+/// An envelope name outside [`ENVELOPE_NAMES`]. Selection by name is a
+/// **hard error** — silently falling back to some default envelope would
+/// arm the watchdog against the wrong theoretical bound, which either
+/// mutes real alarms or pages on healthy traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownEnvelope(pub String);
+
+impl std::fmt::Display for UnknownEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown contention envelope {:?} (expected one of: {})",
+            self.0,
+            ENVELOPE_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownEnvelope {}
+
+/// Selects a theoretical envelope (in `Φ̂·s` ratio units) by name:
+/// `"theorem3"` → [`theorem3_envelope`], `"balls-in-bins"` →
+/// [`balls_in_bins_envelope`], `"sqrt-n"` → [`sqrt_envelope`]. Any other
+/// name is rejected with [`UnknownEnvelope`].
+pub fn envelope_named(name: &str, num_cells: u64, n: u64) -> Result<f64, UnknownEnvelope> {
+    match name {
+        "theorem3" => Ok(theorem3_envelope(num_cells, n)),
+        "balls-in-bins" => Ok(balls_in_bins_envelope(n)),
+        "sqrt-n" => Ok(sqrt_envelope(n)),
+        other => Err(UnknownEnvelope(other.to_string())),
+    }
+}
+
 /// A tripped watchdog's structured report (also emitted as a
 /// [`names::EVENT_WATCHDOG`] event when telemetry is enabled).
 #[derive(Clone, Debug, PartialEq)]
@@ -316,6 +353,18 @@ impl Watchdog {
             min_probes: Watchdog::DEFAULT_MIN_PROBES,
             trips: 0,
         }
+    }
+
+    /// New watchdog against the named envelope (see [`envelope_named`])
+    /// for a structure of `num_cells` cells storing `n` keys. An
+    /// unrecognized name fails construction — never a silent fallback.
+    pub fn for_envelope(
+        name: &str,
+        num_cells: u64,
+        n: u64,
+        multiple: f64,
+    ) -> Result<Watchdog, UnknownEnvelope> {
+        Ok(Watchdog::new(envelope_named(name, num_cells, n)?, multiple))
     }
 
     /// Overrides the minimum probe count before checks can trip.
@@ -460,6 +509,36 @@ mod tests {
         let b = balls_in_bins_envelope(4096);
         assert!(b > 2.0 && b < 10.0, "{b}");
         assert!(balls_in_bins_envelope(1 << 20) > b);
+    }
+
+    #[test]
+    fn envelope_selection_by_name_covers_exactly_the_declared_set() {
+        // Every declared name resolves, and to the same value as its
+        // direct constructor — enumerated so adding an envelope without
+        // declaring its name (or vice versa) fails here.
+        let (s, n) = (122_880u64, 4096u64);
+        for &name in ENVELOPE_NAMES {
+            let v = envelope_named(name, s, n).expect(name);
+            let direct = match name {
+                "theorem3" => theorem3_envelope(s, n),
+                "balls-in-bins" => balls_in_bins_envelope(n),
+                "sqrt-n" => sqrt_envelope(n),
+                other => panic!("ENVELOPE_NAMES lists {other:?} but this test doesn't"),
+            };
+            assert!((v - direct).abs() < 1e-12, "{name}: {v} vs {direct}");
+            let wd = Watchdog::for_envelope(name, s, n, 2.0).expect(name);
+            assert!((wd.envelope() - direct).abs() < 1e-12, "{name}");
+        }
+        assert_eq!(ENVELOPE_NAMES.len(), 3);
+
+        // Unrecognized names are hard errors at construction, not silent
+        // balls-in-bins fallbacks.
+        for bad in ["", "ballsinbins", "theorem-3", "default"] {
+            let err = envelope_named(bad, s, n).unwrap_err();
+            assert_eq!(err, UnknownEnvelope(bad.to_string()));
+            assert!(err.to_string().contains("theorem3"), "{err}");
+            assert!(Watchdog::for_envelope(bad, s, n, 2.0).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -134,6 +134,34 @@ pub const HEATMAP_CELL_PROBES: &str = "lcds_heatmap_cell_probes";
 /// Contention-watchdog alarms raised (counter).
 pub const WATCHDOG_TRIPS_TOTAL: &str = "lcds_watchdog_trips_total";
 
+/// TCP connections accepted by the net server over its lifetime (counter).
+pub const NET_CONNECTIONS_TOTAL: &str = "lcds_net_connections_total";
+
+/// Currently open net-server connections (gauge).
+pub const NET_CONNECTIONS_ACTIVE: &str = "lcds_net_connections_active";
+
+/// Requests decoded by the net server, all opcodes (counter).
+pub const NET_REQUESTS_TOTAL: &str = "lcds_net_requests_total";
+
+/// Requests shed with a `Busy` response because the bounded worker queue
+/// was full (counter). A rising rate is the server telling its clients to
+/// back off instead of buffering unboundedly.
+pub const NET_SHED_TOTAL: &str = "lcds_net_shed_total";
+
+/// Depth of the bounded worker queue after the most recent enqueue
+/// (gauge).
+pub const NET_QUEUE_DEPTH: &str = "lcds_net_queue_depth";
+
+/// Request-frame bytes read off sockets by the net server (counter).
+pub const NET_BYTES_IN_TOTAL: &str = "lcds_net_bytes_in_total";
+
+/// Response-frame bytes written to sockets by the net server (counter).
+pub const NET_BYTES_OUT_TOTAL: &str = "lcds_net_bytes_out_total";
+
+/// Server-side request service time, labeled per opcode
+/// (`{op="bulk_contains"}` etc.; histogram family, nanoseconds).
+pub const NET_REQUEST_LATENCY: &str = "lcds_net_request_latency_ns";
+
 /// Event appended on every [`Span`](crate::Span) drop.
 pub const EVENT_SPAN: &str = "span";
 
@@ -149,6 +177,10 @@ pub const EVENT_WATCHDOG: &str = "contention_watchdog";
 
 /// Event appended per finished experiment by the `experiments` binary.
 pub const EVENT_EXPERIMENT_COMPLETE: &str = "experiment_complete";
+
+/// Event appended when the net server starts listening or finishes its
+/// graceful drain (`phase` = `"started"` / `"stopped"`).
+pub const EVENT_NET_SERVER: &str = "net_server";
 
 /// Every declared plain metric series (exact exported name, no labels).
 pub const ALL_METRICS: &[&str] = &[
@@ -182,6 +214,13 @@ pub const ALL_METRICS: &[&str] = &[
     HEATMAP_QUERIES_TOTAL,
     HEATMAP_PHI_HAT,
     WATCHDOG_TRIPS_TOTAL,
+    NET_CONNECTIONS_TOTAL,
+    NET_CONNECTIONS_ACTIVE,
+    NET_REQUESTS_TOTAL,
+    NET_SHED_TOTAL,
+    NET_QUEUE_DEPTH,
+    NET_BYTES_IN_TOTAL,
+    NET_BYTES_OUT_TOTAL,
 ];
 
 /// Declared span names. Spans export as `{name}_ns` histograms.
@@ -195,7 +234,8 @@ pub const ALL_SPANS: &[&str] = &[
 
 /// Declared labeled gauge/histogram families (exported name is
 /// `family{label="…"}`).
-pub const ALL_LABELED_FAMILIES: &[&str] = &[HOT_CELL_PROBES, HEATMAP_CELL_PROBES];
+pub const ALL_LABELED_FAMILIES: &[&str] =
+    &[HOT_CELL_PROBES, HEATMAP_CELL_PROBES, NET_REQUEST_LATENCY];
 
 /// Declared event names.
 pub const ALL_EVENTS: &[&str] = &[
@@ -204,6 +244,7 @@ pub const ALL_EVENTS: &[&str] = &[
     EVENT_HOT_CELL,
     EVENT_WATCHDOG,
     EVENT_EXPERIMENT_COMPLETE,
+    EVENT_NET_SERVER,
 ];
 
 /// Is `name` (as it appears in a registry snapshot, labels included) a
@@ -264,6 +305,29 @@ mod tests {
         ] {
             assert!(name.starts_with("lcds_build"), "{name}");
         }
+    }
+
+    #[test]
+    fn net_names_share_the_subsystem_prefix() {
+        for name in [
+            NET_CONNECTIONS_TOTAL,
+            NET_CONNECTIONS_ACTIVE,
+            NET_REQUESTS_TOTAL,
+            NET_SHED_TOTAL,
+            NET_QUEUE_DEPTH,
+            NET_BYTES_IN_TOTAL,
+            NET_BYTES_OUT_TOTAL,
+            NET_REQUEST_LATENCY,
+        ] {
+            assert!(name.starts_with("lcds_net_"), "{name}");
+        }
+        assert!(is_declared_metric(NET_SHED_TOTAL));
+        assert!(is_declared_metric(
+            "lcds_net_request_latency_ns{op=\"bulk_contains\"}"
+        ));
+        // The latency family is label-only: the bare name is not a series.
+        assert!(!is_declared_metric(NET_REQUEST_LATENCY));
+        assert!(is_declared_event(EVENT_NET_SERVER));
     }
 
     #[test]

@@ -185,6 +185,155 @@ pub fn bulk_count<D: CellProbeDict + Sync + ?Sized>(
     }
 }
 
+/// The dictionary shapes an [`Engine`] can serve.
+#[derive(Clone, Debug)]
+pub enum EngineDict {
+    /// One Theorem 3 dictionary (boxed: the dictionary struct is an
+    /// order of magnitude larger than the sharded handle, and an engine
+    /// should not carry the worst variant's size inline).
+    Single(Box<lcds_core::LowContentionDict>),
+    /// `K` dictionaries behind the splitter hash.
+    Sharded(crate::shard::ShardedLcd),
+}
+
+/// A long-lived serving handle: one dictionary (single or sharded), the
+/// query seed, and the engine config, with **non-consuming accessors** so
+/// front ends — the CLI run headers, the TCP server's `Stats` opcode —
+/// report shard/key/cell counts from the live structure instead of
+/// re-reading persist headers.
+///
+/// The offset variants ([`Engine::bulk_contains_at`],
+/// [`Engine::bulk_count_at`]) answer a *slice* of a larger logical query
+/// stream: key `i` of the slice draws its balancing randomness from
+/// global position `first_index + i`, so a stream split across frames,
+/// connections, or retries answers bit-identically to one unsplit
+/// [`Engine::bulk_contains`] call.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    dict: EngineDict,
+    seed: u64,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Engine over a single dictionary.
+    pub fn new(dict: lcds_core::LowContentionDict, seed: u64, cfg: EngineConfig) -> Engine {
+        Engine {
+            dict: EngineDict::Single(Box::new(dict)),
+            seed,
+            cfg,
+        }
+    }
+
+    /// Engine over a sharded dictionary.
+    pub fn sharded(dict: crate::shard::ShardedLcd, seed: u64, cfg: EngineConfig) -> Engine {
+        Engine {
+            dict: EngineDict::Sharded(dict),
+            seed,
+            cfg,
+        }
+    }
+
+    /// The served dictionary.
+    pub fn dict(&self) -> &EngineDict {
+        &self.dict
+    }
+
+    fn as_probe_dict(&self) -> &(dyn CellProbeDict + Sync) {
+        match &self.dict {
+            EngineDict::Single(d) => &**d,
+            EngineDict::Sharded(d) => d,
+        }
+    }
+
+    /// Number of shards (1 for a single dictionary).
+    pub fn num_shards(&self) -> usize {
+        match &self.dict {
+            EngineDict::Single(_) => 1,
+            EngineDict::Sharded(d) => d.num_shards(),
+        }
+    }
+
+    /// Stored keys across all shards.
+    pub fn key_count(&self) -> usize {
+        self.as_probe_dict().len()
+    }
+
+    /// Cells across all shards.
+    pub fn num_cells(&self) -> u64 {
+        self.as_probe_dict().num_cells()
+    }
+
+    /// Per-query probe bound (worst shard).
+    pub fn max_probes(&self) -> u32 {
+        self.as_probe_dict().max_probes()
+    }
+
+    /// The query seed every answer is deterministic in.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The engine tuning knobs.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Membership of one key at global stream position `index`.
+    pub fn contains_at(&self, key: u64, index: u64) -> bool {
+        let mut out = Vec::with_capacity(1);
+        self.as_probe_dict()
+            .contains_batch(&[key], index, self.seed, &mut NullSink, &mut out);
+        out[0]
+    }
+
+    /// Bulk membership of a whole query stream (global positions
+    /// `0..keys.len()`), on the shape-optimized path for each dictionary
+    /// kind.
+    pub fn bulk_contains(&self, keys: &[u64]) -> Vec<bool> {
+        match &self.dict {
+            EngineDict::Single(d) => bulk_contains(&**d, keys, self.seed, self.cfg),
+            EngineDict::Sharded(d) => {
+                record_batch_metrics(keys.len(), self.cfg.batch.max(1));
+                d.bulk_contains(keys, self.seed, self.cfg.parallel)
+            }
+        }
+    }
+
+    /// Bulk membership of the stream slice starting at global position
+    /// `first_index`. Equal, bit for bit, to the matching slice of a
+    /// whole-stream [`Engine::bulk_contains`] run.
+    pub fn bulk_contains_at(&self, keys: &[u64], first_index: u64) -> Vec<bool> {
+        if first_index == 0 {
+            return self.bulk_contains(keys);
+        }
+        let batch = self.cfg.batch.max(1);
+        record_batch_metrics(keys.len(), batch);
+        let d = self.as_probe_dict();
+        let mut out = Vec::with_capacity(keys.len());
+        for (c, chunk) in keys.chunks(batch).enumerate() {
+            run_observed_batch(
+                d,
+                chunk,
+                first_index + (c * batch) as u64,
+                self.seed,
+                0,
+                c as u64,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// Member count of the stream slice starting at `first_index`.
+    pub fn bulk_count_at(&self, keys: &[u64], first_index: u64) -> usize {
+        self.bulk_contains_at(keys, first_index)
+            .into_iter()
+            .filter(|&b| b)
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +418,66 @@ mod tests {
                 parallel,
             };
             assert_eq!(bulk_count(&d, &probes, 1, cfg), expected);
+        }
+    }
+
+    #[test]
+    fn engine_accessors_match_the_structure() {
+        let d = dict(700, 51);
+        let (cells, probes_bound, n) = (d.num_cells(), d.max_probes(), d.len());
+        let e = Engine::new(d, 5, EngineConfig::with_batch(128));
+        assert_eq!(e.num_shards(), 1);
+        assert_eq!(e.key_count(), n);
+        assert_eq!(e.num_cells(), cells);
+        assert_eq!(e.max_probes(), probes_bound);
+        assert_eq!(e.seed(), 5);
+        assert_eq!(e.config().batch, 128);
+
+        let keys = uniform_keys(1200, 52);
+        let s = crate::shard::ShardedLcd::build_seeded(&keys, 3, 9, 99).unwrap();
+        let cells = lcds_cellprobe::dict::CellProbeDict::num_cells(&s);
+        let e = Engine::sharded(s, 5, EngineConfig::default());
+        assert_eq!(e.num_shards(), 3);
+        assert_eq!(e.key_count(), 1200);
+        assert_eq!(e.num_cells(), cells);
+    }
+
+    #[test]
+    fn offset_slices_agree_with_the_whole_stream_run() {
+        // The wire protocol's determinism contract: however a query
+        // stream is sliced into (first_index, chunk) frames, the
+        // concatenated answers equal one unsplit bulk run — including
+        // slice boundaries that don't align with the engine batch.
+        let d = dict(900, 53);
+        let probes = mixed(&d, 900, 54);
+        let single = Engine::new(d, 7, EngineConfig::with_batch(64));
+
+        let keys = uniform_keys(900, 55);
+        let s = crate::shard::ShardedLcd::build_seeded(&keys, 2, 11, 77).unwrap();
+        let sharded_probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain(negative_pool(&keys, 900, 56))
+            .collect();
+        let sharded = Engine::sharded(s, 7, EngineConfig::with_batch(64));
+
+        for (e, probes) in [(&single, &probes), (&sharded, &sharded_probes)] {
+            let full = e.bulk_contains(probes);
+            assert_eq!(full.len(), probes.len());
+            for split in [0usize, 1, 63, 64, 65, 1000, probes.len()] {
+                let (a, b) = probes.split_at(split.min(probes.len()));
+                let mut stitched = e.bulk_contains_at(a, 0);
+                stitched.extend(e.bulk_contains_at(b, a.len() as u64));
+                assert_eq!(stitched, full, "split at {split}");
+            }
+            // Per-key and count variants see the same stream positions.
+            for (i, &x) in probes.iter().enumerate().step_by(97) {
+                assert_eq!(e.contains_at(x, i as u64), full[i], "key {x} at {i}");
+            }
+            assert_eq!(
+                e.bulk_count_at(&probes[100..], 100),
+                full[100..].iter().filter(|&&b| b).count()
+            );
         }
     }
 

@@ -30,5 +30,5 @@
 pub mod engine;
 pub mod shard;
 
-pub use engine::{bulk_contains, bulk_contains_seq, bulk_count, EngineConfig};
+pub use engine::{bulk_contains, bulk_contains_seq, bulk_count, Engine, EngineConfig, EngineDict};
 pub use shard::{ShardBuildError, ShardedLcd};

@@ -1,7 +1,7 @@
-//! The committed `BENCH_build.json` artifact must satisfy the schema its
-//! writer (`crates/bench/benches/build_throughput.rs`) enforces — so a
-//! hand-edited or drifted artifact fails tier-1 instead of silently
-//! poisoning EXPERIMENTS.md's provenance.
+//! The committed bench artifacts (`BENCH_build.json`, `BENCH_serve.json`)
+//! must satisfy the schemas their writers enforce — so a hand-edited or
+//! drifted artifact fails tier-1 instead of silently poisoning
+//! EXPERIMENTS.md's provenance.
 
 #[test]
 fn committed_bench_artifact_matches_the_declared_schema() {
@@ -24,4 +24,27 @@ fn committed_bench_artifact_matches_the_declared_schema() {
         rev == "unknown" || (rev.len() == 40 && rev.chars().all(|c| c.is_ascii_hexdigit())),
         "git_rev must be a full commit hash or the literal \"unknown\", got {rev:?}"
     );
+}
+
+#[test]
+fn committed_serve_artifact_matches_the_declared_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("BENCH_serve.json must be committed at the repo root: {e}"));
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).expect("BENCH_serve.json is valid JSON");
+    if let Err(e) = lcds_bench::summary::validate_serve_summary(&doc) {
+        panic!("BENCH_serve.json violates its schema: {e}");
+    }
+    assert_eq!(
+        doc["schema_version"],
+        lcds_bench::summary::BENCH_SCHEMA_VERSION
+    );
+    let rev = doc["git_rev"].as_str().unwrap();
+    assert!(
+        rev == "unknown" || (rev.len() == 40 && rev.chars().all(|c| c.is_ascii_hexdigit())),
+        "git_rev must be a full commit hash or the literal \"unknown\", got {rev:?}"
+    );
+    // The serve artifact must never masquerade as the build artifact.
+    assert!(lcds_bench::summary::validate_bench_summary(&doc).is_err());
 }

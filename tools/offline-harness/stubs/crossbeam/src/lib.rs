@@ -1,10 +1,208 @@
-//! Offline stand-in for `crossbeam::thread::scope`.
+//! Offline stand-in for the `crossbeam` subset this workspace uses:
+//! `thread::scope` and `channel::bounded`.
 //!
-//! Spawned closures run immediately on the calling thread, in spawn order,
-//! and `join` hands back the stored result. Probe-count accounting and
-//! stall detection in the simulators are schedule-agnostic, so sequential
-//! execution preserves their test semantics; only wall-clock parallelism
-//! is lost (which no test asserts).
+//! `thread`: spawned closures run immediately on the calling thread, in
+//! spawn order, and `join` hands back the stored result. Probe-count
+//! accounting and stall detection in the simulators are
+//! schedule-agnostic, so sequential execution preserves their test
+//! semantics; only wall-clock parallelism is lost (which no test
+//! asserts).
+//!
+//! `channel`: a REAL bounded MPMC queue (`Mutex<VecDeque>` + `Condvar`),
+//! not a sequential fake — `lcds-net` drives it from genuinely
+//! concurrent `std::thread` workers, so blocking `recv`, `try_send`
+//! full/disconnected signalling, and drop-based disconnect must behave
+//! exactly as in the real crate. Lock-free performance is the only
+//! fidelity loss.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error from [`Sender::try_send`], carrying the unsent value.
+    pub enum TrySendError<T> {
+        /// The queue is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    /// Error from [`Sender::send`] when every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error from [`Receiver::recv`] when the channel is drained and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a bounded MPMC channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Blocked receivers must wake to observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Non-blocking send: `Full` at capacity, `Disconnected` once the
+        /// last receiver is dropped; the value comes back either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.queue.len() >= inner.cap {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocking send: waits for queue space.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.0.not_full.wait(inner).unwrap();
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Blocked senders must wake to observe the disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive. Drains queued messages even after every
+        /// sender is dropped; errors only once empty AND disconnected —
+        /// that ordering is what lets worker pools drain on shutdown.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
 
 pub mod thread {
     use std::marker::PhantomData;

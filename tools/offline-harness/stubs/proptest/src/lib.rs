@@ -119,6 +119,33 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+        (
+            self.0.sample_value(g),
+            self.1.sample_value(g),
+            self.2.sample_value(g),
+            self.3.sample_value(g),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy
+    for (A, B, C, D, E)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+        (
+            self.0.sample_value(g),
+            self.1.sample_value(g),
+            self.2.sample_value(g),
+            self.3.sample_value(g),
+            self.4.sample_value(g),
+        )
+    }
+}
+
 /// `any::<T>()` — full-domain strategy.
 pub struct AnyStrategy<T>(pub std::marker::PhantomData<T>);
 

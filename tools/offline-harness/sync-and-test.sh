@@ -55,8 +55,9 @@ done
 # tables dropped (the overlay supplies its own workspace).
 cp -r "$REPO/src" "$OVERLAY/rootpkg/src"
 cp -r "$REPO/tests" "$OVERLAY/rootpkg/tests"
-# tests/bench_schema.rs validates the committed artifact in place.
+# tests/bench_schema.rs validates the committed artifacts in place.
 cp "$REPO/BENCH_build.json" "$OVERLAY/rootpkg/BENCH_build.json"
+cp "$REPO/BENCH_serve.json" "$OVERLAY/rootpkg/BENCH_serve.json"
 if [ -d "$REPO/examples" ]; then cp -r "$REPO/examples" "$OVERLAY/rootpkg/examples"; fi
 python3 - "$REPO/Cargo.toml" "$OVERLAY/rootpkg/Cargo.toml" <<'PY'
 import re, sys
