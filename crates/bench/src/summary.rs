@@ -69,7 +69,94 @@ fn validate_header<'v>(doc: &'v Value, bench_name: &str) -> Result<&'v Vec<Value
     if points.is_empty() && doc.get("status").and_then(Value::as_str).is_none() {
         return Err("empty `points` requires a `status` explaining why".into());
     }
+    // `mt_scaling` is an optional envelope section (both artifacts may
+    // carry one) but drifts loudly like everything else when present.
+    if let Some(mt) = doc.get("mt_scaling") {
+        validate_mt_scaling(mt).map_err(|e| format!("mt_scaling: {e}"))?;
+    }
     Ok(points)
+}
+
+fn req_f64(doc: &Value, key: &str) -> Result<f64, String> {
+    let v = req(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("`{key}` must be a number"))?;
+    if v.is_nan() {
+        return Err(format!("`{key}` must not be NaN"));
+    }
+    Ok(v)
+}
+
+/// Validates an `mt_scaling` section (written by `lcds bench-mt` via
+/// `lcds_mtbench::report::mt_scaling_json`).
+///
+/// Required: run provenance (`n`, `batch`, `ops_per_thread`, `seed`,
+/// `host_parallelism ≥ 1`, boolean `serialized`, `service_ns`,
+/// `stripes`) and a non-empty `rows` array where every row carries a
+/// non-empty `scheme` and `workload`, `threads ≥ 1`, `keys ≥ 1`, `hits`,
+/// a positive `wall_s` and `qps`, a positive `scaling_efficiency`,
+/// `phi_hat ∈ [0, 1]`, a non-negative `ratio`, `probes ≥ 1`,
+/// `contended_probes`/`gated_probes`, and `latency_ns.{p50,p90,p99}`.
+pub fn validate_mt_scaling(doc: &Value) -> Result<(), String> {
+    if !doc.is_object() {
+        return Err("must be a JSON object".into());
+    }
+    req_u64(doc, "n")?;
+    req_u64(doc, "batch")?;
+    req_u64(doc, "ops_per_thread")?;
+    req_u64(doc, "seed")?;
+    if req_u64(doc, "host_parallelism")? == 0 {
+        return Err("`host_parallelism` must be at least 1".into());
+    }
+    req(doc, "serialized")?
+        .as_bool()
+        .ok_or("`serialized` must be a boolean")?;
+    req_u64(doc, "service_ns")?;
+    req_u64(doc, "stripes")?;
+    let rows = req(doc, "rows")?
+        .as_array()
+        .ok_or("`rows` must be an array")?;
+    if rows.is_empty() {
+        return Err("`rows` must not be empty — a rowless run is a failed run".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("rows[{i}]: {e}");
+        req_str(row, "scheme").map_err(ctx)?;
+        req_str(row, "workload").map_err(ctx)?;
+        if req_u64(row, "threads").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `threads` must be at least 1"));
+        }
+        if req_u64(row, "keys").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `keys` must be positive"));
+        }
+        req_u64(row, "hits").map_err(ctx)?;
+        if req_f64(row, "wall_s").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `wall_s` must be positive"));
+        }
+        if req_f64(row, "qps").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `qps` must be positive"));
+        }
+        if req_f64(row, "scaling_efficiency").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `scaling_efficiency` must be positive"));
+        }
+        let phi = req_f64(row, "phi_hat").map_err(ctx)?;
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(format!("rows[{i}]: `phi_hat` must be in [0, 1], got {phi}"));
+        }
+        if req_f64(row, "ratio").map_err(ctx)? < 0.0 {
+            return Err(format!("rows[{i}]: `ratio` must be non-negative"));
+        }
+        if req_u64(row, "probes").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `probes` must be positive"));
+        }
+        req_u64(row, "contended_probes").map_err(ctx)?;
+        req_u64(row, "gated_probes").map_err(ctx)?;
+        let lat = req(row, "latency_ns").map_err(ctx)?;
+        for q in ["p50", "p90", "p99"] {
+            req_u64(lat, q).map_err(|e| format!("rows[{i}].latency_ns: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 /// Validates a `BENCH_build.json` document against the current schema.
@@ -249,6 +336,96 @@ mod tests {
         assert!(validate_bench_summary(&valid_serve())
             .unwrap_err()
             .contains("build_throughput"));
+    }
+
+    fn valid_mt_scaling() -> Value {
+        json!({
+            "n": 4096,
+            "batch": 64,
+            "ops_per_thread": 20_000,
+            "seed": 7,
+            "host_parallelism": 1,
+            "serialized": true,
+            "service_ns": 1000,
+            "stripes": 64,
+            "rows": [{
+                "scheme": "lcd",
+                "workload": "zipf(1.00)",
+                "threads": 2,
+                "keys": 40_000,
+                "hits": 40_000,
+                "wall_s": 0.41,
+                "qps": 97_000.0,
+                "scaling_efficiency": 0.93,
+                "phi_hat": 0.0009,
+                "ratio": 1.1,
+                "probes": 120_000,
+                "contended_probes": 812,
+                "gated_probes": 120_000,
+                "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 },
+            }],
+        })
+    }
+
+    #[test]
+    fn accepts_the_mt_scaling_shape_standalone_and_in_both_envelopes() {
+        validate_mt_scaling(&valid_mt_scaling()).unwrap();
+        let mut build = valid();
+        build["mt_scaling"] = valid_mt_scaling();
+        validate_bench_summary(&build).unwrap();
+        let mut serve = valid_serve();
+        serve["mt_scaling"] = valid_mt_scaling();
+        validate_serve_summary(&serve).unwrap();
+    }
+
+    #[test]
+    fn a_drifted_mt_scaling_section_fails_the_whole_artifact() {
+        let mut serve = valid_serve();
+        serve["mt_scaling"] = json!({"rows": []});
+        let err = validate_serve_summary(&serve).unwrap_err();
+        assert!(err.starts_with("mt_scaling:"), "unprefixed error {err:?}");
+    }
+
+    #[test]
+    fn rejects_drifted_mt_scaling_sections() {
+        let cases: Vec<(fn(&mut Value), &str)> = vec![
+            (|d| d["rows"] = json!([]), "rows"),
+            (|d| d["host_parallelism"] = json!(0), "host_parallelism"),
+            (|d| d["serialized"] = json!("yes"), "serialized"),
+            (|d| d["rows"][0]["threads"] = json!(0), "threads"),
+            (|d| d["rows"][0]["keys"] = json!(0), "keys"),
+            (|d| d["rows"][0]["qps"] = json!(-1.0), "qps"),
+            (|d| d["rows"][0]["wall_s"] = json!(0.0), "wall_s"),
+            (
+                |d| d["rows"][0]["scaling_efficiency"] = json!(0.0),
+                "scaling_efficiency",
+            ),
+            (|d| d["rows"][0]["phi_hat"] = json!(1.5), "phi_hat"),
+            (|d| d["rows"][0]["ratio"] = json!(-0.1), "ratio"),
+            (|d| d["rows"][0]["probes"] = json!(0), "probes"),
+            (|d| d["rows"][0]["scheme"] = json!(""), "scheme"),
+            (
+                |d| {
+                    d["rows"][0]["latency_ns"]
+                        .as_object_mut()
+                        .unwrap()
+                        .remove("p90");
+                },
+                "p90",
+            ),
+            (
+                |d| {
+                    d.as_object_mut().unwrap().remove("ops_per_thread");
+                },
+                "ops_per_thread",
+            ),
+        ];
+        for (mutate, want) in cases {
+            let mut doc = valid_mt_scaling();
+            mutate(&mut doc);
+            let err = validate_mt_scaling(&doc).unwrap_err();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
     }
 
     #[test]

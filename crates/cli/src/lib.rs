@@ -14,7 +14,7 @@
 //! lcds obs    [--random N] [--queries Q] [--zipf THETA] [--period P]
 //!             [--topk K] [--format table|prom|jsonl] [--seed S]
 //! lcds trace  [--random N] [--queries Q] [--batch B] [--sample P]
-//!             [--seed S] [--out FILE]
+//!             [--seed S] [--out FILE] [--net Q]
 //! lcds watch  [--scheme lcd|fks|fks-adversarial] [--random N]
 //!             [--queries Q] [--zipf THETA] [--multiple M]
 //!             [--interval I] [--topk K] [--format table|prom|jsonl]
@@ -28,6 +28,12 @@
 //!             [--connections C] [--duration SECS] [--batch B]
 //!             [--workload uniform|zipf|adversarial] [--zipf THETA]
 //!             [--format table|json]
+//! lcds bench-mt [--random N] [--threads T | T1,T2,...] [--quick]
+//!             [--schemes lcd,fks,fks-adversarial]
+//!             [--workloads uniform,zipf,adversarial] [--zipf THETA]
+//!             [--ops K] [--batch B] [--seed S] [--serialize on|off]
+//!             [--service-ns NS] [--stripes S] [--format table|json]
+//!             [--out BENCH.json] [--metrics-file FILE]
 //! ```
 //!
 //! Key files are plain text, one decimal `u64` per line (`#` comments
@@ -88,6 +94,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("watch") => cmd_watch(&args[1..], out),
         Some("serve-net") => cmd_serve_net(&args[1..], out),
         Some("loadgen") => cmd_loadgen(&args[1..], out),
+        Some("bench-mt") => cmd_bench_mt(&args[1..], out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{}", USAGE).map_err(io_err)?;
             Ok(())
@@ -119,8 +126,11 @@ count. --build-threads is accepted as an alias.
          [--period P] [--topk K] [--seed S]                 sampled probes, top-K
          [--format table|prom|jsonl]                        hot cells, exporters
   trace  [--random N] [--queries Q] [--batch B]             chrome://tracing JSON:
-         [--sample P] [--seed S] [--out FILE]               build spans + sampled
-                                                            query batches
+         [--sample P] [--seed S] [--out FILE] [--net Q]     build spans + sampled
+                                                            query batches; --net
+                                                            traces a whole TCP
+                                                            serve run (client →
+                                                            queue → worker)
   watch  [--scheme lcd|fks|fks-adversarial]                 live Φ-heatmap + the
          [--random N] [--queries Q] [--zipf THETA]          contention watchdog
          [--multiple M] [--interval I] [--topk K]           against the scheme's
@@ -133,7 +143,13 @@ count. --build-threads is accepted as an alias.
   loadgen --addr A (--random N | --keys FILE)               closed-loop load:
          [--seed S] [--connections C] [--duration SECS]     per-connection dists,
          [--batch B] [--workload uniform|zipf|adversarial]  throughput + latency
-         [--zipf THETA] [--format table|json]               quantiles";
+         [--zipf THETA] [--format table|json]               quantiles
+  bench-mt [--random N] [--threads T | T1,T2,...]           multi-threaded probe
+         [--quick] [--schemes ...] [--workloads ...]        harness: qps, scaling
+         [--zipf THETA] [--ops K] [--batch B] [--seed S]    efficiency, merged Φ̂,
+         [--serialize on|off] [--service-ns NS]             latency quantiles per
+         [--stripes S] [--format table|json]                (scheme × workload ×
+         [--out BENCH.json] [--metrics-file FILE]           threads) row";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("i/o error: {e}"))
@@ -574,6 +590,15 @@ fn cmd_trace(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
     let sample: u64 = num_flag(&flags, "sample", 8)?;
     let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
     let out_path = flag(&flags, "out");
+    if let Some(q) = flag(&flags, "net") {
+        let net_queries: usize = q
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --net: {e}")))?;
+        if net_queries == 0 {
+            return Err(CliError::usage("--net must be at least 1"));
+        }
+        return cmd_trace_net(n, net_queries, batch, sample, seed, out_path, out);
+    }
 
     // The observatory: metrics on (build spans need the registry), then
     // the trace recorder with the chosen 1-in-`sample` batch stride.
@@ -623,6 +648,97 @@ fn cmd_trace(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
                 records.len(),
                 spans,
                 records.len() - spans,
+            )
+            .map_err(io_err)?;
+        }
+        None => {
+            write!(out, "{json}").map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `trace --net`: traces one whole TCP serve run end to end. Build and
+/// engine-batch spans, the server's queue-wait and worker-service spans,
+/// and the client's request spans all land in a single chrome-trace
+/// export — joinable because request ids double as span ids.
+#[allow(clippy::too_many_arguments)]
+fn cmd_trace_net(
+    n: usize,
+    queries: usize,
+    batch: usize,
+    sample: u64,
+    seed: u64,
+    out_path: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    use lcds_net::client::Client;
+    use lcds_net::server::{serve, ServerConfig};
+    use std::sync::Arc;
+
+    lcds_obs::set_enabled(true);
+    lcds_obs::trace::set_sample_period(sample);
+    lcds_obs::trace::set_tracing(true);
+
+    let keys = uniform_keys(n, seed ^ 0x5EED);
+    let dict = lcds_core::par_build(&keys, seed)
+        .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
+    let negs = negative_pool(dict.keys(), queries / 2 + 1, seed ^ 0xB07D);
+    let probes: Vec<u64> = (0..queries)
+        .map(|i| {
+            if i % 2 == 0 {
+                dict.keys()[(i / 2) % dict.keys().len()]
+            } else {
+                negs[i / 2]
+            }
+        })
+        .collect();
+    let engine = Arc::new(lcds_serve::Engine::new(
+        dict,
+        seed,
+        lcds_serve::EngineConfig::with_batch(batch),
+    ));
+    let handle = serve("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .map_err(|e| CliError::runtime(format!("cannot bind loopback server: {e}")))?;
+
+    // One connection: request ids are allocated per connection, so a
+    // single client keeps span ids unique across the run, and one
+    // request per `batch`-sized chunk gives each chunk its own
+    // client/queue/service triple.
+    let mut hits = 0usize;
+    let mut client = Client::connect(handle.local_addr())
+        .map_err(|e| CliError::runtime(format!("connect: {e}")))?;
+    for chunk in probes.chunks(batch.max(1)) {
+        let bits = client
+            .bulk_contains(chunk, seed)
+            .map_err(|e| CliError::runtime(format!("bulk_contains over TCP: {e}")))?;
+        hits += bits.iter().filter(|&&b| b).count();
+    }
+    drop(client);
+    handle.shutdown();
+    lcds_obs::trace::set_tracing(false);
+
+    let records = lcds_obs::trace::global_traces().drain();
+    let count_spans = |name: &str| {
+        records
+            .iter()
+            .filter(|r| matches!(r, lcds_obs::trace::TraceRecord::Span(s) if s.name == name))
+            .count()
+    };
+    let client_spans = count_spans(lcds_obs::names::NET_SPAN_CLIENT);
+    let queue_spans = count_spans(lcds_obs::names::NET_SPAN_QUEUE);
+    let service_spans = count_spans(lcds_obs::names::NET_SPAN_SERVICE);
+    let json = lcds_obs::trace_export::to_chrome_trace_string(&records);
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            writeln!(
+                out,
+                "traced {} queries ({hits} present) over TCP: {} events \
+                 ({client_spans} client, {queue_spans} queue, {service_spans} service spans) → {path}",
+                probes.len(),
+                records.len(),
             )
             .map_err(io_err)?;
         }
@@ -1127,6 +1243,156 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             p99 as f64 / 1e3,
         )
         .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `bench-mt`: the multi-threaded probe harness. T reader threads hammer
+/// one shared in-memory table through the real serve engine, per scheme ×
+/// key mix × thread count; each row carries qps, scaling efficiency, the
+/// Φ̂ merged over all per-thread heatmap shards, and latency quantiles.
+fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use lcds_mtbench::{GateConfig, KeyMix, MtConfig, Scheme};
+
+    // `--quick` is a bare switch; strip it before the value-per-flag parser.
+    let mut args = args.to_vec();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let (pos, flags) = parse_flags(&args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let n: usize = num_flag(&flags, "random", if quick { 512 } else { 4096 })?;
+    let ops: u64 = num_flag(&flags, "ops", if quick { 2_000 } else { 20_000 })?;
+    let batch: usize = num_flag(&flags, "batch", 64)?;
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let theta: f64 = num_flag(&flags, "zipf", 1.0)?;
+    let threads = match flag(&flags, "threads") {
+        None => lcds_mtbench::thread_ladder(lcds_mtbench::host_parallelism()),
+        Some(list) if list.contains(',') => {
+            let mut ts = Vec::new();
+            for part in list.split(',') {
+                let t: usize = part
+                    .trim()
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad --threads entry {part:?}: {e}")))?;
+                ts.push(t);
+            }
+            ts
+        }
+        Some(one) => {
+            let t: usize = one
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --threads: {e}")))?;
+            lcds_mtbench::thread_ladder(t)
+        }
+    };
+    let schemes = flag(&flags, "schemes")
+        .unwrap_or("lcd,fks,fks-adversarial")
+        .split(',')
+        .map(|s| {
+            Scheme::parse(s.trim()).ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad scheme {s:?} (expected lcd, fks, or fks-adversarial)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let workloads = flag(&flags, "workloads")
+        .unwrap_or(if quick { "zipf" } else { "uniform,zipf" })
+        .split(',')
+        .map(|s| {
+            KeyMix::parse(s.trim(), theta).ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad workload {s:?} (expected uniform, zipf, or adversarial)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let service_ns: u64 = num_flag(&flags, "service-ns", 1_000)?;
+    let stripes: usize = num_flag(&flags, "stripes", 64)?;
+    let gate = match flag(&flags, "serialize").unwrap_or("on") {
+        "on" => Some(GateConfig {
+            service_ns,
+            stripes,
+        }),
+        "off" => None,
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --serialize {other:?} (expected on or off)"
+            )))
+        }
+    };
+    let format = flag(&flags, "format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(CliError::usage(format!(
+            "bad --format {format:?} (expected table or json)"
+        )));
+    }
+
+    let cfg = MtConfig {
+        n,
+        threads,
+        schemes,
+        workloads,
+        ops_per_thread: ops,
+        batch,
+        seed,
+        gate,
+    };
+    let report = lcds_mtbench::run(&cfg).map_err(|e| CliError::runtime(e))?;
+    let section = lcds_mtbench::report::mt_scaling_json(&report);
+    // Loud self-validation: a section the published schema rejects is a
+    // harness bug, not a caller mistake — fail the run instead of writing
+    // an artifact tier-1 would bounce.
+    lcds_bench::summary::validate_mt_scaling(&section).map_err(|e| {
+        CliError::runtime(format!(
+            "internal error: mt_scaling section violates its own schema ({e}); \
+             this is a harness bug, not a flag problem"
+        ))
+    })?;
+
+    if let Some(path) = flag(&flags, "out") {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+        let mut doc: serde_json::Value = serde_json::from_str(&body)
+            .map_err(|e| CliError::runtime(format!("{path}: not valid JSON: {e}")))?;
+        doc["mt_scaling"] = section.clone();
+        // Re-validate the whole merged artifact with the validator that
+        // matches its envelope, so a bad merge can never reach disk.
+        let check = match doc.get("bench").and_then(|b| b.as_str()) {
+            Some("serve_throughput") => lcds_bench::summary::validate_serve_summary(&doc),
+            Some("build_throughput") => lcds_bench::summary::validate_bench_summary(&doc),
+            other => Err(format!("unknown bench artifact kind {other:?}")),
+        };
+        check.map_err(|e| {
+            CliError::runtime(format!("{path}: merged artifact fails validation: {e}"))
+        })?;
+        let pretty = serde_json::to_string_pretty(&doc)
+            .map_err(|e| CliError::runtime(format!("cannot serialize {path}: {e}")))?;
+        std::fs::write(path, pretty + "\n")
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        writeln!(
+            out,
+            "merged mt_scaling ({} rows) into {path}",
+            report.rows.len()
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(path) = flag(&flags, "metrics-file") {
+        let text = lcds_obs::export::to_prometheus(&lcds_obs::global().snapshot());
+        std::fs::write(path, text)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
+    match format {
+        "json" => {
+            let pretty = serde_json::to_string_pretty(&section)
+                .map_err(|e| CliError::runtime(format!("cannot serialize section: {e}")))?;
+            writeln!(out, "{pretty}").map_err(io_err)?;
+        }
+        _ => {
+            write!(out, "{}", lcds_mtbench::report::render_table(&report)).map_err(io_err)?;
+        }
     }
     Ok(())
 }
@@ -1862,5 +2128,151 @@ mod tests {
         let err = read_key_file(&keys_path).unwrap_err();
         assert!(err.message.contains(":2:"), "{}", err.message);
         let _ = std::fs::remove_file(&keys_path);
+    }
+
+    #[test]
+    fn bench_mt_table_names_every_scheme_and_thread_count() {
+        let out = run_capture(&[
+            "bench-mt",
+            "--random",
+            "256",
+            "--ops",
+            "300",
+            "--batch",
+            "32",
+            "--threads",
+            "1,2",
+            "--schemes",
+            "lcd,fks-adversarial",
+            "--workloads",
+            "zipf",
+            "--serialize",
+            "off",
+        ])
+        .unwrap();
+        assert!(out.contains("lcd"), "{out}");
+        assert!(out.contains("fks-adversarial"), "{out}");
+        assert!(out.contains("zipf(1.00)"), "{out}");
+    }
+
+    #[test]
+    fn bench_mt_quick_shrinks_defaults_and_emits_valid_json() {
+        let out = run_capture(&[
+            "bench-mt",
+            "--quick",
+            "--random",
+            "256",
+            "--ops",
+            "200",
+            "--threads",
+            "1",
+            "--schemes",
+            "lcd",
+            "--service-ns",
+            "200",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let section: serde_json::Value = serde_json::from_str(&out).unwrap();
+        lcds_bench::summary::validate_mt_scaling(&section).unwrap();
+        // `--quick` with no --workloads runs the Zipf mix only.
+        let rows = section["rows"].as_array().unwrap();
+        assert!(rows
+            .iter()
+            .all(|r| r["workload"].as_str().unwrap().starts_with("zipf")));
+        // The gate was on (the default), so gated traffic must be counted.
+        assert!(section["serialized"].as_bool().unwrap());
+        assert!(rows.iter().all(|r| r["gated_probes"].as_u64().unwrap() > 0));
+    }
+
+    #[test]
+    fn bench_mt_rejects_bad_schemes_workloads_and_gates() {
+        for bad in [
+            &["bench-mt", "--schemes", "cuckoo"][..],
+            &["bench-mt", "--workloads", "storm"][..],
+            &["bench-mt", "--serialize", "maybe"][..],
+            &["bench-mt", "--format", "xml"][..],
+            &["bench-mt", "--threads", "2,1"][..], // must ascend (run() checks)
+        ] {
+            let err = run_capture(bad).unwrap_err();
+            assert!(err.code == 1 || err.code == 2, "{}", err.message);
+        }
+        // Unknown-scheme and unknown-workload are usage errors specifically.
+        assert_eq!(
+            run_capture(&["bench-mt", "--schemes", "cuckoo"])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn bench_mt_out_merges_a_validated_section_into_the_serve_artifact() {
+        // The committed serve artifact is the merge target fixture; it
+        // lives at the repo root (or the overlay's rootpkg/ mirror).
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let src = [
+            format!("{root}/BENCH_serve.json"),
+            format!("{root}/rootpkg/BENCH_serve.json"),
+        ]
+        .into_iter()
+        .find(|p| std::path::Path::new(p).exists())
+        .expect("committed BENCH_serve.json");
+        let out_path = tmp("bench-mt-merge.json");
+        std::fs::copy(&src, &out_path).unwrap();
+
+        let text = run_capture(&[
+            "bench-mt",
+            "--quick",
+            "--random",
+            "128",
+            "--ops",
+            "100",
+            "--threads",
+            "1",
+            "--schemes",
+            "lcd",
+            "--serialize",
+            "off",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("merged mt_scaling"), "{text}");
+
+        let merged: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        lcds_bench::summary::validate_serve_summary(&merged).unwrap();
+        lcds_bench::summary::validate_mt_scaling(&merged["mt_scaling"]).unwrap();
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn trace_net_exports_joinable_net_spans() {
+        let _guard = TRACING_GLOBALS.lock().unwrap();
+        let out = run_capture(&[
+            "trace",
+            "--random",
+            "128",
+            "--queries",
+            "64",
+            "--batch",
+            "32",
+            "--net",
+            "64",
+        ])
+        .unwrap();
+        // Chrome-trace JSON straight to stdout must name all three legs
+        // of the request path — client window, queue wait, worker service.
+        assert!(out.contains(lcds_obs::names::NET_SPAN_CLIENT), "{out}");
+        assert!(out.contains(lcds_obs::names::NET_SPAN_QUEUE), "{out}");
+        assert!(out.contains(lcds_obs::names::NET_SPAN_SERVICE), "{out}");
+    }
+
+    #[test]
+    fn trace_net_rejects_a_zero_query_count() {
+        let err = run_capture(&["trace", "--net", "0"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
     }
 }

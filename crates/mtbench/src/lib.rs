@@ -1,0 +1,645 @@
+//! **lcds-mtbench** — shared-memory multi-threaded probe benchmark
+//! harness (`lcds bench-mt`).
+//!
+//! T reader threads hammer one in-memory dictionary — LCD, FKS, or the
+//! adversarial FKS instance — through the real serving probe path
+//! ([`lcds_serve::bulk_contains_seq`]), under uniform, Zipf, or
+//! adversarial (point-mass) key mixes. Each run records, per
+//! `(scheme, workload, thread-count)` row:
+//!
+//! * **measured slowdown** — aggregate throughput and scaling efficiency
+//!   `qps(T) / (qps(1) · min(T, host_parallelism))`, plus per-batch
+//!   latency quantiles from per-thread [`LogHistogram`]s;
+//! * **estimated contention** — each thread sinks its probes into a
+//!   private [`Heatmap`] shard (identical sketch geometry across
+//!   threads), and the shards merge ([`Heatmap::merge`]) into one Φ̂ per
+//!   run, so every row pairs what the hardware *did* with what the
+//!   contention estimator *predicted*.
+//!
+//! Key streams are pure functions of `(seed, thread index)` through
+//! [`StreamRng`] lanes ([`keys_for_thread`]), so the same `--seed` and
+//! thread count replays byte-identical traffic — the property the
+//! determinism tests pin.
+//!
+//! # Serialized-memory mode
+//!
+//! Natural thread scaling on coherent read-shared memory (or on a
+//! single-core container) cannot separate a flat probe distribution from
+//! a hot one. The optional [`SerializedMemory`] gate (`--serialize`)
+//! restores the QRQW model's queued-read cost — see [`gate`] — so the
+//! measured efficiency cliff tracks Φ̂ on any host.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod report;
+
+pub use gate::SerializedMemory;
+
+use lcds_baselines::{FksConfig, FksDict};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::dist::{PointMass, QueryDistribution, Zipf};
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::CellId;
+use lcds_obs::metrics::HistogramSnapshot;
+use lcds_obs::{names, Heatmap, LogHistogram};
+use lcds_workloads::adversarial::adversarial_fks_keys;
+use lcds_workloads::rng::FirstWordRng;
+use lcds_workloads::{positive_dist, seeded, uniform_keys};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Lane namespace for per-thread key streams (decorrelated from every
+/// other `StreamRng` lane family used by the builders).
+const KEY_LANE: u64 = 0x7D1A_BE4C;
+
+/// Heatmap-shard seed derivation salt: all shards of one run share it, so
+/// their sketch geometry matches and [`Heatmap::merge`] is exact.
+const HEATMAP_SALT: u64 = 0x11EA7_5A17;
+
+/// The dictionary schemes the harness can benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// The paper's low-contention dictionary (§2, Theorem 3).
+    Lcd,
+    /// FKS with linear seed replication on a random key set.
+    Fks,
+    /// FKS on the crafted instance that packs `⌊√n⌋` keys into bucket 0.
+    FksAdversarial,
+}
+
+impl Scheme {
+    /// Parses the CLI spelling (`lcd`, `fks`, `fks-adversarial`).
+    pub fn parse(s: &str) -> Option<Scheme> {
+        match s {
+            "lcd" => Some(Scheme::Lcd),
+            "fks" => Some(Scheme::Fks),
+            "fks-adversarial" => Some(Scheme::FksAdversarial),
+            _ => None,
+        }
+    }
+
+    /// The stable row label (same spelling [`Scheme::parse`] accepts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Lcd => "lcd",
+            Scheme::Fks => "fks",
+            Scheme::FksAdversarial => "fks-adversarial",
+        }
+    }
+}
+
+/// The query key mixes the harness can offer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyMix {
+    /// Uniform over the stored keys.
+    Uniform,
+    /// Zipf(θ) over the stored keys **in stored order** — for the
+    /// adversarial FKS instance the `⌊√n⌋` bucket-0 colliders come
+    /// first, so the head of the Zipf puts its mass exactly where the
+    /// scheme is weakest. The same spec applied to LCD/FKS ranks their
+    /// (random) stored keys, giving every scheme the same skew profile.
+    Zipf(f64),
+    /// Every query is the first stored key (point mass) — the maximal
+    /// single-cell stress for any scheme with query-independent layouts.
+    Adversarial,
+}
+
+impl KeyMix {
+    /// Parses the CLI spelling (`uniform`, `zipf`, `adversarial`); `zipf`
+    /// takes its θ from the separate `--zipf` flag, passed here.
+    pub fn parse(s: &str, theta: f64) -> Option<KeyMix> {
+        match s {
+            "uniform" => Some(KeyMix::Uniform),
+            "zipf" => Some(KeyMix::Zipf(theta)),
+            "adversarial" => Some(KeyMix::Adversarial),
+            _ => None,
+        }
+    }
+
+    /// The stable row label (e.g. `zipf(1.00)`).
+    pub fn label(&self) -> String {
+        match self {
+            KeyMix::Uniform => "uniform".to_string(),
+            KeyMix::Zipf(theta) => format!("zipf({theta:.2})"),
+            KeyMix::Adversarial => "adversarial".to_string(),
+        }
+    }
+}
+
+/// Configuration for the optional serialized-memory gate.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Busy-waited hold per probe, nanoseconds.
+    pub service_ns: u64,
+    /// Ticket-gate stripes.
+    pub stripes: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            service_ns: 1_000,
+            stripes: SerializedMemory::DEFAULT_STRIPES,
+        }
+    }
+}
+
+/// One full bench-mt invocation: the cartesian product
+/// `schemes × workloads × threads`, one dictionary build per scheme.
+#[derive(Clone, Debug)]
+pub struct MtConfig {
+    /// Stored keys per dictionary.
+    pub n: usize,
+    /// Thread counts to sweep (ascending; the first is the efficiency
+    /// baseline — conventionally 1).
+    pub threads: Vec<usize>,
+    /// Schemes to benchmark.
+    pub schemes: Vec<Scheme>,
+    /// Key mixes to offer.
+    pub workloads: Vec<KeyMix>,
+    /// Queries per thread per run.
+    pub ops_per_thread: u64,
+    /// Batch size handed to the serving engine.
+    pub batch: usize,
+    /// Master seed: builds, key streams, and sketch geometry all derive
+    /// from it.
+    pub seed: u64,
+    /// `Some` enables the serialized-memory gate.
+    pub gate: Option<GateConfig>,
+}
+
+impl Default for MtConfig {
+    fn default() -> MtConfig {
+        MtConfig {
+            n: 4096,
+            threads: thread_ladder(host_parallelism()),
+            schemes: vec![Scheme::Lcd, Scheme::Fks, Scheme::FksAdversarial],
+            workloads: vec![KeyMix::Uniform, KeyMix::Zipf(1.0)],
+            ops_per_thread: 20_000,
+            batch: 64,
+            seed: 0xC0FFEE,
+            gate: None,
+        }
+    }
+}
+
+/// One measured `(scheme, workload, threads)` row.
+#[derive(Clone, Debug)]
+pub struct MtRow {
+    /// Scheme label (`lcd` / `fks` / `fks-adversarial`).
+    pub scheme: String,
+    /// Workload label (`uniform` / `zipf(θ)` / `adversarial`).
+    pub workload: String,
+    /// Reader threads.
+    pub threads: usize,
+    /// Total keys served (`threads × ops_per_thread`).
+    pub keys: u64,
+    /// Positive answers (all mixes here are positive, so normally
+    /// `== keys` — a mismatch means a correctness bug, not noise).
+    pub hits: u64,
+    /// Wall time of the measured region (barrier release → last join).
+    pub wall: Duration,
+    /// Aggregate throughput, keys per second.
+    pub qps: f64,
+    /// `qps(T) / (qps(base) · min(T, host_parallelism))`, base-normalized
+    /// (≈ 1.0 for perfect scaling, < 1 under contention).
+    pub scaling_efficiency: f64,
+    /// Merged hottest-cell probe share Φ̂ across all thread shards.
+    pub phi_hat: f64,
+    /// `Φ̂ · num_cells` — the scheme-size-normalized contention ratio.
+    pub ratio: f64,
+    /// Probes absorbed by the merged heatmap.
+    pub probes: u64,
+    /// Gate acquisitions that had to queue (0 when the gate is off).
+    pub contended_probes: u64,
+    /// Total gate acquisitions (0 when the gate is off).
+    pub gated_probes: u64,
+    /// Merged per-batch serving latency across threads.
+    pub latency: HistogramSnapshot,
+}
+
+/// A completed sweep: the rows plus the provenance needed to reproduce
+/// and schema-validate them.
+#[derive(Clone, Debug)]
+pub struct MtReport {
+    /// Measured rows, in sweep order.
+    pub rows: Vec<MtRow>,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// The configuration that produced the rows.
+    pub config: MtConfig,
+}
+
+/// The host's available parallelism (≥ 1).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// The doubling thread ladder `1, 2, 4, …, max` (always ends at `max`,
+/// even off-ladder: `thread_ladder(6)` is `[1, 2, 4, 6]`).
+pub fn thread_ladder(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut v = Vec::new();
+    let mut t = 1;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    v.push(max);
+    v
+}
+
+/// Builds the scheme's dictionary and returns it with its stored keys.
+/// Same construction idiom as `lcds watch`: the adversarial instance pins
+/// the FKS builder to the adversary's top-level seed via [`FirstWordRng`].
+pub fn build_dict(
+    scheme: Scheme,
+    n: usize,
+    seed: u64,
+) -> Result<(Box<dyn CellProbeDict + Send + Sync>, Vec<u64>), String> {
+    match scheme {
+        Scheme::Lcd => {
+            let stored = uniform_keys(n, seed ^ 0x5EED);
+            let d = lcds_core::build(&stored, &mut seeded(seed))
+                .map_err(|e| format!("lcd build failed: {e}"))?;
+            Ok((Box::new(d), stored))
+        }
+        Scheme::Fks => {
+            let stored = uniform_keys(n, seed ^ 0x5EED);
+            let d = FksDict::build_default(&stored, &mut seeded(seed))
+                .map_err(|e| format!("fks build failed: {e}"))?;
+            Ok((Box::new(d), stored))
+        }
+        Scheme::FksAdversarial => {
+            let stored = adversarial_fks_keys(n.max(4), seed);
+            let mut rng = FirstWordRng::new(seed, seeded(seed ^ 99));
+            let d = FksDict::build(&stored, FksConfig::default(), &mut rng)
+                .map_err(|e| format!("adversarial fks build failed: {e}"))?;
+            Ok((Box::new(d), stored))
+        }
+    }
+}
+
+/// The deterministic key stream for one thread: `ops` draws from `mix`
+/// over `stored`, sampled by the [`StreamRng`] lane addressed by
+/// `(seed, thread)`. A pure function — same arguments, same vector —
+/// independent of thread count, scheduling, and batch size; this is the
+/// reproducibility contract `tests/determinism.rs` pins.
+pub fn keys_for_thread(
+    stored: &[u64],
+    mix: KeyMix,
+    seed: u64,
+    thread: usize,
+    ops: u64,
+) -> Vec<u64> {
+    let mut rng = StreamRng::for_lane(seed, KEY_LANE ^ thread as u64, 0);
+    let dist: Box<dyn QueryDistribution> = match mix {
+        KeyMix::Uniform => Box::new(positive_dist(stored)),
+        KeyMix::Zipf(theta) => Box::new(Zipf::new(stored.to_vec(), theta)),
+        KeyMix::Adversarial => Box::new(PointMass(stored[0])),
+    };
+    (0..ops).map(|_| dist.sample(&mut rng)).collect()
+}
+
+/// Per-thread probe sink: a private heatmap shard, plus the shared
+/// serialized-memory gate when enabled. The gate access happens on every
+/// probe unconditionally (it is the physics under test, not telemetry).
+struct ShardSink<'a> {
+    heatmap: &'a mut Heatmap,
+    gate: Option<&'a SerializedMemory>,
+}
+
+impl ProbeSink for ShardSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        if let Some(gate) = self.gate {
+            gate.access(cell);
+        }
+        self.heatmap.probe(cell);
+    }
+
+    fn begin_query(&mut self) {
+        self.heatmap.begin_query();
+    }
+}
+
+/// Raw per-run measurements before efficiency normalization.
+struct RawRun {
+    wall: Duration,
+    hits: u64,
+    heatmap: Heatmap,
+    latency: LogHistogram,
+    contended: u64,
+    gated: u64,
+}
+
+/// Runs one `(dict, mix, threads)` cell of the sweep.
+fn run_one(
+    dict: &(dyn CellProbeDict + Send + Sync),
+    stored: &[u64],
+    mix: KeyMix,
+    threads: usize,
+    cfg: &MtConfig,
+) -> RawRun {
+    let gate = cfg
+        .gate
+        .map(|g| SerializedMemory::new(g.stripes, g.service_ns));
+    let hm_seed = cfg.seed ^ HEATMAP_SALT;
+    let key_vecs: Vec<Vec<u64>> = (0..threads)
+        .map(|t| keys_for_thread(stored, mix, cfg.seed, t, cfg.ops_per_thread))
+        .collect();
+
+    let barrier = Barrier::new(threads + 1);
+    let batch = cfg.batch.max(1);
+    let (wall, per_thread) = std::thread::scope(|s| {
+        let handles: Vec<_> = key_vecs
+            .iter()
+            .map(|keys| {
+                let barrier = &barrier;
+                let gate = gate.as_ref();
+                s.spawn(move || {
+                    let mut heatmap = Heatmap::new(
+                        Heatmap::DEFAULT_WIDTH,
+                        Heatmap::DEFAULT_DEPTH,
+                        Heatmap::DEFAULT_TOPK,
+                        hm_seed,
+                    );
+                    let latency = LogHistogram::new();
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let mut hits = 0u64;
+                    for chunk in keys.chunks(batch) {
+                        let mut sink = ShardSink {
+                            heatmap: &mut heatmap,
+                            gate,
+                        };
+                        let b0 = Instant::now();
+                        let answers =
+                            lcds_serve::bulk_contains_seq(dict, chunk, cfg.seed, batch, &mut sink);
+                        latency.record(b0.elapsed().as_nanos() as u64);
+                        hits += answers.iter().filter(|&&a| a).count() as u64;
+                    }
+                    let elapsed = t0.elapsed();
+                    (heatmap, latency, hits, elapsed)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let per_thread: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread panicked"))
+            .collect();
+        (t0.elapsed(), per_thread)
+    });
+
+    let mut merged: Option<Heatmap> = None;
+    let latency = LogHistogram::new();
+    let mut hits = 0u64;
+    for (shard, thread_latency, thread_hits, thread_elapsed) in per_thread {
+        match merged.as_mut() {
+            None => merged = Some(shard),
+            Some(m) => m
+                .merge(&shard)
+                .expect("shards share geometry by construction"),
+        }
+        latency.merge(&thread_latency);
+        hits += thread_hits;
+        if lcds_obs::enabled() {
+            lcds_obs::global()
+                .histogram(names::MTBENCH_THREAD_NS)
+                .record(thread_elapsed.as_nanos() as u64);
+        }
+    }
+    RawRun {
+        wall,
+        hits,
+        heatmap: merged.expect("threads ≥ 1"),
+        latency,
+        contended: gate.as_ref().map_or(0, |g| g.contended()),
+        gated: gate.as_ref().map_or(0, |g| g.acquisitions()),
+    }
+}
+
+/// Runs the full sweep. Builds each scheme's dictionary once, then for
+/// every workload walks the thread ladder, normalizing scaling
+/// efficiency against the sweep's first (smallest) thread count.
+///
+/// # Errors
+/// Fails on an empty `threads`/`schemes`/`workloads` list, a thread list
+/// that is not strictly ascending, or a dictionary build failure.
+pub fn run(cfg: &MtConfig) -> Result<MtReport, String> {
+    if cfg.threads.is_empty() || cfg.schemes.is_empty() || cfg.workloads.is_empty() {
+        return Err("threads, schemes, and workloads must all be non-empty".into());
+    }
+    if !cfg.threads.windows(2).all(|w| w[0] < w[1]) {
+        return Err(format!(
+            "thread counts must be strictly ascending, got {:?}",
+            cfg.threads
+        ));
+    }
+    if cfg.n == 0 || cfg.ops_per_thread == 0 {
+        return Err("n and ops-per-thread must be positive".into());
+    }
+    let hp = host_parallelism();
+    let cap = |t: usize| t.min(hp) as f64;
+    let mut rows = Vec::new();
+    for &scheme in &cfg.schemes {
+        let (dict, stored) = build_dict(scheme, cfg.n, cfg.seed)?;
+        let num_cells = dict.num_cells();
+        for &mix in &cfg.workloads {
+            // (threads, qps) of the smallest thread count: the
+            // efficiency baseline for this (scheme, workload) column.
+            let mut base: Option<(usize, f64)> = None;
+            for &threads in &cfg.threads {
+                let raw = run_one(dict.as_ref(), &stored, mix, threads, cfg);
+                let keys = threads as u64 * cfg.ops_per_thread;
+                let qps = keys as f64 / raw.wall.as_secs_f64().max(1e-9);
+                let (base_t, base_qps) = *base.get_or_insert((threads, qps));
+                let scaling_efficiency = (qps / cap(threads)) / (base_qps / cap(base_t));
+                let row = MtRow {
+                    scheme: scheme.label().to_string(),
+                    workload: mix.label(),
+                    threads,
+                    keys,
+                    hits: raw.hits,
+                    wall: raw.wall,
+                    qps,
+                    scaling_efficiency,
+                    phi_hat: raw.heatmap.phi_hat(),
+                    ratio: raw.heatmap.ratio(num_cells),
+                    probes: raw.heatmap.probes(),
+                    contended_probes: raw.contended,
+                    gated_probes: raw.gated,
+                    latency: raw.latency.snapshot(),
+                };
+                record_row_telemetry(&row);
+                rows.push(row);
+            }
+        }
+    }
+    if lcds_obs::enabled() {
+        lcds_obs::global().counter(names::MTBENCH_RUNS_TOTAL).inc();
+    }
+    Ok(MtReport {
+        rows,
+        host_parallelism: hp,
+        config: cfg.clone(),
+    })
+}
+
+/// Emits the per-row metrics and structured event (no-ops when global
+/// telemetry is disabled).
+fn record_row_telemetry(row: &MtRow) {
+    if !lcds_obs::enabled() {
+        return;
+    }
+    let registry = lcds_obs::global();
+    registry.gauge(names::MTBENCH_QPS).set(row.qps);
+    registry.gauge(names::MTBENCH_PHI_HAT).set(row.phi_hat);
+    registry
+        .counter(names::MTBENCH_CONTENDED_TOTAL)
+        .add(row.contended_probes);
+    registry
+        .counter(names::MTBENCH_GATED_TOTAL)
+        .add(row.gated_probes);
+    // Fold the run's merged per-batch latency into the global histogram.
+    // Buckets line up exactly (same log-bucket layout), so replaying one
+    // representative value per recorded batch reproduces the shape.
+    let batch_latency = registry.histogram(names::MTBENCH_BATCH_LATENCY);
+    for (i, &count) in row.latency.buckets.iter().enumerate() {
+        let edge = lcds_obs::metrics::bucket_upper_edge(i);
+        for _ in 0..count {
+            batch_latency.record(edge);
+        }
+    }
+    lcds_obs::emit(
+        names::EVENT_MTBENCH_ROW,
+        serde_json::json!({
+            "scheme": row.scheme.clone(),
+            "workload": row.workload.clone(),
+            "threads": row.threads,
+            "keys": row.keys,
+            "qps": row.qps,
+            "scaling_efficiency": row.scaling_efficiency,
+            "phi_hat": row.phi_hat,
+            "ratio": row.ratio,
+            "contended_probes": row.contended_probes,
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ladder_doubles_and_ends_at_max() {
+        assert_eq!(thread_ladder(1), vec![1]);
+        assert_eq!(thread_ladder(2), vec![1, 2]);
+        assert_eq!(thread_ladder(4), vec![1, 2, 4]);
+        assert_eq!(thread_ladder(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_ladder(0), vec![1]);
+    }
+
+    #[test]
+    fn scheme_and_mix_labels_round_trip() {
+        for s in [Scheme::Lcd, Scheme::Fks, Scheme::FksAdversarial] {
+            assert_eq!(Scheme::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scheme::parse("nope"), None);
+        assert_eq!(KeyMix::parse("uniform", 1.0), Some(KeyMix::Uniform));
+        assert_eq!(KeyMix::parse("zipf", 1.5), Some(KeyMix::Zipf(1.5)));
+        assert_eq!(KeyMix::parse("adversarial", 0.0), Some(KeyMix::Adversarial));
+        assert_eq!(KeyMix::parse("point", 0.0), None);
+        assert_eq!(KeyMix::Zipf(1.0).label(), "zipf(1.00)");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_sweeps() {
+        let mut cfg = MtConfig {
+            n: 64,
+            threads: vec![],
+            ops_per_thread: 10,
+            ..MtConfig::default()
+        };
+        assert!(run(&cfg).is_err(), "empty threads");
+        cfg.threads = vec![2, 1];
+        assert!(run(&cfg).is_err(), "descending threads");
+        cfg.threads = vec![1, 1];
+        assert!(run(&cfg).is_err(), "duplicate threads");
+    }
+
+    #[test]
+    fn a_tiny_sweep_produces_sane_rows() {
+        let cfg = MtConfig {
+            n: 256,
+            threads: vec![1, 2],
+            schemes: vec![Scheme::Lcd, Scheme::FksAdversarial],
+            workloads: vec![KeyMix::Zipf(1.0)],
+            ops_per_thread: 400,
+            batch: 32,
+            seed: 7,
+            gate: None,
+        };
+        let report = run(&cfg).expect("sweep runs");
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.host_parallelism >= 1);
+        for row in &report.rows {
+            assert_eq!(row.keys, row.threads as u64 * 400);
+            // All mixes are positive: every query must hit.
+            assert_eq!(row.hits, row.keys, "{}/{}", row.scheme, row.workload);
+            assert!(row.qps > 0.0);
+            assert!(row.scaling_efficiency > 0.0);
+            assert!((0.0..=1.0).contains(&row.phi_hat), "Φ̂ = {}", row.phi_hat);
+            assert!(row.probes > 0);
+            // Chunking is per thread: each thread records ⌈ops/batch⌉.
+            assert_eq!(row.latency.count, row.threads as u64 * 400u64.div_ceil(32));
+            assert_eq!(row.contended_probes, 0, "gate off ⇒ no contention");
+        }
+        // Baseline rows (threads = 1) have efficiency exactly 1.
+        for row in report.rows.iter().filter(|r| r.threads == 1) {
+            assert!((row.scaling_efficiency - 1.0).abs() < 1e-12);
+        }
+        // The adversarial FKS descriptor cell under a stored-order Zipf
+        // must read hotter than LCD's flat layout.
+        let phi = |scheme: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.scheme == scheme && r.threads == 2)
+                .unwrap()
+                .phi_hat
+        };
+        assert!(
+            phi("fks-adversarial") > 2.0 * phi("lcd"),
+            "adversarial Φ̂ {} vs lcd Φ̂ {}",
+            phi("fks-adversarial"),
+            phi("lcd")
+        );
+    }
+
+    #[test]
+    fn gated_runs_count_gate_traffic() {
+        let cfg = MtConfig {
+            n: 64,
+            threads: vec![1],
+            schemes: vec![Scheme::Fks],
+            workloads: vec![KeyMix::Adversarial],
+            ops_per_thread: 50,
+            batch: 16,
+            seed: 3,
+            gate: Some(GateConfig {
+                service_ns: 100,
+                stripes: 8,
+            }),
+        };
+        let report = run(&cfg).expect("sweep runs");
+        let row = &report.rows[0];
+        assert_eq!(row.gated_probes, row.probes, "every probe passes the gate");
+        assert_eq!(row.contended_probes, 0, "single thread cannot contend");
+    }
+}

@@ -1,0 +1,167 @@
+//! Report rendering: the `mt_scaling` JSON section consumed by
+//! `lcds_bench::summary::validate_mt_scaling`, and a human-readable
+//! table for the terminal.
+
+use crate::{MtReport, MtRow};
+use serde_json::{json, Value};
+
+/// The `mt_scaling` JSON object for `BENCH_serve.json` (and
+/// `BENCH_build.json`). Schema — every field is load-bearing for the
+/// bench summary validator:
+///
+/// ```json
+/// {
+///   "n": 4096, "batch": 64, "ops_per_thread": 20000, "seed": 12648430,
+///   "host_parallelism": 1,
+///   "serialized": true, "service_ns": 1000, "stripes": 64,
+///   "rows": [ { "scheme": "lcd", "workload": "zipf(1.00)", "threads": 2,
+///               "keys": 40000, "hits": 40000, "wall_s": 0.41,
+///               "qps": 97000.0, "scaling_efficiency": 0.93,
+///               "phi_hat": 0.0009, "ratio": 1.1, "probes": 120000,
+///               "contended_probes": 812, "gated_probes": 120000,
+///               "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 } } ]
+/// }
+/// ```
+pub fn mt_scaling_json(report: &MtReport) -> Value {
+    json!({
+        "n": report.config.n,
+        "batch": report.config.batch,
+        "ops_per_thread": report.config.ops_per_thread,
+        "seed": report.config.seed,
+        "host_parallelism": report.host_parallelism,
+        "serialized": report.config.gate.is_some(),
+        "service_ns": report.config.gate.map_or(0, |g| g.service_ns),
+        "stripes": report.config.gate.map_or(0, |g| g.stripes),
+        "rows": report.rows.iter().map(row_json).collect::<Vec<_>>(),
+    })
+}
+
+fn row_json(row: &MtRow) -> Value {
+    json!({
+        "scheme": row.scheme.clone(),
+        "workload": row.workload.clone(),
+        "threads": row.threads,
+        "keys": row.keys,
+        "hits": row.hits,
+        "wall_s": row.wall.as_secs_f64(),
+        "qps": row.qps,
+        "scaling_efficiency": row.scaling_efficiency,
+        "phi_hat": row.phi_hat,
+        "ratio": row.ratio,
+        "probes": row.probes,
+        "contended_probes": row.contended_probes,
+        "gated_probes": row.gated_probes,
+        "latency_ns": {
+            "p50": row.latency.quantile(0.50),
+            "p90": row.latency.quantile(0.90),
+            "p99": row.latency.quantile(0.99),
+        },
+    })
+}
+
+/// Fixed-width terminal table, one line per row plus a provenance header.
+pub fn render_table(report: &MtReport) -> String {
+    let mut out = String::new();
+    let gate = match report.config.gate {
+        Some(g) => format!(
+            "serialized memory on (service {} ns, {} stripes)",
+            g.service_ns, g.stripes
+        ),
+        None => "serialized memory off".to_string(),
+    };
+    out.push_str(&format!(
+        "bench-mt: n = {}, ops/thread = {}, batch = {}, seed = {}, \
+         host parallelism = {}, {}\n",
+        report.config.n,
+        report.config.ops_per_thread,
+        report.config.batch,
+        report.config.seed,
+        report.host_parallelism,
+        gate,
+    ));
+    out.push_str(&format!(
+        "{:<16} {:<12} {:>3}  {:>12} {:>6}  {:>9} {:>7}  {:>10} {:>10} {:>10}  {:>9}\n",
+        "scheme",
+        "workload",
+        "T",
+        "qps",
+        "eff",
+        "phi_hat",
+        "ratio",
+        "p50_ns",
+        "p90_ns",
+        "p99_ns",
+        "contended",
+    ));
+    for row in &report.rows {
+        out.push_str(&format!(
+            "{:<16} {:<12} {:>3}  {:>12.0} {:>6.3}  {:>9.5} {:>7.2}  {:>10} {:>10} {:>10}  {:>9}\n",
+            row.scheme,
+            row.workload,
+            row.threads,
+            row.qps,
+            row.scaling_efficiency,
+            row.phi_hat,
+            row.ratio,
+            row.latency.quantile(0.50),
+            row.latency.quantile(0.90),
+            row.latency.quantile(0.99),
+            row.contended_probes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeyMix, MtConfig, Scheme};
+
+    fn tiny_report() -> MtReport {
+        crate::run(&MtConfig {
+            n: 64,
+            threads: vec![1, 2],
+            schemes: vec![Scheme::Lcd],
+            workloads: vec![KeyMix::Uniform],
+            ops_per_thread: 100,
+            batch: 16,
+            seed: 11,
+            gate: None,
+        })
+        .expect("tiny sweep runs")
+    }
+
+    #[test]
+    fn json_section_has_the_validated_shape() {
+        let report = tiny_report();
+        let v = mt_scaling_json(&report);
+        assert_eq!(v["n"], 64);
+        assert_eq!(v["serialized"], false);
+        assert_eq!(v["service_ns"], 0);
+        assert!(v["host_parallelism"].as_u64().unwrap() >= 1);
+        let rows = v["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row["scheme"], "lcd");
+            assert_eq!(row["workload"], "uniform");
+            assert!(row["threads"].as_u64().unwrap() >= 1);
+            assert!(row["qps"].as_f64().unwrap() > 0.0);
+            assert!(row["scaling_efficiency"].as_f64().unwrap() > 0.0);
+            assert!(row["phi_hat"].as_f64().unwrap() >= 0.0);
+            assert!(row["wall_s"].as_f64().unwrap() > 0.0);
+            let lat = &row["latency_ns"];
+            for q in ["p50", "p90", "p99"] {
+                assert!(lat[q].as_u64().is_some(), "missing latency quantile {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_mentions_every_row_and_the_gate_state() {
+        let report = tiny_report();
+        let table = render_table(&report);
+        assert!(table.contains("serialized memory off"));
+        assert!(table.contains("phi_hat"));
+        assert_eq!(table.lines().count(), 2 + report.rows.len());
+    }
+}

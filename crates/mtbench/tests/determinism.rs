@@ -1,0 +1,77 @@
+//! Determinism contract: the per-thread key streams — and therefore the
+//! whole benchmark's traffic — are pure functions of `(seed, thread)`.
+//! Same `--seed` and thread count ⇒ byte-identical key streams per
+//! thread, independent of scheduling, batch size, or host.
+
+use lcds_mtbench::{build_dict, keys_for_thread, run, KeyMix, MtConfig, Scheme};
+
+#[test]
+fn same_seed_same_thread_count_reproduces_every_key_stream() {
+    for scheme in [Scheme::Lcd, Scheme::Fks, Scheme::FksAdversarial] {
+        let (_, stored) = build_dict(scheme, 256, 42).expect("build");
+        for mix in [KeyMix::Uniform, KeyMix::Zipf(1.0), KeyMix::Adversarial] {
+            for thread in 0..4 {
+                let a = keys_for_thread(&stored, mix, 42, thread, 500);
+                let b = keys_for_thread(&stored, mix, 42, thread, 500);
+                assert_eq!(
+                    a,
+                    b,
+                    "{} thread {thread} replay diverged under {:?}",
+                    scheme.label(),
+                    mix
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distinct_threads_and_seeds_get_distinct_streams() {
+    let (_, stored) = build_dict(Scheme::Lcd, 256, 42).expect("build");
+    let t0 = keys_for_thread(&stored, KeyMix::Uniform, 42, 0, 500);
+    let t1 = keys_for_thread(&stored, KeyMix::Uniform, 42, 1, 500);
+    assert_ne!(t0, t1, "threads must draw from independent RNG lanes");
+    let reseeded = keys_for_thread(&stored, KeyMix::Uniform, 43, 0, 500);
+    assert_ne!(t0, reseeded, "the seed must actually steer the stream");
+}
+
+#[test]
+fn stream_length_prefix_property() {
+    // Extending ops only appends: the first k draws are unchanged, so a
+    // `--quick` run replays a prefix of the full run's traffic.
+    let (_, stored) = build_dict(Scheme::Fks, 128, 7).expect("build");
+    let short = keys_for_thread(&stored, KeyMix::Zipf(1.0), 7, 2, 100);
+    let long = keys_for_thread(&stored, KeyMix::Zipf(1.0), 7, 2, 400);
+    assert_eq!(short[..], long[..100]);
+}
+
+#[test]
+fn end_to_end_repeat_runs_agree_on_everything_deterministic() {
+    let cfg = MtConfig {
+        n: 128,
+        threads: vec![1, 2],
+        schemes: vec![Scheme::Lcd, Scheme::FksAdversarial],
+        workloads: vec![KeyMix::Zipf(1.0)],
+        ops_per_thread: 300,
+        batch: 32,
+        seed: 99,
+        gate: None,
+    };
+    let a = run(&cfg).expect("first run");
+    let b = run(&cfg).expect("second run");
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        // Timing-derived fields (qps, wall, efficiency) vary run to run;
+        // everything derived from the key streams and probe paths must
+        // not.
+        assert_eq!(ra.scheme, rb.scheme);
+        assert_eq!(ra.workload, rb.workload);
+        assert_eq!(ra.threads, rb.threads);
+        assert_eq!(ra.keys, rb.keys);
+        assert_eq!(ra.hits, rb.hits);
+        assert_eq!(ra.probes, rb.probes);
+        assert_eq!(ra.phi_hat, rb.phi_hat, "merged Φ̂ must be replayable");
+        assert_eq!(ra.ratio, rb.ratio);
+        assert_eq!(ra.latency.count, rb.latency.count);
+    }
+}

@@ -12,6 +12,9 @@
 //! [`Response::Busy`] and re-sent after backoff.
 
 use crate::proto::{self, DictStats, ProtoError, Request, Response};
+use lcds_obs::events::monotonic_ns;
+use lcds_obs::names;
+use lcds_obs::trace::{record_span, tracing_enabled};
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -114,6 +117,12 @@ pub struct Client {
     cfg: ClientConfig,
     next_id: u64,
     busy_retries: u64,
+    /// Send timestamps of in-flight requests, kept only while tracing:
+    /// each entry becomes a client-observed span
+    /// ([`names::NET_SPAN_CLIENT`], span id = request id) when its
+    /// response arrives, joinable against the server's queue/service
+    /// spans for the same id.
+    sent_ns: HashMap<u64, u64>,
 }
 
 impl Client {
@@ -135,6 +144,7 @@ impl Client {
             cfg,
             next_id: 1,
             busy_retries: 0,
+            sent_ns: HashMap::new(),
         })
     }
 
@@ -148,13 +158,20 @@ impl Client {
         let id = self.next_id;
         self.next_id += 1;
         let bytes = proto::encode_request(id, req)?;
+        if tracing_enabled() {
+            self.sent_ns.insert(id, monotonic_ns());
+        }
         self.stream.write_all(&bytes)?;
         self.stream.flush()?;
         Ok(id)
     }
 
     fn recv(&mut self) -> Result<(u64, Response), ClientError> {
-        Ok(proto::read_response(&mut self.stream)?)
+        let (id, resp) = proto::read_response(&mut self.stream)?;
+        if let Some(start_ns) = self.sent_ns.remove(&id) {
+            record_span(id, names::NET_SPAN_CLIENT, start_ns, monotonic_ns());
+        }
+        Ok((id, resp))
     }
 
     /// One request, one response, with `Busy` retries. Only correct on a

@@ -33,7 +33,9 @@ use crate::proto::{
     OP_BULK_COUNT, OP_CONTAINS, OP_PING, OP_STATS,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use lcds_obs::events::monotonic_ns;
 use lcds_obs::names;
+use lcds_obs::trace::{record_span, tracing_enabled};
 use lcds_serve::Engine;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -117,6 +119,9 @@ struct Job {
     writer: Arc<ConnWriter>,
     request_id: u64,
     req: Request,
+    /// [`monotonic_ns`] at enqueue; the worker's dequeue timestamp minus
+    /// this is the queue-wait half of the client-observed latency gap.
+    enqueued_ns: u64,
 }
 
 /// Handle to a running server. Dropping it without calling
@@ -421,6 +426,7 @@ fn handle_request(
                 writer: Arc::clone(writer),
                 request_id,
                 req,
+                enqueued_ns: monotonic_ns(),
             };
             match tx.try_send(job) {
                 Ok(()) => {
@@ -443,6 +449,26 @@ fn handle_request(
 
 fn worker_loop(rx: Receiver<Job>, engine: Arc<Engine>, stats: Arc<ServerStats>, cfg: ServerConfig) {
     while let Ok(job) = rx.recv() {
+        // Queue wait ends at dequeue — before the (test-only) worker lag,
+        // which models slow *service*, not a deep queue.
+        let dequeued_ns = monotonic_ns();
+        let queue_wait = dequeued_ns.saturating_sub(job.enqueued_ns);
+        if lcds_obs::enabled() {
+            lcds_obs::global()
+                .histogram(names::NET_SERVER_QUEUE_WAIT)
+                .record(queue_wait);
+        }
+        if tracing_enabled() {
+            // The request id doubles as the trace span id, so these
+            // server-side slices join against the client's span for the
+            // same request (`lcds trace --net`).
+            record_span(
+                job.request_id,
+                names::NET_SPAN_QUEUE,
+                job.enqueued_ns,
+                dequeued_ns,
+            );
+        }
         if let Some(lag) = cfg.worker_lag {
             thread::sleep(lag);
         }
@@ -466,10 +492,25 @@ fn worker_loop(rx: Receiver<Job>, engine: Arc<Engine>, stats: Arc<ServerStats>, 
         job.writer.inflight.fetch_sub(1, Ordering::SeqCst);
         stats.requests.fetch_add(1, Ordering::Relaxed);
         lcds_obs::counter(names::NET_REQUESTS_TOTAL).inc();
+        let served_ns = monotonic_ns();
         if lcds_obs::enabled() {
             lcds_obs::global()
                 .histogram(&format!("{}{{op=\"{label}\"}}", names::NET_REQUEST_LATENCY))
                 .record(t0.elapsed().as_nanos() as u64);
+            // Service time proper: dequeue → response on the wire
+            // (includes any worker lag but never queue wait), so
+            // `client latency − service − queue_wait ≈ wire + client time`.
+            lcds_obs::global()
+                .histogram(&format!("{}{{op=\"{label}\"}}", names::NET_SERVER_SERVICE))
+                .record(served_ns.saturating_sub(dequeued_ns));
+        }
+        if tracing_enabled() {
+            record_span(
+                job.request_id,
+                names::NET_SPAN_SERVICE,
+                dequeued_ns,
+                served_ns,
+            );
         }
     }
 }

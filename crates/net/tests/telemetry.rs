@@ -1,0 +1,107 @@
+//! End-to-end serving telemetry: server-side per-opcode service and
+//! queue-wait histograms must flow, and with tracing on, one request id
+//! must yield a joinable client-span / queue-span / service-span triple
+//! (accept → queue → worker → wire).
+//!
+//! Lives in its own integration binary so flipping the process-global
+//! obs/tracing switches cannot race the other net tests.
+
+use lcds_core::builder::build;
+use lcds_net::client::Client;
+use lcds_net::server::{serve, ServerConfig};
+use lcds_obs::names;
+use lcds_obs::trace::{global_traces, set_tracing, SpanTrace, TraceRecord};
+use lcds_serve::{Engine, EngineConfig};
+use lcds_workloads::uniform_keys;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+#[test]
+fn server_histograms_and_request_spans_join_by_request_id() {
+    lcds_obs::set_enabled(true);
+    lcds_obs::global().clear();
+    set_tracing(true);
+    global_traces().drain();
+
+    let keys = uniform_keys(800, 21);
+    let dict = build(&keys, &mut ChaCha8Rng::seed_from_u64(21)).expect("build");
+    let engine = Arc::new(Engine::new(dict, 7, EngineConfig::with_batch(64)));
+    let handle =
+        serve("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default()).expect("bind loopback");
+
+    // One connection ⇒ request ids are unique across everything sent, so
+    // a span id identifies exactly one request.
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    let bits = client.bulk_contains(&keys, 0).expect("bulk over TCP");
+    assert!(bits.iter().all(|&b| b), "members must all hit");
+    drop(client);
+    handle.shutdown();
+    set_tracing(false);
+
+    // Satellite metrics: queue wait plus per-opcode service time.
+    let snap = lcds_obs::global().snapshot();
+    let queue_wait = &snap.histograms[names::NET_SERVER_QUEUE_WAIT];
+    assert!(queue_wait.count >= 1, "no queue-wait samples recorded");
+    let service =
+        &snap.histograms[&format!("{}{{op=\"bulk_contains\"}}", names::NET_SERVER_SERVICE)];
+    assert!(service.count >= 1, "no bulk_contains service samples");
+    // Ping is answered inline by the reader: it must NOT appear as a
+    // worker service sample.
+    assert!(
+        !snap
+            .histograms
+            .contains_key(&format!("{}{{op=\"ping\"}}", names::NET_SERVER_SERVICE)),
+        "inline ping leaked into the worker service histogram"
+    );
+
+    // Tentpole join: request id = span id across client and server.
+    let spans: Vec<SpanTrace> = global_traces()
+        .drain()
+        .into_iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let find = |name: &str, id: u64| spans.iter().find(|s| s.name == name && s.span_id == id);
+    let joined = spans
+        .iter()
+        .filter(|s| s.name == names::NET_SPAN_CLIENT)
+        .filter_map(|c| {
+            let q = find(names::NET_SPAN_QUEUE, c.span_id)?;
+            let w = find(names::NET_SPAN_SERVICE, c.span_id)?;
+            Some((c, q, w))
+        })
+        .collect::<Vec<_>>();
+    assert!(
+        !joined.is_empty(),
+        "no request produced a client/queue/service span triple; spans: {:?}",
+        spans
+            .iter()
+            .map(|s| (s.name.as_str(), s.span_id))
+            .collect::<Vec<_>>()
+    );
+    for (client_span, queue, service) in joined {
+        // Causal ordering only: the client stamps before sending, the
+        // server stamps after receiving, and service must have *started*
+        // before the client saw the response. (`service.end` vs
+        // `client.end` is a genuine race — the worker stamps after
+        // `write()` returns, and the client can read and stamp first.)
+        assert!(
+            client_span.start_ns <= queue.start_ns,
+            "send precedes enqueue"
+        );
+        assert!(
+            queue.end_ns <= service.start_ns + 1,
+            "dequeue precedes service"
+        );
+        assert!(queue.start_ns <= queue.end_ns && service.start_ns <= service.end_ns);
+        assert!(
+            service.start_ns <= client_span.end_ns,
+            "service began after the client observed its response"
+        );
+    }
+    lcds_obs::set_enabled(false);
+}

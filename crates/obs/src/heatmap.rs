@@ -223,7 +223,58 @@ impl Heatmap {
             self.probe(cell);
         }
     }
+
+    /// Merges another heatmap shard into this one. Both sketches must
+    /// share `(width, depth, seed)` so their row hashes agree; then the
+    /// Count-Min rows add cell-wise — the merged rows are *bit-identical*
+    /// to a single sketch that absorbed both probe streams, so every
+    /// [`Heatmap::estimate`] keeps the `ε·total` Count-Min guarantee over
+    /// the combined total. The top-K candidate sets take the space-saving
+    /// union ([`TopKSink::merge`]); probe and query totals add.
+    ///
+    /// This is how per-thread shards from the multi-threaded bench
+    /// harness collapse into one Φ̂ per run without any cross-thread
+    /// synchronization on the probe path.
+    pub fn merge(&mut self, other: &Heatmap) -> Result<(), SketchMismatch> {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(SketchMismatch {
+                expected: (self.width, self.depth, self.seed),
+                got: (other.width, other.depth, other.seed),
+            });
+        }
+        for (s, &o) in self.rows.iter_mut().zip(other.rows.iter()) {
+            *s += o;
+        }
+        self.topk.merge(&other.topk);
+        self.probes += other.probes;
+        self.queries += other.queries;
+        Ok(())
+    }
 }
+
+/// Two heatmap shards with different `(width, depth, seed)` geometry.
+/// Merging them is a **hard error** — their row hashes disagree, so
+/// adding rows cell-wise would blend unrelated counters and silently
+/// void the Count-Min over-estimate guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SketchMismatch {
+    /// `(width, depth, seed)` of the merge target.
+    pub expected: (usize, usize, u64),
+    /// `(width, depth, seed)` of the shard being merged in.
+    pub got: (usize, usize, u64),
+}
+
+impl std::fmt::Display for SketchMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "heatmap sketch geometry mismatch: expected (width, depth, seed) = {:?}, got {:?}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for SketchMismatch {}
 
 impl ProbeSink for Heatmap {
     #[inline]
@@ -539,6 +590,50 @@ mod tests {
             assert!(err.to_string().contains("theorem3"), "{err}");
             assert!(Watchdog::for_envelope(bad, s, n, 2.0).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn merge_equals_single_sink_on_the_count_min_side() {
+        // Shards with identical geometry: merged CM rows must be
+        // bit-identical to one sketch that saw the whole stream, so every
+        // point estimate matches exactly.
+        let mut single = Heatmap::new(128, 3, 16, 77);
+        let mut a = Heatmap::new(128, 3, 16, 77);
+        let mut b = Heatmap::new(128, 3, 16, 77);
+        for i in 0..6000u64 {
+            let cell = if i % 3 == 0 { 42 } else { i % 50 };
+            single.begin_query();
+            single.probe(cell);
+            let shard = if i % 2 == 0 { &mut a } else { &mut b };
+            shard.begin_query();
+            shard.probe(cell);
+        }
+        a.merge(&b).expect("same geometry");
+        assert_eq!(a.probes(), single.probes());
+        assert_eq!(a.queries(), single.queries());
+        for cell in 0..50u64 {
+            assert_eq!(a.estimate(cell), single.estimate(cell), "cell {cell}");
+        }
+        assert_eq!(a.hottest().unwrap().cell, 42);
+        assert!((a.phi_hat() - single.phi_hat()).abs() <= a.epsilon() + 1e-9);
+    }
+
+    #[test]
+    fn merge_rejects_geometry_mismatch() {
+        let mut base = Heatmap::new(128, 3, 16, 77);
+        for (w, d, s) in [(64, 3, 77), (128, 2, 77), (128, 3, 78)] {
+            let other = Heatmap::new(w, d, 16, s);
+            let err = base.merge(&other).unwrap_err();
+            assert_eq!(err.expected, (128, 3, 77));
+            assert_eq!(err.got, (w, d, s));
+            assert!(err.to_string().contains("geometry mismatch"), "{err}");
+        }
+        // Differing top-K capacity is NOT a mismatch: the candidate union
+        // trims to the target's capacity.
+        let mut other = Heatmap::new(128, 3, 99, 77);
+        other.probe(5);
+        base.merge(&other).expect("topk capacity may differ");
+        assert_eq!(base.probes(), 1);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod trace;
 pub mod trace_export;
 
 pub use events::{Event, EventLog, Span};
-pub use heatmap::{Heatmap, Watchdog};
+pub use heatmap::{Heatmap, SketchMismatch, Watchdog};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsSnapshot, Registry};
 pub use sinks::{HotCell, SamplingSink, TopKSink};
 

@@ -162,6 +162,55 @@ pub const NET_BYTES_OUT_TOTAL: &str = "lcds_net_bytes_out_total";
 /// (`{op="bulk_contains"}` etc.; histogram family, nanoseconds).
 pub const NET_REQUEST_LATENCY: &str = "lcds_net_request_latency_ns";
 
+/// Time a request spent parked in the bounded worker queue between
+/// enqueue and worker pickup (histogram, nanoseconds). The gap between
+/// this + [`NET_SERVER_SERVICE`] and loadgen's client-observed latency is
+/// the network + framing overhead.
+pub const NET_SERVER_QUEUE_WAIT: &str = "lcds_net_server_queue_wait_ns";
+
+/// Server-side worker execution time (dequeue → response written),
+/// labeled per opcode (`{op="bulk_contains"}` etc.; histogram family,
+/// nanoseconds). Unlike [`NET_REQUEST_LATENCY`] it excludes queue wait.
+pub const NET_SERVER_SERVICE: &str = "lcds_net_server_service_ns";
+
+/// Trace span name for a request's stay in the worker queue (span id =
+/// request id, so it joins against the client span). Trace-only: not a
+/// registry series.
+pub const NET_SPAN_QUEUE: &str = "lcds_net_queue_wait";
+
+/// Trace span name for a request's worker execution (span id = request
+/// id). Trace-only.
+pub const NET_SPAN_SERVICE: &str = "lcds_net_service";
+
+/// Trace span name for one client-observed request (send → matching
+/// response; span id = request id). Trace-only.
+pub const NET_SPAN_CLIENT: &str = "lcds_net_client_request";
+
+/// Multi-threaded bench runs completed (counter).
+pub const MTBENCH_RUNS_TOTAL: &str = "lcds_mtbench_runs_total";
+
+/// Aggregate throughput of the most recent bench-mt run (gauge, keys/s).
+pub const MTBENCH_QPS: &str = "lcds_mtbench_qps";
+
+/// Merged hottest-cell probe share Φ̂ of the most recent bench-mt run
+/// (gauge, 0..1).
+pub const MTBENCH_PHI_HAT: &str = "lcds_mtbench_phi_hat";
+
+/// Per-thread wall time of a bench-mt run (histogram, nanoseconds).
+pub const MTBENCH_THREAD_NS: &str = "lcds_mtbench_thread_ns";
+
+/// Per-batch serving latency observed inside bench-mt worker threads
+/// (histogram, nanoseconds).
+pub const MTBENCH_BATCH_LATENCY: &str = "lcds_mtbench_batch_latency_ns";
+
+/// Serialized-memory gate acquisitions that found the gate held by
+/// another thread (counter). The hardware-contention signal bench-mt
+/// correlates against Φ̂.
+pub const MTBENCH_CONTENDED_TOTAL: &str = "lcds_mtbench_contended_probes_total";
+
+/// All serialized-memory gate acquisitions in bench-mt runs (counter).
+pub const MTBENCH_GATED_TOTAL: &str = "lcds_mtbench_gated_probes_total";
+
 /// Event appended on every [`Span`](crate::Span) drop.
 pub const EVENT_SPAN: &str = "span";
 
@@ -181,6 +230,10 @@ pub const EVENT_EXPERIMENT_COMPLETE: &str = "experiment_complete";
 /// Event appended when the net server starts listening or finishes its
 /// graceful drain (`phase` = `"started"` / `"stopped"`).
 pub const EVENT_NET_SERVER: &str = "net_server";
+
+/// Event appended per completed bench-mt row (scheme, workload, threads,
+/// qps, scaling efficiency, merged Φ̂).
+pub const EVENT_MTBENCH_ROW: &str = "mtbench_row";
 
 /// Every declared plain metric series (exact exported name, no labels).
 pub const ALL_METRICS: &[&str] = &[
@@ -221,6 +274,14 @@ pub const ALL_METRICS: &[&str] = &[
     NET_QUEUE_DEPTH,
     NET_BYTES_IN_TOTAL,
     NET_BYTES_OUT_TOTAL,
+    NET_SERVER_QUEUE_WAIT,
+    MTBENCH_RUNS_TOTAL,
+    MTBENCH_QPS,
+    MTBENCH_PHI_HAT,
+    MTBENCH_THREAD_NS,
+    MTBENCH_BATCH_LATENCY,
+    MTBENCH_CONTENDED_TOTAL,
+    MTBENCH_GATED_TOTAL,
 ];
 
 /// Declared span names. Spans export as `{name}_ns` histograms.
@@ -234,8 +295,12 @@ pub const ALL_SPANS: &[&str] = &[
 
 /// Declared labeled gauge/histogram families (exported name is
 /// `family{label="…"}`).
-pub const ALL_LABELED_FAMILIES: &[&str] =
-    &[HOT_CELL_PROBES, HEATMAP_CELL_PROBES, NET_REQUEST_LATENCY];
+pub const ALL_LABELED_FAMILIES: &[&str] = &[
+    HOT_CELL_PROBES,
+    HEATMAP_CELL_PROBES,
+    NET_REQUEST_LATENCY,
+    NET_SERVER_SERVICE,
+];
 
 /// Declared event names.
 pub const ALL_EVENTS: &[&str] = &[
@@ -245,6 +310,7 @@ pub const ALL_EVENTS: &[&str] = &[
     EVENT_WATCHDOG,
     EVENT_EXPERIMENT_COMPLETE,
     EVENT_NET_SERVER,
+    EVENT_MTBENCH_ROW,
 ];
 
 /// Is `name` (as it appears in a registry snapshot, labels included) a
@@ -318,16 +384,45 @@ mod tests {
             NET_BYTES_IN_TOTAL,
             NET_BYTES_OUT_TOTAL,
             NET_REQUEST_LATENCY,
+            NET_SERVER_QUEUE_WAIT,
+            NET_SERVER_SERVICE,
+            NET_SPAN_QUEUE,
+            NET_SPAN_SERVICE,
+            NET_SPAN_CLIENT,
         ] {
             assert!(name.starts_with("lcds_net_"), "{name}");
         }
         assert!(is_declared_metric(NET_SHED_TOTAL));
+        assert!(is_declared_metric(NET_SERVER_QUEUE_WAIT));
         assert!(is_declared_metric(
             "lcds_net_request_latency_ns{op=\"bulk_contains\"}"
         ));
-        // The latency family is label-only: the bare name is not a series.
+        assert!(is_declared_metric(
+            "lcds_net_server_service_ns{op=\"bulk_contains\"}"
+        ));
+        // The latency families are label-only: bare names are not series.
         assert!(!is_declared_metric(NET_REQUEST_LATENCY));
+        assert!(!is_declared_metric(NET_SERVER_SERVICE));
+        // Net trace spans live in the trace buffer, not the registry.
+        assert!(!is_declared_metric(NET_SPAN_QUEUE));
         assert!(is_declared_event(EVENT_NET_SERVER));
+    }
+
+    #[test]
+    fn mtbench_names_share_the_subsystem_prefix() {
+        for name in [
+            MTBENCH_RUNS_TOTAL,
+            MTBENCH_QPS,
+            MTBENCH_PHI_HAT,
+            MTBENCH_THREAD_NS,
+            MTBENCH_BATCH_LATENCY,
+            MTBENCH_CONTENDED_TOTAL,
+            MTBENCH_GATED_TOTAL,
+        ] {
+            assert!(name.starts_with("lcds_mtbench_"), "{name}");
+            assert!(is_declared_metric(name), "{name}");
+        }
+        assert!(is_declared_event(EVENT_MTBENCH_ROW));
     }
 
     #[test]

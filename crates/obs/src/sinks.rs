@@ -210,6 +210,45 @@ impl TopKSink {
         let max = self.entries.values().map(|&(c, _)| c).max().unwrap_or(0);
         max as f64 / self.total as f64
     }
+
+    /// Floor on the count of any *untracked* cell: a full sketch may hide
+    /// up to its minimum tracked count, an unfilled one hides nothing.
+    fn untracked_floor(&self) -> u64 {
+        if self.entries.len() < self.capacity {
+            0
+        } else {
+            self.entries.values().map(|&(c, _)| c).min().unwrap_or(0)
+        }
+    }
+
+    /// Merges another space-saving sketch into this one (Agarwal et al.,
+    /// "Mergeable summaries"): cells tracked on both sides add counts and
+    /// errors exactly; a cell tracked on only one side may have untracked
+    /// mass on the other bounded by that side's minimum tracked count,
+    /// which is added to both `count` and `error` so the over-estimate
+    /// invariant (`true ≤ count` and `count − error ≤ true`) survives.
+    /// The union is then trimmed back to `capacity`, keeping the largest
+    /// combined counts (ties by cell id for determinism).
+    pub fn merge(&mut self, other: &TopKSink) {
+        let floor_self = self.untracked_floor();
+        let floor_other = other.untracked_floor();
+        let mut combined: Vec<(CellId, (u64, u64))> = Vec::new();
+        for (&cell, &(count, error)) in &self.entries {
+            match other.entries.get(&cell) {
+                Some(&(oc, oe)) => combined.push((cell, (count + oc, error + oe))),
+                None => combined.push((cell, (count + floor_other, error + floor_other))),
+            }
+        }
+        for (&cell, &(count, error)) in &other.entries {
+            if !self.entries.contains_key(&cell) {
+                combined.push((cell, (count + floor_self, error + floor_self)));
+            }
+        }
+        combined.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+        combined.truncate(self.capacity);
+        self.entries = combined.into_iter().collect();
+        self.total += other.total;
+    }
 }
 
 impl ProbeSink for TopKSink {
@@ -334,6 +373,60 @@ mod tests {
         assert!(top[0].guaranteed() <= 5_000 + 1);
         // Memory bound holds.
         assert!(t.hottest().len() <= 4);
+    }
+
+    #[test]
+    fn topk_merge_is_exact_below_capacity() {
+        // Neither side is full, so no floor correction applies and the
+        // merged sketch is exactly the concatenated stream's counts.
+        let mut a = TopKSink::new(8);
+        let mut b = TopKSink::new(8);
+        for _ in 0..5 {
+            a.probe(3);
+        }
+        a.probe(1);
+        for _ in 0..4 {
+            b.probe(3);
+        }
+        b.probe(2);
+        a.merge(&b);
+        assert_eq!(a.total(), 11);
+        let top = a.hottest();
+        assert_eq!(
+            top[0],
+            HotCell {
+                cell: 3,
+                count: 9,
+                error: 0
+            }
+        );
+        assert!(a.contains(1) && a.contains(2));
+    }
+
+    #[test]
+    fn topk_merge_keeps_heavy_hitter_and_invariants() {
+        // Split one churny stream with a heavy hitter across two sketches;
+        // the merged sketch must still track cell 9 with valid bounds.
+        let mut a = TopKSink::new(4);
+        let mut b = TopKSink::new(4);
+        let mut true_nine = 0u64;
+        for i in 0..10_000u64 {
+            let sink = if i % 2 == 0 { &mut a } else { &mut b };
+            if i % 3 == 0 {
+                sink.probe(9);
+                true_nine += 1;
+            } else {
+                sink.probe(1000 + i);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 10_000);
+        assert!(a.hottest().len() <= 4, "capacity bound violated");
+        assert!(a.contains(9), "heavy hitter lost in merge");
+        let hot = a.hottest()[0];
+        assert_eq!(hot.cell, 9);
+        assert!(hot.count >= true_nine, "merge must stay an over-estimate");
+        assert!(hot.guaranteed() <= true_nine, "error bound must stay valid");
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Property tests for `Heatmap::merge`: sharding a probe stream across
+//! per-thread heatmaps and merging must be indistinguishable — up to the
+//! sketch's own `ε·total` Count-Min guarantee — from sinking the whole
+//! stream into a single heatmap. This is the soundness contract behind
+//! the multi-threaded bench harness's per-run Φ̂ (per-thread shards, one
+//! merged estimate).
+
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_obs::Heatmap;
+use proptest::prelude::*;
+
+const WIDTH: usize = 256;
+const DEPTH: usize = 4;
+const TOPK: usize = 8;
+
+/// Builds the full probe stream: every noise probe is chased by two
+/// probes of one heavy cell (id 999, outside the noise domain), so the
+/// heavy cell holds a ≥ 2/3 share and is guaranteed tracked by every
+/// space-saving sketch of capacity ≥ 2 — keeping the property out of the
+/// top-K blind zone, where Φ̂ is not contractually accurate.
+fn stream_with_heavy(noise: &[u64]) -> Vec<u64> {
+    let mut s = Vec::with_capacity(noise.len() * 3);
+    for &c in noise {
+        s.push(c);
+        s.push(999);
+        s.push(999);
+    }
+    s
+}
+
+proptest! {
+    /// Merged Φ̂ stays within the `ε·total` Count-Min bound of a
+    /// single-sink run, for any noise stream, shard count, and sketch
+    /// seed — and the Count-Min side of the merge is *exact*: every
+    /// point estimate equals the single-sink sketch's.
+    #[test]
+    fn merged_phi_hat_within_epsilon_of_single_sink(
+        noise in prop::collection::vec(0u64..32, 1..400),
+        shards in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let stream = stream_with_heavy(&noise);
+        let total = stream.len() as f64;
+
+        let mut single = Heatmap::new(WIDTH, DEPTH, TOPK, seed);
+        let mut parts: Vec<Heatmap> =
+            (0..shards).map(|_| Heatmap::new(WIDTH, DEPTH, TOPK, seed)).collect();
+        for (i, &cell) in stream.iter().enumerate() {
+            single.begin_query();
+            single.probe(cell);
+            let shard = &mut parts[i % shards];
+            shard.begin_query();
+            shard.probe(cell);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p).expect("identical geometry");
+        }
+
+        prop_assert_eq!(merged.probes(), single.probes());
+        prop_assert_eq!(merged.queries(), single.queries());
+
+        // Count-Min rows add exactly: point estimates are identical.
+        for &cell in stream.iter().chain(std::iter::once(&999)) {
+            prop_assert_eq!(
+                merged.estimate(cell), single.estimate(cell),
+                "estimate diverged for cell {}", cell
+            );
+        }
+
+        // Φ̂ of the merged sketch is within the ε·total bound of the
+        // single-sink run — in probe-share units, within ε (= e/width).
+        let eps = merged.epsilon();
+        let delta = (merged.phi_hat() - single.phi_hat()).abs();
+        prop_assert!(
+            delta <= eps + 1e-12,
+            "merged Φ̂ {} vs single-sink Φ̂ {} differ by {} > ε = {}",
+            merged.phi_hat(), single.phi_hat(), delta, eps
+        );
+
+        // Both are within ε (+ the count-mean correction's 1/(width−1)
+        // subtraction) of the heavy cell's true share.
+        let true_share = 2.0 * noise.len() as f64 / total;
+        let slack = eps + 2.0 / WIDTH as f64;
+        for (label, hm) in [("merged", &merged), ("single", &single)] {
+            let phi = hm.phi_hat();
+            prop_assert!(
+                (phi - true_share).abs() <= slack,
+                "{}: Φ̂ {} vs true share {} (slack {})", label, phi, true_share, slack
+            );
+        }
+    }
+}

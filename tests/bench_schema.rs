@@ -48,3 +48,71 @@ fn committed_serve_artifact_matches_the_declared_schema() {
     // The serve artifact must never masquerade as the build artifact.
     assert!(lcds_bench::summary::validate_bench_summary(&doc).is_err());
 }
+
+/// The committed `mt_scaling` section must hold real multi-threaded
+/// measurements — and must show the paper's core claim in the data: the
+/// adversarial FKS instance pays for its contention with both a higher
+/// measured Φ̂ and worse scaling efficiency than the LCD under the same
+/// Zipf mix.
+#[test]
+fn committed_mt_scaling_section_shows_the_contention_cliff() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_serve.json at the repo root");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let mt = doc
+        .get("mt_scaling")
+        .expect("BENCH_serve.json must carry an mt_scaling section");
+    lcds_bench::summary::validate_mt_scaling(mt)
+        .unwrap_or_else(|e| panic!("mt_scaling violates its schema: {e}"));
+
+    let rows = mt["rows"].as_array().unwrap();
+    let thread_counts: std::collections::BTreeSet<u64> = rows
+        .iter()
+        .map(|r| r["threads"].as_u64().unwrap())
+        .collect();
+    assert!(
+        thread_counts.len() >= 3,
+        "need ≥ 3 thread counts, got {thread_counts:?}"
+    );
+    let schemes: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r["scheme"].as_str().unwrap()).collect();
+    assert!(schemes.len() >= 2, "need ≥ 2 schemes, got {schemes:?}");
+
+    // The recorded cliff: compare lcd vs fks-adversarial at the largest
+    // common thread count of the same Zipf workload.
+    let zipf = |scheme: &str| -> Vec<&serde_json::Value> {
+        rows.iter()
+            .filter(|r| {
+                r["scheme"] == scheme && r["workload"].as_str().unwrap().starts_with("zipf")
+            })
+            .collect()
+    };
+    let (lcd, adv) = (zipf("lcd"), zipf("fks-adversarial"));
+    assert!(
+        !lcd.is_empty() && !adv.is_empty(),
+        "both lcd and fks-adversarial must run the Zipf mix"
+    );
+    let top = |rows: &[&serde_json::Value]| {
+        rows.iter()
+            .max_by_key(|r| r["threads"].as_u64().unwrap())
+            .map(|r| {
+                (
+                    r["threads"].as_u64().unwrap(),
+                    r["phi_hat"].as_f64().unwrap(),
+                    r["scaling_efficiency"].as_f64().unwrap(),
+                )
+            })
+            .unwrap()
+    };
+    let (lcd_t, lcd_phi, lcd_eff) = top(&lcd);
+    let (adv_t, adv_phi, adv_eff) = top(&adv);
+    assert_eq!(lcd_t, adv_t, "schemes must reach the same thread count");
+    assert!(
+        adv_phi > lcd_phi,
+        "adversarial FKS must show higher Φ̂ than LCD (got {adv_phi} vs {lcd_phi})"
+    );
+    assert!(
+        adv_eff < lcd_eff,
+        "adversarial FKS must scale worse than LCD (got eff {adv_eff} vs {lcd_eff})"
+    );
+}
