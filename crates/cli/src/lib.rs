@@ -19,15 +19,15 @@
 //!             [--queries Q] [--zipf THETA] [--multiple M]
 //!             [--interval I] [--topk K] [--format table|prom|jsonl]
 //!             [--seed S]
-//! lcds serve-net (DICT | --random N [--shards K]) [--seed S]
-//!             [--addr A] [--port-file FILE] [--workers W]
+//! lcds serve-net (DICT | --random N [--shards K]) [--dynamic]
+//!             [--seed S] [--addr A] [--port-file FILE] [--workers W]
 //!             [--queue-depth Q] [--batch B] [--duration SECS]
 //!             [--watch ENVELOPE] [--multiple M] [--sample P]
 //!             [--metrics-file FILE]
 //! lcds loadgen --addr A (--random N | --keys FILE) [--seed S]
 //!             [--connections C] [--duration SECS] [--batch B]
 //!             [--workload uniform|zipf|adversarial] [--zipf THETA]
-//!             [--format table|json]
+//!             [--write-every N] [--format table|json]
 //! lcds bench-mt [--random N] [--threads T | T1,T2,...] [--quick]
 //!             [--schemes lcd,fks,fks-adversarial]
 //!             [--workloads uniform,zipf,adversarial] [--zipf THETA]
@@ -136,14 +136,20 @@ count. --build-threads is accepted as an alias.
          [--multiple M] [--interval I] [--topk K]           against the scheme's
          [--format table|prom|jsonl] [--seed S]             theoretical envelope
   serve-net (DICT | --random N [--shards K])                TCP server: bounded
-         [--seed S] [--addr A] [--port-file FILE]           worker queue, Busy
-         [--workers W] [--queue-depth Q] [--batch B]        shedding, graceful
-         [--duration SECS] [--watch ENVELOPE]               drain; optional live
-         [--multiple M] [--sample P] [--metrics-file FILE]  heatmap watchdog
+         [--dynamic] [--seed S] [--addr A]                  worker queue, Busy
+         [--port-file FILE] [--workers W]                   shedding, graceful
+         [--queue-depth Q] [--batch B]                      drain; optional live
+         [--duration SECS] [--watch ENVELOPE]               heatmap watchdog;
+         [--multiple M] [--sample P] [--metrics-file FILE]  --dynamic serves a
+                                                            generation-swapped
+                                                            DynamicEngine that
+                                                            accepts Insert/
+                                                            Remove/Flush
   loadgen --addr A (--random N | --keys FILE)               closed-loop load:
          [--seed S] [--connections C] [--duration SECS]     per-connection dists,
          [--batch B] [--workload uniform|zipf|adversarial]  throughput + latency
-         [--zipf THETA] [--format table|json]               quantiles
+         [--zipf THETA] [--write-every N]                   quantiles; N > 0
+         [--format table|json]                              mixes in writes
   bench-mt [--random N] [--threads T | T1,T2,...]           multi-threaded probe
          [--quick] [--schemes ...] [--workloads ...]        harness: qps, scaling
          [--zipf THETA] [--ops K] [--batch B] [--seed S]    efficiency, merged Φ̂,
@@ -909,12 +915,16 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
 }
 
 fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    use lcds_net::server::{serve, ServerConfig};
+    use lcds_net::server::{serve_any, Served, ServerConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 
-    let (pos, flags) = parse_flags(args)?;
+    // `--dynamic` is a bare switch; strip it before the value-per-flag parser.
+    let mut args = args.to_vec();
+    let dynamic = args.iter().any(|a| a == "--dynamic");
+    args.retain(|a| a != "--dynamic");
+    let (pos, flags) = parse_flags(&args)?;
     if pos.len() > 1 {
         return Err(CliError::usage(format!("unexpected argument {:?}", pos[1])));
     }
@@ -943,7 +953,16 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         batch,
         parallel: true,
     };
-    let engine = match (pos.first(), flag(&flags, "random")) {
+    if dynamic && flag(&flags, "shards").is_some() {
+        return Err(CliError::usage(
+            "--shards does not combine with --dynamic (the generation-swapped \
+             engine serves a single dictionary)",
+        ));
+    }
+    // `--dynamic` builds the same key set into a DynamicEngine; seed plays
+    // both roles (structure evolution and query randomness), so a mirror
+    // DynamicLcd with this seed and parallel rebuilds replays the server.
+    let served = match (pos.first(), flag(&flags, "random")) {
         (Some(path), None) => {
             if flag(&flags, "shards").is_some() {
                 return Err(CliError::usage(
@@ -951,7 +970,14 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
                      in-process, not loaded from a DICT file)",
                 ));
             }
-            lcds_serve::Engine::new(load_dict(path)?, seed, cfg)
+            let d = load_dict(path)?;
+            if dynamic {
+                let e = lcds_serve::DynamicEngine::new(d.keys(), seed, seed, cfg)
+                    .map_err(|e| CliError::runtime(format!("dynamic build failed: {e}")))?;
+                Served::Dynamic(Arc::new(e))
+            } else {
+                Served::Static(Arc::new(lcds_serve::Engine::new(d, seed, cfg)))
+            }
         }
         (None, Some(n)) => {
             let n: usize = n
@@ -961,14 +987,18 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
             // Same key derivation as `build --random`, so a loadgen run
             // with the same seed queries exactly the stored set.
             let keys = uniform_keys(n, seed ^ 0x5EED);
-            if shards <= 1 {
+            if dynamic {
+                let e = lcds_serve::DynamicEngine::new(&keys, seed, seed, cfg)
+                    .map_err(|e| CliError::runtime(format!("dynamic build failed: {e}")))?;
+                Served::Dynamic(Arc::new(e))
+            } else if shards <= 1 {
                 let d = lcds_core::par_build(&keys, seed)
                     .map_err(|e| CliError::runtime(format!("build failed: {e}")))?;
-                lcds_serve::Engine::new(d, seed, cfg)
+                Served::Static(Arc::new(lcds_serve::Engine::new(d, seed, cfg)))
             } else {
                 let s = lcds_serve::ShardedLcd::par_build(&keys, shards, seed ^ 0x51AB, seed)
                     .map_err(|e| CliError::runtime(format!("sharded build failed: {e}")))?;
-                lcds_serve::Engine::sharded(s, seed, cfg)
+                Served::Static(Arc::new(lcds_serve::Engine::sharded(s, seed, cfg)))
             }
         }
         _ => {
@@ -977,14 +1007,20 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
             ))
         }
     };
+    let dyn_engine = match &served {
+        Served::Dynamic(e) => Some(Arc::clone(e)),
+        Served::Static(_) => None,
+    };
+    let (key_count, num_shards, num_cells, max_probes) = match &served {
+        Served::Static(e) => (e.key_count(), e.num_shards(), e.num_cells(), e.max_probes()),
+        Served::Dynamic(e) => (e.key_count(), 1, e.num_cells(), e.max_probes()),
+    };
 
     writeln!(
         out,
-        "serve-net: n = {} keys, {} shard(s), {} cells, ≤ {} probes/query, seed {seed}",
-        engine.key_count(),
-        engine.num_shards(),
-        engine.num_cells(),
-        engine.max_probes(),
+        "serve-net{}: n = {key_count} keys, {num_shards} shard(s), {num_cells} cells, \
+         ≤ {max_probes} probes/query, seed {seed}",
+        if dynamic { " (dynamic)" } else { "" },
     )
     .map_err(io_err)?;
 
@@ -992,19 +1028,14 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
     // usage error, never a silently defaulted watchdog.
     let watch = flag(&flags, "watch")
         .map(|name| {
-            lcds_obs::Watchdog::for_envelope(
-                name,
-                engine.num_cells(),
-                engine.key_count() as u64,
-                multiple,
-            )
-            .map(|wd| (name.to_string(), wd))
-            .map_err(|e| {
-                CliError::usage(format!(
-                    "bad --watch: {e} (valid: {})",
-                    lcds_obs::heatmap::ENVELOPE_NAMES.join(", ")
-                ))
-            })
+            lcds_obs::Watchdog::for_envelope(name, num_cells, key_count as u64, multiple)
+                .map(|wd| (name.to_string(), wd))
+                .map_err(|e| {
+                    CliError::usage(format!(
+                        "bad --watch: {e} (valid: {})",
+                        lcds_obs::heatmap::ENVELOPE_NAMES.join(", ")
+                    ))
+                })
         })
         .transpose()?;
     if watch.is_some() {
@@ -1013,10 +1044,10 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         lcds_obs::trace::set_tracing(true);
     }
 
-    let cells = engine.num_cells();
-    let handle = serve(
+    let cells = num_cells;
+    let handle = serve_any(
         addr,
-        Arc::new(engine),
+        served,
         ServerConfig {
             workers,
             queue_depth,
@@ -1081,6 +1112,21 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         stats.sheds.load(Ordering::Relaxed),
     )
     .map_err(io_err)?;
+    if let Some(e) = &dyn_engine {
+        let c = e.counters();
+        writeln!(
+            out,
+            "mutations: {} insert(s), {} remove(s), {} flush(es); \
+             generation {} after {} swap(s), {} rebuild(s)",
+            c.inserts,
+            c.removes,
+            c.flushes,
+            e.generation(),
+            c.swaps,
+            c.rebuilds,
+        )
+        .map_err(io_err)?;
+    }
 
     if let Some((name, thread)) = watch_thread {
         lcds_obs::trace::set_tracing(false);
@@ -1155,6 +1201,10 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
         )));
     }
 
+    // 0 = read-only (works against any server); N > 0 mixes one mutation
+    // into every N bulk reads per connection (dynamic servers only).
+    let write_every: usize = num_flag(&flags, "write-every", 0)?;
+
     let pool = match (flag(&flags, "random"), flag(&flags, "keys")) {
         (Some(n), None) => {
             let n: usize = n
@@ -1181,6 +1231,7 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             batch,
             workload,
             seed,
+            mutate_every: write_every,
             client: lcds_net::ClientConfig::default(),
         },
     )
@@ -1205,6 +1256,10 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             "keys": report.keys,
             "hits": report.hits,
             "busy_retries": report.busy_retries,
+            "inserts": report.inserts,
+            "removes": report.removes,
+            "flushes": report.flushes,
+            "final_generation": report.final_generation,
             "wall_s": report.wall.as_secs_f64(),
             "qps": report.qps(),
             "kps": report.kps(),
@@ -1235,6 +1290,15 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             report.hits, report.keys, report.busy_retries
         )
         .map_err(io_err)?;
+        if let Some(generation) = report.final_generation {
+            writeln!(
+                out,
+                "writes: {} insert(s), {} remove(s), {} flush(es); \
+                 server at generation {generation}",
+                report.inserts, report.removes, report.flushes,
+            )
+            .map_err(io_err)?;
+        }
         writeln!(
             out,
             "latency p50/p90/p99: {:.1} / {:.1} / {:.1} µs",

@@ -9,14 +9,19 @@
 //!
 //! * the *main* structure is an ordinary [`LowContentionDict`] over the
 //!   keys as of the last rebuild;
-//! * the *delta* is a small open-addressed table (capacity `Θ(n)` slots,
-//!   its own replicated hash seed) holding keys inserted since the rebuild
-//!   and **tombstones** for keys deleted from the main structure (bit 63 of
+//! * the *delta* is a small open-addressed table (capacity `n/2` pending
+//!   updates spread over `2n` slots — load factor ≤ ¼ — plus its own
+//!   replicated hash seed) holding keys inserted since the rebuild and
+//!   **tombstones** for keys deleted from the main structure (bit 63 of
 //!   the cell marks a tombstone; keys occupy < 2^61 so the bit is free);
 //! * a query probes the delta first (seed replica + a short linear-probe
 //!   run), answering directly on an insert/tombstone hit, and falls through
 //!   to the main structure otherwise;
-//! * once the delta reaches its capacity, everything is merged and rebuilt.
+//! * once the delta holds its capacity of *distinct* pending entries, the
+//!   next genuinely fresh entry triggers a merge-and-rebuild. Writes that
+//!   only overwrite an existing delta cell (a tombstone over a pending
+//!   insert, a re-insert over a tombstone) never rebuild: they add no
+//!   entry, so occupancy is unchanged.
 //!
 //! # Costs (measured in experiment F10)
 //!
@@ -29,12 +34,18 @@
 //!   `O(n)` rebuild every `Θ(n)` updates — **amortized `O(1)` cells
 //!   written per update**, tracked exactly by [`DynamicLcd::write_stats`].
 //!
-//! Queries issued *during* a rebuild are outside this model (the paper is
-//! about static tables; a production system would double-buffer the two
-//! tables — both are immutable between rebuilds, so the swap is a pointer).
+//! # Serving while mutating
+//!
+//! Queries issued *during* a rebuild are outside the single-threaded model
+//! above, but both tables are immutable between rebuilds, so a server can
+//! publish an immutable [`FrozenDynamic`] snapshot (`Arc`-shared main +
+//! copied delta) after every update and swap generations with a pointer
+//! store — readers keep probing the old generation and never block. That
+//! is exactly what `lcds_serve::DynamicEngine` does; see `freeze`.
 
 use crate::builder::{build_with, BuildError};
 use crate::dict::{LowContentionDict, EMPTY};
+use crate::par_build::par_build_with;
 use crate::params::ParamsConfig;
 use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
@@ -46,6 +57,7 @@ use lcds_hashing::MAX_KEY;
 use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Tombstone flag: set on a delta cell holding a deleted main-structure key.
 const TOMBSTONE: u64 = 1 << 63;
@@ -57,7 +69,9 @@ pub struct WriteStats {
     pub updates: u64,
     /// Cells written into the delta table.
     pub delta_writes: u64,
-    /// Cells written by rebuilds (full table sizes).
+    /// Cells written by rebuilds: the full rebuilt main structure plus
+    /// every cell of the fresh delta table (seed replicas *and* the slots
+    /// cleared to `EMPTY` — clearing is a write like any other).
     pub rebuild_writes: u64,
     /// Number of rebuilds.
     pub rebuilds: u64,
@@ -81,7 +95,10 @@ impl WriteStats {
 /// sequence.
 #[derive(Clone, Debug)]
 pub struct DynamicLcd {
-    main: Option<LowContentionDict>,
+    /// `Arc` so [`freeze`](DynamicLcd::freeze) can share the (immutable
+    /// between rebuilds) main structure with snapshots instead of copying
+    /// `Θ(n)` cells per generation.
+    main: Option<Arc<LowContentionDict>>,
     /// Live key set (source of truth; never probed at query time).
     live: BTreeSet<u64>,
     /// Delta table: row 0 = seed replicas ++ slots.
@@ -93,6 +110,11 @@ pub struct DynamicLcd {
     delta_entries: u64,
     /// Rebuild when the delta reaches this many entries.
     delta_capacity: u64,
+    /// Rebuild through `par_build_with` (drawing one sub-seed from the
+    /// owned rng) instead of the sequential builder. Both are
+    /// deterministic; they consume the rng differently, so two instances
+    /// evolve identically only if this flag matches.
+    parallel_rebuild: bool,
     config: ParamsConfig,
     rng: ChaCha8Rng,
     stats: WriteStats,
@@ -110,6 +132,7 @@ impl DynamicLcd {
             delta_slots: 1,
             delta_entries: 0,
             delta_capacity: 1,
+            parallel_rebuild: false,
             config,
             rng: <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed),
             stats: WriteStats::default(),
@@ -125,6 +148,14 @@ impl DynamicLcd {
         }
         d.rebuild()?;
         Ok(d)
+    }
+
+    /// Routes future rebuilds through the Rayon-parallel builder (one
+    /// sub-seed draw, then `par_build_with` — bit-identical at every
+    /// thread count). Must be set before the first update for two
+    /// instances to evolve identically.
+    pub fn set_parallel_rebuild(&mut self, on: bool) {
+        self.parallel_rebuild = on;
     }
 
     /// Number of live keys.
@@ -144,7 +175,7 @@ impl DynamicLcd {
 
     /// The static structure as of the last rebuild, if non-empty.
     pub fn main(&self) -> Option<&LowContentionDict> {
-        self.main.as_ref()
+        self.main.as_deref()
     }
 
     /// Pending delta entries.
@@ -180,50 +211,39 @@ impl DynamicLcd {
         Ok(true)
     }
 
+    /// Forces a merge-and-rebuild now, emptying the delta.
+    pub fn flush(&mut self) -> Result<(), BuildError> {
+        self.rebuild()
+    }
+
     /// Membership of `x` in the live set, via cell probes.
     pub fn contains_key(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
-        // Delta first: seed replica, then the linear-probe run.
-        let seed = self
-            .delta
-            .read(0, uniform_below(rng, self.delta_replicas), sink);
-        let hash = PerfectHash::from_seed(seed, self.delta_slots);
-        let mut pos = hash.eval(x);
-        for _ in 0..self.delta_slots {
-            let cell = self.delta.read(0, self.delta_replicas + pos, sink);
-            if cell == EMPTY {
-                break;
-            }
-            if cell & !TOMBSTONE == x {
-                return cell & TOMBSTONE == 0;
-            }
-            pos = (pos + 1) % self.delta_slots;
-        }
-        match &self.main {
-            Some(main) => {
-                // Main-structure cells live after the delta in the combined
-                // id space of the snapshot.
-                let mut shifted = OffsetSink {
-                    inner: sink,
-                    offset: self.delta.num_cells(),
-                };
-                main.contains(x, rng, &mut shifted)
-            }
-            None => false,
-        }
+        probe_combined(
+            self.main.as_deref(),
+            &self.delta,
+            self.delta_replicas,
+            self.delta_slots,
+            x,
+            rng,
+            sink,
+        )
     }
 
     /// Applies an insert/tombstone to the delta, rebuilding on overflow.
     fn apply_delta(&mut self, x: u64, tombstone: bool) -> Result<(), BuildError> {
-        if self.delta_entries + 1 > self.delta_capacity {
-            return self.rebuild();
-        }
         let hash = PerfectHash::from_seed(self.delta_seed, self.delta_slots);
         let mut pos = hash.eval(x);
         for _ in 0..self.delta_slots {
             let cell = self.delta.peek(0, self.delta_replicas + pos);
             if cell == EMPTY || cell & !TOMBSTONE == x {
-                let value = if tombstone { x | TOMBSTONE } else { x };
                 let fresh = cell == EMPTY;
+                // Only a genuinely fresh entry raises occupancy; an
+                // overwrite (tombstone over a pending insert, re-insert
+                // over a tombstone) must never trigger the O(n) rebuild.
+                if fresh && self.delta_entries + 1 > self.delta_capacity {
+                    return self.rebuild();
+                }
+                let value = if tombstone { x | TOMBSTONE } else { x };
                 self.delta.write(0, self.delta_replicas + pos, value);
                 self.stats.delta_writes += 1;
                 if fresh {
@@ -233,7 +253,7 @@ impl DynamicLcd {
             }
             pos = (pos + 1) % self.delta_slots;
         }
-        // Full cluster wrap (can't happen below capacity ≤ slots/2).
+        // Full cluster wrap (can't happen below capacity ≤ slots/4).
         self.rebuild()
     }
 
@@ -243,26 +263,34 @@ impl DynamicLcd {
         self.main = if keys.is_empty() {
             None
         } else {
-            let d = build_with(&keys, &self.config, &mut self.rng)?;
+            let d = if self.parallel_rebuild {
+                let sub = self.rng.random::<u64>();
+                par_build_with(&keys, &self.config, sub)?
+            } else {
+                build_with(&keys, &self.config, &mut self.rng)?
+            };
             self.stats.rebuild_writes += d.num_cells();
-            Some(d)
+            Some(Arc::new(d))
         };
         self.stats.rebuilds += 1;
 
         // Fresh delta sized to the new n: capacity n/2 pending updates in
-        // 2·capacity slots (load factor ≤ ½ keeps runs short), and n seed
+        // 2n slots (load factor ≤ ¼ keeps clusters short), and n seed
         // replicas so the delta's parameter row is as flat as the main
         // structure's.
         let n = keys.len().max(4) as u64;
         self.delta_capacity = n / 2;
-        self.delta_slots = 2 * n; // load factor ≤ ¼ keeps clusters short
+        self.delta_slots = 2 * n;
         self.delta_replicas = n;
         self.delta_seed = self.rng.random::<u64>();
         self.delta = Table::new(1, self.delta_replicas + self.delta_slots, EMPTY);
         for j in 0..self.delta_replicas {
             self.delta.write(0, j, self.delta_seed);
         }
-        self.stats.rebuild_writes += self.delta_replicas;
+        // Every cell of the fresh delta is written once: the replicas get
+        // the seed and the slots are cleared to EMPTY. Both count toward
+        // the amortized-cost evidence.
+        self.stats.rebuild_writes += self.delta_replicas + self.delta_slots;
         self.delta_entries = 0;
         Ok(())
     }
@@ -274,10 +302,75 @@ impl DynamicLcd {
 
     /// Upper bound on probes per query.
     pub fn probe_bound(&self) -> u32 {
-        // Delta: 1 seed + worst-case run (capacity ≤ slots/2 keeps expected
-        // runs O(1); the hard bound is the slot count) + main walk.
-        let main = self.main.as_ref().map_or(0, |m| m.max_probes());
-        1 + self.delta_slots as u32 + main
+        probe_bound_for(self.main.as_deref(), self.delta_entries, self.delta_slots)
+    }
+
+    /// An immutable snapshot sharing the main structure and copying the
+    /// (small) delta. Answers bit-identically to `contains_key` at freeze
+    /// time, and stays valid while `self` keeps mutating.
+    pub fn freeze(&self) -> FrozenDynamic {
+        FrozenDynamic {
+            main: self.main.clone(),
+            delta: self.delta.clone(),
+            delta_replicas: self.delta_replicas,
+            delta_slots: self.delta_slots,
+            len: self.live.len(),
+            max_probes: self.probe_bound(),
+        }
+    }
+}
+
+/// Hard per-query probe bound for a (main, delta) pair.
+///
+/// Delta: 1 seed read + the linear-probe run. The run walks a cluster of
+/// occupied cells and stops at the first `EMPTY` one, so it can never
+/// visit more than `delta_entries + 1` cells — and never more than the
+/// slot count. (At load factor ≤ ¼ the *expected* run is O(1); this is
+/// the worst case.) Saturates instead of truncating: a table with more
+/// than `u32::MAX` slots must clamp, not wrap to a small lie.
+fn probe_bound_for(main: Option<&LowContentionDict>, delta_entries: u64, delta_slots: u64) -> u32 {
+    let run = (delta_entries + 1).min(delta_slots);
+    let run = u32::try_from(run).unwrap_or(u32::MAX);
+    let main = main.map_or(0, |m| m.max_probes());
+    1u32.saturating_add(run).saturating_add(main)
+}
+
+/// Probes the delta (seed replica + linear run) and falls through to the
+/// main structure. Shared by the live structure and [`FrozenDynamic`] so
+/// both answer from identical cells given the same rng stream.
+fn probe_combined(
+    main: Option<&LowContentionDict>,
+    delta: &Table,
+    delta_replicas: u64,
+    delta_slots: u64,
+    x: u64,
+    rng: &mut dyn RngCore,
+    sink: &mut dyn ProbeSink,
+) -> bool {
+    let seed = delta.read(0, uniform_below(rng, delta_replicas), sink);
+    let hash = PerfectHash::from_seed(seed, delta_slots);
+    let mut pos = hash.eval(x);
+    for _ in 0..delta_slots {
+        let cell = delta.read(0, delta_replicas + pos, sink);
+        if cell == EMPTY {
+            break;
+        }
+        if cell & !TOMBSTONE == x {
+            return cell & TOMBSTONE == 0;
+        }
+        pos = (pos + 1) % delta_slots;
+    }
+    match main {
+        Some(main) => {
+            // Main-structure cells live after the delta in the combined
+            // id space of the snapshot.
+            let mut shifted = OffsetSink {
+                inner: sink,
+                offset: delta.num_cells(),
+            };
+            main.contains(x, rng, &mut shifted)
+        }
+        None => false,
     }
 }
 
@@ -294,9 +387,70 @@ impl ProbeSink for OffsetSink<'_> {
     }
 }
 
-/// A frozen view of the dynamic dictionary implementing the measurement
+/// A self-contained immutable snapshot of a [`DynamicLcd`] generation.
+///
+/// The main structure is `Arc`-shared (it is immutable between rebuilds);
+/// the delta table is copied, so the snapshot keeps answering exactly as
+/// the source did at freeze time while the source mutates. This is the
+/// unit a generation-swapped server publishes: cheap to produce (`O(n)`
+/// words memcpy for the delta, a refcount bump for the main table), `Send
+/// + Sync`, and probed through the ordinary [`CellProbeDict`] interface.
+#[derive(Clone, Debug)]
+pub struct FrozenDynamic {
+    main: Option<Arc<LowContentionDict>>,
+    delta: Table,
+    delta_replicas: u64,
+    delta_slots: u64,
+    len: usize,
+    max_probes: u32,
+}
+
+impl FrozenDynamic {
+    /// Membership of `x` as of freeze time, via cell probes.
+    pub fn contains_key(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        probe_combined(
+            self.main.as_deref(),
+            &self.delta,
+            self.delta_replicas,
+            self.delta_slots,
+            x,
+            rng,
+            sink,
+        )
+    }
+
+    /// Total cells across main + delta.
+    pub fn total_cells(&self) -> u64 {
+        self.main.as_ref().map_or(0, |m| m.num_cells()) + self.delta.num_cells()
+    }
+}
+
+impl CellProbeDict for FrozenDynamic {
+    fn name(&self) -> String {
+        "low-contention-dynamic".into()
+    }
+
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        self.contains_key(x, rng, sink)
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.total_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        self.max_probes
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// A borrowed view of the dynamic dictionary implementing the measurement
 /// traits (the dynamic structure itself mutates, so measurement happens on
-/// a snapshot between updates).
+/// a snapshot between updates). For an owned snapshot that survives
+/// further mutation, see [`DynamicLcd::freeze`].
 pub struct DynamicSnapshot<'a>(&'a DynamicLcd);
 
 impl DynamicLcd {
@@ -432,13 +586,212 @@ mod tests {
         }
         let st = d.write_stats();
         assert!(st.rebuilds > base_rebuilds, "must have rebuilt");
-        // Amortized ≈ (cells per rebuild)/(capacity) + O(1) ≈ 2·words/key·2
-        // — comfortably constant, far below O(n).
+        // Per rebuild: main ≈ n·(words/key) + delta 3n cells, paid for by
+        // the ≈ n/2 fresh entries that filled the delta (n grows between
+        // rebuilds, so each rebuild is charged to the *previous* capacity)
+        // — a constant multiple of words/key (~20 for the default config)
+        // plus O(1) delta writes per update. The honest count, now
+        // including the delta slot clears rebuild_writes used to omit,
+        // measures ≈ 89 here; 120 leaves slack without ever re-admitting
+        // an O(n)-ish regression (the old bound was 200 over an
+        // accounting that *undercounted*).
         assert!(
-            st.amortized_writes() < 200.0,
+            st.amortized_writes() < 120.0,
             "amortized {} cells/update",
             st.amortized_writes()
         );
+        assert!(
+            st.amortized_writes() > 1.0,
+            "accounting must include rebuild costs, got {}",
+            st.amortized_writes()
+        );
+    }
+
+    #[test]
+    fn overwrites_at_capacity_do_not_rebuild() {
+        // Regression: apply_delta used to check occupancy *before* probing
+        // for an existing cell, so a tombstone over a pending insert (or a
+        // re-insert over a tombstone) at delta capacity triggered a
+        // spurious O(n) rebuild even though it adds no entry.
+        let initial: Vec<u64> = (0..64u64).map(|i| i * 3 + 1).collect();
+        let mut d = DynamicLcd::new(&initial, 99, ParamsConfig::default()).unwrap();
+        let base = d.write_stats().rebuilds;
+        let cap = d.delta_capacity;
+        assert!(cap >= 2, "test needs a non-trivial delta");
+        let churn: Vec<u64> = (0..cap).map(|i| 1_000_000 + i).collect();
+        for &k in &churn {
+            d.insert(k).unwrap();
+        }
+        assert_eq!(d.write_stats().rebuilds, base, "under capacity: no rebuild");
+        assert_eq!(d.delta_len(), cap);
+
+        // Tombstone over a pending insert, then re-insert over the
+        // tombstone — both pure overwrites, both at full capacity, and
+        // (the regression) neither may rebuild.
+        assert!(d.remove(churn[0]).unwrap());
+        assert!(d.insert(churn[0]).unwrap());
+        assert_eq!(
+            d.write_stats().rebuilds,
+            base,
+            "overwrites at capacity must not rebuild"
+        );
+        // A tombstone for a *main* key is a genuinely fresh entry; at
+        // capacity that one legitimately rebuilds.
+        assert!(d.remove(initial[0]).unwrap());
+        assert_eq!(d.write_stats().rebuilds, base + 1);
+
+        // And directly: at capacity again, overwrites stay rebuild-free.
+        let cap2 = d.delta_capacity;
+        let mut fresh = Vec::new();
+        let mut k = 2_000_000u64;
+        while d.delta_len() < cap2 {
+            if d.insert(k).unwrap() {
+                fresh.push(k);
+            }
+            k += 1;
+        }
+        let r2 = d.write_stats().rebuilds;
+        assert!(d.remove(fresh[0]).unwrap());
+        assert!(d.insert(fresh[0]).unwrap());
+        assert!(d.remove(fresh[1]).unwrap());
+        assert_eq!(
+            d.write_stats().rebuilds,
+            r2,
+            "overwrites at capacity must not rebuild"
+        );
+    }
+
+    #[test]
+    fn rebuild_writes_include_delta_initialization() {
+        // Regression: rebuild_writes used to count only the seed replicas
+        // of the fresh delta, omitting the slots cleared to EMPTY — which
+        // understated the very cost the amortized-O(1) claim is about.
+        let initial: Vec<u64> = (0..128u64).map(|i| i * 5 + 2).collect();
+        let mut d = DynamicLcd::new(&initial, 21, ParamsConfig::default()).unwrap();
+        let before = *d.write_stats();
+        d.flush().unwrap();
+        let after = *d.write_stats();
+        let main_cells = d.main().expect("non-empty").num_cells();
+        let delta_cells = d.delta.num_cells(); // replicas + slots
+        assert_eq!(after.rebuilds, before.rebuilds + 1);
+        assert_eq!(
+            after.rebuild_writes - before.rebuild_writes,
+            main_cells + delta_cells,
+            "a rebuild writes every cell of both fresh tables exactly once"
+        );
+    }
+
+    #[test]
+    fn probe_bound_tracks_occupancy_not_table_size() {
+        // Regression: probe_bound used to add the full slot count (2n) —
+        // wildly pessimistic for a nearly-empty delta, and computed with a
+        // truncating `as u32` cast. The linear-probe run can visit at most
+        // delta_entries + 1 cells before hitting an EMPTY slot.
+        let initial: Vec<u64> = (0..2048u64).map(|i| i * 9 + 4).collect();
+        let mut d = DynamicLcd::new(&initial, 33, ParamsConfig::default()).unwrap();
+        for i in 0..8u64 {
+            d.insert(5_000_000 + i).unwrap();
+        }
+        let main = d.main().unwrap().max_probes();
+        assert_eq!(d.probe_bound(), 1 + (8 + 1) + main);
+        assert!(
+            u64::from(d.probe_bound()) < d.delta_slots,
+            "bound {} must not scale with the {}-slot table",
+            d.probe_bound(),
+            d.delta_slots
+        );
+        // The bound is what snapshots report, and probes never exceed it.
+        let snap = d.freeze();
+        let mut r = rng(34);
+        for x in (0..64u64).map(|i| derive(35, i)) {
+            let mut sink = TraceSink::new();
+            sink.begin_query();
+            let _ = snap.contains_key(x % MAX_KEY, &mut r, &mut sink);
+            assert!(sink.trace().len() <= snap.max_probes() as usize);
+        }
+        // Saturation arithmetic: a delta bigger than u32 clamps, never
+        // wraps (exercised on the helper directly; allocating 2^32 cells
+        // in a unit test is not happening).
+        assert_eq!(probe_bound_for(None, u64::MAX - 1, u64::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn frozen_snapshot_is_immutable_under_mutation() {
+        let initial: Vec<u64> = (0..500u64).map(|i| i * 11 + 3).collect();
+        let mut d = DynamicLcd::new(&initial, 44, ParamsConfig::default()).unwrap();
+        d.insert(7_000_000).unwrap();
+        d.remove(initial[7]).unwrap();
+        let frozen = d.freeze();
+        let live_at_freeze: Vec<u64> = d.live.iter().copied().collect();
+
+        // Frozen answers match the live structure bit-for-bit right now.
+        let probes: Vec<u64> = live_at_freeze
+            .iter()
+            .copied()
+            .take(80)
+            .chain((0..40).map(|i| 9_000_000 + i))
+            .collect();
+        let mut ra = rng(45);
+        let mut rb = rng(45);
+        for &x in &probes {
+            assert_eq!(
+                frozen.contains_key(x, &mut ra, &mut NullSink),
+                d.contains_key(x, &mut rb, &mut NullSink),
+                "x={x}"
+            );
+        }
+
+        // Mutate past a rebuild; the frozen generation must not move.
+        for i in 0..2000u64 {
+            d.insert(10_000_000 + i).unwrap();
+        }
+        assert!(d.write_stats().rebuilds >= 2, "must have rebuilt");
+        let mut rc = rng(46);
+        let oracle: HashSet<u64> = live_at_freeze.iter().copied().collect();
+        for &x in &probes {
+            assert_eq!(
+                frozen.contains_key(x, &mut rc, &mut NullSink),
+                oracle.contains(&x),
+                "frozen view drifted for x={x}"
+            );
+        }
+        assert!(!frozen.contains_key(10_000_001, &mut rc, &mut NullSink));
+        assert_eq!(frozen.len(), live_at_freeze.len());
+    }
+
+    #[test]
+    fn parallel_rebuild_is_deterministic_and_correct() {
+        let initial: Vec<u64> = (0..600u64).map(|i| derive(50, i) % MAX_KEY).collect();
+        let mk = || {
+            let mut d = DynamicLcd::new(&initial, 51, ParamsConfig::default()).unwrap();
+            d.set_parallel_rebuild(true);
+            for i in 0..900u64 {
+                d.insert(derive(52, i) % MAX_KEY).unwrap();
+            }
+            d
+        };
+        let (a, b) = (mk(), mk());
+        assert!(
+            a.write_stats().rebuilds >= 2,
+            "the parallel rebuild path must actually run"
+        );
+        assert_eq!(a.write_stats(), b.write_stats());
+        let (fa, fb) = (a.freeze(), b.freeze());
+        assert_eq!(fa.total_cells(), fb.total_cells());
+        let mut ra = rng(53);
+        let mut rb = rng(53);
+        let mut oracle: HashSet<u64> = initial.iter().copied().collect();
+        for i in 0..900u64 {
+            oracle.insert(derive(52, i) % MAX_KEY);
+        }
+        for x in (0..400u64).map(|i| derive(54, i) % MAX_KEY) {
+            let (ta, tb) = (
+                fa.contains_key(x, &mut ra, &mut NullSink),
+                fb.contains_key(x, &mut rb, &mut NullSink),
+            );
+            assert_eq!(ta, tb, "divergent twins at x={x}");
+            assert_eq!(ta, oracle.contains(&x), "wrong answer at x={x}");
+        }
     }
 
     #[test]
@@ -523,6 +876,11 @@ mod tests {
         assert!(!d.remove(7).unwrap());
         assert!(d.is_empty());
         assert!(!d.contains_key(7, &mut r, &mut NullSink));
+        let f = d.freeze();
+        assert!(f.is_empty());
+        assert!(!f.contains_key(7, &mut r, &mut NullSink));
+        d.flush().unwrap();
+        assert!(d.is_empty());
     }
 
     #[test]

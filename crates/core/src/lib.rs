@@ -63,7 +63,7 @@ pub mod weighted;
 
 pub use builder::{build, build_with, property_trial, BuildError, BuildStats, PropertyTrial};
 pub use dict::{LowContentionDict, Resolution, EMPTY};
-pub use dynamic::{DynamicLcd, WriteStats};
+pub use dynamic::{DynamicLcd, FrozenDynamic, WriteStats};
 pub use par_build::{build_seeded, build_seeded_with, par_build, par_build_with, shard_seed};
 pub use params::{Params, ParamsConfig};
 pub use plan::BatchPlan;

@@ -121,8 +121,15 @@ pub struct Client {
     /// each entry becomes a client-observed span
     /// ([`names::NET_SPAN_CLIENT`], span id = request id) when its
     /// response arrives, joinable against the server's queue/service
-    /// spans for the same id.
+    /// spans for the same id. Every path that abandons a request —
+    /// `Busy` re-sends, wrong-id responses, bulk-call errors — removes
+    /// its entry, so the map never outlives the requests it describes
+    /// (see [`Client::inflight_trace_spans`]).
     sent_ns: HashMap<u64, u64>,
+    /// Send timestamp carried from a request that was shed with `Busy`
+    /// to its re-send, so the recorded client span covers the whole
+    /// shed + backoff + retry interval under the retry's id.
+    carried_send_ns: Option<u64>,
 }
 
 impl Client {
@@ -145,6 +152,7 @@ impl Client {
             next_id: 1,
             busy_retries: 0,
             sent_ns: HashMap::new(),
+            carried_send_ns: None,
         })
     }
 
@@ -154,24 +162,53 @@ impl Client {
         self.busy_retries
     }
 
+    /// Trace-span send timestamps currently outstanding. Zero whenever no
+    /// request is in flight — including after `Busy` retries and failed
+    /// calls — or whenever tracing is off; a nonzero count at rest is a
+    /// leak.
+    pub fn inflight_trace_spans(&self) -> usize {
+        self.sent_ns.len()
+    }
+
     fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let bytes = proto::encode_request(id, req)?;
-        if tracing_enabled() {
-            self.sent_ns.insert(id, monotonic_ns());
-        }
+        // A `Busy` re-send inherits the shed request's send time, so the
+        // recorded span covers the whole shed + backoff + retry interval.
+        let start_ns = self.carried_send_ns.take().unwrap_or_else(monotonic_ns);
         self.stream.write_all(&bytes)?;
         self.stream.flush()?;
+        // Record only after the bytes are on the wire: a failed write has
+        // no response coming, so an earlier insert could never be drained.
+        if tracing_enabled() {
+            self.sent_ns.insert(id, start_ns);
+        }
         Ok(id)
     }
 
     fn recv(&mut self) -> Result<(u64, Response), ClientError> {
         let (id, resp) = proto::read_response(&mut self.stream)?;
         if let Some(start_ns) = self.sent_ns.remove(&id) {
-            record_span(id, names::NET_SPAN_CLIENT, start_ns, monotonic_ns());
+            if matches!(resp, Response::Busy) {
+                // Shed, not served: no span yet — the re-send of this
+                // chunk carries the timestamp forward instead.
+                self.carried_send_ns = Some(start_ns);
+            } else {
+                record_span(id, names::NET_SPAN_CLIENT, start_ns, monotonic_ns());
+            }
         }
         Ok((id, resp))
+    }
+
+    /// Drops the trace bookkeeping of requests a failed call abandons:
+    /// their responses are never awaited, so their entries would
+    /// otherwise sit in [`Client::sent_ns`] forever.
+    fn abandon_traces<I: IntoIterator<Item = u64>>(&mut self, ids: I) {
+        for id in ids {
+            self.sent_ns.remove(&id);
+        }
+        self.carried_send_ns = None;
     }
 
     /// One request, one response, with `Busy` retries. Only correct on a
@@ -181,8 +218,15 @@ impl Client {
         let mut retries = 0u32;
         loop {
             let id = self.send(req)?;
-            let (got_id, resp) = self.recv()?;
+            let (got_id, resp) = match self.recv() {
+                Ok(got) => got,
+                Err(e) => {
+                    self.abandon_traces([id]);
+                    return Err(e);
+                }
+            };
             if got_id != id {
+                self.abandon_traces([id, got_id]);
                 return Err(ClientError::UnknownRequestId(got_id));
             }
             match resp {
@@ -190,6 +234,7 @@ impl Client {
                     retries += 1;
                     self.busy_retries += 1;
                     if retries > self.cfg.max_retries {
+                        self.abandon_traces([id]);
                         return Err(ClientError::BusyExhausted);
                     }
                     thread::sleep(self.cfg.retry_backoff * retries.min(16));
@@ -247,6 +292,35 @@ impl Client {
         }
     }
 
+    /// Inserts `key` into a dynamic server's dictionary; `Ok(true)` if it
+    /// was newly inserted. Strictly request-response (never pipelined), so
+    /// mutations issued on one connection apply in the order sent. Static
+    /// servers answer with [`ClientError::Server`].
+    pub fn insert(&mut self, key: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Insert { key })? {
+            Response::Inserted(fresh) => Ok(fresh),
+            _ => Err(ClientError::UnexpectedResponse("wanted insert result")),
+        }
+    }
+
+    /// Removes `key` from a dynamic server's dictionary; `Ok(true)` if it
+    /// was present.
+    pub fn remove(&mut self, key: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Remove { key })? {
+            Response::Removed(present) => Ok(present),
+            _ => Err(ClientError::UnexpectedResponse("wanted remove result")),
+        }
+    }
+
+    /// Forces a merge-and-rebuild on a dynamic server; returns the newly
+    /// published generation index and its live key count.
+    pub fn flush(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed { generation, keys } => Ok((generation, keys)),
+            _ => Err(ClientError::UnexpectedResponse("wanted flush result")),
+        }
+    }
+
     fn send_chunk(
         &mut self,
         kind: &BulkKind,
@@ -272,20 +346,36 @@ impl Client {
         first_index: u64,
         kind: BulkKind,
     ) -> Result<BulkOut, ClientError> {
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        let out = self.run_bulk_windowed(keys, first_index, &kind, &mut outstanding);
+        if out.is_err() {
+            // Abandoned chunks will never see their responses matched;
+            // without this their trace timestamps leak for good.
+            self.abandon_traces(outstanding.keys().copied());
+        }
+        out
+    }
+
+    fn run_bulk_windowed(
+        &mut self,
+        keys: &[u64],
+        first_index: u64,
+        kind: &BulkKind,
+        outstanding: &mut HashMap<u64, usize>,
+    ) -> Result<BulkOut, ClientError> {
         let chunk_size = self.cfg.chunk.max(1);
         let window = self.cfg.window.max(1);
         let chunks: Vec<&[u64]> = keys.chunks(chunk_size).collect();
         let mut bits: Vec<Vec<bool>> = vec![Vec::new(); chunks.len()];
         let mut count_total = 0u64;
         let mut retries = vec![0u32; chunks.len()];
-        let mut outstanding: HashMap<u64, usize> = HashMap::new();
         let mut next_chunk = 0usize;
         let mut completed = 0usize;
 
         while completed < chunks.len() {
             while outstanding.len() < window && next_chunk < chunks.len() {
                 let start = first_index + (next_chunk * chunk_size) as u64;
-                let id = self.send_chunk(&kind, chunks[next_chunk], start)?;
+                let id = self.send_chunk(kind, chunks[next_chunk], start)?;
                 outstanding.insert(id, next_chunk);
                 next_chunk += 1;
             }
@@ -293,7 +383,7 @@ impl Client {
             let cidx = outstanding
                 .remove(&id)
                 .ok_or(ClientError::UnknownRequestId(id))?;
-            match (resp, &kind) {
+            match (resp, kind) {
                 (Response::BulkContains(v), BulkKind::Contains) => {
                     if v.len() != chunks[cidx].len() {
                         return Err(ClientError::UnexpectedResponse(
@@ -315,7 +405,7 @@ impl Client {
                     }
                     thread::sleep(self.cfg.retry_backoff * retries[cidx].min(16));
                     let start = first_index + (cidx * chunk_size) as u64;
-                    let id = self.send_chunk(&kind, chunks[cidx], start)?;
+                    let id = self.send_chunk(kind, chunks[cidx], start)?;
                     outstanding.insert(id, cidx);
                 }
                 (Response::Error(msg), _) => return Err(ClientError::Server(msg)),

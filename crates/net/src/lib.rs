@@ -15,6 +15,10 @@
 //!   worker pool fed by a **bounded** queue. A full queue sheds with
 //!   `Busy` instead of buffering without limit, and shutdown drains:
 //!   every accepted request gets its response before the socket closes.
+//!   Serves either a static [`lcds_serve::Engine`] or — protocol v2 —
+//!   a [`lcds_serve::DynamicEngine`] whose `Insert`/`Remove`/`Flush`
+//!   opcodes mutate behind RCU-style generation swaps, readers never
+//!   blocking on a rebuild.
 //! * [`client`] — blocking client with request pipelining and `Busy`
 //!   retry with backoff.
 //! * [`loadgen`] — closed-loop multi-connection load generator over the
@@ -38,4 +42,7 @@ pub mod server;
 pub use client::{Client, ClientConfig, ClientError};
 pub use loadgen::{LoadConfig, LoadReport, Workload};
 pub use proto::{DictStats, ProtoError, Request, Response};
-pub use server::{serve, serve_on, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    serve, serve_any, serve_dynamic, serve_on, serve_on_any, Served, ServerConfig, ServerHandle,
+    ServerStats,
+};

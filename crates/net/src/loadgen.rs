@@ -14,9 +14,16 @@
 //! [`LogHistogram`](lcds_obs::metrics::LogHistogram) and merged at the
 //! end — no cross-thread contention on the hot path, in the spirit of
 //! the dictionary this crate serves.
+//!
+//! Against a dynamic server, [`LoadConfig::mutate_every`] turns the run
+//! into a read/write mix: each connection interleaves insert/remove
+//! churn into its read stream, and the run ends with one `Flush` whose
+//! published generation the report carries.
 
 use crate::client::{Client, ClientConfig, ClientError};
 use lcds_cellprobe::dist::{PointMass, QueryDistribution};
+use lcds_hashing::mix::derive;
+use lcds_hashing::MAX_KEY;
 use lcds_obs::metrics::{HistogramSnapshot, LogHistogram};
 use lcds_workloads::{positive_dist, seeded, zipf_over_keys};
 use std::net::SocketAddr;
@@ -50,6 +57,13 @@ pub struct LoadConfig {
     pub workload: Workload,
     /// Master seed; connection `c` derives its own stream from it.
     pub seed: u64,
+    /// Read/write mix against a dynamic server: after every
+    /// `mutate_every` bulk reads a connection issues one mutation
+    /// (alternating an insert of a seed-derived churn key with the
+    /// remove of the previous one), and the run ends with one `Flush`.
+    /// `0` (the default) keeps the run read-only, which is the only mix
+    /// a static server accepts.
+    pub mutate_every: usize,
     /// Knobs for each connection's client.
     pub client: ClientConfig,
 }
@@ -62,6 +76,7 @@ impl Default for LoadConfig {
             batch: 512,
             workload: Workload::Uniform,
             seed: 7,
+            mutate_every: 0,
             client: ClientConfig::default(),
         }
     }
@@ -80,6 +95,15 @@ pub struct LoadReport {
     pub hits: u64,
     /// `Busy` re-sends across all connections (shedding observed).
     pub busy_retries: u64,
+    /// Insert requests issued (read/write mix only).
+    pub inserts: u64,
+    /// Remove requests issued (read/write mix only).
+    pub removes: u64,
+    /// Flush requests issued (one at end of a read/write run).
+    pub flushes: u64,
+    /// Generation index the final flush published (`None` when the run
+    /// was read-only).
+    pub final_generation: Option<u64>,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
     /// Merged per-request latency distribution (nanoseconds).
@@ -108,6 +132,8 @@ struct ConnResult {
     keys: u64,
     hits: u64,
     busy_retries: u64,
+    inserts: u64,
+    removes: u64,
     latency: LogHistogram,
 }
 
@@ -139,6 +165,8 @@ fn run_connection(
         keys: 0,
         hits: 0,
         busy_retries: 0,
+        inserts: 0,
+        removes: 0,
         latency: LogHistogram::new(),
     };
     let batch = cfg.batch.max(1);
@@ -146,6 +174,10 @@ fn run_connection(
     // Each connection is its own logical query stream: the offset keeps
     // advancing so every key has a distinct global position.
     let mut offset = 0u64;
+    // Churn-key counter for the read/write mix: mutation `2m` inserts a
+    // seed-derived key, mutation `2m + 1` removes that same key, so the
+    // live key set the readers see stays within one key of the pool.
+    let mut mutation = 0u64;
     let deadline = Instant::now() + cfg.duration;
     while Instant::now() < deadline {
         keys.clear();
@@ -159,6 +191,17 @@ fn run_connection(
         res.keys += answers.len() as u64;
         res.hits += answers.iter().filter(|&&b| b).count() as u64;
         offset += batch as u64;
+        if cfg.mutate_every > 0 && res.requests % cfg.mutate_every as u64 == 0 {
+            let churn = derive(conn_seed ^ 0xC4B2, mutation / 2) % MAX_KEY;
+            if mutation % 2 == 0 {
+                client.insert(churn)?;
+                res.inserts += 1;
+            } else {
+                client.remove(churn)?;
+                res.removes += 1;
+            }
+            mutation += 1;
+        }
     }
     res.busy_retries = client.busy_retries();
     Ok(res)
@@ -197,6 +240,10 @@ pub fn run(addr: SocketAddr, pool: &[u64], cfg: &LoadConfig) -> Result<LoadRepor
         keys: 0,
         hits: 0,
         busy_retries: 0,
+        inserts: 0,
+        removes: 0,
+        flushes: 0,
+        final_generation: None,
         wall,
         latency: LogHistogram::new().snapshot(),
     };
@@ -207,8 +254,19 @@ pub fn run(addr: SocketAddr, pool: &[u64], cfg: &LoadConfig) -> Result<LoadRepor
         report.keys += r.keys;
         report.hits += r.hits;
         report.busy_retries += r.busy_retries;
+        report.inserts += r.inserts;
+        report.removes += r.removes;
         merged.merge(&r.latency);
     }
     report.latency = merged.snapshot();
+    if cfg.mutate_every > 0 {
+        // Leave the server merged and compact: one explicit flush, whose
+        // published generation the report carries as evidence the write
+        // path really ran end to end.
+        let mut client = Client::connect_with(addr, cfg.client)?;
+        let (generation, _keys) = client.flush()?;
+        report.flushes = 1;
+        report.final_generation = Some(generation);
+    }
     Ok(report)
 }

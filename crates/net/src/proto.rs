@@ -34,8 +34,11 @@ use std::io::{self, Read};
 /// Frame magic, `"LCDS"` read as a little-endian `u32`.
 pub const MAGIC: u32 = 0x4C43_4453;
 
-/// Current protocol version. Bump on any layout change.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Bump on any layout change. Version 2 added
+/// the mutation opcodes ([`OP_INSERT`] / [`OP_REMOVE`] / [`OP_FLUSH`] and
+/// their responses); both ends must speak the same version — the decoder
+/// rejects anything else as [`ProtoError::BadVersion`].
+pub const VERSION: u8 = 2;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -58,6 +61,12 @@ pub const OP_BULK_CONTAINS: u8 = 0x03;
 pub const OP_BULK_COUNT: u8 = 0x04;
 /// Request opcode: dictionary statistics, answered inline.
 pub const OP_STATS: u8 = 0x05;
+/// Request opcode: insert one key (dynamic servers only).
+pub const OP_INSERT: u8 = 0x06;
+/// Request opcode: remove one key (dynamic servers only).
+pub const OP_REMOVE: u8 = 0x07;
+/// Request opcode: force a merge-and-rebuild now (dynamic servers only).
+pub const OP_FLUSH: u8 = 0x08;
 
 /// Response opcode for [`OP_PING`].
 pub const OP_PONG: u8 = 0x81;
@@ -69,6 +78,12 @@ pub const OP_BULK_CONTAINS_RESULT: u8 = 0x83;
 pub const OP_BULK_COUNT_RESULT: u8 = 0x84;
 /// Response opcode for [`OP_STATS`].
 pub const OP_STATS_RESULT: u8 = 0x85;
+/// Response opcode for [`OP_INSERT`].
+pub const OP_INSERT_RESULT: u8 = 0x86;
+/// Response opcode for [`OP_REMOVE`].
+pub const OP_REMOVE_RESULT: u8 = 0x87;
+/// Response opcode for [`OP_FLUSH`].
+pub const OP_FLUSH_RESULT: u8 = 0x88;
 /// Response opcode: request shed because the worker queue was full.
 pub const OP_BUSY: u8 = 0xE0;
 /// Response opcode: server-side failure, payload is a UTF-8 message.
@@ -190,6 +205,19 @@ pub enum Request {
     },
     /// Dictionary statistics.
     Stats,
+    /// Inserts `key` into a dynamic dictionary. Static servers answer
+    /// with [`Response::Error`].
+    Insert {
+        /// The key to insert.
+        key: u64,
+    },
+    /// Removes `key` from a dynamic dictionary.
+    Remove {
+        /// The key to remove.
+        key: u64,
+    },
+    /// Forces a merge-and-rebuild of a dynamic dictionary now.
+    Flush,
 }
 
 impl Request {
@@ -201,6 +229,9 @@ impl Request {
             Request::BulkContains { .. } => OP_BULK_CONTAINS,
             Request::BulkCount { .. } => OP_BULK_COUNT,
             Request::Stats => OP_STATS,
+            Request::Insert { .. } => OP_INSERT,
+            Request::Remove { .. } => OP_REMOVE,
+            Request::Flush => OP_FLUSH,
         }
     }
 
@@ -213,6 +244,9 @@ impl Request {
             Request::BulkContains { .. } => "bulk_contains",
             Request::BulkCount { .. } => "bulk_count",
             Request::Stats => "stats",
+            Request::Insert { .. } => "insert",
+            Request::Remove { .. } => "remove",
+            Request::Flush => "flush",
         }
     }
 }
@@ -230,6 +264,17 @@ pub enum Response {
     BulkCount(u64),
     /// Dictionary statistics.
     Stats(DictStats),
+    /// Insert result: whether the key was newly inserted.
+    Inserted(bool),
+    /// Remove result: whether the key was present.
+    Removed(bool),
+    /// Flush result: the published generation index and live key count.
+    Flushed {
+        /// Generation index published by the flush.
+        generation: u64,
+        /// Live keys after the flush.
+        keys: u64,
+    },
     /// Shed: the worker queue was full; retry after backing off.
     Busy,
     /// Server-side failure.
@@ -245,6 +290,9 @@ impl Response {
             Response::BulkContains(_) => OP_BULK_CONTAINS_RESULT,
             Response::BulkCount(_) => OP_BULK_COUNT_RESULT,
             Response::Stats(_) => OP_STATS_RESULT,
+            Response::Inserted(_) => OP_INSERT_RESULT,
+            Response::Removed(_) => OP_REMOVE_RESULT,
+            Response::Flushed { .. } => OP_FLUSH_RESULT,
             Response::Busy => OP_BUSY,
             Response::Error(_) => OP_ERROR,
         }
@@ -334,7 +382,8 @@ fn bulk_payload(first_index: u64, keys: &[u64]) -> Vec<u8> {
 /// [`MAX_BULK_KEYS`] (callers chunk far below that).
 pub fn encode_request(request_id: u64, req: &Request) -> Result<Vec<u8>, ProtoError> {
     let payload = match req {
-        Request::Ping | Request::Stats => Vec::new(),
+        Request::Ping | Request::Stats | Request::Flush => Vec::new(),
+        Request::Insert { key } | Request::Remove { key } => key.to_le_bytes().to_vec(),
         Request::Contains { index, key } => {
             let mut p = Vec::with_capacity(16);
             p.extend_from_slice(&index.to_le_bytes());
@@ -357,6 +406,14 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Result<Vec<u8>, Prot
     let payload = match resp {
         Response::Pong | Response::Busy => Vec::new(),
         Response::Contains(hit) => vec![u8::from(*hit)],
+        Response::Inserted(fresh) => vec![u8::from(*fresh)],
+        Response::Removed(was_present) => vec![u8::from(*was_present)],
+        Response::Flushed { generation, keys } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.extend_from_slice(&keys.to_le_bytes());
+            p
+        }
         Response::BulkContains(bits) => {
             if bits.len() as u64 > u32::MAX as u64 {
                 return Err(ProtoError::BadPayload("bulk result exceeds u32 count"));
@@ -458,6 +515,18 @@ pub fn decode_request_payload(h: &Header, p: &[u8]) -> Result<Request, ProtoErro
             let (first_index, keys) = decode_bulk(p)?;
             Ok(Request::BulkCount { first_index, keys })
         }
+        OP_INSERT => {
+            expect_len(p, 8, "insert payload must be one key")?;
+            Ok(Request::Insert { key: le_u64(p) })
+        }
+        OP_REMOVE => {
+            expect_len(p, 8, "remove payload must be one key")?;
+            Ok(Request::Remove { key: le_u64(p) })
+        }
+        OP_FLUSH => {
+            expect_len(p, 0, "flush carries no payload")?;
+            Ok(Request::Flush)
+        }
         other => Err(ProtoError::UnknownOpcode(other)),
     }
 }
@@ -515,6 +584,29 @@ pub fn decode_response_payload(h: &Header, p: &[u8]) -> Result<Response, ProtoEr
         OP_BULK_COUNT_RESULT => {
             expect_len(p, 8, "bulk count result must be eight bytes")?;
             Ok(Response::BulkCount(le_u64(p)))
+        }
+        OP_INSERT_RESULT => {
+            expect_len(p, 1, "insert result must be one byte")?;
+            match p[0] {
+                0 => Ok(Response::Inserted(false)),
+                1 => Ok(Response::Inserted(true)),
+                _ => Err(ProtoError::BadPayload("insert result byte must be 0 or 1")),
+            }
+        }
+        OP_REMOVE_RESULT => {
+            expect_len(p, 1, "remove result must be one byte")?;
+            match p[0] {
+                0 => Ok(Response::Removed(false)),
+                1 => Ok(Response::Removed(true)),
+                _ => Err(ProtoError::BadPayload("remove result byte must be 0 or 1")),
+            }
+        }
+        OP_FLUSH_RESULT => {
+            expect_len(p, 16, "flush result must be generation + key count")?;
+            Ok(Response::Flushed {
+                generation: le_u64(&p[0..8]),
+                keys: le_u64(&p[8..16]),
+            })
         }
         OP_STATS_RESULT => {
             expect_len(p, 32, "stats result must be 32 bytes")?;
@@ -610,6 +702,10 @@ mod tests {
                 first_index: 0,
                 keys: vec![42],
             },
+            Request::Insert { key: 0 },
+            Request::Insert { key: u64::MAX },
+            Request::Remove { key: 7 },
+            Request::Flush,
         ];
         for (i, req) in reqs.iter().enumerate() {
             let bytes = encode_request(i as u64 + 9, req).unwrap();
@@ -640,6 +736,14 @@ mod tests {
                 max_probes: 7,
                 seed: 0xC0FFEE,
             }),
+            Response::Inserted(true),
+            Response::Inserted(false),
+            Response::Removed(true),
+            Response::Removed(false),
+            Response::Flushed {
+                generation: u64::MAX,
+                keys: 12_345,
+            },
             Response::Error("shard exploded".to_string()),
             Response::Error(String::new()),
         ];
@@ -664,10 +768,18 @@ mod tests {
         assert!(matches!(decode_request(&bad), Err(ProtoError::BadMagic(_))));
 
         let mut bad = good.clone();
-        bad[4] = 2;
+        bad[4] = VERSION + 1;
         assert!(matches!(
             decode_request(&bad),
-            Err(ProtoError::BadVersion(2))
+            Err(ProtoError::BadVersion(v)) if v == VERSION + 1
+        ));
+        // Version 1 frames (pre-mutation-opcode layout) are rejected too:
+        // the protocol has no cross-version compatibility story.
+        let mut bad = good.clone();
+        bad[4] = 1;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(ProtoError::BadVersion(1))
         ));
 
         let mut bad = good.clone();
@@ -770,6 +882,57 @@ mod tests {
             decode_response(&forged),
             Err(ProtoError::BadPayload(_))
         ));
+    }
+
+    #[test]
+    fn mutation_payload_lengths_are_validated() {
+        // Insert with a short payload.
+        let good = encode_request(2, &Request::Insert { key: 9 }).unwrap();
+        let mut forged = good.clone();
+        forged[16..20].copy_from_slice(&4u32.to_le_bytes());
+        forged.truncate(HEADER_LEN + 4);
+        assert!(matches!(
+            decode_request(&forged),
+            Err(ProtoError::BadPayload(_))
+        ));
+        // Flush must carry no payload.
+        let mut forged = encode_request(3, &Request::Flush).unwrap();
+        forged[16..20].copy_from_slice(&8u32.to_le_bytes());
+        forged.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode_request(&forged),
+            Err(ProtoError::BadPayload(_))
+        ));
+        // Result booleans must be canonical 0/1.
+        let mut forged = encode_response(4, &Response::Inserted(true)).unwrap();
+        forged[HEADER_LEN] = 2;
+        assert!(matches!(
+            decode_response(&forged),
+            Err(ProtoError::BadPayload(_))
+        ));
+        let mut forged = encode_response(5, &Response::Removed(false)).unwrap();
+        forged[HEADER_LEN] = 0xFF;
+        assert!(matches!(
+            decode_response(&forged),
+            Err(ProtoError::BadPayload(_))
+        ));
+        // Flushed must be exactly 16 bytes.
+        let good = encode_response(
+            6,
+            &Response::Flushed {
+                generation: 1,
+                keys: 2,
+            },
+        )
+        .unwrap();
+        let mut forged = good.clone();
+        forged[16..20].copy_from_slice(&8u32.to_le_bytes());
+        forged.truncate(HEADER_LEN + 8);
+        assert!(matches!(
+            decode_response(&forged),
+            Err(ProtoError::BadPayload(_))
+        ));
+        assert!(decode_response(&good).is_ok());
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //!   mid-read), answers `Ping`/`Stats` inline, and enqueues dictionary
 //!   work onto a **bounded** crossbeam channel;
 //! * a fixed pool of **worker** threads drains the channel, dispatches
-//!   into the shared [`lcds_serve::Engine`], and writes responses back
-//!   through a per-connection mutexed writer (workers finish out of
-//!   order; the `request_id` tells the client which answer is which).
+//!   into the shared dictionary ([`Served`]: a static
+//!   [`lcds_serve::Engine`] or a generation-swapped
+//!   [`lcds_serve::DynamicEngine`]), and writes responses back through a
+//!   per-connection mutexed writer (workers finish out of order; the
+//!   `request_id` tells the client which answer is which). Mutation
+//!   opcodes (`Insert`/`Remove`/`Flush`, dynamic servers only) ride the
+//!   same queue; a shed happens before execution, so `Busy` retries never
+//!   double-apply a write.
 //!
 //! **Backpressure is explicit.** When the channel is full, `try_send`
 //! fails and the reader immediately writes [`Response::Busy`] — the
@@ -30,13 +35,13 @@
 
 use crate::proto::{
     self, DictStats, ProtoError, Request, Response, HEADER_LEN, MAX_PAYLOAD, OP_BULK_CONTAINS,
-    OP_BULK_COUNT, OP_CONTAINS, OP_PING, OP_STATS,
+    OP_BULK_COUNT, OP_CONTAINS, OP_FLUSH, OP_INSERT, OP_PING, OP_REMOVE, OP_STATS,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use lcds_obs::events::monotonic_ns;
 use lcds_obs::names;
 use lcds_obs::trace::{record_span, tracing_enabled};
-use lcds_serve::Engine;
+use lcds_serve::{DynamicEngine, Engine};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -74,6 +79,85 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             worker_lag: None,
+        }
+    }
+}
+
+/// The dictionary a server answers from: a static [`Engine`] (reads
+/// only) or a [`DynamicEngine`] (reads plus Insert/Remove/Flush behind
+/// generation swaps). Readers of a dynamic engine snapshot one published
+/// generation per request, so every response is internally consistent
+/// even while the writer rebuilds underneath.
+#[derive(Clone)]
+pub enum Served {
+    /// Immutable engine: mutation opcodes are answered with an error.
+    Static(Arc<Engine>),
+    /// Generation-swapped dynamic engine: mutation opcodes apply.
+    Dynamic(Arc<DynamicEngine>),
+}
+
+impl Served {
+    fn dict_stats(&self) -> DictStats {
+        match self {
+            Served::Static(e) => DictStats {
+                keys: e.key_count() as u64,
+                cells: e.num_cells(),
+                shards: e.num_shards() as u32,
+                max_probes: e.max_probes(),
+                seed: e.seed(),
+            },
+            Served::Dynamic(e) => DictStats {
+                keys: e.key_count() as u64,
+                cells: e.num_cells(),
+                shards: 1,
+                max_probes: e.max_probes(),
+                seed: e.seed(),
+            },
+        }
+    }
+
+    fn contains_at(&self, key: u64, index: u64) -> bool {
+        match self {
+            Served::Static(e) => e.contains_at(key, index),
+            Served::Dynamic(e) => e.contains_at(key, index),
+        }
+    }
+
+    fn bulk_contains_at(&self, keys: &[u64], first_index: u64) -> Vec<bool> {
+        match self {
+            Served::Static(e) => e.bulk_contains_at(keys, first_index),
+            Served::Dynamic(e) => e.bulk_contains_at(keys, first_index),
+        }
+    }
+
+    fn bulk_count_at(&self, keys: &[u64], first_index: u64) -> usize {
+        match self {
+            Served::Static(e) => e.bulk_count_at(keys, first_index),
+            Served::Dynamic(e) => e.bulk_count_at(keys, first_index),
+        }
+    }
+
+    fn apply_mutation(&self, req: &Request) -> Response {
+        let e = match self {
+            Served::Static(_) => {
+                return Response::Error(
+                    "server is static; restart with --dynamic to mutate".to_string(),
+                )
+            }
+            Served::Dynamic(e) => e,
+        };
+        let done = match req {
+            Request::Insert { key } => e.insert(*key).map(Response::Inserted),
+            Request::Remove { key } => e.remove(*key).map(Response::Removed),
+            Request::Flush => e
+                .flush()
+                .map(|(generation, keys)| Response::Flushed { generation, keys }),
+            // handle_request routes only mutation opcodes here.
+            _ => return Response::Error("not a mutation".to_string()),
+        };
+        match done {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(format!("rebuild failed: {e}")),
         }
     }
 }
@@ -192,14 +276,42 @@ pub fn serve<A: ToSocketAddrs>(
     engine: Arc<Engine>,
     cfg: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    serve_on(listener, engine, cfg)
+    serve_any(addr, Served::Static(engine), cfg)
 }
 
 /// [`serve`] over an already-bound listener.
 pub fn serve_on(
     listener: TcpListener,
     engine: Arc<Engine>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_on_any(listener, Served::Static(engine), cfg)
+}
+
+/// [`serve`] over a [`DynamicEngine`]: mutation opcodes apply instead of
+/// erroring, and reads snapshot the latest published generation.
+pub fn serve_dynamic<A: ToSocketAddrs>(
+    addr: A,
+    engine: Arc<DynamicEngine>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_any(addr, Served::Dynamic(engine), cfg)
+}
+
+/// [`serve`] over either engine kind.
+pub fn serve_any<A: ToSocketAddrs>(
+    addr: A,
+    served: Served,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    serve_on_any(listener, served, cfg)
+}
+
+/// [`serve_any`] over an already-bound listener.
+pub fn serve_on_any(
+    listener: TcpListener,
+    served: Served,
     cfg: ServerConfig,
 ) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
@@ -211,18 +323,18 @@ pub fn serve_on(
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
     for _ in 0..cfg.workers.max(1) {
         let rx = rx.clone();
-        let engine = Arc::clone(&engine);
+        let served = served.clone();
         let stats = Arc::clone(&stats);
-        workers.push(thread::spawn(move || worker_loop(rx, engine, stats, cfg)));
+        workers.push(thread::spawn(move || worker_loop(rx, served, stats, cfg)));
     }
     drop(rx);
 
     let accept = {
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
-        let engine = Arc::clone(&engine);
+        let served = served.clone();
         let tx = tx.clone();
-        thread::spawn(move || accept_loop(listener, stop, stats, engine, tx, cfg))
+        thread::spawn(move || accept_loop(listener, stop, stats, served, tx, cfg))
     };
 
     lcds_obs::emit(
@@ -249,7 +361,7 @@ fn accept_loop(
     listener: TcpListener,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    engine: Arc<Engine>,
+    served: Served,
     tx: Sender<Job>,
     cfg: ServerConfig,
 ) {
@@ -261,10 +373,10 @@ fn accept_loop(
                 lcds_obs::counter(names::NET_CONNECTIONS_TOTAL).inc();
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
-                let engine = Arc::clone(&engine);
+                let served = served.clone();
                 let tx = tx.clone();
                 readers.push(thread::spawn(move || {
-                    reader_loop(stream, stop, stats, engine, tx, cfg)
+                    reader_loop(stream, stop, stats, served, tx, cfg)
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
@@ -299,7 +411,14 @@ fn step_frame(buf: &[u8]) -> FrameStep {
     // Only known *request* opcodes may reserve buffer space.
     if !matches!(
         h.opcode,
-        OP_PING | OP_CONTAINS | OP_BULK_CONTAINS | OP_BULK_COUNT | OP_STATS
+        OP_PING
+            | OP_CONTAINS
+            | OP_BULK_CONTAINS
+            | OP_BULK_COUNT
+            | OP_STATS
+            | OP_INSERT
+            | OP_REMOVE
+            | OP_FLUSH
     ) {
         return FrameStep::Fail(h.request_id, ProtoError::UnknownOpcode(h.opcode));
     }
@@ -317,7 +436,7 @@ fn reader_loop(
     stream: TcpStream,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    engine: Arc<Engine>,
+    served: Served,
     tx: Sender<Job>,
     cfg: ServerConfig,
 ) {
@@ -344,7 +463,7 @@ fn reader_loop(
                 FrameStep::Got(request_id, req, used) => {
                     buf.drain(..used);
                     last_progress = Instant::now();
-                    if !handle_request(&writer, &engine, &stats, &tx, request_id, req) {
+                    if !handle_request(&writer, &served, &stats, &tx, request_id, req) {
                         break 'conn;
                     }
                 }
@@ -398,7 +517,7 @@ fn reader_loop(
 /// connection.
 fn handle_request(
     writer: &Arc<ConnWriter>,
-    engine: &Arc<Engine>,
+    served: &Served,
     stats: &ServerStats,
     tx: &Sender<Job>,
     request_id: u64,
@@ -407,20 +526,20 @@ fn handle_request(
     match req {
         Request::Ping => writer.write_response(request_id, &Response::Pong).is_ok(),
         Request::Stats => {
-            let s = DictStats {
-                keys: engine.key_count() as u64,
-                cells: engine.num_cells(),
-                shards: engine.num_shards() as u32,
-                max_probes: engine.max_probes(),
-                seed: engine.seed(),
-            };
+            let s = served.dict_stats();
             writer
                 .write_response(request_id, &Response::Stats(s))
                 .is_ok()
         }
+        // Mutations ride the same bounded queue as reads: a shed happens
+        // strictly *before* execution, so a `Busy` retry can never apply
+        // an Insert/Remove twice.
         req @ (Request::Contains { .. }
         | Request::BulkContains { .. }
-        | Request::BulkCount { .. }) => {
+        | Request::BulkCount { .. }
+        | Request::Insert { .. }
+        | Request::Remove { .. }
+        | Request::Flush) => {
             writer.inflight.fetch_add(1, Ordering::SeqCst);
             let job = Job {
                 writer: Arc::clone(writer),
@@ -447,7 +566,7 @@ fn handle_request(
     }
 }
 
-fn worker_loop(rx: Receiver<Job>, engine: Arc<Engine>, stats: Arc<ServerStats>, cfg: ServerConfig) {
+fn worker_loop(rx: Receiver<Job>, served: Served, stats: Arc<ServerStats>, cfg: ServerConfig) {
     while let Ok(job) = rx.recv() {
         // Queue wait ends at dequeue — before the (test-only) worker lag,
         // which models slow *service*, not a deep queue.
@@ -474,13 +593,18 @@ fn worker_loop(rx: Receiver<Job>, engine: Arc<Engine>, stats: Arc<ServerStats>, 
         }
         let label = job.req.label();
         let t0 = Instant::now();
-        let resp = match job.req {
-            Request::Contains { index, key } => Response::Contains(engine.contains_at(key, index)),
+        let resp = match &job.req {
+            Request::Contains { index, key } => {
+                Response::Contains(served.contains_at(*key, *index))
+            }
             Request::BulkContains { first_index, keys } => {
-                Response::BulkContains(engine.bulk_contains_at(&keys, first_index))
+                Response::BulkContains(served.bulk_contains_at(keys, *first_index))
             }
             Request::BulkCount { first_index, keys } => {
-                Response::BulkCount(engine.bulk_count_at(&keys, first_index) as u64)
+                Response::BulkCount(served.bulk_count_at(keys, *first_index) as u64)
+            }
+            req @ (Request::Insert { .. } | Request::Remove { .. } | Request::Flush) => {
+                served.apply_mutation(req)
             }
             // Inline opcodes never reach the queue.
             Request::Ping | Request::Stats => Response::Pong,

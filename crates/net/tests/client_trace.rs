@@ -1,0 +1,167 @@
+//! Regression tests for the client's trace-span bookkeeping: the
+//! `sent_ns` map must drain on every path — `Busy` re-sends, wrong-id
+//! responses, and bulk calls that die mid-window — not only on the happy
+//! path. Each scenario scripts a raw fake server so the exact response
+//! sequence (and misbehavior) is under test control.
+//!
+//! This lives in its own test binary because it flips the process-global
+//! tracing gate: the client records send timestamps only while
+//! `lcds_obs::trace::tracing_enabled()`, and the loopback suite must not
+//! inherit that.
+
+use lcds_net::client::{Client, ClientConfig, ClientError};
+use lcds_net::proto::{self, Request, Response, HEADER_LEN};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+fn trace_on() {
+    lcds_obs::trace::set_tracing(true);
+}
+
+fn client_cfg() -> ClientConfig {
+    ClientConfig {
+        chunk: 2,
+        window: 2,
+        max_retries: 4,
+        retry_backoff: Duration::from_millis(1),
+        read_timeout: Duration::from_secs(5),
+    }
+}
+
+/// Reads exactly one request frame off the socket.
+fn read_request(stream: &mut TcpStream) -> (u64, Request) {
+    let mut head = [0u8; HEADER_LEN];
+    stream.read_exact(&mut head).expect("read request header");
+    let h = proto::decode_header(&head).expect("well-formed header");
+    let mut payload = vec![0u8; h.payload_len as usize];
+    stream
+        .read_exact(&mut payload)
+        .expect("read request payload");
+    let req = proto::decode_request_payload(&h, &payload).expect("well-formed payload");
+    (h.request_id, req)
+}
+
+fn write_response(stream: &mut TcpStream, id: u64, resp: &Response) {
+    let bytes = proto::encode_response(id, resp).expect("encode response");
+    stream.write_all(&bytes).expect("write response");
+    stream.flush().expect("flush response");
+}
+
+/// Runs `script` as a one-connection fake server and hands the client to
+/// `drive`; joins the server before returning.
+fn with_fake_server(
+    script: impl FnOnce(TcpStream) + Send + 'static,
+    drive: impl FnOnce(&mut Client),
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("local addr");
+    let server = thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        script(stream);
+    });
+    let mut client = Client::connect_with(addr, client_cfg()).expect("connect");
+    drive(&mut client);
+    server.join().expect("fake server panicked");
+}
+
+#[test]
+fn busy_retry_drains_and_carries_the_span() {
+    trace_on();
+    with_fake_server(
+        |mut s| {
+            // Shed the first attempt, serve the re-send.
+            let (id1, req1) = read_request(&mut s);
+            assert_eq!(req1, Request::Ping);
+            write_response(&mut s, id1, &Response::Busy);
+            let (id2, req2) = read_request(&mut s);
+            assert_eq!(req2, Request::Ping);
+            assert_ne!(id2, id1, "a re-send uses a fresh request id");
+            write_response(&mut s, id2, &Response::Pong);
+        },
+        |client| {
+            client.ping().expect("ping survives one Busy");
+            assert_eq!(client.busy_retries(), 1);
+            assert_eq!(
+                client.inflight_trace_spans(),
+                0,
+                "the shed request's timestamp must not linger in the trace map"
+            );
+        },
+    );
+}
+
+#[test]
+fn wrong_id_response_drains_the_abandoned_request() {
+    trace_on();
+    with_fake_server(
+        |mut s| {
+            let (id, req) = read_request(&mut s);
+            assert_eq!(req, Request::Ping);
+            // Answer under an id the client never issued.
+            write_response(&mut s, id.wrapping_add(1000), &Response::Pong);
+        },
+        |client| {
+            match client.ping() {
+                Err(ClientError::UnknownRequestId(_)) => {}
+                other => panic!("wanted UnknownRequestId, got {other:?}"),
+            }
+            assert_eq!(
+                client.inflight_trace_spans(),
+                0,
+                "the request abandoned by a wrong-id response must be dropped \
+                 from the trace map"
+            );
+        },
+    );
+}
+
+#[test]
+fn bulk_error_mid_window_drains_every_outstanding_chunk() {
+    trace_on();
+    with_fake_server(
+        |mut s| {
+            // The client pipelines both chunks before its first recv; fail
+            // the first so the second is abandoned while still in flight.
+            let (id_a, req_a) = read_request(&mut s);
+            assert!(matches!(req_a, Request::BulkContains { .. }));
+            let (_id_b, req_b) = read_request(&mut s);
+            assert!(matches!(req_b, Request::BulkContains { .. }));
+            write_response(&mut s, id_a, &Response::Error("scripted failure".into()));
+        },
+        |client| {
+            match client.bulk_contains(&[1, 2, 3, 4], 0) {
+                Err(ClientError::Server(msg)) => assert_eq!(msg, "scripted failure"),
+                other => panic!("wanted the scripted server error, got {other:?}"),
+            }
+            assert_eq!(
+                client.inflight_trace_spans(),
+                0,
+                "chunks still in flight when a bulk call fails must be dropped \
+                 from the trace map"
+            );
+        },
+    );
+}
+
+#[test]
+fn recv_failure_drains_the_unanswered_request() {
+    trace_on();
+    with_fake_server(
+        |mut s| {
+            // Swallow the request and hang up without answering.
+            let _ = read_request(&mut s);
+            drop(s);
+        },
+        |client| {
+            assert!(client.ping().is_err(), "closed connection must error");
+            assert_eq!(
+                client.inflight_trace_spans(),
+                0,
+                "a request whose response never arrives must be dropped from \
+                 the trace map when the call fails"
+            );
+        },
+    );
+}

@@ -1,0 +1,211 @@
+//! Dynamic-serving loopback tests: Insert/Remove/Flush over TCP must
+//! leave the server's dictionary in exactly the state a mirror
+//! [`DynamicLcd`] reaches from the same op sequence, and reads through
+//! the wire must stay bit-identical to direct [`FrozenDynamic`] probes
+//! at any chunking — including reads interleaved with the mutations
+//! that force background rebuilds.
+
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_cellprobe::sink::NullSink;
+use lcds_core::{DynamicLcd, FrozenDynamic, ParamsConfig};
+use lcds_hashing::mix::derive;
+use lcds_hashing::MAX_KEY;
+use lcds_net::client::{Client, ClientConfig, ClientError};
+use lcds_net::loadgen::{self, LoadConfig, Workload};
+use lcds_net::server::{serve, serve_dynamic, ServerConfig};
+use lcds_serve::{DynamicEngine, Engine, EngineConfig};
+use lcds_workloads::uniform_keys;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DICT_SEED: u64 = 41;
+const QUERY_SEED: u64 = 43;
+
+/// The ground truth the wire must reproduce: direct frozen-snapshot
+/// probes with per-key randomness drawn from the key's global stream
+/// position.
+fn expected_bits(frozen: &FrozenDynamic, probes: &[u64], first_index: u64) -> Vec<bool> {
+    probes
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let mut rng = StreamRng::for_stream(QUERY_SEED, first_index + i as u64);
+            frozen.contains_key(x, &mut rng, &mut NullSink)
+        })
+        .collect()
+}
+
+#[test]
+fn mutations_over_tcp_match_a_mirror_and_reads_stay_bit_identical() {
+    let initial = uniform_keys(400, 17);
+    let engine = Arc::new(
+        DynamicEngine::new(
+            &initial,
+            DICT_SEED,
+            QUERY_SEED,
+            EngineConfig::with_batch(64),
+        )
+        .expect("build dynamic engine"),
+    );
+    let handle = serve_dynamic("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // The mirror replays the exact op sequence with the same structure
+    // seed and the same (parallel) rebuild path as the server's writer.
+    let mut mirror = DynamicLcd::new(&initial, DICT_SEED, ParamsConfig::default()).expect("mirror");
+    mirror.set_parallel_rebuild(true);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let probes: Vec<u64> = initial
+        .iter()
+        .copied()
+        .take(120)
+        .chain((0..120).map(|i| derive(19, i) % MAX_KEY))
+        .chain((0..60).map(|i| derive(23, i) % MAX_KEY))
+        .collect();
+
+    // Phased churn: mutate, then immediately read back through the wire
+    // and compare against the mirror's frozen snapshot of the same point
+    // in the op sequence. Enough inserts to cross the delta capacity and
+    // force at least one full rebuild mid-run.
+    for phase in 0..5u64 {
+        for i in 0..120u64 {
+            let k = derive(19, phase * 120 + i) % MAX_KEY;
+            let over_wire = client.insert(k).expect("insert over TCP");
+            assert_eq!(over_wire, mirror.insert(k).expect("mirror insert"));
+        }
+        for i in 0..30u64 {
+            let k = derive(19, phase * 30 + i * 2) % MAX_KEY;
+            let over_wire = client.remove(k).expect("remove over TCP");
+            assert_eq!(over_wire, mirror.remove(k).expect("mirror remove"));
+        }
+        let frozen = mirror.freeze();
+        let expect = expected_bits(&frozen, &probes, 0);
+        let got = client.bulk_contains(&probes, 0).expect("bulk over TCP");
+        assert_eq!(got, expect, "phase {phase}: wire answers drifted");
+    }
+    assert!(
+        mirror.write_stats().rebuilds >= 2,
+        "the churn was sized to force at least one background rebuild \
+         (got {} builds)",
+        mirror.write_stats().rebuilds
+    );
+
+    // Explicit flush: the server merges and publishes; the mirror does
+    // the same; answers and key counts must still agree exactly.
+    let (generation, live) = client.flush().expect("flush over TCP");
+    mirror.flush().expect("mirror flush");
+    assert!(generation > 0);
+    assert_eq!(live, mirror.len() as u64);
+    assert_eq!(client.stats().expect("stats").keys, mirror.len() as u64);
+
+    // Any client-side chunking reassembles to the same bits, and counts
+    // agree with the bitmap.
+    let frozen = mirror.freeze();
+    let expect = expected_bits(&frozen, &probes, 0);
+    for chunk in [1usize, 7, 64, 100, probes.len()] {
+        let mut chunked = Client::connect_with(
+            addr,
+            ClientConfig {
+                chunk,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect chunked");
+        let got = chunked.bulk_contains(&probes, 0).expect("chunked bulk");
+        assert_eq!(got, expect, "chunk {chunk}: wire answers drifted");
+        assert_eq!(
+            chunked.bulk_count(&probes, 0).expect("chunked count"),
+            expect.iter().filter(|&&b| b).count() as u64,
+        );
+    }
+    // Offsets survive stitching, too.
+    let (a, b) = probes.split_at(97);
+    let mut stitched = client.bulk_contains(a, 0).expect("left half");
+    stitched.extend(client.bulk_contains(b, a.len() as u64).expect("right half"));
+    assert_eq!(stitched, expect);
+
+    handle.shutdown();
+    let c = engine.counters();
+    assert!(c.inserts > 0 && c.removes > 0 && c.flushes == 1);
+    assert!(c.rebuilds >= 2);
+}
+
+#[test]
+fn static_servers_reject_mutations_with_a_typed_server_error() {
+    let keys = uniform_keys(200, 29);
+    let d = lcds_core::build_with(
+        &keys,
+        &ParamsConfig::default(),
+        &mut lcds_workloads::seeded(29),
+    )
+    .expect("build static dictionary");
+    let engine = Arc::new(Engine::new(d, QUERY_SEED, EngineConfig::with_batch(64)));
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    for result in [
+        client.insert(1).map(|_| ()),
+        client.remove(keys[0]).map(|_| ()),
+        client.flush().map(|_| ()),
+    ] {
+        match result {
+            Err(ClientError::Server(msg)) => {
+                assert!(
+                    msg.contains("static"),
+                    "the rejection should say the server is static, got {msg:?}"
+                );
+            }
+            other => panic!("wanted a server-side rejection, got {other:?}"),
+        }
+    }
+    // The connection survives the rejections: reads still work.
+    assert!(client.ping().is_ok());
+    assert_eq!(
+        client.bulk_count(&keys, 0).expect("reads still served"),
+        keys.len() as u64
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn loadgen_write_mix_mutates_and_flushes_a_dynamic_server() {
+    let pool = uniform_keys(300, 31);
+    let engine = Arc::new(
+        DynamicEngine::new(&pool, DICT_SEED, QUERY_SEED, EngineConfig::with_batch(64))
+            .expect("build dynamic engine"),
+    );
+    let handle = serve_dynamic("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind loopback");
+
+    let report = loadgen::run(
+        handle.local_addr(),
+        &pool,
+        &LoadConfig {
+            connections: 2,
+            duration: Duration::from_millis(250),
+            batch: 64,
+            workload: Workload::Uniform,
+            seed: 99,
+            mutate_every: 2,
+            client: ClientConfig::default(),
+        },
+    )
+    .expect("write-mix load run");
+
+    assert!(report.requests > 0);
+    assert!(report.inserts > 0, "the mix never inserted");
+    assert_eq!(report.flushes, 1);
+    let generation = report
+        .final_generation
+        .expect("a write mix ends in a flush");
+    assert!(generation > 0);
+    // Churn keys live outside the pool (fresh derivations), so pool reads
+    // still hit every member.
+    assert_eq!(report.hits, report.keys);
+    let c = engine.counters();
+    assert!(c.inserts >= report.inserts);
+    assert_eq!(c.flushes, 1);
+    handle.shutdown();
+}

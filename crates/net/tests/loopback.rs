@@ -300,6 +300,7 @@ fn loadgen_closed_loop_reports_real_throughput() {
                 batch: 64,
                 workload,
                 seed: 99,
+                mutate_every: 0,
                 client: ClientConfig::default(),
             },
         )

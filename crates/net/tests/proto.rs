@@ -12,7 +12,7 @@ use proptest::prelude::*;
 // harness's deterministic proptest stand-in.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..5,
+        0usize..8,
         any::<u64>(),
         any::<u64>(),
         prop::collection::vec(any::<u64>(), 0..64),
@@ -21,7 +21,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
             0 => Request::Ping,
             1 => Request::Stats,
             2 => Request::Contains { index: a, key: b },
-            3 => Request::BulkContains {
+            3 => Request::Insert { key: b },
+            4 => Request::Remove { key: b },
+            5 => Request::Flush,
+            6 => Request::BulkContains {
                 first_index: a,
                 keys,
             },
@@ -34,7 +37,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0usize..7,
+        0usize..10,
         any::<u64>(),
         prop::collection::vec(any::<bool>(), 0..130),
         prop::collection::vec(32u8..127, 0..40),
@@ -47,7 +50,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 2 => Response::Contains(a & 1 == 1),
                 3 => Response::BulkContains(bits),
                 4 => Response::BulkCount(a),
-                5 => Response::Stats(DictStats {
+                5 => Response::Inserted(a & 1 == 1),
+                6 => Response::Removed(a & 2 == 2),
+                7 => Response::Flushed {
+                    generation: a,
+                    keys: cells,
+                },
+                8 => Response::Stats(DictStats {
                     keys: a,
                     cells,
                     shards,

@@ -186,6 +186,33 @@ pub const NET_SPAN_SERVICE: &str = "lcds_net_service";
 /// response; span id = request id). Trace-only.
 pub const NET_SPAN_CLIENT: &str = "lcds_net_client_request";
 
+/// Insert requests applied by the dynamic serving engine (counter; counts
+/// applied mutations, i.e. `Inserted(true)`).
+pub const DYN_INSERTS_TOTAL: &str = "lcds_dyn_inserts_total";
+
+/// Remove requests applied by the dynamic serving engine (counter).
+pub const DYN_REMOVES_TOTAL: &str = "lcds_dyn_removes_total";
+
+/// Explicit flushes (forced merge-and-rebuild) of the dynamic engine
+/// (counter).
+pub const DYN_FLUSHES_TOTAL: &str = "lcds_dyn_flushes_total";
+
+/// Generations published by the dynamic engine — one pointer swap per
+/// applied mutation or flush (counter).
+pub const DYN_SWAPS_TOTAL: &str = "lcds_dyn_generation_swaps_total";
+
+/// Full merge-and-rebuilds of the underlying `DynamicLcd` (counter). A
+/// swap with a rebuild replaced the main table; one without only touched
+/// the delta.
+pub const DYN_REBUILDS_TOTAL: &str = "lcds_dyn_rebuilds_total";
+
+/// Generation index currently published by the dynamic engine (gauge).
+pub const DYN_GENERATION: &str = "lcds_dyn_generation_index";
+
+/// Pending delta entries in the writer's dictionary after the most recent
+/// mutation (gauge).
+pub const DYN_DELTA_PENDING: &str = "lcds_dyn_delta_pending";
+
 /// Multi-threaded bench runs completed (counter).
 pub const MTBENCH_RUNS_TOTAL: &str = "lcds_mtbench_runs_total";
 
@@ -235,6 +262,13 @@ pub const EVENT_NET_SERVER: &str = "net_server";
 /// qps, scaling efficiency, merged Φ̂).
 pub const EVENT_MTBENCH_ROW: &str = "mtbench_row";
 
+/// Event appended when the dynamic engine publishes a generation whose
+/// rebuild count advanced — i.e. the main table itself was replaced
+/// (generation index, live keys, pending delta, cumulative rebuilds).
+/// Delta-only swaps are counted but not logged: at one swap per mutation
+/// the event log would otherwise scale with the write rate.
+pub const EVENT_DYN_SWAP: &str = "dyn_generation_swap";
+
 /// Every declared plain metric series (exact exported name, no labels).
 pub const ALL_METRICS: &[&str] = &[
     BUILD_HASH_RETRIES_TOTAL,
@@ -275,6 +309,13 @@ pub const ALL_METRICS: &[&str] = &[
     NET_BYTES_IN_TOTAL,
     NET_BYTES_OUT_TOTAL,
     NET_SERVER_QUEUE_WAIT,
+    DYN_INSERTS_TOTAL,
+    DYN_REMOVES_TOTAL,
+    DYN_FLUSHES_TOTAL,
+    DYN_SWAPS_TOTAL,
+    DYN_REBUILDS_TOTAL,
+    DYN_GENERATION,
+    DYN_DELTA_PENDING,
     MTBENCH_RUNS_TOTAL,
     MTBENCH_QPS,
     MTBENCH_PHI_HAT,
@@ -311,6 +352,7 @@ pub const ALL_EVENTS: &[&str] = &[
     EVENT_EXPERIMENT_COMPLETE,
     EVENT_NET_SERVER,
     EVENT_MTBENCH_ROW,
+    EVENT_DYN_SWAP,
 ];
 
 /// Is `name` (as it appears in a registry snapshot, labels included) a
@@ -423,6 +465,26 @@ mod tests {
             assert!(is_declared_metric(name), "{name}");
         }
         assert!(is_declared_event(EVENT_MTBENCH_ROW));
+    }
+
+    #[test]
+    fn dyn_names_share_the_subsystem_prefix() {
+        for name in [
+            DYN_INSERTS_TOTAL,
+            DYN_REMOVES_TOTAL,
+            DYN_FLUSHES_TOTAL,
+            DYN_SWAPS_TOTAL,
+            DYN_REBUILDS_TOTAL,
+            DYN_GENERATION,
+            DYN_DELTA_PENDING,
+        ] {
+            assert!(name.starts_with("lcds_dyn_"), "{name}");
+            assert!(is_declared_metric(name), "{name}");
+        }
+        assert!(is_declared_event(EVENT_DYN_SWAP));
+        // The gauge and the swap counter must stay distinct series.
+        assert_ne!(DYN_GENERATION, DYN_SWAPS_TOTAL);
+        assert!(!is_declared_metric("lcds_dyn_made_up_total"));
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Generation-swapped serving for the dynamic dictionary.
+//!
+//! [`DynamicEngine`] is the mutable counterpart of [`Engine`](crate::Engine):
+//! the same batched, position-addressed read path, plus `insert` / `remove`
+//! / `flush` mutations. The concurrency design is RCU-shaped:
+//!
+//! * **One writer at a time** (a `Mutex<DynamicLcd>`) applies a mutation to
+//!   the authoritative structure, then *publishes* an immutable
+//!   [`Generation`] — an [`FrozenDynamic`] snapshot (`Arc`-shared main
+//!   table, copied delta) behind an `Arc`.
+//! * **Readers never block on the writer.** A read clones the published
+//!   `Arc` and probes that frozen generation for the whole call, so its
+//!   answers are internally consistent (no torn table) even while the
+//!   writer rebuilds and swaps underneath it. The only lock a reader
+//!   touches is a briefly-held `RwLock` read guard around the `Arc` clone;
+//!   the write-side critical section is a single pointer store — rebuilds
+//!   (the `O(n)` part, routed through the deterministic Rayon
+//!   `par_build`) happen strictly *before* the swap, outside it.
+//! * **Reclamation is the `Arc` refcount** — the epoch-based-reclamation
+//!   idea with the standard library as the epoch: an old generation dies
+//!   exactly when its last in-flight reader drops it.
+//!
+//! Answers keep the wire determinism contract: key `i` of a slice draws
+//! its balancing randomness from `(seed, first_index + i)`, so TCP reads
+//! through this engine are bit-identical to direct
+//! [`FrozenDynamic::contains_key`] probes of the same generation at any
+//! chunking — including reads that straddle a background rebuild, which
+//! simply resolve against whichever generation they snapshotted.
+
+use crate::engine::{record_batch_metrics, run_observed_batch, EngineConfig};
+use lcds_core::builder::BuildError;
+use lcds_core::{DynamicLcd, FrozenDynamic, ParamsConfig};
+use lcds_obs::names;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One published, immutable generation of the dynamic dictionary.
+#[derive(Clone, Debug)]
+pub struct Generation {
+    index: u64,
+    frozen: FrozenDynamic,
+}
+
+impl Generation {
+    /// The generation index (0 = the initial build; +1 per publish).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The frozen structure readers probe.
+    pub fn frozen(&self) -> &FrozenDynamic {
+        &self.frozen
+    }
+}
+
+/// Mutation counters, readable without the observability gate (the CLI
+/// run summary wants them even when `LCDS_OBS` is off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DynCounters {
+    /// Applied inserts (`Inserted(true)`).
+    pub inserts: u64,
+    /// Applied removes (`Removed(true)`).
+    pub removes: u64,
+    /// Explicit flushes.
+    pub flushes: u64,
+    /// Generations published (pointer swaps).
+    pub swaps: u64,
+    /// Full merge-and-rebuilds of the underlying structure since
+    /// construction (the initial build is not a rebuild).
+    pub rebuilds: u64,
+}
+
+/// A serving engine over a [`DynamicLcd`] with lock-free-for-readers
+/// generation swaps. See the module docs for the concurrency story.
+#[derive(Debug)]
+pub struct DynamicEngine {
+    published: RwLock<Arc<Generation>>,
+    writer: Mutex<DynamicLcd>,
+    seed: u64,
+    cfg: EngineConfig,
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    flushes: AtomicU64,
+    swaps: AtomicU64,
+    /// Rebuild count already reported to observability (so per-engine
+    /// deltas reach the global counter even with several engines alive).
+    rebuilds_seen: AtomicU64,
+    /// `write_stats().rebuilds` right after construction, subtracted from
+    /// [`DynCounters::rebuilds`] so it counts serving-time rebuilds only
+    /// (matching `lcds_dyn_rebuilds_total`), not the initial build.
+    built_at_construction: u64,
+}
+
+impl DynamicEngine {
+    /// Builds the engine over an initial key set. `dict_seed` drives the
+    /// structure's (deterministic) evolution, `query_seed` the per-query
+    /// balancing randomness — the same split as the static `Engine`.
+    ///
+    /// Rebuilds are routed through the parallel builder
+    /// (`set_parallel_rebuild(true)`); a mirror `DynamicLcd` must do the
+    /// same to replay this engine's evolution bit for bit.
+    pub fn new(
+        initial: &[u64],
+        dict_seed: u64,
+        query_seed: u64,
+        cfg: EngineConfig,
+    ) -> Result<DynamicEngine, BuildError> {
+        let mut w = DynamicLcd::new(initial, dict_seed, ParamsConfig::default())?;
+        w.set_parallel_rebuild(true);
+        let first = Arc::new(Generation {
+            index: 0,
+            frozen: w.freeze(),
+        });
+        let built = w.write_stats().rebuilds;
+        Ok(DynamicEngine {
+            published: RwLock::new(first),
+            writer: Mutex::new(w),
+            seed: query_seed,
+            cfg,
+            inserts: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            rebuilds_seen: AtomicU64::new(built),
+            built_at_construction: built,
+        })
+    }
+
+    /// The currently published generation. Readers hold the returned
+    /// `Arc` for as long as they need a consistent view; the engine's own
+    /// read methods hold it for exactly one call.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&self.published.read().expect("published lock poisoned"))
+    }
+
+    /// The query seed every answer is deterministic in.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The engine tuning knobs.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Index of the currently published generation.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().index
+    }
+
+    /// Live keys in the published generation.
+    pub fn key_count(&self) -> usize {
+        use lcds_cellprobe::dict::CellProbeDict;
+        self.snapshot().frozen.len()
+    }
+
+    /// Cells (main + delta) of the published generation.
+    pub fn num_cells(&self) -> u64 {
+        self.snapshot().frozen.total_cells()
+    }
+
+    /// Per-query probe bound of the published generation.
+    pub fn max_probes(&self) -> u32 {
+        use lcds_cellprobe::dict::CellProbeDict;
+        self.snapshot().frozen.max_probes()
+    }
+
+    /// Mutation counters since construction.
+    pub fn counters(&self) -> DynCounters {
+        DynCounters {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            rebuilds: self.writer.lock().expect("writer").write_stats().rebuilds
+                - self.built_at_construction,
+        }
+    }
+
+    /// Bulk membership against a pinned generation — the one code path
+    /// every read goes through, exposed so tests (and anyone needing
+    /// multi-call consistency) can hold a generation across calls.
+    pub fn bulk_contains_on(&self, gen: &Generation, keys: &[u64], first_index: u64) -> Vec<bool> {
+        let batch = self.cfg.batch.max(1);
+        record_batch_metrics(keys.len(), batch);
+        let mut out = Vec::with_capacity(keys.len());
+        for (c, chunk) in keys.chunks(batch).enumerate() {
+            run_observed_batch(
+                &gen.frozen,
+                chunk,
+                first_index + (c * batch) as u64,
+                self.seed,
+                0,
+                c as u64,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// Membership of one key at global stream position `index`.
+    pub fn contains_at(&self, key: u64, index: u64) -> bool {
+        self.bulk_contains_at(&[key], index)[0]
+    }
+
+    /// Bulk membership of the stream slice starting at `first_index`,
+    /// answered entirely against one snapshotted generation.
+    pub fn bulk_contains_at(&self, keys: &[u64], first_index: u64) -> Vec<bool> {
+        let gen = self.snapshot();
+        self.bulk_contains_on(&gen, keys, first_index)
+    }
+
+    /// Member count of the stream slice starting at `first_index`.
+    pub fn bulk_count_at(&self, keys: &[u64], first_index: u64) -> usize {
+        self.bulk_contains_at(keys, first_index)
+            .into_iter()
+            .filter(|&b| b)
+            .count()
+    }
+
+    /// Inserts `key`; returns whether it was newly inserted. Publishes a
+    /// new generation when (and only when) the structure changed.
+    pub fn insert(&self, key: u64) -> Result<bool, BuildError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        let fresh = w.insert(key)?;
+        if fresh {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            lcds_obs::counter(names::DYN_INSERTS_TOTAL).add(1);
+            self.publish(&w);
+        }
+        Ok(fresh)
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(&self, key: u64) -> Result<bool, BuildError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        let present = w.remove(key)?;
+        if present {
+            self.removes.fetch_add(1, Ordering::Relaxed);
+            lcds_obs::counter(names::DYN_REMOVES_TOTAL).add(1);
+            self.publish(&w);
+        }
+        Ok(present)
+    }
+
+    /// Forces a merge-and-rebuild now and publishes the result; returns
+    /// the new generation index and live key count.
+    pub fn flush(&self) -> Result<(u64, u64), BuildError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        w.flush()?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        lcds_obs::counter(names::DYN_FLUSHES_TOTAL).add(1);
+        let index = self.publish(&w);
+        Ok((index, w.len() as u64))
+    }
+
+    /// Freezes the writer's state and swaps it in as the next generation.
+    /// Called with the writer lock held, so publishes are totally ordered;
+    /// the write-side critical section on `published` is just the pointer
+    /// store (the freeze — and any rebuild before it — already happened).
+    fn publish(&self, w: &DynamicLcd) -> u64 {
+        let frozen = w.freeze();
+        let stats = *w.write_stats();
+        let mut slot = self.published.write().expect("published lock poisoned");
+        let index = slot.index + 1;
+        *slot = Arc::new(Generation { index, frozen });
+        drop(slot);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        // Writer lock is held, so the seen-rebuilds handoff is race-free.
+        let seen = self.rebuilds_seen.swap(stats.rebuilds, Ordering::Relaxed);
+        if lcds_obs::enabled() {
+            lcds_obs::counter(names::DYN_SWAPS_TOTAL).add(1);
+            lcds_obs::gauge(names::DYN_GENERATION).set(index as f64);
+            lcds_obs::gauge(names::DYN_DELTA_PENDING).set(w.delta_len() as f64);
+            if stats.rebuilds > seen {
+                lcds_obs::counter(names::DYN_REBUILDS_TOTAL).add(stats.rebuilds - seen);
+                // Log only main-table-replacing swaps: one event per
+                // mutation would scale the event log with the write rate.
+                lcds_obs::emit(
+                    names::EVENT_DYN_SWAP,
+                    serde_json::json!({
+                        "generation": index,
+                        "keys": w.len(),
+                        "delta_pending": w.delta_len(),
+                        "rebuilds": stats.rebuilds,
+                    }),
+                );
+            }
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::sink::NullSink;
+    use lcds_hashing::mix::derive;
+    use lcds_hashing::MAX_KEY;
+    use std::collections::HashSet;
+
+    fn keys(n: u64, salt: u64) -> Vec<u64> {
+        (0..n).map(|i| derive(salt, i) % MAX_KEY).collect()
+    }
+
+    #[test]
+    fn reads_match_a_mirror_dynamiclcd_at_any_chunking() {
+        // The acceptance contract: engine reads are bit-identical to
+        // direct FrozenDynamic::contains_key probes of a mirror structure
+        // evolved by the same (seed, op sequence).
+        let initial = keys(400, 1);
+        let e = DynamicEngine::new(&initial, 7, 9, EngineConfig::with_batch(64)).unwrap();
+        let mut mirror = DynamicLcd::new(&initial, 7, ParamsConfig::default()).unwrap();
+        mirror.set_parallel_rebuild(true);
+
+        for i in 0..500u64 {
+            let k = derive(2, i) % MAX_KEY;
+            assert_eq!(e.insert(k).unwrap(), mirror.insert(k).unwrap(), "op {i}");
+        }
+        for i in 0..100u64 {
+            let k = derive(2, i * 3) % MAX_KEY;
+            assert_eq!(e.remove(k).unwrap(), mirror.remove(k).unwrap());
+        }
+
+        let probes: Vec<u64> = initial
+            .iter()
+            .copied()
+            .take(150)
+            .chain((0..150).map(|i| derive(2, i) % MAX_KEY))
+            .chain((0..100).map(|i| derive(3, i) % MAX_KEY))
+            .collect();
+        let frozen = mirror.freeze();
+        let expected: Vec<bool> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let mut rng = lcds_cellprobe::rngutil::StreamRng::for_stream(9, i as u64);
+                frozen.contains_key(x, &mut rng, &mut NullSink)
+            })
+            .collect();
+
+        let full = e.bulk_contains_at(&probes, 0);
+        assert_eq!(full, expected);
+        // Any chunking, any offset: same bits.
+        for split in [1usize, 63, 64, 65, 200, probes.len()] {
+            let (a, b) = probes.split_at(split.min(probes.len()));
+            let mut stitched = e.bulk_contains_at(a, 0);
+            stitched.extend(e.bulk_contains_at(b, a.len() as u64));
+            assert_eq!(stitched, expected, "split {split}");
+        }
+        assert_eq!(
+            e.bulk_count_at(&probes, 0),
+            expected.iter().filter(|&&b| b).count()
+        );
+        for (i, &x) in probes.iter().enumerate().step_by(53) {
+            assert_eq!(e.contains_at(x, i as u64), expected[i]);
+        }
+    }
+
+    #[test]
+    fn generations_advance_and_flush_reports_them() {
+        let e = DynamicEngine::new(&keys(64, 4), 5, 6, EngineConfig::default()).unwrap();
+        assert_eq!(e.generation(), 0);
+        assert!(e.insert(u64::from(u32::MAX)).unwrap());
+        assert_eq!(e.generation(), 1);
+        // A no-op mutation publishes nothing.
+        assert!(!e.insert(u64::from(u32::MAX)).unwrap());
+        assert_eq!(e.generation(), 1);
+        assert!(!e.remove(123_456_789).unwrap());
+        assert_eq!(e.generation(), 1);
+        let (generation, live) = e.flush().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(live, 65);
+        assert_eq!(e.key_count(), 65);
+        let c = e.counters();
+        assert_eq!((c.inserts, c.removes, c.flushes, c.swaps), (1, 0, 1, 2));
+        // Serving-time rebuilds only: the flush, not the initial build.
+        assert_eq!(c.rebuilds, 1);
+    }
+
+    #[test]
+    fn held_generations_stay_consistent_across_swaps() {
+        let initial = keys(300, 8);
+        let e = DynamicEngine::new(&initial, 11, 12, EngineConfig::with_batch(32)).unwrap();
+        let before = e.snapshot();
+        let oracle_before: HashSet<u64> = initial.iter().copied().collect();
+
+        // Mutate far enough to force at least one rebuild.
+        for i in 0..1000u64 {
+            e.insert(derive(13, i) % MAX_KEY).unwrap();
+        }
+        assert!(e.counters().rebuilds >= 2);
+
+        let probes: Vec<u64> = initial
+            .iter()
+            .copied()
+            .take(100)
+            .chain((0..100).map(|i| derive(13, i) % MAX_KEY))
+            .collect();
+        let old_answers = e.bulk_contains_on(&before, &probes, 0);
+        for (i, &x) in probes.iter().enumerate() {
+            assert_eq!(
+                old_answers[i],
+                oracle_before.contains(&x),
+                "held generation drifted at {x}"
+            );
+        }
+        // The live path sees the new keys.
+        let now = e.bulk_contains_at(&probes, 0);
+        assert!(now.iter().filter(|&&b| b).count() > old_answers.iter().filter(|&&b| b).count());
+    }
+}

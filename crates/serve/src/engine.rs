@@ -48,7 +48,7 @@ impl EngineConfig {
     }
 }
 
-fn record_batch_metrics(len: usize, batch: usize) {
+pub(crate) fn record_batch_metrics(len: usize, batch: usize) {
     if !lcds_obs::enabled() || len == 0 {
         return;
     }
@@ -75,7 +75,7 @@ fn record_batch_metrics(len: usize, batch: usize) {
 /// histogram. `shard` is 0 on the unsharded engine path; the sharded
 /// router ([`crate::shard::ShardedLcd::bulk_contains`]) attaches the
 /// observatory itself so traced batches carry their shard id.
-fn run_observed_batch<D: CellProbeDict + ?Sized>(
+pub(crate) fn run_observed_batch<D: CellProbeDict + ?Sized>(
     dict: &D,
     chunk: &[u64],
     first_index: u64,

@@ -12,6 +12,12 @@
 //!   identical to the sequential path regardless of batch size or thread
 //!   schedule (per-key randomness is addressed by *global* key position,
 //!   never by chunk).
+//! * **Dynamic serving** ([`dynamic`]) — a [`dynamic::DynamicEngine`]
+//!   wraps the mutable [`lcds_core::DynamicLcd`] behind RCU-style
+//!   generation swaps: a single writer applies Insert/Remove/Flush and
+//!   publishes immutable `Arc`-shared generations; readers clone the
+//!   `Arc` and probe lock-free, so they never block on a rebuild and
+//!   never observe a torn table.
 //! * **Sharding** ([`shard`]) — `K` independently built dictionaries
 //!   behind a splitter hash, for key sets too large for one table (or one
 //!   socket). A [`shard::ShardedLcd`] is itself a
@@ -27,8 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod engine;
 pub mod shard;
 
+pub use dynamic::{DynCounters, DynamicEngine, Generation};
 pub use engine::{bulk_contains, bulk_contains_seq, bulk_count, Engine, EngineConfig, EngineDict};
 pub use shard::{ShardBuildError, ShardedLcd};
