@@ -1,0 +1,85 @@
+//! Probe-kernel matrix (criterion): the batch planner under each kernel
+//! configuration — scalar reference, prefetch only, SIMD hashing only,
+//! combined — across batch sizes spanning the cache-resident to streaming
+//! regimes. The statistics-free twin (`lcds_bench::kernels::run_sweep`,
+//! surfaced as `lcds bench-kernels`) records the committed
+//! `BENCH_serve.json` numbers; this bench adds criterion's confidence
+//! intervals for interactive tuning. Build with `--features kernels-simd`
+//! to measure the vector paths; without it every configuration degrades
+//! to the portable kernels (still worth measuring: that is the fallback
+//! hosts' reality).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcds_cellprobe::sink::NullSink;
+use lcds_core::{BatchPlan, KernelConfig};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::negative_pool;
+use lcds_workloads::rng::seeded;
+
+fn bench_probe_kernels(c: &mut Criterion) {
+    let n = 1 << 14;
+    let keys = uniform_keys(n, 0xF17);
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain(negative_pool(&keys, n, 0xF18))
+        .collect();
+    let dict = lcds_core::builder::build(&keys, &mut seeded(0xF19)).expect("build");
+
+    let lanes = KernelConfig::scalar().lanes;
+    let configs = [
+        ("scalar", KernelConfig::scalar()),
+        (
+            "prefetch",
+            KernelConfig {
+                simd_hash: false,
+                prefetch: true,
+                lanes,
+            },
+        ),
+        (
+            "simd",
+            KernelConfig {
+                simd_hash: true,
+                prefetch: false,
+                lanes,
+            },
+        ),
+        (
+            "combined",
+            KernelConfig {
+                simd_hash: true,
+                prefetch: true,
+                lanes,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("probe_kernels");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for (label, cfg) in configs {
+        for batch in [64usize, 1024, 16384] {
+            let mut plan = BatchPlan::with_kernels(cfg);
+            group.bench_with_input(BenchmarkId::new(label, batch), &batch, |b, &batch| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(probes.len());
+                    for (i, chunk) in probes.chunks(batch).enumerate() {
+                        plan.run(
+                            &dict,
+                            black_box(chunk),
+                            (i * batch) as u64,
+                            7,
+                            &mut NullSink,
+                            &mut out,
+                        );
+                    }
+                    black_box(out)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_kernels);
+criterion_main!(benches);

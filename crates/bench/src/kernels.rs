@@ -1,0 +1,321 @@
+//! Raw-speed sweep of the batch planner's probe-kernel matrix (the
+//! `probe_kernels` section of `BENCH_serve.json`, experiment F17).
+//!
+//! Times the four kernel configurations — scalar reference, prefetch
+//! only, SIMD hashing only, combined — over the same dictionary and probe
+//! stream at several batch sizes, plus the pre-plan per-key scalar
+//! serving path (`CellProbeDict::contains` one key at a time, re-reading
+//! the parameter rows per query) as the end-to-end baseline, with plain
+//! `std::time` wall clocks so the sweep runs anywhere (the criterion
+//! twin in `benches/probe_kernels.rs` adds confidence intervals when a
+//! registry is available). Every timed pass is also an equivalence
+//! check: answers from each configuration are asserted bit-identical to
+//! the scalar reference before its numbers are reported.
+//!
+//! Two speedups come out: `combined vs scalar` isolates what prefetch +
+//! SIMD hashing buy *within* the batch plan, and `combined vs per-key`
+//! is the whole probe-kernel story — SoA plan, prefetch, and vector
+//! hashing together against scalar per-key probing.
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::rngutil::StreamRng;
+use lcds_cellprobe::sink::NullSink;
+use lcds_core::{BatchPlan, KernelConfig, LowContentionDict};
+use lcds_workloads::keysets::uniform_keys;
+use lcds_workloads::querygen::negative_pool;
+use lcds_workloads::rng::seeded;
+use serde_json::{json, Value};
+
+/// Sweep parameters. `Default` matches the committed artifact: 200k keys
+/// (bulk-serving scale — the parameter rows no longer hide the per-key
+/// path's re-reads in cache), batch sizes spanning the cache-resident to
+/// streaming regimes.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Dictionary size (probes are `2n`: members interleaved with misses).
+    pub n: usize,
+    /// Timed passes per (config, batch) cell; the median-free mean over
+    /// all passes is reported (one untimed warmup pass precedes them).
+    pub iters: usize,
+    /// Batch sizes to sweep.
+    pub batches: Vec<usize>,
+    /// Build/probe seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            n: 200_000,
+            iters: 5,
+            batches: vec![64, 1024, 16384],
+            seed: 0xF17,
+        }
+    }
+}
+
+/// One (kernel config, batch size) measurement.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Kernel path name ([`KernelConfig::name`]).
+    pub config: String,
+    /// Keys per planned batch.
+    pub batch: usize,
+    /// Mean wall-clock nanoseconds per key over the timed passes.
+    pub ns_per_key: f64,
+    /// The same measurement as throughput (million keys per second).
+    pub mkeys_per_s: f64,
+}
+
+/// A finished sweep, ready for [`probe_kernels_json`].
+#[derive(Clone, Debug)]
+pub struct KernelSweep {
+    /// Config the sweep ran with.
+    pub config: SweepConfig,
+    /// What [`KernelConfig::auto`] picks on this host (named in the run
+    /// header and the artifact, so every number says which path made it).
+    pub host_kernels: String,
+    /// Detected vector ISA, `"none"` on fallback hosts.
+    pub simd_isa: String,
+    /// One row per (kernel config, batch size), plus the per-key scalar
+    /// serving-path row (config `"perkey-scalar"`, batch 1).
+    pub rows: Vec<KernelRow>,
+    /// Combined prefetch+SIMD vs the *planned* scalar reference at the
+    /// largest batch — what the kernel knobs alone buy. On fallback
+    /// hosts both paths degrade to the same code and this records the
+    /// measured ≈1× honestly.
+    pub speedup_combined_vs_scalar: f64,
+    /// Combined prefetch+SIMD plan vs scalar per-key probing — the full
+    /// probe-kernel gain (SoA plan amortization included).
+    pub speedup_combined_vs_perkey: f64,
+}
+
+/// The kernel matrix: scalar reference first (it is the bit-identity
+/// baseline and the speedup denominator), combined last.
+fn matrix() -> [KernelConfig; 4] {
+    let lanes = KernelConfig::scalar().lanes;
+    [
+        KernelConfig::scalar(),
+        KernelConfig {
+            simd_hash: false,
+            prefetch: true,
+            lanes,
+        },
+        KernelConfig {
+            simd_hash: true,
+            prefetch: false,
+            lanes,
+        },
+        KernelConfig {
+            simd_hash: true,
+            prefetch: true,
+            lanes,
+        },
+    ]
+}
+
+fn run_once(
+    dict: &LowContentionDict,
+    plan: &mut BatchPlan,
+    probes: &[u64],
+    batch: usize,
+    out: &mut Vec<bool>,
+) {
+    out.clear();
+    for (c, chunk) in probes.chunks(batch).enumerate() {
+        plan.run(dict, chunk, (c * batch) as u64, 7, &mut NullSink, out);
+    }
+}
+
+/// Runs the full sweep: every kernel configuration at every batch size,
+/// all answers asserted bit-identical to the scalar reference.
+///
+/// # Panics
+/// Panics if `iters`, `n`, or `batches` is zero/empty, if the dictionary
+/// build fails, or if any configuration disagrees with the scalar
+/// reference (that would be a kernel bug — never report its numbers).
+pub fn run_sweep(config: SweepConfig) -> KernelSweep {
+    assert!(config.n > 0 && config.iters > 0 && !config.batches.is_empty());
+    let keys = uniform_keys(config.n, config.seed);
+    let dict = lcds_core::builder::build(&keys, &mut seeded(config.seed ^ 0xD1C7)).expect("build");
+    let negs = negative_pool(&keys, config.n, config.seed ^ 0x9E6);
+    let probes: Vec<u64> = keys.iter().zip(&negs).flat_map(|(&k, &m)| [k, m]).collect();
+
+    // Scalar reference answers, per batch size (chunking is answer-
+    // invariant, but compare like against like anyway).
+    let mut reference: Vec<Vec<bool>> = Vec::new();
+    for &batch in &config.batches {
+        let mut out = Vec::with_capacity(probes.len());
+        run_once(
+            &dict,
+            &mut BatchPlan::with_kernels(KernelConfig::scalar()),
+            &probes,
+            batch,
+            &mut out,
+        );
+        reference.push(out);
+    }
+
+    // The pre-plan baseline: one key at a time through the trait path,
+    // parameter rows re-read per query. Same stream indices as the
+    // planned runs, so its answers are pinned bit-identical too.
+    let perkey_pass = |out: &mut Vec<bool>| {
+        out.clear();
+        for (i, &x) in probes.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(7, i as u64);
+            out.push(dict.contains(x, &mut rng, &mut NullSink));
+        }
+    };
+    let mut perkey_out = Vec::with_capacity(probes.len());
+    perkey_pass(&mut perkey_out);
+    assert_eq!(perkey_out, reference[0], "per-key path diverged from plan");
+    let perkey_start = std::time::Instant::now();
+    for _ in 0..config.iters {
+        perkey_pass(&mut perkey_out);
+    }
+    let perkey_total = perkey_start.elapsed().as_nanos() as f64;
+    let perkey_ns = (perkey_total / (config.iters * probes.len()) as f64).max(f64::MIN_POSITIVE);
+
+    let mut rows = vec![KernelRow {
+        config: "perkey-scalar".to_string(),
+        batch: 1,
+        ns_per_key: perkey_ns,
+        mkeys_per_s: 1e3 / perkey_ns,
+    }];
+    let mut cell_ns = std::collections::HashMap::new();
+    for cfg in matrix() {
+        let mut plan = BatchPlan::with_kernels(cfg);
+        for (bi, &batch) in config.batches.iter().enumerate() {
+            let mut out = Vec::with_capacity(probes.len());
+            // Warmup pass doubles as the equivalence check.
+            run_once(&dict, &mut plan, &probes, batch, &mut out);
+            assert_eq!(
+                out,
+                reference[bi],
+                "kernel {} diverged from scalar at batch {batch}",
+                cfg.name()
+            );
+            let start = std::time::Instant::now();
+            for _ in 0..config.iters {
+                run_once(&dict, &mut plan, &probes, batch, &mut out);
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            let keys_done = (config.iters * probes.len()) as f64;
+            let ns_per_key = (total / keys_done).max(f64::MIN_POSITIVE);
+            cell_ns.insert((cfg.name(), batch), ns_per_key);
+            rows.push(KernelRow {
+                config: cfg.name(),
+                batch,
+                ns_per_key,
+                mkeys_per_s: 1e3 / ns_per_key,
+            });
+        }
+    }
+
+    let biggest = *config.batches.iter().max().expect("non-empty batches");
+    let scalar = cell_ns[&(KernelConfig::scalar().name(), biggest)];
+    let combined = cell_ns[&(matrix()[3].name(), biggest)];
+    KernelSweep {
+        host_kernels: KernelConfig::auto().name(),
+        simd_isa: lcds_hashing::poly::simd_isa().unwrap_or("none").to_string(),
+        rows,
+        speedup_combined_vs_scalar: scalar / combined,
+        speedup_combined_vs_perkey: perkey_ns / combined,
+        config,
+    }
+}
+
+/// The `probe_kernels` JSON section for `BENCH_serve.json`, shaped for
+/// [`crate::summary::validate_probe_kernels`].
+pub fn probe_kernels_json(sweep: &KernelSweep) -> Value {
+    json!({
+        "n": sweep.config.n,
+        "seed": sweep.config.seed,
+        "iters": sweep.config.iters,
+        "host_kernels": sweep.host_kernels.clone(),
+        "simd_isa": sweep.simd_isa.clone(),
+        "rows": sweep.rows.iter().map(|r| json!({
+            "config": r.config.clone(),
+            "batch": r.batch,
+            "ns_per_key": r.ns_per_key,
+            "mkeys_per_s": r.mkeys_per_s,
+        })).collect::<Vec<_>>(),
+        "speedup_combined_vs_scalar": sweep.speedup_combined_vs_scalar,
+        "speedup_combined_vs_perkey": sweep.speedup_combined_vs_perkey,
+    })
+}
+
+/// Fixed-width terminal table: one line per (config, batch) cell.
+pub fn render_table(sweep: &KernelSweep) -> String {
+    let mut out = format!(
+        "probe-kernels: n = {}, iters = {}, host kernels {}, simd isa {}\n\
+         {:<24} {:>7}  {:>10} {:>12}\n",
+        sweep.config.n,
+        sweep.config.iters,
+        sweep.host_kernels,
+        sweep.simd_isa,
+        "config",
+        "batch",
+        "ns/key",
+        "Mkeys/s",
+    );
+    for r in &sweep.rows {
+        out.push_str(&format!(
+            "{:<24} {:>7}  {:>10.2} {:>12.2}\n",
+            r.config, r.batch, r.ns_per_key, r.mkeys_per_s,
+        ));
+    }
+    out.push_str(&format!(
+        "combined vs scalar plan at batch {}: {:.2}x\n",
+        sweep.config.batches.iter().max().unwrap(),
+        sweep.speedup_combined_vs_scalar,
+    ));
+    out.push_str(&format!(
+        "combined vs per-key scalar path: {:.2}x\n",
+        sweep.speedup_combined_vs_perkey,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> KernelSweep {
+        run_sweep(SweepConfig {
+            n: 400,
+            iters: 1,
+            batches: vec![32, 128],
+            seed: 0xF17,
+        })
+    }
+
+    #[test]
+    fn sweep_section_validates_and_names_the_paths() {
+        let sweep = tiny();
+        let section = probe_kernels_json(&sweep);
+        crate::summary::validate_probe_kernels(&section).expect("self-describing schema");
+        assert_eq!(
+            sweep.rows.len(),
+            1 + 4 * 2,
+            "per-key baseline + 4 configs x 2 batch sizes"
+        );
+        assert_eq!(sweep.rows[0].config, "perkey-scalar");
+        assert!(sweep.rows[1].config.starts_with("scalar+none"));
+        // Feature off, the whole matrix degrades to the portable paths
+        // and the measured ratios stay recorded — never fabricated.
+        assert!(sweep.speedup_combined_vs_scalar > 0.0);
+        assert!(sweep.speedup_combined_vs_perkey > 0.0);
+        assert!(!sweep.host_kernels.is_empty());
+    }
+
+    #[test]
+    fn table_prints_every_cell() {
+        let sweep = tiny();
+        let table = render_table(&sweep);
+        assert_eq!(table.lines().count(), 2 + sweep.rows.len() + 2);
+        assert!(table.contains("ns/key"));
+        assert!(table.contains("combined vs scalar plan"));
+        assert!(table.contains("combined vs per-key scalar path"));
+    }
+}

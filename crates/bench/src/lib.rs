@@ -19,6 +19,7 @@
 
 pub mod exps;
 pub mod fit;
+pub mod kernels;
 pub mod registry;
 pub mod summary;
 

@@ -69,10 +69,14 @@ fn validate_header<'v>(doc: &'v Value, bench_name: &str) -> Result<&'v Vec<Value
     if points.is_empty() && doc.get("status").and_then(Value::as_str).is_none() {
         return Err("empty `points` requires a `status` explaining why".into());
     }
-    // `mt_scaling` is an optional envelope section (both artifacts may
-    // carry one) but drifts loudly like everything else when present.
+    // `mt_scaling` and `probe_kernels` are optional envelope sections
+    // (both artifacts may carry them) but drift loudly like everything
+    // else when present.
     if let Some(mt) = doc.get("mt_scaling") {
         validate_mt_scaling(mt).map_err(|e| format!("mt_scaling: {e}"))?;
+    }
+    if let Some(pk) = doc.get("probe_kernels") {
+        validate_probe_kernels(pk).map_err(|e| format!("probe_kernels: {e}"))?;
     }
     Ok(points)
 }
@@ -151,9 +155,79 @@ pub fn validate_mt_scaling(doc: &Value) -> Result<(), String> {
         }
         req_u64(row, "contended_probes").map_err(ctx)?;
         req_u64(row, "gated_probes").map_err(ctx)?;
+        if req_f64(row, "ns_per_key").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `ns_per_key` must be positive"));
+        }
         let lat = req(row, "latency_ns").map_err(ctx)?;
         for q in ["p50", "p90", "p99"] {
             req_u64(lat, q).map_err(|e| format!("rows[{i}].latency_ns: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `probe_kernels` section (written by `lcds bench-kernels`
+/// via `lcds_bench::kernels::probe_kernels_json`): the raw-speed sweep of
+/// the batch planner's kernel matrix.
+///
+/// Required: run provenance (`n ≥ 1`, `seed`, `iters ≥ 1`), the
+/// process-auto kernel path in a non-empty `host_kernels`, the detected
+/// `simd_isa` (`"none"` on fallback hosts), a non-empty `rows` array
+/// where every row carries a non-empty `config`, `batch ≥ 1`, a positive
+/// finite `ns_per_key` and `mkeys_per_s`, a positive
+/// `speedup_combined_vs_scalar` (combined prefetch+SIMD vs the planned
+/// scalar reference at the largest batch — on fallback hosts this
+/// records the measured ≈1× honestly rather than being omitted), and a
+/// positive `speedup_combined_vs_perkey` (the combined plan vs scalar
+/// per-key probing — the full probe-kernel gain). At least one row must
+/// be the planned scalar reference and one the per-key baseline so both
+/// speedups have denominators with provenance.
+pub fn validate_probe_kernels(doc: &Value) -> Result<(), String> {
+    if !doc.is_object() {
+        return Err("must be a JSON object".into());
+    }
+    if req_u64(doc, "n")? == 0 {
+        return Err("`n` must be at least 1".into());
+    }
+    req_u64(doc, "seed")?;
+    if req_u64(doc, "iters")? == 0 {
+        return Err("`iters` must be at least 1".into());
+    }
+    req_str(doc, "host_kernels")?;
+    req_str(doc, "simd_isa")?;
+    let rows = req(doc, "rows")?
+        .as_array()
+        .ok_or("`rows` must be an array")?;
+    if rows.is_empty() {
+        return Err("`rows` must not be empty — a rowless sweep is a failed sweep".into());
+    }
+    let mut saw_scalar = false;
+    let mut saw_perkey = false;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("rows[{i}]: {e}");
+        let config = req_str(row, "config").map_err(ctx)?;
+        saw_scalar |= config.starts_with("scalar+none");
+        saw_perkey |= config == "perkey-scalar";
+        if req_u64(row, "batch").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `batch` must be at least 1"));
+        }
+        for key in ["ns_per_key", "mkeys_per_s"] {
+            let v = req_f64(row, key).map_err(ctx)?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("rows[{i}]: `{key}` must be positive, got {v}"));
+            }
+        }
+    }
+    if !saw_scalar {
+        return Err("`rows` must include the scalar+none reference".into());
+    }
+    if !saw_perkey {
+        return Err("`rows` must include the perkey-scalar baseline".into());
+    }
+    for key in ["speedup_combined_vs_scalar", "speedup_combined_vs_perkey"] {
+        let speedup = req_f64(doc, key)?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return Err(format!("`{key}` must be positive, got {speedup}"));
         }
     }
     Ok(())
@@ -362,6 +436,7 @@ mod tests {
                 "probes": 120_000,
                 "contended_probes": 812,
                 "gated_probes": 120_000,
+                "ns_per_key": 15.98,
                 "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 },
             }],
         })
@@ -404,6 +479,13 @@ mod tests {
             (|d| d["rows"][0]["ratio"] = json!(-0.1), "ratio"),
             (|d| d["rows"][0]["probes"] = json!(0), "probes"),
             (|d| d["rows"][0]["scheme"] = json!(""), "scheme"),
+            (|d| d["rows"][0]["ns_per_key"] = json!(0.0), "ns_per_key"),
+            (
+                |d| {
+                    d["rows"][0].as_object_mut().unwrap().remove("ns_per_key");
+                },
+                "ns_per_key",
+            ),
             (
                 |d| {
                     d["rows"][0]["latency_ns"]
@@ -424,6 +506,112 @@ mod tests {
             let mut doc = valid_mt_scaling();
             mutate(&mut doc);
             let err = validate_mt_scaling(&doc).unwrap_err();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
+    }
+
+    fn valid_probe_kernels() -> Value {
+        json!({
+            "n": 20_000,
+            "seed": 7,
+            "iters": 5,
+            "host_kernels": "avx2+prefetch,lanes=8",
+            "simd_isa": "avx2",
+            "rows": [
+                { "config": "perkey-scalar", "batch": 1,
+                  "ns_per_key": 121.4, "mkeys_per_s": 8.2 },
+                { "config": "scalar+none,lanes=8", "batch": 1024,
+                  "ns_per_key": 55.2, "mkeys_per_s": 18.1 },
+                { "config": "avx2+prefetch,lanes=8", "batch": 1024,
+                  "ns_per_key": 24.7, "mkeys_per_s": 40.5 },
+            ],
+            "speedup_combined_vs_scalar": 2.23,
+            "speedup_combined_vs_perkey": 4.91,
+        })
+    }
+
+    #[test]
+    fn accepts_the_probe_kernels_shape_standalone_and_in_both_envelopes() {
+        validate_probe_kernels(&valid_probe_kernels()).unwrap();
+        let mut build = valid();
+        build["probe_kernels"] = valid_probe_kernels();
+        validate_bench_summary(&build).unwrap();
+        let mut serve = valid_serve();
+        serve["probe_kernels"] = valid_probe_kernels();
+        validate_serve_summary(&serve).unwrap();
+    }
+
+    #[test]
+    fn a_drifted_probe_kernels_section_fails_the_whole_artifact() {
+        let mut serve = valid_serve();
+        serve["probe_kernels"] = json!({"rows": []});
+        let err = validate_serve_summary(&serve).unwrap_err();
+        assert!(
+            err.starts_with("probe_kernels:"),
+            "unprefixed error {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_drifted_probe_kernels_sections() {
+        let cases: Vec<(fn(&mut Value), &str)> = vec![
+            (|d| d["rows"] = json!([]), "rows"),
+            (|d| d["n"] = json!(0), "n"),
+            (|d| d["iters"] = json!(0), "iters"),
+            (|d| d["host_kernels"] = json!(""), "host_kernels"),
+            (
+                |d| {
+                    d.as_object_mut().unwrap().remove("simd_isa");
+                },
+                "simd_isa",
+            ),
+            (|d| d["rows"][0]["config"] = json!(""), "config"),
+            (|d| d["rows"][0]["batch"] = json!(0), "batch"),
+            (|d| d["rows"][1]["ns_per_key"] = json!(0.0), "ns_per_key"),
+            (
+                |d| d["rows"][1]["mkeys_per_s"] = json!(f64::NAN),
+                "mkeys_per_s",
+            ),
+            (
+                // Dropping the scalar reference leaves the speedup with no
+                // denominator provenance.
+                |d| d["rows"][1]["config"] = json!("avx2+touch,lanes=8"),
+                "scalar",
+            ),
+            (
+                // Likewise the per-key baseline for the end-to-end ratio.
+                |d| d["rows"][0]["config"] = json!("avx2+touch,lanes=8"),
+                "perkey",
+            ),
+            (
+                |d| d["speedup_combined_vs_scalar"] = json!(-1.0),
+                "speedup_combined_vs_scalar",
+            ),
+            (
+                |d| {
+                    d.as_object_mut()
+                        .unwrap()
+                        .remove("speedup_combined_vs_scalar");
+                },
+                "speedup_combined_vs_scalar",
+            ),
+            (
+                |d| d["speedup_combined_vs_perkey"] = json!(0.0),
+                "speedup_combined_vs_perkey",
+            ),
+            (
+                |d| {
+                    d.as_object_mut()
+                        .unwrap()
+                        .remove("speedup_combined_vs_perkey");
+                },
+                "speedup_combined_vs_perkey",
+            ),
+        ];
+        for (mutate, want) in cases {
+            let mut doc = valid_probe_kernels();
+            mutate(&mut doc);
+            let err = validate_probe_kernels(&doc).unwrap_err();
             assert!(err.contains(want), "error {err:?} should mention {want:?}");
         }
     }

@@ -34,6 +34,8 @@
 //!             [--ops K] [--batch B] [--seed S] [--serialize on|off]
 //!             [--service-ns NS] [--stripes S] [--format table|json]
 //!             [--out BENCH.json] [--metrics-file FILE]
+//! lcds bench-kernels [--random N] [--iters I] [--batches B1,B2,...]
+//!             [--seed S] [--format table|json] [--out BENCH.json]
 //! ```
 //!
 //! Key files are plain text, one decimal `u64` per line (`#` comments
@@ -95,6 +97,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("serve-net") => cmd_serve_net(&args[1..], out),
         Some("loadgen") => cmd_loadgen(&args[1..], out),
         Some("bench-mt") => cmd_bench_mt(&args[1..], out),
+        Some("bench-kernels") => cmd_bench_kernels(&args[1..], out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{}", USAGE).map_err(io_err)?;
             Ok(())
@@ -155,7 +158,13 @@ count. --build-threads is accepted as an alias.
          [--zipf THETA] [--ops K] [--batch B] [--seed S]    efficiency, merged Φ̂,
          [--serialize on|off] [--service-ns NS]             latency quantiles per
          [--stripes S] [--format table|json]                (scheme × workload ×
-         [--out BENCH.json] [--metrics-file FILE]           threads) row";
+         [--out BENCH.json] [--metrics-file FILE]           threads) row
+  bench-kernels [--random N] [--iters I]                    probe-kernel sweep:
+         [--batches B1,B2,...] [--seed S]                   scalar vs prefetch vs
+         [--format table|json] [--out BENCH.json]           SIMD ns/key per batch
+                                                            size (build with
+                                                            --features kernels-simd
+                                                            for the vector paths)";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("i/o error: {e}"))
@@ -399,11 +408,12 @@ fn cmd_bulk(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
     // the persist headers.
     writeln!(
         out,
-        "serving n = {} keys, {} shard(s), {} cells, ≤ {} probes/query",
+        "serving n = {} keys, {} shard(s), {} cells, ≤ {} probes/query, kernels {}",
         engine.key_count(),
         engine.num_shards(),
         engine.num_cells(),
         engine.max_probes(),
+        lcds_core::KernelConfig::auto().name(),
     )
     .map_err(io_err)?;
     let threads = threads_flag(&flags)?;
@@ -1019,8 +1029,9 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
     writeln!(
         out,
         "serve-net{}: n = {key_count} keys, {num_shards} shard(s), {num_cells} cells, \
-         ≤ {max_probes} probes/query, seed {seed}",
+         ≤ {max_probes} probes/query, seed {seed}, kernels {}",
         if dynamic { " (dynamic)" } else { "" },
+        lcds_core::KernelConfig::auto().name(),
     )
     .map_err(io_err)?;
 
@@ -1263,6 +1274,9 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             "wall_s": report.wall.as_secs_f64(),
             "qps": report.qps(),
             "kps": report.kps(),
+            // Median request latency spread over its batch: per-key
+            // service time derived from the latency histogram.
+            "ns_per_key": p50 as f64 / batch as f64,
             "latency_ns": { "p50": p50, "p90": p90, "p99": p99 },
         });
         writeln!(out, "{js}").map_err(io_err)?;
@@ -1301,10 +1315,11 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
         }
         writeln!(
             out,
-            "latency p50/p90/p99: {:.1} / {:.1} / {:.1} µs",
+            "latency p50/p90/p99: {:.1} / {:.1} / {:.1} µs ({:.1} ns/key at p50)",
             p50 as f64 / 1e3,
             p90 as f64 / 1e3,
             p99 as f64 / 1e3,
+            p50 as f64 / batch as f64,
         )
         .map_err(io_err)?;
     }
@@ -1456,6 +1471,97 @@ fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cli
         }
         _ => {
             write!(out, "{}", lcds_mtbench::report::render_table(&report)).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `bench-kernels`: the probe-kernel raw-speed sweep — scalar reference
+/// vs prefetch vs SIMD hashing vs combined, ns/key per batch size, with
+/// every configuration's answers asserted bit-identical to scalar before
+/// its numbers are reported. `--out` merges the `probe_kernels` section
+/// into an existing bench artifact, re-validating the whole envelope.
+fn cmd_bench_kernels(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let mut cfg = lcds_bench::kernels::SweepConfig::default();
+    cfg.n = num_flag(&flags, "random", cfg.n)?;
+    cfg.iters = num_flag(&flags, "iters", cfg.iters)?;
+    cfg.seed = num_flag(&flags, "seed", cfg.seed)?;
+    if cfg.n == 0 || cfg.iters == 0 {
+        return Err(CliError::usage("--random and --iters must be at least 1"));
+    }
+    if let Some(list) = flag(&flags, "batches") {
+        let mut batches = Vec::new();
+        for part in list.split(',') {
+            let b: usize = part
+                .trim()
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --batches entry {part:?}: {e}")))?;
+            if b == 0 {
+                return Err(CliError::usage("--batches entries must be at least 1"));
+            }
+            batches.push(b);
+        }
+        if batches.is_empty() {
+            return Err(CliError::usage("--batches must name at least one size"));
+        }
+        cfg.batches = batches;
+    }
+    let format = flag(&flags, "format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(CliError::usage(format!(
+            "bad --format {format:?} (expected table or json)"
+        )));
+    }
+
+    let sweep = lcds_bench::kernels::run_sweep(cfg);
+    let section = lcds_bench::kernels::probe_kernels_json(&sweep);
+    // Loud self-validation, same contract as bench-mt: a section the
+    // published schema rejects is a harness bug — fail the run rather
+    // than write an artifact tier-1 would bounce.
+    lcds_bench::summary::validate_probe_kernels(&section).map_err(|e| {
+        CliError::runtime(format!(
+            "internal error: probe_kernels section violates its own schema ({e}); \
+             this is a harness bug, not a flag problem"
+        ))
+    })?;
+
+    if let Some(path) = flag(&flags, "out") {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+        let mut doc: serde_json::Value = serde_json::from_str(&body)
+            .map_err(|e| CliError::runtime(format!("{path}: not valid JSON: {e}")))?;
+        doc["probe_kernels"] = section.clone();
+        let check = match doc.get("bench").and_then(|b| b.as_str()) {
+            Some("serve_throughput") => lcds_bench::summary::validate_serve_summary(&doc),
+            Some("build_throughput") => lcds_bench::summary::validate_bench_summary(&doc),
+            other => Err(format!("unknown bench artifact kind {other:?}")),
+        };
+        check.map_err(|e| {
+            CliError::runtime(format!("{path}: merged artifact fails validation: {e}"))
+        })?;
+        let pretty = serde_json::to_string_pretty(&doc)
+            .map_err(|e| CliError::runtime(format!("cannot serialize {path}: {e}")))?;
+        std::fs::write(path, pretty + "\n")
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        writeln!(
+            out,
+            "merged probe_kernels ({} rows) into {path}",
+            sweep.rows.len()
+        )
+        .map_err(io_err)?;
+    }
+    match format {
+        "json" => {
+            let pretty = serde_json::to_string_pretty(&section)
+                .map_err(|e| CliError::runtime(format!("cannot serialize section: {e}")))?;
+            writeln!(out, "{pretty}").map_err(io_err)?;
+        }
+        _ => {
+            write!(out, "{}", lcds_bench::kernels::render_table(&sweep)).map_err(io_err)?;
         }
     }
     Ok(())
@@ -2310,6 +2416,80 @@ mod tests {
         lcds_bench::summary::validate_serve_summary(&merged).unwrap();
         lcds_bench::summary::validate_mt_scaling(&merged["mt_scaling"]).unwrap();
         let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn bench_kernels_table_names_every_config_and_batch() {
+        let out = run_capture(&[
+            "bench-kernels",
+            "--random",
+            "300",
+            "--iters",
+            "1",
+            "--batches",
+            "32,96",
+        ])
+        .unwrap();
+        assert!(out.contains("scalar+none"), "{out}");
+        assert!(out.contains("perkey-scalar"), "{out}");
+        assert!(out.contains("ns/key"), "{out}");
+        assert!(out.contains("combined vs scalar plan at batch 96"), "{out}");
+        assert!(out.contains("combined vs per-key scalar path"), "{out}");
+        // Per-key row + 4 configs x 2 batches, 2 header lines, 2 speedups.
+        assert_eq!(out.lines().count(), 2 + 9 + 2, "{out}");
+    }
+
+    #[test]
+    fn bench_kernels_json_self_validates_and_merges_into_the_artifact() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let src = [
+            format!("{root}/BENCH_serve.json"),
+            format!("{root}/rootpkg/BENCH_serve.json"),
+        ]
+        .into_iter()
+        .find(|p| std::path::Path::new(p).exists())
+        .expect("committed BENCH_serve.json");
+        let out_path = tmp("bench-kernels-merge.json");
+        std::fs::copy(&src, &out_path).unwrap();
+
+        let text = run_capture(&[
+            "bench-kernels",
+            "--random",
+            "300",
+            "--iters",
+            "1",
+            "--batches",
+            "64",
+            "--format",
+            "json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("merged probe_kernels"), "{text}");
+        let section_text = text.split_once('\n').map(|(_, rest)| rest).unwrap_or(&text);
+        let section: serde_json::Value = serde_json::from_str(section_text).unwrap();
+        lcds_bench::summary::validate_probe_kernels(&section).unwrap();
+
+        let merged: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        lcds_bench::summary::validate_serve_summary(&merged).unwrap();
+        lcds_bench::summary::validate_probe_kernels(&merged["probe_kernels"]).unwrap();
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn bench_kernels_rejects_bad_flags() {
+        for bad in [
+            &["bench-kernels", "--batches", "0"][..],
+            &["bench-kernels", "--batches", ""][..],
+            &["bench-kernels", "--iters", "0"][..],
+            &["bench-kernels", "--random", "0"][..],
+            &["bench-kernels", "--format", "xml"][..],
+            &["bench-kernels", "stray"][..],
+        ] {
+            assert_eq!(run_capture(bad).unwrap_err().code, 2, "{bad:?}");
+        }
     }
 
     #[test]

@@ -266,8 +266,9 @@ impl CellProbeDict for LowContentionDict {
         out: &mut Vec<bool>,
     ) {
         // Planned, region-grouped execution (see [`crate::plan`]): same
-        // answers as the per-key path, ~2d fewer probes per key.
-        crate::plan::BatchPlan::new().run(self, keys, first_index, seed, sink, out);
+        // answers as the per-key path, ~2d fewer probes per key. The plan
+        // scratch is per-worker-thread and reused across batches.
+        crate::plan::with_thread_scratch(|plan| plan.run(self, keys, first_index, seed, sink, out));
     }
 
     fn num_cells(&self) -> u64 {

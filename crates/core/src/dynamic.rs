@@ -49,7 +49,7 @@ use crate::par_build::par_build_with;
 use crate::params::ParamsConfig;
 use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::exact::{ExactProbes, ProbeSet};
-use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::rngutil::{uniform_below, StreamRng};
 use lcds_cellprobe::sink::ProbeSink;
 use lcds_cellprobe::table::Table;
 use lcds_hashing::perfect::PerfectHash;
@@ -434,6 +434,79 @@ impl CellProbeDict for FrozenDynamic {
         self.contains_key(x, rng, sink)
     }
 
+    fn contains_batch(
+        &self,
+        keys: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        // Two-stage batched execution mirroring the per-key fall-through:
+        // a delta sweep settles every key with a pending insert/tombstone
+        // (or an empty-bucket miss when there is no main structure), and
+        // the survivors run the main structure's region-grouped
+        // [`BatchPlan`](crate::plan::BatchPlan) on this worker's reusable
+        // scratch. Replica choices draw from fresh per-key streams rather
+        // than continuing the delta-stage stream the sequential path
+        // shares — replica cells hold identical words, so answers are
+        // bit-identical either way (pinned by the frozen equivalence
+        // tests alongside the static plan's matrix).
+        let b = keys.len();
+        if b == 0 {
+            return;
+        }
+        let out_base = out.len();
+        out.resize(out_base + b, false);
+        sink.begin_query();
+        let mut main_keys = Vec::with_capacity(b);
+        let mut main_pos = Vec::with_capacity(b);
+        let mut main_idx = Vec::with_capacity(b);
+        for (i, &x) in keys.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(seed, first_index + i as u64);
+            let s = self
+                .delta
+                .read(0, uniform_below(&mut rng, self.delta_replicas), sink);
+            let hash = PerfectHash::from_seed(s, self.delta_slots);
+            let mut pos = hash.eval(x);
+            let mut settled = false;
+            for _ in 0..self.delta_slots {
+                let cell = self.delta.read(0, self.delta_replicas + pos, sink);
+                if cell == EMPTY {
+                    break;
+                }
+                if cell & !TOMBSTONE == x {
+                    out[out_base + i] = cell & TOMBSTONE == 0;
+                    settled = true;
+                    break;
+                }
+                pos = (pos + 1) % self.delta_slots;
+            }
+            if !settled && self.main.is_some() {
+                main_keys.push(x);
+                main_pos.push(i);
+                main_idx.push(first_index + i as u64);
+            }
+            // No main structure: unsettled keys answer negative (already
+            // false in `out`).
+        }
+        if let Some(main) = self.main.as_deref() {
+            if !main_keys.is_empty() {
+                let mut shifted = OffsetSink {
+                    inner: sink,
+                    offset: self.delta.num_cells(),
+                };
+                let mut part = Vec::with_capacity(main_keys.len());
+                crate::plan::with_thread_scratch(|plan| {
+                    plan.run_indexed(main, &main_keys, &main_idx, seed, &mut shifted, &mut part)
+                });
+                for (j, &i) in main_pos.iter().enumerate() {
+                    out[out_base + i] = part[j];
+                }
+            }
+        }
+    }
+
     fn num_cells(&self) -> u64 {
         self.total_cells()
     }
@@ -757,6 +830,68 @@ mod tests {
         }
         assert!(!frozen.contains_key(10_000_001, &mut rc, &mut NullSink));
         assert_eq!(frozen.len(), live_at_freeze.len());
+    }
+
+    #[test]
+    fn frozen_batched_answers_match_per_key_path() {
+        // The contains_batch override (delta sweep + compacted main plan)
+        // must agree with the sequential fall-through for every key kind:
+        // main hits, delta inserts, tombstoned main keys, re-inserts,
+        // and misses — across batch chunkings.
+        let initial: Vec<u64> = (0..800u64).map(|i| i * 13 + 5).collect();
+        let mut d = DynamicLcd::new(&initial, 71, ParamsConfig::default()).unwrap();
+        for i in 0..60u64 {
+            d.insert(5_000_000 + i).unwrap(); // delta inserts
+        }
+        for i in 0..40usize {
+            d.remove(initial[i * 3]).unwrap(); // tombstones over main keys
+        }
+        d.remove(5_000_007).unwrap(); // tombstone over a delta insert
+        d.insert(initial[0]).unwrap(); // re-insert over a tombstone
+        let frozen = d.freeze();
+
+        let probes: Vec<u64> = initial
+            .iter()
+            .copied()
+            .take(200)
+            .chain((0..80).map(|i| 5_000_000 + i))
+            .chain((0..100).map(|i| 9_000_000 + i * 17)) // misses
+            .collect();
+        let mut per_key = Vec::new();
+        for (i, &x) in probes.iter().enumerate() {
+            let mut r = StreamRng::for_stream(19, i as u64);
+            per_key.push(frozen.contains_key(x, &mut r, &mut NullSink));
+        }
+        for chunk in [1usize, 8, 64, probes.len()] {
+            let mut batched = Vec::new();
+            for (c, part) in probes.chunks(chunk).enumerate() {
+                frozen.contains_batch(part, (c * chunk) as u64, 19, &mut NullSink, &mut batched);
+            }
+            assert_eq!(batched, per_key, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn frozen_batched_path_works_without_a_main_structure() {
+        // A young structure has delta only (`main: None`); unsettled keys
+        // must answer negative, settled ones from the delta.
+        let mut d = DynamicLcd::new(&[], 73, ParamsConfig::default()).unwrap();
+        for i in 0..20u64 {
+            d.insert(100 + i).unwrap();
+        }
+        d.remove(105).unwrap();
+        let frozen = d.freeze();
+        let probes: Vec<u64> = (90..140).collect();
+        let mut per_key = Vec::new();
+        for (i, &x) in probes.iter().enumerate() {
+            let mut r = StreamRng::for_stream(3, i as u64);
+            per_key.push(frozen.contains_key(x, &mut r, &mut NullSink));
+        }
+        let mut batched = Vec::new();
+        frozen.contains_batch(&probes, 0, 3, &mut NullSink, &mut batched);
+        assert_eq!(batched, per_key);
+        assert!(batched.iter().any(|&v| v), "some delta hits expected");
+        assert!(!batched[15], "removed key 105 answers negative");
     }
 
     #[test]

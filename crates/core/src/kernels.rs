@@ -1,0 +1,323 @@
+//! Probe-kernel selection: which flavor of hash arithmetic and software
+//! prefetch the batch planner runs with.
+//!
+//! Three independent knobs, all answer-preserving (the equivalence matrix
+//! in `plan.rs` and `tests/batched_serving.rs` pins bit-identity):
+//!
+//! * **`simd_hash`** — evaluate the Carter–Wegman polynomials with
+//!   [`lcds_hashing::poly::horner_batch_simd`] (AVX2/NEON, behind the
+//!   `kernels-simd` feature) instead of the portable unrolled scalar
+//!   kernel. Both end on canonical Mersenne-61 representatives, so the
+//!   hashes are bit-identical.
+//! * **`prefetch`** — read ahead at all. Off is the true scalar
+//!   reference: every stage resolves its cells cold, one dependent miss
+//!   at a time. On, the planner warms the next blocks' cells — with real
+//!   `prefetcht0`/`prfm pldl1keep` instructions when the `kernels-simd`
+//!   build and the target provide them, else with the safe-Rust
+//!   checksum-touch fallback (a plain load folded into an accumulator
+//!   the optimizer cannot drop). The intrinsic never faults and reads
+//!   nothing architecturally, so probe counts and answers are untouched
+//!   either way.
+//! * **`lanes`** — how many keys each stage iteration covers: the next
+//!   block of `lanes` cells is prefetched while the current block
+//!   resolves, so that many independent misses overlap. Tunable via
+//!   `LCDS_KERNEL_LANES`.
+//!
+//! [`KernelConfig::auto`] picks once per process — `LCDS_FORCE_SCALAR=1`
+//! pins everything to the portable path — and [`KernelConfig::name`] is
+//! what run headers report, so every measurement names the code path that
+//! produced it.
+
+use std::sync::OnceLock;
+
+/// The per-plan kernel selection (see module docs for the three knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Vectorized Mersenne-61 Horner evaluation for the hash stages.
+    pub simd_hash: bool,
+    /// Read-ahead of upcoming plan cells: intrinsic prefetch when the
+    /// build provides it, checksum-touch otherwise. Off = fully cold
+    /// scalar reference.
+    pub prefetch: bool,
+    /// Keys per stage iteration (block prefetch distance), `>= 1`.
+    pub lanes: usize,
+}
+
+impl KernelConfig {
+    /// Default lane count, matching the planner's historical
+    /// [`READ_AHEAD`](crate::plan::READ_AHEAD) depth.
+    pub const DEFAULT_LANES: usize = crate::plan::READ_AHEAD;
+
+    /// The scalar reference: unrolled scalar hashing, no read-ahead of
+    /// any kind, default lanes. The bit-identity baseline every other
+    /// configuration is checked against, and the speedup denominator in
+    /// the probe-kernel sweep. What `LCDS_FORCE_SCALAR=1` pins.
+    pub fn scalar() -> KernelConfig {
+        KernelConfig {
+            simd_hash: false,
+            prefetch: false,
+            lanes: KernelConfig::DEFAULT_LANES,
+        }
+    }
+
+    /// The process-wide selection, resolved once: honors
+    /// `LCDS_FORCE_SCALAR` (any value but `0` pins the scalar path) and
+    /// `LCDS_KERNEL_LANES` (clamped to `[1, 64]`), otherwise enables
+    /// whatever the build and the CPU offer.
+    pub fn auto() -> KernelConfig {
+        static AUTO: OnceLock<KernelConfig> = OnceLock::new();
+        *AUTO.get_or_init(|| {
+            let lanes = std::env::var("LCDS_KERNEL_LANES")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|v| v.clamp(1, 64))
+                .unwrap_or(KernelConfig::DEFAULT_LANES);
+            let force_scalar = std::env::var_os("LCDS_FORCE_SCALAR").is_some_and(|v| v != "0");
+            if force_scalar {
+                return KernelConfig {
+                    lanes,
+                    ..KernelConfig::scalar()
+                };
+            }
+            KernelConfig {
+                simd_hash: lcds_hashing::poly::simd_isa().is_some(),
+                // Read-ahead is always worth it; the form it takes
+                // (intrinsic vs touch) follows the build.
+                prefetch: true,
+                lanes,
+            }
+        })
+    }
+
+    /// Human-readable path name for run headers and bench artifacts:
+    /// `"avx2+prefetch,lanes=8"` (intrinsic build), `"scalar+touch,lanes=8"`
+    /// (read-ahead via the portable fallback), `"scalar+none,lanes=8"`
+    /// (the cold scalar reference).
+    pub fn name(&self) -> String {
+        let hash = if self.simd_hash {
+            lcds_hashing::poly::simd_isa().unwrap_or("scalar")
+        } else {
+            "scalar"
+        };
+        let pf = if !self.prefetch {
+            "none"
+        } else if prefetch_available() {
+            "prefetch"
+        } else {
+            "touch"
+        };
+        format!("{hash}+{pf},lanes={}", self.lanes)
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig::auto()
+    }
+}
+
+/// Whether the intrinsic prefetch path is compiled in for this target.
+pub fn prefetch_available() -> bool {
+    cfg!(all(
+        feature = "kernels-simd",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+/// Per-sweep read-ahead state, in one of three modes: off (the cold
+/// scalar reference — `touch` is a no-op), intrinsic (issues the real
+/// prefetch instruction per touched cell), or touch fallback (folds the
+/// cell's word into a dead-store-proof checksum — a demand load that
+/// warms the line in safe Rust). One instance per stage sweep;
+/// [`Prefetcher::finish`] pins the checksum against elision.
+pub struct Prefetcher<'a> {
+    words: &'a [u64],
+    mode: Mode,
+    acc: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Off,
+    Intrinsic,
+    Touch,
+}
+
+impl<'a> Prefetcher<'a> {
+    /// A prefetcher over the table's backing words.
+    #[inline]
+    pub fn new(words: &'a [u64], cfg: KernelConfig) -> Prefetcher<'a> {
+        let mode = if !cfg.prefetch {
+            Mode::Off
+        } else if prefetch_available() {
+            Mode::Intrinsic
+        } else {
+            Mode::Touch
+        };
+        Prefetcher {
+            words,
+            mode,
+            acc: 0,
+        }
+    }
+
+    /// Hints (or touch-loads, or ignores — per the mode) cell index
+    /// `cell` of the backing words.
+    #[inline]
+    pub fn touch(&mut self, cell: usize) {
+        match self.mode {
+            Mode::Off => {}
+            Mode::Intrinsic => intrinsic::prefetch_cell(self.words, cell),
+            Mode::Touch => self.acc = self.acc.wrapping_add(self.words[cell]),
+        }
+    }
+
+    /// Keeps the touch checksum observable so the loads cannot be
+    /// dead-store-eliminated.
+    #[inline]
+    pub fn finish(self) {
+        std::hint::black_box(self.acc);
+    }
+}
+
+#[cfg(feature = "kernels-simd")]
+#[allow(unsafe_code)]
+mod intrinsic {
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub fn prefetch_cell(words: &[u64], cell: usize) {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        // The range index bounds-checks the address; prefetch itself
+        // never faults and performs no architectural read.
+        let ptr = words[cell..].as_ptr();
+        // SAFETY: prefetcht0 is baseline x86_64 (SSE) and side-effect
+        // free; any address is acceptable, and this one is in-bounds.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr as *const i8) }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[inline]
+    pub fn prefetch_cell(words: &[u64], cell: usize) {
+        let ptr = words[cell..].as_ptr();
+        // SAFETY: PRFM is a hint instruction — no architectural effect,
+        // no fault, in-bounds pointer. (`core::arch::aarch64::_prefetch`
+        // is not stable; the single-instruction asm is.)
+        unsafe {
+            core::arch::asm!(
+                "prfm pldl1keep, [{0}]",
+                in(reg) ptr,
+                options(nostack, readonly, preserves_flags)
+            )
+        }
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[inline]
+    pub fn prefetch_cell(_words: &[u64], _cell: usize) {}
+}
+
+#[cfg(not(feature = "kernels-simd"))]
+mod intrinsic {
+    /// Feature off: `Prefetcher` never takes the intrinsic branch
+    /// (`prefetch_available()` is false); this stub keeps the call site
+    /// monomorphic.
+    #[inline]
+    pub fn prefetch_cell(_words: &[u64], _cell: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_config_names_the_cold_reference_path() {
+        let cfg = KernelConfig::scalar();
+        assert_eq!(cfg.name(), format!("scalar+none,lanes={}", cfg.lanes));
+    }
+
+    #[test]
+    fn auto_is_stable_across_calls() {
+        assert_eq!(KernelConfig::auto(), KernelConfig::auto());
+        assert_eq!(KernelConfig::default(), KernelConfig::auto());
+        assert!(KernelConfig::auto().lanes >= 1);
+    }
+
+    #[test]
+    fn prefetcher_touch_fallback_reads_the_cell() {
+        let words = vec![7u64; 32];
+        let mut pf = Prefetcher::new(
+            &words,
+            KernelConfig {
+                simd_hash: false,
+                prefetch: true,
+                lanes: 4,
+            },
+        );
+        for c in 0..32 {
+            pf.touch(c);
+        }
+        if pf.mode == Mode::Touch {
+            // Feature off: the portable fallback must really load.
+            assert_eq!(pf.acc, 7 * 32);
+        }
+        pf.finish();
+    }
+
+    #[test]
+    fn prefetcher_off_mode_reads_nothing() {
+        let words = vec![7u64; 8];
+        let mut pf = Prefetcher::new(&words, KernelConfig::scalar());
+        for c in 0..8 {
+            pf.touch(c);
+        }
+        assert_eq!(pf.acc, 0, "cold reference must not touch cells");
+        pf.finish();
+    }
+
+    #[test]
+    fn prefetcher_intrinsic_path_is_side_effect_free() {
+        // With the feature off this degrades to the touch path; either
+        // way the call must be safe over every valid cell.
+        let words = vec![1u64; 16];
+        let mut pf = Prefetcher::new(
+            &words,
+            KernelConfig {
+                simd_hash: false,
+                prefetch: true,
+                lanes: 4,
+            },
+        );
+        for c in 0..16 {
+            pf.touch(c);
+        }
+        pf.finish();
+    }
+
+    #[test]
+    fn name_reflects_the_knobs() {
+        let cfg = KernelConfig {
+            simd_hash: false,
+            prefetch: false,
+            lanes: 3,
+        };
+        assert_eq!(cfg.name(), "scalar+none,lanes=3");
+        let ahead = KernelConfig {
+            simd_hash: false,
+            prefetch: true,
+            lanes: 5,
+        };
+        let expect = if prefetch_available() {
+            "scalar+prefetch,lanes=5"
+        } else {
+            "scalar+touch,lanes=5"
+        };
+        assert_eq!(ahead.name(), expect);
+        let simd = KernelConfig {
+            simd_hash: true,
+            prefetch: true,
+            lanes: 8,
+        };
+        let name = simd.name();
+        assert!(name.ends_with(",lanes=8"), "{name}");
+    }
+}

@@ -45,13 +45,19 @@
 //!   queries) and [`lcds_cellprobe::ExactProbes`] (analytic contention).
 //! * [`verify`] — structural self-checks used by tests and experiments.
 
-#![forbid(unsafe_code)]
+// Without `kernels-simd` the crate carries no unsafe code at all; with the
+// feature, the only unsafe lives in `kernels::intrinsic` (software-prefetch
+// instructions), which is individually allow-listed inside the module and
+// proven answer-neutral by the plan equivalence matrix.
+#![cfg_attr(not(feature = "kernels-simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod dict;
 pub mod dynamic;
 pub mod histogram;
+pub mod kernels;
 pub mod layout;
 pub mod par_build;
 pub mod params;
@@ -64,6 +70,7 @@ pub mod weighted;
 pub use builder::{build, build_with, property_trial, BuildError, BuildStats, PropertyTrial};
 pub use dict::{LowContentionDict, Resolution, EMPTY};
 pub use dynamic::{DynamicLcd, FrozenDynamic, WriteStats};
+pub use kernels::KernelConfig;
 pub use par_build::{build_seeded, build_seeded_with, par_build, par_build_with, shard_seed};
 pub use params::{Params, ParamsConfig};
 pub use plan::BatchPlan;

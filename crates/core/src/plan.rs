@@ -17,11 +17,23 @@
 //!    row, then headers, then data — so at any moment the engine streams
 //!    through *one* table row. Independent same-row misses overlap in the
 //!    memory system instead of serializing behind each key's chain.
-//! 3. **Read-ahead.** Within a stage, entry `i + READ_AHEAD`'s cell is
-//!    touched (a plain load folded into a checksum the optimizer cannot
-//!    drop) while entry `i` is being resolved — a safe-Rust software
-//!    prefetch that hides the random-access latency of the next plan
-//!    entry.
+//! 3. **SoA columns.** Every per-key intermediate (hash values, planned
+//!    columns, histogram words, bucket geometry) lives in a flat
+//!    64-byte-aligned column ([`AlignedCol`], the same over-allocate +
+//!    `align_offset` idiom as the cell-probe `Table`), written and read
+//!    contiguously by the stage sweeps. Histogram words are stored
+//!    word-major (`hist[w·b + i]`) so each row sweep writes a contiguous
+//!    run. Keys whose bucket is empty answer negative at the histogram
+//!    stage and are *compacted out* of the plan — the header/data sweeps
+//!    iterate a dense survivor prefix with no per-entry `active` test.
+//! 4. **Lane-blocked read-ahead.** Stage sweeps process
+//!    [`KernelConfig::lanes`] keys per iteration: the next block's cells
+//!    are prefetched — a real `prefetcht0`/`prfm` when the `kernels-simd`
+//!    feature provides it, otherwise the safe checksum-touch fallback —
+//!    while the current block resolves, so that many independent misses
+//!    overlap. The Carter–Wegman hash stage runs
+//!    [`lcds_hashing::poly::horner_batch`]-style kernels over the whole
+//!    batch (vectorized when enabled, always bit-identical).
 //!
 //! Balancing randomness (which replica to read) is drawn from
 //! [`StreamRng::for_stream`]`(seed, global key index)` — per-key streams
@@ -31,46 +43,121 @@
 //! batch-scoped; answers never depend on it.
 //!
 //! Answers are bit-for-bit those of
-//! [`LowContentionDict::resolve_contains`]; the equivalence is tested
-//! across batch sizes and shard counts in `tests/batched_serving.rs`.
+//! [`LowContentionDict::resolve_contains`] under *every* kernel
+//! configuration; the equivalence is tested across batch sizes, shard
+//! counts, and the kernel matrix in `tests/batched_serving.rs`.
 
 use crate::dict::{LowContentionDict, MAX_D};
 use crate::histogram;
+use crate::kernels::{KernelConfig, Prefetcher};
 use lcds_cellprobe::rngutil::{uniform_below, StreamRng};
 use lcds_cellprobe::sink::{PlanStage, ProbeSink};
 use lcds_hashing::perfect::PerfectHash;
-use lcds_hashing::poly::horner;
+use lcds_hashing::poly::{horner_batch_scalar, horner_batch_simd};
 
-/// How far ahead of the current plan entry the execute sweeps touch the
-/// table. Deep enough to cover one memory round-trip at typical batch
-/// processing rates; shallow enough that the touched lines are still
-/// resident when their entry is resolved.
+/// Default read-ahead depth of the execute sweeps, in plan entries — the
+/// default for [`KernelConfig::lanes`]. Deep enough to cover one memory
+/// round-trip at typical batch processing rates; shallow enough that the
+/// touched lines are still resident when their entry is resolved.
 pub const READ_AHEAD: usize = 8;
 
+/// Words per 64-byte cache line.
+const LINE_WORDS: usize = 8;
+
+/// A growable flat `u64` column on a 64-byte-aligned window — the
+/// safe-Rust stand-in for `#[repr(align(64))]`-backed storage, borrowed
+/// from the cell-probe `Table`: over-allocate by one line and window in
+/// with [`pointer::align_offset`]. Contents after [`AlignedCol::reset`]
+/// are unspecified; every stage writes a slot before any stage reads it.
+#[derive(Clone, Debug, Default)]
+struct AlignedCol {
+    buf: Vec<u64>,
+    off: usize,
+    len: usize,
+}
+
+impl AlignedCol {
+    /// Sizes the column to `n` words, reusing the allocation when it
+    /// fits. The aligned offset is recomputed every time (a clone or a
+    /// realloc lands on a fresh address).
+    fn reset(&mut self, n: usize) {
+        if self.buf.len() < n + (LINE_WORDS - 1) {
+            self.buf = vec![0; n + (LINE_WORDS - 1)];
+        }
+        let off = self.buf.as_ptr().align_offset(64);
+        // align_offset may formally report "cannot align"; fall back to
+        // an unaligned (still correct) window like `Table` does.
+        self.off = if off < LINE_WORDS { off } else { 0 };
+        self.len = n;
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    #[inline]
+    fn as_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.off..self.off + self.len]
+    }
+}
+
 /// Reusable scratch for one batch: the probe plan's per-key columns and
-/// intermediate hash state, kept as parallel arrays so each execution
-/// stage streams through contiguous memory.
+/// intermediate hash state, kept as parallel aligned arrays so each
+/// execution stage streams through contiguous memory.
 ///
 /// A plan is cheap to create but cheaper to reuse — callers running many
-/// batches (the `lcds-serve` engine, the criterion benches) hold one per
-/// worker and amortize the allocations away.
+/// batches hold one per worker ([`with_thread_scratch`] does this for the
+/// serve path) and amortize the allocations away.
 #[derive(Clone, Debug, Default)]
 pub struct BatchPlan {
+    kernels: KernelConfig,
     rng: Vec<StreamRng>,
-    fx: Vec<u64>,
-    col: Vec<u64>,
-    h: Vec<u64>,
-    gbas: Vec<u64>,
-    hist: Vec<u64>,
-    start: Vec<u64>,
-    range: Vec<u64>,
-    active: Vec<u32>,
+    fx: AlignedCol,
+    gx: AlignedCol,
+    col: AlignedCol,
+    h: AlignedCol,
+    gbas: AlignedCol,
+    hist: AlignedCol,
+    start: AlignedCol,
+    range: AlignedCol,
+    active: AlignedCol,
+    /// Gather buffer for one key's ρ histogram words (hist is word-major).
+    hrow: Vec<u64>,
 }
 
 impl BatchPlan {
-    /// An empty plan (no scratch allocated yet).
+    /// An empty plan (no scratch allocated yet) on the process-wide
+    /// [`KernelConfig::auto`] kernel selection.
+    ///
+    /// Counted by
+    /// [`SERVE_PLAN_SCRATCH_ALLOCS`](lcds_obs::names::SERVE_PLAN_SCRATCH_ALLOCS)
+    /// when telemetry is on: serving paths go through
+    /// [`with_thread_scratch`], so the counter should track worker-thread
+    /// count, not batch count — growth per batch means a hot path
+    /// regressed to constructing plans per call.
     pub fn new() -> BatchPlan {
-        BatchPlan::default()
+        if lcds_obs::enabled() {
+            lcds_obs::global()
+                .counter(lcds_obs::names::SERVE_PLAN_SCRATCH_ALLOCS)
+                .add(1);
+        }
+        BatchPlan::with_kernels(KernelConfig::auto())
+    }
+
+    /// An empty plan pinned to an explicit kernel configuration — how the
+    /// equivalence matrix and the probe-kernel benches compare paths
+    /// without mutating process state.
+    pub fn with_kernels(kernels: KernelConfig) -> BatchPlan {
+        BatchPlan {
+            kernels,
+            ..Default::default()
+        }
+    }
+
+    /// The kernel configuration this plan executes with.
+    pub fn kernels(&self) -> KernelConfig {
+        self.kernels
     }
 
     /// Runs the batch with key `i`'s randomness stream addressed as
@@ -105,18 +192,6 @@ impl BatchPlan {
         self.run_inner(dict, keys, &|i| indices[i], seed, sink, out);
     }
 
-    fn clear(&mut self) {
-        self.rng.clear();
-        self.fx.clear();
-        self.col.clear();
-        self.h.clear();
-        self.gbas.clear();
-        self.hist.clear();
-        self.start.clear();
-        self.range.clear();
-        self.active.clear();
-    }
-
     fn run_inner(
         &mut self,
         dict: &LowContentionDict,
@@ -135,15 +210,12 @@ impl BatchPlan {
         let t = dict.table();
         let words = t.words();
         let d = p.d;
-        self.clear();
+        let lanes = self.kernels.lanes.max(1);
+        self.rng.clear();
         // One `begin_query` per batch: probes are ordered by region, not by
         // query, so per-step sinks don't apply (see the trait docs).
         sink.begin_query();
-        // Dead-store-proof accumulator for the read-ahead touches.
-        let mut ra_acc = 0u64;
-        let touch = |acc: &mut u64, cell: u64| {
-            *acc = acc.wrapping_add(words[cell as usize]);
-        };
+        let mut pf = Prefetcher::new(words, self.kernels);
 
         // Stage 0 — reconstruct f and g once per batch: the coefficient
         // rows are fully replicated, so one probe per row (at a random
@@ -157,111 +229,181 @@ impl BatchPlan {
             gw[i as usize] = t.read(l.row_g(i), uniform_below(&mut prng, p.s), sink);
         }
 
-        // Stage 1 (plan) — per key: hash arithmetic and the z replica
-        // choice. Pure compute; no table traffic.
-        for (i, &x) in keys.iter().enumerate() {
-            let mut rng = StreamRng::for_stream(seed, idx(i));
-            let gx = horner(&gw[..d], x) % p.r;
-            let copies = l.replica_count(p.r, gx);
-            self.col
-                .push(l.replica_col(p.r, gx, uniform_below(&mut rng, copies)));
-            self.fx.push(horner(&fw[..d], x) % p.s);
-            self.rng.push(rng);
+        // Stage 1 (plan) — batched Carter–Wegman hashing (the vector
+        // kernel when this plan enables it; always bit-identical), then
+        // the per-key z-replica draws. Pure compute; no table traffic.
+        self.fx.reset(b);
+        self.gx.reset(b);
+        hash_batch(self.kernels, &fw[..d], keys, self.fx.as_mut());
+        hash_batch(self.kernels, &gw[..d], keys, self.gx.as_mut());
+        self.col.reset(b);
+        {
+            let fx = self.fx.as_mut();
+            let gx = self.gx.as_slice();
+            let col = self.col.as_mut();
+            for i in 0..b {
+                let mut rng = StreamRng::for_stream(seed, idx(i));
+                let gxi = gx[i] % p.r;
+                let copies = l.replica_count(p.r, gxi);
+                col[i] = l.replica_col(p.r, gxi, uniform_below(&mut rng, copies));
+                fx[i] %= p.s;
+                self.rng.push(rng);
+            }
         }
 
-        // Stage 2 (execute) — z reads, region `row_z`, with read-ahead;
-        // resolves each key's bucket h and plans its GBAS replica column.
+        // Stage 2 (execute) — z reads, region `row_z`, lane-blocked;
+        // resolves each key's bucket h.
         sink.stage(PlanStage::Displacement);
-        let z_base = l.row_z() as u64 * p.s;
-        for i in 0..b {
-            if i + READ_AHEAD < b {
-                touch(&mut ra_acc, z_base + self.col[i + READ_AHEAD]);
-            }
-            let zg = t.read(l.row_z(), self.col[i], sink);
-            let sum = self.fx[i] + zg;
-            self.h.push(if sum >= p.s { sum - p.s } else { sum });
+        self.h.reset(b);
+        {
+            let fx = self.fx.as_slice();
+            let h = self.h.as_mut();
+            sweep(
+                b,
+                lanes,
+                &mut pf,
+                l.row_z() as u64 * p.s,
+                self.col.as_mut(),
+                |i, col| {
+                    let zg = t.read(l.row_z(), col[i], sink);
+                    let sum = fx[i] + zg;
+                    h[i] = if sum >= p.s { sum - p.s } else { sum };
+                },
+            );
         }
         let reps = p.group_size; // m | s ⇒ every residue has s/m replicas
-        for i in 0..b {
-            let hp = self.h[i] % p.m;
-            self.col[i] = l.replica_col(p.m, hp, uniform_below(&mut self.rng[i], reps));
+        {
+            let h = self.h.as_slice();
+            let col = self.col.as_mut();
+            for i in 0..b {
+                let hp = h[i] % p.m;
+                col[i] = l.replica_col(p.m, hp, uniform_below(&mut self.rng[i], reps));
+            }
         }
 
         // Stage 3 (execute) — GBAS reads, region `row_gbas`.
         sink.stage(PlanStage::GroupBase);
-        let gbas_base = l.row_gbas() as u64 * p.s;
-        for i in 0..b {
-            if i + READ_AHEAD < b {
-                touch(&mut ra_acc, gbas_base + self.col[i + READ_AHEAD]);
-            }
-            self.gbas.push(t.read(l.row_gbas(), self.col[i], sink));
+        self.gbas.reset(b);
+        {
+            let gbas = self.gbas.as_mut();
+            sweep(
+                b,
+                lanes,
+                &mut pf,
+                l.row_gbas() as u64 * p.s,
+                self.col.as_mut(),
+                |i, col| {
+                    gbas[i] = t.read(l.row_gbas(), col[i], sink);
+                },
+            );
         }
 
-        // Stage 4 (execute) — histogram words, one region (row) at a time.
+        // Stage 4 (execute) — histogram words, one region (row) at a time,
+        // stored word-major so each row sweep writes a contiguous run.
         // Each key's hist columns are drawn from its own stream in
         // ascending word order, exactly as the sequential path does.
         sink.stage(PlanStage::Histogram);
         let rho = p.rho as usize;
-        self.hist.resize(b * rho, 0);
+        self.hist.reset(b * rho);
         for w in 0..p.rho {
-            for i in 0..b {
-                let hp = self.h[i] % p.m;
-                self.col[i] = l.replica_col(p.m, hp, uniform_below(&mut self.rng[i], reps));
-            }
-            let hist_base = l.row_hist(w) as u64 * p.s;
-            for i in 0..b {
-                if i + READ_AHEAD < b {
-                    touch(&mut ra_acc, hist_base + self.col[i + READ_AHEAD]);
+            {
+                let h = self.h.as_slice();
+                let col = self.col.as_mut();
+                for i in 0..b {
+                    let hp = h[i] % p.m;
+                    col[i] = l.replica_col(p.m, hp, uniform_below(&mut self.rng[i], reps));
                 }
-                self.hist[i * rho + w as usize] = t.read(l.row_hist(w), self.col[i], sink);
             }
+            let row = &mut self.hist.as_mut()[w as usize * b..(w as usize + 1) * b];
+            sweep(
+                b,
+                lanes,
+                &mut pf,
+                l.row_hist(w) as u64 * p.s,
+                self.col.as_mut(),
+                |i, col| {
+                    row[i] = t.read(l.row_hist(w), col[i], sink);
+                },
+            );
         }
 
         // Stage 5 (plan) — locate each bucket in its group histogram.
         // Empty buckets answer negative here and leave the plan; the
-        // survivors carry on to the header/data stages.
+        // survivors are compacted to a dense prefix, so the header/data
+        // sweeps carry no per-entry `active` test.
         let out_base = out.len();
         out.resize(out_base + b, false);
-        for i in 0..b {
-            let k_star = self.h[i] / p.m;
-            let (off, load) = histogram::locate(&self.hist[i * rho..(i + 1) * rho], k_star);
-            if load == 0 {
-                continue;
+        self.start.reset(b);
+        self.range.reset(b);
+        self.active.reset(b);
+        self.hrow.resize(rho, 0);
+        let mut a = 0usize;
+        {
+            let h = self.h.as_slice();
+            let gbas = self.gbas.as_slice();
+            let hist = self.hist.as_slice();
+            let col = self.col.as_mut();
+            let start = self.start.as_mut();
+            let range = self.range.as_mut();
+            let active = self.active.as_mut();
+            for i in 0..b {
+                let k_star = h[i] / p.m;
+                for (w, hw) in self.hrow.iter_mut().enumerate() {
+                    *hw = hist[w * b + i];
+                }
+                let (off, load) = histogram::locate(&self.hrow, k_star);
+                if load == 0 {
+                    continue;
+                }
+                let s0 = gbas[i] + off;
+                let r0 = (load as u64) * (load as u64);
+                start[a] = s0;
+                range[a] = r0;
+                col[a] = s0 + uniform_below(&mut self.rng[i], r0);
+                active[a] = i as u64;
+                a += 1;
             }
-            let start = self.gbas[i] + off;
-            let range = (load as u64) * (load as u64);
-            self.start.push(start);
-            self.range.push(range);
-            self.col[self.active.len()] = start + uniform_below(&mut self.rng[i], range);
-            self.active.push(i as u32);
         }
 
-        // Stage 6 (execute) — header reads (perfect-hash seeds), active
-        // entries only.
+        // Stage 6 (execute) — header reads (perfect-hash seeds), dense
+        // survivor prefix only.
         sink.stage(PlanStage::Header);
-        let a = self.active.len();
-        let header_base = l.row_header() as u64 * p.s;
-        for j in 0..a {
-            if j + READ_AHEAD < a {
-                touch(&mut ra_acc, header_base + self.col[j + READ_AHEAD]);
-            }
-            let seed_word = t.read(l.row_header(), self.col[j], sink);
-            let ph = PerfectHash::from_seed(seed_word, self.range[j]);
-            let x = keys[self.active[j] as usize];
-            self.col[j] = self.start[j] + ph.eval(x);
+        {
+            let start = self.start.as_slice();
+            let range = self.range.as_slice();
+            let active = self.active.as_slice();
+            sweep(
+                a,
+                lanes,
+                &mut pf,
+                l.row_header() as u64 * p.s,
+                self.col.as_mut(),
+                |j, col| {
+                    let seed_word = t.read(l.row_header(), col[j], sink);
+                    let ph = PerfectHash::from_seed(seed_word, range[j]);
+                    let x = keys[active[j] as usize];
+                    col[j] = start[j] + ph.eval(x);
+                },
+            );
         }
 
         // Stage 7 (execute) — data reads settle membership by comparison.
         sink.stage(PlanStage::Data);
-        let data_base = l.row_data() as u64 * p.s;
-        for j in 0..a {
-            if j + READ_AHEAD < a {
-                touch(&mut ra_acc, data_base + self.col[j + READ_AHEAD]);
-            }
-            let i = self.active[j] as usize;
-            out[out_base + i] = t.read(l.row_data(), self.col[j], sink) == keys[i];
+        {
+            let active = self.active.as_slice();
+            sweep(
+                a,
+                lanes,
+                &mut pf,
+                l.row_data() as u64 * p.s,
+                self.col.as_mut(),
+                |j, col| {
+                    let i = active[j] as usize;
+                    out[out_base + i] = t.read(l.row_data(), col[j], sink) == keys[i];
+                },
+            );
         }
-        std::hint::black_box(ra_acc);
+        pf.finish();
 
         if lcds_obs::enabled() {
             let reg = lcds_obs::global();
@@ -271,6 +413,79 @@ impl BatchPlan {
                 .add(a as u64);
         }
     }
+}
+
+/// One lane-blocked stage sweep over `n` plan entries: prefetch cells
+/// (`row_base + col[k]`) two blocks ahead of the block being resolved,
+/// then resolve the current block. Two blocks — not one — because the
+/// per-entry stage work is a handful of cycles while an L3/DRAM line
+/// fill is tens to hundreds: one block of cover barely hides L2. The
+/// pipeline is primed with the first two blocks before the loop, after
+/// which each iteration issues exactly one block of prefetches, so every
+/// index is touched once. The body receives the column slice so
+/// header-style stages can rewrite `col[i]` in place — always behind the
+/// prefetch window, never ahead of it (the window starts at
+/// `lo + 2*lanes`, the body writes at `i < lo + lanes`).
+#[inline]
+fn sweep<F: FnMut(usize, &mut [u64])>(
+    n: usize,
+    lanes: usize,
+    pf: &mut Prefetcher<'_>,
+    row_base: u64,
+    col: &mut [u64],
+    mut body: F,
+) {
+    let depth = 2 * lanes;
+    for k in 0..depth.min(n) {
+        pf.touch((row_base + col[k]) as usize);
+    }
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + lanes).min(n);
+        let pf_lo = (lo + depth).min(n);
+        let pf_hi = (pf_lo + lanes).min(n);
+        for k in pf_lo..pf_hi {
+            pf.touch((row_base + col[k]) as usize);
+        }
+        for i in lo..hi {
+            body(i, col);
+        }
+        lo = hi;
+    }
+}
+
+/// Evaluates one polynomial over the whole batch with the kernel the plan
+/// selected: forced-vector when `simd_hash` is set (falling back to the
+/// scalar kernel if the unit is missing), portable unrolled scalar
+/// otherwise. Both produce canonical representatives — bit-identical.
+#[inline]
+fn hash_batch(cfg: KernelConfig, words: &[u64], keys: &[u64], out: &mut [u64]) {
+    if cfg.simd_hash && horner_batch_simd(words, keys, out) {
+        return;
+    }
+    horner_batch_scalar(words, keys, out);
+}
+
+/// Runs `f` with this thread's long-lived [`BatchPlan`] scratch — the
+/// serve path's per-worker plan reuse. The scratch is created once per
+/// thread (counted by
+/// [`SERVE_PLAN_SCRATCH_ALLOCS`](lcds_obs::names::SERVE_PLAN_SCRATCH_ALLOCS),
+/// the regression signal that a hot path stopped reusing it) and keeps
+/// its column allocations across batches and generation swaps.
+///
+/// # Panics
+/// Panics if `f` re-enters `with_thread_scratch` on the same thread (the
+/// scratch is a single `RefCell` per thread).
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut BatchPlan) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<BatchPlan> =
+            std::cell::RefCell::new(fresh_thread_scratch());
+    }
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+fn fresh_thread_scratch() -> BatchPlan {
+    BatchPlan::new()
 }
 
 #[cfg(test)]
@@ -323,6 +538,57 @@ mod tests {
             per_key.push(d.contains(x, &mut rng, &mut NullSink));
         }
         assert_eq!(planned, per_key);
+    }
+
+    #[test]
+    fn kernel_matrix_is_bit_identical() {
+        // Every kernel configuration — scalar/SIMD hashing × touch/real
+        // prefetch × lane widths spanning the batch-size regimes — must
+        // reproduce the scalar reference answers bit for bit. (With the
+        // `kernels-simd` feature off, the SIMD axis degrades to the
+        // scalar kernel and the matrix still must hold.)
+        let d = dict(1100, 61);
+        let probes = mixed_probes(&d, 1100, 62);
+        let mut baseline = Vec::new();
+        BatchPlan::with_kernels(KernelConfig::scalar()).run(
+            &d,
+            &probes,
+            0,
+            13,
+            &mut NullSink,
+            &mut baseline,
+        );
+        for simd_hash in [false, true] {
+            for prefetch in [false, true] {
+                for lanes in [1usize, 2, 3, 8, 16, 64] {
+                    let cfg = KernelConfig {
+                        simd_hash,
+                        prefetch,
+                        lanes,
+                    };
+                    let mut got = Vec::new();
+                    BatchPlan::with_kernels(cfg).run(&d, &probes, 0, 13, &mut NullSink, &mut got);
+                    assert_eq!(got, baseline, "kernels {}", cfg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_columns_are_cache_line_aligned() {
+        let mut c = AlignedCol::default();
+        for n in [1usize, 7, 64, 1000] {
+            c.reset(n);
+            assert_eq!(c.as_slice().len(), n);
+            assert_eq!(c.as_slice().as_ptr() as usize % 64, 0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn thread_scratch_is_reused_on_a_thread() {
+        let first = with_thread_scratch(|p| p as *mut BatchPlan as usize);
+        let again = with_thread_scratch(|p| p as *mut BatchPlan as usize);
+        assert_eq!(first, again, "same thread must reuse one scratch");
     }
 
     #[test]
@@ -385,6 +651,40 @@ mod tests {
         // 2d batch-level + per key: z + gbas + ρ hist + header + data
         // (all probes are positives here, so nothing stops early).
         assert_eq!(sink.total(), 2 * dd + b * (rho + 4));
+    }
+
+    #[test]
+    fn probe_counts_are_kernel_invariant() {
+        // Prefetch hints are not probes: every kernel config must touch
+        // the sink exactly as often as the scalar reference does.
+        let d = dict(400, 63);
+        let probes = mixed_probes(&d, 400, 64);
+        let count_with = |cfg: KernelConfig| {
+            let mut sink = CountingSink::new(d.num_cells());
+            let mut out = Vec::new();
+            BatchPlan::with_kernels(cfg).run(&d, &probes, 0, 7, &mut sink, &mut out);
+            sink.total()
+        };
+        let reference = count_with(KernelConfig::scalar());
+        for cfg in [
+            KernelConfig {
+                simd_hash: true,
+                prefetch: true,
+                lanes: 1,
+            },
+            KernelConfig {
+                simd_hash: true,
+                prefetch: true,
+                lanes: 32,
+            },
+            KernelConfig {
+                simd_hash: false,
+                prefetch: true,
+                lanes: 8,
+            },
+        ] {
+            assert_eq!(count_with(cfg), reference, "kernels {}", cfg.name());
+        }
     }
 
     #[test]

@@ -119,11 +119,19 @@ pub fn verify(dict: &LowContentionDict) -> Result<(), String> {
     }
 
     // 5. The f/g rows decode to functions agreeing with the stored ones.
+    // The scan hashes through the batched kernel (`horner_batch`), so it
+    // doubles as an end-to-end check that the process-selected kernel
+    // agrees with the per-key resolution path on real table words.
     let fw: Vec<u64> = (0..p.d as u32).map(|i| t.peek(l.row_f(i), 0)).collect();
     let gw: Vec<u64> = (0..p.d as u32).map(|i| t.peek(l.row_g(i), 0)).collect();
-    for &x in dict.keys().iter().take(64) {
-        let f_val = lcds_hashing::poly::horner(&fw, x) % p.s;
-        let g_val = lcds_hashing::poly::horner(&gw, x) % p.r;
+    let sample: Vec<u64> = dict.keys().iter().take(64).copied().collect();
+    let mut f_vals = vec![0u64; sample.len()];
+    let mut g_vals = vec![0u64; sample.len()];
+    lcds_hashing::poly::horner_batch(&fw, &sample, &mut f_vals);
+    lcds_hashing::poly::horner_batch(&gw, &sample, &mut g_vals);
+    for (k, &x) in sample.iter().enumerate() {
+        let f_val = f_vals[k] % p.s;
+        let g_val = g_vals[k] % p.r;
         let res = dict.resolve(x);
         if g_val != res.gx {
             return Err(format!("table g({x}) = {g_val} != resolved {}", res.gx));

@@ -27,7 +27,12 @@
 //! evaluation paths, and `#[inline]`-annotated where evaluation happens per
 //! probe.
 
-#![forbid(unsafe_code)]
+// Without `kernels-simd` the crate carries no unsafe code at all; with the
+// feature, the only unsafe lives in `poly_simd` (CPU intrinsics), which is
+// individually allow-listed below and proven bit-identical to the safe
+// scalar path by the `horner_batch` equivalence tests.
+#![cfg_attr(not(feature = "kernels-simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -38,6 +43,9 @@ pub mod mix;
 pub mod multiply_shift;
 pub mod perfect;
 pub mod poly;
+#[cfg(feature = "kernels-simd")]
+#[allow(unsafe_code)]
+mod poly_simd;
 
 pub use analysis::{loads, max_load, sum_squared_loads, LoadStats};
 pub use dm::{DmFamily, DmHash};

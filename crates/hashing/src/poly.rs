@@ -118,6 +118,116 @@ pub fn horner(words: &[u64], x: u64) -> u64 {
     acc.value()
 }
 
+/// Keys processed per inner iteration by the batch Horner kernels (both
+/// the vector kernels and the unrolled scalar fallback).
+pub const BATCH_LANES: usize = 4;
+
+/// Evaluates [`horner`] for every key in `xs`, writing `out[i] =
+/// horner(words, xs[i])` — bit-identical to the per-key path because
+/// every kernel ends on the canonical representative in `[0, P)`.
+///
+/// Dispatches once per process: the AVX2/NEON kernel when the
+/// `kernels-simd` feature is compiled in, the CPU supports it, and
+/// `LCDS_FORCE_SCALAR` is unset; otherwise the portable unrolled scalar
+/// kernel. [`batch_kernel_name`] reports which path this is.
+///
+/// # Panics
+/// Panics if `xs` and `out` differ in length.
+#[inline]
+pub fn horner_batch(words: &[u64], xs: &[u64], out: &mut [u64]) {
+    assert_eq!(xs.len(), out.len(), "output slice must match key slice");
+    if simd_enabled() {
+        #[cfg(feature = "kernels-simd")]
+        if crate::poly_simd::horner_batch_simd(words, xs, out) {
+            return;
+        }
+    }
+    horner_batch_scalar(words, xs, out);
+}
+
+/// The portable batch kernel: [`BATCH_LANES`] independent Horner
+/// accumulators per iteration so the four multiply/reduce chains overlap
+/// in the scalar pipeline. Always available; the reference the vector
+/// kernels are proven against.
+pub fn horner_batch_scalar(words: &[u64], xs: &[u64], out: &mut [u64]) {
+    assert_eq!(xs.len(), out.len(), "output slice must match key slice");
+    let full = xs.len() - xs.len() % BATCH_LANES;
+    let mut i = 0;
+    while i < full {
+        let x0 = Fe::new(xs[i]);
+        let x1 = Fe::new(xs[i + 1]);
+        let x2 = Fe::new(xs[i + 2]);
+        let x3 = Fe::new(xs[i + 3]);
+        let (mut a0, mut a1, mut a2, mut a3) = (Fe::ZERO, Fe::ZERO, Fe::ZERO, Fe::ZERO);
+        for &w in words.iter().rev() {
+            let w = Fe::new(w);
+            a0 = a0.mul_add(x0, w);
+            a1 = a1.mul_add(x1, w);
+            a2 = a2.mul_add(x2, w);
+            a3 = a3.mul_add(x3, w);
+        }
+        out[i] = a0.value();
+        out[i + 1] = a1.value();
+        out[i + 2] = a2.value();
+        out[i + 3] = a3.value();
+        i += BATCH_LANES;
+    }
+    for j in full..xs.len() {
+        out[j] = horner(words, xs[j]);
+    }
+}
+
+/// Runs the vector kernel regardless of the process-wide dispatch choice,
+/// returning `false` (with `out` untouched) when no vector unit is
+/// compiled in or the CPU lacks it. Lets tests and benches pin each path
+/// explicitly instead of mutating process state.
+pub fn horner_batch_simd(words: &[u64], xs: &[u64], out: &mut [u64]) -> bool {
+    #[cfg(feature = "kernels-simd")]
+    {
+        return crate::poly_simd::horner_batch_simd(words, xs, out);
+    }
+    #[cfg(not(feature = "kernels-simd"))]
+    {
+        assert_eq!(xs.len(), out.len(), "output slice must match key slice");
+        let _ = words;
+        false
+    }
+}
+
+/// True when [`horner_batch`] dispatches to a vector kernel in this
+/// process (feature compiled, CPU capable, `LCDS_FORCE_SCALAR` unset).
+pub fn simd_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var_os("LCDS_FORCE_SCALAR").is_some_and(|v| v != "0") {
+            return false;
+        }
+        simd_isa().is_some()
+    })
+}
+
+/// The vector ISA available to the batch kernel on this host, ignoring
+/// `LCDS_FORCE_SCALAR`: `Some("avx2")`, `Some("neon")`, or `None` when the
+/// feature is off or the CPU lacks the unit.
+pub fn simd_isa() -> Option<&'static str> {
+    #[cfg(feature = "kernels-simd")]
+    {
+        return crate::poly_simd::simd_isa();
+    }
+    #[cfg(not(feature = "kernels-simd"))]
+    None
+}
+
+/// Name of the path [`horner_batch`] dispatches to: `"avx2"`, `"neon"`,
+/// or `"scalar"` — what run headers report.
+pub fn batch_kernel_name() -> &'static str {
+    if simd_enabled() {
+        simd_isa().unwrap_or("scalar")
+    } else {
+        "scalar"
+    }
+}
+
 impl HashFunction for PolyHash {
     #[inline]
     fn eval(&self, x: u64) -> u64 {
@@ -242,7 +352,93 @@ mod tests {
         let _ = PolyFamily::new(2, 0);
     }
 
+    #[test]
+    fn horner_batch_handles_boundary_inputs() {
+        // Unreduced words and keys at the field boundary exercise every
+        // fold in the kernels; the per-key path is the oracle.
+        let words = [u64::MAX, P, P - 1, 0, 12345, u64::MAX - 1];
+        let xs = [0u64, 1, 2, P - 1, P, P + 1, u64::MAX, 0xDEAD_BEEF_CAFE];
+        let mut out = [0u64; 8];
+        horner_batch(&words, &xs, &mut out);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(out[i], horner(&words, x), "key index {i}");
+        }
+        let mut out2 = [0u64; 8];
+        horner_batch_scalar(&words, &xs, &mut out2);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn horner_batch_degenerate_shapes() {
+        // No coefficients → the zero polynomial, like the scalar path.
+        let mut out = [7u64; 3];
+        horner_batch(&[], &[1, 2, u64::MAX], &mut out);
+        assert_eq!(out, [0, 0, 0]);
+        // No keys is a no-op.
+        horner_batch(&[1, 2], &[], &mut []);
+        horner_batch_scalar(&[1, 2], &[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must match")]
+    fn horner_batch_rejects_length_mismatch() {
+        let mut out = [0u64; 2];
+        horner_batch(&[1], &[1, 2, 3], &mut out);
+    }
+
+    #[test]
+    fn kernel_name_is_consistent_with_dispatch() {
+        let name = batch_kernel_name();
+        if simd_enabled() {
+            assert_eq!(Some(name), simd_isa());
+        } else {
+            assert_eq!(name, "scalar");
+        }
+    }
+
+    #[cfg(feature = "kernels-simd")]
+    #[test]
+    fn simd_kernel_runs_when_isa_present() {
+        // On a host with the vector unit, the forced-SIMD entry must
+        // actually take the vector path and agree with the oracle.
+        let words = [3u64, u64::MAX, P - 1, 5];
+        let xs: Vec<u64> = (0..37u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut out = vec![0u64; xs.len()];
+        let ran = horner_batch_simd(&words, &xs, &mut out);
+        assert_eq!(ran, simd_isa().is_some());
+        if ran {
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(out[i], horner(&words, x), "key index {i}");
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_horner_batch_matches_horner(
+            words in proptest::collection::vec(0..u64::MAX, 0..10),
+            xs in proptest::collection::vec(0..u64::MAX, 0..70),
+        ) {
+            // Lengths 0..70 cover every remainder mod BATCH_LANES, so both
+            // the vector body and the scalar tail are exercised.
+            let mut out = vec![0u64; xs.len()];
+            horner_batch(&words, &xs, &mut out);
+            let mut scalar = vec![0u64; xs.len()];
+            horner_batch_scalar(&words, &xs, &mut scalar);
+            let mut simd = vec![0u64; xs.len()];
+            let simd_ran = horner_batch_simd(&words, &xs, &mut simd);
+            for (i, &x) in xs.iter().enumerate() {
+                let want = horner(&words, x);
+                prop_assert_eq!(out[i], want);
+                prop_assert_eq!(scalar[i], want);
+                if simd_ran {
+                    prop_assert_eq!(simd[i], want);
+                }
+            }
+        }
+
         #[test]
         fn prop_eval_below_range(words in proptest::collection::vec(0..u64::MAX, 1..6),
                                  m in 1..(1u64 << 40),

@@ -1,0 +1,223 @@
+//! Vectorized Mersenne-61 Horner evaluation (the `kernels-simd` feature).
+//!
+//! Both kernels evaluate the same Carter–Wegman polynomial as
+//! [`crate::poly::horner`] over four keys per iteration. The arithmetic is
+//! carry-free by construction: a 61-bit × 61-bit product is assembled from
+//! four 32×32→64 partial products (`mul_epu32` lanes on AVX2, `vmull_u32`
+//! on NEON) and folded with the Mersenne identities `2^61 ≡ 1` and
+//! `2^64 ≡ 8 (mod P)`.
+//!
+//! Write `a·b = ll + mid·2^32 + hh·2^64` with `ll = alo·blo`,
+//! `mid = alo·bhi + ahi·blo` and `hh = ahi·bhi`, where `alo/blo` are the
+//! low 32 bits and `ahi/bhi` the high bits (so `ahi, bhi < 2^29` for
+//! canonical inputs, making `mid < 2^62` — the sum of the two cross terms
+//! cannot carry). Splitting `mid·2^32 = (mid >> 29)·2^61 + (mid & M29)·2^32`
+//! with `M29 = 2^29 - 1` gives
+//!
+//! ```text
+//! a·b ≡ (ll & P) + (ll >> 61) + (hh << 3)
+//!       + ((mid & M29) << 32) + (mid >> 29)          (mod P)
+//! ```
+//!
+//! Every right-hand term is below `2^61`, so the sum stays under `3·2^61`;
+//! adding the Horner addend (`< P`) keeps it under `2^63`, one fold
+//! `(r & P) + (r >> 61)` brings it to at most `P + 3`, and one conditional
+//! subtraction canonicalizes. Because both paths end on the canonical
+//! representative in `[0, P)`, algebraic equality *is* bit identity — the
+//! property the `horner_batch` proptests pin down.
+
+use crate::field::{reduce64, P};
+
+const MASK29: u64 = (1 << 29) - 1;
+
+/// Runs the vectorized kernel if this CPU supports it. Returns `false`
+/// (leaving `out` untouched) when no vector unit is available, so the
+/// caller can fall back to the scalar kernel.
+pub fn horner_batch_simd(words: &[u64], xs: &[u64], out: &mut [u64]) -> bool {
+    assert_eq!(xs.len(), out.len(), "output slice must match key slice");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { avx2::horner_batch(words, xs, out) };
+            return true;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            // SAFETY: NEON support was just verified at runtime.
+            unsafe { neon::horner_batch(words, xs, out) };
+            return true;
+        }
+    }
+    #[allow(unreachable_code)]
+    {
+        let _ = (words, xs, out);
+        false
+    }
+}
+
+/// The vector ISA the compiled-in kernel targets, if this CPU has it.
+pub fn simd_isa() -> Option<&'static str> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some("avx2");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Some("neon");
+        }
+    }
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{reduce64, MASK29, P};
+    use core::arch::x86_64::*;
+
+    /// `horner` over 4 keys per iteration; the tail (< 4 keys) runs the
+    /// scalar path, which produces identical canonical representatives.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn horner_batch(words: &[u64], xs: &[u64], out: &mut [u64]) {
+        let vp = _mm256_set1_epi64x(P as i64);
+        let full = xs.len() - xs.len() % 4;
+        let mut i = 0;
+        while i < full {
+            let raw = _mm256_loadu_si256(xs.as_ptr().add(i) as *const __m256i);
+            let x = reduce_lanes(raw, vp);
+            let mut acc = _mm256_setzero_si256();
+            for &w in words.iter().rev() {
+                let vw = _mm256_set1_epi64x(reduce64(w) as i64);
+                acc = mul_add_lanes(acc, x, vw, vp);
+            }
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, acc);
+            i += 4;
+        }
+        for j in full..xs.len() {
+            out[j] = crate::poly::horner(words, xs[j]);
+        }
+    }
+
+    /// `reduce64` on 4 lanes: arbitrary `u64` → canonical field element.
+    /// `(x & P) + (x >> 61) ≤ P + 6`, so one conditional subtract finishes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_lanes(x: __m256i, vp: __m256i) -> __m256i {
+        let folded = _mm256_add_epi64(_mm256_and_si256(x, vp), _mm256_srli_epi64::<61>(x));
+        cond_sub_p(folded, vp)
+    }
+
+    /// Subtracts `P` from lanes `≥ P`. Callers keep lanes `< 2^62`, so the
+    /// signed 64-bit compare is exact (both operands stay positive).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cond_sub_p(r: __m256i, vp: __m256i) -> __m256i {
+        let pm1 = _mm256_set1_epi64x((P - 1) as i64);
+        let ge = _mm256_cmpgt_epi64(r, pm1);
+        _mm256_sub_epi64(r, _mm256_and_si256(ge, vp))
+    }
+
+    /// `(acc·x + w) mod P` on 4 lanes; all inputs canonical (`< P`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_add_lanes(acc: __m256i, x: __m256i, w: __m256i, vp: __m256i) -> __m256i {
+        // mul_epu32 multiplies the low 32 bits of each 64-bit lane.
+        let ahi = _mm256_srli_epi64::<32>(acc);
+        let bhi = _mm256_srli_epi64::<32>(x);
+        let ll = _mm256_mul_epu32(acc, x);
+        let lh = _mm256_mul_epu32(acc, bhi);
+        let hl = _mm256_mul_epu32(ahi, x);
+        let hh = _mm256_mul_epu32(ahi, bhi);
+        let mid = _mm256_add_epi64(lh, hl); // < 2^62: cannot carry
+        let m29 = _mm256_set1_epi64x(MASK29 as i64);
+        // acc·x ≡ (ll & P) + (ll >> 61) + (hh << 3)
+        //         + ((mid & M29) << 32) + (mid >> 29)   (mod P), sum < 3·2^61.
+        let mut r = _mm256_add_epi64(_mm256_and_si256(ll, vp), _mm256_srli_epi64::<61>(ll));
+        r = _mm256_add_epi64(r, _mm256_slli_epi64::<3>(hh));
+        r = _mm256_add_epi64(r, _mm256_slli_epi64::<32>(_mm256_and_si256(mid, m29)));
+        r = _mm256_add_epi64(r, _mm256_srli_epi64::<29>(mid));
+        // + w keeps the sum < 2^63; one fold reaches ≤ P + 3.
+        r = _mm256_add_epi64(r, w);
+        let folded = _mm256_add_epi64(_mm256_and_si256(r, vp), _mm256_srli_epi64::<61>(r));
+        cond_sub_p(folded, vp)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{reduce64, MASK29, P};
+    use core::arch::aarch64::*;
+
+    /// Same four-key iteration as the AVX2 kernel, built from two 2-lane
+    /// NEON vectors; the algebra (and therefore the bit-identity argument)
+    /// is identical.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn horner_batch(words: &[u64], xs: &[u64], out: &mut [u64]) {
+        let vp = vdupq_n_u64(P);
+        let full = xs.len() - xs.len() % 4;
+        let mut i = 0;
+        while i < full {
+            let x0 = reduce_lanes(vld1q_u64(xs.as_ptr().add(i)), vp);
+            let x1 = reduce_lanes(vld1q_u64(xs.as_ptr().add(i + 2)), vp);
+            let mut a0 = vdupq_n_u64(0);
+            let mut a1 = vdupq_n_u64(0);
+            for &w in words.iter().rev() {
+                let vw = vdupq_n_u64(reduce64(w));
+                a0 = mul_add_lanes(a0, x0, vw, vp);
+                a1 = mul_add_lanes(a1, x1, vw, vp);
+            }
+            vst1q_u64(out.as_mut_ptr().add(i), a0);
+            vst1q_u64(out.as_mut_ptr().add(i + 2), a1);
+            i += 4;
+        }
+        for j in full..xs.len() {
+            out[j] = crate::poly::horner(words, xs[j]);
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn reduce_lanes(x: uint64x2_t, vp: uint64x2_t) -> uint64x2_t {
+        let folded = vaddq_u64(vandq_u64(x, vp), vshrq_n_u64::<61>(x));
+        cond_sub_p(folded, vp)
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn cond_sub_p(r: uint64x2_t, vp: uint64x2_t) -> uint64x2_t {
+        let ge = vcgeq_u64(r, vp);
+        vsubq_u64(r, vandq_u64(ge, vp))
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn mul_add_lanes(
+        acc: uint64x2_t,
+        x: uint64x2_t,
+        w: uint64x2_t,
+        vp: uint64x2_t,
+    ) -> uint64x2_t {
+        let alo = vmovn_u64(acc);
+        let ahi = vshrn_n_u64::<32>(acc);
+        let blo = vmovn_u64(x);
+        let bhi = vshrn_n_u64::<32>(x);
+        let ll = vmull_u32(alo, blo);
+        let lh = vmull_u32(alo, bhi);
+        let hl = vmull_u32(ahi, blo);
+        let hh = vmull_u32(ahi, bhi);
+        let mid = vaddq_u64(lh, hl); // < 2^62: cannot carry
+        let m29 = vdupq_n_u64(MASK29);
+        let mut r = vaddq_u64(vandq_u64(ll, vp), vshrq_n_u64::<61>(ll));
+        r = vaddq_u64(r, vshlq_n_u64::<3>(hh));
+        r = vaddq_u64(r, vshlq_n_u64::<32>(vandq_u64(mid, m29)));
+        r = vaddq_u64(r, vshrq_n_u64::<29>(mid));
+        r = vaddq_u64(r, w);
+        let folded = vaddq_u64(vandq_u64(r, vp), vshrq_n_u64::<61>(r));
+        cond_sub_p(folded, vp)
+    }
+}

@@ -19,6 +19,7 @@ use serde_json::{json, Value};
 ///               "qps": 97000.0, "scaling_efficiency": 0.93,
 ///               "phi_hat": 0.0009, "ratio": 1.1, "probes": 120000,
 ///               "contended_probes": 812, "gated_probes": 120000,
+///               "ns_per_key": 15.98,
 ///               "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 } } ]
 /// }
 /// ```
@@ -32,11 +33,15 @@ pub fn mt_scaling_json(report: &MtReport) -> Value {
         "serialized": report.config.gate.is_some(),
         "service_ns": report.config.gate.map_or(0, |g| g.service_ns),
         "stripes": report.config.gate.map_or(0, |g| g.stripes),
-        "rows": report.rows.iter().map(row_json).collect::<Vec<_>>(),
+        "rows": report
+            .rows
+            .iter()
+            .map(|row| row_json(row, report.config.batch))
+            .collect::<Vec<_>>(),
     })
 }
 
-fn row_json(row: &MtRow) -> Value {
+fn row_json(row: &MtRow, batch: usize) -> Value {
     json!({
         "scheme": row.scheme.clone(),
         "workload": row.workload.clone(),
@@ -51,12 +56,24 @@ fn row_json(row: &MtRow) -> Value {
         "probes": row.probes,
         "contended_probes": row.contended_probes,
         "gated_probes": row.gated_probes,
+        // Median request latency spread over the keys it covered: the
+        // service-time-per-key figure EXPERIMENTS.md quotes alongside the
+        // probe-kernel sweep.
+        "ns_per_key": ns_per_key(row, batch),
         "latency_ns": {
             "p50": row.latency.quantile(0.50),
             "p90": row.latency.quantile(0.90),
             "p99": row.latency.quantile(0.99),
         },
     })
+}
+
+/// Per-key service time derived from the existing latency histogram: the
+/// median batched-op latency divided by the keys each op carries. Clamped
+/// strictly positive so a sub-resolution histogram bucket never reports a
+/// zero the artifact schema (rightly) rejects.
+fn ns_per_key(row: &MtRow, batch: usize) -> f64 {
+    (row.latency.quantile(0.50) as f64 / batch.max(1) as f64).max(f64::MIN_POSITIVE)
 }
 
 /// Fixed-width terminal table, one line per row plus a provenance header.
@@ -80,7 +97,7 @@ pub fn render_table(report: &MtReport) -> String {
         gate,
     ));
     out.push_str(&format!(
-        "{:<16} {:<12} {:>3}  {:>12} {:>6}  {:>9} {:>7}  {:>10} {:>10} {:>10}  {:>9}\n",
+        "{:<16} {:<12} {:>3}  {:>12} {:>6}  {:>9} {:>7}  {:>10} {:>10} {:>10} {:>9}  {:>9}\n",
         "scheme",
         "workload",
         "T",
@@ -91,11 +108,12 @@ pub fn render_table(report: &MtReport) -> String {
         "p50_ns",
         "p90_ns",
         "p99_ns",
+        "ns/key",
         "contended",
     ));
     for row in &report.rows {
         out.push_str(&format!(
-            "{:<16} {:<12} {:>3}  {:>12.0} {:>6.3}  {:>9.5} {:>7.2}  {:>10} {:>10} {:>10}  {:>9}\n",
+            "{:<16} {:<12} {:>3}  {:>12.0} {:>6.3}  {:>9.5} {:>7.2}  {:>10} {:>10} {:>10} {:>9.1}  {:>9}\n",
             row.scheme,
             row.workload,
             row.threads,
@@ -106,6 +124,7 @@ pub fn render_table(report: &MtReport) -> String {
             row.latency.quantile(0.50),
             row.latency.quantile(0.90),
             row.latency.quantile(0.99),
+            ns_per_key(row, report.config.batch),
             row.contended_probes,
         ));
     }
@@ -149,6 +168,7 @@ mod tests {
             assert!(row["scaling_efficiency"].as_f64().unwrap() > 0.0);
             assert!(row["phi_hat"].as_f64().unwrap() >= 0.0);
             assert!(row["wall_s"].as_f64().unwrap() > 0.0);
+            assert!(row["ns_per_key"].as_f64().unwrap() > 0.0);
             let lat = &row["latency_ns"];
             for q in ["p50", "p90", "p99"] {
                 assert!(lat[q].as_u64().is_some(), "missing latency quantile {q}");
@@ -162,6 +182,7 @@ mod tests {
         let table = render_table(&report);
         assert!(table.contains("serialized memory off"));
         assert!(table.contains("phi_hat"));
+        assert!(table.contains("ns/key"));
         assert_eq!(table.lines().count(), 2 + report.rows.len());
     }
 }

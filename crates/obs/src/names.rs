@@ -67,6 +67,12 @@ pub const SERVE_PLAN_ENTRIES_TOTAL: &str = "lcds_serve_plan_entries_total";
 /// `active / entries` is the hit-ish rate of the probe plan's early exit.
 pub const SERVE_PLAN_ACTIVE_TOTAL: &str = "lcds_serve_plan_active_entries_total";
 
+/// Fresh `BatchPlan` scratch allocations (counter; one per worker thread
+/// that ever runs a planned batch). Flat across batches and generation
+/// swaps — growth here means a hot path stopped reusing its per-worker
+/// scratch and is re-allocating plans per call.
+pub const SERVE_PLAN_SCRATCH_ALLOCS: &str = "lcds_serve_plan_scratch_allocs_total";
+
 /// Number of shards in a sharded serving dictionary (gauge).
 pub const SERVE_SHARDS: &str = "lcds_serve_shards";
 
@@ -283,6 +289,7 @@ pub const ALL_METRICS: &[&str] = &[
     SERVE_BATCH_LATENCY,
     SERVE_PLAN_ENTRIES_TOTAL,
     SERVE_PLAN_ACTIVE_TOTAL,
+    SERVE_PLAN_SCRATCH_ALLOCS,
     SERVE_SHARDS,
     SERVE_SHARD_DEPTH,
     REPLAY_PROBES_TOTAL,
@@ -389,6 +396,7 @@ mod tests {
             SERVE_BATCH_LATENCY,
             SERVE_PLAN_ENTRIES_TOTAL,
             SERVE_PLAN_ACTIVE_TOTAL,
+            SERVE_PLAN_SCRATCH_ALLOCS,
             SERVE_SHARDS,
             SERVE_SHARD_DEPTH,
         ] {

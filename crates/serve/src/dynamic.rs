@@ -409,4 +409,49 @@ mod tests {
         let now = e.bulk_contains_at(&probes, 0);
         assert!(now.iter().filter(|&&b| b).count() > old_answers.iter().filter(|&&b| b).count());
     }
+
+    #[test]
+    fn plan_scratch_is_reused_across_batches_and_generations() {
+        // Regression guard for per-call plan allocation: the batched read
+        // path must take one `BatchPlan` scratch per worker thread and
+        // keep it across batches *and* generation swaps. The counter
+        // tracks `BatchPlan::new` calls, so a path that regressed to
+        // constructing plans per batch grows it by the batch count (~20
+        // here); the healthy path grows it by one (this thread's scratch
+        // init). Run on a fresh thread so the init is deterministic.
+        let initial = keys(400, 17);
+        let e = DynamicEngine::new(&initial, 31, 32, EngineConfig::with_batch(64)).unwrap();
+        let probes: Vec<u64> = initial.iter().copied().take(200).collect();
+        std::thread::spawn(move || {
+            let allocs = || {
+                lcds_obs::global()
+                    .snapshot()
+                    .counters
+                    .get(lcds_obs::names::SERVE_PLAN_SCRATCH_ALLOCS)
+                    .copied()
+                    .unwrap_or(0)
+            };
+            lcds_obs::set_enabled(true);
+            let before = allocs();
+            e.bulk_contains_at(&probes, 0); // 4 batches of 64
+            for round in 0..3u64 {
+                e.insert(5_000_000 + round).unwrap(); // publish a generation
+                e.bulk_contains_at(&probes, 0);
+            }
+            e.flush().unwrap(); // force a main-table rebuild + swap
+            e.bulk_contains_at(&probes, 0);
+            let delta = allocs() - before;
+            lcds_obs::set_enabled(false);
+            // 20 batches ran on this thread; the healthy path allocates
+            // once. A small cushion absorbs concurrent tests that might
+            // create a plan while the flag is up — still far below the
+            // per-batch growth the regression would show.
+            assert!(
+                (1..=4).contains(&delta),
+                "expected one scratch alloc across generations, saw {delta}"
+            );
+        })
+        .join()
+        .unwrap();
+    }
 }

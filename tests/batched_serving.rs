@@ -69,6 +69,56 @@ fn planned_path_matches_resolve_on_plain_dictionary() {
     }
 }
 
+/// Kernel axis of the acceptance matrix: the full serving path
+/// (`bulk_contains`, which routes through the per-thread `BatchPlan`
+/// scratch and whatever kernels `KernelConfig::auto()` selected for this
+/// process) is bit-identical to an explicit forced-scalar plan. CI runs
+/// the whole suite twice — default and `LCDS_FORCE_SCALAR=1` — so this
+/// assertion holds with `auto()` pinned to either end of the matrix; in
+/// both runs the scalar reference below is the same fixed point.
+#[test]
+fn bulk_contains_is_bit_identical_to_a_forced_scalar_plan() {
+    use low_contention::core::plan::BatchPlan;
+    use low_contention::core::KernelConfig;
+
+    let n = 2048;
+    let keys = uniform_keys(n, 0x5CA1);
+    let mut rng = seeded(0x5CA2);
+    let d = build_dict(&keys, &mut rng).unwrap();
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain(negative_pool(&keys, n, 0x5CA3))
+        .collect();
+
+    // Scalar reference: explicit kernels, no env involved.
+    let mut scalar = Vec::with_capacity(probes.len());
+    let mut plan = BatchPlan::with_kernels(KernelConfig::scalar());
+    for (c, chunk) in probes.chunks(64).enumerate() {
+        plan.run(
+            &d,
+            chunk,
+            (c * 64) as u64,
+            7,
+            &mut low_contention::cellprobe::sink::NullSink,
+            &mut scalar,
+        );
+    }
+
+    for batch in [1usize, 64, 1024] {
+        for parallel in [false, true] {
+            let got = bulk_contains(&d, &probes, 7, EngineConfig { batch, parallel });
+            assert_eq!(
+                got,
+                scalar,
+                "bulk path (kernels {}) diverged from forced scalar at \
+                 batch={batch} parallel={parallel}",
+                KernelConfig::auto().name()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 

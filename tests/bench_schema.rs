@@ -116,3 +116,98 @@ fn committed_mt_scaling_section_shows_the_contention_cliff() {
         "adversarial FKS must scale worse than LCD (got eff {adv_eff} vs {lcd_eff})"
     );
 }
+
+/// The committed `probe_kernels` section must hold a real recorded sweep:
+/// scalar reference plus at least one other kernel path, every row with
+/// positive ns/key, and the combined-vs-scalar ratio measured (not
+/// fabricated) with the active path named. Drifted copies of the section
+/// must fail loudly — a hand-edit that strips the scalar baseline or the
+/// speedup field is a provenance bug, not a formatting choice.
+#[test]
+fn committed_probe_kernels_section_records_a_real_sweep() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_serve.json at the repo root");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let pk = doc
+        .get("probe_kernels")
+        .expect("BENCH_serve.json must carry a probe_kernels section");
+    lcds_bench::summary::validate_probe_kernels(pk)
+        .unwrap_or_else(|e| panic!("probe_kernels violates its schema: {e}"));
+
+    let rows = pk["rows"].as_array().unwrap();
+    let configs: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r["config"].as_str().unwrap()).collect();
+    assert!(
+        configs.iter().any(|c| c.starts_with("scalar+none")),
+        "sweep must include the scalar reference, got {configs:?}"
+    );
+    assert!(
+        configs.len() >= 2,
+        "sweep must cover more than the scalar path, got {configs:?}"
+    );
+    // The artifact names the path that produced its numbers; on a
+    // SIMD-capable recording host the full probe-kernel gain (SoA plan +
+    // prefetch + SIMD vs scalar per-key probing) must meet the 2x
+    // acceptance bar. The plan-vs-plan kernel ratio is recorded too —
+    // whatever it measured; hiding a modest number would be fabrication.
+    let host = pk["host_kernels"].as_str().unwrap();
+    let vs_plan = pk["speedup_combined_vs_scalar"].as_f64().unwrap();
+    let vs_perkey = pk["speedup_combined_vs_perkey"].as_f64().unwrap();
+    assert!(vs_plan > 0.0, "plan-vs-plan ratio must be recorded");
+    if host.starts_with("avx2") || host.starts_with("neon") {
+        assert!(
+            vs_perkey >= 2.0,
+            "recorded on a SIMD host ({host}) but the combined kernel is only \
+             {vs_perkey:.2}x over the per-key scalar path"
+        );
+    } else {
+        assert!(vs_perkey > 0.0, "fallback host must still record the ratio");
+    }
+
+    // Drift cases: each mutation below must flip the artifact to invalid.
+    let drifts: Vec<(&str, Box<dyn Fn(&mut serde_json::Value)>)> = vec![
+        (
+            "dropped rows",
+            Box::new(|d| d["rows"] = serde_json::json!([])),
+        ),
+        (
+            "no scalar baseline",
+            Box::new(|d| {
+                for r in d["rows"].as_array_mut().unwrap() {
+                    r["config"] = serde_json::json!("mystery");
+                }
+            }),
+        ),
+        (
+            "zeroed ns/key",
+            Box::new(|d| d["rows"][0]["ns_per_key"] = serde_json::json!(0.0)),
+        ),
+        (
+            "lost speedup",
+            Box::new(|d| {
+                d.as_object_mut()
+                    .unwrap()
+                    .remove("speedup_combined_vs_scalar");
+            }),
+        ),
+        (
+            "anonymous host path",
+            Box::new(|d| d["host_kernels"] = serde_json::json!("")),
+        ),
+    ];
+    for (what, mutate) in drifts {
+        let mut bad = pk.clone();
+        mutate(&mut bad);
+        assert!(
+            lcds_bench::summary::validate_probe_kernels(&bad).is_err(),
+            "drift case {what:?} should fail validation"
+        );
+        // And the drift must sink the whole envelope, not just the section.
+        let mut bad_doc = doc.clone();
+        bad_doc["probe_kernels"] = bad;
+        assert!(
+            lcds_bench::summary::validate_serve_summary(&bad_doc).is_err(),
+            "envelope should reject drifted probe_kernels ({what})"
+        );
+    }
+}
