@@ -69,21 +69,6 @@ fn best_of(reps: usize, mut build: impl FnMut()) -> Duration {
         .unwrap()
 }
 
-/// The repository's HEAD commit, for provenance in the artifact.
-/// "unknown" when git is unavailable (e.g. a source tarball).
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 /// Times every (n, threads) cell once more outside criterion (best-of-3,
 /// enough for a summary line) and writes the JSON artifact.
 fn write_summary() {
@@ -130,7 +115,7 @@ fn write_summary() {
         "schema_version": lcds_bench::summary::BENCH_SCHEMA_VERSION,
         "seed": BUILD_SEED,
         "host_parallelism": host_threads,
-        "git_rev": git_rev(),
+        "git_rev": lcds_bench::git_rev(),
         "note": "speedups above host_parallelism threads cannot exceed the host's core count; byte-identical output at every pool size is asserted by tests/par_build_determinism.rs",
         "points": points,
     });

@@ -138,6 +138,42 @@ fn bench_bulk_observatory_overhead(c: &mut Criterion) {
     });
     lcds_obs::set_enabled(false);
 
+    // Metrics on with the telemetry time-series closing 1 s windows in a
+    // background thread — the `serve-net --telemetry-window 1` shape. The
+    // sampler's coherent pass holds the registry lock briefly once per
+    // window, so this axis must stay within ~5% of plain metrics-on
+    // (EXPERIMENTS.md quotes the measured gap).
+    lcds_obs::set_enabled(true);
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let ts = lcds_obs::TimeSeries::for_global(lcds_obs::TimeSeriesConfig {
+                    window: Duration::from_secs(1),
+                    capacity: 120,
+                });
+                let mut next = Instant::now() + ts.window();
+                while !stop.load(Ordering::SeqCst) {
+                    if Instant::now() >= next {
+                        ts.sample();
+                        next += ts.window();
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+        };
+        group.bench_function("bulk_contains_timeseries_on", |b| {
+            b.iter(|| black_box(lcds_serve::bulk_contains(&dict, &keys, 1, cfg)));
+        });
+        stop.store(true, Ordering::SeqCst);
+        sampler.join().expect("sampler thread panicked");
+    }
+    lcds_obs::set_enabled(false);
+
     // The fixed-memory Φ̂ heatmap observing every probe of the sequential
     // engine path — the `lcds watch` configuration, for scale.
     group.bench_function("bulk_contains_seq_heatmap", |b| {

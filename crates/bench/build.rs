@@ -1,0 +1,23 @@
+//! Bakes the repository's HEAD commit into the crate environment as
+//! `LCDS_GIT_REV`, so artifact writers can stamp provenance without
+//! shelling out to git at measurement time. When git is unavailable (a
+//! source tarball, the offline test harness — which does not copy build
+//! scripts at all), `lcds_bench::git_rev()` falls back to `"unknown"`.
+
+fn main() {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=LCDS_GIT_REV={rev}");
+    // Re-stamp when HEAD moves; missing paths (no checkout) just skip
+    // the trigger.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

@@ -24,3 +24,14 @@ pub mod registry;
 pub mod summary;
 
 pub use registry::{build_schemes, SchemeSet};
+
+/// The repository HEAD commit baked in by the build script
+/// (`LCDS_GIT_REV`), for provenance stamps in bench artifacts and
+/// flight-recorder headers. `"unknown"` when git was unavailable at
+/// compile time (source tarballs, the offline test harness).
+pub fn git_rev() -> &'static str {
+    match option_env!("LCDS_GIT_REV") {
+        Some(rev) if !rev.is_empty() => rev,
+        _ => "unknown",
+    }
+}

@@ -81,6 +81,24 @@ fn validate_header<'v>(doc: &'v Value, bench_name: &str) -> Result<&'v Vec<Value
     Ok(points)
 }
 
+/// Non-fatal quality warnings for an otherwise-valid artifact: shapes the
+/// validators accept but that weaken provenance, chiefly a `git_rev` of
+/// `"unknown"` (the build-script fallback when git was unavailable).
+/// Writers print these so a provenance hole is loud without failing runs
+/// on hosts that genuinely have no checkout.
+pub fn summary_warnings(doc: &Value) -> Vec<String> {
+    let mut warnings = Vec::new();
+    match doc.get("git_rev").and_then(Value::as_str) {
+        Some("unknown") => warnings.push(
+            "git_rev is \"unknown\" — rebuild inside a git checkout so the artifact \
+             carries commit provenance"
+                .to_string(),
+        ),
+        Some(_) | None => {}
+    }
+    warnings
+}
+
 fn req_f64(doc: &Value, key: &str) -> Result<f64, String> {
     let v = req(doc, key)?
         .as_f64()
@@ -161,6 +179,21 @@ pub fn validate_mt_scaling(doc: &Value) -> Result<(), String> {
         let lat = req(row, "latency_ns").map_err(ctx)?;
         for q in ["p50", "p90", "p99"] {
             req_u64(lat, q).map_err(|e| format!("rows[{i}].latency_ns: {e}"))?;
+        }
+        // Optional per-window telemetry series (windowed sweeps only):
+        // when present it must be a non-empty array of coherent window
+        // records — an empty series would mean the sampler never fired.
+        if let Some(windows) = row.get("windows") {
+            let windows = windows
+                .as_array()
+                .ok_or(format!("rows[{i}]: `windows` must be an array"))?;
+            if windows.is_empty() {
+                return Err(format!("rows[{i}]: `windows` must not be empty"));
+            }
+            for (j, w) in windows.iter().enumerate() {
+                lcds_obs::Window::from_json(w)
+                    .map_err(|e| format!("rows[{i}].windows[{j}]: {e}"))?;
+            }
         }
     }
     Ok(())
@@ -330,6 +363,26 @@ mod tests {
     #[test]
     fn accepts_the_writers_shape() {
         validate_bench_summary(&valid()).unwrap();
+    }
+
+    #[test]
+    fn warns_on_unknown_git_rev_but_still_validates() {
+        let mut doc = valid();
+        assert!(summary_warnings(&doc).is_empty());
+        doc["git_rev"] = json!("unknown");
+        validate_bench_summary(&doc).unwrap();
+        let warnings = summary_warnings(&doc);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("git_rev"), "{warnings:?}");
+    }
+
+    #[test]
+    fn git_rev_is_a_hash_or_the_unknown_fallback() {
+        let rev = crate::git_rev();
+        assert!(
+            rev == "unknown" || (rev.len() == 40 && rev.chars().all(|c| c.is_ascii_hexdigit())),
+            "got {rev:?}"
+        );
     }
 
     #[test]

@@ -95,6 +95,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("trace") => cmd_trace(&args[1..], out),
         Some("watch") => cmd_watch(&args[1..], out),
         Some("serve-net") => cmd_serve_net(&args[1..], out),
+        Some("top") => cmd_top(&args[1..], out),
         Some("loadgen") => cmd_loadgen(&args[1..], out),
         Some("bench-mt") => cmd_bench_mt(&args[1..], out),
         Some("bench-kernels") => cmd_bench_kernels(&args[1..], out),
@@ -144,10 +145,23 @@ count. --build-threads is accepted as an alias.
          [--queue-depth Q] [--batch B]                      drain; optional live
          [--duration SECS] [--watch ENVELOPE]               heatmap watchdog;
          [--multiple M] [--sample P] [--metrics-file FILE]  --dynamic serves a
-                                                            generation-swapped
-                                                            DynamicEngine that
+         [--telemetry-window SECS] [--recorder DIR]         generation-swapped
+         [--slo-p99-ms MS] [--slo-ratio R]                  DynamicEngine that
                                                             accepts Insert/
-                                                            Remove/Flush
+                                                            Remove/Flush;
+                                                            --telemetry-window
+                                                            keeps a window ring
+                                                            served over the
+                                                            Telemetry opcode,
+                                                            --recorder dumps
+                                                            flight bundles on
+                                                            watchdog/SLO/drain
+  top    [--addr A] [--interval SECS] [--frames N]          live dashboard over
+         [--once] [--json]                                  the telemetry ring:
+                                                            remote (polls a
+                                                            serve-net server) or
+                                                            in-process; --once
+                                                            --json for scripts
   loadgen --addr A (--random N | --keys FILE)               closed-loop load:
          [--seed S] [--connections C] [--duration SECS]     per-connection dists,
          [--batch B] [--workload uniform|zipf|adversarial]  throughput + latency
@@ -158,7 +172,10 @@ count. --build-threads is accepted as an alias.
          [--zipf THETA] [--ops K] [--batch B] [--seed S]    efficiency, merged Φ̂,
          [--serialize on|off] [--service-ns NS]             latency quantiles per
          [--stripes S] [--format table|json]                (scheme × workload ×
-         [--out BENCH.json] [--metrics-file FILE]           threads) row
+         [--out BENCH.json] [--metrics-file FILE]           threads) row;
+         [--window SECS]                                    --window attaches a
+                                                            per-window telemetry
+                                                            series to every row
   bench-kernels [--random N] [--iters I]                    probe-kernel sweep:
          [--batches B1,B2,...] [--seed S]                   scalar vs prefetch vs
          [--format table|json] [--out BENCH.json]           SIMD ns/key per batch
@@ -224,6 +241,20 @@ pub fn read_key_file(path: &Path) -> Result<Vec<u64>, CliError> {
 
 fn load_dict(path: &str) -> Result<LowContentionDict, CliError> {
     persist::load_from_path(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+/// Replaces an artifact's `"unknown"` (or missing) `git_rev` with the
+/// compiled-in revision when one is available, then returns the
+/// remaining provenance warnings for the caller to print.
+fn refresh_git_rev(doc: &mut serde_json::Value) -> Vec<String> {
+    let stale = doc
+        .get("git_rev")
+        .and_then(|v| v.as_str())
+        .map_or(true, |r| r == "unknown");
+    if stale && lcds_bench::git_rev() != "unknown" {
+        doc["git_rev"] = serde_json::json!(lcds_bench::git_rev());
+    }
+    lcds_bench::summary::summary_warnings(doc)
 }
 
 /// Parses the optional worker-pool size flag: `--threads`, with
@@ -925,10 +956,11 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
 }
 
 fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    use lcds_net::server::{serve_any, Served, ServerConfig};
+    use lcds_net::server::{serve_on_any_with, Served, ServerConfig};
+    use lcds_obs::{PhiWindow, SloConfig, TimeSeries, TimeSeriesConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     // `--dynamic` is a bare switch; strip it before the value-per-flag parser.
     let mut args = args.to_vec();
@@ -957,6 +989,27 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         return Err(CliError::usage("--multiple must be positive"));
     }
     let sample: u64 = num_flag(&flags, "sample", 8)?;
+    let telemetry_window: f64 = num_flag(&flags, "telemetry-window", 0.0)?;
+    if telemetry_window < 0.0 || !telemetry_window.is_finite() {
+        return Err(CliError::usage(
+            "--telemetry-window must be a positive number of seconds",
+        ));
+    }
+    let recorder_dir = flag(&flags, "recorder").map(str::to_string);
+    let slo_p99_ms: f64 = num_flag(&flags, "slo-p99-ms", 0.0)?;
+    let slo_ratio: f64 = num_flag(&flags, "slo-ratio", 0.0)?;
+    if telemetry_window == 0.0 {
+        if recorder_dir.is_some() {
+            return Err(CliError::usage(
+                "--recorder needs --telemetry-window (the bundle is built from the window ring)",
+            ));
+        }
+        if slo_p99_ms > 0.0 || slo_ratio > 0.0 {
+            return Err(CliError::usage(
+                "SLO envelopes need --telemetry-window (they watch per-window deltas)",
+            ));
+        }
+    }
     let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:0");
 
     let cfg = lcds_serve::EngineConfig {
@@ -1049,21 +1102,48 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
                 })
         })
         .transpose()?;
-    if watch.is_some() {
+    // Both the watchdog and the telemetry sampler feed off the sampled
+    // batch-trace stream, so either one turns tracing on.
+    if watch.is_some() || telemetry_window > 0.0 {
         lcds_obs::set_enabled(true);
         lcds_obs::trace::set_sample_period(sample.max(1));
         lcds_obs::trace::set_tracing(true);
     }
+    let ts = (telemetry_window > 0.0).then(|| {
+        let ts = TimeSeries::for_global(TimeSeriesConfig {
+            window: Duration::from_secs_f64(telemetry_window),
+            capacity: 120,
+        });
+        if slo_p99_ms > 0.0 || slo_ratio > 0.0 {
+            ts.set_slo(SloConfig {
+                p99_ns: if slo_p99_ms > 0.0 {
+                    (slo_p99_ms * 1e6) as u64
+                } else {
+                    u64::MAX
+                },
+                max_ratio: if slo_ratio > 0.0 {
+                    slo_ratio
+                } else {
+                    f64::INFINITY
+                },
+                ..SloConfig::default()
+            });
+        }
+        Arc::new(ts)
+    });
 
     let cells = num_cells;
-    let handle = serve_any(
-        addr,
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
+    let handle = serve_on_any_with(
+        listener,
         served,
         ServerConfig {
             workers,
             queue_depth,
             ..ServerConfig::default()
         },
+        ts.clone(),
     )
     .map_err(|e| CliError::runtime(format!("cannot serve on {addr}: {e}")))?;
     let bound = handle.local_addr();
@@ -1077,14 +1157,47 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
             .map_err(|e| CliError::runtime(format!("cannot write {port_file}: {e}")))?;
     }
 
-    // The live watchdog: a background thread drains the observatory's
-    // sampled batch traces — the same stream `lcds trace` exports — into
-    // a Φ-heatmap and checks it against the chosen envelope.
-    let watch_stop = Arc::new(AtomicBool::new(false));
-    let watch_thread = watch.map(|(name, mut wd)| {
-        let stop = Arc::clone(&watch_stop);
-        let thread = std::thread::spawn(move || {
+    // One unified sampler thread serves every background consumer of the
+    // observatory stream — two threads calling `global_traces().drain()`
+    // would split the records between them. It folds sampled batch
+    // traces into a Φ-heatmap, checks the watchdog envelope (when
+    // `--watch` is set), closes a telemetry window every
+    // `--telemetry-window` seconds (when set), and dumps flight-recorder
+    // bundles on watchdog trips, SLO breach transitions, and the final
+    // drain (when `--recorder` is set).
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let recorder = recorder_dir
+        .as_ref()
+        .map(|dir| lcds_obs::FlightRecorder::new(dir));
+    let run_header = serde_json::json!({
+        "cmd": "serve-net",
+        "kernel_config": lcds_core::KernelConfig::auto().name(),
+        "git_rev": lcds_bench::git_rev(),
+        "keys": key_count,
+        "cells": num_cells,
+        "shards": num_shards,
+        "max_probes": max_probes,
+        "seed": seed,
+        "dynamic": dynamic,
+        "workers": workers,
+        "queue_depth": queue_depth,
+    });
+    let sampler_thread = (watch.is_some() || ts.is_some()).then(|| {
+        let stop = Arc::clone(&sampler_stop);
+        let ts = ts.clone();
+        let mut watch = watch;
+        let extra = run_header.clone();
+        std::thread::spawn(move || {
+            const TOPK: usize = 8;
             let mut hm = lcds_obs::Heatmap::with_defaults(0x5EB7);
+            let mut trips_seen = 0u64;
+            let window = Duration::from_secs_f64(if telemetry_window > 0.0 {
+                telemetry_window
+            } else {
+                1.0
+            });
+            let tick = (window / 4).clamp(Duration::from_millis(10), Duration::from_millis(100));
+            let mut next_window = Instant::now() + window;
             loop {
                 let done = stop.load(Ordering::SeqCst);
                 for rec in lcds_obs::trace::global_traces().drain() {
@@ -1093,14 +1206,40 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
                         hm.absorb_trace(&cells_probed, 0);
                     }
                 }
-                let _ = wd.check(&hm, cells);
-                if done {
-                    return (hm, wd);
+                if let Some((_, wd)) = watch.as_mut() {
+                    let _ = wd.check(&hm, cells);
+                    if wd.trips() > trips_seen {
+                        trips_seen = wd.trips();
+                        if let (Some(r), Some(ts)) = (&recorder, &ts) {
+                            let _ = r.dump_live("watchdog", extra.clone(), ts, &hm.top(TOPK));
+                        }
+                    }
                 }
-                std::thread::sleep(Duration::from_millis(100));
+                if let Some(ts) = &ts {
+                    // A final short window on drain, so the last partial
+                    // interval of traffic reaches the ring and any bundle.
+                    if done || Instant::now() >= next_window {
+                        let phi = PhiWindow::from_heatmap(&hm, cells, TOPK);
+                        let (_, transition) = ts.sample_with_phi(Some(phi));
+                        if transition.is_some_and(|t| t.breached) {
+                            if let Some(r) = &recorder {
+                                let _ = r.dump_live("slo", extra.clone(), ts, &hm.top(TOPK));
+                            }
+                        }
+                        while next_window <= Instant::now() {
+                            next_window += window;
+                        }
+                    }
+                }
+                if done {
+                    if let (Some(r), Some(ts)) = (&recorder, &ts) {
+                        let _ = r.dump_live("drain", extra.clone(), ts, &hm.top(TOPK));
+                    }
+                    return (hm, watch);
+                }
+                std::thread::sleep(tick);
             }
-        });
-        (name, thread)
+        })
     });
 
     if duration > 0.0 {
@@ -1139,22 +1278,37 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         .map_err(io_err)?;
     }
 
-    if let Some((name, thread)) = watch_thread {
+    if let Some(thread) = sampler_thread {
         lcds_obs::trace::set_tracing(false);
-        watch_stop.store(true, Ordering::SeqCst);
-        let (hm, wd) = thread
+        sampler_stop.store(true, Ordering::SeqCst);
+        let (hm, watch) = thread
             .join()
-            .map_err(|_| CliError::runtime("watchdog thread panicked"))?;
-        writeln!(
-            out,
-            "watch[{name}]: {} traced probes, ratio Φ̂·s = {:.1} \
-             [alarm above {:.1}], watchdog trips: {}",
-            hm.probes(),
-            hm.ratio(cells),
-            wd.threshold(),
-            wd.trips(),
-        )
-        .map_err(io_err)?;
+            .map_err(|_| CliError::runtime("sampler thread panicked"))?;
+        if let Some((name, wd)) = watch {
+            writeln!(
+                out,
+                "watch[{name}]: {} traced probes, ratio Φ̂·s = {:.1} \
+                 [alarm above {:.1}], watchdog trips: {}",
+                hm.probes(),
+                hm.ratio(cells),
+                wd.threshold(),
+                wd.trips(),
+            )
+            .map_err(io_err)?;
+        }
+        if let Some(ts) = &ts {
+            writeln!(
+                out,
+                "telemetry: {} window(s) of {:.2}s retained{}",
+                ts.len(),
+                ts.window_seconds(),
+                recorder_dir
+                    .as_ref()
+                    .map(|d| format!(", flight bundles in {d}"))
+                    .unwrap_or_default(),
+            )
+            .map_err(io_err)?;
+        }
     }
 
     if let Some(metrics_file) = flag(&flags, "metrics-file") {
@@ -1163,6 +1317,215 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
             .map_err(|e| CliError::runtime(format!("cannot write {metrics_file}: {e}")))?;
     }
     Ok(())
+}
+
+/// Unicode eighth-block sparkline of `vals` scaled against their max
+/// (all-flat or empty input renders as baseline bars).
+fn sparkline(vals: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = vals.iter().copied().fold(0.0f64, f64::max);
+    vals.iter()
+        .map(|&v| {
+            if max <= 0.0 || !v.is_finite() {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Human-scale nanoseconds (`—` when the window recorded nothing).
+fn fmt_ns(v: Option<u64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(ns) if ns >= 1_000_000_000 => format!("{:.2}s", ns as f64 / 1e9),
+        Some(ns) if ns >= 1_000_000 => format!("{:.2}ms", ns as f64 / 1e6),
+        Some(ns) if ns >= 1_000 => format!("{:.1}µs", ns as f64 / 1e3),
+        Some(ns) => format!("{ns}ns"),
+    }
+}
+
+/// Human-scale per-second rate.
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Renders one `lcds top` frame from a telemetry document (the
+/// [`lcds_obs::TimeSeries::wire_snapshot`] schema).
+fn render_top_frame(
+    out: &mut dyn std::io::Write,
+    doc: &serde_json::Value,
+    phi_history: &[f64],
+) -> Result<(), CliError> {
+    use lcds_obs::names;
+    writeln!(
+        out,
+        "lcds top — {:.2}s windows, ring {}",
+        doc["window_seconds"].as_f64().unwrap_or(0.0),
+        doc["ring_len"].as_u64().unwrap_or(0),
+    )
+    .map_err(io_err)?;
+    let wv = &doc["window"];
+    if wv.is_null() {
+        writeln!(out, "  (no completed windows yet)").map_err(io_err)?;
+        return Ok(());
+    }
+    let w = lcds_obs::Window::from_json(wv)
+        .map_err(|e| CliError::runtime(format!("malformed telemetry window: {e}")))?;
+    writeln!(
+        out,
+        "  window #{} ({:.2}s): {} keys/s, {} req/s, {} shed/s",
+        w.index,
+        w.duration_s(),
+        fmt_rate(w.rate(names::SERVE_KEYS_TOTAL)),
+        fmt_rate(w.rate(names::NET_REQUESTS_TOTAL)),
+        fmt_rate(w.rate(names::NET_SHED_TOTAL)),
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  batch latency p50 {} / p99 {}, ns/key {}, queue wait p99 {}",
+        fmt_ns(w.quantile_ns(names::SERVE_BATCH_LATENCY, 0.50)),
+        fmt_ns(w.quantile_ns(names::SERVE_BATCH_LATENCY, 0.99)),
+        w.ns_per_key(names::SERVE_BATCH_LATENCY, names::SERVE_KEYS_TOTAL)
+            .map_or_else(|| "—".to_string(), |v| format!("{v:.1}")),
+        fmt_ns(w.quantile_ns(names::NET_SERVER_QUEUE_WAIT, 0.99)),
+    )
+    .map_err(io_err)?;
+    if let Some(generation) = w.gauges.get(names::DYN_GENERATION) {
+        writeln!(
+            out,
+            "  generation {generation:.0}, delta pending {:.0}",
+            w.gauges
+                .get(names::DYN_DELTA_PENDING)
+                .copied()
+                .unwrap_or(0.0),
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(phi) = &w.phi {
+        writeln!(
+            out,
+            "  Φ̂ {:.3e} (Φ̂·s {:.2}) over {} probes, hottest cell {}  {}",
+            phi.phi_hat,
+            phi.ratio,
+            phi.probes,
+            phi.top.first().map_or_else(
+                || "—".to_string(),
+                |hc| format!("{} ×{}", hc.cell, hc.count)
+            ),
+            sparkline(phi_history),
+        )
+        .map_err(io_err)?;
+    }
+    let slo = &doc["slo"];
+    if slo.is_object() {
+        let breached = slo["breached"].as_bool().unwrap_or(false);
+        let last = &slo["last_breach"];
+        writeln!(
+            out,
+            "  slo: {} ({} breach(es){})",
+            if breached { "BREACHED" } else { "ok" },
+            slo["breaches"].as_u64().unwrap_or(0),
+            if last.is_null() {
+                String::new()
+            } else {
+                format!(
+                    ", last at window #{}",
+                    last["window_index"].as_u64().unwrap_or(0)
+                )
+            },
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `top`: the live dashboard over the telemetry window ring — remote
+/// (polling a `serve-net --telemetry-window` server's `Telemetry`
+/// opcode) or, without `--addr`, sampling this process's own global
+/// registry. Plain full-screen redraw, no terminal dependencies;
+/// `--once --json` makes it a machine-readable probe for scripts and CI.
+fn cmd_top(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use lcds_obs::{TimeSeries, TimeSeriesConfig};
+    use std::time::Duration;
+
+    let mut args = args.to_vec();
+    let once = args.iter().any(|a| a == "--once");
+    args.retain(|a| a != "--once");
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let (pos, flags) = parse_flags(&args)?;
+    if let Some(p) = pos.first() {
+        return Err(CliError::usage(format!("unexpected argument {p:?}")));
+    }
+    let interval: f64 = num_flag(&flags, "interval", 1.0)?;
+    if interval <= 0.0 || !interval.is_finite() {
+        return Err(CliError::usage("--interval must be positive seconds"));
+    }
+    let frames: u64 = num_flag(&flags, "frames", 0)?;
+    let frames = if once { 1 } else { frames };
+
+    enum Source {
+        Remote(lcds_net::client::Client),
+        Local(TimeSeries),
+    }
+    let mut source = match flag(&flags, "addr") {
+        Some(addr) => Source::Remote(
+            lcds_net::client::Client::connect(addr)
+                .map_err(|e| CliError::runtime(format!("cannot connect to {addr}: {e}")))?,
+        ),
+        None => Source::Local(TimeSeries::for_global(TimeSeriesConfig {
+            window: Duration::from_secs_f64(interval),
+            capacity: 120,
+        })),
+    };
+
+    let mut phi_history: Vec<f64> = Vec::new();
+    let mut frame = 0u64;
+    loop {
+        let doc = match &mut source {
+            Source::Remote(c) => c
+                .telemetry()
+                .map_err(|e| CliError::runtime(format!("telemetry poll failed: {e}")))?,
+            Source::Local(ts) => {
+                ts.sample();
+                ts.wire_snapshot()
+            }
+        };
+        if let Some(phi) = doc["window"]["phi"]["phi_hat"].as_f64() {
+            phi_history.push(phi);
+            if phi_history.len() > 32 {
+                phi_history.remove(0);
+            }
+        }
+        if json {
+            // One document per line: pollable by scripts without a
+            // streaming JSON parser.
+            writeln!(out, "{doc}").map_err(io_err)?;
+        } else {
+            if frame > 0 || !once {
+                // Plain ANSI full-redraw; no terminal library.
+                write!(out, "\x1b[2J\x1b[H").map_err(io_err)?;
+            }
+            render_top_frame(out, &doc, &phi_history)?;
+        }
+        out.flush().map_err(io_err)?;
+        frame += 1;
+        if frames > 0 && frame >= frames {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
 }
 
 fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -1408,6 +1771,16 @@ fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cli
             "bad --format {format:?} (expected table or json)"
         )));
     }
+    let window_s: f64 = num_flag(&flags, "window", 0.0)?;
+    if window_s < 0.0 || !window_s.is_finite() {
+        return Err(CliError::usage("--window must be non-negative seconds"));
+    }
+    let window = (window_s > 0.0).then(|| {
+        // The per-row sampler reads the global registry; without metrics
+        // enabled the serve path records nothing and every delta is zero.
+        lcds_obs::set_enabled(true);
+        std::time::Duration::from_secs_f64(window_s)
+    });
 
     let cfg = MtConfig {
         n,
@@ -1418,6 +1791,7 @@ fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cli
         batch,
         seed,
         gate,
+        window,
     };
     let report = lcds_mtbench::run(&cfg).map_err(|e| CliError::runtime(e))?;
     let section = lcds_mtbench::report::mt_scaling_json(&report);
@@ -1437,6 +1811,7 @@ fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cli
         let mut doc: serde_json::Value = serde_json::from_str(&body)
             .map_err(|e| CliError::runtime(format!("{path}: not valid JSON: {e}")))?;
         doc["mt_scaling"] = section.clone();
+        let warnings = refresh_git_rev(&mut doc);
         // Re-validate the whole merged artifact with the validator that
         // matches its envelope, so a bad merge can never reach disk.
         let check = match doc.get("bench").and_then(|b| b.as_str()) {
@@ -1457,6 +1832,11 @@ fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cli
             report.rows.len()
         )
         .map_err(io_err)?;
+        // Provenance warnings go to stderr: stdout after the "merged"
+        // line is a machine-readable JSON contract.
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
     }
     if let Some(path) = flag(&flags, "metrics-file") {
         let text = lcds_obs::export::to_prometheus(&lcds_obs::global().snapshot());
@@ -1535,6 +1915,7 @@ fn cmd_bench_kernels(args: &[String], out: &mut dyn std::io::Write) -> Result<()
         let mut doc: serde_json::Value = serde_json::from_str(&body)
             .map_err(|e| CliError::runtime(format!("{path}: not valid JSON: {e}")))?;
         doc["probe_kernels"] = section.clone();
+        let warnings = refresh_git_rev(&mut doc);
         let check = match doc.get("bench").and_then(|b| b.as_str()) {
             Some("serve_throughput") => lcds_bench::summary::validate_serve_summary(&doc),
             Some("build_throughput") => lcds_bench::summary::validate_bench_summary(&doc),
@@ -1553,6 +1934,10 @@ fn cmd_bench_kernels(args: &[String], out: &mut dyn std::io::Write) -> Result<()
             sweep.rows.len()
         )
         .map_err(io_err)?;
+        // stderr for the same reason as bench-mt: stdout stays JSON.
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
     }
     match format {
         "json" => {
@@ -2232,6 +2617,140 @@ mod tests {
 
         let err = run_capture(&["serve-net", "--random", "64", "--workers", "0"]).unwrap_err();
         assert_eq!(err.code, 2, "{}", err.message);
+
+        // The recorder and SLO envelopes ride on the telemetry sampler.
+        for extra in [
+            &["--recorder", "/tmp/nowhere"][..],
+            &["--slo-p99-ms", "5"][..],
+            &["--slo-ratio", "8"][..],
+        ] {
+            let mut args = vec!["serve-net", "--random", "64", "--duration", "0.05"];
+            args.extend_from_slice(extra);
+            let err = run_capture(&args).unwrap_err();
+            assert_eq!(err.code, 2, "{extra:?}: {}", err.message);
+            assert!(
+                err.message.contains("--telemetry-window"),
+                "{extra:?}: {}",
+                err.message
+            );
+        }
+        let err =
+            run_capture(&["serve-net", "--random", "64", "--telemetry-window", "-1"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    #[test]
+    fn serve_net_telemetry_ring_feeds_top_and_the_flight_recorder() {
+        let _g = TRACING_GLOBALS.lock().unwrap_or_else(|p| p.into_inner());
+        let port_file = tmp("serve-net-telemetry.addr");
+        let _ = std::fs::remove_file(&port_file);
+        let port_file_str = port_file.to_str().unwrap().to_string();
+        let recorder_dir = tmp("serve-net-recorder.d");
+        let _ = std::fs::remove_dir_all(&recorder_dir);
+        let recorder_str = recorder_dir.to_str().unwrap().to_string();
+
+        let server = std::thread::spawn(move || {
+            run_capture(&[
+                "serve-net",
+                "--random",
+                "300",
+                "--duration",
+                "3.0",
+                "--telemetry-window",
+                "0.2",
+                "--recorder",
+                &recorder_str,
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+            ])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if s.trim().contains(':') {
+                    break s.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no port file");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // Drive traffic so the windows have something to hold.
+        run_capture(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--random",
+            "300",
+            "--connections",
+            "1",
+            "--duration",
+            "0.4",
+            "--batch",
+            "32",
+        ])
+        .unwrap();
+
+        // Poll `top --once --json` until a window has closed: the remote
+        // Telemetry opcode feeds the same document the dashboard renders.
+        let doc = loop {
+            let text = run_capture(&["top", "--addr", &addr, "--once", "--json"]).unwrap();
+            let doc: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+            assert_eq!(doc["record"], "telemetry", "{text}");
+            if doc["ring_len"].as_u64().unwrap() > 0 {
+                break doc;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ring never gained a window: {text}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        };
+        assert!(doc["window"].is_object(), "{doc}");
+        assert!(doc["window_seconds"].as_f64().unwrap() > 0.0, "{doc}");
+
+        // The human-readable frame renders from the same poll.
+        let frame = run_capture(&["top", "--addr", &addr, "--once"]).unwrap();
+        assert!(frame.contains("lcds top —"), "{frame}");
+        assert!(frame.contains("keys/s"), "{frame}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("telemetry:"), "{served}");
+        assert!(served.contains("window(s) of 0.20s retained"), "{served}");
+        assert!(served.contains("flight bundles in"), "{served}");
+
+        // The drain dump landed and round-trips through the parser.
+        let bundles: Vec<_> = std::fs::read_dir(&recorder_dir)
+            .expect("recorder dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        assert!(!bundles.is_empty(), "no drain bundle written");
+        for b in &bundles {
+            let bundle = lcds_obs::read_bundle(b).expect("bundle parses");
+            assert_eq!(bundle.reason, "drain");
+            assert!(!bundle.windows.is_empty(), "drain bundle lost the ring");
+        }
+        let _ = std::fs::remove_file(&port_file);
+        let _ = std::fs::remove_dir_all(&recorder_dir);
+    }
+
+    #[test]
+    fn top_once_samples_the_in_process_registry() {
+        let _g = TRACING_GLOBALS.lock().unwrap_or_else(|p| p.into_inner());
+        let text = run_capture(&["top", "--once", "--json", "--interval", "0.01"]).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(doc["record"], "telemetry", "{text}");
+        assert_eq!(doc["ring_len"].as_u64(), Some(1), "{text}");
+
+        let err = run_capture(&["top", "--interval", "0"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        let err = run_capture(&["top", "stray"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        // An unreachable server is a loud runtime error, not a hang.
+        let err = run_capture(&["top", "--addr", "127.0.0.1:1", "--once"]).unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
     }
 
     #[test]

@@ -44,11 +44,12 @@ use lcds_cellprobe::rngutil::StreamRng;
 use lcds_cellprobe::sink::ProbeSink;
 use lcds_cellprobe::table::CellId;
 use lcds_obs::metrics::HistogramSnapshot;
-use lcds_obs::{names, Heatmap, LogHistogram};
+use lcds_obs::{names, Heatmap, LogHistogram, TimeSeries, TimeSeriesConfig, Window};
 use lcds_workloads::adversarial::adversarial_fks_keys;
 use lcds_workloads::rng::FirstWordRng;
 use lcds_workloads::{positive_dist, seeded, uniform_keys};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Lane namespace for per-thread key streams (decorrelated from every
@@ -169,6 +170,11 @@ pub struct MtConfig {
     pub seed: u64,
     /// `Some` enables the serialized-memory gate.
     pub gate: Option<GateConfig>,
+    /// `Some(w)` samples the global registry into a row-private window
+    /// ring while the row's readers run, attaching the per-window series
+    /// to each [`MtRow`]. Counter deltas are zero unless global telemetry
+    /// is enabled — the serving probe path only records then.
+    pub window: Option<Duration>,
 }
 
 impl Default for MtConfig {
@@ -182,6 +188,7 @@ impl Default for MtConfig {
             batch: 64,
             seed: 0xC0FFEE,
             gate: None,
+            window: None,
         }
     }
 }
@@ -219,6 +226,9 @@ pub struct MtRow {
     pub gated_probes: u64,
     /// Merged per-batch serving latency across threads.
     pub latency: HistogramSnapshot,
+    /// Per-window telemetry series sampled while the row ran (empty when
+    /// [`MtConfig::window`] is `None`).
+    pub windows: Vec<Window>,
 }
 
 /// A completed sweep: the rows plus the provenance needed to reproduce
@@ -334,6 +344,7 @@ struct RawRun {
     latency: LogHistogram,
     contended: u64,
     gated: u64,
+    windows: Vec<Window>,
 }
 
 /// Runs one `(dict, mix, threads)` cell of the sweep.
@@ -351,6 +362,38 @@ fn run_one(
     let key_vecs: Vec<Vec<u64>> = (0..threads)
         .map(|t| keys_for_thread(stored, mix, cfg.seed, t, cfg.ops_per_thread))
         .collect();
+
+    // Optional per-row telemetry sampler: a detached thread slicing the
+    // global registry into delta windows while the readers run. One ring
+    // per row keeps window indices (and the delta baseline) row-private.
+    let sampler = cfg.window.map(|w| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ts = TimeSeries::for_global(TimeSeriesConfig {
+            window: w,
+            capacity: 256,
+        });
+        let tick = (w / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let handle = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut next = Instant::now() + w;
+                while !stop.load(Ordering::SeqCst) {
+                    if Instant::now() >= next {
+                        ts.sample();
+                        while next <= Instant::now() {
+                            next += w;
+                        }
+                    }
+                    std::thread::sleep(tick);
+                }
+                // Close the trailing partial window so even runs shorter
+                // than one window leave a series.
+                ts.sample();
+                ts.windows()
+            }
+        });
+        (stop, handle)
+    });
 
     let barrier = Barrier::new(threads + 1);
     let batch = cfg.batch.max(1);
@@ -396,6 +439,11 @@ fn run_one(
         (t0.elapsed(), per_thread)
     });
 
+    let windows = sampler.map_or_else(Vec::new, |(stop, handle)| {
+        stop.store(true, Ordering::SeqCst);
+        handle.join().expect("telemetry sampler panicked")
+    });
+
     let mut merged: Option<Heatmap> = None;
     let latency = LogHistogram::new();
     let mut hits = 0u64;
@@ -421,6 +469,7 @@ fn run_one(
         latency,
         contended: gate.as_ref().map_or(0, |g| g.contended()),
         gated: gate.as_ref().map_or(0, |g| g.acquisitions()),
+        windows,
     }
 }
 
@@ -475,6 +524,7 @@ pub fn run(cfg: &MtConfig) -> Result<MtReport, String> {
                     contended_probes: raw.contended,
                     gated_probes: raw.gated,
                     latency: raw.latency.snapshot(),
+                    windows: raw.windows,
                 };
                 record_row_telemetry(&row);
                 rows.push(row);
@@ -584,6 +634,7 @@ mod tests {
             batch: 32,
             seed: 7,
             gate: None,
+            window: None,
         };
         let report = run(&cfg).expect("sweep runs");
         assert_eq!(report.rows.len(), 4);
@@ -636,10 +687,38 @@ mod tests {
                 service_ns: 100,
                 stripes: 8,
             }),
+            window: None,
         };
         let report = run(&cfg).expect("sweep runs");
         let row = &report.rows[0];
         assert_eq!(row.gated_probes, row.probes, "every probe passes the gate");
         assert_eq!(row.contended_probes, 0, "single thread cannot contend");
+    }
+
+    #[test]
+    fn windowed_rows_carry_a_per_window_series() {
+        let cfg = MtConfig {
+            n: 64,
+            threads: vec![1],
+            schemes: vec![Scheme::Lcd],
+            workloads: vec![KeyMix::Uniform],
+            ops_per_thread: 2_000,
+            batch: 16,
+            seed: 5,
+            gate: None,
+            window: Some(Duration::from_millis(2)),
+        };
+        let report = run(&cfg).expect("sweep runs");
+        for row in &report.rows {
+            // The final flush closes the trailing partial window, so even
+            // a sub-window run leaves a series.
+            assert!(!row.windows.is_empty(), "sampler left no windows");
+            assert_eq!(row.windows[0].index, 0, "ring is row-private");
+            for w in &row.windows {
+                assert!(w.end_ns >= w.start_ns, "torn window timestamps");
+            }
+        }
+        // Windowing must not perturb the measurement fields themselves.
+        assert_eq!(report.rows[0].hits, report.rows[0].keys);
     }
 }

@@ -23,6 +23,10 @@ use serde_json::{json, Value};
 ///               "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 } } ]
 /// }
 /// ```
+///
+/// Windowed sweeps ([`crate::MtConfig::window`]) additionally attach a
+/// `"windows"` array to each row — one [`lcds_obs::Window::to_json`]
+/// document per telemetry window sampled while the row ran.
 pub fn mt_scaling_json(report: &MtReport) -> Value {
     json!({
         "n": report.config.n,
@@ -42,7 +46,7 @@ pub fn mt_scaling_json(report: &MtReport) -> Value {
 }
 
 fn row_json(row: &MtRow, batch: usize) -> Value {
-    json!({
+    let mut doc = json!({
         "scheme": row.scheme.clone(),
         "workload": row.workload.clone(),
         "threads": row.threads,
@@ -65,7 +69,13 @@ fn row_json(row: &MtRow, batch: usize) -> Value {
             "p90": row.latency.quantile(0.90),
             "p99": row.latency.quantile(0.99),
         },
-    })
+    });
+    // Optional: only windowed sweeps (`--window`) carry the per-window
+    // telemetry series, so unwindowed artifacts keep their exact shape.
+    if !row.windows.is_empty() {
+        doc["windows"] = Value::Array(row.windows.iter().map(|w| w.to_json()).collect());
+    }
+    doc
 }
 
 /// Per-key service time derived from the existing latency histogram: the
@@ -146,6 +156,7 @@ mod tests {
             batch: 16,
             seed: 11,
             gate: None,
+            window: None,
         })
         .expect("tiny sweep runs")
     }
@@ -172,6 +183,30 @@ mod tests {
             let lat = &row["latency_ns"];
             for q in ["p50", "p90", "p99"] {
                 assert!(lat[q].as_u64().is_some(), "missing latency quantile {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_reports_emit_parseable_window_arrays() {
+        let report = crate::run(&MtConfig {
+            n: 64,
+            threads: vec![1],
+            schemes: vec![Scheme::Lcd],
+            workloads: vec![KeyMix::Uniform],
+            ops_per_thread: 500,
+            batch: 16,
+            seed: 13,
+            gate: None,
+            window: Some(std::time::Duration::from_millis(2)),
+        })
+        .expect("windowed sweep runs");
+        let v = mt_scaling_json(&report);
+        for row in v["rows"].as_array().unwrap() {
+            let windows = row["windows"].as_array().expect("windowed row series");
+            assert!(!windows.is_empty());
+            for w in windows {
+                lcds_obs::Window::from_json(w).expect("window round-trips");
             }
         }
     }

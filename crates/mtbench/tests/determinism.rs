@@ -56,6 +56,7 @@ fn end_to_end_repeat_runs_agree_on_everything_deterministic() {
         batch: 32,
         seed: 99,
         gate: None,
+        window: None,
     };
     let a = run(&cfg).expect("first run");
     let b = run(&cfg).expect("second run");

@@ -261,6 +261,18 @@ impl Client {
         }
     }
 
+    /// Latest telemetry snapshot from a server started with a sampler
+    /// (`serve-net --telemetry-window`): the self-describing
+    /// `{"record":"telemetry", ...}` document, parsed. Servers without a
+    /// sampler answer [`ClientError::Server`].
+    pub fn telemetry(&mut self) -> Result<serde_json::Value, ClientError> {
+        match self.call(&Request::Telemetry)? {
+            Response::Telemetry(text) => serde_json::from_str(&text)
+                .map_err(|_| ClientError::UnexpectedResponse("telemetry text is not JSON")),
+            _ => Err(ClientError::UnexpectedResponse("wanted telemetry")),
+        }
+    }
+
     /// Membership of one key at global stream position `index`.
     pub fn contains(&mut self, key: u64, index: u64) -> Result<bool, ClientError> {
         match self.call(&Request::Contains { index, key })? {

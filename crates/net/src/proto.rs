@@ -36,9 +36,11 @@ pub const MAGIC: u32 = 0x4C43_4453;
 
 /// Current protocol version. Bump on any layout change. Version 2 added
 /// the mutation opcodes ([`OP_INSERT`] / [`OP_REMOVE`] / [`OP_FLUSH`] and
-/// their responses); both ends must speak the same version — the decoder
-/// rejects anything else as [`ProtoError::BadVersion`].
-pub const VERSION: u8 = 2;
+/// their responses); version 3 added the telemetry opcode
+/// ([`OP_TELEMETRY`] and its JSON-carrying response). Both ends must
+/// speak the same version — the decoder rejects anything else as
+/// [`ProtoError::BadVersion`].
+pub const VERSION: u8 = 3;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -67,6 +69,8 @@ pub const OP_INSERT: u8 = 0x06;
 pub const OP_REMOVE: u8 = 0x07;
 /// Request opcode: force a merge-and-rebuild now (dynamic servers only).
 pub const OP_FLUSH: u8 = 0x08;
+/// Request opcode: latest telemetry window snapshot, answered inline.
+pub const OP_TELEMETRY: u8 = 0x09;
 
 /// Response opcode for [`OP_PING`].
 pub const OP_PONG: u8 = 0x81;
@@ -84,6 +88,9 @@ pub const OP_INSERT_RESULT: u8 = 0x86;
 pub const OP_REMOVE_RESULT: u8 = 0x87;
 /// Response opcode for [`OP_FLUSH`].
 pub const OP_FLUSH_RESULT: u8 = 0x88;
+/// Response opcode for [`OP_TELEMETRY`]: a length-prefixed UTF-8 JSON
+/// document (the latest window snapshot).
+pub const OP_TELEMETRY_RESULT: u8 = 0x89;
 /// Response opcode: request shed because the worker queue was full.
 pub const OP_BUSY: u8 = 0xE0;
 /// Response opcode: server-side failure, payload is a UTF-8 message.
@@ -218,6 +225,9 @@ pub enum Request {
     },
     /// Forces a merge-and-rebuild of a dynamic dictionary now.
     Flush,
+    /// Latest telemetry window snapshot. Servers not started with a
+    /// telemetry window answer with [`Response::Error`].
+    Telemetry,
 }
 
 impl Request {
@@ -232,6 +242,7 @@ impl Request {
             Request::Insert { .. } => OP_INSERT,
             Request::Remove { .. } => OP_REMOVE,
             Request::Flush => OP_FLUSH,
+            Request::Telemetry => OP_TELEMETRY,
         }
     }
 
@@ -247,6 +258,7 @@ impl Request {
             Request::Insert { .. } => "insert",
             Request::Remove { .. } => "remove",
             Request::Flush => "flush",
+            Request::Telemetry => "telemetry",
         }
     }
 }
@@ -275,6 +287,10 @@ pub enum Response {
         /// Live keys after the flush.
         keys: u64,
     },
+    /// Telemetry snapshot: a self-describing JSON document (the
+    /// [`lcds_obs::timeseries::TimeSeries::wire_snapshot`] schema —
+    /// latest window delta, ring length, SLO status).
+    Telemetry(String),
     /// Shed: the worker queue was full; retry after backing off.
     Busy,
     /// Server-side failure.
@@ -293,6 +309,7 @@ impl Response {
             Response::Inserted(_) => OP_INSERT_RESULT,
             Response::Removed(_) => OP_REMOVE_RESULT,
             Response::Flushed { .. } => OP_FLUSH_RESULT,
+            Response::Telemetry(_) => OP_TELEMETRY_RESULT,
             Response::Busy => OP_BUSY,
             Response::Error(_) => OP_ERROR,
         }
@@ -382,7 +399,7 @@ fn bulk_payload(first_index: u64, keys: &[u64]) -> Vec<u8> {
 /// [`MAX_BULK_KEYS`] (callers chunk far below that).
 pub fn encode_request(request_id: u64, req: &Request) -> Result<Vec<u8>, ProtoError> {
     let payload = match req {
-        Request::Ping | Request::Stats | Request::Flush => Vec::new(),
+        Request::Ping | Request::Stats | Request::Flush | Request::Telemetry => Vec::new(),
         Request::Insert { key } | Request::Remove { key } => key.to_le_bytes().to_vec(),
         Request::Contains { index, key } => {
             let mut p = Vec::with_capacity(16);
@@ -438,7 +455,7 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Result<Vec<u8>, Prot
             p.extend_from_slice(&s.seed.to_le_bytes());
             p
         }
-        Response::Error(msg) => {
+        Response::Telemetry(msg) | Response::Error(msg) => {
             let bytes = msg.as_bytes();
             let take = bytes.len().min((MAX_PAYLOAD as usize) - 4);
             // Truncate on a char boundary so the payload stays UTF-8.
@@ -526,6 +543,10 @@ pub fn decode_request_payload(h: &Header, p: &[u8]) -> Result<Request, ProtoErro
         OP_FLUSH => {
             expect_len(p, 0, "flush carries no payload")?;
             Ok(Request::Flush)
+        }
+        OP_TELEMETRY => {
+            expect_len(p, 0, "telemetry carries no payload")?;
+            Ok(Request::Telemetry)
         }
         other => Err(ProtoError::UnknownOpcode(other)),
     }
@@ -618,6 +639,22 @@ pub fn decode_response_payload(h: &Header, p: &[u8]) -> Result<Response, ProtoEr
                 seed: le_u64(&p[24..32]),
             }))
         }
+        OP_TELEMETRY_RESULT => {
+            if p.len() < 4 {
+                return Err(ProtoError::BadPayload(
+                    "telemetry payload shorter than its length",
+                ));
+            }
+            let len = le_u32(&p[0..4]) as u64;
+            if 4 + len != p.len() as u64 {
+                return Err(ProtoError::BadPayload(
+                    "telemetry text length disagrees with payload length",
+                ));
+            }
+            let msg = std::str::from_utf8(&p[4..])
+                .map_err(|_| ProtoError::BadPayload("telemetry text is not UTF-8"))?;
+            Ok(Response::Telemetry(msg.to_string()))
+        }
         OP_ERROR => {
             if p.len() < 4 {
                 return Err(ProtoError::BadPayload(
@@ -706,6 +743,7 @@ mod tests {
             Request::Insert { key: u64::MAX },
             Request::Remove { key: 7 },
             Request::Flush,
+            Request::Telemetry,
         ];
         for (i, req) in reqs.iter().enumerate() {
             let bytes = encode_request(i as u64 + 9, req).unwrap();
@@ -746,6 +784,8 @@ mod tests {
             },
             Response::Error("shard exploded".to_string()),
             Response::Error(String::new()),
+            Response::Telemetry("{\"record\":\"telemetry\",\"ring_len\":3}".to_string()),
+            Response::Telemetry(String::new()),
         ];
         for resp in &resps {
             let bytes = encode_response(3, resp).unwrap();

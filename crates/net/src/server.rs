@@ -35,12 +35,13 @@
 
 use crate::proto::{
     self, DictStats, ProtoError, Request, Response, HEADER_LEN, MAX_PAYLOAD, OP_BULK_CONTAINS,
-    OP_BULK_COUNT, OP_CONTAINS, OP_FLUSH, OP_INSERT, OP_PING, OP_REMOVE, OP_STATS,
+    OP_BULK_COUNT, OP_CONTAINS, OP_FLUSH, OP_INSERT, OP_PING, OP_REMOVE, OP_STATS, OP_TELEMETRY,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use lcds_obs::events::monotonic_ns;
 use lcds_obs::names;
 use lcds_obs::trace::{record_span, tracing_enabled};
+use lcds_obs::TimeSeries;
 use lcds_serve::{DynamicEngine, Engine};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -314,6 +315,19 @@ pub fn serve_on_any(
     served: Served,
     cfg: ServerConfig,
 ) -> io::Result<ServerHandle> {
+    serve_on_any_with(listener, served, cfg, None)
+}
+
+/// [`serve_on_any`] with an optional [`TimeSeries`] handle. When `Some`,
+/// the `Telemetry` opcode answers with the latest coherent window
+/// snapshot ([`TimeSeries::wire_snapshot`]); when `None`, it answers a
+/// typed error so clients can tell "disabled" from "broken".
+pub fn serve_on_any_with(
+    listener: TcpListener,
+    served: Served,
+    cfg: ServerConfig,
+    telemetry: Option<Arc<TimeSeries>>,
+) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -334,7 +348,7 @@ pub fn serve_on_any(
         let stats = Arc::clone(&stats);
         let served = served.clone();
         let tx = tx.clone();
-        thread::spawn(move || accept_loop(listener, stop, stats, served, tx, cfg))
+        thread::spawn(move || accept_loop(listener, stop, stats, served, tx, cfg, telemetry))
     };
 
     lcds_obs::emit(
@@ -364,6 +378,7 @@ fn accept_loop(
     served: Served,
     tx: Sender<Job>,
     cfg: ServerConfig,
+    telemetry: Option<Arc<TimeSeries>>,
 ) {
     let mut readers = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -375,8 +390,9 @@ fn accept_loop(
                 let stats = Arc::clone(&stats);
                 let served = served.clone();
                 let tx = tx.clone();
+                let telemetry = telemetry.clone();
                 readers.push(thread::spawn(move || {
-                    reader_loop(stream, stop, stats, served, tx, cfg)
+                    reader_loop(stream, stop, stats, served, tx, cfg, telemetry)
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
@@ -419,6 +435,7 @@ fn step_frame(buf: &[u8]) -> FrameStep {
             | OP_INSERT
             | OP_REMOVE
             | OP_FLUSH
+            | OP_TELEMETRY
     ) {
         return FrameStep::Fail(h.request_id, ProtoError::UnknownOpcode(h.opcode));
     }
@@ -439,6 +456,7 @@ fn reader_loop(
     served: Served,
     tx: Sender<Job>,
     cfg: ServerConfig,
+    telemetry: Option<Arc<TimeSeries>>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_TICK));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
@@ -463,7 +481,7 @@ fn reader_loop(
                 FrameStep::Got(request_id, req, used) => {
                     buf.drain(..used);
                     last_progress = Instant::now();
-                    if !handle_request(&writer, &served, &stats, &tx, request_id, req) {
+                    if !handle_request(&writer, &served, &stats, &tx, &telemetry, request_id, req) {
                         break 'conn;
                     }
                 }
@@ -520,6 +538,7 @@ fn handle_request(
     served: &Served,
     stats: &ServerStats,
     tx: &Sender<Job>,
+    telemetry: &Option<Arc<TimeSeries>>,
     request_id: u64,
     req: Request,
 ) -> bool {
@@ -530,6 +549,18 @@ fn handle_request(
             writer
                 .write_response(request_id, &Response::Stats(s))
                 .is_ok()
+        }
+        // Telemetry is answered inline from the sampler's ring: it must
+        // stay responsive exactly when the dictionary queue is saturated,
+        // which is when a dashboard is most useful.
+        Request::Telemetry => {
+            let resp = match telemetry {
+                Some(ts) => Response::Telemetry(ts.wire_snapshot().to_string()),
+                None => Response::Error(
+                    "telemetry disabled; start the server with --telemetry-window".to_string(),
+                ),
+            };
+            writer.write_response(request_id, &resp).is_ok()
         }
         // Mutations ride the same bounded queue as reads: a shed happens
         // strictly *before* execution, so a `Busy` retry can never apply
@@ -607,7 +638,7 @@ fn worker_loop(rx: Receiver<Job>, served: Served, stats: Arc<ServerStats>, cfg: 
                 served.apply_mutation(req)
             }
             // Inline opcodes never reach the queue.
-            Request::Ping | Request::Stats => Response::Pong,
+            Request::Ping | Request::Stats | Request::Telemetry => Response::Pong,
         };
         let _ = job.writer.write_response(job.request_id, &resp);
         // Only decrement after the response bytes are on the wire (or the

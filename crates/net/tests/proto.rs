@@ -12,7 +12,7 @@ use proptest::prelude::*;
 // harness's deterministic proptest stand-in.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..8,
+        0usize..9,
         any::<u64>(),
         any::<u64>(),
         prop::collection::vec(any::<u64>(), 0..64),
@@ -24,7 +24,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
             3 => Request::Insert { key: b },
             4 => Request::Remove { key: b },
             5 => Request::Flush,
-            6 => Request::BulkContains {
+            6 => Request::Telemetry,
+            7 => Request::BulkContains {
                 first_index: a,
                 keys,
             },
@@ -37,7 +38,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0usize..10,
+        0usize..11,
         any::<u64>(),
         prop::collection::vec(any::<bool>(), 0..130),
         prop::collection::vec(32u8..127, 0..40),
@@ -63,6 +64,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     max_probes,
                     seed: a ^ cells,
                 }),
+                9 => Response::Telemetry(
+                    String::from_utf8(ascii.clone()).expect("ascii range is UTF-8"),
+                ),
                 _ => Response::Error(String::from_utf8(ascii).expect("ascii range is UTF-8")),
             },
         )

@@ -1,0 +1,107 @@
+//! Loopback tests for the `Telemetry` opcode (wire version 3): the
+//! polled per-window counter deltas must sum to the registry's final
+//! totals — the acceptance criterion that the wire answers are
+//! *consistent with the in-process registry*, not a parallel metric
+//! universe — and servers started without a sampler must answer a typed
+//! error, not garbage.
+
+use lcds_core::builder::build;
+use lcds_net::client::{Client, ClientConfig, ClientError};
+use lcds_net::server::{serve_on_any, serve_on_any_with, Served, ServerConfig};
+use lcds_obs::{Registry, TimeSeries, TimeSeriesConfig};
+use lcds_serve::{Engine, EngineConfig};
+use lcds_workloads::uniform_keys;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEYS_METRIC: &str = "telemetry_test_keys_total";
+
+fn tiny_engine(n: usize, salt: u64) -> Arc<Engine> {
+    let keys = uniform_keys(n, salt);
+    let d = build(&keys, &mut ChaCha8Rng::seed_from_u64(salt)).expect("build dictionary");
+    Arc::new(Engine::new(d, salt, EngineConfig::with_batch(64)))
+}
+
+fn quick_client() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Duration::from_secs(5),
+        ..ClientConfig::default()
+    }
+}
+
+#[test]
+fn polled_window_deltas_sum_to_final_counter_totals() {
+    let registry = Registry::new();
+    let ts = Arc::new(TimeSeries::new(
+        registry.clone(),
+        TimeSeriesConfig {
+            window: Duration::from_secs(1),
+            capacity: 8,
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve_on_any_with(
+        listener,
+        Served::Static(tiny_engine(256, 11)),
+        ServerConfig::default(),
+        Some(Arc::clone(&ts)),
+    )
+    .expect("serve");
+    let mut client = Client::connect_with(handle.local_addr(), quick_client()).expect("connect");
+
+    // Before any sample the ring is empty but the document is still
+    // well-formed and self-describing.
+    let doc = client.telemetry().expect("telemetry while ring empty");
+    assert_eq!(doc["record"], "telemetry");
+    assert_eq!(doc["ring_len"].as_u64(), Some(0));
+    assert!(doc["window"].is_null());
+
+    // Four rounds of known counter increments, each closed by a sample
+    // and observed through the wire. Real dictionary traffic rides along
+    // so the opcode is exercised amid genuine load.
+    let increments: [u64; 4] = [1, 10, 0, 1000];
+    let mut summed = 0u64;
+    let probes: Vec<u64> = uniform_keys(64, 99);
+    for (round, inc) in increments.iter().enumerate() {
+        registry.counter(KEYS_METRIC).add(*inc);
+        let _ = client.bulk_contains(&probes, 0).expect("bulk over TCP");
+        ts.sample();
+        let doc = client.telemetry().expect("telemetry poll");
+        assert_eq!(doc["record"], "telemetry");
+        assert_eq!(doc["ring_len"].as_u64(), Some(round as u64 + 1));
+        let w = &doc["window"];
+        assert!(w.is_object(), "latest window must be present");
+        // A window is a *delta*: exactly this round's increment.
+        let delta = w["counters"][KEYS_METRIC].as_u64().unwrap_or(0);
+        assert_eq!(delta, *inc, "round {round} delta");
+        assert!(w["end_ns"].as_u64() >= w["start_ns"].as_u64());
+        summed += delta;
+    }
+    let total = registry.snapshot().counters[KEYS_METRIC];
+    assert_eq!(summed, total, "window deltas must sum to the final total");
+    handle.shutdown();
+}
+
+#[test]
+fn servers_without_a_sampler_answer_a_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve_on_any(
+        listener,
+        Served::Static(tiny_engine(128, 23)),
+        ServerConfig::default(),
+    )
+    .expect("serve");
+    let mut client = Client::connect_with(handle.local_addr(), quick_client()).expect("connect");
+    match client.telemetry() {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("telemetry disabled"), "got: {msg}")
+        }
+        other => panic!("wanted a server error, got {other:?}"),
+    }
+    // The connection survives the refused opcode: later requests answer.
+    client.ping().expect("ping after telemetry error");
+    handle.shutdown();
+}

@@ -21,6 +21,12 @@
 //!   as chrome://tracing JSON (`lcds trace`).
 //! * [`heatmap`] — fixed-memory Count-Min + top-K live `Φ̂` heatmap and
 //!   the contention [`Watchdog`] (`lcds watch`).
+//! * [`timeseries`] — a bounded ring of coherent per-window registry
+//!   deltas plus the SLO envelope tracker (`lcds top`,
+//!   `serve-net --telemetry-window`).
+//! * [`recorder`] — the flight recorder: self-describing JSON-lines
+//!   bundles dumped on watchdog trips, SLO breaches, and drains, with a
+//!   schema-validating parser.
 //!
 //! # Global telemetry
 //!
@@ -53,14 +59,20 @@ pub mod export;
 pub mod heatmap;
 pub mod metrics;
 pub mod names;
+pub mod recorder;
 pub mod sinks;
+pub mod timeseries;
 pub mod trace;
 pub mod trace_export;
 
 pub use events::{Event, EventLog, Span};
 pub use heatmap::{Heatmap, SketchMismatch, Watchdog};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsSnapshot, Registry};
+pub use recorder::{parse_bundle, read_bundle, Bundle, FlightRecorder};
 pub use sinks::{HotCell, SamplingSink, TopKSink};
+pub use timeseries::{
+    PhiWindow, SloConfig, SloTracker, SloTransition, TimeSeries, TimeSeriesConfig, Window,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

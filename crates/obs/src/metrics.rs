@@ -192,6 +192,12 @@ impl LogHistogram {
     pub fn quantile(&self, q: f64) -> u64 {
         self.snapshot().quantile(q)
     }
+
+    /// Snapshot of everything recorded since `prev` was taken; see
+    /// [`HistogramSnapshot::delta`].
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        self.snapshot().delta(prev)
+    }
 }
 
 /// Serializable point-in-time view of a [`LogHistogram`].
@@ -242,6 +248,30 @@ impl HistogramSnapshot {
         }
         self.count += other.count;
         self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Bucket-wise subtraction: the histogram of everything recorded
+    /// *after* `prev` was snapshotted (the per-window view the time
+    /// series stores).
+    ///
+    /// Every subtraction saturates at 0, so a torn pair of snapshots (or
+    /// one taken from a cleared histogram) degrades to an under-count,
+    /// never an underflow wrap. `count` is re-derived from the bucket
+    /// deltas rather than subtracted independently, so the result is
+    /// always internally consistent — `quantile` walks exactly the mass
+    /// the buckets hold.
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(prev.buckets.len());
+        let bucket = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        let buckets: Vec<u64> = (0..len)
+            .map(|i| bucket(&self.buckets, i).saturating_sub(bucket(&prev.buckets, i)))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(prev.sum),
+        }
     }
 }
 
@@ -424,5 +454,40 @@ mod tests {
     #[test]
     fn empty_quantile_is_zero() {
         assert_eq!(LogHistogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_delta_isolates_the_tail() {
+        let h = LogHistogram::new();
+        h.record(5);
+        h.record(1000);
+        let before = h.snapshot();
+        h.record(5);
+        h.record(70);
+        let d = h.delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 75);
+        // Only the post-snapshot observations contribute mass: the
+        // delta's max lives in 70's bucket [64,128), not 1000's.
+        assert_eq!(d.quantile(1.0), 127);
+
+        // Saturating guards: deltas against a *larger* snapshot floor at
+        // zero instead of wrapping.
+        let empty = LogHistogram::new().snapshot();
+        let d = empty.delta(&before);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.sum, 0);
+        assert!(d.buckets.iter().all(|&b| b == 0));
+
+        // Mismatched bucket lengths (deserialized snapshots) are handled
+        // positionally, padding the short side with zeros.
+        let short = HistogramSnapshot {
+            buckets: vec![3, 1],
+            count: 4,
+            sum: 6,
+        };
+        let d = before.delta(&short);
+        assert_eq!(d.buckets.len(), NUM_BUCKETS);
+        assert_eq!(d.count, before.count);
     }
 }

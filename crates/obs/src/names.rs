@@ -244,6 +244,31 @@ pub const MTBENCH_CONTENDED_TOTAL: &str = "lcds_mtbench_contended_probes_total";
 /// All serialized-memory gate acquisitions in bench-mt runs (counter).
 pub const MTBENCH_GATED_TOTAL: &str = "lcds_mtbench_gated_probes_total";
 
+/// Telemetry windows sampled into the time-series ring (counter).
+pub const TS_WINDOWS_TOTAL: &str = "lcds_ts_windows_total";
+
+/// Nominal time-series window length (gauge, seconds).
+pub const TS_WINDOW_SECONDS: &str = "lcds_ts_window_seconds";
+
+/// Windows currently retained in the time-series ring (gauge).
+pub const TS_RING_LEN: &str = "lcds_ts_ring_len";
+
+/// Cost of one coherent sampling pass (histogram, nanoseconds).
+pub const TS_SAMPLE_NS: &str = "lcds_ts_sample_ns";
+
+/// Flight-recorder bundles written (counter).
+pub const TS_RECORDER_BUNDLES_TOTAL: &str = "lcds_ts_recorder_bundles_total";
+
+/// SLO envelope breach transitions (counter; one per *entry* into the
+/// breached state, not per breaching window — hysteresis debounces).
+pub const SLO_BREACHES_TOTAL: &str = "lcds_slo_breaches_total";
+
+/// SLO envelope clear transitions (counter).
+pub const SLO_CLEARS_TOTAL: &str = "lcds_slo_clears_total";
+
+/// Is the SLO tracker currently in the breached state? (gauge, 0/1).
+pub const SLO_BREACHED: &str = "lcds_slo_breached";
+
 /// Event appended on every [`Span`](crate::Span) drop.
 pub const EVENT_SPAN: &str = "span";
 
@@ -274,6 +299,15 @@ pub const EVENT_MTBENCH_ROW: &str = "mtbench_row";
 /// Delta-only swaps are counted but not logged: at one swap per mutation
 /// the event log would otherwise scale with the write rate.
 pub const EVENT_DYN_SWAP: &str = "dyn_generation_swap";
+
+/// Event appended on every SLO tracker state flip (`state` = `"breach"`
+/// / `"clear"`), with the offending window's p99 and `Φ̂·s` alongside
+/// the configured envelopes.
+pub const EVENT_SLO_BREACH: &str = "lcds_slo_breach";
+
+/// Event appended when the flight recorder writes a bundle (`reason` =
+/// `"watchdog"` / `"slo"` / `"drain"`, plus the bundle path).
+pub const EVENT_RECORDER_DUMP: &str = "lcds_recorder_dump";
 
 /// Every declared plain metric series (exact exported name, no labels).
 pub const ALL_METRICS: &[&str] = &[
@@ -330,6 +364,14 @@ pub const ALL_METRICS: &[&str] = &[
     MTBENCH_BATCH_LATENCY,
     MTBENCH_CONTENDED_TOTAL,
     MTBENCH_GATED_TOTAL,
+    TS_WINDOWS_TOTAL,
+    TS_WINDOW_SECONDS,
+    TS_RING_LEN,
+    TS_SAMPLE_NS,
+    TS_RECORDER_BUNDLES_TOTAL,
+    SLO_BREACHES_TOTAL,
+    SLO_CLEARS_TOTAL,
+    SLO_BREACHED,
 ];
 
 /// Declared span names. Spans export as `{name}_ns` histograms.
@@ -360,6 +402,8 @@ pub const ALL_EVENTS: &[&str] = &[
     EVENT_NET_SERVER,
     EVENT_MTBENCH_ROW,
     EVENT_DYN_SWAP,
+    EVENT_SLO_BREACH,
+    EVENT_RECORDER_DUMP,
 ];
 
 /// Is `name` (as it appears in a registry snapshot, labels included) a
@@ -493,6 +537,30 @@ mod tests {
         // The gauge and the swap counter must stay distinct series.
         assert_ne!(DYN_GENERATION, DYN_SWAPS_TOTAL);
         assert!(!is_declared_metric("lcds_dyn_made_up_total"));
+    }
+
+    #[test]
+    fn ts_and_slo_names_share_the_subsystem_prefix() {
+        for name in [
+            TS_WINDOWS_TOTAL,
+            TS_WINDOW_SECONDS,
+            TS_RING_LEN,
+            TS_SAMPLE_NS,
+            TS_RECORDER_BUNDLES_TOTAL,
+        ] {
+            assert!(name.starts_with("lcds_ts_"), "{name}");
+            assert!(is_declared_metric(name), "{name}");
+        }
+        for name in [SLO_BREACHES_TOTAL, SLO_CLEARS_TOTAL, SLO_BREACHED] {
+            assert!(name.starts_with("lcds_slo_"), "{name}");
+            assert!(is_declared_metric(name), "{name}");
+        }
+        assert!(is_declared_event(EVENT_SLO_BREACH));
+        assert!(is_declared_event(EVENT_RECORDER_DUMP));
+        // The breach counter and the breach event must stay distinct
+        // names, or an exporter would double-count transitions.
+        assert_ne!(SLO_BREACHES_TOTAL, EVENT_SLO_BREACH);
+        assert!(!is_declared_metric("lcds_ts_made_up_total"));
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Flight recorder: post-mortem bundles for a serving run.
+//!
+//! A crashed or degraded `serve-net` run used to leave nothing behind but
+//! whatever the operator happened to be scraping. The [`FlightRecorder`]
+//! fixes that: on a watchdog trip, an SLO breach, or the end-of-run
+//! drain, it dumps a **self-describing JSON-lines bundle** holding
+//!
+//! 1. a header (schema version, dump reason, run metadata the caller
+//!    supplies — kernel config, git revision, scheme, …),
+//! 2. the last `W` time-series [`Window`]s (the ramp *into* the event,
+//!    not just the event),
+//! 3. the tail of the trace ring as a chrome://tracing document
+//!    ([`crate::trace_export`] — loadable at `chrome://tracing` as-is),
+//! 4. the heatmap's top-K hottest cells, and
+//! 5. a footer with the total line count, so a truncated dump (process
+//!    killed mid-write) is detected instead of silently half-parsed.
+//!
+//! [`parse_bundle`] is the schema-validating reader: every record tag,
+//! count, and field type is checked, and the embedded chrome trace goes
+//! back through [`crate::trace_export::parse_chrome_trace`]. Round-trip
+//! tests (and the CI smoke) read bundles only through it.
+
+use crate::names;
+use crate::sinks::HotCell;
+use crate::timeseries::{TimeSeries, Window};
+use crate::trace::{global_traces, TraceRecord};
+use crate::trace_export::{self, ChromeEvent};
+use serde_json::{json, Value};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Bundle schema version; bumped on any layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Trace records kept in a bundle by default (the newest ones).
+pub const DEFAULT_TRACE_TAIL: usize = 256;
+
+/// Writes flight bundles into a directory.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+    trace_tail: usize,
+}
+
+impl FlightRecorder {
+    /// Recorder writing into `dir` (created on first dump).
+    pub fn new(dir: impl Into<PathBuf>) -> FlightRecorder {
+        FlightRecorder {
+            dir: dir.into(),
+            trace_tail: DEFAULT_TRACE_TAIL,
+        }
+    }
+
+    /// Caps the trace-ring tail kept per bundle.
+    pub fn with_trace_tail(mut self, n: usize) -> FlightRecorder {
+        self.trace_tail = n;
+        self
+    }
+
+    /// The directory bundles land in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Dumps a bundle from explicit parts (the testable core).
+    ///
+    /// `reason` names the trigger (`"watchdog"`, `"slo"`, `"drain"`);
+    /// `extra` is an arbitrary JSON object of run metadata stored
+    /// verbatim in the header (kernel config, git revision, …). Returns
+    /// the bundle path.
+    pub fn dump(
+        &self,
+        reason: &str,
+        extra: Value,
+        windows: &[Window],
+        traces: &[TraceRecord],
+        top: &[HotCell],
+    ) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let unix_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let path = self.dir.join(format!(
+            "flight-{reason}-{unix_s}-{:x}.jsonl",
+            crate::events::monotonic_ns()
+        ));
+        let tail_start = traces.len().saturating_sub(self.trace_tail);
+        let tail = &traces[tail_start..];
+
+        // 1 header + windows + 1 traces + 1 topk + 1 footer.
+        let total_lines = 1 + windows.len() + 3;
+        let mut out = Vec::new();
+        let header = json!({
+            "record": "header",
+            "schema_version": SCHEMA_VERSION,
+            "reason": reason,
+            "written_unix_s": unix_s,
+            "windows": windows.len(),
+            "traces": tail.len(),
+            "traces_dropped_from_tail": tail_start,
+            "top_k": top.len(),
+            "extra": extra,
+        });
+        writeln!(out, "{header}")?;
+        for w in windows {
+            writeln!(out, "{}", w.to_json())?;
+        }
+        let traces_line = json!({
+            "record": "traces",
+            "ring_dropped": global_traces().dropped(),
+            "chrome": trace_export::to_chrome_trace(tail),
+        });
+        writeln!(out, "{traces_line}")?;
+        let topk_line = json!({
+            "record": "topk",
+            "cells": top
+                .iter()
+                .map(|hc| json!({ "cell": hc.cell, "count": hc.count, "error": hc.error }))
+                .collect::<Vec<_>>(),
+        });
+        writeln!(out, "{topk_line}")?;
+        writeln!(out, "{}", json!({ "record": "end", "lines": total_lines }))?;
+        std::fs::write(&path, out)?;
+
+        crate::counter(names::TS_RECORDER_BUNDLES_TOTAL).inc();
+        crate::emit(
+            names::EVENT_RECORDER_DUMP,
+            json!({ "reason": reason, "path": path.display().to_string(), "windows": windows.len() }),
+        );
+        Ok(path)
+    }
+
+    /// Dumps the live state: every retained window of `ts`, the global
+    /// trace ring's tail, and `top` — the call sites in `serve-net` use
+    /// this.
+    pub fn dump_live(
+        &self,
+        reason: &str,
+        extra: Value,
+        ts: &TimeSeries,
+        top: &[HotCell],
+    ) -> io::Result<PathBuf> {
+        self.dump(
+            reason,
+            extra,
+            &ts.windows(),
+            &global_traces().records(),
+            top,
+        )
+    }
+}
+
+/// A parsed, validated flight bundle.
+#[derive(Clone, Debug)]
+pub struct Bundle {
+    /// Why the bundle was written.
+    pub reason: String,
+    /// Header schema version.
+    pub schema_version: u64,
+    /// Caller-supplied run metadata, verbatim.
+    pub extra: Value,
+    /// Wall-clock write time (unix seconds).
+    pub written_unix_s: u64,
+    /// The recorded windows, oldest first.
+    pub windows: Vec<Window>,
+    /// The trace tail, parsed back out of the chrome document.
+    pub chrome_events: Vec<ChromeEvent>,
+    /// Records the global trace ring had evicted before the dump.
+    pub ring_dropped: u64,
+    /// Heatmap top-K at dump time, hottest first.
+    pub top: Vec<HotCell>,
+}
+
+fn req_u64(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what}: `{key}` must be a u64"))
+}
+
+/// Parses and schema-validates a JSON-lines flight bundle.
+///
+/// Hard errors (never defaults): missing/unknown record tags, a header
+/// that is not line 1, window records whose count or index order
+/// disagrees with the header, an embedded chrome trace that fails its own
+/// parser, and a footer whose line count does not match what was read —
+/// the truncation detector.
+pub fn parse_bundle(text: &str) -> Result<Bundle, String> {
+    let mut lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        lines.push(v);
+    }
+    if lines.len() < 4 {
+        return Err(format!(
+            "bundle too short: {} lines, need header + traces + topk + end",
+            lines.len()
+        ));
+    }
+
+    let header = &lines[0];
+    if header.get("record").and_then(Value::as_str) != Some("header") {
+        return Err("line 1 must be the header record".to_string());
+    }
+    let schema_version = req_u64(header, "schema_version", "header")?;
+    if schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema_version {schema_version} (this parser reads {SCHEMA_VERSION})"
+        ));
+    }
+    let reason = header
+        .get("reason")
+        .and_then(Value::as_str)
+        .filter(|r| !r.is_empty())
+        .ok_or("header: `reason` must be a non-empty string")?
+        .to_string();
+    let declared_windows = req_u64(header, "windows", "header")? as usize;
+    let written_unix_s = req_u64(header, "written_unix_s", "header")?;
+    let extra = header.get("extra").cloned().unwrap_or(Value::Null);
+    if !extra.is_object() {
+        return Err("header: `extra` must be an object".to_string());
+    }
+
+    let footer = &lines[lines.len() - 1];
+    if footer.get("record").and_then(Value::as_str) != Some("end") {
+        return Err("bundle is truncated: last record is not the end footer".to_string());
+    }
+    let declared_lines = req_u64(footer, "lines", "footer")? as usize;
+    if declared_lines != lines.len() {
+        return Err(format!(
+            "bundle is truncated: footer declares {declared_lines} lines, found {}",
+            lines.len()
+        ));
+    }
+
+    let mut windows: Vec<Window> = Vec::new();
+    let mut chrome_events = None;
+    let mut ring_dropped = 0;
+    let mut top = None;
+    for (i, v) in lines[1..lines.len() - 1].iter().enumerate() {
+        let tag = v
+            .get("record")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("record {}: missing `record` tag", i + 2))?;
+        match tag {
+            "window" => {
+                let w = Window::from_json(v).map_err(|e| format!("record {}: {e}", i + 2))?;
+                if let Some(prev) = windows.last() {
+                    if w.index <= prev.index {
+                        return Err(format!(
+                            "window indices must increase: {} after {}",
+                            w.index, prev.index
+                        ));
+                    }
+                }
+                windows.push(w);
+            }
+            "traces" => {
+                if chrome_events.is_some() {
+                    return Err("duplicate traces record".to_string());
+                }
+                ring_dropped = req_u64(v, "ring_dropped", "traces")?;
+                let chrome = v.get("chrome").ok_or("traces: `chrome` missing")?;
+                let text = serde_json::to_string(chrome)
+                    .map_err(|e| format!("traces: unserializable chrome doc: {e}"))?;
+                chrome_events = Some(
+                    trace_export::parse_chrome_trace(&text)
+                        .map_err(|e| format!("traces: embedded chrome trace invalid: {e}"))?,
+                );
+            }
+            "topk" => {
+                if top.is_some() {
+                    return Err("duplicate topk record".to_string());
+                }
+                let cells = v
+                    .get("cells")
+                    .and_then(Value::as_array)
+                    .ok_or("topk: `cells` must be an array")?
+                    .iter()
+                    .map(|hc| {
+                        Ok(HotCell {
+                            cell: req_u64(hc, "cell", "topk")?,
+                            count: req_u64(hc, "count", "topk")?,
+                            error: req_u64(hc, "error", "topk")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                top = Some(cells);
+            }
+            other => return Err(format!("record {}: unknown tag {other:?}", i + 2)),
+        }
+    }
+    if windows.len() != declared_windows {
+        return Err(format!(
+            "header declares {declared_windows} windows, bundle holds {}",
+            windows.len()
+        ));
+    }
+    Ok(Bundle {
+        reason,
+        schema_version,
+        extra,
+        written_unix_s,
+        windows,
+        chrome_events: chrome_events.ok_or("bundle has no traces record")?,
+        ring_dropped,
+        top: top.ok_or("bundle has no topk record")?,
+    })
+}
+
+/// Reads and parses a bundle file.
+pub fn read_bundle(path: impl AsRef<Path>) -> Result<Bundle, String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+    parse_bundle(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::timeseries::TimeSeriesConfig;
+    use crate::trace::{SpanTrace, TraceRecord};
+    use std::time::Duration;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "lcds-recorder-{tag}-{}-{:x}",
+            std::process::id(),
+            crate::events::monotonic_ns()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn two_window_ts() -> TimeSeries {
+        let r = Registry::new();
+        let ts = TimeSeries::new(
+            r.clone(),
+            TimeSeriesConfig {
+                window: Duration::from_millis(5),
+                capacity: 8,
+            },
+        );
+        r.counter("fr_keys_total").add(10);
+        ts.sample();
+        r.counter("fr_keys_total").add(7);
+        ts.sample();
+        ts
+    }
+
+    #[test]
+    fn bundle_round_trips_through_the_parser() {
+        let dir = tmpdir("roundtrip");
+        let ts = two_window_ts();
+        let traces = vec![TraceRecord::Span(SpanTrace {
+            span_id: 1,
+            name: "lcds_build_total".into(),
+            start_ns: 100,
+            end_ns: 900,
+        })];
+        let top = vec![HotCell {
+            cell: 42,
+            count: 99,
+            error: 3,
+        }];
+        let rec = FlightRecorder::new(&dir);
+        let path = rec
+            .dump(
+                "drain",
+                json!({ "kernel_config": "scalar+none", "git_rev": "unknown" }),
+                &ts.windows(),
+                &traces,
+                &top,
+            )
+            .expect("dump");
+        let bundle = read_bundle(&path).expect("bundle parses");
+        assert_eq!(bundle.reason, "drain");
+        assert_eq!(bundle.schema_version, SCHEMA_VERSION);
+        assert_eq!(bundle.extra["kernel_config"], "scalar+none");
+        assert_eq!(bundle.windows.len(), 2);
+        assert_eq!(bundle.windows[0].counter_delta("fr_keys_total"), 10);
+        assert_eq!(bundle.windows[1].counter_delta("fr_keys_total"), 7);
+        assert_eq!(bundle.chrome_events.len(), 1);
+        assert_eq!(bundle.chrome_events[0].name, "lcds_build_total");
+        assert_eq!(bundle.top, top);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_or_drifted_bundles_fail_loudly() {
+        let dir = tmpdir("truncated");
+        let ts = two_window_ts();
+        let rec = FlightRecorder::new(&dir);
+        let path = rec
+            .dump("watchdog", json!({}), &ts.windows(), &[], &[])
+            .expect("dump");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(parse_bundle(&text).is_ok());
+
+        // Drop the footer: truncation must be detected.
+        let cut: String =
+            text.lines()
+                .take(text.lines().count() - 1)
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+        assert!(parse_bundle(&cut).unwrap_err().contains("truncated"));
+
+        // Drop a window: the header count no longer matches.
+        let no_window: String = text
+            .lines()
+            .filter(|l| !l.contains("\"record\":\"window\""))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+        assert!(parse_bundle(&no_window).is_err());
+
+        // Unknown record tag is a hard error.
+        let mangled = text.replace("\"record\":\"topk\"", "\"record\":\"mystery\"");
+        assert!(parse_bundle(&mangled).unwrap_err().contains("unknown tag"));
+
+        // Wrong schema version is refused, not guessed at.
+        let future = text.replace("\"schema_version\":1", "\"schema_version\":2");
+        assert!(parse_bundle(&future)
+            .unwrap_err()
+            .contains("schema_version"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_live_captures_ring_windows() {
+        let dir = tmpdir("live");
+        let ts = two_window_ts();
+        let rec = FlightRecorder::new(&dir).with_trace_tail(4);
+        let path = rec
+            .dump_live("slo", json!({ "scheme": "lcd" }), &ts, &[])
+            .expect("dump");
+        let bundle = read_bundle(&path).expect("parses");
+        assert_eq!(bundle.reason, "slo");
+        assert_eq!(bundle.windows.len(), 2);
+        assert!(bundle.windows[1].index > bundle.windows[0].index);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

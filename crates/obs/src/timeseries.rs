@@ -1,0 +1,908 @@
+//! Windowed telemetry: a bounded ring of periodic registry snapshots,
+//! and the SLO envelope tracker that watches it.
+//!
+//! Every signal the stack emits so far — counters, latency histograms,
+//! the heatmap's `Φ̂` — is point-in-time; contention, like load, is a
+//! property of a *trajectory*. [`TimeSeries::sample`] turns the registry
+//! into one: each call takes **one coherent pass** over every registered
+//! metric (a single [`Registry::snapshot`], i.e. one registry-lock hold)
+//! and stores the *delta* against the previous pass as a [`Window`]:
+//!
+//! * counter deltas (saturating — a cleared registry yields 0, never an
+//!   underflow);
+//! * gauge point values;
+//! * log-histogram **bucket** deltas
+//!   ([`HistogramSnapshot::delta`]), so per-window p50/p99 are exact
+//!   within the 2× bucket resolution;
+//! * optionally one [`PhiWindow`] of heatmap statistics (`Φ̂`, ratio,
+//!   top-K) captured by the caller in the same pass.
+//!
+//! Because every metric in a window came from the same pass, derived
+//! cross-metric ratios (`ns/key = Δservice_ns / Δkeys`,
+//! [`Window::ns_per_key`]) are never torn across a window boundary: the
+//! numerator and denominator always describe the same interval, so the
+//! ratio is finite and non-negative by construction (the
+//! `timeseries_coherence` test hammers this from a writer thread).
+//!
+//! Rates come from monotonic window timestamps
+//! ([`monotonic_ns`]), never the wall clock.
+//!
+//! The [`SloTracker`] folds each window into rolling p99-latency and
+//! `Φ̂·s` envelope checks with **hysteresis**: it takes
+//! [`SloConfig::breach_after`] consecutive bad windows to enter the
+//! breached state and [`SloConfig::clear_after`] consecutive good ones
+//! to leave it, so a single noisy window cannot flap the
+//! [`names::EVENT_SLO_BREACH`] event stream.
+
+use crate::events::monotonic_ns;
+use crate::heatmap::Heatmap;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+use crate::names;
+use crate::sinks::HotCell;
+use serde_json::{json, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Time-series knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeSeriesConfig {
+    /// Nominal window length. The sampler thread sleeps this long between
+    /// [`TimeSeries::sample`] calls; actual window durations come from
+    /// monotonic timestamps, so a late sample yields a longer (honest)
+    /// window instead of a wrong rate.
+    pub window: Duration,
+    /// Windows retained in the ring (oldest evicted first).
+    pub capacity: usize,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> TimeSeriesConfig {
+        TimeSeriesConfig {
+            window: Duration::from_secs(1),
+            capacity: 120,
+        }
+    }
+}
+
+/// Heatmap statistics captured alongside one window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhiWindow {
+    /// Live probe-share estimate of the hottest cell.
+    pub phi_hat: f64,
+    /// `Φ̂ · num_cells` — the scheme-size-normalized contention ratio.
+    pub ratio: f64,
+    /// Probes the heatmap had absorbed at capture time.
+    pub probes: u64,
+    /// The hottest cells, hottest first.
+    pub top: Vec<HotCell>,
+}
+
+impl PhiWindow {
+    /// Captures the heatmap's current statistics for a structure of
+    /// `num_cells` cells, keeping the `k` hottest cells.
+    pub fn from_heatmap(hm: &Heatmap, num_cells: u64, k: usize) -> PhiWindow {
+        PhiWindow {
+            phi_hat: hm.phi_hat(),
+            ratio: hm.ratio(num_cells),
+            probes: hm.probes(),
+            top: hm.top(k),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "phi_hat": self.phi_hat,
+            "ratio": self.ratio,
+            "probes": self.probes,
+            "top": self
+                .top
+                .iter()
+                .map(|hc| json!({ "cell": hc.cell, "count": hc.count, "error": hc.error }))
+                .collect::<Vec<_>>(),
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<PhiWindow, String> {
+        let top = v
+            .get("top")
+            .and_then(Value::as_array)
+            .ok_or("phi.top must be an array")?
+            .iter()
+            .map(|hc| {
+                Ok(HotCell {
+                    cell: hc
+                        .get("cell")
+                        .and_then(Value::as_u64)
+                        .ok_or("phi.top cell")?,
+                    count: hc
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or("phi.top count")?,
+                    error: hc
+                        .get("error")
+                        .and_then(Value::as_u64)
+                        .ok_or("phi.top error")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(PhiWindow {
+            phi_hat: v
+                .get("phi_hat")
+                .and_then(Value::as_f64)
+                .ok_or("phi.phi_hat must be a number")?,
+            ratio: v
+                .get("ratio")
+                .and_then(Value::as_f64)
+                .ok_or("phi.ratio must be a number")?,
+            probes: v
+                .get("probes")
+                .and_then(Value::as_u64)
+                .ok_or("phi.probes must be a u64")?,
+            top,
+        })
+    }
+}
+
+/// One window of the ring: deltas over `[start_ns, end_ns]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Window {
+    /// Monotonically increasing window index (never reused, survives ring
+    /// eviction — consumers can detect gaps).
+    pub index: u64,
+    /// Monotonic timestamp of the previous pass (window start).
+    pub start_ns: u64,
+    /// Monotonic timestamp of this pass (window end).
+    pub end_ns: u64,
+    /// Counter deltas over the window, by name (saturating, never
+    /// negative).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values at window end, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram bucket deltas over the window, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Heatmap statistics captured with this window, when the sampler
+    /// runs one.
+    pub phi: Option<PhiWindow>,
+}
+
+impl Window {
+    /// Window length in seconds (floored at 1 ns so rates stay finite).
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ns.saturating_sub(self.start_ns).max(1)) as f64 / 1e9
+    }
+
+    /// Counter delta over the window (0 for an unknown name).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-second rate of a counter over the window.
+    pub fn rate(&self, name: &str) -> f64 {
+        self.counter_delta(name) as f64 / self.duration_s()
+    }
+
+    /// The window's bucket-delta snapshot of a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// `q`-quantile of a histogram *within this window* (nanoseconds,
+    /// upper bucket edge). `None` when the histogram is unknown or
+    /// recorded nothing this window.
+    pub fn quantile_ns(&self, name: &str, q: f64) -> Option<u64> {
+        let h = self.histograms.get(name)?;
+        if h.count == 0 {
+            return None;
+        }
+        Some(h.quantile(q))
+    }
+
+    /// Derived per-key service time: the window's histogram *sum* delta
+    /// divided by its counter delta. Both sides come from the same
+    /// coherent pass, so the ratio is finite and ≥ 0 whenever it exists;
+    /// `None` when the window served no keys (never `NaN`).
+    pub fn ns_per_key(&self, service_histogram: &str, keys_counter: &str) -> Option<f64> {
+        let keys = self.counter_delta(keys_counter);
+        if keys == 0 {
+            return None;
+        }
+        let sum = self.histograms.get(service_histogram).map_or(0, |h| h.sum);
+        Some(sum as f64 / keys as f64)
+    }
+
+    /// Self-describing JSON for the wire and the flight recorder.
+    pub fn to_json(&self) -> Value {
+        // Dynamic-keyed objects are built by index assignment, not
+        // `serde_json::Map` — the offline harness's stub `Value` has no
+        // `Map` type but both implementations auto-vivify on `v[key]`.
+        let mut counters = json!({});
+        for (k, v) in &self.counters {
+            counters[k.as_str()] = json!(*v);
+        }
+        let mut gauges = json!({});
+        for (k, v) in &self.gauges {
+            gauges[k.as_str()] = json!(*v);
+        }
+        let mut histograms = json!({});
+        for (k, h) in &self.histograms {
+            histograms[k.as_str()] =
+                json!({ "buckets": h.buckets.clone(), "count": h.count, "sum": h.sum });
+        }
+        let mut doc = json!({
+            "record": "window",
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "phi": self.phi.as_ref().map_or(Value::Null, |p| p.to_json()),
+        });
+        doc["counters"] = counters;
+        doc["gauges"] = gauges;
+        doc["histograms"] = histograms;
+        doc
+    }
+
+    /// Parses [`Window::to_json`] output, validating every field (the
+    /// flight-recorder round-trip path).
+    pub fn from_json(v: &Value) -> Result<Window, String> {
+        if v.get("record").and_then(Value::as_str) != Some("window") {
+            return Err("window record must carry record=\"window\"".to_string());
+        }
+        let index = v
+            .get("index")
+            .and_then(Value::as_u64)
+            .ok_or("window.index must be a u64")?;
+        let start_ns = v
+            .get("start_ns")
+            .and_then(Value::as_u64)
+            .ok_or("window.start_ns must be a u64")?;
+        let end_ns = v
+            .get("end_ns")
+            .and_then(Value::as_u64)
+            .ok_or("window.end_ns must be a u64")?;
+        if end_ns < start_ns {
+            return Err(format!(
+                "window {index} ends ({end_ns}) before it starts ({start_ns})"
+            ));
+        }
+        let mut counters = BTreeMap::new();
+        for (k, c) in v
+            .get("counters")
+            .and_then(Value::as_object)
+            .ok_or("window.counters must be an object")?
+        {
+            counters.insert(
+                k.clone(),
+                c.as_u64()
+                    .ok_or_else(|| format!("counter {k:?} delta must be a u64"))?,
+            );
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, g) in v
+            .get("gauges")
+            .and_then(Value::as_object)
+            .ok_or("window.gauges must be an object")?
+        {
+            gauges.insert(
+                k.clone(),
+                g.as_f64()
+                    .ok_or_else(|| format!("gauge {k:?} must be a number"))?,
+            );
+        }
+        let mut histograms = BTreeMap::new();
+        for (k, h) in v
+            .get("histograms")
+            .and_then(Value::as_object)
+            .ok_or("window.histograms must be an object")?
+        {
+            let buckets = h
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("histogram {k:?} must carry buckets"))?
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .ok_or_else(|| format!("histogram {k:?} bucket must be a u64"))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    buckets,
+                    count: h
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("histogram {k:?} must carry count"))?,
+                    sum: h
+                        .get("sum")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("histogram {k:?} must carry sum"))?,
+                },
+            );
+        }
+        let phi = match v.get("phi") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(PhiWindow::from_json(p)?),
+        };
+        Ok(Window {
+            index,
+            start_ns,
+            end_ns,
+            counters,
+            gauges,
+            histograms,
+            phi,
+        })
+    }
+}
+
+/// SLO envelope knobs.
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// The latency histogram watched for the p99 envelope (a registry
+    /// name, labels included — e.g. `lcds_serve_batch_latency_ns`).
+    pub latency_histogram: String,
+    /// p99 latency envelope in nanoseconds (`u64::MAX` disables it).
+    pub p99_ns: u64,
+    /// `Φ̂·s` contention-ratio envelope (`f64::INFINITY` disables it).
+    pub max_ratio: f64,
+    /// Consecutive breaching windows required to *enter* the breached
+    /// state (hysteresis; clamped ≥ 1).
+    pub breach_after: usize,
+    /// Consecutive clear windows required to *leave* it (clamped ≥ 1).
+    pub clear_after: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_histogram: names::SERVE_BATCH_LATENCY.to_string(),
+            p99_ns: u64::MAX,
+            max_ratio: f64::INFINITY,
+            breach_after: 2,
+            clear_after: 2,
+        }
+    }
+}
+
+/// A breach-enter or breach-clear transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloTransition {
+    /// `true` on entering breach, `false` on clearing it.
+    pub breached: bool,
+    /// Index of the window that completed the hysteresis streak.
+    pub window_index: u64,
+    /// That window's p99 of the watched histogram (if it recorded).
+    pub p99_ns: Option<u64>,
+    /// That window's `Φ̂·s` ratio (if a heatmap was sampled).
+    pub ratio: Option<f64>,
+}
+
+/// Rolling SLO envelope tracker over the window ring.
+///
+/// Feed every sampled window to [`SloTracker::observe`]; it returns a
+/// [`SloTransition`] only on state *changes* (and emits the
+/// [`names::EVENT_SLO_BREACH`] event with `state = "breach"` /
+/// `"clear"`). Windows that recorded nothing for the watched histogram
+/// count as clear: an idle server is not in breach.
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    breached: bool,
+    bad_streak: usize,
+    good_streak: usize,
+    breaches: u64,
+    last_breach: Option<SloTransition>,
+}
+
+impl SloTracker {
+    /// New tracker in the clear state.
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        SloTracker {
+            cfg,
+            breached: false,
+            bad_streak: 0,
+            good_streak: 0,
+            breaches: 0,
+            last_breach: None,
+        }
+    }
+
+    /// Is the tracker currently in the breached state?
+    pub fn breached(&self) -> bool {
+        self.breached
+    }
+
+    /// Breach transitions seen so far.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// The most recent breach-enter transition, if any.
+    pub fn last_breach(&self) -> Option<&SloTransition> {
+        self.last_breach.as_ref()
+    }
+
+    fn window_is_bad(&self, w: &Window) -> bool {
+        let p99_bad = w
+            .quantile_ns(&self.cfg.latency_histogram, 0.99)
+            .is_some_and(|p99| p99 > self.cfg.p99_ns);
+        let ratio_bad = w.phi.as_ref().is_some_and(|p| p.ratio > self.cfg.max_ratio);
+        p99_bad || ratio_bad
+    }
+
+    /// Folds one window in; returns a transition when the state flips.
+    pub fn observe(&mut self, w: &Window) -> Option<SloTransition> {
+        if self.window_is_bad(w) {
+            self.bad_streak += 1;
+            self.good_streak = 0;
+        } else {
+            self.good_streak += 1;
+            self.bad_streak = 0;
+        }
+        let flip = if !self.breached && self.bad_streak >= self.cfg.breach_after.max(1) {
+            self.breached = true;
+            self.breaches += 1;
+            true
+        } else if self.breached && self.good_streak >= self.cfg.clear_after.max(1) {
+            self.breached = false;
+            true
+        } else {
+            false
+        };
+        if !flip {
+            return None;
+        }
+        let transition = SloTransition {
+            breached: self.breached,
+            window_index: w.index,
+            p99_ns: w.quantile_ns(&self.cfg.latency_histogram, 0.99),
+            ratio: w.phi.as_ref().map(|p| p.ratio),
+        };
+        if self.breached {
+            self.last_breach = Some(transition.clone());
+            crate::counter(names::SLO_BREACHES_TOTAL).inc();
+            crate::gauge(names::SLO_BREACHED).set(1.0);
+        } else {
+            crate::counter(names::SLO_CLEARS_TOTAL).inc();
+            crate::gauge(names::SLO_BREACHED).set(0.0);
+        }
+        crate::emit(
+            names::EVENT_SLO_BREACH,
+            json!({
+                "state": if self.breached { "breach" } else { "clear" },
+                "window_index": transition.window_index,
+                "p99_ns": transition.p99_ns,
+                "ratio": transition.ratio,
+                "p99_envelope_ns": self.cfg.p99_ns,
+                "ratio_envelope": self.cfg.max_ratio,
+            }),
+        );
+        Some(transition)
+    }
+
+    fn status_json(&self) -> Value {
+        json!({
+            "breached": self.breached,
+            "breaches": self.breaches,
+            "last_breach": self.last_breach.as_ref().map_or(Value::Null, |t| json!({
+                "window_index": t.window_index,
+                "p99_ns": t.p99_ns,
+                "ratio": t.ratio,
+            })),
+        })
+    }
+}
+
+struct TsInner {
+    ring: VecDeque<Window>,
+    prev: MetricsSnapshot,
+    prev_ns: u64,
+    next_index: u64,
+}
+
+/// The bounded window ring over one registry.
+pub struct TimeSeries {
+    registry: Registry,
+    cfg: TimeSeriesConfig,
+    inner: Mutex<TsInner>,
+    slo: Mutex<Option<SloTracker>>,
+}
+
+impl TimeSeries {
+    /// New ring over `registry`. The construction pass itself becomes the
+    /// baseline: the first [`TimeSeries::sample`] measures deltas from
+    /// *now*, not from process start.
+    pub fn new(registry: Registry, cfg: TimeSeriesConfig) -> TimeSeries {
+        crate::gauge(names::TS_WINDOW_SECONDS).set(cfg.window.as_secs_f64());
+        let prev = registry.snapshot();
+        TimeSeries {
+            registry,
+            cfg,
+            inner: Mutex::new(TsInner {
+                ring: VecDeque::new(),
+                prev,
+                prev_ns: monotonic_ns(),
+                next_index: 0,
+            }),
+            slo: Mutex::new(None),
+        }
+    }
+
+    /// New ring over the process-global registry.
+    pub fn for_global(cfg: TimeSeriesConfig) -> TimeSeries {
+        TimeSeries::new(crate::global().clone(), cfg)
+    }
+
+    /// Arms the embedded SLO tracker; every subsequent sample is folded
+    /// into it and transitions surface in the sample's return value.
+    pub fn set_slo(&self, cfg: SloConfig) {
+        *self.slo.lock().expect("ts slo lock poisoned") = Some(SloTracker::new(cfg));
+    }
+
+    /// The nominal window length in seconds.
+    pub fn window_seconds(&self) -> f64 {
+        self.cfg.window.as_secs_f64()
+    }
+
+    /// The nominal window length.
+    pub fn window(&self) -> Duration {
+        self.cfg.window
+    }
+
+    /// Windows currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ts lock poisoned").ring.len()
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes one coherent pass and appends the delta window, folding it
+    /// into the armed SLO tracker (if any). Returns the window and any
+    /// SLO transition it caused.
+    pub fn sample(&self) -> (Window, Option<SloTransition>) {
+        self.sample_with_phi(None)
+    }
+
+    /// [`TimeSeries::sample`] with heatmap statistics captured by the
+    /// caller attached to the window.
+    pub fn sample_with_phi(&self, phi: Option<PhiWindow>) -> (Window, Option<SloTransition>) {
+        let t0 = monotonic_ns();
+        // Bump *before* the pass so the very first window already carries
+        // the series (self-observation: the ring sees its own cost).
+        crate::counter(names::TS_WINDOWS_TOTAL).inc();
+        // The coherent pass: every counter, gauge, and histogram is read
+        // inside a single registry-lock hold. No window boundary can fall
+        // between the numerator and denominator of a derived ratio.
+        let snap = self.registry.snapshot();
+        let now_ns = monotonic_ns();
+
+        let window = {
+            let mut inner = self.inner.lock().expect("ts lock poisoned");
+            let index = inner.next_index;
+            inner.next_index += 1;
+            let window = diff_window(index, &inner.prev, inner.prev_ns, &snap, now_ns, phi);
+            inner.prev = snap;
+            inner.prev_ns = now_ns;
+            inner.ring.push_back(window.clone());
+            while inner.ring.len() > self.cfg.capacity.max(1) {
+                inner.ring.pop_front();
+            }
+            crate::gauge(names::TS_RING_LEN).set(inner.ring.len() as f64);
+            window
+        };
+        if crate::enabled() {
+            crate::global()
+                .histogram(names::TS_SAMPLE_NS)
+                .record(monotonic_ns().saturating_sub(t0));
+        }
+        let transition = self
+            .slo
+            .lock()
+            .expect("ts slo lock poisoned")
+            .as_mut()
+            .and_then(|t| t.observe(&window));
+        (window, transition)
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        self.inner
+            .lock()
+            .expect("ts lock poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The newest window, if any.
+    pub fn latest(&self) -> Option<Window> {
+        self.inner
+            .lock()
+            .expect("ts lock poisoned")
+            .ring
+            .back()
+            .cloned()
+    }
+
+    /// The self-describing JSON the `Telemetry` wire opcode serves: the
+    /// latest window delta plus enough ring/SLO context for a dashboard
+    /// to render without further round trips.
+    pub fn wire_snapshot(&self) -> Value {
+        let (ring_len, window, first_index) = {
+            let inner = self.inner.lock().expect("ts lock poisoned");
+            (
+                inner.ring.len(),
+                inner.ring.back().cloned(),
+                inner.ring.front().map(|w| w.index),
+            )
+        };
+        json!({
+            "record": "telemetry",
+            "window_seconds": self.window_seconds(),
+            "ring_len": ring_len,
+            "first_index": first_index,
+            "window": window.map_or(Value::Null, |w| w.to_json()),
+            "slo": self
+                .slo
+                .lock()
+                .expect("ts slo lock poisoned")
+                .as_ref()
+                .map_or(Value::Null, |t| t.status_json()),
+        })
+    }
+}
+
+fn diff_window(
+    index: u64,
+    prev: &MetricsSnapshot,
+    prev_ns: u64,
+    now: &MetricsSnapshot,
+    now_ns: u64,
+    phi: Option<PhiWindow>,
+) -> Window {
+    let counters = now
+        .counters
+        .iter()
+        .map(|(k, &v)| {
+            let before = prev.counters.get(k).copied().unwrap_or(0);
+            (k.clone(), v.saturating_sub(before))
+        })
+        .collect();
+    let histograms = now
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let delta = match prev.histograms.get(k) {
+                Some(before) => h.delta(before),
+                None => h.clone(),
+            };
+            (k.clone(), delta)
+        })
+        .collect();
+    Window {
+        index,
+        start_ns: prev_ns,
+        end_ns: now_ns.max(prev_ns),
+        counters,
+        gauges: now.gauges.clone(),
+        histograms,
+        phi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts_over(registry: &Registry, capacity: usize) -> TimeSeries {
+        TimeSeries::new(
+            registry.clone(),
+            TimeSeriesConfig {
+                window: Duration::from_millis(10),
+                capacity,
+            },
+        )
+    }
+
+    #[test]
+    fn windows_hold_deltas_not_totals() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 8);
+        r.counter("w_keys_total").add(100);
+        r.histogram("w_lat_ns").record(1000);
+        let (w1, _) = ts.sample();
+        assert_eq!(w1.counter_delta("w_keys_total"), 100);
+        assert_eq!(w1.histogram("w_lat_ns").unwrap().count, 1);
+
+        r.counter("w_keys_total").add(40);
+        let (w2, _) = ts.sample();
+        assert_eq!(w2.counter_delta("w_keys_total"), 40);
+        // No new histogram samples: the bucket delta is empty.
+        assert_eq!(w2.histogram("w_lat_ns").unwrap().count, 0);
+        assert!(w2.quantile_ns("w_lat_ns", 0.99).is_none());
+        assert_eq!(w2.index, w1.index + 1);
+        assert!(w2.start_ns >= w1.end_ns);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_indices_survive_eviction() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 3);
+        for _ in 0..7 {
+            ts.sample();
+        }
+        let windows = ts.windows();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].index, 4);
+        assert_eq!(ts.latest().unwrap().index, 6);
+    }
+
+    #[test]
+    fn rates_and_ns_per_key_are_finite_and_nonnegative() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 8);
+        r.counter("w_keys_total").add(10);
+        let h = r.histogram("w_service_ns");
+        for _ in 0..10 {
+            h.record(500);
+        }
+        let (w, _) = ts.sample();
+        let rate = w.rate("w_keys_total");
+        assert!(rate.is_finite() && rate >= 0.0);
+        let nspk = w.ns_per_key("w_service_ns", "w_keys_total").unwrap();
+        assert!(nspk.is_finite() && nspk >= 0.0);
+        assert!((nspk - 500.0).abs() < 1e-9);
+        // A window that served nothing yields None, never NaN.
+        let (idle, _) = ts.sample();
+        assert!(idle.ns_per_key("w_service_ns", "w_keys_total").is_none());
+    }
+
+    #[test]
+    fn cleared_registry_saturates_to_zero_deltas() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 8);
+        r.counter("w_keys_total").add(50);
+        ts.sample();
+        r.clear();
+        r.counter("w_keys_total").add(5);
+        let (w, _) = ts.sample();
+        // 5 < 50: the saturating guard yields 0, not an underflow.
+        assert_eq!(w.counter_delta("w_keys_total"), 0);
+    }
+
+    #[test]
+    fn window_json_round_trips() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 8);
+        r.counter("w_keys_total").add(3);
+        r.gauge("w_depth").set(2.5);
+        r.histogram("w_lat_ns").record(77);
+        let mut hm = Heatmap::new(64, 2, 8, 7);
+        use lcds_cellprobe::sink::ProbeSink;
+        for _ in 0..100 {
+            hm.probe(9);
+        }
+        let (w, _) = ts.sample_with_phi(Some(PhiWindow::from_heatmap(&hm, 64, 4)));
+        let back = Window::from_json(&w.to_json()).expect("round trip");
+        assert_eq!(back, w);
+        assert_eq!(back.phi.as_ref().unwrap().top[0].cell, 9);
+
+        // Schema violations are hard errors, not defaults.
+        let mut bad = w.to_json();
+        bad["end_ns"] = json!(0);
+        assert!(Window::from_json(&bad).is_err(), "end before start");
+        let mut bad = w.to_json();
+        bad["counters"] = json!([1, 2]);
+        assert!(Window::from_json(&bad).is_err(), "counters not an object");
+        let mut bad = w.to_json();
+        bad["record"] = json!("header");
+        assert!(Window::from_json(&bad).is_err(), "wrong record tag");
+    }
+
+    #[test]
+    fn slo_hysteresis_does_not_flap_on_one_noisy_window() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 16);
+        ts.set_slo(SloConfig {
+            latency_histogram: "w_lat_ns".to_string(),
+            p99_ns: 1_000,
+            max_ratio: f64::INFINITY,
+            breach_after: 2,
+            clear_after: 2,
+        });
+        let h = r.histogram("w_lat_ns");
+
+        // One noisy window: no transition.
+        h.record(100_000);
+        let (_, t) = ts.sample();
+        assert!(t.is_none(), "single bad window must not breach");
+        // A good window resets the streak.
+        h.record(10);
+        let (_, t) = ts.sample();
+        assert!(t.is_none());
+        // Two consecutive bad windows: breach fires once.
+        h.record(100_000);
+        let (_, t) = ts.sample();
+        assert!(t.is_none());
+        h.record(100_000);
+        let (_, t) = ts.sample();
+        let t = t.expect("second consecutive bad window breaches");
+        assert!(t.breached);
+        assert!(t.p99_ns.unwrap() > 1_000);
+        // Staying bad does not re-fire.
+        h.record(100_000);
+        let (_, t) = ts.sample();
+        assert!(t.is_none());
+        // One good window is not enough to clear…
+        h.record(10);
+        let (_, t) = ts.sample();
+        assert!(t.is_none());
+        // …two are.
+        h.record(10);
+        let (_, t) = ts.sample();
+        let t = t.expect("second consecutive good window clears");
+        assert!(!t.breached);
+    }
+
+    #[test]
+    fn slo_ratio_envelope_watches_phi() {
+        let mut tracker = SloTracker::new(SloConfig {
+            latency_histogram: "absent".to_string(),
+            p99_ns: u64::MAX,
+            max_ratio: 10.0,
+            breach_after: 1,
+            clear_after: 1,
+        });
+        let hot = Window {
+            index: 0,
+            start_ns: 0,
+            end_ns: 1,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            phi: Some(PhiWindow {
+                phi_hat: 0.5,
+                ratio: 50.0,
+                probes: 1000,
+                top: vec![],
+            }),
+        };
+        let t = tracker.observe(&hot).expect("ratio over envelope breaches");
+        assert!(t.breached);
+        assert_eq!(t.ratio, Some(50.0));
+        assert_eq!(tracker.breaches(), 1);
+        assert!(tracker.last_breach().is_some());
+
+        // No phi sampled ⇒ the ratio envelope cannot hold it in breach.
+        let idle = Window {
+            phi: None,
+            index: 1,
+            ..hot
+        };
+        let t = tracker.observe(&idle).expect("clears");
+        assert!(!t.breached);
+    }
+
+    #[test]
+    fn wire_snapshot_is_self_describing() {
+        let r = Registry::new();
+        let ts = ts_over(&r, 4);
+        let empty = ts.wire_snapshot();
+        assert_eq!(empty["record"], "telemetry");
+        assert_eq!(empty["ring_len"], 0);
+        assert!(empty["window"].is_null());
+
+        r.counter("w_keys_total").add(7);
+        ts.sample();
+        let v = ts.wire_snapshot();
+        assert_eq!(v["ring_len"], 1);
+        assert_eq!(v["window"]["counters"]["w_keys_total"], 7);
+        let back = Window::from_json(&v["window"]).expect("wire window parses");
+        assert_eq!(back.counter_delta("w_keys_total"), 7);
+    }
+}

@@ -1,0 +1,151 @@
+//! Time-series properties: histogram deltas reconstruct interleaved
+//! observation streams exactly, and concurrent writers can never tear a
+//! sampled window into negative deltas or NaN derived ratios.
+
+use lcds_obs::{names, LogHistogram, Registry, TimeSeries, TimeSeriesConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    /// `delta` of two snapshots of one live histogram equals a fresh
+    /// histogram fed only the observations that landed between the two
+    /// snapshots — bucket-for-bucket, count, and sum all exact (same
+    /// log-bucket layout on both sides), so per-window quantiles from
+    /// delta snapshots agree within bucket resolution by construction.
+    #[test]
+    fn delta_of_snapshots_equals_histogram_of_interleaved_tail(
+        before in prop::collection::vec(0u64..1_000_000_000, 0..200),
+        after in prop::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let live = LogHistogram::new();
+        for &v in &before {
+            live.record(v);
+        }
+        let prev = live.snapshot();
+        for &v in &after {
+            live.record(v);
+        }
+        let delta = live.delta(&prev);
+
+        let tail_only = LogHistogram::new();
+        for &v in &after {
+            tail_only.record(v);
+        }
+        prop_assert_eq!(delta, tail_only.snapshot());
+    }
+}
+
+/// Snapshot coherence under fire: writer threads hammer the counters,
+/// gauge, and latency histogram of a private registry while the main
+/// thread samples windows as fast as it can. Whatever interleaving the
+/// scheduler picks, no window may show a negative/NaN derived ns-per-key,
+/// a torn counter delta, or non-monotonic timestamps — the coherent
+/// single-pass snapshot is exactly what rules these out.
+#[test]
+fn concurrent_writers_never_tear_a_window() {
+    const WRITERS: usize = 3;
+    const BATCHES_PER_WRITER: u64 = 4_000;
+    const KEYS_PER_BATCH: u64 = 64;
+    const NS_PER_BATCH: u64 = 1_000;
+
+    let registry = Registry::new();
+    let ts = TimeSeries::new(
+        registry.clone(),
+        TimeSeriesConfig {
+            window: Duration::from_millis(1),
+            // Far more than the sampler can produce before the writers
+            // finish: the totals assertion below needs every window.
+            capacity: 1 << 16,
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let registry = registry.clone();
+                s.spawn(move || {
+                    for i in 0..BATCHES_PER_WRITER {
+                        // Counter and histogram move together: one batch
+                        // is KEYS_PER_BATCH keys costing NS_PER_BATCH ns,
+                        // so the true ns/key is constant at every instant.
+                        registry
+                            .counter(names::SERVE_KEYS_TOTAL)
+                            .add(KEYS_PER_BATCH);
+                        registry
+                            .histogram(names::SERVE_BATCH_LATENCY)
+                            .record(NS_PER_BATCH);
+                        registry.gauge(names::DYN_GENERATION).set(i as f64);
+                    }
+                })
+            })
+            .collect();
+        let sampler = {
+            let stop = Arc::clone(&stop);
+            let ts = &ts;
+            s.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    ts.sample();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                // One closing sample after the writers are done, so the
+                // last deltas land in a window.
+                ts.sample();
+            })
+        };
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        stop.store(true, Ordering::SeqCst);
+        sampler.join().expect("sampler panicked");
+    });
+
+    let windows = ts.windows();
+    assert!(!windows.is_empty(), "sampler produced no windows");
+    let mut total_keys = 0u64;
+    let mut prev_end = 0u64;
+    for w in &windows {
+        assert!(w.end_ns >= w.start_ns, "window {} runs backwards", w.index);
+        assert!(
+            w.start_ns >= prev_end,
+            "window {} starts before its predecessor ended",
+            w.index
+        );
+        prev_end = w.end_ns;
+        let keys = w.counter_delta(names::SERVE_KEYS_TOTAL);
+        total_keys += keys;
+        let rate = w.rate(names::SERVE_KEYS_TOTAL);
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "window {}: rate {rate} is torn",
+            w.index
+        );
+        if let Some(nspk) = w.ns_per_key(names::SERVE_BATCH_LATENCY, names::SERVE_KEYS_TOTAL) {
+            assert!(
+                nspk.is_finite() && nspk >= 0.0,
+                "window {}: ns/key {nspk} is torn",
+                w.index
+            );
+        }
+        if let Some(h) = w.histogram(names::SERVE_BATCH_LATENCY) {
+            assert_eq!(
+                h.count,
+                h.buckets.iter().sum::<u64>(),
+                "window {}: histogram delta internally inconsistent",
+                w.index
+            );
+        }
+        if let Some(g) = w.gauges.get(names::DYN_GENERATION) {
+            assert!(!g.is_nan(), "window {}: gauge is NaN", w.index);
+        }
+    }
+    // Nothing recorded may vanish or double: the window deltas partition
+    // the counter's total exactly.
+    assert_eq!(
+        total_keys,
+        WRITERS as u64 * BATCHES_PER_WRITER * KEYS_PER_BATCH,
+        "window deltas do not sum to the counter total"
+    );
+}

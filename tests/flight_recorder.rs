@@ -1,0 +1,119 @@
+//! Acceptance: a *real* watchdog trip — adversarial-FKS under Zipf load,
+//! the paper's Θ(√n) worst case — must leave behind a flight bundle that
+//! round-trips through the schema-validating parser with the ramp into
+//! the trip (per-window Φ̂ history and key counters) intact.
+
+use lcds_baselines::{FksConfig, FksDict};
+use lcds_obs::heatmap::balls_in_bins_envelope;
+use lcds_obs::{
+    names, read_bundle, FlightRecorder, Heatmap, PhiWindow, Registry, TimeSeries, TimeSeriesConfig,
+    Watchdog,
+};
+use lcds_workloads::adversarial::adversarial_fks_keys;
+use lcds_workloads::rng::FirstWordRng;
+use low_contention::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn watchdog_trip_under_adversarial_zipf_leaves_a_parseable_bundle() {
+    let n = 2048usize;
+    let seed = 0xF11;
+    let stored = adversarial_fks_keys(n, seed);
+    let mut fks_rng = FirstWordRng::new(seed, seeded(seed ^ 99));
+    let fks = FksDict::build(&stored, FksConfig::default(), &mut fks_rng).expect("fks build");
+
+    // Serve Zipf(0.5) traffic in rounds, sampling a telemetry window
+    // (with the heatmap's Φ̂ attached) after each round and checking the
+    // watchdog — the loop `serve-net --telemetry-window --watch` runs.
+    let registry = Registry::new();
+    let ts = TimeSeries::new(
+        registry.clone(),
+        TimeSeriesConfig {
+            window: Duration::from_millis(1),
+            capacity: 64,
+        },
+    );
+    let dist = zipf_over_keys(&stored, 0.5, seed ^ 0xD157);
+    let mut rng = seeded(seed);
+    let mut hm = Heatmap::with_defaults(seed ^ 0x11EA7);
+    let mut wd = Watchdog::new(balls_in_bins_envelope(n as u64), 3.0);
+    let mut alarm = None;
+    let mut keys_served = 0u64;
+    for _round in 0..20 {
+        for _ in 0..1_000 {
+            let x = dist.sample(&mut rng);
+            hm.begin_query();
+            let hit = fks.contains(x, &mut rng, &mut hm);
+            assert!(hit, "stored keys must be members");
+            registry.counter(names::SERVE_KEYS_TOTAL).inc();
+            keys_served += 1;
+        }
+        let phi = PhiWindow::from_heatmap(&hm, fks.num_cells(), 8);
+        ts.sample_with_phi(Some(phi));
+        if let Some(a) = wd.check(&hm, fks.num_cells()) {
+            alarm = Some(a);
+            break;
+        }
+    }
+    let alarm = alarm.expect("adversarial FKS under Zipf must trip the watchdog");
+    assert_eq!(wd.trips(), 1);
+
+    // The trip dumps a bundle, exactly as serve-net's sampler does.
+    let dir = std::env::temp_dir().join(format!(
+        "lcds-flight-acceptance-{}-{keys_served}",
+        std::process::id()
+    ));
+    let rec = FlightRecorder::new(&dir);
+    let path = rec
+        .dump(
+            "watchdog",
+            serde_json::json!({
+                "scheme": "fks-adversarial",
+                "workload": "zipf(0.50)",
+                "ratio": alarm.ratio,
+                "threshold": wd.threshold(),
+            }),
+            &ts.windows(),
+            &[],
+            &hm.top(8),
+        )
+        .expect("bundle dump");
+
+    let bundle = read_bundle(&path).expect("bundle round-trips through the parser");
+    assert_eq!(bundle.reason, "watchdog");
+    assert_eq!(bundle.extra["scheme"], "fks-adversarial");
+    assert!(!bundle.windows.is_empty(), "the ramp must be recorded");
+
+    // Nothing served escaped the windows: the per-window key deltas
+    // partition the total exactly.
+    let total: u64 = bundle
+        .windows
+        .iter()
+        .map(|w| w.counter_delta(names::SERVE_KEYS_TOTAL))
+        .sum();
+    assert_eq!(total, keys_served, "window deltas must sum to keys served");
+
+    // The Φ̂ trajectory survived, and its final point shows the breach the
+    // watchdog alarmed on: a Θ(√n)-scale ratio above the threshold.
+    let last_phi = bundle
+        .windows
+        .last()
+        .and_then(|w| w.phi.as_ref())
+        .expect("final window carries Φ̂");
+    assert!(
+        last_phi.ratio > wd.threshold(),
+        "recorded ratio {:.1} vs threshold {:.1}",
+        last_phi.ratio,
+        wd.threshold()
+    );
+    assert!(
+        last_phi.ratio > (n as f64).sqrt(),
+        "ratio {:.1} should reach Θ(√n)",
+        last_phi.ratio
+    );
+    // The hot cell itself is in the recorded top-K, hottest first.
+    assert!(!bundle.top.is_empty());
+    assert!(bundle.top[0].count >= bundle.top.last().unwrap().count);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

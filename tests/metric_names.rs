@@ -51,6 +51,36 @@ fn every_emitted_metric_and_event_name_is_declared() {
         assert!(wd.check(&hm, dict.num_cells()).is_some(), "forced trip");
     }
 
+    // Time-series + SLO + flight-recorder path: TS_*/SLO_* series, the
+    // breach event, and the recorder-dump event must all be declared.
+    {
+        let ts = lcds_obs::TimeSeries::for_global(lcds_obs::TimeSeriesConfig {
+            window: std::time::Duration::from_millis(1),
+            capacity: 4,
+        });
+        ts.set_slo(lcds_obs::SloConfig {
+            // A 1 ns p99 envelope with single-window hysteresis: the
+            // batch latency recorded above guarantees a breach event.
+            p99_ns: 1,
+            breach_after: 1,
+            clear_after: 1,
+            ..lcds_obs::SloConfig::default()
+        });
+        lcds_obs::global()
+            .histogram(lcds_obs::names::SERVE_BATCH_LATENCY)
+            .record(1_000);
+        let (_, transition) = ts.sample();
+        assert!(
+            transition.is_some_and(|t| t.breached),
+            "forced SLO breach did not fire"
+        );
+        let dir = std::env::temp_dir().join(format!("lcds-names-smoke-{}", std::process::id()));
+        let rec = lcds_obs::FlightRecorder::new(&dir);
+        rec.dump_live("drain", serde_json::json!({}), &ts, &[])
+            .expect("recorder dump");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     // Labeled gauge families, as `lcds obs` / `lcds watch` emit them.
     lcds_obs::gauge(&format!(
         "{}{{cell=\"7\"}}",

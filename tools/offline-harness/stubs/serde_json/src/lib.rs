@@ -315,6 +315,25 @@ macro_rules! json {
     ($e:expr) => { $crate::Value::from($e) };
 }
 
+/// Writes `s` as a JSON string literal, escaping like real serde_json
+/// does. Used for both string values and object keys — keys can carry
+/// quotes too (Prometheus-style labeled names such as `m{cell="7"}`).
+fn write_json_str(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            '\r' => write!(f, "\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
 impl Value {
     fn write(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
         let pretty = f.alternate();
@@ -340,21 +359,7 @@ impl Value {
                     write!(f, "null")
                 }
             }
-            Value::Str(s) => {
-                write!(f, "\"")?;
-                for c in s.chars() {
-                    match c {
-                        '"' => write!(f, "\\\"")?,
-                        '\\' => write!(f, "\\\\")?,
-                        '\n' => write!(f, "\\n")?,
-                        '\t' => write!(f, "\\t")?,
-                        '\r' => write!(f, "\\r")?,
-                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-                        c => write!(f, "{c}")?,
-                    }
-                }
-                write!(f, "\"")
-            }
+            Value::Str(s) => write_json_str(f, s),
             Value::Array(items) => {
                 write!(f, "[")?;
                 for (i, item) in items.iter().enumerate() {
@@ -376,7 +381,8 @@ impl Value {
                         write!(f, ",")?;
                     }
                     pad(f, indent + 1)?;
-                    write!(f, "\"{k}\":")?;
+                    write_json_str(f, k)?;
+                    write!(f, ":")?;
                     if pretty {
                         write!(f, " ")?;
                     }
