@@ -69,14 +69,17 @@ fn validate_header<'v>(doc: &'v Value, bench_name: &str) -> Result<&'v Vec<Value
     if points.is_empty() && doc.get("status").and_then(Value::as_str).is_none() {
         return Err("empty `points` requires a `status` explaining why".into());
     }
-    // `mt_scaling` and `probe_kernels` are optional envelope sections
-    // (both artifacts may carry them) but drift loudly like everything
-    // else when present.
+    // `mt_scaling`, `probe_kernels`, and `ordered` are optional envelope
+    // sections (both artifacts may carry them) but drift loudly like
+    // everything else when present.
     if let Some(mt) = doc.get("mt_scaling") {
         validate_mt_scaling(mt).map_err(|e| format!("mt_scaling: {e}"))?;
     }
     if let Some(pk) = doc.get("probe_kernels") {
         validate_probe_kernels(pk).map_err(|e| format!("probe_kernels: {e}"))?;
+    }
+    if let Some(ord) = doc.get("ordered") {
+        validate_ordered(ord).map_err(|e| format!("ordered: {e}"))?;
     }
     Ok(points)
 }
@@ -194,6 +197,99 @@ pub fn validate_mt_scaling(doc: &Value) -> Result<(), String> {
                 lcds_obs::Window::from_json(w)
                     .map_err(|e| format!("rows[{i}].windows[{j}]: {e}"))?;
             }
+        }
+    }
+    Ok(())
+}
+
+/// Validates an `ordered` section (written by `lcds bench-mt --ordered`
+/// via `lcds_mtbench::report::ordered_scaling_json`): the ordered-query
+/// contention sweep over both replica schemes.
+///
+/// Required: run provenance (`n`, `batch`, `ops_per_thread`, `seed`,
+/// `host_parallelism ≥ 1`, boolean `serialized`, `service_ns`,
+/// `stripes`) and a non-empty `rows` array where every row carries a
+/// non-empty `scheme`, `op`, and `workload`, `threads ≥ 1`,
+/// `queries ≥ 1`, `hits`, a positive `wall_s`/`qps`/
+/// `scaling_efficiency`/`ns_per_query`, `phi_hat ∈ [0, 1]`, a
+/// non-negative `ratio`, `probes ≥ 1`, a non-empty `phi_per_level`
+/// array of shares in `[0, 1]`, and `latency_ns.{p50,p90,p99}`.
+pub fn validate_ordered(doc: &Value) -> Result<(), String> {
+    if !doc.is_object() {
+        return Err("must be a JSON object".into());
+    }
+    req_u64(doc, "n")?;
+    req_u64(doc, "batch")?;
+    req_u64(doc, "ops_per_thread")?;
+    req_u64(doc, "seed")?;
+    if req_u64(doc, "host_parallelism")? == 0 {
+        return Err("`host_parallelism` must be at least 1".into());
+    }
+    req(doc, "serialized")?
+        .as_bool()
+        .ok_or("`serialized` must be a boolean")?;
+    req_u64(doc, "service_ns")?;
+    req_u64(doc, "stripes")?;
+    let rows = req(doc, "rows")?
+        .as_array()
+        .ok_or("`rows` must be an array")?;
+    if rows.is_empty() {
+        return Err("`rows` must not be empty — a rowless run is a failed run".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("rows[{i}]: {e}");
+        req_str(row, "scheme").map_err(ctx)?;
+        req_str(row, "op").map_err(ctx)?;
+        req_str(row, "workload").map_err(ctx)?;
+        if req_u64(row, "threads").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `threads` must be at least 1"));
+        }
+        if req_u64(row, "queries").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `queries` must be positive"));
+        }
+        req_u64(row, "hits").map_err(ctx)?;
+        if req_f64(row, "wall_s").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `wall_s` must be positive"));
+        }
+        if req_f64(row, "qps").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `qps` must be positive"));
+        }
+        if req_f64(row, "scaling_efficiency").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `scaling_efficiency` must be positive"));
+        }
+        let phi = req_f64(row, "phi_hat").map_err(ctx)?;
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(format!("rows[{i}]: `phi_hat` must be in [0, 1], got {phi}"));
+        }
+        if req_f64(row, "ratio").map_err(ctx)? < 0.0 {
+            return Err(format!("rows[{i}]: `ratio` must be non-negative"));
+        }
+        if req_u64(row, "probes").map_err(ctx)? == 0 {
+            return Err(format!("rows[{i}]: `probes` must be positive"));
+        }
+        if req_f64(row, "ns_per_query").map_err(ctx)? <= 0.0 {
+            return Err(format!("rows[{i}]: `ns_per_query` must be positive"));
+        }
+        let levels = req(row, "phi_per_level")
+            .map_err(ctx)?
+            .as_array()
+            .ok_or_else(|| format!("rows[{i}]: `phi_per_level` must be an array"))?;
+        if levels.is_empty() {
+            return Err(format!("rows[{i}]: `phi_per_level` must not be empty"));
+        }
+        for (l, p) in levels.iter().enumerate() {
+            let p = p
+                .as_f64()
+                .ok_or_else(|| format!("rows[{i}]: `phi_per_level[{l}]` must be a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "rows[{i}]: `phi_per_level[{l}]` must be in [0, 1], got {p}"
+                ));
+            }
+        }
+        let lat = req(row, "latency_ns").map_err(ctx)?;
+        for q in ["p50", "p90", "p99"] {
+            req_u64(lat, q).map_err(|e| format!("rows[{i}].latency_ns: {e}"))?;
         }
     }
     Ok(())
@@ -559,6 +655,116 @@ mod tests {
             let mut doc = valid_mt_scaling();
             mutate(&mut doc);
             let err = validate_mt_scaling(&doc).unwrap_err();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
+    }
+
+    fn valid_ordered() -> Value {
+        json!({
+            "n": 4096,
+            "batch": 64,
+            "ops_per_thread": 20_000,
+            "seed": 7,
+            "host_parallelism": 1,
+            "serialized": false,
+            "service_ns": 0,
+            "stripes": 0,
+            "rows": [{
+                "scheme": "ord-replicated",
+                "op": "predecessor",
+                "workload": "uniform",
+                "threads": 2,
+                "queries": 40_000,
+                "hits": 40_000,
+                "wall_s": 0.41,
+                "qps": 97_000.0,
+                "scaling_efficiency": 0.93,
+                "phi_hat": 0.0009,
+                "ratio": 1.1,
+                "probes": 1_000_000,
+                "ns_per_query": 15.9,
+                "phi_per_level": [0.004, 0.01, 0.02, 0.03],
+                "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 },
+            }],
+        })
+    }
+
+    #[test]
+    fn accepts_the_ordered_shape_standalone_and_in_both_envelopes() {
+        validate_ordered(&valid_ordered()).unwrap();
+        let mut build = valid();
+        build["ordered"] = valid_ordered();
+        validate_bench_summary(&build).unwrap();
+        let mut serve = valid_serve();
+        serve["ordered"] = valid_ordered();
+        validate_serve_summary(&serve).unwrap();
+    }
+
+    #[test]
+    fn a_drifted_ordered_section_fails_the_whole_artifact() {
+        let mut serve = valid_serve();
+        serve["ordered"] = json!({"rows": []});
+        let err = validate_serve_summary(&serve).unwrap_err();
+        assert!(err.starts_with("ordered:"), "unprefixed error {err:?}");
+    }
+
+    #[test]
+    fn rejects_drifted_ordered_sections() {
+        let cases: Vec<(fn(&mut Value), &str)> = vec![
+            (|d| d["rows"] = json!([]), "rows"),
+            (|d| d["host_parallelism"] = json!(0), "host_parallelism"),
+            (|d| d["serialized"] = json!("yes"), "serialized"),
+            (|d| d["rows"][0]["scheme"] = json!(""), "scheme"),
+            (
+                |d| {
+                    d["rows"][0].as_object_mut().unwrap().remove("op");
+                },
+                "op",
+            ),
+            (|d| d["rows"][0]["threads"] = json!(0), "threads"),
+            (|d| d["rows"][0]["queries"] = json!(0), "queries"),
+            (|d| d["rows"][0]["qps"] = json!(0.0), "qps"),
+            (|d| d["rows"][0]["phi_hat"] = json!(1.5), "phi_hat"),
+            (|d| d["rows"][0]["probes"] = json!(0), "probes"),
+            (
+                |d| d["rows"][0]["ns_per_query"] = json!(0.0),
+                "ns_per_query",
+            ),
+            (
+                |d| d["rows"][0]["phi_per_level"] = json!([]),
+                "phi_per_level",
+            ),
+            (
+                |d| d["rows"][0]["phi_per_level"] = json!([0.1, 2.0]),
+                "phi_per_level[1]",
+            ),
+            (
+                |d| d["rows"][0]["phi_per_level"] = json!([0.1, "hot"]),
+                "phi_per_level[1]",
+            ),
+            (
+                |d| {
+                    d["rows"][0]
+                        .as_object_mut()
+                        .unwrap()
+                        .remove("phi_per_level");
+                },
+                "phi_per_level",
+            ),
+            (
+                |d| {
+                    d["rows"][0]["latency_ns"]
+                        .as_object_mut()
+                        .unwrap()
+                        .remove("p99");
+                },
+                "p99",
+            ),
+        ];
+        for (mutate, want) in cases {
+            let mut doc = valid_ordered();
+            mutate(&mut doc);
+            let err = validate_ordered(&doc).unwrap_err();
             assert!(err.contains(want), "error {err:?} should mention {want:?}");
         }
     }

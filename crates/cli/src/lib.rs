@@ -90,6 +90,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("info") => cmd_info(&args[1..], out),
         Some("query") => cmd_query(&args[1..], out),
         Some("bulk") => cmd_bulk(&args[1..], out),
+        Some("build-ordered") => cmd_build_ordered(&args[1..], out),
+        Some("bulk-ordered") => cmd_bulk_ordered(&args[1..], out),
         Some("audit") => cmd_audit(&args[1..], out),
         Some("obs") => cmd_obs(&args[1..], out),
         Some("trace") => cmd_trace(&args[1..], out),
@@ -120,6 +122,13 @@ commands:
   query  DICT KEY...                                        membership
   bulk   DICT (--keys FILE | --random N)                    batched bulk queries
          [--batch B] [--seed S] [--threads T]               via the serve engine
+  build-ordered --out DICT (--random N | --keys FILE)       build + persist the
+         [--scheme replicated|adversarial] [--seed S]       replicated ordered
+         [--threads T]                                      dictionary
+  bulk-ordered (DICT | --random N)                          batched predecessor /
+         [--keys FILE | --queries Q] [--batch B]            rank / range-count
+         [--op predecessor|rank|range-count|all]            queries via the
+         [--scheme replicated|adversarial] [--seed S]       ordered engine
 
 --threads T sizes the Rayon worker pool for that subcommand: the parallel
 construction pipeline on `build`, the bulk-query engine on `bulk`. It never
@@ -140,15 +149,18 @@ count. --build-threads is accepted as an alias.
          [--multiple M] [--interval I] [--topk K]           against the scheme's
          [--format table|prom|jsonl] [--seed S]             theoretical envelope
   serve-net (DICT | --random N [--shards K])                TCP server: bounded
-         [--dynamic] [--seed S] [--addr A]                  worker queue, Busy
+         [--dynamic | --ordered] [--seed S] [--addr A]      worker queue, Busy
          [--port-file FILE] [--workers W]                   shedding, graceful
          [--queue-depth Q] [--batch B]                      drain; optional live
          [--duration SECS] [--watch ENVELOPE]               heatmap watchdog;
          [--multiple M] [--sample P] [--metrics-file FILE]  --dynamic serves a
          [--telemetry-window SECS] [--recorder DIR]         generation-swapped
          [--slo-p99-ms MS] [--slo-ratio R]                  DynamicEngine that
-                                                            accepts Insert/
+         [--scheme replicated|adversarial]                  accepts Insert/
                                                             Remove/Flush;
+                                                            --ordered serves the
+                                                            Predecessor/Rank/
+                                                            RangeCount opcodes;
                                                             --telemetry-window
                                                             keeps a window ring
                                                             served over the
@@ -165,17 +177,24 @@ count. --build-threads is accepted as an alias.
   loadgen --addr A (--random N | --keys FILE)               closed-loop load:
          [--seed S] [--connections C] [--duration SECS]     per-connection dists,
          [--batch B] [--workload uniform|zipf|adversarial]  throughput + latency
-         [--zipf THETA] [--write-every N]                   quantiles; N > 0
-         [--format table|json]                              mixes in writes
+         [--zipf THETA] [--write-every N] [--ordered]       quantiles; N > 0
+         [--format table|json]                              mixes in writes;
+                                                            --ordered cycles the
+                                                            predecessor / rank /
+                                                            range-count opcodes
   bench-mt [--random N] [--threads T | T1,T2,...]           multi-threaded probe
          [--quick] [--schemes ...] [--workloads ...]        harness: qps, scaling
          [--zipf THETA] [--ops K] [--batch B] [--seed S]    efficiency, merged Φ̂,
          [--serialize on|off] [--service-ns NS]             latency quantiles per
          [--stripes S] [--format table|json]                (scheme × workload ×
          [--out BENCH.json] [--metrics-file FILE]           threads) row;
-         [--window SECS]                                    --window attaches a
+         [--window SECS] [--ordered] [--ord-ops ...]        --window attaches a
                                                             per-window telemetry
-                                                            series to every row
+                                                            series to every row;
+                                                            --ordered sweeps the
+                                                            ordered dictionary
+                                                            (exact per-level Φ̂)
+                                                            instead of membership
   bench-kernels [--random N] [--iters I]                    probe-kernel sweep:
          [--batches B1,B2,...] [--seed S]                   scalar vs prefetch vs
          [--format table|json] [--out BENCH.json]           SIMD ns/key per batch
@@ -462,6 +481,224 @@ fn cmd_bulk(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
         probes.len() - members,
     )
     .map_err(io_err)
+}
+
+/// `build-ordered`: builds the replicated ordered dictionary (predecessor
+/// / rank / range-count) over a key set and persists it. The layout is a
+/// pure function of (keys, scheme) — bit-identical at every thread count —
+/// so `--threads` only buys build wall clock.
+fn cmd_build_ordered(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    let out_path =
+        flag(&flags, "out").ok_or_else(|| CliError::usage("build-ordered needs --out"))?;
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let scheme = ord_scheme_flag(&flags)?;
+    let keys = match (flag(&flags, "random"), flag(&flags, "keys")) {
+        (Some(n), None) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --random: {e}")))?;
+            // Same derivation as `build --random` / `serve-net --random`,
+            // so the ordered and membership artifacts share key sets.
+            uniform_keys(n, seed ^ 0x5EED)
+        }
+        (None, Some(path)) => read_key_file(Path::new(path))?,
+        _ => {
+            return Err(CliError::usage(
+                "build-ordered needs exactly one of --random N or --keys FILE",
+            ))
+        }
+    };
+
+    let threads = threads_flag(&flags)?;
+    let (built, workers) = with_build_pool(threads, || lcds_ordered::par_build(&keys, scheme))?;
+    let dict = built.map_err(|e| CliError::runtime(format!("ordered build failed: {e}")))?;
+    lcds_ordered::persist::save_to_path(&dict, out_path)
+        .map_err(|e| CliError::runtime(format!("cannot write {out_path}: {e}")))?;
+    writeln!(
+        out,
+        "build-ordered: {} scheme, seed {seed}, {workers} rayon thread(s), \
+         deterministic parallel pipeline",
+        dict.scheme().label(),
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "built ordered n = {} → {out_path} ({} level(s) {:?}, {} cells, span [{} .. {}])",
+        dict.len(),
+        dict.num_levels(),
+        dict.level_sizes(),
+        dict.table().num_cells(),
+        dict.min_key(),
+        dict.max_key(),
+    )
+    .map_err(io_err)
+}
+
+/// Parses the optional `--scheme` replica-choice flag for the ordered
+/// commands (`replicated`, the low-contention default, or `adversarial`,
+/// which pins every descent to replica 0).
+fn ord_scheme_flag(flags: &[(String, String)]) -> Result<lcds_ordered::OrdScheme, CliError> {
+    match flag(flags, "scheme") {
+        None => Ok(lcds_ordered::OrdScheme::Replicated),
+        Some(s) => lcds_ordered::OrdScheme::parse(s).ok_or_else(|| {
+            CliError::usage(format!(
+                "bad --scheme {s:?} (expected replicated or adversarial)"
+            ))
+        }),
+    }
+}
+
+/// `bulk-ordered`: batched predecessor / rank / range-count queries via
+/// the ordered serve engine — the same SoA descent-plan probe path the
+/// TCP server runs, timed end to end.
+fn cmd_bulk_ordered(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    if pos.len() > 1 {
+        return Err(CliError::usage(format!("unexpected argument {:?}", pos[1])));
+    }
+    let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
+    let batch: usize = num_flag(&flags, "batch", 1024)?;
+    if batch == 0 {
+        return Err(CliError::usage("--batch must be at least 1"));
+    }
+    let op = flag(&flags, "op").unwrap_or("all");
+    if !matches!(op, "predecessor" | "rank" | "range-count" | "all") {
+        return Err(CliError::usage(format!(
+            "bad --op {op:?} (expected predecessor, rank, range-count, or all)"
+        )));
+    }
+    let dict = match (pos.first(), flag(&flags, "random")) {
+        (Some(path), None) => {
+            if flag(&flags, "scheme").is_some() {
+                return Err(CliError::usage(
+                    "--scheme only applies to --random (a persisted ordered DICT \
+                     carries its scheme in the file)",
+                ));
+            }
+            lcds_ordered::persist::load_from_path(path)
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+        }
+        (None, Some(n)) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --random: {e}")))?;
+            let scheme = ord_scheme_flag(&flags)?;
+            lcds_ordered::par_build(&uniform_keys(n, seed ^ 0x5EED), scheme)
+                .map_err(|e| CliError::runtime(format!("ordered build failed: {e}")))?
+        }
+        _ => {
+            return Err(CliError::usage(
+                "bulk-ordered needs exactly one of an ordered DICT path or --random N",
+            ))
+        }
+    };
+
+    // Probes: an explicit file, or Q seed-derived uniform points spanning
+    // the whole key space (so predecessor hits the span boundaries too).
+    if flag(&flags, "keys").is_some() && flag(&flags, "queries").is_some() {
+        return Err(CliError::usage(
+            "--queries does not combine with --keys (the file is the query set)",
+        ));
+    }
+    let probes = match flag(&flags, "keys") {
+        Some(file) => read_key_file(Path::new(file))?,
+        None => {
+            let q: usize = num_flag(&flags, "queries", 10_000)?;
+            if q == 0 {
+                return Err(CliError::usage("--queries must be at least 1"));
+            }
+            uniform_keys(q, seed ^ 0x0D0E)
+        }
+    };
+
+    let cfg = lcds_serve::EngineConfig {
+        batch,
+        parallel: true,
+    };
+    let engine = lcds_serve::OrderedEngine::new(dict, seed, cfg);
+    writeln!(
+        out,
+        "serving ordered n = {} keys ({}), {} level(s), {} cells, \
+         ≤ {} probes/query, kernels {}",
+        engine.key_count(),
+        engine.dict().scheme().label(),
+        engine.dict().num_levels(),
+        engine.num_cells(),
+        engine.max_probes(),
+        lcds_core::KernelConfig::auto().name(),
+    )
+    .map_err(io_err)?;
+
+    let rate =
+        |count: usize, wall: std::time::Duration| count as f64 / wall.as_secs_f64().max(1e-9) / 1e6;
+    if matches!(op, "predecessor" | "all") {
+        let start = std::time::Instant::now();
+        let answers = engine.bulk_predecessor(&probes);
+        let wall = start.elapsed();
+        let found = answers
+            .iter()
+            .filter(|&&p| p != lcds_ordered::NO_PREDECESSOR)
+            .count();
+        writeln!(
+            out,
+            "predecessor: {} queries in {:.2} ms ({:.2} Mq/s, batch {batch}): \
+             {found} with a predecessor, {} below min",
+            probes.len(),
+            wall.as_secs_f64() * 1e3,
+            rate(probes.len(), wall),
+            probes.len() - found,
+        )
+        .map_err(io_err)?;
+    }
+    if matches!(op, "rank" | "all") {
+        let start = std::time::Instant::now();
+        let answers = engine.bulk_rank(&probes);
+        let wall = start.elapsed();
+        let mean = answers.iter().sum::<u64>() as f64 / answers.len().max(1) as f64;
+        writeln!(
+            out,
+            "rank: {} queries in {:.2} ms ({:.2} Mq/s, batch {batch}): \
+             mean rank {mean:.1} of {}",
+            probes.len(),
+            wall.as_secs_f64() * 1e3,
+            rate(probes.len(), wall),
+            engine.key_count(),
+        )
+        .map_err(io_err)?;
+    }
+    if matches!(op, "range-count" | "all") {
+        // Consecutive probe pairs, min/max-normalized — each pair is one
+        // range query over the same point distribution.
+        let pairs: Vec<(u64, u64)> = probes
+            .chunks_exact(2)
+            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+            .collect();
+        if pairs.is_empty() {
+            return Err(CliError::usage(
+                "range-count needs at least 2 probe keys (consecutive pairs \
+                 become [lo, hi] ranges)",
+            ));
+        }
+        let start = std::time::Instant::now();
+        let answers = engine.bulk_range_count(&pairs);
+        let wall = start.elapsed();
+        let nonempty = answers.iter().filter(|&&c| c > 0).count();
+        let covered: u64 = answers.iter().sum();
+        writeln!(
+            out,
+            "range-count: {} range(s) in {:.2} ms ({:.2} Mq/s, batch {batch}): \
+             {nonempty} non-empty, {covered} stored keys covered",
+            pairs.len(),
+            wall.as_secs_f64() * 1e3,
+            rate(pairs.len(), wall),
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
 }
 
 fn cmd_audit(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -962,10 +1199,19 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
-    // `--dynamic` is a bare switch; strip it before the value-per-flag parser.
+    // `--dynamic` / `--ordered` are bare switches; strip them before the
+    // value-per-flag parser.
     let mut args = args.to_vec();
     let dynamic = args.iter().any(|a| a == "--dynamic");
     args.retain(|a| a != "--dynamic");
+    let ordered = args.iter().any(|a| a == "--ordered");
+    args.retain(|a| a != "--ordered");
+    if dynamic && ordered {
+        return Err(CliError::usage(
+            "--dynamic does not combine with --ordered (the ordered engine's \
+             key set is fixed at build time)",
+        ));
+    }
     let (pos, flags) = parse_flags(&args)?;
     if pos.len() > 1 {
         return Err(CliError::usage(format!("unexpected argument {:?}", pos[1])));
@@ -1022,6 +1268,21 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
              engine serves a single dictionary)",
         ));
     }
+    if ordered && flag(&flags, "shards").is_some() {
+        return Err(CliError::usage(
+            "--shards does not combine with --ordered (the wire engine serves \
+             one replicated ordered dictionary)",
+        ));
+    }
+    // Replica-choice scheme for `--ordered --random` in-process builds;
+    // a persisted ordered DICT carries its scheme in the file.
+    if flag(&flags, "scheme").is_some() && !ordered {
+        return Err(CliError::usage(
+            "--scheme only applies to --ordered (membership servers take \
+             their scheme from the DICT)",
+        ));
+    }
+    let ord_scheme = ord_scheme_flag(&flags)?;
     // `--dynamic` builds the same key set into a DynamicEngine; seed plays
     // both roles (structure evolution and query randomness), so a mirror
     // DynamicLcd with this seed and parallel rebuilds replays the server.
@@ -1033,12 +1294,17 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
                      in-process, not loaded from a DICT file)",
                 ));
             }
-            let d = load_dict(path)?;
-            if dynamic {
+            if ordered {
+                let d = lcds_ordered::persist::load_from_path(path)
+                    .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+                Served::Ordered(Arc::new(lcds_serve::OrderedEngine::new(d, seed, cfg)))
+            } else if dynamic {
+                let d = load_dict(path)?;
                 let e = lcds_serve::DynamicEngine::new(d.keys(), seed, seed, cfg)
                     .map_err(|e| CliError::runtime(format!("dynamic build failed: {e}")))?;
                 Served::Dynamic(Arc::new(e))
             } else {
+                let d = load_dict(path)?;
                 Served::Static(Arc::new(lcds_serve::Engine::new(d, seed, cfg)))
             }
         }
@@ -1050,7 +1316,11 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
             // Same key derivation as `build --random`, so a loadgen run
             // with the same seed queries exactly the stored set.
             let keys = uniform_keys(n, seed ^ 0x5EED);
-            if dynamic {
+            if ordered {
+                let d = lcds_ordered::par_build(&keys, ord_scheme)
+                    .map_err(|e| CliError::runtime(format!("ordered build failed: {e}")))?;
+                Served::Ordered(Arc::new(lcds_serve::OrderedEngine::new(d, seed, cfg)))
+            } else if dynamic {
                 let e = lcds_serve::DynamicEngine::new(&keys, seed, seed, cfg)
                     .map_err(|e| CliError::runtime(format!("dynamic build failed: {e}")))?;
                 Served::Dynamic(Arc::new(e))
@@ -1072,18 +1342,25 @@ fn cmd_serve_net(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
     };
     let dyn_engine = match &served {
         Served::Dynamic(e) => Some(Arc::clone(e)),
-        Served::Static(_) => None,
+        Served::Static(_) | Served::Ordered(_) => None,
     };
     let (key_count, num_shards, num_cells, max_probes) = match &served {
         Served::Static(e) => (e.key_count(), e.num_shards(), e.num_cells(), e.max_probes()),
         Served::Dynamic(e) => (e.key_count(), 1, e.num_cells(), e.max_probes()),
+        Served::Ordered(e) => (e.key_count(), 1, e.num_cells(), e.max_probes()),
     };
 
     writeln!(
         out,
         "serve-net{}: n = {key_count} keys, {num_shards} shard(s), {num_cells} cells, \
          ≤ {max_probes} probes/query, seed {seed}, kernels {}",
-        if dynamic { " (dynamic)" } else { "" },
+        if dynamic {
+            " (dynamic)"
+        } else if ordered {
+            " (ordered)"
+        } else {
+            ""
+        },
         lcds_core::KernelConfig::auto().name(),
     )
     .map_err(io_err)?;
@@ -1533,7 +1810,11 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     use std::net::ToSocketAddrs;
     use std::time::Duration;
 
-    let (pos, flags) = parse_flags(args)?;
+    // `--ordered` is a bare switch; strip it before the value-per-flag parser.
+    let mut args = args.to_vec();
+    let ordered = args.iter().any(|a| a == "--ordered");
+    args.retain(|a| a != "--ordered");
+    let (pos, flags) = parse_flags(&args)?;
     if !pos.is_empty() {
         return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
     }
@@ -1578,6 +1859,12 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     // 0 = read-only (works against any server); N > 0 mixes one mutation
     // into every N bulk reads per connection (dynamic servers only).
     let write_every: usize = num_flag(&flags, "write-every", 0)?;
+    if ordered && write_every > 0 {
+        return Err(CliError::usage(
+            "--write-every does not combine with --ordered (ordered servers \
+             fix their key set at build time)",
+        ));
+    }
 
     let pool = match (flag(&flags, "random"), flag(&flags, "keys")) {
         (Some(n), None) => {
@@ -1606,6 +1893,7 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             workload,
             seed,
             mutate_every: write_every,
+            ordered,
             client: lcds_net::ClientConfig::default(),
         },
     )
@@ -1633,6 +1921,9 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             "inserts": report.inserts,
             "removes": report.removes,
             "flushes": report.flushes,
+            "predecessors": report.predecessors,
+            "ranks": report.ranks,
+            "range_counts": report.range_counts,
             "final_generation": report.final_generation,
             "wall_s": report.wall.as_secs_f64(),
             "qps": report.qps(),
@@ -1646,7 +1937,8 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     } else {
         writeln!(
             out,
-            "loadgen: {} connection(s), {workload_name} over {} keys, batch {batch}",
+            "loadgen{}: {} connection(s), {workload_name} over {} keys, batch {batch}",
+            if ordered { " (ordered)" } else { "" },
             report.connections,
             pool.len(),
         )
@@ -1676,6 +1968,14 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             )
             .map_err(io_err)?;
         }
+        if ordered {
+            writeln!(
+                out,
+                "ordered mix: {} predecessor, {} rank, {} range-count request(s)",
+                report.predecessors, report.ranks, report.range_counts,
+            )
+            .map_err(io_err)?;
+        }
         writeln!(
             out,
             "latency p50/p90/p99: {:.1} / {:.1} / {:.1} µs ({:.1} ns/key at p50)",
@@ -1696,39 +1996,26 @@ fn cmd_loadgen(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
 fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     use lcds_mtbench::{GateConfig, KeyMix, MtConfig, Scheme};
 
-    // `--quick` is a bare switch; strip it before the value-per-flag parser.
+    // `--quick` / `--ordered` are bare switches; strip them before the
+    // value-per-flag parser.
     let mut args = args.to_vec();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    let ordered = args.iter().any(|a| a == "--ordered");
+    args.retain(|a| a != "--ordered");
     let (pos, flags) = parse_flags(&args)?;
     if !pos.is_empty() {
         return Err(CliError::usage(format!("unexpected argument {:?}", pos[0])));
+    }
+    if ordered {
+        return cmd_bench_mt_ordered(&flags, quick, out);
     }
     let n: usize = num_flag(&flags, "random", if quick { 512 } else { 4096 })?;
     let ops: u64 = num_flag(&flags, "ops", if quick { 2_000 } else { 20_000 })?;
     let batch: usize = num_flag(&flags, "batch", 64)?;
     let seed: u64 = num_flag(&flags, "seed", 0xC0FFEE)?;
     let theta: f64 = num_flag(&flags, "zipf", 1.0)?;
-    let threads = match flag(&flags, "threads") {
-        None => lcds_mtbench::thread_ladder(lcds_mtbench::host_parallelism()),
-        Some(list) if list.contains(',') => {
-            let mut ts = Vec::new();
-            for part in list.split(',') {
-                let t: usize = part
-                    .trim()
-                    .parse()
-                    .map_err(|e| CliError::usage(format!("bad --threads entry {part:?}: {e}")))?;
-                ts.push(t);
-            }
-            ts
-        }
-        Some(one) => {
-            let t: usize = one
-                .parse()
-                .map_err(|e| CliError::usage(format!("bad --threads: {e}")))?;
-            lcds_mtbench::thread_ladder(t)
-        }
-    };
+    let threads = mt_threads_flag(&flags)?;
     let schemes = flag(&flags, "schemes")
         .unwrap_or("lcd,fks,fks-adversarial")
         .split(',')
@@ -1851,6 +2138,196 @@ fn cmd_bench_mt(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cli
         }
         _ => {
             write!(out, "{}", lcds_mtbench::report::render_table(&report)).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--threads` into the bench-mt thread ladder: a comma list is
+/// taken verbatim, a single value becomes `thread_ladder(T)`, and the
+/// default ladders up to the host parallelism.
+fn mt_threads_flag(flags: &[(String, String)]) -> Result<Vec<usize>, CliError> {
+    match flag(flags, "threads") {
+        None => Ok(lcds_mtbench::thread_ladder(lcds_mtbench::host_parallelism())),
+        Some(list) if list.contains(',') => {
+            let mut ts = Vec::new();
+            for part in list.split(',') {
+                let t: usize = part
+                    .trim()
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad --threads entry {part:?}: {e}")))?;
+                ts.push(t);
+            }
+            Ok(ts)
+        }
+        Some(one) => {
+            let t: usize = one
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --threads: {e}")))?;
+            Ok(lcds_mtbench::thread_ladder(t))
+        }
+    }
+}
+
+/// `bench-mt --ordered`: the ordered-dictionary sweep — predecessor /
+/// rank / range-count over the replicated vs adversarial replica-choice
+/// schemes, with exact per-cell counting (global and per-level Φ̂) in
+/// place of the membership harness's heatmap sketch. The section merges
+/// into a bench artifact under the `ordered` key.
+fn cmd_bench_mt_ordered(
+    flags: &[(String, String)],
+    quick: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    use lcds_mtbench::{GateConfig, KeyMix, OrdMtConfig, OrdOp};
+    use lcds_ordered::OrdScheme;
+
+    let n: usize = num_flag(flags, "random", if quick { 512 } else { 4096 })?;
+    let ops_per_thread: u64 = num_flag(flags, "ops", if quick { 2_000 } else { 20_000 })?;
+    let batch: usize = num_flag(flags, "batch", 64)?;
+    let seed: u64 = num_flag(flags, "seed", 0xC0FFEE)?;
+    let theta: f64 = num_flag(flags, "zipf", 1.0)?;
+    let threads = mt_threads_flag(flags)?;
+    let schemes = flag(flags, "schemes")
+        .unwrap_or("ord-replicated,ord-adversarial")
+        .split(',')
+        .map(|s| {
+            OrdScheme::parse(s.trim()).ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad ordered scheme {s:?} (expected ord-replicated or ord-adversarial)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let workloads = flag(flags, "workloads")
+        .unwrap_or(if quick { "zipf" } else { "uniform,zipf" })
+        .split(',')
+        .map(|s| {
+            KeyMix::parse(s.trim(), theta).ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad workload {s:?} (expected uniform, zipf, or adversarial)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let ord_ops = flag(flags, "ord-ops")
+        .unwrap_or(if quick {
+            "predecessor"
+        } else {
+            "predecessor,rank,range-count"
+        })
+        .split(',')
+        .map(|s| {
+            OrdOp::parse(s.trim()).ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad --ord-ops entry {s:?} (expected predecessor, rank, or range-count)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let service_ns: u64 = num_flag(flags, "service-ns", 1_000)?;
+    let stripes: usize = num_flag(flags, "stripes", 64)?;
+    let gate = match flag(flags, "serialize").unwrap_or("on") {
+        "on" => Some(GateConfig {
+            service_ns,
+            stripes,
+        }),
+        "off" => None,
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --serialize {other:?} (expected on or off)"
+            )))
+        }
+    };
+    let format = flag(flags, "format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(CliError::usage(format!(
+            "bad --format {format:?} (expected table or json)"
+        )));
+    }
+    if flag(flags, "window").is_some() {
+        return Err(CliError::usage(
+            "--window does not combine with --ordered (ordered rows carry \
+             exact per-level Φ̂ instead of a telemetry series)",
+        ));
+    }
+
+    if flag(flags, "metrics-file").is_some() {
+        // The lcds_ord_* family records only when metrics are on; a
+        // requested export implies the caller wants it populated.
+        lcds_obs::set_enabled(true);
+    }
+
+    let cfg = OrdMtConfig {
+        n,
+        threads,
+        schemes,
+        workloads,
+        ops: ord_ops,
+        ops_per_thread,
+        batch,
+        seed,
+        gate,
+    };
+    let report = lcds_mtbench::run_ordered(&cfg).map_err(CliError::runtime)?;
+    let section = lcds_mtbench::report::ordered_scaling_json(&report);
+    // Same loud self-validation contract as the membership harness: a
+    // section the published schema rejects is a harness bug.
+    lcds_bench::summary::validate_ordered(&section).map_err(|e| {
+        CliError::runtime(format!(
+            "internal error: ordered section violates its own schema ({e}); \
+             this is a harness bug, not a flag problem"
+        ))
+    })?;
+
+    if let Some(path) = flag(flags, "out") {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+        let mut doc: serde_json::Value = serde_json::from_str(&body)
+            .map_err(|e| CliError::runtime(format!("{path}: not valid JSON: {e}")))?;
+        doc["ordered"] = section.clone();
+        let warnings = refresh_git_rev(&mut doc);
+        let check = match doc.get("bench").and_then(|b| b.as_str()) {
+            Some("serve_throughput") => lcds_bench::summary::validate_serve_summary(&doc),
+            Some("build_throughput") => lcds_bench::summary::validate_bench_summary(&doc),
+            other => Err(format!("unknown bench artifact kind {other:?}")),
+        };
+        check.map_err(|e| {
+            CliError::runtime(format!("{path}: merged artifact fails validation: {e}"))
+        })?;
+        let pretty = serde_json::to_string_pretty(&doc)
+            .map_err(|e| CliError::runtime(format!("cannot serialize {path}: {e}")))?;
+        std::fs::write(path, pretty + "\n")
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        writeln!(
+            out,
+            "merged ordered ({} rows) into {path}",
+            report.rows.len()
+        )
+        .map_err(io_err)?;
+        // Provenance warnings to stderr, stdout stays machine-readable.
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
+    }
+    if let Some(path) = flag(flags, "metrics-file") {
+        let text = lcds_obs::export::to_prometheus(&lcds_obs::global().snapshot());
+        std::fs::write(path, text)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
+    match format {
+        "json" => {
+            let pretty = serde_json::to_string_pretty(&section)
+                .map_err(|e| CliError::runtime(format!("cannot serialize section: {e}")))?;
+            writeln!(out, "{pretty}").map_err(io_err)?;
+        }
+        _ => {
+            write!(
+                out,
+                "{}",
+                lcds_mtbench::report::render_ordered_table(&report)
+            )
+            .map_err(io_err)?;
         }
     }
     Ok(())
@@ -3037,5 +3514,345 @@ mod tests {
     fn trace_net_rejects_a_zero_query_count() {
         let err = run_capture(&["trace", "--net", "0"]).unwrap_err();
         assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    #[test]
+    fn ordered_lifecycle_build_bulk_and_thread_determinism() {
+        // The persisted bytes are a function of (keys, scheme) alone:
+        // every --threads value must produce the identical artifact.
+        let mut reference: Option<Vec<u8>> = None;
+        let dict_path = tmp("ordered.dict");
+        let dict_str = dict_path.to_str().unwrap().to_string();
+        for threads in ["1", "2"] {
+            let out = run_capture(&[
+                "build-ordered",
+                "--out",
+                &dict_str,
+                "--random",
+                "300",
+                "--seed",
+                "9",
+                "--threads",
+                threads,
+            ])
+            .unwrap();
+            assert!(out.contains("ord-replicated scheme"), "{out}");
+            assert!(out.contains("built ordered n = 300"), "{out}");
+            let bytes = std::fs::read(&dict_path).unwrap();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(want) => assert_eq!(
+                    want, &bytes,
+                    "--threads {threads} changed the persisted ordered bytes"
+                ),
+            }
+        }
+
+        // All three ops against the persisted dict, through the engine.
+        let out = run_capture(&[
+            "bulk-ordered",
+            &dict_str,
+            "--queries",
+            "200",
+            "--batch",
+            "64",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert!(out.contains("serving ordered n = 300 keys"), "{out}");
+        assert!(out.contains("ord-replicated"), "{out}");
+        assert!(out.contains("predecessor: 200 queries"), "{out}");
+        assert!(out.contains("rank: 200 queries"), "{out}");
+        assert!(out.contains("range-count: 100 range(s)"), "{out}");
+
+        // The same persisted dict serves over TCP.
+        let served = run_capture(&[
+            "serve-net",
+            &dict_str,
+            "--ordered",
+            "--duration",
+            "0.05",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        assert!(
+            served.contains("serve-net (ordered): n = 300 keys"),
+            "{served}"
+        );
+
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn bulk_ordered_answers_a_known_key_file_exactly() {
+        let keys_path = tmp("ordered-keys.txt");
+        std::fs::write(&keys_path, "10\n20\n30\n").unwrap();
+        let dict_path = tmp("ordered-known.dict");
+        let dict_str = dict_path.to_str().unwrap().to_string();
+        let out = run_capture(&[
+            "build-ordered",
+            "--out",
+            &dict_str,
+            "--keys",
+            keys_path.to_str().unwrap(),
+            "--scheme",
+            "adversarial",
+        ])
+        .unwrap();
+        assert!(out.contains("ord-adversarial scheme"), "{out}");
+        assert!(out.contains("span [10 .. 30]"), "{out}");
+
+        // 5 is below the minimum (no predecessor), 25 has one.
+        let probes_path = tmp("ordered-probes.txt");
+        std::fs::write(&probes_path, "5\n25\n").unwrap();
+        let out = run_capture(&[
+            "bulk-ordered",
+            &dict_str,
+            "--keys",
+            probes_path.to_str().unwrap(),
+            "--op",
+            "predecessor",
+        ])
+        .unwrap();
+        assert!(out.contains("1 with a predecessor, 1 below min"), "{out}");
+        assert!(!out.contains("rank:"), "--op must select one op: {out}");
+
+        // The [5, 25] range covers the stored keys 10 and 20.
+        let out = run_capture(&[
+            "bulk-ordered",
+            &dict_str,
+            "--keys",
+            probes_path.to_str().unwrap(),
+            "--op",
+            "range-count",
+        ])
+        .unwrap();
+        assert!(out.contains("1 non-empty, 2 stored keys covered"), "{out}");
+
+        let _ = std::fs::remove_file(&keys_path);
+        let _ = std::fs::remove_file(&probes_path);
+        let _ = std::fs::remove_file(&dict_path);
+    }
+
+    #[test]
+    fn ordered_cli_rejects_bad_flag_combinations() {
+        for bad in [
+            &["build-ordered", "--random", "8"][..], // no --out
+            &[
+                "build-ordered",
+                "--out",
+                "/tmp/x",
+                "--random",
+                "8",
+                "--scheme",
+                "cuckoo",
+            ][..],
+            &["bulk-ordered"][..], // no dict source
+            &["bulk-ordered", "--random", "8", "--op", "sort"][..],
+            &[
+                "bulk-ordered",
+                "--random",
+                "8",
+                "--keys",
+                "f",
+                "--queries",
+                "4",
+            ][..],
+            &["bulk-ordered", "/nonexistent", "--scheme", "replicated"][..],
+            &["serve-net", "--random", "8", "--ordered", "--dynamic"][..],
+            &["serve-net", "--random", "8", "--ordered", "--shards", "2"][..],
+            &["serve-net", "--random", "8", "--scheme", "replicated"][..],
+            &[
+                "loadgen",
+                "--addr",
+                "127.0.0.1:1",
+                "--random",
+                "8",
+                "--ordered",
+                "--write-every",
+                "2",
+            ][..],
+            &["bench-mt", "--ordered", "--schemes", "lcd"][..],
+            &["bench-mt", "--ordered", "--window", "0.5"][..],
+            &["bench-mt", "--ordered", "--ord-ops", "sort"][..],
+        ] {
+            assert_eq!(run_capture(bad).unwrap_err().code, 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_net_ordered_serves_the_ordered_loadgen_mix() {
+        let port_file = tmp("serve-net-ordered.addr");
+        let _ = std::fs::remove_file(&port_file);
+        let port_file_str = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_capture(&[
+                "serve-net",
+                "--ordered",
+                "--random",
+                "300",
+                "--workers",
+                "2",
+                "--duration",
+                "2.0",
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+            ])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if s.trim().contains(':') {
+                    break s.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no port file");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // Members-only pool: every predecessor lands on the key itself,
+        // so the ordered mix must answer every opcode with hits.
+        let out = run_capture(&[
+            "loadgen",
+            "--ordered",
+            "--addr",
+            &addr,
+            "--random",
+            "300",
+            "--connections",
+            "2",
+            "--duration",
+            "0.5",
+            "--batch",
+            "32",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert!(v["requests"].as_u64().unwrap() >= 3, "{out}");
+        assert!(v["predecessors"].as_u64().unwrap() > 0, "{out}");
+        assert!(v["ranks"].as_u64().unwrap() > 0, "{out}");
+        assert!(v["range_counts"].as_u64().unwrap() > 0, "{out}");
+        assert!(v["hits"].as_u64().unwrap() > 0, "{out}");
+
+        let table = run_capture(&[
+            "loadgen",
+            "--ordered",
+            "--addr",
+            &addr,
+            "--random",
+            "300",
+            "--connections",
+            "1",
+            "--duration",
+            "0.2",
+            "--batch",
+            "16",
+        ])
+        .unwrap();
+        assert!(table.contains("loadgen (ordered):"), "{table}");
+        assert!(table.contains("ordered mix:"), "{table}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("serve-net (ordered):"), "{served}");
+        assert!(served.contains("served 2.0s:"), "{served}");
+        let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn bench_mt_ordered_table_names_schemes_and_levels() {
+        let out = run_capture(&[
+            "bench-mt",
+            "--ordered",
+            "--random",
+            "256",
+            "--ops",
+            "200",
+            "--batch",
+            "32",
+            "--threads",
+            "1",
+            "--ord-ops",
+            "predecessor,range-count",
+            "--workloads",
+            "uniform",
+            "--serialize",
+            "off",
+        ])
+        .unwrap();
+        assert!(out.contains("bench-mt --ordered"), "{out}");
+        assert!(out.contains("ord-replicated"), "{out}");
+        assert!(out.contains("ord-adversarial"), "{out}");
+        assert!(out.contains("phi_root"), "{out}");
+    }
+
+    #[test]
+    fn bench_mt_ordered_json_self_validates_and_merges() {
+        let out = run_capture(&[
+            "bench-mt",
+            "--ordered",
+            "--quick",
+            "--random",
+            "128",
+            "--ops",
+            "100",
+            "--threads",
+            "1",
+            "--schemes",
+            "ord-replicated",
+            "--serialize",
+            "off",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let section: serde_json::Value = serde_json::from_str(&out).unwrap();
+        lcds_bench::summary::validate_ordered(&section).unwrap();
+        // `--quick` with no --ord-ops runs the predecessor op only.
+        let rows = section["rows"].as_array().unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r["op"] == "predecessor"), "{out}");
+
+        // And the --out merge lands a validated `ordered` section in the
+        // committed serve artifact's envelope.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let src = [
+            format!("{root}/BENCH_serve.json"),
+            format!("{root}/rootpkg/BENCH_serve.json"),
+        ]
+        .into_iter()
+        .find(|p| std::path::Path::new(p).exists())
+        .expect("committed BENCH_serve.json");
+        let out_path = tmp("bench-mt-ordered-merge.json");
+        std::fs::copy(&src, &out_path).unwrap();
+        let text = run_capture(&[
+            "bench-mt",
+            "--ordered",
+            "--quick",
+            "--random",
+            "128",
+            "--ops",
+            "100",
+            "--threads",
+            "1",
+            "--schemes",
+            "ord-adversarial",
+            "--serialize",
+            "off",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("merged ordered"), "{text}");
+        let merged: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        lcds_bench::summary::validate_serve_summary(&merged).unwrap();
+        lcds_bench::summary::validate_ordered(&merged["ordered"]).unwrap();
+        let _ = std::fs::remove_file(&out_path);
     }
 }

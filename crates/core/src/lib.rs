@@ -73,6 +73,6 @@ pub use dynamic::{DynamicLcd, FrozenDynamic, WriteStats};
 pub use kernels::KernelConfig;
 pub use par_build::{build_seeded, build_seeded_with, par_build, par_build_with, shard_seed};
 pub use params::{Params, ParamsConfig};
-pub use plan::BatchPlan;
+pub use plan::{AlignedCol, BatchPlan};
 pub use rows::{row_report, RowReport, RowSummary};
 pub use weighted::{build_weighted, WeightedDict, WeightedParams};

@@ -69,8 +69,12 @@ const LINE_WORDS: usize = 8;
 /// from the cell-probe `Table`: over-allocate by one line and window in
 /// with [`pointer::align_offset`]. Contents after [`AlignedCol::reset`]
 /// are unspecified; every stage writes a slot before any stage reads it.
+///
+/// Public so sibling batch executors (the `lcds-ordered` descent plan)
+/// can reuse the same aligned scratch discipline instead of reinventing
+/// the over-allocate-and-window trick.
 #[derive(Clone, Debug, Default)]
-struct AlignedCol {
+pub struct AlignedCol {
     buf: Vec<u64>,
     off: usize,
     len: usize,
@@ -80,7 +84,7 @@ impl AlignedCol {
     /// Sizes the column to `n` words, reusing the allocation when it
     /// fits. The aligned offset is recomputed every time (a clone or a
     /// realloc lands on a fresh address).
-    fn reset(&mut self, n: usize) {
+    pub fn reset(&mut self, n: usize) {
         if self.buf.len() < n + (LINE_WORDS - 1) {
             self.buf = vec![0; n + (LINE_WORDS - 1)];
         }
@@ -91,13 +95,15 @@ impl AlignedCol {
         self.len = n;
     }
 
+    /// The sized window as a shared slice.
     #[inline]
-    fn as_slice(&self) -> &[u64] {
+    pub fn as_slice(&self) -> &[u64] {
         &self.buf[self.off..self.off + self.len]
     }
 
+    /// The sized window as a mutable slice.
     #[inline]
-    fn as_mut(&mut self) -> &mut [u64] {
+    pub fn as_mut(&mut self) -> &mut [u64] {
         &mut self.buf[self.off..self.off + self.len]
     }
 }

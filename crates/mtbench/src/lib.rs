@@ -28,6 +28,19 @@
 //! a hot one. The optional [`SerializedMemory`] gate (`--serialize`)
 //! restores the QRQW model's queued-read cost — see [`gate`] — so the
 //! measured efficiency cliff tracks Φ̂ on any host.
+//!
+//! # Ordered mode
+//!
+//! [`run_ordered`] is the same harness pointed at the ordered dictionary
+//! (`lcds bench-mt --ordered`): T threads drive predecessor / rank /
+//! range-count batches through [`lcds_ordered::OrdPlan`] against both
+//! replica schemes ([`OrdScheme::Replicated`] vs the pinned-replica
+//! [`OrdScheme::Adversarial`] B-tree baseline). Instead of a sketch, each
+//! thread sinks its descent probes into an exact per-cell
+//! [`CountingSink`], so every [`OrdRow`] carries an exact global Φ̂ *and*
+//! an exact per-level Φ̂ vector — the figure DESIGN.md §12 quotes: the
+//! adversarial root line absorbs every query while the replicated root
+//! spreads the same traffic over Θ(n) cells.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,10 +54,11 @@ use lcds_baselines::{FksConfig, FksDict};
 use lcds_cellprobe::dict::CellProbeDict;
 use lcds_cellprobe::dist::{PointMass, QueryDistribution, Zipf};
 use lcds_cellprobe::rngutil::StreamRng;
-use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::sink::{CountingSink, ProbeSink};
 use lcds_cellprobe::table::CellId;
 use lcds_obs::metrics::HistogramSnapshot;
 use lcds_obs::{names, Heatmap, LogHistogram, TimeSeries, TimeSeriesConfig, Window};
+use lcds_ordered::{build_seeded, with_ord_scratch, OrdScheme, OrderedLcd};
 use lcds_workloads::adversarial::adversarial_fks_keys;
 use lcds_workloads::rng::FirstWordRng;
 use lcds_workloads::{positive_dist, seeded, uniform_keys};
@@ -582,6 +596,429 @@ fn record_row_telemetry(row: &MtRow) {
     );
 }
 
+/// The ordered-query operations the harness can benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrdOp {
+    /// Largest stored key `≤ q` (one descent per query).
+    Predecessor,
+    /// Strict rank `#{k < q}` (one descent per query).
+    Rank,
+    /// Inclusive count `#{lo ≤ k ≤ hi}` (two descents per pair, one
+    /// stream position).
+    RangeCount,
+}
+
+impl OrdOp {
+    /// Parses the CLI spelling (`predecessor`, `rank`, `range-count`).
+    pub fn parse(s: &str) -> Option<OrdOp> {
+        match s {
+            "predecessor" => Some(OrdOp::Predecessor),
+            "rank" => Some(OrdOp::Rank),
+            "range-count" => Some(OrdOp::RangeCount),
+            _ => None,
+        }
+    }
+
+    /// The stable row label (same spelling [`OrdOp::parse`] accepts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrdOp::Predecessor => "predecessor",
+            OrdOp::Rank => "rank",
+            OrdOp::RangeCount => "range-count",
+        }
+    }
+}
+
+/// One ordered bench-mt invocation: the cartesian product
+/// `schemes × workloads × ops × threads`, one dictionary build per
+/// scheme. No window sampling here — the ordered plan's own telemetry
+/// (`lcds_ord_*`) already covers the serving path.
+#[derive(Clone, Debug)]
+pub struct OrdMtConfig {
+    /// Stored keys per dictionary.
+    pub n: usize,
+    /// Thread counts to sweep (ascending; the first is the efficiency
+    /// baseline — conventionally 1).
+    pub threads: Vec<usize>,
+    /// Replica schemes to benchmark.
+    pub schemes: Vec<OrdScheme>,
+    /// Key mixes to offer (same mixes as the membership harness; range
+    /// pairs are formed from consecutive draws of the same stream).
+    pub workloads: Vec<KeyMix>,
+    /// Ordered operations to benchmark.
+    pub ops: Vec<OrdOp>,
+    /// Stream draws per thread per run — predecessor/rank answer one
+    /// query per draw, range-count pairs them up (`ops_per_thread / 2`
+    /// pairs).
+    pub ops_per_thread: u64,
+    /// Batch size handed to the descent plan.
+    pub batch: usize,
+    /// Master seed: builds, key streams, and replica draws derive
+    /// from it.
+    pub seed: u64,
+    /// `Some` enables the serialized-memory gate on descent probes.
+    pub gate: Option<GateConfig>,
+}
+
+impl Default for OrdMtConfig {
+    fn default() -> OrdMtConfig {
+        OrdMtConfig {
+            n: 4096,
+            threads: thread_ladder(host_parallelism()),
+            schemes: vec![OrdScheme::Replicated, OrdScheme::Adversarial],
+            workloads: vec![KeyMix::Uniform, KeyMix::Zipf(1.0)],
+            ops: vec![OrdOp::Predecessor, OrdOp::Rank, OrdOp::RangeCount],
+            ops_per_thread: 20_000,
+            batch: 64,
+            seed: 0xC0FFEE,
+            gate: None,
+        }
+    }
+}
+
+/// One measured `(scheme, op, workload, threads)` ordered row.
+#[derive(Clone, Debug)]
+pub struct OrdRow {
+    /// Scheme label (`ord-replicated` / `ord-adversarial`).
+    pub scheme: String,
+    /// Operation label (`predecessor` / `rank` / `range-count`).
+    pub op: String,
+    /// Workload label (`uniform` / `zipf(θ)` / `adversarial`).
+    pub workload: String,
+    /// Reader threads.
+    pub threads: usize,
+    /// Queries answered (stream positions consumed): `threads ×
+    /// ops_per_thread` for predecessor/rank, halved for range-count.
+    pub queries: u64,
+    /// Non-trivial answers: predecessors that hit their query exactly
+    /// (all mixes are positive, so normally `== queries`), ranks > 0,
+    /// range counts > 0.
+    pub hits: u64,
+    /// Wall time of the measured region (barrier release → last join).
+    pub wall: Duration,
+    /// Aggregate throughput, queries per second.
+    pub qps: f64,
+    /// `qps(T) / (qps(base) · min(T, host_parallelism))`, base-normalized
+    /// per `(scheme, workload, op)` column.
+    pub scaling_efficiency: f64,
+    /// Exact hottest-cell probe share across the whole table.
+    pub phi_hat: f64,
+    /// `Φ̂ · num_cells` — the scheme-size-normalized contention ratio.
+    pub ratio: f64,
+    /// Total descent probes (exact).
+    pub probes: u64,
+    /// Exact hottest-cell share *within* each level row, leaf first —
+    /// the last entry is the root, where the two schemes separate.
+    pub phi_per_level: Vec<f64>,
+    /// Gate acquisitions that had to queue (0 when the gate is off).
+    pub contended_probes: u64,
+    /// Total gate acquisitions (0 when the gate is off).
+    pub gated_probes: u64,
+    /// Merged per-batch descent latency across threads.
+    pub latency: HistogramSnapshot,
+    /// Wrapping sum of all answer words — the reproducibility fingerprint
+    /// the determinism tests compare.
+    pub checksum: u64,
+}
+
+/// A completed ordered sweep.
+#[derive(Clone, Debug)]
+pub struct OrdReport {
+    /// Measured rows, in sweep order.
+    pub rows: Vec<OrdRow>,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// The configuration that produced the rows.
+    pub config: OrdMtConfig,
+}
+
+/// Per-thread ordered probe sink: an exact per-cell counter plus the
+/// shared serialized-memory gate when enabled.
+struct OrdShardSink<'a> {
+    counts: &'a mut CountingSink,
+    gate: Option<&'a SerializedMemory>,
+}
+
+impl ProbeSink for OrdShardSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        if let Some(gate) = self.gate {
+            gate.access(cell);
+        }
+        self.counts.probe(cell);
+    }
+}
+
+/// Raw per-run ordered measurements before efficiency normalization.
+struct RawOrdRun {
+    wall: Duration,
+    queries: u64,
+    hits: u64,
+    counts: Vec<u64>,
+    latency: LogHistogram,
+    contended: u64,
+    gated: u64,
+    checksum: u64,
+}
+
+/// Runs one `(dict, mix, op, threads)` cell of the ordered sweep.
+fn run_one_ordered(
+    d: &OrderedLcd,
+    stored: &[u64],
+    mix: KeyMix,
+    op: OrdOp,
+    threads: usize,
+    cfg: &OrdMtConfig,
+) -> RawOrdRun {
+    let gate = cfg
+        .gate
+        .map(|g| SerializedMemory::new(g.stripes, g.service_ns));
+    let num_cells = d.num_cells();
+    let key_vecs: Vec<Vec<u64>> = (0..threads)
+        .map(|t| keys_for_thread(stored, mix, cfg.seed, t, cfg.ops_per_thread))
+        .collect();
+
+    let barrier = Barrier::new(threads + 1);
+    let batch = cfg.batch.max(1);
+    let (wall, per_thread) = std::thread::scope(|s| {
+        let handles: Vec<_> = key_vecs
+            .iter()
+            .enumerate()
+            .map(|(t, keys)| {
+                let barrier = &barrier;
+                let gate = gate.as_ref();
+                s.spawn(move || {
+                    let mut counts = CountingSink::new(num_cells);
+                    let latency = LogHistogram::new();
+                    // Thread t owns stream positions
+                    // [t·ops, t·ops + queries) — disjoint by construction,
+                    // so replica draws never alias across threads.
+                    let first = t as u64 * cfg.ops_per_thread;
+                    // Pair consecutive draws for range-count; an ordered
+                    // (min, max) pair costs one stream position.
+                    let pairs: Vec<(u64, u64)> = if op == OrdOp::RangeCount {
+                        keys.chunks_exact(2)
+                            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    barrier.wait();
+                    let mut hits = 0u64;
+                    let mut checksum = 0u64;
+                    let mut out = Vec::with_capacity(batch);
+                    match op {
+                        OrdOp::Predecessor | OrdOp::Rank => {
+                            for (c, chunk) in keys.chunks(batch).enumerate() {
+                                out.clear();
+                                let fi = first + (c * batch) as u64;
+                                let mut sink = OrdShardSink {
+                                    counts: &mut counts,
+                                    gate,
+                                };
+                                let b0 = Instant::now();
+                                with_ord_scratch(|p| match op {
+                                    OrdOp::Predecessor => p.run_predecessor(
+                                        d, chunk, fi, cfg.seed, &mut sink, &mut out,
+                                    ),
+                                    _ => p.run_rank(d, chunk, fi, cfg.seed, &mut sink, &mut out),
+                                });
+                                record_ord_batch_latency(&latency, b0);
+                                for (&q, &a) in chunk.iter().zip(&out) {
+                                    hits += u64::from(match op {
+                                        OrdOp::Predecessor => a == q,
+                                        _ => a > 0,
+                                    });
+                                    checksum = checksum.wrapping_add(a);
+                                }
+                            }
+                        }
+                        OrdOp::RangeCount => {
+                            for (c, chunk) in pairs.chunks(batch).enumerate() {
+                                out.clear();
+                                let fi = first + (c * batch) as u64;
+                                let mut sink = OrdShardSink {
+                                    counts: &mut counts,
+                                    gate,
+                                };
+                                let b0 = Instant::now();
+                                with_ord_scratch(|p| {
+                                    p.run_range_count(d, chunk, fi, cfg.seed, &mut sink, &mut out)
+                                });
+                                record_ord_batch_latency(&latency, b0);
+                                for &a in &out {
+                                    hits += u64::from(a > 0);
+                                    checksum = checksum.wrapping_add(a);
+                                }
+                            }
+                        }
+                    }
+                    let queries = if op == OrdOp::RangeCount {
+                        pairs.len() as u64
+                    } else {
+                        keys.len() as u64
+                    };
+                    (counts, latency, queries, hits, checksum)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let per_thread: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("ordered bench thread panicked"))
+            .collect();
+        (t0.elapsed(), per_thread)
+    });
+
+    let mut counts = vec![0u64; num_cells as usize];
+    let latency = LogHistogram::new();
+    let (mut queries, mut hits, mut checksum) = (0u64, 0u64, 0u64);
+    for (shard, thread_latency, thread_queries, thread_hits, thread_checksum) in per_thread {
+        for (m, &c) in counts.iter_mut().zip(shard.counts()) {
+            *m += c;
+        }
+        latency.merge(&thread_latency);
+        queries += thread_queries;
+        hits += thread_hits;
+        checksum = checksum.wrapping_add(thread_checksum);
+    }
+    RawOrdRun {
+        wall,
+        queries,
+        hits,
+        counts,
+        latency,
+        contended: gate.as_ref().map_or(0, |g| g.contended()),
+        gated: gate.as_ref().map_or(0, |g| g.acquisitions()),
+        checksum,
+    }
+}
+
+/// Records one descent batch into the row-local histogram, and mirrors
+/// it into the global `lcds_ord_batch_latency_ns` when telemetry is on.
+fn record_ord_batch_latency(latency: &LogHistogram, b0: Instant) {
+    let ns = b0.elapsed().as_nanos() as u64;
+    latency.record(ns);
+    if lcds_obs::enabled() {
+        lcds_obs::global()
+            .histogram(names::ORD_BATCH_LATENCY)
+            .record(ns);
+    }
+}
+
+/// Exact hottest-cell share over a count vector (0 on no traffic).
+fn phi_of(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts.iter().copied().max().unwrap_or(0) as f64 / total as f64
+}
+
+/// Runs the full ordered sweep. Builds each scheme's dictionary once,
+/// then for every `(workload, op)` column walks the thread ladder,
+/// normalizing scaling efficiency against the column's first (smallest)
+/// thread count.
+///
+/// # Errors
+/// Fails on an empty `threads`/`schemes`/`workloads`/`ops` list, a
+/// thread list that is not strictly ascending, `range-count` with fewer
+/// than two draws per thread, or a build failure.
+pub fn run_ordered(cfg: &OrdMtConfig) -> Result<OrdReport, String> {
+    let empty = cfg.threads.is_empty()
+        || cfg.schemes.is_empty()
+        || cfg.workloads.is_empty()
+        || cfg.ops.is_empty();
+    if empty {
+        return Err("threads, schemes, workloads, and ops must all be non-empty".into());
+    }
+    if !cfg.threads.windows(2).all(|w| w[0] < w[1]) {
+        return Err(format!(
+            "thread counts must be strictly ascending, got {:?}",
+            cfg.threads
+        ));
+    }
+    if cfg.n == 0 || cfg.ops_per_thread == 0 {
+        return Err("n and ops-per-thread must be positive".into());
+    }
+    if cfg.ops.contains(&OrdOp::RangeCount) && cfg.ops_per_thread < 2 {
+        return Err("range-count pairs stream draws; ops-per-thread must be ≥ 2".into());
+    }
+    let hp = host_parallelism();
+    let cap = |t: usize| t.min(hp) as f64;
+    let mut rows = Vec::new();
+    for &scheme in &cfg.schemes {
+        let keys = uniform_keys(cfg.n, cfg.seed ^ 0x5EED);
+        let d = build_seeded(&keys, scheme).map_err(|e| format!("ordered build failed: {e}"))?;
+        let stored = d.keys();
+        let num_cells = d.num_cells();
+        let s = d.table().cols();
+        for &mix in &cfg.workloads {
+            for &op in &cfg.ops {
+                let mut base: Option<(usize, f64)> = None;
+                for &threads in &cfg.threads {
+                    let raw = run_one_ordered(&d, &stored, mix, op, threads, cfg);
+                    let qps = raw.queries as f64 / raw.wall.as_secs_f64().max(1e-9);
+                    let (base_t, base_qps) = *base.get_or_insert((threads, qps));
+                    let scaling_efficiency = (qps / cap(threads)) / (base_qps / cap(base_t));
+                    let phi_hat = phi_of(&raw.counts);
+                    let phi_per_level: Vec<f64> = (0..d.num_levels())
+                        .map(|l| {
+                            let row = l as u64 * s;
+                            phi_of(&raw.counts[row as usize..(row + s) as usize])
+                        })
+                        .collect();
+                    let row = OrdRow {
+                        scheme: scheme.label().to_string(),
+                        op: op.label().to_string(),
+                        workload: mix.label(),
+                        threads,
+                        queries: raw.queries,
+                        hits: raw.hits,
+                        wall: raw.wall,
+                        qps,
+                        scaling_efficiency,
+                        phi_hat,
+                        ratio: phi_hat * num_cells as f64,
+                        probes: raw.counts.iter().sum(),
+                        phi_per_level,
+                        contended_probes: raw.contended,
+                        gated_probes: raw.gated,
+                        latency: raw.latency.snapshot(),
+                        checksum: raw.checksum,
+                    };
+                    record_ord_row_telemetry(&row);
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    if lcds_obs::enabled() {
+        lcds_obs::global().counter(names::MTBENCH_RUNS_TOTAL).inc();
+    }
+    Ok(OrdReport {
+        rows,
+        host_parallelism: hp,
+        config: cfg.clone(),
+    })
+}
+
+/// Publishes the per-level Φ̂ gauge family for the row (no-op when
+/// global telemetry is disabled). The most recent row wins, matching the
+/// "most recent sweep" contract of `lcds_ord_phi_level`.
+fn record_ord_row_telemetry(row: &OrdRow) {
+    if !lcds_obs::enabled() {
+        return;
+    }
+    let registry = lcds_obs::global();
+    for (level, &phi) in row.phi_per_level.iter().enumerate() {
+        registry
+            .gauge(&format!("{}{{level=\"{level}\"}}", names::ORD_PHI_LEVEL))
+            .set(phi);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +1127,146 @@ mod tests {
             window: None,
         };
         let report = run(&cfg).expect("sweep runs");
+        let row = &report.rows[0];
+        assert_eq!(row.gated_probes, row.probes, "every probe passes the gate");
+        assert_eq!(row.contended_probes, 0, "single thread cannot contend");
+    }
+
+    #[test]
+    fn ord_op_labels_round_trip() {
+        for op in [OrdOp::Predecessor, OrdOp::Rank, OrdOp::RangeCount] {
+            assert_eq!(OrdOp::parse(op.label()), Some(op));
+        }
+        assert_eq!(OrdOp::parse("successor"), None);
+        for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+            assert_eq!(OrdScheme::parse(scheme.label()), Some(scheme));
+        }
+    }
+
+    fn tiny_ord_cfg() -> OrdMtConfig {
+        OrdMtConfig {
+            n: 256,
+            threads: vec![1, 2],
+            schemes: vec![OrdScheme::Replicated, OrdScheme::Adversarial],
+            workloads: vec![KeyMix::Uniform],
+            ops: vec![OrdOp::Predecessor, OrdOp::Rank, OrdOp::RangeCount],
+            ops_per_thread: 400,
+            batch: 32,
+            seed: 7,
+            gate: None,
+        }
+    }
+
+    #[test]
+    fn a_tiny_ordered_sweep_produces_sane_rows() {
+        let report = run_ordered(&tiny_ord_cfg()).expect("ordered sweep runs");
+        // 2 schemes × 1 workload × 3 ops × 2 thread counts.
+        assert_eq!(report.rows.len(), 12);
+        let levels = report.rows[0].phi_per_level.len();
+        assert!(levels >= 3, "256 keys under branch 8 give ≥ 3 levels");
+        for row in &report.rows {
+            let per_thread = if row.op == "range-count" { 200 } else { 400 };
+            assert_eq!(row.queries, row.threads as u64 * per_thread);
+            assert!(row.qps > 0.0, "{}/{}", row.scheme, row.op);
+            assert!(row.scaling_efficiency > 0.0);
+            assert!((0.0..=1.0).contains(&row.phi_hat), "Φ̂ = {}", row.phi_hat);
+            assert!(row.probes > 0);
+            assert_eq!(row.phi_per_level.len(), levels);
+            for (l, &phi) in row.phi_per_level.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&phi), "level {l} Φ̂ = {phi}");
+            }
+            // Chunking is per thread: each thread records ⌈queries/batch⌉.
+            assert_eq!(
+                row.latency.count,
+                row.threads as u64 * per_thread.div_ceil(32)
+            );
+            assert_eq!(row.contended_probes, 0, "gate off ⇒ no contention");
+            match row.op.as_str() {
+                // Positive mixes: every predecessor is an exact hit and
+                // every (min, max) member pair contains ≥ 1 key.
+                "predecessor" | "range-count" => {
+                    assert_eq!(row.hits, row.queries, "{}/{}", row.scheme, row.op)
+                }
+                // The minimum stored key has strict rank 0.
+                _ => assert!(row.hits > 0 && row.hits <= row.queries),
+            }
+        }
+        for row in report.rows.iter().filter(|r| r.threads == 1) {
+            assert!((row.scaling_efficiency - 1.0).abs() < 1e-12);
+        }
+        // The pinned-replica B-tree concentrates on its root line; the
+        // replicated scheme spreads the same traffic — per op, both
+        // globally and at the root level.
+        for op in ["predecessor", "rank", "range-count"] {
+            let row = |scheme: &str| {
+                report
+                    .rows
+                    .iter()
+                    .find(|r| r.scheme == scheme && r.op == op && r.threads == 2)
+                    .unwrap()
+            };
+            let (adv, rep) = (row("ord-adversarial"), row("ord-replicated"));
+            assert!(
+                adv.phi_hat > 1.5 * rep.phi_hat,
+                "{op}: adversarial Φ̂ {} vs replicated Φ̂ {}",
+                adv.phi_hat,
+                rep.phi_hat
+            );
+            let root = levels - 1;
+            assert!(
+                adv.phi_per_level[root] > 5.0 * rep.phi_per_level[root],
+                "{op}: root Φ̂ {} vs {}",
+                adv.phi_per_level[root],
+                rep.phi_per_level[root]
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_runs_are_reproducible() {
+        let cfg = tiny_ord_cfg();
+        let a = run_ordered(&cfg).expect("first run");
+        let b = run_ordered(&cfg).expect("second run");
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.checksum, rb.checksum, "{}/{}", ra.scheme, ra.op);
+            assert_eq!(ra.hits, rb.hits);
+            assert_eq!(ra.probes, rb.probes);
+            assert_eq!(ra.phi_per_level, rb.phi_per_level);
+        }
+    }
+
+    #[test]
+    fn ordered_validation_rejects_bad_sweeps() {
+        let mut cfg = OrdMtConfig {
+            ops: vec![],
+            ..tiny_ord_cfg()
+        };
+        assert!(run_ordered(&cfg).is_err(), "empty ops");
+        cfg.ops = vec![OrdOp::RangeCount];
+        cfg.ops_per_thread = 1;
+        assert!(run_ordered(&cfg).is_err(), "range-count needs pairs");
+        cfg.ops_per_thread = 10;
+        cfg.threads = vec![2, 1];
+        assert!(run_ordered(&cfg).is_err(), "descending threads");
+    }
+
+    #[test]
+    fn gated_ordered_runs_count_gate_traffic() {
+        let cfg = OrdMtConfig {
+            n: 64,
+            threads: vec![1],
+            schemes: vec![OrdScheme::Replicated],
+            workloads: vec![KeyMix::Adversarial],
+            ops: vec![OrdOp::Predecessor],
+            ops_per_thread: 50,
+            batch: 16,
+            seed: 3,
+            gate: Some(GateConfig {
+                service_ns: 100,
+                stripes: 8,
+            }),
+        };
+        let report = run_ordered(&cfg).expect("sweep runs");
         let row = &report.rows[0];
         assert_eq!(row.gated_probes, row.probes, "every probe passes the gate");
         assert_eq!(row.contended_probes, 0, "single thread cannot contend");

@@ -1,8 +1,8 @@
-//! Report rendering: the `mt_scaling` JSON section consumed by
-//! `lcds_bench::summary::validate_mt_scaling`, and a human-readable
-//! table for the terminal.
+//! Report rendering: the `mt_scaling` and `ordered` JSON sections
+//! consumed by `lcds_bench::summary`, and human-readable tables for the
+//! terminal.
 
-use crate::{MtReport, MtRow};
+use crate::{MtReport, MtRow, OrdReport, OrdRow};
 use serde_json::{json, Value};
 
 /// The `mt_scaling` JSON object for `BENCH_serve.json` (and
@@ -84,6 +84,117 @@ fn row_json(row: &MtRow, batch: usize) -> Value {
 /// zero the artifact schema (rightly) rejects.
 fn ns_per_key(row: &MtRow, batch: usize) -> f64 {
     (row.latency.quantile(0.50) as f64 / batch.max(1) as f64).max(f64::MIN_POSITIVE)
+}
+
+/// The `ordered` JSON object for `BENCH_serve.json` — one row per
+/// `(scheme, op, workload, threads)` cell of an ordered sweep
+/// ([`crate::run_ordered`]). Schema — every field is load-bearing for
+/// `lcds_bench::summary::validate_ordered`:
+///
+/// ```json
+/// {
+///   "n": 4096, "batch": 64, "ops_per_thread": 20000, "seed": 12648430,
+///   "host_parallelism": 1,
+///   "serialized": false, "service_ns": 0, "stripes": 0,
+///   "rows": [ { "scheme": "ord-replicated", "op": "predecessor",
+///               "workload": "uniform", "threads": 2, "queries": 40000,
+///               "hits": 40000, "wall_s": 0.41, "qps": 97000.0,
+///               "scaling_efficiency": 0.93, "phi_hat": 0.0009,
+///               "ratio": 1.1, "probes": 1000000, "ns_per_query": 15.9,
+///               "phi_per_level": [0.004, 0.01, 0.02, 0.03],
+///               "latency_ns": { "p50": 1023, "p90": 2047, "p99": 4095 } } ]
+/// }
+/// ```
+pub fn ordered_scaling_json(report: &OrdReport) -> Value {
+    json!({
+        "n": report.config.n,
+        "batch": report.config.batch,
+        "ops_per_thread": report.config.ops_per_thread,
+        "seed": report.config.seed,
+        "host_parallelism": report.host_parallelism,
+        "serialized": report.config.gate.is_some(),
+        "service_ns": report.config.gate.map_or(0, |g| g.service_ns),
+        "stripes": report.config.gate.map_or(0, |g| g.stripes),
+        "rows": report
+            .rows
+            .iter()
+            .map(|row| ord_row_json(row, report.config.batch))
+            .collect::<Vec<_>>(),
+    })
+}
+
+fn ord_row_json(row: &OrdRow, batch: usize) -> Value {
+    json!({
+        "scheme": row.scheme.clone(),
+        "op": row.op.clone(),
+        "workload": row.workload.clone(),
+        "threads": row.threads,
+        "queries": row.queries,
+        "hits": row.hits,
+        "wall_s": row.wall.as_secs_f64(),
+        "qps": row.qps,
+        "scaling_efficiency": row.scaling_efficiency,
+        "phi_hat": row.phi_hat,
+        "ratio": row.ratio,
+        "probes": row.probes,
+        // Median descent-batch latency spread over the queries it
+        // answered — the ns/query figure DESIGN.md §12 quotes per
+        // op × scheme.
+        "ns_per_query": (row.latency.quantile(0.50) as f64 / batch.max(1) as f64)
+            .max(f64::MIN_POSITIVE),
+        "phi_per_level": row.phi_per_level.clone(),
+        "latency_ns": {
+            "p50": row.latency.quantile(0.50),
+            "p90": row.latency.quantile(0.90),
+            "p99": row.latency.quantile(0.99),
+        },
+    })
+}
+
+/// Fixed-width terminal table for an ordered sweep: one line per row,
+/// global Φ̂ plus the root-level Φ̂ where the two schemes separate.
+pub fn render_ordered_table(report: &OrdReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench-mt --ordered: n = {}, ops/thread = {}, batch = {}, seed = {}, \
+         host parallelism = {}\n",
+        report.config.n,
+        report.config.ops_per_thread,
+        report.config.batch,
+        report.config.seed,
+        report.host_parallelism,
+    ));
+    out.push_str(&format!(
+        "{:<16} {:<12} {:<12} {:>3}  {:>12} {:>6}  {:>9} {:>9}  {:>10} {:>10} {:>9}\n",
+        "scheme",
+        "op",
+        "workload",
+        "T",
+        "qps",
+        "eff",
+        "phi_hat",
+        "phi_root",
+        "p50_ns",
+        "p99_ns",
+        "ns/query",
+    ));
+    for row in &report.rows {
+        out.push_str(&format!(
+            "{:<16} {:<12} {:<12} {:>3}  {:>12.0} {:>6.3}  {:>9.5} {:>9.5}  {:>10} {:>10} {:>9.1}\n",
+            row.scheme,
+            row.op,
+            row.workload,
+            row.threads,
+            row.qps,
+            row.scaling_efficiency,
+            row.phi_hat,
+            row.phi_per_level.last().copied().unwrap_or(0.0),
+            row.latency.quantile(0.50),
+            row.latency.quantile(0.99),
+            row.latency.quantile(0.50) as f64 / report.config.batch.max(1) as f64,
+        ));
+    }
+    out
 }
 
 /// Fixed-width terminal table, one line per row plus a provenance header.
@@ -209,6 +320,64 @@ mod tests {
                 lcds_obs::Window::from_json(w).expect("window round-trips");
             }
         }
+    }
+
+    #[test]
+    fn ordered_json_section_has_the_validated_shape() {
+        let report = crate::run_ordered(&crate::OrdMtConfig {
+            n: 128,
+            threads: vec![1],
+            schemes: vec![lcds_ordered::OrdScheme::Replicated],
+            workloads: vec![KeyMix::Uniform],
+            ops: vec![crate::OrdOp::Predecessor, crate::OrdOp::RangeCount],
+            ops_per_thread: 100,
+            batch: 16,
+            seed: 11,
+            gate: None,
+        })
+        .expect("tiny ordered sweep runs");
+        let v = ordered_scaling_json(&report);
+        assert_eq!(v["n"], 128);
+        assert_eq!(v["serialized"], false);
+        let rows = v["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row["scheme"], "ord-replicated");
+            assert_eq!(row["workload"], "uniform");
+            assert!(row["op"].as_str().is_some());
+            assert!(row["queries"].as_u64().unwrap() > 0);
+            assert!(row["qps"].as_f64().unwrap() > 0.0);
+            assert!(row["phi_hat"].as_f64().unwrap() > 0.0);
+            assert!(row["ns_per_query"].as_f64().unwrap() > 0.0);
+            let levels = row["phi_per_level"].as_array().unwrap();
+            assert!(!levels.is_empty());
+            assert!(levels.iter().all(|p| p.as_f64().is_some()));
+            let lat = &row["latency_ns"];
+            for q in ["p50", "p90", "p99"] {
+                assert!(lat[q].as_u64().is_some(), "missing latency quantile {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_table_lists_every_row() {
+        let report = crate::run_ordered(&crate::OrdMtConfig {
+            n: 64,
+            threads: vec![1],
+            schemes: vec![lcds_ordered::OrdScheme::Adversarial],
+            workloads: vec![KeyMix::Uniform],
+            ops: vec![crate::OrdOp::Rank],
+            ops_per_thread: 60,
+            batch: 16,
+            seed: 5,
+            gate: None,
+        })
+        .expect("tiny ordered sweep runs");
+        let table = render_ordered_table(&report);
+        assert!(table.contains("bench-mt --ordered"));
+        assert!(table.contains("phi_root"));
+        assert!(table.contains("ord-adversarial"));
+        assert_eq!(table.lines().count(), 2 + report.rows.len());
     }
 
     #[test]

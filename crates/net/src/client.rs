@@ -111,6 +111,15 @@ enum BulkKind {
     Count,
 }
 
+/// Which ordered opcode a windowed word-vector call is running. Carried
+/// through chunk send and response matching so a cross-kind reply from a
+/// confused server is a typed error, never a silently miscast answer.
+enum OrdKind {
+    Predecessor,
+    Rank,
+    RangeCount,
+}
+
 /// A blocking connection to an `lcds serve-net` server.
 pub struct Client {
     stream: TcpStream,
@@ -331,6 +340,152 @@ impl Client {
             Response::Flushed { generation, keys } => Ok((generation, keys)),
             _ => Err(ClientError::UnexpectedResponse("wanted flush result")),
         }
+    }
+
+    /// Bulk predecessor of the query slice starting at global stream
+    /// position `first_index`, pipelined like [`Client::bulk_contains`].
+    /// Answers (`u64::MAX` = no predecessor) equal the matching slice of
+    /// a direct `OrderedEngine::bulk_predecessor` run at any chunking.
+    /// Non-ordered servers answer [`ClientError::Server`].
+    pub fn bulk_predecessor(
+        &mut self,
+        queries: &[u64],
+        first_index: u64,
+    ) -> Result<Vec<u64>, ClientError> {
+        self.run_bulk_words(queries, first_index, OrdKind::Predecessor)
+    }
+
+    /// Bulk strict rank (`#{k < q}`) of the query slice starting at
+    /// `first_index` (ordered servers only).
+    pub fn bulk_rank(
+        &mut self,
+        queries: &[u64],
+        first_index: u64,
+    ) -> Result<Vec<u64>, ClientError> {
+        self.run_bulk_words(queries, first_index, OrdKind::Rank)
+    }
+
+    /// Bulk inclusive range counts of the `(lo, hi)` pair slice starting
+    /// at `first_index`; pair `i` occupies stream position
+    /// `first_index + i` (ordered servers only).
+    pub fn bulk_range_count(
+        &mut self,
+        ranges: &[(u64, u64)],
+        first_index: u64,
+    ) -> Result<Vec<u64>, ClientError> {
+        // Pairs ride the same windowed machinery as keys: the chunk
+        // stream offset advances by *pairs*, matching the engine's
+        // one-stream-position-per-pair addressing.
+        let chunk_size = self.cfg.chunk.max(1);
+        let window = self.cfg.window.max(1);
+        let chunks: Vec<&[(u64, u64)]> = ranges.chunks(chunk_size).collect();
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        let out = self.run_ord_windowed(
+            &chunks,
+            window,
+            &mut outstanding,
+            |c| Request::RangeCount {
+                first_index: first_index + (c * chunk_size) as u64,
+                ranges: chunks[c].to_vec(),
+            },
+            &OrdKind::RangeCount,
+        );
+        if out.is_err() {
+            self.abandon_traces(outstanding.keys().copied());
+        }
+        out
+    }
+
+    fn run_bulk_words(
+        &mut self,
+        queries: &[u64],
+        first_index: u64,
+        kind: OrdKind,
+    ) -> Result<Vec<u64>, ClientError> {
+        let chunk_size = self.cfg.chunk.max(1);
+        let window = self.cfg.window.max(1);
+        let chunks: Vec<&[u64]> = queries.chunks(chunk_size).collect();
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        let out = self.run_ord_windowed(
+            &chunks,
+            window,
+            &mut outstanding,
+            |c| {
+                let keys = chunks[c].to_vec();
+                let first_index = first_index + (c * chunk_size) as u64;
+                match kind {
+                    OrdKind::Predecessor => Request::Predecessor { first_index, keys },
+                    OrdKind::Rank => Request::Rank { first_index, keys },
+                    // run_bulk_words is only called with key kinds.
+                    OrdKind::RangeCount => unreachable!("pairs use bulk_range_count"),
+                }
+            },
+            &kind,
+        );
+        if out.is_err() {
+            self.abandon_traces(outstanding.keys().copied());
+        }
+        out
+    }
+
+    /// The windowed send/match loop shared by the three ordered calls:
+    /// `make_req(c)` builds chunk `c`'s request (with its own stream
+    /// offset), responses are matched by id, `Busy` re-sends the same
+    /// chunk after backoff, and word vectors are stitched in chunk order.
+    fn run_ord_windowed<T, F: Fn(usize) -> Request>(
+        &mut self,
+        chunks: &[&[T]],
+        window: usize,
+        outstanding: &mut HashMap<u64, usize>,
+        make_req: F,
+        kind: &OrdKind,
+    ) -> Result<Vec<u64>, ClientError> {
+        let mut words: Vec<Vec<u64>> = vec![Vec::new(); chunks.len()];
+        let mut retries = vec![0u32; chunks.len()];
+        let mut next_chunk = 0usize;
+        let mut completed = 0usize;
+
+        while completed < chunks.len() {
+            while outstanding.len() < window && next_chunk < chunks.len() {
+                let id = self.send(&make_req(next_chunk))?;
+                outstanding.insert(id, next_chunk);
+                next_chunk += 1;
+            }
+            let (id, resp) = self.recv()?;
+            let cidx = outstanding
+                .remove(&id)
+                .ok_or(ClientError::UnknownRequestId(id))?;
+            match (resp, kind) {
+                (Response::PredecessorResult(v), OrdKind::Predecessor)
+                | (Response::RankResult(v), OrdKind::Rank)
+                | (Response::RangeCountResult(v), OrdKind::RangeCount) => {
+                    if v.len() != chunks[cidx].len() {
+                        return Err(ClientError::UnexpectedResponse(
+                            "word vector length disagrees with the chunk",
+                        ));
+                    }
+                    words[cidx] = v;
+                    completed += 1;
+                }
+                (Response::Busy, _) => {
+                    retries[cidx] += 1;
+                    self.busy_retries += 1;
+                    if retries[cidx] > self.cfg.max_retries {
+                        return Err(ClientError::BusyExhausted);
+                    }
+                    thread::sleep(self.cfg.retry_backoff * retries[cidx].min(16));
+                    let id = self.send(&make_req(cidx))?;
+                    outstanding.insert(id, cidx);
+                }
+                (Response::Error(msg), _) => return Err(ClientError::Server(msg)),
+                _ => {
+                    return Err(ClientError::UnexpectedResponse(
+                        "wrong kind for an ordered reply",
+                    ))
+                }
+            }
+        }
+        Ok(words.concat())
     }
 
     fn send_chunk(

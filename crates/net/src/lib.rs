@@ -15,10 +15,13 @@
 //!   worker pool fed by a **bounded** queue. A full queue sheds with
 //!   `Busy` instead of buffering without limit, and shutdown drains:
 //!   every accepted request gets its response before the socket closes.
-//!   Serves either a static [`lcds_serve::Engine`] or — protocol v2 —
-//!   a [`lcds_serve::DynamicEngine`] whose `Insert`/`Remove`/`Flush`
+//!   Serves a static [`lcds_serve::Engine`], — protocol v2 — a
+//!   [`lcds_serve::DynamicEngine`] whose `Insert`/`Remove`/`Flush`
 //!   opcodes mutate behind RCU-style generation swaps, readers never
-//!   blocking on a rebuild.
+//!   blocking on a rebuild, or — protocol v4 — an
+//!   [`lcds_serve::OrderedEngine`] answering the
+//!   `Predecessor`/`Rank`/`RangeCount` opcodes over a replicated
+//!   ordered dictionary.
 //! * [`client`] — blocking client with request pipelining and `Busy`
 //!   retry with backoff.
 //! * [`loadgen`] — closed-loop multi-connection load generator over the
@@ -43,6 +46,6 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use loadgen::{LoadConfig, LoadReport, Workload};
 pub use proto::{DictStats, ProtoError, Request, Response};
 pub use server::{
-    serve, serve_any, serve_dynamic, serve_on, serve_on_any, Served, ServerConfig, ServerHandle,
-    ServerStats,
+    serve, serve_any, serve_dynamic, serve_on, serve_on_any, serve_ordered, Served, ServerConfig,
+    ServerHandle, ServerStats,
 };

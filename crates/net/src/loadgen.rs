@@ -64,6 +64,11 @@ pub struct LoadConfig {
     /// `0` (the default) keeps the run read-only, which is the only mix
     /// a static server accepts.
     pub mutate_every: usize,
+    /// Ordered mix against an ordered server: each connection cycles
+    /// bulk predecessor → rank → range-count requests (the `(lo, hi)`
+    /// pairs come from the same distribution, min/max-normalized)
+    /// instead of bulk membership. Only ordered servers accept it.
+    pub ordered: bool,
     /// Knobs for each connection's client.
     pub client: ClientConfig,
 }
@@ -77,6 +82,7 @@ impl Default for LoadConfig {
             workload: Workload::Uniform,
             seed: 7,
             mutate_every: 0,
+            ordered: false,
             client: ClientConfig::default(),
         }
     }
@@ -101,6 +107,12 @@ pub struct LoadReport {
     pub removes: u64,
     /// Flush requests issued (one at end of a read/write run).
     pub flushes: u64,
+    /// Predecessor requests answered (ordered mix only).
+    pub predecessors: u64,
+    /// Rank requests answered (ordered mix only).
+    pub ranks: u64,
+    /// Range-count requests answered (ordered mix only).
+    pub range_counts: u64,
     /// Generation index the final flush published (`None` when the run
     /// was read-only).
     pub final_generation: Option<u64>,
@@ -134,6 +146,9 @@ struct ConnResult {
     busy_retries: u64,
     inserts: u64,
     removes: u64,
+    predecessors: u64,
+    ranks: u64,
+    range_counts: u64,
     latency: LogHistogram,
 }
 
@@ -167,6 +182,9 @@ fn run_connection(
         busy_retries: 0,
         inserts: 0,
         removes: 0,
+        predecessors: 0,
+        ranks: 0,
+        range_counts: 0,
         latency: LogHistogram::new(),
     };
     let batch = cfg.batch.max(1);
@@ -184,13 +202,49 @@ fn run_connection(
         for _ in 0..batch {
             keys.push(dist.sample(&mut rng));
         }
-        let t0 = Instant::now();
-        let answers = client.bulk_contains(&keys, offset)?;
-        res.latency.record(t0.elapsed().as_nanos() as u64);
-        res.requests += 1;
-        res.keys += answers.len() as u64;
-        res.hits += answers.iter().filter(|&&b| b).count() as u64;
-        offset += batch as u64;
+        if cfg.ordered {
+            // Cycle the three ordered opcodes so one run exercises every
+            // probe path; "hits" counts queries with a predecessor.
+            let t0 = Instant::now();
+            match res.requests % 3 {
+                0 => {
+                    let answers = client.bulk_predecessor(&keys, offset)?;
+                    res.keys += answers.len() as u64;
+                    res.hits += answers.iter().filter(|&&p| p != u64::MAX).count() as u64;
+                    res.predecessors += 1;
+                    offset += batch as u64;
+                }
+                1 => {
+                    let answers = client.bulk_rank(&keys, offset)?;
+                    res.keys += answers.len() as u64;
+                    res.hits += answers.iter().filter(|&&r| r > 0).count() as u64;
+                    res.ranks += 1;
+                    offset += batch as u64;
+                }
+                _ => {
+                    let pairs: Vec<(u64, u64)> = keys
+                        .chunks_exact(2)
+                        .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+                        .collect();
+                    let answers = client.bulk_range_count(&pairs, offset)?;
+                    res.keys += 2 * answers.len() as u64;
+                    res.hits += answers.iter().filter(|&&n| n > 0).count() as u64;
+                    res.range_counts += 1;
+                    // One stream position per pair.
+                    offset += pairs.len() as u64;
+                }
+            }
+            res.latency.record(t0.elapsed().as_nanos() as u64);
+            res.requests += 1;
+        } else {
+            let t0 = Instant::now();
+            let answers = client.bulk_contains(&keys, offset)?;
+            res.latency.record(t0.elapsed().as_nanos() as u64);
+            res.requests += 1;
+            res.keys += answers.len() as u64;
+            res.hits += answers.iter().filter(|&&b| b).count() as u64;
+            offset += batch as u64;
+        }
         if cfg.mutate_every > 0 && res.requests % cfg.mutate_every as u64 == 0 {
             let churn = derive(conn_seed ^ 0xC4B2, mutation / 2) % MAX_KEY;
             if mutation % 2 == 0 {
@@ -243,6 +297,9 @@ pub fn run(addr: SocketAddr, pool: &[u64], cfg: &LoadConfig) -> Result<LoadRepor
         inserts: 0,
         removes: 0,
         flushes: 0,
+        predecessors: 0,
+        ranks: 0,
+        range_counts: 0,
         final_generation: None,
         wall,
         latency: LogHistogram::new().snapshot(),
@@ -256,6 +313,9 @@ pub fn run(addr: SocketAddr, pool: &[u64], cfg: &LoadConfig) -> Result<LoadRepor
         report.busy_retries += r.busy_retries;
         report.inserts += r.inserts;
         report.removes += r.removes;
+        report.predecessors += r.predecessors;
+        report.ranks += r.ranks;
+        report.range_counts += r.range_counts;
         merged.merge(&r.latency);
     }
     report.latency = merged.snapshot();

@@ -37,10 +37,12 @@ pub const MAGIC: u32 = 0x4C43_4453;
 /// Current protocol version. Bump on any layout change. Version 2 added
 /// the mutation opcodes ([`OP_INSERT`] / [`OP_REMOVE`] / [`OP_FLUSH`] and
 /// their responses); version 3 added the telemetry opcode
-/// ([`OP_TELEMETRY`] and its JSON-carrying response). Both ends must
+/// ([`OP_TELEMETRY`] and its JSON-carrying response); version 4 added the
+/// ordered-query opcodes ([`OP_PREDECESSOR`] / [`OP_RANK`] /
+/// [`OP_RANGE_COUNT`] and their word-vector responses). Both ends must
 /// speak the same version — the decoder rejects anything else as
 /// [`ProtoError::BadVersion`].
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -52,6 +54,10 @@ pub const MAX_PAYLOAD: u32 = 1 << 24;
 /// Most keys one bulk frame can carry (fixed 12-byte bulk header + 8
 /// bytes per key within [`MAX_PAYLOAD`]).
 pub const MAX_BULK_KEYS: u32 = (MAX_PAYLOAD - 12) / 8;
+
+/// Most `(lo, hi)` pairs one range-count frame can carry (fixed 12-byte
+/// bulk header + 16 bytes per pair within [`MAX_PAYLOAD`]).
+pub const MAX_BULK_RANGES: u32 = (MAX_PAYLOAD - 12) / 16;
 
 /// Request opcode: liveness probe, answered inline by the server.
 pub const OP_PING: u8 = 0x01;
@@ -71,6 +77,15 @@ pub const OP_REMOVE: u8 = 0x07;
 pub const OP_FLUSH: u8 = 0x08;
 /// Request opcode: latest telemetry window snapshot, answered inline.
 pub const OP_TELEMETRY: u8 = 0x09;
+/// Request opcode: bulk predecessor of a stream slice (ordered servers
+/// only).
+pub const OP_PREDECESSOR: u8 = 0x0A;
+/// Request opcode: bulk strict rank of a stream slice (ordered servers
+/// only).
+pub const OP_RANK: u8 = 0x0B;
+/// Request opcode: bulk inclusive range count of a stream slice of
+/// `(lo, hi)` pairs (ordered servers only).
+pub const OP_RANGE_COUNT: u8 = 0x0C;
 
 /// Response opcode for [`OP_PING`].
 pub const OP_PONG: u8 = 0x81;
@@ -91,6 +106,14 @@ pub const OP_FLUSH_RESULT: u8 = 0x88;
 /// Response opcode for [`OP_TELEMETRY`]: a length-prefixed UTF-8 JSON
 /// document (the latest window snapshot).
 pub const OP_TELEMETRY_RESULT: u8 = 0x89;
+/// Response opcode for [`OP_PREDECESSOR`]: one word per query, the
+/// predecessor key or the no-predecessor sentinel (`u64::MAX`, safe
+/// because every storable key is below `2^61 - 1`).
+pub const OP_PREDECESSOR_RESULT: u8 = 0x8A;
+/// Response opcode for [`OP_RANK`]: one rank word per query.
+pub const OP_RANK_RESULT: u8 = 0x8B;
+/// Response opcode for [`OP_RANGE_COUNT`]: one count word per pair.
+pub const OP_RANGE_COUNT_RESULT: u8 = 0x8C;
 /// Response opcode: request shed because the worker queue was full.
 pub const OP_BUSY: u8 = 0xE0;
 /// Response opcode: server-side failure, payload is a UTF-8 message.
@@ -228,6 +251,32 @@ pub enum Request {
     /// Latest telemetry window snapshot. Servers not started with a
     /// telemetry window answer with [`Response::Error`].
     Telemetry,
+    /// Bulk predecessor queries over a stream slice. Only ordered
+    /// servers answer; membership servers reply with [`Response::Error`].
+    Predecessor {
+        /// Global stream position of `keys[0]`.
+        first_index: u64,
+        /// The queried keys.
+        keys: Vec<u64>,
+    },
+    /// Bulk strict-rank queries over a stream slice (ordered servers
+    /// only).
+    Rank {
+        /// Global stream position of `keys[0]`.
+        first_index: u64,
+        /// The queried keys.
+        keys: Vec<u64>,
+    },
+    /// Bulk inclusive range counts over a stream slice of `(lo, hi)`
+    /// pairs (ordered servers only). Each pair occupies one stream
+    /// position (`first_index + i`); its two descents share that
+    /// position's randomness stream.
+    RangeCount {
+        /// Global stream position of `ranges[0]`.
+        first_index: u64,
+        /// The queried `(lo, hi)` pairs, inclusive on both ends.
+        ranges: Vec<(u64, u64)>,
+    },
 }
 
 impl Request {
@@ -243,6 +292,9 @@ impl Request {
             Request::Remove { .. } => OP_REMOVE,
             Request::Flush => OP_FLUSH,
             Request::Telemetry => OP_TELEMETRY,
+            Request::Predecessor { .. } => OP_PREDECESSOR,
+            Request::Rank { .. } => OP_RANK,
+            Request::RangeCount { .. } => OP_RANGE_COUNT,
         }
     }
 
@@ -259,6 +311,9 @@ impl Request {
             Request::Remove { .. } => "remove",
             Request::Flush => "flush",
             Request::Telemetry => "telemetry",
+            Request::Predecessor { .. } => "predecessor",
+            Request::Rank { .. } => "rank",
+            Request::RangeCount { .. } => "range_count",
         }
     }
 }
@@ -291,6 +346,13 @@ pub enum Response {
     /// [`lcds_obs::timeseries::TimeSeries::wire_snapshot`] schema —
     /// latest window delta, ring length, SLO status).
     Telemetry(String),
+    /// Bulk predecessor answers, one word per query in request order;
+    /// `u64::MAX` is the no-predecessor sentinel (never a storable key).
+    PredecessorResult(Vec<u64>),
+    /// Bulk strict-rank answers, one word per query in request order.
+    RankResult(Vec<u64>),
+    /// Bulk inclusive range counts, one word per pair in request order.
+    RangeCountResult(Vec<u64>),
     /// Shed: the worker queue was full; retry after backing off.
     Busy,
     /// Server-side failure.
@@ -310,6 +372,9 @@ impl Response {
             Response::Removed(_) => OP_REMOVE_RESULT,
             Response::Flushed { .. } => OP_FLUSH_RESULT,
             Response::Telemetry(_) => OP_TELEMETRY_RESULT,
+            Response::PredecessorResult(_) => OP_PREDECESSOR_RESULT,
+            Response::RankResult(_) => OP_RANK_RESULT,
+            Response::RangeCountResult(_) => OP_RANGE_COUNT_RESULT,
             Response::Busy => OP_BUSY,
             Response::Error(_) => OP_ERROR,
         }
@@ -407,11 +472,32 @@ pub fn encode_request(request_id: u64, req: &Request) -> Result<Vec<u8>, ProtoEr
             p.extend_from_slice(&key.to_le_bytes());
             p
         }
-        Request::BulkContains { first_index, keys } | Request::BulkCount { first_index, keys } => {
+        Request::BulkContains { first_index, keys }
+        | Request::BulkCount { first_index, keys }
+        | Request::Predecessor { first_index, keys }
+        | Request::Rank { first_index, keys } => {
             if keys.len() as u64 > MAX_BULK_KEYS as u64 {
                 return Err(ProtoError::BadPayload("bulk request exceeds MAX_BULK_KEYS"));
             }
             bulk_payload(*first_index, keys)
+        }
+        Request::RangeCount {
+            first_index,
+            ranges,
+        } => {
+            if ranges.len() as u64 > MAX_BULK_RANGES as u64 {
+                return Err(ProtoError::BadPayload(
+                    "range request exceeds MAX_BULK_RANGES",
+                ));
+            }
+            let mut p = Vec::with_capacity(12 + ranges.len() * 16);
+            p.extend_from_slice(&first_index.to_le_bytes());
+            p.extend_from_slice(&(ranges.len() as u32).to_le_bytes());
+            for (lo, hi) in ranges {
+                p.extend_from_slice(&lo.to_le_bytes());
+                p.extend_from_slice(&hi.to_le_bytes());
+            }
+            p
         }
     };
     frame(req.opcode(), request_id, payload)
@@ -446,6 +532,21 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Result<Vec<u8>, Prot
             p
         }
         Response::BulkCount(count) => count.to_le_bytes().to_vec(),
+        Response::PredecessorResult(words)
+        | Response::RankResult(words)
+        | Response::RangeCountResult(words) => {
+            if words.len() as u64 > (MAX_PAYLOAD as u64 - 4) / 8 {
+                return Err(ProtoError::BadPayload(
+                    "word-vector result exceeds the payload cap",
+                ));
+            }
+            let mut p = Vec::with_capacity(4 + words.len() * 8);
+            p.extend_from_slice(&(words.len() as u32).to_le_bytes());
+            for w in words {
+                p.extend_from_slice(&w.to_le_bytes());
+            }
+            p
+        }
         Response::Stats(s) => {
             let mut p = Vec::with_capacity(32);
             p.extend_from_slice(&s.keys.to_le_bytes());
@@ -548,6 +649,38 @@ pub fn decode_request_payload(h: &Header, p: &[u8]) -> Result<Request, ProtoErro
             expect_len(p, 0, "telemetry carries no payload")?;
             Ok(Request::Telemetry)
         }
+        OP_PREDECESSOR => {
+            let (first_index, keys) = decode_bulk(p)?;
+            Ok(Request::Predecessor { first_index, keys })
+        }
+        OP_RANK => {
+            let (first_index, keys) = decode_bulk(p)?;
+            Ok(Request::Rank { first_index, keys })
+        }
+        OP_RANGE_COUNT => {
+            if p.len() < 12 {
+                return Err(ProtoError::BadPayload(
+                    "range payload shorter than its fixed header",
+                ));
+            }
+            let first_index = le_u64(&p[0..8]);
+            let count = le_u32(&p[8..12]);
+            // Validate the declared count against the *actual* payload
+            // length before allocating anything sized by it.
+            if 12u64 + count as u64 * 16 != p.len() as u64 {
+                return Err(ProtoError::BadPayload(
+                    "range pair count disagrees with payload length",
+                ));
+            }
+            let mut ranges = Vec::with_capacity(count as usize);
+            for chunk in p[12..].chunks_exact(16) {
+                ranges.push((le_u64(&chunk[0..8]), le_u64(&chunk[8..16])));
+            }
+            Ok(Request::RangeCount {
+                first_index,
+                ranges,
+            })
+        }
         other => Err(ProtoError::UnknownOpcode(other)),
     }
 }
@@ -605,6 +738,28 @@ pub fn decode_response_payload(h: &Header, p: &[u8]) -> Result<Response, ProtoEr
         OP_BULK_COUNT_RESULT => {
             expect_len(p, 8, "bulk count result must be eight bytes")?;
             Ok(Response::BulkCount(le_u64(p)))
+        }
+        OP_PREDECESSOR_RESULT | OP_RANK_RESULT | OP_RANGE_COUNT_RESULT => {
+            if p.len() < 4 {
+                return Err(ProtoError::BadPayload(
+                    "word-vector result shorter than its count",
+                ));
+            }
+            let count = le_u32(&p[0..4]);
+            if 4u64 + count as u64 * 8 != p.len() as u64 {
+                return Err(ProtoError::BadPayload(
+                    "word-vector count disagrees with payload length",
+                ));
+            }
+            let mut words = Vec::with_capacity(count as usize);
+            for chunk in p[4..].chunks_exact(8) {
+                words.push(le_u64(chunk));
+            }
+            Ok(match h.opcode {
+                OP_PREDECESSOR_RESULT => Response::PredecessorResult(words),
+                OP_RANK_RESULT => Response::RankResult(words),
+                _ => Response::RangeCountResult(words),
+            })
         }
         OP_INSERT_RESULT => {
             expect_len(p, 1, "insert result must be one byte")?;
@@ -744,6 +899,18 @@ mod tests {
             Request::Remove { key: 7 },
             Request::Flush,
             Request::Telemetry,
+            Request::Predecessor {
+                first_index: 3,
+                keys: vec![10, 20, 30],
+            },
+            Request::Rank {
+                first_index: u64::MAX - 8,
+                keys: vec![],
+            },
+            Request::RangeCount {
+                first_index: 1 << 33,
+                ranges: vec![(0, u64::MAX), (7, 7), (9, 3)],
+            },
         ];
         for (i, req) in reqs.iter().enumerate() {
             let bytes = encode_request(i as u64 + 9, req).unwrap();
@@ -786,6 +953,10 @@ mod tests {
             Response::Error(String::new()),
             Response::Telemetry("{\"record\":\"telemetry\",\"ring_len\":3}".to_string()),
             Response::Telemetry(String::new()),
+            Response::PredecessorResult(vec![]),
+            Response::PredecessorResult(vec![0, 42, u64::MAX]),
+            Response::RankResult(vec![7]),
+            Response::RangeCountResult(vec![0, 1, 2, u64::MAX]),
         ];
         for resp in &resps {
             let bytes = encode_response(3, resp).unwrap();
@@ -983,5 +1154,60 @@ mod tests {
         // arithmetic without overflow.
         assert!(12 + MAX_BULK_KEYS as u64 * 8 <= MAX_PAYLOAD as u64);
         assert!(12 + (MAX_BULK_KEYS as u64 + 1) * 8 > MAX_PAYLOAD as u64);
+        assert!(12 + MAX_BULK_RANGES as u64 * 16 <= MAX_PAYLOAD as u64);
+        assert!(12 + (MAX_BULK_RANGES as u64 + 1) * 16 > MAX_PAYLOAD as u64);
+    }
+
+    #[test]
+    fn range_pair_count_is_cross_checked_before_allocation() {
+        let good = encode_request(
+            7,
+            &Request::RangeCount {
+                first_index: 11,
+                ranges: vec![(1, 4), (5, 2)],
+            },
+        )
+        .unwrap();
+        assert_eq!(good.len(), HEADER_LEN + 12 + 2 * 16);
+        // Forge the in-payload pair count upward and downward: both must
+        // trip the length cross-check, never an allocation.
+        for forged_count in [1_000_000u32, 1] {
+            let mut forged = good.clone();
+            forged[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&forged_count.to_le_bytes());
+            assert!(matches!(
+                decode_request(&forged),
+                Err(ProtoError::BadPayload(_))
+            ));
+        }
+        // A payload shorter than the fixed bulk header is typed, too.
+        let mut forged = good;
+        forged[16..20].copy_from_slice(&4u32.to_le_bytes());
+        forged.truncate(HEADER_LEN + 4);
+        assert!(matches!(
+            decode_request(&forged),
+            Err(ProtoError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn word_vector_result_count_is_cross_checked() {
+        let good = encode_response(8, &Response::RankResult(vec![3, 1, 4])).unwrap();
+        assert_eq!(good.len(), HEADER_LEN + 4 + 3 * 8);
+        for forged_count in [77u32, 2] {
+            let mut forged = good.clone();
+            forged[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&forged_count.to_le_bytes());
+            assert!(matches!(
+                decode_response(&forged),
+                Err(ProtoError::BadPayload(_))
+            ));
+        }
+        // The three word-vector result opcodes share a layout but must
+        // decode to distinct variants.
+        let pred = encode_response(9, &Response::PredecessorResult(vec![u64::MAX])).unwrap();
+        let (_, got, _) = decode_response(&pred).unwrap();
+        assert_eq!(got, Response::PredecessorResult(vec![u64::MAX]));
+        let rc = encode_response(10, &Response::RangeCountResult(vec![0])).unwrap();
+        let (_, got, _) = decode_response(&rc).unwrap();
+        assert_eq!(got, Response::RangeCountResult(vec![0]));
     }
 }

@@ -35,14 +35,15 @@
 
 use crate::proto::{
     self, DictStats, ProtoError, Request, Response, HEADER_LEN, MAX_PAYLOAD, OP_BULK_CONTAINS,
-    OP_BULK_COUNT, OP_CONTAINS, OP_FLUSH, OP_INSERT, OP_PING, OP_REMOVE, OP_STATS, OP_TELEMETRY,
+    OP_BULK_COUNT, OP_CONTAINS, OP_FLUSH, OP_INSERT, OP_PING, OP_PREDECESSOR, OP_RANGE_COUNT,
+    OP_RANK, OP_REMOVE, OP_STATS, OP_TELEMETRY,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use lcds_obs::events::monotonic_ns;
 use lcds_obs::names;
 use lcds_obs::trace::{record_span, tracing_enabled};
 use lcds_obs::TimeSeries;
-use lcds_serve::{DynamicEngine, Engine};
+use lcds_serve::{DynamicEngine, Engine, OrderedEngine};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -95,6 +96,10 @@ pub enum Served {
     Static(Arc<Engine>),
     /// Generation-swapped dynamic engine: mutation opcodes apply.
     Dynamic(Arc<DynamicEngine>),
+    /// Ordered engine: the predecessor / rank / range-count opcodes
+    /// apply; membership opcodes are answered via predecessor equality;
+    /// mutations are answered with an error.
+    Ordered(Arc<OrderedEngine>),
 }
 
 impl Served {
@@ -114,6 +119,13 @@ impl Served {
                 max_probes: e.max_probes(),
                 seed: e.seed(),
             },
+            Served::Ordered(e) => DictStats {
+                keys: e.key_count() as u64,
+                cells: e.num_cells(),
+                shards: 1,
+                max_probes: e.max_probes(),
+                seed: e.seed(),
+            },
         }
     }
 
@@ -121,6 +133,9 @@ impl Served {
         match self {
             Served::Static(e) => e.contains_at(key, index),
             Served::Dynamic(e) => e.contains_at(key, index),
+            // A stored key is its own predecessor, so membership is one
+            // descent — same probe set the Predecessor opcode would use.
+            Served::Ordered(e) => e.bulk_predecessor_at(&[key], index) == [key],
         }
     }
 
@@ -128,6 +143,12 @@ impl Served {
         match self {
             Served::Static(e) => e.bulk_contains_at(keys, first_index),
             Served::Dynamic(e) => e.bulk_contains_at(keys, first_index),
+            Served::Ordered(e) => e
+                .bulk_predecessor_at(keys, first_index)
+                .iter()
+                .zip(keys)
+                .map(|(pred, key)| pred == key)
+                .collect(),
         }
     }
 
@@ -135,6 +156,37 @@ impl Served {
         match self {
             Served::Static(e) => e.bulk_count_at(keys, first_index),
             Served::Dynamic(e) => e.bulk_count_at(keys, first_index),
+            Served::Ordered(e) => e
+                .bulk_predecessor_at(keys, first_index)
+                .iter()
+                .zip(keys)
+                .filter(|(pred, key)| pred == key)
+                .count(),
+        }
+    }
+
+    fn answer_ordered(&self, req: &Request) -> Response {
+        let e = match self {
+            Served::Ordered(e) => e,
+            Served::Static(_) | Served::Dynamic(_) => {
+                return Response::Error(
+                    "server is not ordered; restart with --ordered to query ranks".to_string(),
+                )
+            }
+        };
+        match req {
+            Request::Predecessor { first_index, keys } => {
+                Response::PredecessorResult(e.bulk_predecessor_at(keys, *first_index))
+            }
+            Request::Rank { first_index, keys } => {
+                Response::RankResult(e.bulk_rank_at(keys, *first_index))
+            }
+            Request::RangeCount {
+                first_index,
+                ranges,
+            } => Response::RangeCountResult(e.bulk_range_count_at(ranges, *first_index)),
+            // worker_loop routes only ordered opcodes here.
+            _ => Response::Error("not an ordered query".to_string()),
         }
     }
 
@@ -143,6 +195,11 @@ impl Served {
             Served::Static(_) => {
                 return Response::Error(
                     "server is static; restart with --dynamic to mutate".to_string(),
+                )
+            }
+            Served::Ordered(_) => {
+                return Response::Error(
+                    "server is ordered; the key set is fixed at build time".to_string(),
                 )
             }
             Served::Dynamic(e) => e,
@@ -299,6 +356,17 @@ pub fn serve_dynamic<A: ToSocketAddrs>(
     serve_any(addr, Served::Dynamic(engine), cfg)
 }
 
+/// [`serve`] over an [`OrderedEngine`]: the ordered opcodes
+/// (`Predecessor` / `Rank` / `RangeCount`) apply, membership opcodes are
+/// answered via predecessor equality, and mutations error.
+pub fn serve_ordered<A: ToSocketAddrs>(
+    addr: A,
+    engine: Arc<OrderedEngine>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_any(addr, Served::Ordered(engine), cfg)
+}
+
 /// [`serve`] over either engine kind.
 pub fn serve_any<A: ToSocketAddrs>(
     addr: A,
@@ -436,6 +504,9 @@ fn step_frame(buf: &[u8]) -> FrameStep {
             | OP_REMOVE
             | OP_FLUSH
             | OP_TELEMETRY
+            | OP_PREDECESSOR
+            | OP_RANK
+            | OP_RANGE_COUNT
     ) {
         return FrameStep::Fail(h.request_id, ProtoError::UnknownOpcode(h.opcode));
     }
@@ -570,7 +641,10 @@ fn handle_request(
         | Request::BulkCount { .. }
         | Request::Insert { .. }
         | Request::Remove { .. }
-        | Request::Flush) => {
+        | Request::Flush
+        | Request::Predecessor { .. }
+        | Request::Rank { .. }
+        | Request::RangeCount { .. }) => {
             writer.inflight.fetch_add(1, Ordering::SeqCst);
             let job = Job {
                 writer: Arc::clone(writer),
@@ -637,6 +711,9 @@ fn worker_loop(rx: Receiver<Job>, served: Served, stats: Arc<ServerStats>, cfg: 
             req @ (Request::Insert { .. } | Request::Remove { .. } | Request::Flush) => {
                 served.apply_mutation(req)
             }
+            req @ (Request::Predecessor { .. }
+            | Request::Rank { .. }
+            | Request::RangeCount { .. }) => served.answer_ordered(req),
             // Inline opcodes never reach the queue.
             Request::Ping | Request::Stats | Request::Telemetry => Response::Pong,
         };

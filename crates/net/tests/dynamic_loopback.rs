@@ -189,6 +189,7 @@ fn loadgen_write_mix_mutates_and_flushes_a_dynamic_server() {
             workload: Workload::Uniform,
             seed: 99,
             mutate_every: 2,
+            ordered: false,
             client: ClientConfig::default(),
         },
     )

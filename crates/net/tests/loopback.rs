@@ -301,6 +301,7 @@ fn loadgen_closed_loop_reports_real_throughput() {
                 workload,
                 seed: 99,
                 mutate_every: 0,
+                ordered: false,
                 client: ClientConfig::default(),
             },
         )

@@ -1,0 +1,228 @@
+//! Loopback TCP tests for the ordered opcodes: predecessor / rank /
+//! range-count answers over the wire must equal direct
+//! [`OrderedEngine`] calls bit for bit — across a worker × connection ×
+//! chunking matrix, under forced `Busy` shedding, and on both replica
+//! schemes. Membership opcodes against an ordered server and ordered
+//! opcodes against a membership server are exercised too.
+
+use lcds_net::client::{Client, ClientConfig, ClientError};
+use lcds_net::server::{serve, serve_ordered, ServerConfig};
+use lcds_ordered::{build_seeded, OrdScheme, NO_PREDECESSOR};
+use lcds_serve::{EngineConfig, OrderedEngine};
+use lcds_workloads::{negative_pool, uniform_keys};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const SEED: u64 = 7;
+
+fn ordered_engine(n: usize, scheme: OrdScheme, salt: u64) -> OrderedEngine {
+    let keys = uniform_keys(n, salt);
+    let dict = build_seeded(&keys, scheme).expect("build ordered dictionary");
+    OrderedEngine::new(dict, SEED, EngineConfig::with_batch(64))
+}
+
+/// Members, near-misses (member − 1), and negatives interleaved: the
+/// query stream exercises exact hits, predecessor-below, and misses.
+fn query_stream(engine: &OrderedEngine, salt: u64) -> Vec<u64> {
+    let members = engine.dict().keys();
+    let negs = negative_pool(&members, members.len(), salt);
+    members
+        .iter()
+        .zip(&negs)
+        .flat_map(|(&m, &n)| [m, m.wrapping_sub(1), n])
+        .collect()
+}
+
+fn range_pairs(queries: &[u64]) -> Vec<(u64, u64)> {
+    queries
+        .chunks_exact(2)
+        .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+        .collect()
+}
+
+/// Splits `queries` across `conns` connections (each slice keeps its
+/// global stream offset), runs `call` on each concurrently, and
+/// stitches the answers back in stream order.
+fn split_words<T: Sync>(
+    addr: std::net::SocketAddr,
+    queries: &[T],
+    conns: usize,
+    cfg: ClientConfig,
+    call: impl Fn(&mut Client, &[T], u64) -> Result<Vec<u64>, ClientError> + Sync,
+) -> (Vec<u64>, u64) {
+    let per = queries.len().div_ceil(conns);
+    thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(per)
+            .enumerate()
+            .map(|(c, slice)| {
+                let call = &call;
+                s.spawn(move || {
+                    let mut client = Client::connect_with(addr, cfg).expect("connect");
+                    let words = call(&mut client, slice, (c * per) as u64).expect("ordered bulk");
+                    (words, client.busy_retries())
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(queries.len());
+        let mut retries = 0;
+        for h in handles {
+            let (words, r) = h.join().expect("connection thread");
+            all.extend(words);
+            retries += r;
+        }
+        (all, retries)
+    })
+}
+
+#[test]
+fn tcp_ordered_answers_equal_direct_engine_across_the_matrix() {
+    for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+        let engine = ordered_engine(900, scheme, 41);
+        let queries = query_stream(&engine, 43);
+        let pairs = range_pairs(&queries);
+        let want_pred = engine.bulk_predecessor(&queries);
+        let want_rank = engine.bulk_rank(&queries);
+        let want_rc = engine.bulk_range_count(&pairs);
+        assert!(want_pred.iter().any(|&p| p == NO_PREDECESSOR) || engine.dict().min_key() == 0);
+
+        let engine = Arc::new(engine);
+        for workers in [1usize, 4] {
+            let handle = serve_ordered(
+                "127.0.0.1:0",
+                Arc::clone(&engine),
+                ServerConfig {
+                    workers,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind loopback");
+            let addr = handle.local_addr();
+            for (conns, chunk) in [(1usize, 1usize), (1, 97), (4, 64), (4, 1000)] {
+                let cfg = ClientConfig {
+                    chunk,
+                    window: 4,
+                    ..ClientConfig::default()
+                };
+                let (got, _) = split_words(addr, &queries, conns, cfg, |c, s, fi| {
+                    c.bulk_predecessor(s, fi)
+                });
+                assert_eq!(
+                    got, want_pred,
+                    "{scheme:?} predecessor workers={workers} conns={conns} chunk={chunk}"
+                );
+                let (got, _) =
+                    split_words(addr, &queries, conns, cfg, |c, s, fi| c.bulk_rank(s, fi));
+                assert_eq!(
+                    got, want_rank,
+                    "{scheme:?} rank workers={workers} conns={conns} chunk={chunk}"
+                );
+                let (got, _) = split_words(addr, &pairs, conns, cfg, |c, s, fi| {
+                    c.bulk_range_count(s, fi)
+                });
+                assert_eq!(
+                    got, want_rc,
+                    "{scheme:?} range_count workers={workers} conns={conns} chunk={chunk}"
+                );
+            }
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn shed_and_retried_ordered_chunks_stay_bit_identical() {
+    let engine = ordered_engine(600, OrdScheme::Replicated, 51);
+    let queries = query_stream(&engine, 53);
+    let want = engine.bulk_predecessor(&queries);
+    let engine = Arc::new(engine);
+    // One slow worker and a tiny queue force sheds; the client's backoff
+    // retries must reassemble the identical answer anyway.
+    let handle = serve_ordered(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            worker_lag: Some(Duration::from_millis(2)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let cfg = ClientConfig {
+        chunk: 32,
+        window: 8,
+        ..ClientConfig::default()
+    };
+    let (got, retries) = split_words(handle.local_addr(), &queries, 4, cfg, |c, s, fi| {
+        c.bulk_predecessor(s, fi)
+    });
+    assert_eq!(got, want, "shedding changed an answer");
+    assert!(retries > 0, "the lagged single worker never shed");
+    handle.shutdown();
+}
+
+#[test]
+fn membership_opcodes_answer_from_the_ordered_dictionary() {
+    let engine = ordered_engine(400, OrdScheme::Replicated, 61);
+    let members = engine.dict().keys();
+    let negs = negative_pool(&members, members.len(), 63);
+    let probes: Vec<u64> = members
+        .iter()
+        .zip(&negs)
+        .flat_map(|(&m, &n)| [m, n])
+        .collect();
+    let engine = Arc::new(engine);
+    let handle =
+        serve_ordered("127.0.0.1:0", engine, ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let bits = client.bulk_contains(&probes, 0).expect("bulk contains");
+    // Members and negatives strictly alternate.
+    let want: Vec<bool> = (0..probes.len()).map(|i| i % 2 == 0).collect();
+    assert_eq!(bits, want, "predecessor-equality membership diverged");
+    assert_eq!(
+        client.bulk_count(&probes, 0).expect("bulk count"),
+        (probes.len() / 2) as u64
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.keys, 400);
+    assert_eq!(stats.shards, 1);
+    // The fixed key set rejects mutations with a typed server error.
+    assert!(matches!(client.insert(7), Err(ClientError::Server(_))));
+    assert!(matches!(client.remove(7), Err(ClientError::Server(_))));
+    assert!(matches!(client.flush(), Err(ClientError::Server(_))));
+    handle.shutdown();
+}
+
+#[test]
+fn ordered_opcodes_error_on_a_membership_server() {
+    let keys = uniform_keys(300, 71);
+    let d = lcds_core::builder::build(
+        &keys,
+        &mut <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(71),
+    )
+    .expect("build dictionary");
+    let engine = Arc::new(lcds_serve::Engine::new(
+        d,
+        SEED,
+        EngineConfig::with_batch(64),
+    ));
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    assert!(matches!(
+        client.bulk_predecessor(&keys[..8], 0),
+        Err(ClientError::Server(_))
+    ));
+    assert!(matches!(
+        client.bulk_rank(&keys[..8], 0),
+        Err(ClientError::Server(_))
+    ));
+    assert!(matches!(
+        client.bulk_range_count(&[(1, 9)], 0),
+        Err(ClientError::Server(_))
+    ));
+    // The connection survives a typed refusal.
+    client.ping().expect("ping after refusal");
+    handle.shutdown();
+}

@@ -12,12 +12,13 @@ use proptest::prelude::*;
 // harness's deterministic proptest stand-in.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..9,
+        0usize..12,
         any::<u64>(),
         any::<u64>(),
         prop::collection::vec(any::<u64>(), 0..64),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..40),
     )
-        .prop_map(|(which, a, b, keys)| match which {
+        .prop_map(|(which, a, b, keys, ranges)| match which {
             0 => Request::Ping,
             1 => Request::Stats,
             2 => Request::Contains { index: a, key: b },
@@ -29,23 +30,36 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 first_index: a,
                 keys,
             },
-            _ => Request::BulkCount {
+            8 => Request::BulkCount {
                 first_index: a,
                 keys,
+            },
+            9 => Request::Predecessor {
+                first_index: a,
+                keys,
+            },
+            10 => Request::Rank {
+                first_index: a,
+                keys,
+            },
+            _ => Request::RangeCount {
+                first_index: a,
+                ranges,
             },
         })
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0usize..11,
+        0usize..14,
         any::<u64>(),
         prop::collection::vec(any::<bool>(), 0..130),
         prop::collection::vec(32u8..127, 0..40),
         (any::<u64>(), any::<u32>(), any::<u32>()),
+        prop::collection::vec(any::<u64>(), 0..50),
     )
         .prop_map(
-            |(which, a, bits, ascii, (cells, shards, max_probes))| match which {
+            |(which, a, bits, ascii, (cells, shards, max_probes), words)| match which {
                 0 => Response::Pong,
                 1 => Response::Busy,
                 2 => Response::Contains(a & 1 == 1),
@@ -67,6 +81,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 9 => Response::Telemetry(
                     String::from_utf8(ascii.clone()).expect("ascii range is UTF-8"),
                 ),
+                10 => Response::PredecessorResult(words),
+                11 => Response::RankResult(words),
+                12 => Response::RangeCountResult(words),
                 _ => Response::Error(String::from_utf8(ascii).expect("ascii range is UTF-8")),
             },
         )

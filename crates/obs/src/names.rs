@@ -244,6 +244,32 @@ pub const MTBENCH_CONTENDED_TOTAL: &str = "lcds_mtbench_contended_probes_total";
 /// All serialized-memory gate acquisitions in bench-mt runs (counter).
 pub const MTBENCH_GATED_TOTAL: &str = "lcds_mtbench_gated_probes_total";
 
+/// Ordered-dictionary builds completed (counter).
+pub const ORD_BUILDS_TOTAL: &str = "lcds_ord_builds_total";
+
+/// Keys stored by the most recently built ordered dictionary (gauge).
+pub const ORD_KEYS: &str = "lcds_ord_keys";
+
+/// Separator levels in the most recently built ordered dictionary
+/// (gauge; the leaf row counts as level 0).
+pub const ORD_LEVELS: &str = "lcds_ord_levels";
+
+/// Ordered queries answered through the batched descent plan (counter;
+/// a range count is one query even though it runs two descents).
+pub const ORD_QUERIES_TOTAL: &str = "lcds_ord_queries_total";
+
+/// Cells probed by batched ordered descents (counter; exact, counted
+/// per scanned block word).
+pub const ORD_PROBES_TOTAL: &str = "lcds_ord_probes_total";
+
+/// Per-batch ordered serving latency (histogram, nanoseconds).
+pub const ORD_BATCH_LATENCY: &str = "lcds_ord_batch_latency_ns";
+
+/// Hottest-cell probe share Φ̂ measured per descent level of the most
+/// recent ordered contention sweep (labeled gauge family,
+/// `lcds_ord_phi_level{level="…"}`).
+pub const ORD_PHI_LEVEL: &str = "lcds_ord_phi_level";
+
 /// Telemetry windows sampled into the time-series ring (counter).
 pub const TS_WINDOWS_TOTAL: &str = "lcds_ts_windows_total";
 
@@ -364,6 +390,12 @@ pub const ALL_METRICS: &[&str] = &[
     MTBENCH_BATCH_LATENCY,
     MTBENCH_CONTENDED_TOTAL,
     MTBENCH_GATED_TOTAL,
+    ORD_BUILDS_TOTAL,
+    ORD_KEYS,
+    ORD_LEVELS,
+    ORD_QUERIES_TOTAL,
+    ORD_PROBES_TOTAL,
+    ORD_BATCH_LATENCY,
     TS_WINDOWS_TOTAL,
     TS_WINDOW_SECONDS,
     TS_RING_LEN,
@@ -390,6 +422,7 @@ pub const ALL_LABELED_FAMILIES: &[&str] = &[
     HEATMAP_CELL_PROBES,
     NET_REQUEST_LATENCY,
     NET_SERVER_SERVICE,
+    ORD_PHI_LEVEL,
 ];
 
 /// Declared event names.
@@ -537,6 +570,26 @@ mod tests {
         // The gauge and the swap counter must stay distinct series.
         assert_ne!(DYN_GENERATION, DYN_SWAPS_TOTAL);
         assert!(!is_declared_metric("lcds_dyn_made_up_total"));
+    }
+
+    #[test]
+    fn ord_names_share_the_subsystem_prefix() {
+        for name in [
+            ORD_BUILDS_TOTAL,
+            ORD_KEYS,
+            ORD_LEVELS,
+            ORD_QUERIES_TOTAL,
+            ORD_PROBES_TOTAL,
+            ORD_BATCH_LATENCY,
+        ] {
+            assert!(name.starts_with("lcds_ord_"), "{name}");
+            assert!(is_declared_metric(name), "{name}");
+        }
+        // Φ̂-per-level is label-only: the bare family name is not a series.
+        assert!(ORD_PHI_LEVEL.starts_with("lcds_ord_"));
+        assert!(!is_declared_metric(ORD_PHI_LEVEL));
+        assert!(is_declared_metric("lcds_ord_phi_level{level=\"0\"}"));
+        assert!(!is_declared_metric("lcds_ord_made_up_total"));
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! [`OrderedLcd`]: the replicated B-ary level layout and its sequential
+//! descent.
+//!
+//! # Layout
+//!
+//! Let the (deduplicated, sorted) key set have `n` keys. Level 0 is the
+//! key array itself; level `ℓ+1` keeps every `B`-th entry of level `ℓ`
+//! (its subtree minimum), so level `ℓ` has `n_ℓ = ⌈n / B^ℓ⌉` separators
+//! and the hierarchy stops at the first level with at most `B` entries.
+//! The table is rectangular — one row per level, `s = n` columns — and
+//! row `ℓ` stores its `n_ℓ` separators *replicated residue-style*:
+//! column `j` holds separator `j mod n_ℓ`, exactly the replica
+//! arithmetic of the membership layout (`lcds_core::layout::Layout`).
+//! Separator `e` of level `ℓ` therefore has `⌈(s − e) / n_ℓ⌉ ≈ B^ℓ`
+//! copies, at columns `e + k·n_ℓ` — geometrically more replication the
+//! closer to the root, which is precisely where an unreplicated tree
+//! concentrates its traffic.
+//!
+//! # Descent
+//!
+//! A query walks root → leaf. At each level it draws a replica index
+//! `k < ⌊s / n_ℓ⌋` from its own [`StreamRng`] stream (one draw per
+//! level, before any read), then scans the ≤ `B` separators of the
+//! current child block at that replica — a contiguous run of words, one
+//! cache line when the block is full. The scan is branch-free over the
+//! whole block (no early exit), so the probe *set* of a query is a
+//! function of `(query, global index, seed)` only — the property every
+//! batched executor in this repository must preserve.
+//!
+//! The [`OrdScheme::Adversarial`] twin pins `k = 0` at every level: the
+//! same answers from the same separators, but all traffic lands on the
+//! first replica — a B-tree with its root on one line, the contention
+//! cliff the benches measure against [`OrdScheme::Replicated`].
+
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::Table;
+use lcds_hashing::MAX_KEY;
+use rand::RngCore;
+use rayon::prelude::*;
+
+/// Fan-out of the level hierarchy: separators per child block. Eight
+/// 64-bit words — one cache line, so a full block scan is one line read.
+pub const BRANCH: usize = 8;
+
+/// Wire/batch sentinel for "no predecessor exists" (query below the
+/// minimum key). Safe because every stored key is `< MAX_KEY < u64::MAX`.
+pub const NO_PREDECESSOR: u64 = u64::MAX;
+
+/// Replica policy of the descent — the only thing the two schemes differ
+/// in. Answers are identical by construction (replicas hold identical
+/// words); only the contention profile changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrdScheme {
+    /// Per-level uniform replica choice (the low-contention construction).
+    Replicated,
+    /// Replica 0 at every level: an ordinary B-tree layout whose root
+    /// line every query reads — the adversarial baseline.
+    Adversarial,
+}
+
+impl OrdScheme {
+    /// Stable scheme label, as used in bench rows and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrdScheme::Replicated => "ord-replicated",
+            OrdScheme::Adversarial => "ord-adversarial",
+        }
+    }
+
+    /// Inverse of [`OrdScheme::label`]; also accepts the short forms
+    /// `replicated` / `adversarial`.
+    pub fn parse(s: &str) -> Option<OrdScheme> {
+        match s {
+            "ord-replicated" | "replicated" => Some(OrdScheme::Replicated),
+            "ord-adversarial" | "adversarial" => Some(OrdScheme::Adversarial),
+            _ => None,
+        }
+    }
+}
+
+/// Why ordered construction failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OrdBuildError {
+    /// No keys were supplied (after deduplication).
+    EmptyKeySet,
+    /// A key is outside the `[0, MAX_KEY)` universe shared with the
+    /// membership dictionary (and reserved for the wire sentinel).
+    KeyTooLarge(u64),
+}
+
+impl std::fmt::Display for OrdBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrdBuildError::EmptyKeySet => write!(f, "no keys to index"),
+            OrdBuildError::KeyTooLarge(k) => {
+                write!(f, "key {k} outside the [0, 2^61 - 1) universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrdBuildError {}
+
+/// The static low-contention ordered dictionary. See the module docs for
+/// the layout and descent; construction is [`build_seeded`] /
+/// [`par_build`] (bit-identical twins).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderedLcd {
+    table: Table,
+    /// Separator counts per level, leaf first: `levels[0] = n`, strictly
+    /// decreasing by ≈ B, last entry ≤ B.
+    levels: Vec<u64>,
+    scheme: OrdScheme,
+}
+
+/// Separator counts for `n` leaf keys: `⌈n/B^ℓ⌉` until ≤ `B`.
+fn level_sizes(n: u64) -> Vec<u64> {
+    let mut levels = vec![n];
+    while *levels.last().unwrap() > BRANCH as u64 {
+        levels.push(levels.last().unwrap().div_ceil(BRANCH as u64));
+    }
+    levels
+}
+
+/// Validates and canonicalizes the key set: sorted, deduplicated,
+/// in-universe, non-empty. Shared with the sharded builder.
+pub(crate) fn canonical_keys(keys: &[u64]) -> Result<Vec<u64>, OrdBuildError> {
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.is_empty() {
+        return Err(OrdBuildError::EmptyKeySet);
+    }
+    if let Some(&big) = sorted.last().filter(|&&k| k >= MAX_KEY) {
+        return Err(OrdBuildError::KeyTooLarge(big));
+    }
+    Ok(sorted)
+}
+
+/// Row `level`'s replicated content: column `j` holds separator
+/// `j mod n_ℓ`, whose value is `keys[(j mod n_ℓ) · B^ℓ]`.
+fn fill_row(keys: &[u64], levels: &[u64], level: usize, row: &mut [u64]) {
+    let n_l = levels[level];
+    let stride = (BRANCH as u64).pow(level as u32);
+    for (j, cell) in row.iter_mut().enumerate() {
+        *cell = keys[((j as u64 % n_l) * stride) as usize];
+    }
+}
+
+fn record_build(d: &OrderedLcd) {
+    if lcds_obs::enabled() {
+        let reg = lcds_obs::global();
+        reg.counter(lcds_obs::names::ORD_BUILDS_TOTAL).inc();
+        reg.gauge(lcds_obs::names::ORD_LEVELS)
+            .set(d.levels.len() as f64);
+        reg.gauge(lcds_obs::names::ORD_KEYS).set(d.len() as f64);
+    }
+}
+
+/// Builds the ordered dictionary sequentially. Deterministic: the output
+/// depends only on the (multi)set of keys and the scheme — construction
+/// draws no randomness (balancing randomness is a *query-time* choice),
+/// so the PR 3 bit-identity contract holds by construction and is pinned
+/// by the [`par_build`] twin test anyway.
+pub fn build_seeded(keys: &[u64], scheme: OrdScheme) -> Result<OrderedLcd, OrdBuildError> {
+    let sorted = canonical_keys(keys)?;
+    let levels = level_sizes(sorted.len() as u64);
+    let mut table = Table::new(levels.len() as u32, sorted.len() as u64, 0);
+    for (l, row) in table.rows_mut() {
+        fill_row(&sorted, &levels, l as usize, row);
+    }
+    let d = OrderedLcd {
+        table,
+        levels,
+        scheme,
+    };
+    record_build(&d);
+    Ok(d)
+}
+
+/// Parallel twin of [`build_seeded`]: rows are filled by independent
+/// Rayon tasks (each row is a pure function of the sorted keys), so the
+/// result is bit-identical at every thread count.
+pub fn par_build(keys: &[u64], scheme: OrdScheme) -> Result<OrderedLcd, OrdBuildError> {
+    let sorted = canonical_keys(keys)?;
+    let levels = level_sizes(sorted.len() as u64);
+    let n = sorted.len();
+    let filled: Vec<Vec<u64>> = (0..levels.len())
+        .into_par_iter()
+        .map(|l| {
+            let mut row = vec![0u64; n];
+            fill_row(&sorted, &levels, l, &mut row);
+            row
+        })
+        .collect();
+    let mut table = Table::new(levels.len() as u32, n as u64, 0);
+    for (l, row) in table.rows_mut() {
+        row.copy_from_slice(&filled[l as usize]);
+    }
+    let d = OrderedLcd {
+        table,
+        levels,
+        scheme,
+    };
+    record_build(&d);
+    Ok(d)
+}
+
+impl OrderedLcd {
+    /// Number of stored keys `n`.
+    #[allow(clippy::len_without_is_empty)] // construction rejects empty sets
+    pub fn len(&self) -> usize {
+        self.levels[0] as usize
+    }
+
+    /// Number of levels (tree height + 1); the leaf row is level 0.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Separator counts per level, leaf first.
+    pub fn level_sizes(&self) -> &[u64] {
+        &self.levels
+    }
+
+    /// The replica policy this instance descends with.
+    pub fn scheme(&self) -> OrdScheme {
+        self.scheme
+    }
+
+    /// The same data under a different replica policy (cheap relabel —
+    /// the table is shared content either way).
+    pub fn with_scheme(mut self, scheme: OrdScheme) -> OrderedLcd {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The backing table (for simulators and per-level accounting:
+    /// cell `c` belongs to level `c / cols`).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The `i`-th smallest key (0-based), read without probe accounting.
+    pub fn key_at(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len());
+        self.table.peek(0, i as u64)
+    }
+
+    /// The smallest stored key.
+    pub fn min_key(&self) -> u64 {
+        self.key_at(0)
+    }
+
+    /// The largest stored key.
+    pub fn max_key(&self) -> u64 {
+        self.key_at(self.len() - 1)
+    }
+
+    /// The sorted key set, copied out (persistence and oracles).
+    pub fn keys(&self) -> Vec<u64> {
+        (0..self.len()).map(|i| self.key_at(i)).collect()
+    }
+
+    /// Draws the replica index for one level — or pins 0 under the
+    /// adversarial scheme (which consumes **no** randomness, so the two
+    /// schemes' answer streams stay independently reproducible).
+    #[inline]
+    pub(crate) fn replica(&self, level: usize, rng: &mut dyn RngCore) -> u64 {
+        match self.scheme {
+            OrdScheme::Adversarial => 0,
+            OrdScheme::Replicated => {
+                // ⌊s/n_ℓ⌋ is a lower bound on every separator's replica
+                // count (s = n here), so one draw serves the whole block
+                // scan and keeps the run contiguous.
+                uniform_below(rng, self.table.cols() / self.levels[level])
+            }
+        }
+    }
+
+    /// Root → leaf walk. Returns `(leaf index, key)` of the largest key
+    /// `≤ q`, or `None` when `q` is below the minimum (decided at the
+    /// root after exactly one replica draw). Every level consumes one
+    /// replica draw *before* its block scan, and scans its whole block —
+    /// the draw/probe schedule [`crate::plan::OrdPlan`] replays exactly.
+    pub(crate) fn descend(
+        &self,
+        q: u64,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn ProbeSink,
+    ) -> Option<(u64, u64)> {
+        let top = self.levels.len() - 1;
+        let mut lo = 0u64;
+        let mut m = self.levels[top];
+        for l in (0..=top).rev() {
+            let k = self.replica(l, rng);
+            let col0 = lo + k * self.levels[l];
+            let mut j = 0u64;
+            let mut pred = 0u64;
+            for t in 0..m {
+                let w = self.table.read(l as u32, col0 + t, sink);
+                if w <= q {
+                    j = t + 1;
+                    pred = w;
+                }
+            }
+            if j == 0 {
+                // Only possible at the root: lower blocks start with the
+                // chosen parent separator, which is ≤ q by choice.
+                debug_assert_eq!(l, top);
+                return None;
+            }
+            let e = lo + j - 1;
+            if l == 0 {
+                return Some((e, pred));
+            }
+            lo = e * BRANCH as u64;
+            m = (self.levels[l - 1] - lo).min(BRANCH as u64);
+        }
+        unreachable!("descent always returns at level 0")
+    }
+
+    /// Largest stored key `≤ q`, or `None` if `q < min`.
+    pub fn predecessor(
+        &self,
+        q: u64,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn ProbeSink,
+    ) -> Option<u64> {
+        self.descend(q, rng, sink).map(|(_, key)| key)
+    }
+
+    /// `#{k ∈ S : k < q}` — the prefix count strictly below `q`.
+    pub fn rank(&self, q: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> u64 {
+        match self.descend(q, rng, sink) {
+            None => 0,
+            Some((e, key)) => {
+                if key == q {
+                    e
+                } else {
+                    e + 1
+                }
+            }
+        }
+    }
+
+    /// `#{k ∈ S : k ≤ q}` — the inclusive prefix count.
+    pub fn count_le(&self, q: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> u64 {
+        self.descend(q, rng, sink).map_or(0, |(e, _)| e + 1)
+    }
+
+    /// `#{k ∈ S : lo ≤ k ≤ hi}`, as the rank difference
+    /// `count_le(hi) − rank(lo)`. An empty range (`lo > hi`) returns 0
+    /// without consuming randomness; otherwise the `lo` descent runs
+    /// first, then the `hi` descent — the order the batched executor
+    /// replays per query stream.
+    pub fn range_count(
+        &self,
+        lo: u64,
+        hi: u64,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn ProbeSink,
+    ) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let below = self.rank(lo, rng, sink);
+        self.count_le(hi, rng, sink) - below
+    }
+}
+
+impl CellProbeDict for OrderedLcd {
+    fn name(&self) -> String {
+        self.scheme.label().to_string()
+    }
+
+    /// Membership via the descent: `x` is stored iff its predecessor is
+    /// `x` itself. Lets the ordered dictionary serve the membership
+    /// opcodes and reuse every contention harness unchanged.
+    fn contains(&self, x: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> bool {
+        matches!(self.descend(x, rng, sink), Some((_, key)) if key == x)
+    }
+
+    fn num_cells(&self) -> u64 {
+        self.table.num_cells()
+    }
+
+    fn max_probes(&self) -> u32 {
+        (BRANCH * self.levels.len()) as u32
+    }
+
+    fn len(&self) -> usize {
+        self.levels[0] as usize
+    }
+
+    fn contains_batch(
+        &self,
+        keys: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        crate::plan::with_ord_scratch(|plan| {
+            plan.run_contains(self, keys, first_index, seed, sink, out)
+        });
+    }
+
+    fn words_per_key(&self) -> f64 {
+        self.levels.len() as f64
+    }
+}
+
+/// The binary-search oracle the proptest suites compare against.
+/// Public for tests, benches, and the shard seam checks.
+pub mod oracle {
+    /// `#{k < q}` over a sorted slice.
+    pub fn rank(keys: &[u64], q: u64) -> u64 {
+        keys.partition_point(|&k| k < q) as u64
+    }
+
+    /// `#{k ≤ q}` over a sorted slice.
+    pub fn count_le(keys: &[u64], q: u64) -> u64 {
+        keys.partition_point(|&k| k <= q) as u64
+    }
+
+    /// Largest key `≤ q`, if any.
+    pub fn predecessor(keys: &[u64], q: u64) -> Option<u64> {
+        match count_le(keys, q) {
+            0 => None,
+            c => Some(keys[c as usize - 1]),
+        }
+    }
+
+    /// `#{lo ≤ k ≤ hi}` (0 when `lo > hi`).
+    pub fn range_count(keys: &[u64], lo: u64, hi: u64) -> u64 {
+        if lo > hi {
+            0
+        } else {
+            count_le(keys, hi) - rank(keys, lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::rngutil::StreamRng;
+    use lcds_cellprobe::sink::{CountingSink, NullSink};
+
+    fn dict(n: u64, scheme: OrdScheme) -> OrderedLcd {
+        // Keys 3i+1 so queries can land below, between, and on keys.
+        let keys: Vec<u64> = (0..n).map(|i| 3 * i + 1).collect();
+        build_seeded(&keys, scheme).expect("build")
+    }
+
+    fn rng_for(i: u64) -> StreamRng {
+        StreamRng::for_stream(0xABCDEF, i)
+    }
+
+    #[test]
+    fn level_sizes_shrink_by_branch() {
+        assert_eq!(level_sizes(1), vec![1]);
+        assert_eq!(level_sizes(8), vec![8]);
+        assert_eq!(level_sizes(9), vec![9, 2]);
+        assert_eq!(level_sizes(64), vec![64, 8]);
+        assert_eq!(level_sizes(65), vec![65, 9, 2]);
+        let ls = level_sizes(100_000);
+        assert!(*ls.last().unwrap() <= BRANCH as u64);
+        for w in ls.windows(2) {
+            assert_eq!(w[1], w[0].div_ceil(BRANCH as u64));
+        }
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        assert_eq!(
+            build_seeded(&[], OrdScheme::Replicated),
+            Err(OrdBuildError::EmptyKeySet)
+        );
+        assert!(matches!(
+            build_seeded(&[1, MAX_KEY], OrdScheme::Replicated),
+            Err(OrdBuildError::KeyTooLarge(_))
+        ));
+        // Duplicates collapse.
+        let d = build_seeded(&[5, 5, 5, 9], OrdScheme::Replicated).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.keys(), vec![5, 9]);
+    }
+
+    #[test]
+    fn rows_replicate_their_level() {
+        let d = dict(100, OrdScheme::Replicated);
+        assert_eq!(d.num_levels(), 3); // 100 → 13 → 2
+        assert_eq!(d.level_sizes(), &[100, 13, 2]);
+        let t = d.table();
+        // Leaf row: the keys themselves, exactly once each.
+        for i in 0..100u64 {
+            assert_eq!(t.peek(0, i), 3 * i + 1);
+        }
+        // Upper rows: residue-replicated separators.
+        for col in 0..100u64 {
+            assert_eq!(t.peek(1, col), d.key_at(((col % 13) * 8) as usize));
+            assert_eq!(t.peek(2, col), d.key_at(((col % 2) * 64) as usize));
+        }
+    }
+
+    #[test]
+    fn answers_match_the_oracle_on_dense_probes() {
+        for n in [1u64, 7, 8, 9, 63, 64, 65, 257] {
+            for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+                let d = dict(n, scheme);
+                let keys = d.keys();
+                for q in 0..(3 * n + 4) {
+                    let mut rng = rng_for(q);
+                    assert_eq!(
+                        d.predecessor(q, &mut rng, &mut NullSink),
+                        oracle::predecessor(&keys, q),
+                        "pred n={n} q={q} {scheme:?}"
+                    );
+                    let mut rng = rng_for(q);
+                    assert_eq!(
+                        d.rank(q, &mut rng, &mut NullSink),
+                        oracle::rank(&keys, q),
+                        "rank n={n} q={q}"
+                    );
+                    let mut rng = rng_for(q);
+                    assert_eq!(
+                        d.count_le(q, &mut rng, &mut NullSink),
+                        oracle::count_le(&keys, q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_count_matches_rank_difference_and_handles_empties() {
+        let d = dict(200, OrdScheme::Replicated);
+        let keys = d.keys();
+        let cases = [
+            (0u64, 0u64),
+            (0, 1),
+            (1, 1),
+            (1, 598),
+            (10, 9), // inverted → empty
+            (2, 3),  // between keys → empty
+            (598, u64::MAX),
+        ];
+        for (i, &(lo, hi)) in cases.iter().enumerate() {
+            let mut rng = rng_for(i as u64);
+            assert_eq!(
+                d.range_count(lo, hi, &mut rng, &mut NullSink),
+                oracle::range_count(&keys, lo, hi),
+                "range [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn schemes_agree_on_answers_but_not_on_cells() {
+        let rep = dict(512, OrdScheme::Replicated);
+        let adv = dict(512, OrdScheme::Adversarial);
+        let mut rep_sink = CountingSink::new(rep.num_cells());
+        let mut adv_sink = CountingSink::new(adv.num_cells());
+        for q in 0..2000u64 {
+            let mut r1 = rng_for(q);
+            let mut r2 = rng_for(q);
+            assert_eq!(
+                rep.rank(q, &mut r1, &mut rep_sink),
+                adv.rank(q, &mut r2, &mut adv_sink)
+            );
+        }
+        // Same probe *count* (block scans are scheme-independent) but the
+        // adversarial root row concentrates on its first replica.
+        assert_eq!(rep_sink.total(), adv_sink.total());
+        assert!(adv_sink.max_count() > 4 * rep_sink.max_count());
+    }
+
+    #[test]
+    fn par_build_is_bit_identical_to_sequential() {
+        let keys: Vec<u64> = (0..3000u64).map(|i| i * 7 + 3).collect();
+        for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+            let seq = build_seeded(&keys, scheme).unwrap();
+            let par = par_build(&keys, scheme).unwrap();
+            assert_eq!(seq, par);
+            assert_eq!(seq.table().words(), par.table().words());
+        }
+    }
+
+    #[test]
+    fn contains_goes_through_the_descent() {
+        let d = dict(300, OrdScheme::Replicated);
+        let mut rng = rng_for(9);
+        assert!(d.contains(3 * 7 + 1, &mut rng, &mut NullSink));
+        assert!(!d.contains(3 * 7 + 2, &mut rng, &mut NullSink));
+        assert!(!d.contains(0, &mut rng, &mut NullSink));
+        assert_eq!(d.max_probes() as usize, BRANCH * d.num_levels());
+        assert_eq!(d.num_cells(), 300 * d.num_levels() as u64);
+    }
+
+    #[test]
+    fn probe_budget_holds() {
+        let d = dict(4096, OrdScheme::Replicated);
+        let mut sink = CountingSink::new(d.num_cells());
+        let before = sink.total();
+        let mut rng = rng_for(1);
+        let _ = d.predecessor(9999, &mut rng, &mut sink);
+        assert!(sink.total() - before <= d.max_probes() as u64);
+    }
+}

@@ -1,0 +1,46 @@
+//! **lcds-ordered** — low-contention *ordered* queries on the balanced
+//! cell-probe substrate: predecessor, rank (prefix count), and range
+//! count over a static sorted key set.
+//!
+//! Membership (Theorem 3) is one column of the theory this repository
+//! reproduces. The ordered-query problems carry their own cell-probe
+//! lower-bound landscape — Sen–Venkatesh for predecessor search, Viola
+//! for prefix sums (see PAPERS.md and DESIGN.md §12) — and the same
+//! replication idea that flattens the membership dictionary's hot hash
+//! parameters applies to the *level separators* of a search tree: in a
+//! plain B-tree every query reads the root line, giving the root cells
+//! contention Θ(1) instead of the 1/s optimum. [`OrderedLcd`] stores a
+//! B-ary level hierarchy in a rectangular [`lcds_cellprobe::table::Table`]
+//! where level ℓ's `n_ℓ` separators are replicated across all `s = n`
+//! columns (≈ `B^ℓ` copies each), and every query picks a replica per
+//! level with position-addressable [`lcds_cellprobe::rngutil::StreamRng`]
+//! randomness — so the root's traffic spreads over Θ(n) cells while the
+//! probe count stays `B·⌈log_B n⌉ + B`.
+//!
+//! # Module map
+//!
+//! * [`dict`] — [`OrderedLcd`]: the replicated level layout, sequential
+//!   descent, and the deterministic `build_seeded` / `par_build` twins
+//!   (bit-identical at every thread count, same contract as the
+//!   membership builder).
+//! * [`plan`] — [`OrdPlan`]: the batched SoA descent executor (aligned
+//!   scratch columns + software prefetch, reusing the PR 8 kernels),
+//!   bit-identical to the sequential path at any chunking.
+//! * [`shard`] — [`ShardedOrdered`]: range-partitioned shards with
+//!   cumulative rank offsets behind a replicated router row.
+//! * [`persist`] — versioned save/load of the sorted key set (layout is
+//!   rebuilt deterministically on load).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dict;
+pub mod persist;
+pub mod plan;
+pub mod shard;
+
+pub use dict::{
+    build_seeded, par_build, OrdBuildError, OrdScheme, OrderedLcd, BRANCH, NO_PREDECESSOR,
+};
+pub use plan::{with_ord_scratch, OrdPlan};
+pub use shard::{ShardedOrdered, ShardedOrderedError};

@@ -1,0 +1,294 @@
+//! Persistence for the ordered dictionary.
+//!
+//! Unlike the membership dictionary (whose build is randomized, so the
+//! artifact must snapshot hashes, displacements, and the full table),
+//! [`crate::OrderedLcd`] is a *pure function* of its sorted key set and
+//! scheme — so the file stores only the keys and the scheme, and load
+//! rebuilds the replicated layout deterministically. The artifact is
+//! `n + 5` words instead of `levels·n + …`.
+//!
+//! Format (all little-endian u64 words):
+//!
+//! ```text
+//! MAGIC  VERSION  scheme  n  keys[n]  CHECKSUM
+//! ```
+//!
+//! The checksum (splitmix64-folded over everything above, like the
+//! membership format) makes torn or corrupted files fail loudly with a
+//! structured error instead of rebuilding a silently wrong dictionary.
+
+use crate::dict::{build_seeded, OrdBuildError, OrdScheme, OrderedLcd};
+use lcds_hashing::mix::splitmix64;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic: `"LCDSORDD"` as a word.
+pub const MAGIC: u64 = 0x4C43_4453_4F52_4444;
+/// Format version.
+pub const VERSION: u64 = 1;
+
+/// Why an ordered load failed.
+#[derive(Debug)]
+pub enum OrdPersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic/version/scheme mismatch — not an ordered-dictionary file
+    /// (or one from an incompatible version).
+    BadHeader(String),
+    /// Checksum or structure mismatch — truncated or corrupted payload.
+    Corrupted(String),
+}
+
+impl std::fmt::Display for OrdPersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrdPersistError::Io(e) => write!(f, "i/o error: {e}"),
+            OrdPersistError::BadHeader(m) => write!(f, "bad header: {m}"),
+            OrdPersistError::Corrupted(m) => write!(f, "corrupted payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrdPersistError {}
+
+impl From<io::Error> for OrdPersistError {
+    fn from(e: io::Error) -> Self {
+        OrdPersistError::Io(e)
+    }
+}
+
+/// Incrementally checksummed word writer.
+struct WordWriter<'a, W: Write> {
+    out: &'a mut W,
+    checksum: u64,
+}
+
+impl<W: Write> WordWriter<'_, W> {
+    fn put(&mut self, w: u64) -> io::Result<()> {
+        self.checksum = splitmix64(self.checksum ^ w);
+        self.out.write_all(&w.to_le_bytes())
+    }
+}
+
+/// Incrementally checksummed word reader.
+struct WordReader<'a, R: Read> {
+    inp: &'a mut R,
+    checksum: u64,
+    words_read: u64,
+}
+
+impl<R: Read> WordReader<'_, R> {
+    fn get(&mut self) -> Result<u64, OrdPersistError> {
+        let mut buf = [0u8; 8];
+        self.inp.read_exact(&mut buf).map_err(|e| {
+            // EOF on the very first word means "not our file"; after that,
+            // a dictionary file was cut short — payload corruption.
+            if e.kind() == io::ErrorKind::UnexpectedEof && self.words_read > 0 {
+                OrdPersistError::Corrupted("file truncated mid-record".into())
+            } else {
+                OrdPersistError::Io(e)
+            }
+        })?;
+        self.words_read += 1;
+        let w = u64::from_le_bytes(buf);
+        self.checksum = splitmix64(self.checksum ^ w);
+        Ok(w)
+    }
+}
+
+fn scheme_word(scheme: OrdScheme) -> u64 {
+    match scheme {
+        OrdScheme::Replicated => 0,
+        OrdScheme::Adversarial => 1,
+    }
+}
+
+/// Serializes the ordered dictionary (its key set and scheme) to `out`.
+pub fn save<W: Write>(dict: &OrderedLcd, out: &mut W) -> io::Result<()> {
+    let mut w = WordWriter { out, checksum: 0 };
+    w.put(MAGIC)?;
+    w.put(VERSION)?;
+    w.put(scheme_word(dict.scheme()))?;
+    w.put(dict.len() as u64)?;
+    for i in 0..dict.len() {
+        w.put(dict.key_at(i))?;
+    }
+    let checksum = w.checksum;
+    w.out.write_all(&checksum.to_le_bytes())
+}
+
+/// Saves to a file through a `BufWriter` (the format is written one
+/// 8-byte word at a time; buffering collapses the syscall count).
+pub fn save_to_path<P: AsRef<Path>>(dict: &OrderedLcd, path: P) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    save(dict, &mut out)?;
+    out.flush()
+}
+
+/// Loads from a file through a `BufReader`.
+pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<OrderedLcd, OrdPersistError> {
+    let mut inp = BufReader::new(File::open(path)?);
+    load(&mut inp)
+}
+
+/// Deserializes an ordered dictionary: verifies header, key order, and
+/// checksum, then rebuilds the layout via [`build_seeded`] (which
+/// re-validates the key universe).
+pub fn load<R: Read>(inp: &mut R) -> Result<OrderedLcd, OrdPersistError> {
+    let mut r = WordReader {
+        inp,
+        checksum: 0,
+        words_read: 0,
+    };
+    if r.get()? != MAGIC {
+        return Err(OrdPersistError::BadHeader("wrong magic".into()));
+    }
+    let version = r.get()?;
+    if version != VERSION {
+        return Err(OrdPersistError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let scheme = match r.get()? {
+        0 => OrdScheme::Replicated,
+        1 => OrdScheme::Adversarial,
+        other => {
+            return Err(OrdPersistError::BadHeader(format!(
+                "unknown scheme code {other}"
+            )))
+        }
+    };
+    let n = r.get()?;
+    // A lying length can never allocate past the file's actual bytes (a
+    // short file hits EOF → Corrupted), but refuse absurd counts early.
+    if n == 0 || n > (1 << 34) {
+        return Err(OrdPersistError::BadHeader(format!(
+            "implausible key count {n}"
+        )));
+    }
+    let mut keys = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        keys.push(r.get()?);
+    }
+    if keys.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(OrdPersistError::Corrupted(
+            "keys not sorted/distinct".into(),
+        ));
+    }
+
+    let computed = r.checksum;
+    let mut buf = [0u8; 8];
+    r.inp.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            OrdPersistError::Corrupted("file truncated before checksum".into())
+        } else {
+            OrdPersistError::Io(e)
+        }
+    })?;
+    if u64::from_le_bytes(buf) != computed {
+        return Err(OrdPersistError::Corrupted("checksum mismatch".into()));
+    }
+
+    build_seeded(&keys, scheme).map_err(|e| match e {
+        OrdBuildError::KeyTooLarge(k) => {
+            OrdPersistError::Corrupted(format!("key {k} outside the universe"))
+        }
+        OrdBuildError::EmptyKeySet => OrdPersistError::Corrupted("empty key set".into()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64, scheme: OrdScheme) -> OrderedLcd {
+        build_seeded(&(0..n).map(|i| i * 9 + 4).collect::<Vec<_>>(), scheme).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_rebuilds_the_identical_dictionary() {
+        for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+            let d = sample(500, scheme);
+            let mut buf = Vec::new();
+            save(&d, &mut buf).unwrap();
+            assert_eq!(buf.len(), 8 * (4 + 500 + 1));
+            let loaded = load(&mut buf.as_slice()).unwrap();
+            // Construction is deterministic, so the whole structure —
+            // table words included — must match, not just the keys.
+            assert_eq!(loaded, d);
+        }
+    }
+
+    #[test]
+    fn path_roundtrip_matches_in_memory_bytes() {
+        let d = sample(120, OrdScheme::Replicated);
+        let path = std::env::temp_dir().join(format!(
+            "lcds-ordered-persist-test-{}.ord",
+            std::process::id()
+        ));
+        save_to_path(&d, &path).unwrap();
+        let mut mem = Vec::new();
+        save(&d, &mut mem).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), mem);
+        assert_eq!(load_from_path(&path).unwrap(), d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_and_payload_corruption_are_structured_errors() {
+        let mut clean = Vec::new();
+        save(&sample(80, OrdScheme::Replicated), &mut clean).unwrap();
+
+        let mut buf = clean.clone();
+        buf[0] ^= 0xFF; // magic
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(OrdPersistError::BadHeader(_))
+        ));
+
+        let mut buf = clean.clone();
+        buf[16] = 9; // scheme code
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(OrdPersistError::BadHeader(_))
+        ));
+
+        // A bit flip in any key breaks either the sort check or the
+        // checksum; either way the load fails loudly.
+        for pos in [40usize, clean.len() / 2, clean.len() - 9] {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x10;
+            assert!(
+                load(&mut buf.as_slice()).is_err(),
+                "bit flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_corrupted_not_io() {
+        let mut buf = Vec::new();
+        save(&sample(60, OrdScheme::Adversarial), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(OrdPersistError::Corrupted(_))
+        ));
+        assert!(matches!(
+            load(&mut [].as_slice()),
+            Err(OrdPersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn forged_key_count_is_rejected_early() {
+        let mut buf = Vec::new();
+        save(&sample(40, OrdScheme::Replicated), &mut buf).unwrap();
+        buf[24..32].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(OrdPersistError::BadHeader(_))
+        ));
+    }
+}

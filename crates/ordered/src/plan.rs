@@ -1,0 +1,485 @@
+//! [`OrdPlan`]: the batched SoA executor for the level descent.
+//!
+//! The membership batch plan (`lcds_core::plan::BatchPlan`) wins its
+//! speed from three things the descent reuses directly: 64-byte-aligned
+//! scratch columns ([`lcds_core::AlignedCol`]), software prefetch pipelined
+//! across lanes ([`lcds_core::kernels::Prefetcher`]), and survivor
+//! compaction to a dense prefix. A descent is *data-dependent* between
+//! levels (the child block depends on the parent scan), so instead of
+//! stage-per-row the plan runs **level-at-a-time across all lanes**: for
+//! each level it first computes every lane's replica column (pure
+//! arithmetic plus one `StreamRng` draw per lane — no memory traffic),
+//! then sweeps the lanes' ≤ B-word block scans with the prefetcher
+//! touching lines a fixed distance ahead. Lanes that miss at the root
+//! (query below the minimum) are compacted out before lower levels, so
+//! their streams consume exactly as much randomness as the sequential
+//! path — the draw/probe schedule is *identical* per `(query, global
+//! index, seed)` triple, which is what makes TCP answers bit-identical
+//! to direct engine calls at any chunking.
+
+use crate::dict::{OrdScheme, OrderedLcd, BRANCH, NO_PREDECESSOR};
+use lcds_cellprobe::rngutil::{uniform_below, StreamRng};
+use lcds_cellprobe::sink::{PlanStage, ProbeSink};
+use lcds_core::kernels::{KernelConfig, Prefetcher};
+use lcds_core::AlignedCol;
+use std::cell::RefCell;
+
+/// Per-slot descent outcome: `(found, leaf index, key)`.
+type Descent = (bool, u64, u64);
+
+/// Reusable scratch for batched descents. Cheap to create, cheaper to
+/// reuse — workers hold one via [`with_ord_scratch`] and amortize every
+/// allocation away.
+#[derive(Clone, Debug, Default)]
+pub struct OrdPlan {
+    cfg: KernelConfig,
+    /// Per-lane replica column of the current level (aligned: the sweep
+    /// streams through it once per level).
+    cols: AlignedCol,
+    /// Per-lane child-block start index at the current level.
+    lo: Vec<u64>,
+    /// Per-lane child-block length at the current level (≤ B).
+    blk: Vec<u32>,
+    /// Lane → slot in the caller's output.
+    slot: Vec<u32>,
+    /// Per-slot query randomness, persisted across the (up to two)
+    /// descents of one batch.
+    rngs: Vec<StreamRng>,
+    /// Per-slot descent results.
+    res: Vec<Descent>,
+}
+
+impl OrdPlan {
+    /// Creates a plan with the host-selected kernel configuration
+    /// (honours `LCDS_FORCE_SCALAR` / `LCDS_KERNEL_LANES`).
+    pub fn new() -> OrdPlan {
+        OrdPlan {
+            cfg: KernelConfig::auto(),
+            ..OrdPlan::default()
+        }
+    }
+
+    /// Seeds one `StreamRng` per slot: slot `i` gets stream
+    /// `first_index + i`, the same addressing the sequential path uses.
+    fn seed_rngs(&mut self, n: usize, first_index: u64, seed: u64) {
+        self.rngs.clear();
+        self.rngs
+            .extend((0..n as u64).map(|i| StreamRng::for_stream(seed, first_index + i)));
+    }
+
+    /// One full descent for the active lanes. `queries[slot]` is the
+    /// probe value; `active` lists the slots to walk (dense lanes).
+    /// Results land in `self.res[slot]`; inactive slots are untouched.
+    /// Returns the number of cell probes issued.
+    fn descend(
+        &mut self,
+        d: &OrderedLcd,
+        queries: &[u64],
+        active: &[u32],
+        sink: &mut dyn ProbeSink,
+    ) -> u64 {
+        let levels = d.level_sizes();
+        let top = levels.len() - 1;
+        let s = d.table().cols();
+        let words = d.table().words();
+        let adversarial = d.scheme() == OrdScheme::Adversarial;
+
+        let mut probes = 0u64;
+        let mut count = active.len();
+        self.slot.clear();
+        self.slot.extend_from_slice(active);
+        self.lo.clear();
+        self.lo.resize(count, 0);
+        self.blk.clear();
+        self.blk.resize(count, levels[top] as u32);
+
+        for l in (0..=top).rev() {
+            let n_l = levels[l];
+            let replicas = s / n_l;
+            let row_base = l as u64 * s;
+            // Pass 1: replica draw + column arithmetic, no memory reads.
+            self.cols.reset(count);
+            let cols = self.cols.as_mut();
+            for lane in 0..count {
+                let k = if adversarial {
+                    0
+                } else {
+                    uniform_below(&mut self.rngs[self.slot[lane] as usize], replicas)
+                };
+                cols[lane] = row_base + self.lo[lane] + k * n_l;
+            }
+            // Pass 2: block scans, prefetched a fixed lane distance ahead.
+            sink.stage(if l == 0 {
+                PlanStage::Data
+            } else {
+                PlanStage::Header
+            });
+            let cols = self.cols.as_slice();
+            let ahead = self.cfg.lanes.max(1) * 2;
+            let mut pf = Prefetcher::new(words, self.cfg);
+            for a in 0..ahead.min(count) {
+                pf.touch(cols[a] as usize);
+            }
+            let mut write = 0usize;
+            for lane in 0..count {
+                if lane + ahead < count {
+                    pf.touch(cols[lane + ahead] as usize);
+                }
+                let q = queries[self.slot[lane] as usize];
+                let base = cols[lane];
+                let m = self.blk[lane] as u64;
+                let mut j = 0u64;
+                let mut pred = 0u64;
+                probes += m;
+                for t in 0..m {
+                    sink.probe(base + t);
+                    let w = words[(base + t) as usize];
+                    if w <= q {
+                        j = t + 1;
+                        pred = w;
+                    }
+                }
+                if j == 0 {
+                    // Root miss: q below the minimum. Record and compact
+                    // the lane out (its stream drew exactly one replica,
+                    // like the sequential early return).
+                    debug_assert_eq!(l, top);
+                    self.res[self.slot[lane] as usize] = (false, 0, 0);
+                    continue;
+                }
+                let e = self.lo[lane] + j - 1;
+                if l == 0 {
+                    self.res[self.slot[lane] as usize] = (true, e, pred);
+                } else {
+                    let lo = e * BRANCH as u64;
+                    self.lo[write] = lo;
+                    self.blk[write] = (levels[l - 1] - lo).min(BRANCH as u64) as u32;
+                    self.slot[write] = self.slot[lane];
+                    write += 1;
+                }
+            }
+            pf.finish();
+            if l == 0 {
+                break;
+            }
+            count = write;
+            if count == 0 {
+                break;
+            }
+        }
+        probes
+    }
+
+    /// Runs one descent per query and hands per-slot outcomes to `emit`.
+    fn run_single<F: FnMut(usize, Descent)>(
+        &mut self,
+        d: &OrderedLcd,
+        queries: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        mut emit: F,
+    ) {
+        self.seed_rngs(queries.len(), first_index, seed);
+        self.res.clear();
+        self.res.resize(queries.len(), (false, 0, 0));
+        for _ in 0..queries.len() {
+            sink.begin_query();
+        }
+        let active: Vec<u32> = (0..queries.len() as u32).collect();
+        let probes = self.descend(d, queries, &active, sink);
+        record_batch(queries.len(), probes);
+        for (i, &r) in self.res.iter().enumerate() {
+            emit(i, r);
+        }
+    }
+
+    /// Batched predecessor: appends the largest key `≤ queries[i]`, or
+    /// [`NO_PREDECESSOR`], for each query.
+    pub fn run_predecessor(
+        &mut self,
+        d: &OrderedLcd,
+        queries: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<u64>,
+    ) {
+        out.reserve(queries.len());
+        self.run_single(d, queries, first_index, seed, sink, |_, (found, _, key)| {
+            out.push(if found { key } else { NO_PREDECESSOR })
+        });
+    }
+
+    /// Batched strict rank: appends `#{k < queries[i]}` per query.
+    pub fn run_rank(
+        &mut self,
+        d: &OrderedLcd,
+        queries: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<u64>,
+    ) {
+        out.reserve(queries.len());
+        self.run_single(d, queries, first_index, seed, sink, |i, (found, e, key)| {
+            out.push(match (found, key == queries[i]) {
+                (false, _) => 0,
+                (true, true) => e,
+                (true, false) => e + 1,
+            })
+        });
+    }
+
+    /// Batched inclusive rank: appends `#{k ≤ queries[i]}` per query.
+    pub fn run_count_le(
+        &mut self,
+        d: &OrderedLcd,
+        queries: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<u64>,
+    ) {
+        out.reserve(queries.len());
+        self.run_single(d, queries, first_index, seed, sink, |_, (found, e, _)| {
+            out.push(if found { e + 1 } else { 0 })
+        });
+    }
+
+    /// Batched membership via the descent (exact-hit predecessor).
+    pub fn run_contains(
+        &mut self,
+        d: &OrderedLcd,
+        queries: &[u64],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<bool>,
+    ) {
+        out.reserve(queries.len());
+        self.run_single(d, queries, first_index, seed, sink, |i, (found, _, key)| {
+            out.push(found && key == queries[i])
+        });
+    }
+
+    /// Batched range count: appends `#{lo ≤ k ≤ hi}` per `(lo, hi)` pair.
+    ///
+    /// Per slot the `lo` descent runs before the `hi` descent on the same
+    /// stream, and inverted ranges consume no randomness — exactly the
+    /// sequential `range_count` schedule, so any chunking of a pair array
+    /// yields bit-identical counts.
+    pub fn run_range_count(
+        &mut self,
+        d: &OrderedLcd,
+        ranges: &[(u64, u64)],
+        first_index: u64,
+        seed: u64,
+        sink: &mut dyn ProbeSink,
+        out: &mut Vec<u64>,
+    ) {
+        self.seed_rngs(ranges.len(), first_index, seed);
+        self.res.clear();
+        self.res.resize(ranges.len(), (false, 0, 0));
+        for _ in 0..ranges.len() {
+            sink.begin_query();
+        }
+        let active: Vec<u32> = (0..ranges.len())
+            .filter(|&i| ranges[i].0 <= ranges[i].1)
+            .map(|i| i as u32)
+            .collect();
+
+        let los: Vec<u64> = ranges.iter().map(|&(lo, _)| lo).collect();
+        let mut probes = self.descend(d, &los, &active, sink);
+        let below: Vec<u64> = self
+            .res
+            .iter()
+            .enumerate()
+            .map(|(i, &(found, e, key))| match (found, key == los[i]) {
+                (false, _) => 0,
+                (true, true) => e,
+                (true, false) => e + 1,
+            })
+            .collect();
+
+        let his: Vec<u64> = ranges.iter().map(|&(_, hi)| hi).collect();
+        self.res.fill((false, 0, 0));
+        probes += self.descend(d, &his, &active, sink);
+        record_batch(ranges.len(), probes);
+
+        out.reserve(ranges.len());
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            if lo > hi {
+                out.push(0);
+                continue;
+            }
+            let le = match self.res[i] {
+                (false, ..) => 0,
+                (true, e, _) => e + 1,
+            };
+            out.push(le - below[i]);
+        }
+    }
+}
+
+/// Batch-level telemetry (gated like everything else).
+fn record_batch(queries: usize, probes: u64) {
+    if lcds_obs::enabled() {
+        let reg = lcds_obs::global();
+        reg.counter(lcds_obs::names::ORD_QUERIES_TOTAL)
+            .add(queries as u64);
+        reg.counter(lcds_obs::names::ORD_PROBES_TOTAL).add(probes);
+    }
+}
+
+thread_local! {
+    static ORD_SCRATCH: RefCell<OrdPlan> = RefCell::new(OrdPlan::new());
+}
+
+/// Runs `work` with this thread's reusable [`OrdPlan`] — the per-worker
+/// scratch discipline the serving engine uses (mirrors
+/// `lcds_core::plan::with_thread_scratch`).
+pub fn with_ord_scratch<R>(work: impl FnOnce(&mut OrdPlan) -> R) -> R {
+    ORD_SCRATCH.with(|cell| work(&mut cell.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::{build_seeded, oracle};
+    use lcds_cellprobe::dict::CellProbeDict;
+    use lcds_cellprobe::sink::{CountingSink, NullSink};
+
+    fn dict(n: u64, scheme: OrdScheme) -> OrderedLcd {
+        build_seeded(&(0..n).map(|i| 5 * i + 2).collect::<Vec<_>>(), scheme).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_per_query() {
+        for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+            let d = dict(777, scheme);
+            let queries: Vec<u64> = (0..2000u64).map(|i| i * 3).collect();
+            let (seed, first) = (0xFEED, 40u64);
+            let mut plan = OrdPlan::new();
+            let (mut pred, mut rank, mut le) = (Vec::new(), Vec::new(), Vec::new());
+            plan.run_predecessor(&d, &queries, first, seed, &mut NullSink, &mut pred);
+            plan.run_rank(&d, &queries, first, seed, &mut NullSink, &mut rank);
+            plan.run_count_le(&d, &queries, first, seed, &mut NullSink, &mut le);
+            for (i, &q) in queries.iter().enumerate() {
+                let mut rng = StreamRng::for_stream(seed, first + i as u64);
+                assert_eq!(
+                    pred[i],
+                    d.predecessor(q, &mut rng, &mut NullSink)
+                        .unwrap_or(NO_PREDECESSOR),
+                    "pred q={q} {scheme:?}"
+                );
+                let mut rng = StreamRng::for_stream(seed, first + i as u64);
+                assert_eq!(rank[i], d.rank(q, &mut rng, &mut NullSink), "rank q={q}");
+                let mut rng = StreamRng::for_stream(seed, first + i as u64);
+                assert_eq!(le[i], d.count_le(q, &mut rng, &mut NullSink));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_probes_match_sequential_probes() {
+        // Same cells, same multiplicities — only the order differs, so a
+        // counting sink sees identical totals per cell.
+        let d = dict(400, OrdScheme::Replicated);
+        let queries: Vec<u64> = (0..900u64).map(|i| i * 2 + 1).collect();
+        let (seed, first) = (7u64, 0u64);
+        let mut batch_sink = CountingSink::new(d.num_cells());
+        with_ord_scratch(|plan| {
+            plan.run_rank(&d, &queries, first, seed, &mut batch_sink, &mut Vec::new())
+        });
+        let mut seq_sink = CountingSink::new(d.num_cells());
+        for (i, &q) in queries.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(seed, first + i as u64);
+            let _ = d.rank(q, &mut rng, &mut seq_sink);
+        }
+        assert_eq!(batch_sink.counts(), seq_sink.counts());
+    }
+
+    #[test]
+    fn chunking_never_changes_answers() {
+        let d = dict(513, OrdScheme::Replicated);
+        let queries: Vec<u64> = (0..1000u64).map(|i| i * 7).collect();
+        let seed = 0xC0FFEE;
+        let mut whole = Vec::new();
+        with_ord_scratch(|p| p.run_predecessor(&d, &queries, 0, seed, &mut NullSink, &mut whole));
+        for chunk in [1usize, 3, 64, 65, 999] {
+            let mut pieced = Vec::new();
+            for (c, part) in queries.chunks(chunk).enumerate() {
+                with_ord_scratch(|p| {
+                    p.run_predecessor(
+                        &d,
+                        part,
+                        (c * chunk) as u64,
+                        seed,
+                        &mut NullSink,
+                        &mut pieced,
+                    )
+                });
+            }
+            assert_eq!(pieced, whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn range_batch_matches_sequential_and_oracle() {
+        let d = dict(300, OrdScheme::Replicated);
+        let keys = d.keys();
+        let ranges: Vec<(u64, u64)> = (0..500u64)
+            .map(|i| {
+                let lo = (i * 11) % 1600;
+                let hi = if i % 5 == 0 {
+                    lo.wrapping_sub(9)
+                } else {
+                    lo + (i % 40) * 3
+                };
+                (lo, hi)
+            })
+            .collect();
+        let (seed, first) = (99u64, 17u64);
+        let mut got = Vec::new();
+        with_ord_scratch(|p| p.run_range_count(&d, &ranges, first, seed, &mut NullSink, &mut got));
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                oracle::range_count(&keys, lo, hi),
+                "range {lo}..{hi}"
+            );
+            let mut rng = StreamRng::for_stream(seed, first + i as u64);
+            assert_eq!(got[i], d.range_count(lo, hi, &mut rng, &mut NullSink));
+        }
+        // Chunked pair arrays agree too.
+        for chunk in [1usize, 7, 128] {
+            let mut pieced = Vec::new();
+            for (c, part) in ranges.chunks(chunk).enumerate() {
+                with_ord_scratch(|p| {
+                    p.run_range_count(
+                        &d,
+                        part,
+                        first + (c * chunk) as u64,
+                        seed,
+                        &mut NullSink,
+                        &mut pieced,
+                    )
+                });
+            }
+            assert_eq!(pieced, got, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn below_min_queries_compact_out_and_still_answer() {
+        let d = build_seeded(&[100, 200, 300], OrdScheme::Replicated).unwrap();
+        let queries = vec![0u64, 99, 100, 150, 301];
+        let mut pred = Vec::new();
+        with_ord_scratch(|p| p.run_predecessor(&d, &queries, 0, 1, &mut NullSink, &mut pred));
+        assert_eq!(pred, vec![NO_PREDECESSOR, NO_PREDECESSOR, 100, 100, 300]);
+        let mut rank = Vec::new();
+        with_ord_scratch(|p| p.run_rank(&d, &queries, 0, 1, &mut NullSink, &mut rank));
+        assert_eq!(rank, vec![0, 0, 0, 1, 3]);
+    }
+}

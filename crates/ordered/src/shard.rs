@@ -1,0 +1,410 @@
+//! [`ShardedOrdered`]: range-partitioned ordered shards behind a
+//! *replicated* router row.
+//!
+//! The membership shards (`lcds_serve::shard`) route by a stateless
+//! splitter hash — fine for membership, useless for ordered queries,
+//! which need *value-contiguous* shards so rank composes by offset. A
+//! range partition needs a router that maps a query to the shard whose
+//! key interval contains it, and a naïve router (one array of `K`
+//! splitter keys, binary-searched) is exactly the hot-cell failure mode
+//! this repository exists to kill: every query would read the same
+//! `O(log K)` cells. So the router here is itself laid out like an
+//! [`OrderedLcd`] level — one table row of `s = n` columns, column `j`
+//! holding splitter `j mod K` — and every query draws one replica (a
+//! contiguous `K`-word run) before scanning it. Router contention is
+//! `O(K/n)` per cell under [`OrdScheme::Replicated`] instead of the
+//! pinned-replica `Θ(1/K)`.
+//!
+//! Rank composes across shards by prefix offset: shard `k` stores keys
+//! `[b_k, b_{k+1})` of the global sorted order, so
+//! `rank(q) = b_k + rank_k(q)` for the routed shard `k`. Predecessor
+//! never has to fall back across a seam: routing picks the last shard
+//! whose minimum is `≤ q`, so the routed shard's minimum already is a
+//! candidate predecessor. Queries below the global minimum route to
+//! shard 0, which answers `None`/0 itself — the same root-miss contract
+//! as the unsharded descent.
+
+use crate::dict::{build_seeded, OrdBuildError, OrdScheme, OrderedLcd};
+use lcds_cellprobe::dict::CellProbeDict;
+use lcds_cellprobe::rngutil::uniform_below;
+use lcds_cellprobe::sink::ProbeSink;
+use lcds_cellprobe::table::{CellId, Table};
+use rand::RngCore;
+use rayon::prelude::*;
+
+/// Why sharded ordered construction failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ShardedOrderedError {
+    /// Zero shards requested.
+    ZeroShards,
+    /// Fewer (distinct) keys than shards: some shard would be empty and
+    /// the router row would have more splitters than replicas.
+    TooFewKeys {
+        /// Distinct keys supplied.
+        keys: usize,
+        /// Shards requested.
+        shards: usize,
+    },
+    /// An underlying per-shard build failed.
+    Build(OrdBuildError),
+}
+
+impl std::fmt::Display for ShardedOrderedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedOrderedError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ShardedOrderedError::TooFewKeys { keys, shards } => {
+                write!(f, "{keys} distinct keys cannot fill {shards} shards")
+            }
+            ShardedOrderedError::Build(e) => write!(f, "ordered shard build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardedOrderedError {}
+
+impl From<OrdBuildError> for ShardedOrderedError {
+    fn from(e: OrdBuildError) -> Self {
+        ShardedOrderedError::Build(e)
+    }
+}
+
+/// Forwards probes with a constant cell-id offset, presenting shard-local
+/// (or router-local) probes in the sharded structure's global cell space.
+struct OffsetSink<'a> {
+    inner: &'a mut dyn ProbeSink,
+    base: u64,
+}
+
+impl ProbeSink for OffsetSink<'_> {
+    #[inline]
+    fn probe(&mut self, cell: CellId) {
+        self.inner.probe(self.base + cell);
+    }
+    fn begin_query(&mut self) {
+        self.inner.begin_query();
+    }
+    fn stage(&mut self, stage: lcds_cellprobe::sink::PlanStage) {
+        self.inner.stage(stage);
+    }
+}
+
+/// `K` value-contiguous [`OrderedLcd`] shards with cumulative rank
+/// offsets, routed through a replicated splitter row. Cell ids: the
+/// router row occupies `[0, n)`, shard `k`'s cells follow at its base.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedOrdered {
+    shards: Vec<OrderedLcd>,
+    /// Global rank offset (= global index of the minimum) of each shard.
+    starts: Vec<u64>,
+    /// Global cell-id base of each shard (router row first).
+    bases: Vec<u64>,
+    /// One replicated row: column `j` holds shard `(j mod K)`'s minimum.
+    router: Table,
+    scheme: OrdScheme,
+}
+
+/// Balanced contiguous boundaries: shard `k` gets global indices
+/// `[⌊kn/K⌋, ⌊(k+1)n/K⌋)` — sizes differ by at most one.
+fn boundaries(n: usize, k: usize) -> Vec<usize> {
+    (0..=k).map(|i| i * n / k).collect()
+}
+
+/// Validates, canonicalizes, and slices the key set.
+fn partition(
+    keys: &[u64],
+    num_shards: usize,
+) -> Result<(Vec<u64>, Vec<usize>), ShardedOrderedError> {
+    if num_shards == 0 {
+        return Err(ShardedOrderedError::ZeroShards);
+    }
+    let sorted = crate::dict::canonical_keys(keys)?;
+    if sorted.len() < num_shards {
+        return Err(ShardedOrderedError::TooFewKeys {
+            keys: sorted.len(),
+            shards: num_shards,
+        });
+    }
+    let bounds = boundaries(sorted.len(), num_shards);
+    Ok((sorted, bounds))
+}
+
+impl ShardedOrdered {
+    /// Builds `num_shards` contiguous shards sequentially.
+    /// Deterministic — like [`build_seeded`], construction draws no
+    /// randomness, so the [`ShardedOrdered::par_build`] twin is
+    /// bit-identical at every thread count.
+    pub fn build_seeded(
+        keys: &[u64],
+        num_shards: usize,
+        scheme: OrdScheme,
+    ) -> Result<ShardedOrdered, ShardedOrderedError> {
+        let (sorted, bounds) = partition(keys, num_shards)?;
+        let shards = bounds
+            .windows(2)
+            .map(|w| build_seeded(&sorted[w[0]..w[1]], scheme))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, &sorted, &bounds, scheme))
+    }
+
+    /// Parallel twin of [`ShardedOrdered::build_seeded`]: shards build
+    /// under independent Rayon tasks, bit-identical output.
+    pub fn par_build(
+        keys: &[u64],
+        num_shards: usize,
+        scheme: OrdScheme,
+    ) -> Result<ShardedOrdered, ShardedOrderedError> {
+        let (sorted, bounds) = partition(keys, num_shards)?;
+        let shards = (0..num_shards)
+            .into_par_iter()
+            .map(|k| crate::dict::par_build(&sorted[bounds[k]..bounds[k + 1]], scheme))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, &sorted, &bounds, scheme))
+    }
+
+    fn assemble(
+        shards: Vec<OrderedLcd>,
+        sorted: &[u64],
+        bounds: &[usize],
+        scheme: OrdScheme,
+    ) -> ShardedOrdered {
+        let n = sorted.len() as u64;
+        let k = shards.len();
+        let mut router = Table::new(1, n, 0);
+        for (_, row) in router.rows_mut() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = sorted[bounds[j % k]];
+            }
+        }
+        let starts: Vec<u64> = bounds[..k].iter().map(|&b| b as u64).collect();
+        let mut bases = Vec::with_capacity(k);
+        let mut base = n; // router row occupies [0, n)
+        for s in &shards {
+            bases.push(base);
+            base += s.num_cells();
+        }
+        ShardedOrdered {
+            shards,
+            starts,
+            bases,
+            router,
+            scheme,
+        }
+    }
+
+    /// Number of stored keys across all shards.
+    #[allow(clippy::len_without_is_empty)] // construction rejects empty sets
+    pub fn len(&self) -> usize {
+        self.starts.last().map_or(0, |&s| s as usize) + self.shards.last().unwrap().len()
+    }
+
+    /// Number of shards `K`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard dictionaries, in key order.
+    pub fn shards(&self) -> &[OrderedLcd] {
+        &self.shards
+    }
+
+    /// Total cells: the router row plus every shard's table.
+    pub fn num_cells(&self) -> u64 {
+        self.router.num_cells() + self.shards.iter().map(|s| s.num_cells()).sum::<u64>()
+    }
+
+    /// Routes `q` to its shard: one replica draw, then a `K`-word scan of
+    /// that replica's contiguous splitter run. Returns the last shard
+    /// whose minimum is `≤ q` — or shard 0 when `q` is below the global
+    /// minimum (it answers the miss itself).
+    fn route(&self, q: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> usize {
+        let k = self.shards.len() as u64;
+        let r = match self.scheme {
+            OrdScheme::Adversarial => 0,
+            OrdScheme::Replicated => uniform_below(rng, self.router.cols() / k),
+        };
+        let mut j = 0u64;
+        for t in 0..k {
+            let w = self.router.read(0, r * k + t, sink);
+            if w <= q {
+                j = t + 1;
+            }
+        }
+        j.saturating_sub(1) as usize
+    }
+
+    /// Largest stored key `≤ q`, or `None` if `q` is below the minimum.
+    pub fn predecessor(
+        &self,
+        q: u64,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn ProbeSink,
+    ) -> Option<u64> {
+        let s = self.route(q, rng, sink);
+        let mut shard_sink = OffsetSink {
+            inner: sink,
+            base: self.bases[s],
+        };
+        self.shards[s].predecessor(q, rng, &mut shard_sink)
+    }
+
+    /// Global strict rank `#{k < q}`: the routed shard's local rank plus
+    /// its cumulative offset.
+    pub fn rank(&self, q: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> u64 {
+        let s = self.route(q, rng, sink);
+        let mut shard_sink = OffsetSink {
+            inner: sink,
+            base: self.bases[s],
+        };
+        self.starts[s] + self.shards[s].rank(q, rng, &mut shard_sink)
+    }
+
+    /// Global inclusive rank `#{k ≤ q}`.
+    pub fn count_le(&self, q: u64, rng: &mut dyn RngCore, sink: &mut dyn ProbeSink) -> u64 {
+        let s = self.route(q, rng, sink);
+        let mut shard_sink = OffsetSink {
+            inner: sink,
+            base: self.bases[s],
+        };
+        self.starts[s] + self.shards[s].count_le(q, rng, &mut shard_sink)
+    }
+
+    /// `#{k ∈ S : lo ≤ k ≤ hi}` as a global rank difference — the two
+    /// descents may land in different shards; the offsets compose.
+    pub fn range_count(
+        &self,
+        lo: u64,
+        hi: u64,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn ProbeSink,
+    ) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let below = self.rank(lo, rng, sink);
+        self.count_le(hi, rng, sink) - below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::oracle;
+    use lcds_cellprobe::rngutil::StreamRng;
+    use lcds_cellprobe::sink::{CountingSink, NullSink};
+
+    fn keys(n: u64) -> Vec<u64> {
+        (0..n).map(|i| 4 * i + 2).collect()
+    }
+
+    fn rng_for(i: u64) -> StreamRng {
+        StreamRng::for_stream(0x5EAD, i)
+    }
+
+    #[test]
+    fn shard_sizes_are_balanced_and_contiguous() {
+        for (n, k) in [(10usize, 3usize), (100, 7), (8, 8), (1000, 1)] {
+            let d = ShardedOrdered::build_seeded(&keys(n as u64), k, OrdScheme::Replicated)
+                .expect("build");
+            assert_eq!(d.num_shards(), k);
+            assert_eq!(d.len(), n);
+            let sizes: Vec<usize> = d.shards().iter().map(|s| s.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            // Contiguous in value: each shard's max < next shard's min.
+            for w in d.shards().windows(2) {
+                assert!(w[0].max_key() < w[1].min_key());
+            }
+        }
+    }
+
+    #[test]
+    fn answers_match_the_oracle_across_every_seam() {
+        for k in [1usize, 2, 3, 5] {
+            let all = keys(101);
+            let d = ShardedOrdered::build_seeded(&all, k, OrdScheme::Replicated).unwrap();
+            // Dense probes cover below-min, every boundary ±1, and above-max.
+            for q in 0..all.last().unwrap() + 3 {
+                let mut rng = rng_for(q);
+                assert_eq!(
+                    d.predecessor(q, &mut rng, &mut NullSink),
+                    oracle::predecessor(&all, q),
+                    "pred k={k} q={q}"
+                );
+                let mut rng = rng_for(q);
+                assert_eq!(d.rank(q, &mut rng, &mut NullSink), oracle::rank(&all, q));
+                let mut rng = rng_for(q);
+                assert_eq!(
+                    d.count_le(q, &mut rng, &mut NullSink),
+                    oracle::count_le(&all, q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_count_spans_shards() {
+        let all = keys(90);
+        let d = ShardedOrdered::build_seeded(&all, 3, OrdScheme::Replicated).unwrap();
+        let cases = [(0u64, 400u64), (2, 2), (3, 5), (150, 90), (100, 250)];
+        for (i, &(lo, hi)) in cases.iter().enumerate() {
+            let mut rng = rng_for(i as u64);
+            assert_eq!(
+                d.range_count(lo, hi, &mut rng, &mut NullSink),
+                oracle::range_count(&all, lo, hi),
+                "range [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn par_build_is_bit_identical_to_sequential() {
+        let all = keys(333);
+        for k in [1usize, 4] {
+            let seq = ShardedOrdered::build_seeded(&all, k, OrdScheme::Replicated).unwrap();
+            let par = ShardedOrdered::par_build(&all, k, OrdScheme::Replicated).unwrap();
+            assert_eq!(seq, par, "k={k}");
+        }
+    }
+
+    #[test]
+    fn replicated_router_spreads_traffic_and_probes_stay_global() {
+        let all = keys(512);
+        let rep = ShardedOrdered::build_seeded(&all, 4, OrdScheme::Replicated).unwrap();
+        let adv = ShardedOrdered::build_seeded(&all, 4, OrdScheme::Adversarial).unwrap();
+        let mut rep_sink = CountingSink::new(rep.num_cells());
+        let mut adv_sink = CountingSink::new(adv.num_cells());
+        // Queries only slightly past the max key: far-overflow queries
+        // would pin the final leaf block under *both* schemes and wash
+        // out the separation this asserts.
+        for q in 0..2100u64 {
+            let mut r1 = rng_for(q);
+            let mut r2 = rng_for(q);
+            assert_eq!(
+                rep.rank(q, &mut r1, &mut rep_sink),
+                adv.rank(q, &mut r2, &mut adv_sink)
+            );
+        }
+        // CountingSink would panic on an out-of-range cell id, so the
+        // OffsetSink mapping is validated by getting here at all; the
+        // pinned router/replica scheme must concentrate much harder.
+        assert_eq!(rep_sink.total(), adv_sink.total());
+        assert!(adv_sink.max_count() > 4 * rep_sink.max_count());
+    }
+
+    #[test]
+    fn build_errors_are_structured() {
+        assert_eq!(
+            ShardedOrdered::build_seeded(&keys(5), 0, OrdScheme::Replicated),
+            Err(ShardedOrderedError::ZeroShards)
+        );
+        assert_eq!(
+            ShardedOrdered::build_seeded(&keys(3), 4, OrdScheme::Replicated),
+            Err(ShardedOrderedError::TooFewKeys { keys: 3, shards: 4 })
+        );
+        assert!(matches!(
+            ShardedOrdered::build_seeded(&[], 1, OrdScheme::Replicated),
+            Err(ShardedOrderedError::Build(OrdBuildError::EmptyKeySet))
+        ));
+    }
+}

@@ -18,6 +18,12 @@
 //!   publishes immutable `Arc`-shared generations; readers clone the
 //!   `Arc` and probe lock-free, so they never block on a rebuild and
 //!   never observe a torn table.
+//! * **Ordered serving** ([`ordered`]) — an [`ordered::OrderedEngine`]
+//!   answers bulk predecessor / rank / range-count over an
+//!   [`lcds_ordered::OrderedLcd`] under the same contract: answers are
+//!   bit-identical to the sequential path at any chunking, because each
+//!   query's per-level replica randomness is addressed by its global
+//!   stream position.
 //! * **Sharding** ([`shard`]) — `K` independently built dictionaries
 //!   behind a splitter hash, for key sets too large for one table (or one
 //!   socket). A [`shard::ShardedLcd`] is itself a
@@ -35,8 +41,10 @@
 
 pub mod dynamic;
 pub mod engine;
+pub mod ordered;
 pub mod shard;
 
 pub use dynamic::{DynCounters, DynamicEngine, Generation};
 pub use engine::{bulk_contains, bulk_contains_seq, bulk_count, Engine, EngineConfig, EngineDict};
+pub use ordered::OrderedEngine;
 pub use shard::{ShardBuildError, ShardedLcd};

@@ -1,0 +1,312 @@
+//! The batched ordered-query engine: predecessor, rank, and range count
+//! over an [`OrderedLcd`], chunked and (by config) parallel.
+//!
+//! Same charter as [`crate::engine`]: the probe-level work lives in the
+//! dictionary's planned executor ([`lcds_ordered::OrdPlan`]); the engine
+//! owns the serving *contract* — query `i`'s balancing randomness is
+//! addressed by its global stream position `first_index + i`, never by
+//! the chunk it landed in, so answers are bit-identical to the
+//! sequential path at any batch size, thread count, schedule, or frame
+//! split. That contract is what lets the TCP server slice one logical
+//! stream across frames and connections and still answer exactly what a
+//! direct engine call would.
+
+use crate::engine::EngineConfig;
+use lcds_cellprobe::sink::{NullSink, ProbeSink};
+use lcds_ordered::{with_ord_scratch, OrdPlan, OrderedLcd};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A long-lived ordered serving handle: the dictionary, the query seed,
+/// and the chunking config, with non-consuming accessors for front ends
+/// (CLI run headers, the TCP `Stats` opcode).
+#[derive(Clone, Debug)]
+pub struct OrderedEngine {
+    dict: OrderedLcd,
+    seed: u64,
+    cfg: EngineConfig,
+}
+
+/// One observed chunk: trace-sampled sink, batch wall time into
+/// [`ORD_BATCH_LATENCY`](lcds_obs::names::ORD_BATCH_LATENCY).
+fn observed<F>(batch_index: u64, work: F) -> Vec<u64>
+where
+    F: FnOnce(&mut OrdPlan, &mut dyn ProbeSink, &mut Vec<u64>),
+{
+    let start = if lcds_obs::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    let mut out = Vec::new();
+    match lcds_obs::trace::try_batch_trace(0, batch_index) {
+        Some(mut trace) => with_ord_scratch(|p| work(p, &mut trace, &mut out)),
+        None => with_ord_scratch(|p| work(p, &mut NullSink, &mut out)),
+    }
+    if let Some(t0) = start {
+        lcds_obs::global()
+            .histogram(lcds_obs::names::ORD_BATCH_LATENCY)
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+    out
+}
+
+impl OrderedEngine {
+    /// Engine over one ordered dictionary.
+    pub fn new(dict: OrderedLcd, seed: u64, cfg: EngineConfig) -> OrderedEngine {
+        OrderedEngine { dict, seed, cfg }
+    }
+
+    /// The served dictionary.
+    pub fn dict(&self) -> &OrderedLcd {
+        &self.dict
+    }
+
+    /// Stored keys.
+    pub fn key_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Cells across all level rows.
+    pub fn num_cells(&self) -> u64 {
+        lcds_cellprobe::CellProbeDict::num_cells(&self.dict)
+    }
+
+    /// Per-query probe bound (`B` words per level).
+    pub fn max_probes(&self) -> u32 {
+        lcds_cellprobe::CellProbeDict::max_probes(&self.dict)
+    }
+
+    /// The query seed every answer is deterministic in.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The engine tuning knobs.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Generic chunked dispatch: `op` runs one chunk's plan with the
+    /// chunk's global first index. `T` is `u64` for key-addressed ops and
+    /// `(u64, u64)` for range pairs — the *item* index is the stream
+    /// position either way.
+    fn run_op<T, F>(&self, items: &[T], first_index: u64, op: F) -> Vec<u64>
+    where
+        T: Sync,
+        F: Fn(&mut OrdPlan, &[T], u64, &mut dyn ProbeSink, &mut Vec<u64>) + Sync,
+    {
+        let batch = self.cfg.batch.max(1);
+        let run_chunk = |(c, chunk): (usize, &[T])| {
+            observed(c as u64, |p, sink, out| {
+                op(p, chunk, first_index + (c * batch) as u64, sink, out)
+            })
+        };
+        if !self.cfg.parallel || items.len() <= batch {
+            items
+                .chunks(batch)
+                .enumerate()
+                .flat_map(run_chunk)
+                .collect()
+        } else {
+            items
+                .par_chunks(batch)
+                .enumerate()
+                .flat_map_iter(run_chunk)
+                .collect()
+        }
+    }
+
+    /// Bulk predecessor of the stream slice starting at global position
+    /// `first_index`: `out[i]` is the largest stored key
+    /// `≤ queries[i]`, or [`lcds_ordered::NO_PREDECESSOR`].
+    pub fn bulk_predecessor_at(&self, queries: &[u64], first_index: u64) -> Vec<u64> {
+        let seed = self.seed;
+        self.run_op(queries, first_index, |p, chunk, fi, sink, out| {
+            p.run_predecessor(&self.dict, chunk, fi, seed, sink, out)
+        })
+    }
+
+    /// Whole-stream [`OrderedEngine::bulk_predecessor_at`] (position 0).
+    pub fn bulk_predecessor(&self, queries: &[u64]) -> Vec<u64> {
+        self.bulk_predecessor_at(queries, 0)
+    }
+
+    /// Bulk strict rank: `out[i] = #{k < queries[i]}`.
+    pub fn bulk_rank_at(&self, queries: &[u64], first_index: u64) -> Vec<u64> {
+        let seed = self.seed;
+        self.run_op(queries, first_index, |p, chunk, fi, sink, out| {
+            p.run_rank(&self.dict, chunk, fi, seed, sink, out)
+        })
+    }
+
+    /// Whole-stream [`OrderedEngine::bulk_rank_at`] (position 0).
+    pub fn bulk_rank(&self, queries: &[u64]) -> Vec<u64> {
+        self.bulk_rank_at(queries, 0)
+    }
+
+    /// Bulk inclusive range count: `out[i] = #{lo_i ≤ k ≤ hi_i}`
+    /// (0 for inverted pairs).
+    pub fn bulk_range_count_at(&self, ranges: &[(u64, u64)], first_index: u64) -> Vec<u64> {
+        let seed = self.seed;
+        self.run_op(ranges, first_index, |p, chunk, fi, sink, out| {
+            p.run_range_count(&self.dict, chunk, fi, seed, sink, out)
+        })
+    }
+
+    /// Whole-stream [`OrderedEngine::bulk_range_count_at`] (position 0).
+    pub fn bulk_range_count(&self, ranges: &[(u64, u64)]) -> Vec<u64> {
+        self.bulk_range_count_at(ranges, 0)
+    }
+
+    /// Measures the hottest-cell probe share Φ̂ *per level row* over a
+    /// query sample (sequential — sinks are not thread-safe), publishes
+    /// each as `lcds_ord_phi_level{level="ℓ"}` when telemetry is on, and
+    /// returns the levels leaf-first. This is the per-level view of the
+    /// contention story: under the adversarial scheme the root level's
+    /// Φ̂ approaches its `1/n_top` ceiling while the replicated scheme
+    /// holds every level near `1/s`.
+    pub fn phi_per_level(&self, queries: &[u64]) -> Vec<f64> {
+        let mut sink = lcds_cellprobe::CountingSink::new(self.num_cells());
+        with_ord_scratch(|p| {
+            p.run_rank(
+                &self.dict,
+                queries,
+                0,
+                self.seed,
+                &mut sink,
+                &mut Vec::new(),
+            )
+        });
+        let cols = self.dict.table().cols() as usize;
+        let counts = sink.counts();
+        let phis: Vec<f64> = counts
+            .chunks(cols)
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                let max = row.iter().copied().max().unwrap_or(0);
+                if total == 0 {
+                    0.0
+                } else {
+                    max as f64 / total as f64
+                }
+            })
+            .collect();
+        if lcds_obs::enabled() {
+            let reg = lcds_obs::global();
+            for (l, &phi) in phis.iter().enumerate() {
+                reg.gauge(&format!(
+                    "{}{{level=\"{l}\"}}",
+                    lcds_obs::names::ORD_PHI_LEVEL
+                ))
+                .set(phi);
+            }
+        }
+        phis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcds_cellprobe::rngutil::StreamRng;
+    use lcds_ordered::{build_seeded, OrdScheme, NO_PREDECESSOR};
+
+    fn engine(n: u64, batch: usize, parallel: bool) -> OrderedEngine {
+        let keys: Vec<u64> = (0..n).map(|i| 6 * i + 3).collect();
+        let dict = build_seeded(&keys, OrdScheme::Replicated).unwrap();
+        OrderedEngine::new(dict, 0xE11E, EngineConfig { batch, parallel })
+    }
+
+    #[test]
+    fn engine_matches_the_sequential_dictionary_path() {
+        let e = engine(1500, 256, true);
+        let queries: Vec<u64> = (0..4000u64).map(|i| i * 3 + 1).collect();
+        let pred = e.bulk_predecessor(&queries);
+        let rank = e.bulk_rank(&queries);
+        for (i, &q) in queries.iter().enumerate() {
+            let mut rng = StreamRng::for_stream(e.seed(), i as u64);
+            assert_eq!(
+                pred[i],
+                e.dict()
+                    .predecessor(q, &mut rng, &mut NullSink)
+                    .unwrap_or(NO_PREDECESSOR),
+                "pred q={q}"
+            );
+            let mut rng = StreamRng::for_stream(e.seed(), i as u64);
+            assert_eq!(rank[i], e.dict().rank(q, &mut rng, &mut NullSink));
+        }
+    }
+
+    #[test]
+    fn answers_do_not_depend_on_batch_size_or_parallelism() {
+        let queries: Vec<u64> = (0..2500u64).map(|i| i * 5).collect();
+        let ranges: Vec<(u64, u64)> = queries.iter().map(|&q| (q, q + 100)).collect();
+        let base = engine(900, 64, false);
+        let (bp, br, bc) = (
+            base.bulk_predecessor(&queries),
+            base.bulk_rank(&queries),
+            base.bulk_range_count(&ranges),
+        );
+        for batch in [1usize, 17, 1024, 1 << 14] {
+            for parallel in [false, true] {
+                let e = engine(900, batch, parallel);
+                assert_eq!(e.bulk_predecessor(&queries), bp, "batch={batch}");
+                assert_eq!(e.bulk_rank(&queries), br, "batch={batch}");
+                assert_eq!(e.bulk_range_count(&ranges), bc, "batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_slices_agree_with_the_whole_stream_run() {
+        let e = engine(700, 64, true);
+        let queries: Vec<u64> = (0..1200u64).map(|i| i * 7 + 2).collect();
+        let ranges: Vec<(u64, u64)> = queries.iter().map(|&q| (q / 2, q)).collect();
+        let full_p = e.bulk_predecessor(&queries);
+        let full_c = e.bulk_range_count(&ranges);
+        for split in [0usize, 1, 63, 64, 65, 1000, queries.len()] {
+            let (a, b) = queries.split_at(split.min(queries.len()));
+            let mut stitched = e.bulk_predecessor_at(a, 0);
+            stitched.extend(e.bulk_predecessor_at(b, a.len() as u64));
+            assert_eq!(stitched, full_p, "pred split at {split}");
+
+            let (ra, rb) = ranges.split_at(split.min(ranges.len()));
+            let mut stitched = e.bulk_range_count_at(ra, 0);
+            stitched.extend(e.bulk_range_count_at(rb, ra.len() as u64));
+            assert_eq!(stitched, full_c, "range split at {split}");
+        }
+    }
+
+    #[test]
+    fn accessors_match_the_structure_and_empty_inputs_work() {
+        let e = engine(513, 0, true); // batch=0 is clamped, not a panic
+        assert_eq!(e.key_count(), 513);
+        assert_eq!(e.num_cells(), 513 * e.dict().num_levels() as u64);
+        assert_eq!(e.max_probes() as usize, 8 * e.dict().num_levels());
+        assert!(e.bulk_predecessor(&[]).is_empty());
+        assert!(e.bulk_range_count(&[]).is_empty());
+        assert_eq!(e.bulk_predecessor(&[2]), vec![NO_PREDECESSOR]);
+    }
+
+    #[test]
+    fn phi_per_level_separates_the_schemes_at_the_root() {
+        let keys: Vec<u64> = (0..2048u64).map(|i| 2 * i).collect();
+        let queries: Vec<u64> = (0..4096u64).collect();
+        let cfg = EngineConfig::default();
+        let rep = OrderedEngine::new(build_seeded(&keys, OrdScheme::Replicated).unwrap(), 1, cfg);
+        let adv = OrderedEngine::new(build_seeded(&keys, OrdScheme::Adversarial).unwrap(), 1, cfg);
+        let phi_rep = rep.phi_per_level(&queries);
+        let phi_adv = adv.phi_per_level(&queries);
+        assert_eq!(phi_rep.len(), rep.dict().num_levels());
+        let top = phi_rep.len() - 1;
+        // The pinned root replica concentrates the whole root row's
+        // traffic on n_top cells; replication spreads it over ~n.
+        assert!(
+            phi_adv[top] > 8.0 * phi_rep[top],
+            "adv {} vs rep {}",
+            phi_adv[top],
+            phi_rep[top]
+        );
+    }
+}

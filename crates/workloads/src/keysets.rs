@@ -57,6 +57,29 @@ pub fn clustered_keys(n: usize, clusters: usize, spread: u64, seed: u64) -> Vec<
     out
 }
 
+/// `n` keys straddling multiples of `block`: each chosen boundary `m·block`
+/// contributes the pair `m·block − 1, m·block`. Against the ordered
+/// dictionary's B-ary layout this is the boundary-adversarial key set —
+/// predecessor descents near these keys must separate adjacent blocks at
+/// every level, so replica choice is exercised where it matters most.
+pub fn adversarial_boundary_keys(n: usize, block: u64, seed: u64) -> Vec<u64> {
+    assert!(block >= 2, "a boundary needs a block of at least 2");
+    let mut set = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0u64;
+    while out.len() < n {
+        // Boundary multiples are seed-drawn; both sides of each boundary
+        // enter (i alternates the side, dedup keeps the set distinct).
+        let m = 1 + derive(seed, i / 2) % (MAX_KEY / block - 1);
+        let k = m * block - (1 - i % 2);
+        if set.insert(k) {
+            out.push(k);
+        }
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +134,26 @@ mod tests {
     fn zero_size_requests() {
         assert!(uniform_keys(0, 1).is_empty());
         assert!(dense_keys(0, 1).is_empty());
+    }
+
+    #[test]
+    fn boundary_keys_straddle_block_multiples() {
+        let block = 4096u64;
+        let keys = adversarial_boundary_keys(600, block, 11);
+        assert!(all_distinct(&keys));
+        assert!(all_in_universe(&keys));
+        assert_eq!(keys, adversarial_boundary_keys(600, block, 11));
+        assert_ne!(keys, adversarial_boundary_keys(600, block, 12));
+        for &k in &keys {
+            let r = k % block;
+            assert!(
+                r == 0 || r == block - 1,
+                "key {k} sits {r} past a block boundary"
+            );
+        }
+        // Both sides of the straddle are present.
+        assert!(keys.iter().any(|&k| k % block == 0));
+        assert!(keys.iter().any(|&k| k % block == block - 1));
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub mod keysets;
 pub mod querygen;
 pub mod rng;
 
-pub use keysets::{clustered_keys, dense_keys, uniform_keys};
-pub use querygen::{mixed_dist, negative_dist, negative_pool, positive_dist, zipf_over_keys};
+pub use keysets::{adversarial_boundary_keys, clustered_keys, dense_keys, uniform_keys};
+pub use querygen::{
+    mixed_dist, negative_dist, negative_pool, positive_dist, predecessor_probes,
+    predecessor_probes_at, range_pairs, range_pairs_at, zipf_over_keys,
+};
 pub use rng::{seeded, FirstWordRng};

@@ -1,6 +1,7 @@
 //! Query-distribution builders over a stored key set.
 
 use lcds_cellprobe::dist::{Mixture, UniformOver, Zipf};
+use lcds_cellprobe::rngutil::{uniform_below, StreamRng};
 use lcds_hashing::mix::derive;
 use lcds_hashing::MAX_KEY;
 use std::collections::HashSet;
@@ -56,6 +57,65 @@ pub fn zipf_over_keys(keys: &[u64], theta: f64, seed: u64) -> Zipf {
     Zipf::new(ranked, theta)
 }
 
+/// `n` predecessor probes over a sorted-or-not key set, cycling four
+/// lanes per stream position: an exact member, a member − 1 (the
+/// just-below probe), a uniform universe miss, and a key + 1 (the
+/// just-above probe). Probe `i` is a pure function of
+/// `(seed, first_index + i)` — [`StreamRng`] lane addressing — so any
+/// chunking of the stream regenerates identical probes.
+pub fn predecessor_probes_at(keys: &[u64], n: usize, first_index: u64, seed: u64) -> Vec<u64> {
+    assert!(!keys.is_empty(), "predecessor probes need a key set");
+    (0..n as u64)
+        .map(|i| {
+            let pos = first_index + i;
+            let mut rng = StreamRng::for_stream(seed, pos);
+            let k = keys[uniform_below(&mut rng, keys.len() as u64) as usize];
+            match pos % 4 {
+                0 => k,
+                1 => k.wrapping_sub(1),
+                2 => uniform_below(&mut rng, MAX_KEY),
+                _ => (k + 1) % MAX_KEY,
+            }
+        })
+        .collect()
+}
+
+/// [`predecessor_probes_at`] from stream position 0.
+pub fn predecessor_probes(keys: &[u64], n: usize, seed: u64) -> Vec<u64> {
+    predecessor_probes_at(keys, n, 0, seed)
+}
+
+/// `n` inclusive `(lo, hi)` range pairs: endpoints are drawn around two
+/// stored keys and min/max-normalized, except every eighth pair is left
+/// deliberately inverted (`lo > hi`) to exercise the zero-count path.
+/// Pair `i` is a pure function of `(seed, first_index + i)`, matching
+/// the ordered engine's one-stream-position-per-pair addressing.
+pub fn range_pairs_at(keys: &[u64], n: usize, first_index: u64, seed: u64) -> Vec<(u64, u64)> {
+    assert!(!keys.is_empty(), "range pairs need a key set");
+    (0..n as u64)
+        .map(|i| {
+            let pos = first_index + i;
+            let mut rng = StreamRng::for_stream(seed, pos);
+            let a = keys[uniform_below(&mut rng, keys.len() as u64) as usize];
+            let b = keys[uniform_below(&mut rng, keys.len() as u64) as usize];
+            // Nudge the endpoints off the stored keys half the time so
+            // both exact-hit and between-keys descents occur.
+            let a = a.wrapping_sub(uniform_below(&mut rng, 2));
+            let b = (b + uniform_below(&mut rng, 2)) % MAX_KEY;
+            if pos % 8 == 7 && a != b {
+                (a.max(b), a.min(b))
+            } else {
+                (a.min(b), a.max(b))
+            }
+        })
+        .collect()
+}
+
+/// [`range_pairs_at`] from stream position 0.
+pub fn range_pairs(keys: &[u64], n: usize, seed: u64) -> Vec<(u64, u64)> {
+    range_pairs_at(keys, n, 0, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +157,44 @@ mod tests {
             .count();
         let rate = pos as f64 / 10_000.0;
         assert!((rate - 0.75).abs() < 0.03, "positive rate {rate}");
+    }
+
+    #[test]
+    fn predecessor_probes_are_lane_deterministic_at_any_chunking() {
+        let keys: Vec<u64> = (0..400u64).map(|i| 10 + i * 97).collect();
+        let whole = predecessor_probes(&keys, 333, 9);
+        assert_eq!(whole.len(), 333);
+        assert_eq!(whole, predecessor_probes(&keys, 333, 9));
+        assert_ne!(whole, predecessor_probes(&keys, 333, 10));
+        // Regenerating any split by stream offset stitches to the whole.
+        for split in [1usize, 4, 100, 332] {
+            let mut pieced = predecessor_probes_at(&keys, split, 0, 9);
+            pieced.extend(predecessor_probes_at(&keys, 333 - split, split as u64, 9));
+            assert_eq!(pieced, whole, "split at {split}");
+        }
+        // All four lanes appear: members, just-below, misses.
+        let members: HashSet<u64> = keys.iter().copied().collect();
+        assert!(whole.iter().step_by(4).all(|q| members.contains(q)));
+        assert!(whole.iter().any(|q| !members.contains(q)));
+    }
+
+    #[test]
+    fn range_pairs_are_lane_deterministic_and_mostly_ordered() {
+        let keys: Vec<u64> = (0..300u64).map(|i| 5 + i * 13).collect();
+        let whole = range_pairs(&keys, 256, 21);
+        assert_eq!(whole, range_pairs(&keys, 256, 21));
+        for split in [1usize, 7, 128] {
+            let mut pieced = range_pairs_at(&keys, split, 0, 21);
+            pieced.extend(range_pairs_at(&keys, 256 - split, split as u64, 21));
+            assert_eq!(pieced, whole, "split at {split}");
+        }
+        let inverted = whole.iter().filter(|(lo, hi)| lo > hi).count();
+        assert!(inverted > 0, "no inverted pair ever generated");
+        assert!(
+            inverted <= whole.len() / 8 + 1,
+            "{inverted} inverted pairs out of {}",
+            whole.len()
+        );
     }
 
     #[test]

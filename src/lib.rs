@@ -28,6 +28,10 @@
 //!   probe plans executed region-by-region with read-ahead, parallel
 //!   dispatch, and optional sharding across independently built
 //!   dictionaries.
+//! * [`ordered`] ([`lcds_ordered`]) — the low-contention *ordered*
+//!   dictionary: predecessor, rank, and range-count over a replicated
+//!   B-tree-style level layout, replica choice per level spreading each
+//!   descent across all `s` columns.
 //! * [`lowerbound`] ([`lcds_lowerbound`]) — §3 mechanized: VC-dimension,
 //!   the communication game, the product-space simulation, and the
 //!   `Ω(log log n)` recursion.
@@ -61,6 +65,7 @@ pub use lcds_cellprobe as cellprobe;
 pub use lcds_core as core;
 pub use lcds_hashing as hashing;
 pub use lcds_lowerbound as lowerbound;
+pub use lcds_ordered as ordered;
 pub use lcds_serve as serve;
 pub use lcds_sim as sim;
 pub use lcds_workloads as workloads;
@@ -80,7 +85,8 @@ pub mod prelude {
     pub use lcds_core::dynamic::DynamicLcd;
     pub use lcds_core::weighted::{build_weighted, WeightedDict};
     pub use lcds_core::{build_with, LowContentionDict, ParamsConfig};
-    pub use lcds_serve::{bulk_contains, bulk_count, EngineConfig, ShardedLcd};
+    pub use lcds_ordered::{build_seeded as build_ordered, OrdScheme, OrderedLcd, NO_PREDECESSOR};
+    pub use lcds_serve::{bulk_contains, bulk_count, EngineConfig, OrderedEngine, ShardedLcd};
     pub use lcds_workloads::keysets::{clustered_keys, dense_keys, uniform_keys};
     pub use lcds_workloads::querygen::{mixed_dist, negative_dist, positive_dist, zipf_over_keys};
     pub use lcds_workloads::rng::seeded;

@@ -117,6 +117,121 @@ fn committed_mt_scaling_section_shows_the_contention_cliff() {
     );
 }
 
+/// The committed `ordered` section must hold a real recorded sweep of
+/// the ordered dictionary — and must show the replication story in the
+/// data: pinning every descent to replica 0 (the adversarial scheme)
+/// concentrates traffic, so under the same op × workload × thread count
+/// it records a higher global Φ̂ *and* a higher root-level Φ̂ than the
+/// replicated scheme.
+#[test]
+fn committed_ordered_section_separates_the_replica_schemes() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_serve.json at the repo root");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let ord = doc
+        .get("ordered")
+        .expect("BENCH_serve.json must carry an ordered section");
+    lcds_bench::summary::validate_ordered(ord)
+        .unwrap_or_else(|e| panic!("ordered violates its schema: {e}"));
+
+    let rows = ord["rows"].as_array().unwrap();
+    let schemes: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r["scheme"].as_str().unwrap()).collect();
+    assert!(
+        schemes.contains("ord-replicated") && schemes.contains("ord-adversarial"),
+        "both replica-choice schemes must be recorded, got {schemes:?}"
+    );
+
+    // Pair rows across schemes at the same (op, workload, threads) point
+    // and require the separation on every matched pair.
+    let point = |r: &serde_json::Value| {
+        (
+            r["op"].as_str().unwrap().to_string(),
+            r["workload"].as_str().unwrap().to_string(),
+            r["threads"].as_u64().unwrap(),
+        )
+    };
+    let phis = |r: &serde_json::Value| {
+        let levels = r["phi_per_level"].as_array().unwrap();
+        (
+            r["phi_hat"].as_f64().unwrap(),
+            levels.last().unwrap().as_f64().unwrap(),
+        )
+    };
+    let mut matched = 0usize;
+    for rep in rows.iter().filter(|r| r["scheme"] == "ord-replicated") {
+        for adv in rows.iter().filter(|r| r["scheme"] == "ord-adversarial") {
+            if point(rep) != point(adv) {
+                continue;
+            }
+            matched += 1;
+            let ((rep_phi, rep_root), (adv_phi, adv_root)) = (phis(rep), phis(adv));
+            assert!(
+                adv_phi > rep_phi,
+                "{:?}: adversarial Φ̂ must exceed replicated ({adv_phi} vs {rep_phi})",
+                point(rep)
+            );
+            assert!(
+                adv_root > rep_root,
+                "{:?}: adversarial root-level Φ̂ must exceed replicated \
+                 ({adv_root} vs {rep_root})",
+                point(rep)
+            );
+        }
+    }
+    assert!(
+        matched >= 1,
+        "schemes never met at a common (op, workload, threads) point"
+    );
+
+    // Drift cases: each mutation must sink the section and the envelope.
+    let drifts: Vec<(&str, Box<dyn Fn(&mut serde_json::Value)>)> = vec![
+        (
+            "dropped rows",
+            Box::new(|d| d["rows"] = serde_json::json!([])),
+        ),
+        (
+            "phi above 1",
+            Box::new(|d| d["rows"][0]["phi_hat"] = serde_json::json!(1.5)),
+        ),
+        (
+            "level share out of range",
+            Box::new(|d| d["rows"][0]["phi_per_level"][0] = serde_json::json!(-0.25)),
+        ),
+        (
+            "lost per-level profile",
+            Box::new(|d| {
+                d["rows"][0]
+                    .as_object_mut()
+                    .unwrap()
+                    .remove("phi_per_level");
+            }),
+        ),
+        (
+            "zeroed throughput",
+            Box::new(|d| d["rows"][0]["qps"] = serde_json::json!(0.0)),
+        ),
+        (
+            "anonymous scheme",
+            Box::new(|d| d["rows"][0]["scheme"] = serde_json::json!("")),
+        ),
+    ];
+    for (what, mutate) in drifts {
+        let mut bad = ord.clone();
+        mutate(&mut bad);
+        assert!(
+            lcds_bench::summary::validate_ordered(&bad).is_err(),
+            "drift case {what:?} should fail validation"
+        );
+        let mut bad_doc = doc.clone();
+        bad_doc["ordered"] = bad;
+        assert!(
+            lcds_bench::summary::validate_serve_summary(&bad_doc).is_err(),
+            "envelope should reject a drifted ordered section ({what})"
+        );
+    }
+}
+
 /// The committed `probe_kernels` section must hold a real recorded sweep:
 /// scalar reference plus at least one other kernel path, every row with
 /// positive ns/key, and the combined-vs-scalar ratio measured (not

@@ -42,6 +42,25 @@ fn every_emitted_metric_and_event_name_is_declared() {
     let r = replay(&t.traces, &t.queries, dict.num_cells());
     assert!(r.total_probes > 0);
 
+    // Ordered path: build counter/gauges, descent query + probe
+    // counters, the batch-latency histogram, and the per-level Φ̂
+    // labeled gauge family.
+    {
+        let od = build_ordered(&keys, OrdScheme::Replicated).expect("ordered build");
+        let engine = OrderedEngine::new(
+            od,
+            0x4A42,
+            EngineConfig {
+                batch: 64,
+                parallel: false,
+            },
+        );
+        let preds = engine.bulk_predecessor(&keys);
+        assert!(preds.iter().all(|&p| p != NO_PREDECESSOR));
+        let phi = engine.phi_per_level(&keys[..256]);
+        assert!(!phi.is_empty());
+    }
+
     // Watchdog path: force a trip so EVENT_WATCHDOG and the trips
     // counter are exercised. A single-cell stream has Φ̂ = 1.
     {
@@ -114,6 +133,18 @@ fn every_emitted_metric_and_event_name_is_declared() {
     assert!(
         undeclared.is_empty(),
         "metric names missing from lcds_obs::names: {undeclared:?}"
+    );
+    // The ordered family must have recorded, not merely been declared.
+    assert!(
+        snap.counters
+            .contains_key(lcds_obs::names::ORD_QUERIES_TOTAL),
+        "ordered smoke did not reach the lcds_ord_* counters"
+    );
+    assert!(
+        snap.gauges
+            .keys()
+            .any(|k| k.starts_with(lcds_obs::names::ORD_PHI_LEVEL)),
+        "phi_per_level did not publish its labeled gauge family"
     );
 
     let events = lcds_obs::global_events().events();

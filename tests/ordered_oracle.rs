@@ -1,0 +1,204 @@
+//! The ordered dictionary against a sorted-`Vec` binary-search oracle:
+//! predecessor, strict rank, and inclusive range count, over arbitrary
+//! key sets and probe points — including universe boundaries and the
+//! splitter seams of the sharded router.
+
+use low_contention::hashing::MAX_KEY;
+use low_contention::prelude::*;
+use proptest::prelude::*;
+
+/// Sorted, deduplicated reference set.
+fn oracle_keys(keys: &[u64]) -> Vec<u64> {
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted
+}
+
+/// Largest stored key `≤ q`, or [`NO_PREDECESSOR`].
+fn oracle_predecessor(sorted: &[u64], q: u64) -> u64 {
+    match sorted.partition_point(|&k| k <= q) {
+        0 => NO_PREDECESSOR,
+        i => sorted[i - 1],
+    }
+}
+
+/// Strict rank `#{k < q}`.
+fn oracle_rank(sorted: &[u64], q: u64) -> u64 {
+    sorted.partition_point(|&k| k < q) as u64
+}
+
+/// Inclusive `#{lo ≤ k ≤ hi}` (0 when inverted).
+fn oracle_range_count(sorted: &[u64], lo: u64, hi: u64) -> u64 {
+    if lo > hi {
+        return 0;
+    }
+    (sorted.partition_point(|&k| k <= hi) - sorted.partition_point(|&k| k < lo)) as u64
+}
+
+/// Probe points that stress every seam: the keys themselves, their ±1
+/// neighbours, and the universe boundaries.
+fn seam_probes(sorted: &[u64]) -> Vec<u64> {
+    let mut probes = vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+    for &k in sorted {
+        probes.push(k);
+        probes.push(k.wrapping_sub(1));
+        probes.push(k.saturating_add(1));
+    }
+    probes
+}
+
+fn check_against_oracle(keys: &[u64], scheme: OrdScheme, seed: u64) {
+    let sorted = oracle_keys(keys);
+    let dict = build_ordered(keys, scheme).expect("ordered build");
+    let engine = OrderedEngine::new(
+        dict,
+        seed,
+        EngineConfig {
+            batch: 32,
+            parallel: false,
+        },
+    );
+    let probes = seam_probes(&sorted);
+    let preds = engine.bulk_predecessor(&probes);
+    let ranks = engine.bulk_rank(&probes);
+    for (i, &q) in probes.iter().enumerate() {
+        assert_eq!(
+            preds[i],
+            oracle_predecessor(&sorted, q),
+            "predecessor({q}) over {} keys",
+            sorted.len()
+        );
+        assert_eq!(
+            ranks[i],
+            oracle_rank(&sorted, q),
+            "rank({q}) over {} keys",
+            sorted.len()
+        );
+    }
+    let pairs: Vec<(u64, u64)> = probes
+        .iter()
+        .zip(probes.iter().rev())
+        .map(|(&a, &b)| (a, b)) // deliberately includes inverted pairs
+        .collect();
+    let counts = engine.bulk_range_count(&pairs);
+    for (i, &(lo, hi)) in pairs.iter().enumerate() {
+        assert_eq!(
+            counts[i],
+            oracle_range_count(&sorted, lo, hi),
+            "range_count({lo}, {hi}) over {} keys",
+            sorted.len()
+        );
+    }
+}
+
+#[test]
+fn boundary_key_sets_both_schemes() {
+    let shapes: Vec<Vec<u64>> = vec![
+        vec![0],
+        vec![MAX_KEY - 1], // top of the storable universe
+        vec![0, MAX_KEY - 1],
+        vec![5],
+        (0..9u64).collect(), // exactly one branch-wide leaf + root
+        (0..64u64).map(|i| i * 3).collect(),
+        uniform_keys(700, 0x0D0E), // multiple levels
+    ];
+    for keys in &shapes {
+        for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+            check_against_oracle(keys, scheme, 0x5EA5);
+        }
+    }
+}
+
+#[test]
+fn sharded_splitter_seams_match_the_oracle() {
+    use lcds_cellprobe::sink::NullSink;
+    use low_contention::ordered::ShardedOrdered;
+
+    // Clustered keys give uneven shard spans, so the router's splitter
+    // run is exercised away from uniform boundaries too.
+    let keys = clustered_keys(600, 6, 3_000, 0x51AB);
+    let sorted = oracle_keys(&keys);
+    for shards in [2usize, 3, 7] {
+        let s = ShardedOrdered::par_build(&keys, shards, OrdScheme::Replicated).expect("shards");
+        assert_eq!(s.len(), sorted.len());
+        let mut rng = seeded(0xC0DE ^ shards as u64);
+        for &q in &seam_probes(&sorted) {
+            let want = match oracle_predecessor(&sorted, q) {
+                NO_PREDECESSOR => None,
+                p => Some(p),
+            };
+            assert_eq!(
+                s.predecessor(q, &mut rng, &mut NullSink),
+                want,
+                "sharded({shards}) predecessor({q})"
+            );
+            assert_eq!(
+                s.rank(q, &mut rng, &mut NullSink),
+                oracle_rank(&sorted, q),
+                "sharded({shards}) rank({q})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary key sets and probes: every answer matches the
+    /// binary-search oracle under both replica-choice schemes.
+    #[test]
+    fn prop_ordered_matches_oracle(
+        keys in proptest::collection::hash_set(0..MAX_KEY, 1..150),
+        probes in proptest::collection::vec(0..u64::MAX, 24),
+        seed in 0..u64::MAX,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let sorted = oracle_keys(&keys);
+        for scheme in [OrdScheme::Replicated, OrdScheme::Adversarial] {
+            let dict = build_ordered(&keys, scheme).unwrap();
+            let engine = OrderedEngine::new(dict, seed, EngineConfig { batch: 16, parallel: false });
+            let preds = engine.bulk_predecessor(&probes);
+            let ranks = engine.bulk_rank(&probes);
+            for (i, &q) in probes.iter().enumerate() {
+                prop_assert_eq!(preds[i], oracle_predecessor(&sorted, q), "pred {}", q);
+                prop_assert_eq!(ranks[i], oracle_rank(&sorted, q), "rank {}", q);
+            }
+            let pairs: Vec<(u64, u64)> = probes.chunks_exact(2)
+                .map(|w| (w[0], w[1]))
+                .collect();
+            let counts = engine.bulk_range_count(&pairs);
+            for (i, &(lo, hi)) in pairs.iter().enumerate() {
+                prop_assert_eq!(counts[i], oracle_range_count(&sorted, lo, hi), "range {} {}", lo, hi);
+            }
+        }
+    }
+
+    /// Chunked engine answers are bit-identical to one-shot answers at
+    /// any batch size — the stream-position contract the wire path
+    /// relies on.
+    #[test]
+    fn prop_any_chunking_is_bit_identical(
+        keys in proptest::collection::hash_set(0..MAX_KEY, 2..120),
+        probes in proptest::collection::vec(0..u64::MAX, 33),
+        batch in 1usize..40,
+        seed in 0..u64::MAX,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let dict = build_ordered(&keys, OrdScheme::Replicated).unwrap();
+        let one = OrderedEngine::new(
+            dict,
+            seed,
+            EngineConfig { batch: probes.len().max(1), parallel: false },
+        );
+        let chunked = OrderedEngine::new(
+            build_ordered(&keys, OrdScheme::Replicated).unwrap(),
+            seed,
+            EngineConfig { batch, parallel: true },
+        );
+        prop_assert_eq!(one.bulk_predecessor(&probes), chunked.bulk_predecessor(&probes));
+        prop_assert_eq!(one.bulk_rank(&probes), chunked.bulk_rank(&probes));
+        let pairs: Vec<(u64, u64)> = probes.chunks_exact(2).map(|w| (w[0], w[1])).collect();
+        prop_assert_eq!(one.bulk_range_count(&pairs), chunked.bulk_range_count(&pairs));
+    }
+}

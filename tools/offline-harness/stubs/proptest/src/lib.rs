@@ -146,6 +146,22 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+    for (A, B, C, D, E, F)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    fn sample_value(&self, g: &mut CaseGen) -> Self::Value {
+        (
+            self.0.sample_value(g),
+            self.1.sample_value(g),
+            self.2.sample_value(g),
+            self.3.sample_value(g),
+            self.4.sample_value(g),
+            self.5.sample_value(g),
+        )
+    }
+}
+
 /// `any::<T>()` — full-domain strategy.
 pub struct AnyStrategy<T>(pub std::marker::PhantomData<T>);
 
